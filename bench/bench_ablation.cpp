@@ -1,0 +1,164 @@
+// Ablation study for Flowtree's two main design knobs (DESIGN.md §4):
+//
+//   ip_step        bits removed per generalization step. Smaller steps give
+//                  finer prefix levels (deeper trees, more chain nodes, more
+//                  HHH granularity); larger steps give shallow, cheap trees.
+//   compress_slack how far above the node budget the tree may float before
+//                  self-compressing. Small slack = tight memory but frequent
+//                  compress passes; large slack = fewer passes, more memory.
+//
+// Reports ingest throughput (wall-clock), tree depth/size, wire size, and
+// HHH agreement with an exact reference at matched phi.
+#include <chrono>
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "flowtree/flowtree.hpp"
+#include "lineage/lineage.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "store/datastore.hpp"
+#include "trace/flowgen.hpp"
+
+namespace {
+
+using namespace megads;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kFlows = 100000;
+constexpr double kPhi = 0.02;
+
+std::vector<flow::FlowRecord> shared_trace() {
+  trace::FlowGenConfig config;
+  config.seed = 3;
+  config.network_skew = 1.2;
+  trace::FlowGenerator gen(config);
+  return gen.generate(kFlows);
+}
+
+double hhh_f1(const flowtree::Flowtree& tree,
+              const flow::GeneralizationPolicy& policy,
+              const std::vector<flow::FlowRecord>& records) {
+  primitives::ExactHHH exact(policy);
+  for (const auto& record : records) {
+    primitives::StreamItem item;
+    item.key = record.key;
+    item.value = static_cast<double>(record.bytes);
+    exact.insert(item);
+  }
+  std::unordered_set<flow::FlowKey> truth;
+  for (const auto& row : exact.execute(primitives::HHHQuery{kPhi}).entries) {
+    truth.insert(row.key);
+  }
+  const auto got_rows = tree.hhh(kPhi);
+  if (truth.empty() && got_rows.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& row : got_rows) hit += truth.contains(row.key);
+  if (got_rows.empty() || truth.empty()) return 0.0;
+  const double precision = static_cast<double>(hit) / static_cast<double>(got_rows.size());
+  const double recall = static_cast<double>(hit) / static_cast<double>(truth.size());
+  return precision + recall > 0 ? 2 * precision * recall / (precision + recall) : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto records = shared_trace();
+
+  std::printf("Ablation A: generalization step (budget 4096, %zu flows, phi=%.2f)\n\n",
+              kFlows, kPhi);
+  std::printf("%8s %8s %8s %8s %12s %8s %10s\n", "ip_step", "depth", "nodes",
+              "kflows/s", "wire", "hhh_f1", "hhh_rows");
+  for (const int step : {4, 8, 16, 32}) {
+    flowtree::FlowtreeConfig config;
+    config.policy.ip_step = step;
+    config.node_budget = 4096;
+    flowtree::Flowtree tree(config);
+    const auto start = Clock::now();
+    for (const auto& record : records) {
+      tree.add(record.key, static_cast<double>(record.bytes));
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const double f1 = hhh_f1(tree, config.policy, records);
+    std::printf("%8d %8d %8zu %8.0f %12s %8.3f %10zu\n", step, tree.max_depth(),
+                tree.size(), static_cast<double>(kFlows) / ms,
+                format_bytes(tree.wire_bytes()).c_str(), f1,
+                tree.hhh(kPhi).size());
+  }
+  std::printf(
+      "\nreading: smaller steps buy finer prefix levels (more HHH rows at the "
+      "same phi) for deeper chains and slower ingest; /8 steps match the "
+      "octet boundaries operators reason in.\n");
+
+  std::printf("\nAblation B: self-compression slack (budget 4096)\n\n");
+  std::printf("%8s %10s %10s %12s %14s\n", "slack", "kflows/s", "max-nodes",
+              "end-nodes", "compressions");
+  for (const double slack : {1.05, 1.25, 1.5, 2.0, 4.0}) {
+    flowtree::FlowtreeConfig config;
+    config.node_budget = 4096;
+    config.compress_slack = slack;
+    flowtree::Flowtree tree(config);
+    std::size_t max_nodes = 0;
+    std::size_t compressions = 0;
+    std::size_t last_nodes = 0;
+    const auto start = Clock::now();
+    for (const auto& record : records) {
+      tree.add(record.key, static_cast<double>(record.bytes));
+      max_nodes = std::max(max_nodes, tree.size());
+      if (tree.size() < last_nodes) ++compressions;  // size dropped = compress
+      last_nodes = tree.size();
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    std::printf("%8.2f %10.0f %10zu %12zu %14zu\n", slack,
+                static_cast<double>(kFlows) / ms, max_nodes, tree.size(),
+                compressions);
+  }
+  std::printf(
+      "\nreading: tighter slack trades throughput for a harder memory "
+      "ceiling; the default 1.25 keeps the envelope within ~25%% of the "
+      "budget at near-peak ingest rate.\n");
+
+  std::printf("\nAblation C: schema-level lineage overhead (DataStore path)\n\n");
+  std::printf("%10s %10s %12s %14s\n", "lineage", "kflows/s", "entities",
+              "transforms");
+  for (const bool with_lineage : {false, true}) {
+    lineage::Recorder recorder;
+    store::DataStore data_store(StoreId(0), "router");
+    if (with_lineage) data_store.attach_lineage(recorder);
+    store::SlotConfig slot;
+    slot.name = "flowtree";
+    slot.factory = [] {
+      flowtree::FlowtreeConfig tree;
+      tree.node_budget = 4096;
+      return std::make_unique<flowtree::Flowtree>(tree);
+    };
+    slot.epoch = kSecond;
+    slot.storage = std::make_unique<store::RoundRobinStorage>(64u << 20);
+    slot.subscribe_all = true;
+    data_store.install(std::move(slot));
+
+    const auto start = Clock::now();
+    SimTime now = 0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      primitives::StreamItem item;
+      item.key = records[i].key;
+      item.value = static_cast<double>(records[i].bytes);
+      now += 100;  // ~10k items per 1s epoch
+      item.timestamp = now;
+      data_store.ingest(SensorId(i % 64), item);
+      if (i % 10000 == 9999) data_store.advance_to(now);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    std::printf("%10s %10.0f %12zu %14zu\n", with_lineage ? "on" : "off",
+                static_cast<double>(records.size()) / ms,
+                recorder.entity_count(), recorder.transform_count());
+  }
+  std::printf(
+      "\nreading: batch-granularity lineage (one edge per sensor per epoch) "
+      "costs a few percent of ingest throughput — the paper's schema-level "
+      "option is affordable where instance-level would not be.\n");
+  return 0;
+}

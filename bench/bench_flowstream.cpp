@@ -1,0 +1,106 @@
+// Experiment E5 (Fig. 5): the full Flowstream pipeline — routers -> Flowtree
+// data stores -> encoded exports over the WAN -> regional stores + FlowDB ->
+// FlowQL. Reports ingestion throughput (wall-clock), export volume, and
+// FlowQL query latency for each operator, local vs across all sites.
+#include <chrono>
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "flowstream/flowstream.hpp"
+#include "trace/flowgen.hpp"
+
+namespace {
+
+using namespace megads;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator simulator;
+  flowstream::FlowstreamConfig config;
+  config.regions = 2;
+  config.routers_per_region = 3;
+  // Summarization pays off when an epoch holds far more flows than the node
+  // budget; 5s x 2000 flows/s vs 2048 nodes gives ~5x per-epoch aggregation.
+  config.epoch = 5 * kSecond;
+  config.router_budget = 2048;
+  config.region_budget = 16384;
+  flowstream::Flowstream system(simulator, config);
+  system.start();
+
+  std::vector<trace::FlowGenerator> generators;
+  for (std::uint32_t site = 0; site < 6; ++site) {
+    trace::FlowGenConfig gen_config;
+    gen_config.seed = 77;
+    gen_config.site = site;
+    gen_config.flows_per_second = 2000.0;
+    generators.emplace_back(gen_config);
+  }
+
+  constexpr SimDuration kRun = 30 * kSecond;
+  std::uint64_t ingested = 0;
+  const auto ingest_start = Clock::now();
+  for (SimTime t = 0; t < kRun; t += 100 * kMillisecond) {
+    simulator.run_until(t);
+    for (std::uint32_t site = 0; site < 6; ++site) {
+      for (auto& record : generators[site].generate_for(100 * kMillisecond)) {
+        record.timestamp = t;
+        system.ingest(site / 3, site % 3, record);
+        ++ingested;
+      }
+    }
+  }
+  const double ingest_ms = ms_since(ingest_start);
+  simulator.run_until(kRun + 10 * kSecond);
+
+  std::printf("E5: Flowstream end-to-end (%d routers x %d regions, %llds)\n\n",
+              3, 2, static_cast<long long>(kRun / kSecond));
+  std::printf("ingested flows           : %s (%.0f kflows/s wall-clock)\n",
+              format_si(static_cast<double>(ingested)).c_str(),
+              static_cast<double>(ingested) / ingest_ms);
+  std::printf("summaries indexed (FlowDB): %llu\n",
+              static_cast<unsigned long long>(system.summaries_indexed()));
+  std::printf("WAN payload bytes         : %s (%.1fx below raw %s)\n",
+              format_bytes(system.network().stats().payload_bytes).c_str(),
+              static_cast<double>(ingested * 32) /
+                  static_cast<double>(system.network().stats().payload_bytes),
+              format_bytes(ingested * 32).c_str());
+
+  const std::string top_net = generators[0].network(0).to_string();
+  struct QuerySpec {
+    const char* label;
+    std::string statement;
+  };
+  const QuerySpec queries[] = {
+      {"query/global", "SELECT query FROM 0s..30s WHERE src = " + top_net},
+      {"query/local",
+       "SELECT query FROM 0s..30s WHERE src = " + top_net +
+           " AND location = 'router-0.0'"},
+      {"topk/global", "SELECT topk(10) FROM 0s..30s"},
+      {"topk/local", "SELECT topk(10) FROM 0s..30s WHERE location = 'router-0.0'"},
+      {"hhh/global", "SELECT hhh(0.01) FROM 0s..30s"},
+      {"above/global", "SELECT above(1000000) FROM 0s..30s"},
+      {"drill/global", "SELECT drilldown FROM 0s..30s WHERE src = " +
+                           flow::Prefix(generators[0].network(0).address(), 8)
+                               .to_string()},
+      {"diff/epochs", "SELECT diff(10) FROM 0s..15s, 15s..30s"},
+  };
+
+  std::printf("\n%-14s %10s %8s\n", "FlowQL", "latency", "rows");
+  for (const auto& spec : queries) {
+    const auto start = Clock::now();
+    const auto table = system.query(spec.statement);
+    const double ms = ms_since(start);
+    std::printf("%-14s %8.2fms %8zu\n", spec.label, ms, table.row_count());
+  }
+
+  std::printf(
+      "\nshape check: local queries beat global ones; exports cost a small "
+      "fraction of raw flow shipping.\n");
+  return 0;
+}

@@ -1,0 +1,189 @@
+// Experiment E1 (Table II): the cost of every Flowtree operator as a
+// function of tree size, on realistic Zipf-skewed flow workloads.
+//
+// Also covers the ingest-throughput half of E9 (Table I challenges 1/3):
+// the Insert benchmarks report items/second at bounded memory.
+#include <benchmark/benchmark.h>
+
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+namespace {
+
+using megads::flowtree::Flowtree;
+using megads::flowtree::FlowtreeConfig;
+
+std::vector<megads::flow::FlowRecord> records_for(std::size_t n, double skew) {
+  megads::trace::FlowGenConfig config;
+  config.seed = 101;
+  config.network_skew = skew;
+  megads::trace::FlowGenerator gen(config);
+  return gen.generate(n);
+}
+
+Flowtree tree_of(const std::vector<megads::flow::FlowRecord>& records,
+                 std::size_t budget) {
+  FlowtreeConfig config;
+  config.node_budget = budget;
+  Flowtree tree(config);
+  for (const auto& record : records) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  return tree;
+}
+
+void BM_Insert(benchmark::State& state) {
+  const auto budget = static_cast<std::size_t>(state.range(0));
+  const auto records = records_for(100000, 1.2);
+  std::size_t cursor = 0;
+  FlowtreeConfig config;
+  config.node_budget = budget;
+  Flowtree tree(config);
+  for (auto _ : state) {
+    const auto& record = records[cursor];
+    tree.add(record.key, static_cast<double>(record.bytes));
+    if (++cursor == records.size()) cursor = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_Insert)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(65536);
+
+void BM_Query_Point(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  megads::trace::FlowGenConfig config;
+  config.seed = 101;
+  config.network_skew = 1.2;
+  megads::trace::FlowGenerator gen(config);
+  megads::flow::FlowKey prefix;
+  prefix.with_src(gen.network(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.query(prefix));
+  }
+  state.counters["nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_Query_Point)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Query_Lattice(benchmark::State& state) {
+  // Off-chain key ("all DNS traffic"): pays the O(nodes) lattice scan.
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  megads::flow::FlowKey dns;
+  dns.with_dst_port(443);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.query_lattice(dns));
+  }
+  state.counters["nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_Query_Lattice)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Drilldown(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  const megads::flow::FlowKey root;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.drilldown(root));
+  }
+}
+BENCHMARK(BM_Drilldown)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TopK(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.top_k(10));
+  }
+}
+BENCHMARK(BM_TopK)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AboveX(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  const double threshold = tree.total_weight() / 1000.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.above(threshold));
+  }
+}
+BENCHMARK(BM_AboveX)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HHH(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.hhh(0.01));
+  }
+}
+BENCHMARK(BM_HHH)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Merge(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  megads::trace::FlowGenConfig config_b;
+  config_b.seed = 101;
+  config_b.site = 1;
+  megads::trace::FlowGenerator gen_b(config_b);
+  const Flowtree a = tree_of(records_for(n, 1.2), 1 << 20);
+  const Flowtree b = tree_of(gen_b.generate(n), 1 << 20);
+  for (auto _ : state) {
+    Flowtree merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.size());
+  }
+}
+BENCHMARK(BM_Merge)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Diff(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  megads::trace::FlowGenConfig config_b;
+  config_b.seed = 101;
+  config_b.site = 1;
+  megads::trace::FlowGenerator gen_b(config_b);
+  const Flowtree a = tree_of(records_for(n, 1.2), 1 << 20);
+  const Flowtree b = tree_of(gen_b.generate(n), 1 << 20);
+  for (auto _ : state) {
+    Flowtree diffed = a;
+    diffed.diff(b);
+    benchmark::DoNotOptimize(diffed.size());
+  }
+}
+BENCHMARK(BM_Diff)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Compress(benchmark::State& state) {
+  const auto target = static_cast<std::size_t>(state.range(0));
+  const auto records = records_for(50000, 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  for (auto _ : state) {
+    Flowtree copy = tree;
+    copy.compress(target);
+    benchmark::DoNotOptimize(copy.size());
+  }
+  state.counters["from_nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_Compress)->Arg(16384)->Arg(4096)->Arg(1024)->Arg(256);
+
+void BM_Encode(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.encode());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree.wire_bytes()));
+}
+BENCHMARK(BM_Encode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_Decode(benchmark::State& state) {
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = tree_of(records, 1 << 20);
+  const auto bytes = tree.encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Flowtree::decode(bytes, tree.config()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_Decode)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

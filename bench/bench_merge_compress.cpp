@@ -1,0 +1,111 @@
+// Experiment E7: summarizing "across time and space" — the cost and accuracy
+// of compress(A1 u A2 u ... u An) as the number of sites and epochs grows,
+// plus error growth under repeated re-compression (the hierarchical-storage
+// code path).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+namespace {
+
+using megads::flowtree::Flowtree;
+using megads::flowtree::FlowtreeConfig;
+
+Flowtree site_tree(std::uint32_t site, std::size_t flows, std::size_t budget) {
+  megads::trace::FlowGenConfig config;
+  config.seed = 2024;
+  config.site = site;
+  megads::trace::FlowGenerator gen(config);
+  FlowtreeConfig tree_config;
+  tree_config.node_budget = budget;
+  Flowtree tree(tree_config);
+  for (const auto& record : gen.generate(flows)) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  return tree;
+}
+
+/// compress(union of N site summaries) — Fig. 5 arrow 3 at the region level.
+void BM_MergeAcrossSites(benchmark::State& state) {
+  const auto sites = static_cast<std::size_t>(state.range(0));
+  std::vector<Flowtree> trees;
+  for (std::size_t s = 0; s < sites; ++s) {
+    trees.push_back(site_tree(static_cast<std::uint32_t>(s), 20000, 4096));
+  }
+  for (auto _ : state) {
+    FlowtreeConfig config;
+    config.node_budget = 1 << 20;
+    Flowtree combined(config);
+    for (const Flowtree& tree : trees) combined.merge(tree);
+    combined.compress(4096);
+    benchmark::DoNotOptimize(combined.total_weight());
+  }
+  state.counters["sites"] = static_cast<double>(sites);
+}
+BENCHMARK(BM_MergeAcrossSites)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+/// Merging E epochs of one site (shared location, increasing time span).
+void BM_MergeAcrossEpochs(benchmark::State& state) {
+  const auto epochs = static_cast<std::size_t>(state.range(0));
+  megads::trace::FlowGenConfig config;
+  config.seed = 7;
+  megads::trace::FlowGenerator gen(config);
+  std::vector<Flowtree> trees;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    FlowtreeConfig tree_config;
+    tree_config.node_budget = 2048;
+    Flowtree tree(tree_config);
+    for (const auto& record : gen.generate(5000)) {
+      tree.add(record.key, static_cast<double>(record.bytes));
+    }
+    trees.push_back(std::move(tree));
+  }
+  for (auto _ : state) {
+    FlowtreeConfig combined_config;
+    combined_config.node_budget = 1 << 20;
+    Flowtree combined(combined_config);
+    for (const Flowtree& tree : trees) combined.merge(tree);
+    combined.compress(2048);
+    benchmark::DoNotOptimize(combined.total_weight());
+  }
+  state.counters["epochs"] = static_cast<double>(epochs);
+}
+BENCHMARK(BM_MergeAcrossEpochs)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+/// Error growth under repeated compression rounds: the price of strategy 3's
+/// "reduced detail due to aggregation". Reported as a counter, not time.
+void BM_RepeatedCompressionError(benchmark::State& state) {
+  const auto rounds = static_cast<int>(state.range(0));
+  const Flowtree reference = site_tree(0, 50000, 1 << 20);
+  megads::trace::FlowGenConfig config;
+  config.seed = 2024;
+  megads::trace::FlowGenerator gen(config);
+  megads::flow::FlowKey top_net;
+  top_net.with_src(gen.network(0));
+  const double truth = reference.query(top_net);
+
+  double relative_error = 0.0;
+  for (auto _ : state) {
+    Flowtree tree = reference;
+    std::size_t target = 16384;
+    for (int r = 0; r < rounds; ++r) {
+      tree.compress(target);
+      target /= 2;
+    }
+    relative_error = std::fabs(tree.query(top_net) - truth) / truth;
+    benchmark::DoNotOptimize(relative_error);
+  }
+  state.counters["rel_error_top_net"] = relative_error;
+  state.counters["rounds"] = static_cast<double>(rounds);
+}
+BENCHMARK(BM_RepeatedCompressionError)->Arg(1)->Arg(3)->Arg(5)->Arg(7)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

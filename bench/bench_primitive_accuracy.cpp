@@ -1,0 +1,203 @@
+// Experiment E2 (+E9): accuracy vs memory for the computing primitives of
+// Section V, against exact ground truth on a shared synthetic router trace.
+//
+// For each primitive and entry budget it reports:
+//   top50     recall of the exact top-50 flows (by bytes)
+//   hhh_f1    F1 of phi=0.01 hierarchical heavy hitters vs exact ("-" when
+//             the summary cannot answer HHH at all -- design property (a))
+//   pt_err    mean relative error of point queries (top-20 source networks
+//             for hierarchy-capable primitives; top-100 exact flows for the
+//             flat sketch)
+//   memory    summary footprint; reduction = raw stream bytes / wire bytes
+//             (Table I challenges 1/3 made quantitative)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/spacesaving.hpp"
+#include "trace/flowgen.hpp"
+
+namespace {
+
+using namespace megads;
+using primitives::Aggregator;
+
+constexpr std::size_t kFlows = 200000;
+constexpr double kPhi = 0.01;
+constexpr std::uint64_t kRawBytesPerFlow = 32;  // 5-tuple + counters on the wire
+
+std::unordered_set<flow::FlowKey> key_set(const std::vector<primitives::KeyScore>& rows) {
+  std::unordered_set<flow::FlowKey> keys;
+  for (const auto& row : rows) keys.insert(row.key);
+  return keys;
+}
+
+double recall(const std::unordered_set<flow::FlowKey>& truth,
+              const std::unordered_set<flow::FlowKey>& got) {
+  if (truth.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& key : truth) hit += got.contains(key);
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+double f1(const std::unordered_set<flow::FlowKey>& truth, const std::unordered_set<flow::FlowKey>& got) {
+  if (truth.empty() && got.empty()) return 1.0;
+  if (got.empty() || truth.empty()) return 0.0;
+  std::size_t hit = 0;
+  for (const auto& key : got) hit += truth.contains(key);
+  const double precision = static_cast<double>(hit) / static_cast<double>(got.size());
+  const double rec = static_cast<double>(hit) / static_cast<double>(truth.size());
+  return precision + rec > 0 ? 2 * precision * rec / (precision + rec) : 0.0;
+}
+
+struct Row {
+  std::string name;
+  std::size_t budget;
+  double top50 = -1.0;
+  double hhh_f1 = -1.0;
+  double point_error = -1.0;
+  std::size_t memory = 0;
+  double reduction = 0.0;
+};
+
+std::string fmt(double v) {
+  if (v < 0) return "   -  ";
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%6.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  trace::FlowGenConfig gen_config;
+  gen_config.seed = 99;
+  gen_config.network_skew = 1.2;
+  trace::FlowGenerator gen(gen_config);
+  const auto records = gen.generate(kFlows);
+
+  // Ground truth.
+  primitives::ExactAggregator exact;
+  primitives::ExactHHH exact_hhh_trie;
+  for (const auto& record : records) {
+    primitives::StreamItem item;
+    item.key = record.key;
+    item.value = static_cast<double>(record.bytes);
+    item.timestamp = record.timestamp;
+    exact.insert(item);
+    exact_hhh_trie.insert(item);
+  }
+  const auto truth_top50 = key_set(exact.execute(primitives::TopKQuery{50}).entries);
+  const auto truth_hhh =
+      key_set(exact_hhh_trie.execute(primitives::HHHQuery{kPhi}).entries);
+
+  // Point-query targets.
+  std::vector<flow::FlowKey> network_keys;
+  for (std::size_t rank = 0; rank < 20; ++rank) {
+    flow::FlowKey key;
+    key.with_src(gen.network(rank));
+    network_keys.push_back(key);
+  }
+  std::vector<flow::FlowKey> flow_keys;
+  for (const auto& row : exact.execute(primitives::TopKQuery{100}).entries) {
+    flow_keys.push_back(row.key);
+  }
+  const auto truth_of = [&](const flow::FlowKey& key) {
+    return exact.execute(primitives::PointQuery{key}).entries.front().score;
+  };
+
+  std::vector<Row> rows;
+  const std::uint64_t raw_bytes = kFlows * kRawBytesPerFlow;
+
+  for (const std::size_t budget : {256u, 1024u, 4096u, 16384u}) {
+    std::vector<std::pair<std::string, std::unique_ptr<Aggregator>>> primitives_list;
+    flowtree::FlowtreeConfig tree_config;
+    tree_config.node_budget = budget;
+    primitives_list.emplace_back("flowtree",
+                                 std::make_unique<flowtree::Flowtree>(tree_config));
+    primitives_list.emplace_back(
+        "sampling", std::make_unique<primitives::SamplingAggregator>(budget));
+    primitives_list.emplace_back(
+        "space-saving", std::make_unique<primitives::SpaceSaving>(budget));
+    primitives_list.emplace_back(
+        "count-min",
+        std::make_unique<primitives::CountMinSketch>(std::max<std::size_t>(budget / 4, 1),
+                                                     4, true));
+
+    for (auto& [name, agg] : primitives_list) {
+      for (const auto& record : records) {
+        primitives::StreamItem item;
+        item.key = record.key;
+        item.value = static_cast<double>(record.bytes);
+        item.timestamp = record.timestamp;
+        agg->insert(item);
+      }
+
+      Row row;
+      row.name = name;
+      row.budget = budget;
+      row.memory = agg->memory_bytes();
+      row.reduction =
+          static_cast<double>(raw_bytes) / static_cast<double>(agg->wire_bytes());
+
+      // Top-k recall over *fully specific* flows: a compressed summary also
+      // reports generalized nodes, which are not comparable to exact flows.
+      auto top = agg->execute(primitives::TopKQuery{1u << 20});
+      if (top.supported) {
+        std::erase_if(top.entries, [](const primitives::KeyScore& entry) {
+          return !entry.key.proto().has_value() ||
+                 entry.key.src().length() != 32 || entry.key.dst().length() != 32;
+        });
+        if (top.entries.size() > 50) top.entries.resize(50);
+        row.top50 = recall(truth_top50, key_set(top.entries));
+      }
+
+      const auto hhh = agg->execute(primitives::HHHQuery{kPhi});
+      if (hhh.supported) row.hhh_f1 = f1(truth_hhh, key_set(hhh.entries));
+
+      const bool hierarchical = name == "flowtree" || name == "sampling";
+      const auto& targets = hierarchical ? network_keys : flow_keys;
+      double err = 0.0;
+      std::size_t counted = 0;
+      for (const auto& key : targets) {
+        const auto result = agg->execute(primitives::PointQuery{key});
+        if (!result.supported || result.entries.empty()) continue;
+        const double truth = truth_of(key);
+        if (truth <= 0) continue;
+        err += std::fabs(result.entries.front().score - truth) / truth;
+        ++counted;
+      }
+      if (counted > 0) row.point_error = err / static_cast<double>(counted);
+
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::printf(
+      "E2: primitive accuracy vs memory (%zu flows, zipf %.1f, phi=%.2f)\n",
+      kFlows, gen_config.network_skew, kPhi);
+  std::printf("raw stream: %s\n\n", format_bytes(raw_bytes).c_str());
+  std::printf("%-14s %8s %8s %8s %8s %12s %10s\n", "primitive", "budget",
+              "top50", "hhh_f1", "pt_err", "memory", "reduction");
+  for (const Row& row : rows) {
+    std::printf("%-14s %8zu %8s %8s %8s %12s %9.1fx\n", row.name.c_str(),
+                row.budget, fmt(row.top50).c_str(), fmt(row.hhh_f1).c_str(),
+                fmt(row.point_error).c_str(), format_bytes(row.memory).c_str(),
+                row.reduction);
+  }
+  std::printf(
+      "\nexact baseline: %zu distinct flows, %s (unbounded); exact-hhh trie: "
+      "%zu nodes, %s\n",
+      exact.size(), format_bytes(exact.memory_bytes()).c_str(),
+      exact_hhh_trie.size(), format_bytes(exact_hhh_trie.memory_bytes()).c_str());
+  return 0;
+}

@@ -1,0 +1,188 @@
+// Experiment E8 (Fig. 3a): the two arms of the feedback loop.
+//
+//   Control cycle  — sensor -> data store trigger -> controller actuation:
+//                    fires synchronously on the offending reading; reaction
+//                    latency is bounded by the sampling period.
+//   Adaptive cycle — sensor -> store -> analytics -> application poll ->
+//                    controller: reaction latency is dominated by the
+//                    application's polling period.
+//
+// The harness injects machine faults at known virtual times and measures the
+// reaction delay of both arms, sweeping the application polling period.
+#include <cstdio>
+#include <optional>
+
+#include "arch/application.hpp"
+#include "common/stats.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/exact.hpp"
+#include "sim/simulator.hpp"
+#include "trace/sensorgen.hpp"
+
+namespace {
+
+using namespace megads;
+
+constexpr double kFaultMagnitude = 500.0;
+constexpr double kTriggerLevel = 300.0;
+
+struct Reaction {
+  RunningStats control_delay;   // trigger path, per fault (virtual us)
+  RunningStats adaptive_delay;  // application path, per fault
+};
+
+Reaction run(SimDuration sample_period, SimDuration poll_period) {
+  sim::Simulator simulator;
+  store::DataStore data_store(StoreId(0), "line-store");
+  arch::Controller controller;
+
+  // Raw slot feeding the trigger; Flowtree slot feeding the application.
+  store::SlotConfig raw_slot;
+  raw_slot.name = "raw";
+  raw_slot.factory = [] { return std::make_unique<primitives::RawStore>(); };
+  raw_slot.epoch = kMinute;
+  raw_slot.storage = std::make_unique<store::ExpirationStorage>(kHour);
+  raw_slot.subscribe_all = true;
+  data_store.install(std::move(raw_slot));
+
+  store::SlotConfig tree_slot_config;
+  tree_slot_config.name = "flowtree";
+  tree_slot_config.factory = [] {
+    flowtree::FlowtreeConfig config;
+    config.node_budget = 4096;
+    return std::make_unique<flowtree::Flowtree>(config);
+  };
+  tree_slot_config.epoch = kMinute;
+  tree_slot_config.storage = std::make_unique<store::ExpirationStorage>(kHour);
+  tree_slot_config.subscribe_all = true;
+  const AggregatorId tree_slot = data_store.install(std::move(tree_slot_config));
+
+  // Faults: one every 10 minutes on machine (0, 1).
+  trace::SensorGenConfig gen_config;
+  gen_config.lines = 1;
+  gen_config.machines_per_line = 4;
+  gen_config.sensors_per_machine = 4;
+  gen_config.sample_period = sample_period;
+  gen_config.degrading_fraction = 0.0;
+  std::vector<SimTime> fault_times;
+  for (int i = 1; i <= 5; ++i) {
+    // Offset off the sampling/polling grid so reaction delays are visible.
+    const SimTime start = i * 10 * kMinute + 50 * kMillisecond;
+    fault_times.push_back(start);
+    gen_config.faults.push_back(
+        trace::FaultSpec{0, 1, start, 5 * kMinute, kFaultMagnitude});
+  }
+  trace::SensorGenerator generator(gen_config);
+
+  // Control cycle: item trigger on the machine scope -> controller.
+  Reaction reaction;
+  std::size_t control_cursor = 0;
+  store::TriggerSpec trigger;
+  trigger.name = "fault-level";
+  trigger.kind = store::TriggerKind::kItemAbove;
+  trigger.scope.with_src(trace::machine_prefix(0, 1));
+  trigger.threshold = kTriggerLevel;
+  trigger.cooldown = 6 * kMinute;  // one firing per fault
+  trigger.action = [&](const store::TriggerEvent& event) {
+    controller.on_trigger(event);
+    if (control_cursor < fault_times.size() &&
+        event.time >= fault_times[control_cursor]) {
+      reaction.control_delay.add(
+          static_cast<double>(event.time - fault_times[control_cursor]));
+      ++control_cursor;
+    }
+  };
+  data_store.install_trigger(std::move(trigger));
+  arch::Rule rule;
+  rule.name = "emergency-stop";
+  rule.owner = AppId(1);
+  rule.actuator = "speed";
+  rule.scope.with_src(trace::machine_prefix(0, 1));
+  rule.min_value = 0.0;
+  rule.max_value = 1.0;
+  rule.on_trigger_value = 0.0;
+  controller.install_rule(rule);
+
+  // Adaptive cycle: an application polling an HHH-style analytics view and
+  // reacting when the faulty machine's share explodes.
+  std::size_t adaptive_cursor = 0;
+  struct FaultWatcher final : arch::Application {
+    FaultWatcher(const store::DataStore& store, AggregatorId slot,
+                 std::function<void(SimTime)> on_detect)
+        : Application(AppId(2), "fault-watcher"),
+          store_(&store),
+          slot_(slot),
+          on_detect_(std::move(on_detect)) {}
+
+    void poll(SimTime now) override {
+      count_poll();
+      const TimeInterval window{std::max<SimTime>(0, now - kMinute), now + 1};
+      flow::FlowKey machine;
+      machine.with_src(trace::machine_prefix(0, 1));
+      const auto result =
+          store_->query(slot_, primitives::PointQuery{machine}, window);
+      if (!result.supported || result.entries.empty()) return;
+      const double score = result.entries[0].score;
+      if (healthy_baseline_ == 0.0) {
+        // Calibrate only once the lookback window is fully covered by data.
+        if (now >= 3 * kMinute) healthy_baseline_ = score;
+        return;
+      }
+      // A fault multiplies the per-window mass ~10x; 4x is a robust margin.
+      if (score > healthy_baseline_ * 4.0) on_detect_(now);
+    }
+
+    const store::DataStore* store_;
+    AggregatorId slot_;
+    std::function<void(SimTime)> on_detect_;
+    double healthy_baseline_ = 0.0;
+  };
+
+  FaultWatcher watcher(data_store, tree_slot, [&](SimTime now) {
+    // Attribute the detection to the pending fault only while it is active
+    // (plus one window of slack for sealed-epoch visibility).
+    if (adaptive_cursor < fault_times.size() &&
+        now >= fault_times[adaptive_cursor] &&
+        now <= fault_times[adaptive_cursor] + 6 * kMinute) {
+      reaction.adaptive_delay.add(
+          static_cast<double>(now - fault_times[adaptive_cursor]));
+      ++adaptive_cursor;
+    }
+  });
+  watcher.start(simulator, poll_period);
+
+  // Drive the simulation: sensor ticks feed the store.
+  const SimTime end = 55 * kMinute;
+  while (generator.now() + sample_period <= end) {
+    simulator.run_until(generator.now() + sample_period);
+    for (const auto& reading : generator.tick()) {
+      data_store.ingest(SensorId(reading.sensor), reading.to_item());
+    }
+    data_store.advance_to(generator.now());
+  }
+  return reaction;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E8: control cycle vs adaptive cycle reaction latency (Fig. 3a)\n\n");
+  std::printf("%-12s %-12s | %16s | %16s\n", "sampling", "app-poll",
+              "control-cycle", "adaptive-cycle");
+  const SimDuration sample_periods[] = {100 * kMillisecond, kSecond};
+  const SimDuration poll_periods[] = {30 * kSecond, 2 * kMinute, 5 * kMinute};
+  for (const SimDuration sample : sample_periods) {
+    for (const SimDuration poll : poll_periods) {
+      const Reaction reaction = run(sample, poll);
+      std::printf("%9.1fs %11.0fs | %13.2fs | %13.2fs\n", to_seconds(sample),
+                  to_seconds(poll),
+                  to_seconds(static_cast<SimDuration>(reaction.control_delay.mean())),
+                  to_seconds(static_cast<SimDuration>(reaction.adaptive_delay.mean())));
+    }
+  }
+  std::printf(
+      "\nshape check: the trigger path reacts within one sampling period, "
+      "independent of the application; the adaptive path scales with the "
+      "polling period -- why the paper needs both loops.\n");
+  return 0;
+}

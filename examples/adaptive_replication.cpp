@@ -1,0 +1,66 @@
+// Adaptive replication walk-through (Section VII / Fig. 6): generate a
+// partition access trace, replay it against each policy, and narrate the
+// ski-rental trade-off with concrete numbers.
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "repl/simulate.hpp"
+
+using namespace megads;
+
+int main() {
+  trace::QueryGenConfig config;
+  config.seed = 2;
+  config.partitions = 500;
+  config.horizon = kDay;
+  config.spawn_window = 12 * kHour;
+  config.access_alpha = 1.1;   // heavy-tailed partition popularity
+  config.mean_gap = 5 * kMinute;
+  const auto trace = trace::generate_query_trace(config);
+
+  Rng size_rng(9);
+  std::vector<std::uint64_t> sizes(config.partitions);
+  for (auto& size : sizes) {
+    size = static_cast<std::uint64_t>(size_rng.pareto(1.0e6, 1.5));
+  }
+
+  std::printf("workload: %zu accesses over %zu partitions in 24 virtual hours\n",
+              trace.events.size(), config.partitions);
+  std::uint64_t demand = 0;
+  for (const auto bytes : trace.bytes_per_partition) demand += bytes;
+  std::printf("total result demand if everything is shipped: %s\n",
+              format_bytes(demand).c_str());
+  const std::uint64_t optimum = repl::offline_optimal_bytes(trace, sizes);
+  std::printf("offline optimum (min(ship, replicate) per partition): %s\n\n",
+              format_bytes(optimum).c_str());
+
+  repl::AlwaysShip ship;
+  repl::AlwaysReplicate replicate;
+  repl::BreakEvenPolicy break_even;
+  repl::DistributionPolicy::Config dist_config;
+  dist_config.maturity = 3 * kHour;
+  dist_config.refit_interval = 30 * kMinute;
+  repl::DistributionPolicy distribution(dist_config);
+  repl::OraclePolicy oracle(trace.bytes_per_partition);
+
+  repl::ReplicationPolicy* policies[] = {&ship, &replicate, &break_even,
+                                         &distribution, &oracle};
+  std::printf("%-16s %12s %8s %12s %10s\n", "policy", "wan-volume", "vs-opt",
+              "replications", "mean-lat");
+  for (repl::ReplicationPolicy* policy : policies) {
+    const auto outcome = repl::simulate_replication(trace, sizes, *policy);
+    std::printf("%-16s %12s %7.2fx %12llu %8.1fms\n", outcome.policy.c_str(),
+                format_bytes(outcome.total_wan_bytes()).c_str(),
+                static_cast<double>(outcome.total_wan_bytes()) /
+                    static_cast<double>(optimum),
+                static_cast<unsigned long long>(outcome.replications),
+                outcome.access_latency.mean() / 1000.0);
+  }
+  std::printf(
+      "\nreading the table: break-even is the classical 2-competitive ski "
+      "rental; the distribution policy learns the demand distribution from "
+      "matured partitions (threshold ends at %.2f of partition size) and "
+      "gets closer to the oracle.\n",
+      distribution.threshold());
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Quickstart: build a Flowtree from a synthetic router trace and run every
+// Table II operator against it.
+//
+//   $ ./quickstart
+//
+// This is the 5-minute tour of the library's core primitive; see
+// network_monitoring.cpp and smart_factory.cpp for the full architecture.
+#include <cstdio>
+
+#include "common/bytes.hpp"
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+using namespace megads;
+
+namespace {
+
+void print_rows(const char* title, const std::vector<flowtree::KeyScore>& rows,
+                std::size_t limit = 5) {
+  std::printf("\n%s\n", title);
+  std::size_t shown = 0;
+  for (const auto& row : rows) {
+    if (shown++ == limit) {
+      std::printf("  ... (%zu more)\n", rows.size() - limit);
+      break;
+    }
+    std::printf("  %-55s %12.0f\n", row.key.to_string().c_str(), row.score);
+  }
+  if (rows.empty()) std::printf("  (empty)\n");
+}
+
+}  // namespace
+
+int main() {
+  // 1. A synthetic flow workload: Zipf-popular source networks, heavy-tailed
+  //    flow sizes — the statistical shape of real router exports.
+  trace::FlowGenConfig gen_config;
+  gen_config.seed = 7;
+  gen_config.flows_per_second = 1000.0;
+  trace::FlowGenerator generator(gen_config);
+
+  // 2. A Flowtree with a 4096-node budget: it self-compresses while ingesting,
+  //    folding unpopular flows into their generalized parents.
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 4096;
+  flowtree::Flowtree tree(config);
+
+  const auto records = generator.generate(100000);
+  for (const auto& record : records) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  std::printf("ingested %zu flows -> %zu tree nodes (%s), total weight %s\n",
+              records.size(), tree.size(),
+              format_bytes(tree.memory_bytes()).c_str(),
+              format_si(tree.total_weight()).c_str());
+
+  // 3. Table II operators.
+  print_rows("Top-k: the 5 heaviest flows", tree.top_k(5));
+  print_rows("HHH(phi=0.02): hierarchical heavy hitters", tree.hhh(0.02));
+
+  flow::FlowKey top_network;
+  top_network.with_src(generator.network(0));
+  std::printf("\nQuery: bytes from %s = %.0f\n",
+              generator.network(0).to_string().c_str(), tree.query(top_network));
+  print_rows("Drilldown: children of the wildcard root",
+             tree.drilldown(flow::FlowKey{}));
+  print_rows("Above-x: flows above 0.1%% of total",
+             tree.above(tree.total_weight() / 1000.0), 3);
+
+  // 4. Combine summaries from another site (Merge) and compare them (Diff).
+  trace::FlowGenConfig other_site = gen_config;
+  other_site.site = 1;
+  trace::FlowGenerator other_generator(other_site);
+  flowtree::Flowtree other(config);
+  for (const auto& record : other_generator.generate(100000)) {
+    other.add(record.key, static_cast<double>(record.bytes));
+  }
+
+  flowtree::Flowtree merged = tree;   // value semantics: cheap to reason about
+  merged.merge(other);
+  std::printf("\nMerge: %zu + %zu nodes -> %zu nodes, weight %s\n", tree.size(),
+              other.size(), merged.size(),
+              format_si(merged.total_weight()).c_str());
+
+  flowtree::Flowtree delta = tree;
+  delta.diff(other);
+  print_rows("Diff: site-0 minus site-1 (largest shifts)", delta.top_k(3));
+
+  // 5. Compress to a coarser summary and ship it.
+  merged.compress(512);
+  const auto wire = merged.encode();
+  std::printf("\nCompress(512) + encode: %zu nodes, %s on the wire; total "
+              "weight preserved: %s\n",
+              merged.size(), format_bytes(wire.size()).c_str(),
+              format_si(merged.total_weight()).c_str());
+  const auto decoded = flowtree::Flowtree::decode(wire, config);
+  std::printf("decode round-trip: %zu nodes, root query %.0f\n", decoded.size(),
+              decoded.query(flow::FlowKey{}));
+  return 0;
+}

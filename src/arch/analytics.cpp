@@ -1,0 +1,83 @@
+#include "arch/analytics.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::arch {
+
+AnalyticsPipeline::AnalyticsPipeline(std::string name) : name_(std::move(name)) {}
+
+AnalyticsPipeline& AnalyticsPipeline::from_store(
+    const store::DataStore& store, AggregatorId slot, primitives::Query query,
+    std::optional<TimeInterval> interval) {
+  sources_.push_back(Source{&store, slot, std::move(query), interval});
+  return *this;
+}
+
+AnalyticsPipeline& AnalyticsPipeline::map(MapFn fn) {
+  expects(static_cast<bool>(fn), "AnalyticsPipeline::map: empty function");
+  Stage stage;
+  stage.kind = Stage::Kind::kMap;
+  stage.map = std::move(fn);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+AnalyticsPipeline& AnalyticsPipeline::filter(FilterFn fn) {
+  expects(static_cast<bool>(fn), "AnalyticsPipeline::filter: empty function");
+  Stage stage;
+  stage.kind = Stage::Kind::kFilter;
+  stage.filter = std::move(fn);
+  stages_.push_back(std::move(stage));
+  return *this;
+}
+
+AnalyticsPipeline& AnalyticsPipeline::reduce(ReduceFn fn) {
+  expects(static_cast<bool>(fn), "AnalyticsPipeline::reduce: empty function");
+  reduce_ = std::move(fn);
+  return *this;
+}
+
+AnalyticsPipeline& AnalyticsPipeline::apply(
+    std::function<void(const std::vector<KeyScore>&)> fn) {
+  expects(static_cast<bool>(fn), "AnalyticsPipeline::apply: empty function");
+  sinks_.push_back(std::move(fn));
+  return *this;
+}
+
+std::vector<AnalyticsPipeline::KeyScore> AnalyticsPipeline::run() {
+  expects(!sources_.empty(), "AnalyticsPipeline::run: no sources configured");
+  ++runs_;
+
+  // Scatter & gather: query every source, then combine like a distributed
+  // sub-query fan-in.
+  std::vector<primitives::QueryResult> parts;
+  parts.reserve(sources_.size());
+  for (const Source& source : sources_) {
+    parts.push_back(source.store->query(source.slot, source.query, source.interval));
+  }
+  primitives::QueryResult gathered =
+      store::DataStore::combine_results(std::move(parts), sources_.front().query);
+
+  std::vector<KeyScore> rows = std::move(gathered.entries);
+
+  for (const Stage& stage : stages_) {
+    if (stage.kind == Stage::Kind::kMap) {
+      for (KeyScore& row : rows) row = stage.map(std::move(row));
+    } else {
+      std::erase_if(rows, [&](const KeyScore& row) { return !stage.filter(row); });
+    }
+  }
+
+  if (reduce_ && !rows.empty()) {
+    KeyScore folded = rows.front();
+    for (std::size_t i = 1; i < rows.size(); ++i) folded = (*reduce_)(folded, rows[i]);
+    rows = {std::move(folded)};
+  }
+
+  for (const auto& sink : sinks_) sink(rows);
+  return rows;
+}
+
+}  // namespace megads::arch

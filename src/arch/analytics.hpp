@@ -1,0 +1,79 @@
+// Analytics pipelines (Section III): "transfer & process" — scatter-gather
+// over data stores, then map / filter / reduce / apply stages, feeding
+// applications ("model & learn"). This is the long, adaptive arm of the
+// feedback loop (Fig. 3a "Adaptive Cycle"), in contrast to the controller's
+// short trigger path.
+//
+// A pipeline is built fluently and is re-runnable; each run() re-queries the
+// sources, so applications can poll it periodically:
+//
+//   auto result = AnalyticsPipeline("hot-prefixes")
+//       .from_store(store_a, slot_a, HHHQuery{0.05})
+//       .from_store(store_b, slot_b, HHHQuery{0.05})
+//       .filter([](const KeyScore& r) { return r.score > 1e6; })
+//       .map([](KeyScore r) { r.score /= kMega; return r; })
+//       .run();
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "store/datastore.hpp"
+
+namespace megads::arch {
+
+class AnalyticsPipeline {
+ public:
+  using KeyScore = primitives::KeyScore;
+  using MapFn = std::function<KeyScore(KeyScore)>;
+  using FilterFn = std::function<bool(const KeyScore&)>;
+  using ReduceFn = std::function<KeyScore(const KeyScore&, const KeyScore&)>;
+
+  explicit AnalyticsPipeline(std::string name);
+
+  /// Scatter stage: add a (store, slot, query) source. All sources are
+  /// gathered and combined on run(). `store` must outlive the pipeline.
+  AnalyticsPipeline& from_store(const store::DataStore& store, AggregatorId slot,
+                                primitives::Query query,
+                                std::optional<TimeInterval> interval = std::nullopt);
+
+  /// Row-wise transformation stage.
+  AnalyticsPipeline& map(MapFn fn);
+  /// Row predicate stage.
+  AnalyticsPipeline& filter(FilterFn fn);
+  /// Fold all rows into one (applied after maps/filters, if set).
+  AnalyticsPipeline& reduce(ReduceFn fn);
+  /// Terminal side-effect invoked with the final rows on every run.
+  AnalyticsPipeline& apply(std::function<void(const std::vector<KeyScore>&)> fn);
+
+  /// Gather + process. Returns the final rows (a single row under reduce).
+  std::vector<KeyScore> run();
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t source_count() const noexcept { return sources_.size(); }
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+
+ private:
+  struct Source {
+    const store::DataStore* store;
+    AggregatorId slot;
+    primitives::Query query;
+    std::optional<TimeInterval> interval;
+  };
+  struct Stage {
+    enum class Kind { kMap, kFilter } kind;
+    MapFn map;
+    FilterFn filter;
+  };
+
+  std::string name_;
+  std::vector<Source> sources_;
+  std::vector<Stage> stages_;
+  std::optional<ReduceFn> reduce_;
+  std::vector<std::function<void(const std::vector<KeyScore>&)>> sinks_;
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace megads::arch

@@ -1,0 +1,122 @@
+#include "arch/application.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::arch {
+
+Application::Application(AppId id, std::string name)
+    : id_(id), name_(std::move(name)) {
+  expects(id.valid(), "Application: invalid app id");
+}
+
+void Application::start(sim::Simulator& sim, SimDuration period) {
+  expects(!loop_.valid(), "Application::start: already started");
+  loop_ = sim.schedule_periodic(period, [this](SimTime now) { poll(now); });
+}
+
+void Application::stop(sim::Simulator& sim) {
+  if (loop_.valid()) {
+    sim.cancel(loop_);
+    loop_ = {};
+  }
+}
+
+// --- PredictiveMaintenanceApp -------------------------------------------------
+
+PredictiveMaintenanceApp::PredictiveMaintenanceApp(
+    AppId id, const store::DataStore& store, std::vector<MachineFeed> feeds,
+    Controller& controller, Config config)
+    : Application(id, "predictive-maintenance"),
+      store_(&store),
+      feeds_(std::move(feeds)),
+      controller_(&controller),
+      config_(config) {
+  expects(config_.trend_window > 0, "PredictiveMaintenanceApp: bad trend window");
+}
+
+void PredictiveMaintenanceApp::poll(SimTime now) {
+  count_poll();
+  const SimDuration w = config_.trend_window;
+  if (now < 2 * w) return;  // not enough history yet
+
+  for (const MachineFeed& feed : feeds_) {
+    if (ordered_.contains(feed.machine.address().value())) continue;
+
+    const auto stats_of = [&](TimeInterval interval) {
+      const auto result =
+          store_->query(feed.slot, primitives::StatsQuery{interval}, interval);
+      return result.stats;
+    };
+    const auto recent = stats_of({now - w, now});
+    const auto older = stats_of({now - 2 * w, now - w});
+    if (!recent || !older || recent->count == 0 || older->count == 0) continue;
+
+    const double slope_per_us =
+        (recent->mean - older->mean) / static_cast<double>(w);
+    const double slope_per_hour = slope_per_us * static_cast<double>(kHour);
+    if (slope_per_us <= 0.0) continue;  // not degrading
+
+    const double room = config_.failure_level - recent->mean;
+    if (room <= 0.0) {
+      // Already at the failure level: immediate order.
+    }
+    const SimDuration eta = room <= 0.0
+                                ? 0
+                                : static_cast<SimDuration>(room / slope_per_us);
+    if (eta > config_.horizon) continue;
+
+    MaintenanceOrder order;
+    order.machine = feed.machine;
+    order.issued = now;
+    order.predicted_failure = now + eta;
+    order.slope_per_hour = slope_per_hour;
+    orders_.push_back(order);
+    ordered_.insert(feed.machine.address().value());
+
+    // Act through the controller (validated against installed safety rules).
+    flow::FlowKey scope;
+    scope.with_src(feed.machine);
+    controller_->actuate(feed.machine.to_string() + config_.actuator_suffix, scope,
+                         config_.slowdown_setpoint, now,
+                         "predictive-maintenance: failure in " +
+                             std::to_string((order.predicted_failure - now) / kMinute) +
+                             " min");
+  }
+}
+
+// --- TrafficMonitorApp ---------------------------------------------------------
+
+TrafficMonitorApp::TrafficMonitorApp(AppId id, std::vector<FlowSource> sources,
+                                     Controller& controller, Config config)
+    : Application(id, "traffic-monitor"),
+      sources_(std::move(sources)),
+      controller_(&controller),
+      config_(config) {
+  expects(!sources_.empty(), "TrafficMonitorApp: need at least one source");
+  expects(config_.phi > 0.0 && config_.phi <= 1.0, "TrafficMonitorApp: bad phi");
+}
+
+void TrafficMonitorApp::poll(SimTime now) {
+  count_poll();
+  AnalyticsPipeline pipeline("traffic-monitor/hhh");
+  const TimeInterval window{std::max<SimTime>(0, now - config_.lookback), now + 1};
+  for (const FlowSource& source : sources_) {
+    pipeline.from_store(*source.store, source.slot,
+                        primitives::HHHQuery{config_.phi}, window);
+  }
+  pipeline.filter([&](const primitives::KeyScore& row) {
+    return row.score >= config_.incident_score;
+  });
+
+  for (const primitives::KeyScore& row : pipeline.run()) {
+    if (row.key.is_root()) continue;  // "all traffic" is not an incident
+    if (!known_heavy_.insert(row.key).second) continue;  // already known
+    incidents_.push_back(TrafficIncident{row.key, row.score, now});
+    controller_->actuate(config_.actuator, row.key, config_.limit_setpoint, now,
+                         "traffic-monitor: new heavy hitter " + row.key.to_string());
+  }
+}
+
+}  // namespace megads::arch

@@ -1,0 +1,135 @@
+// Applications (Section III): "each application embodies the decision logic
+// for a single purpose". The base class wires an application into the
+// adaptive cycle of Fig. 3a — a periodic poll driven by the simulator — and
+// two concrete applications realize the paper's running examples:
+//
+//   * PredictiveMaintenanceApp (smart factory): watches per-machine sensor
+//     statistics, fits a drift trend, predicts when a machine will cross its
+//     failure threshold, and schedules maintenance / slows the machine down
+//     through the controller.
+//   * TrafficMonitorApp (network monitoring): runs an HHH analytics pipeline
+//     over flow summaries from several stores, detects newly emerging heavy
+//     prefixes (DDoS-style incidents), and installs rate-limit actuations.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "arch/analytics.hpp"
+#include "arch/controller.hpp"
+#include "sim/simulator.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::arch {
+
+class Application {
+ public:
+  Application(AppId id, std::string name);
+  virtual ~Application() = default;
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  [[nodiscard]] AppId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// One adaptive-cycle iteration: gather via analytics, decide, act.
+  virtual void poll(SimTime now) = 0;
+
+  /// Register the poll loop on the simulator.
+  void start(sim::Simulator& sim, SimDuration period);
+  void stop(sim::Simulator& sim);
+
+  [[nodiscard]] std::uint64_t polls() const noexcept { return polls_; }
+
+ protected:
+  void count_poll() noexcept { ++polls_; }
+
+ private:
+  AppId id_;
+  std::string name_;
+  std::uint64_t polls_ = 0;
+  sim::EventHandle loop_{};
+};
+
+/// A maintenance decision produced by the predictive-maintenance logic.
+struct MaintenanceOrder {
+  flow::Prefix machine;
+  SimTime issued = 0;
+  SimTime predicted_failure = 0;
+  double slope_per_hour = 0.0;  ///< estimated drift of the machine's mean
+};
+
+class PredictiveMaintenanceApp final : public Application {
+ public:
+  struct MachineFeed {
+    flow::Prefix machine;     ///< 10.line.machine.0/24
+    AggregatorId slot;        ///< per-machine time-bin slot
+  };
+  struct Config {
+    SimDuration trend_window = 10 * kMinute;  ///< per-half-window width
+    double failure_level = 80.0;     ///< mean level considered failing
+    SimDuration horizon = 12 * kHour;///< act when failure predicted within this
+    std::string actuator_suffix = ".speed";
+    double slowdown_setpoint = 0.5;  ///< issued to the controller on a hit
+  };
+
+  PredictiveMaintenanceApp(AppId id, const store::DataStore& store,
+                           std::vector<MachineFeed> feeds, Controller& controller,
+                           Config config);
+
+  void poll(SimTime now) override;
+
+  [[nodiscard]] const std::vector<MaintenanceOrder>& orders() const noexcept {
+    return orders_;
+  }
+
+ private:
+  const store::DataStore* store_;
+  std::vector<MachineFeed> feeds_;
+  Controller* controller_;
+  Config config_;
+  std::vector<MaintenanceOrder> orders_;
+  std::unordered_set<std::uint32_t> ordered_;  ///< machines already scheduled
+};
+
+/// A detected traffic incident (new heavy hitter).
+struct TrafficIncident {
+  flow::FlowKey key;
+  double score = 0.0;
+  SimTime detected = 0;
+};
+
+class TrafficMonitorApp final : public Application {
+ public:
+  struct FlowSource {
+    const store::DataStore* store;
+    AggregatorId slot;
+  };
+  struct Config {
+    double phi = 0.05;               ///< HHH threshold per poll
+    double incident_score = 0.0;     ///< extra absolute score floor
+    SimDuration lookback = 5 * kMinute;
+    std::string actuator = "rate-limit";
+    double limit_setpoint = 0.1;     ///< issued to the controller per incident
+  };
+
+  TrafficMonitorApp(AppId id, std::vector<FlowSource> sources,
+                    Controller& controller, Config config);
+
+  void poll(SimTime now) override;
+
+  [[nodiscard]] const std::vector<TrafficIncident>& incidents() const noexcept {
+    return incidents_;
+  }
+
+ private:
+  std::vector<FlowSource> sources_;
+  Controller* controller_;
+  Config config_;
+  std::vector<TrafficIncident> incidents_;
+  std::unordered_set<flow::FlowKey> known_heavy_;
+};
+
+}  // namespace megads::arch

@@ -1,0 +1,89 @@
+#include "arch/broker.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::arch {
+
+RemoteQueryBroker::RemoteQueryBroker(net::Network& network, NodeId local_node,
+                                     repl::ReplicationPolicy& policy,
+                                     Manager* manager)
+    : network_(&network),
+      local_node_(local_node),
+      policy_(&policy),
+      manager_(manager) {}
+
+std::uint64_t RemoteQueryBroker::result_wire_bytes(
+    const primitives::QueryResult& result) {
+  constexpr std::uint64_t kEnvelope = 16;
+  constexpr std::uint64_t kEntryBytes = flow::FlowKey::kWireSize + 8;
+  constexpr std::uint64_t kPointBytes = flow::FlowKey::kWireSize + 16;
+  return kEnvelope + result.entries.size() * kEntryBytes +
+         result.points.size() * kPointBytes + (result.stats ? 48 : 0);
+}
+
+const store::Partition* RemoteQueryBroker::find_partition(
+    const RemotePartition& remote) const {
+  expects(remote.store != nullptr, "RemoteQueryBroker: null store");
+  for (const store::Partition& partition : remote.store->partitions(remote.slot)) {
+    if (partition.id == remote.partition) return &partition;
+  }
+  return nullptr;
+}
+
+BrokeredResult RemoteQueryBroker::query(const RemotePartition& remote,
+                                        const primitives::Query& query) {
+  const Key key{remote.store->id(), remote.partition.value()};
+
+  // Served from a local replica: no WAN involvement at all.
+  if (const auto it = replicas_.find(key); it != replicas_.end()) {
+    BrokeredResult outcome;
+    outcome.result = it->second->execute(query);
+    outcome.served_locally = true;
+    ++local_;
+    return outcome;
+  }
+
+  const store::Partition* partition = find_partition(remote);
+  if (partition == nullptr) {
+    throw NotFoundError("RemoteQueryBroker: partition no longer exists at the "
+                        "remote store (evicted?)");
+  }
+
+  BrokeredResult outcome;
+  outcome.result = partition->summary->execute(query);
+  const std::uint64_t result_bytes = result_wire_bytes(outcome.result);
+  const std::uint64_t partition_bytes = partition->summary->wire_bytes();
+
+  auto [id_it, inserted] = policy_ids_.try_emplace(key, PartitionId{});
+  if (inserted) {
+    id_it->second = PartitionId(next_policy_id_++);
+    policy_->on_partition_created(id_it->second, remote.store->now(),
+                                  partition_bytes);
+  }
+
+  if (policy_->on_access(id_it->second, remote.store->now(), result_bytes)) {
+    // Replicate first (Fig. 6 steps 3/4), then serve locally.
+    network_->send(remote.location, local_node_, partition_bytes);
+    outcome.latency = network_->transfer_time_unloaded(remote.location,
+                                                       local_node_,
+                                                       partition_bytes);
+    replicas_.emplace(key, partition->summary->clone());
+    replicated_ += partition_bytes;
+    if (manager_ != nullptr) manager_->note_transfer(partition_bytes);
+    outcome.served_locally = true;
+    outcome.replicated_now = true;
+    ++local_;
+    return outcome;
+  }
+
+  // Ship the result.
+  network_->send(remote.location, local_node_, result_bytes);
+  outcome.latency = network_->transfer_time_unloaded(remote.location, local_node_,
+                                                     result_bytes);
+  shipped_ += result_bytes;
+  if (manager_ != nullptr) manager_->note_transfer(result_bytes);
+  ++remote_;
+  return outcome;
+}
+
+}  // namespace megads::arch

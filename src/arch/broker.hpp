@@ -1,0 +1,89 @@
+// RemoteQueryBroker — Fig. 6 realized inside the architecture.
+//
+// A data store that needs data held by another store either ships the query
+// (pay result bytes + WAN latency per access) or replicates the partition
+// (pay its full size once, then serve locally). The broker:
+//
+//   1  records every partition access (time + result volume),
+//   2  consults a repl::ReplicationPolicy ("predict future accesses"),
+//   3  starts replication when the policy crosses its threshold,
+//   4  executes the copy over the simulated network and serves locally
+//      from then on.
+//
+// The manager's transfer ledger is charged for all WAN bytes.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "arch/manager.hpp"
+#include "net/network.hpp"
+#include "repl/policy.hpp"
+#include "sim/simulator.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::arch {
+
+/// Handle naming one sealed partition of a remote store.
+struct RemotePartition {
+  const store::DataStore* store = nullptr;
+  AggregatorId slot;
+  PartitionId partition;
+  NodeId location;  ///< network node the remote store lives on
+};
+
+/// Outcome of one brokered access.
+struct BrokeredResult {
+  primitives::QueryResult result;
+  SimDuration latency = 0;     ///< WAN transfer time paid by this access
+  bool served_locally = false;
+  bool replicated_now = false; ///< this access triggered the replication
+};
+
+class RemoteQueryBroker {
+ public:
+  /// All references must outlive the broker. `manager` may be null.
+  RemoteQueryBroker(net::Network& network, NodeId local_node,
+                    repl::ReplicationPolicy& policy, Manager* manager = nullptr);
+
+  /// Query one remote partition; the broker decides ship vs replicate.
+  BrokeredResult query(const RemotePartition& remote,
+                       const primitives::Query& query);
+
+  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_.size(); }
+  [[nodiscard]] std::uint64_t shipped_bytes() const noexcept { return shipped_; }
+  [[nodiscard]] std::uint64_t replicated_bytes() const noexcept {
+    return replicated_;
+  }
+  [[nodiscard]] std::uint64_t local_accesses() const noexcept { return local_; }
+  [[nodiscard]] std::uint64_t remote_accesses() const noexcept { return remote_; }
+
+  /// Size in bytes a query result occupies on the wire (cost model).
+  [[nodiscard]] static std::uint64_t result_wire_bytes(
+      const primitives::QueryResult& result);
+
+ private:
+  struct Key {
+    StoreId store;
+    PartitionId::underlying_type partition;
+    auto operator<=>(const Key&) const = default;
+  };
+
+  const store::Partition* find_partition(const RemotePartition& remote) const;
+
+  net::Network* network_;
+  NodeId local_node_;
+  repl::ReplicationPolicy* policy_;
+  Manager* manager_;
+  std::map<Key, std::unique_ptr<primitives::Aggregator>> replicas_;
+  /// Broker-local partition ids handed to the policy (store-scoped ids from
+  /// different stores would collide).
+  std::map<Key, PartitionId> policy_ids_;
+  std::uint32_t next_policy_id_ = 0;
+  std::uint64_t shipped_ = 0;
+  std::uint64_t replicated_ = 0;
+  std::uint64_t local_ = 0;
+  std::uint64_t remote_ = 0;
+};
+
+}  // namespace megads::arch

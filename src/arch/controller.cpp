@@ -1,0 +1,99 @@
+#include "arch/controller.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace megads::arch {
+
+Controller::Controller(std::string name) : name_(std::move(name)) {}
+
+void Controller::attach_actuator(const std::string& actuator, Actuator callback) {
+  expects(static_cast<bool>(callback), "Controller::attach_actuator: empty callback");
+  actuators_[actuator] = std::move(callback);
+}
+
+RuleId Controller::install_rule(Rule rule) {
+  expects(rule.min_value <= rule.max_value,
+          "Controller::install_rule: min_value must be <= max_value");
+  if (rule.on_trigger_value &&
+      (*rule.on_trigger_value < rule.min_value ||
+       *rule.on_trigger_value > rule.max_value)) {
+    throw RuleConflictError("rule '" + rule.name +
+                            "' trigger setpoint lies outside its own safe range");
+  }
+  for (const auto& [id, existing] : rules_) {
+    if (existing.actuator != rule.actuator) continue;
+    if (!existing.overlaps_scope(rule)) continue;
+    const double lo = std::max(existing.min_value, rule.min_value);
+    const double hi = std::min(existing.max_value, rule.max_value);
+    if (lo > hi) {
+      throw RuleConflictError(
+          "rule '" + rule.name + "' conflicts with installed rule '" +
+          existing.name + "' on actuator '" + rule.actuator +
+          "': safe ranges are disjoint");
+    }
+  }
+  const RuleId id(next_rule_++);
+  rules_.emplace(id, std::move(rule));
+  return id;
+}
+
+void Controller::remove_rule(RuleId rule) {
+  if (rules_.erase(rule) == 0) {
+    throw NotFoundError("Controller::remove_rule: unknown rule");
+  }
+}
+
+std::optional<double> Controller::validate(const std::string& actuator,
+                                           const flow::FlowKey& scope,
+                                           double value) const {
+  bool governed = false;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  for (const auto& [id, rule] : rules_) {
+    if (rule.actuator != actuator) continue;
+    if (!rule.scope.generalizes(scope) && !scope.generalizes(rule.scope)) continue;
+    governed = true;
+    lo = std::max(lo, rule.min_value);
+    hi = std::min(hi, rule.max_value);
+  }
+  if (!governed) return std::nullopt;
+  return std::clamp(value, lo, hi);
+}
+
+void Controller::issue(ActuationCommand command) {
+  const auto it = actuators_.find(command.actuator);
+  if (it != actuators_.end()) it->second(command);
+  log_.push_back(std::move(command));
+}
+
+void Controller::on_trigger(const store::TriggerEvent& event) {
+  ++triggers_handled_;
+  for (const auto& [id, rule] : rules_) {
+    if (!rule.on_trigger_value) continue;
+    if (!rule.scope.generalizes(event.key)) continue;
+    ActuationCommand command;
+    command.actuator = rule.actuator;
+    command.requested = *rule.on_trigger_value;
+    command.value = validate(rule.actuator, event.key, command.requested)
+                        .value_or(command.requested);
+    command.time = event.time;
+    command.reason = "trigger '" + event.name + "' via rule '" + rule.name + "'";
+    issue(std::move(command));
+  }
+}
+
+ActuationCommand Controller::actuate(const std::string& actuator,
+                                     const flow::FlowKey& scope, double value,
+                                     SimTime now, std::string reason) {
+  ActuationCommand command;
+  command.actuator = actuator;
+  command.requested = value;
+  command.value = validate(actuator, scope, value).value_or(value);
+  command.time = now;
+  command.reason = std::move(reason);
+  issue(command);
+  return command;
+}
+
+}  // namespace megads::arch

@@ -1,0 +1,105 @@
+// The Controller (Section III): local control logic that regulates machines
+// without waiting for applications. Applications install rules; the
+// controller checks them for conflicts before accepting them, validates
+// actuation commands against the rules' safe ranges ("avoid raising a robot
+// arm beyond its highest point"), and reacts to data-store triggers in the
+// short control cycle of Fig. 3a.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "flow/flowkey.hpp"
+#include "store/trigger.hpp"
+
+namespace megads::arch {
+
+/// A command the controller issues to an actuator.
+struct ActuationCommand {
+  std::string actuator;     ///< e.g. "line0.machine3.speed"
+  double value = 0.0;       ///< validated (possibly clamped) setpoint
+  double requested = 0.0;   ///< value before validation
+  SimTime time = 0;
+  std::string reason;       ///< rule or trigger that caused the command
+};
+
+/// A rule an application installs: within `scope`, actuator `actuator` must
+/// stay inside [min_value, max_value]; when a trigger in scope fires, drive
+/// the actuator to `on_trigger_value`.
+struct Rule {
+  std::string name;
+  AppId owner;
+  std::string actuator;
+  flow::FlowKey scope;       ///< machines/flows the rule governs
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::optional<double> on_trigger_value;  ///< setpoint when a trigger matches
+
+  [[nodiscard]] bool overlaps_scope(const Rule& other) const noexcept {
+    return scope.generalizes(other.scope) || other.scope.generalizes(scope);
+  }
+};
+
+/// Thrown when a rule contradicts an installed one ("conflicts between rules
+/// are resolved locally at the controller").
+class RuleConflictError : public Error {
+ public:
+  explicit RuleConflictError(const std::string& what) : Error(what) {}
+};
+
+class Controller {
+ public:
+  using Actuator = std::function<void(const ActuationCommand&)>;
+
+  explicit Controller(std::string name = "controller");
+
+  /// Register the physical actuation callback for an actuator name.
+  void attach_actuator(const std::string& actuator, Actuator callback);
+
+  /// Install a rule after conflict checking. Two rules conflict when they
+  /// govern the same actuator on overlapping scopes with disjoint safe
+  /// ranges. Throws RuleConflictError; otherwise returns the rule id.
+  RuleId install_rule(Rule rule);
+  void remove_rule(RuleId rule);
+  [[nodiscard]] std::size_t rule_count() const noexcept { return rules_.size(); }
+
+  /// Validate a requested setpoint: clamp it into the intersection of all
+  /// matching rules' safe ranges. Returns nullopt when no rule governs the
+  /// actuator+scope (nothing is known to be safe).
+  [[nodiscard]] std::optional<double> validate(const std::string& actuator,
+                                               const flow::FlowKey& scope,
+                                               double value) const;
+
+  /// Trigger entry point (wire as the TriggerSpec action of a data store):
+  /// fires every matching rule's on_trigger_value through its actuator.
+  void on_trigger(const store::TriggerEvent& event);
+
+  /// Drive an actuator directly (an application's "contact the controller"
+  /// path); the value is validated first. Returns the issued command.
+  ActuationCommand actuate(const std::string& actuator, const flow::FlowKey& scope,
+                           double value, SimTime now, std::string reason);
+
+  [[nodiscard]] const std::vector<ActuationCommand>& log() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] std::uint64_t triggers_handled() const noexcept {
+    return triggers_handled_;
+  }
+
+ private:
+  void issue(ActuationCommand command);
+
+  std::string name_;
+  std::unordered_map<RuleId, Rule> rules_;
+  std::unordered_map<std::string, Actuator> actuators_;
+  std::vector<ActuationCommand> log_;
+  std::uint64_t triggers_handled_ = 0;
+  std::uint32_t next_rule_ = 0;
+};
+
+}  // namespace megads::arch

@@ -1,0 +1,155 @@
+#include "arch/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::arch {
+
+Hierarchy::Hierarchy(sim::Simulator& sim, std::vector<LevelSpec> levels)
+    : sim_(&sim), levels_(std::move(levels)), network_(sim, topology_) {
+  expects(!levels_.empty(), "Hierarchy: need at least one level");
+
+  // Node counts, root (1) downward.
+  std::vector<std::size_t> counts(levels_.size(), 1);
+  for (std::size_t level = levels_.size() - 1; level-- > 0;) {
+    expects(levels_[level].fanout > 0, "Hierarchy: fanout must be positive");
+    counts[level] = counts[level + 1] * levels_[level].fanout;
+  }
+
+  std::uint32_t next_store = 0;
+  nodes_.resize(levels_.size());
+  for (std::size_t level = levels_.size(); level-- > 0;) {
+    const LevelSpec& spec = levels_[level];
+    nodes_[level].reserve(counts[level]);
+    for (std::size_t index = 0; index < counts[level]; ++index) {
+      Node node;
+      const std::string name =
+          spec.name + "-" + std::to_string(index);
+      node.store = std::make_unique<store::DataStore>(StoreId(next_store++), name);
+      node.net_node = topology_.add_node(name, static_cast<int>(level));
+
+      store::SlotConfig slot_config;
+      slot_config.name = spec.name + "/summary";
+      slot_config.factory = Manager::make_factory(spec.format, spec.budget);
+      slot_config.epoch = spec.epoch;
+      slot_config.storage = Manager::make_storage(spec.storage, spec.storage_budget);
+      slot_config.live_budget = spec.budget;
+      slot_config.subscribe_all = true;
+      node.slot = node.store->install(std::move(slot_config));
+
+      if (level + 1 < levels_.size()) {
+        node.parent_index = index / levels_[level].fanout;
+        const Node& parent = nodes_[level + 1][node.parent_index];
+        node.uplink = topology_.add_link(node.net_node, parent.net_node,
+                                         spec.uplink_latency, spec.uplink_bps);
+      }
+      nodes_[level].push_back(std::move(node));
+    }
+  }
+}
+
+std::size_t Hierarchy::nodes_at(std::size_t level) const {
+  expects(level < nodes_.size(), "Hierarchy::nodes_at: bad level");
+  return nodes_[level].size();
+}
+
+const LevelSpec& Hierarchy::level(std::size_t level) const {
+  expects(level < levels_.size(), "Hierarchy::level: bad level");
+  return levels_[level];
+}
+
+Hierarchy::Node& Hierarchy::node_at(std::size_t level, std::size_t index) {
+  expects(level < nodes_.size() && index < nodes_[level].size(),
+          "Hierarchy: bad node coordinates");
+  return nodes_[level][index];
+}
+
+const Hierarchy::Node& Hierarchy::node_at(std::size_t level,
+                                          std::size_t index) const {
+  expects(level < nodes_.size() && index < nodes_[level].size(),
+          "Hierarchy: bad node coordinates");
+  return nodes_[level][index];
+}
+
+store::DataStore& Hierarchy::store(std::size_t level, std::size_t index) {
+  return *node_at(level, index).store;
+}
+
+const store::DataStore& Hierarchy::store(std::size_t level,
+                                         std::size_t index) const {
+  return *node_at(level, index).store;
+}
+
+AggregatorId Hierarchy::slot(std::size_t level, std::size_t index) const {
+  return node_at(level, index).slot;
+}
+
+void Hierarchy::ingest(std::size_t leaf_index, SensorId sensor,
+                       const primitives::StreamItem& item) {
+  Node& leaf = node_at(0, leaf_index);
+  raw_bytes_ += kRawItemBytes;
+  leaf.store->ingest(sensor, item);
+}
+
+void Hierarchy::export_tick(std::size_t level, std::size_t index, SimTime now) {
+  Node& node = node_at(level, index);
+  node.store->advance_to(now);
+  const TimeInterval window{node.last_export, now};
+  if (window.empty()) return;
+  // Defer exports across failed uplinks; the next tick retries with a window
+  // covering everything missed (Table I challenge 4).
+  if (!topology_.link_up(node.uplink)) return;
+  node.last_export = now;
+
+  // Export the freshly sealed epoch's summary upward.
+  std::shared_ptr<primitives::Aggregator> summary =
+      node.store->snapshot(node.slot, window);
+  if (summary->items_ingested() == 0 && summary->size() <= 1) return;
+
+  Node& parent = nodes_[level + 1][node.parent_index];
+  store::DataStore* parent_store = parent.store.get();
+  const AggregatorId parent_slot = parent.slot;
+  network_.send(node.net_node, parent.net_node, summary->wire_bytes(),
+                [parent_store, parent_slot, summary](SimTime delivered) {
+                  parent_store->advance_to(
+                      std::max(parent_store->now(), delivered));
+                  parent_store->absorb(parent_slot, *summary);
+                });
+}
+
+void Hierarchy::start() {
+  expects(!started_, "Hierarchy::start: already started");
+  started_ = true;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    for (std::size_t index = 0; index < nodes_[level].size(); ++index) {
+      sim_->schedule_periodic(levels_[level].epoch,
+                              [this, level, index](SimTime now) {
+                                export_tick(level, index, now);
+                              });
+    }
+  }
+  // The root still needs its clock advanced to seal epochs.
+  if (!levels_.empty()) {
+    sim_->schedule_periodic(levels_.back().epoch, [this](SimTime now) {
+      nodes_.back().front().store->advance_to(now);
+    });
+  }
+}
+
+net::LinkId Hierarchy::uplink(std::size_t level, std::size_t index) const {
+  expects(level + 1 < nodes_.size(), "Hierarchy::uplink: the root has no uplink");
+  return node_at(level, index).uplink;
+}
+
+std::uint64_t Hierarchy::uplink_bytes(std::size_t level) const {
+  expects(level < nodes_.size(), "Hierarchy::uplink_bytes: bad level");
+  if (level + 1 >= nodes_.size()) return 0;
+  std::uint64_t total = 0;
+  for (const Node& node : nodes_[level]) {
+    total += network_.link_stats(node.uplink).payload_bytes;
+  }
+  return total;
+}
+
+}  // namespace megads::arch

@@ -1,0 +1,97 @@
+// The hierarchy of data stores (Section III "Hierarchy", Fig. 1 / Fig. 2b):
+// machine -> production line -> factory -> cloud (or router -> region ->
+// network -> cloud). Every node runs a DataStore with one summary slot;
+// periodically each store exports the summary of its last epoch to its
+// parent over the simulated WAN, and the parent absorbs it into its own
+// (coarser-epoch, smaller-budget) summary.
+//
+// Level 0 is the leaf level. Counts are implied by fanout: the root level
+// has one node; level i has fanout_i x (nodes at level i+1).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/manager.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::arch {
+
+struct LevelSpec {
+  std::string name;                 ///< "machine", "line", "factory", "cloud"
+  std::size_t fanout = 1;           ///< children of each next-level node (root: ignored)
+  SimDuration epoch = kSecond;      ///< summary epoch at this level
+  std::size_t budget = 1024;        ///< summary entry budget at this level
+  SummaryFormat format = SummaryFormat::kFlowtree;
+  StorageClass storage = StorageClass::kRoundRobin;
+  std::uint64_t storage_budget = 1 << 20;
+  SimDuration uplink_latency = 5 * kMillisecond;  ///< link to the parent level
+  double uplink_bps = 125.0e6;
+};
+
+/// Wire size assumed for one raw observation if it were shipped unaggregated
+/// (5-tuple + value + timestamp) — the baseline of experiment E4.
+inline constexpr std::uint64_t kRawItemBytes = flow::FlowKey::kWireSize + 16;
+
+class Hierarchy {
+ public:
+  /// `levels` runs leaf (index 0) to root (last; its fanout is ignored).
+  Hierarchy(sim::Simulator& sim, std::vector<LevelSpec> levels);
+
+  [[nodiscard]] std::size_t level_count() const noexcept { return levels_.size(); }
+  [[nodiscard]] std::size_t nodes_at(std::size_t level) const;
+  [[nodiscard]] const LevelSpec& level(std::size_t level) const;
+
+  [[nodiscard]] store::DataStore& store(std::size_t level, std::size_t index);
+  [[nodiscard]] const store::DataStore& store(std::size_t level,
+                                              std::size_t index) const;
+  /// The single summary slot of a node's store.
+  [[nodiscard]] AggregatorId slot(std::size_t level, std::size_t index) const;
+  [[nodiscard]] store::DataStore& root() { return store(level_count() - 1, 0); }
+
+  /// Ingest one observation at a leaf (raw bytes are accounted for the
+  /// raw-shipping baseline).
+  void ingest(std::size_t leaf_index, SensorId sensor,
+              const primitives::StreamItem& item);
+
+  /// Start the periodic export loops (call once, before running the sim).
+  void start();
+
+  /// Bytes that crossed the uplinks out of `level` so far.
+  [[nodiscard]] std::uint64_t uplink_bytes(std::size_t level) const;
+  /// The uplink of one node (for failure-injection experiments).
+  [[nodiscard]] net::LinkId uplink(std::size_t level, std::size_t index) const;
+  /// Bytes the raw stream would have pushed across level-0 uplinks.
+  [[nodiscard]] std::uint64_t raw_bytes_ingested() const noexcept {
+    return raw_bytes_;
+  }
+  [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+  [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<store::DataStore> store;
+    AggregatorId slot;
+    NodeId net_node;
+    std::size_t parent_index = 0;       ///< index within the next level
+    net::LinkId uplink = 0;
+    SimTime last_export = 0;
+  };
+
+  void export_tick(std::size_t level, std::size_t index, SimTime now);
+  Node& node_at(std::size_t level, std::size_t index);
+  [[nodiscard]] const Node& node_at(std::size_t level, std::size_t index) const;
+
+  sim::Simulator* sim_;
+  std::vector<LevelSpec> levels_;
+  std::vector<std::vector<Node>> nodes_;  ///< [level][index]
+  net::Topology topology_;
+  net::Network network_;
+  std::uint64_t raw_bytes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace megads::arch

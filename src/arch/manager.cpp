@@ -1,0 +1,191 @@
+#include "arch/manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/spacesaving.hpp"
+#include "primitives/timebin.hpp"
+
+namespace megads::arch {
+
+const char* to_string(SummaryFormat format) noexcept {
+  switch (format) {
+    case SummaryFormat::kRaw: return "raw";
+    case SummaryFormat::kSample: return "sample";
+    case SummaryFormat::kTimeBins: return "time-bins";
+    case SummaryFormat::kHistogram: return "histogram";
+    case SummaryFormat::kHeavyHitters: return "heavy-hitters";
+    case SummaryFormat::kSketch: return "sketch";
+    case SummaryFormat::kFlowtree: return "flowtree";
+    case SummaryFormat::kExact: return "exact";
+  }
+  return "?";
+}
+
+Manager::Manager(std::string name) : name_(std::move(name)) {}
+
+store::AggregatorFactory Manager::make_factory(SummaryFormat format,
+                                               std::size_t precision) {
+  expects(precision > 0, "Manager::make_factory: precision must be positive");
+  switch (format) {
+    case SummaryFormat::kRaw:
+      return [] { return std::make_unique<primitives::RawStore>(); };
+    case SummaryFormat::kSample:
+      return [precision] {
+        return std::make_unique<primitives::SamplingAggregator>(precision);
+      };
+    case SummaryFormat::kTimeBins:
+      // Interpret precision as the target bin count per epoch; the store's
+      // adapt() path coarsens bins when the count exceeds it.
+      return [] {
+        return std::make_unique<primitives::TimeBinAggregator>(kSecond);
+      };
+    case SummaryFormat::kHistogram:
+      // Unit-width buckets; the store's adapt() path coarsens to the entry
+      // budget when the value range is wide.
+      return [] { return std::make_unique<primitives::HistogramAggregator>(1.0); };
+    case SummaryFormat::kHeavyHitters:
+      return [precision] {
+        return std::make_unique<primitives::SpaceSaving>(precision);
+      };
+    case SummaryFormat::kSketch:
+      return [precision] {
+        return std::make_unique<primitives::CountMinSketch>(precision, 4, true);
+      };
+    case SummaryFormat::kFlowtree:
+      return [precision] {
+        flowtree::FlowtreeConfig config;
+        config.node_budget = std::max<std::size_t>(2, precision);
+        return std::make_unique<flowtree::Flowtree>(config);
+      };
+    case SummaryFormat::kExact:
+      return [] { return std::make_unique<primitives::ExactAggregator>(); };
+  }
+  throw Error("Manager::make_factory: unknown format");
+}
+
+std::unique_ptr<store::StorageStrategy> Manager::make_storage(StorageClass storage,
+                                                              std::uint64_t budget) {
+  switch (storage) {
+    case StorageClass::kExpiration:
+      return std::make_unique<store::ExpirationStorage>(
+          static_cast<SimDuration>(budget));
+    case StorageClass::kRoundRobin:
+      return std::make_unique<store::RoundRobinStorage>(
+          static_cast<std::size_t>(budget));
+    case StorageClass::kHierarchical:
+      return std::make_unique<store::HierarchicalStorage>(
+          store::HierarchicalStorage::Config{});
+  }
+  throw Error("Manager::make_storage: unknown storage class");
+}
+
+AggregatorId Manager::provision(store::DataStore& store,
+                                const AppRequirements& requirements) {
+  expects(requirements.app.valid(), "Manager::provision: requirements need an app id");
+  const SlotKey key{store.id(), requirements.format, requirements.epoch,
+                    requirements.storage};
+
+  const auto it = slots_.find(key);
+  if (it != slots_.end() && it->second.precision >= requirements.precision) {
+    // Compatible slot exists: share it, extend subscriptions.
+    for (const SensorId sensor : requirements.sensors) {
+      store.subscribe(sensor, it->second.slot);
+    }
+    if (std::find(it->second.users.begin(), it->second.users.end(),
+                  requirements.app) == it->second.users.end()) {
+      it->second.users.push_back(requirements.app);
+    }
+    return it->second.slot;
+  }
+
+  store::SlotConfig config;
+  config.name = std::string(to_string(requirements.format)) + "/" +
+                std::to_string(requirements.precision) + "@" +
+                std::to_string(requirements.epoch / kSecond) + "s";
+  config.factory = make_factory(requirements.format, requirements.precision);
+  config.epoch = requirements.epoch;
+  config.storage = make_storage(requirements.storage, requirements.storage_budget);
+  config.live_budget = requirements.precision;
+  config.subscribe_all = requirements.sensors.empty();
+  const AggregatorId slot = store.install(std::move(config));
+  for (const SensorId sensor : requirements.sensors) store.subscribe(sensor, slot);
+
+  if (it != slots_.end()) {
+    // A finer precision was requested: the new slot supersedes the old key
+    // entry for future sharing, but existing users keep their old slot.
+    slots_.erase(it);
+  }
+  slots_.emplace(key, ProvisionedSlot{slot, requirements.precision,
+                                      {requirements.app}});
+  if (std::find(stores_.begin(), stores_.end(), &store) == stores_.end()) {
+    stores_.push_back(&store);
+  }
+  return slot;
+}
+
+void Manager::release(store::DataStore& store, AppId app) {
+  for (auto it = slots_.begin(); it != slots_.end();) {
+    if (it->first.store != store.id()) {
+      ++it;
+      continue;
+    }
+    auto& users = it->second.users;
+    users.erase(std::remove(users.begin(), users.end(), app), users.end());
+    if (users.empty()) {
+      store.remove(it->second.slot);
+      it = slots_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t Manager::enforce_memory_budget(store::DataStore& store,
+                                           std::size_t max_bytes) {
+  expects(max_bytes > 0, "Manager::enforce_memory_budget: budget must be positive");
+  std::size_t reductions = 0;
+  while (store.memory_bytes() > max_bytes) {
+    // Pick the provisioned slot with the biggest live summary.
+    ProvisionedSlot* victim = nullptr;
+    std::size_t victim_bytes = 0;
+    for (auto& [key, slot] : slots_) {
+      if (key.store != store.id()) continue;
+      const std::size_t bytes = store.live(slot.slot).memory_bytes();
+      if (bytes > victim_bytes && slot.precision > 16) {
+        victim = &slot;
+        victim_bytes = bytes;
+      }
+    }
+    if (victim == nullptr) break;  // nothing left to shrink
+    victim->precision = std::max<std::size_t>(16, victim->precision / 2);
+    store.set_live_budget(victim->slot, victim->precision);
+    ++reductions;
+  }
+  return reductions;
+}
+
+std::vector<Manager::StoreReport> Manager::report() const {
+  std::vector<StoreReport> reports;
+  for (const store::DataStore* store : stores_) {
+    StoreReport report;
+    report.store = store->id();
+    report.name = store->name();
+    report.slots = store->slots().size();
+    for (const AggregatorId slot : store->slots()) {
+      report.partitions += store->partitions(slot).size();
+    }
+    report.memory_bytes = store->memory_bytes();
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+std::size_t Manager::provisioned_slots() const noexcept { return slots_.size(); }
+
+}  // namespace megads::arch

@@ -1,0 +1,120 @@
+// The Manager (Section III, Fig. 3b): the control plane. It records each
+// application's requirements — data source, aggregation format, precision,
+// epoch — and uses them to decide (a) which sensors' data is kept, (b) which
+// computing primitive is installed, (c) how it is configured and (d) where
+// summaries flow. It also tracks the storage and network resources of the
+// stores it manages.
+//
+// Provisioning is idempotent and sharing-aware: two applications whose
+// requirements are compatible (same format, epoch, and storage class, and a
+// precision no finer than what is installed) share one aggregator slot; the
+// slot is removed when its last user releases it.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/datastore.hpp"
+
+namespace megads::arch {
+
+/// "Aggregation format" of Fig. 3b, mapped to a concrete primitive.
+enum class SummaryFormat {
+  kRaw,          ///< keep every observation (RawStore)
+  kSample,       ///< uniform sample (SamplingAggregator)
+  kTimeBins,     ///< per-bin statistics (TimeBinAggregator)
+  kHistogram,    ///< value-distribution buckets (HistogramAggregator)
+  kHeavyHitters, ///< Space-Saving top-k summary
+  kSketch,       ///< Count-Min sketch
+  kFlowtree,     ///< the paper's primitive
+  kExact,        ///< exact per-key table (unbounded; tests/ground truth)
+};
+
+[[nodiscard]] const char* to_string(SummaryFormat format) noexcept;
+
+enum class StorageClass {
+  kExpiration,   ///< strategy 1: fixed TTL
+  kRoundRobin,   ///< strategy 2: fixed byte budget
+  kHierarchical, ///< strategy 3: re-aggregate, never forget
+};
+
+struct AppRequirements {
+  AppId app;
+  std::string description;
+  std::vector<SensorId> sensors;   ///< data sources the app needs
+  SummaryFormat format = SummaryFormat::kTimeBins;
+  /// Precision knob of Fig. 3b ("sample rate or bin size"): summary entries.
+  std::size_t precision = 1024;
+  SimDuration epoch = kMinute;
+  StorageClass storage = StorageClass::kExpiration;
+  /// TTL (expiration) or byte budget (round-robin); ignored for hierarchical.
+  std::uint64_t storage_budget = static_cast<std::uint64_t>(kHour);
+};
+
+class Manager {
+ public:
+  explicit Manager(std::string name = "manager");
+
+  /// Record requirements and return the slot serving them (installing a new
+  /// aggregator into `store` only when no compatible slot exists).
+  AggregatorId provision(store::DataStore& store, const AppRequirements& requirements);
+
+  /// Drop an application's requirements on a store; slots without remaining
+  /// users are uninstalled ("what data should be kept" adapts).
+  void release(store::DataStore& store, AppId app);
+
+  /// Aggregate resource view of everything under management.
+  struct StoreReport {
+    StoreId store;
+    std::string name;
+    std::size_t slots = 0;
+    std::size_t partitions = 0;
+    std::size_t memory_bytes = 0;
+  };
+  [[nodiscard]] std::vector<StoreReport> report() const;
+
+  /// Adapt resources to pressure (Fig. 3b "resource status" -> "change
+  /// parameter"): while the store's footprint exceeds `max_bytes`, halve the
+  /// precision of its provisioned slots, largest live summary first (floor:
+  /// 16 entries). Returns the number of precision reductions applied.
+  std::size_t enforce_memory_budget(store::DataStore& store,
+                                    std::size_t max_bytes);
+
+  /// Network ledger (the Manager "tracks the availability of network
+  /// bandwidth"): components report transfers here.
+  void note_transfer(std::uint64_t bytes) noexcept { wan_bytes_ += bytes; }
+  [[nodiscard]] std::uint64_t wan_bytes() const noexcept { return wan_bytes_; }
+
+  [[nodiscard]] std::size_t provisioned_slots() const noexcept;
+
+  /// Primitive factory for a format at a given precision — decision (b)/(c).
+  [[nodiscard]] static store::AggregatorFactory make_factory(SummaryFormat format,
+                                                             std::size_t precision);
+  /// Storage strategy for a class/budget — Section IV strategies.
+  [[nodiscard]] static std::unique_ptr<store::StorageStrategy> make_storage(
+      StorageClass storage, std::uint64_t budget);
+
+ private:
+  struct SlotKey {
+    StoreId store;
+    SummaryFormat format;
+    SimDuration epoch;
+    StorageClass storage;
+
+    auto operator<=>(const SlotKey&) const = default;
+  };
+  struct ProvisionedSlot {
+    AggregatorId slot;
+    std::size_t precision;
+    std::vector<AppId> users;
+  };
+
+  std::string name_;
+  std::map<SlotKey, ProvisionedSlot> slots_;
+  std::vector<store::DataStore*> stores_;  // every store ever provisioned
+  std::uint64_t wan_bytes_ = 0;
+};
+
+}  // namespace megads::arch

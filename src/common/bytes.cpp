@@ -1,0 +1,42 @@
+#include "common/bytes.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace megads {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 6> kUnits = {"B",   "KiB", "MiB",
+                                                        "GiB", "TiB", "PiB"};
+  if (bytes < 1024) return std::to_string(bytes) + " B";
+  double value = static_cast<double>(bytes);
+  std::size_t unit = 0;
+  while (value >= 1024.0 && unit + 1 < kUnits.size()) {
+    value /= 1024.0;
+    ++unit;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  return buf;
+}
+
+std::string format_si(double value) {
+  static constexpr std::array<const char*, 5> kUnits = {"", "K", "M", "G", "T"};
+  double magnitude = std::fabs(value);
+  std::size_t unit = 0;
+  while (magnitude >= 1000.0 && unit + 1 < kUnits.size()) {
+    magnitude /= 1000.0;
+    value /= 1000.0;
+    ++unit;
+  }
+  char buf[32];
+  if (unit == 0) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, kUnits[unit]);
+  }
+  return buf;
+}
+
+}  // namespace megads

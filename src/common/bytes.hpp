@@ -1,0 +1,15 @@
+// Human-readable formatting of byte counts and rates for experiment output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace megads {
+
+/// 1536 -> "1.50 KiB"; exact below 1 KiB ("512 B").
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// 2500000 -> "2.50 M" (SI, base 1000); used for record counts and rates.
+[[nodiscard]] std::string format_si(double value);
+
+}  // namespace megads

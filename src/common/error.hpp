@@ -1,0 +1,40 @@
+// Error handling conventions for megads (Core Guidelines I.10 / E.14):
+// exceptions signal failures to perform a required task; expected negative
+// outcomes (e.g. "data expired") are plain return values.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace megads {
+
+/// Base class for all megads failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Violation of an API precondition (caller bug).
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input (e.g. FlowQL syntax error, bad trace file).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A referenced entity (store, aggregator, partition, ...) does not exist.
+class NotFoundError : public Error {
+ public:
+  explicit NotFoundError(const std::string& what) : Error(what) {}
+};
+
+/// Lightweight precondition check; throws PreconditionError on failure.
+inline void expects(bool condition, const char* message) {
+  if (!condition) throw PreconditionError(message);
+}
+
+}  // namespace megads

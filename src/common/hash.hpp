@@ -1,0 +1,42 @@
+// Small, dependency-free hashing utilities used across modules: a strong
+// 64-bit finalizer (SplitMix64), FNV-1a for byte strings, and hash combining.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace megads {
+
+/// SplitMix64 finalizer: a fast, high-quality 64-bit mixing function.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over an arbitrary byte string.
+constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combine two 64-bit hashes into one.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// Derive the i-th of k independent hash functions from one base hash,
+/// as used by Count-Min style sketches (Kirsch-Mitzenmacher double hashing).
+constexpr std::uint64_t indexed_hash(std::uint64_t base, std::uint32_t i) noexcept {
+  const std::uint64_t h1 = mix64(base);
+  const std::uint64_t h2 = mix64(base ^ 0x51ed270b0a1d2c4dULL) | 1ULL;
+  return h1 + static_cast<std::uint64_t>(i) * h2;
+}
+
+}  // namespace megads

@@ -1,0 +1,28 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace megads {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, const std::string& message) const {
+  if (!enabled(level)) return;
+  std::cerr << "[" << to_string(level) << "] " << message << '\n';
+}
+
+Logger& Logger::global() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+}  // namespace megads

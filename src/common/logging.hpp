@@ -1,0 +1,62 @@
+// Minimal leveled logging. Experiments are deterministic simulations, so a
+// simple synchronous sink suffices; the level is owned by a Logger object
+// (no mutable global state beyond the default logger used by MEGADS_LOG).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace megads {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+[[nodiscard]] const char* to_string(LogLevel level) noexcept;
+
+/// Synchronous stderr logger with a runtime-adjustable threshold.
+class Logger {
+ public:
+  explicit Logger(LogLevel threshold = LogLevel::kWarn) noexcept
+      : threshold_(threshold) {}
+
+  void set_threshold(LogLevel level) noexcept { threshold_ = level; }
+  [[nodiscard]] LogLevel threshold() const noexcept { return threshold_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+    return level >= threshold_;
+  }
+
+  void log(LogLevel level, const std::string& message) const;
+
+  /// Process-wide default logger (tests/benches may raise or silence it).
+  static Logger& global() noexcept;
+
+ private:
+  LogLevel threshold_;
+};
+
+}  // namespace megads
+
+/// Stream-style logging against the global logger:
+///   MEGADS_LOG(kInfo) << "merged " << n << " trees";
+#define MEGADS_LOG(level)                                               \
+  if (!::megads::Logger::global().enabled(::megads::LogLevel::level)) { \
+  } else                                                                \
+    ::megads::detail::LogLine(::megads::LogLevel::level).stream()
+
+namespace megads::detail {
+
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) noexcept : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::global().log(level_, stream_.str()); }
+
+  std::ostringstream& stream() noexcept { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace megads::detail

@@ -1,0 +1,126 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.hpp"
+
+namespace megads {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // SplitMix64 expansion of the seed into the full 256-bit state, as
+  // recommended by the xoshiro authors.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    sm += 0x9E3779B97F4A7C15ULL;
+    word = mix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  expects(bound > 0, "Rng::uniform: bound must be positive");
+  // Rejection to avoid modulo bias.
+  const std::uint64_t threshold = -bound % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  expects(lo <= hi, "Rng::uniform_range: lo must be <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double Rng::exponential(double rate) {
+  expects(rate > 0.0, "Rng::exponential: rate must be positive");
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  expects(xm > 0.0 && alpha > 0.0, "Rng::pareto: xm and alpha must be positive");
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1;
+  do {
+    u1 = uniform01();
+  } while (u1 == 0.0);
+  const double u2 = uniform01();
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(6.28318530717958647692 * u2);
+  return mean + stddev * z;
+}
+
+std::uint64_t Rng::geometric(double p) {
+  expects(p > 0.0 && p <= 1.0, "Rng::geometric: p must be in (0, 1]");
+  if (p == 1.0) return 0;
+  double u;
+  do {
+    u = uniform01();
+  } while (u == 0.0);
+  return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+Rng Rng::fork() noexcept { return Rng(next()); }
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  expects(n > 0, "ZipfSampler: support size must be positive");
+  expects(s >= 0.0, "ZipfSampler: skew must be non-negative");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  expects(rank < cdf_.size(), "ZipfSampler::pmf: rank out of range");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace megads

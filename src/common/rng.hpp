@@ -1,0 +1,70 @@
+// Deterministic random-number generation for reproducible experiments.
+//
+// Rng wraps xoshiro256** seeded via SplitMix64. On top of it sit the samplers
+// the workload generators need: uniform ints/reals, exponential and Pareto
+// variates, and a Zipf sampler (the paper's use cases are dominated by
+// heavy-tailed popularity: flow endpoints, partition accesses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace megads {
+
+/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+  /// Uniform real in [0, 1).
+  double uniform01() noexcept;
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+  /// Exponential variate with the given rate (mean 1/rate).
+  double exponential(double rate);
+  /// Pareto variate with scale xm > 0 and shape alpha > 0 (support [xm, inf)).
+  double pareto(double xm, double alpha);
+  /// Standard normal variate (Box-Muller).
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+  /// Geometric number of failures before first success, p in (0, 1].
+  std::uint64_t geometric(double p);
+
+  /// Fork a statistically independent child generator (for per-entity streams).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Draws ranks from a Zipf distribution over {0, ..., n-1}:
+/// P(rank = k) proportional to 1 / (k+1)^s. Uses a precomputed inverse CDF,
+/// so construction is O(n) and sampling is O(log n).
+class ZipfSampler {
+ public:
+  /// n: support size (> 0); s: skew exponent (>= 0; 0 is uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t operator()(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  /// Probability mass of a given rank.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace megads

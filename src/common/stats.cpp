@@ -1,0 +1,107 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace megads {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double combined = n1 + n2;
+  mean_ += delta * n2 / combined;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / combined;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  desired_ = {1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0};
+  increments_ = {0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0};
+  positions_ = {1.0, 2.0, 3.0, 4.0, 5.0};
+}
+
+void P2Quantile::add(double x) noexcept {
+  if (n_ < 5) {
+    heights_[n_++] = x;
+    if (n_ == 5) std::sort(heights_.begin(), heights_.end());
+    return;
+  }
+  ++n_;
+
+  // Locate the cell containing x and clamp the extremes.
+  std::size_t k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = std::max(heights_[4], x);
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (std::size_t i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += increments_[i];
+
+  // Adjust interior markers with the piecewise-parabolic formula.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool up = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool down = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (!up && !down) continue;
+    const double s = up ? 1.0 : -1.0;
+    const double qi = heights_[i];
+    const double parabolic =
+        qi + s / (positions_[i + 1] - positions_[i - 1]) *
+                 ((positions_[i] - positions_[i - 1] + s) *
+                      (heights_[i + 1] - qi) / (positions_[i + 1] - positions_[i]) +
+                  (positions_[i + 1] - positions_[i] - s) *
+                      (qi - heights_[i - 1]) / (positions_[i] - positions_[i - 1]));
+    if (heights_[i - 1] < parabolic && parabolic < heights_[i + 1]) {
+      heights_[i] = parabolic;
+    } else {  // fall back to linear interpolation
+      const std::size_t j = up ? i + 1 : i - 1;
+      heights_[i] = qi + s * (heights_[j] - qi) /
+                             (positions_[j] - positions_[i]) * s;
+    }
+    positions_[i] += s;
+  }
+}
+
+double P2Quantile::value() const noexcept {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    // Exact quantile over the few samples seen so far.
+    std::array<double, 5> sorted = heights_;
+    std::sort(sorted.begin(), sorted.begin() + static_cast<long>(n_));
+    const auto idx = static_cast<std::size_t>(q_ * static_cast<double>(n_ - 1) + 0.5);
+    return sorted[std::min<std::size_t>(idx, n_ - 1)];
+  }
+  return heights_[2];
+}
+
+}  // namespace megads

@@ -1,0 +1,56 @@
+// Streaming statistics used by primitives and benchmark reporting:
+//  - RunningStats: count / mean / variance / min / max via Welford's method,
+//    mergeable across streams (parallel-combine formula).
+//  - P2Quantile: constant-space quantile estimation (Jain & Chlamtac's P^2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace megads {
+
+/// Mergeable first- and second-moment accumulator (Welford / Chan).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  /// Combine with another accumulator (order-independent).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const noexcept;  // population variance
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// P^2 single-quantile estimator: O(1) space, no stored samples.
+class P2Quantile {
+ public:
+  /// q in (0, 1), e.g. 0.5 for the median, 0.99 for p99.
+  explicit P2Quantile(double q);
+
+  void add(double x) noexcept;
+  /// Current estimate. Exact while fewer than 5 samples have been seen.
+  [[nodiscard]] double value() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+
+ private:
+  double q_;
+  std::uint64_t n_ = 0;
+  std::array<double, 5> heights_{};   // marker heights
+  std::array<double, 5> positions_{}; // actual marker positions
+  std::array<double, 5> desired_{};   // desired marker positions
+  std::array<double, 5> increments_{};
+};
+
+}  // namespace megads

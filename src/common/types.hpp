@@ -1,0 +1,116 @@
+// Core vocabulary types shared by every megads module.
+//
+// All simulation time is virtual and carried as integral microseconds
+// (SimTime / SimDuration). Strong identifier wrappers prevent mixing up the
+// many kinds of ids that flow through the architecture (stores, sensors,
+// partitions, applications, ...).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace megads {
+
+/// Virtual time in microseconds since the start of a simulation run.
+using SimTime = std::int64_t;
+/// A span of virtual time, in microseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+inline constexpr SimDuration kDay = 24 * kHour;
+
+/// Sentinel for "no deadline / never".
+inline constexpr SimTime kTimeNever = std::numeric_limits<SimTime>::max();
+
+/// Convert virtual microseconds to floating-point seconds (for reporting).
+constexpr double to_seconds(SimDuration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// A strongly typed integral identifier. Tag makes distinct instantiations
+/// non-interconvertible; the underlying value is reachable via value().
+template <class Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() noexcept = default;
+  constexpr explicit Id(underlying_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr underlying_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr bool valid() const noexcept { return value_ != kInvalid; }
+
+  friend constexpr auto operator<=>(Id, Id) noexcept = default;
+
+  static constexpr underlying_type kInvalid =
+      std::numeric_limits<underlying_type>::max();
+
+ private:
+  underlying_type value_ = kInvalid;
+};
+
+struct NodeTag {};
+struct StoreTag {};
+struct SensorTag {};
+struct PartitionTag {};
+struct AppTag {};
+struct AggregatorTag {};
+struct TriggerTag {};
+struct RuleTag {};
+
+/// A node (host) in the simulated network.
+using NodeId = Id<NodeTag>;
+/// A data store instance in the hierarchy.
+using StoreId = Id<StoreTag>;
+/// A sensor / data source feeding a store.
+using SensorId = Id<SensorTag>;
+/// A replicable data partition held by a store.
+using PartitionId = Id<PartitionTag>;
+/// An application registered with the manager.
+using AppId = Id<AppTag>;
+/// An aggregator (computing-primitive instance) inside a data store.
+using AggregatorId = Id<AggregatorTag>;
+/// A trigger installed in a data store.
+using TriggerId = Id<TriggerTag>;
+/// A controller rule installed by an application.
+using RuleId = Id<RuleTag>;
+
+/// Half-open virtual-time interval [begin, end).
+struct TimeInterval {
+  SimTime begin = 0;
+  SimTime end = 0;
+
+  [[nodiscard]] constexpr SimDuration length() const noexcept { return end - begin; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return end <= begin; }
+  [[nodiscard]] constexpr bool contains(SimTime t) const noexcept {
+    return t >= begin && t < end;
+  }
+  [[nodiscard]] constexpr bool overlaps(const TimeInterval& o) const noexcept {
+    return begin < o.end && o.begin < end;
+  }
+  /// Smallest interval covering both inputs.
+  [[nodiscard]] constexpr TimeInterval span(const TimeInterval& o) const noexcept {
+    return {begin < o.begin ? begin : o.begin, end > o.end ? end : o.end};
+  }
+  friend constexpr bool operator==(const TimeInterval&, const TimeInterval&) = default;
+};
+
+std::string inline format_interval(const TimeInterval& iv) {
+  return "[" + std::to_string(iv.begin) + "," + std::to_string(iv.end) + ")";
+}
+
+}  // namespace megads
+
+template <class Tag>
+struct std::hash<megads::Id<Tag>> {
+  std::size_t operator()(megads::Id<Tag> id) const noexcept {
+    return std::hash<typename megads::Id<Tag>::underlying_type>{}(id.value());
+  }
+};

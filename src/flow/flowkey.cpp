@@ -1,0 +1,153 @@
+#include "flow/flowkey.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::flow {
+
+FlowKey FlowKey::from_tuple(std::uint8_t proto, IPv4 src, std::uint16_t src_port,
+                            IPv4 dst, std::uint16_t dst_port, FeatureSet features) {
+  FlowKey key;
+  if (has_feature(features, FeatureSet::kProto)) key.with_proto(proto);
+  if (has_feature(features, FeatureSet::kSrcIp)) key.with_src(Prefix(src, 32));
+  if (has_feature(features, FeatureSet::kDstIp)) key.with_dst(Prefix(dst, 32));
+  if (has_feature(features, FeatureSet::kSrcPort)) key.with_src_port(src_port);
+  if (has_feature(features, FeatureSet::kDstPort)) key.with_dst_port(dst_port);
+  return key;
+}
+
+FlowKey& FlowKey::with_proto(std::uint8_t proto) noexcept {
+  proto_ = proto;
+  proto_present_ = true;
+  return *this;
+}
+
+FlowKey& FlowKey::with_src(Prefix p) noexcept {
+  src_ = p;
+  return *this;
+}
+
+FlowKey& FlowKey::with_dst(Prefix p) noexcept {
+  dst_ = p;
+  return *this;
+}
+
+FlowKey& FlowKey::with_src_port(std::uint16_t port) noexcept {
+  src_port_ = port;
+  src_port_present_ = true;
+  return *this;
+}
+
+FlowKey& FlowKey::with_dst_port(std::uint16_t port) noexcept {
+  dst_port_ = port;
+  dst_port_present_ = true;
+  return *this;
+}
+
+bool FlowKey::is_root() const noexcept {
+  return !proto_present_ && !src_port_present_ && !dst_port_present_ &&
+         src_.is_wildcard() && dst_.is_wildcard();
+}
+
+std::optional<FlowKey> FlowKey::parent(const GeneralizationPolicy& policy) const {
+  expects(policy.ip_step > 0, "FlowKey::parent: ip_step must be positive");
+  FlowKey p = *this;
+  // Canonical generalization order (most specific first): source port,
+  // destination port, protocol, destination-IP bits, source-IP bits. Source
+  // prefixes sit closest to the root so that the classic "traffic by source
+  // prefix" summaries are ancestors of every flow (see header).
+  if (src_port_present_) {
+    p.src_port_present_ = false;
+    p.src_port_ = 0;
+    return p;
+  }
+  if (dst_port_present_) {
+    p.dst_port_present_ = false;
+    p.dst_port_ = 0;
+    return p;
+  }
+  if (proto_present_) {
+    p.proto_present_ = false;
+    p.proto_ = 0;
+    return p;
+  }
+  if (dst_.length() > 0) {
+    p.dst_ = dst_.shortened(policy.ip_step);
+    return p;
+  }
+  if (src_.length() > 0) {
+    p.src_ = src_.shortened(policy.ip_step);
+    return p;
+  }
+  return std::nullopt;  // root
+}
+
+int FlowKey::depth(const GeneralizationPolicy& policy) const {
+  expects(policy.ip_step > 0, "FlowKey::depth: ip_step must be positive");
+  const auto ip_steps = [&](const Prefix& p) {
+    return (p.length() + policy.ip_step - 1) / policy.ip_step;
+  };
+  return (src_port_present_ ? 1 : 0) + (dst_port_present_ ? 1 : 0) +
+         ip_steps(src_) + ip_steps(dst_) + (proto_present_ ? 1 : 0);
+}
+
+bool FlowKey::generalizes(const FlowKey& other) const noexcept {
+  if (proto_present_ && (!other.proto_present_ || proto_ != other.proto_)) {
+    return false;
+  }
+  if (!src_.contains(other.src_)) return false;
+  if (!dst_.contains(other.dst_)) return false;
+  if (src_port_present_ &&
+      (!other.src_port_present_ || src_port_ != other.src_port_)) {
+    return false;
+  }
+  if (dst_port_present_ &&
+      (!other.dst_port_present_ || dst_port_ != other.dst_port_)) {
+    return false;
+  }
+  return true;
+}
+
+FlowKey FlowKey::project(FeatureSet features) const noexcept {
+  FlowKey p;
+  if (has_feature(features, FeatureSet::kProto) && proto_present_) {
+    p.with_proto(proto_);
+  }
+  if (has_feature(features, FeatureSet::kSrcIp)) p.src_ = src_;
+  if (has_feature(features, FeatureSet::kDstIp)) p.dst_ = dst_;
+  if (has_feature(features, FeatureSet::kSrcPort) && src_port_present_) {
+    p.with_src_port(src_port_);
+  }
+  if (has_feature(features, FeatureSet::kDstPort) && dst_port_present_) {
+    p.with_dst_port(dst_port_);
+  }
+  return p;
+}
+
+std::uint64_t FlowKey::hash() const noexcept {
+  std::uint64_t h = mix64((std::uint64_t{src_.address().value()} << 32) |
+                          dst_.address().value());
+  h = hash_combine(h, (std::uint64_t{static_cast<std::uint32_t>(src_.length())} << 48) |
+                         (std::uint64_t{static_cast<std::uint32_t>(dst_.length())} << 40) |
+                         (std::uint64_t{src_port_} << 24) |
+                         (std::uint64_t{dst_port_} << 8) | proto_);
+  h = hash_combine(h, (std::uint64_t{proto_present_} << 2) |
+                         (std::uint64_t{src_port_present_} << 1) |
+                         std::uint64_t{dst_port_present_});
+  return h;
+}
+
+std::string FlowKey::to_string() const {
+  std::string out = "proto=";
+  out += proto_present_ ? std::to_string(proto_) : "*";
+  out += " src=";
+  out += src_.is_wildcard() && src_.length() == 0 ? "*" : src_.to_string();
+  out += ":";
+  out += src_port_present_ ? std::to_string(src_port_) : "*";
+  out += " dst=";
+  out += dst_.is_wildcard() && dst_.length() == 0 ? "*" : dst_.to_string();
+  out += ":";
+  out += dst_port_present_ ? std::to_string(dst_port_) : "*";
+  return out;
+}
+
+}  // namespace megads::flow

@@ -1,0 +1,146 @@
+// Generalized flows (Section VI of the paper).
+//
+// A FlowKey is a possibly-generalized 5-tuple: protocol, source/destination
+// prefix, source/destination port, where each feature may be wildcarded and
+// IP features may be partially masked. FeatureSet selects which features a
+// particular Flowtree instance uses ("5-feature flows", "2-feature flows").
+//
+// The paper defines parenthood as "the most specific generalized flow". To
+// make that a *tree* rather than a lattice, generalization follows a fixed
+// canonical order: source port, then destination port, then protocol, then
+// destination-IP bits, then source-IP bits. Every key therefore has a unique
+// chain of ancestors up to the fully wildcarded root, and pure source-prefix
+// keys (the classic "traffic from a.b.c.0/24" summaries) lie on the chain of
+// every flow they contain.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/hash.hpp"
+#include "flow/ipv4.hpp"
+
+namespace megads::flow {
+
+/// Bitmask of the features a flow key carries.
+enum class FeatureSet : std::uint8_t {
+  kNone = 0,
+  kProto = 1 << 0,
+  kSrcIp = 1 << 1,
+  kDstIp = 1 << 2,
+  kSrcPort = 1 << 3,
+  kDstPort = 1 << 4,
+  /// The classical 5-tuple.
+  kFiveTuple = kProto | kSrcIp | kDstIp | kSrcPort | kDstPort,
+  /// Example 2-feature sets from the paper.
+  kSrcDst = kSrcIp | kDstIp,
+  kDstIpDstPort = kDstIp | kDstPort,
+};
+
+constexpr FeatureSet operator|(FeatureSet a, FeatureSet b) noexcept {
+  return static_cast<FeatureSet>(static_cast<std::uint8_t>(a) |
+                                 static_cast<std::uint8_t>(b));
+}
+constexpr FeatureSet operator&(FeatureSet a, FeatureSet b) noexcept {
+  return static_cast<FeatureSet>(static_cast<std::uint8_t>(a) &
+                                 static_cast<std::uint8_t>(b));
+}
+constexpr bool has_feature(FeatureSet set, FeatureSet feature) noexcept {
+  return (set & feature) != FeatureSet::kNone;
+}
+
+/// How keys climb the generalization hierarchy.
+struct GeneralizationPolicy {
+  /// Bits removed from an IP prefix per generalization step.
+  int ip_step = 8;
+
+  friend constexpr bool operator==(const GeneralizationPolicy&,
+                                   const GeneralizationPolicy&) = default;
+};
+
+/// A (possibly generalized) flow identifier.
+class FlowKey {
+ public:
+  /// The fully wildcarded root key.
+  FlowKey() noexcept = default;
+
+  /// Fully specific key from concrete header fields, restricted to `features`.
+  static FlowKey from_tuple(std::uint8_t proto, IPv4 src, std::uint16_t src_port,
+                            IPv4 dst, std::uint16_t dst_port,
+                            FeatureSet features = FeatureSet::kFiveTuple);
+
+  // --- feature accessors (nullopt == wildcard) ---
+  [[nodiscard]] std::optional<std::uint8_t> proto() const noexcept {
+    return proto_present_ ? std::optional<std::uint8_t>(proto_) : std::nullopt;
+  }
+  [[nodiscard]] const Prefix& src() const noexcept { return src_; }
+  [[nodiscard]] const Prefix& dst() const noexcept { return dst_; }
+  [[nodiscard]] std::optional<std::uint16_t> src_port() const noexcept {
+    return src_port_present_ ? std::optional<std::uint16_t>(src_port_) : std::nullopt;
+  }
+  [[nodiscard]] std::optional<std::uint16_t> dst_port() const noexcept {
+    return dst_port_present_ ? std::optional<std::uint16_t>(dst_port_) : std::nullopt;
+  }
+
+  // --- feature setters (builder style, returns *this) ---
+  FlowKey& with_proto(std::uint8_t proto) noexcept;
+  FlowKey& with_src(Prefix p) noexcept;
+  FlowKey& with_dst(Prefix p) noexcept;
+  FlowKey& with_src_port(std::uint16_t port) noexcept;
+  FlowKey& with_dst_port(std::uint16_t port) noexcept;
+
+  [[nodiscard]] bool is_root() const noexcept;
+
+  /// The unique parent in the canonical generalization order, or nullopt for
+  /// the root.
+  [[nodiscard]] std::optional<FlowKey> parent(
+      const GeneralizationPolicy& policy = {}) const;
+
+  /// Number of generalization steps from the root (root has depth 0).
+  [[nodiscard]] int depth(const GeneralizationPolicy& policy = {}) const;
+
+  /// True when this key is equal to `other` or a generalization of it
+  /// (partial order; does not require the canonical chain).
+  [[nodiscard]] bool generalizes(const FlowKey& other) const noexcept;
+
+  /// Drop all features outside `features` (projection to a coarser set).
+  [[nodiscard]] FlowKey project(FeatureSet features) const noexcept;
+
+  /// Serialized wire size in bytes (used by the network cost model).
+  static constexpr std::size_t kWireSize = 16;
+
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) noexcept = default;
+
+ private:
+  Prefix src_{};
+  Prefix dst_{};
+  std::uint16_t src_port_ = 0;
+  std::uint16_t dst_port_ = 0;
+  std::uint8_t proto_ = 0;
+  bool proto_present_ = false;
+  bool src_port_present_ = false;
+  bool dst_port_present_ = false;
+};
+
+/// A measured, fully specific flow plus its metrics — the unit the routers
+/// export and the generators produce.
+struct FlowRecord {
+  FlowKey key;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::int64_t timestamp = 0;  ///< SimTime of the observation
+};
+
+}  // namespace megads::flow
+
+template <>
+struct std::hash<megads::flow::FlowKey> {
+  std::size_t operator()(const megads::flow::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

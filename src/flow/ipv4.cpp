@@ -1,0 +1,64 @@
+#include "flow/ipv4.hpp"
+
+#include <charconv>
+
+#include "common/error.hpp"
+
+namespace megads::flow {
+
+namespace {
+
+// Parses an integer in [0, max] from [it, end), advancing it.
+int parse_component(const char*& it, const char* end, int max) {
+  int value = 0;
+  const auto [ptr, ec] = std::from_chars(it, end, value);
+  if (ec != std::errc{} || ptr == it || value < 0 || value > max) {
+    throw ParseError("IPv4: malformed component in address literal");
+  }
+  it = ptr;
+  return value;
+}
+
+}  // namespace
+
+IPv4 IPv4::parse(const std::string& text) {
+  const char* it = text.data();
+  const char* const end = text.data() + text.size();
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (it == end || *it != '.') throw ParseError("IPv4: expected '.' in " + text);
+      ++it;
+    }
+    value = (value << 8) | static_cast<std::uint32_t>(parse_component(it, end, 255));
+  }
+  if (it != end) throw ParseError("IPv4: trailing characters in " + text);
+  return IPv4(value);
+}
+
+std::string IPv4::to_string() const {
+  return std::to_string((value_ >> 24) & 0xff) + '.' +
+         std::to_string((value_ >> 16) & 0xff) + '.' +
+         std::to_string((value_ >> 8) & 0xff) + '.' + std::to_string(value_ & 0xff);
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return Prefix(IPv4::parse(text), 32);
+  const IPv4 addr = IPv4::parse(text.substr(0, slash));
+  const std::string len_str = text.substr(slash + 1);
+  int length = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_str.data(), len_str.data() + len_str.size(), length);
+  if (ec != std::errc{} || ptr != len_str.data() + len_str.size() || length < 0 ||
+      length > 32) {
+    throw ParseError("Prefix: malformed length in " + text);
+  }
+  return Prefix(addr, length);
+}
+
+std::string Prefix::to_string() const {
+  return address().to_string() + '/' + std::to_string(length());
+}
+
+}  // namespace megads::flow

@@ -1,0 +1,83 @@
+// IPv4 addresses and prefixes.
+//
+// The paper's domain knowledge for network monitoring is the IP prefix
+// hierarchy: "an IP a.b.c.d is part of the prefix a.b.c.d/n1 and a.b.c.d/n1
+// is a more specific of a.b.c.d/n2 if n1 > n2". Prefix implements exactly
+// that partial order.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace megads::flow {
+
+/// An IPv4 address as a host-order 32-bit value.
+class IPv4 {
+ public:
+  constexpr IPv4() noexcept = default;
+  constexpr explicit IPv4(std::uint32_t value) noexcept : value_(value) {}
+  /// Build from dotted-quad components.
+  constexpr IPv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// Parse "a.b.c.d"; throws ParseError on malformed input.
+  static IPv4 parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(IPv4, IPv4) noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Bit mask with the top `length` bits set (length in [0, 32]).
+constexpr std::uint32_t prefix_mask(int length) noexcept {
+  return length <= 0 ? 0u : (length >= 32 ? ~0u : ~0u << (32 - length));
+}
+
+/// An IPv4 prefix: address plus mask length. Stored canonically (bits below
+/// the mask are zero).
+class Prefix {
+ public:
+  constexpr Prefix() noexcept = default;  // 0.0.0.0/0 — the wildcard
+  constexpr Prefix(IPv4 addr, int length) noexcept
+      : addr_(addr.value() & prefix_mask(length)),
+        length_(static_cast<std::int8_t>(length < 0 ? 0 : (length > 32 ? 32 : length))) {}
+
+  [[nodiscard]] constexpr IPv4 address() const noexcept { return IPv4(addr_); }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+  [[nodiscard]] constexpr bool is_wildcard() const noexcept { return length_ == 0; }
+
+  /// True when `addr` lies inside this prefix.
+  [[nodiscard]] constexpr bool contains(IPv4 addr) const noexcept {
+    return (addr.value() & prefix_mask(length_)) == addr_;
+  }
+  /// True when `other` is equal to or more specific than this prefix.
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.address());
+  }
+
+  /// The prefix shortened by `bits` (floored at /0).
+  [[nodiscard]] constexpr Prefix shortened(int bits) const noexcept {
+    return Prefix(IPv4(addr_), length_ - bits);
+  }
+
+  /// Parse "a.b.c.d/n" (or bare "a.b.c.d" as /32).
+  static Prefix parse(const std::string& text);
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) noexcept = default;
+
+ private:
+  std::uint32_t addr_ = 0;
+  std::int8_t length_ = 0;
+};
+
+}  // namespace megads::flow

@@ -1,0 +1,53 @@
+// FlowQL abstract syntax (Section VI): "the user chooses his operator via a
+// SELECT clause, one or multiple time periods via a FROM clause, and the
+// feature set via a WHERE clause."
+//
+// Grammar (keywords case-insensitive):
+//
+//   statement := SELECT operator FROM ranges [WHERE condition (AND condition)*]
+//   operator  := TOPK '(' number ')'
+//              | HHH '(' number ')'            -- phi in (0, 1]
+//              | ABOVE '(' number ')'
+//              | QUERY
+//              | DRILLDOWN
+//              | DIFF ['(' number ')']         -- requires exactly two ranges
+//   ranges    := range (',' range)*
+//   range     := time '..' time
+//   time      := number ['s' | 'm' | 'h' | 'd']   -- default: seconds
+//   condition := LOCATION '=' string
+//              | SRC '=' prefix  | DST '=' prefix
+//              | SRC_PORT '=' number | DST_PORT '=' number | PROTO '=' number
+//
+// Examples:
+//   SELECT topk(10) FROM 0s..60s WHERE location = 'router-0'
+//   SELECT hhh(0.05) FROM 0m..5m, 10m..15m
+//   SELECT query FROM 0s..3600s WHERE src = 10.1.0.0/16 AND dst_port = 443
+//   SELECT diff(20) FROM 0m..5m, 5m..10m WHERE location = 'router-1'
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flow/flowkey.hpp"
+
+namespace megads::flowdb {
+
+enum class OperatorKind { kTopK, kHHH, kAbove, kQuery, kDrilldown, kDiff };
+
+[[nodiscard]] const char* to_string(OperatorKind op) noexcept;
+
+struct Statement {
+  OperatorKind op = OperatorKind::kTopK;
+  /// k (top-k, diff), phi (hhh), or x (above).
+  double argument = 10.0;
+  /// FROM clause; empty = the database's full coverage.
+  std::vector<TimeInterval> ranges;
+  /// WHERE location = '...' conditions (repeatable; empty = all locations).
+  std::vector<std::string> locations;
+  /// WHERE feature conditions folded into one generalized key; results are
+  /// restricted to flows this key generalizes.
+  flow::FlowKey restriction;
+};
+
+}  // namespace megads::flowdb

@@ -1,0 +1,114 @@
+#include "flowdb/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "flowdb/parser.hpp"
+
+namespace megads::flowdb {
+
+namespace {
+
+using flowtree::KeyScore;
+
+std::string format_score(double score) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", score);
+  return buf;
+}
+
+Table render(const std::vector<KeyScore>& rows) {
+  Table table;
+  table.columns = {"rank", "flow", "score"};
+  std::size_t rank = 1;
+  for (const KeyScore& row : rows) {
+    table.rows.push_back(
+        {std::to_string(rank++), row.key.to_string(), format_score(row.score)});
+  }
+  return table;
+}
+
+/// Rows restricted to flows the statement's WHERE key generalizes.
+std::vector<KeyScore> restricted_entries(const flowtree::Flowtree& tree,
+                                         const flow::FlowKey& restriction) {
+  std::vector<KeyScore> rows = tree.entries();
+  std::erase_if(rows, [&](const KeyScore& row) {
+    return row.score == 0.0 || !restriction.generalizes(row.key);
+  });
+  std::sort(rows.begin(), rows.end(), [](const KeyScore& a, const KeyScore& b) {
+    return a.score > b.score;
+  });
+  return rows;
+}
+
+}  // namespace
+
+Table execute(const Statement& statement, const FlowDB& db) {
+  const bool restricted = !statement.restriction.is_root();
+
+  if (statement.op == OperatorKind::kDiff) {
+    expects(statement.ranges.size() == 2, "FlowQL diff: exactly two ranges");
+    flowtree::Flowtree a = db.merged({statement.ranges[0]}, statement.locations);
+    const flowtree::Flowtree b =
+        db.merged({statement.ranges[1]}, statement.locations);
+    a.diff(b);
+    std::vector<KeyScore> rows =
+        restricted ? restricted_entries(a, statement.restriction) : a.entries();
+    std::erase_if(rows, [](const KeyScore& row) { return row.score == 0.0; });
+    std::sort(rows.begin(), rows.end(), [](const KeyScore& x, const KeyScore& y) {
+      return std::fabs(x.score) > std::fabs(y.score);
+    });
+    const auto k = static_cast<std::size_t>(statement.argument);
+    if (rows.size() > k) rows.resize(k);
+    return render(rows);
+  }
+
+  const flowtree::Flowtree tree = db.merged(statement.ranges, statement.locations);
+
+  switch (statement.op) {
+    case OperatorKind::kQuery: {
+      Table table;
+      table.columns = {"flow", "score"};
+      table.rows.push_back({statement.restriction.to_string(),
+                            format_score(tree.query(statement.restriction))});
+      return table;
+    }
+    case OperatorKind::kDrilldown:
+      return render(tree.drilldown(statement.restriction));
+    case OperatorKind::kTopK: {
+      const auto k = static_cast<std::size_t>(statement.argument);
+      if (!restricted) return render(tree.top_k(k));
+      std::vector<KeyScore> rows = restricted_entries(tree, statement.restriction);
+      if (rows.size() > k) rows.resize(k);
+      return render(rows);
+    }
+    case OperatorKind::kAbove: {
+      if (!restricted) return render(tree.above(statement.argument));
+      std::vector<KeyScore> rows = restricted_entries(tree, statement.restriction);
+      std::erase_if(rows, [&](const KeyScore& row) {
+        return row.score < statement.argument;
+      });
+      return render(rows);
+    }
+    case OperatorKind::kHHH: {
+      std::vector<KeyScore> rows = tree.hhh(statement.argument);
+      if (restricted) {
+        std::erase_if(rows, [&](const KeyScore& row) {
+          return !statement.restriction.generalizes(row.key);
+        });
+      }
+      return render(rows);
+    }
+    case OperatorKind::kDiff:
+      break;  // handled above
+  }
+  throw Error("FlowQL: unreachable operator");
+}
+
+Table run_flowql(const std::string& statement, const FlowDB& db) {
+  return execute(parse(statement), db);
+}
+
+}  // namespace megads::flowdb

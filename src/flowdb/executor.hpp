@@ -1,0 +1,20 @@
+// FlowQL executor: runs a parsed Statement against a FlowDB and renders a
+// Table. Together with the parser this is the "FlowQL API" of Fig. 5
+// (arrow 5).
+#pragma once
+
+#include <string>
+
+#include "flowdb/ast.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/table.hpp"
+
+namespace megads::flowdb {
+
+/// Execute a parsed statement.
+[[nodiscard]] Table execute(const Statement& statement, const FlowDB& db);
+
+/// Parse + execute in one step (the application-facing entry point).
+[[nodiscard]] Table run_flowql(const std::string& statement, const FlowDB& db);
+
+}  // namespace megads::flowdb

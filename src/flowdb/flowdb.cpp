@@ -1,0 +1,89 @@
+#include "flowdb/flowdb.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb {
+
+FlowDB::FlowDB(flowtree::FlowtreeConfig tree_config) : tree_config_(tree_config) {}
+
+void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
+                 std::string location) {
+  expects(tree.config().policy == tree_config_.policy &&
+              tree.config().features == tree_config_.features,
+          "FlowDB::add: summary's generalization policy/features do not match");
+  expects(!interval.empty(), "FlowDB::add: empty interval");
+  Entry entry{SummaryMeta{interval, std::move(location)}, std::move(tree)};
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry, [](const Entry& a, const Entry& b) {
+        if (a.meta.location != b.meta.location) {
+          return a.meta.location < b.meta.location;
+        }
+        return a.meta.interval.begin < b.meta.interval.begin;
+      });
+  entries_.insert(pos, std::move(entry));
+}
+
+void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
+                         TimeInterval interval, std::string location) {
+  add(flowtree::Flowtree::decode(bytes, tree_config_), interval,
+      std::move(location));
+}
+
+std::vector<std::string> FlowDB::locations() const {
+  std::vector<std::string> names;
+  for (const Entry& entry : entries_) {
+    if (names.empty() || names.back() != entry.meta.location) {
+      names.push_back(entry.meta.location);
+    }
+  }
+  return names;
+}
+
+std::optional<TimeInterval> FlowDB::coverage() const {
+  if (entries_.empty()) return std::nullopt;
+  TimeInterval total = entries_.front().meta.interval;
+  for (const Entry& entry : entries_) total = total.span(entry.meta.interval);
+  return total;
+}
+
+flowtree::Flowtree FlowDB::merged(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  const auto wanted_time = [&](const TimeInterval& interval) {
+    if (intervals.empty()) return true;
+    return std::any_of(intervals.begin(), intervals.end(),
+                       [&](const TimeInterval& w) { return w.overlaps(interval); });
+  };
+  const auto wanted_location = [&](const std::string& location) {
+    if (locations.empty()) return true;
+    return std::find(locations.begin(), locations.end(), location) !=
+           locations.end();
+  };
+
+  // Stage 1 (shared location): merge each location's epochs over time.
+  std::map<std::string, flowtree::Flowtree> per_location;
+  for (const Entry& entry : entries_) {
+    if (!wanted_time(entry.meta.interval) || !wanted_location(entry.meta.location)) {
+      continue;
+    }
+    auto [it, inserted] =
+        per_location.try_emplace(entry.meta.location, tree_config_);
+    it->second.merge(entry.tree);
+  }
+
+  // Stage 2 (shared time): merge across locations.
+  flowtree::Flowtree result(tree_config_);
+  for (auto& [location, tree] : per_location) result.merge(tree);
+  return result;
+}
+
+std::size_t FlowDB::memory_bytes() const {
+  std::size_t total = 0;
+  for (const Entry& entry : entries_) total += entry.tree.memory_bytes();
+  return total;
+}
+
+}  // namespace megads::flowdb

@@ -1,0 +1,63 @@
+// FlowDB (Section VI): "takes flow summaries as input, stores, and indexes
+// them while using them to answer FlowQL queries."
+//
+// Summaries are Flowtrees tagged with the time interval and the location
+// they cover. Retrieval merges the relevant summaries respecting Table II's
+// Merge precondition ("requires either shared time or location"): per
+// location, summaries of different epochs are merged first (shared
+// location); the per-location trees — now covering the same requested span —
+// are then merged across locations (shared time).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "flowtree/flowtree.hpp"
+
+namespace megads::flowdb {
+
+struct SummaryMeta {
+  TimeInterval interval;
+  std::string location;
+};
+
+class FlowDB {
+ public:
+  explicit FlowDB(flowtree::FlowtreeConfig tree_config = {});
+
+  /// Index one exported summary. Summaries must share the database's
+  /// generalization policy and feature set.
+  void add(flowtree::Flowtree tree, TimeInterval interval, std::string location);
+
+  /// Decode and index a wire-format summary (arrow 3/4 of Fig. 5).
+  void add_encoded(const std::vector<std::uint8_t>& bytes, TimeInterval interval,
+                   std::string location);
+
+  [[nodiscard]] std::size_t summary_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::vector<std::string> locations() const;
+  /// Smallest interval covering all indexed summaries (nullopt when empty).
+  [[nodiscard]] std::optional<TimeInterval> coverage() const;
+
+  /// All summaries overlapping `interval` (any location when `locations` is
+  /// empty), merged per the Table II discipline described above.
+  [[nodiscard]] flowtree::Flowtree merged(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const;
+
+  [[nodiscard]] const flowtree::FlowtreeConfig& tree_config() const noexcept {
+    return tree_config_;
+  }
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  struct Entry {
+    SummaryMeta meta;
+    flowtree::Flowtree tree;
+  };
+
+  flowtree::FlowtreeConfig tree_config_;
+  std::vector<Entry> entries_;  // sorted by (location, interval.begin)
+};
+
+}  // namespace megads::flowdb

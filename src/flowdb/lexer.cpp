@@ -1,0 +1,69 @@
+#include "flowdb/lexer.hpp"
+
+#include <cctype>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb {
+
+namespace {
+
+bool is_word_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '.' ||
+         c == '/' || c == ':' || c == '_' || c == '-';
+}
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({TokenKind::kLParen, "(", i++});
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({TokenKind::kRParen, ")", i++});
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back({TokenKind::kComma, ",", i++});
+      continue;
+    }
+    if (c == '=') {
+      tokens.push_back({TokenKind::kEquals, "=", i++});
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t start = i++;
+      std::string text;
+      while (i < input.size() && input[i] != '\'') text += input[i++];
+      if (i >= input.size()) {
+        throw ParseError("FlowQL: unterminated string literal at offset " +
+                         std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    if (is_word_char(c)) {
+      const std::size_t start = i;
+      std::string text;
+      while (i < input.size() && is_word_char(input[i])) text += input[i++];
+      tokens.push_back({TokenKind::kWord, std::move(text), start});
+      continue;
+    }
+    throw ParseError("FlowQL: unexpected character '" + std::string(1, c) +
+                     "' at offset " + std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", input.size()});
+  return tokens;
+}
+
+}  // namespace megads::flowdb

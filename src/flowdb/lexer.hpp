@@ -1,0 +1,31 @@
+// FlowQL lexer: splits a statement into words, symbols, and string literals.
+// Words keep '.', '/', ':' and '-' so IP prefixes and range literals like
+// "0s..60s" survive as single tokens for the parser to interpret in context.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace megads::flowdb {
+
+enum class TokenKind {
+  kWord,     ///< identifier, keyword, number, prefix, or time-range literal
+  kString,   ///< '...' literal (quotes stripped)
+  kLParen,
+  kRParen,
+  kComma,
+  kEquals,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  std::size_t offset = 0;  ///< position in the input, for error messages
+};
+
+/// Tokenize a FlowQL statement; throws ParseError on unterminated strings or
+/// unexpected characters.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& input);
+
+}  // namespace megads::flowdb

@@ -1,0 +1,218 @@
+#include "flowdb/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "common/error.hpp"
+#include "flowdb/lexer.hpp"
+
+namespace megads::flowdb {
+
+const char* to_string(OperatorKind op) noexcept {
+  switch (op) {
+    case OperatorKind::kTopK: return "topk";
+    case OperatorKind::kHHH: return "hhh";
+    case OperatorKind::kAbove: return "above";
+    case OperatorKind::kQuery: return "query";
+    case OperatorKind::kDrilldown: return "drilldown";
+    case OperatorKind::kDiff: return "diff";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string lower(std::string text) {
+  std::transform(text.begin(), text.end(), text.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return text;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& input) : tokens_(tokenize(input)) {}
+
+  Statement parse_statement() {
+    expect_keyword("select");
+    Statement statement = parse_operator();
+    expect_keyword("from");
+    statement.ranges.push_back(parse_range());
+    while (peek().kind == TokenKind::kComma) {
+      advance();
+      statement.ranges.push_back(parse_range());
+    }
+    if (is_keyword(peek(), "where")) {
+      advance();
+      parse_condition(statement);
+      while (is_keyword(peek(), "and")) {
+        advance();
+        parse_condition(statement);
+      }
+    }
+    if (peek().kind != TokenKind::kEnd) {
+      fail("trailing input after statement");
+    }
+    return statement;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("FlowQL: " + message + " at offset " +
+                     std::to_string(peek().offset) +
+                     (peek().text.empty() ? "" : " near '" + peek().text + "'"));
+  }
+
+  static bool is_keyword(const Token& token, const char* keyword) {
+    return token.kind == TokenKind::kWord && lower(token.text) == keyword;
+  }
+
+  void expect_keyword(const char* keyword) {
+    if (!is_keyword(peek(), keyword)) {
+      fail(std::string("expected '") + keyword + "'");
+    }
+    advance();
+  }
+
+  double parse_paren_number() {
+    if (peek().kind != TokenKind::kLParen) fail("expected '('");
+    advance();
+    const double value = parse_number(advance());
+    if (peek().kind != TokenKind::kRParen) fail("expected ')'");
+    advance();
+    return value;
+  }
+
+  double parse_number(const Token& token) const {
+    if (token.kind != TokenKind::kWord) fail("expected a number");
+    double value = 0.0;
+    const auto* begin = token.text.data();
+    const auto* end = begin + token.text.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) fail("malformed number '" + token.text + "'");
+    return value;
+  }
+
+  Statement parse_operator() {
+    Statement statement;
+    const Token token = advance();
+    const std::string name = lower(token.text);
+    if (token.kind != TokenKind::kWord) fail("expected an operator");
+    if (name == "topk" || name == "top-k" || name == "top_k") {
+      statement.op = OperatorKind::kTopK;
+      statement.argument = parse_paren_number();
+      if (statement.argument < 1) fail("topk: k must be >= 1");
+    } else if (name == "hhh") {
+      statement.op = OperatorKind::kHHH;
+      statement.argument = parse_paren_number();
+      if (statement.argument <= 0.0 || statement.argument > 1.0) {
+        fail("hhh: phi must be in (0, 1]");
+      }
+    } else if (name == "above") {
+      statement.op = OperatorKind::kAbove;
+      statement.argument = parse_paren_number();
+    } else if (name == "query") {
+      statement.op = OperatorKind::kQuery;
+    } else if (name == "drilldown") {
+      statement.op = OperatorKind::kDrilldown;
+    } else if (name == "diff") {
+      statement.op = OperatorKind::kDiff;
+      statement.argument = 20.0;
+      if (peek().kind == TokenKind::kLParen) {
+        statement.argument = parse_paren_number();
+        if (statement.argument < 1) fail("diff: k must be >= 1");
+      }
+    } else {
+      fail("unknown operator '" + token.text + "'");
+    }
+    return statement;
+  }
+
+  /// "0s..60s" | "5m..10m" | "0..3600" (seconds by default).
+  TimeInterval parse_range() {
+    const Token token = advance();
+    if (token.kind != TokenKind::kWord) fail("expected a time range");
+    const std::size_t sep = token.text.find("..");
+    if (sep == std::string::npos) {
+      fail("time range must look like <begin>..<end>, got '" + token.text + "'");
+    }
+    const SimTime begin = parse_time(token.text.substr(0, sep));
+    const SimTime end = parse_time(token.text.substr(sep + 2));
+    if (end <= begin) fail("time range must have end > begin");
+    return TimeInterval{begin, end};
+  }
+
+  SimTime parse_time(const std::string& text) const {
+    if (text.empty()) fail("empty time literal");
+    SimDuration unit = kSecond;
+    std::string digits = text;
+    switch (std::tolower(static_cast<unsigned char>(text.back()))) {
+      case 's': unit = kSecond; digits.pop_back(); break;
+      case 'm': unit = kMinute; digits.pop_back(); break;
+      case 'h': unit = kHour; digits.pop_back(); break;
+      case 'd': unit = kDay; digits.pop_back(); break;
+      default: break;
+    }
+    double value = 0.0;
+    const auto* begin = digits.data();
+    const auto* end = begin + digits.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end || value < 0) {
+      fail("malformed time literal '" + text + "'");
+    }
+    return static_cast<SimTime>(value * static_cast<double>(unit));
+  }
+
+  void parse_condition(Statement& statement) {
+    const Token field_token = advance();
+    if (field_token.kind != TokenKind::kWord) fail("expected a condition field");
+    const std::string field = lower(field_token.text);
+    if (peek().kind != TokenKind::kEquals) fail("expected '='");
+    advance();
+    const Token value = advance();
+
+    if (field == "location") {
+      if (value.kind != TokenKind::kString) {
+        fail("location must be a quoted string");
+      }
+      statement.locations.push_back(value.text);
+      return;
+    }
+    if (value.kind != TokenKind::kWord) fail("expected a value");
+    if (field == "src") {
+      statement.restriction.with_src(flow::Prefix::parse(value.text));
+    } else if (field == "dst") {
+      statement.restriction.with_dst(flow::Prefix::parse(value.text));
+    } else if (field == "src_port") {
+      statement.restriction.with_src_port(
+          static_cast<std::uint16_t>(parse_number(value)));
+    } else if (field == "dst_port") {
+      statement.restriction.with_dst_port(
+          static_cast<std::uint16_t>(parse_number(value)));
+    } else if (field == "proto") {
+      statement.restriction.with_proto(
+          static_cast<std::uint8_t>(parse_number(value)));
+    } else {
+      fail("unknown condition field '" + field_token.text + "'");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Statement parse(const std::string& input) {
+  Parser parser(input);
+  Statement statement = parser.parse_statement();
+  if (statement.op == OperatorKind::kDiff && statement.ranges.size() != 2) {
+    throw ParseError("FlowQL: diff requires exactly two FROM ranges");
+  }
+  return statement;
+}
+
+}  // namespace megads::flowdb

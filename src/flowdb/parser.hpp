@@ -1,0 +1,14 @@
+// FlowQL recursive-descent parser (grammar in ast.hpp).
+#pragma once
+
+#include <string>
+
+#include "flowdb/ast.hpp"
+
+namespace megads::flowdb {
+
+/// Parse one FlowQL statement; throws ParseError with a position-annotated
+/// message on malformed input.
+[[nodiscard]] Statement parse(const std::string& input);
+
+}  // namespace megads::flowdb

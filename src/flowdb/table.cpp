@@ -1,0 +1,37 @@
+#include "flowdb/table.hpp"
+
+#include <algorithm>
+
+namespace megads::flowdb {
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(columns.size(), 0);
+  for (std::size_t c = 0; c < columns.size(); ++c) widths[c] = columns[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  const auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      line += cell;
+      line.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    line += '\n';
+    return line;
+  };
+
+  std::string out = render_row(columns);
+  std::size_t rule = 0;
+  for (const std::size_t w : widths) rule += w + 2;
+  out.append(rule > 2 ? rule - 2 : rule, '-');
+  out += '\n';
+  for (const auto& row : rows) out += render_row(row);
+  return out;
+}
+
+}  // namespace megads::flowdb

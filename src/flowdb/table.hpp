@@ -1,0 +1,20 @@
+// Tabular query results: what FlowQL hands back to applications and shells.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace megads::flowdb {
+
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows.empty(); }
+
+  /// Fixed-width ASCII rendering with a header rule.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace megads::flowdb

@@ -1,0 +1,246 @@
+#include "flowstream/flowstream.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace megads::flowstream {
+
+namespace {
+
+flowtree::FlowtreeConfig with_budget(flowtree::FlowtreeConfig config,
+                                     std::size_t budget) {
+  config.node_budget = std::max<std::size_t>(2, budget);
+  return config;
+}
+
+}  // namespace
+
+Flowstream::Flowstream(sim::Simulator& sim, FlowstreamConfig config)
+    : sim_(&sim), config_(std::move(config)), network_(sim, topology_),
+      db_(config_.tree), sampling_rng_(config_.sampling_seed) {
+  expects(config_.regions > 0 && config_.routers_per_region > 0,
+          "Flowstream: need at least one region and router");
+  expects(config_.epoch > 0, "Flowstream: epoch must be positive");
+  expects(config_.ingest_sampling > 0.0 && config_.ingest_sampling <= 1.0,
+          "Flowstream: ingest_sampling must be in (0, 1]");
+
+  cloud_node_ = topology_.add_node("cloud", 2);
+
+  std::uint32_t next_store = 0;
+  for (std::size_t r = 0; r < config_.regions; ++r) {
+    RegionNode region;
+    const std::string region_name = "region-" + std::to_string(r);
+    region.store =
+        std::make_unique<store::DataStore>(StoreId(next_store++), region_name);
+    region.net_node = topology_.add_node(region_name, 1);
+    topology_.add_link(region.net_node, cloud_node_, config_.region_uplink_latency,
+                       config_.region_uplink_bps);
+
+    store::SlotConfig slot;
+    slot.name = "flowtree/region";
+    slot.factory = [tree = with_budget(config_.tree, config_.region_budget)] {
+      return std::make_unique<flowtree::Flowtree>(tree);
+    };
+    slot.epoch = config_.epoch * 8;  // coarser time granularity upstream
+    slot.storage =
+        std::make_unique<store::RoundRobinStorage>(config_.router_storage_bytes * 8);
+    slot.live_budget = config_.region_budget;
+    slot.subscribe_all = true;
+    region.slot = region.store->install(std::move(slot));
+    regions_.push_back(std::move(region));
+  }
+
+  routers_.resize(config_.regions);
+  for (std::size_t r = 0; r < config_.regions; ++r) {
+    for (std::size_t j = 0; j < config_.routers_per_region; ++j) {
+      RouterNode router;
+      router.store = std::make_unique<store::DataStore>(StoreId(next_store++),
+                                                        router_location(r, j));
+      router.net_node = topology_.add_node(router_location(r, j), 0);
+      router.uplink =
+          topology_.add_link(router.net_node, regions_[r].net_node,
+                             config_.router_uplink_latency,
+                             config_.router_uplink_bps);
+
+      store::SlotConfig slot;
+      slot.name = "flowtree/router";
+      slot.factory = [tree = with_budget(config_.tree, config_.router_budget)] {
+        return std::make_unique<flowtree::Flowtree>(tree);
+      };
+      slot.epoch = config_.epoch;
+      slot.storage =
+          std::make_unique<store::RoundRobinStorage>(config_.router_storage_bytes);
+      slot.live_budget = config_.router_budget;
+      slot.subscribe_all = true;
+      router.slot = router.store->install(std::move(slot));
+      routers_[r].push_back(std::move(router));
+    }
+  }
+}
+
+std::string Flowstream::router_location(std::size_t region,
+                                        std::size_t router) const {
+  return "router-" + std::to_string(region) + "." + std::to_string(router);
+}
+
+store::DataStore& Flowstream::router_store(std::size_t region, std::size_t router) {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  return *routers_[region][router].store;
+}
+
+store::DataStore& Flowstream::region_store(std::size_t region) {
+  expects(region < regions_.size(), "Flowstream: bad region index");
+  return *regions_[region].store;
+}
+
+net::LinkId Flowstream::router_uplink(std::size_t region,
+                                      std::size_t router) const {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  return routers_[region][router].uplink;
+}
+
+AggregatorId Flowstream::router_slot(std::size_t region, std::size_t router) const {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  return routers_[region][router].slot;
+}
+
+AggregatorId Flowstream::region_slot(std::size_t region) const {
+  expects(region < regions_.size(), "Flowstream: bad region index");
+  return regions_[region].slot;
+}
+
+void Flowstream::ingest(std::size_t region, std::size_t router,
+                        const flow::FlowRecord& record) {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  ++flows_offered_;
+  double weight = static_cast<double>(record.bytes);
+  if (config_.ingest_sampling < 1.0) {
+    // Router-side sampling with Horvitz-Thompson rescaling: totals stay
+    // unbiased, per-flow detail becomes statistical (the paper's premise
+    // for why Flowtree need not be exact).
+    if (!sampling_rng_.bernoulli(config_.ingest_sampling)) return;
+    weight /= config_.ingest_sampling;
+  }
+  ++flows_sampled_;
+  primitives::StreamItem item;
+  item.key = record.key;
+  item.value = weight;
+  item.timestamp = record.timestamp;
+  routers_[region][router].store->ingest(SensorId(0), item);
+}
+
+void Flowstream::attach_lineage(lineage::Recorder& recorder) {
+  lineage_ = &recorder;
+  for (auto& region : routers_) {
+    for (auto& router : region) router.store->attach_lineage(recorder);
+  }
+  for (auto& region : regions_) region.store->attach_lineage(recorder);
+}
+
+void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now) {
+  RouterNode& node = routers_[region][router];
+  node.store->advance_to(now);
+  const TimeInterval window{node.last_export, now};
+  if (window.empty()) return;
+
+  // Network-failure tolerance (Table I, challenge 4): when the uplink or the
+  // cloud is unreachable, defer — last_export stays put, so the next tick
+  // retries with a window covering everything missed. Sealed partitions wait
+  // in the router's local storage meanwhile (bounded by its budget).
+  if (network_.transfer_time_unloaded(node.net_node, regions_[region].net_node,
+                                      1) == kTimeNever ||
+      network_.transfer_time_unloaded(node.net_node, cloud_node_, 1) ==
+          kTimeNever) {
+    MEGADS_LOG(kInfo) << router_location(region, router)
+                      << ": uplink down, deferring export of "
+                      << format_interval(window);
+    return;
+  }
+  node.last_export = now;
+
+  const auto summary = node.store->snapshot(node.slot, window);
+  auto* tree = dynamic_cast<flowtree::Flowtree*>(summary.get());
+  expects(tree != nullptr, "Flowstream: router slot is not a Flowtree");
+  if (tree->total_weight() <= 0.0) return;
+
+  // Section III.C: apply the export privacy policy before anything leaves
+  // the router. The local store keeps its full-granularity partitions.
+  if (config_.export_policy.max_depth >= 0) {
+    tree->generalize_deeper_than(config_.export_policy.max_depth);
+  }
+  if (config_.export_policy.suppress_below > 0.0) {
+    tree->suppress_below(config_.export_policy.suppress_below);
+  }
+
+  // Lineage: the export is an entity derived from the partitions it covers.
+  lineage::EntityId export_entity = lineage::kNoEntity;
+  if (lineage_ != nullptr) {
+    const auto inputs = node.store->partition_entities(node.slot, window);
+    if (!inputs.empty()) {
+      export_entity = lineage_->add_entity(
+          lineage::EntityKind::kExport,
+          "export " + router_location(region, router) + format_interval(window),
+          now);
+      lineage_->add_transform(lineage::TransformKind::kExport, inputs,
+                              export_entity, now);
+    }
+  }
+
+  // Arrow 3: ship the encoded tree to the regional store...
+  auto encoded = std::make_shared<std::vector<std::uint8_t>>(tree->encode());
+  RegionNode& parent = regions_[region];
+  store::DataStore* region_store_ptr = parent.store.get();
+  const AggregatorId region_slot_id = parent.slot;
+  const flowtree::FlowtreeConfig tree_config = config_.tree;
+  network_.send(node.net_node, parent.net_node, encoded->size(),
+                [encoded, region_store_ptr, region_slot_id, tree_config,
+                 export_entity](SimTime at) {
+                  const flowtree::Flowtree received =
+                      flowtree::Flowtree::decode(*encoded, tree_config);
+                  region_store_ptr->advance_to(
+                      std::max(region_store_ptr->now(), at));
+                  region_store_ptr->absorb_with_lineage(region_slot_id, received,
+                                                        export_entity);
+                });
+
+  // ...and arrow 4: ship it onward to the cloud's FlowDB index.
+  auto* db = &db_;
+  const std::string location = router_location(region, router);
+  network_.send(node.net_node, cloud_node_, encoded->size(),
+                [this, encoded, db, window, location, export_entity](SimTime at) {
+                  db->add_encoded(*encoded, window, location);
+                  ++summaries_indexed_;
+                  if (lineage_ != nullptr && export_entity != lineage::kNoEntity) {
+                    const lineage::EntityId indexed = lineage_->add_entity(
+                        lineage::EntityKind::kPartition,
+                        "flowdb/" + location + format_interval(window), at);
+                    const lineage::EntityId inputs[] = {export_entity};
+                    lineage_->add_transform(lineage::TransformKind::kAbsorb,
+                                            inputs, indexed, at);
+                  }
+                });
+}
+
+void Flowstream::start() {
+  expects(!started_, "Flowstream::start: already started");
+  started_ = true;
+  for (std::size_t r = 0; r < routers_.size(); ++r) {
+    for (std::size_t j = 0; j < routers_[r].size(); ++j) {
+      sim_->schedule_periodic(config_.epoch, [this, r, j](SimTime now) {
+        export_tick(r, j, now);
+      });
+    }
+  }
+}
+
+flowdb::Table Flowstream::query(const std::string& statement) const {
+  return flowdb::run_flowql(statement, db_);
+}
+
+}  // namespace megads::flowstream

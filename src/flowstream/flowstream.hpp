@@ -1,0 +1,142 @@
+// Flowstream (Section VI, Fig. 5): the instantiation of the architecture for
+// network monitoring.
+//
+//   (1) routers send raw flow data to their data store;
+//   (2) the store aggregates with a Flowtree;
+//   (3) sealed summaries are exported — encoded in the wire format — over the
+//       simulated WAN to the regional store, which absorbs them into a
+//       coarser tree;
+//   (4) the same exports are indexed by FlowDB at the cloud level;
+//   (5) users query FlowDB through FlowQL.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowtree/flowtree.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::flowstream {
+
+struct FlowstreamConfig {
+  std::size_t regions = 2;
+  std::size_t routers_per_region = 3;
+  /// Router stores seal and export every epoch.
+  SimDuration epoch = kMinute;
+  std::size_t router_budget = 2048;   ///< Flowtree nodes per router epoch
+  std::size_t region_budget = 8192;   ///< Flowtree nodes at the region level
+  flowtree::FlowtreeConfig tree;      ///< policy/features shared system-wide
+  SimDuration router_uplink_latency = 5 * kMillisecond;
+  double router_uplink_bps = 1.25e8;  ///< 1 Gbit/s
+  SimDuration region_uplink_latency = 20 * kMillisecond;
+  double region_uplink_bps = 1.25e9;  ///< 10 Gbit/s
+  /// Sealed router partitions kept locally (round-robin byte budget).
+  std::uint64_t router_storage_bytes = 8u << 20;
+
+  /// Router-side sampling (the paper: "packets are sampled, e.g., 1 of every
+  /// 10K packets ... the input data is often heavily sampled prior to
+  /// ingestion"). Each flow record is kept with this probability and its
+  /// weight is rescaled by 1/rate, keeping totals unbiased. 1.0 = keep all.
+  double ingest_sampling = 1.0;
+  std::uint64_t sampling_seed = 0x5eed;
+
+  /// Privacy policy applied to every summary before it leaves a router
+  /// (Section III.C: enforce privacy "by limiting what summaries can be
+  /// shared ... and at what granularity"). More precise data stays available
+  /// to the local store/controller.
+  struct ExportPolicy {
+    /// Fold exported nodes whose activity is below this score (k-anonymity
+    /// style); 0 disables.
+    double suppress_below = 0.0;
+    /// Cap exported generalization depth (-1 disables). Depth 7 under the
+    /// default policy means "prefixes only, no host addresses or ports".
+    int max_depth = -1;
+  } export_policy;
+};
+
+class Flowstream {
+ public:
+  Flowstream(sim::Simulator& sim, FlowstreamConfig config);
+
+  /// Arrow 1: a router hands a raw flow record to its data store.
+  /// The flow's byte count is the popularity weight.
+  void ingest(std::size_t region, std::size_t router, const flow::FlowRecord& record);
+
+  /// Arm the periodic export loops (arrows 3 and 4). Call once.
+  void start();
+
+  /// Track lineage system-wide (Section III.C): all stores record
+  /// ingest/seal, exports become lineage entities, and regional absorbs +
+  /// FlowDB indexing are linked back to the router partitions that produced
+  /// them. The recorder must outlive the system.
+  void attach_lineage(lineage::Recorder& recorder);
+
+  /// Arrow 5: run a FlowQL statement against the cloud FlowDB.
+  [[nodiscard]] flowdb::Table query(const std::string& statement) const;
+
+  [[nodiscard]] flowdb::FlowDB& db() noexcept { return db_; }
+  [[nodiscard]] const flowdb::FlowDB& db() const noexcept { return db_; }
+  [[nodiscard]] store::DataStore& router_store(std::size_t region, std::size_t router);
+  [[nodiscard]] store::DataStore& region_store(std::size_t region);
+  [[nodiscard]] AggregatorId router_slot(std::size_t region, std::size_t router) const;
+  [[nodiscard]] AggregatorId region_slot(std::size_t region) const;
+  [[nodiscard]] std::string router_location(std::size_t region,
+                                            std::size_t router) const;
+
+  [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+  /// Mutable topology access for failure-injection experiments.
+  [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
+  /// The WAN link between a router and its regional store.
+  [[nodiscard]] net::LinkId router_uplink(std::size_t region,
+                                          std::size_t router) const;
+  [[nodiscard]] std::uint64_t summaries_indexed() const noexcept {
+    return summaries_indexed_;
+  }
+  /// Flows offered to / kept by the router-side sampler.
+  [[nodiscard]] std::uint64_t flows_offered() const noexcept {
+    return flows_offered_;
+  }
+  [[nodiscard]] std::uint64_t flows_sampled() const noexcept {
+    return flows_sampled_;
+  }
+  [[nodiscard]] const FlowstreamConfig& config() const noexcept { return config_; }
+
+ private:
+  struct RouterNode {
+    std::unique_ptr<store::DataStore> store;
+    AggregatorId slot;
+    NodeId net_node;
+    net::LinkId uplink = 0;
+    SimTime last_export = 0;
+  };
+  struct RegionNode {
+    std::unique_ptr<store::DataStore> store;
+    AggregatorId slot;
+    NodeId net_node;
+  };
+
+  void export_tick(std::size_t region, std::size_t router, SimTime now);
+
+  sim::Simulator* sim_;
+  FlowstreamConfig config_;
+  net::Topology topology_;
+  net::Network network_;
+  std::vector<std::vector<RouterNode>> routers_;  ///< [region][router]
+  std::vector<RegionNode> regions_;
+  NodeId cloud_node_;
+  flowdb::FlowDB db_;
+  std::uint64_t summaries_indexed_ = 0;
+  std::uint64_t flows_offered_ = 0;
+  std::uint64_t flows_sampled_ = 0;
+  bool started_ = false;
+  lineage::Recorder* lineage_ = nullptr;
+  Rng sampling_rng_{0x5eed};
+};
+
+}  // namespace megads::flowstream

@@ -1,0 +1,161 @@
+// Flowtree wire codec: a compact little-endian format used when a data store
+// exports summaries to other stores or to FlowDB (Fig. 5, arrows 3/4).
+//
+// Layout:
+//   header (16 bytes): magic "FTRE", version, ip_step, features, pad,
+//                      node count (u32), pad (u32)
+//   per node (24 bytes): flags, proto, src_len, dst_len, src (u32), dst (u32),
+//                      src_port (u16), dst_port (u16), own score (f64)
+#include <bit>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "flowtree/flowtree.hpp"
+
+namespace megads::flowtree {
+
+namespace {
+
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kFlagProto = 1;
+constexpr std::uint8_t kFlagSrcPort = 2;
+constexpr std::uint8_t kFlagDstPort = 4;
+constexpr char kMagic[4] = {'F', 'T', 'R', 'E'};
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+class Reader {
+ public:
+  Reader(const std::vector<std::uint8_t>& bytes) : data_(bytes) {}
+
+  std::uint8_t u8() { return data_.at(pos_++); }
+  std::uint16_t u16() {
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_.at(pos_) | (static_cast<std::uint16_t>(data_.at(pos_ + 1)) << 8));
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data_.at(pos_ + i)) << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  double f64() {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(data_.at(pos_ + i)) << (8 * i);
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  }
+
+ private:
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Flowtree::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + node_count_ * kBytesPerNode);
+
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(config_.policy.ip_step));
+  out.push_back(static_cast<std::uint8_t>(config_.features));
+  out.push_back(lossy_ ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(node_count_));
+  put_u32(out, 0);
+
+  for (const Node& node : nodes_) {
+    if (!node.alive) continue;
+    const auto& key = node.key;
+    std::uint8_t flags = 0;
+    if (key.proto()) flags |= kFlagProto;
+    if (key.src_port()) flags |= kFlagSrcPort;
+    if (key.dst_port()) flags |= kFlagDstPort;
+    out.push_back(flags);
+    out.push_back(key.proto().value_or(0));
+    out.push_back(static_cast<std::uint8_t>(key.src().length()));
+    out.push_back(static_cast<std::uint8_t>(key.dst().length()));
+    put_u32(out, key.src().address().value());
+    put_u32(out, key.dst().address().value());
+    put_u16(out, key.src_port().value_or(0));
+    put_u16(out, key.dst_port().value_or(0));
+    put_f64(out, node.own);
+  }
+  return out;
+}
+
+Flowtree Flowtree::decode(const std::vector<std::uint8_t>& bytes,
+                          FlowtreeConfig config) {
+  if (bytes.size() < kHeaderBytes) {
+    throw ParseError("Flowtree::decode: truncated header");
+  }
+  Reader in(bytes);
+  char magic[4];
+  for (char& c : magic) c = static_cast<char>(in.u8());
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    throw ParseError("Flowtree::decode: bad magic");
+  }
+  const std::uint8_t version = in.u8();
+  if (version != kVersion) {
+    throw ParseError("Flowtree::decode: unsupported version " +
+                     std::to_string(version));
+  }
+  config.policy.ip_step = in.u8();
+  config.features = static_cast<flow::FeatureSet>(in.u8());
+  const bool lossy = in.u8() != 0;
+  const std::uint32_t count = in.u32();
+  in.u32();  // padding
+  if (bytes.size() < kHeaderBytes + std::size_t{count} * kBytesPerNode) {
+    throw ParseError("Flowtree::decode: truncated body");
+  }
+
+  Flowtree tree(config);
+  // Nodes may arrive in any order; disable self-compression while loading so
+  // decode(encode(t)) is exact, then restore the configured budget.
+  const std::size_t budget = tree.config_.node_budget;
+  tree.config_.node_budget = std::max<std::size_t>(budget, count + 1);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t flags = in.u8();
+    const std::uint8_t proto = in.u8();
+    const int src_len = in.u8();
+    const int dst_len = in.u8();
+    const flow::IPv4 src(in.u32());
+    const flow::IPv4 dst(in.u32());
+    const std::uint16_t src_port = in.u16();
+    const std::uint16_t dst_port = in.u16();
+    const double own = in.f64();
+
+    flow::FlowKey key;
+    key.with_src(flow::Prefix(src, src_len)).with_dst(flow::Prefix(dst, dst_len));
+    if (flags & kFlagProto) key.with_proto(proto);
+    if (flags & kFlagSrcPort) key.with_src_port(src_port);
+    if (flags & kFlagDstPort) key.with_dst_port(dst_port);
+
+    if (own != 0.0) {
+      tree.nodes_[tree.find_or_create(key)].own += own;
+      tree.total_weight_ += own;
+    } else {
+      tree.find_or_create(key);
+    }
+  }
+  tree.config_.node_budget = budget;
+  tree.lossy_ = lossy;
+  return tree;
+}
+
+}  // namespace megads::flowtree

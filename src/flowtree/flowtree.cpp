@@ -1,0 +1,516 @@
+#include "flowtree/flowtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace megads::flowtree {
+
+Flowtree::Flowtree(FlowtreeConfig config) : config_(config) {
+  expects(config_.node_budget >= 2, "Flowtree: node_budget must be >= 2");
+  expects(config_.compress_slack >= 1.0, "Flowtree: compress_slack must be >= 1");
+  root_ = allocate(flow::FlowKey{}, kNone);  // the wildcard root always exists
+}
+
+// --- node pool -------------------------------------------------------------
+
+std::int32_t Flowtree::allocate(const flow::FlowKey& key, std::int32_t parent) {
+  std::int32_t id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+    nodes_[id] = Node{};
+  } else {
+    id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  Node& node = nodes_[id];
+  node.key = key;
+  node.parent = parent;
+  node.depth = parent == kNone ? 0 : nodes_[parent].depth + 1;
+  node.alive = true;
+  index_.emplace(key, id);
+  ++node_count_;
+  if (parent != kNone) link_child(parent, id);
+  return id;
+}
+
+void Flowtree::link_child(std::int32_t parent, std::int32_t child) {
+  Node& p = nodes_[parent];
+  Node& c = nodes_[child];
+  c.next_sibling = p.first_child;
+  c.prev_sibling = kNone;
+  if (p.first_child != kNone) nodes_[p.first_child].prev_sibling = child;
+  p.first_child = child;
+}
+
+void Flowtree::unlink_child(std::int32_t node) {
+  Node& n = nodes_[node];
+  if (n.prev_sibling != kNone) {
+    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+  } else if (n.parent != kNone) {
+    nodes_[n.parent].first_child = n.next_sibling;
+  }
+  if (n.next_sibling != kNone) nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+  n.prev_sibling = n.next_sibling = kNone;
+}
+
+void Flowtree::release(std::int32_t node) {
+  index_.erase(nodes_[node].key);
+  nodes_[node].alive = false;
+  free_list_.push_back(node);
+  --node_count_;
+}
+
+std::int32_t Flowtree::find(const flow::FlowKey& key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? kNone : it->second;
+}
+
+std::int32_t Flowtree::find_or_create(const flow::FlowKey& key) {
+  const std::int32_t existing = find(key);
+  if (existing != kNone) return existing;
+
+  // Walk up the canonical chain until a live ancestor is found, then
+  // materialize the missing segment top-down. Depth is bounded by the
+  // generalization policy (<= 11 for the default /8 steps).
+  std::vector<flow::FlowKey> missing;
+  missing.push_back(key);
+  std::int32_t anchor = kNone;
+  flow::FlowKey cursor = key;
+  while (true) {
+    const auto up = cursor.parent(config_.policy);
+    expects(up.has_value(), "Flowtree: root must always be present");
+    const std::int32_t found = find(*up);
+    if (found != kNone) {
+      anchor = found;
+      break;
+    }
+    missing.push_back(*up);
+    cursor = *up;
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    anchor = allocate(*it, anchor);
+  }
+  return anchor;
+}
+
+// --- ingest ----------------------------------------------------------------
+
+void Flowtree::add(const flow::FlowKey& key, double weight) {
+  const flow::FlowKey projected = key.project(config_.features);
+  nodes_[find_or_create(projected)].own += weight;
+  total_weight_ += weight;
+  maybe_self_compress();
+}
+
+void Flowtree::insert(const primitives::StreamItem& item) {
+  note_ingest(item);
+  add(item.key, item.value);
+}
+
+void Flowtree::maybe_self_compress() {
+  const auto high_water = static_cast<std::size_t>(
+      std::ceil(static_cast<double>(config_.node_budget) * config_.compress_slack));
+  if (node_count_ > high_water) compress(config_.node_budget);
+}
+
+// --- scores ----------------------------------------------------------------
+
+std::vector<std::int32_t> Flowtree::nodes_by_depth_desc() const {
+  std::vector<std::int32_t> order;
+  order.reserve(node_count_);
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
+    if (nodes_[id].alive) order.push_back(id);
+  }
+  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
+    return nodes_[a].depth > nodes_[b].depth;
+  });
+  return order;
+}
+
+std::vector<double> Flowtree::subtree_scores() const {
+  std::vector<double> scores(nodes_.size(), 0.0);
+  for (const std::int32_t id : nodes_by_depth_desc()) {
+    scores[id] += nodes_[id].own;
+    if (nodes_[id].parent != kNone) scores[nodes_[id].parent] += scores[id];
+  }
+  return scores;
+}
+
+double Flowtree::query(const flow::FlowKey& key) const {
+  const std::int32_t id = find(key);
+  if (id == kNone) return 0.0;
+  // Sum own scores over the node's subtree (iterative DFS).
+  double total = 0.0;
+  std::vector<std::int32_t> stack{id};
+  while (!stack.empty()) {
+    const std::int32_t cur = stack.back();
+    stack.pop_back();
+    total += nodes_[cur].own;
+    for (std::int32_t c = nodes_[cur].first_child; c != kNone;
+         c = nodes_[c].next_sibling) {
+      stack.push_back(c);
+    }
+  }
+  return total;
+}
+
+double Flowtree::query_lattice(const flow::FlowKey& key) const {
+  // Fast path: on-chain keys have a node whose subtree is exactly the answer.
+  const std::int32_t id = find(key);
+  if (id != kNone) return query(key);
+  double total = 0.0;
+  for (const Node& node : nodes_) {
+    if (node.alive && node.own != 0.0 && key.generalizes(node.key)) {
+      total += node.own;
+    }
+  }
+  return total;
+}
+
+std::vector<KeyScore> Flowtree::drilldown(const flow::FlowKey& key) const {
+  const std::int32_t id = find(key);
+  if (id == kNone) return {};
+  const std::vector<double> scores = subtree_scores();
+  std::vector<KeyScore> rows;
+  for (std::int32_t c = nodes_[id].first_child; c != kNone;
+       c = nodes_[c].next_sibling) {
+    rows.push_back({nodes_[c].key, scores[c]});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return rows;
+}
+
+std::vector<KeyScore> Flowtree::top_k(std::size_t k) const {
+  std::vector<KeyScore> rows;
+  rows.reserve(node_count_);
+  for (const Node& node : nodes_) {
+    if (node.alive && node.own != 0.0) rows.push_back({node.key, node.own});
+  }
+  const std::size_t take = std::min(k, rows.size());
+  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(take), rows.end(),
+                    [](const KeyScore& a, const KeyScore& b) {
+                      return a.score > b.score;
+                    });
+  rows.resize(take);
+  return rows;
+}
+
+std::vector<KeyScore> Flowtree::above(double threshold) const {
+  std::vector<KeyScore> rows;
+  for (const Node& node : nodes_) {
+    if (node.alive && node.own >= threshold) rows.push_back({node.key, node.own});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return rows;
+}
+
+std::vector<KeyScore> Flowtree::hhh(double phi) const {
+  expects(phi > 0.0 && phi <= 1.0, "Flowtree::hhh: phi must be in (0, 1]");
+  if (total_weight_ <= 0.0) return {};
+  const double threshold = phi * total_weight_;
+
+  // Bottom-up with discounting: a node reports when its subtree mass minus
+  // already-reported descendant HHH mass clears the threshold.
+  std::vector<double> adjusted(nodes_.size(), 0.0);
+  std::vector<KeyScore> hhh_set;
+  for (const std::int32_t id : nodes_by_depth_desc()) {
+    adjusted[id] += nodes_[id].own;
+    if (adjusted[id] >= threshold) {
+      hhh_set.push_back({nodes_[id].key, adjusted[id]});
+    } else if (nodes_[id].parent != kNone) {
+      adjusted[nodes_[id].parent] += adjusted[id];
+    }
+  }
+  std::sort(hhh_set.begin(), hhh_set.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return hhh_set;
+}
+
+std::vector<KeyScore> Flowtree::entries() const {
+  std::vector<KeyScore> rows;
+  rows.reserve(node_count_);
+  for (const Node& node : nodes_) {
+    if (node.alive) rows.push_back({node.key, node.own});
+  }
+  return rows;
+}
+
+int Flowtree::max_depth() const {
+  int depth = 0;
+  for (const Node& node : nodes_) {
+    if (node.alive) depth = std::max(depth, static_cast<int>(node.depth));
+  }
+  return depth;
+}
+
+// --- combination -----------------------------------------------------------
+
+void Flowtree::merge(const Flowtree& other) {
+  expects(other.config_.policy == config_.policy &&
+              other.config_.features == config_.features,
+          "Flowtree::merge: incompatible generalization policy or features");
+  // Materialize parents before children so chains splice cheaply.
+  std::vector<std::int32_t> order = other.nodes_by_depth_desc();
+  std::reverse(order.begin(), order.end());
+  for (const std::int32_t id : order) {
+    const Node& node = other.nodes_[id];
+    if (node.own != 0.0) {
+      nodes_[find_or_create(node.key)].own += node.own;
+    }
+  }
+  total_weight_ += other.total_weight_;
+  lossy_ = lossy_ || other.lossy_;
+  maybe_self_compress();
+}
+
+void Flowtree::diff(const Flowtree& other) {
+  expects(other.config_.policy == config_.policy &&
+              other.config_.features == config_.features,
+          "Flowtree::diff: incompatible generalization policy or features");
+  std::vector<std::int32_t> order = other.nodes_by_depth_desc();
+  std::reverse(order.begin(), order.end());
+  for (const std::int32_t id : order) {
+    const Node& node = other.nodes_[id];
+    if (node.own != 0.0) {
+      nodes_[find_or_create(node.key)].own -= node.own;
+    }
+  }
+  total_weight_ -= other.total_weight_;
+  lossy_ = lossy_ || other.lossy_;
+  maybe_self_compress();
+}
+
+// --- compression -----------------------------------------------------------
+
+void Flowtree::compress(std::size_t target_size) {
+  expects(target_size >= 1, "Flowtree::compress: target must be >= 1");
+  if (node_count_ <= target_size) return;
+
+  const std::vector<double> scores = subtree_scores();
+
+  // Min-heap of evictable leaves by subtree score. Folding a leaf into its
+  // parent leaves the parent's *subtree* score unchanged, so precomputed
+  // scores stay valid as parents become leaves.
+  using HeapEntry = std::pair<double, std::int32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
+    if (nodes_[id].alive && nodes_[id].first_child == kNone && id != root_) {
+      heap.emplace(scores[id], id);
+    }
+  }
+
+  while (node_count_ > target_size && !heap.empty()) {
+    const auto [score, id] = heap.top();
+    heap.pop();
+    Node& node = nodes_[id];
+    if (!node.alive || node.first_child != kNone) continue;  // stale entry
+    const std::int32_t parent = node.parent;
+    nodes_[parent].own += node.own;  // fold mass upward: totals preserved
+    unlink_child(id);
+    release(id);
+    lossy_ = true;
+    if (parent != root_ && nodes_[parent].first_child == kNone) {
+      heap.emplace(scores[parent], parent);
+    }
+  }
+
+  // Return pool capacity when it dwarfs the live tree, so adapt()/compress()
+  // genuinely reduces the memory footprint, not just the node count.
+  if (nodes_.size() > 4 * node_count_ && nodes_.size() > 64) {
+    rebuild_compact();
+  }
+}
+
+void Flowtree::rebuild_compact() {
+  std::vector<std::pair<flow::FlowKey, double>> live;
+  live.reserve(node_count_);
+  for (const Node& node : nodes_) {
+    if (node.alive && node.own != 0.0) live.emplace_back(node.key, node.own);
+  }
+  nodes_.clear();
+  nodes_.shrink_to_fit();
+  free_list_.clear();
+  free_list_.shrink_to_fit();
+  index_.clear();
+  node_count_ = 0;
+  root_ = allocate(flow::FlowKey{}, kNone);
+  for (const auto& [key, own] : live) {
+    nodes_[find_or_create(key)].own += own;
+  }
+}
+
+void Flowtree::suppress_below(double min_score) {
+  if (min_score <= 0.0) return;
+  const std::vector<double> scores = subtree_scores();
+  // Same leaf-folding machinery as compress(), but driven by a score floor
+  // instead of a node budget. Folding keeps parents' subtree scores valid.
+  using HeapEntry = std::pair<double, std::int32_t>;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
+    if (nodes_[id].alive && nodes_[id].first_child == kNone && id != root_) {
+      heap.emplace(scores[id], id);
+    }
+  }
+  while (!heap.empty()) {
+    const auto [score, id] = heap.top();
+    heap.pop();
+    if (score >= min_score) break;  // min-heap: everything left is compliant
+    Node& node = nodes_[id];
+    if (!node.alive || node.first_child != kNone) continue;
+    const std::int32_t parent = node.parent;
+    nodes_[parent].own += node.own;
+    unlink_child(id);
+    release(id);
+    lossy_ = true;
+    if (parent != root_ && nodes_[parent].first_child == kNone) {
+      heap.emplace(scores[parent], parent);
+    }
+  }
+}
+
+void Flowtree::generalize_deeper_than(int max_depth) {
+  expects(max_depth >= 0, "Flowtree::generalize_deeper_than: negative depth");
+  // Deepest-first so each fold lands directly on a surviving ancestor.
+  for (const std::int32_t id : nodes_by_depth_desc()) {
+    Node& node = nodes_[id];
+    if (!node.alive || node.depth <= max_depth) continue;
+    expects(node.first_child == kNone,
+            "Flowtree: deeper children must already be folded");
+    const std::int32_t parent = node.parent;
+    nodes_[parent].own += node.own;
+    unlink_child(id);
+    release(id);
+    lossy_ = true;
+  }
+}
+
+void Flowtree::adapt(const primitives::AdaptSignal& signal) {
+  if (signal.size_budget > 0) {
+    config_.node_budget = std::max<std::size_t>(2, signal.size_budget);
+    maybe_self_compress();
+    if (node_count_ > config_.node_budget) compress(config_.node_budget);
+  }
+}
+
+// --- self-check ---------------------------------------------------------------
+
+void Flowtree::check_invariants() const {
+  const auto fail = [](const std::string& what) { throw Error("Flowtree invariant: " + what); };
+
+  std::size_t live = 0;
+  double weight = 0.0;
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
+    const Node& node = nodes_[id];
+    if (!node.alive) continue;
+    ++live;
+    weight += node.own;
+
+    // Index round-trips.
+    const auto it = index_.find(node.key);
+    if (it == index_.end() || it->second != id) fail("index mismatch for a live node");
+
+    if (id == root_) {
+      if (node.parent != kNone) fail("root has a parent");
+      if (!node.key.is_root()) fail("root key is not the wildcard");
+      if (node.depth != 0) fail("root depth is not 0");
+      continue;
+    }
+    if (node.parent == kNone) fail("non-root node without a parent");
+    const Node& parent = nodes_[node.parent];
+    if (!parent.alive) fail("parent is dead");
+    if (parent.depth + 1 != node.depth) fail("depth is not parent depth + 1");
+    const auto up = node.key.parent(config_.policy);
+    if (!up || !(*up == parent.key)) fail("parent is not the canonical parent");
+
+    // Sibling list contains the node exactly once.
+    int seen = 0;
+    for (std::int32_t c = parent.first_child; c != kNone; c = nodes_[c].next_sibling) {
+      if (c == id) ++seen;
+      if (nodes_[c].parent != node.parent) fail("sibling with wrong parent");
+    }
+    if (seen != 1) fail("node not linked exactly once under its parent");
+  }
+  if (live != node_count_) fail("node_count out of sync");
+  if (index_.size() != node_count_) fail("index size out of sync");
+  if (std::fabs(weight - total_weight_) >
+      1e-6 * std::max(1.0, std::fabs(total_weight_))) {
+    fail("total_weight out of sync with own scores");
+  }
+  // Doubly-linked sibling lists are symmetric.
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
+    const Node& node = nodes_[id];
+    if (!node.alive) continue;
+    if (node.next_sibling != kNone && nodes_[node.next_sibling].prev_sibling != id) {
+      fail("next/prev sibling asymmetry");
+    }
+    if (node.prev_sibling != kNone && nodes_[node.prev_sibling].next_sibling != id) {
+      fail("prev/next sibling asymmetry");
+    }
+  }
+}
+
+// --- Aggregator adapters ----------------------------------------------------
+
+primitives::QueryResult Flowtree::execute(const primitives::Query& q) const {
+  using namespace primitives;
+  QueryResult result;
+  result.approximate = lossy_;
+  if (const auto* query_point = std::get_if<PointQuery>(&q)) {
+    // query_lattice degrades to the O(1)-lookup subtree query for on-chain
+    // keys and still answers arbitrary feature combinations otherwise.
+    const flow::FlowKey key = query_point->key.project(config_.features);
+    result.entries.push_back({key, query_lattice(key)});
+    return result;
+  }
+  if (const auto* query_topk = std::get_if<TopKQuery>(&q)) {
+    result.entries = top_k(query_topk->k);
+    return result;
+  }
+  if (const auto* query_above = std::get_if<AboveQuery>(&q)) {
+    result.entries = above(query_above->threshold);
+    return result;
+  }
+  if (const auto* query_drill = std::get_if<DrilldownQuery>(&q)) {
+    result.entries = drilldown(query_drill->key.project(config_.features));
+    return result;
+  }
+  if (const auto* query_hhh = std::get_if<HHHQuery>(&q)) {
+    result.entries = hhh(query_hhh->phi);
+    return result;
+  }
+  return QueryResult::unsupported();  // no time dimension inside one summary
+}
+
+bool Flowtree::mergeable_with(const primitives::Aggregator& other) const {
+  const auto* o = dynamic_cast<const Flowtree*>(&other);
+  return o != nullptr && o->config_.policy == config_.policy &&
+         o->config_.features == config_.features;
+}
+
+void Flowtree::merge_from(const primitives::Aggregator& other) {
+  expects(mergeable_with(other), "Flowtree::merge_from: incompatible");
+  merge(static_cast<const Flowtree&>(other));
+  note_merge(other);
+}
+
+std::size_t Flowtree::memory_bytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         index_.size() * (sizeof(flow::FlowKey) + sizeof(std::int32_t) +
+                          2 * sizeof(void*));
+}
+
+std::size_t Flowtree::wire_bytes() const {
+  return kHeaderBytes + node_count_ * kBytesPerNode;
+}
+
+std::unique_ptr<primitives::Aggregator> Flowtree::clone() const {
+  return std::make_unique<Flowtree>(*this);
+}
+
+}  // namespace megads::flowtree

@@ -1,0 +1,182 @@
+// Flowtree — the paper's novel computing primitive (Section VI).
+//
+// A self-adjusting tree over generalized flows: every observed flow and each
+// generalization of it is a node; a node's parent is its most specific
+// generalized flow (unique because generalization follows the canonical
+// order of flow::FlowKey::parent). Each node carries its *own* popularity
+// score; the popularity of a node in the paper's sense — own score plus the
+// scores of all descendants — is the node's subtree score.
+//
+// The full operator set of Table II is implemented as typed methods
+// (merge / compress / diff / query / drilldown / top_k / above / hhh) and is
+// also reachable through the generic primitives::Aggregator interface, so a
+// data store can treat Flowtree like any other primitive.
+//
+// Self-adaptation (design property (d)): after ingest the tree compresses
+// itself back to `node_budget` whenever it exceeds node_budget * slack.
+// Compression repeatedly evicts the leaf with the smallest subtree score and
+// folds its mass into its parent — summaries get coarser exactly where the
+// data is thin, and total mass is always preserved.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::flowtree {
+
+struct FlowtreeConfig {
+  flow::GeneralizationPolicy policy{};
+  /// Keys are projected onto this feature set on ingest.
+  flow::FeatureSet features = flow::FeatureSet::kFiveTuple;
+  /// Self-adaptation target: compress back to this many nodes...
+  std::size_t node_budget = 4096;
+  /// ...whenever the node count exceeds node_budget * compress_slack.
+  double compress_slack = 1.25;
+
+  friend bool operator==(const FlowtreeConfig&, const FlowtreeConfig&) = default;
+};
+
+/// One row of a Flowtree report: a (generalized) flow and its score.
+using primitives::KeyScore;
+
+class Flowtree final : public primitives::Aggregator {
+ public:
+  explicit Flowtree(FlowtreeConfig config = {});
+
+  // --- primitives::Aggregator surface ---
+  [[nodiscard]] std::string kind() const override { return "flowtree"; }
+  void insert(const primitives::StreamItem& item) override;
+  [[nodiscard]] primitives::QueryResult execute(
+      const primitives::Query& query) const override;
+  [[nodiscard]] bool mergeable_with(
+      const primitives::Aggregator& other) const override;
+  void merge_from(const primitives::Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  void adapt(const primitives::AdaptSignal& signal) override;
+  [[nodiscard]] std::size_t size() const override { return node_count_; }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::size_t wire_bytes() const override;
+  [[nodiscard]] std::unique_ptr<primitives::Aggregator> clone() const override;
+
+  // --- Table II operators, typed ---
+
+  /// Add a flow observation with the given weight (packet/byte/flow count).
+  void add(const flow::FlowKey& key, double weight);
+
+  /// Merge: fold `other` into this tree (node-wise own-score addition).
+  /// The "shared time or location" precondition of Table II is enforced by
+  /// the layer that owns the summaries' metadata (FlowDB / data store).
+  void merge(const Flowtree& other);
+
+  /// Diff: subtract `other`'s scores from this tree (scores may go negative;
+  /// Table II: "Subtract the popularity scores from flows appearing in one
+  /// tree from the other").
+  void diff(const Flowtree& other);
+
+  /// Query: the popularity score of a single (possibly generalized) flow —
+  /// own + descendants. Returns 0 for keys not in the tree.
+  [[nodiscard]] double query(const flow::FlowKey& key) const;
+
+  /// Lattice query: the mass of all nodes `key` generalizes, whether or not
+  /// `key` lies on the canonical chain (e.g. "dst_port = 53" alone, which no
+  /// chain node represents). O(nodes) scan — the price of design property
+  /// (a)'s *arbitrary* queries; on-chain keys should use query(). After
+  /// compression the answer is a lower bound (folded mass may have lost the
+  /// queried feature).
+  [[nodiscard]] double query_lattice(const flow::FlowKey& key) const;
+
+  /// Drilldown: children of `key` with their popularity scores, descending.
+  [[nodiscard]] std::vector<KeyScore> drilldown(const flow::FlowKey& key) const;
+
+  /// Top-k: the k flows with the highest own score, descending.
+  [[nodiscard]] std::vector<KeyScore> top_k(std::size_t k) const;
+
+  /// Above-x: all flows with own score >= x, descending.
+  [[nodiscard]] std::vector<KeyScore> above(double threshold) const;
+
+  /// HHH: hierarchical heavy hitters with threshold phi (fraction of total
+  /// mass), computed bottom-up with discounting.
+  [[nodiscard]] std::vector<KeyScore> hhh(double phi) const;
+
+  // --- privacy-preserving coarsening (Section III.C: "privacy can be
+  // enforced by limiting what summaries can be shared ... and at what
+  // granularity"). Both operators preserve total mass.
+
+  /// k-anonymity-style suppression: repeatedly fold every leaf whose subtree
+  /// score is below `min_score` into its parent, so no shared node reveals
+  /// activity smaller than min_score (the root is exempt).
+  void suppress_below(double min_score);
+
+  /// Granularity cap: fold every node deeper than `max_depth` into its
+  /// ancestor at that depth (e.g. depth 7 = "no host addresses or ports in
+  /// exports" under the default policy).
+  void generalize_deeper_than(int max_depth);
+
+  // --- introspection ---
+  [[nodiscard]] const FlowtreeConfig& config() const noexcept { return config_; }
+  /// Total mass currently in the tree (= sum of own scores).
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+  /// True when compression has folded mass upward (answers are estimates).
+  [[nodiscard]] bool lossy() const noexcept { return lossy_; }
+  /// All live nodes as (key, own score) rows (order unspecified).
+  [[nodiscard]] std::vector<KeyScore> entries() const;
+  /// Depth of the deepest live node.
+  [[nodiscard]] int max_depth() const;
+
+  /// Structural self-check (test/debug aid): verifies parent/child link
+  /// symmetry, index consistency, canonical parenthood, depth bookkeeping,
+  /// node accounting, and that total_weight() equals the sum of own scores.
+  /// Throws Error with a description on the first violation.
+  void check_invariants() const;
+
+  // --- serialization (network export / FlowDB storage) ---
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static Flowtree decode(const std::vector<std::uint8_t>& bytes,
+                         FlowtreeConfig config = {});
+
+  /// Bytes per serialized node (key wire size + score).
+  static constexpr std::size_t kBytesPerNode = flow::FlowKey::kWireSize + 8;
+  static constexpr std::size_t kHeaderBytes = 16;
+
+ private:
+  struct Node {
+    flow::FlowKey key;
+    double own = 0.0;
+    std::int32_t parent = -1;
+    std::int32_t first_child = -1;
+    std::int32_t next_sibling = -1;
+    std::int32_t prev_sibling = -1;
+    std::int32_t depth = 0;
+    bool alive = false;
+  };
+
+  static constexpr std::int32_t kNone = -1;
+
+  [[nodiscard]] std::int32_t find(const flow::FlowKey& key) const;
+  std::int32_t find_or_create(const flow::FlowKey& key);
+  std::int32_t allocate(const flow::FlowKey& key, std::int32_t parent);
+  void link_child(std::int32_t parent, std::int32_t child);
+  void unlink_child(std::int32_t node);
+  void release(std::int32_t node);
+
+  /// Subtree scores for all live nodes (index-aligned with nodes_).
+  [[nodiscard]] std::vector<double> subtree_scores() const;
+  /// Live node ids ordered by depth, deepest first.
+  [[nodiscard]] std::vector<std::int32_t> nodes_by_depth_desc() const;
+  void maybe_self_compress();
+  /// Rebuild the node pool at minimal capacity (after heavy eviction).
+  void rebuild_compact();
+
+  FlowtreeConfig config_;
+  std::vector<Node> nodes_;
+  std::vector<std::int32_t> free_list_;
+  std::unordered_map<flow::FlowKey, std::int32_t> index_;
+  std::int32_t root_ = kNone;
+  std::size_t node_count_ = 0;
+  double total_weight_ = 0.0;
+  bool lossy_ = false;
+};
+
+}  // namespace megads::flowtree

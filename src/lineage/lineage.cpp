@@ -1,0 +1,143 @@
+#include "lineage/lineage.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace megads::lineage {
+
+const char* to_string(EntityKind kind) noexcept {
+  switch (kind) {
+    case EntityKind::kSensor: return "sensor";
+    case EntityKind::kSummary: return "summary";
+    case EntityKind::kPartition: return "partition";
+    case EntityKind::kExport: return "export";
+    case EntityKind::kQueryResult: return "query-result";
+  }
+  return "?";
+}
+
+const char* to_string(TransformKind kind) noexcept {
+  switch (kind) {
+    case TransformKind::kIngest: return "ingest";
+    case TransformKind::kSeal: return "seal";
+    case TransformKind::kMerge: return "merge";
+    case TransformKind::kExport: return "export";
+    case TransformKind::kAbsorb: return "absorb";
+    case TransformKind::kQuery: return "query";
+  }
+  return "?";
+}
+
+EntityId Recorder::add_entity(EntityKind kind, std::string label, SimTime now) {
+  const EntityId id = next_++;
+  entities_.emplace(id, Entity{id, kind, std::move(label), now});
+  return id;
+}
+
+void Recorder::check(EntityId id) const {
+  if (!entities_.contains(id)) {
+    throw NotFoundError("lineage: unknown entity " + std::to_string(id));
+  }
+}
+
+void Recorder::add_transform(TransformKind kind, std::span<const EntityId> inputs,
+                             EntityId output, SimTime now) {
+  check(output);
+  for (const EntityId input : inputs) {
+    check(input);
+    expects(input != output, "lineage: self-loop transform");
+  }
+  Transform transform;
+  transform.kind = kind;
+  transform.inputs.assign(inputs.begin(), inputs.end());
+  transform.output = output;
+  transform.time = now;
+  for (const EntityId input : inputs) {
+    parents_[output].push_back(input);
+    children_[input].push_back(output);
+  }
+  transforms_.push_back(std::move(transform));
+}
+
+const Entity& Recorder::entity(EntityId id) const {
+  check(id);
+  return entities_.at(id);
+}
+
+std::vector<EntityId> Recorder::closure(
+    EntityId start,
+    const std::unordered_map<EntityId, std::vector<EntityId>>& edges) const {
+  std::unordered_set<EntityId> seen{start};
+  std::vector<EntityId> frontier{start};
+  std::vector<EntityId> result;
+  while (!frontier.empty()) {
+    const EntityId current = frontier.back();
+    frontier.pop_back();
+    const auto it = edges.find(current);
+    if (it == edges.end()) continue;
+    for (const EntityId next : it->second) {
+      if (seen.insert(next).second) {
+        result.push_back(next);
+        frontier.push_back(next);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<EntityId> Recorder::ancestors(EntityId id) const {
+  check(id);
+  return closure(id, parents_);
+}
+
+std::vector<EntityId> Recorder::descendants(EntityId id) const {
+  check(id);
+  return closure(id, children_);
+}
+
+std::vector<EntityId> Recorder::sources_of(EntityId id, EntityKind kind) const {
+  std::vector<EntityId> result;
+  for (const EntityId ancestor : ancestors(id)) {
+    if (entities_.at(ancestor).kind == kind) result.push_back(ancestor);
+  }
+  return result;
+}
+
+std::vector<Transform> Recorder::producing(EntityId id) const {
+  check(id);
+  std::vector<Transform> result;
+  for (const Transform& transform : transforms_) {
+    if (transform.output == id) result.push_back(transform);
+  }
+  return result;
+}
+
+std::string Recorder::explain(EntityId id) const {
+  check(id);
+  std::string out;
+  std::unordered_set<EntityId> visited;
+  std::vector<EntityId> stack{id};
+  while (!stack.empty()) {
+    const EntityId current = stack.back();
+    stack.pop_back();
+    if (!visited.insert(current).second) continue;
+    for (const Transform& transform : producing(current)) {
+      const Entity& target = entities_.at(current);
+      out += std::string(to_string(target.kind)) + " '" + target.label +
+             "' <- " + to_string(transform.kind) + " of";
+      for (const EntityId input : transform.inputs) {
+        const Entity& source = entities_.at(input);
+        out += std::string(" [") + to_string(source.kind) + " '" + source.label +
+               "']";
+        stack.push_back(input);
+      }
+      out += " @" + std::to_string(transform.time) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace megads::lineage

@@ -1,0 +1,110 @@
+// Data lineage (Section III.C): "we need to track data as it moves through
+// and is transformed by the system ... Data lineage can, e.g., be used to
+// identify faulty sensors or retract erroneous rules."
+//
+// Recorder keeps a DAG of entities (sensors, summaries, partitions, exports,
+// query results) connected by transforms (ingest, seal, merge, export,
+// absorb, query). Granularity is schema/batch level — one edge per
+// (source, summary-epoch) — which is the paper's "schema-level lineage":
+// cheap enough to stay on at the envisioned data rates, and sufficient for
+// the two motivating queries:
+//
+//   descendants(sensor)  -> everything a faulty sensor contaminated
+//                           (summaries, exports, query results downstream);
+//   ancestors(result)    -> every sensor/summary a result depends on.
+//
+// Instance-level lineage (per observation) is intentionally out of scope;
+// the paper itself flags its overhead as prohibitive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace megads::lineage {
+
+enum class EntityKind {
+  kSensor,       ///< a data source
+  kSummary,      ///< a live (epoch-in-progress) summary in a data store
+  kPartition,    ///< a sealed summary epoch
+  kExport,       ///< an encoded summary shipped over the network
+  kQueryResult,  ///< an answer handed to an application
+};
+
+enum class TransformKind {
+  kIngest,   ///< sensor -> live summary
+  kSeal,     ///< live summary -> partition
+  kMerge,    ///< partitions -> coarser partition (hierarchical storage)
+  kExport,   ///< partitions -> wire-format export
+  kAbsorb,   ///< export -> a remote store's live summary / index
+  kQuery,    ///< partitions + live -> query result
+};
+
+[[nodiscard]] const char* to_string(EntityKind kind) noexcept;
+[[nodiscard]] const char* to_string(TransformKind kind) noexcept;
+
+/// Identifier of a lineage entity. 0 is the invalid/null entity.
+using EntityId = std::uint64_t;
+inline constexpr EntityId kNoEntity = 0;
+
+struct Entity {
+  EntityId id = kNoEntity;
+  EntityKind kind = EntityKind::kSensor;
+  std::string label;
+  SimTime created = 0;
+};
+
+struct Transform {
+  TransformKind kind = TransformKind::kIngest;
+  std::vector<EntityId> inputs;
+  EntityId output = kNoEntity;
+  SimTime time = 0;
+};
+
+class Recorder {
+ public:
+  /// Register a new entity and return its id.
+  EntityId add_entity(EntityKind kind, std::string label, SimTime now);
+
+  /// Record a transformation producing `output` from `inputs`. Unknown ids
+  /// throw NotFoundError; self-loops are rejected.
+  void add_transform(TransformKind kind, std::span<const EntityId> inputs,
+                     EntityId output, SimTime now);
+
+  [[nodiscard]] const Entity& entity(EntityId id) const;
+  [[nodiscard]] std::size_t entity_count() const noexcept { return entities_.size(); }
+  [[nodiscard]] std::size_t transform_count() const noexcept {
+    return transforms_.size();
+  }
+
+  /// All entities `id` transitively depends on (provenance), excluding `id`.
+  [[nodiscard]] std::vector<EntityId> ancestors(EntityId id) const;
+  /// All entities transitively derived from `id` (taint), excluding `id`.
+  [[nodiscard]] std::vector<EntityId> descendants(EntityId id) const;
+  /// Ancestors filtered to one kind — e.g. the sensors behind a result.
+  [[nodiscard]] std::vector<EntityId> sources_of(EntityId id,
+                                                 EntityKind kind) const;
+  /// Transforms whose output is `id` (usually one).
+  [[nodiscard]] std::vector<Transform> producing(EntityId id) const;
+
+  /// Human-readable provenance trace of an entity (one line per hop).
+  [[nodiscard]] std::string explain(EntityId id) const;
+
+ private:
+  void check(EntityId id) const;
+  [[nodiscard]] std::vector<EntityId> closure(
+      EntityId start, const std::unordered_map<EntityId, std::vector<EntityId>>&
+                          edges) const;
+
+  std::unordered_map<EntityId, Entity> entities_;
+  std::vector<Transform> transforms_;
+  std::unordered_map<EntityId, std::vector<EntityId>> parents_;   // output -> inputs
+  std::unordered_map<EntityId, std::vector<EntityId>> children_;  // input -> outputs
+  EntityId next_ = 1;
+};
+
+}  // namespace megads::lineage

@@ -1,0 +1,74 @@
+#include "net/network.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace megads::net {
+
+namespace {
+
+SimDuration serialization_time(std::uint64_t bytes, double bandwidth_bps) {
+  const double seconds = static_cast<double>(bytes) / bandwidth_bps;
+  return static_cast<SimDuration>(std::ceil(seconds * static_cast<double>(kSecond)));
+}
+
+}  // namespace
+
+SimTime Network::send(NodeId from, NodeId to, std::uint64_t bytes,
+                      DeliveryCallback on_delivered) {
+  const auto path = topology_->shortest_path(from, to);
+  if (!path) {
+    throw NotFoundError("Network::send: no path between nodes " +
+                        std::to_string(from.value()) + " and " +
+                        std::to_string(to.value()));
+  }
+
+  SimTime head = sim_->now();
+  for (const LinkId lid : *path) {
+    const Link& link = topology_->link(lid);
+    SimTime& free_at = link_free_at_[lid];
+    const SimTime start = std::max(head, free_at);
+    const SimDuration serialize = serialization_time(bytes, link.bandwidth_bps);
+    free_at = start + serialize;
+    head = start + serialize + link.latency;
+
+    auto& ls = per_link_[lid];
+    ls.messages += 1;
+    ls.bytes += bytes;
+    ls.payload_bytes += bytes;
+    stats_.bytes += bytes;
+  }
+
+  stats_.messages += 1;
+  stats_.payload_bytes += bytes;
+
+  const SimTime delivered_at = head;
+  if (on_delivered) {
+    sim_->schedule_at(delivered_at, [cb = std::move(on_delivered)](SimTime t) { cb(t); });
+  }
+  return delivered_at;
+}
+
+SimDuration Network::transfer_time_unloaded(NodeId from, NodeId to,
+                                            std::uint64_t bytes) const {
+  const auto path = topology_->shortest_path(from, to);
+  if (!path) return kTimeNever;
+  SimDuration total = 0;
+  for (const LinkId lid : *path) {
+    const Link& link = topology_->link(lid);
+    total += link.latency + serialization_time(bytes, link.bandwidth_bps);
+  }
+  return total;
+}
+
+TransferStats Network::link_stats(LinkId id) const {
+  const auto it = per_link_.find(id);
+  return it == per_link_.end() ? TransferStats{} : it->second;
+}
+
+void Network::reset_stats() noexcept {
+  stats_ = {};
+  per_link_.clear();
+}
+
+}  // namespace megads::net

@@ -1,0 +1,58 @@
+// Message transfer over a Topology on virtual time.
+//
+// Transfers are store-and-forward: at each hop the message waits for the
+// link to become free (FIFO serialization), occupies it for size/bandwidth,
+// then propagates for the link latency. This captures the two costs the
+// paper's transfer optimization (Section VII) trades off — per-query shipping
+// latency and cumulative network volume — without simulating packets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace megads::net {
+
+/// Aggregate transfer accounting, also available per link.
+struct TransferStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;        ///< payload bytes times hops traversed
+  std::uint64_t payload_bytes = 0;///< payload bytes, counted once per message
+};
+
+class Network {
+ public:
+  /// `sim` and `topology` must outlive the Network.
+  Network(sim::Simulator& sim, const Topology& topology) noexcept
+      : sim_(&sim), topology_(&topology) {}
+
+  using DeliveryCallback = std::function<void(SimTime delivered_at)>;
+
+  /// Send `bytes` from `from` to `to`; invokes `on_delivered` at the virtual
+  /// time the last byte arrives. Throws NotFoundError when unreachable.
+  /// Returns the scheduled delivery time.
+  SimTime send(NodeId from, NodeId to, std::uint64_t bytes,
+               DeliveryCallback on_delivered = nullptr);
+
+  /// Lower bound on delivery time for a hypothetical transfer (ignores
+  /// queueing). Useful for cost models.
+  [[nodiscard]] SimDuration transfer_time_unloaded(NodeId from, NodeId to,
+                                                   std::uint64_t bytes) const;
+
+  [[nodiscard]] const TransferStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] TransferStats link_stats(LinkId id) const;
+  void reset_stats() noexcept;
+
+ private:
+  sim::Simulator* sim_;
+  const Topology* topology_;
+  TransferStats stats_;
+  std::unordered_map<LinkId, TransferStats> per_link_;
+  std::unordered_map<LinkId, SimTime> link_free_at_;
+};
+
+}  // namespace megads::net

@@ -1,0 +1,120 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace megads::net {
+
+NodeId Topology::add_node(std::string name, int level) {
+  nodes_.push_back(NodeInfo{std::move(name), level});
+  adjacency_.emplace_back();
+  return NodeId(static_cast<NodeId::underlying_type>(nodes_.size() - 1));
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, SimDuration latency,
+                          double bandwidth_bps) {
+  check_node(a);
+  check_node(b);
+  expects(a != b, "Topology::add_link: self-links are not allowed");
+  expects(latency >= 0, "Topology::add_link: negative latency");
+  expects(bandwidth_bps > 0.0, "Topology::add_link: bandwidth must be positive");
+  links_.push_back(Link{a, b, latency, bandwidth_bps});
+  const auto id = static_cast<LinkId>(links_.size() - 1);
+  adjacency_[a.value()].push_back(id);
+  adjacency_[b.value()].push_back(id);
+  return id;
+}
+
+const NodeInfo& Topology::node(NodeId id) const {
+  check_node(id);
+  return nodes_[id.value()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  expects(id < links_.size(), "Topology::link: unknown link");
+  return links_[id];
+}
+
+std::optional<NodeId> Topology::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) {
+      return NodeId(static_cast<NodeId::underlying_type>(i));
+    }
+  }
+  return std::nullopt;
+}
+
+const std::vector<LinkId>& Topology::links_of(NodeId id) const {
+  check_node(id);
+  return adjacency_[id.value()];
+}
+
+void Topology::set_link_state(LinkId id, bool up) {
+  expects(id < links_.size(), "Topology::set_link_state: unknown link");
+  links_[id].up = up;
+}
+
+bool Topology::link_up(LinkId id) const {
+  expects(id < links_.size(), "Topology::link_up: unknown link");
+  return links_[id].up;
+}
+
+std::optional<std::vector<LinkId>> Topology::shortest_path(NodeId from,
+                                                           NodeId to) const {
+  check_node(from);
+  check_node(to);
+  if (from == to) return std::vector<LinkId>{};
+
+  constexpr SimDuration kInf = std::numeric_limits<SimDuration>::max();
+  std::vector<SimDuration> dist(nodes_.size(), kInf);
+  std::vector<LinkId> via(nodes_.size(), std::numeric_limits<LinkId>::max());
+
+  using Entry = std::pair<SimDuration, NodeId::underlying_type>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> frontier;
+  dist[from.value()] = 0;
+  frontier.emplace(0, from.value());
+
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == to.value()) break;
+    for (const LinkId lid : adjacency_[u]) {
+      const Link& l = links_[lid];
+      if (!l.up) continue;  // failed links carry no traffic
+      const auto v = l.other(NodeId(u)).value();
+      const SimDuration nd = d + l.latency;
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via[v] = lid;
+        frontier.emplace(nd, v);
+      }
+    }
+  }
+
+  if (dist[to.value()] == kInf) return std::nullopt;
+
+  std::vector<LinkId> path;
+  for (NodeId cur = to; cur != from;) {
+    const LinkId lid = via[cur.value()];
+    path.push_back(lid);
+    cur = links_[lid].other(cur);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+SimDuration Topology::path_latency(NodeId from, NodeId to) const {
+  const auto path = shortest_path(from, to);
+  if (!path) return kTimeNever;
+  SimDuration total = 0;
+  for (const LinkId lid : *path) total += links_[lid].latency;
+  return total;
+}
+
+void Topology::check_node(NodeId id) const {
+  expects(id.valid() && id.value() < nodes_.size(), "Topology: unknown node");
+}
+
+}  // namespace megads::net

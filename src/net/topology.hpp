@@ -1,0 +1,76 @@
+// Network topology: named nodes connected by undirected links with latency
+// and bandwidth. Routing is shortest-path by propagation latency (Dijkstra).
+//
+// This is the substrate for the paper's WAN between data-store sites
+// (Fig. 1): machine/line/factory levels in the smart factory, router/region/
+// cloud levels in network monitoring.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace megads::net {
+
+/// Index of a link within a Topology.
+using LinkId = std::uint32_t;
+
+struct Link {
+  NodeId a;
+  NodeId b;
+  SimDuration latency = 0;        ///< one-way propagation delay
+  double bandwidth_bps = 0.0;     ///< bytes per second of serialization capacity
+  bool up = true;                 ///< failed links carry no traffic
+
+  [[nodiscard]] NodeId other(NodeId n) const noexcept { return n == a ? b : a; }
+};
+
+struct NodeInfo {
+  std::string name;
+  int level = 0;  ///< hierarchy level (0 = leaf / edge, higher = closer to cloud)
+};
+
+class Topology {
+ public:
+  NodeId add_node(std::string name, int level = 0);
+
+  /// Connect two existing nodes. bandwidth_bps must be positive.
+  LinkId add_link(NodeId a, NodeId b, SimDuration latency, double bandwidth_bps);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const NodeInfo& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// Links incident to a node.
+  [[nodiscard]] const std::vector<LinkId>& links_of(NodeId id) const;
+
+  /// Fail / repair a link (the paper's challenge 4: networks break and get
+  /// repaired). Down links are invisible to routing.
+  void set_link_state(LinkId id, bool up);
+  [[nodiscard]] bool link_up(LinkId id) const;
+
+  /// Shortest path (by cumulative latency) from `from` to `to`, returned as a
+  /// sequence of link ids. Empty optional when unreachable; empty vector when
+  /// from == to.
+  [[nodiscard]] std::optional<std::vector<LinkId>> shortest_path(NodeId from,
+                                                                 NodeId to) const;
+
+  /// Sum of link latencies along the path between two nodes (kTimeNever if
+  /// unreachable).
+  [[nodiscard]] SimDuration path_latency(NodeId from, NodeId to) const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<NodeInfo> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> adjacency_;
+};
+
+}  // namespace megads::net

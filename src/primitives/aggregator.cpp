@@ -1,0 +1,24 @@
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+std::string query_kind(const Query& query) {
+  struct Visitor {
+    std::string operator()(const PointQuery&) const { return "point"; }
+    std::string operator()(const TopKQuery&) const { return "top-k"; }
+    std::string operator()(const AboveQuery&) const { return "above-x"; }
+    std::string operator()(const DrilldownQuery&) const { return "drilldown"; }
+    std::string operator()(const HHHQuery&) const { return "hhh"; }
+    std::string operator()(const RangeQuery&) const { return "range"; }
+    std::string operator()(const StatsQuery&) const { return "stats"; }
+  };
+  return std::visit(Visitor{}, query);
+}
+
+void Aggregator::adapt(const AdaptSignal& signal) {
+  if (signal.size_budget > 0 && size() > signal.size_budget) {
+    compress(signal.size_budget);
+  }
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,99 @@
+// The computing-primitive interface (Section V.A of the paper).
+//
+// The five design properties map to the virtual surface below:
+//   (a) support arbitrary queries   -> execute(Query)
+//   (b) combinable summaries        -> mergeable_with() / merge_from()
+//   (c) adjustable granularity      -> compress(target_size)
+//   (d) self-adaptation             -> adapt(AdaptSignal), called by the
+//                                      owning data store with observed rates
+//   (e) domain knowledge            -> a property of the concrete primitive
+//                                      (Flowtree aggregates along IP prefixes;
+//                                      the sampling primitive has none)
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "primitives/item.hpp"
+
+namespace megads::primitives {
+
+/// Feedback the data store gives a primitive so it can self-adapt (design
+/// property (d)): the observed ingest rate, how often it is being queried,
+/// and the size budget the store's storage strategy currently allows it.
+struct AdaptSignal {
+  double items_per_second = 0.0;
+  double queries_per_second = 0.0;
+  std::size_t size_budget = 0;  ///< target max entries; 0 = unconstrained
+};
+
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  Aggregator() = default;
+  Aggregator(const Aggregator&) = default;
+  Aggregator& operator=(const Aggregator&) = default;
+
+  /// Primitive kind, e.g. "flowtree", "sampling", "count-min".
+  [[nodiscard]] virtual std::string kind() const = 0;
+
+  /// Ingest one observation.
+  virtual void insert(const StreamItem& item) = 0;
+
+  /// Answer a query; primitives return QueryResult::unsupported() for query
+  /// shapes their summary cannot serve.
+  [[nodiscard]] virtual QueryResult execute(const Query& query) const = 0;
+
+  /// True when merge_from(other) is well defined (same kind and compatible
+  /// parameters).
+  [[nodiscard]] virtual bool mergeable_with(const Aggregator& other) const = 0;
+
+  /// Fold `other`'s summary into this one (requires mergeable_with(other)).
+  virtual void merge_from(const Aggregator& other) = 0;
+
+  /// Coarsen the summary until it holds at most `target_size` entries
+  /// (best effort; a primitive with a fixed footprint may ignore this).
+  virtual void compress(std::size_t target_size) = 0;
+
+  /// Self-adaptation hook; default folds the budget into compress().
+  virtual void adapt(const AdaptSignal& signal);
+
+  /// Current number of summary entries (nodes, samples, bins, counters...).
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Approximate heap footprint of the summary, for storage accounting.
+  [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+  /// Serialized size if shipped over the network (export to another store).
+  [[nodiscard]] virtual std::size_t wire_bytes() const { return memory_bytes(); }
+
+  /// Deep copy (used by replication and by hierarchical storage).
+  [[nodiscard]] virtual std::unique_ptr<Aggregator> clone() const = 0;
+
+  /// Total observations ingested (monotone; survives compress()).
+  [[nodiscard]] std::uint64_t items_ingested() const noexcept {
+    return items_ingested_;
+  }
+  /// Total weight ingested (sum of item values).
+  [[nodiscard]] double weight_ingested() const noexcept { return weight_ingested_; }
+
+ protected:
+  /// Concrete primitives call this from insert().
+  void note_ingest(const StreamItem& item) noexcept {
+    ++items_ingested_;
+    weight_ingested_ += item.value;
+  }
+  /// And this from merge_from(), so totals stay additive across merges.
+  void note_merge(const Aggregator& other) noexcept {
+    items_ingested_ += other.items_ingested_;
+    weight_ingested_ += other.weight_ingested_;
+  }
+
+ private:
+  std::uint64_t items_ingested_ = 0;
+  double weight_ingested_ = 0.0;
+};
+
+}  // namespace megads::primitives

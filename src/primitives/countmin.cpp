@@ -1,0 +1,108 @@
+#include "primitives/countmin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace megads::primitives {
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               bool conservative_update)
+    : width_(width),
+      depth_(depth),
+      conservative_(conservative_update),
+      counters_(width * depth, 0.0) {
+  expects(width > 0 && depth > 0, "CountMinSketch: width and depth must be positive");
+}
+
+CountMinSketch CountMinSketch::with_error_bounds(double eps, double delta,
+                                                 bool conservative_update) {
+  expects(eps > 0.0 && eps < 1.0, "CountMinSketch: eps must be in (0, 1)");
+  expects(delta > 0.0 && delta < 1.0, "CountMinSketch: delta must be in (0, 1)");
+  const auto width = static_cast<std::size_t>(std::ceil(std::exp(1.0) / eps));
+  const auto depth = static_cast<std::size_t>(std::ceil(std::log(1.0 / delta)));
+  return CountMinSketch(std::max<std::size_t>(1, width),
+                        std::max<std::size_t>(1, depth), conservative_update);
+}
+
+std::size_t CountMinSketch::cell(std::size_t row, std::uint64_t key_hash) const noexcept {
+  return row * width_ +
+         static_cast<std::size_t>(indexed_hash(key_hash, static_cast<std::uint32_t>(row)) %
+                                  width_);
+}
+
+void CountMinSketch::insert(const StreamItem& item) {
+  note_ingest(item);
+  const std::uint64_t h = item.key.hash();
+  if (!conservative_) {
+    for (std::size_t row = 0; row < depth_; ++row) {
+      counters_[cell(row, h)] += item.value;
+    }
+    return;
+  }
+  // Conservative update: raise each row only as far as the new estimate.
+  double current = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    current = std::min(current, counters_[cell(row, h)]);
+  }
+  const double target = current + item.value;
+  for (std::size_t row = 0; row < depth_; ++row) {
+    double& counter = counters_[cell(row, h)];
+    counter = std::max(counter, target);
+  }
+}
+
+double CountMinSketch::estimate(const flow::FlowKey& key) const noexcept {
+  const std::uint64_t h = key.hash();
+  double result = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    result = std::min(result, counters_[cell(row, h)]);
+  }
+  return result;
+}
+
+double CountMinSketch::error_bound() const noexcept {
+  return std::exp(1.0) / static_cast<double>(width_) * weight_ingested();
+}
+
+QueryResult CountMinSketch::execute(const Query& query) const {
+  if (const auto* q = std::get_if<PointQuery>(&query)) {
+    QueryResult result;
+    result.approximate = true;
+    result.entries.push_back({q->key, estimate(q->key)});
+    return result;
+  }
+  return QueryResult::unsupported();
+}
+
+bool CountMinSketch::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const CountMinSketch*>(&other);
+  return o != nullptr && o->width_ == width_ && o->depth_ == depth_;
+}
+
+void CountMinSketch::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "CountMinSketch::merge_from: incompatible");
+  const auto& o = static_cast<const CountMinSketch&>(other);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += o.counters_[i];
+  }
+  note_merge(other);
+}
+
+void CountMinSketch::compress(std::size_t /*target_size*/) {
+  // Fixed-footprint summary: nothing to do. (Halving the width would require
+  // rehashing, which the classic sketch does not support.)
+}
+
+std::size_t CountMinSketch::memory_bytes() const {
+  return counters_.size() * sizeof(double);
+}
+
+std::unique_ptr<Aggregator> CountMinSketch::clone() const {
+  return std::make_unique<CountMinSketch>(*this);
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,56 @@
+// CountMinSketch — fixed-footprint frequency sketch (Cormode & Muthukrishnan)
+// with optional conservative update.
+//
+// It answers point queries with a one-sided overestimate bounded by
+// eps * total weight (eps = e / width) with probability 1 - delta
+// (delta = e^-depth), and merges by element-wise addition. It cannot
+// enumerate keys, so top-k / above-x / drilldown / HHH are unsupported —
+// the sketch is the paper's example of a summary that does *not* satisfy
+// design property (a).
+#pragma once
+
+#include <vector>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class CountMinSketch final : public Aggregator {
+ public:
+  /// width: counters per row (>= 1); depth: number of rows (>= 1).
+  CountMinSketch(std::size_t width, std::size_t depth,
+                 bool conservative_update = false);
+
+  /// Smallest (width, depth) meeting the (eps, delta) guarantee.
+  static CountMinSketch with_error_bounds(double eps, double delta,
+                                          bool conservative_update = false);
+
+  [[nodiscard]] std::string kind() const override { return "count-min"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  /// The sketch footprint is fixed at construction; compress() is a no-op
+  /// (documented escape hatch of the Aggregator contract).
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return width_ * depth_; }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  /// Point estimate for a key (min over rows).
+  [[nodiscard]] double estimate(const flow::FlowKey& key) const noexcept;
+  /// Additive error bound e/width * total weight.
+  [[nodiscard]] double error_bound() const noexcept;
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t row, std::uint64_t key_hash) const noexcept;
+
+  std::size_t width_;
+  std::size_t depth_;
+  bool conservative_;
+  std::vector<double> counters_;  // row-major depth x width
+};
+
+}  // namespace megads::primitives

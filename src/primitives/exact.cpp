@@ -1,0 +1,258 @@
+#include "primitives/exact.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace megads::primitives {
+
+namespace detail {
+
+namespace {
+
+double point_score(const std::unordered_map<flow::FlowKey, double>& scores,
+                   const flow::FlowKey& key) {
+  double total = 0.0;
+  for (const auto& [k, w] : scores) {
+    if (key.generalizes(k)) total += w;
+  }
+  return total;
+}
+
+std::vector<KeyScore> top_k(const std::unordered_map<flow::FlowKey, double>& scores,
+                            std::size_t k) {
+  std::vector<KeyScore> rows;
+  rows.reserve(scores.size());
+  for (const auto& [key, w] : scores) rows.push_back({key, w});
+  const std::size_t take = std::min(k, rows.size());
+  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(take), rows.end(),
+                    [](const KeyScore& a, const KeyScore& b) {
+                      return a.score > b.score;
+                    });
+  rows.resize(take);
+  return rows;
+}
+
+std::vector<KeyScore> above(const std::unordered_map<flow::FlowKey, double>& scores,
+                            double threshold) {
+  std::vector<KeyScore> rows;
+  for (const auto& [key, w] : scores) {
+    if (w >= threshold) rows.push_back({key, w});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return rows;
+}
+
+std::vector<KeyScore> drilldown(
+    const std::unordered_map<flow::FlowKey, double>& scores,
+    const flow::GeneralizationPolicy& policy, const flow::FlowKey& parent) {
+  // Group each stored key under its ancestor that is a direct child of
+  // `parent` on the canonical chain.
+  std::unordered_map<flow::FlowKey, double> children;
+  for (const auto& [key, w] : scores) {
+    if (key == parent || !parent.generalizes(key)) continue;
+    flow::FlowKey cursor = key;
+    bool found = false;
+    while (auto up = cursor.parent(policy)) {
+      if (*up == parent) {
+        found = true;
+        break;
+      }
+      cursor = *up;
+    }
+    if (found) children[cursor] += w;
+  }
+  std::vector<KeyScore> rows;
+  rows.reserve(children.size());
+  for (const auto& [key, w] : children) rows.push_back({key, w});
+  std::sort(rows.begin(), rows.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return rows;
+}
+
+}  // namespace
+
+std::vector<KeyScore> exact_hhh(
+    const std::unordered_map<flow::FlowKey, double>& scores,
+    const flow::GeneralizationPolicy& policy, double phi) {
+  expects(phi > 0.0 && phi <= 1.0, "exact_hhh: phi must be in (0, 1]");
+
+  double total = 0.0;
+  for (const auto& [key, w] : scores) total += w;
+  if (total <= 0.0) return {};
+  const double threshold = phi * total;
+
+  // Materialize the closure of canonical ancestors with "adjusted" weights
+  // (own weight + non-HHH descendant mass), then fold bottom-up.
+  std::unordered_map<flow::FlowKey, double> adjusted = scores;
+  std::vector<flow::FlowKey> order;
+  order.reserve(adjusted.size() * 2);
+  for (const auto& [key, w] : scores) {
+    flow::FlowKey cursor = key;
+    while (auto up = cursor.parent(policy)) {
+      if (adjusted.emplace(*up, 0.0).second) order.push_back(*up);
+      cursor = *up;
+    }
+  }
+  for (const auto& [key, w] : scores) order.push_back(key);
+
+  std::sort(order.begin(), order.end(),
+            [&](const flow::FlowKey& a, const flow::FlowKey& b) {
+              return a.depth(policy) > b.depth(policy);
+            });
+
+  std::vector<KeyScore> hhh;
+  for (const auto& key : order) {
+    const double mass = adjusted.at(key);
+    if (mass >= threshold) {
+      hhh.push_back({key, mass});
+      // discounted: HHH mass does not propagate to ancestors
+    } else if (auto up = key.parent(policy)) {
+      adjusted[*up] += mass;
+    }
+  }
+  std::sort(hhh.begin(), hhh.end(),
+            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  return hhh;
+}
+
+QueryResult exact_frequency_query(
+    const std::unordered_map<flow::FlowKey, double>& scores,
+    const flow::GeneralizationPolicy& policy, const Query& query,
+    bool approximate) {
+  QueryResult result;
+  result.approximate = approximate;
+  if (const auto* q = std::get_if<PointQuery>(&query)) {
+    result.entries.push_back({q->key, point_score(scores, q->key)});
+  } else if (const auto* q = std::get_if<TopKQuery>(&query)) {
+    result.entries = top_k(scores, q->k);
+  } else if (const auto* q = std::get_if<AboveQuery>(&query)) {
+    result.entries = above(scores, q->threshold);
+  } else if (const auto* q = std::get_if<DrilldownQuery>(&query)) {
+    result.entries = drilldown(scores, policy, q->key);
+  } else if (const auto* q = std::get_if<HHHQuery>(&query)) {
+    result.entries = exact_hhh(scores, policy, q->phi);
+  } else {
+    return QueryResult::unsupported();
+  }
+  return result;
+}
+
+}  // namespace detail
+
+// --- ExactAggregator ---
+
+void ExactAggregator::insert(const StreamItem& item) {
+  note_ingest(item);
+  scores_[item.key] += item.value;
+}
+
+QueryResult ExactAggregator::execute(const Query& query) const {
+  return detail::exact_frequency_query(scores_, policy_, query, lossy_);
+}
+
+bool ExactAggregator::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const ExactAggregator*>(&other);
+  return o != nullptr && o->policy_ == policy_;
+}
+
+void ExactAggregator::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "ExactAggregator::merge_from: incompatible");
+  const auto& o = static_cast<const ExactAggregator&>(other);
+  for (const auto& [key, w] : o.scores_) scores_[key] += w;
+  lossy_ = lossy_ || o.lossy_;
+  note_merge(other);
+}
+
+void ExactAggregator::compress(std::size_t target_size) {
+  if (scores_.size() <= target_size) return;
+  // Keep the heaviest target_size keys; exactness is lost.
+  std::vector<std::pair<flow::FlowKey, double>> rows(scores_.begin(), scores_.end());
+  std::nth_element(rows.begin(), rows.begin() + static_cast<long>(target_size),
+                   rows.end(), [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  rows.resize(target_size);
+  scores_ = std::unordered_map<flow::FlowKey, double>(rows.begin(), rows.end());
+  lossy_ = true;
+}
+
+std::size_t ExactAggregator::memory_bytes() const {
+  return scores_.size() * (sizeof(flow::FlowKey) + sizeof(double) + 2 * sizeof(void*));
+}
+
+std::unique_ptr<Aggregator> ExactAggregator::clone() const {
+  return std::make_unique<ExactAggregator>(*this);
+}
+
+// --- RawStore ---
+
+void RawStore::insert(const StreamItem& item) {
+  note_ingest(item);
+  items_.push_back(item);
+}
+
+QueryResult RawStore::execute(const Query& query) const {
+  if (const auto* q = std::get_if<RangeQuery>(&query)) {
+    QueryResult result;
+    result.approximate = lossy_;
+    for (const auto& item : items_) {
+      if (q->interval.contains(item.timestamp) && item.value >= q->min_value) {
+        result.points.push_back(item);
+      }
+    }
+    return result;
+  }
+  if (const auto* q = std::get_if<StatsQuery>(&query)) {
+    QueryResult result;
+    result.approximate = lossy_;
+    RunningStats stats;
+    for (const auto& item : items_) {
+      if (q->interval.contains(item.timestamp)) stats.add(item.value);
+    }
+    result.stats = StatsResult{stats.count(), stats.sum(),  stats.mean(),
+                               stats.stddev(), stats.count() ? stats.min() : 0.0,
+                               stats.count() ? stats.max() : 0.0};
+    return result;
+  }
+  // Frequency queries: aggregate observations by key, then answer exactly.
+  std::unordered_map<flow::FlowKey, double> scores;
+  for (const auto& item : items_) scores[item.key] += item.value;
+  return detail::exact_frequency_query(scores, policy_, query, lossy_);
+}
+
+bool RawStore::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const RawStore*>(&other);
+  return o != nullptr && o->policy_ == policy_;
+}
+
+void RawStore::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "RawStore::merge_from: incompatible");
+  const auto& o = static_cast<const RawStore&>(other);
+  items_.insert(items_.end(), o.items_.begin(), o.items_.end());
+  std::sort(items_.begin(), items_.end(),
+            [](const StreamItem& a, const StreamItem& b) {
+              return a.timestamp < b.timestamp;
+            });
+  lossy_ = lossy_ || o.lossy_;
+  note_merge(other);
+}
+
+void RawStore::compress(std::size_t target_size) {
+  if (items_.size() <= target_size) return;
+  items_.erase(items_.begin(),
+               items_.begin() + static_cast<long>(items_.size() - target_size));
+  lossy_ = true;
+}
+
+std::size_t RawStore::memory_bytes() const {
+  return items_.size() * sizeof(StreamItem);
+}
+
+std::unique_ptr<Aggregator> RawStore::clone() const {
+  return std::make_unique<RawStore>(*this);
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,93 @@
+// Ground-truth primitives.
+//
+// ExactAggregator keeps an exact per-key weight table. It is the accuracy
+// reference for every frequency-style query (point, top-k, above-x,
+// drilldown, HHH) in experiment E2, and doubles as the "exact but
+// unboundedly growing" strawman the paper argues against (its footprint is
+// linear in the number of distinct flows).
+//
+// RawStore retains every observation verbatim — the "Raw Access" box of the
+// paper's data-store figure (Fig. 4). It answers *all* query shapes exactly,
+// at the cost of unbounded memory; storage strategies in megads_store bound
+// it by eviction.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class ExactAggregator final : public Aggregator {
+ public:
+  explicit ExactAggregator(flow::GeneralizationPolicy policy = {}) noexcept
+      : policy_(policy) {}
+
+  [[nodiscard]] std::string kind() const override { return "exact"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return scores_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] const flow::GeneralizationPolicy& policy() const noexcept {
+    return policy_;
+  }
+  /// True once compress() has discarded mass (answers become approximate).
+  [[nodiscard]] bool lossy() const noexcept { return lossy_; }
+
+ private:
+  flow::GeneralizationPolicy policy_;
+  std::unordered_map<flow::FlowKey, double> scores_;
+  bool lossy_ = false;
+};
+
+class RawStore final : public Aggregator {
+ public:
+  explicit RawStore(flow::GeneralizationPolicy policy = {}) noexcept
+      : policy_(policy) {}
+
+  [[nodiscard]] std::string kind() const override { return "raw"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  /// Drops the oldest observations until at most target_size remain.
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return items_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] const std::vector<StreamItem>& items() const noexcept {
+    return items_;
+  }
+
+ private:
+  flow::GeneralizationPolicy policy_;
+  std::vector<StreamItem> items_;  // kept in insertion (≈ time) order
+  bool lossy_ = false;
+};
+
+namespace detail {
+
+/// Exact answers over a key -> weight table, shared by the ground-truth
+/// primitives. `approximate` marks the produced results.
+QueryResult exact_frequency_query(
+    const std::unordered_map<flow::FlowKey, double>& scores,
+    const flow::GeneralizationPolicy& policy, const Query& query,
+    bool approximate);
+
+/// Exact canonical-tree hierarchical heavy hitters with discounting:
+/// a node is reported when its subtree weight, minus the subtree weights of
+/// already-reported descendant HHHs, is >= phi * total.
+std::vector<KeyScore> exact_hhh(
+    const std::unordered_map<flow::FlowKey, double>& scores,
+    const flow::GeneralizationPolicy& policy, double phi);
+
+}  // namespace detail
+
+}  // namespace megads::primitives

@@ -1,0 +1,99 @@
+#include "primitives/exact_hhh.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "primitives/exact.hpp"
+
+namespace megads::primitives {
+
+void ExactHHH::insert(const StreamItem& item) {
+  note_ingest(item);
+  own_[item.key] += item.value;
+  flow::FlowKey cursor = item.key;
+  subtree_[cursor] += item.value;
+  while (auto up = cursor.parent(policy_)) {
+    cursor = *up;
+    subtree_[cursor] += item.value;
+  }
+}
+
+QueryResult ExactHHH::execute(const Query& query) const {
+  QueryResult result;
+  result.approximate = lossy_;
+  if (const auto* q = std::get_if<PointQuery>(&query)) {
+    result.entries.push_back({q->key, subtree_weight(q->key)});
+    return result;
+  }
+  if (const auto* q = std::get_if<DrilldownQuery>(&query)) {
+    // Children are exactly the stored keys whose canonical parent is q->key.
+    for (const auto& [key, w] : subtree_) {
+      const auto up = key.parent(policy_);
+      if (up && *up == q->key) result.entries.push_back({key, w});
+    }
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+    return result;
+  }
+  // Top-k / above-x / HHH are answered from the own-weight table so that the
+  // semantics match the other frequency primitives.
+  return detail::exact_frequency_query(own_, policy_, query, lossy_);
+}
+
+bool ExactHHH::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const ExactHHH*>(&other);
+  return o != nullptr && o->policy_ == policy_;
+}
+
+void ExactHHH::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "ExactHHH::merge_from: incompatible");
+  const auto& o = static_cast<const ExactHHH&>(other);
+  for (const auto& [key, w] : o.subtree_) subtree_[key] += w;
+  for (const auto& [key, w] : o.own_) own_[key] += w;
+  lossy_ = lossy_ || o.lossy_;
+  note_merge(other);
+}
+
+void ExactHHH::compress(std::size_t target_size) {
+  if (subtree_.size() <= target_size) return;
+  // Evict the lightest *leaf-most* entries: keep the heaviest subtrees.
+  std::vector<std::pair<flow::FlowKey, double>> rows(subtree_.begin(),
+                                                     subtree_.end());
+  std::nth_element(rows.begin(), rows.begin() + static_cast<long>(target_size),
+                   rows.end(), [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  rows.resize(target_size);
+  std::unordered_map<flow::FlowKey, double> kept(rows.begin(), rows.end());
+  // own_ entries for evicted keys are folded into their nearest kept ancestor
+  // so total mass is preserved.
+  std::unordered_map<flow::FlowKey, double> new_own;
+  for (const auto& [key, w] : own_) {
+    flow::FlowKey cursor = key;
+    while (!kept.contains(cursor)) {
+      const auto up = cursor.parent(policy_);
+      if (!up) break;  // root always survives nth_element in practice; guard anyway
+      cursor = *up;
+    }
+    new_own[cursor] += w;
+  }
+  subtree_ = std::move(kept);
+  own_ = std::move(new_own);
+  lossy_ = true;
+}
+
+std::size_t ExactHHH::memory_bytes() const {
+  return (subtree_.size() + own_.size()) *
+         (sizeof(flow::FlowKey) + sizeof(double) + 2 * sizeof(void*));
+}
+
+std::unique_ptr<Aggregator> ExactHHH::clone() const {
+  return std::make_unique<ExactHHH>(*this);
+}
+
+double ExactHHH::subtree_weight(const flow::FlowKey& key) const {
+  const auto it = subtree_.find(key);
+  return it == subtree_.end() ? 0.0 : it->second;
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,45 @@
+// ExactHHH: the full-trie hierarchical-heavy-hitter baseline.
+//
+// Every insert updates the key *and all of its canonical ancestors*, so the
+// table holds exact subtree weights for the whole generalization closure.
+// Point queries on any on-chain generalized key are O(1) and HHH extraction
+// is a single bottom-up pass — at the price of depth-times-more memory and
+// write amplification than Flowtree. Experiment E2 uses it as the exact
+// upper baseline that Flowtree approximates under a node budget.
+#pragma once
+
+#include <unordered_map>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class ExactHHH final : public Aggregator {
+ public:
+  explicit ExactHHH(flow::GeneralizationPolicy policy = {}) noexcept
+      : policy_(policy) {}
+
+  [[nodiscard]] std::string kind() const override { return "exact-hhh"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return subtree_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  /// Exact subtree weight of a key (0 when it never appeared).
+  [[nodiscard]] double subtree_weight(const flow::FlowKey& key) const;
+
+ private:
+  flow::GeneralizationPolicy policy_;
+  // key -> exact subtree weight (weight of the key itself plus all inserted
+  // descendants along canonical chains).
+  std::unordered_map<flow::FlowKey, double> subtree_;
+  // key -> own weight only (needed to rebuild the discounted HHH set).
+  std::unordered_map<flow::FlowKey, double> own_;
+  bool lossy_ = false;
+};
+
+}  // namespace megads::primitives

@@ -1,0 +1,146 @@
+#include "primitives/histogram.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace megads::primitives {
+
+HistogramAggregator::HistogramAggregator(double bucket_width)
+    : bucket_width_(bucket_width) {
+  expects(bucket_width > 0.0, "HistogramAggregator: bucket width must be positive");
+}
+
+std::int64_t HistogramAggregator::bucket_of(double value) const noexcept {
+  return static_cast<std::int64_t>(std::floor(value / bucket_width_));
+}
+
+void HistogramAggregator::insert(const StreamItem& item) {
+  note_ingest(item);
+  buckets_[bucket_of(item.value)] += 1;
+}
+
+QueryResult HistogramAggregator::execute(const Query& query) const {
+  if (const auto* q = std::get_if<StatsQuery>(&query)) {
+    (void)q;  // histograms have no time dimension: the window is ignored,
+              // which makes the answer approximate by contract.
+    QueryResult result;
+    result.approximate = true;
+    // Closed-form moments from bucket midpoints (O(buckets), not O(items)).
+    std::uint64_t n = 0;
+    double sum = 0.0, sumsq = 0.0;
+    double min = 0.0, max = 0.0;
+    bool first = true;
+    for (const auto& [index, count] : buckets_) {
+      const double mid = (static_cast<double>(index) + 0.5) * bucket_width_;
+      n += count;
+      sum += mid * static_cast<double>(count);
+      sumsq += mid * mid * static_cast<double>(count);
+      if (first && count > 0) {
+        min = static_cast<double>(index) * bucket_width_;
+        first = false;
+      }
+      if (count > 0) max = (static_cast<double>(index) + 1.0) * bucket_width_;
+    }
+    const double mean = n ? sum / static_cast<double>(n) : 0.0;
+    const double variance =
+        n ? std::max(0.0, sumsq / static_cast<double>(n) - mean * mean) : 0.0;
+    result.stats = StatsResult{n, sum, mean, std::sqrt(variance), min, max};
+    return result;
+  }
+  if (const auto* q = std::get_if<AboveQuery>(&query)) {
+    // Above-x over *values*: one row, the count of observations >= x.
+    QueryResult result;
+    result.approximate = true;
+    result.entries.push_back(
+        {flow::FlowKey{}, static_cast<double>(count_above(q->threshold))});
+    return result;
+  }
+  return QueryResult::unsupported();
+}
+
+bool HistogramAggregator::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const HistogramAggregator*>(&other);
+  if (o == nullptr) return false;
+  double a = bucket_width_;
+  double b = o->bucket_width_;
+  if (a > b) std::swap(a, b);
+  while (a < b * 0.999999) a *= 2.0;
+  return std::fabs(a - b) <= 1e-9 * b;
+}
+
+void HistogramAggregator::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "HistogramAggregator::merge_from: incompatible");
+  const auto& o = static_cast<const HistogramAggregator&>(other);
+  while (bucket_width_ < o.bucket_width_ * 0.999999) double_bucket_width();
+  if (std::fabs(o.bucket_width_ - bucket_width_) <= 1e-9 * bucket_width_) {
+    for (const auto& [index, count] : o.buckets_) buckets_[index] += count;
+  } else {
+    HistogramAggregator coarsened = o;
+    while (coarsened.bucket_width_ < bucket_width_ * 0.999999) {
+      coarsened.double_bucket_width();
+    }
+    for (const auto& [index, count] : coarsened.buckets_) {
+      buckets_[index] += count;
+    }
+  }
+  note_merge(other);
+}
+
+void HistogramAggregator::double_bucket_width() {
+  std::map<std::int64_t, std::uint64_t> coarser;
+  for (const auto& [index, count] : buckets_) {
+    std::int64_t parent = index / 2;
+    if (index % 2 != 0 && index < 0) --parent;
+    coarser[parent] += count;
+  }
+  buckets_ = std::move(coarser);
+  bucket_width_ *= 2.0;
+}
+
+void HistogramAggregator::compress(std::size_t target_size) {
+  expects(target_size > 0, "HistogramAggregator::compress: target must be positive");
+  while (buckets_.size() > target_size) double_bucket_width();
+}
+
+std::size_t HistogramAggregator::memory_bytes() const {
+  return buckets_.size() *
+         (sizeof(std::int64_t) + sizeof(std::uint64_t) + 3 * sizeof(void*));
+}
+
+std::unique_ptr<Aggregator> HistogramAggregator::clone() const {
+  return std::make_unique<HistogramAggregator>(*this);
+}
+
+double HistogramAggregator::quantile(double q) const {
+  expects(q >= 0.0 && q <= 1.0, "HistogramAggregator::quantile: q in [0, 1]");
+  std::uint64_t total = 0;
+  for (const auto& [index, count] : buckets_) total += count;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, count] : buckets_) {
+    const std::uint64_t next = cumulative + count;
+    if (static_cast<double>(next) >= target) {
+      // Linear interpolation inside the bucket.
+      const double inside =
+          count == 0 ? 0.0
+                     : (target - static_cast<double>(cumulative)) /
+                           static_cast<double>(count);
+      return (static_cast<double>(index) + inside) * bucket_width_;
+    }
+    cumulative = next;
+  }
+  return (static_cast<double>(buckets_.rbegin()->first) + 1.0) * bucket_width_;
+}
+
+std::uint64_t HistogramAggregator::count_above(double threshold) const {
+  const std::int64_t from = bucket_of(threshold);
+  std::uint64_t total = 0;
+  for (auto it = buckets_.lower_bound(from); it != buckets_.end(); ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,53 @@
+// HistogramAggregator — a value-domain computing primitive for sensor
+// streams: fixed-width buckets over the measurement range, each carrying a
+// count. It answers distributional questions the moment-based TimeBin
+// summary cannot (quantiles, "fraction of readings above x").
+//
+// Design properties (Section V.A):
+//   Query:      StatsQuery (moments from buckets) plus quantile()/above_value()
+//   Combine:    histograms merge bucket-wise; widths related by powers of two
+//               coarsen automatically (like TimeBinAggregator)
+//   Aggregate:  compress() doubles the bucket width
+//   Self-adapt: adapt() folds the store's entry budget into compress()
+//   Domain:     bucket width is chosen in the measurement's own unit
+#pragma once
+
+#include <map>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class HistogramAggregator final : public Aggregator {
+ public:
+  /// bucket_width: size of one value bucket (> 0), e.g. 0.5 degrees.
+  explicit HistogramAggregator(double bucket_width);
+
+  [[nodiscard]] std::string kind() const override { return "histogram"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  /// Doubles the bucket width until at most target_size buckets remain.
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return buckets_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] double bucket_width() const noexcept { return bucket_width_; }
+
+  /// Estimated q-quantile (q in [0, 1]) by linear interpolation inside the
+  /// bucket containing the target rank. 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// Number of observations with value >= threshold (bucket resolution).
+  [[nodiscard]] std::uint64_t count_above(double threshold) const;
+
+ private:
+  [[nodiscard]] std::int64_t bucket_of(double value) const noexcept;
+  void double_bucket_width();
+
+  double bucket_width_;
+  std::map<std::int64_t, std::uint64_t> buckets_;  // index -> count
+};
+
+}  // namespace megads::primitives

@@ -1,0 +1,107 @@
+// The stream/query vocabulary shared by all computing primitives.
+//
+// A StreamItem is one observation: a (possibly trivial) flow key, a numeric
+// value (a sensor reading, or a weight such as bytes/packets for flow data),
+// and a virtual timestamp. Queries are a closed variant so that a data store
+// can route *a-priori-unknown* queries to any installed primitive; a
+// primitive that cannot answer a given query shape reports
+// QueryResult::supported == false (design property (a) of Section V.A is
+// about maximizing this set, not pretending every summary answers
+// everything).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flow/flowkey.hpp"
+
+namespace megads::primitives {
+
+/// One observation from a sensor or a flow exporter.
+struct StreamItem {
+  flow::FlowKey key;      ///< root key for pure time-series streams
+  double value = 1.0;     ///< measurement or weight (e.g. bytes)
+  SimTime timestamp = 0;
+};
+
+/// Popularity score of one (possibly generalized) key. (Table II: Query)
+struct PointQuery {
+  flow::FlowKey key;
+};
+
+/// The k keys with the highest popularity score. (Table II: Top-k)
+struct TopKQuery {
+  std::size_t k = 10;
+};
+
+/// All keys with popularity score above a threshold. (Table II: Above-x)
+struct AboveQuery {
+  double threshold = 0.0;
+};
+
+/// Children of `key` in the generalization hierarchy. (Table II: Drilldown)
+struct DrilldownQuery {
+  flow::FlowKey key;
+};
+
+/// Hierarchical heavy hitters with threshold phi (fraction of total mass).
+/// (Table II: HHH)
+struct HHHQuery {
+  double phi = 0.05;
+};
+
+/// Data points inside a time interval with value >= min_value
+/// (the Section V.B toy-example query on a sampled time series).
+struct RangeQuery {
+  TimeInterval interval;
+  double min_value = 0.0;
+};
+
+/// Aggregate statistics (count/sum/mean/stddev/min/max) over a time interval.
+struct StatsQuery {
+  TimeInterval interval;
+};
+
+using Query = std::variant<PointQuery, TopKQuery, AboveQuery, DrilldownQuery,
+                           HHHQuery, RangeQuery, StatsQuery>;
+
+/// Human-readable name of the query alternative ("top-k", "hhh", ...).
+[[nodiscard]] std::string query_kind(const Query& query);
+
+/// A scored key, the common row shape of frequency-style answers.
+struct KeyScore {
+  flow::FlowKey key;
+  double score = 0.0;
+
+  friend bool operator==(const KeyScore&, const KeyScore&) = default;
+};
+
+/// Scalar statistics row for StatsQuery answers.
+struct StatsResult {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Uniform answer envelope.
+struct QueryResult {
+  bool supported = true;              ///< false: this primitive cannot answer
+  bool approximate = false;           ///< answer carries estimation error
+  std::vector<KeyScore> entries;      ///< point/top-k/above/drilldown/hhh rows
+  std::vector<StreamItem> points;     ///< range-query rows
+  std::optional<StatsResult> stats;   ///< stats-query row
+
+  static QueryResult unsupported() {
+    QueryResult r;
+    r.supported = false;
+    return r;
+  }
+};
+
+}  // namespace megads::primitives

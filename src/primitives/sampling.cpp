@@ -1,0 +1,163 @@
+#include "primitives/sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "primitives/exact.hpp"
+
+namespace megads::primitives {
+
+SamplingAggregator::SamplingAggregator(std::size_t capacity,
+                                       flow::GeneralizationPolicy policy,
+                                       std::uint64_t seed)
+    : capacity_(capacity), policy_(policy), rng_(seed) {
+  expects(capacity > 0, "SamplingAggregator: capacity must be positive");
+  reservoir_.reserve(capacity);
+}
+
+void SamplingAggregator::insert(const StreamItem& item) {
+  note_ingest(item);
+  // Vitter's Algorithm R.
+  if (reservoir_.size() < capacity_) {
+    reservoir_.push_back(item);
+    return;
+  }
+  const std::uint64_t slot = rng_.uniform(items_ingested());
+  if (slot < capacity_) reservoir_[slot] = item;
+}
+
+double SamplingAggregator::sampling_rate() const noexcept {
+  if (items_ingested() == 0) return 1.0;
+  return std::min(1.0, static_cast<double>(reservoir_.size()) /
+                           static_cast<double>(items_ingested()));
+}
+
+double SamplingAggregator::expansion_factor() const noexcept {
+  const double rate = sampling_rate();
+  return rate > 0.0 ? 1.0 / rate : 0.0;
+}
+
+QueryResult SamplingAggregator::execute(const Query& query) const {
+  const bool is_exact = items_ingested() <= capacity_;
+  if (const auto* q = std::get_if<RangeQuery>(&query)) {
+    QueryResult result;
+    result.approximate = !is_exact;
+    for (const auto& item : reservoir_) {
+      if (q->interval.contains(item.timestamp) && item.value >= q->min_value) {
+        result.points.push_back(item);
+      }
+    }
+    std::sort(result.points.begin(), result.points.end(),
+              [](const StreamItem& a, const StreamItem& b) {
+                return a.timestamp < b.timestamp;
+              });
+    return result;
+  }
+  if (const auto* q = std::get_if<StatsQuery>(&query)) {
+    QueryResult result;
+    result.approximate = !is_exact;
+    RunningStats stats;
+    for (const auto& item : reservoir_) {
+      if (q->interval.contains(item.timestamp)) stats.add(item.value);
+    }
+    const double expand = expansion_factor();
+    result.stats = StatsResult{
+        static_cast<std::uint64_t>(
+            std::llround(static_cast<double>(stats.count()) * expand)),
+        stats.sum() * expand,
+        stats.mean(),
+        stats.stddev(),
+        stats.count() ? stats.min() : 0.0,
+        stats.count() ? stats.max() : 0.0};
+    return result;
+  }
+  // Frequency queries: aggregate the sample by key and scale scores by the
+  // expansion factor (Horvitz-Thompson estimator).
+  std::unordered_map<flow::FlowKey, double> scores;
+  for (const auto& item : reservoir_) scores[item.key] += item.value;
+  const double expand = expansion_factor();
+  // Above-x thresholds apply to *estimated* scores: translate the threshold
+  // into sample space before filtering.
+  Query effective = query;
+  if (const auto* q = std::get_if<AboveQuery>(&query); q && expand > 0.0) {
+    effective = AboveQuery{q->threshold / expand};
+  }
+  QueryResult result =
+      detail::exact_frequency_query(scores, policy_, effective, !is_exact);
+  if (!result.supported) return result;
+  for (auto& row : result.entries) row.score *= expand;
+  return result;
+}
+
+bool SamplingAggregator::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const SamplingAggregator*>(&other);
+  return o != nullptr && o->policy_ == policy_;
+}
+
+void SamplingAggregator::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "SamplingAggregator::merge_from: incompatible");
+  const auto& o = static_cast<const SamplingAggregator&>(other);
+
+  // Weighted resampling (Efraimidis-Spirakis keys): each retained item stands
+  // for 1/rate stream items, so the union sample stays uniform over the
+  // concatenated streams even when the two rates differ.
+  struct Keyed {
+    double key;
+    StreamItem item;
+  };
+  std::vector<Keyed> pool;
+  pool.reserve(reservoir_.size() + o.reservoir_.size());
+  const auto push_all = [&](const SamplingAggregator& src) {
+    const double weight = src.expansion_factor();
+    for (const auto& item : src.reservoir_) {
+      double u;
+      do {
+        u = rng_.uniform01();
+      } while (u == 0.0);
+      pool.push_back(Keyed{std::pow(u, 1.0 / weight), item});
+    }
+  };
+  push_all(*this);
+  push_all(o);
+
+  const std::size_t keep = std::min(capacity_, pool.size());
+  std::partial_sort(pool.begin(), pool.begin() + static_cast<long>(keep), pool.end(),
+                    [](const Keyed& a, const Keyed& b) { return a.key > b.key; });
+  reservoir_.clear();
+  for (std::size_t i = 0; i < keep; ++i) reservoir_.push_back(pool[i].item);
+  note_merge(other);
+}
+
+void SamplingAggregator::compress(std::size_t target_size) {
+  expects(target_size > 0, "SamplingAggregator::compress: target must be positive");
+  capacity_ = target_size;
+  if (reservoir_.size() <= target_size) return;
+  // The reservoir is uniform; dropping uniformly chosen items keeps it so.
+  for (std::size_t i = reservoir_.size(); i > target_size; --i) {
+    const std::uint64_t victim = rng_.uniform(i);
+    reservoir_[victim] = reservoir_[i - 1];
+    reservoir_.pop_back();
+  }
+}
+
+void SamplingAggregator::adapt(const AdaptSignal& signal) {
+  if (signal.size_budget == 0) return;
+  if (signal.size_budget < capacity_) {
+    compress(signal.size_budget);
+  } else {
+    capacity_ = signal.size_budget;  // allow the sample to grow finer again
+    reservoir_.reserve(capacity_);
+  }
+}
+
+std::size_t SamplingAggregator::memory_bytes() const {
+  return reservoir_.capacity() * sizeof(StreamItem);
+}
+
+std::unique_ptr<Aggregator> SamplingAggregator::clone() const {
+  return std::make_unique<SamplingAggregator>(*this);
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,56 @@
+// SamplingAggregator — the paper's Section V.B toy computing primitive:
+// a uniform random sample of the stream, kept as a bounded reservoir.
+//
+//   Query:      time-series selection (RangeQuery) plus Horvitz-Thompson
+//               scaled estimates for the frequency queries.
+//   Combine:    two reservoirs merge by weighted resampling, staying a
+//               uniform sample of the union stream.
+//   Aggregate:  the effective sampling rate is reservoir/|stream|; shrinking
+//               the reservoir coarsens the summary.
+//   Self-adapt: adapt() resizes the reservoir to the store's budget.
+//   Domain:     none — this primitive is the paper's example of aggregation
+//               *without* domain knowledge.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class SamplingAggregator final : public Aggregator {
+ public:
+  explicit SamplingAggregator(std::size_t capacity,
+                              flow::GeneralizationPolicy policy = {},
+                              std::uint64_t seed = 42);
+
+  [[nodiscard]] std::string kind() const override { return "sampling"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  void adapt(const AdaptSignal& signal) override;
+  [[nodiscard]] std::size_t size() const override { return reservoir_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Fraction of the stream the reservoir represents (1.0 while not full).
+  [[nodiscard]] double sampling_rate() const noexcept;
+  [[nodiscard]] const std::vector<StreamItem>& sample() const noexcept {
+    return reservoir_;
+  }
+
+ private:
+  /// Stream items represented per retained sample item (1 / sampling_rate).
+  [[nodiscard]] double expansion_factor() const noexcept;
+
+  std::size_t capacity_;
+  flow::GeneralizationPolicy policy_;
+  std::vector<StreamItem> reservoir_;
+  mutable Rng rng_;
+};
+
+}  // namespace megads::primitives

@@ -1,0 +1,165 @@
+#include "primitives/spacesaving.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::primitives {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  expects(capacity > 0, "SpaceSaving: capacity must be positive");
+}
+
+SpaceSaving::SpaceSaving(const SpaceSaving& other)
+    : Aggregator(other), capacity_(other.capacity_), entries_(other.entries_) {
+  rebuild_index();
+}
+
+SpaceSaving& SpaceSaving::operator=(const SpaceSaving& other) {
+  if (this == &other) return *this;
+  Aggregator::operator=(other);
+  capacity_ = other.capacity_;
+  entries_ = other.entries_;
+  rebuild_index();
+  return *this;
+}
+
+void SpaceSaving::rebuild_index() {
+  by_count_.clear();
+  for (auto& [key, entry] : entries_) {
+    entry.position = by_count_.emplace(entry.count, key);
+  }
+}
+
+void SpaceSaving::add_weight(const flow::FlowKey& key, double weight) {
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    by_count_.erase(entry.position);
+    entry.count += weight;
+    entry.position = by_count_.emplace(entry.count, key);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    Entry entry;
+    entry.count = weight;
+    entry.position = by_count_.emplace(weight, key);
+    entries_.emplace(key, entry);
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error bound.
+  const auto victim = by_count_.begin();
+  const double floor = victim->first;
+  entries_.erase(victim->second);
+  by_count_.erase(victim);
+  Entry entry;
+  entry.count = floor + weight;
+  entry.error = floor;
+  entry.position = by_count_.emplace(entry.count, key);
+  entries_.emplace(key, entry);
+}
+
+void SpaceSaving::insert(const StreamItem& item) {
+  note_ingest(item);
+  add_weight(item.key, item.value);
+}
+
+double SpaceSaving::min_count() const noexcept {
+  if (entries_.size() < capacity_ || by_count_.empty()) return 0.0;
+  return by_count_.begin()->first;
+}
+
+double SpaceSaving::error_of(const flow::FlowKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? min_count() : it->second.error;
+}
+
+QueryResult SpaceSaving::execute(const Query& query) const {
+  const bool approximate = items_ingested() > 0 && min_count() > 0.0;
+  if (const auto* q = std::get_if<PointQuery>(&query)) {
+    QueryResult result;
+    result.approximate = approximate;
+    const auto it = entries_.find(q->key);
+    // Absent keys are bounded above by the minimum counter.
+    result.entries.push_back(
+        {q->key, it == entries_.end() ? min_count() : it->second.count});
+    return result;
+  }
+  if (const auto* q = std::get_if<TopKQuery>(&query)) {
+    QueryResult result;
+    result.approximate = approximate;
+    std::size_t taken = 0;
+    for (auto it = by_count_.rbegin(); it != by_count_.rend() && taken < q->k;
+         ++it, ++taken) {
+      result.entries.push_back({it->second, it->first});
+    }
+    return result;
+  }
+  if (const auto* q = std::get_if<AboveQuery>(&query)) {
+    QueryResult result;
+    result.approximate = approximate;
+    for (auto it = by_count_.rbegin(); it != by_count_.rend(); ++it) {
+      if (it->first < q->threshold) break;
+      result.entries.push_back({it->second, it->first});
+    }
+    return result;
+  }
+  // No hierarchy, no time dimension: drilldown/HHH/range/stats are out of
+  // this summary's reach — exactly the limitation Section V argues motivates
+  // novel primitives.
+  return QueryResult::unsupported();
+}
+
+bool SpaceSaving::mergeable_with(const Aggregator& other) const {
+  return dynamic_cast<const SpaceSaving*>(&other) != nullptr;
+}
+
+void SpaceSaving::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "SpaceSaving::merge_from: incompatible");
+  const auto& o = static_cast<const SpaceSaving&>(other);
+  // Mergeable-summaries combine (Agarwal et al.): sum counters over the key
+  // union, then keep the heaviest `capacity_` entries. Errors add where both
+  // sides monitored the key.
+  std::unordered_map<flow::FlowKey, Entry> combined = entries_;
+  for (const auto& [key, entry] : o.entries_) {
+    auto [it, inserted] = combined.emplace(key, entry);
+    if (!inserted) {
+      it->second.count += entry.count;
+      it->second.error += entry.error;
+    }
+  }
+  if (combined.size() > capacity_) {
+    std::vector<std::pair<flow::FlowKey, Entry>> rows(combined.begin(),
+                                                      combined.end());
+    std::nth_element(rows.begin(), rows.begin() + static_cast<long>(capacity_),
+                     rows.end(), [](const auto& a, const auto& b) {
+                       return a.second.count > b.second.count;
+                     });
+    rows.resize(capacity_);
+    combined = std::unordered_map<flow::FlowKey, Entry>(rows.begin(), rows.end());
+  }
+  entries_ = std::move(combined);
+  rebuild_index();
+  note_merge(other);
+}
+
+void SpaceSaving::compress(std::size_t target_size) {
+  expects(target_size > 0, "SpaceSaving::compress: target must be positive");
+  capacity_ = target_size;
+  while (entries_.size() > capacity_) {
+    const auto victim = by_count_.begin();
+    entries_.erase(victim->second);
+    by_count_.erase(victim);
+  }
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  return entries_.size() * (sizeof(flow::FlowKey) + sizeof(Entry) +
+                            sizeof(double) + 4 * sizeof(void*));
+}
+
+std::unique_ptr<Aggregator> SpaceSaving::clone() const {
+  return std::make_unique<SpaceSaving>(*this);
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,55 @@
+// SpaceSaving — the classic bounded-memory heavy-hitter summary
+// (Metwally et al.), in its weighted form, kept as the paper's
+// "heavy hitter detection" strawman: excellent top-k under a fixed budget,
+// but flat (no hierarchy) and with coarse point estimates for cold keys.
+//
+// Guarantees: for every key, estimate(key) - error(key) <= true(key) <=
+// estimate(key), and every key with true weight > W/m is in the summary
+// (W = total weight, m = capacity).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class SpaceSaving final : public Aggregator {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+  SpaceSaving(const SpaceSaving& other);
+  SpaceSaving& operator=(const SpaceSaving& other);
+
+  [[nodiscard]] std::string kind() const override { return "space-saving"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return entries_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Upper bound on the weight of any key *not* in the summary.
+  [[nodiscard]] double min_count() const noexcept;
+  /// Overestimation bound for a monitored key (0 when it never hit eviction).
+  [[nodiscard]] double error_of(const flow::FlowKey& key) const;
+
+ private:
+  struct Entry {
+    double count = 0.0;
+    double error = 0.0;
+    std::multimap<double, flow::FlowKey>::iterator position;
+  };
+
+  void add_weight(const flow::FlowKey& key, double weight);
+  void rebuild_index();
+
+  std::size_t capacity_;
+  std::unordered_map<flow::FlowKey, Entry> entries_;
+  std::multimap<double, flow::FlowKey> by_count_;  // ascending count order
+};
+
+}  // namespace megads::primitives

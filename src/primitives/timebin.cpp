@@ -1,0 +1,131 @@
+#include "primitives/timebin.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::primitives {
+
+TimeBinAggregator::TimeBinAggregator(SimDuration bin_width)
+    : bin_width_(bin_width) {
+  expects(bin_width > 0, "TimeBinAggregator: bin width must be positive");
+}
+
+std::int64_t TimeBinAggregator::bin_of(SimTime t) const noexcept {
+  // Floor division, correct for negative timestamps as well.
+  std::int64_t q = t / bin_width_;
+  if (t % bin_width_ != 0 && t < 0) --q;
+  return q;
+}
+
+TimeInterval TimeBinAggregator::bin_interval(std::int64_t index) const noexcept {
+  return TimeInterval{index * bin_width_, (index + 1) * bin_width_};
+}
+
+void TimeBinAggregator::insert(const StreamItem& item) {
+  note_ingest(item);
+  bins_[bin_of(item.timestamp)].add(item.value);
+}
+
+QueryResult TimeBinAggregator::execute(const Query& query) const {
+  if (const auto* q = std::get_if<StatsQuery>(&query)) {
+    QueryResult result;
+    RunningStats combined;
+    bool partial = false;
+    const auto first = bins_.lower_bound(bin_of(q->interval.begin));
+    for (auto it = first; it != bins_.end(); ++it) {
+      const TimeInterval cover = bin_interval(it->first);
+      if (cover.begin >= q->interval.end) break;
+      if (!cover.overlaps(q->interval)) continue;
+      combined.merge(it->second);
+      // A bin sticking out of the queried window makes the answer inexact.
+      partial = partial || cover.begin < q->interval.begin ||
+                cover.end > q->interval.end;
+    }
+    result.approximate = partial;
+    result.stats =
+        StatsResult{combined.count(),  combined.sum(),
+                    combined.mean(),   combined.stddev(),
+                    combined.count() ? combined.min() : 0.0,
+                    combined.count() ? combined.max() : 0.0};
+    return result;
+  }
+  if (const auto* q = std::get_if<RangeQuery>(&query)) {
+    // One representative point per bin: the bin midpoint carrying the bin
+    // mean. This is the coarsened time series the paper's strategy 3 serves.
+    QueryResult result;
+    result.approximate = true;
+    const auto first = bins_.lower_bound(bin_of(q->interval.begin));
+    for (auto it = first; it != bins_.end(); ++it) {
+      const TimeInterval cover = bin_interval(it->first);
+      if (cover.begin >= q->interval.end) break;
+      if (!cover.overlaps(q->interval) || it->second.count() == 0) continue;
+      const double mean = it->second.mean();
+      if (mean < q->min_value) continue;
+      StreamItem point;
+      point.value = mean;
+      point.timestamp = cover.begin + cover.length() / 2;
+      result.points.push_back(point);
+    }
+    return result;
+  }
+  return QueryResult::unsupported();
+}
+
+namespace {
+
+/// True when a == b * 2^k or b == a * 2^k for some k >= 0.
+bool widths_compatible(SimDuration a, SimDuration b) noexcept {
+  if (a > b) std::swap(a, b);
+  while (a < b) a *= 2;
+  return a == b;
+}
+
+}  // namespace
+
+bool TimeBinAggregator::mergeable_with(const Aggregator& other) const {
+  const auto* o = dynamic_cast<const TimeBinAggregator*>(&other);
+  return o != nullptr && widths_compatible(o->bin_width_, bin_width_);
+}
+
+void TimeBinAggregator::merge_from(const Aggregator& other) {
+  expects(mergeable_with(other), "TimeBinAggregator::merge_from: incompatible");
+  const auto& o = static_cast<const TimeBinAggregator&>(other);
+  // Coarsen whichever side is finer; bins stay aligned because widths are
+  // power-of-two multiples and indices are absolute.
+  while (bin_width_ < o.bin_width_) double_bin_width();
+  if (o.bin_width_ == bin_width_) {
+    for (const auto& [index, stats] : o.bins_) bins_[index].merge(stats);
+  } else {
+    TimeBinAggregator coarsened = o;
+    while (coarsened.bin_width_ < bin_width_) coarsened.double_bin_width();
+    for (const auto& [index, stats] : coarsened.bins_) bins_[index].merge(stats);
+  }
+  note_merge(other);
+}
+
+void TimeBinAggregator::double_bin_width() {
+  std::map<std::int64_t, RunningStats> coarser;
+  for (const auto& [index, stats] : bins_) {
+    // Floor division keeps negative indices aligned.
+    std::int64_t parent = index / 2;
+    if (index % 2 != 0 && index < 0) --parent;
+    coarser[parent].merge(stats);
+  }
+  bins_ = std::move(coarser);
+  bin_width_ *= 2;
+}
+
+void TimeBinAggregator::compress(std::size_t target_size) {
+  expects(target_size > 0, "TimeBinAggregator::compress: target must be positive");
+  while (bins_.size() > target_size) double_bin_width();
+}
+
+std::size_t TimeBinAggregator::memory_bytes() const {
+  return bins_.size() *
+         (sizeof(std::int64_t) + sizeof(RunningStats) + 3 * sizeof(void*));
+}
+
+std::unique_ptr<Aggregator> TimeBinAggregator::clone() const {
+  return std::make_unique<TimeBinAggregator>(*this);
+}
+
+}  // namespace megads::primitives

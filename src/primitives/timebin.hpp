@@ -1,0 +1,50 @@
+// TimeBinAggregator — "simple statistics over time bins" (Section V):
+// per-bin count/sum/mean/stddev/min/max of a numeric stream.
+//
+// Its compress() doubles the bin width by folding adjacent bins together,
+// which is precisely the hierarchical re-aggregation the paper's third
+// storage strategy needs ("older data is not expired but aggregated to a
+// coarser granularity with a smaller footprint").
+#pragma once
+
+#include <map>
+
+#include "common/stats.hpp"
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class TimeBinAggregator final : public Aggregator {
+ public:
+  explicit TimeBinAggregator(SimDuration bin_width);
+
+  [[nodiscard]] std::string kind() const override { return "timebin"; }
+  void insert(const StreamItem& item) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  /// Mergeable when the two bin widths are equal or related by a power of
+  /// two (hierarchy levels run at doubling granularities): the finer side is
+  /// coarsened to the wider width during merge_from.
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  /// Repeatedly doubles the bin width until at most target_size bins remain.
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override { return bins_.size(); }
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+
+  [[nodiscard]] SimDuration bin_width() const noexcept { return bin_width_; }
+  /// Interval covered by a stored bin index.
+  [[nodiscard]] TimeInterval bin_interval(std::int64_t index) const noexcept;
+  [[nodiscard]] const std::map<std::int64_t, RunningStats>& bins() const noexcept {
+    return bins_;
+  }
+
+ private:
+  [[nodiscard]] std::int64_t bin_of(SimTime t) const noexcept;
+  void double_bin_width();
+
+  SimDuration bin_width_;
+  std::map<std::int64_t, RunningStats> bins_;
+};
+
+}  // namespace megads::primitives

@@ -1,0 +1,150 @@
+#include "repl/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace megads::repl {
+
+void ReplicationPolicy::on_partition_created(PartitionId partition, SimTime now,
+                                             std::uint64_t size_bytes) {
+  Tracked tracked;
+  tracked.created = now;
+  tracked.size_bytes = size_bytes;
+  tracked_[partition] = tracked;
+}
+
+void ReplicationPolicy::observe_local_access(PartitionId partition, SimTime /*now*/,
+                                             std::uint64_t result_bytes) {
+  auto& tracked = tracked_[partition];
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+}
+
+bool AlwaysShip::on_access(PartitionId partition, SimTime /*now*/,
+                           std::uint64_t result_bytes) {
+  auto& tracked = tracked_[partition];
+  tracked.shipped_bytes += result_bytes;
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+  return false;
+}
+
+bool AlwaysReplicate::on_access(PartitionId partition, SimTime /*now*/,
+                                std::uint64_t result_bytes) {
+  auto& tracked = tracked_[partition];
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+  return true;
+}
+
+BreakEvenPolicy::BreakEvenPolicy(double alpha) : alpha_(alpha) {
+  expects(alpha > 0.0, "BreakEvenPolicy: alpha must be positive");
+}
+
+std::string BreakEvenPolicy::name() const {
+  return alpha_ == 1.0 ? "break-even" : "break-even(a=" + std::to_string(alpha_) + ")";
+}
+
+bool BreakEvenPolicy::on_access(PartitionId partition, SimTime /*now*/,
+                                std::uint64_t result_bytes) {
+  auto& tracked = tracked_[partition];
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+  const double after =
+      static_cast<double>(tracked.shipped_bytes + result_bytes);
+  if (tracked.size_bytes > 0 &&
+      after > alpha_ * static_cast<double>(tracked.size_bytes)) {
+    return true;  // buy: cumulated rent would exceed the purchase price
+  }
+  tracked.shipped_bytes += result_bytes;
+  return false;
+}
+
+DistributionPolicy::DistributionPolicy(Config config)
+    : config_(config), threshold_(config.initial_threshold) {
+  expects(config_.initial_threshold > 0.0,
+          "DistributionPolicy: initial threshold must be positive");
+  expects(config_.maturity > 0 && config_.refit_interval > 0,
+          "DistributionPolicy: maturity and refit interval must be positive");
+}
+
+double DistributionPolicy::optimal_threshold(std::vector<double> ratios) {
+  // Empirical cost of "buy once cumulated rent reaches T" against demand R:
+  //   cost(R, T) = R            when R <= T   (never bought)
+  //              = T + 1        when R >  T   (rented T, then bought for 1)
+  // cost is piecewise linear and increasing between sample points, so the
+  // optimum lies at T = 0 or at one of the samples (T = max sample covers
+  // the "never buy" strategy).
+  std::sort(ratios.begin(), ratios.end());
+  const auto n = static_cast<double>(ratios.size());
+  std::vector<double> prefix(ratios.size() + 1, 0.0);
+  for (std::size_t i = 0; i < ratios.size(); ++i) {
+    prefix[i + 1] = prefix[i] + ratios[i];
+  }
+
+  double best_threshold = 0.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const auto consider = [&](double threshold) {
+    // Samples <= threshold pay their own rent; the rest pay threshold + 1.
+    const auto it = std::upper_bound(ratios.begin(), ratios.end(), threshold);
+    const auto below = static_cast<std::size_t>(it - ratios.begin());
+    const double cost = prefix[below] + static_cast<double>(ratios.size() - below) *
+                                            (threshold + 1.0);
+    if (cost / n < best_cost) {
+      best_cost = cost / n;
+      best_threshold = threshold;
+    }
+  };
+  consider(0.0);
+  for (const double r : ratios) consider(r);
+  // Degenerate guard: a zero threshold means "replicate on first touch".
+  return std::max(best_threshold, 1e-9);
+}
+
+void DistributionPolicy::maybe_refit(SimTime now) {
+  if (last_fit_ >= 0 && now < last_fit_ + config_.refit_interval) return;
+  last_fit_ = now;
+  std::vector<double> ratios;
+  for (const auto& [partition, tracked] : tracked_) {
+    if (tracked.size_bytes == 0) continue;
+    if (tracked.created + config_.maturity > now) continue;
+    ratios.push_back(static_cast<double>(tracked.demand_bytes) /
+                     static_cast<double>(tracked.size_bytes));
+  }
+  if (ratios.size() < config_.min_samples) return;
+  threshold_ = optimal_threshold(std::move(ratios));
+}
+
+bool DistributionPolicy::on_access(PartitionId partition, SimTime now,
+                                   std::uint64_t result_bytes) {
+  maybe_refit(now);
+  auto& tracked = tracked_[partition];
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+  const double after = static_cast<double>(tracked.shipped_bytes + result_bytes);
+  if (tracked.size_bytes > 0 &&
+      after > threshold_ * static_cast<double>(tracked.size_bytes)) {
+    return true;
+  }
+  tracked.shipped_bytes += result_bytes;
+  return false;
+}
+
+OraclePolicy::OraclePolicy(std::vector<std::uint64_t> future_shipped_bytes)
+    : future_(std::move(future_shipped_bytes)) {}
+
+bool OraclePolicy::on_access(PartitionId partition, SimTime /*now*/,
+                             std::uint64_t result_bytes) {
+  auto& tracked = tracked_[partition];
+  tracked.demand_bytes += result_bytes;
+  tracked.accesses += 1;
+  const std::uint64_t future =
+      partition.value() < future_.size() ? future_[partition.value()] : 0;
+  if (future > tracked.size_bytes) return true;  // buying is cheaper, do it first
+  tracked.shipped_bytes += result_bytes;
+  return false;
+}
+
+}  // namespace megads::repl

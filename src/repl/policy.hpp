@@ -1,0 +1,138 @@
+// Adaptive-replication policies (Section VII).
+//
+// The decision problem per partition is the ski-rental problem: shipping a
+// query result is renting; replicating the partition is buying. Policies:
+//
+//   * AlwaysShip        — never replicate (pure query shipping).
+//   * AlwaysReplicate   — replicate on the first remote access.
+//   * BreakEvenPolicy   — Karlin et al.'s deterministic 2-competitive rule:
+//                         replicate once the bytes shipped for a partition
+//                         reach alpha x the partition's size (alpha = 1 is
+//                         the classical break-even point).
+//   * DistributionPolicy— the paper's proposal: "the aggregate result size
+//                         for older partitions are from a distribution that
+//                         can be used to predict future access for partitions
+//                         created at a later date." It learns the empirical
+//                         distribution of total-shipped/size ratios from
+//                         matured partitions and picks the threshold that
+//                         minimizes average-case cost (Fujiwara-Iwama style).
+//   * OraclePolicy      — offline optimum: knows each partition's future
+//                         shipped volume and buys up front iff that exceeds
+//                         the partition size. Lower bound for competitive
+//                         ratios.
+//
+// The policy is consulted *before* each remote access is served: returning
+// true means "replicate now; serve this and later accesses locally".
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace megads::repl {
+
+class ReplicationPolicy {
+ public:
+  virtual ~ReplicationPolicy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// A partition came into existence (sealed at a remote store).
+  virtual void on_partition_created(PartitionId partition, SimTime now,
+                                    std::uint64_t size_bytes);
+
+  /// A remote access of `result_bytes` is about to be served. Return true to
+  /// replicate the partition first.
+  [[nodiscard]] virtual bool on_access(PartitionId partition, SimTime now,
+                                       std::uint64_t result_bytes) = 0;
+
+  /// An access served locally (after replication). The manager records these
+  /// too (Fig. 6), so adaptive policies may use them to keep their demand
+  /// distribution unbiased. Default: bookkeeping only.
+  virtual void observe_local_access(PartitionId partition, SimTime now,
+                                    std::uint64_t result_bytes);
+
+ protected:
+  struct Tracked {
+    SimTime created = 0;
+    std::uint64_t size_bytes = 0;
+    std::uint64_t shipped_bytes = 0;  ///< bytes actually sent over the WAN
+    std::uint64_t demand_bytes = 0;   ///< bytes requested, local or remote
+    std::uint64_t accesses = 0;
+  };
+  /// Access bookkeeping shared by the adaptive policies (the "partition
+  /// accesses" records of Fig. 6, kept by the manager).
+  std::unordered_map<PartitionId, Tracked> tracked_;
+};
+
+class AlwaysShip final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "always-ship"; }
+  [[nodiscard]] bool on_access(PartitionId, SimTime, std::uint64_t) override;
+};
+
+class AlwaysReplicate final : public ReplicationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "always-replicate"; }
+  [[nodiscard]] bool on_access(PartitionId, SimTime, std::uint64_t) override;
+};
+
+class BreakEvenPolicy final : public ReplicationPolicy {
+ public:
+  explicit BreakEvenPolicy(double alpha = 1.0);
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] bool on_access(PartitionId partition, SimTime now,
+                               std::uint64_t result_bytes) override;
+
+ private:
+  double alpha_;
+};
+
+class DistributionPolicy final : public ReplicationPolicy {
+ public:
+  struct Config {
+    /// Partitions older than this are treated as completed samples.
+    SimDuration maturity = 2 * kHour;
+    /// Refit the threshold at most this often.
+    SimDuration refit_interval = 30 * kMinute;
+    /// Threshold used until enough samples exist (break-even fallback).
+    double initial_threshold = 1.0;
+    std::size_t min_samples = 10;
+  };
+
+  DistributionPolicy() : DistributionPolicy(Config{}) {}
+  explicit DistributionPolicy(Config config);
+  [[nodiscard]] std::string name() const override { return "distribution"; }
+  [[nodiscard]] bool on_access(PartitionId partition, SimTime now,
+                               std::uint64_t result_bytes) override;
+
+  /// Current normalized threshold (shipped/size ratio that triggers buying).
+  [[nodiscard]] double threshold() const noexcept { return threshold_; }
+
+ private:
+  void maybe_refit(SimTime now);
+  /// Threshold minimizing empirical E[min(R, T) + 1{R > T}] over ratios R.
+  [[nodiscard]] static double optimal_threshold(std::vector<double> ratios);
+
+  Config config_;
+  double threshold_;
+  SimTime last_fit_ = -1;
+};
+
+class OraclePolicy final : public ReplicationPolicy {
+ public:
+  /// `future_shipped_bytes[p]` = total result bytes partition p would ship if
+  /// never replicated (ground truth from the trace generator).
+  explicit OraclePolicy(std::vector<std::uint64_t> future_shipped_bytes);
+  [[nodiscard]] std::string name() const override { return "oracle"; }
+  [[nodiscard]] bool on_access(PartitionId partition, SimTime now,
+                               std::uint64_t result_bytes) override;
+
+ private:
+  std::vector<std::uint64_t> future_;
+};
+
+}  // namespace megads::repl

@@ -1,0 +1,70 @@
+#include "repl/simulate.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace megads::repl {
+
+ReplicationOutcome simulate_replication(const trace::QueryTrace& trace,
+                                        std::span<const std::uint64_t> partition_sizes,
+                                        ReplicationPolicy& policy,
+                                        const CostModel& cost) {
+  ReplicationOutcome outcome;
+  outcome.policy = policy.name();
+
+  std::unordered_set<PartitionId> announced;
+  std::unordered_set<PartitionId> replicated;
+
+  for (const trace::AccessEvent& event : trace.events) {
+    const std::size_t p = event.partition.value();
+    expects(p < partition_sizes.size(),
+            "simulate_replication: trace references unknown partition");
+    const std::uint64_t size = partition_sizes[p];
+
+    if (announced.insert(event.partition).second) {
+      policy.on_partition_created(event.partition, event.time, size);
+    }
+
+    if (replicated.contains(event.partition)) {
+      policy.observe_local_access(event.partition, event.time, event.result_bytes);
+      outcome.local_accesses += 1;
+      outcome.access_latency.add(static_cast<double>(cost.local_latency));
+      continue;
+    }
+
+    if (policy.on_access(event.partition, event.time, event.result_bytes)) {
+      // Replicate first (pay the partition transfer), then serve locally.
+      replicated.insert(event.partition);
+      outcome.replications += 1;
+      outcome.replicated_bytes += size;
+      const SimDuration latency =
+          cost.remote_access_time(size) + cost.local_latency;
+      outcome.local_accesses += 1;
+      outcome.access_latency.add(static_cast<double>(latency));
+      continue;
+    }
+
+    outcome.remote_accesses += 1;
+    outcome.shipped_bytes += event.result_bytes;
+    outcome.access_latency.add(
+        static_cast<double>(cost.remote_access_time(event.result_bytes)));
+  }
+  return outcome;
+}
+
+std::uint64_t offline_optimal_bytes(const trace::QueryTrace& trace,
+                                    std::span<const std::uint64_t> partition_sizes) {
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < trace.bytes_per_partition.size(); ++p) {
+    const std::uint64_t demand = trace.bytes_per_partition[p];
+    if (demand == 0) continue;
+    expects(p < partition_sizes.size(),
+            "offline_optimal_bytes: missing partition size");
+    total += std::min(demand, partition_sizes[p]);
+  }
+  return total;
+}
+
+}  // namespace megads::repl

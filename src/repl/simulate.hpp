@@ -1,0 +1,59 @@
+// The Fig. 6 loop as a replayable simulation: partition accesses are
+// recorded, the policy predicts future accesses and decides on replication,
+// replications are executed, and every access pays either the remote or the
+// local path. Experiment E6 sweeps policies and workloads through this.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "repl/policy.hpp"
+#include "trace/querygen.hpp"
+
+namespace megads::repl {
+
+/// WAN/latency cost model for one remote store pair.
+struct CostModel {
+  double wan_bytes_per_second = 125.0e6;   ///< ~1 Gbit/s
+  SimDuration remote_rtt = 50 * kMillisecond;
+  SimDuration local_latency = 1 * kMillisecond;
+
+  [[nodiscard]] SimDuration remote_access_time(std::uint64_t bytes) const noexcept {
+    return remote_rtt + static_cast<SimDuration>(
+                            static_cast<double>(bytes) / wan_bytes_per_second *
+                            static_cast<double>(kSecond));
+  }
+};
+
+struct ReplicationOutcome {
+  std::string policy;
+  std::uint64_t shipped_bytes = 0;       ///< query results sent over the WAN
+  std::uint64_t replicated_bytes = 0;    ///< partition copies sent over the WAN
+  std::uint64_t remote_accesses = 0;
+  std::uint64_t local_accesses = 0;
+  std::uint64_t replications = 0;
+  RunningStats access_latency;           ///< per-access latency (microseconds)
+
+  /// The paper's headline metric: total WAN transfer volume.
+  [[nodiscard]] std::uint64_t total_wan_bytes() const noexcept {
+    return shipped_bytes + replicated_bytes;
+  }
+};
+
+/// Replay `trace` against a policy. `partition_sizes[p]` is the byte size of
+/// partition p (the replication "purchase price"). Partitions are announced
+/// to the policy at their first appearance in the trace... created at time 0
+/// of their spawn; the trace carries creation implicitly via first access.
+ReplicationOutcome simulate_replication(const trace::QueryTrace& trace,
+                                        std::span<const std::uint64_t> partition_sizes,
+                                        ReplicationPolicy& policy,
+                                        const CostModel& cost = {});
+
+/// Offline optimum in WAN bytes: per partition, min(total future results,
+/// partition size). Baseline for competitive ratios.
+[[nodiscard]] std::uint64_t offline_optimal_bytes(
+    const trace::QueryTrace& trace, std::span<const std::uint64_t> partition_sizes);
+
+}  // namespace megads::repl

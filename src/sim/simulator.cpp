@@ -1,0 +1,91 @@
+#include "sim/simulator.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace megads::sim {
+
+EventHandle Simulator::schedule_at(SimTime when, Callback callback) {
+  expects(when >= now_, "Simulator::schedule_at: cannot schedule in the past");
+  expects(static_cast<bool>(callback), "Simulator::schedule_at: empty callback");
+  const std::uint64_t seq = next_sequence_++;
+  queue_.push(Event{when, seq, std::move(callback)});
+  ++live_events_;
+  return EventHandle{seq};
+}
+
+EventHandle Simulator::schedule_after(SimDuration delay, Callback callback) {
+  expects(delay >= 0, "Simulator::schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+EventHandle Simulator::schedule_periodic(SimDuration period, Callback callback) {
+  expects(period > 0, "Simulator::schedule_periodic: period must be positive");
+  // All firings share one handle: the chain re-checks the tombstone set under
+  // the original sequence number, so cancelling the handle stops the chain.
+  const std::uint64_t seq = next_sequence_++;
+  auto shared_cb = std::make_shared<Callback>(std::move(callback));
+
+  // Self-rescheduling wrapper. Captures `this` by pointer: the Simulator owns
+  // the queue the wrapper lives in, so it always outlives the event.
+  auto tick = std::make_shared<std::function<void(SimTime)>>();
+  *tick = [this, seq, shared_cb, tick, period](SimTime when) {
+    if (cancelled_.contains(seq)) {
+      cancelled_.erase(seq);
+      return;
+    }
+    (*shared_cb)(when);
+    if (cancelled_.contains(seq)) {  // cancelled from inside the callback
+      cancelled_.erase(seq);
+      return;
+    }
+    queue_.push(Event{when + period, next_sequence_++, [tick](SimTime t) { (*tick)(t); }});
+    ++live_events_;
+  };
+
+  queue_.push(Event{now_ + period, next_sequence_++, [tick](SimTime t) { (*tick)(t); }});
+  ++live_events_;
+  return EventHandle{seq};
+}
+
+bool Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return false;
+  if (cancelled_.contains(handle.sequence)) return false;
+  cancelled_.insert(handle.sequence);
+  return true;
+}
+
+bool Simulator::dispatch_next() {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    --live_events_;
+    if (cancelled_.contains(event.sequence)) {
+      cancelled_.erase(event.sequence);
+      continue;
+    }
+    now_ = event.when;
+    event.callback(now_);
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run() {
+  std::size_t dispatched = 0;
+  while (dispatch_next()) ++dispatched;
+  return dispatched;
+}
+
+std::size_t Simulator::run_until(SimTime deadline) {
+  std::size_t dispatched = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (dispatch_next()) ++dispatched;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return dispatched;
+}
+
+bool Simulator::step() { return dispatch_next(); }
+
+}  // namespace megads::sim

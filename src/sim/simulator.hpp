@@ -1,0 +1,88 @@
+// Discrete-event simulation core.
+//
+// Every megads experiment runs on virtual time: components schedule callbacks
+// at absolute SimTimes and the Simulator executes them in (time, sequence)
+// order, so runs are fully deterministic. Periodic processes (sensor ticks,
+// compression cadences, manager control loops) are modeled as self-
+// rescheduling events via schedule_periodic().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace megads::sim {
+
+/// Handle used to cancel a scheduled event.
+struct EventHandle {
+  std::uint64_t sequence = 0;
+  [[nodiscard]] bool valid() const noexcept { return sequence != 0; }
+};
+
+/// The event-driven virtual-time executor.
+class Simulator {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time (time of the most recently dispatched event).
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `callback` at absolute virtual time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, Callback callback);
+
+  /// Schedule `callback` after `delay` (>= 0) from the current time.
+  EventHandle schedule_after(SimDuration delay, Callback callback);
+
+  /// Schedule `callback` every `period` (> 0), first firing at now()+period.
+  /// The returned handle cancels all future firings.
+  EventHandle schedule_periodic(SimDuration period, Callback callback);
+
+  /// Cancel a pending one-shot event or stop a periodic chain. Returns false
+  /// if the handle was already cancelled. Cancelling an event that has
+  /// already run is a harmless no-op (returns true).
+  bool cancel(EventHandle handle);
+
+  /// Run events until the queue is empty. Returns the number dispatched.
+  std::size_t run();
+
+  /// Run events with time <= `deadline`; afterwards now() == max(deadline, now).
+  std::size_t run_until(SimTime deadline);
+
+  /// Dispatch exactly one event if any is pending. Returns whether one ran.
+  bool step();
+
+  [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
+  [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t sequence = 0;  // tie-break: FIFO among equal times
+    Callback callback;
+
+    // min-heap ordering
+    friend bool operator>(const Event& a, const Event& b) noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool dispatch_next();
+
+  SimTime now_ = 0;
+  std::uint64_t next_sequence_ = 1;
+  std::size_t live_events_ = 0;  // excludes cancelled entries still in heap
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  // lazy-deletion tombstones
+};
+
+}  // namespace megads::sim

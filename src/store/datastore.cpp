@@ -1,0 +1,426 @@
+#include "store/datastore.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace megads::store {
+
+using primitives::Query;
+using primitives::QueryResult;
+using primitives::StreamItem;
+
+DataStore::DataStore(StoreId id, std::string name)
+    : id_(id), name_(std::move(name)) {}
+
+// --- slots -------------------------------------------------------------------
+
+AggregatorId DataStore::install(SlotConfig config) {
+  expects(static_cast<bool>(config.factory), "DataStore::install: factory required");
+  expects(config.epoch > 0, "DataStore::install: epoch must be positive");
+  expects(config.storage != nullptr, "DataStore::install: storage strategy required");
+  const AggregatorId id(next_slot_++);
+  Slot slot;
+  slot.config = std::move(config);
+  slot.live = slot.config.factory();
+  slot.epoch_start = now_;
+  slots_.emplace(id, std::move(slot));
+  return id;
+}
+
+void DataStore::remove(AggregatorId slot) {
+  if (slots_.erase(slot) == 0) {
+    throw NotFoundError("DataStore::remove: unknown slot");
+  }
+  for (auto& [sensor, subscribed] : subscriptions_) subscribed.erase(slot);
+}
+
+std::vector<AggregatorId> DataStore::slots() const {
+  std::vector<AggregatorId> ids;
+  ids.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+const std::string& DataStore::slot_name(AggregatorId slot) const {
+  return slot_at(slot).config.name;
+}
+
+DataStore::Slot& DataStore::slot_at(AggregatorId id) {
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) throw NotFoundError("DataStore: unknown slot");
+  return it->second;
+}
+
+const DataStore::Slot& DataStore::slot_at(AggregatorId id) const {
+  const auto it = slots_.find(id);
+  if (it == slots_.end()) throw NotFoundError("DataStore: unknown slot");
+  return it->second;
+}
+
+void DataStore::subscribe(SensorId sensor, AggregatorId slot) {
+  slot_at(slot);  // validate
+  subscriptions_[sensor].insert(slot);
+}
+
+void DataStore::unsubscribe(SensorId sensor, AggregatorId slot) {
+  const auto it = subscriptions_.find(sensor);
+  if (it != subscriptions_.end()) it->second.erase(slot);
+}
+
+void DataStore::set_live_budget(AggregatorId slot_id, std::size_t budget) {
+  Slot& slot = slot_at(slot_id);
+  slot.config.live_budget = budget;
+  if (budget > 0) {
+    primitives::AdaptSignal signal;
+    signal.size_budget = budget;
+    slot.live->adapt(signal);
+  }
+}
+
+std::size_t DataStore::live_budget(AggregatorId slot) const {
+  return slot_at(slot).config.live_budget;
+}
+
+// --- lineage ------------------------------------------------------------------
+
+void DataStore::attach_lineage(lineage::Recorder& recorder, bool record_queries) {
+  lineage_ = &recorder;
+  record_queries_ = record_queries;
+}
+
+lineage::EntityId DataStore::lineage_of_sensor(SensorId sensor) const {
+  const auto it = sensor_entities_.find(sensor);
+  return it == sensor_entities_.end() ? lineage::kNoEntity : it->second;
+}
+
+lineage::EntityId DataStore::lineage_of_live(AggregatorId slot) const {
+  const auto it = slots_.find(slot);
+  return it == slots_.end() ? lineage::kNoEntity : it->second.live_entity;
+}
+
+lineage::EntityId DataStore::lineage_of_partition(PartitionId partition) const {
+  const auto it = partition_entities_.find(partition);
+  return it == partition_entities_.end() ? lineage::kNoEntity : it->second;
+}
+
+std::vector<lineage::EntityId> DataStore::partition_entities(
+    AggregatorId slot_id, std::optional<TimeInterval> interval) const {
+  std::vector<lineage::EntityId> entities;
+  const Slot& slot = slot_at(slot_id);
+  for (const Partition& partition : slot.config.storage->partitions()) {
+    if (interval && !partition.interval.overlaps(*interval)) continue;
+    const lineage::EntityId entity = lineage_of_partition(partition.id);
+    if (entity != lineage::kNoEntity) entities.push_back(entity);
+  }
+  return entities;
+}
+
+lineage::EntityId DataStore::ensure_live_entity(AggregatorId id, Slot& slot) {
+  if (slot.live_entity == lineage::kNoEntity && lineage_ != nullptr) {
+    slot.live_entity = lineage_->add_entity(
+        lineage::EntityKind::kSummary,
+        name_ + "/" + slot.config.name + "@" +
+            std::to_string(slot.epoch_start / kSecond) + "s",
+        now_);
+  }
+  return slot.live_entity;
+}
+
+void DataStore::absorb_with_lineage(AggregatorId slot_id,
+                                    const primitives::Aggregator& summary,
+                                    lineage::EntityId source) {
+  absorb(slot_id, summary);
+  if (lineage_ == nullptr || source == lineage::kNoEntity) return;
+  Slot& slot = slot_at(slot_id);
+  const lineage::EntityId live = ensure_live_entity(slot_id, slot);
+  const lineage::EntityId inputs[] = {source};
+  lineage_->add_transform(lineage::TransformKind::kAbsorb, inputs, live, now_);
+}
+
+// --- data plane -----------------------------------------------------------------
+
+void DataStore::ingest(SensorId sensor, const StreamItem& item) {
+  now_ = std::max(now_, item.timestamp);
+  ++items_;
+  const auto it = subscriptions_.find(sensor);
+  for (auto& [id, slot] : slots_) {
+    const bool subscribed =
+        slot.config.subscribe_all ||
+        (it != subscriptions_.end() && it->second.contains(id));
+    if (!subscribed) continue;
+    slot.live->insert(item);
+    ++slot.items_this_epoch;
+    if (lineage_ != nullptr && slot.contributors.insert(sensor).second) {
+      auto [sensor_it, inserted] =
+          sensor_entities_.try_emplace(sensor, lineage::kNoEntity);
+      if (inserted) {
+        sensor_it->second = lineage_->add_entity(
+            lineage::EntityKind::kSensor,
+            "sensor-" + std::to_string(sensor.value()), now_);
+      }
+      const lineage::EntityId live = ensure_live_entity(id, slot);
+      const lineage::EntityId inputs[] = {sensor_it->second};
+      lineage_->add_transform(lineage::TransformKind::kIngest, inputs, live, now_);
+    }
+    if (slot.config.live_budget > 0 && slot.live->size() > slot.config.live_budget) {
+      primitives::AdaptSignal signal;
+      signal.size_budget = slot.config.live_budget;
+      const double epoch_seconds =
+          std::max(1e-9, to_seconds(now_ - slot.epoch_start));
+      signal.items_per_second =
+          static_cast<double>(slot.items_this_epoch) / epoch_seconds;
+      slot.live->adapt(signal);
+    }
+  }
+  fire_item_triggers(item);
+}
+
+void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
+  Partition partition(PartitionId(next_partition_++),
+                      TimeInterval{slot.epoch_start, boundary}, 0,
+                      std::move(slot.live));
+  fire_epoch_triggers(partition);
+  if (lineage_ != nullptr && slot.live_entity != lineage::kNoEntity) {
+    // Only epochs that actually received data have a live entity to seal.
+    const lineage::EntityId sealed = lineage_->add_entity(
+        lineage::EntityKind::kPartition,
+        name_ + "/" + slot.config.name + format_interval(partition.interval),
+        boundary);
+    partition_entities_.emplace(partition.id, sealed);
+    const lineage::EntityId inputs[] = {slot.live_entity};
+    lineage_->add_transform(lineage::TransformKind::kSeal, inputs, sealed,
+                            boundary);
+  }
+  slot.live_entity = lineage::kNoEntity;
+  slot.contributors.clear();
+  slot.config.storage->admit(std::move(partition), now_);
+  slot.live = slot.config.factory();
+  slot.epoch_start = boundary;
+  slot.items_this_epoch = 0;
+  (void)id;
+}
+
+void DataStore::advance_to(SimTime now) {
+  expects(now >= now_, "DataStore::advance_to: clock must be monotone");
+  now_ = now;
+  for (auto& [id, slot] : slots_) {
+    while (now_ >= slot.epoch_start + slot.config.epoch) {
+      seal(id, slot, slot.epoch_start + slot.config.epoch);
+    }
+    slot.config.storage->enforce(now_);
+  }
+}
+
+// --- triggers ------------------------------------------------------------------
+
+TriggerId DataStore::install_trigger(TriggerSpec spec) {
+  expects(static_cast<bool>(spec.action), "DataStore::install_trigger: action required");
+  const TriggerId id(next_trigger_++);
+  triggers_.emplace(id, InstalledTrigger{std::move(spec), -1});
+  return id;
+}
+
+void DataStore::remove_trigger(TriggerId trigger) {
+  if (triggers_.erase(trigger) == 0) {
+    throw NotFoundError("DataStore::remove_trigger: unknown trigger");
+  }
+}
+
+void DataStore::fire_item_triggers(const StreamItem& item) {
+  for (auto& [id, installed] : triggers_) {
+    TriggerSpec& spec = installed.spec;
+    if (spec.kind != TriggerKind::kItemAbove) continue;
+    if (item.value < spec.threshold) continue;
+    if (!spec.scope.generalizes(item.key)) continue;
+    if (installed.last_fired >= 0 &&
+        item.timestamp < installed.last_fired + spec.cooldown) {
+      continue;
+    }
+    installed.last_fired = item.timestamp;
+    spec.action(TriggerEvent{id, spec.name, item.timestamp, item.value, item.key});
+  }
+}
+
+void DataStore::fire_epoch_triggers(const Partition& partition) {
+  for (auto& [id, installed] : triggers_) {
+    TriggerSpec& spec = installed.spec;
+    if (spec.kind != TriggerKind::kEpochAbove) continue;
+    const QueryResult result =
+        partition.summary->execute(primitives::PointQuery{spec.scope});
+    if (!result.supported || result.entries.empty()) continue;
+    const double score = result.entries.front().score;
+    if (score < spec.threshold) continue;
+    if (installed.last_fired >= 0 &&
+        partition.interval.end < installed.last_fired + spec.cooldown) {
+      continue;
+    }
+    installed.last_fired = partition.interval.end;
+    spec.action(
+        TriggerEvent{id, spec.name, partition.interval.end, score, spec.scope});
+  }
+}
+
+// --- queries -------------------------------------------------------------------
+
+QueryResult DataStore::combine_results(std::vector<QueryResult> parts,
+                                       const Query& query) {
+  QueryResult combined;
+  std::erase_if(parts, [](const QueryResult& r) { return !r.supported; });
+  if (parts.empty()) return QueryResult::unsupported();
+  if (parts.size() == 1) return std::move(parts.front());
+
+  for (const QueryResult& part : parts) {
+    combined.approximate = combined.approximate || part.approximate;
+  }
+
+  if (std::holds_alternative<primitives::RangeQuery>(query)) {
+    for (QueryResult& part : parts) {
+      combined.points.insert(combined.points.end(), part.points.begin(),
+                             part.points.end());
+    }
+    std::sort(combined.points.begin(), combined.points.end(),
+              [](const StreamItem& a, const StreamItem& b) {
+                return a.timestamp < b.timestamp;
+              });
+    return combined;
+  }
+  if (std::holds_alternative<primitives::StatsQuery>(query)) {
+    primitives::StatsResult total;
+    bool first = true;
+    for (const QueryResult& part : parts) {
+      if (!part.stats) continue;
+      const auto& s = *part.stats;
+      if (s.count == 0) continue;
+      if (first) {
+        total = s;
+        first = false;
+        continue;
+      }
+      const double combined_count = static_cast<double>(total.count + s.count);
+      const double mean =
+          (total.mean * static_cast<double>(total.count) +
+           s.mean * static_cast<double>(s.count)) / combined_count;
+      // Recombine variances around the new mean.
+      const auto var_term = [&](const primitives::StatsResult& r) {
+        return static_cast<double>(r.count) *
+               (r.stddev * r.stddev + (r.mean - mean) * (r.mean - mean));
+      };
+      const double variance = (var_term(total) + var_term(s)) / combined_count;
+      total.count += s.count;
+      total.sum += s.sum;
+      total.mean = mean;
+      total.stddev = std::sqrt(variance);
+      total.min = std::min(total.min, s.min);
+      total.max = std::max(total.max, s.max);
+    }
+    combined.stats = total;
+    return combined;
+  }
+
+  // Frequency queries: add scores per key, then re-apply the query's own
+  // selection (k, threshold).
+  std::unordered_map<flow::FlowKey, double> scores;
+  for (const QueryResult& part : parts) {
+    for (const auto& row : part.entries) scores[row.key] += row.score;
+  }
+  combined.entries.reserve(scores.size());
+  for (const auto& [key, score] : scores) combined.entries.push_back({key, score});
+  std::sort(combined.entries.begin(), combined.entries.end(),
+            [](const primitives::KeyScore& a, const primitives::KeyScore& b) {
+              return a.score > b.score;
+            });
+  if (const auto* q = std::get_if<primitives::TopKQuery>(&query)) {
+    if (combined.entries.size() > q->k) combined.entries.resize(q->k);
+    combined.approximate = true;  // per-part top-k can miss globally heavy keys
+  } else if (const auto* q = std::get_if<primitives::AboveQuery>(&query)) {
+    std::erase_if(combined.entries, [&](const primitives::KeyScore& row) {
+      return row.score < q->threshold;
+    });
+    combined.approximate = true;
+  } else if (std::holds_alternative<primitives::HHHQuery>(query)) {
+    combined.approximate = true;  // HHH sets do not compose exactly
+  }
+  return combined;
+}
+
+QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
+                             std::optional<TimeInterval> interval) const {
+  const Slot& slot = slot_at(slot_id);
+  std::vector<QueryResult> parts;
+  std::vector<lineage::EntityId> consulted;
+  for (const Partition& partition : slot.config.storage->partitions()) {
+    if (interval && !partition.interval.overlaps(*interval)) continue;
+    parts.push_back(partition.summary->execute(query));
+    if (const auto entity = lineage_of_partition(partition.id);
+        entity != lineage::kNoEntity) {
+      consulted.push_back(entity);
+    }
+  }
+  const TimeInterval live_interval{slot.epoch_start, now_ + 1};
+  if (!interval || live_interval.overlaps(*interval)) {
+    parts.push_back(slot.live->execute(query));
+    if (slot.live_entity != lineage::kNoEntity) {
+      consulted.push_back(slot.live_entity);
+    }
+  }
+  if (lineage_ != nullptr && record_queries_ && !consulted.empty()) {
+    const lineage::EntityId result = lineage_->add_entity(
+        lineage::EntityKind::kQueryResult,
+        name_ + "/" + slot.config.name + "?" + primitives::query_kind(query),
+        now_);
+    lineage_->add_transform(lineage::TransformKind::kQuery, consulted, result,
+                            now_);
+  }
+  return combine_results(std::move(parts), query);
+}
+
+std::unique_ptr<primitives::Aggregator> DataStore::snapshot(
+    AggregatorId slot_id, std::optional<TimeInterval> interval) const {
+  const Slot& slot = slot_at(slot_id);
+  std::unique_ptr<primitives::Aggregator> merged;
+  const auto fold = [&](const primitives::Aggregator& summary) {
+    if (!merged) {
+      merged = summary.clone();
+    } else if (merged->mergeable_with(summary)) {
+      merged->merge_from(summary);
+    }
+  };
+  for (const Partition& partition : slot.config.storage->partitions()) {
+    if (interval && !partition.interval.overlaps(*interval)) continue;
+    fold(*partition.summary);
+  }
+  const TimeInterval live_interval{slot.epoch_start, now_ + 1};
+  if (!interval || live_interval.overlaps(*interval)) fold(*slot.live);
+  if (!merged) merged = slot.config.factory();
+  return merged;
+}
+
+void DataStore::absorb(AggregatorId slot_id, const primitives::Aggregator& summary) {
+  Slot& slot = slot_at(slot_id);
+  expects(slot.live->mergeable_with(summary),
+          "DataStore::absorb: summary incompatible with slot");
+  slot.live->merge_from(summary);
+}
+
+// --- introspection ---------------------------------------------------------------
+
+const std::vector<Partition>& DataStore::partitions(AggregatorId slot) const {
+  return slot_at(slot).config.storage->partitions();
+}
+
+const primitives::Aggregator& DataStore::live(AggregatorId slot) const {
+  return *slot_at(slot).live;
+}
+
+std::size_t DataStore::memory_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [id, slot] : slots_) {
+    total += slot.live->memory_bytes() + slot.config.storage->memory_bytes();
+  }
+  return total;
+}
+
+}  // namespace megads::store

@@ -1,0 +1,165 @@
+// The data store (Section IV, Fig. 4): the only entity in the architecture
+// that persists data. It hosts aggregator slots (instances of computing
+// primitives), routes sensor streams to subscribed slots, seals summaries
+// into partitions at each slot's epoch boundary, shelves them under the
+// slot's storage strategy, answers queries across live + sealed summaries,
+// and fires triggers toward the controller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lineage/lineage.hpp"
+#include "store/storage.hpp"
+#include "store/trigger.hpp"
+
+namespace megads::store {
+
+/// Factory invoked at every epoch boundary to start a fresh summary.
+using AggregatorFactory = std::function<std::unique_ptr<primitives::Aggregator>()>;
+
+struct SlotConfig {
+  std::string name;
+  AggregatorFactory factory;
+  /// Epoch length: the live summary is sealed into a partition every epoch.
+  SimDuration epoch = kMinute;
+  std::unique_ptr<StorageStrategy> storage;
+  /// Entry budget pushed to the live aggregator via adapt(); 0 = none.
+  std::size_t live_budget = 0;
+  /// Receive every ingested item regardless of sensor subscriptions.
+  bool subscribe_all = false;
+};
+
+class DataStore {
+ public:
+  explicit DataStore(StoreId id, std::string name = {});
+
+  DataStore(const DataStore&) = delete;
+  DataStore& operator=(const DataStore&) = delete;
+
+  [[nodiscard]] StoreId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  // --- slot management (driven by the Manager in the full architecture) ---
+  AggregatorId install(SlotConfig config);
+  void remove(AggregatorId slot);
+  [[nodiscard]] std::vector<AggregatorId> slots() const;
+  [[nodiscard]] const std::string& slot_name(AggregatorId slot) const;
+
+  /// Route a sensor's stream to a slot.
+  void subscribe(SensorId sensor, AggregatorId slot);
+  void unsubscribe(SensorId sensor, AggregatorId slot);
+
+  /// Reconfigure a slot's precision at runtime (the manager's "change
+  /// parameter" control message, Fig. 3b): the live summary adapts to the
+  /// new entry budget immediately; future epochs keep it via adapt().
+  void set_live_budget(AggregatorId slot, std::size_t budget);
+  [[nodiscard]] std::size_t live_budget(AggregatorId slot) const;
+
+  // --- data plane ---
+  /// Ingest one item from `sensor`; feeds the subscribed slots and evaluates
+  /// item triggers.
+  void ingest(SensorId sensor, const primitives::StreamItem& item);
+
+  /// Seal all slots whose epoch boundary has passed and run storage policy
+  /// enforcement. Call this with the simulation clock (monotone).
+  void advance_to(SimTime now);
+
+  // --- queries ---
+  /// Execute a query against one slot over an optional time restriction:
+  /// sealed partitions overlapping the interval plus the live summary are
+  /// consulted and their results combined.
+  [[nodiscard]] primitives::QueryResult query(
+      AggregatorId slot, const primitives::Query& query,
+      std::optional<TimeInterval> interval = std::nullopt) const;
+
+  /// A merged copy of a slot's summaries over `interval` (live included) —
+  /// the exportable unit shipped to other stores (Fig. 5 arrow 3).
+  [[nodiscard]] std::unique_ptr<primitives::Aggregator> snapshot(
+      AggregatorId slot, std::optional<TimeInterval> interval = std::nullopt) const;
+
+  /// Ingest a remote store's exported summary into a slot's live aggregator.
+  void absorb(AggregatorId slot, const primitives::Aggregator& summary);
+
+  // --- lineage (Section III.C) ---
+  /// Attach a lineage recorder; from now on ingest/seal/absorb (and, when
+  /// `record_queries` is set, query) transformations are tracked at
+  /// schema/batch granularity. The recorder must outlive the store.
+  void attach_lineage(lineage::Recorder& recorder, bool record_queries = false);
+
+  /// Lineage entity of a sensor / live summary / sealed partition
+  /// (kNoEntity when lineage is off or the id is unknown).
+  [[nodiscard]] lineage::EntityId lineage_of_sensor(SensorId sensor) const;
+  [[nodiscard]] lineage::EntityId lineage_of_live(AggregatorId slot) const;
+  [[nodiscard]] lineage::EntityId lineage_of_partition(PartitionId partition) const;
+  /// Entities of the partitions a snapshot/export over `interval` would use.
+  [[nodiscard]] std::vector<lineage::EntityId> partition_entities(
+      AggregatorId slot, std::optional<TimeInterval> interval = std::nullopt) const;
+
+  /// Absorb with provenance: like absorb(), and records that `source` (an
+  /// export entity in the sender's recorder == this recorder) fed this slot.
+  void absorb_with_lineage(AggregatorId slot, const primitives::Aggregator& summary,
+                           lineage::EntityId source);
+
+  // --- triggers ---
+  TriggerId install_trigger(TriggerSpec spec);
+  void remove_trigger(TriggerId trigger);
+  [[nodiscard]] std::size_t trigger_count() const noexcept { return triggers_.size(); }
+
+  // --- introspection ---
+  [[nodiscard]] const std::vector<Partition>& partitions(AggregatorId slot) const;
+  [[nodiscard]] const primitives::Aggregator& live(AggregatorId slot) const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t items_ingested() const noexcept { return items_; }
+
+  /// Combine per-partition results of the same query into one answer
+  /// (scores add per key; top-k/above recombine; stats merge; points concat).
+  static primitives::QueryResult combine_results(
+      std::vector<primitives::QueryResult> parts, const primitives::Query& query);
+
+ private:
+  struct Slot {
+    SlotConfig config;
+    std::unique_ptr<primitives::Aggregator> live;
+    SimTime epoch_start = 0;
+    std::uint64_t items_this_epoch = 0;
+    lineage::EntityId live_entity = lineage::kNoEntity;
+    std::unordered_set<SensorId> contributors;  ///< per-epoch ingest dedup
+  };
+
+  lineage::EntityId ensure_live_entity(AggregatorId id, Slot& slot);
+
+  Slot& slot_at(AggregatorId id);
+  [[nodiscard]] const Slot& slot_at(AggregatorId id) const;
+  void seal(AggregatorId id, Slot& slot, SimTime boundary);
+  void fire_item_triggers(const primitives::StreamItem& item);
+  void fire_epoch_triggers(const Partition& partition);
+
+  StoreId id_;
+  std::string name_;
+  std::unordered_map<AggregatorId, Slot> slots_;
+  std::unordered_map<SensorId, std::unordered_set<AggregatorId>> subscriptions_;
+  struct InstalledTrigger {
+    TriggerSpec spec;
+    SimTime last_fired = -1;
+  };
+  std::unordered_map<TriggerId, InstalledTrigger> triggers_;
+  SimTime now_ = 0;
+  std::uint64_t items_ = 0;
+  std::uint32_t next_slot_ = 0;
+  std::uint32_t next_trigger_ = 0;
+  std::uint32_t next_partition_ = 0;
+
+  lineage::Recorder* lineage_ = nullptr;
+  bool record_queries_ = false;
+  std::unordered_map<SensorId, lineage::EntityId> sensor_entities_;
+  std::unordered_map<PartitionId, lineage::EntityId> partition_entities_;
+};
+
+}  // namespace megads::store

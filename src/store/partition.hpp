@@ -1,0 +1,35 @@
+// A sealed summary epoch: the unit the data store shelves, ships, and
+// replicates (Sections IV and VII call these "partitions").
+#pragma once
+
+#include <memory>
+
+#include "common/types.hpp"
+#include "primitives/aggregator.hpp"
+
+namespace megads::store {
+
+struct Partition {
+  PartitionId id;
+  TimeInterval interval;                              ///< time the summary covers
+  int level = 0;                                      ///< 0 = finest granularity
+  std::unique_ptr<primitives::Aggregator> summary;
+
+  Partition() = default;
+  Partition(PartitionId id_, TimeInterval interval_, int level_,
+            std::unique_ptr<primitives::Aggregator> summary_)
+      : id(id_), interval(interval_), level(level_), summary(std::move(summary_)) {}
+
+  Partition(Partition&&) noexcept = default;
+  Partition& operator=(Partition&&) noexcept = default;
+
+  [[nodiscard]] Partition clone() const {
+    return Partition(id, interval, level, summary->clone());
+  }
+
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return summary ? summary->memory_bytes() : 0;
+  }
+};
+
+}  // namespace megads::store

@@ -1,0 +1,142 @@
+#include "store/storage.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::store {
+
+namespace {
+
+void insert_sorted(std::vector<Partition>& shelf, Partition&& partition) {
+  const auto pos = std::upper_bound(
+      shelf.begin(), shelf.end(), partition,
+      [](const Partition& a, const Partition& b) {
+        return a.interval.begin < b.interval.begin;
+      });
+  shelf.insert(pos, std::move(partition));
+}
+
+}  // namespace
+
+std::size_t StorageStrategy::memory_bytes() const {
+  std::size_t total = 0;
+  for (const Partition& partition : shelf_) total += partition.memory_bytes();
+  return total;
+}
+
+SimTime StorageStrategy::oldest_covered() const {
+  SimTime oldest = kTimeNever;
+  for (const Partition& partition : shelf_) {
+    oldest = std::min(oldest, partition.interval.begin);
+  }
+  return oldest;
+}
+
+// --- ExpirationStorage -------------------------------------------------------
+
+ExpirationStorage::ExpirationStorage(SimDuration ttl) : ttl_(ttl) {
+  expects(ttl > 0, "ExpirationStorage: ttl must be positive");
+}
+
+void ExpirationStorage::admit(Partition&& partition, SimTime now) {
+  insert_sorted(shelf_, std::move(partition));
+  enforce(now);
+}
+
+void ExpirationStorage::enforce(SimTime now) {
+  std::erase_if(shelf_, [&](const Partition& partition) {
+    return partition.interval.end + ttl_ <= now;
+  });
+}
+
+// --- RoundRobinStorage -------------------------------------------------------
+
+RoundRobinStorage::RoundRobinStorage(std::size_t budget_bytes)
+    : budget_(budget_bytes) {
+  expects(budget_bytes > 0, "RoundRobinStorage: budget must be positive");
+}
+
+void RoundRobinStorage::admit(Partition&& partition, SimTime /*now*/) {
+  insert_sorted(shelf_, std::move(partition));
+  evict_to_budget();
+}
+
+void RoundRobinStorage::enforce(SimTime /*now*/) { evict_to_budget(); }
+
+void RoundRobinStorage::evict_to_budget() {
+  // Oldest-first eviction, but always keep the newest partition even when it
+  // alone exceeds the budget (the store must be able to answer "now").
+  while (shelf_.size() > 1 && memory_bytes() > budget_) {
+    shelf_.erase(shelf_.begin());
+  }
+}
+
+// --- HierarchicalStorage -----------------------------------------------------
+
+HierarchicalStorage::HierarchicalStorage(Config config)
+    : config_(std::move(config)) {
+  expects(!config_.level_capacity.empty(),
+          "HierarchicalStorage: need at least one level");
+  for (const std::size_t cap : config_.level_capacity) {
+    expects(cap >= config_.merge_fanin,
+            "HierarchicalStorage: level capacity must be >= merge_fanin");
+  }
+  expects(config_.merge_fanin >= 2, "HierarchicalStorage: merge_fanin must be >= 2");
+}
+
+std::size_t HierarchicalStorage::level_count(int level) const {
+  return static_cast<std::size_t>(
+      std::count_if(shelf_.begin(), shelf_.end(),
+                    [&](const Partition& p) { return p.level == level; }));
+}
+
+void HierarchicalStorage::admit(Partition&& partition, SimTime /*now*/) {
+  partition.level = 0;
+  insert_sorted(shelf_, std::move(partition));
+  promote_if_needed();
+}
+
+void HierarchicalStorage::enforce(SimTime /*now*/) { promote_if_needed(); }
+
+void HierarchicalStorage::promote_if_needed() {
+  const int last_level = static_cast<int>(config_.level_capacity.size()) - 1;
+  for (int level = 0; level <= last_level; ++level) {
+    while (level_count(level) > config_.level_capacity[static_cast<std::size_t>(level)]) {
+      // Collect the oldest merge_fanin partitions of this level.
+      std::vector<std::size_t> victims;
+      for (std::size_t i = 0; i < shelf_.size() && victims.size() < config_.merge_fanin;
+           ++i) {
+        if (shelf_[i].level == level) victims.push_back(i);
+      }
+      if (victims.size() < 2) break;
+
+      if (level == last_level) {
+        // Bottom of the pyramid: plain round-robin eviction of the oldest.
+        shelf_.erase(shelf_.begin() + static_cast<long>(victims.front()));
+        continue;
+      }
+
+      // Merge victims into one coarser partition and promote it.
+      Partition merged = std::move(shelf_[victims.front()]);
+      for (std::size_t i = 1; i < victims.size(); ++i) {
+        const Partition& other = shelf_[victims[i]];
+        merged.interval = merged.interval.span(other.interval);
+        if (merged.summary->mergeable_with(*other.summary)) {
+          merged.summary->merge_from(*other.summary);
+        }
+      }
+      merged.summary->compress(config_.compressed_entries);
+      merged.level = level + 1;
+      merged.id = PartitionId(next_partition_++);
+
+      // Erase victims back-to-front (the first was moved-from).
+      for (auto it = victims.rbegin(); it != victims.rend(); ++it) {
+        shelf_.erase(shelf_.begin() + static_cast<long>(*it));
+      }
+      insert_sorted(shelf_, std::move(merged));
+    }
+  }
+}
+
+}  // namespace megads::store

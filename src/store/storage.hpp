@@ -1,0 +1,110 @@
+// The three storage strategies of Section IV.
+//
+//   1. ExpirationStorage   — "storage with predefined expiration": partitions
+//      are kept for a fixed TTL, whatever that costs in space.
+//   2. RoundRobinStorage   — "storage using a round-robin mechanism": a fixed
+//      budget is fully utilized; the oldest partitions fall off when it is
+//      exceeded, so the retention horizon floats with the data rate.
+//   3. HierarchicalStorage — "round-robin + hierarchical aggregation": when
+//      the finest level overflows, the oldest group of partitions is merged
+//      into one coarser-granularity partition (summary merge + compress) and
+//      promoted to the next level; only the last level evicts. Old data stays
+//      queryable forever, at reduced detail.
+//
+// A strategy owns the shelf of sealed partitions for one aggregator slot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "store/partition.hpp"
+
+namespace megads::store {
+
+class StorageStrategy {
+ public:
+  virtual ~StorageStrategy() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shelve a freshly sealed partition and enforce the policy.
+  virtual void admit(Partition&& partition, SimTime now) = 0;
+
+  /// Drop/merge whatever the policy requires at time `now` (e.g. TTL expiry
+  /// happens here even when nothing is being admitted).
+  virtual void enforce(SimTime now) = 0;
+
+  [[nodiscard]] const std::vector<Partition>& partitions() const noexcept {
+    return shelf_;
+  }
+  [[nodiscard]] std::vector<Partition>& partitions() noexcept { return shelf_; }
+
+  [[nodiscard]] std::size_t memory_bytes() const;
+  /// Oldest timestamp still covered by any shelved partition (kTimeNever when
+  /// empty). The "retention horizon" metric of experiment E3.
+  [[nodiscard]] SimTime oldest_covered() const;
+
+ protected:
+  std::vector<Partition> shelf_;  // kept sorted by interval.begin
+};
+
+/// Strategy 1: keep each partition for `ttl`, then delete it.
+class ExpirationStorage final : public StorageStrategy {
+ public:
+  explicit ExpirationStorage(SimDuration ttl);
+
+  [[nodiscard]] std::string name() const override { return "expiration"; }
+  void admit(Partition&& partition, SimTime now) override;
+  void enforce(SimTime now) override;
+
+  [[nodiscard]] SimDuration ttl() const noexcept { return ttl_; }
+
+ private:
+  SimDuration ttl_;
+};
+
+/// Strategy 2: keep at most `budget_bytes` of summaries; evict oldest first.
+class RoundRobinStorage final : public StorageStrategy {
+ public:
+  explicit RoundRobinStorage(std::size_t budget_bytes);
+
+  [[nodiscard]] std::string name() const override { return "round-robin"; }
+  void admit(Partition&& partition, SimTime now) override;
+  void enforce(SimTime now) override;
+
+  [[nodiscard]] std::size_t budget_bytes() const noexcept { return budget_; }
+
+ private:
+  void evict_to_budget();
+  std::size_t budget_;
+};
+
+/// Strategy 3: multi-level round-robin with re-aggregation.
+class HierarchicalStorage final : public StorageStrategy {
+ public:
+  struct Config {
+    /// Max partitions held at each level before promotion (last level evicts).
+    std::vector<std::size_t> level_capacity = {16, 16, 16};
+    /// How many oldest partitions merge into one promoted partition.
+    std::size_t merge_fanin = 4;
+    /// Entry budget applied (via Aggregator::compress) after each merge.
+    std::size_t compressed_entries = 1024;
+  };
+
+  explicit HierarchicalStorage(Config config);
+
+  [[nodiscard]] std::string name() const override { return "hierarchical"; }
+  void admit(Partition&& partition, SimTime now) override;
+  void enforce(SimTime now) override;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  /// Number of partitions currently at `level`.
+  [[nodiscard]] std::size_t level_count(int level) const;
+
+ private:
+  void promote_if_needed();
+  Config config_;
+  std::uint32_t next_partition_ = 1u << 30;  ///< ids for merged partitions
+};
+
+}  // namespace megads::store

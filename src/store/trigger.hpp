@@ -1,0 +1,47 @@
+// Triggers (Sections III and IV): predicates applications install in a data
+// store; when one matches, the data store signals the controller immediately
+// — the short, real-time arm of the feedback loop (Fig. 3a "Control Cycle"),
+// as opposed to the Analytics -> Application -> rule-update path.
+//
+// Two kinds are supported:
+//   * kItemAbove  — fires on ingest when an item under `scope` meets the
+//     threshold (e.g. "vibration of machine 10.0.3.0/24 above 80").
+//   * kEpochAbove — fires when a sealed epoch's popularity score for `scope`
+//     meets the threshold (e.g. "traffic from 1.2.0.0/16 above 1 GB within
+//     one epoch" — a DDoS-style condition on the summary).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/types.hpp"
+#include "primitives/item.hpp"
+
+namespace megads::store {
+
+enum class TriggerKind {
+  kItemAbove,   ///< per-observation threshold
+  kEpochAbove,  ///< per-epoch summary-score threshold
+};
+
+struct TriggerEvent {
+  TriggerId trigger;
+  std::string name;
+  SimTime time = 0;
+  double observed = 0.0;      ///< the value/score that crossed the threshold
+  flow::FlowKey key;          ///< the key that caused the match
+};
+
+struct TriggerSpec {
+  std::string name;
+  TriggerKind kind = TriggerKind::kItemAbove;
+  /// Only items/scores whose key this scope generalizes are considered.
+  flow::FlowKey scope;
+  double threshold = 0.0;
+  /// Minimum virtual time between two firings (debounce); 0 = every match.
+  SimDuration cooldown = 0;
+  /// Invoked synchronously on match — typically the controller's entry point.
+  std::function<void(const TriggerEvent&)> action;
+};
+
+}  // namespace megads::store

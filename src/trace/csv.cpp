@@ -1,0 +1,97 @@
+#include "trace/csv.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+
+namespace {
+
+constexpr const char* kHeader = "timestamp,proto,src,src_port,dst,dst_port,packets,bytes";
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+template <class T>
+T parse_number(const std::string& text, const char* what) {
+  T value{};
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ParseError(std::string("flow CSV: malformed ") + what + ": " + text);
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_flow_csv(std::ostream& out, const std::vector<flow::FlowRecord>& records) {
+  out << kHeader << '\n';
+  for (const auto& record : records) {
+    const auto& key = record.key;
+    out << record.timestamp << ',' << int{key.proto().value_or(0)} << ','
+        << key.src().address().to_string() << ',' << key.src_port().value_or(0)
+        << ',' << key.dst().address().to_string() << ','
+        << key.dst_port().value_or(0) << ',' << record.packets << ','
+        << record.bytes << '\n';
+  }
+}
+
+void write_flow_csv_file(const std::string& path,
+                         const std::vector<flow::FlowRecord>& records) {
+  std::ofstream out(path);
+  if (!out) throw Error("flow CSV: cannot open for writing: " + path);
+  write_flow_csv(out, records);
+}
+
+std::vector<flow::FlowRecord> read_flow_csv(std::istream& in) {
+  std::vector<flow::FlowRecord> records;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      if (line == kHeader) continue;  // header is optional
+    }
+    const auto fields = split(line, ',');
+    if (fields.size() != 8) {
+      throw ParseError("flow CSV: expected 8 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    flow::FlowRecord record;
+    record.timestamp = parse_number<std::int64_t>(fields[0], "timestamp");
+    record.key = flow::FlowKey::from_tuple(
+        parse_number<std::uint8_t>(fields[1], "proto"), flow::IPv4::parse(fields[2]),
+        parse_number<std::uint16_t>(fields[3], "src_port"),
+        flow::IPv4::parse(fields[4]),
+        parse_number<std::uint16_t>(fields[5], "dst_port"));
+    record.packets = parse_number<std::uint64_t>(fields[6], "packets");
+    record.bytes = parse_number<std::uint64_t>(fields[7], "bytes");
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<flow::FlowRecord> read_flow_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("flow CSV: cannot open for reading: " + path);
+  return read_flow_csv(in);
+}
+
+}  // namespace megads::trace

@@ -1,0 +1,24 @@
+// CSV (de)serialization of flow traces, so examples can persist generated
+// workloads and re-run experiments on identical input.
+//
+// Format (one header line, then one row per record):
+//   timestamp,proto,src,src_port,dst,dst_port,packets,bytes
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "flow/flowkey.hpp"
+
+namespace megads::trace {
+
+void write_flow_csv(std::ostream& out, const std::vector<flow::FlowRecord>& records);
+void write_flow_csv_file(const std::string& path,
+                         const std::vector<flow::FlowRecord>& records);
+
+/// Throws ParseError on malformed rows.
+[[nodiscard]] std::vector<flow::FlowRecord> read_flow_csv(std::istream& in);
+[[nodiscard]] std::vector<flow::FlowRecord> read_flow_csv_file(const std::string& path);
+
+}  // namespace megads::trace

@@ -1,0 +1,124 @@
+#include "trace/flowgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace megads::trace {
+
+namespace {
+
+// Well-known service ports, cycled through before random high ports.
+constexpr std::uint16_t kCommonPorts[] = {443, 80, 53, 22, 25, 123, 3306, 5432,
+                                          8080, 8443, 993, 389};
+
+}  // namespace
+
+FlowGenerator::FlowGenerator(FlowGenConfig config)
+    : config_(config),
+      rng_(config.seed),
+      network_zipf_(config.src_networks, config.network_skew),
+      host_zipf_(config.hosts_per_network, config.host_skew),
+      service_zipf_(config.services, config.service_skew) {
+  expects(config_.flows_per_second > 0.0,
+          "FlowGenerator: flows_per_second must be positive");
+  expects(config_.hosts_per_network > 0 && config_.hosts_per_network <= 65536,
+          "FlowGenerator: hosts_per_network must fit a /16");
+
+  // Distinct /16 network bases, deterministic given the seed. The same seed
+  // yields the same networks for every site; only the ranking rotates.
+  Rng layout(config_.seed ^ 0xabcdef1234567890ULL);
+  std::unordered_set<std::uint32_t> seen;
+  while (network_bases_.size() < config_.src_networks) {
+    const auto base = static_cast<std::uint32_t>(layout.next()) & 0xffff0000u;
+    if (base != 0 && seen.insert(base).second) network_bases_.push_back(base);
+  }
+
+  // Rotate a prefix-dependent share of the ranking per site: site k shifts
+  // the top `site_rotation` fraction of ranks by k positions.
+  if (config_.site > 0 && config_.src_networks > 1) {
+    const auto window = std::max<std::size_t>(
+        2, static_cast<std::size_t>(std::ceil(
+               static_cast<double>(config_.src_networks) * config_.site_rotation)));
+    const std::size_t shift = config_.site % window;
+    std::rotate(network_bases_.begin(), network_bases_.begin() + static_cast<long>(shift),
+                network_bases_.begin() + static_cast<long>(window));
+  }
+
+  // Services: clustered destinations in a handful of /24s.
+  Rng service_rng(config_.seed ^ 0x5ca1ab1e0ddba11ULL);
+  for (std::size_t i = 0; i < config_.services; ++i) {
+    Service service;
+    const std::uint32_t cluster =
+        0xc0000000u | ((static_cast<std::uint32_t>(service_rng.uniform(8)) & 0xff) << 16);
+    service.address = cluster | (static_cast<std::uint32_t>(service_rng.uniform(256)) << 8) |
+                      static_cast<std::uint32_t>(service_rng.uniform(254) + 1);
+    service.port = i < std::size(kCommonPorts)
+                       ? kCommonPorts[i]
+                       : static_cast<std::uint16_t>(1024 + service_rng.uniform(64512));
+    service.proto = service_rng.bernoulli(0.8) ? 6 : 17;  // TCP : UDP
+    services_.push_back(service);
+  }
+}
+
+flow::Prefix FlowGenerator::network(std::size_t rank) const {
+  expects(rank < network_bases_.size(), "FlowGenerator::network: rank out of range");
+  return flow::Prefix(flow::IPv4(network_bases_[rank]), 16);
+}
+
+flow::FlowRecord FlowGenerator::next() {
+  const double gap_seconds = rng_.exponential(config_.flows_per_second);
+  now_ += std::max<SimDuration>(
+      1, static_cast<SimDuration>(gap_seconds * static_cast<double>(kSecond)));
+
+  const std::size_t net_rank = network_zipf_(rng_);
+  const std::size_t host_rank = host_zipf_(rng_);
+  // Host ranks map to pseudo-random but stable offsets inside the /16.
+  const auto host_offset = static_cast<std::uint32_t>(
+      mix64(network_bases_[net_rank] ^ host_rank) %
+      static_cast<std::uint64_t>(config_.hosts_per_network));
+  const flow::IPv4 src(network_bases_[net_rank] | (host_offset & 0xffffu));
+
+  const Service& service = services_[service_zipf_(rng_)];
+  const auto src_port = static_cast<std::uint16_t>(32768 + rng_.uniform(28232));
+
+  flow::FlowRecord record;
+  record.key = flow::FlowKey::from_tuple(service.proto, src, src_port,
+                                         flow::IPv4(service.address), service.port);
+  record.packets = static_cast<std::uint64_t>(rng_.pareto(1.0, config_.packet_alpha));
+  record.packets = std::max<std::uint64_t>(1, std::min<std::uint64_t>(record.packets, 1u << 20));
+  const double bytes_per_packet =
+      std::clamp(rng_.normal(config_.mean_packet_bytes, config_.mean_packet_bytes / 3.0),
+                 40.0, 1500.0);
+  record.bytes = static_cast<std::uint64_t>(
+      static_cast<double>(record.packets) * bytes_per_packet);
+  record.timestamp = now_;
+  return record;
+}
+
+std::vector<flow::FlowRecord> FlowGenerator::generate(std::size_t n) {
+  std::vector<flow::FlowRecord> records;
+  records.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) records.push_back(next());
+  return records;
+}
+
+std::vector<flow::FlowRecord> FlowGenerator::generate_for(SimDuration window) {
+  expects(window > 0, "FlowGenerator::generate_for: window must be positive");
+  const SimTime end = now_ + window;
+  std::vector<flow::FlowRecord> records;
+  while (true) {
+    flow::FlowRecord record = next();
+    if (record.timestamp >= end) {
+      now_ = end;  // do not leak time past the window
+      break;
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace megads::trace

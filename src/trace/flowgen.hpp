@@ -1,0 +1,78 @@
+// Synthetic network-flow workload (substitute for router flow exports).
+//
+// The generator produces the statistical structure Flowtree's behaviour
+// depends on, with explicit knobs:
+//   * source addresses drawn from a two-level hierarchy — Zipf over /16
+//     networks, then Zipf over hosts inside the network — so hierarchical
+//     heavy hitters exist by construction;
+//   * destinations drawn from a Zipf-ranked set of services (address, port,
+//     protocol), mimicking popular applications;
+//   * Poisson flow arrivals; Pareto (heavy-tailed) packet counts.
+//
+// Different sites (routers) share the service mix but rotate part of the
+// source-network ranking, so summaries from two sites overlap without being
+// identical — the regime the Merge/Diff experiments need.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "flow/flowkey.hpp"
+
+namespace megads::trace {
+
+struct FlowGenConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t site = 0;           ///< site id; rotates source popularity
+  std::size_t src_networks = 64;    ///< number of /16 source networks
+  std::size_t hosts_per_network = 256;
+  double network_skew = 1.2;        ///< Zipf exponent over networks
+  double host_skew = 1.0;           ///< Zipf exponent over hosts
+  std::size_t services = 32;        ///< number of (dst, port, proto) services
+  double service_skew = 1.1;
+  double flows_per_second = 1000.0; ///< Poisson arrival rate
+  double packet_alpha = 1.3;        ///< Pareto shape of packets per flow
+  double mean_packet_bytes = 700.0;
+  /// Fraction of the source-network ranking rotated per site step.
+  double site_rotation = 0.25;
+};
+
+/// Streaming generator of FlowRecords with increasing timestamps.
+class FlowGenerator {
+ public:
+  explicit FlowGenerator(FlowGenConfig config);
+
+  /// Next flow observation (arrival times advance by Exp(rate)).
+  flow::FlowRecord next();
+
+  /// Generate `n` records starting at the current virtual time.
+  std::vector<flow::FlowRecord> generate(std::size_t n);
+
+  /// Generate all records arriving within [now, now + window).
+  std::vector<flow::FlowRecord> generate_for(SimDuration window);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] const FlowGenConfig& config() const noexcept { return config_; }
+
+  /// The i-th source network as a /16 prefix (popularity rank order for
+  /// this site). Exposed so experiments can ask ground-truth questions.
+  [[nodiscard]] flow::Prefix network(std::size_t rank) const;
+
+ private:
+  FlowGenConfig config_;
+  Rng rng_;
+  ZipfSampler network_zipf_;
+  ZipfSampler host_zipf_;
+  ZipfSampler service_zipf_;
+  std::vector<std::uint32_t> network_bases_;  ///< /16 bases, rank-ordered per site
+  struct Service {
+    std::uint32_t address;
+    std::uint16_t port;
+    std::uint8_t proto;
+  };
+  std::vector<Service> services_;
+  SimTime now_ = 0;
+};
+
+}  // namespace megads::trace

@@ -1,0 +1,59 @@
+#include "trace/querygen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+
+QueryTrace generate_query_trace(const QueryGenConfig& config) {
+  expects(config.partitions > 0, "generate_query_trace: need at least one partition");
+  expects(config.horizon > 0 && config.mean_gap > 0,
+          "generate_query_trace: horizon and mean_gap must be positive");
+
+  Rng rng(config.seed);
+  QueryTrace trace;
+  trace.accesses_per_partition.assign(config.partitions, 0);
+  trace.bytes_per_partition.assign(config.partitions, 0);
+
+  for (std::size_t p = 0; p < config.partitions; ++p) {
+    const SimTime born = static_cast<SimTime>(
+        rng.uniform(static_cast<std::uint64_t>(config.spawn_window) + 1));
+
+    // Draw this partition's popularity: a Pareto mean, realized through a
+    // geometric count so short-lived partitions dominate but a heavy tail
+    // of hot partitions exists.
+    const double mean = rng.pareto(config.min_accesses, config.access_alpha);
+    const double p_stop = 1.0 / (1.0 + mean);
+    std::uint64_t count = rng.geometric(p_stop);
+    count = std::min(count, config.max_accesses);
+
+    SimTime t = born;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      t += std::max<SimDuration>(
+          1, static_cast<SimDuration>(
+                 rng.exponential(1.0 / to_seconds(config.mean_gap)) *
+                 static_cast<double>(kSecond)));
+      if (t >= config.horizon) break;
+      AccessEvent event;
+      event.partition = PartitionId(static_cast<std::uint32_t>(p));
+      event.time = t;
+      event.result_bytes = std::min(
+          config.result_cap_bytes,
+          static_cast<std::uint64_t>(rng.pareto(
+              static_cast<double>(config.result_min_bytes), config.result_alpha)));
+      trace.accesses_per_partition[p] += 1;
+      trace.bytes_per_partition[p] += event.result_bytes;
+      trace.events.push_back(event);
+    }
+  }
+
+  std::sort(trace.events.begin(), trace.events.end(),
+            [](const AccessEvent& a, const AccessEvent& b) {
+              return a.time < b.time;
+            });
+  return trace;
+}
+
+}  // namespace megads::trace

@@ -1,0 +1,56 @@
+// Synthetic partition-access traces (substitute for the paper's proprietary
+// "enterprise-level query trace" used to evaluate adaptive replication,
+// Section VII).
+//
+// Each partition is accessed by remote stores over a finite lifetime. The
+// number of accesses per partition is heavy-tailed (Pareto-like, via a
+// geometric with partition-specific continuation probability drawn from a
+// skewed mixture): most partitions receive a handful of queries, a few
+// receive hundreds — exactly the regime where ski-rental style policies pay
+// off. Result volumes per access are Pareto.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace megads::trace {
+
+struct AccessEvent {
+  PartitionId partition;
+  SimTime time = 0;
+  std::uint64_t result_bytes = 0;  ///< size of the shipped query result
+};
+
+struct QueryGenConfig {
+  std::uint64_t seed = 21;
+  std::size_t partitions = 200;
+  SimDuration horizon = 1 * kDay;
+  /// Partition creation times spread uniformly over the first `spawn_window`.
+  SimDuration spawn_window = 12 * kHour;
+  /// Heavy-tail knobs: accesses per partition ~ mixture of geometrics whose
+  /// mean is Pareto(min_accesses, access_alpha), truncated at max_accesses.
+  double min_accesses = 1.0;
+  double access_alpha = 1.1;
+  std::uint64_t max_accesses = 2000;
+  /// Mean gap between successive accesses of one partition.
+  SimDuration mean_gap = 10 * kMinute;
+  /// Result volume per access ~ Pareto(result_min_bytes, result_alpha).
+  std::uint64_t result_min_bytes = 64 * 1024;
+  double result_alpha = 1.4;
+  std::uint64_t result_cap_bytes = 1ull << 30;
+};
+
+struct QueryTrace {
+  std::vector<AccessEvent> events;  ///< time-sorted
+  /// Ground truth: per-partition totals (indexed by partition id value).
+  std::vector<std::uint64_t> accesses_per_partition;
+  std::vector<std::uint64_t> bytes_per_partition;
+};
+
+/// Generates a full access trace up front (the replication experiments replay
+/// it against different policies).
+[[nodiscard]] QueryTrace generate_query_trace(const QueryGenConfig& config);
+
+}  // namespace megads::trace

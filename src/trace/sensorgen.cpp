@@ -1,0 +1,110 @@
+#include "trace/sensorgen.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+
+namespace {
+
+flow::IPv4 sensor_address(std::uint16_t line, std::uint16_t machine,
+                          std::uint16_t sensor) {
+  return flow::IPv4(10, static_cast<std::uint8_t>(line),
+                    static_cast<std::uint8_t>(machine),
+                    static_cast<std::uint8_t>(sensor));
+}
+
+}  // namespace
+
+primitives::StreamItem SensorReading::to_item() const {
+  primitives::StreamItem item;
+  item.key.with_src(flow::Prefix(sensor_address(line, machine, sensor), 32));
+  item.value = value;
+  item.timestamp = timestamp;
+  return item;
+}
+
+flow::Prefix SensorReading::address() const {
+  return flow::Prefix(sensor_address(line, machine, sensor), 32);
+}
+
+flow::Prefix machine_prefix(std::uint16_t line, std::uint16_t machine) {
+  return flow::Prefix(sensor_address(line, machine, 0), 24);
+}
+
+flow::Prefix line_prefix(std::uint16_t line) {
+  return flow::Prefix(sensor_address(line, 0, 0), 16);
+}
+
+flow::Prefix factory_prefix() { return flow::Prefix(flow::IPv4(10, 0, 0, 0), 8); }
+
+SensorGenerator::SensorGenerator(SensorGenConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  expects(config_.sample_period > 0, "SensorGenerator: sample_period must be positive");
+  expects(config_.lines > 0 && config_.lines <= 256 &&
+              config_.machines_per_line > 0 && config_.machines_per_line <= 256 &&
+              config_.sensors_per_machine > 0 && config_.sensors_per_machine <= 256,
+          "SensorGenerator: factory dimensions must fit the 10.x.y.z encoding");
+  expects(config_.ar_phi >= 0.0 && config_.ar_phi < 1.0,
+          "SensorGenerator: ar_phi must be in [0, 1)");
+
+  for (std::uint16_t line = 0; line < config_.lines; ++line) {
+    for (std::uint16_t machine = 0; machine < config_.machines_per_line; ++machine) {
+      const bool degrading = rng_.bernoulli(config_.degrading_fraction);
+      for (std::uint16_t sensor = 0; sensor < config_.sensors_per_machine; ++sensor) {
+        SensorState s;
+        s.line = line;
+        s.machine = machine;
+        s.sensor = sensor;
+        s.base = rng_.normal(config_.base_level, config_.base_level * 0.1);
+        s.degrading = degrading;
+        state_.push_back(s);
+      }
+    }
+  }
+}
+
+bool SensorGenerator::is_degrading(std::uint16_t line, std::uint16_t machine) const {
+  for (const SensorState& s : state_) {
+    if (s.line == line && s.machine == machine) return s.degrading;
+  }
+  return false;
+}
+
+std::vector<SensorReading> SensorGenerator::tick() {
+  now_ += config_.sample_period;
+  const double hours = to_seconds(now_) / 3600.0;
+
+  std::vector<SensorReading> readings;
+  readings.reserve(state_.size());
+  for (SensorState& s : state_) {
+    s.deviation = config_.ar_phi * s.deviation +
+                  rng_.normal(0.0, config_.noise_sigma);
+    double value = s.base + s.deviation;
+    if (s.degrading) value += config_.drift_per_hour * hours;
+    for (const FaultSpec& fault : config_.faults) {
+      if (fault.line == s.line && fault.machine == s.machine &&
+          now_ >= fault.start && now_ < fault.start + fault.duration) {
+        value += fault.magnitude;
+      }
+    }
+    SensorReading reading;
+    reading.line = s.line;
+    reading.machine = s.machine;
+    reading.sensor = s.sensor;
+    reading.value = value;
+    reading.timestamp = now_;
+    readings.push_back(reading);
+  }
+  return readings;
+}
+
+std::vector<SensorReading> SensorGenerator::generate_until(SimTime until) {
+  std::vector<SensorReading> all;
+  while (now_ + config_.sample_period <= until) {
+    auto batch = tick();
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  return all;
+}
+
+}  // namespace megads::trace

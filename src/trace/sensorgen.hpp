@@ -1,0 +1,97 @@
+// Synthetic smart-factory sensor streams (substitute for machine sensors and
+// camera feeds).
+//
+// A factory is lines x machines x sensors. Each sensor is an AR(1) process
+// around a base level; "degrading" machines add slow drift (the predictive-
+// maintenance signal) and injected faults add step anomalies (the trigger /
+// control-loop signal).
+//
+// Readings map onto the flow domain so that every computing primitive can
+// consume them: sensor identity is encoded as the address 10.line.machine.sensor,
+// which makes the factory hierarchy (machine = /24, line = /16, factory = /8)
+// a prefix hierarchy — the paper's "domain knowledge" property carried over
+// to the second use case.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "primitives/item.hpp"
+
+namespace megads::trace {
+
+struct SensorReading {
+  std::uint16_t line = 0;
+  std::uint16_t machine = 0;   ///< machine index within the line
+  std::uint16_t sensor = 0;    ///< sensor index within the machine
+  double value = 0.0;
+  SimTime timestamp = 0;
+
+  /// Flow-domain encoding: key 10.line.machine.sensor, value = reading.
+  [[nodiscard]] primitives::StreamItem to_item() const;
+  /// The address of this reading's sensor (10.line.machine.sensor/32).
+  [[nodiscard]] flow::Prefix address() const;
+};
+
+/// Prefix helpers for factory scopes.
+[[nodiscard]] flow::Prefix machine_prefix(std::uint16_t line, std::uint16_t machine);
+[[nodiscard]] flow::Prefix line_prefix(std::uint16_t line);
+[[nodiscard]] flow::Prefix factory_prefix();
+
+struct FaultSpec {
+  std::uint16_t line = 0;
+  std::uint16_t machine = 0;
+  SimTime start = 0;
+  SimDuration duration = 0;
+  double magnitude = 0.0;  ///< added to every reading of the machine
+};
+
+struct SensorGenConfig {
+  std::uint64_t seed = 7;
+  std::uint16_t lines = 2;
+  std::uint16_t machines_per_line = 4;
+  std::uint16_t sensors_per_machine = 8;
+  SimDuration sample_period = 100 * kMillisecond;
+  double base_level = 50.0;     ///< per-sensor base drawn near this level
+  double ar_phi = 0.9;          ///< AR(1) persistence
+  double noise_sigma = 1.0;
+  /// Fraction of machines whose sensors drift upward (degradation).
+  double degrading_fraction = 0.25;
+  double drift_per_hour = 5.0;
+  std::vector<FaultSpec> faults;
+};
+
+class SensorGenerator {
+ public:
+  explicit SensorGenerator(SensorGenConfig config);
+
+  /// All sensor readings for the next sample tick (one per sensor).
+  std::vector<SensorReading> tick();
+
+  /// Run ticks until `until`, concatenating the readings.
+  std::vector<SensorReading> generate_until(SimTime until);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::size_t sensor_count() const noexcept { return state_.size(); }
+  [[nodiscard]] const SensorGenConfig& config() const noexcept { return config_; }
+  /// True when the machine was configured to degrade over time.
+  [[nodiscard]] bool is_degrading(std::uint16_t line, std::uint16_t machine) const;
+
+ private:
+  struct SensorState {
+    std::uint16_t line;
+    std::uint16_t machine;
+    std::uint16_t sensor;
+    double base;
+    double deviation = 0.0;  ///< AR(1) state around the base
+    bool degrading = false;
+  };
+
+  SensorGenConfig config_;
+  Rng rng_;
+  std::vector<SensorState> state_;
+  SimTime now_ = 0;
+};
+
+}  // namespace megads::trace

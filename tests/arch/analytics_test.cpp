@@ -1,0 +1,155 @@
+#include "arch/analytics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "primitives/exact.hpp"
+
+namespace megads::arch {
+namespace {
+
+using primitives::StreamItem;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+store::SlotConfig exact_slot() {
+  store::SlotConfig config;
+  config.name = "exact";
+  config.factory = [] { return std::make_unique<primitives::ExactAggregator>(); };
+  config.epoch = kHour;
+  config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+  config.subscribe_all = true;
+  return config;
+}
+
+void feed(store::DataStore& store, const flow::FlowKey& key, double value) {
+  StreamItem item;
+  item.key = key;
+  item.value = value;
+  item.timestamp = store.now();
+  store.ingest(SensorId(0), item);
+}
+
+struct AnalyticsFixture : ::testing::Test {
+  store::DataStore store_a{StoreId(0), "a"};
+  store::DataStore store_b{StoreId(1), "b"};
+  AggregatorId slot_a = store_a.install(exact_slot());
+  AggregatorId slot_b = store_b.install(exact_slot());
+
+  AnalyticsFixture() {
+    feed(store_a, host(1, 1), 10.0);
+    feed(store_a, host(1, 2), 5.0);
+    feed(store_b, host(1, 1), 7.0);
+    feed(store_b, host(2, 1), 3.0);
+  }
+};
+
+TEST_F(AnalyticsFixture, SingleSourcePassThrough) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows =
+      pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10}).run();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 10.0);
+}
+
+TEST_F(AnalyticsFixture, ScatterGatherCombinesStores) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows = pipeline
+                        .from_store(store_a, slot_a, primitives::TopKQuery{10})
+                        .from_store(store_b, slot_b, primitives::TopKQuery{10})
+                        .run();
+  // host(1,1) appears in both stores: 10 + 7 = 17.
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 17.0);
+}
+
+TEST_F(AnalyticsFixture, MapTransformsRows) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows = pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10})
+                        .map([](primitives::KeyScore row) {
+                          row.score *= 2.0;
+                          return row;
+                        })
+                        .run();
+  EXPECT_DOUBLE_EQ(rows[0].score, 20.0);
+}
+
+TEST_F(AnalyticsFixture, FilterDropsRows) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows = pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10})
+                        .filter([](const primitives::KeyScore& row) {
+                          return row.score > 6.0;
+                        })
+                        .run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 10.0);
+}
+
+TEST_F(AnalyticsFixture, StagesComposeInOrder) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows = pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10})
+                        .map([](primitives::KeyScore row) {
+                          row.score += 2.0;
+                          return row;
+                        })
+                        .filter([](const primitives::KeyScore& row) {
+                          return row.score >= 7.0;  // 5+2 passes
+                        })
+                        .run();
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(AnalyticsFixture, ReduceFoldsToSingleRow) {
+  AnalyticsPipeline pipeline("p");
+  const auto rows = pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10})
+                        .reduce([](const primitives::KeyScore& a,
+                                   const primitives::KeyScore& b) {
+                          primitives::KeyScore out = a;
+                          out.score += b.score;
+                          return out;
+                        })
+                        .run();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 15.0);
+}
+
+TEST_F(AnalyticsFixture, ApplySinkSeesFinalRows) {
+  AnalyticsPipeline pipeline("p");
+  std::size_t seen = 0;
+  pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10})
+      .apply([&](const std::vector<primitives::KeyScore>& rows) {
+        seen = rows.size();
+      })
+      .run();
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST_F(AnalyticsFixture, RerunnableAndCountsRuns) {
+  AnalyticsPipeline pipeline("p");
+  pipeline.from_store(store_a, slot_a, primitives::TopKQuery{10});
+  pipeline.run();
+  feed(store_a, host(3, 3), 100.0);
+  const auto rows = pipeline.run();
+  EXPECT_EQ(pipeline.runs(), 2u);
+  EXPECT_DOUBLE_EQ(rows[0].score, 100.0);  // sees fresh data
+}
+
+TEST(AnalyticsPipeline, RunWithoutSourcesThrows) {
+  AnalyticsPipeline pipeline("empty");
+  EXPECT_THROW(pipeline.run(), PreconditionError);
+}
+
+TEST(AnalyticsPipeline, RejectsEmptyStageFunctions) {
+  AnalyticsPipeline pipeline("p");
+  EXPECT_THROW(pipeline.map(nullptr), PreconditionError);
+  EXPECT_THROW(pipeline.filter(nullptr), PreconditionError);
+  EXPECT_THROW(pipeline.reduce(nullptr), PreconditionError);
+  EXPECT_THROW(pipeline.apply(nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::arch

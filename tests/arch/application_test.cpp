@@ -1,0 +1,211 @@
+#include "arch/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "flowtree/flowtree.hpp"
+#include "primitives/timebin.hpp"
+#include "trace/sensorgen.hpp"
+
+namespace megads::arch {
+namespace {
+
+using primitives::StreamItem;
+
+// --- PredictiveMaintenanceApp --------------------------------------------------
+
+struct MaintenanceFixture : ::testing::Test {
+  sim::Simulator sim;
+  store::DataStore store{StoreId(0), "factory"};
+  Controller controller;
+  std::vector<PredictiveMaintenanceApp::MachineFeed> feeds;
+
+  AggregatorId install_machine_slot() {
+    store::SlotConfig config;
+    config.name = "timebin";
+    config.factory = [] {
+      return std::make_unique<primitives::TimeBinAggregator>(kMinute);
+    };
+    config.epoch = kHour;
+    config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+    config.subscribe_all = false;
+    return store.install(std::move(config));
+  }
+
+  /// Feed `hours` of readings: machine 0 drifts, machine 1 is flat.
+  void feed_data(double drift_per_hour) {
+    const AggregatorId slot0 = install_machine_slot();
+    const AggregatorId slot1 = install_machine_slot();
+    store.subscribe(SensorId(0), slot0);
+    store.subscribe(SensorId(1), slot1);
+    feeds.push_back({trace::machine_prefix(0, 0), slot0});
+    feeds.push_back({trace::machine_prefix(0, 1), slot1});
+    for (int minute = 0; minute < 120; ++minute) {
+      const SimTime t = minute * kMinute;
+      StreamItem drifting;
+      drifting.key.with_src(trace::machine_prefix(0, 0));
+      drifting.value = 50.0 + drift_per_hour * to_seconds(t) / 3600.0;
+      drifting.timestamp = t;
+      store.ingest(SensorId(0), drifting);
+      StreamItem flat = drifting;
+      flat.key.with_src(trace::machine_prefix(0, 1));
+      flat.value = 50.0;
+      store.ingest(SensorId(1), flat);
+    }
+  }
+
+  PredictiveMaintenanceApp::Config app_config() {
+    PredictiveMaintenanceApp::Config config;
+    config.trend_window = 30 * kMinute;
+    config.failure_level = 60.0;
+    config.horizon = 10 * kHour;
+    return config;
+  }
+};
+
+TEST_F(MaintenanceFixture, DetectsDriftingMachine) {
+  feed_data(5.0);  // +5/hour: failure level 60 reached in ~2h from 50
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.poll(2 * kHour);
+  ASSERT_EQ(app.orders().size(), 1u);
+  const MaintenanceOrder& order = app.orders()[0];
+  EXPECT_EQ(order.machine, trace::machine_prefix(0, 0));
+  EXPECT_NEAR(order.slope_per_hour, 5.0, 1.0);
+  EXPECT_GT(order.predicted_failure, order.issued);
+}
+
+TEST_F(MaintenanceFixture, QuietOnHealthyMachines) {
+  feed_data(0.0);
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.poll(2 * kHour);
+  EXPECT_TRUE(app.orders().empty());
+}
+
+TEST_F(MaintenanceFixture, OrdersOnlyOncePerMachine) {
+  feed_data(5.0);
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.poll(2 * kHour);
+  app.poll(2 * kHour);
+  EXPECT_EQ(app.orders().size(), 1u);
+}
+
+TEST_F(MaintenanceFixture, ActsThroughController) {
+  feed_data(5.0);
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.poll(2 * kHour);
+  ASSERT_EQ(controller.log().size(), 1u);
+  EXPECT_NE(controller.log()[0].reason.find("predictive-maintenance"),
+            std::string::npos);
+}
+
+TEST_F(MaintenanceFixture, NoOrdersBeforeEnoughHistory) {
+  feed_data(5.0);
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.poll(10 * kMinute);  // < 2 windows of history
+  EXPECT_TRUE(app.orders().empty());
+}
+
+TEST_F(MaintenanceFixture, PeriodicPollingViaSimulator) {
+  feed_data(5.0);
+  PredictiveMaintenanceApp app(AppId(1), store, feeds, controller, app_config());
+  app.start(sim, 30 * kMinute);
+  sim.run_until(2 * kHour);
+  EXPECT_GE(app.polls(), 4u);
+  EXPECT_EQ(app.orders().size(), 1u);
+  app.stop(sim);
+  const auto polls = app.polls();
+  sim.run_until(4 * kHour);
+  EXPECT_EQ(app.polls(), polls);
+}
+
+// --- TrafficMonitorApp ----------------------------------------------------------
+
+struct TrafficFixture : ::testing::Test {
+  store::DataStore store{StoreId(0), "router"};
+  Controller controller;
+  AggregatorId slot = install_flowtree();
+
+  AggregatorId install_flowtree() {
+    store::SlotConfig config;
+    config.name = "flowtree";
+    config.factory = [] {
+      flowtree::FlowtreeConfig tree;
+      tree.node_budget = 4096;
+      return std::make_unique<flowtree::Flowtree>(tree);
+    };
+    config.epoch = kHour;
+    config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+    config.subscribe_all = true;
+    return store.install(std::move(config));
+  }
+
+  void send_flow(std::uint8_t net, std::uint8_t h, double bytes, SimTime t) {
+    StreamItem item;
+    item.key = flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                         flow::IPv4(198, 51, 100, 7), 80);
+    item.value = bytes;
+    item.timestamp = t;
+    store.ingest(SensorId(0), item);
+  }
+
+  TrafficMonitorApp::Config app_config() {
+    TrafficMonitorApp::Config config;
+    config.phi = 0.2;
+    config.lookback = kHour;
+    return config;
+  }
+};
+
+TEST_F(TrafficFixture, DetectsHeavyHitterIncident) {
+  for (int i = 0; i < 50; ++i) send_flow(1, static_cast<std::uint8_t>(i), 10.0, i);
+  send_flow(9, 9, 5000.0, 100);  // the attack flow
+  TrafficMonitorApp app(AppId(2), {{&store, slot}}, controller, app_config());
+  app.poll(kMinute);
+  ASSERT_FALSE(app.incidents().empty());
+  bool attack_found = false;
+  for (const auto& incident : app.incidents()) {
+    flow::FlowKey net9;
+    net9.with_src(flow::Prefix(flow::IPv4(10, 9, 0, 0), 16));
+    if (net9.generalizes(incident.key)) attack_found = true;
+  }
+  EXPECT_TRUE(attack_found);
+  EXPECT_FALSE(controller.log().empty());
+}
+
+TEST_F(TrafficFixture, DoesNotRepeatKnownIncidents) {
+  send_flow(9, 9, 5000.0, 1);
+  TrafficMonitorApp app(AppId(2), {{&store, slot}}, controller, app_config());
+  app.poll(kMinute);
+  const std::size_t first = app.incidents().size();
+  app.poll(2 * kMinute);
+  EXPECT_EQ(app.incidents().size(), first);
+}
+
+TEST_F(TrafficFixture, ScoreFloorFiltersNoise) {
+  send_flow(1, 1, 10.0, 1);
+  TrafficMonitorApp::Config config = app_config();
+  config.incident_score = 1000.0;
+  TrafficMonitorApp app(AppId(2), {{&store, slot}}, controller, config);
+  app.poll(kMinute);
+  EXPECT_TRUE(app.incidents().empty());
+}
+
+TEST_F(TrafficFixture, ValidatesConstruction) {
+  EXPECT_THROW(TrafficMonitorApp(AppId(2), {}, controller, app_config()),
+               PreconditionError);
+  TrafficMonitorApp::Config bad = app_config();
+  bad.phi = 0.0;
+  EXPECT_THROW(TrafficMonitorApp(AppId(2), {{&store, slot}}, controller, bad),
+               PreconditionError);
+}
+
+TEST(Application, RequiresValidId) {
+  store::DataStore store(StoreId(0), "s");
+  Controller controller;
+  EXPECT_THROW(PredictiveMaintenanceApp(AppId{}, store, {}, controller, {}),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::arch

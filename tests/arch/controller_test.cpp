@@ -1,0 +1,157 @@
+#include "arch/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::arch {
+namespace {
+
+flow::FlowKey machine(std::uint8_t m) {
+  flow::FlowKey key;
+  key.with_src(flow::Prefix(flow::IPv4(10, 0, m, 0), 24));
+  return key;
+}
+
+flow::FlowKey sensor(std::uint8_t m, std::uint8_t s) {
+  flow::FlowKey key;
+  key.with_src(flow::Prefix(flow::IPv4(10, 0, m, s), 32));
+  return key;
+}
+
+Rule rule(const char* name, std::uint8_t m, double lo, double hi,
+          std::optional<double> on_trigger = std::nullopt) {
+  Rule r;
+  r.name = name;
+  r.owner = AppId(1);
+  r.actuator = "speed";
+  r.scope = machine(m);
+  r.min_value = lo;
+  r.max_value = hi;
+  r.on_trigger_value = on_trigger;
+  return r;
+}
+
+TEST(Controller, InstallAndRemoveRules) {
+  Controller controller;
+  const RuleId id = controller.install_rule(rule("r1", 1, 0.0, 1.0));
+  EXPECT_EQ(controller.rule_count(), 1u);
+  controller.remove_rule(id);
+  EXPECT_EQ(controller.rule_count(), 0u);
+  EXPECT_THROW(controller.remove_rule(id), NotFoundError);
+}
+
+TEST(Controller, RejectsInvertedRange) {
+  Controller controller;
+  EXPECT_THROW(controller.install_rule(rule("bad", 1, 2.0, 1.0)),
+               PreconditionError);
+}
+
+TEST(Controller, DetectsConflictOnOverlappingScopes) {
+  Controller controller;
+  controller.install_rule(rule("slow", 1, 0.0, 0.5));
+  // Same machine, disjoint safe range: conflict.
+  EXPECT_THROW(controller.install_rule(rule("fast", 1, 0.8, 1.0)),
+               RuleConflictError);
+  // Different machine: fine.
+  EXPECT_NO_THROW(controller.install_rule(rule("fast2", 2, 0.8, 1.0)));
+  // Same machine, overlapping range: fine.
+  EXPECT_NO_THROW(controller.install_rule(rule("mid", 1, 0.4, 0.6)));
+}
+
+TEST(Controller, ConflictDetectionUsesScopeHierarchy) {
+  Controller controller;
+  Rule wide = rule("factory-wide", 0, 0.0, 0.3);
+  wide.scope = flow::FlowKey{};  // everything
+  controller.install_rule(wide);
+  EXPECT_THROW(controller.install_rule(rule("machine", 1, 0.5, 1.0)),
+               RuleConflictError);
+}
+
+TEST(Controller, RejectsTriggerSetpointOutsideOwnRange) {
+  Controller controller;
+  EXPECT_THROW(controller.install_rule(rule("r", 1, 0.0, 0.5, 0.9)),
+               RuleConflictError);
+}
+
+TEST(Controller, ValidateClampsIntoSafeRange) {
+  Controller controller;
+  controller.install_rule(rule("r", 1, 0.2, 0.8));
+  EXPECT_EQ(controller.validate("speed", sensor(1, 0), 0.5), 0.5);
+  EXPECT_EQ(controller.validate("speed", sensor(1, 0), 1.5), 0.8);
+  EXPECT_EQ(controller.validate("speed", sensor(1, 0), -1.0), 0.2);
+}
+
+TEST(Controller, ValidateIntersectsMultipleRules) {
+  Controller controller;
+  controller.install_rule(rule("a", 1, 0.0, 0.8));
+  controller.install_rule(rule("b", 1, 0.3, 1.0));
+  EXPECT_EQ(controller.validate("speed", sensor(1, 0), 0.1), 0.3);
+  EXPECT_EQ(controller.validate("speed", sensor(1, 0), 0.9), 0.8);
+}
+
+TEST(Controller, ValidateUnknownScopeReturnsNullopt) {
+  Controller controller;
+  controller.install_rule(rule("r", 1, 0.0, 1.0));
+  EXPECT_FALSE(controller.validate("speed", sensor(2, 0), 0.5).has_value());
+  EXPECT_FALSE(controller.validate("other", sensor(1, 0), 0.5).has_value());
+}
+
+TEST(Controller, ActuateIssuesValidatedCommand) {
+  Controller controller;
+  controller.install_rule(rule("r", 1, 0.2, 0.8));
+  std::vector<ActuationCommand> received;
+  controller.attach_actuator("speed", [&](const ActuationCommand& cmd) {
+    received.push_back(cmd);
+  });
+  const auto cmd = controller.actuate("speed", sensor(1, 0), 1.5, 77, "test");
+  EXPECT_EQ(cmd.value, 0.8);
+  EXPECT_EQ(cmd.requested, 1.5);
+  EXPECT_EQ(cmd.time, 77);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0].value, 0.8);
+  EXPECT_EQ(controller.log().size(), 1u);
+}
+
+TEST(Controller, ActuateWithoutActuatorStillLogs) {
+  Controller controller;
+  controller.actuate("ghost", sensor(1, 0), 1.0, 0, "test");
+  EXPECT_EQ(controller.log().size(), 1u);
+}
+
+TEST(Controller, TriggerFiresMatchingRules) {
+  Controller controller;
+  controller.install_rule(rule("safety", 1, 0.0, 1.0, 0.1));
+  controller.install_rule(rule("other-machine", 2, 0.0, 1.0, 0.1));
+  std::vector<ActuationCommand> received;
+  controller.attach_actuator("speed", [&](const ActuationCommand& cmd) {
+    received.push_back(cmd);
+  });
+  store::TriggerEvent event;
+  event.name = "overheat";
+  event.time = 42;
+  event.key = sensor(1, 3);
+  event.observed = 99.0;
+  controller.on_trigger(event);
+  ASSERT_EQ(received.size(), 1u);  // only machine 1's rule matches
+  EXPECT_EQ(received[0].value, 0.1);
+  EXPECT_NE(received[0].reason.find("overheat"), std::string::npos);
+  EXPECT_EQ(controller.triggers_handled(), 1u);
+}
+
+TEST(Controller, TriggerIgnoresRulesWithoutSetpoint) {
+  Controller controller;
+  controller.install_rule(rule("limit-only", 1, 0.0, 1.0));
+  store::TriggerEvent event;
+  event.key = sensor(1, 0);
+  controller.on_trigger(event);
+  EXPECT_TRUE(controller.log().empty());
+}
+
+TEST(Controller, AttachActuatorRejectsEmpty) {
+  Controller controller;
+  EXPECT_THROW(controller.attach_actuator("speed", nullptr), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::arch

@@ -1,0 +1,225 @@
+#include "arch/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "trace/flowgen.hpp"
+
+namespace megads::arch {
+namespace {
+
+std::vector<LevelSpec> three_levels() {
+  LevelSpec machine;
+  machine.name = "machine";
+  machine.fanout = 3;
+  machine.epoch = kSecond;
+  machine.budget = 256;
+  LevelSpec line;
+  line.name = "line";
+  line.fanout = 2;
+  line.epoch = 4 * kSecond;
+  line.budget = 512;
+  LevelSpec factory;
+  factory.name = "factory";
+  factory.epoch = 16 * kSecond;
+  factory.budget = 1024;
+  return {machine, line, factory};
+}
+
+primitives::StreamItem flow_item(std::uint8_t net, std::uint8_t h, double value,
+                                 SimTime t) {
+  primitives::StreamItem item;
+  item.key = flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                       flow::IPv4(198, 51, 100, 7), 80);
+  item.value = value;
+  item.timestamp = t;
+  return item;
+}
+
+TEST(Hierarchy, NodeCountsFollowFanout) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  EXPECT_EQ(hierarchy.level_count(), 3u);
+  EXPECT_EQ(hierarchy.nodes_at(2), 1u);
+  EXPECT_EQ(hierarchy.nodes_at(1), 2u);
+  EXPECT_EQ(hierarchy.nodes_at(0), 6u);
+  EXPECT_EQ(hierarchy.topology().node_count(), 9u);
+  EXPECT_EQ(hierarchy.topology().link_count(), 8u);
+}
+
+TEST(Hierarchy, StoresAreNamedByLevel) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  EXPECT_EQ(hierarchy.store(0, 0).name(), "machine-0");
+  EXPECT_EQ(hierarchy.store(1, 1).name(), "line-1");
+  EXPECT_EQ(hierarchy.root().name(), "factory-0");
+}
+
+TEST(Hierarchy, IngestCountsRawBytes) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  hierarchy.ingest(0, SensorId(0), flow_item(1, 1, 1.0, 0));
+  hierarchy.ingest(5, SensorId(0), flow_item(1, 2, 1.0, 0));
+  EXPECT_EQ(hierarchy.raw_bytes_ingested(), 2 * kRawItemBytes);
+}
+
+TEST(Hierarchy, SummariesFlowUpward) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  hierarchy.start();
+  // One flow per leaf per 100ms for 20 seconds.
+  for (int tick = 0; tick < 200; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    for (std::size_t leaf = 0; leaf < 6; ++leaf) {
+      hierarchy.ingest(leaf, SensorId(0),
+                       flow_item(static_cast<std::uint8_t>(leaf), 1, 1.0, t));
+    }
+  }
+  sim.run_until(40 * kSecond);
+
+  // The root has absorbed mass from every leaf.
+  auto& root = hierarchy.root();
+  const auto snapshot = root.snapshot(hierarchy.slot(2, 0));
+  const auto result = snapshot->execute(primitives::PointQuery{flow::FlowKey{}});
+  ASSERT_TRUE(result.supported);
+  EXPECT_GT(result.entries[0].score, 0.9 * 6 * 200);
+}
+
+TEST(Hierarchy, AggregationTamesUplinkBytes) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  hierarchy.start();
+  trace::FlowGenerator gen({});
+  for (int tick = 0; tick < 100; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    for (std::size_t leaf = 0; leaf < 6; ++leaf) {
+      // A flood of raw flows per tick: the regime the paper targets, where a
+      // bounded summary is far smaller than the stream it covers.
+      for (int i = 0; i < 100; ++i) {
+        auto record = gen.next();
+        record.timestamp = t;
+        primitives::StreamItem item;
+        item.key = record.key;
+        item.value = static_cast<double>(record.bytes);
+        item.timestamp = t;
+        hierarchy.ingest(leaf, SensorId(0), item);
+      }
+    }
+  }
+  sim.run_until(30 * kSecond);
+  // Summarized uplink traffic is far below shipping the raw stream, and
+  // shrinks further up the hierarchy (coarser epochs).
+  EXPECT_LT(hierarchy.uplink_bytes(0), hierarchy.raw_bytes_ingested());
+  EXPECT_GT(hierarchy.uplink_bytes(0), 0u);
+  EXPECT_LT(hierarchy.uplink_bytes(1), hierarchy.uplink_bytes(0));
+  EXPECT_EQ(hierarchy.uplink_bytes(2), 0u);  // the root has no uplink
+}
+
+TEST(Hierarchy, UplinkFailureDefersWithoutLosingMass) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  hierarchy.start();
+
+  // Leaf 0's uplink fails during the middle third of the run.
+  for (int tick = 0; tick < 150; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    if (tick == 50) {
+      hierarchy.topology().set_link_state(hierarchy.uplink(0, 0), false);
+    }
+    if (tick == 100) {
+      hierarchy.topology().set_link_state(hierarchy.uplink(0, 0), true);
+    }
+    for (std::size_t leaf = 0; leaf < 6; ++leaf) {
+      hierarchy.ingest(leaf, SensorId(0),
+                       flow_item(static_cast<std::uint8_t>(leaf), 1, 1.0, t));
+    }
+  }
+  sim.run_until(60 * kSecond);
+
+  // Everything — including leaf 0's outage window — reached the root.
+  const auto snapshot = hierarchy.root().snapshot(hierarchy.slot(2, 0));
+  const auto result = snapshot->execute(primitives::PointQuery{flow::FlowKey{}});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 6.0 * 150.0);
+}
+
+TEST(Hierarchy, TimeBinLevelsAggregateSensorStreams) {
+  // The smart-factory configuration: statistics summaries instead of
+  // Flowtrees, cross-width merging handled by the TimeBin primitive.
+  sim::Simulator sim;
+  LevelSpec machine;
+  machine.name = "machine";
+  machine.fanout = 4;
+  machine.epoch = kSecond;
+  machine.format = SummaryFormat::kTimeBins;
+  machine.storage_budget = 64u << 20;
+  LevelSpec factory;
+  factory.name = "factory";
+  factory.epoch = 4 * kSecond;
+  factory.format = SummaryFormat::kTimeBins;
+  factory.storage_budget = 64u << 20;
+  Hierarchy hierarchy(sim, {machine, factory});
+  hierarchy.start();
+
+  int readings = 0;
+  for (int tick = 0; tick < 100; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    for (std::size_t leaf = 0; leaf < 4; ++leaf) {
+      primitives::StreamItem item;
+      item.value = 50.0;
+      item.timestamp = t;
+      hierarchy.ingest(leaf, SensorId(0), item);
+      ++readings;
+    }
+  }
+  sim.run_until(60 * kSecond);
+
+  const auto snapshot = hierarchy.root().snapshot(hierarchy.slot(1, 0));
+  const auto result =
+      snapshot->execute(primitives::StatsQuery{TimeInterval{0, kMinute}});
+  ASSERT_TRUE(result.supported);
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(result.stats->count, static_cast<std::uint64_t>(readings));
+  EXPECT_DOUBLE_EQ(result.stats->mean, 50.0);
+}
+
+TEST(Hierarchy, StartTwiceThrows) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  hierarchy.start();
+  EXPECT_THROW(hierarchy.start(), PreconditionError);
+}
+
+TEST(Hierarchy, ValidatesCoordinates) {
+  sim::Simulator sim;
+  Hierarchy hierarchy(sim, three_levels());
+  EXPECT_THROW(hierarchy.store(5, 0), PreconditionError);
+  EXPECT_THROW(hierarchy.store(0, 99), PreconditionError);
+  EXPECT_THROW(hierarchy.ingest(99, SensorId(0), {}), PreconditionError);
+  EXPECT_THROW(hierarchy.level(7), PreconditionError);
+}
+
+TEST(Hierarchy, SingleLevelDegeneratesGracefully) {
+  sim::Simulator sim;
+  LevelSpec only;
+  only.name = "solo";
+  only.epoch = kSecond;
+  Hierarchy hierarchy(sim, {only});
+  EXPECT_EQ(hierarchy.nodes_at(0), 1u);
+  hierarchy.start();
+  hierarchy.ingest(0, SensorId(0), flow_item(1, 1, 1.0, 0));
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(hierarchy.uplink_bytes(0), 0u);
+}
+
+TEST(Hierarchy, RequiresAtLeastOneLevel) {
+  sim::Simulator sim;
+  EXPECT_THROW(Hierarchy(sim, {}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::arch

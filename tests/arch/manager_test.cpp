@@ -1,0 +1,219 @@
+#include "arch/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "flowtree/flowtree.hpp"
+
+namespace megads::arch {
+namespace {
+
+AppRequirements requirements(std::uint32_t app, SummaryFormat format,
+                             std::size_t precision = 256) {
+  AppRequirements req;
+  req.app = AppId(app);
+  req.format = format;
+  req.precision = precision;
+  req.epoch = kMinute;
+  req.storage = StorageClass::kExpiration;
+  req.storage_budget = static_cast<std::uint64_t>(kHour);
+  return req;
+}
+
+TEST(Manager, MakeFactoryProducesRequestedKinds) {
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kRaw, 1)()->kind(), "raw");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kSample, 10)()->kind(), "sampling");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kTimeBins, 10)()->kind(), "timebin");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kHistogram, 10)()->kind(),
+            "histogram");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kHeavyHitters, 10)()->kind(),
+            "space-saving");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kSketch, 10)()->kind(), "count-min");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kFlowtree, 10)()->kind(), "flowtree");
+  EXPECT_EQ(Manager::make_factory(SummaryFormat::kExact, 10)()->kind(), "exact");
+}
+
+TEST(Manager, FactoryAppliesPrecision) {
+  const auto agg = Manager::make_factory(SummaryFormat::kFlowtree, 128)();
+  const auto* tree = dynamic_cast<const flowtree::Flowtree*>(agg.get());
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->config().node_budget, 128u);
+}
+
+TEST(Manager, MakeStorageProducesStrategies) {
+  EXPECT_EQ(Manager::make_storage(StorageClass::kExpiration, kHour)->name(),
+            "expiration");
+  EXPECT_EQ(Manager::make_storage(StorageClass::kRoundRobin, 1 << 20)->name(),
+            "round-robin");
+  EXPECT_EQ(Manager::make_storage(StorageClass::kHierarchical, 0)->name(),
+            "hierarchical");
+}
+
+TEST(Manager, ProvisionInstallsSlot) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  const AggregatorId slot =
+      manager.provision(store, requirements(1, SummaryFormat::kFlowtree));
+  EXPECT_EQ(store.slots().size(), 1u);
+  EXPECT_EQ(store.live(slot).kind(), "flowtree");
+  EXPECT_EQ(manager.provisioned_slots(), 1u);
+}
+
+TEST(Manager, CompatibleRequirementsShareOneSlot) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  const AggregatorId a =
+      manager.provision(store, requirements(1, SummaryFormat::kFlowtree, 256));
+  const AggregatorId b =
+      manager.provision(store, requirements(2, SummaryFormat::kFlowtree, 128));
+  EXPECT_EQ(a, b);  // coarser request reuses the finer slot
+  EXPECT_EQ(store.slots().size(), 1u);
+}
+
+TEST(Manager, FinerPrecisionGetsNewSlot) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  manager.provision(store, requirements(1, SummaryFormat::kFlowtree, 128));
+  const AggregatorId fine =
+      manager.provision(store, requirements(2, SummaryFormat::kFlowtree, 1024));
+  EXPECT_EQ(store.slots().size(), 2u);
+  const auto* tree =
+      dynamic_cast<const flowtree::Flowtree*>(&store.live(fine));
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->config().node_budget, 1024u);
+}
+
+TEST(Manager, DifferentFormatsGetDifferentSlots) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  manager.provision(store, requirements(1, SummaryFormat::kFlowtree));
+  manager.provision(store, requirements(1, SummaryFormat::kSample));
+  EXPECT_EQ(store.slots().size(), 2u);
+}
+
+TEST(Manager, ProvisionSubscribesSensors) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  AppRequirements req = requirements(1, SummaryFormat::kExact);
+  req.sensors = {SensorId(3)};
+  const AggregatorId slot = manager.provision(store, req);
+  primitives::StreamItem item;
+  item.value = 1.0;
+  store.ingest(SensorId(3), item);
+  store.ingest(SensorId(4), item);  // not subscribed
+  EXPECT_EQ(store.live(slot).items_ingested(), 1u);
+}
+
+TEST(Manager, ReleaseRemovesUnusedSlots) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  manager.provision(store, requirements(1, SummaryFormat::kFlowtree));
+  manager.provision(store, requirements(2, SummaryFormat::kFlowtree));
+  manager.release(store, AppId(1));
+  EXPECT_EQ(store.slots().size(), 1u);  // app 2 still uses it
+  manager.release(store, AppId(2));
+  EXPECT_TRUE(store.slots().empty());
+  EXPECT_EQ(manager.provisioned_slots(), 0u);
+}
+
+TEST(Manager, ReportCoversManagedStores) {
+  Manager manager;
+  store::DataStore store_a(StoreId(0), "edge");
+  store::DataStore store_b(StoreId(1), "cloud");
+  manager.provision(store_a, requirements(1, SummaryFormat::kFlowtree));
+  manager.provision(store_b, requirements(1, SummaryFormat::kSample));
+  const auto reports = manager.report();
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].name, "edge");
+  EXPECT_EQ(reports[0].slots, 1u);
+}
+
+TEST(Manager, TransferLedger) {
+  Manager manager;
+  manager.note_transfer(1000);
+  manager.note_transfer(500);
+  EXPECT_EQ(manager.wan_bytes(), 1500u);
+}
+
+TEST(Manager, EnforceMemoryBudgetShrinksPrecision) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "edge");
+  AppRequirements req = requirements(1, SummaryFormat::kFlowtree, 8192);
+  req.epoch = kHour;  // keep everything in the live summary
+  const AggregatorId slot = manager.provision(store, req);
+  for (int i = 0; i < 20000; ++i) {
+    primitives::StreamItem item;
+    item.key = flow::FlowKey::from_tuple(
+        6, flow::IPv4(static_cast<std::uint32_t>(i * 2654435761u)),
+        static_cast<std::uint16_t>(i), flow::IPv4(9, 9, 9, 9), 443);
+    item.value = 1.0;
+    item.timestamp = i;
+    store.ingest(SensorId(0), item);
+  }
+  const std::size_t before = store.memory_bytes();
+  const std::size_t target = before / 4;
+  const std::size_t reductions = manager.enforce_memory_budget(store, target);
+  EXPECT_GT(reductions, 0u);
+  EXPECT_LE(store.memory_bytes(), target);
+  EXPECT_LT(store.live_budget(slot), 8192u);
+}
+
+TEST(Manager, EnforceMemoryBudgetStopsAtFloor) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "edge");
+  manager.provision(store, requirements(1, SummaryFormat::kFlowtree, 64));
+  // Impossible budget: the manager gives up at the precision floor instead
+  // of spinning.
+  const std::size_t reductions = manager.enforce_memory_budget(store, 1);
+  EXPECT_LE(reductions, 3u);
+  EXPECT_GE(store.live_budget(store.slots().front()), 16u);
+}
+
+TEST(Manager, EnforceMemoryBudgetNoopWhenUnderBudget) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "edge");
+  manager.provision(store, requirements(1, SummaryFormat::kFlowtree, 64));
+  EXPECT_EQ(manager.enforce_memory_budget(store, 1u << 30), 0u);
+}
+
+TEST(DataStoreBudget, SetLiveBudgetAdaptsImmediately) {
+  store::DataStore store(StoreId(0), "s");
+  store::SlotConfig config;
+  config.name = "flowtree";
+  config.factory = [] {
+    flowtree::FlowtreeConfig tree;
+    tree.node_budget = 1 << 20;
+    return std::make_unique<flowtree::Flowtree>(tree);
+  };
+  config.epoch = kHour;
+  config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+  config.subscribe_all = true;
+  const AggregatorId slot = store.install(std::move(config));
+  for (int i = 0; i < 2000; ++i) {
+    primitives::StreamItem item;
+    item.key = flow::FlowKey::from_tuple(
+        6, flow::IPv4(10, static_cast<std::uint8_t>(i % 8), 0,
+                      static_cast<std::uint8_t>(i)),
+        1000, flow::IPv4(9, 9, 9, 9), 80);
+    item.value = 1.0;
+    item.timestamp = i;
+    store.ingest(SensorId(0), item);
+  }
+  const std::size_t before = store.live(slot).size();
+  store.set_live_budget(slot, 32);
+  EXPECT_LT(store.live(slot).size(), before);
+  EXPECT_LE(store.live(slot).size(), 32u);
+  EXPECT_EQ(store.live_budget(slot), 32u);
+}
+
+TEST(Manager, ProvisionRequiresValidApp) {
+  Manager manager;
+  store::DataStore store(StoreId(0), "s");
+  AppRequirements req = requirements(1, SummaryFormat::kExact);
+  req.app = AppId{};
+  EXPECT_THROW(manager.provision(store, req), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::arch

@@ -1,0 +1,198 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace megads {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformCoversAllResidues) {
+  Rng rng(7);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[rng.uniform(8)];
+  for (const int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Rng, UniformRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.uniform(0), PreconditionError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyMatchesP) {
+  Rng rng(9);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(13);
+  EXPECT_THROW(rng.exponential(0.0), PreconditionError);
+  EXPECT_THROW(rng.exponential(-1.0), PreconditionError);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory) {
+  // E[X] = alpha*xm/(alpha-1) for alpha > 1.
+  Rng rng(19);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.pareto(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 1.5, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.05);
+}
+
+TEST(Rng, GeometricMean) {
+  // Mean number of failures = (1-p)/p.
+  Rng rng(29);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.geometric(0.25));
+  EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.next() == child.next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSampler, UniformWhenSkewZero) {
+  Rng rng(37);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> hits(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[zipf(rng)];
+  for (const int h : hits) EXPECT_NEAR(static_cast<double>(h) / n, 0.1, 0.02);
+}
+
+TEST(ZipfSampler, SkewConcentratesOnLowRanks) {
+  Rng rng(41);
+  ZipfSampler zipf(100, 1.5);
+  std::vector<int> hits(100, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++hits[zipf(rng)];
+  EXPECT_GT(hits[0], hits[10]);
+  EXPECT_GT(hits[0], n / 3);  // rank 0 has pmf ~0.38 at s=1.5, n=100
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(50, 1.1);
+  double total = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfMatchesEmpiricalFrequency) {
+  Rng rng(43);
+  ZipfSampler zipf(20, 1.0);
+  std::vector<int> hits(20, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++hits[zipf(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(hits[k]) / n, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(ZipfSampler, RejectsEmptySupport) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), PreconditionError);
+}
+
+TEST(ZipfSampler, RejectsNegativeSkew) {
+  EXPECT_THROW(ZipfSampler(10, -0.5), PreconditionError);
+}
+
+TEST(ZipfSampler, SamplesAlwaysInRange) {
+  Rng rng(47);
+  ZipfSampler zipf(7, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 7u);
+}
+
+}  // namespace
+}  // namespace megads

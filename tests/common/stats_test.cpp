@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace megads {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(42.0);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_EQ(stats.mean(), 42.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+  EXPECT_EQ(stats.min(), 42.0);
+  EXPECT_EQ(stats.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats stats;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stats.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(1);
+  RunningStats whole, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats stats, empty;
+  stats.add(1.0);
+  stats.add(3.0);
+  stats.merge(empty);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+}
+
+TEST(RunningStats, MergeIntoEmptyCopies) {
+  RunningStats stats, empty;
+  stats.add(5.0);
+  empty.merge(stats);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 5.0);
+}
+
+TEST(RunningStats, MergeIsOrderIndependent) {
+  RunningStats a1, b1, a2, b2;
+  for (const double x : {1.0, 2.0, 3.0}) { a1.add(x); a2.add(x); }
+  for (const double x : {10.0, 20.0}) { b1.add(x); b2.add(x); }
+  a1.merge(b1);
+  b2.merge(a2);
+  EXPECT_NEAR(a1.mean(), b2.mean(), 1e-12);
+  EXPECT_NEAR(a1.variance(), b2.variance(), 1e-9);
+}
+
+TEST(P2Quantile, ExactForFewSamples) {
+  P2Quantile median(0.5);
+  median.add(3.0);
+  median.add(1.0);
+  median.add(2.0);
+  EXPECT_DOUBLE_EQ(median.value(), 2.0);
+}
+
+TEST(P2Quantile, EmptyIsZero) {
+  P2Quantile q(0.9);
+  EXPECT_EQ(q.value(), 0.0);
+  EXPECT_EQ(q.count(), 0u);
+}
+
+TEST(P2Quantile, MedianOfUniform) {
+  Rng rng(2);
+  P2Quantile median(0.5);
+  for (int i = 0; i < 100000; ++i) median.add(rng.uniform01());
+  EXPECT_NEAR(median.value(), 0.5, 0.02);
+}
+
+TEST(P2Quantile, P99OfUniform) {
+  Rng rng(3);
+  P2Quantile p99(0.99);
+  for (int i = 0; i < 100000; ++i) p99.add(rng.uniform01());
+  EXPECT_NEAR(p99.value(), 0.99, 0.02);
+}
+
+TEST(P2Quantile, MedianOfNormalApproximatesMean) {
+  Rng rng(4);
+  P2Quantile median(0.5);
+  for (int i = 0; i < 50000; ++i) median.add(rng.normal(7.0, 3.0));
+  EXPECT_NEAR(median.value(), 7.0, 0.15);
+}
+
+TEST(P2Quantile, QuantilesAreMonotone) {
+  Rng rng(5);
+  P2Quantile p10(0.1), p50(0.5), p90(0.9);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(1.0);
+    p10.add(x);
+    p50.add(x);
+    p90.add(x);
+  }
+  EXPECT_LT(p10.value(), p50.value());
+  EXPECT_LT(p50.value(), p90.value());
+}
+
+TEST(P2Quantile, MedianOfExponentialMatchesTheory) {
+  Rng rng(6);
+  P2Quantile median(0.5);
+  for (int i = 0; i < 100000; ++i) median.add(rng.exponential(1.0));
+  EXPECT_NEAR(median.value(), std::log(2.0), 0.05);
+}
+
+}  // namespace
+}  // namespace megads

@@ -1,0 +1,129 @@
+#include "common/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace megads {
+namespace {
+
+TEST(Id, DefaultIsInvalid) {
+  EXPECT_FALSE(StoreId{}.valid());
+  EXPECT_TRUE(StoreId(0).valid());
+  EXPECT_TRUE(StoreId(7).valid());
+}
+
+TEST(Id, ComparisonAndHash) {
+  EXPECT_EQ(SensorId(3), SensorId(3));
+  EXPECT_NE(SensorId(3), SensorId(4));
+  EXPECT_LT(SensorId(3), SensorId(4));
+  std::unordered_set<SensorId> set{SensorId(1), SensorId(2), SensorId(1)};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TimeInterval, ContainsIsHalfOpen) {
+  const TimeInterval iv{10, 20};
+  EXPECT_TRUE(iv.contains(10));
+  EXPECT_TRUE(iv.contains(19));
+  EXPECT_FALSE(iv.contains(20));
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_EQ(iv.length(), 10);
+}
+
+TEST(TimeInterval, EmptyWhenDegenerate) {
+  EXPECT_TRUE((TimeInterval{5, 5}.empty()));
+  EXPECT_TRUE((TimeInterval{6, 5}.empty()));
+  EXPECT_FALSE((TimeInterval{5, 6}.empty()));
+}
+
+TEST(TimeInterval, Overlaps) {
+  const TimeInterval a{0, 10};
+  EXPECT_TRUE(a.overlaps({5, 15}));
+  EXPECT_TRUE(a.overlaps({9, 10}));
+  EXPECT_FALSE(a.overlaps({10, 20}));  // touching is not overlapping
+  EXPECT_FALSE(a.overlaps({20, 30}));
+  EXPECT_TRUE(a.overlaps({-5, 1}));
+}
+
+TEST(TimeInterval, SpanCoversBoth) {
+  const TimeInterval a{5, 10}, b{20, 30};
+  const TimeInterval s = a.span(b);
+  EXPECT_EQ(s.begin, 5);
+  EXPECT_EQ(s.end, 30);
+  EXPECT_EQ(b.span(a), s);
+}
+
+TEST(TimeUnits, Ratios) {
+  EXPECT_EQ(kSecond, 1000 * kMillisecond);
+  EXPECT_EQ(kMinute, 60 * kSecond);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(to_seconds(500 * kMillisecond), 0.5);
+}
+
+TEST(Hash, Mix64IsDeterministicAndSpreads) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+  // Adjacent inputs should differ in many bits.
+  const std::uint64_t x = mix64(1) ^ mix64(2);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (x >> i) & 1;
+  EXPECT_GT(bits, 16);
+}
+
+TEST(Hash, Fnv1aKnownValues) {
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("flowtree"), fnv1a("flowtree"));
+}
+
+TEST(Hash, IndexedHashGivesDistinctFunctions) {
+  const std::uint64_t base = 12345;
+  std::unordered_set<std::uint64_t> values;
+  for (std::uint32_t i = 0; i < 16; ++i) values.insert(indexed_hash(base, i) % 1024);
+  EXPECT_GT(values.size(), 10u);  // collisions possible but should be rare
+}
+
+TEST(Bytes, FormatBytes) {
+  EXPECT_EQ(format_bytes(0), "0 B");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1024), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(1ull << 20), "1.00 MiB");
+  EXPECT_EQ(format_bytes(1ull << 30), "1.00 GiB");
+  EXPECT_EQ(format_bytes(1ull << 40), "1.00 TiB");
+}
+
+TEST(Bytes, FormatSi) {
+  EXPECT_EQ(format_si(999), "999");
+  EXPECT_EQ(format_si(2500000), "2.50 M");
+  EXPECT_EQ(format_si(1000), "1.00 K");
+}
+
+TEST(Error, ExpectsThrowsWithMessage) {
+  EXPECT_NO_THROW(expects(true, "fine"));
+  try {
+    expects(false, "boom");
+    FAIL() << "expects(false) must throw";
+  } catch (const PreconditionError& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Error, HierarchyIsCatchableAsError) {
+  EXPECT_THROW(throw ParseError("x"), Error);
+  EXPECT_THROW(throw NotFoundError("x"), Error);
+  EXPECT_THROW(throw PreconditionError("x"), Error);
+}
+
+TEST(FormatInterval, Renders) {
+  EXPECT_EQ(format_interval({1, 5}), "[1,5)");
+}
+
+}  // namespace
+}  // namespace megads

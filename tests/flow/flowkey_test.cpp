@@ -1,0 +1,241 @@
+#include "flow/flowkey.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace megads::flow {
+namespace {
+
+FlowKey full_key() {
+  return FlowKey::from_tuple(6, IPv4(10, 1, 2, 3), 12345, IPv4(192, 168, 0, 9), 443);
+}
+
+TEST(FlowKey, RootIsFullyWildcarded) {
+  const FlowKey root;
+  EXPECT_TRUE(root.is_root());
+  EXPECT_FALSE(root.proto().has_value());
+  EXPECT_FALSE(root.src_port().has_value());
+  EXPECT_FALSE(root.dst_port().has_value());
+  EXPECT_TRUE(root.src().is_wildcard());
+  EXPECT_TRUE(root.dst().is_wildcard());
+  EXPECT_EQ(root.depth(), 0);
+  EXPECT_FALSE(root.parent().has_value());
+}
+
+TEST(FlowKey, FromTupleCarriesAllFeatures) {
+  const FlowKey key = full_key();
+  EXPECT_EQ(key.proto(), 6);
+  EXPECT_EQ(key.src().to_string(), "10.1.2.3/32");
+  EXPECT_EQ(key.dst().to_string(), "192.168.0.9/32");
+  EXPECT_EQ(key.src_port(), 12345);
+  EXPECT_EQ(key.dst_port(), 443);
+  EXPECT_FALSE(key.is_root());
+}
+
+TEST(FlowKey, FromTupleWithPartialFeatureSet) {
+  const FlowKey key = FlowKey::from_tuple(6, IPv4(1, 2, 3, 4), 99,
+                                          IPv4(5, 6, 7, 8), 80,
+                                          FeatureSet::kSrcDst);
+  EXPECT_FALSE(key.proto().has_value());
+  EXPECT_FALSE(key.src_port().has_value());
+  EXPECT_FALSE(key.dst_port().has_value());
+  EXPECT_EQ(key.src().length(), 32);
+  EXPECT_EQ(key.dst().length(), 32);
+}
+
+TEST(FlowKey, DepthOfFullFiveTuple) {
+  // src_port + dst_port + proto + 4 dst steps + 4 src steps (ip_step 8).
+  EXPECT_EQ(full_key().depth(), 11);
+}
+
+TEST(FlowKey, CanonicalParentOrder) {
+  FlowKey key = full_key();
+  // 1. source port is dropped first.
+  auto p = key.parent();
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->src_port().has_value());
+  EXPECT_TRUE(p->dst_port().has_value());
+  // 2. then destination port.
+  p = p->parent();
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->dst_port().has_value());
+  EXPECT_TRUE(p->proto().has_value());
+  // 3. then protocol.
+  p = p->parent();
+  ASSERT_TRUE(p);
+  EXPECT_FALSE(p->proto().has_value());
+  EXPECT_EQ(p->dst().length(), 32);
+  // 4. then destination bits, 8 at a time.
+  p = p->parent();
+  ASSERT_TRUE(p);
+  EXPECT_EQ(p->dst().length(), 24);
+  EXPECT_EQ(p->src().length(), 32);
+}
+
+TEST(FlowKey, ChainTerminatesAtRoot) {
+  FlowKey key = full_key();
+  int steps = 0;
+  std::optional<FlowKey> cursor = key;
+  while (cursor) {
+    auto next = cursor->parent();
+    if (!next) break;
+    ++steps;
+    cursor = next;
+  }
+  EXPECT_TRUE(cursor->is_root());
+  EXPECT_EQ(steps, key.depth());
+}
+
+TEST(FlowKey, EveryParentGeneralizesChild) {
+  std::optional<FlowKey> cursor = full_key();
+  const FlowKey leaf = *cursor;
+  while (auto up = cursor->parent()) {
+    EXPECT_TRUE(up->generalizes(*cursor));
+    EXPECT_TRUE(up->generalizes(leaf));
+    EXPECT_FALSE(cursor->generalizes(*up));
+    cursor = up;
+  }
+}
+
+TEST(FlowKey, DepthDecreasesByOneAlongChain) {
+  std::optional<FlowKey> cursor = full_key();
+  while (auto up = cursor->parent()) {
+    EXPECT_EQ(up->depth(), cursor->depth() - 1);
+    cursor = up;
+  }
+}
+
+TEST(FlowKey, SourcePrefixKeysLieOnChain) {
+  // The whole point of the canonical order: pure source-prefix keys are
+  // ancestors of every flow from that prefix.
+  const FlowKey leaf = full_key();
+  FlowKey want;
+  want.with_src(Prefix(IPv4(10, 1, 0, 0), 16));
+  bool found = false;
+  std::optional<FlowKey> cursor = leaf;
+  while (cursor) {
+    if (*cursor == want) found = true;
+    cursor = cursor->parent();
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlowKey, GeneralizesSelf) {
+  const FlowKey key = full_key();
+  EXPECT_TRUE(key.generalizes(key));
+}
+
+TEST(FlowKey, GeneralizesRequiresFeaturePresence) {
+  FlowKey with_port;
+  with_port.with_src_port(80);
+  FlowKey without;
+  EXPECT_TRUE(without.generalizes(with_port));
+  EXPECT_FALSE(with_port.generalizes(without));
+}
+
+TEST(FlowKey, GeneralizesChecksPrefixContainment) {
+  FlowKey wide;
+  wide.with_src(Prefix(IPv4(10, 0, 0, 0), 8));
+  FlowKey narrow;
+  narrow.with_src(Prefix(IPv4(10, 1, 2, 0), 24));
+  FlowKey other;
+  other.with_src(Prefix(IPv4(11, 0, 0, 0), 8));
+  EXPECT_TRUE(wide.generalizes(narrow));
+  EXPECT_FALSE(narrow.generalizes(wide));
+  EXPECT_FALSE(other.generalizes(narrow));
+}
+
+TEST(FlowKey, ProjectDropsFeatures) {
+  const FlowKey key = full_key();
+  const FlowKey projected = key.project(FeatureSet::kSrcDst);
+  EXPECT_FALSE(projected.proto().has_value());
+  EXPECT_FALSE(projected.src_port().has_value());
+  EXPECT_EQ(projected.src(), key.src());
+  EXPECT_EQ(projected.dst(), key.dst());
+}
+
+TEST(FlowKey, ProjectToNoneIsRoot) {
+  EXPECT_TRUE(full_key().project(FeatureSet::kNone).is_root());
+}
+
+TEST(FlowKey, ProjectIsIdempotent) {
+  const FlowKey key = full_key();
+  const FlowKey once = key.project(FeatureSet::kDstIpDstPort);
+  EXPECT_EQ(once, once.project(FeatureSet::kDstIpDstPort));
+}
+
+TEST(FlowKey, EqualityAndHashConsistency) {
+  const FlowKey a = full_key();
+  const FlowKey b = full_key();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  const FlowKey c = *a.parent();
+  EXPECT_NE(a, c);
+  EXPECT_NE(a.hash(), c.hash());  // overwhelmingly likely
+}
+
+TEST(FlowKey, HashSpreadsOverRandomKeys) {
+  Rng rng(5);
+  std::unordered_set<std::uint64_t> hashes;
+  for (int i = 0; i < 2000; ++i) {
+    const FlowKey key = FlowKey::from_tuple(
+        rng.bernoulli(0.5) ? 6 : 17, IPv4(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.uniform(65536)),
+        IPv4(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.uniform(65536)));
+    hashes.insert(key.hash());
+  }
+  EXPECT_EQ(hashes.size(), 2000u);
+}
+
+TEST(FlowKey, PrefixVsPortPresenceNotConfused) {
+  // A key with only a /0 src and port 0 present must differ from the root.
+  FlowKey port_zero;
+  port_zero.with_src_port(0);
+  EXPECT_NE(port_zero, FlowKey{});
+  EXPECT_NE(port_zero.hash(), FlowKey{}.hash());
+}
+
+TEST(FlowKey, ToStringShowsWildcards) {
+  EXPECT_EQ(FlowKey{}.to_string(), "proto=* src=*:* dst=*:*");
+  FlowKey key;
+  key.with_src(Prefix(IPv4(10, 0, 0, 0), 8)).with_dst_port(53);
+  EXPECT_EQ(key.to_string(), "proto=* src=10.0.0.0/8:* dst=*:53");
+}
+
+TEST(FlowKey, CustomIpStepPolicy) {
+  const GeneralizationPolicy policy{.ip_step = 16};
+  FlowKey key;
+  key.with_src(Prefix(IPv4(10, 1, 2, 3), 32));
+  EXPECT_EQ(key.depth(policy), 2);
+  const auto up = key.parent(policy);
+  ASSERT_TRUE(up);
+  EXPECT_EQ(up->src().length(), 16);
+}
+
+TEST(FlowKey, UniqueParenthoodOverRandomKeys) {
+  // Tree property: two equal keys always produce the same parent.
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const FlowKey key = FlowKey::from_tuple(
+        6, IPv4(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.uniform(65536)),
+        IPv4(static_cast<std::uint32_t>(rng.next())),
+        static_cast<std::uint16_t>(rng.uniform(65536)));
+    const FlowKey copy = key;
+    EXPECT_EQ(key.parent(), copy.parent());
+  }
+}
+
+TEST(FeatureSet, BitOperations) {
+  EXPECT_TRUE(has_feature(FeatureSet::kFiveTuple, FeatureSet::kProto));
+  EXPECT_TRUE(has_feature(FeatureSet::kSrcDst, FeatureSet::kSrcIp));
+  EXPECT_FALSE(has_feature(FeatureSet::kSrcDst, FeatureSet::kProto));
+  EXPECT_EQ(FeatureSet::kSrcIp | FeatureSet::kDstIp, FeatureSet::kSrcDst);
+}
+
+}  // namespace
+}  // namespace megads::flow

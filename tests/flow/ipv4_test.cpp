@@ -1,0 +1,107 @@
+#include "flow/ipv4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flow {
+namespace {
+
+TEST(IPv4, ComponentConstructor) {
+  const IPv4 addr(10, 1, 2, 3);
+  EXPECT_EQ(addr.value(), 0x0A010203u);
+  EXPECT_EQ(addr.to_string(), "10.1.2.3");
+}
+
+TEST(IPv4, ParseRoundTrip) {
+  for (const char* text : {"0.0.0.0", "255.255.255.255", "192.168.1.1", "8.8.8.8"}) {
+    EXPECT_EQ(IPv4::parse(text).to_string(), text);
+  }
+}
+
+TEST(IPv4, ParseRejectsMalformed) {
+  for (const char* text : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                           "1..2.3", "1.2.3.4x", "-1.2.3.4"}) {
+    EXPECT_THROW(IPv4::parse(text), ParseError) << text;
+  }
+}
+
+TEST(IPv4, Ordering) {
+  EXPECT_LT(IPv4(10, 0, 0, 1), IPv4(10, 0, 0, 2));
+  EXPECT_LT(IPv4(9, 255, 255, 255), IPv4(10, 0, 0, 0));
+  EXPECT_EQ(IPv4(1, 2, 3, 4), IPv4(1, 2, 3, 4));
+}
+
+TEST(PrefixMask, Extremes) {
+  EXPECT_EQ(prefix_mask(0), 0u);
+  EXPECT_EQ(prefix_mask(32), 0xffffffffu);
+  EXPECT_EQ(prefix_mask(24), 0xffffff00u);
+  EXPECT_EQ(prefix_mask(8), 0xff000000u);
+  EXPECT_EQ(prefix_mask(-5), 0u);
+  EXPECT_EQ(prefix_mask(40), 0xffffffffu);
+}
+
+TEST(Prefix, CanonicalizesLowBits) {
+  const Prefix p(IPv4(10, 1, 2, 3), 24);
+  EXPECT_EQ(p.address(), IPv4(10, 1, 2, 0));
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.to_string(), "10.1.2.0/24");
+}
+
+TEST(Prefix, ClampsLength) {
+  EXPECT_EQ(Prefix(IPv4(1, 2, 3, 4), 40).length(), 32);
+  EXPECT_EQ(Prefix(IPv4(1, 2, 3, 4), -1).length(), 0);
+}
+
+TEST(Prefix, DefaultIsWildcard) {
+  const Prefix wildcard;
+  EXPECT_TRUE(wildcard.is_wildcard());
+  EXPECT_EQ(wildcard.length(), 0);
+  EXPECT_TRUE(wildcard.contains(IPv4(1, 2, 3, 4)));
+}
+
+TEST(Prefix, ContainsAddress) {
+  const Prefix p(IPv4(10, 1, 0, 0), 16);
+  EXPECT_TRUE(p.contains(IPv4(10, 1, 200, 7)));
+  EXPECT_FALSE(p.contains(IPv4(10, 2, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefixPartialOrder) {
+  const Prefix p16(IPv4(10, 1, 0, 0), 16);
+  const Prefix p24(IPv4(10, 1, 2, 0), 24);
+  const Prefix p32(IPv4(10, 1, 2, 3), 32);
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_TRUE(p16.contains(p32));
+  EXPECT_TRUE(p24.contains(p32));
+  EXPECT_FALSE(p24.contains(p16));  // a shorter prefix is never contained
+  EXPECT_TRUE(p16.contains(p16));   // reflexive
+  EXPECT_FALSE(p24.contains(Prefix(IPv4(10, 1, 3, 0), 24)));
+}
+
+TEST(Prefix, Shortened) {
+  const Prefix p(IPv4(10, 1, 2, 3), 32);
+  EXPECT_EQ(p.shortened(8).to_string(), "10.1.2.0/24");
+  EXPECT_EQ(p.shortened(32).to_string(), "0.0.0.0/0");
+  EXPECT_EQ(p.shortened(40).length(), 0);  // floored at /0
+}
+
+TEST(Prefix, ParseForms) {
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8").length(), 8);
+  EXPECT_EQ(Prefix::parse("1.2.3.4").length(), 32);  // bare address = /32
+  EXPECT_EQ(Prefix::parse("10.1.2.3/16").address(), IPv4(10, 1, 0, 0));
+}
+
+TEST(Prefix, ParseRejectsBadLength) {
+  EXPECT_THROW(Prefix::parse("1.2.3.4/33"), ParseError);
+  EXPECT_THROW(Prefix::parse("1.2.3.4/-1"), ParseError);
+  EXPECT_THROW(Prefix::parse("1.2.3.4/x"), ParseError);
+  EXPECT_THROW(Prefix::parse("1.2.3.4/"), ParseError);
+}
+
+TEST(Prefix, EqualityUsesCanonicalForm) {
+  EXPECT_EQ(Prefix(IPv4(10, 1, 2, 3), 24), Prefix(IPv4(10, 1, 2, 99), 24));
+  EXPECT_NE(Prefix(IPv4(10, 1, 2, 0), 24), Prefix(IPv4(10, 1, 2, 0), 25));
+}
+
+}  // namespace
+}  // namespace megads::flow

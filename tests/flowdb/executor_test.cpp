@@ -1,0 +1,194 @@
+#include "flowdb/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb {
+namespace {
+
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h, std::uint16_t port = 80) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), port);
+}
+
+/// Two locations x two epochs with known scores.
+FlowDB make_db() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  FlowDB db(config);
+  const auto add = [&](std::uint8_t net, std::uint8_t h, double weight,
+                       TimeInterval interval, const std::string& location) {
+    Flowtree tree(config);
+    tree.add(host(net, h), weight);
+    db.add(std::move(tree), interval, location);
+  };
+  add(1, 1, 100.0, {0, kMinute}, "router-a");
+  add(1, 2, 50.0, {0, kMinute}, "router-a");
+  add(1, 1, 30.0, {kMinute, 2 * kMinute}, "router-a");
+  add(2, 1, 80.0, {0, kMinute}, "router-b");
+  return db;
+}
+
+TEST(Executor, TopKOverEverything) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT topk(2) FROM 0s..120s", db);
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.columns, (std::vector<std::string>{"rank", "flow", "score"}));
+  EXPECT_EQ(table.rows[0][2], "130");  // host(1,1): 100 + 30
+  EXPECT_EQ(table.rows[1][2], "80");   // host(2,1)
+}
+
+TEST(Executor, TopKRestrictedToLocation) {
+  const FlowDB db = make_db();
+  const Table table =
+      run_flowql("SELECT topk(5) FROM 0s..120s WHERE location = 'router-b'", db);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][2], "80");
+}
+
+TEST(Executor, TopKRestrictedToTimeRange) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT topk(5) FROM 60s..120s", db);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][2], "30");
+}
+
+TEST(Executor, QueryReturnsScoreOfRestrictionKey) {
+  const FlowDB db = make_db();
+  const Table table =
+      run_flowql("SELECT query FROM 0s..120s WHERE src = 10.1.0.0/16", db);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.columns, (std::vector<std::string>{"flow", "score"}));
+  EXPECT_EQ(table.rows[0][1], "180");  // 100 + 50 + 30
+}
+
+TEST(Executor, QueryWithUnknownKeyIsZero) {
+  const FlowDB db = make_db();
+  const Table table =
+      run_flowql("SELECT query FROM 0s..120s WHERE src = 77.0.0.0/8", db);
+  EXPECT_EQ(table.rows[0][1], "0");
+}
+
+TEST(Executor, DrilldownUnderPrefix) {
+  const FlowDB db = make_db();
+  const Table table =
+      run_flowql("SELECT drilldown FROM 0s..120s WHERE src = 10.0.0.0/8", db);
+  ASSERT_EQ(table.rows.size(), 2u);   // 10.1/16 and 10.2/16
+  EXPECT_EQ(table.rows[0][2], "180"); // 10.1/16 subtree
+  EXPECT_EQ(table.rows[1][2], "80");
+}
+
+TEST(Executor, AboveThreshold) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT above(75) FROM 0s..120s", db);
+  ASSERT_EQ(table.rows.size(), 2u);  // 100 and 80 (own scores per epoch merge)
+}
+
+TEST(Executor, AboveWithSourceRestriction) {
+  const FlowDB db = make_db();
+  const Table table =
+      run_flowql("SELECT above(40) FROM 0s..120s WHERE src = 10.1.0.0/16", db);
+  // host(1,1)=130, host(1,2)=50 qualify; host(2,1) filtered out by src.
+  ASSERT_EQ(table.rows.size(), 2u);
+}
+
+TEST(Executor, HhhOverMergedTrees) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT hhh(0.3) FROM 0s..120s", db);
+  // total = 260; threshold 78: host(1,1)=130 and host(2,1)=80 qualify.
+  ASSERT_GE(table.rows.size(), 2u);
+}
+
+TEST(Executor, DiffBetweenEpochs) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql(
+      "SELECT diff(5) FROM 0s..60s, 60s..120s WHERE location = 'router-a'", db);
+  // Epoch 1: host(1,1)=100, host(1,2)=50. Epoch 2: host(1,1)=30.
+  // Diff: host(1,1)=+70, host(1,2)=+50.
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[0][2], "70");
+  EXPECT_EQ(table.rows[1][2], "50");
+}
+
+TEST(Executor, DiffShowsNegativeForNewFlows) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql(
+      "SELECT diff(5) FROM 60s..120s, 0s..60s WHERE location = 'router-a'", db);
+  // Reversed: host(1,1) = 30 - 100 = -70; host(1,2) = -50.
+  EXPECT_EQ(table.rows[0][2], "-70");
+  EXPECT_EQ(table.rows[1][2], "-50");
+}
+
+TEST(Executor, EmptyResultForEmptyWindow) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT topk(5) FROM 300s..400s", db);
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(Executor, RankColumnIsSequential) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT topk(3) FROM 0s..120s", db);
+  for (std::size_t i = 0; i < table.rows.size(); ++i) {
+    EXPECT_EQ(table.rows[i][0], std::to_string(i + 1));
+  }
+}
+
+TEST(Executor, MalformedStatementThrows) {
+  const FlowDB db = make_db();
+  EXPECT_THROW(run_flowql("SELECT nothing FROM 0..1", db), ParseError);
+}
+
+TEST(Executor, HhhRestrictedToLocationSubset) {
+  const FlowDB db = make_db();
+  // Only router-b: its single flow owns 100% of that location's mass.
+  const Table table = run_flowql(
+      "SELECT hhh(0.5) FROM 0s..120s WHERE location = 'router-b'", db);
+  ASSERT_GE(table.rows.size(), 1u);
+  EXPECT_NE(table.rows[0][1].find("10.2.0.1"), std::string::npos);
+}
+
+TEST(Executor, DrilldownFromRootShowsTopNetworks) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql("SELECT drilldown FROM 0s..120s", db);
+  // Root's single child is src=10/8 (all flows share it).
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_NE(table.rows[0][1].find("10.0.0.0/8"), std::string::npos);
+  EXPECT_EQ(table.rows[0][2], "260");  // all mass
+}
+
+TEST(Executor, QueryOverMultipleRangesSums) {
+  const FlowDB db = make_db();
+  const Table split = run_flowql(
+      "SELECT query FROM 0s..60s, 60s..120s WHERE src = 10.1.0.0/16", db);
+  const Table whole =
+      run_flowql("SELECT query FROM 0s..120s WHERE src = 10.1.0.0/16", db);
+  EXPECT_EQ(split.rows[0][1], whole.rows[0][1]);
+}
+
+TEST(Executor, UnknownLocationGivesEmptyResults) {
+  const FlowDB db = make_db();
+  const Table table = run_flowql(
+      "SELECT topk(5) FROM 0s..120s WHERE location = 'no-such-router'", db);
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(Executor, PortRestrictionFiltersRows) {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  FlowDB db(config);
+  Flowtree tree(config);
+  tree.add(host(1, 1, 443), 10.0);
+  tree.add(host(1, 2, 80), 5.0);
+  db.add(std::move(tree), {0, kMinute}, "r");
+  const Table table =
+      run_flowql("SELECT topk(5) FROM 0s..60s WHERE dst_port = 443", db);
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][2], "10");
+}
+
+}  // namespace
+}  // namespace megads::flowdb

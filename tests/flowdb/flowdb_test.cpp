@@ -1,0 +1,120 @@
+#include "flowdb/flowdb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb {
+namespace {
+
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+Flowtree tree_with(std::initializer_list<std::pair<flow::FlowKey, double>> rows) {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  Flowtree tree(config);
+  for (const auto& [key, weight] : rows) tree.add(key, weight);
+  return tree;
+}
+
+TEST(FlowDB, EmptyDatabase) {
+  FlowDB db;
+  EXPECT_EQ(db.summary_count(), 0u);
+  EXPECT_TRUE(db.locations().empty());
+  EXPECT_FALSE(db.coverage().has_value());
+  const Flowtree merged = db.merged({}, {});
+  EXPECT_DOUBLE_EQ(merged.total_weight(), 0.0);
+}
+
+TEST(FlowDB, AddAndCoverage) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 5.0}}), {0, kMinute}, "router-a");
+  db.add(tree_with({{host(1, 2), 3.0}}), {kMinute, 2 * kMinute}, "router-a");
+  db.add(tree_with({{host(2, 1), 2.0}}), {0, kMinute}, "router-b");
+  EXPECT_EQ(db.summary_count(), 3u);
+  EXPECT_EQ(db.locations(), (std::vector<std::string>{"router-a", "router-b"}));
+  ASSERT_TRUE(db.coverage().has_value());
+  EXPECT_EQ(db.coverage()->begin, 0);
+  EXPECT_EQ(db.coverage()->end, 2 * kMinute);
+}
+
+TEST(FlowDB, MergedOverEverything) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 5.0}}), {0, kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 3.0}}), {kMinute, 2 * kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 2.0}}), {0, kMinute}, "b");
+  const Flowtree merged = db.merged({}, {});
+  EXPECT_DOUBLE_EQ(merged.query(host(1, 1)), 10.0);
+}
+
+TEST(FlowDB, MergedFiltersByInterval) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 5.0}}), {0, kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 3.0}}), {kMinute, 2 * kMinute}, "a");
+  const Flowtree merged = db.merged({TimeInterval{0, kMinute}}, {});
+  EXPECT_DOUBLE_EQ(merged.query(host(1, 1)), 5.0);
+}
+
+TEST(FlowDB, MergedFiltersByLocation) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 5.0}}), {0, kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 2.0}}), {0, kMinute}, "b");
+  EXPECT_DOUBLE_EQ(db.merged({}, {"a"}).query(host(1, 1)), 5.0);
+  EXPECT_DOUBLE_EQ(db.merged({}, {"b"}).query(host(1, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(db.merged({}, {"a", "b"}).query(host(1, 1)), 7.0);
+  EXPECT_DOUBLE_EQ(db.merged({}, {"zzz"}).total_weight(), 0.0);
+}
+
+TEST(FlowDB, MergedWithMultipleDisjointIntervals) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 1.0}}), {0, kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 2.0}}), {kMinute, 2 * kMinute}, "a");
+  db.add(tree_with({{host(1, 1), 4.0}}), {2 * kMinute, 3 * kMinute}, "a");
+  const Flowtree merged = db.merged(
+      {TimeInterval{0, kMinute}, TimeInterval{2 * kMinute, 3 * kMinute}}, {});
+  EXPECT_DOUBLE_EQ(merged.query(host(1, 1)), 5.0);  // skips the middle epoch
+}
+
+TEST(FlowDB, OverlapIsByIntersectionNotContainment) {
+  FlowDB db;
+  db.add(tree_with({{host(1, 1), 5.0}}), {0, 10 * kMinute}, "a");
+  // Query window is inside the summary's interval: still matches.
+  EXPECT_DOUBLE_EQ(db.merged({TimeInterval{kMinute, 2 * kMinute}}, {}).query(host(1, 1)),
+                   5.0);
+}
+
+TEST(FlowDB, AddEncodedRoundTrip) {
+  FlowDB db;
+  const Flowtree tree = tree_with({{host(3, 3), 9.0}});
+  db.add_encoded(tree.encode(), {0, kMinute}, "edge");
+  EXPECT_EQ(db.summary_count(), 1u);
+  EXPECT_DOUBLE_EQ(db.merged({}, {"edge"}).query(host(3, 3)), 9.0);
+}
+
+TEST(FlowDB, RejectsIncompatibleTree) {
+  FlowDB db;  // default policy
+  FlowtreeConfig coarse;
+  coarse.policy.ip_step = 16;
+  EXPECT_THROW(db.add(Flowtree(coarse), {0, kMinute}, "a"), PreconditionError);
+}
+
+TEST(FlowDB, RejectsEmptyInterval) {
+  FlowDB db;
+  EXPECT_THROW(db.add(tree_with({}), {kMinute, kMinute}, "a"), PreconditionError);
+}
+
+TEST(FlowDB, MemoryBytesGrowsWithSummaries) {
+  FlowDB db;
+  const std::size_t empty = db.memory_bytes();
+  db.add(tree_with({{host(1, 1), 1.0}}), {0, kMinute}, "a");
+  EXPECT_GT(db.memory_bytes(), empty);
+}
+
+}  // namespace
+}  // namespace megads::flowdb

@@ -1,0 +1,83 @@
+#include "flowdb/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb {
+namespace {
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const auto tokens = tokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, WordsAndSymbols) {
+  const auto tokens = tokenize("select topk(10)");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[1].text, "topk");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[3].text, "10");
+  EXPECT_EQ(tokens[4].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, RangeLiteralStaysOneToken) {
+  const auto tokens = tokenize("0s..60s");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "0s..60s");
+}
+
+TEST(Lexer, PrefixLiteralStaysOneToken) {
+  const auto tokens = tokenize("10.1.0.0/16");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "10.1.0.0/16");
+}
+
+TEST(Lexer, StringLiteralStripsQuotes) {
+  const auto tokens = tokenize("location = 'router-0.1'");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEquals);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[2].text, "router-0.1");
+}
+
+TEST(Lexer, EmptyStringLiteral) {
+  const auto tokens = tokenize("''");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_TRUE(tokens[0].text.empty());
+}
+
+TEST(Lexer, CommasSeparateRanges) {
+  const auto tokens = tokenize("0s..5s, 10s..15s");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComma);
+}
+
+TEST(Lexer, OffsetsPointIntoInput) {
+  const auto tokens = tokenize("ab (cd)");
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 3u);
+  EXPECT_EQ(tokens[2].offset, 4u);
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  EXPECT_THROW(tokenize("location = 'oops"), ParseError);
+}
+
+TEST(Lexer, UnexpectedCharacterThrows) {
+  EXPECT_THROW(tokenize("select % from"), ParseError);
+}
+
+TEST(Lexer, WhitespaceVariantsIgnored) {
+  const auto a = tokenize("select\ttopk ( 5 )\n");
+  const auto b = tokenize("select topk(5)");
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].text, b[i].text);
+}
+
+}  // namespace
+}  // namespace megads::flowdb

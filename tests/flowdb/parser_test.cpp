@@ -1,0 +1,150 @@
+#include "flowdb/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace megads::flowdb {
+namespace {
+
+TEST(Parser, MinimalTopK) {
+  const Statement s = parse("SELECT topk(10) FROM 0s..60s");
+  EXPECT_EQ(s.op, OperatorKind::kTopK);
+  EXPECT_DOUBLE_EQ(s.argument, 10.0);
+  ASSERT_EQ(s.ranges.size(), 1u);
+  EXPECT_EQ(s.ranges[0].begin, 0);
+  EXPECT_EQ(s.ranges[0].end, 60 * kSecond);
+  EXPECT_TRUE(s.locations.empty());
+  EXPECT_TRUE(s.restriction.is_root());
+}
+
+TEST(Parser, KeywordsAreCaseInsensitive) {
+  const Statement s = parse("select TOPK(3) from 0s..1s WHERE src = 10.0.0.0/8");
+  EXPECT_EQ(s.op, OperatorKind::kTopK);
+  EXPECT_EQ(s.restriction.src().to_string(), "10.0.0.0/8");
+}
+
+TEST(Parser, TimeUnits) {
+  const Statement s = parse("SELECT topk(1) FROM 5m..2h");
+  EXPECT_EQ(s.ranges[0].begin, 5 * kMinute);
+  EXPECT_EQ(s.ranges[0].end, 2 * kHour);
+  const Statement d = parse("SELECT topk(1) FROM 0..1d");
+  EXPECT_EQ(d.ranges[0].end, kDay);
+}
+
+TEST(Parser, BareNumbersAreSeconds) {
+  const Statement s = parse("SELECT topk(1) FROM 10..20");
+  EXPECT_EQ(s.ranges[0].begin, 10 * kSecond);
+  EXPECT_EQ(s.ranges[0].end, 20 * kSecond);
+}
+
+TEST(Parser, MultipleRanges) {
+  const Statement s = parse("SELECT hhh(0.05) FROM 0s..10s, 20s..30s, 1m..2m");
+  EXPECT_EQ(s.op, OperatorKind::kHHH);
+  EXPECT_DOUBLE_EQ(s.argument, 0.05);
+  ASSERT_EQ(s.ranges.size(), 3u);
+  EXPECT_EQ(s.ranges[2].begin, kMinute);
+}
+
+TEST(Parser, AllOperators) {
+  EXPECT_EQ(parse("SELECT query FROM 0..1").op, OperatorKind::kQuery);
+  EXPECT_EQ(parse("SELECT drilldown FROM 0..1").op, OperatorKind::kDrilldown);
+  EXPECT_EQ(parse("SELECT above(100) FROM 0..1").op, OperatorKind::kAbove);
+  EXPECT_EQ(parse("SELECT top-k(5) FROM 0..1").op, OperatorKind::kTopK);
+  EXPECT_EQ(parse("SELECT top_k(5) FROM 0..1").op, OperatorKind::kTopK);
+  const Statement d = parse("SELECT diff FROM 0..1, 1..2");
+  EXPECT_EQ(d.op, OperatorKind::kDiff);
+  EXPECT_DOUBLE_EQ(d.argument, 20.0);  // default k
+  EXPECT_DOUBLE_EQ(parse("SELECT diff(7) FROM 0..1, 1..2").argument, 7.0);
+}
+
+TEST(Parser, WhereConditionsFoldIntoRestriction) {
+  const Statement s = parse(
+      "SELECT query FROM 0s..60s WHERE src = 10.1.0.0/16 AND dst = 9.9.9.9 "
+      "AND dst_port = 443 AND proto = 6 AND src_port = 1000");
+  EXPECT_EQ(s.restriction.src().to_string(), "10.1.0.0/16");
+  EXPECT_EQ(s.restriction.dst().to_string(), "9.9.9.9/32");
+  EXPECT_EQ(s.restriction.dst_port(), 443);
+  EXPECT_EQ(s.restriction.src_port(), 1000);
+  EXPECT_EQ(s.restriction.proto(), 6);
+}
+
+TEST(Parser, LocationsAccumulate) {
+  const Statement s = parse(
+      "SELECT topk(5) FROM 0s..1s WHERE location = 'a' AND location = 'b'");
+  EXPECT_EQ(s.locations, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Parser, DiffRequiresExactlyTwoRanges) {
+  EXPECT_THROW(parse("SELECT diff FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT diff FROM 0..1, 1..2, 2..3"), ParseError);
+  EXPECT_NO_THROW(parse("SELECT diff FROM 0..1, 1..2"));
+}
+
+TEST(Parser, RejectsMalformedStatements) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("topk(5) FROM 0..1"), ParseError);          // no SELECT
+  EXPECT_THROW(parse("SELECT topk(5)"), ParseError);             // no FROM
+  EXPECT_THROW(parse("SELECT bogus(5) FROM 0..1"), ParseError);  // unknown op
+  EXPECT_THROW(parse("SELECT topk FROM 0..1"), ParseError);      // missing arg
+  EXPECT_THROW(parse("SELECT topk(0) FROM 0..1"), ParseError);   // k < 1
+  EXPECT_THROW(parse("SELECT hhh(2) FROM 0..1"), ParseError);    // phi > 1
+  EXPECT_THROW(parse("SELECT topk(5) FROM 5..1"), ParseError);   // end <= begin
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 trailing"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 WHERE src 10.0.0.0/8"),
+               ParseError);  // missing '='
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 WHERE nope = 3"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 WHERE location = router"),
+               ParseError);  // unquoted location
+  EXPECT_THROW(parse("SELECT topk(5) FROM zero..one"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0to1"), ParseError);
+}
+
+TEST(Parser, FractionalTimes) {
+  const Statement s = parse("SELECT topk(1) FROM 0.5s..1.5s");
+  EXPECT_EQ(s.ranges[0].begin, kSecond / 2);
+  EXPECT_EQ(s.ranges[0].end, kSecond * 3 / 2);
+}
+
+TEST(Parser, RandomMutationsNeverCrash) {
+  // Robustness: arbitrary corruption of a valid statement must either parse
+  // or throw ParseError — never crash or throw anything else.
+  const std::string base =
+      "SELECT topk(10) FROM 0s..60s WHERE src = 10.1.0.0/16 AND "
+      "location = 'router-0'";
+  Rng rng(123);
+  const std::string alphabet = "()=',.abcxyz0189/ _-";
+  int parsed = 0, rejected = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = base;
+    const int edits = 1 + static_cast<int>(rng.uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const auto pos = static_cast<std::size_t>(rng.uniform(mutated.size()));
+      switch (rng.uniform(3)) {
+        case 0: mutated[pos] = alphabet[rng.uniform(alphabet.size())]; break;
+        case 1: mutated.erase(pos, 1); break;
+        default:
+          mutated.insert(pos, 1, alphabet[rng.uniform(alphabet.size())]);
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    try {
+      (void)parse(mutated);
+      ++parsed;
+    } catch (const ParseError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 2000);
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Parser, OperatorKindNames) {
+  EXPECT_STREQ(to_string(OperatorKind::kTopK), "topk");
+  EXPECT_STREQ(to_string(OperatorKind::kHHH), "hhh");
+  EXPECT_STREQ(to_string(OperatorKind::kDiff), "diff");
+}
+
+}  // namespace
+}  // namespace megads::flowdb

@@ -1,0 +1,65 @@
+#include "flowdb/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace megads::flowdb {
+namespace {
+
+TEST(Table, EmptyTableRendersHeaderAndRule) {
+  Table table;
+  table.columns = {"a", "bb"};
+  const std::string out = table.to_string();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_TRUE(table.empty());
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table table;
+  table.columns = {"flow", "score"};
+  table.rows = {{"x", "1"}, {"longer-flow-name", "22"}};
+  const std::string out = table.to_string();
+  // Every line starts its second column at the same offset.
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    lines.push_back(out.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_GE(lines.size(), 4u);
+  const std::size_t score_column = lines[3].find("22");
+  EXPECT_EQ(lines[0].find("score"), score_column);
+  EXPECT_EQ(lines[2].find("1"), score_column);
+}
+
+TEST(Table, RowCountAndEmptiness) {
+  Table table;
+  table.columns = {"c"};
+  EXPECT_EQ(table.row_count(), 0u);
+  table.rows.push_back({"v"});
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(Table, ShortRowsPadWithEmptyCells) {
+  Table table;
+  table.columns = {"a", "b"};
+  table.rows = {{"only-a"}};
+  EXPECT_NO_THROW(table.to_string());
+}
+
+TEST(Table, TrailingWhitespaceTrimmed) {
+  Table table;
+  table.columns = {"a", "b"};
+  table.rows = {{"1", "2"}};
+  const std::string out = table.to_string();
+  for (std::size_t pos = out.find('\n'); pos != std::string::npos;
+       pos = out.find('\n', pos + 1)) {
+    if (pos > 0) EXPECT_NE(out[pos - 1], ' ');
+  }
+}
+
+}  // namespace
+}  // namespace megads::flowdb

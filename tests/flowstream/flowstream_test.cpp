@@ -1,0 +1,234 @@
+#include "flowstream/flowstream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/flowgen.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::flowstream {
+namespace {
+
+flow::FlowRecord make_flow(std::uint8_t net, std::uint8_t h, std::uint64_t bytes,
+                           SimTime t) {
+  flow::FlowRecord record;
+  record.key = flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                         flow::IPv4(198, 51, 100, 7), 443);
+  record.packets = 1;
+  record.bytes = bytes;
+  record.timestamp = t;
+  return record;
+}
+
+FlowstreamConfig small_config() {
+  FlowstreamConfig config;
+  config.regions = 2;
+  config.routers_per_region = 2;
+  config.epoch = kSecond;
+  return config;
+}
+
+TEST(Flowstream, ConstructionWiresTopology) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  EXPECT_EQ(system.router_location(0, 1), "router-0.1");
+  EXPECT_NO_THROW(system.router_store(1, 1));
+  EXPECT_NO_THROW(system.region_store(0));
+  EXPECT_THROW(system.router_store(5, 0), PreconditionError);
+  EXPECT_THROW(system.region_store(9), PreconditionError);
+}
+
+TEST(Flowstream, IngestFeedsRouterStore) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.ingest(0, 0, make_flow(1, 1, 1000, 10));
+  EXPECT_EQ(system.router_store(0, 0).items_ingested(), 1u);
+  EXPECT_EQ(system.router_store(0, 1).items_ingested(), 0u);
+}
+
+TEST(Flowstream, ExportsReachRegionAndFlowDB) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.start();
+  for (int tick = 0; tick < 30; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 100, t));
+    system.ingest(0, 1, make_flow(2, 1, 200, t));
+    system.ingest(1, 0, make_flow(3, 1, 300, t));
+  }
+  sim.run_until(10 * kSecond);
+
+  EXPECT_GT(system.summaries_indexed(), 0u);
+  EXPECT_GE(system.db().summary_count(), 3u);
+  // The region store absorbed its routers' trees.
+  const auto result = system.region_store(0).query(
+      system.region_slot(0), primitives::PointQuery{flow::FlowKey{}});
+  ASSERT_TRUE(result.supported);
+  EXPECT_GT(result.entries[0].score, 0.0);
+  // WAN accounting saw the transfers.
+  EXPECT_GT(system.network().stats().payload_bytes, 0u);
+}
+
+TEST(Flowstream, FlowQLAnswersAcrossRouters) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.start();
+  for (int tick = 0; tick < 30; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 100, t));
+    system.ingest(1, 0, make_flow(1, 1, 50, t));
+  }
+  sim.run_until(10 * kSecond);
+
+  const auto table =
+      system.query("SELECT query FROM 0s..10s WHERE src = 10.1.0.0/16");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "4500");  // 30*100 + 30*50
+
+  const auto local = system.query(
+      "SELECT query FROM 0s..10s WHERE src = 10.1.0.0/16 AND location = "
+      "'router-1.0'");
+  EXPECT_EQ(local.rows[0][1], "1500");
+}
+
+TEST(Flowstream, TopKViaFlowQL) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.start();
+  for (int tick = 0; tick < 20; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 1000, t));
+    system.ingest(0, 0, make_flow(2, 2, 10, t));
+  }
+  sim.run_until(5 * kSecond);
+  const auto table = system.query("SELECT topk(1) FROM 0s..5s");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_NE(table.rows[0][1].find("10.1.0.1"), std::string::npos);
+}
+
+TEST(Flowstream, IngestSamplingKeepsTotalsUnbiased) {
+  sim::Simulator sim;
+  FlowstreamConfig config = small_config();
+  config.ingest_sampling = 0.1;  // keep 1 in 10 flows, rescale by 10x
+  Flowstream system(sim, config);
+  system.start();
+  // Fixed-size flows isolate the estimator from heavy-tail noise: the only
+  // randomness left is the Bernoulli sampler itself.
+  const int flows = 20000;
+  double truth = 0.0;
+  for (int i = 0; i < flows; ++i) {
+    const auto record = make_flow(static_cast<std::uint8_t>(i % 8),
+                                  static_cast<std::uint8_t>(i % 251), 1000,
+                                  i % (2 * kSecond));
+    truth += static_cast<double>(record.bytes);
+    system.ingest(0, 0, record);
+  }
+  EXPECT_EQ(system.flows_offered(), static_cast<std::uint64_t>(flows));
+  EXPECT_NEAR(static_cast<double>(system.flows_sampled()), flows * 0.1,
+              flows * 0.02);
+  // The rescaled summary estimates the true volume within sampling noise
+  // (Bernoulli sd here is ~2% of the total).
+  const auto result = system.router_store(0, 0).query(
+      system.router_slot(0, 0), primitives::PointQuery{flow::FlowKey{}});
+  EXPECT_NEAR(result.entries[0].score, truth, truth * 0.10);
+}
+
+TEST(Flowstream, RejectsBadSamplingRate) {
+  sim::Simulator sim;
+  FlowstreamConfig config = small_config();
+  config.ingest_sampling = 0.0;
+  EXPECT_THROW(Flowstream(sim, config), PreconditionError);
+  config.ingest_sampling = 1.5;
+  EXPECT_THROW(Flowstream(sim, config), PreconditionError);
+}
+
+TEST(Flowstream, ExportPolicyCoarsensSharedSummaries) {
+  sim::Simulator sim;
+  FlowstreamConfig config = small_config();
+  config.export_policy.max_depth = 6;        // prefixes only leave the router
+  config.export_policy.suppress_below = 50.0;
+  Flowstream system(sim, config);
+  system.start();
+  for (int tick = 0; tick < 30; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 100, t));   // heavy host
+    system.ingest(0, 0, make_flow(2, tick % 8, 1, t));  // scattered noise
+  }
+  sim.run_until(10 * kSecond);
+
+  // Locally the router still has full granularity...
+  const auto local = system.router_store(0, 0).query(
+      system.router_slot(0, 0),
+      primitives::PointQuery{make_flow(1, 1, 0, 0).key});
+  EXPECT_GT(local.entries[0].score, 0.0);
+
+  // ...but nothing shared (FlowDB) carries ports/protocols or tiny flows.
+  const auto exported = system.db().merged({}, {});
+  EXPECT_LE(exported.max_depth(), 6);
+  for (const auto& entry : exported.entries()) {
+    EXPECT_FALSE(entry.key.dst_port().has_value());
+    if (!entry.key.is_root()) {
+      EXPECT_GE(exported.query(entry.key), 50.0);
+    }
+  }
+  // Total mass still flows upward.
+  EXPECT_DOUBLE_EQ(exported.query(flow::FlowKey{}), 30.0 * 100.0 + 30.0);
+}
+
+TEST(Flowstream, UplinkOutageDefersExportsThenRecovers) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.start();
+
+  // Seconds 0-2: healthy.
+  for (int tick = 0; tick < 20; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 100, t));
+  }
+  sim.run_until(2500 * kMillisecond);
+  const auto indexed_before = system.summaries_indexed();
+  ASSERT_GT(indexed_before, 0u);
+
+  // Seconds 2.5-6.5: the router's uplink is down; exports must defer, not drop.
+  system.topology().set_link_state(system.router_uplink(0, 0), false);
+  for (int tick = 25; tick < 65; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    system.ingest(0, 0, make_flow(1, 1, 100, t));
+  }
+  EXPECT_EQ(system.summaries_indexed(), indexed_before);  // nothing got through
+
+  // Repair: the next export covers the whole outage window.
+  system.topology().set_link_state(system.router_uplink(0, 0), true);
+  sim.run_until(12 * kSecond);
+  EXPECT_GT(system.summaries_indexed(), indexed_before);
+
+  // No data was lost end to end: FlowQL still sees every byte.
+  const auto table = system.query("SELECT query FROM 0s..12s");
+  EXPECT_EQ(table.rows[0][1], "6000");  // 60 flows x 100 bytes
+}
+
+TEST(Flowstream, StartTwiceThrows) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  system.start();
+  EXPECT_THROW(system.start(), PreconditionError);
+}
+
+TEST(Flowstream, ValidatesConfig) {
+  sim::Simulator sim;
+  FlowstreamConfig config = small_config();
+  config.regions = 0;
+  EXPECT_THROW(Flowstream(sim, config), PreconditionError);
+  config = small_config();
+  config.epoch = 0;
+  EXPECT_THROW(Flowstream(sim, config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::flowstream

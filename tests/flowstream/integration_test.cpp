@@ -1,0 +1,132 @@
+// End-to-end integration: generated workloads through the full Flowstream
+// pipeline, checking that FlowQL answers track ground truth within the
+// accuracy the summaries promise.
+#include <gtest/gtest.h>
+
+#include <charconv>
+
+#include "flowstream/flowstream.hpp"
+#include "primitives/exact.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::flowstream {
+namespace {
+
+double score_of(const flowdb::Table& table, std::size_t row, std::size_t col) {
+  const std::string& cell = table.rows.at(row).at(col);
+  double value = 0.0;
+  std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  return value;
+}
+
+struct IntegrationFixture : ::testing::Test {
+  sim::Simulator sim;
+  FlowstreamConfig config;
+  std::unique_ptr<Flowstream> system;
+  primitives::ExactAggregator truth;
+  std::vector<trace::FlowGenerator> generators;
+
+  void SetUp() override {
+    config.regions = 2;
+    config.routers_per_region = 2;
+    config.epoch = kSecond;
+    config.router_budget = 4096;
+    config.region_budget = 16384;
+    system = std::make_unique<Flowstream>(sim, config);
+    system->start();
+
+    for (std::uint32_t site = 0; site < 4; ++site) {
+      trace::FlowGenConfig gen_config;
+      gen_config.seed = 42;
+      gen_config.site = site;
+      gen_config.flows_per_second = 200.0;
+      generators.emplace_back(gen_config);
+    }
+
+    // 8 virtual seconds of traffic on four routers.
+    for (int tick = 0; tick < 80; ++tick) {
+      const SimTime t = tick * 100 * kMillisecond;
+      sim.run_until(t);
+      for (std::uint32_t site = 0; site < 4; ++site) {
+        for (auto& record : generators[site].generate_for(100 * kMillisecond)) {
+          record.timestamp = t;
+          system->ingest(site / 2, site % 2, record);
+          primitives::StreamItem item;
+          item.key = record.key;
+          item.value = static_cast<double>(record.bytes);
+          item.timestamp = t;
+          truth.insert(item);
+        }
+      }
+    }
+    sim.run_until(20 * kSecond);  // drain exports
+  }
+
+  double exact_score(const flow::FlowKey& key) const {
+    return truth.execute(primitives::PointQuery{key}).entries[0].score;
+  }
+};
+
+TEST_F(IntegrationFixture, TotalMassIsConserved) {
+  const auto table = system->query("SELECT query FROM 0s..20s");
+  const double total = score_of(table, 0, 1);
+  // Merge order differs between the truth table and the distributed path, so
+  // double rounding accumulates differently; mass is conserved up to that.
+  EXPECT_NEAR(total, exact_score(flow::FlowKey{}),
+              exact_score(flow::FlowKey{}) * 1e-5);
+}
+
+TEST_F(IntegrationFixture, TopNetworkQueryTracksTruth) {
+  flow::FlowKey top_net;
+  top_net.with_src(generators[0].network(0));
+  const double expected = exact_score(top_net);
+  ASSERT_GT(expected, 0.0);
+  const auto table = system->query(
+      "SELECT query FROM 0s..20s WHERE src = " + generators[0].network(0).to_string());
+  EXPECT_NEAR(score_of(table, 0, 1), expected, expected * 0.30);
+}
+
+TEST_F(IntegrationFixture, HhhContainsTheTopNetwork) {
+  const auto table = system->query("SELECT hhh(0.05) FROM 0s..20s");
+  ASSERT_FALSE(table.rows.empty());
+  flow::FlowKey top_net;
+  top_net.with_src(generators[0].network(0));
+  bool related = false;
+  for (const auto& row : table.rows) {
+    if (row[1].find(generators[0].network(0).address().to_string().substr(0, 6)) !=
+        std::string::npos) {
+      related = true;
+    }
+  }
+  EXPECT_TRUE(related);
+}
+
+TEST_F(IntegrationFixture, DiffBetweenHalvesIsBounded) {
+  // Stationary workload: the diff between the two halves must be small
+  // relative to either half's mass.
+  const auto half_a = system->query("SELECT query FROM 0s..4s");
+  const auto half_b = system->query("SELECT query FROM 4s..8s");
+  const double mass_a = score_of(half_a, 0, 1);
+  const double mass_b = score_of(half_b, 0, 1);
+  ASSERT_GT(mass_a, 0.0);
+  ASSERT_GT(mass_b, 0.0);
+  EXPECT_NEAR(mass_a, mass_b, std::max(mass_a, mass_b) * 0.9);
+}
+
+TEST_F(IntegrationFixture, PerLocationMassesSumToTotal) {
+  double per_location = 0.0;
+  for (std::size_t region = 0; region < 2; ++region) {
+    for (std::size_t router = 0; router < 2; ++router) {
+      const auto table = system->query(
+          "SELECT query FROM 0s..20s WHERE location = '" +
+          system->router_location(region, router) + "'");
+      per_location += score_of(table, 0, 1);
+    }
+  }
+  const auto total_table = system->query("SELECT query FROM 0s..20s");
+  EXPECT_NEAR(per_location, score_of(total_table, 0, 1),
+              per_location * 1e-6);
+}
+
+}  // namespace
+}  // namespace megads::flowstream

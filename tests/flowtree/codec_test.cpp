@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::flowtree {
+namespace {
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+TEST(FlowtreeCodec, EmptyTreeRoundTrips) {
+  const Flowtree tree;
+  const auto bytes = tree.encode();
+  EXPECT_EQ(bytes.size(), Flowtree::kHeaderBytes + Flowtree::kBytesPerNode);
+  const Flowtree decoded = Flowtree::decode(bytes);
+  EXPECT_EQ(decoded.size(), 1u);
+  EXPECT_DOUBLE_EQ(decoded.total_weight(), 0.0);
+}
+
+TEST(FlowtreeCodec, RoundTripPreservesScores) {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  Flowtree tree(config);
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(1, 2), 3.5);
+  tree.add(host(2, 9), 0.25);
+  const Flowtree decoded = Flowtree::decode(tree.encode(), config);
+  EXPECT_EQ(decoded.size(), tree.size());
+  EXPECT_DOUBLE_EQ(decoded.total_weight(), tree.total_weight());
+  EXPECT_DOUBLE_EQ(decoded.query(host(1, 1)), 5.0);
+  EXPECT_DOUBLE_EQ(decoded.query(host(1, 2)), 3.5);
+  EXPECT_DOUBLE_EQ(decoded.query(host(2, 9)), 0.25);
+}
+
+TEST(FlowtreeCodec, RoundTripPreservesGeneralizedNodes) {
+  Flowtree tree;
+  flow::FlowKey prefix;
+  prefix.with_src(flow::Prefix(flow::IPv4(10, 1, 0, 0), 16)).with_dst_port(443);
+  tree.add(prefix, 7.0);
+  const Flowtree decoded = Flowtree::decode(tree.encode());
+  EXPECT_DOUBLE_EQ(decoded.query(prefix), 7.0);
+}
+
+TEST(FlowtreeCodec, CarriesConfigInHeader) {
+  FlowtreeConfig config;
+  config.policy.ip_step = 16;
+  config.features = flow::FeatureSet::kSrcDst;
+  Flowtree tree(config);
+  tree.add(host(1, 1), 1.0);
+  // Decode with a *different* default config: header wins for policy/features.
+  const Flowtree decoded = Flowtree::decode(tree.encode());
+  EXPECT_EQ(decoded.config().policy.ip_step, 16);
+  EXPECT_EQ(decoded.config().features, flow::FeatureSet::kSrcDst);
+}
+
+TEST(FlowtreeCodec, PreservesLossyFlag) {
+  FlowtreeConfig config;
+  config.node_budget = 4;
+  Flowtree tree(config);
+  for (int i = 0; i < 100; ++i) {
+    tree.add(host(static_cast<std::uint8_t>(i % 3), static_cast<std::uint8_t>(i)), 1.0);
+  }
+  ASSERT_TRUE(tree.lossy());
+  EXPECT_TRUE(Flowtree::decode(tree.encode()).lossy());
+}
+
+TEST(FlowtreeCodec, DecodeDoesNotSelfCompress) {
+  // A tree bigger than the receiver's default budget must arrive intact;
+  // the budget applies to *subsequent* ingest.
+  FlowtreeConfig big;
+  big.node_budget = 1 << 20;
+  Flowtree tree(big);
+  for (int i = 0; i < 300; ++i) {
+    tree.add(host(static_cast<std::uint8_t>(i % 5), static_cast<std::uint8_t>(i)), 1.0);
+  }
+  FlowtreeConfig small;
+  small.node_budget = 8;
+  const Flowtree decoded = Flowtree::decode(tree.encode(), small);
+  EXPECT_EQ(decoded.size(), tree.size());
+  EXPECT_DOUBLE_EQ(decoded.total_weight(), tree.total_weight());
+}
+
+TEST(FlowtreeCodec, WireSizeMatchesEncodedSize) {
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  EXPECT_EQ(tree.encode().size(), tree.wire_bytes());
+}
+
+TEST(FlowtreeCodec, RejectsTruncatedHeader) {
+  const std::vector<std::uint8_t> bytes(8, 0);
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsBadMagic) {
+  Flowtree tree;
+  auto bytes = tree.encode();
+  bytes[0] = 'X';
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsBadVersion) {
+  Flowtree tree;
+  auto bytes = tree.encode();
+  bytes[4] = 99;
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsTruncatedBody) {
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  auto bytes = tree.encode();
+  bytes.resize(bytes.size() - 4);
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RealisticTraceRoundTrip) {
+  trace::FlowGenerator gen({});
+  FlowtreeConfig config;
+  config.node_budget = 512;
+  Flowtree tree(config);
+  for (const auto& record : gen.generate(5000)) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  const Flowtree decoded = Flowtree::decode(tree.encode(), config);
+  EXPECT_EQ(decoded.size(), tree.size());
+  EXPECT_NEAR(decoded.total_weight(), tree.total_weight(),
+              tree.total_weight() * 1e-12);
+  // Spot-check: identical top-k.
+  const auto top_a = tree.top_k(10);
+  const auto top_b = decoded.top_k(10);
+  ASSERT_EQ(top_a.size(), top_b.size());
+  for (std::size_t i = 0; i < top_a.size(); ++i) {
+    EXPECT_EQ(top_a[i].key, top_b[i].key);
+    EXPECT_DOUBLE_EQ(top_a[i].score, top_b[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace megads::flowtree

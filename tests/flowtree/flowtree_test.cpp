@@ -1,0 +1,370 @@
+// Unit tests for every Table II operator of the Flowtree primitive.
+#include "flowtree/flowtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flowtree {
+namespace {
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h, std::uint16_t dst_port = 80) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), dst_port);
+}
+
+flow::FlowKey src_prefix(std::uint8_t net, int length) {
+  flow::FlowKey key;
+  key.with_src(flow::Prefix(flow::IPv4(10, net, 0, 0), length));
+  return key;
+}
+
+FlowtreeConfig big_budget() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+TEST(Flowtree, EmptyTreeHasOnlyRoot) {
+  Flowtree tree;
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.total_weight(), 0.0);
+  EXPECT_FALSE(tree.lossy());
+  EXPECT_EQ(tree.max_depth(), 0);
+}
+
+TEST(Flowtree, AddMaterializesCanonicalChain) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  EXPECT_EQ(tree.size(), static_cast<std::size_t>(host(1, 1).depth()) + 1);
+  EXPECT_EQ(tree.max_depth(), host(1, 1).depth());
+}
+
+TEST(Flowtree, QueryReturnsSubtreeScore) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(1, 2), 3.0);
+  tree.add(host(2, 1), 2.0);
+  EXPECT_DOUBLE_EQ(tree.query(host(1, 1)), 5.0);
+  EXPECT_DOUBLE_EQ(tree.query(src_prefix(1, 16)), 8.0);
+  EXPECT_DOUBLE_EQ(tree.query(src_prefix(2, 16)), 2.0);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), 10.0);
+}
+
+TEST(Flowtree, QueryUnknownKeyIsZero) {
+  Flowtree tree;
+  tree.add(host(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(tree.query(host(9, 9)), 0.0);
+}
+
+TEST(Flowtree, LatticeQueryAnswersOffChainKeys) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1, 53), 5.0);
+  tree.add(host(1, 2, 53), 3.0);
+  tree.add(host(2, 1, 80), 9.0);
+  // "All DNS traffic": dst_port alone is never a canonical chain node.
+  flow::FlowKey dns;
+  dns.with_dst_port(53);
+  EXPECT_DOUBLE_EQ(tree.query(dns), 0.0);          // chain lookup misses
+  EXPECT_DOUBLE_EQ(tree.query_lattice(dns), 8.0);  // lattice scan answers
+  // On-chain keys take the fast path and agree with query().
+  EXPECT_DOUBLE_EQ(tree.query_lattice(src_prefix(1, 16)),
+                   tree.query(src_prefix(1, 16)));
+  // The Aggregator interface routes point queries through the lattice.
+  const auto result = tree.execute(primitives::PointQuery{dns});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 8.0);
+}
+
+TEST(Flowtree, LatticeQueryIsLowerBoundAfterCompression) {
+  Flowtree tree(big_budget());
+  for (int h = 0; h < 64; ++h) {
+    tree.add(host(1, static_cast<std::uint8_t>(h), 53), 1.0);
+  }
+  flow::FlowKey dns;
+  dns.with_dst_port(53);
+  EXPECT_DOUBLE_EQ(tree.query_lattice(dns), 64.0);
+  tree.compress(8);
+  // Folded nodes lost the port feature: the lattice answer may shrink but
+  // never exceeds the truth.
+  EXPECT_LE(tree.query_lattice(dns), 64.0);
+}
+
+TEST(Flowtree, InsertAtGeneralizedKeyWorks) {
+  Flowtree tree(big_budget());
+  tree.add(src_prefix(1, 16), 7.0);  // pre-aggregated input
+  tree.add(host(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(tree.query(src_prefix(1, 16)), 10.0);
+  EXPECT_DOUBLE_EQ(tree.query(host(1, 1)), 3.0);
+}
+
+TEST(Flowtree, DrilldownListsChildrenWithSubtreeScores) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(2, 1), 3.0);
+  const auto children = tree.drilldown(src_prefix(0, 0).project(flow::FeatureSet::kNone));
+  // Root's children here are the two 10.x/8 prefixes? No: both hosts share
+  // src 10/8, so the root has a single child.
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_DOUBLE_EQ(children[0].score, 8.0);
+
+  const auto nets = tree.drilldown(src_prefix(0, 8));
+  ASSERT_EQ(nets.size(), 2u);
+  EXPECT_DOUBLE_EQ(nets[0].score, 5.0);
+  EXPECT_DOUBLE_EQ(nets[1].score, 3.0);
+  EXPECT_EQ(nets[0].key, src_prefix(1, 16));
+}
+
+TEST(Flowtree, DrilldownOnAbsentKeyIsEmpty) {
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  EXPECT_TRUE(tree.drilldown(src_prefix(7, 16)).empty());
+}
+
+TEST(Flowtree, TopKUsesOwnScores) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(1, 2), 9.0);
+  tree.add(host(2, 1), 7.0);
+  const auto top = tree.top_k(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, host(1, 2));
+  EXPECT_EQ(top[1].key, host(2, 1));
+}
+
+TEST(Flowtree, TopKIgnoresZeroScoreChainNodes) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  const auto top = tree.top_k(100);
+  ASSERT_EQ(top.size(), 1u);  // intermediate chain nodes carry no own score
+  EXPECT_EQ(top[0].key, host(1, 1));
+}
+
+TEST(Flowtree, AboveThresholdInclusive) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(1, 2), 3.0);
+  const auto rows = tree.above(5.0);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].key, host(1, 1));
+}
+
+TEST(Flowtree, HhhFindsDiffusePrefix) {
+  Flowtree tree(big_budget());
+  // 50 hosts in 10.1/16, each light; one heavy host elsewhere.
+  for (int h = 0; h < 50; ++h) tree.add(host(1, static_cast<std::uint8_t>(h)), 2.0);
+  tree.add(host(2, 1), 60.0);
+  const auto hhh = tree.hhh(0.3);  // threshold = 0.3 * 160 = 48
+  ASSERT_GE(hhh.size(), 2u);
+  bool found_heavy_host = false, found_prefix = false;
+  for (const auto& row : hhh) {
+    if (row.key == host(2, 1)) found_heavy_host = true;
+    if (src_prefix(1, 16).generalizes(row.key) && row.score >= 48.0) {
+      found_prefix = true;
+    }
+  }
+  EXPECT_TRUE(found_heavy_host);
+  EXPECT_TRUE(found_prefix);
+}
+
+TEST(Flowtree, HhhDiscountsReportedDescendants) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 100.0);
+  tree.add(host(2, 2), 1.0);
+  const auto hhh = tree.hhh(0.5);
+  ASSERT_EQ(hhh.size(), 1u);  // ancestors of the heavy host are discounted away
+  EXPECT_EQ(hhh[0].key, host(1, 1));
+}
+
+TEST(Flowtree, HhhValidatesPhi) {
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  EXPECT_THROW(tree.hhh(0.0), PreconditionError);
+  EXPECT_THROW(tree.hhh(1.5), PreconditionError);
+}
+
+TEST(Flowtree, MergeAddsScoresNodewise) {
+  Flowtree a(big_budget()), b(big_budget());
+  a.add(host(1, 1), 5.0);
+  b.add(host(1, 1), 3.0);
+  b.add(host(2, 1), 2.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.query(host(1, 1)), 8.0);
+  EXPECT_DOUBLE_EQ(a.query(host(2, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 10.0);
+}
+
+TEST(Flowtree, MergeWithCompressedTreeKeepsGeneralizedMass) {
+  Flowtree a(big_budget()), b(big_budget());
+  for (int h = 0; h < 64; ++h) b.add(host(1, static_cast<std::uint8_t>(h)), 1.0);
+  b.compress(4);
+  a.add(host(2, 1), 10.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 74.0);
+  EXPECT_DOUBLE_EQ(a.query(flow::FlowKey{}), 74.0);
+  EXPECT_TRUE(a.lossy());  // inherited from the compressed input
+}
+
+TEST(Flowtree, MergeRejectsIncompatibleConfig) {
+  FlowtreeConfig coarse;
+  coarse.policy.ip_step = 16;
+  Flowtree a, b(coarse);
+  EXPECT_THROW(a.merge(b), PreconditionError);
+  FlowtreeConfig projected;
+  projected.features = flow::FeatureSet::kSrcDst;
+  Flowtree c(projected);
+  EXPECT_THROW(a.merge(c), PreconditionError);
+  EXPECT_FALSE(a.mergeable_with(c));
+}
+
+TEST(Flowtree, DiffSubtractsScores) {
+  Flowtree a(big_budget()), b(big_budget());
+  a.add(host(1, 1), 10.0);
+  a.add(host(2, 1), 4.0);
+  b.add(host(1, 1), 3.0);
+  b.add(host(3, 1), 5.0);  // only in b
+  a.diff(b);
+  EXPECT_DOUBLE_EQ(a.query(host(1, 1)), 7.0);
+  EXPECT_DOUBLE_EQ(a.query(host(2, 1)), 4.0);
+  EXPECT_DOUBLE_EQ(a.query(host(3, 1)), -5.0);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 6.0);
+}
+
+TEST(Flowtree, DiffOfSelfIsZeroEverywhere) {
+  Flowtree a(big_budget());
+  a.add(host(1, 1), 5.0);
+  a.add(host(2, 2), 3.0);
+  const Flowtree b = a;
+  a.diff(b);
+  EXPECT_DOUBLE_EQ(a.total_weight(), 0.0);
+  EXPECT_DOUBLE_EQ(a.query(host(1, 1)), 0.0);
+  EXPECT_DOUBLE_EQ(a.query(flow::FlowKey{}), 0.0);
+}
+
+TEST(Flowtree, CompressPreservesTotalMass) {
+  Flowtree tree(big_budget());
+  for (int h = 0; h < 200; ++h) {
+    tree.add(host(static_cast<std::uint8_t>(h % 4), static_cast<std::uint8_t>(h)), 1.0);
+  }
+  const double total = tree.total_weight();
+  tree.compress(16);
+  EXPECT_LE(tree.size(), 16u);
+  EXPECT_TRUE(tree.lossy());
+  EXPECT_DOUBLE_EQ(tree.total_weight(), total);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), total);
+}
+
+TEST(Flowtree, CompressFoldsMassIntoAncestors) {
+  Flowtree tree(big_budget());
+  for (int h = 0; h < 32; ++h) tree.add(host(1, static_cast<std::uint8_t>(h)), 1.0);
+  tree.compress(6);
+  // The 10.1/16 subtree mass must still be answerable at prefix level.
+  EXPECT_DOUBLE_EQ(tree.query(src_prefix(1, 16)), 32.0);
+}
+
+TEST(Flowtree, CompressEvictsLowScoreLeavesFirst) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 100.0);
+  for (int h = 2; h < 30; ++h) tree.add(host(2, static_cast<std::uint8_t>(h)), 0.1);
+  tree.compress(host(1, 1).depth() + 3);
+  // The heavy specific flow survives as its own node.
+  EXPECT_DOUBLE_EQ(tree.query(host(1, 1)), 100.0);
+  const auto top = tree.top_k(1);
+  EXPECT_EQ(top[0].key, host(1, 1));
+}
+
+TEST(Flowtree, SelfAdaptsToNodeBudget) {
+  FlowtreeConfig config;
+  config.node_budget = 64;
+  config.compress_slack = 1.5;
+  Flowtree tree(config);
+  for (int i = 0; i < 5000; ++i) {
+    tree.add(host(static_cast<std::uint8_t>(i % 8), static_cast<std::uint8_t>(i % 251)),
+             1.0);
+  }
+  EXPECT_LE(tree.size(), static_cast<std::size_t>(64 * 1.5) + 1);
+  EXPECT_DOUBLE_EQ(tree.total_weight(), 5000.0);
+}
+
+TEST(Flowtree, FeatureProjectionOnInsert) {
+  FlowtreeConfig config;
+  config.features = flow::FeatureSet::kSrcDst;
+  config.node_budget = 1 << 20;
+  Flowtree tree(config);
+  primitives::StreamItem item;
+  item.key = host(1, 1, 443);
+  item.value = 2.0;
+  tree.insert(item);
+  // Ports/proto were projected away: the src/dst-only key holds the mass.
+  EXPECT_DOUBLE_EQ(tree.query(host(1, 1).project(flow::FeatureSet::kSrcDst)), 2.0);
+  EXPECT_EQ(tree.max_depth(), host(1, 1).project(flow::FeatureSet::kSrcDst).depth());
+}
+
+TEST(Flowtree, EntriesReturnsAllLiveNodes) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  const auto entries = tree.entries();
+  EXPECT_EQ(entries.size(), tree.size());
+  double total = 0.0;
+  for (const auto& row : entries) total += row.score;
+  EXPECT_DOUBLE_EQ(total, 5.0);
+}
+
+TEST(Flowtree, AggregatorInterfaceRoutesQueries) {
+  Flowtree tree(big_budget());
+  primitives::StreamItem item;
+  item.key = host(1, 1);
+  item.value = 4.0;
+  tree.insert(item);
+  EXPECT_DOUBLE_EQ(
+      tree.execute(primitives::PointQuery{host(1, 1)}).entries[0].score, 4.0);
+  EXPECT_EQ(tree.execute(primitives::TopKQuery{1}).entries.size(), 1u);
+  EXPECT_FALSE(tree.execute(primitives::StatsQuery{{0, 1}}).supported);
+  EXPECT_FALSE(tree.execute(primitives::RangeQuery{{0, 1}, 0.0}).supported);
+}
+
+TEST(Flowtree, ApproximateFlagTracksLossiness) {
+  FlowtreeConfig config;
+  config.node_budget = 16;  // one full chain (12 nodes) fits uncompressed
+  Flowtree tree(config);
+  primitives::StreamItem item;
+  item.key = host(1, 1);
+  item.value = 1.0;
+  tree.insert(item);
+  EXPECT_FALSE(tree.execute(primitives::TopKQuery{1}).approximate);
+  for (int i = 0; i < 500; ++i) {
+    item.key = host(static_cast<std::uint8_t>(i % 5), static_cast<std::uint8_t>(i));
+    tree.insert(item);
+  }
+  EXPECT_TRUE(tree.lossy());
+  EXPECT_TRUE(tree.execute(primitives::TopKQuery{1}).approximate);
+}
+
+TEST(Flowtree, WireBytesTracksNodeCount) {
+  Flowtree tree(big_budget());
+  EXPECT_EQ(tree.wire_bytes(),
+            Flowtree::kHeaderBytes + 1 * Flowtree::kBytesPerNode);
+  tree.add(host(1, 1), 1.0);
+  EXPECT_EQ(tree.wire_bytes(),
+            Flowtree::kHeaderBytes + tree.size() * Flowtree::kBytesPerNode);
+}
+
+TEST(Flowtree, RejectsBadConfig) {
+  FlowtreeConfig config;
+  config.node_budget = 1;
+  EXPECT_THROW(Flowtree{config}, PreconditionError);
+  config = {};
+  config.compress_slack = 0.5;
+  EXPECT_THROW(Flowtree{config}, PreconditionError);
+}
+
+TEST(Flowtree, CopySemanticsAreDeep) {
+  Flowtree a(big_budget());
+  a.add(host(1, 1), 5.0);
+  Flowtree b = a;
+  b.add(host(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.query(host(1, 1)), 5.0);
+  EXPECT_DOUBLE_EQ(b.query(host(1, 1)), 10.0);
+}
+
+}  // namespace
+}  // namespace megads::flowtree

@@ -1,0 +1,123 @@
+// Tests for the Section III.C privacy-preserving coarsening operators.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::flowtree {
+namespace {
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+FlowtreeConfig big_budget() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+TEST(FlowtreePrivacy, SuppressBelowFoldsSmallLeaves) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 100.0);
+  for (int h = 2; h < 12; ++h) tree.add(host(2, static_cast<std::uint8_t>(h)), 1.0);
+  tree.suppress_below(5.0);
+  // The tiny individual hosts are gone; their aggregate moved upward.
+  for (int h = 2; h < 12; ++h) {
+    EXPECT_EQ(tree.query(host(2, static_cast<std::uint8_t>(h))), 0.0);
+  }
+  flow::FlowKey net2;
+  net2.with_src(flow::Prefix(flow::IPv4(10, 2, 0, 0), 16));
+  EXPECT_DOUBLE_EQ(tree.query(net2), 10.0);
+  // The heavy flow is untouched.
+  EXPECT_DOUBLE_EQ(tree.query(host(1, 1)), 100.0);
+  EXPECT_TRUE(tree.lossy());
+}
+
+TEST(FlowtreePrivacy, SuppressBelowPreservesTotalMass) {
+  trace::FlowGenerator gen({});
+  Flowtree tree(big_budget());
+  for (const auto& record : gen.generate(20000)) {
+    tree.add(record.key, static_cast<double>(record.packets));
+  }
+  const double total = tree.total_weight();
+  tree.suppress_below(total / 100.0);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), total);
+}
+
+TEST(FlowtreePrivacy, SuppressBelowLeavesNoSmallSharedNodes) {
+  trace::FlowGenerator gen({});
+  Flowtree tree(big_budget());
+  for (const auto& record : gen.generate(20000)) {
+    tree.add(record.key, static_cast<double>(record.packets));
+  }
+  const double k = tree.total_weight() / 50.0;
+  tree.suppress_below(k);
+  // Every surviving non-root node represents at least k of activity.
+  for (const auto& entry : tree.entries()) {
+    if (entry.key.is_root()) continue;
+    EXPECT_GE(tree.query(entry.key), k) << entry.key.to_string();
+  }
+}
+
+TEST(FlowtreePrivacy, SuppressZeroIsNoop) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 1.0);
+  const std::size_t before = tree.size();
+  tree.suppress_below(0.0);
+  EXPECT_EQ(tree.size(), before);
+  EXPECT_FALSE(tree.lossy());
+}
+
+TEST(FlowtreePrivacy, GeneralizeDeeperThanCapsDepth) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(2, 2), 3.0);
+  ASSERT_EQ(tree.max_depth(), 11);
+  tree.generalize_deeper_than(7);
+  EXPECT_LE(tree.max_depth(), 7);
+  // Depth 7 keeps dst /0 + full src: mass should sit at src/32-level keys...
+  // under the canonical order depth 7 = {src/32, dst/0, no proto/ports}.
+  flow::FlowKey src_only;
+  src_only.with_src(flow::Prefix(flow::IPv4(10, 1, 0, 1), 32));
+  EXPECT_DOUBLE_EQ(tree.query(src_only), 5.0);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), 8.0);
+}
+
+TEST(FlowtreePrivacy, GeneralizeToZeroCollapsesToRoot) {
+  Flowtree tree(big_budget());
+  tree.add(host(1, 1), 5.0);
+  tree.add(host(2, 2), 3.0);
+  tree.generalize_deeper_than(0);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), 8.0);
+}
+
+TEST(FlowtreePrivacy, GeneralizeRejectsNegativeDepth) {
+  Flowtree tree;
+  EXPECT_THROW(tree.generalize_deeper_than(-1), PreconditionError);
+}
+
+TEST(FlowtreePrivacy, OperatorsComposeAndStayQueryable) {
+  trace::FlowGenerator gen({});
+  Flowtree tree(big_budget());
+  for (const auto& record : gen.generate(10000)) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  const double total = tree.total_weight();
+  tree.generalize_deeper_than(6);  // prefixes only
+  tree.suppress_below(total / 200.0);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), total);
+  EXPECT_FALSE(tree.hhh(0.05).empty());
+  // No exported node is a full 5-tuple anymore.
+  for (const auto& entry : tree.entries()) {
+    EXPECT_FALSE(entry.key.src_port().has_value());
+    EXPECT_FALSE(entry.key.dst_port().has_value());
+    EXPECT_FALSE(entry.key.proto().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace megads::flowtree

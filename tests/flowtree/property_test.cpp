@@ -1,0 +1,213 @@
+// Property-style tests of the Flowtree over randomized realistic workloads,
+// parameterized across Zipf skews and node budgets (the sweep axes of
+// experiments E1/E2/E7).
+#include <gtest/gtest.h>
+
+#include "flowtree/flowtree.hpp"
+#include "primitives/exact.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::flowtree {
+namespace {
+
+struct PropertyParam {
+  double skew;
+  std::size_t budget;
+};
+
+class FlowtreeProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static std::vector<flow::FlowRecord> make_trace(double skew, std::uint32_t site,
+                                                  std::size_t n) {
+    trace::FlowGenConfig config;
+    config.seed = 17;
+    config.site = site;
+    config.network_skew = skew;
+    trace::FlowGenerator gen(config);
+    return gen.generate(n);
+  }
+
+  static Flowtree build(const std::vector<flow::FlowRecord>& records,
+                        std::size_t budget) {
+    FlowtreeConfig config;
+    config.node_budget = budget;
+    Flowtree tree(config);
+    for (const auto& record : records) {
+      tree.add(record.key, static_cast<double>(record.packets));
+    }
+    return tree;
+  }
+};
+
+TEST_P(FlowtreeProperty, MassConservationUnderSelfCompression) {
+  const auto records = make_trace(GetParam().skew, 0, 20000);
+  const Flowtree tree = build(records, GetParam().budget);
+  double truth = 0.0;
+  for (const auto& record : records) truth += static_cast<double>(record.packets);
+  EXPECT_NEAR(tree.total_weight(), truth, truth * 1e-9);
+  EXPECT_NEAR(tree.query(flow::FlowKey{}), truth, truth * 1e-9);
+}
+
+TEST_P(FlowtreeProperty, SizeStaysWithinBudgetEnvelope) {
+  const auto records = make_trace(GetParam().skew, 0, 20000);
+  const Flowtree tree = build(records, GetParam().budget);
+  const auto envelope = static_cast<std::size_t>(
+      static_cast<double>(GetParam().budget) * 1.25) + 16;
+  EXPECT_LE(tree.size(), envelope);
+}
+
+TEST_P(FlowtreeProperty, PrefixQueriesNeverOvercount) {
+  // Compression folds mass *upward*, so a generalized query may see mass from
+  // evicted descendants of other prefixes folded into shared ancestors --
+  // but never more than the total, and the root is always exact.
+  const auto records = make_trace(GetParam().skew, 0, 10000);
+  const Flowtree tree = build(records, GetParam().budget);
+  trace::FlowGenConfig config;
+  config.seed = 17;
+  config.network_skew = GetParam().skew;
+  trace::FlowGenerator gen(config);
+  for (std::size_t rank = 0; rank < 4; ++rank) {
+    flow::FlowKey prefix;
+    prefix.with_src(gen.network(rank));
+    EXPECT_LE(tree.query(prefix), tree.total_weight() + 1e-9);
+    EXPECT_GE(tree.query(prefix), 0.0);
+  }
+}
+
+TEST_P(FlowtreeProperty, TopPrefixEstimateTracksExact) {
+  const auto records = make_trace(GetParam().skew, 0, 20000);
+  const Flowtree tree = build(records, GetParam().budget);
+  primitives::ExactAggregator exact;
+  for (const auto& record : records) {
+    primitives::StreamItem item;
+    item.key = record.key;
+    item.value = static_cast<double>(record.packets);
+    exact.insert(item);
+  }
+  trace::FlowGenConfig config;
+  config.seed = 17;
+  config.network_skew = GetParam().skew;
+  trace::FlowGenerator gen(config);
+  flow::FlowKey top_net;
+  top_net.with_src(gen.network(0));
+  const double truth =
+      exact.execute(primitives::PointQuery{top_net}).entries[0].score;
+  const double estimate = tree.query(top_net);
+  // The top network holds a large share; folded-in strays from evicted other
+  // prefixes are bounded, so the estimate must stay within 25%.
+  EXPECT_NEAR(estimate, truth, truth * 0.25);
+}
+
+TEST_P(FlowtreeProperty, MergeEqualsUnionStream) {
+  const auto trace_a = make_trace(GetParam().skew, 0, 5000);
+  const auto trace_b = make_trace(GetParam().skew, 1, 5000);
+  FlowtreeConfig big;
+  big.node_budget = 1 << 20;
+  Flowtree a(big), b(big), unioned(big);
+  for (const auto& record : trace_a) {
+    a.add(record.key, static_cast<double>(record.packets));
+    unioned.add(record.key, static_cast<double>(record.packets));
+  }
+  for (const auto& record : trace_b) {
+    b.add(record.key, static_cast<double>(record.packets));
+    unioned.add(record.key, static_cast<double>(record.packets));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.size(), unioned.size());
+  EXPECT_DOUBLE_EQ(a.total_weight(), unioned.total_weight());
+  const auto top_merged = a.top_k(20);
+  const auto top_union = unioned.top_k(20);
+  ASSERT_EQ(top_merged.size(), top_union.size());
+  for (std::size_t i = 0; i < top_merged.size(); ++i) {
+    EXPECT_DOUBLE_EQ(top_merged[i].score, top_union[i].score);
+  }
+}
+
+TEST_P(FlowtreeProperty, MergeIsCommutativeInScores) {
+  const auto trace_a = make_trace(GetParam().skew, 0, 3000);
+  const auto trace_b = make_trace(GetParam().skew, 2, 3000);
+  FlowtreeConfig big;
+  big.node_budget = 1 << 20;
+  Flowtree ab(big), ba(big), a(big), b(big);
+  for (const auto& r : trace_a) {
+    ab.add(r.key, 1.0);
+    a.add(r.key, 1.0);
+  }
+  for (const auto& r : trace_b) {
+    ba.add(r.key, 1.0);
+    b.add(r.key, 1.0);
+  }
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.size(), ba.size());
+  for (const auto& row : ab.entries()) {
+    if (row.score != 0.0) {
+      EXPECT_DOUBLE_EQ(ba.query(row.key), ab.query(row.key));
+    }
+  }
+}
+
+TEST_P(FlowtreeProperty, DiffThenAddBackRestoresTotals) {
+  const auto trace_a = make_trace(GetParam().skew, 0, 4000);
+  const auto trace_b = make_trace(GetParam().skew, 3, 4000);
+  FlowtreeConfig big;
+  big.node_budget = 1 << 20;
+  Flowtree a(big), b(big);
+  for (const auto& r : trace_a) a.add(r.key, 1.0);
+  for (const auto& r : trace_b) b.add(r.key, 1.0);
+  const double total_a = a.total_weight();
+  a.diff(b);
+  a.merge(b);
+  EXPECT_NEAR(a.total_weight(), total_a, 1e-6);
+}
+
+TEST_P(FlowtreeProperty, CompressMonotonicallyReducesNodes) {
+  const auto records = make_trace(GetParam().skew, 0, 10000);
+  Flowtree tree = build(records, 1 << 20);
+  std::size_t last = tree.size();
+  for (const std::size_t target : {4096u, 1024u, 256u, 64u, 16u}) {
+    tree.compress(target);
+    EXPECT_LE(tree.size(), std::min(last, target));
+    last = tree.size();
+  }
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), tree.total_weight());
+}
+
+TEST_P(FlowtreeProperty, HhhSetIsAntichainFriendlyAndAboveThreshold) {
+  const auto records = make_trace(GetParam().skew, 0, 20000);
+  const Flowtree tree = build(records, GetParam().budget);
+  const double phi = 0.05;
+  const auto hhh = tree.hhh(phi);
+  const double threshold = phi * tree.total_weight();
+  for (const auto& row : hhh) {
+    EXPECT_GE(row.score, threshold);
+    // Discounted scores never exceed the total.
+    EXPECT_LE(row.score, tree.total_weight() + 1e-9);
+  }
+  // Discounting bounds the HHH set size by 1/phi per hierarchy level; with
+  // depth <= 11 this is a loose sanity cap.
+  EXPECT_LE(hhh.size(), static_cast<std::size_t>(12.0 / phi));
+}
+
+TEST_P(FlowtreeProperty, EncodedRoundTripIsLossless) {
+  const auto records = make_trace(GetParam().skew, 0, 8000);
+  const Flowtree tree = build(records, GetParam().budget);
+  const Flowtree decoded = Flowtree::decode(tree.encode(), tree.config());
+  EXPECT_EQ(decoded.size(), tree.size());
+  for (const auto& row : tree.entries()) {
+    EXPECT_DOUBLE_EQ(decoded.query(row.key), tree.query(row.key));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SkewAndBudgetSweep, FlowtreeProperty,
+    ::testing::Values(PropertyParam{0.8, 256}, PropertyParam{0.8, 4096},
+                      PropertyParam{1.2, 256}, PropertyParam{1.2, 4096},
+                      PropertyParam{1.6, 1024}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "skew" + std::to_string(static_cast<int>(info.param.skew * 10)) +
+             "_budget" + std::to_string(info.param.budget);
+    });
+
+}  // namespace
+}  // namespace megads::flowtree

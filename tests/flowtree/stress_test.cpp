@@ -1,0 +1,97 @@
+// Randomized stress test: drive a Flowtree through long random sequences of
+// every mutating operation and verify the structural invariants after each
+// step. Parameterized over seeds and budgets.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "flowtree/flowtree.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::flowtree {
+namespace {
+
+struct StressParam {
+  std::uint64_t seed;
+  std::size_t budget;
+};
+
+class FlowtreeStress : public ::testing::TestWithParam<StressParam> {};
+
+TEST_P(FlowtreeStress, InvariantsHoldUnderRandomOperationMix) {
+  Rng rng(GetParam().seed);
+  trace::FlowGenConfig gen_config;
+  gen_config.seed = GetParam().seed;
+  trace::FlowGenerator gen(gen_config);
+  trace::FlowGenConfig other_config;
+  other_config.seed = GetParam().seed;
+  other_config.site = 1;
+  trace::FlowGenerator other_gen(other_config);
+
+  FlowtreeConfig config;
+  config.node_budget = GetParam().budget;
+  Flowtree tree(config);
+
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.uniform(8)) {
+      case 0:
+      case 1:
+      case 2: {  // bulk insert (the common case)
+        for (const auto& record : gen.generate(200)) {
+          tree.add(record.key, static_cast<double>(record.packets));
+        }
+        break;
+      }
+      case 3: {  // merge a second-site tree
+        Flowtree other(config);
+        for (const auto& record : other_gen.generate(150)) {
+          other.add(record.key, static_cast<double>(record.packets));
+        }
+        tree.merge(other);
+        break;
+      }
+      case 4: {  // diff against a partial copy
+        Flowtree other(config);
+        for (const auto& record : other_gen.generate(50)) {
+          other.add(record.key, static_cast<double>(record.packets));
+        }
+        tree.diff(other);
+        break;
+      }
+      case 5: {  // explicit compression
+        tree.compress(1 + rng.uniform(GetParam().budget));
+        break;
+      }
+      case 6: {  // privacy coarsening
+        if (rng.bernoulli(0.5)) {
+          tree.suppress_below(tree.total_weight() / 500.0);
+        } else {
+          tree.generalize_deeper_than(static_cast<int>(rng.uniform(12)));
+        }
+        break;
+      }
+      default: {  // serialize round-trip
+        tree = Flowtree::decode(tree.encode(), config);
+        break;
+      }
+    }
+    ASSERT_NO_THROW(tree.check_invariants()) << "step " << step;
+    // Read operators must stay callable at every intermediate state.
+    (void)tree.top_k(5);
+    (void)tree.hhh(0.05);
+    (void)tree.drilldown(flow::FlowKey{});
+    (void)tree.query(flow::FlowKey{});
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndBudgets, FlowtreeStress,
+    ::testing::Values(StressParam{11, 128}, StressParam{12, 128},
+                      StressParam{13, 1024}, StressParam{14, 1024},
+                      StressParam{15, 1 << 18}),
+    [](const ::testing::TestParamInfo<StressParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_budget" +
+             std::to_string(info.param.budget);
+    });
+
+}  // namespace
+}  // namespace megads::flowtree

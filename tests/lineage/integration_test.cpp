@@ -1,0 +1,184 @@
+// Lineage integration: the DataStore records ingest/seal/absorb/query edges,
+// and the full Flowstream pipeline can answer the paper's motivating
+// questions ("identify faulty sensors", "see how faulty data propagates").
+#include <gtest/gtest.h>
+
+#include "flowstream/flowstream.hpp"
+#include "lineage/lineage.hpp"
+#include "primitives/exact.hpp"
+#include "store/datastore.hpp"
+
+namespace megads {
+namespace {
+
+using primitives::StreamItem;
+
+StreamItem item_at(SimTime t, double value = 1.0) {
+  StreamItem item;
+  item.value = value;
+  item.timestamp = t;
+  return item;
+}
+
+store::SlotConfig raw_slot(SimDuration epoch = kMinute) {
+  store::SlotConfig config;
+  config.name = "raw";
+  config.factory = [] { return std::make_unique<primitives::RawStore>(); };
+  config.epoch = epoch;
+  config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+  config.subscribe_all = true;
+  return config;
+}
+
+TEST(StoreLineage, IngestCreatesSensorAndSummaryEntities) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "edge");
+  store.attach_lineage(recorder);
+  const AggregatorId slot = store.install(raw_slot());
+  store.ingest(SensorId(7), item_at(1));
+  const auto sensor = store.lineage_of_sensor(SensorId(7));
+  const auto live = store.lineage_of_live(slot);
+  ASSERT_NE(sensor, lineage::kNoEntity);
+  ASSERT_NE(live, lineage::kNoEntity);
+  EXPECT_EQ(recorder.entity(sensor).kind, lineage::EntityKind::kSensor);
+  EXPECT_EQ(recorder.entity(live).kind, lineage::EntityKind::kSummary);
+  const auto down = recorder.descendants(sensor);
+  EXPECT_TRUE(std::count(down.begin(), down.end(), live));
+}
+
+TEST(StoreLineage, IngestEdgesAreDedupedPerEpoch) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "edge");
+  store.attach_lineage(recorder);
+  store.install(raw_slot());
+  for (int i = 0; i < 100; ++i) store.ingest(SensorId(7), item_at(i));
+  // One sensor entity, one live entity, ONE ingest transform (batch level).
+  EXPECT_EQ(recorder.entity_count(), 2u);
+  EXPECT_EQ(recorder.transform_count(), 1u);
+}
+
+TEST(StoreLineage, SealLinksLiveToPartition) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "edge");
+  store.attach_lineage(recorder);
+  const AggregatorId slot = store.install(raw_slot(kMinute));
+  store.ingest(SensorId(1), item_at(kSecond));
+  const auto live = store.lineage_of_live(slot);
+  store.advance_to(kMinute);
+  ASSERT_EQ(store.partitions(slot).size(), 1u);
+  const auto partition =
+      store.lineage_of_partition(store.partitions(slot)[0].id);
+  ASSERT_NE(partition, lineage::kNoEntity);
+  const auto provenance = recorder.ancestors(partition);
+  EXPECT_TRUE(std::count(provenance.begin(), provenance.end(), live));
+  // A new epoch gets a fresh live entity on next ingest.
+  EXPECT_EQ(store.lineage_of_live(slot), lineage::kNoEntity);
+  store.ingest(SensorId(1), item_at(kMinute + 1));
+  EXPECT_NE(store.lineage_of_live(slot), live);
+}
+
+TEST(StoreLineage, EmptyEpochsProduceNoEntities) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "edge");
+  store.attach_lineage(recorder);
+  const AggregatorId slot = store.install(raw_slot(kMinute));
+  store.advance_to(5 * kMinute);
+  EXPECT_EQ(recorder.entity_count(), 0u);
+  EXPECT_EQ(store.partitions(slot).size(), 5u);
+}
+
+TEST(StoreLineage, QueriesAreRecordedWhenEnabled) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "edge");
+  store.attach_lineage(recorder, /*record_queries=*/true);
+  const AggregatorId slot = store.install(raw_slot(kMinute));
+  store.ingest(SensorId(3), item_at(kSecond));
+  store.advance_to(kMinute);
+  const auto before = recorder.entity_count();
+  (void)store.query(slot, primitives::StatsQuery{{0, kMinute}});
+  EXPECT_EQ(recorder.entity_count(), before + 1);
+  // Entity ids are sequential, so the result entity is `before + 1`; its
+  // sensor provenance resolves to sensor 3.
+  const auto sensors =
+      recorder.sources_of(before + 1, lineage::EntityKind::kSensor);
+  ASSERT_EQ(sensors.size(), 1u);
+  EXPECT_EQ(sensors[0], store.lineage_of_sensor(SensorId(3)));
+}
+
+TEST(StoreLineage, AbsorbWithLineageLinksRemoteSource) {
+  lineage::Recorder recorder;
+  store::DataStore store(StoreId(0), "region");
+  store.attach_lineage(recorder);
+  const AggregatorId slot = store.install(raw_slot());
+  const auto remote =
+      recorder.add_entity(lineage::EntityKind::kExport, "remote-export", 0);
+  primitives::RawStore summary;
+  summary.insert(item_at(1));
+  store.absorb_with_lineage(slot, summary, remote);
+  const auto live = store.lineage_of_live(slot);
+  ASSERT_NE(live, lineage::kNoEntity);
+  const auto provenance = recorder.ancestors(live);
+  EXPECT_TRUE(std::count(provenance.begin(), provenance.end(), remote));
+}
+
+TEST(FlowstreamLineage, FaultySensorTaintPropagatesToFlowDB) {
+  sim::Simulator sim;
+  flowstream::FlowstreamConfig config;
+  config.regions = 1;
+  config.routers_per_region = 2;
+  config.epoch = kSecond;
+  flowstream::Flowstream system(sim, config);
+  lineage::Recorder recorder;
+  system.attach_lineage(recorder);
+  system.start();
+
+  flow::FlowRecord record;
+  record.key = flow::FlowKey::from_tuple(6, flow::IPv4(10, 1, 0, 1), 1000,
+                                         flow::IPv4(9, 9, 9, 9), 80);
+  record.bytes = 100;
+  for (int tick = 0; tick < 30; ++tick) {
+    const SimTime t = tick * 100 * kMillisecond;
+    sim.run_until(t);
+    record.timestamp = t;
+    system.ingest(0, 0, record);  // only router 0.0 sees data
+  }
+  sim.run_until(10 * kSecond);
+
+  // The router's ingestion source (Flowstream uses SensorId(0)).
+  const auto source = system.router_store(0, 0).lineage_of_sensor(SensorId(0));
+  ASSERT_NE(source, lineage::kNoEntity);
+  const auto tainted = recorder.descendants(source);
+  // The taint reaches partitions, exports, the regional live summary, and
+  // the FlowDB index entries.
+  int exports = 0, flowdb_entries = 0, region_summaries = 0;
+  for (const auto id : tainted) {
+    const auto& entity = recorder.entity(id);
+    if (entity.kind == lineage::EntityKind::kExport) ++exports;
+    if (entity.kind == lineage::EntityKind::kPartition &&
+        entity.label.rfind("flowdb/", 0) == 0) {
+      ++flowdb_entries;
+    }
+    if (entity.kind == lineage::EntityKind::kSummary &&
+        entity.label.rfind("region-0/", 0) == 0) {
+      ++region_summaries;
+    }
+  }
+  EXPECT_GT(exports, 0);
+  EXPECT_GT(flowdb_entries, 0);
+  EXPECT_GT(region_summaries, 0);
+
+  // And backwards: any FlowDB entry's provenance ends at the source.
+  for (const auto id : tainted) {
+    const auto& entity = recorder.entity(id);
+    if (entity.kind == lineage::EntityKind::kPartition &&
+        entity.label.rfind("flowdb/", 0) == 0) {
+      const auto sensors = recorder.sources_of(id, lineage::EntityKind::kSensor);
+      ASSERT_EQ(sensors.size(), 1u);
+      EXPECT_EQ(sensors[0], source);
+      break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace megads

@@ -1,0 +1,133 @@
+#include "lineage/lineage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace megads::lineage {
+namespace {
+
+TEST(Recorder, AddEntitiesAndLookup) {
+  Recorder recorder;
+  const EntityId sensor = recorder.add_entity(EntityKind::kSensor, "s0", 1);
+  const EntityId summary = recorder.add_entity(EntityKind::kSummary, "live", 2);
+  EXPECT_NE(sensor, kNoEntity);
+  EXPECT_NE(sensor, summary);
+  EXPECT_EQ(recorder.entity(sensor).label, "s0");
+  EXPECT_EQ(recorder.entity(summary).kind, EntityKind::kSummary);
+  EXPECT_EQ(recorder.entity_count(), 2u);
+}
+
+TEST(Recorder, UnknownEntityThrows) {
+  Recorder recorder;
+  EXPECT_THROW(recorder.entity(99), NotFoundError);
+  EXPECT_THROW(recorder.ancestors(99), NotFoundError);
+  const EntityId real = recorder.add_entity(EntityKind::kSensor, "s", 0);
+  const std::array<EntityId, 1> bogus = {EntityId{12345}};
+  EXPECT_THROW(
+      recorder.add_transform(TransformKind::kIngest, bogus, real, 0),
+      NotFoundError);
+}
+
+TEST(Recorder, SelfLoopRejected) {
+  Recorder recorder;
+  const EntityId e = recorder.add_entity(EntityKind::kSummary, "x", 0);
+  const std::array<EntityId, 1> inputs = {e};
+  EXPECT_THROW(recorder.add_transform(TransformKind::kMerge, inputs, e, 0),
+               PreconditionError);
+}
+
+struct Pipeline {
+  Recorder recorder;
+  EntityId sensor_a, sensor_b, live, partition, exported, result;
+
+  Pipeline() {
+    sensor_a = recorder.add_entity(EntityKind::kSensor, "a", 0);
+    sensor_b = recorder.add_entity(EntityKind::kSensor, "b", 0);
+    live = recorder.add_entity(EntityKind::kSummary, "live", 1);
+    partition = recorder.add_entity(EntityKind::kPartition, "p0", 2);
+    exported = recorder.add_entity(EntityKind::kExport, "e0", 3);
+    result = recorder.add_entity(EntityKind::kQueryResult, "q0", 4);
+    link(TransformKind::kIngest, {sensor_a}, live, 1);
+    link(TransformKind::kIngest, {sensor_b}, live, 1);
+    link(TransformKind::kSeal, {live}, partition, 2);
+    link(TransformKind::kExport, {partition}, exported, 3);
+    link(TransformKind::kQuery, {partition}, result, 4);
+  }
+
+  void link(TransformKind kind, std::initializer_list<EntityId> inputs,
+            EntityId output, SimTime t) {
+    recorder.add_transform(kind, std::vector<EntityId>(inputs), output, t);
+  }
+};
+
+TEST(Recorder, AncestorsAreFullProvenance) {
+  Pipeline p;
+  const auto provenance = p.recorder.ancestors(p.exported);
+  EXPECT_EQ(provenance.size(), 4u);  // partition, live, both sensors
+  EXPECT_TRUE(std::count(provenance.begin(), provenance.end(), p.sensor_a));
+  EXPECT_TRUE(std::count(provenance.begin(), provenance.end(), p.sensor_b));
+  EXPECT_FALSE(std::count(provenance.begin(), provenance.end(), p.result));
+}
+
+TEST(Recorder, DescendantsAreTaintPropagation) {
+  Pipeline p;
+  // "see how faulty data propagates": everything downstream of sensor a.
+  const auto tainted = p.recorder.descendants(p.sensor_a);
+  EXPECT_EQ(tainted.size(), 4u);  // live, partition, export, query result
+  EXPECT_TRUE(std::count(tainted.begin(), tainted.end(), p.result));
+  EXPECT_FALSE(std::count(tainted.begin(), tainted.end(), p.sensor_b));
+}
+
+TEST(Recorder, SourcesOfFiltersByKind) {
+  Pipeline p;
+  // "identify faulty sensors": which sensors fed this query result?
+  const auto sensors = p.recorder.sources_of(p.result, EntityKind::kSensor);
+  EXPECT_EQ(sensors.size(), 2u);
+  const auto partitions = p.recorder.sources_of(p.result, EntityKind::kPartition);
+  EXPECT_EQ(partitions.size(), 1u);
+}
+
+TEST(Recorder, ProducingReturnsTransforms) {
+  Pipeline p;
+  const auto transforms = p.recorder.producing(p.live);
+  EXPECT_EQ(transforms.size(), 2u);  // two ingest edges
+  EXPECT_EQ(transforms[0].kind, TransformKind::kIngest);
+  EXPECT_TRUE(p.recorder.producing(p.sensor_a).empty());
+}
+
+TEST(Recorder, ExplainMentionsEveryHop) {
+  Pipeline p;
+  const std::string trace = p.recorder.explain(p.result);
+  EXPECT_NE(trace.find("query-result 'q0'"), std::string::npos);
+  EXPECT_NE(trace.find("seal"), std::string::npos);
+  EXPECT_NE(trace.find("sensor 'a'"), std::string::npos);
+  EXPECT_NE(trace.find("sensor 'b'"), std::string::npos);
+}
+
+TEST(Recorder, DiamondGraphClosureHasNoDuplicates) {
+  Recorder recorder;
+  const EntityId source = recorder.add_entity(EntityKind::kSensor, "s", 0);
+  const EntityId left = recorder.add_entity(EntityKind::kSummary, "l", 1);
+  const EntityId right = recorder.add_entity(EntityKind::kSummary, "r", 1);
+  const EntityId sink = recorder.add_entity(EntityKind::kPartition, "m", 2);
+  const std::array<EntityId, 1> s = {source};
+  recorder.add_transform(TransformKind::kIngest, s, left, 1);
+  recorder.add_transform(TransformKind::kIngest, s, right, 1);
+  const std::array<EntityId, 2> both = {left, right};
+  recorder.add_transform(TransformKind::kMerge, both, sink, 2);
+  EXPECT_EQ(recorder.ancestors(sink).size(), 3u);
+  EXPECT_EQ(recorder.descendants(source).size(), 3u);
+}
+
+TEST(Recorder, KindNames) {
+  EXPECT_STREQ(to_string(EntityKind::kSensor), "sensor");
+  EXPECT_STREQ(to_string(EntityKind::kExport), "export");
+  EXPECT_STREQ(to_string(TransformKind::kSeal), "seal");
+  EXPECT_STREQ(to_string(TransformKind::kAbsorb), "absorb");
+}
+
+}  // namespace
+}  // namespace megads::lineage

@@ -1,0 +1,97 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+namespace {
+
+struct NetworkFixture : ::testing::Test {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a = topo.add_node("a");
+  NodeId b = topo.add_node("b");
+  NodeId c = topo.add_node("c");
+  // 1 MB/s links: 1 byte = 1 microsecond of serialization.
+  LinkId ab = topo.add_link(a, b, 1000, 1.0e6);
+  LinkId bc = topo.add_link(b, c, 2000, 1.0e6);
+  Network net{sim, topo};
+};
+
+TEST_F(NetworkFixture, SingleHopDeliveryTime) {
+  // 500 bytes at 1 MB/s = 500 us serialization + 1000 us latency.
+  const SimTime at = net.send(a, b, 500);
+  EXPECT_EQ(at, 1500);
+}
+
+TEST_F(NetworkFixture, MultiHopAccumulates) {
+  // Hop1: 100 us + 1000 us; hop2: 100 us + 2000 us.
+  const SimTime at = net.send(a, c, 100);
+  EXPECT_EQ(at, 3200);
+}
+
+TEST_F(NetworkFixture, DeliveryCallbackFiresAtDeliveryTime) {
+  SimTime delivered = -1;
+  net.send(a, b, 1000, [&](SimTime at) { delivered = at; });
+  sim.run();
+  EXPECT_EQ(delivered, 2000);
+}
+
+TEST_F(NetworkFixture, QueueingDelaysSecondMessage) {
+  // Two back-to-back messages on the same link serialize sequentially.
+  const SimTime first = net.send(a, b, 1000);
+  const SimTime second = net.send(a, b, 1000);
+  EXPECT_EQ(first, 2000);
+  EXPECT_EQ(second, 3000);  // waits 1000 us for the link, then 1000 + 1000
+}
+
+TEST_F(NetworkFixture, StatsAccumulate) {
+  net.send(a, b, 100);
+  net.send(a, c, 50);
+  const TransferStats& stats = net.stats();
+  EXPECT_EQ(stats.messages, 2u);
+  EXPECT_EQ(stats.payload_bytes, 150u);
+  EXPECT_EQ(stats.bytes, 100u + 50u * 2);  // a->c crosses two links
+  EXPECT_EQ(net.link_stats(ab).messages, 2u);
+  EXPECT_EQ(net.link_stats(bc).messages, 1u);
+  EXPECT_EQ(net.link_stats(bc).payload_bytes, 50u);
+}
+
+TEST_F(NetworkFixture, ResetStatsClears) {
+  net.send(a, b, 100);
+  net.reset_stats();
+  EXPECT_EQ(net.stats().messages, 0u);
+  EXPECT_EQ(net.link_stats(ab).bytes, 0u);
+}
+
+TEST_F(NetworkFixture, UnreachableThrows) {
+  const NodeId isolated = topo.add_node("island");
+  EXPECT_THROW(net.send(a, isolated, 10), NotFoundError);
+}
+
+TEST_F(NetworkFixture, UnloadedTransferTimeIgnoresQueueing) {
+  net.send(a, b, 1000000);  // saturate the link
+  EXPECT_EQ(net.transfer_time_unloaded(a, b, 500), 1500);
+  EXPECT_EQ(net.transfer_time_unloaded(a, c, 100), 3200);
+}
+
+TEST_F(NetworkFixture, UnloadedTransferTimeUnreachable) {
+  const NodeId isolated = topo.add_node("island");
+  EXPECT_EQ(net.transfer_time_unloaded(a, isolated, 10), kTimeNever);
+}
+
+TEST_F(NetworkFixture, ZeroByteMessageStillPaysLatency) {
+  EXPECT_EQ(net.send(a, b, 0), 1000);
+}
+
+TEST_F(NetworkFixture, LinkFreesAfterIdlePeriod) {
+  net.send(a, b, 1000);
+  sim.run();               // drain; sim.now() == 2000
+  sim.run_until(10000);    // idle
+  const SimTime at = net.send(a, b, 100);
+  EXPECT_EQ(at, 10000 + 100 + 1000);  // no residual queueing
+}
+
+}  // namespace
+}  // namespace megads::net

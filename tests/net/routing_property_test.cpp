@@ -1,0 +1,93 @@
+// Property test: shortest-path latencies from Topology's Dijkstra must match
+// an independent Floyd-Warshall reference on random connected topologies.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace megads::net {
+namespace {
+
+struct GraphParam {
+  std::uint64_t seed;
+  std::size_t nodes;
+  std::size_t extra_links;
+};
+
+class RoutingProperty : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(RoutingProperty, DijkstraMatchesFloydWarshall) {
+  const auto [seed, n, extra] = GetParam();
+  Rng rng(seed);
+  Topology topo;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes.push_back(topo.add_node("n" + std::to_string(i)));
+  }
+  constexpr SimDuration kInf = std::numeric_limits<SimDuration>::max() / 4;
+  std::vector<std::vector<SimDuration>> dist(n, std::vector<SimDuration>(n, kInf));
+  for (std::size_t i = 0; i < n; ++i) dist[i][i] = 0;
+
+  const auto connect = [&](std::size_t a, std::size_t b) {
+    const SimDuration latency = 1 + static_cast<SimDuration>(rng.uniform(1000));
+    topo.add_link(nodes[a], nodes[b], latency, 1e6);
+    dist[a][b] = std::min(dist[a][b], latency);
+    dist[b][a] = std::min(dist[b][a], latency);
+  };
+
+  // Random spanning tree keeps the graph connected, then random extras.
+  for (std::size_t i = 1; i < n; ++i) {
+    connect(i, rng.uniform(i));
+  }
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t a = rng.uniform(n);
+    const std::size_t b = rng.uniform(n);
+    if (a != b) connect(a, b);
+  }
+
+  // Floyd-Warshall reference.
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        dist[i][j] = std::min(dist[i][j], dist[i][k] + dist[k][j]);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(topo.path_latency(nodes[i], nodes[j]), dist[i][j])
+          << "pair " << i << "," << j;
+      // The returned path's hop latencies must sum to the distance and be a
+      // genuine walk from i to j.
+      const auto path = topo.shortest_path(nodes[i], nodes[j]);
+      ASSERT_TRUE(path.has_value());
+      SimDuration total = 0;
+      NodeId cursor = nodes[i];
+      for (const LinkId lid : *path) {
+        const Link& link = topo.link(lid);
+        ASSERT_TRUE(link.a == cursor || link.b == cursor);
+        cursor = link.other(cursor);
+        total += link.latency;
+      }
+      EXPECT_EQ(cursor, nodes[j]);
+      EXPECT_EQ(total, dist[i][j]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomGraphs, RoutingProperty,
+    ::testing::Values(GraphParam{1, 6, 4}, GraphParam{2, 10, 10},
+                      GraphParam{3, 16, 24}, GraphParam{4, 16, 2},
+                      GraphParam{5, 24, 40}),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes);
+    });
+
+}  // namespace
+}  // namespace megads::net

@@ -1,0 +1,147 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+namespace {
+
+TEST(Topology, AddNodesAndLookup) {
+  Topology topo;
+  const NodeId a = topo.add_node("alpha", 0);
+  const NodeId b = topo.add_node("beta", 1);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.node(a).name, "alpha");
+  EXPECT_EQ(topo.node(b).level, 1);
+  EXPECT_EQ(topo.find_node("beta"), b);
+  EXPECT_FALSE(topo.find_node("gamma").has_value());
+}
+
+TEST(Topology, LinkValidation) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  EXPECT_THROW(topo.add_link(a, a, 10, 1e6), PreconditionError);
+  EXPECT_THROW(topo.add_link(a, b, -1, 1e6), PreconditionError);
+  EXPECT_THROW(topo.add_link(a, b, 10, 0.0), PreconditionError);
+  EXPECT_THROW(topo.add_link(a, NodeId(99), 10, 1e6), PreconditionError);
+  const LinkId l = topo.add_link(a, b, 10, 1e6);
+  EXPECT_EQ(topo.link(l).latency, 10);
+  EXPECT_EQ(topo.link(l).other(a), b);
+  EXPECT_EQ(topo.link(l).other(b), a);
+}
+
+TEST(Topology, LinksOfNode) {
+  Topology topo;
+  const NodeId hub = topo.add_node("hub");
+  const NodeId s1 = topo.add_node("s1");
+  const NodeId s2 = topo.add_node("s2");
+  topo.add_link(hub, s1, 1, 1e6);
+  topo.add_link(hub, s2, 1, 1e6);
+  EXPECT_EQ(topo.links_of(hub).size(), 2u);
+  EXPECT_EQ(topo.links_of(s1).size(), 1u);
+}
+
+TEST(Topology, ShortestPathTrivial) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const auto path = topo.shortest_path(a, a);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_TRUE(path->empty());
+}
+
+TEST(Topology, ShortestPathLine) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  const NodeId c = topo.add_node("c");
+  const LinkId ab = topo.add_link(a, b, 5, 1e6);
+  const LinkId bc = topo.add_link(b, c, 7, 1e6);
+  const auto path = topo.shortest_path(a, c);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<LinkId>{ab, bc}));
+  EXPECT_EQ(topo.path_latency(a, c), 12);
+}
+
+TEST(Topology, ShortestPathPrefersLowLatency) {
+  // Direct a-c link costs 100; detour via b costs 5+7=12.
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  const NodeId c = topo.add_node("c");
+  topo.add_link(a, c, 100, 1e6);
+  const LinkId ab = topo.add_link(a, b, 5, 1e6);
+  const LinkId bc = topo.add_link(b, c, 7, 1e6);
+  const auto path = topo.shortest_path(a, c);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(*path, (std::vector<LinkId>{ab, bc}));
+}
+
+TEST(Topology, UnreachableNodes) {
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  EXPECT_FALSE(topo.shortest_path(a, b).has_value());
+  EXPECT_EQ(topo.path_latency(a, b), kTimeNever);
+}
+
+TEST(Topology, StarTopologyAllPairsReachable) {
+  Topology topo;
+  const NodeId hub = topo.add_node("hub");
+  std::vector<NodeId> leaves;
+  for (int i = 0; i < 8; ++i) {
+    const NodeId leaf = topo.add_node("leaf" + std::to_string(i));
+    topo.add_link(hub, leaf, 3, 1e6);
+    leaves.push_back(leaf);
+  }
+  for (const NodeId from : leaves) {
+    for (const NodeId to : leaves) {
+      if (from == to) continue;
+      EXPECT_EQ(topo.path_latency(from, to), 6);
+    }
+  }
+}
+
+TEST(Topology, LinkFailureReroutesOrDisconnects) {
+  // Triangle: a-b direct (fast) and a-c-b detour (slow).
+  Topology topo;
+  const NodeId a = topo.add_node("a");
+  const NodeId b = topo.add_node("b");
+  const NodeId c = topo.add_node("c");
+  const LinkId direct = topo.add_link(a, b, 10, 1e6);
+  const LinkId ac = topo.add_link(a, c, 50, 1e6);
+  const LinkId cb = topo.add_link(c, b, 50, 1e6);
+  EXPECT_EQ(topo.path_latency(a, b), 10);
+
+  // Failing the direct link reroutes over the detour...
+  topo.set_link_state(direct, false);
+  EXPECT_FALSE(topo.link_up(direct));
+  EXPECT_EQ(topo.path_latency(a, b), 100);
+
+  // ...failing the detour too disconnects the pair...
+  topo.set_link_state(ac, false);
+  EXPECT_EQ(topo.path_latency(a, b), kTimeNever);
+  EXPECT_FALSE(topo.shortest_path(a, b).has_value());
+
+  // ...and repair restores the best route.
+  topo.set_link_state(direct, true);
+  EXPECT_EQ(topo.path_latency(a, b), 10);
+  (void)cb;
+}
+
+TEST(Topology, LinkStateValidatesId) {
+  Topology topo;
+  EXPECT_THROW(topo.set_link_state(0, false), PreconditionError);
+  EXPECT_THROW(topo.link_up(3), PreconditionError);
+}
+
+TEST(Topology, UnknownNodeThrows) {
+  Topology topo;
+  topo.add_node("a");
+  EXPECT_THROW(topo.node(NodeId(5)), PreconditionError);
+  EXPECT_THROW(topo.links_of(NodeId{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::net

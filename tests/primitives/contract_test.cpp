@@ -1,0 +1,194 @@
+// Parameterized contract suite: every computing primitive must satisfy the
+// Aggregator interface obligations that the data store relies on (the
+// Section V.A design-property surface), regardless of its summary type.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "flowtree/flowtree.hpp"
+#include "helpers.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/spacesaving.hpp"
+#include "primitives/timebin.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+
+struct PrimitiveParam {
+  const char* name;
+  std::function<std::unique_ptr<Aggregator>()> make;
+  bool fixed_footprint;  ///< compress() may legitimately be a no-op
+};
+
+class AggregatorContract : public ::testing::TestWithParam<PrimitiveParam> {
+ protected:
+  std::unique_ptr<Aggregator> make() const { return GetParam().make(); }
+
+  static StreamItem nth_item(int i) {
+    return item(key(static_cast<std::uint8_t>(i % 200), 80,
+                    static_cast<std::uint8_t>(i % 5)),
+                1.0 + i % 7, i * kMillisecond);
+  }
+};
+
+TEST(QueryKind, NamesEveryAlternative) {
+  EXPECT_EQ(query_kind(PointQuery{}), "point");
+  EXPECT_EQ(query_kind(TopKQuery{}), "top-k");
+  EXPECT_EQ(query_kind(AboveQuery{}), "above-x");
+  EXPECT_EQ(query_kind(DrilldownQuery{}), "drilldown");
+  EXPECT_EQ(query_kind(HHHQuery{}), "hhh");
+  EXPECT_EQ(query_kind(RangeQuery{}), "range");
+  EXPECT_EQ(query_kind(StatsQuery{}), "stats");
+}
+
+TEST_P(AggregatorContract, KindIsStableAndNonEmpty) {
+  const auto agg = make();
+  EXPECT_FALSE(agg->kind().empty());
+  EXPECT_EQ(agg->kind(), make()->kind());
+}
+
+TEST_P(AggregatorContract, IngestCountsAreExact) {
+  const auto agg = make();
+  EXPECT_EQ(agg->items_ingested(), 0u);
+  double weight = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const StreamItem it = nth_item(i);
+    weight += it.value;
+    agg->insert(it);
+  }
+  EXPECT_EQ(agg->items_ingested(), 100u);
+  EXPECT_DOUBLE_EQ(agg->weight_ingested(), weight);
+}
+
+TEST_P(AggregatorContract, EveryQueryKindEitherAnswersOrDeclines) {
+  const auto agg = make();
+  for (int i = 0; i < 50; ++i) agg->insert(nth_item(i));
+  const std::vector<Query> queries = {
+      PointQuery{key(1)},       TopKQuery{5},
+      AboveQuery{2.0},          DrilldownQuery{flow::FlowKey{}},
+      HHHQuery{0.1},            RangeQuery{{0, kSecond}, 0.0},
+      StatsQuery{{0, kSecond}},
+  };
+  for (const Query& query : queries) {
+    // Must not throw; must signal unsupported instead.
+    const QueryResult result = agg->execute(query);
+    if (!result.supported) {
+      EXPECT_TRUE(result.entries.empty());
+      EXPECT_TRUE(result.points.empty());
+    }
+  }
+}
+
+TEST_P(AggregatorContract, SelfMergeabilityAndTotalsAfterMerge) {
+  const auto a = make();
+  const auto b = make();
+  for (int i = 0; i < 30; ++i) a->insert(nth_item(i));
+  for (int i = 30; i < 80; ++i) b->insert(nth_item(i));
+  ASSERT_TRUE(a->mergeable_with(*b));
+  a->merge_from(*b);
+  EXPECT_EQ(a->items_ingested(), 80u);
+}
+
+TEST_P(AggregatorContract, NotMergeableWithDifferentKind) {
+  const auto agg = make();
+  const ExactAggregator exact;
+  const TimeBinAggregator bins(kSecond);
+  if (agg->kind() != exact.kind()) EXPECT_FALSE(agg->mergeable_with(exact));
+  if (agg->kind() != bins.kind()) EXPECT_FALSE(agg->mergeable_with(bins));
+}
+
+TEST_P(AggregatorContract, CompressBoundsSize) {
+  const auto agg = make();
+  for (int i = 0; i < 500; ++i) agg->insert(nth_item(i));
+  agg->compress(16);
+  if (!GetParam().fixed_footprint) {
+    EXPECT_LE(agg->size(), 16u);
+  }
+  // Ingest totals survive compression.
+  EXPECT_EQ(agg->items_ingested(), 500u);
+}
+
+TEST_P(AggregatorContract, AdaptHonorsBudget) {
+  const auto agg = make();
+  for (int i = 0; i < 500; ++i) agg->insert(nth_item(i));
+  AdaptSignal signal;
+  signal.size_budget = 32;
+  signal.items_per_second = 1000.0;
+  agg->adapt(signal);
+  if (!GetParam().fixed_footprint) {
+    EXPECT_LE(agg->size(), 32u);
+  }
+}
+
+TEST_P(AggregatorContract, CloneIsDeepAndEqualSized) {
+  const auto agg = make();
+  for (int i = 0; i < 50; ++i) agg->insert(nth_item(i));
+  const auto copy = agg->clone();
+  EXPECT_EQ(copy->kind(), agg->kind());
+  EXPECT_EQ(copy->size(), agg->size());
+  EXPECT_EQ(copy->items_ingested(), agg->items_ingested());
+  copy->insert(nth_item(999));
+  EXPECT_EQ(agg->items_ingested(), 50u);
+  EXPECT_TRUE(agg->mergeable_with(*copy));
+}
+
+TEST_P(AggregatorContract, MemoryAndWireBytesArePositiveAfterIngest) {
+  const auto agg = make();
+  for (int i = 0; i < 50; ++i) agg->insert(nth_item(i));
+  EXPECT_GT(agg->memory_bytes(), 0u);
+  EXPECT_GT(agg->wire_bytes(), 0u);
+}
+
+TEST_P(AggregatorContract, MergeFromEmptyPeerIsHarmless) {
+  const auto a = make();
+  const auto b = make();
+  for (int i = 0; i < 20; ++i) a->insert(nth_item(i));
+  const std::size_t size = a->size();
+  a->merge_from(*b);
+  EXPECT_EQ(a->size(), size);
+  EXPECT_EQ(a->items_ingested(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitives, AggregatorContract,
+    ::testing::Values(
+        PrimitiveParam{"exact",
+                       [] { return std::make_unique<ExactAggregator>(); }, false},
+        PrimitiveParam{"exact_hhh",
+                       [] { return std::make_unique<ExactHHH>(); }, false},
+        PrimitiveParam{"raw", [] { return std::make_unique<RawStore>(); }, false},
+        PrimitiveParam{"sampling",
+                       [] { return std::make_unique<SamplingAggregator>(256); },
+                       false},
+        PrimitiveParam{"timebin",
+                       [] {
+                         return std::make_unique<TimeBinAggregator>(kMillisecond);
+                       },
+                       false},
+        PrimitiveParam{"spacesaving",
+                       [] { return std::make_unique<SpaceSaving>(64); }, false},
+        PrimitiveParam{"histogram",
+                       [] { return std::make_unique<HistogramAggregator>(0.25); },
+                       false},
+        PrimitiveParam{"countmin",
+                       [] { return std::make_unique<CountMinSketch>(64, 4); },
+                       true},
+        PrimitiveParam{"flowtree",
+                       [] {
+                         return std::make_unique<flowtree::Flowtree>(
+                             flowtree::FlowtreeConfig{});
+                       },
+                       false}),
+    [](const ::testing::TestParamInfo<PrimitiveParam>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace megads::primitives

@@ -1,0 +1,152 @@
+#include "primitives/countmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  CountMinSketch sketch(64, 4);
+  Rng rng(1);
+  ZipfSampler zipf(200, 1.1);
+  std::unordered_map<int, double> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const int h = static_cast<int>(zipf(rng));
+    truth[h] += 1.0;
+    sketch.insert(item(key(static_cast<std::uint8_t>(h % 250), 80,
+                           static_cast<std::uint8_t>(h / 250))));
+  }
+  for (const auto& [h, t] : truth) {
+    const double estimate = sketch.estimate(
+        key(static_cast<std::uint8_t>(h % 250), 80, static_cast<std::uint8_t>(h / 250)));
+    EXPECT_GE(estimate + 1e-9, t);
+  }
+}
+
+TEST(CountMinSketch, ErrorWithinTheoreticalBound) {
+  CountMinSketch sketch = CountMinSketch::with_error_bounds(0.01, 0.01);
+  Rng rng(2);
+  std::unordered_map<int, double> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const int h = static_cast<int>(rng.uniform(1000));
+    truth[h] += 1.0;
+    sketch.insert(item(key(static_cast<std::uint8_t>(h % 250), 80,
+                           static_cast<std::uint8_t>(h / 250))));
+  }
+  const double bound = sketch.error_bound();
+  int violations = 0;
+  for (const auto& [h, t] : truth) {
+    const double estimate = sketch.estimate(
+        key(static_cast<std::uint8_t>(h % 250), 80, static_cast<std::uint8_t>(h / 250)));
+    if (estimate - t > bound) ++violations;
+  }
+  // The bound holds with probability 1 - delta per key.
+  EXPECT_LE(violations, static_cast<int>(0.02 * truth.size()) + 1);
+}
+
+TEST(CountMinSketch, WithErrorBoundsDimensions) {
+  const CountMinSketch sketch = CountMinSketch::with_error_bounds(0.01, 0.001);
+  EXPECT_GE(sketch.width(), 272u);  // ceil(e/0.01)
+  EXPECT_GE(sketch.depth(), 7u);    // ceil(ln 1000)
+}
+
+TEST(CountMinSketch, ConservativeUpdateNoWorse) {
+  CountMinSketch plain(32, 4, false);
+  CountMinSketch conservative(32, 4, true);
+  Rng rng(3);
+  std::unordered_map<int, double> truth;
+  for (int i = 0; i < 10000; ++i) {
+    const int h = static_cast<int>(rng.uniform(500));
+    truth[h] += 1.0;
+    const auto it = item(key(static_cast<std::uint8_t>(h % 250), 80,
+                             static_cast<std::uint8_t>(h / 250)));
+    plain.insert(it);
+    conservative.insert(it);
+  }
+  double plain_err = 0.0, conservative_err = 0.0;
+  for (const auto& [h, t] : truth) {
+    const auto k = key(static_cast<std::uint8_t>(h % 250), 80,
+                       static_cast<std::uint8_t>(h / 250));
+    plain_err += plain.estimate(k) - t;
+    conservative_err += conservative.estimate(k) - t;
+    EXPECT_GE(conservative.estimate(k) + 1e-9, t);  // still an overestimate
+  }
+  EXPECT_LE(conservative_err, plain_err + 1e-9);
+}
+
+TEST(CountMinSketch, WeightedInserts) {
+  CountMinSketch sketch(128, 4);
+  sketch.insert(item(key(1), 10.0));
+  sketch.insert(item(key(1), 5.0));
+  EXPECT_GE(sketch.estimate(key(1)), 15.0);
+}
+
+TEST(CountMinSketch, MergeAddsCounters) {
+  CountMinSketch a(64, 4), b(64, 4);
+  a.insert(item(key(1), 3.0));
+  b.insert(item(key(1), 4.0));
+  b.insert(item(key(2), 7.0));
+  ASSERT_TRUE(a.mergeable_with(b));
+  a.merge_from(b);
+  EXPECT_GE(a.estimate(key(1)), 7.0);
+  EXPECT_GE(a.estimate(key(2)), 7.0);
+  EXPECT_EQ(a.items_ingested(), 3u);
+}
+
+TEST(CountMinSketch, NotMergeableAcrossDimensions) {
+  CountMinSketch a(64, 4), b(64, 5), c(32, 4);
+  EXPECT_FALSE(a.mergeable_with(b));
+  EXPECT_FALSE(a.mergeable_with(c));
+  EXPECT_THROW(a.merge_from(b), PreconditionError);
+}
+
+TEST(CountMinSketch, OnlyPointQueriesSupported) {
+  CountMinSketch sketch(64, 4);
+  sketch.insert(item(key(1)));
+  EXPECT_TRUE(sketch.execute(PointQuery{key(1)}).supported);
+  EXPECT_TRUE(sketch.execute(PointQuery{key(1)}).approximate);
+  EXPECT_FALSE(sketch.execute(TopKQuery{5}).supported);
+  EXPECT_FALSE(sketch.execute(AboveQuery{1.0}).supported);
+  EXPECT_FALSE(sketch.execute(HHHQuery{0.1}).supported);
+  EXPECT_FALSE(sketch.execute(StatsQuery{{0, 1}}).supported);
+}
+
+TEST(CountMinSketch, CompressIsNoop) {
+  CountMinSketch sketch(64, 4);
+  sketch.insert(item(key(1)));
+  sketch.compress(1);
+  EXPECT_EQ(sketch.size(), 64u * 4u);
+  EXPECT_GE(sketch.estimate(key(1)), 1.0);
+}
+
+TEST(CountMinSketch, FixedMemoryFootprint) {
+  CountMinSketch sketch(64, 4);
+  const std::size_t before = sketch.memory_bytes();
+  for (int i = 0; i < 10000; ++i) {
+    sketch.insert(item(key(static_cast<std::uint8_t>(i % 250))));
+  }
+  EXPECT_EQ(sketch.memory_bytes(), before);
+}
+
+TEST(CountMinSketch, RejectsBadDimensions) {
+  EXPECT_THROW(CountMinSketch(0, 4), PreconditionError);
+  EXPECT_THROW(CountMinSketch(4, 0), PreconditionError);
+  EXPECT_THROW(CountMinSketch::with_error_bounds(0.0, 0.1), PreconditionError);
+  EXPECT_THROW(CountMinSketch::with_error_bounds(0.1, 1.0), PreconditionError);
+}
+
+TEST(CountMinSketch, EmptySketchEstimatesZero) {
+  CountMinSketch sketch(64, 4);
+  EXPECT_DOUBLE_EQ(sketch.estimate(key(1)), 0.0);
+}
+
+}  // namespace
+}  // namespace megads::primitives

@@ -1,0 +1,121 @@
+#include "primitives/exact_hhh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "primitives/exact.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+using test::point_score;
+
+TEST(ExactHHH, PointQueryIsSubtreeWeight) {
+  ExactHHH agg;
+  agg.insert(item(key(1, 80, 1), 5.0));
+  agg.insert(item(key(2, 443, 1), 3.0));
+  flow::FlowKey net1;
+  net1.with_src(flow::Prefix(flow::IPv4(10, 1, 0, 0), 16));
+  EXPECT_DOUBLE_EQ(point_score(agg, net1), 8.0);
+  EXPECT_DOUBLE_EQ(point_score(agg, flow::FlowKey{}), 8.0);
+  EXPECT_DOUBLE_EQ(agg.subtree_weight(net1), 8.0);
+  EXPECT_DOUBLE_EQ(agg.subtree_weight(key(9)), 0.0);
+}
+
+TEST(ExactHHH, MaterializesWholeAncestorClosure) {
+  ExactHHH agg;
+  agg.insert(item(key(1), 1.0));
+  // depth(full key) + 1 nodes (including root).
+  EXPECT_EQ(agg.size(), static_cast<std::size_t>(key(1).depth()) + 1);
+}
+
+TEST(ExactHHH, SharedChainsAreNotDuplicated) {
+  ExactHHH agg;
+  agg.insert(item(key(1, 80, 1), 1.0));
+  const std::size_t after_first = agg.size();
+  agg.insert(item(key(1, 80, 1), 1.0));
+  EXPECT_EQ(agg.size(), after_first);  // same key: no new nodes
+  agg.insert(item(key(2, 80, 1), 1.0));
+  // Same /24 network: only the differing specific segments are new.
+  EXPECT_LT(agg.size(), 2 * after_first);
+}
+
+TEST(ExactHHH, MatchesBruteForceHHH) {
+  ExactHHH trie;
+  ExactAggregator brute;
+  for (int h = 0; h < 16; ++h) {
+    const auto it = item(key(static_cast<std::uint8_t>(h), 80, h % 3), h + 1.0);
+    trie.insert(it);
+    brute.insert(it);
+  }
+  for (const double phi : {0.05, 0.1, 0.25, 0.5}) {
+    const auto a = trie.execute(HHHQuery{phi}).entries;
+    const auto b = brute.execute(HHHQuery{phi}).entries;
+    ASSERT_EQ(a.size(), b.size()) << "phi=" << phi;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].key, b[i].key);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
+TEST(ExactHHH, DrilldownListsDirectChildren) {
+  ExactHHH agg;
+  agg.insert(item(key(1, 80, 1), 2.0));
+  agg.insert(item(key(1, 80, 2), 3.0));
+  flow::FlowKey parent;
+  parent.with_src(flow::Prefix(flow::IPv4(10, 0, 0, 0), 8));
+  const auto result = agg.execute(DrilldownQuery{parent});
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 3.0);
+  EXPECT_EQ(result.entries[0].key.src().length(), 16);
+}
+
+TEST(ExactHHH, MergeAddsBothTables) {
+  ExactHHH a, b;
+  a.insert(item(key(1), 5.0));
+  b.insert(item(key(1), 2.0));
+  b.insert(item(key(2), 1.0));
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(point_score(a, key(1)), 7.0);
+  EXPECT_DOUBLE_EQ(point_score(a, flow::FlowKey{}), 8.0);
+}
+
+TEST(ExactHHH, CompressPreservesTotalMass) {
+  ExactHHH agg;
+  for (int h = 0; h < 32; ++h) {
+    agg.insert(item(key(static_cast<std::uint8_t>(h), 80, h % 4), 1.0));
+  }
+  const double before = point_score(agg, flow::FlowKey{});
+  agg.compress(10);
+  EXPECT_LE(agg.size(), 10u);
+  // Own weights were folded into surviving ancestors: totals preserved.
+  const auto top = agg.execute(TopKQuery{100});
+  double total = 0.0;
+  for (const auto& row : top.entries) total += row.score;
+  EXPECT_DOUBLE_EQ(total, before);
+}
+
+TEST(ExactHHH, WriteAmplificationVsExact) {
+  // The design trade-off experiment E2 relies on: the trie is much bigger
+  // than the flat exact table for the same stream.
+  ExactHHH trie;
+  ExactAggregator flat;
+  for (int h = 0; h < 64; ++h) {
+    const auto it = item(key(static_cast<std::uint8_t>(h), 80, h % 8), 1.0);
+    trie.insert(it);
+    flat.insert(it);
+  }
+  EXPECT_GT(trie.size(), 2 * flat.size());
+}
+
+TEST(ExactHHH, UnsupportedQueries) {
+  ExactHHH agg;
+  EXPECT_FALSE(agg.execute(RangeQuery{{0, 1}, 0.0}).supported);
+  EXPECT_FALSE(agg.execute(StatsQuery{{0, 1}}).supported);
+}
+
+}  // namespace
+}  // namespace megads::primitives

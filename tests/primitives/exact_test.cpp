@@ -1,0 +1,230 @@
+#include "primitives/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "helpers.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+using test::point_score;
+using test::sample;
+
+TEST(ExactAggregator, PointQueryCountsExactly) {
+  ExactAggregator agg;
+  agg.insert(item(key(1), 5.0));
+  agg.insert(item(key(1), 3.0));
+  agg.insert(item(key(2), 2.0));
+  EXPECT_DOUBLE_EQ(point_score(agg, key(1)), 8.0);
+  EXPECT_DOUBLE_EQ(point_score(agg, key(2)), 2.0);
+  EXPECT_DOUBLE_EQ(point_score(agg, key(3)), 0.0);
+}
+
+TEST(ExactAggregator, PointQueryAggregatesUnderGeneralizedKey) {
+  ExactAggregator agg;
+  agg.insert(item(key(1, 80, 1), 5.0));
+  agg.insert(item(key(2, 443, 1), 3.0));
+  agg.insert(item(key(3, 80, 2), 7.0));  // different /16
+  flow::FlowKey net1;
+  net1.with_src(flow::Prefix(flow::IPv4(10, 1, 0, 0), 16));
+  EXPECT_DOUBLE_EQ(point_score(agg, net1), 8.0);
+  EXPECT_DOUBLE_EQ(point_score(agg, flow::FlowKey{}), 15.0);  // root = total
+}
+
+TEST(ExactAggregator, TopKOrdersByScore) {
+  ExactAggregator agg;
+  agg.insert(item(key(1), 10.0));
+  agg.insert(item(key(2), 30.0));
+  agg.insert(item(key(3), 20.0));
+  const auto result = agg.execute(TopKQuery{2});
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.entries[0].key, key(2));
+  EXPECT_EQ(result.entries[1].key, key(3));
+  EXPECT_FALSE(result.approximate);
+}
+
+TEST(ExactAggregator, TopKWithKLargerThanSize) {
+  ExactAggregator agg;
+  agg.insert(item(key(1)));
+  EXPECT_EQ(agg.execute(TopKQuery{100}).entries.size(), 1u);
+}
+
+TEST(ExactAggregator, AboveFiltersInclusive) {
+  ExactAggregator agg;
+  agg.insert(item(key(1), 10.0));
+  agg.insert(item(key(2), 5.0));
+  agg.insert(item(key(3), 4.9));
+  const auto result = agg.execute(AboveQuery{5.0});
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.entries.back().score, 5.0);
+}
+
+TEST(ExactAggregator, DrilldownGroupsByCanonicalChild) {
+  ExactAggregator agg;
+  agg.insert(item(key(1, 80, 1), 1.0));
+  agg.insert(item(key(2, 80, 1), 2.0));
+  agg.insert(item(key(1, 80, 2), 4.0));
+  // Children of src=10.0.0.0/8 are the /16 networks.
+  flow::FlowKey parent;
+  parent.with_src(flow::Prefix(flow::IPv4(10, 0, 0, 0), 8));
+  const auto result = agg.execute(DrilldownQuery{parent});
+  ASSERT_EQ(result.entries.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 4.0);  // 10.2/16
+  EXPECT_DOUBLE_EQ(result.entries[1].score, 3.0);  // 10.1/16
+  EXPECT_EQ(result.entries[0].key.src().to_string(), "10.2.0.0/16");
+}
+
+TEST(ExactAggregator, HHHFindsPlantedPrefix) {
+  ExactAggregator agg;
+  // 60% of mass under 10.1.0.0/16 spread thinly over hosts.
+  for (int h = 0; h < 30; ++h) agg.insert(item(key(static_cast<std::uint8_t>(h), 80, 1), 2.0));
+  for (int h = 0; h < 4; ++h) agg.insert(item(key(static_cast<std::uint8_t>(h), 80, 2), 10.0));
+  const auto result = agg.execute(HHHQuery{0.3});
+  // Some generalized flow inside 10.1.0.0/16 must surface with (almost) the
+  // full planted mass, even though no single host clears the threshold.
+  flow::FlowKey net1;
+  net1.with_src(flow::Prefix(flow::IPv4(10, 1, 0, 0), 16));
+  bool found = false;
+  for (const auto& row : result.entries) {
+    if (net1.generalizes(row.key) && row.score >= 50.0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExactAggregator, HHHDiscountsChildMass) {
+  ExactAggregator agg;
+  // One very heavy specific key; its ancestors get no *extra* mass, so the
+  // discounted HHH set should contain just the key (and not every ancestor).
+  agg.insert(item(key(1), 100.0));
+  agg.insert(item(key(2), 1.0));
+  const auto result = agg.execute(HHHQuery{0.5});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].key, key(1));
+}
+
+TEST(ExactAggregator, HHHEmptyWhenNoMass) {
+  ExactAggregator agg;
+  EXPECT_TRUE(agg.execute(HHHQuery{0.1}).entries.empty());
+}
+
+TEST(ExactAggregator, HHHRejectsBadPhi) {
+  ExactAggregator agg;
+  agg.insert(item(key(1)));
+  EXPECT_THROW(agg.execute(HHHQuery{0.0}), PreconditionError);
+  EXPECT_THROW(agg.execute(HHHQuery{1.5}), PreconditionError);
+}
+
+TEST(ExactAggregator, MergeAddsScores) {
+  ExactAggregator a, b;
+  a.insert(item(key(1), 5.0));
+  b.insert(item(key(1), 7.0));
+  b.insert(item(key(2), 1.0));
+  ASSERT_TRUE(a.mergeable_with(b));
+  a.merge_from(b);
+  EXPECT_DOUBLE_EQ(point_score(a, key(1)), 12.0);
+  EXPECT_DOUBLE_EQ(point_score(a, key(2)), 1.0);
+  EXPECT_EQ(a.items_ingested(), 3u);
+}
+
+TEST(ExactAggregator, NotMergeableAcrossPolicies) {
+  ExactAggregator a(flow::GeneralizationPolicy{8});
+  ExactAggregator b(flow::GeneralizationPolicy{16});
+  EXPECT_FALSE(a.mergeable_with(b));
+  EXPECT_THROW(a.merge_from(b), PreconditionError);
+}
+
+TEST(ExactAggregator, CompressKeepsHeaviestAndMarksLossy) {
+  ExactAggregator agg;
+  for (int h = 0; h < 20; ++h) {
+    agg.insert(item(key(static_cast<std::uint8_t>(h)), h + 1.0));
+  }
+  EXPECT_FALSE(agg.lossy());
+  agg.compress(5);
+  EXPECT_EQ(agg.size(), 5u);
+  EXPECT_TRUE(agg.lossy());
+  EXPECT_DOUBLE_EQ(point_score(agg, key(19)), 20.0);  // heaviest kept
+  EXPECT_DOUBLE_EQ(point_score(agg, key(0)), 0.0);    // lightest dropped
+  EXPECT_TRUE(agg.execute(TopKQuery{3}).approximate);
+}
+
+TEST(ExactAggregator, CloneIsDeepCopy) {
+  ExactAggregator agg;
+  agg.insert(item(key(1), 2.0));
+  const auto copy = agg.clone();
+  agg.insert(item(key(1), 3.0));
+  EXPECT_DOUBLE_EQ(point_score(*copy, key(1)), 2.0);
+  EXPECT_DOUBLE_EQ(point_score(agg, key(1)), 5.0);
+}
+
+TEST(ExactAggregator, UnsupportedQueries) {
+  ExactAggregator agg;
+  EXPECT_FALSE(agg.execute(RangeQuery{{0, 10}, 0.0}).supported);
+  EXPECT_FALSE(agg.execute(StatsQuery{{0, 10}}).supported);
+}
+
+TEST(RawStore, RangeQuerySelectsByTimeAndValue) {
+  RawStore raw;
+  raw.insert(sample(1.0, 10));
+  raw.insert(sample(5.0, 20));
+  raw.insert(sample(9.0, 30));
+  const auto result = raw.execute(RangeQuery{{15, 35}, 6.0});
+  ASSERT_EQ(result.points.size(), 1u);
+  EXPECT_EQ(result.points[0].timestamp, 30);
+  EXPECT_FALSE(result.approximate);
+}
+
+TEST(RawStore, StatsQueryComputesMoments) {
+  RawStore raw;
+  for (int i = 1; i <= 5; ++i) raw.insert(sample(static_cast<double>(i), i * 10));
+  const auto result = raw.execute(StatsQuery{{10, 51}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(result.stats->count, 5u);
+  EXPECT_DOUBLE_EQ(result.stats->mean, 3.0);
+  EXPECT_DOUBLE_EQ(result.stats->min, 1.0);
+  EXPECT_DOUBLE_EQ(result.stats->max, 5.0);
+}
+
+TEST(RawStore, StatsQueryEmptyWindow) {
+  RawStore raw;
+  raw.insert(sample(1.0, 10));
+  const auto result = raw.execute(StatsQuery{{100, 200}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(result.stats->count, 0u);
+}
+
+TEST(RawStore, FrequencyQueriesWorkViaAggregation) {
+  RawStore raw;
+  raw.insert(item(key(1), 5.0, 1));
+  raw.insert(item(key(1), 5.0, 2));
+  raw.insert(item(key(2), 3.0, 3));
+  EXPECT_DOUBLE_EQ(point_score(raw, key(1)), 10.0);
+  const auto top = raw.execute(TopKQuery{1});
+  EXPECT_EQ(top.entries[0].key, key(1));
+}
+
+TEST(RawStore, CompressDropsOldestAndMarksApproximate) {
+  RawStore raw;
+  for (int i = 0; i < 10; ++i) raw.insert(sample(static_cast<double>(i), i));
+  raw.compress(4);
+  EXPECT_EQ(raw.size(), 4u);
+  EXPECT_EQ(raw.items().front().timestamp, 6);
+  EXPECT_TRUE(raw.execute(StatsQuery{{0, 100}}).approximate);
+}
+
+TEST(RawStore, MergeKeepsTimeOrder) {
+  RawStore a, b;
+  a.insert(sample(1.0, 30));
+  b.insert(sample(2.0, 10));
+  b.insert(sample(3.0, 50));
+  a.merge_from(b);
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.items()[0].timestamp, 10);
+  EXPECT_EQ(a.items()[2].timestamp, 50);
+}
+
+}  // namespace
+}  // namespace megads::primitives

@@ -1,0 +1,35 @@
+// Shared builders for primitive tests.
+#pragma once
+
+#include "primitives/item.hpp"
+
+namespace megads::primitives::test {
+
+/// A fully specific 5-tuple key with small distinguishing fields.
+inline flow::FlowKey key(std::uint8_t host, std::uint16_t port = 80,
+                         std::uint8_t net = 1) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, host), 40000,
+                                   flow::IPv4(192, 168, 0, 1), port);
+}
+
+inline StreamItem item(const flow::FlowKey& k, double value = 1.0,
+                       SimTime timestamp = 0) {
+  StreamItem it;
+  it.key = k;
+  it.value = value;
+  it.timestamp = timestamp;
+  return it;
+}
+
+/// Pure time-series observation (root key).
+inline StreamItem sample(double value, SimTime timestamp) {
+  return item(flow::FlowKey{}, value, timestamp);
+}
+
+inline double point_score(const Aggregator& agg, const flow::FlowKey& k) {
+  const QueryResult result = agg.execute(PointQuery{k});
+  return result.supported && !result.entries.empty() ? result.entries.front().score
+                                                     : -1.0;
+}
+
+}  // namespace megads::primitives::test

@@ -1,0 +1,123 @@
+#include "primitives/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::sample;
+
+TEST(Histogram, CountsFallIntoBuckets) {
+  HistogramAggregator hist(10.0);
+  hist.insert(sample(5.0, 0));   // bucket 0
+  hist.insert(sample(9.9, 0));   // bucket 0
+  hist.insert(sample(10.0, 0));  // bucket 1
+  hist.insert(sample(-0.1, 0));  // bucket -1 (floor semantics)
+  EXPECT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist.items_ingested(), 4u);
+}
+
+TEST(Histogram, StatsFromBucketMidpoints) {
+  HistogramAggregator hist(1.0);
+  for (int i = 0; i < 100; ++i) hist.insert(sample(5.2, 0));
+  const auto result = hist.execute(StatsQuery{{0, 1}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_TRUE(result.approximate);
+  EXPECT_EQ(result.stats->count, 100u);
+  EXPECT_DOUBLE_EQ(result.stats->mean, 5.5);  // bucket [5,6) midpoint
+  EXPECT_NEAR(result.stats->stddev, 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(result.stats->min, 5.0);
+  EXPECT_DOUBLE_EQ(result.stats->max, 6.0);
+}
+
+TEST(Histogram, QuantilesOfUniformStream) {
+  HistogramAggregator hist(1.0);
+  Rng rng(5);
+  for (int i = 0; i < 50000; ++i) hist.insert(sample(rng.uniform01() * 100.0, 0));
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(hist.quantile(0.9), 90.0, 2.0);
+  EXPECT_NEAR(hist.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(hist.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  HistogramAggregator hist(1.0);
+  EXPECT_EQ(hist.quantile(0.5), 0.0);
+  EXPECT_THROW(hist.quantile(1.5), PreconditionError);
+}
+
+TEST(Histogram, CountAboveThreshold) {
+  HistogramAggregator hist(10.0);
+  for (int i = 0; i < 10; ++i) hist.insert(sample(5.0, 0));
+  for (int i = 0; i < 3; ++i) hist.insert(sample(95.0, 0));
+  EXPECT_EQ(hist.count_above(90.0), 3u);
+  EXPECT_EQ(hist.count_above(0.0), 13u);
+  EXPECT_EQ(hist.count_above(200.0), 0u);
+  const auto result = hist.execute(AboveQuery{90.0});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 3.0);
+}
+
+TEST(Histogram, CompressDoublesBucketWidth) {
+  HistogramAggregator hist(1.0);
+  for (int v = 0; v < 64; ++v) hist.insert(sample(static_cast<double>(v), 0));
+  EXPECT_EQ(hist.size(), 64u);
+  hist.compress(8);
+  EXPECT_LE(hist.size(), 8u);
+  EXPECT_EQ(hist.bucket_width(), 8.0);
+  // Counts are preserved through coarsening.
+  EXPECT_EQ(hist.count_above(0.0), 64u);
+}
+
+TEST(Histogram, MergeSameWidth) {
+  HistogramAggregator a(10.0), b(10.0);
+  a.insert(sample(5.0, 0));
+  b.insert(sample(5.0, 0));
+  b.insert(sample(15.0, 0));
+  a.merge_from(b);
+  EXPECT_EQ(a.count_above(0.0), 3u);
+  EXPECT_EQ(a.items_ingested(), 3u);
+}
+
+TEST(Histogram, MergeAcrossPowerOfTwoWidths) {
+  HistogramAggregator fine(1.0), coarse(4.0);
+  for (int v = 0; v < 8; ++v) fine.insert(sample(static_cast<double>(v), 0));
+  coarse.insert(sample(2.0, 0));
+  ASSERT_TRUE(fine.mergeable_with(coarse));
+  fine.merge_from(coarse);
+  EXPECT_DOUBLE_EQ(fine.bucket_width(), 4.0);
+  EXPECT_EQ(fine.count_above(0.0), 9u);
+  HistogramAggregator odd(3.0);
+  EXPECT_FALSE(fine.mergeable_with(odd));
+}
+
+TEST(Histogram, QuantilesSurviveMergeAndCompress) {
+  HistogramAggregator a(0.5), b(0.5);
+  Rng rng(7);
+  for (int i = 0; i < 20000; ++i) a.insert(sample(rng.normal(50.0, 10.0), 0));
+  for (int i = 0; i < 20000; ++i) b.insert(sample(rng.normal(50.0, 10.0), 0));
+  a.merge_from(b);
+  a.compress(64);
+  EXPECT_NEAR(a.quantile(0.5), 50.0, 2.5);
+  // Normal p90 = mean + 1.2816 sigma.
+  EXPECT_NEAR(a.quantile(0.9), 62.8, 3.0);
+}
+
+TEST(Histogram, UnsupportedQueries) {
+  HistogramAggregator hist(1.0);
+  EXPECT_FALSE(hist.execute(TopKQuery{3}).supported);
+  EXPECT_FALSE(hist.execute(HHHQuery{0.1}).supported);
+  EXPECT_FALSE(hist.execute(PointQuery{}).supported);
+  EXPECT_FALSE(hist.execute(RangeQuery{{0, 1}, 0.0}).supported);
+}
+
+TEST(Histogram, RejectsBadWidth) {
+  EXPECT_THROW(HistogramAggregator(0.0), PreconditionError);
+  EXPECT_THROW(HistogramAggregator(-1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::primitives

@@ -1,0 +1,155 @@
+#include "primitives/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "helpers.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+using test::point_score;
+using test::sample;
+
+TEST(SamplingAggregator, ExactWhileBelowCapacity) {
+  SamplingAggregator agg(100);
+  for (int i = 0; i < 50; ++i) agg.insert(sample(static_cast<double>(i), i));
+  EXPECT_EQ(agg.size(), 50u);
+  EXPECT_DOUBLE_EQ(agg.sampling_rate(), 1.0);
+  const auto result = agg.execute(RangeQuery{{0, 50}, 0.0});
+  EXPECT_EQ(result.points.size(), 50u);
+  EXPECT_FALSE(result.approximate);
+}
+
+TEST(SamplingAggregator, BoundedByCapacity) {
+  SamplingAggregator agg(64);
+  for (int i = 0; i < 10000; ++i) agg.insert(sample(1.0, i));
+  EXPECT_EQ(agg.size(), 64u);
+  EXPECT_NEAR(agg.sampling_rate(), 64.0 / 10000.0, 1e-9);
+}
+
+TEST(SamplingAggregator, ReservoirIsApproximatelyUniform) {
+  // Insert timestamps 0..9999; the retained sample's mean timestamp should be
+  // near the middle, not biased toward either end.
+  SamplingAggregator agg(500);
+  for (int i = 0; i < 10000; ++i) agg.insert(sample(1.0, i));
+  double mean_ts = 0.0;
+  for (const auto& it : agg.sample()) mean_ts += static_cast<double>(it.timestamp);
+  mean_ts /= static_cast<double>(agg.size());
+  EXPECT_NEAR(mean_ts, 5000.0, 600.0);
+}
+
+TEST(SamplingAggregator, StatsScaleByExpansionFactor) {
+  SamplingAggregator agg(200);
+  for (int i = 0; i < 20000; ++i) agg.insert(sample(2.0, i % 1000));
+  const auto result = agg.execute(StatsQuery{{0, 1000}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_TRUE(result.approximate);
+  EXPECT_NEAR(static_cast<double>(result.stats->count), 20000.0, 1.0);
+  EXPECT_NEAR(result.stats->sum, 40000.0, 10.0);
+  EXPECT_DOUBLE_EQ(result.stats->mean, 2.0);
+}
+
+TEST(SamplingAggregator, PointEstimateIsUnbiased) {
+  // key(1) gets 70% of the stream; the Horvitz-Thompson estimate of its
+  // weight should land near the truth.
+  SamplingAggregator agg(512, {}, 3);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    agg.insert(item(i % 10 < 7 ? key(1) : key(2), 1.0, i));
+  }
+  EXPECT_NEAR(point_score(agg, key(1)), 0.7 * n, 0.07 * n);
+}
+
+TEST(SamplingAggregator, TopKFindsDominantKey) {
+  SamplingAggregator agg(256, {}, 7);
+  for (int i = 0; i < 5000; ++i) {
+    agg.insert(item(i % 5 == 0 ? key(2) : key(1), 1.0, i));
+  }
+  const auto result = agg.execute(TopKQuery{1});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].key, key(1));
+  EXPECT_TRUE(result.approximate);
+}
+
+TEST(SamplingAggregator, AboveAppliesThresholdToScaledScores) {
+  SamplingAggregator agg(100, {}, 11);
+  for (int i = 0; i < 1000; ++i) agg.insert(item(key(1), 1.0, i));
+  // Scaled estimate of key(1) is ~1000; threshold 1500 must exclude it.
+  EXPECT_TRUE(agg.execute(AboveQuery{1500.0}).entries.empty());
+  EXPECT_EQ(agg.execute(AboveQuery{500.0}).entries.size(), 1u);
+}
+
+TEST(SamplingAggregator, RangeQueryFiltersAndSorts) {
+  SamplingAggregator agg(1000);
+  for (int i = 999; i >= 0; --i) {
+    agg.insert(sample(static_cast<double>(i % 10), i));
+  }
+  const auto result = agg.execute(RangeQuery{{100, 200}, 5.0});
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    EXPECT_GE(result.points[i].value, 5.0);
+    EXPECT_GE(result.points[i].timestamp, 100);
+    EXPECT_LT(result.points[i].timestamp, 200);
+    if (i > 0) EXPECT_LE(result.points[i - 1].timestamp, result.points[i].timestamp);
+  }
+}
+
+TEST(SamplingAggregator, CompressShrinksCapacityAndSample) {
+  SamplingAggregator agg(100);
+  for (int i = 0; i < 100; ++i) agg.insert(sample(1.0, i));
+  agg.compress(10);
+  EXPECT_EQ(agg.size(), 10u);
+  EXPECT_EQ(agg.capacity(), 10u);
+}
+
+TEST(SamplingAggregator, AdaptGrowsCapacity) {
+  SamplingAggregator agg(10);
+  AdaptSignal signal;
+  signal.size_budget = 100;
+  agg.adapt(signal);
+  EXPECT_EQ(agg.capacity(), 100u);
+}
+
+TEST(SamplingAggregator, MergePreservesTotalEstimate) {
+  SamplingAggregator a(200, {}, 1), b(200, {}, 2);
+  for (int i = 0; i < 5000; ++i) a.insert(item(key(1), 1.0, i));
+  for (int i = 0; i < 5000; ++i) b.insert(item(key(2), 1.0, i));
+  a.merge_from(b);
+  EXPECT_EQ(a.items_ingested(), 10000u);
+  EXPECT_EQ(a.size(), 200u);
+  // Both halves should be represented roughly equally after the weighted
+  // resample, so each key estimates near 5000.
+  EXPECT_NEAR(point_score(a, key(1)), 5000.0, 1500.0);
+  EXPECT_NEAR(point_score(a, key(2)), 5000.0, 1500.0);
+}
+
+TEST(SamplingAggregator, MergeWithDifferentRates) {
+  // a sampled 1:100, b holds everything; union estimate stays near truth.
+  SamplingAggregator a(100, {}, 5), b(1000, {}, 6);
+  for (int i = 0; i < 10000; ++i) a.insert(item(key(1), 1.0, i));
+  for (int i = 0; i < 500; ++i) b.insert(item(key(2), 1.0, i));
+  a.merge_from(b);
+  const double k1 = point_score(a, key(1));
+  const double k2 = point_score(a, key(2));
+  EXPECT_NEAR(k1 + k2, 10500.0, 2000.0);
+  EXPECT_GT(k1, 5.0 * k2);
+}
+
+TEST(SamplingAggregator, RejectsZeroCapacity) {
+  EXPECT_THROW(SamplingAggregator(0), PreconditionError);
+}
+
+TEST(SamplingAggregator, CloneIsIndependent) {
+  SamplingAggregator agg(10);
+  agg.insert(sample(1.0, 1));
+  auto copy = agg.clone();
+  copy->insert(sample(2.0, 2));
+  EXPECT_EQ(agg.size(), 1u);
+  EXPECT_EQ(copy->size(), 2u);
+}
+
+}  // namespace
+}  // namespace megads::primitives

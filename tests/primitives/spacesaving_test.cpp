@@ -1,0 +1,158 @@
+#include "primitives/spacesaving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "common/rng.hpp"
+#include "helpers.hpp"
+#include "primitives/exact.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+
+TEST(SpaceSaving, ExactWhileUnderCapacity) {
+  SpaceSaving agg(10);
+  agg.insert(item(key(1), 5.0));
+  agg.insert(item(key(2), 3.0));
+  agg.insert(item(key(1), 1.0));
+  const auto result = agg.execute(PointQuery{key(1)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 6.0);
+  EXPECT_FALSE(result.approximate);
+  EXPECT_DOUBLE_EQ(agg.min_count(), 0.0);
+}
+
+TEST(SpaceSaving, CapacityIsNeverExceeded) {
+  SpaceSaving agg(8);
+  for (int h = 0; h < 100; ++h) agg.insert(item(key(static_cast<std::uint8_t>(h))));
+  EXPECT_EQ(agg.size(), 8u);
+}
+
+TEST(SpaceSaving, OverestimationBoundHolds) {
+  // Classic guarantee: estimate - error <= truth <= estimate.
+  SpaceSaving agg(16);
+  Rng rng(3);
+  ZipfSampler zipf(64, 1.2);
+  std::unordered_map<int, double> truth;
+  for (int i = 0; i < 20000; ++i) {
+    const int h = static_cast<int>(zipf(rng));
+    truth[h] += 1.0;
+    agg.insert(item(key(static_cast<std::uint8_t>(h))));
+  }
+  for (const auto& [h, t] : truth) {
+    const double estimate =
+        agg.execute(PointQuery{key(static_cast<std::uint8_t>(h))}).entries[0].score;
+    EXPECT_GE(estimate + 1e-9, t) << "h=" << h;
+    const double error = agg.error_of(key(static_cast<std::uint8_t>(h)));
+    EXPECT_LE(estimate - error - 1e-9, t) << "h=" << h;
+  }
+}
+
+TEST(SpaceSaving, HeavyKeysAlwaysMonitored) {
+  // Any key with weight > W/m must be in the summary.
+  SpaceSaving agg(10);
+  Rng rng(5);
+  double total = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    // key(0) gets 30% of the stream.
+    const int h = rng.bernoulli(0.3) ? 0 : 1 + static_cast<int>(rng.uniform(200));
+    agg.insert(item(key(static_cast<std::uint8_t>(h))));
+    total += 1.0;
+  }
+  const auto top = agg.execute(TopKQuery{1});
+  ASSERT_EQ(top.entries.size(), 1u);
+  EXPECT_EQ(top.entries[0].key, key(0));
+  EXPECT_GT(top.entries[0].score, 0.25 * total);
+}
+
+TEST(SpaceSaving, TopKDescendingOrder) {
+  SpaceSaving agg(10);
+  agg.insert(item(key(1), 5.0));
+  agg.insert(item(key(2), 9.0));
+  agg.insert(item(key(3), 7.0));
+  const auto result = agg.execute(TopKQuery{3});
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 9.0);
+  EXPECT_DOUBLE_EQ(result.entries[1].score, 7.0);
+  EXPECT_DOUBLE_EQ(result.entries[2].score, 5.0);
+}
+
+TEST(SpaceSaving, AboveThreshold) {
+  SpaceSaving agg(10);
+  agg.insert(item(key(1), 5.0));
+  agg.insert(item(key(2), 9.0));
+  const auto result = agg.execute(AboveQuery{6.0});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].key, key(2));
+}
+
+TEST(SpaceSaving, AbsentKeyEstimateIsMinCount) {
+  SpaceSaving agg(2);
+  agg.insert(item(key(1), 5.0));
+  agg.insert(item(key(2), 3.0));
+  agg.insert(item(key(3), 1.0));  // evicts key(2) (min=3): key(3) count = 4
+  const auto result = agg.execute(PointQuery{key(9)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, agg.min_count());
+  EXPECT_GT(agg.min_count(), 0.0);
+}
+
+TEST(SpaceSaving, EvictionInheritsMinCount) {
+  SpaceSaving agg(2);
+  agg.insert(item(key(1), 10.0));
+  agg.insert(item(key(2), 4.0));
+  agg.insert(item(key(3), 1.0));  // evicts key(2); count = 4 + 1, error = 4
+  const auto result = agg.execute(PointQuery{key(3)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 5.0);
+  EXPECT_DOUBLE_EQ(agg.error_of(key(3)), 4.0);
+}
+
+TEST(SpaceSaving, MergeCombinesAndTrims) {
+  SpaceSaving a(4), b(4);
+  for (int h = 0; h < 4; ++h) a.insert(item(key(static_cast<std::uint8_t>(h)), h + 1.0));
+  for (int h = 2; h < 6; ++h) b.insert(item(key(static_cast<std::uint8_t>(h)), h + 1.0));
+  a.merge_from(b);
+  EXPECT_LE(a.size(), 4u);
+  // key(3) appears in both: merged count 4+4=8 must survive the trim.
+  const auto result = a.execute(PointQuery{key(3)});
+  EXPECT_GE(result.entries[0].score, 8.0);
+}
+
+TEST(SpaceSaving, CompressReducesCapacity) {
+  SpaceSaving agg(16);
+  for (int h = 0; h < 16; ++h) agg.insert(item(key(static_cast<std::uint8_t>(h)), h + 1.0));
+  agg.compress(4);
+  EXPECT_EQ(agg.size(), 4u);
+  EXPECT_EQ(agg.capacity(), 4u);
+  // The heaviest keys survive.
+  const auto result = agg.execute(TopKQuery{4});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 16.0);
+}
+
+TEST(SpaceSaving, CopyPreservesState) {
+  SpaceSaving agg(4);
+  agg.insert(item(key(1), 3.0));
+  const SpaceSaving copy(agg);
+  EXPECT_DOUBLE_EQ(copy.execute(PointQuery{key(1)}).entries[0].score, 3.0);
+  SpaceSaving assigned(2);
+  assigned = agg;
+  EXPECT_DOUBLE_EQ(assigned.execute(PointQuery{key(1)}).entries[0].score, 3.0);
+  EXPECT_EQ(assigned.capacity(), 4u);
+}
+
+TEST(SpaceSaving, UnsupportedQueries) {
+  SpaceSaving agg(4);
+  EXPECT_FALSE(agg.execute(HHHQuery{0.1}).supported);
+  EXPECT_FALSE(agg.execute(DrilldownQuery{}).supported);
+  EXPECT_FALSE(agg.execute(RangeQuery{{0, 1}, 0.0}).supported);
+  EXPECT_FALSE(agg.execute(StatsQuery{{0, 1}}).supported);
+}
+
+TEST(SpaceSaving, RejectsZeroCapacity) {
+  EXPECT_THROW(SpaceSaving(0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::primitives

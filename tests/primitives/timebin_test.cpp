@@ -1,0 +1,167 @@
+#include "primitives/timebin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "helpers.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::sample;
+
+TEST(TimeBinAggregator, BinsByFlooredTimestamp) {
+  TimeBinAggregator agg(10);
+  agg.insert(sample(1.0, 0));
+  agg.insert(sample(2.0, 9));
+  agg.insert(sample(3.0, 10));
+  EXPECT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg.bins().begin()->second.count(), 2u);
+}
+
+TEST(TimeBinAggregator, NegativeTimestampsFloorCorrectly) {
+  TimeBinAggregator agg(10);
+  agg.insert(sample(1.0, -1));   // bin -1 covers [-10, 0)
+  agg.insert(sample(1.0, -10));  // also bin -1
+  agg.insert(sample(1.0, -11));  // bin -2
+  EXPECT_EQ(agg.size(), 2u);
+  EXPECT_EQ(agg.bin_interval(-1).begin, -10);
+  EXPECT_EQ(agg.bin_interval(-1).end, 0);
+}
+
+TEST(TimeBinAggregator, StatsOverAlignedWindowIsExact) {
+  TimeBinAggregator agg(10);
+  for (int t = 0; t < 40; ++t) agg.insert(sample(static_cast<double>(t), t));
+  const auto result = agg.execute(StatsQuery{{0, 40}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_FALSE(result.approximate);
+  EXPECT_EQ(result.stats->count, 40u);
+  EXPECT_DOUBLE_EQ(result.stats->mean, 19.5);
+  EXPECT_DOUBLE_EQ(result.stats->min, 0.0);
+  EXPECT_DOUBLE_EQ(result.stats->max, 39.0);
+}
+
+TEST(TimeBinAggregator, StatsOverPartialWindowIsApproximate) {
+  TimeBinAggregator agg(10);
+  for (int t = 0; t < 40; ++t) agg.insert(sample(1.0, t));
+  const auto result = agg.execute(StatsQuery{{5, 15}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_TRUE(result.approximate);
+  // Both overlapping bins are included whole.
+  EXPECT_EQ(result.stats->count, 20u);
+}
+
+TEST(TimeBinAggregator, RangeQueryEmitsBinMeans) {
+  TimeBinAggregator agg(10);
+  for (int t = 0; t < 10; ++t) agg.insert(sample(2.0, t));
+  for (int t = 10; t < 20; ++t) agg.insert(sample(8.0, t));
+  const auto result = agg.execute(RangeQuery{{0, 20}, 5.0});
+  ASSERT_EQ(result.points.size(), 1u);  // only the second bin's mean >= 5
+  EXPECT_DOUBLE_EQ(result.points[0].value, 8.0);
+  EXPECT_EQ(result.points[0].timestamp, 15);  // bin midpoint
+}
+
+TEST(TimeBinAggregator, CompressDoublesWidthUntilBudget) {
+  TimeBinAggregator agg(10);
+  for (int t = 0; t < 160; ++t) agg.insert(sample(1.0, t));
+  EXPECT_EQ(agg.size(), 16u);
+  agg.compress(4);
+  EXPECT_LE(agg.size(), 4u);
+  EXPECT_EQ(agg.bin_width(), 40);
+  // Mass is preserved through re-aggregation.
+  const auto result = agg.execute(StatsQuery{{0, 160}});
+  EXPECT_EQ(result.stats->count, 160u);
+  EXPECT_DOUBLE_EQ(result.stats->sum, 160.0);
+}
+
+TEST(TimeBinAggregator, CompressIsHierarchicalAlignment) {
+  TimeBinAggregator agg(10);
+  agg.insert(sample(1.0, 5));    // bin 0
+  agg.insert(sample(1.0, 15));   // bin 1
+  agg.insert(sample(1.0, 25));   // bin 2
+  agg.compress(2);
+  EXPECT_EQ(agg.bin_width(), 20);
+  EXPECT_EQ(agg.size(), 2u);     // bins {0,1} merged; bin 2 alone
+}
+
+TEST(TimeBinAggregator, MergeabilityByWidthRelation) {
+  TimeBinAggregator a(10), same(10), doubled(20), quad(40), odd(30);
+  EXPECT_TRUE(a.mergeable_with(same));
+  EXPECT_TRUE(a.mergeable_with(doubled));  // power-of-two relation
+  EXPECT_TRUE(a.mergeable_with(quad));
+  EXPECT_TRUE(doubled.mergeable_with(a));
+  EXPECT_FALSE(a.mergeable_with(odd));
+  EXPECT_THROW(a.merge_from(odd), PreconditionError);
+}
+
+TEST(TimeBinAggregator, MergeCoarsensSelfToWiderPeer) {
+  TimeBinAggregator fine(10), coarse(40);
+  fine.insert(sample(1.0, 5));    // fine bin 0
+  fine.insert(sample(3.0, 35));   // fine bin 3
+  coarse.insert(sample(5.0, 20)); // coarse bin 0
+  fine.merge_from(coarse);
+  EXPECT_EQ(fine.bin_width(), 40);
+  EXPECT_EQ(fine.size(), 1u);  // everything landed in coarse bin 0
+  const auto result = fine.execute(StatsQuery{{0, 40}});
+  EXPECT_EQ(result.stats->count, 3u);
+  EXPECT_DOUBLE_EQ(result.stats->sum, 9.0);
+}
+
+TEST(TimeBinAggregator, MergeCoarsensFinerPeerWithoutMutatingIt) {
+  TimeBinAggregator coarse(40), fine(10);
+  coarse.insert(sample(2.0, 10));
+  fine.insert(sample(4.0, 5));
+  fine.insert(sample(6.0, 45));
+  coarse.merge_from(fine);
+  EXPECT_EQ(coarse.bin_width(), 40);
+  EXPECT_EQ(coarse.size(), 2u);  // bins [0,40) and [40,80)
+  EXPECT_EQ(fine.bin_width(), 10);  // the peer is untouched
+  const auto result = coarse.execute(StatsQuery{{0, 80}});
+  EXPECT_EQ(result.stats->count, 3u);
+  EXPECT_DOUBLE_EQ(result.stats->sum, 12.0);
+}
+
+TEST(TimeBinAggregator, MergeCombinesMatchingBins) {
+  TimeBinAggregator a(10), b(10);
+  a.insert(sample(2.0, 5));
+  b.insert(sample(4.0, 5));
+  b.insert(sample(6.0, 15));
+  a.merge_from(b);
+  EXPECT_EQ(a.size(), 2u);
+  const auto result = a.execute(StatsQuery{{0, 10}});
+  EXPECT_EQ(result.stats->count, 2u);
+  EXPECT_DOUBLE_EQ(result.stats->mean, 3.0);
+}
+
+TEST(TimeBinAggregator, FrequencyQueriesUnsupported) {
+  TimeBinAggregator agg(10);
+  EXPECT_FALSE(agg.execute(TopKQuery{3}).supported);
+  EXPECT_FALSE(agg.execute(HHHQuery{0.1}).supported);
+  EXPECT_FALSE(agg.execute(PointQuery{}).supported);
+}
+
+TEST(TimeBinAggregator, RejectsBadConstruction) {
+  EXPECT_THROW(TimeBinAggregator(0), PreconditionError);
+  EXPECT_THROW(TimeBinAggregator(-5), PreconditionError);
+}
+
+TEST(TimeBinAggregator, CloneIsIndependent) {
+  TimeBinAggregator agg(10);
+  agg.insert(sample(1.0, 0));
+  auto copy = agg.clone();
+  copy->insert(sample(1.0, 100));
+  EXPECT_EQ(agg.size(), 1u);
+  EXPECT_EQ(copy->size(), 2u);
+}
+
+TEST(TimeBinAggregator, StatsQueryOnEmptyWindow) {
+  TimeBinAggregator agg(10);
+  agg.insert(sample(5.0, 0));
+  const auto result = agg.execute(StatsQuery{{100, 200}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(result.stats->count, 0u);
+}
+
+}  // namespace
+}  // namespace megads::primitives

@@ -1,0 +1,157 @@
+#include "repl/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::repl {
+namespace {
+
+constexpr std::uint64_t kSize = 1000;  // partition size in bytes
+
+PartitionId part(std::uint32_t p) { return PartitionId(p); }
+
+TEST(AlwaysShip, NeverReplicates) {
+  AlwaysShip policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(policy.on_access(part(0), i, 500));
+  }
+}
+
+TEST(AlwaysReplicate, ReplicatesOnFirstAccess) {
+  AlwaysReplicate policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  EXPECT_TRUE(policy.on_access(part(0), 1, 1));
+}
+
+TEST(BreakEven, BuysExactlyAtBreakEvenPoint) {
+  BreakEvenPolicy policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  EXPECT_FALSE(policy.on_access(part(0), 1, 400));  // 400 < 1000
+  EXPECT_FALSE(policy.on_access(part(0), 2, 400));  // 800 < 1000
+  EXPECT_TRUE(policy.on_access(part(0), 3, 400));   // 1200 >= 1000: buy
+}
+
+TEST(BreakEven, SingleLargeResultTriggersImmediately) {
+  BreakEvenPolicy policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  EXPECT_TRUE(policy.on_access(part(0), 1, 2 * kSize));
+}
+
+TEST(BreakEven, TracksPartitionsIndependently) {
+  BreakEvenPolicy policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  policy.on_partition_created(part(1), 0, kSize);
+  EXPECT_FALSE(policy.on_access(part(0), 1, 900));
+  EXPECT_FALSE(policy.on_access(part(1), 2, 900));
+  EXPECT_TRUE(policy.on_access(part(0), 3, 200));
+}
+
+TEST(BreakEven, AlphaScalesThreshold) {
+  BreakEvenPolicy eager(0.5);
+  eager.on_partition_created(part(0), 0, kSize);
+  EXPECT_TRUE(eager.on_access(part(0), 1, 600));  // 600 >= 0.5 * 1000
+  BreakEvenPolicy lazy(2.0);
+  lazy.on_partition_created(part(0), 0, kSize);
+  EXPECT_FALSE(lazy.on_access(part(0), 1, 1500));
+  EXPECT_TRUE(lazy.on_access(part(0), 2, 600));   // 2100 >= 2000
+}
+
+TEST(BreakEven, WorstCaseCostIsTwoCompetitive) {
+  // Adversary stops right after the buy: policy cost <= 2x optimum.
+  BreakEvenPolicy policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  std::uint64_t shipped = 0;
+  std::uint64_t accesses = 0;
+  while (!policy.on_access(part(0), static_cast<SimTime>(accesses), 300)) {
+    shipped += 300;
+    ++accesses;
+  }
+  const std::uint64_t policy_cost = shipped + kSize;
+  const std::uint64_t demand = shipped + 300;
+  const std::uint64_t optimum = std::min(demand, kSize);
+  EXPECT_LE(policy_cost, 2 * optimum + 300);  // +300 for result granularity
+}
+
+TEST(BreakEven, RejectsNonPositiveAlpha) {
+  EXPECT_THROW(BreakEvenPolicy(0.0), PreconditionError);
+  EXPECT_THROW(BreakEvenPolicy(-1.0), PreconditionError);
+}
+
+TEST(Distribution, FallsBackToBreakEvenWithoutSamples) {
+  DistributionPolicy policy;
+  policy.on_partition_created(part(0), 0, kSize);
+  EXPECT_FALSE(policy.on_access(part(0), 1, 900));
+  EXPECT_TRUE(policy.on_access(part(0), 2, 200));
+  EXPECT_DOUBLE_EQ(policy.threshold(), 1.0);
+}
+
+TEST(Distribution, LearnsToBuyEarlyWhenDemandIsHeavy) {
+  DistributionPolicy::Config config;
+  config.maturity = 10;
+  config.refit_interval = 1;
+  config.min_samples = 5;
+  DistributionPolicy policy(config);
+  // History: many partitions whose demand far exceeded their size.
+  for (std::uint32_t p = 0; p < 20; ++p) {
+    policy.on_partition_created(part(p), 0, kSize);
+    for (int i = 0; i < 10; ++i) {
+      (void)policy.on_access(part(p), 1, kSize);  // demand = 10x size
+    }
+  }
+  // Trigger a refit well past maturity.
+  policy.on_partition_created(part(100), 100, kSize);
+  (void)policy.on_access(part(100), 100, 1);
+  // Optimal threshold against "demand is always huge" is ~0: buy immediately.
+  EXPECT_LT(policy.threshold(), 0.2);
+  policy.on_partition_created(part(101), 101, kSize);
+  EXPECT_TRUE(policy.on_access(part(101), 101, 100));
+}
+
+TEST(Distribution, LearnsToNeverBuyWhenDemandIsTiny) {
+  DistributionPolicy::Config config;
+  config.maturity = 10;
+  config.refit_interval = 1;
+  config.min_samples = 5;
+  DistributionPolicy policy(config);
+  for (std::uint32_t p = 0; p < 20; ++p) {
+    policy.on_partition_created(part(p), 0, kSize);
+    (void)policy.on_access(part(p), 1, kSize / 10);  // demand = 0.1x size
+  }
+  policy.on_partition_created(part(100), 100, kSize);
+  (void)policy.on_access(part(100), 100, 1);
+  // With demand ratios of 0.1, the learned threshold should keep shipping.
+  EXPECT_GE(policy.threshold(), 0.1);
+  policy.on_partition_created(part(101), 101, kSize);
+  EXPECT_FALSE(policy.on_access(part(101), 101, kSize / 10));
+}
+
+TEST(Distribution, RejectsBadConfig) {
+  DistributionPolicy::Config config;
+  config.initial_threshold = 0.0;
+  EXPECT_THROW(DistributionPolicy{config}, PreconditionError);
+  config = {};
+  config.maturity = 0;
+  EXPECT_THROW(DistributionPolicy{config}, PreconditionError);
+}
+
+TEST(Oracle, BuysUpFrontOnlyWhenWorthIt) {
+  // Partition 0: future demand 5000 > size -> buy at first touch.
+  // Partition 1: future demand 100 < size -> never buy.
+  OraclePolicy policy({5000, 100});
+  policy.on_partition_created(part(0), 0, kSize);
+  policy.on_partition_created(part(1), 0, kSize);
+  EXPECT_TRUE(policy.on_access(part(0), 1, 50));
+  EXPECT_FALSE(policy.on_access(part(1), 1, 50));
+  EXPECT_FALSE(policy.on_access(part(1), 2, 50));
+}
+
+TEST(Oracle, UnknownPartitionNeverBuys) {
+  OraclePolicy policy({});
+  policy.on_partition_created(part(7), 0, kSize);
+  EXPECT_FALSE(policy.on_access(part(7), 1, 999999));
+}
+
+}  // namespace
+}  // namespace megads::repl

@@ -1,0 +1,115 @@
+// Property-style sweeps of the replication policies over randomized
+// workloads: the competitive-ratio guarantees must hold for every seed and
+// skew, not just the hand-picked fixtures.
+#include <gtest/gtest.h>
+
+#include "repl/simulate.hpp"
+
+namespace megads::repl {
+namespace {
+
+struct WorkloadParam {
+  std::uint64_t seed;
+  double access_alpha;
+  std::uint64_t partition_size;
+};
+
+class ReplicationProperty : public ::testing::TestWithParam<WorkloadParam> {
+ protected:
+  trace::QueryTrace make_trace() const {
+    trace::QueryGenConfig config;
+    config.seed = GetParam().seed;
+    config.partitions = 300;
+    config.horizon = kDay;
+    config.spawn_window = 12 * kHour;
+    config.access_alpha = GetParam().access_alpha;
+    config.mean_gap = 5 * kMinute;
+    return trace::generate_query_trace(config);
+  }
+
+  std::vector<std::uint64_t> sizes() const {
+    return std::vector<std::uint64_t>(300, GetParam().partition_size);
+  }
+
+  static std::uint64_t max_result(const trace::QueryTrace& trace) {
+    std::uint64_t largest = 0;
+    for (const auto& event : trace.events) {
+      largest = std::max(largest, event.result_bytes);
+    }
+    return largest;
+  }
+};
+
+TEST_P(ReplicationProperty, BreakEvenIsTwoCompetitive) {
+  const auto trace = make_trace();
+  const auto partition_sizes = sizes();
+  BreakEvenPolicy policy;
+  const auto outcome = simulate_replication(trace, partition_sizes, policy);
+  const std::uint64_t optimum = offline_optimal_bytes(trace, partition_sizes);
+  // Classical bound plus one result of granularity slack per partition.
+  EXPECT_LE(outcome.total_wan_bytes(),
+            2 * optimum + max_result(trace) * partition_sizes.size());
+}
+
+TEST_P(ReplicationProperty, OracleNeverLosesToAnyPolicy) {
+  const auto trace = make_trace();
+  const auto partition_sizes = sizes();
+  OraclePolicy oracle(trace.bytes_per_partition);
+  const auto oracle_outcome = simulate_replication(trace, partition_sizes, oracle);
+  EXPECT_EQ(oracle_outcome.total_wan_bytes(),
+            offline_optimal_bytes(trace, partition_sizes));
+
+  AlwaysShip ship;
+  AlwaysReplicate replicate;
+  BreakEvenPolicy break_even;
+  DistributionPolicy distribution;
+  for (ReplicationPolicy* policy :
+       {static_cast<ReplicationPolicy*>(&ship),
+        static_cast<ReplicationPolicy*>(&replicate),
+        static_cast<ReplicationPolicy*>(&break_even),
+        static_cast<ReplicationPolicy*>(&distribution)}) {
+    const auto outcome = simulate_replication(trace, partition_sizes, *policy);
+    EXPECT_GE(outcome.total_wan_bytes(), oracle_outcome.total_wan_bytes())
+        << policy->name();
+  }
+}
+
+TEST_P(ReplicationProperty, AccessAccountingIsConserved) {
+  const auto trace = make_trace();
+  const auto partition_sizes = sizes();
+  BreakEvenPolicy policy;
+  const auto outcome = simulate_replication(trace, partition_sizes, policy);
+  EXPECT_EQ(outcome.local_accesses + outcome.remote_accesses,
+            trace.events.size());
+  EXPECT_EQ(outcome.access_latency.count(), trace.events.size());
+  // Shipped bytes never exceed total demand.
+  std::uint64_t demand = 0;
+  for (const auto bytes : trace.bytes_per_partition) demand += bytes;
+  EXPECT_LE(outcome.shipped_bytes, demand);
+}
+
+TEST_P(ReplicationProperty, ReplicationsMatchReplicatedBytes) {
+  const auto trace = make_trace();
+  const auto partition_sizes = sizes();
+  BreakEvenPolicy policy;
+  const auto outcome = simulate_replication(trace, partition_sizes, policy);
+  EXPECT_EQ(outcome.replicated_bytes,
+            outcome.replications * GetParam().partition_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndSkews, ReplicationProperty,
+    ::testing::Values(WorkloadParam{1, 0.8, 512 * 1024},
+                      WorkloadParam{2, 1.1, 512 * 1024},
+                      WorkloadParam{3, 1.6, 512 * 1024},
+                      WorkloadParam{4, 1.1, 64 * 1024},
+                      WorkloadParam{5, 1.1, 8 * 1024 * 1024},
+                      WorkloadParam{6, 0.8, 8 * 1024 * 1024}),
+    [](const ::testing::TestParamInfo<WorkloadParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_alpha" +
+             std::to_string(static_cast<int>(info.param.access_alpha * 10)) +
+             "_size" + std::to_string(info.param.partition_size / 1024) + "k";
+    });
+
+}  // namespace
+}  // namespace megads::repl

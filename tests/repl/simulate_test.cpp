@@ -1,0 +1,143 @@
+#include "repl/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::repl {
+namespace {
+
+trace::QueryTrace tiny_trace() {
+  // Partition 0: three accesses of 600 bytes; partition 1: one of 100 bytes.
+  trace::QueryTrace trace;
+  const auto push = [&](std::uint32_t p, SimTime t, std::uint64_t bytes) {
+    trace.events.push_back({PartitionId(p), t, bytes});
+  };
+  push(0, 10, 600);
+  push(1, 20, 100);
+  push(0, 30, 600);
+  push(0, 40, 600);
+  trace.accesses_per_partition = {3, 1};
+  trace.bytes_per_partition = {1800, 100};
+  return trace;
+}
+
+const std::vector<std::uint64_t> kSizes = {1000, 1000};
+
+TEST(Simulate, AlwaysShipShipsEverything) {
+  AlwaysShip policy;
+  const auto outcome = simulate_replication(tiny_trace(), kSizes, policy);
+  EXPECT_EQ(outcome.shipped_bytes, 1900u);
+  EXPECT_EQ(outcome.replicated_bytes, 0u);
+  EXPECT_EQ(outcome.remote_accesses, 4u);
+  EXPECT_EQ(outcome.local_accesses, 0u);
+  EXPECT_EQ(outcome.replications, 0u);
+  EXPECT_EQ(outcome.total_wan_bytes(), 1900u);
+}
+
+TEST(Simulate, AlwaysReplicateBuysEachPartitionOnce) {
+  AlwaysReplicate policy;
+  const auto outcome = simulate_replication(tiny_trace(), kSizes, policy);
+  EXPECT_EQ(outcome.shipped_bytes, 0u);
+  EXPECT_EQ(outcome.replicated_bytes, 2000u);  // both partitions copied
+  EXPECT_EQ(outcome.replications, 2u);
+  EXPECT_EQ(outcome.local_accesses, 4u);
+}
+
+TEST(Simulate, BreakEvenMixesShippingAndBuying) {
+  BreakEvenPolicy policy;
+  const auto outcome = simulate_replication(tiny_trace(), kSizes, policy);
+  // Partition 0: ship 600 (600 <= 1000), then 600+600 > 1000 -> replicate.
+  // Partition 1: ship 100 only.
+  EXPECT_EQ(outcome.shipped_bytes, 700u);
+  EXPECT_EQ(outcome.replicated_bytes, 1000u);
+  EXPECT_EQ(outcome.replications, 1u);
+  EXPECT_EQ(outcome.remote_accesses, 2u);
+  EXPECT_EQ(outcome.local_accesses, 2u);  // replication access + the next one
+}
+
+TEST(Simulate, OracleMatchesOfflineOptimum) {
+  const auto trace = tiny_trace();
+  OraclePolicy policy({1800, 100});
+  const auto outcome = simulate_replication(trace, kSizes, policy);
+  EXPECT_EQ(outcome.total_wan_bytes(), offline_optimal_bytes(trace, kSizes));
+  // Partition 0 bought up front (1800 > 1000); partition 1 shipped (100).
+  EXPECT_EQ(outcome.replicated_bytes, 1000u);
+  EXPECT_EQ(outcome.shipped_bytes, 100u);
+}
+
+TEST(Simulate, OfflineOptimalPicksMinPerPartition) {
+  const auto trace = tiny_trace();
+  EXPECT_EQ(offline_optimal_bytes(trace, kSizes), 1000u + 100u);
+  const std::vector<std::uint64_t> huge = {100000, 100000};
+  EXPECT_EQ(offline_optimal_bytes(trace, huge), 1800u + 100u);
+}
+
+TEST(Simulate, LatencyModelDistinguishesLocalAndRemote) {
+  const CostModel cost;
+  AlwaysReplicate replicate;
+  AlwaysShip ship;
+  const auto local = simulate_replication(tiny_trace(), kSizes, replicate);
+  const auto remote = simulate_replication(tiny_trace(), kSizes, ship);
+  // After the first (replicating) access, all accesses are local and fast.
+  EXPECT_LT(local.access_latency.min(), remote.access_latency.min());
+  EXPECT_DOUBLE_EQ(local.access_latency.min(),
+                   static_cast<double>(cost.local_latency));
+}
+
+TEST(Simulate, BreakEvenNeverWorseThanTwiceOptimal) {
+  trace::QueryGenConfig config;
+  config.partitions = 100;
+  config.seed = 12;
+  const auto trace = trace::generate_query_trace(config);
+  std::vector<std::uint64_t> sizes(config.partitions, 512 * 1024);
+  BreakEvenPolicy policy;
+  const auto outcome = simulate_replication(trace, sizes, policy);
+  const std::uint64_t optimum = offline_optimal_bytes(trace, sizes);
+  // 2-competitive plus one result of slack per partition.
+  std::uint64_t slack = 0;
+  for (const auto& event : trace.events) {
+    slack = std::max<std::uint64_t>(slack, event.result_bytes);
+  }
+  EXPECT_LE(outcome.total_wan_bytes(),
+            2 * optimum + slack * config.partitions);
+}
+
+TEST(Simulate, DistributionBeatsBreakEvenOnHeavyWorkload) {
+  // Every partition's demand dwarfs its size: the distribution policy should
+  // learn to replicate almost immediately and beat break-even.
+  trace::QueryGenConfig config;
+  config.partitions = 400;
+  config.min_accesses = 30.0;
+  config.max_accesses = 200;
+  config.mean_gap = kMinute;
+  config.horizon = 2 * kDay;
+  config.spawn_window = kDay;
+  config.result_min_bytes = 256 * 1024;
+  config.seed = 3;
+  const auto trace = trace::generate_query_trace(config);
+  std::vector<std::uint64_t> sizes(config.partitions, 512 * 1024);
+
+  BreakEvenPolicy break_even;
+  DistributionPolicy::Config dist_config;
+  dist_config.maturity = 4 * kHour;
+  dist_config.refit_interval = kHour;
+  DistributionPolicy distribution(dist_config);
+
+  const auto be = simulate_replication(trace, sizes, break_even);
+  const auto dist = simulate_replication(trace, sizes, distribution);
+  EXPECT_LT(dist.total_wan_bytes(), be.total_wan_bytes());
+}
+
+TEST(Simulate, UnknownPartitionInTraceThrows) {
+  trace::QueryTrace trace;
+  trace.events.push_back({PartitionId(5), 0, 100});
+  trace.accesses_per_partition = {0, 0, 0, 0, 0, 1};
+  trace.bytes_per_partition = {0, 0, 0, 0, 0, 100};
+  const std::vector<std::uint64_t> sizes = {100};
+  AlwaysShip policy;
+  EXPECT_THROW(simulate_replication(trace, sizes, policy), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::repl

@@ -1,0 +1,181 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <vector>
+
+namespace megads::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&](SimTime) { order.push_back(3); });
+  sim.schedule_at(10, [&](SimTime) { order.push_back(1); });
+  sim.schedule_at(20, [&](SimTime) { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, FifoAmongEqualTimes) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(100, [&order, i](SimTime) { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, CallbackSeesEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(77, [&](SimTime now) { seen = now; });
+  sim.run();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(50, [&](SimTime) {
+    sim.schedule_after(25, [&](SimTime now) { seen = now; });
+  });
+  sim.run();
+  EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RejectsSchedulingInThePast) {
+  Simulator sim;
+  sim.schedule_at(100, [](SimTime) {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(50, [](SimTime) {}), PreconditionError);
+  EXPECT_THROW(sim.schedule_after(-1, [](SimTime) {}), PreconditionError);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&](SimTime) { ++fired; });
+  sim.schedule_at(20, [&](SimTime) { ++fired; });
+  sim.schedule_at(30, [&](SimTime) { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Simulator, StepDispatchesOne) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&](SimTime) { ++fired; });
+  sim.schedule_at(2, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const EventHandle handle = sim.schedule_at(10, [&](SimTime) { ++fired; });
+  EXPECT_TRUE(sim.cancel(handle));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, CancelTwiceReturnsFalse) {
+  Simulator sim;
+  const EventHandle handle = sim.schedule_at(10, [](SimTime) {});
+  EXPECT_TRUE(sim.cancel(handle));
+  EXPECT_FALSE(sim.cancel(handle));
+  sim.run();
+}
+
+TEST(Simulator, InvalidHandleCancelIsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventHandle{}));
+}
+
+TEST(Simulator, PeriodicFiresRepeatedly) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.schedule_periodic(10, [&](SimTime now) { fires.push_back(now); });
+  sim.run_until(45);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 20, 30, 40}));
+}
+
+TEST(Simulator, PeriodicCancelStopsChain) {
+  Simulator sim;
+  int fired = 0;
+  const EventHandle handle =
+      sim.schedule_periodic(10, [&](SimTime) { ++fired; });
+  sim.run_until(35);
+  EXPECT_EQ(fired, 3);
+  sim.cancel(handle);
+  sim.run_until(100);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, PeriodicCanCancelItselfFromCallback) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle handle{};
+  handle = sim.schedule_periodic(5, [&](SimTime) {
+    if (++fired == 2) sim.cancel(handle);
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, PeriodicRejectsNonPositivePeriod) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_periodic(0, [](SimTime) {}), PreconditionError);
+}
+
+TEST(Simulator, EventsScheduledDuringRunAreExecuted) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10, [&](SimTime) {
+    order.push_back(1);
+    sim.schedule_at(15, [&](SimTime) { order.push_back(2); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, ManyInterleavedPeriodicsStayOrdered) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> fires;
+  sim.schedule_periodic(7, [&](SimTime now) { fires.emplace_back(now, 7); });
+  sim.schedule_periodic(11, [&](SimTime now) { fires.emplace_back(now, 11); });
+  sim.run_until(100);
+  for (std::size_t i = 1; i < fires.size(); ++i) {
+    EXPECT_LE(fires[i - 1].first, fires[i].first);
+  }
+  EXPECT_EQ(fires.size(), 100u / 7 + 100u / 11);
+}
+
+TEST(Simulator, RejectsEmptyCallback) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1, Simulator::Callback{}), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::sim

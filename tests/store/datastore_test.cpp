@@ -1,0 +1,326 @@
+#include "store/datastore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <cmath>
+
+#include "flowtree/flowtree.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/timebin.hpp"
+
+namespace megads::store {
+namespace {
+
+using primitives::StreamItem;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+StreamItem item(const flow::FlowKey& key, double value, SimTime ts) {
+  StreamItem it;
+  it.key = key;
+  it.value = value;
+  it.timestamp = ts;
+  return it;
+}
+
+SlotConfig exact_slot(SimDuration epoch = kMinute) {
+  SlotConfig config;
+  config.name = "exact";
+  config.factory = [] { return std::make_unique<primitives::ExactAggregator>(); };
+  config.epoch = epoch;
+  config.storage = std::make_unique<ExpirationStorage>(kDay);
+  config.subscribe_all = true;
+  return config;
+}
+
+TEST(DataStore, InstallValidatesConfig) {
+  DataStore store(StoreId(0), "s");
+  SlotConfig config;
+  EXPECT_THROW(store.install(std::move(config)), PreconditionError);
+  SlotConfig no_storage = exact_slot();
+  no_storage.storage = nullptr;
+  EXPECT_THROW(store.install(std::move(no_storage)), PreconditionError);
+  SlotConfig bad_epoch = exact_slot(0);
+  EXPECT_THROW(store.install(std::move(bad_epoch)), PreconditionError);
+}
+
+TEST(DataStore, IngestFeedsSubscribedSlotsOnly) {
+  DataStore store(StoreId(0), "s");
+  SlotConfig selective = exact_slot();
+  selective.subscribe_all = false;
+  const AggregatorId slot_a = store.install(std::move(selective));
+  SlotConfig all = exact_slot();
+  const AggregatorId slot_b = store.install(std::move(all));
+  store.subscribe(SensorId(1), slot_a);
+
+  store.ingest(SensorId(1), item(host(1, 1), 1.0, 1));
+  store.ingest(SensorId(2), item(host(1, 2), 1.0, 2));
+
+  EXPECT_EQ(store.live(slot_a).items_ingested(), 1u);  // only sensor 1
+  EXPECT_EQ(store.live(slot_b).items_ingested(), 2u);  // subscribe_all
+}
+
+TEST(DataStore, UnsubscribeStopsDelivery) {
+  DataStore store(StoreId(0), "s");
+  SlotConfig selective = exact_slot();
+  selective.subscribe_all = false;
+  const AggregatorId slot = store.install(std::move(selective));
+  store.subscribe(SensorId(1), slot);
+  store.ingest(SensorId(1), item(host(1, 1), 1.0, 1));
+  store.unsubscribe(SensorId(1), slot);
+  store.ingest(SensorId(1), item(host(1, 1), 1.0, 2));
+  EXPECT_EQ(store.live(slot).items_ingested(), 1u);
+}
+
+TEST(DataStore, AdvanceSealsEpochsIntoPartitions) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.ingest(SensorId(0), item(host(1, 1), 5.0, 10 * kSecond));
+  EXPECT_TRUE(store.partitions(slot).empty());
+  store.advance_to(kMinute);
+  ASSERT_EQ(store.partitions(slot).size(), 1u);
+  EXPECT_EQ(store.partitions(slot)[0].interval, (TimeInterval{0, kMinute}));
+  EXPECT_EQ(store.live(slot).items_ingested(), 0u);  // fresh epoch
+}
+
+TEST(DataStore, AdvanceSealsMultipleEpochsAtOnce) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.advance_to(5 * kMinute);
+  EXPECT_EQ(store.partitions(slot).size(), 5u);
+}
+
+TEST(DataStore, AdvanceRejectsClockRollback) {
+  DataStore store(StoreId(0), "s");
+  store.advance_to(kMinute);
+  EXPECT_THROW(store.advance_to(kSecond), PreconditionError);
+}
+
+TEST(DataStore, QueryCombinesLiveAndSealed) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.ingest(SensorId(0), item(host(1, 1), 5.0, kSecond));
+  store.advance_to(kMinute);
+  store.ingest(SensorId(0), item(host(1, 1), 3.0, kMinute + kSecond));
+  const auto result = store.query(slot, primitives::PointQuery{host(1, 1)});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 8.0);
+}
+
+TEST(DataStore, QueryWithIntervalSelectsPartitions) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.ingest(SensorId(0), item(host(1, 1), 5.0, kSecond));
+  store.advance_to(kMinute);
+  store.ingest(SensorId(0), item(host(1, 1), 3.0, kMinute + kSecond));
+  store.advance_to(2 * kMinute);
+  // Only the first epoch.
+  const auto result = store.query(slot, primitives::PointQuery{host(1, 1)},
+                                  TimeInterval{0, kMinute});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 5.0);
+  // Only the second.
+  const auto result2 = store.query(slot, primitives::PointQuery{host(1, 1)},
+                                   TimeInterval{kMinute, 2 * kMinute});
+  EXPECT_DOUBLE_EQ(result2.entries[0].score, 3.0);
+}
+
+TEST(DataStore, QueryUnknownSlotThrows) {
+  DataStore store(StoreId(0), "s");
+  EXPECT_THROW(store.query(AggregatorId(7), primitives::TopKQuery{1}),
+               NotFoundError);
+}
+
+TEST(DataStore, RemoveSlotDropsSubscriptions) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot());
+  store.subscribe(SensorId(1), slot);
+  store.remove(slot);
+  EXPECT_THROW(store.remove(slot), NotFoundError);
+  EXPECT_TRUE(store.slots().empty());
+  // Ingest after removal must not crash.
+  store.ingest(SensorId(1), item(host(1, 1), 1.0, 1));
+}
+
+TEST(DataStore, SnapshotMergesAcrossEpochs) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.ingest(SensorId(0), item(host(1, 1), 5.0, kSecond));
+  store.advance_to(kMinute);
+  store.ingest(SensorId(0), item(host(1, 1), 3.0, kMinute + kSecond));
+  const auto snapshot = store.snapshot(slot);
+  const auto result = snapshot->execute(primitives::PointQuery{host(1, 1)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 8.0);
+}
+
+TEST(DataStore, SnapshotWithIntervalIsSelective) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  store.ingest(SensorId(0), item(host(1, 1), 5.0, kSecond));
+  store.advance_to(kMinute);
+  store.ingest(SensorId(0), item(host(1, 1), 3.0, kMinute + kSecond));
+  store.advance_to(2 * kMinute);
+  const auto snapshot = store.snapshot(slot, TimeInterval{0, kMinute});
+  const auto result = snapshot->execute(primitives::PointQuery{host(1, 1)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 5.0);
+}
+
+TEST(DataStore, AbsorbMergesRemoteSummary) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot());
+  primitives::ExactAggregator remote;
+  remote.insert(item(host(2, 2), 7.0, 0));
+  store.absorb(slot, remote);
+  const auto result = store.query(slot, primitives::PointQuery{host(2, 2)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 7.0);
+}
+
+TEST(DataStore, AbsorbRejectsIncompatibleSummary) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot());
+  primitives::TimeBinAggregator other(kSecond);
+  EXPECT_THROW(store.absorb(slot, other), PreconditionError);
+}
+
+TEST(DataStore, LiveBudgetTriggersAdapt) {
+  DataStore store(StoreId(0), "s");
+  SlotConfig config;
+  config.name = "flowtree";
+  config.factory = [] {
+    flowtree::FlowtreeConfig tree;
+    tree.node_budget = 1 << 20;  // own self-adaptation off
+    return std::make_unique<flowtree::Flowtree>(tree);
+  };
+  config.epoch = kHour;
+  config.storage = std::make_unique<ExpirationStorage>(kDay);
+  config.live_budget = 32;
+  config.subscribe_all = true;
+  const AggregatorId slot = store.install(std::move(config));
+  for (int i = 0; i < 2000; ++i) {
+    store.ingest(SensorId(0), item(host(static_cast<std::uint8_t>(i % 4),
+                                        static_cast<std::uint8_t>(i % 250)),
+                                   1.0, i));
+  }
+  EXPECT_LE(store.live(slot).size(), 64u);  // bounded near the budget
+}
+
+TEST(DataStore, MemoryBytesCoversLiveAndShelved) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(kMinute));
+  (void)slot;
+  store.ingest(SensorId(0), item(host(1, 1), 1.0, kSecond));
+  const std::size_t live_only = store.memory_bytes();
+  store.advance_to(kMinute);
+  store.ingest(SensorId(0), item(host(1, 2), 1.0, kMinute + kSecond));
+  EXPECT_GT(store.memory_bytes(), live_only);
+}
+
+TEST(DataStore, AdvanceEnforcesTtlExpiry) {
+  DataStore store(StoreId(0), "s");
+  SlotConfig config = exact_slot(kMinute);
+  config.storage = std::make_unique<ExpirationStorage>(5 * kMinute);
+  const AggregatorId slot = store.install(std::move(config));
+  store.ingest(SensorId(0), item(host(1, 1), 1.0, kSecond));
+  store.advance_to(kMinute);
+  ASSERT_EQ(store.partitions(slot).size(), 1u);
+  // TTL runs from the partition's interval end (1 min + 5 min = 6 min).
+  // Later (empty) epochs are sealed too, but the data-bearing one is gone.
+  store.advance_to(6 * kMinute);
+  for (const auto& partition : store.partitions(slot)) {
+    EXPECT_GT(partition.interval.begin, 0);
+  }
+  // Data is unrecoverable after expiry — the paper's storage caveat.
+  const auto result = store.query(slot, primitives::PointQuery{host(1, 1)});
+  EXPECT_DOUBLE_EQ(result.entries[0].score, 0.0);
+}
+
+TEST(DataStore, SnapshotOfEmptySlotIsFreshAggregator) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot());
+  const auto snapshot = store.snapshot(slot, TimeInterval{kHour, 2 * kHour});
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->size(), 0u);
+  EXPECT_EQ(snapshot->kind(), "exact");
+}
+
+TEST(DataStore, CombineResultsStatsMergesMoments) {
+  primitives::QueryResult a, b;
+  a.stats = primitives::StatsResult{2, 6.0, 3.0, 1.0, 2.0, 4.0};
+  b.stats = primitives::StatsResult{2, 14.0, 7.0, 1.0, 6.0, 8.0};
+  const auto combined = DataStore::combine_results(
+      {a, b}, primitives::StatsQuery{TimeInterval{0, 1}});
+  ASSERT_TRUE(combined.stats.has_value());
+  EXPECT_EQ(combined.stats->count, 4u);
+  EXPECT_DOUBLE_EQ(combined.stats->sum, 20.0);
+  EXPECT_DOUBLE_EQ(combined.stats->mean, 5.0);
+  EXPECT_DOUBLE_EQ(combined.stats->min, 2.0);
+  EXPECT_DOUBLE_EQ(combined.stats->max, 8.0);
+  // Combined variance: per-part var 1 + cross-mean spread 4 -> stddev sqrt(5).
+  EXPECT_NEAR(combined.stats->stddev, std::sqrt(5.0), 1e-9);
+}
+
+TEST(DataStore, CombineResultsDropsUnsupportedParts) {
+  primitives::QueryResult good;
+  good.entries.push_back({host(1, 1), 2.0});
+  const auto combined = DataStore::combine_results(
+      {primitives::QueryResult::unsupported(), good},
+      primitives::PointQuery{host(1, 1)});
+  EXPECT_TRUE(combined.supported);
+  EXPECT_DOUBLE_EQ(combined.entries[0].score, 2.0);
+}
+
+TEST(DataStore, CombineResultsAllUnsupported) {
+  const auto combined = DataStore::combine_results(
+      {primitives::QueryResult::unsupported()}, primitives::TopKQuery{1});
+  EXPECT_FALSE(combined.supported);
+}
+
+TEST(DataStore, CombineResultsRangeConcatenatesAndSorts) {
+  primitives::QueryResult a, b;
+  StreamItem one;
+  one.value = 1.0;
+  one.timestamp = 30;
+  StreamItem two;
+  two.value = 2.0;
+  two.timestamp = 10;
+  a.points.push_back(one);
+  b.points.push_back(two);
+  b.approximate = true;
+  const auto combined = DataStore::combine_results(
+      {a, b}, primitives::RangeQuery{{0, 100}, 0.0});
+  ASSERT_EQ(combined.points.size(), 2u);
+  EXPECT_EQ(combined.points[0].timestamp, 10);
+  EXPECT_EQ(combined.points[1].timestamp, 30);
+  EXPECT_TRUE(combined.approximate);  // inherited from any part
+}
+
+TEST(DataStore, CombineResultsSinglePartPassesThrough) {
+  primitives::QueryResult only;
+  only.entries.push_back({host(1, 1), 7.0});
+  const auto combined =
+      DataStore::combine_results({only}, primitives::TopKQuery{5});
+  ASSERT_EQ(combined.entries.size(), 1u);
+  EXPECT_DOUBLE_EQ(combined.entries[0].score, 7.0);
+  EXPECT_FALSE(combined.approximate);  // no recombination happened
+}
+
+TEST(DataStore, CombineResultsTopKReappliesK) {
+  primitives::QueryResult a, b;
+  a.entries.push_back({host(1, 1), 5.0});
+  a.entries.push_back({host(1, 2), 4.0});
+  b.entries.push_back({host(1, 1), 5.0});
+  b.entries.push_back({host(1, 3), 1.0});
+  const auto combined =
+      DataStore::combine_results({a, b}, primitives::TopKQuery{2});
+  ASSERT_EQ(combined.entries.size(), 2u);
+  EXPECT_EQ(combined.entries[0].key, host(1, 1));
+  EXPECT_DOUBLE_EQ(combined.entries[0].score, 10.0);
+  EXPECT_TRUE(combined.approximate);
+}
+
+}  // namespace
+}  // namespace megads::store

@@ -1,0 +1,183 @@
+#include "store/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "primitives/exact.hpp"
+#include "primitives/timebin.hpp"
+
+namespace megads::store {
+namespace {
+
+Partition make_partition(std::uint32_t id, SimTime begin, SimTime end,
+                         std::size_t entries = 4) {
+  auto agg = std::make_unique<primitives::TimeBinAggregator>(kSecond);
+  for (std::size_t i = 0; i < entries; ++i) {
+    primitives::StreamItem item;
+    item.value = 1.0;
+    item.timestamp = begin + static_cast<SimTime>(i) * kSecond;
+    agg->insert(item);
+  }
+  return Partition(PartitionId(id), TimeInterval{begin, end}, 0, std::move(agg));
+}
+
+TEST(ExpirationStorage, KeepsWithinTtl) {
+  ExpirationStorage storage(10 * kSecond);
+  storage.admit(make_partition(0, 0, kSecond), kSecond);
+  storage.admit(make_partition(1, kSecond, 2 * kSecond), 2 * kSecond);
+  EXPECT_EQ(storage.partitions().size(), 2u);
+}
+
+TEST(ExpirationStorage, DropsExpired) {
+  ExpirationStorage storage(10 * kSecond);
+  storage.admit(make_partition(0, 0, kSecond), kSecond);
+  storage.enforce(11 * kSecond + 1);
+  EXPECT_TRUE(storage.partitions().empty());
+}
+
+TEST(ExpirationStorage, TtlMeasuredFromIntervalEnd) {
+  ExpirationStorage storage(10 * kSecond);
+  storage.admit(make_partition(0, 0, 5 * kSecond), 5 * kSecond);
+  storage.enforce(14 * kSecond);  // 5s end + 10s ttl = expires at 15s
+  EXPECT_EQ(storage.partitions().size(), 1u);
+  storage.enforce(15 * kSecond);
+  EXPECT_TRUE(storage.partitions().empty());
+}
+
+TEST(ExpirationStorage, OldestCovered) {
+  ExpirationStorage storage(kHour);
+  EXPECT_EQ(storage.oldest_covered(), kTimeNever);
+  storage.admit(make_partition(0, 5 * kSecond, 6 * kSecond), 0);
+  storage.admit(make_partition(1, kSecond, 2 * kSecond), 0);
+  EXPECT_EQ(storage.oldest_covered(), kSecond);
+}
+
+TEST(ExpirationStorage, RejectsZeroTtl) {
+  EXPECT_THROW(ExpirationStorage(0), PreconditionError);
+}
+
+TEST(RoundRobinStorage, EvictsOldestWhenOverBudget) {
+  Partition probe = make_partition(0, 0, kSecond);
+  const std::size_t one = probe.memory_bytes();
+  RoundRobinStorage storage(3 * one + one / 2);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond), 0);
+  }
+  EXPECT_LE(storage.memory_bytes(), 3 * one + one / 2);
+  EXPECT_EQ(storage.partitions().size(), 3u);
+  // Oldest were evicted: remaining partitions are the most recent.
+  EXPECT_EQ(storage.partitions().front().id, PartitionId(3));
+}
+
+TEST(RoundRobinStorage, AlwaysKeepsNewestPartition) {
+  RoundRobinStorage storage(1);  // budget smaller than any partition
+  storage.admit(make_partition(0, 0, kSecond, 100), 0);
+  EXPECT_EQ(storage.partitions().size(), 1u);
+}
+
+TEST(RoundRobinStorage, RetentionHorizonFloatsWithRate) {
+  // Twice the data rate -> half the retention horizon (paper, strategy 2).
+  const std::size_t one = make_partition(0, 0, kSecond).memory_bytes();
+  RoundRobinStorage slow(8 * one), fast(8 * one);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    slow.admit(make_partition(i, i * kSecond, (i + 1) * kSecond), 0);
+  }
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    // Same wall-clock span, but two partitions per second (double rate).
+    fast.admit(make_partition(i, i * kSecond / 2, (i + 1) * kSecond / 2), 0);
+  }
+  const SimTime slow_horizon = 32 * kSecond - slow.oldest_covered();
+  const SimTime fast_horizon = 16 * kSecond - fast.oldest_covered();
+  EXPECT_GT(slow_horizon, fast_horizon);
+}
+
+TEST(HierarchicalStorage, PromotesAndMergesWhenLevelOverflows) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {4, 4};
+  config.merge_fanin = 4;
+  config.compressed_entries = 64;
+  HierarchicalStorage storage(config);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond), 0);
+  }
+  // Level 0 overflowed at 5 > 4: the 4 oldest merged into one level-1 part.
+  EXPECT_EQ(storage.level_count(0), 1u);
+  EXPECT_EQ(storage.level_count(1), 1u);
+  const auto& merged = storage.partitions().front();
+  EXPECT_EQ(merged.level, 1);
+  EXPECT_EQ(merged.interval.begin, 0);
+  EXPECT_EQ(merged.interval.end, 4 * kSecond);
+}
+
+TEST(HierarchicalStorage, MergedPartitionKeepsAllMass) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {2, 4};
+  config.merge_fanin = 2;
+  HierarchicalStorage storage(config);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond, 4), 0);
+  }
+  const auto& merged = storage.partitions().front();
+  ASSERT_EQ(merged.level, 1);
+  const auto result = merged.summary->execute(
+      primitives::StatsQuery{TimeInterval{0, kTimeNever}});
+  EXPECT_EQ(result.stats->count, 8u);  // 2 partitions x 4 items
+}
+
+TEST(HierarchicalStorage, OldDataStaysQueryableAtCoarserGranularity) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {4, 4, 4};
+  config.merge_fanin = 4;
+  HierarchicalStorage storage(config);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond, 2), 0);
+  }
+  // Levels cover 4 + 16 + 64 source partitions: everything is still there,
+  // just coarser -- the defining property of strategy 3.
+  EXPECT_EQ(storage.oldest_covered(), 0);
+  const std::size_t total = storage.level_count(0) + storage.level_count(1) +
+                            storage.level_count(2);
+  EXPECT_EQ(total, storage.partitions().size());
+  EXPECT_LE(total, 12u);
+}
+
+TEST(HierarchicalStorage, LastLevelEvicts) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {2};
+  config.merge_fanin = 2;
+  HierarchicalStorage storage(config);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond), 0);
+  }
+  EXPECT_LE(storage.partitions().size(), 2u);
+}
+
+TEST(HierarchicalStorage, ValidatesConfig) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {};
+  EXPECT_THROW(HierarchicalStorage{config}, PreconditionError);
+  config.level_capacity = {2};
+  config.merge_fanin = 4;  // fanin > capacity
+  EXPECT_THROW(HierarchicalStorage{config}, PreconditionError);
+  config.level_capacity = {8};
+  config.merge_fanin = 1;
+  EXPECT_THROW(HierarchicalStorage{config}, PreconditionError);
+}
+
+TEST(HierarchicalStorage, CompressedEntriesBudgetApplied) {
+  HierarchicalStorage::Config config;
+  config.level_capacity = {2, 4};
+  config.merge_fanin = 2;
+  config.compressed_entries = 3;
+  HierarchicalStorage storage(config);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    storage.admit(make_partition(i, i * kSecond, (i + 1) * kSecond, 16), 0);
+  }
+  const auto& merged = storage.partitions().front();
+  ASSERT_EQ(merged.level, 1);
+  EXPECT_LE(merged.summary->size(), 3u);
+}
+
+}  // namespace
+}  // namespace megads::store

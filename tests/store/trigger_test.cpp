@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include "primitives/exact.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::store {
+namespace {
+
+using primitives::StreamItem;
+
+StreamItem reading(std::uint8_t machine, double value, SimTime ts) {
+  StreamItem item;
+  item.key.with_src(flow::Prefix(flow::IPv4(10, 0, machine, 1), 32));
+  item.value = value;
+  item.timestamp = ts;
+  return item;
+}
+
+flow::FlowKey machine_scope(std::uint8_t machine) {
+  flow::FlowKey scope;
+  scope.with_src(flow::Prefix(flow::IPv4(10, 0, machine, 0), 24));
+  return scope;
+}
+
+struct TriggerFixture : ::testing::Test {
+  DataStore store{StoreId(0), "factory"};
+  std::vector<TriggerEvent> events;
+
+  TriggerFixture() {
+    SlotConfig config;
+    config.name = "raw";
+    config.factory = [] { return std::make_unique<primitives::RawStore>(); };
+    config.epoch = kMinute;
+    config.storage = std::make_unique<ExpirationStorage>(kHour);
+    config.subscribe_all = true;
+    store.install(std::move(config));
+  }
+
+  TriggerSpec spec(TriggerKind kind, std::uint8_t machine, double threshold,
+                   SimDuration cooldown = 0) {
+    TriggerSpec s;
+    s.name = "overheat";
+    s.kind = kind;
+    s.scope = machine_scope(machine);
+    s.threshold = threshold;
+    s.cooldown = cooldown;
+    s.action = [this](const TriggerEvent& event) { events.push_back(event); };
+    return s;
+  }
+};
+
+TEST_F(TriggerFixture, ItemTriggerFiresOnThreshold) {
+  store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0));
+  store.ingest(SensorId(1), reading(3, 50.0, 1));
+  EXPECT_TRUE(events.empty());
+  store.ingest(SensorId(1), reading(3, 95.0, 2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "overheat");
+  EXPECT_DOUBLE_EQ(events[0].observed, 95.0);
+  EXPECT_EQ(events[0].time, 2);
+}
+
+TEST_F(TriggerFixture, ItemTriggerRespectsScope) {
+  store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0));
+  store.ingest(SensorId(1), reading(4, 95.0, 1));  // other machine
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(TriggerFixture, ThresholdIsInclusive) {
+  store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0));
+  store.ingest(SensorId(1), reading(3, 80.0, 1));
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST_F(TriggerFixture, CooldownDebounces) {
+  store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0, 10 * kSecond));
+  store.ingest(SensorId(1), reading(3, 95.0, kSecond));
+  store.ingest(SensorId(1), reading(3, 96.0, 2 * kSecond));   // suppressed
+  store.ingest(SensorId(1), reading(3, 97.0, 12 * kSecond));  // fires again
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].time, 12 * kSecond);
+}
+
+TEST_F(TriggerFixture, RemoveTriggerStopsFiring) {
+  const TriggerId id = store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0));
+  store.remove_trigger(id);
+  store.ingest(SensorId(1), reading(3, 95.0, 1));
+  EXPECT_TRUE(events.empty());
+  EXPECT_THROW(store.remove_trigger(id), NotFoundError);
+}
+
+TEST_F(TriggerFixture, EpochTriggerEvaluatesSealedSummary) {
+  // Fires when machine 3's per-epoch aggregate crosses the threshold.
+  store.install_trigger(spec(TriggerKind::kEpochAbove, 3, 100.0));
+  for (int i = 0; i < 30; ++i) {
+    store.ingest(SensorId(1), reading(3, 5.0, i * kSecond));  // total 150
+  }
+  EXPECT_TRUE(events.empty());  // nothing sealed yet
+  store.advance_to(kMinute);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_DOUBLE_EQ(events[0].observed, 150.0);
+  EXPECT_EQ(events[0].time, kMinute);
+}
+
+TEST_F(TriggerFixture, EpochTriggerQuietWhenBelowThreshold) {
+  store.install_trigger(spec(TriggerKind::kEpochAbove, 3, 1000.0));
+  for (int i = 0; i < 30; ++i) {
+    store.ingest(SensorId(1), reading(3, 5.0, i * kSecond));
+  }
+  store.advance_to(kMinute);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST_F(TriggerFixture, MultipleTriggersFireIndependently) {
+  store.install_trigger(spec(TriggerKind::kItemAbove, 3, 80.0));
+  store.install_trigger(spec(TriggerKind::kItemAbove, 4, 90.0));
+  store.ingest(SensorId(1), reading(3, 85.0, 1));
+  store.ingest(SensorId(1), reading(4, 95.0, 2));
+  store.ingest(SensorId(1), reading(4, 85.0, 3));  // below machine-4 threshold
+  EXPECT_EQ(events.size(), 2u);
+}
+
+TEST_F(TriggerFixture, InstallRequiresAction) {
+  TriggerSpec s = spec(TriggerKind::kItemAbove, 1, 1.0);
+  s.action = nullptr;
+  EXPECT_THROW(store.install_trigger(std::move(s)), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::store

@@ -1,0 +1,86 @@
+#include "trace/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "trace/flowgen.hpp"
+
+namespace megads::trace {
+namespace {
+
+TEST(FlowCsv, RoundTripPreservesRecords) {
+  FlowGenerator gen({});
+  const auto records = gen.generate(100);
+  std::stringstream buffer;
+  write_flow_csv(buffer, records);
+  const auto loaded = read_flow_csv(buffer);
+  ASSERT_EQ(loaded.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, records[i].key);
+    EXPECT_EQ(loaded[i].packets, records[i].packets);
+    EXPECT_EQ(loaded[i].bytes, records[i].bytes);
+    EXPECT_EQ(loaded[i].timestamp, records[i].timestamp);
+  }
+}
+
+TEST(FlowCsv, EmptyInputYieldsNoRecords) {
+  std::stringstream buffer("");
+  EXPECT_TRUE(read_flow_csv(buffer).empty());
+}
+
+TEST(FlowCsv, HeaderOnlyYieldsNoRecords) {
+  std::stringstream buffer(
+      "timestamp,proto,src,src_port,dst,dst_port,packets,bytes\n");
+  EXPECT_TRUE(read_flow_csv(buffer).empty());
+}
+
+TEST(FlowCsv, HeaderIsOptional) {
+  std::stringstream buffer("123,6,1.2.3.4,1000,5.6.7.8,443,10,5000\n");
+  const auto records = read_flow_csv(buffer);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].timestamp, 123);
+  EXPECT_EQ(records[0].key.proto(), 6);
+  EXPECT_EQ(records[0].key.src().address().to_string(), "1.2.3.4");
+  EXPECT_EQ(records[0].key.dst_port(), 443);
+  EXPECT_EQ(records[0].bytes, 5000u);
+}
+
+TEST(FlowCsv, SkipsBlankLines) {
+  std::stringstream buffer("\n1,6,1.1.1.1,1,2.2.2.2,2,1,40\n\n");
+  EXPECT_EQ(read_flow_csv(buffer).size(), 1u);
+}
+
+TEST(FlowCsv, RejectsWrongFieldCount) {
+  std::stringstream buffer("1,6,1.1.1.1,1,2.2.2.2,2,1\n");
+  EXPECT_THROW(read_flow_csv(buffer), ParseError);
+}
+
+TEST(FlowCsv, RejectsMalformedNumbers) {
+  std::stringstream buffer("x,6,1.1.1.1,1,2.2.2.2,2,1,40\n");
+  EXPECT_THROW(read_flow_csv(buffer), ParseError);
+  std::stringstream buffer2("1,6,1.1.1.1,port,2.2.2.2,2,1,40\n");
+  EXPECT_THROW(read_flow_csv(buffer2), ParseError);
+}
+
+TEST(FlowCsv, RejectsMalformedAddress) {
+  std::stringstream buffer("1,6,299.1.1.1,1,2.2.2.2,2,1,40\n");
+  EXPECT_THROW(read_flow_csv(buffer), ParseError);
+}
+
+TEST(FlowCsv, FileRoundTrip) {
+  FlowGenerator gen({});
+  const auto records = gen.generate(20);
+  const std::string path = ::testing::TempDir() + "/megads_flows.csv";
+  write_flow_csv_file(path, records);
+  const auto loaded = read_flow_csv_file(path);
+  EXPECT_EQ(loaded.size(), records.size());
+}
+
+TEST(FlowCsv, MissingFileThrows) {
+  EXPECT_THROW(read_flow_csv_file("/nonexistent/path/foo.csv"), Error);
+}
+
+}  // namespace
+}  // namespace megads::trace

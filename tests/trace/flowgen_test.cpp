@@ -1,0 +1,148 @@
+#include "trace/flowgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+namespace {
+
+TEST(FlowGenerator, DeterministicForSameSeed) {
+  FlowGenConfig config;
+  config.seed = 99;
+  FlowGenerator a(config), b(config);
+  for (int i = 0; i < 100; ++i) {
+    const auto ra = a.next();
+    const auto rb = b.next();
+    EXPECT_EQ(ra.key, rb.key);
+    EXPECT_EQ(ra.bytes, rb.bytes);
+    EXPECT_EQ(ra.timestamp, rb.timestamp);
+  }
+}
+
+TEST(FlowGenerator, TimestampsStrictlyIncrease) {
+  FlowGenerator gen({});
+  SimTime last = -1;
+  for (int i = 0; i < 1000; ++i) {
+    const auto record = gen.next();
+    EXPECT_GT(record.timestamp, last);
+    last = record.timestamp;
+  }
+}
+
+TEST(FlowGenerator, ArrivalRateRoughlyMatchesConfig) {
+  FlowGenConfig config;
+  config.flows_per_second = 500.0;
+  FlowGenerator gen(config);
+  const auto records = gen.generate(5000);
+  const double seconds = to_seconds(records.back().timestamp);
+  EXPECT_NEAR(5000.0 / seconds, 500.0, 50.0);
+}
+
+TEST(FlowGenerator, RecordsAreFullySpecified) {
+  FlowGenerator gen({});
+  for (const auto& record : gen.generate(200)) {
+    EXPECT_TRUE(record.key.proto().has_value());
+    EXPECT_EQ(record.key.src().length(), 32);
+    EXPECT_EQ(record.key.dst().length(), 32);
+    EXPECT_TRUE(record.key.src_port().has_value());
+    EXPECT_TRUE(record.key.dst_port().has_value());
+    EXPECT_GE(record.packets, 1u);
+    EXPECT_GE(record.bytes, 40u);  // at least one minimum-size packet
+  }
+}
+
+TEST(FlowGenerator, SourcesComeFromConfiguredNetworks) {
+  FlowGenConfig config;
+  config.src_networks = 8;
+  FlowGenerator gen(config);
+  for (const auto& record : gen.generate(500)) {
+    bool inside = false;
+    for (std::size_t n = 0; n < config.src_networks; ++n) {
+      inside = inside || gen.network(n).contains(record.key.src());
+    }
+    EXPECT_TRUE(inside) << record.key.to_string();
+  }
+}
+
+TEST(FlowGenerator, NetworkPopularityIsSkewed) {
+  FlowGenConfig config;
+  config.src_networks = 16;
+  config.network_skew = 1.4;
+  FlowGenerator gen(config);
+  std::unordered_map<std::uint32_t, int> hits;
+  for (const auto& record : gen.generate(20000)) {
+    hits[record.key.src().shortened(16).address().value()] += 1;
+  }
+  const auto top = gen.network(0).address().value();
+  int max_hits = 0;
+  for (const auto& [net, count] : hits) max_hits = std::max(max_hits, count);
+  EXPECT_EQ(hits[top], max_hits);  // rank-0 network is the most popular
+  EXPECT_GT(max_hits, 20000 / 16); // far above the uniform share
+}
+
+TEST(FlowGenerator, SitesShareNetworksButShiftRanking) {
+  FlowGenConfig base;
+  base.seed = 5;
+  FlowGenConfig other = base;
+  other.site = 1;
+  FlowGenerator a(base), b(other);
+  // Same universe of networks...
+  std::vector<std::uint32_t> nets_a, nets_b;
+  for (std::size_t n = 0; n < base.src_networks; ++n) {
+    nets_a.push_back(a.network(n).address().value());
+    nets_b.push_back(b.network(n).address().value());
+  }
+  std::sort(nets_a.begin(), nets_a.end());
+  std::sort(nets_b.begin(), nets_b.end());
+  EXPECT_EQ(nets_a, nets_b);
+  // ...but a different top network.
+  EXPECT_NE(a.network(0), b.network(0));
+}
+
+TEST(FlowGenerator, GenerateForRespectsWindow) {
+  FlowGenerator gen({});
+  const auto records = gen.generate_for(2 * kSecond);
+  EXPECT_FALSE(records.empty());
+  for (const auto& record : records) EXPECT_LT(record.timestamp, 2 * kSecond);
+  EXPECT_EQ(gen.now(), 2 * kSecond);
+  // A second window continues where the first ended.
+  const auto more = gen.generate_for(kSecond);
+  for (const auto& record : more) {
+    EXPECT_GE(record.timestamp, 2 * kSecond);
+    EXPECT_LT(record.timestamp, 3 * kSecond);
+  }
+}
+
+TEST(FlowGenerator, PacketCountsAreHeavyTailed) {
+  FlowGenerator gen({});
+  std::uint64_t max_packets = 0;
+  double mean = 0.0;
+  const auto records = gen.generate(20000);
+  for (const auto& record : records) {
+    max_packets = std::max(max_packets, record.packets);
+    mean += static_cast<double>(record.packets);
+  }
+  mean /= static_cast<double>(records.size());
+  EXPECT_GT(static_cast<double>(max_packets), 20.0 * mean);
+}
+
+TEST(FlowGenerator, NetworkAccessorValidates) {
+  FlowGenerator gen({});
+  EXPECT_THROW(gen.network(1000), PreconditionError);
+}
+
+TEST(FlowGenerator, RejectsBadConfig) {
+  FlowGenConfig config;
+  config.flows_per_second = 0.0;
+  EXPECT_THROW(FlowGenerator{config}, PreconditionError);
+  FlowGenConfig too_big;
+  too_big.hosts_per_network = 1 << 20;
+  EXPECT_THROW(FlowGenerator{too_big}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::trace

@@ -1,0 +1,100 @@
+#include "trace/querygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+namespace {
+
+TEST(QueryTrace, EventsAreTimeSorted) {
+  const QueryTrace trace = generate_query_trace({});
+  EXPECT_FALSE(trace.events.empty());
+  for (std::size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].time, trace.events[i].time);
+  }
+}
+
+TEST(QueryTrace, Deterministic) {
+  QueryGenConfig config;
+  config.seed = 4;
+  const QueryTrace a = generate_query_trace(config);
+  const QueryTrace b = generate_query_trace(config);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].partition, b.events[i].partition);
+    EXPECT_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].result_bytes, b.events[i].result_bytes);
+  }
+}
+
+TEST(QueryTrace, GroundTruthTotalsMatchEvents) {
+  QueryGenConfig config;
+  config.partitions = 50;
+  const QueryTrace trace = generate_query_trace(config);
+  std::vector<std::uint64_t> accesses(config.partitions, 0);
+  std::vector<std::uint64_t> bytes(config.partitions, 0);
+  for (const AccessEvent& event : trace.events) {
+    accesses[event.partition.value()] += 1;
+    bytes[event.partition.value()] += event.result_bytes;
+  }
+  EXPECT_EQ(accesses, trace.accesses_per_partition);
+  EXPECT_EQ(bytes, trace.bytes_per_partition);
+}
+
+TEST(QueryTrace, EventsWithinHorizon) {
+  QueryGenConfig config;
+  config.horizon = 6 * kHour;
+  const QueryTrace trace = generate_query_trace(config);
+  for (const AccessEvent& event : trace.events) {
+    EXPECT_GE(event.time, 0);
+    EXPECT_LT(event.time, config.horizon);
+  }
+}
+
+TEST(QueryTrace, AccessCountsAreHeavyTailed) {
+  QueryGenConfig config;
+  config.partitions = 500;
+  config.seed = 8;
+  const QueryTrace trace = generate_query_trace(config);
+  std::vector<std::uint64_t> counts = trace.accesses_per_partition;
+  std::sort(counts.begin(), counts.end());
+  const std::uint64_t median = counts[counts.size() / 2];
+  const std::uint64_t max = counts.back();
+  EXPECT_GT(max, 10 * std::max<std::uint64_t>(1, median));
+}
+
+TEST(QueryTrace, ResultBytesRespectBounds) {
+  QueryGenConfig config;
+  config.result_min_bytes = 1000;
+  config.result_cap_bytes = 1 << 20;
+  const QueryTrace trace = generate_query_trace(config);
+  for (const AccessEvent& event : trace.events) {
+    EXPECT_GE(event.result_bytes, config.result_min_bytes);
+    EXPECT_LE(event.result_bytes, config.result_cap_bytes);
+  }
+}
+
+TEST(QueryTrace, MaxAccessesIsRespected) {
+  QueryGenConfig config;
+  config.max_accesses = 5;
+  config.partitions = 100;
+  const QueryTrace trace = generate_query_trace(config);
+  for (const std::uint64_t count : trace.accesses_per_partition) {
+    EXPECT_LE(count, 5u);
+  }
+}
+
+TEST(QueryTrace, RejectsBadConfig) {
+  QueryGenConfig config;
+  config.partitions = 0;
+  EXPECT_THROW(generate_query_trace(config), PreconditionError);
+  config = {};
+  config.horizon = 0;
+  EXPECT_THROW(generate_query_trace(config), PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::trace

@@ -1,0 +1,155 @@
+#include "trace/sensorgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::trace {
+namespace {
+
+SensorGenConfig small_config() {
+  SensorGenConfig config;
+  config.lines = 2;
+  config.machines_per_line = 3;
+  config.sensors_per_machine = 4;
+  return config;
+}
+
+TEST(SensorGenerator, TickEmitsOneReadingPerSensor) {
+  SensorGenerator gen(small_config());
+  EXPECT_EQ(gen.sensor_count(), 2u * 3u * 4u);
+  const auto readings = gen.tick();
+  EXPECT_EQ(readings.size(), gen.sensor_count());
+}
+
+TEST(SensorGenerator, TimestampsAdvanceByPeriod) {
+  SensorGenConfig config = small_config();
+  config.sample_period = 250 * kMillisecond;
+  SensorGenerator gen(config);
+  const auto first = gen.tick();
+  const auto second = gen.tick();
+  EXPECT_EQ(first.front().timestamp, 250 * kMillisecond);
+  EXPECT_EQ(second.front().timestamp, 500 * kMillisecond);
+}
+
+TEST(SensorGenerator, Deterministic) {
+  SensorGenerator a(small_config()), b(small_config());
+  const auto ra = a.tick();
+  const auto rb = b.tick();
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra[i].value, rb[i].value);
+  }
+}
+
+TEST(SensorGenerator, ValuesHoverAroundBase) {
+  SensorGenConfig config = small_config();
+  config.degrading_fraction = 0.0;
+  config.base_level = 100.0;
+  SensorGenerator gen(config);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (int t = 0; t < 200; ++t) {
+    for (const auto& reading : gen.tick()) {
+      sum += reading.value;
+      ++count;
+    }
+  }
+  EXPECT_NEAR(sum / static_cast<double>(count), 100.0, 10.0);
+}
+
+TEST(SensorGenerator, DegradingMachinesDrift) {
+  SensorGenConfig config = small_config();
+  config.degrading_fraction = 1.0;  // all machines degrade
+  config.drift_per_hour = 100.0;
+  config.sample_period = kMinute;
+  SensorGenerator gen(config);
+  double early = 0.0, late = 0.0;
+  const auto readings_early = gen.generate_until(10 * kMinute);
+  for (const auto& r : readings_early) early += r.value;
+  early /= static_cast<double>(readings_early.size());
+  const auto readings_late = gen.generate_until(70 * kMinute);
+  for (const auto& r : readings_late) late += r.value;
+  late /= static_cast<double>(readings_late.size());
+  EXPECT_GT(late, early + 30.0);  // ~100/hour of drift over ~1 hour
+}
+
+TEST(SensorGenerator, FaultInjectionRaisesAffectedMachineOnly) {
+  SensorGenConfig config = small_config();
+  config.degrading_fraction = 0.0;
+  config.noise_sigma = 0.1;
+  FaultSpec fault;
+  fault.line = 0;
+  fault.machine = 1;
+  fault.start = kSecond;
+  fault.duration = kHour;
+  fault.magnitude = 500.0;
+  config.faults.push_back(fault);
+  SensorGenerator gen(config);
+  gen.generate_until(kSecond);  // pre-fault
+  const auto readings = gen.tick();
+  for (const auto& reading : readings) {
+    if (reading.line == 0 && reading.machine == 1) {
+      EXPECT_GT(reading.value, 300.0);
+    } else {
+      EXPECT_LT(reading.value, 200.0);
+    }
+  }
+}
+
+TEST(SensorGenerator, FaultEndsAfterDuration) {
+  SensorGenConfig config = small_config();
+  config.degrading_fraction = 0.0;
+  config.faults.push_back(FaultSpec{0, 0, kSecond, 2 * kSecond, 500.0});
+  config.sample_period = kSecond;
+  SensorGenerator gen(config);
+  gen.generate_until(5 * kSecond);
+  const auto readings = gen.tick();  // t = 6s, fault over at 3s
+  for (const auto& reading : readings) EXPECT_LT(reading.value, 200.0);
+}
+
+TEST(SensorReading, FlowDomainEncoding) {
+  SensorReading reading;
+  reading.line = 1;
+  reading.machine = 2;
+  reading.sensor = 3;
+  reading.value = 42.0;
+  reading.timestamp = 77;
+  const auto item = reading.to_item();
+  EXPECT_EQ(item.key.src().to_string(), "10.1.2.3/32");
+  EXPECT_EQ(item.value, 42.0);
+  EXPECT_EQ(item.timestamp, 77);
+  // The factory hierarchy is the prefix hierarchy.
+  EXPECT_TRUE(machine_prefix(1, 2).contains(reading.address()));
+  EXPECT_TRUE(line_prefix(1).contains(reading.address()));
+  EXPECT_TRUE(factory_prefix().contains(reading.address()));
+  EXPECT_FALSE(machine_prefix(1, 3).contains(reading.address()));
+  EXPECT_FALSE(line_prefix(2).contains(reading.address()));
+}
+
+TEST(SensorGenerator, IsDegradingConsistentAcrossSensors) {
+  SensorGenConfig config = small_config();
+  config.degrading_fraction = 0.5;
+  SensorGenerator gen(config);
+  // All sensors of one machine share the degradation flag; the accessor
+  // answers per machine.
+  int degrading = 0;
+  for (std::uint16_t line = 0; line < config.lines; ++line) {
+    for (std::uint16_t machine = 0; machine < config.machines_per_line; ++machine) {
+      degrading += gen.is_degrading(line, machine);
+    }
+  }
+  EXPECT_GT(degrading, 0);
+  EXPECT_LT(degrading, config.lines * config.machines_per_line);
+}
+
+TEST(SensorGenerator, RejectsBadConfig) {
+  SensorGenConfig config = small_config();
+  config.sample_period = 0;
+  EXPECT_THROW(SensorGenerator{config}, PreconditionError);
+  config = small_config();
+  config.ar_phi = 1.0;
+  EXPECT_THROW(SensorGenerator{config}, PreconditionError);
+}
+
+}  // namespace
+}  // namespace megads::trace
