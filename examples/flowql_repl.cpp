@@ -6,13 +6,17 @@
 //   flowql> SELECT topk(10) FROM 0m..3m
 //   flowql> SELECT hhh(0.05) FROM 0m..3m WHERE location = 'site-0'
 //   flowql> SELECT diff(10) FROM 0m..1m, 2m..3m
+//   flowql> .metrics        (dump the metrics registry snapshot)
 //
 // Piping works too:  echo "SELECT topk(3) FROM 0m..3m" | ./flowql_repl
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/metrics.hpp"
 #include "flowdb/executor.hpp"
 #include "trace/flowgen.hpp"
 
@@ -22,6 +26,9 @@ int main() {
   flowtree::FlowtreeConfig tree_config;
   tree_config.node_budget = 8192;
   flowdb::FlowDB db(tree_config);
+  metrics::MetricsRegistry registry;
+  metrics::Counter& ingested = registry.counter("repl.flows_ingested");
+  metrics::Histogram& query_us = registry.histogram("flowql.query_us");
 
   for (std::uint32_t site = 0; site < 2; ++site) {
     trace::FlowGenConfig gen_config;
@@ -31,9 +38,19 @@ int main() {
     trace::FlowGenerator generator(gen_config);
     for (int epoch = 0; epoch < 3; ++epoch) {
       flowtree::Flowtree tree(tree_config);
-      for (const auto& record : generator.generate_for(kMinute)) {
-        tree.add(record.key, static_cast<double>(record.bytes));
+      // One batch per epoch: the whole window goes through insert_batch.
+      const auto records = generator.generate_for(kMinute);
+      std::vector<primitives::StreamItem> items;
+      items.reserve(records.size());
+      for (const auto& record : records) {
+        primitives::StreamItem item;
+        item.key = record.key;
+        item.value = static_cast<double>(record.bytes);
+        item.timestamp = record.timestamp;
+        items.push_back(item);
       }
+      tree.insert_batch(items);
+      ingested.add(items.size());
       db.add(std::move(tree), TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
              "site-" + std::to_string(site));
     }
@@ -51,8 +68,17 @@ int main() {
     std::printf("flowql> ");
     std::fflush(stdout);
     if (!std::getline(std::cin, line) || line.empty()) break;
+    if (line == ".metrics") {
+      std::printf("%s", registry.snapshot().to_string().c_str());
+      continue;
+    }
     try {
+      const auto started = std::chrono::steady_clock::now();
       const flowdb::Table table = flowdb::run_flowql(line, db);
+      query_us.observe(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started)
+              .count()));
       std::printf("%s(%zu rows)\n", table.to_string().c_str(), table.row_count());
     } catch (const Error& error) {
       std::printf("error: %s\n", error.what());

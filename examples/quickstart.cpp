@@ -8,7 +8,10 @@
 #include <cstdio>
 
 #include "common/bytes.hpp"
+#include "common/metrics.hpp"
 #include "flowtree/flowtree.hpp"
+#include "store/datastore.hpp"
+#include "store/storage.hpp"
 #include "trace/flowgen.hpp"
 
 using namespace megads;
@@ -96,5 +99,31 @@ int main() {
   const auto decoded = flowtree::Flowtree::decode(wire, config);
   std::printf("decode round-trip: %zu nodes, root query %.0f\n", decoded.size(),
               decoded.query(flow::FlowKey{}));
+
+  // 6. Observability: host the tree in a DataStore, ingest the same trace as
+  //    one batch per epoch, and dump the metrics registry.
+  metrics::MetricsRegistry registry;
+  store::DataStore store(StoreId(0), "quickstart");
+  store.attach_metrics(registry);
+  store::SlotConfig slot_config;
+  slot_config.name = "flowtree";
+  slot_config.factory = [config] { return std::make_unique<flowtree::Flowtree>(config); };
+  slot_config.epoch = kMinute;
+  slot_config.storage = std::make_unique<store::RoundRobinStorage>(8u << 20);
+  slot_config.subscribe_all = true;
+  store.install(std::move(slot_config));
+
+  std::vector<primitives::StreamItem> batch;
+  batch.reserve(records.size());
+  for (const auto& record : records) {
+    primitives::StreamItem item;
+    item.key = record.key;
+    item.value = static_cast<double>(record.bytes);
+    item.timestamp = record.timestamp;
+    batch.push_back(item);
+  }
+  store.ingest_batch(SensorId(0), batch);
+  std::printf("\n== metrics snapshot ==\n%s",
+              registry.snapshot().to_string().c_str());
   return 0;
 }

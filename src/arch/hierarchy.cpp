@@ -92,6 +92,20 @@ void Hierarchy::ingest(std::size_t leaf_index, SensorId sensor,
   leaf.store->ingest(sensor, item);
 }
 
+void Hierarchy::ingest_batch(std::size_t leaf_index, SensorId sensor,
+                             std::span<const primitives::StreamItem> items) {
+  Node& leaf = node_at(0, leaf_index);
+  raw_bytes_ += kRawItemBytes * items.size();
+  leaf.store->ingest_batch(sensor, items);
+}
+
+void Hierarchy::attach_metrics(metrics::MetricsRegistry& registry) {
+  for (auto& level : nodes_) {
+    for (auto& node : level) node.store->attach_metrics(registry);
+  }
+  network_.attach_metrics(registry);
+}
+
 void Hierarchy::export_tick(std::size_t level, std::size_t index, SimTime now) {
   Node& node = node_at(level, index);
   node.store->advance_to(now);

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -56,6 +57,14 @@ class Hierarchy {
   /// raw-shipping baseline).
   void ingest(std::size_t leaf_index, SensorId sensor,
               const primitives::StreamItem& item);
+
+  /// Batched leaf ingest: one store pass for a whole window of observations.
+  void ingest_batch(std::size_t leaf_index, SensorId sensor,
+                    std::span<const primitives::StreamItem> items);
+
+  /// Instrument every store (store.<name>.*) and the WAN (net.*) into
+  /// `registry`. The registry must outlive the hierarchy.
+  void attach_metrics(metrics::MetricsRegistry& registry);
 
   /// Start the periodic export loops (call once, before running the sim).
   void start();

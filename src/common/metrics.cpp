@@ -1,0 +1,183 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace megads::metrics {
+
+namespace {
+
+std::size_t bucket_of(double value) noexcept {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  const auto v = static_cast<std::uint64_t>(std::min(
+      value, static_cast<double>(std::numeric_limits<std::uint64_t>::max() / 2)));
+  return std::min<std::size_t>(std::bit_width(v), Histogram::kBuckets - 1);
+}
+
+/// Upper edge of bucket i (the resolution of quantile estimates).
+double bucket_edge(std::size_t i) noexcept {
+  return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+
+std::string format_number(double v) {
+  char buffer[48];
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", v);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.3f", v);
+  }
+  return buffer;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) noexcept {
+  ++buckets_[bucket_of(value)];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) return std::min(bucket_edge(i), max_);
+  }
+  return max_;
+}
+
+const SnapshotEntry* Snapshot::find(const std::string& name) const noexcept {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), name,
+      [](const SnapshotEntry& e, const std::string& n) { return e.name < n; });
+  return it != entries.end() && it->name == name ? &*it : nullptr;
+}
+
+double Snapshot::value(const std::string& name, double fallback) const noexcept {
+  const SnapshotEntry* entry = find(name);
+  return entry ? entry->value : fallback;
+}
+
+std::size_t Snapshot::count_prefix(const std::string& prefix) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(entries.begin(), entries.end(), [&](const SnapshotEntry& e) {
+        return e.name.starts_with(prefix);
+      }));
+}
+
+std::string Snapshot::to_string() const {
+  std::string out;
+  for (const SnapshotEntry& entry : entries) {
+    out += entry.name;
+    out += ' ';
+    switch (entry.kind) {
+      case SnapshotEntry::Kind::kCounter:
+        out += format_number(entry.value);
+        break;
+      case SnapshotEntry::Kind::kGauge:
+        out += format_number(entry.value);
+        break;
+      case SnapshotEntry::Kind::kHistogram:
+        out += "count=" + format_number(static_cast<double>(entry.count)) +
+               " sum=" + format_number(entry.sum) +
+               " mean=" + format_number(entry.value) +
+               " min=" + format_number(entry.min) +
+               " max=" + format_number(entry.max) +
+               " p50=" + format_number(entry.p50) +
+               " p99=" + format_number(entry.p99);
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+[[noreturn]] void throw_kind_clash(const std::string& name) {
+  throw PreconditionError("MetricsRegistry: '" + name +
+                          "' already registered as another kind");
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  if (gauges_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
+  return *counters_.emplace(name, std::make_unique<Counter>()).first->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  if (counters_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
+  return *gauges_.emplace(name, std::make_unique<Gauge>()).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  if (counters_.contains(name) || gauges_.contains(name)) throw_kind_clash(name);
+  return *histograms_.emplace(name, std::make_unique<Histogram>()).first->second;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.entries.reserve(instrument_count());
+  for (const auto& [name, counter] : counters_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = SnapshotEntry::Kind::kCounter;
+    entry.value = static_cast<double>(counter->value());
+    snap.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = SnapshotEntry::Kind::kGauge;
+    entry.value = gauge->value();
+    snap.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    SnapshotEntry entry;
+    entry.name = name;
+    entry.kind = SnapshotEntry::Kind::kHistogram;
+    entry.value = histogram->mean();
+    entry.count = histogram->count();
+    entry.sum = histogram->sum();
+    entry.min = histogram->min();
+    entry.max = histogram->max();
+    entry.p50 = histogram->quantile(0.5);
+    entry.p99 = histogram->quantile(0.99);
+    snap.entries.push_back(std::move(entry));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() noexcept {
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace megads::metrics

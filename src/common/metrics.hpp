@@ -1,0 +1,141 @@
+// MetricsRegistry — the observability layer behind the "fast as the hardware
+// allows" goal: every subsystem boundary (store ingest, seals, merges,
+// compressions, network transfers, FlowQL queries) reports into a registry of
+// named instruments so that experiments — and the self-adaptation loop that
+// feeds AdaptSignal — work from *measured* rates instead of guesses.
+//
+// Three instrument kinds, all plain value types with no locking (the
+// simulator is single-threaded; a sharded registry is the obvious follow-up
+// once ingest is parallel):
+//   Counter   - monotone uint64 (items ingested, seals, wire bytes, ...)
+//   Gauge     - last-written double (items/sec, live summary size, ...)
+//   Histogram - log2-bucketed distribution with count/sum/min/max and
+//               bucket-resolution quantiles (latencies, batch sizes).
+//
+// snapshot() freezes every instrument into a sorted, queryable Snapshot whose
+// to_string() is the human-readable dump reachable from the REPL/examples.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace megads::metrics {
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument (rates, sizes, ratios).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void reset() noexcept { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-footprint distribution: one bucket per power of two over the
+/// non-negative range (bucket 0 holds [0, 1), bucket i holds [2^(i-1), 2^i)),
+/// plus exact count/sum/min/max. Negative observations clamp into bucket 0.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Quantile estimate at bucket resolution: the upper edge of the bucket
+  /// containing the q-th ranked observation (q in [0, 1]).
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
+    return buckets_;
+  }
+  void reset() noexcept { *this = Histogram{}; }
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// One frozen instrument inside a Snapshot.
+struct SnapshotEntry {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge reading; histogram mean.
+  double value = 0.0;
+  // Histogram-only fields (zero otherwise).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A frozen, name-sorted view of a registry.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  /// Entry by exact name; nullptr when absent.
+  [[nodiscard]] const SnapshotEntry* find(const std::string& name) const noexcept;
+  /// Counter/gauge reading (histogram mean) by name; `fallback` when absent.
+  [[nodiscard]] double value(const std::string& name, double fallback = 0.0) const noexcept;
+  /// Number of entries whose name starts with `prefix`.
+  [[nodiscard]] std::size_t count_prefix(const std::string& prefix) const noexcept;
+  /// Multi-line human-readable dump (one instrument per line).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Named instrument registry. Instrument references returned by
+/// counter()/gauge()/histogram() stay valid for the registry's lifetime, so
+/// hot paths can resolve a name once and bump a plain field afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. Throws Error if `name` already names another kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+  [[nodiscard]] std::size_t instrument_count() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+  /// Zero every instrument (names and references stay valid).
+  void reset() noexcept;
+
+ private:
+  // std::map: deterministic snapshot order; unique_ptr: stable references.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace megads::metrics

@@ -1,6 +1,7 @@
 #include "flowstream/flowstream.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -114,25 +115,46 @@ AggregatorId Flowstream::region_slot(std::size_t region) const {
   return regions_[region].slot;
 }
 
-void Flowstream::ingest(std::size_t region, std::size_t router,
-                        const flow::FlowRecord& record) {
-  expects(region < routers_.size() && router < routers_[region].size(),
-          "Flowstream: bad router coordinates");
+bool Flowstream::sample_record(const flow::FlowRecord& record,
+                               primitives::StreamItem& item) {
   ++flows_offered_;
   double weight = static_cast<double>(record.bytes);
   if (config_.ingest_sampling < 1.0) {
     // Router-side sampling with Horvitz-Thompson rescaling: totals stay
     // unbiased, per-flow detail becomes statistical (the paper's premise
     // for why Flowtree need not be exact).
-    if (!sampling_rng_.bernoulli(config_.ingest_sampling)) return;
+    if (!sampling_rng_.bernoulli(config_.ingest_sampling)) return false;
     weight /= config_.ingest_sampling;
   }
   ++flows_sampled_;
-  primitives::StreamItem item;
   item.key = record.key;
   item.value = weight;
   item.timestamp = record.timestamp;
+  return true;
+}
+
+void Flowstream::ingest(std::size_t region, std::size_t router,
+                        const flow::FlowRecord& record) {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  primitives::StreamItem item;
+  if (!sample_record(record, item)) return;
   routers_[region][router].store->ingest(SensorId(0), item);
+}
+
+void Flowstream::ingest_batch(std::size_t region, std::size_t router,
+                              std::span<const flow::FlowRecord> records) {
+  expects(region < routers_.size() && router < routers_[region].size(),
+          "Flowstream: bad router coordinates");
+  if (records.empty()) return;
+  std::vector<primitives::StreamItem> items;
+  items.reserve(records.size());
+  primitives::StreamItem item;
+  for (const flow::FlowRecord& record : records) {
+    if (sample_record(record, item)) items.push_back(item);
+  }
+  if (items.empty()) return;
+  routers_[region][router].store->ingest_batch(SensorId(0), items);
 }
 
 void Flowstream::attach_lineage(lineage::Recorder& recorder) {
@@ -141,6 +163,19 @@ void Flowstream::attach_lineage(lineage::Recorder& recorder) {
     for (auto& router : region) router.store->attach_lineage(recorder);
   }
   for (auto& region : regions_) region.store->attach_lineage(recorder);
+}
+
+void Flowstream::attach_metrics(metrics::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  for (auto& region : routers_) {
+    for (auto& router : region) router.store->attach_metrics(registry);
+  }
+  for (auto& region : regions_) region.store->attach_metrics(registry);
+  network_.attach_metrics(registry);
+  metric_exports_ = &registry.counter("flowstream.exports");
+  metric_export_bytes_ = &registry.counter("flowstream.export_wire_bytes");
+  metric_indexed_ = &registry.counter("flowstream.summaries_indexed");
+  metric_query_us_ = &registry.histogram("flowql.query_us");
 }
 
 void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now) {
@@ -194,6 +229,12 @@ void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now
 
   // Arrow 3: ship the encoded tree to the regional store...
   auto encoded = std::make_shared<std::vector<std::uint8_t>>(tree->encode());
+  if (metrics_ != nullptr) {
+    metric_exports_->add();
+    // The encoded summary leaves the router twice: once toward the regional
+    // store and once toward the cloud index.
+    metric_export_bytes_->add(2 * encoded->size());
+  }
   RegionNode& parent = regions_[region];
   store::DataStore* region_store_ptr = parent.store.get();
   const AggregatorId region_slot_id = parent.slot;
@@ -216,6 +257,7 @@ void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now
                 [this, encoded, db, window, location, export_entity](SimTime at) {
                   db->add_encoded(*encoded, window, location);
                   ++summaries_indexed_;
+                  if (metric_indexed_ != nullptr) metric_indexed_->add();
                   if (lineage_ != nullptr && export_entity != lineage::kNoEntity) {
                     const lineage::EntityId indexed = lineage_->add_entity(
                         lineage::EntityKind::kPartition,
@@ -240,7 +282,13 @@ void Flowstream::start() {
 }
 
 flowdb::Table Flowstream::query(const std::string& statement) const {
-  return flowdb::run_flowql(statement, db_);
+  if (metric_query_us_ == nullptr) return flowdb::run_flowql(statement, db_);
+  const auto started = std::chrono::steady_clock::now();
+  flowdb::Table table = flowdb::run_flowql(statement, db_);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - started);
+  metric_query_us_->observe(static_cast<double>(elapsed.count()));
+  return table;
 }
 
 }  // namespace megads::flowstream

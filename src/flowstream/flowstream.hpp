@@ -11,9 +11,11 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "flowdb/executor.hpp"
 #include "flowdb/flowdb.hpp"
@@ -68,6 +70,13 @@ class Flowstream {
   /// The flow's byte count is the popularity weight.
   void ingest(std::size_t region, std::size_t router, const flow::FlowRecord& record);
 
+  /// Arrow 1, batched: a router hands one epoch's worth of flow records to
+  /// its data store in a single call. Sampling and weight rescaling match the
+  /// per-record path; the store resolves subscriptions and seals once per
+  /// batch instead of once per record.
+  void ingest_batch(std::size_t region, std::size_t router,
+                    std::span<const flow::FlowRecord> records);
+
   /// Arm the periodic export loops (arrows 3 and 4). Call once.
   void start();
 
@@ -76,6 +85,13 @@ class Flowstream {
   /// FlowDB indexing are linked back to the router partitions that produced
   /// them. The recorder must outlive the system.
   void attach_lineage(lineage::Recorder& recorder);
+
+  /// Instrument the whole pipeline into `registry`: every router/region store
+  /// (store.<name>.*), the WAN (net.*), export wire volume
+  /// (flowstream.export_wire_bytes / flowstream.exports /
+  /// flowstream.summaries_indexed), and FlowQL latency (flowql.query_us
+  /// histogram, wall-clock). The registry must outlive the system.
+  void attach_metrics(metrics::MetricsRegistry& registry);
 
   /// Arrow 5: run a FlowQL statement against the cloud FlowDB.
   [[nodiscard]] flowdb::Table query(const std::string& statement) const;
@@ -122,6 +138,9 @@ class Flowstream {
   };
 
   void export_tick(std::size_t region, std::size_t router, SimTime now);
+  /// Sampling + weight rescaling shared by ingest()/ingest_batch(). Returns
+  /// false when the record is dropped by the sampler.
+  bool sample_record(const flow::FlowRecord& record, primitives::StreamItem& item);
 
   sim::Simulator* sim_;
   FlowstreamConfig config_;
@@ -136,6 +155,11 @@ class Flowstream {
   std::uint64_t flows_sampled_ = 0;
   bool started_ = false;
   lineage::Recorder* lineage_ = nullptr;
+  metrics::MetricsRegistry* metrics_ = nullptr;
+  metrics::Counter* metric_exports_ = nullptr;
+  metrics::Counter* metric_export_bytes_ = nullptr;
+  metrics::Counter* metric_indexed_ = nullptr;
+  metrics::Histogram* metric_query_us_ = nullptr;
   Rng sampling_rng_{0x5eed};
 };
 

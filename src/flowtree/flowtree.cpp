@@ -111,6 +111,33 @@ void Flowtree::insert(const primitives::StreamItem& item) {
   add(item.key, item.value);
 }
 
+void Flowtree::insert_batch(std::span<const primitives::StreamItem> items) {
+  if (items.empty()) return;
+  note_ingest_batch(items);
+  // Accumulate the batch per projected key: the canonical-chain walk in
+  // find_or_create and the self-compression check run once per *distinct*
+  // key instead of once per item. Scores add commutatively, so the final
+  // tree matches the per-item path exactly whenever no compression fires
+  // mid-stream; under budget pressure only the compression timing differs.
+  std::unordered_map<flow::FlowKey, double> batch;
+  batch.reserve(items.size());
+  for (const auto& item : items) {
+    batch[item.key.project(config_.features)] += item.value;
+  }
+  // Bound transient growth on pathological batches (every key distinct):
+  // compress mid-batch once the tree overshoots several budgets' worth.
+  const auto overshoot = std::max<std::size_t>(
+      4 * config_.node_budget,
+      static_cast<std::size_t>(std::ceil(static_cast<double>(config_.node_budget) *
+                                         config_.compress_slack)));
+  for (const auto& [key, weight] : batch) {
+    nodes_[find_or_create(key)].own += weight;
+    total_weight_ += weight;
+    if (node_count_ > overshoot) compress(config_.node_budget);
+  }
+  maybe_self_compress();
+}
+
 void Flowtree::maybe_self_compress() {
   const auto high_water = static_cast<std::size_t>(
       std::ceil(static_cast<double>(config_.node_budget) * config_.compress_slack));
@@ -291,6 +318,7 @@ void Flowtree::diff(const Flowtree& other) {
 void Flowtree::compress(std::size_t target_size) {
   expects(target_size >= 1, "Flowtree::compress: target must be >= 1");
   if (node_count_ <= target_size) return;
+  ++compress_count_;
 
   const std::vector<double> scores = subtree_scores();
 

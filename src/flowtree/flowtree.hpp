@@ -48,6 +48,9 @@ class Flowtree final : public primitives::Aggregator {
   // --- primitives::Aggregator surface ---
   [[nodiscard]] std::string kind() const override { return "flowtree"; }
   void insert(const primitives::StreamItem& item) override;
+  /// Batched ingest: accumulates the batch per projected key, so the tree
+  /// walk runs once per distinct key and self-compression once per batch.
+  void insert_batch(std::span<const primitives::StreamItem> items) override;
   [[nodiscard]] primitives::QueryResult execute(
       const primitives::Query& query) const override;
   [[nodiscard]] bool mergeable_with(
@@ -120,6 +123,10 @@ class Flowtree final : public primitives::Aggregator {
   [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
   /// True when compression has folded mass upward (answers are estimates).
   [[nodiscard]] bool lossy() const noexcept { return lossy_; }
+  /// Number of compress() runs (self-triggered or external) so far.
+  [[nodiscard]] std::uint64_t compress_count() const noexcept {
+    return compress_count_;
+  }
   /// All live nodes as (key, own score) rows (order unspecified).
   [[nodiscard]] std::vector<KeyScore> entries() const;
   /// Depth of the deepest live node.
@@ -177,6 +184,7 @@ class Flowtree final : public primitives::Aggregator {
   std::size_t node_count_ = 0;
   double total_weight_ = 0.0;
   bool lossy_ = false;
+  std::uint64_t compress_count_ = 0;
 };
 
 }  // namespace megads::flowtree

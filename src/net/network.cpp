@@ -1,6 +1,7 @@
 #include "net/network.hpp"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 namespace megads::net {
@@ -37,10 +38,21 @@ SimTime Network::send(NodeId from, NodeId to, std::uint64_t bytes,
     ls.bytes += bytes;
     ls.payload_bytes += bytes;
     stats_.bytes += bytes;
+    if (metrics_ != nullptr) {
+      LinkInstruments& li = link_instruments(lid);
+      li.messages->add();
+      li.bytes->add(bytes);
+      metric_bytes_->add(bytes);
+    }
   }
 
   stats_.messages += 1;
   stats_.payload_bytes += bytes;
+  if (metrics_ != nullptr) {
+    metric_messages_->add();
+    metric_payload_bytes_->add(bytes);
+    metric_transfer_us_->observe(static_cast<double>(head - sim_->now()));
+  }
 
   const SimTime delivered_at = head;
   if (on_delivered) {
@@ -69,6 +81,25 @@ TransferStats Network::link_stats(LinkId id) const {
 void Network::reset_stats() noexcept {
   stats_ = {};
   per_link_.clear();
+}
+
+void Network::attach_metrics(metrics::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  metric_messages_ = &registry.counter("net.messages");
+  metric_bytes_ = &registry.counter("net.bytes");
+  metric_payload_bytes_ = &registry.counter("net.payload_bytes");
+  metric_transfer_us_ = &registry.histogram("net.transfer_us");
+  link_instruments_.clear();
+}
+
+Network::LinkInstruments& Network::link_instruments(LinkId id) {
+  const auto it = link_instruments_.find(id);
+  if (it != link_instruments_.end()) return it->second;
+  const std::string prefix = "net.link." + std::to_string(id) + ".";
+  LinkInstruments li;
+  li.messages = &metrics_->counter(prefix + "messages");
+  li.bytes = &metrics_->counter(prefix + "bytes");
+  return link_instruments_.emplace(id, li).first->second;
 }
 
 }  // namespace megads::net

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "net/topology.hpp"
 #include "sim/simulator.hpp"
 
@@ -47,12 +48,32 @@ class Network {
   [[nodiscard]] TransferStats link_stats(LinkId id) const;
   void reset_stats() noexcept;
 
+  /// Mirror transfer accounting into `registry`: net.messages / net.bytes /
+  /// net.payload_bytes counters, a net.transfer_us latency histogram, and
+  /// per-link net.link.<id>.messages / net.link.<id>.bytes counters (created
+  /// lazily the first time a link carries traffic). The registry must outlive
+  /// the Network.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+
  private:
+  struct LinkInstruments {
+    metrics::Counter* messages = nullptr;
+    metrics::Counter* bytes = nullptr;
+  };
+  LinkInstruments& link_instruments(LinkId id);
+
   sim::Simulator* sim_;
   const Topology* topology_;
   TransferStats stats_;
   std::unordered_map<LinkId, TransferStats> per_link_;
   std::unordered_map<LinkId, SimTime> link_free_at_;
+
+  metrics::MetricsRegistry* metrics_ = nullptr;
+  metrics::Counter* metric_messages_ = nullptr;
+  metrics::Counter* metric_bytes_ = nullptr;
+  metrics::Counter* metric_payload_bytes_ = nullptr;
+  metrics::Histogram* metric_transfer_us_ = nullptr;
+  std::unordered_map<LinkId, LinkInstruments> link_instruments_;
 };
 
 }  // namespace megads::net

@@ -15,6 +15,10 @@ std::string query_kind(const Query& query) {
   return std::visit(Visitor{}, query);
 }
 
+void Aggregator::insert_batch(std::span<const StreamItem> items) {
+  for (const StreamItem& item : items) insert(item);
+}
+
 void Aggregator::adapt(const AdaptSignal& signal) {
   if (signal.size_budget > 0 && size() > signal.size_budget) {
     compress(signal.size_budget);

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "primitives/item.hpp"
@@ -41,6 +42,13 @@ class Aggregator {
 
   /// Ingest one observation.
   virtual void insert(const StreamItem& item) = 0;
+
+  /// Ingest a batch of observations. The default loops over insert();
+  /// primitives override it to amortize per-item work (hash lookups, tree
+  /// traversals, self-compression checks) across the whole batch. Overrides
+  /// must leave the summary in the same state a per-item loop would, except
+  /// that self-compression may run on batch instead of item boundaries.
+  virtual void insert_batch(std::span<const StreamItem> items);
 
   /// Answer a query; primitives return QueryResult::unsupported() for query
   /// shapes their summary cannot serve.
@@ -84,6 +92,11 @@ class Aggregator {
   void note_ingest(const StreamItem& item) noexcept {
     ++items_ingested_;
     weight_ingested_ += item.value;
+  }
+  /// Batched variant for insert_batch() overrides.
+  void note_ingest_batch(std::span<const StreamItem> items) noexcept {
+    items_ingested_ += items.size();
+    for (const StreamItem& item : items) weight_ingested_ += item.value;
   }
   /// And this from merge_from(), so totals stay additive across merges.
   void note_merge(const Aggregator& other) noexcept {

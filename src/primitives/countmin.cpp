@@ -34,25 +34,35 @@ std::size_t CountMinSketch::cell(std::size_t row, std::uint64_t key_hash) const 
                                   width_);
 }
 
-void CountMinSketch::insert(const StreamItem& item) {
-  note_ingest(item);
-  const std::uint64_t h = item.key.hash();
+void CountMinSketch::add_hashed(std::uint64_t key_hash, double value) noexcept {
   if (!conservative_) {
     for (std::size_t row = 0; row < depth_; ++row) {
-      counters_[cell(row, h)] += item.value;
+      counters_[cell(row, key_hash)] += value;
     }
     return;
   }
   // Conservative update: raise each row only as far as the new estimate.
   double current = std::numeric_limits<double>::infinity();
   for (std::size_t row = 0; row < depth_; ++row) {
-    current = std::min(current, counters_[cell(row, h)]);
+    current = std::min(current, counters_[cell(row, key_hash)]);
   }
-  const double target = current + item.value;
+  const double target = current + value;
   for (std::size_t row = 0; row < depth_; ++row) {
-    double& counter = counters_[cell(row, h)];
+    double& counter = counters_[cell(row, key_hash)];
     counter = std::max(counter, target);
   }
+}
+
+void CountMinSketch::insert(const StreamItem& item) {
+  note_ingest(item);
+  add_hashed(item.key.hash(), item.value);
+}
+
+void CountMinSketch::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  // Order-preserving loop: with conservative update the sketch state depends
+  // on insertion order, so only dispatch and bookkeeping are amortized.
+  for (const StreamItem& item : items) add_hashed(item.key.hash(), item.value);
 }
 
 double CountMinSketch::estimate(const flow::FlowKey& key) const noexcept {

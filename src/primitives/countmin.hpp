@@ -27,6 +27,7 @@ class CountMinSketch final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "count-min"; }
   void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
   void merge_from(const Aggregator& other) override;
@@ -46,6 +47,7 @@ class CountMinSketch final : public Aggregator {
 
  private:
   [[nodiscard]] std::size_t cell(std::size_t row, std::uint64_t key_hash) const noexcept;
+  void add_hashed(std::uint64_t key_hash, double value) noexcept;
 
   std::size_t width_;
   std::size_t depth_;

@@ -149,6 +149,12 @@ void ExactAggregator::insert(const StreamItem& item) {
   scores_[item.key] += item.value;
 }
 
+void ExactAggregator::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  scores_.reserve(scores_.size() + items.size());
+  for (const StreamItem& item : items) scores_[item.key] += item.value;
+}
+
 QueryResult ExactAggregator::execute(const Query& query) const {
   return detail::exact_frequency_query(scores_, policy_, query, lossy_);
 }
@@ -192,6 +198,11 @@ std::unique_ptr<Aggregator> ExactAggregator::clone() const {
 void RawStore::insert(const StreamItem& item) {
   note_ingest(item);
   items_.push_back(item);
+}
+
+void RawStore::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  items_.insert(items_.end(), items.begin(), items.end());
 }
 
 QueryResult RawStore::execute(const Query& query) const {

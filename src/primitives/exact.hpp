@@ -26,6 +26,7 @@ class ExactAggregator final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "exact"; }
   void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
   void merge_from(const Aggregator& other) override;
@@ -53,6 +54,7 @@ class RawStore final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "raw"; }
   void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
   void merge_from(const Aggregator& other) override;

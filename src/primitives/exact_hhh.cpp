@@ -18,6 +18,25 @@ void ExactHHH::insert(const StreamItem& item) {
   }
 }
 
+void ExactHHH::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  // Pre-aggregate per distinct key: the full ancestor-chain update (the
+  // expensive part — one map touch per generalization level) runs once per
+  // distinct key. Addition commutes, so the tables match the per-item path.
+  std::unordered_map<flow::FlowKey, double> batch;
+  batch.reserve(items.size());
+  for (const StreamItem& item : items) batch[item.key] += item.value;
+  for (const auto& [key, weight] : batch) {
+    own_[key] += weight;
+    flow::FlowKey cursor = key;
+    subtree_[cursor] += weight;
+    while (auto up = cursor.parent(policy_)) {
+      cursor = *up;
+      subtree_[cursor] += weight;
+    }
+  }
+}
+
 QueryResult ExactHHH::execute(const Query& query) const {
   QueryResult result;
   result.approximate = lossy_;

@@ -21,6 +21,8 @@ class ExactHHH final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "exact-hhh"; }
   void insert(const StreamItem& item) override;
+  /// Batched ingest: the ancestor-chain walk runs once per distinct key.
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
   void merge_from(const Aggregator& other) override;

@@ -20,6 +20,22 @@ void HistogramAggregator::insert(const StreamItem& item) {
   buckets_[bucket_of(item.value)] += 1;
 }
 
+void HistogramAggregator::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  // Sensor streams cluster around a working point: cache the last bucket so
+  // repeated values skip the map lookup (std::map nodes are stable).
+  std::uint64_t* cached = nullptr;
+  std::int64_t cached_index = 0;
+  for (const StreamItem& item : items) {
+    const std::int64_t index = bucket_of(item.value);
+    if (cached == nullptr || index != cached_index) {
+      cached = &buckets_[index];
+      cached_index = index;
+    }
+    *cached += 1;
+  }
+}
+
 QueryResult HistogramAggregator::execute(const Query& query) const {
   if (const auto* q = std::get_if<StatsQuery>(&query)) {
     (void)q;  // histograms have no time dimension: the window is ignored,

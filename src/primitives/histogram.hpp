@@ -25,6 +25,7 @@ class HistogramAggregator final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "histogram"; }
   void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
   void merge_from(const Aggregator& other) override;

@@ -28,6 +28,22 @@ void SamplingAggregator::insert(const StreamItem& item) {
   if (slot < capacity_) reservoir_[slot] = item;
 }
 
+void SamplingAggregator::insert_batch(std::span<const StreamItem> items) {
+  // The fill phase draws no random numbers, so it can be bulk-appended; the
+  // replacement phase must consume the RNG item by item to keep the reservoir
+  // bit-identical with the per-item path.
+  const std::size_t fill =
+      std::min(capacity_ - std::min(capacity_, reservoir_.size()), items.size());
+  reservoir_.insert(reservoir_.end(), items.begin(),
+                    items.begin() + static_cast<std::ptrdiff_t>(fill));
+  note_ingest_batch(items.first(fill));
+  for (std::size_t i = fill; i < items.size(); ++i) {
+    note_ingest(items[i]);
+    const std::uint64_t slot = rng_.uniform(items_ingested());
+    if (slot < capacity_) reservoir_[slot] = items[i];
+  }
+}
+
 double SamplingAggregator::sampling_rate() const noexcept {
   if (items_ingested() == 0) return 1.0;
   return std::min(1.0, static_cast<double>(reservoir_.size()) /

@@ -64,6 +64,13 @@ void SpaceSaving::insert(const StreamItem& item) {
   add_weight(item.key, item.value);
 }
 
+void SpaceSaving::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  // Eviction decisions depend on arrival order, so the batch is applied in
+  // order (no per-key pre-aggregation) to match the per-item path exactly.
+  for (const StreamItem& item : items) add_weight(item.key, item.value);
+}
+
 double SpaceSaving::min_count() const noexcept {
   if (entries_.size() < capacity_ || by_count_.empty()) return 0.0;
   return by_count_.begin()->first;

@@ -25,6 +25,23 @@ void TimeBinAggregator::insert(const StreamItem& item) {
   bins_[bin_of(item.timestamp)].add(item.value);
 }
 
+void TimeBinAggregator::insert_batch(std::span<const StreamItem> items) {
+  note_ingest_batch(items);
+  // Timestamps within a batch are usually monotone, so consecutive items hit
+  // the same bin: cache it and skip the map lookup. std::map nodes are
+  // reference-stable across inserts, so the cached pointer stays valid.
+  RunningStats* cached = nullptr;
+  std::int64_t cached_index = 0;
+  for (const StreamItem& item : items) {
+    const std::int64_t index = bin_of(item.timestamp);
+    if (cached == nullptr || index != cached_index) {
+      cached = &bins_[index];
+      cached_index = index;
+    }
+    cached->add(item.value);
+  }
+}
+
 QueryResult TimeBinAggregator::execute(const Query& query) const {
   if (const auto* q = std::get_if<StatsQuery>(&query)) {
     QueryResult result;

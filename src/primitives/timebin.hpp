@@ -20,6 +20,7 @@ class TimeBinAggregator final : public Aggregator {
 
   [[nodiscard]] std::string kind() const override { return "timebin"; }
   void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
   [[nodiscard]] QueryResult execute(const Query& query) const override;
   /// Mergeable when the two bin widths are equal or related by a power of
   /// two (hierarchy levels run at doubling granularities): the finer side is

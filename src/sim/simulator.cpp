@@ -27,9 +27,13 @@ EventHandle Simulator::schedule_periodic(SimDuration period, Callback callback) 
   auto shared_cb = std::make_shared<Callback>(std::move(callback));
 
   // Self-rescheduling wrapper. Captures `this` by pointer: the Simulator owns
-  // the queue the wrapper lives in, so it always outlives the event.
+  // the queue the wrapper lives in, so it always outlives the event. The
+  // wrapper holds only a weak reference to itself — the strong references
+  // live in the queued events — so the chain frees itself once the last
+  // pending event is popped instead of leaking a shared_ptr cycle.
   auto tick = std::make_shared<std::function<void(SimTime)>>();
-  *tick = [this, seq, shared_cb, tick, period](SimTime when) {
+  const std::weak_ptr<std::function<void(SimTime)>> weak_tick = tick;
+  *tick = [this, seq, shared_cb, weak_tick, period](SimTime when) {
     if (cancelled_.contains(seq)) {
       cancelled_.erase(seq);
       return;
@@ -39,7 +43,10 @@ EventHandle Simulator::schedule_periodic(SimDuration period, Callback callback) 
       cancelled_.erase(seq);
       return;
     }
-    queue_.push(Event{when + period, next_sequence_++, [tick](SimTime t) { (*tick)(t); }});
+    // Always succeeds: the event currently firing holds a strong reference.
+    auto self = weak_tick.lock();
+    queue_.push(Event{when + period, next_sequence_++,
+                      [self](SimTime t) { (*self)(t); }});
     ++live_events_;
   };
 

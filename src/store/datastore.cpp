@@ -74,9 +74,19 @@ void DataStore::set_live_budget(AggregatorId slot_id, std::size_t budget) {
   Slot& slot = slot_at(slot_id);
   slot.config.live_budget = budget;
   if (budget > 0) {
+    // The manager's "change parameter" message carries the real measured
+    // ingest/query rates of the current epoch, so primitives can trade off
+    // precision against the load they actually see.
     primitives::AdaptSignal signal;
     signal.size_budget = budget;
+    const double epoch_seconds =
+        std::max(1e-9, to_seconds(now_ - slot.epoch_start));
+    signal.items_per_second =
+        static_cast<double>(slot.items_this_epoch) / epoch_seconds;
+    signal.queries_per_second =
+        static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
     slot.live->adapt(signal);
+    if (metric_compressions_ != nullptr) metric_compressions_->add();
   }
 }
 
@@ -118,7 +128,7 @@ std::vector<lineage::EntityId> DataStore::partition_entities(
   return entities;
 }
 
-lineage::EntityId DataStore::ensure_live_entity(AggregatorId id, Slot& slot) {
+lineage::EntityId DataStore::ensure_live_entity(AggregatorId /*id*/, Slot& slot) {
   if (slot.live_entity == lineage::kNoEntity && lineage_ != nullptr) {
     slot.live_entity = lineage_->add_entity(
         lineage::EntityKind::kSummary,
@@ -144,6 +154,7 @@ void DataStore::absorb_with_lineage(AggregatorId slot_id,
 
 void DataStore::ingest(SensorId sensor, const StreamItem& item) {
   now_ = std::max(now_, item.timestamp);
+  if (first_ingest_ < 0) first_ingest_ = item.timestamp;
   ++items_;
   const auto it = subscriptions_.find(sensor);
   for (auto& [id, slot] : slots_) {
@@ -153,29 +164,93 @@ void DataStore::ingest(SensorId sensor, const StreamItem& item) {
     if (!subscribed) continue;
     slot.live->insert(item);
     ++slot.items_this_epoch;
-    if (lineage_ != nullptr && slot.contributors.insert(sensor).second) {
-      auto [sensor_it, inserted] =
-          sensor_entities_.try_emplace(sensor, lineage::kNoEntity);
-      if (inserted) {
-        sensor_it->second = lineage_->add_entity(
-            lineage::EntityKind::kSensor,
-            "sensor-" + std::to_string(sensor.value()), now_);
-      }
-      const lineage::EntityId live = ensure_live_entity(id, slot);
-      const lineage::EntityId inputs[] = {sensor_it->second};
-      lineage_->add_transform(lineage::TransformKind::kIngest, inputs, live, now_);
-    }
-    if (slot.config.live_budget > 0 && slot.live->size() > slot.config.live_budget) {
-      primitives::AdaptSignal signal;
-      signal.size_budget = slot.config.live_budget;
-      const double epoch_seconds =
-          std::max(1e-9, to_seconds(now_ - slot.epoch_start));
-      signal.items_per_second =
-          static_cast<double>(slot.items_this_epoch) / epoch_seconds;
-      slot.live->adapt(signal);
-    }
+    record_ingest_lineage(sensor, id, slot);
+    maybe_adapt(slot);
   }
-  fire_item_triggers(item);
+  if (item_trigger_count_ > 0) fire_item_triggers(item);
+  if (metrics_ != nullptr) update_ingest_metrics(1);
+}
+
+void DataStore::ingest_batch(SensorId sensor,
+                             std::span<const StreamItem> items) {
+  if (items.empty()) return;
+  SimTime min_ts = items.front().timestamp;
+  SimTime max_ts = items.front().timestamp;
+  for (const StreamItem& item : items) {
+    min_ts = std::min(min_ts, item.timestamp);
+    max_ts = std::max(max_ts, item.timestamp);
+  }
+  // Batch boundaries double as sealing points: epochs that ended before this
+  // batch begins are sealed now, without waiting for an external
+  // advance_to(). Sealing happens *before* the inserts so a batch that opens
+  // a new epoch cannot leak items into the previous epoch's partition.
+  // (Drivers emit one batch per epoch or finer; a batch spanning a boundary
+  // lands wholly in the epoch that was open when it started.)
+  now_ = std::max(now_, min_ts);
+  seal_elapsed_epochs();
+  now_ = std::max(now_, max_ts);
+  if (first_ingest_ < 0) first_ingest_ = min_ts;
+  items_ += items.size();
+  // Subscription resolution, lineage, and the budget check happen once per
+  // batch — that is the point of this entry over per-item ingest().
+  const auto it = subscriptions_.find(sensor);
+  for (auto& [id, slot] : slots_) {
+    const bool subscribed =
+        slot.config.subscribe_all ||
+        (it != subscriptions_.end() && it->second.contains(id));
+    if (!subscribed) continue;
+    slot.live->insert_batch(items);
+    slot.items_this_epoch += items.size();
+    record_ingest_lineage(sensor, id, slot);
+    maybe_adapt(slot);
+  }
+  if (item_trigger_count_ > 0) {
+    for (const StreamItem& item : items) fire_item_triggers(item);
+  }
+  if (metrics_ != nullptr) update_ingest_metrics(items.size());
+}
+
+void DataStore::record_ingest_lineage(SensorId sensor, AggregatorId id,
+                                      Slot& slot) {
+  if (lineage_ == nullptr || !slot.contributors.insert(sensor).second) return;
+  auto [sensor_it, inserted] =
+      sensor_entities_.try_emplace(sensor, lineage::kNoEntity);
+  if (inserted) {
+    sensor_it->second = lineage_->add_entity(
+        lineage::EntityKind::kSensor,
+        "sensor-" + std::to_string(sensor.value()), now_);
+  }
+  const lineage::EntityId live = ensure_live_entity(id, slot);
+  const lineage::EntityId inputs[] = {sensor_it->second};
+  lineage_->add_transform(lineage::TransformKind::kIngest, inputs, live, now_);
+}
+
+void DataStore::maybe_adapt(Slot& slot) {
+  if (slot.config.live_budget == 0 ||
+      slot.live->size() <= slot.config.live_budget) {
+    return;
+  }
+  primitives::AdaptSignal signal;
+  signal.size_budget = slot.config.live_budget;
+  const double epoch_seconds =
+      std::max(1e-9, to_seconds(now_ - slot.epoch_start));
+  signal.items_per_second =
+      static_cast<double>(slot.items_this_epoch) / epoch_seconds;
+  signal.queries_per_second =
+      static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
+  slot.live->adapt(signal);
+  if (metric_compressions_ != nullptr) metric_compressions_->add();
+}
+
+void DataStore::update_ingest_metrics(std::size_t batch_size) {
+  metric_items_->add(batch_size);
+  metric_batches_->add();
+  metric_batch_size_->observe(static_cast<double>(batch_size));
+  // Throughput over virtual time, from the first ingested item to now. When
+  // everything lands on one instant the rate degenerates to the item count.
+  const double elapsed = to_seconds(now_ - first_ingest_);
+  metric_rate_->set(elapsed > 0.0 ? static_cast<double>(items_) / elapsed
+                                  : static_cast<double>(items_));
 }
 
 void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
@@ -200,12 +275,18 @@ void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
   slot.live = slot.config.factory();
   slot.epoch_start = boundary;
   slot.items_this_epoch = 0;
+  slot.queries_this_epoch = 0;
+  if (metric_seals_ != nullptr) metric_seals_->add();
   (void)id;
 }
 
 void DataStore::advance_to(SimTime now) {
   expects(now >= now_, "DataStore::advance_to: clock must be monotone");
   now_ = now;
+  seal_elapsed_epochs();
+}
+
+void DataStore::seal_elapsed_epochs() {
   for (auto& [id, slot] : slots_) {
     while (now_ >= slot.epoch_start + slot.config.epoch) {
       seal(id, slot, slot.epoch_start + slot.config.epoch);
@@ -219,14 +300,18 @@ void DataStore::advance_to(SimTime now) {
 TriggerId DataStore::install_trigger(TriggerSpec spec) {
   expects(static_cast<bool>(spec.action), "DataStore::install_trigger: action required");
   const TriggerId id(next_trigger_++);
+  if (spec.kind == TriggerKind::kItemAbove) ++item_trigger_count_;
   triggers_.emplace(id, InstalledTrigger{std::move(spec), -1});
   return id;
 }
 
 void DataStore::remove_trigger(TriggerId trigger) {
-  if (triggers_.erase(trigger) == 0) {
+  const auto it = triggers_.find(trigger);
+  if (it == triggers_.end()) {
     throw NotFoundError("DataStore::remove_trigger: unknown trigger");
   }
+  if (it->second.spec.kind == TriggerKind::kItemAbove) --item_trigger_count_;
+  triggers_.erase(it);
 }
 
 void DataStore::fire_item_triggers(const StreamItem& item) {
@@ -349,6 +434,7 @@ QueryResult DataStore::combine_results(std::vector<QueryResult> parts,
 QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
                              std::optional<TimeInterval> interval) const {
   const Slot& slot = slot_at(slot_id);
+  ++slot.queries_this_epoch;
   std::vector<QueryResult> parts;
   std::vector<lineage::EntityId> consulted;
   for (const Partition& partition : slot.config.storage->partitions()) {
@@ -403,6 +489,36 @@ void DataStore::absorb(AggregatorId slot_id, const primitives::Aggregator& summa
   expects(slot.live->mergeable_with(summary),
           "DataStore::absorb: summary incompatible with slot");
   slot.live->merge_from(summary);
+  if (metric_merges_ != nullptr) metric_merges_->add();
+}
+
+// --- observability ---------------------------------------------------------------
+
+void DataStore::attach_metrics(metrics::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  const std::string prefix =
+      "store." + (name_.empty() ? "s" + std::to_string(id_.value()) : name_) + ".";
+  metric_items_ = &registry.counter(prefix + "ingest_items");
+  metric_batches_ = &registry.counter(prefix + "ingest_batches");
+  metric_seals_ = &registry.counter(prefix + "seal_count");
+  metric_merges_ = &registry.counter(prefix + "merge_count");
+  metric_compressions_ = &registry.counter(prefix + "compress_count");
+  metric_rate_ = &registry.gauge(prefix + "ingest_items_per_sec");
+  metric_batch_size_ = &registry.histogram(prefix + "ingest_batch_size");
+}
+
+double DataStore::measured_ingest_rate(AggregatorId slot_id) const {
+  const Slot& slot = slot_at(slot_id);
+  const double epoch_seconds =
+      std::max(1e-9, to_seconds(now_ - slot.epoch_start));
+  return static_cast<double>(slot.items_this_epoch) / epoch_seconds;
+}
+
+double DataStore::measured_query_rate(AggregatorId slot_id) const {
+  const Slot& slot = slot_at(slot_id);
+  const double epoch_seconds =
+      std::max(1e-9, to_seconds(now_ - slot.epoch_start));
+  return static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
 }
 
 // --- introspection ---------------------------------------------------------------

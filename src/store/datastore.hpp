@@ -9,11 +9,13 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "lineage/lineage.hpp"
 #include "store/storage.hpp"
 #include "store/trigger.hpp"
@@ -66,6 +68,15 @@ class DataStore {
   /// item triggers.
   void ingest(SensorId sensor, const primitives::StreamItem& item);
 
+  /// Ingest a batch of items from `sensor`. Subscriptions, lineage, and the
+  /// adapt/budget check are resolved once per batch instead of once per item,
+  /// the subscribed slots receive the whole span via insert_batch(), and
+  /// epochs that ended before the batch begins are sealed at the batch
+  /// boundary (before the inserts, so a batch that opens a new epoch cannot
+  /// leak into the previous partition). Item triggers fire after the batch is
+  /// ingested, in item order.
+  void ingest_batch(SensorId sensor, std::span<const primitives::StreamItem> items);
+
   /// Seal all slots whose epoch boundary has passed and run storage policy
   /// enforcement. Call this with the simulation clock (monotone).
   void advance_to(SimTime now);
@@ -111,6 +122,19 @@ class DataStore {
   void remove_trigger(TriggerId trigger);
   [[nodiscard]] std::size_t trigger_count() const noexcept { return triggers_.size(); }
 
+  // --- observability ---
+  /// Report into `registry` under the prefix "store.<name>." from now on:
+  /// ingest_items / ingest_batches counters, ingest_items_per_sec gauge (over
+  /// virtual time), ingest_batch_size histogram, and seal_count / merge_count
+  /// / compress_count counters. The registry must outlive the store.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+
+  /// Observed ingest rate of a slot over the current epoch (items/sec of
+  /// virtual time) — the real measurement behind AdaptSignal.
+  [[nodiscard]] double measured_ingest_rate(AggregatorId slot) const;
+  /// Observed query rate of a slot over the current epoch (queries/sec).
+  [[nodiscard]] double measured_query_rate(AggregatorId slot) const;
+
   // --- introspection ---
   [[nodiscard]] const std::vector<Partition>& partitions(AggregatorId slot) const;
   [[nodiscard]] const primitives::Aggregator& live(AggregatorId slot) const;
@@ -129,6 +153,7 @@ class DataStore {
     std::unique_ptr<primitives::Aggregator> live;
     SimTime epoch_start = 0;
     std::uint64_t items_this_epoch = 0;
+    mutable std::uint64_t queries_this_epoch = 0;  ///< bumped by const query()
     lineage::EntityId live_entity = lineage::kNoEntity;
     std::unordered_set<SensorId> contributors;  ///< per-epoch ingest dedup
   };
@@ -138,6 +163,14 @@ class DataStore {
   Slot& slot_at(AggregatorId id);
   [[nodiscard]] const Slot& slot_at(AggregatorId id) const;
   void seal(AggregatorId id, Slot& slot, SimTime boundary);
+  /// Seal every slot whose epoch boundary has passed and enforce storage.
+  void seal_elapsed_epochs();
+  /// Record sensor -> live-summary lineage for one ingest (item or batch).
+  void record_ingest_lineage(SensorId sensor, AggregatorId id, Slot& slot);
+  /// Push an AdaptSignal (budget + measured rates) when the live summary
+  /// outgrew its budget.
+  void maybe_adapt(Slot& slot);
+  void update_ingest_metrics(std::size_t batch_size);
   void fire_item_triggers(const primitives::StreamItem& item);
   void fire_epoch_triggers(const Partition& partition);
 
@@ -150,11 +183,26 @@ class DataStore {
     SimTime last_fired = -1;
   };
   std::unordered_map<TriggerId, InstalledTrigger> triggers_;
+  /// Installed kItemAbove triggers — the ingest fast path skips per-item
+  /// trigger evaluation entirely while this is zero.
+  std::size_t item_trigger_count_ = 0;
   SimTime now_ = 0;
   std::uint64_t items_ = 0;
+  SimTime first_ingest_ = -1;  ///< virtual time of the first ingested item
   std::uint32_t next_slot_ = 0;
   std::uint32_t next_trigger_ = 0;
   std::uint32_t next_partition_ = 0;
+
+  // Metrics instruments are resolved once in attach_metrics(); the hot path
+  // bumps plain fields through these pointers.
+  metrics::MetricsRegistry* metrics_ = nullptr;
+  metrics::Counter* metric_items_ = nullptr;
+  metrics::Counter* metric_batches_ = nullptr;
+  metrics::Counter* metric_seals_ = nullptr;
+  metrics::Counter* metric_merges_ = nullptr;
+  metrics::Counter* metric_compressions_ = nullptr;
+  metrics::Gauge* metric_rate_ = nullptr;
+  metrics::Histogram* metric_batch_size_ = nullptr;
 
   lineage::Recorder* lineage_ = nullptr;
   bool record_queries_ = false;

@@ -197,10 +197,10 @@ TEST(Hierarchy, StartTwiceThrows) {
 TEST(Hierarchy, ValidatesCoordinates) {
   sim::Simulator sim;
   Hierarchy hierarchy(sim, three_levels());
-  EXPECT_THROW(hierarchy.store(5, 0), PreconditionError);
-  EXPECT_THROW(hierarchy.store(0, 99), PreconditionError);
+  EXPECT_THROW(static_cast<void>(hierarchy.store(5, 0)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(hierarchy.store(0, 99)), PreconditionError);
   EXPECT_THROW(hierarchy.ingest(99, SensorId(0), {}), PreconditionError);
-  EXPECT_THROW(hierarchy.level(7), PreconditionError);
+  EXPECT_THROW(static_cast<void>(hierarchy.level(7)), PreconditionError);
 }
 
 TEST(Hierarchy, SingleLevelDegeneratesGracefully) {

@@ -1,0 +1,115 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::metrics {
+namespace {
+
+TEST(Metrics, CounterAccumulates) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("ingest.items");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&registry.counter("ingest.items"), &c);
+  EXPECT_EQ(registry.instrument_count(), 1u);
+}
+
+TEST(Metrics, GaugeKeepsLastValue) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("rate");
+  g.set(10.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Metrics, KindClashThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), PreconditionError);
+  EXPECT_THROW(registry.histogram("x"), PreconditionError);
+}
+
+TEST(Metrics, HistogramMoments) {
+  Histogram h;
+  h.observe(1.0);
+  h.observe(3.0);
+  h.observe(8.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 8.0);
+}
+
+TEST(Metrics, HistogramQuantileBucketResolution) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.observe(1.5);   // bucket [1, 2)
+  for (int i = 0; i < 10; ++i) h.observe(100.0); // bucket [64, 128)
+  // p50 lands in the [1, 2) bucket: upper edge 2.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  // p99 lands in the tail bucket; the estimate is clamped to the exact max.
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0);  // rank 0 -> first non-empty bucket
+}
+
+TEST(Metrics, HistogramNegativeAndZeroClampToFirstBucket) {
+  Histogram h;
+  h.observe(-5.0);
+  h.observe(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
+TEST(Metrics, SnapshotSortedAndQueryable) {
+  MetricsRegistry registry;
+  registry.counter("store.a.items").add(7);
+  registry.gauge("store.a.items_per_sec").set(3.5);
+  registry.histogram("store.a.batch_size").observe(16.0);
+  registry.counter("net.bytes").add(1024);
+
+  const Snapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.entries.size(), 4u);
+  // Sorted by name.
+  for (std::size_t i = 1; i < snap.entries.size(); ++i) {
+    EXPECT_LT(snap.entries[i - 1].name, snap.entries[i].name);
+  }
+  EXPECT_DOUBLE_EQ(snap.value("store.a.items"), 7.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.a.items_per_sec"), 3.5);
+  EXPECT_DOUBLE_EQ(snap.value("net.bytes"), 1024.0);
+  EXPECT_DOUBLE_EQ(snap.value("missing", -1.0), -1.0);
+  EXPECT_EQ(snap.find("missing"), nullptr);
+  EXPECT_EQ(snap.count_prefix("store.a."), 3u);
+
+  const SnapshotEntry* hist = snap.find("store.a.batch_size");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, SnapshotEntry::Kind::kHistogram);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_DOUBLE_EQ(hist->value, 16.0);
+}
+
+TEST(Metrics, SnapshotDumpContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.counter("seals").add(3);
+  registry.histogram("latency_ms").observe(12.0);
+  const std::string dump = registry.snapshot().to_string();
+  EXPECT_NE(dump.find("seals 3"), std::string::npos);
+  EXPECT_NE(dump.find("latency_ms count=1"), std::string::npos);
+}
+
+TEST(Metrics, ResetZeroesButKeepsReferences) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("n");
+  c.add(5);
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_DOUBLE_EQ(registry.snapshot().value("n"), 2.0);
+}
+
+}  // namespace
+}  // namespace megads::metrics

@@ -57,7 +57,9 @@ TEST(Table, TrailingWhitespaceTrimmed) {
   const std::string out = table.to_string();
   for (std::size_t pos = out.find('\n'); pos != std::string::npos;
        pos = out.find('\n', pos + 1)) {
-    if (pos > 0) EXPECT_NE(out[pos - 1], ' ');
+    if (pos > 0) {
+      EXPECT_NE(out[pos - 1], ' ');
+    }
   }
 }
 

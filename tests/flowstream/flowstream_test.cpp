@@ -32,10 +32,10 @@ TEST(Flowstream, ConstructionWiresTopology) {
   sim::Simulator sim;
   Flowstream system(sim, small_config());
   EXPECT_EQ(system.router_location(0, 1), "router-0.1");
-  EXPECT_NO_THROW(system.router_store(1, 1));
-  EXPECT_NO_THROW(system.region_store(0));
-  EXPECT_THROW(system.router_store(5, 0), PreconditionError);
-  EXPECT_THROW(system.region_store(9), PreconditionError);
+  EXPECT_NO_THROW(static_cast<void>(system.router_store(1, 1)));
+  EXPECT_NO_THROW(static_cast<void>(system.region_store(0)));
+  EXPECT_THROW(static_cast<void>(system.router_store(5, 0)), PreconditionError);
+  EXPECT_THROW(static_cast<void>(system.region_store(9)), PreconditionError);
 }
 
 TEST(Flowstream, IngestFeedsRouterStore) {
@@ -211,6 +211,45 @@ TEST(Flowstream, UplinkOutageDefersExportsThenRecovers) {
   // No data was lost end to end: FlowQL still sees every byte.
   const auto table = system.query("SELECT query FROM 0s..12s");
   EXPECT_EQ(table.rows[0][1], "6000");  // 60 flows x 100 bytes
+}
+
+TEST(Flowstream, MetricsSnapshotCoversPipelineAndLinks) {
+  sim::Simulator sim;
+  Flowstream system(sim, small_config());
+  metrics::MetricsRegistry registry;
+  system.attach_metrics(registry);
+  system.start();
+
+  std::vector<flow::FlowRecord> records;
+  for (std::uint8_t h = 0; h < 20; ++h) {
+    records.push_back(make_flow(1, h, 100, 0));
+  }
+  system.ingest_batch(0, 0, records);
+  system.ingest(1, 0, make_flow(2, 1, 100, 0));
+  sim.run_until(3 * kSecond);  // two epochs: exports reach region + cloud
+  const auto table = system.query("SELECT topk(5) FROM 0s..3s");
+  EXPECT_GT(table.row_count(), 0u);
+
+  const auto snap = registry.snapshot();
+  // Router stores ingested through the batched and per-item paths alike.
+  EXPECT_DOUBLE_EQ(snap.value("store.router-0.0.ingest_items"), 20.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.router-1.0.ingest_items"), 1.0);
+  // Exports were encoded and shipped twice (region + cloud) over real links.
+  EXPECT_GE(snap.value("flowstream.exports"), 2.0);
+  EXPECT_GT(snap.value("flowstream.export_wire_bytes"), 0.0);
+  EXPECT_GE(snap.value("flowstream.summaries_indexed"), 2.0);
+  EXPECT_GT(snap.value("net.messages"), 0.0);
+  EXPECT_GE(snap.value("net.bytes"), snap.value("net.payload_bytes"));
+  // Per-link accounting exists for at least the two used uplinks.
+  EXPECT_GE(snap.count_prefix("net.link."), 4u);
+  const auto* transfer = snap.find("net.transfer_us");
+  ASSERT_NE(transfer, nullptr);
+  EXPECT_GT(transfer->count, 0u);
+  // The FlowQL query above was timed.
+  const auto* latency = snap.find("flowql.query_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count, 1u);
+  EXPECT_GT(latency->max, 0.0);
 }
 
 TEST(Flowstream, StartTwiceThrows) {

@@ -22,7 +22,7 @@ TEST(Recorder, AddEntitiesAndLookup) {
 
 TEST(Recorder, UnknownEntityThrows) {
   Recorder recorder;
-  EXPECT_THROW(recorder.entity(99), NotFoundError);
+  EXPECT_THROW(static_cast<void>(recorder.entity(99)), NotFoundError);
   EXPECT_THROW(recorder.ancestors(99), NotFoundError);
   const EntityId real = recorder.add_entity(EntityKind::kSensor, "s", 0);
   const std::array<EntityId, 1> bogus = {EntityId{12345}};

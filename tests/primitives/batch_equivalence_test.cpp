@@ -1,0 +1,261 @@
+// Property suite for the batched ingest path: for every computing primitive,
+// insert_batch() must leave the aggregator in the same state as the
+// equivalent sequence of insert() calls — same query answers, same size,
+// same ingest totals — regardless of how the stream is chopped into batches.
+//
+// Item values are small integers so every internal sum is exact in double
+// arithmetic and the comparison can demand bit-equal scores even where the
+// two paths accumulate in a different association order.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "flowtree/flowtree.hpp"
+#include "helpers.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/spacesaving.hpp"
+#include "primitives/timebin.hpp"
+#include "store/datastore.hpp"
+#include "store/storage.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+
+std::vector<StreamItem> make_stream(std::size_t n) {
+  std::vector<StreamItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 37 hosts x 3 ports x 4 nets of distinct keys, integer weights,
+    // monotone timestamps — repeats, evictions, and multiple time bins.
+    items.push_back(item(key(static_cast<std::uint8_t>(i % 37),
+                             static_cast<std::uint16_t>(80 + i % 3),
+                             static_cast<std::uint8_t>(i % 4)),
+                         1.0 + static_cast<double>((i * i) % 7),
+                         static_cast<SimTime>(i) * 10 * kMillisecond));
+  }
+  return items;
+}
+
+/// Chop the stream into batches of irregular sizes (1, 7, 64, 200, rest).
+void feed_batched(Aggregator& agg, const std::vector<StreamItem>& items) {
+  static constexpr std::size_t kChunks[] = {1, 7, 64, 200};
+  std::size_t offset = 0;
+  for (const std::size_t chunk : kChunks) {
+    const std::size_t take = std::min(chunk, items.size() - offset);
+    agg.insert_batch(std::span<const StreamItem>(items).subspan(offset, take));
+    offset += take;
+  }
+  agg.insert_batch(std::span<const StreamItem>(items).subspan(offset));
+}
+
+/// Order-insensitive comparison of frequency rows: ties in score may be
+/// emitted in container order, which legitimately differs between the paths.
+void expect_same_entries(const QueryResult& a, const QueryResult& b,
+                         const std::string& context) {
+  auto normalize = [](std::vector<KeyScore> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const KeyScore& x, const KeyScore& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.key.to_string() < y.key.to_string();
+              });
+    return rows;
+  };
+  const auto ra = normalize(a.entries);
+  const auto rb = normalize(b.entries);
+  ASSERT_EQ(ra.size(), rb.size()) << context;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].key, rb[i].key) << context << " row " << i;
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score) << context << " row " << i;
+  }
+}
+
+void expect_same_result(const QueryResult& a, const QueryResult& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.supported, b.supported) << context;
+  EXPECT_EQ(a.approximate, b.approximate) << context;
+  expect_same_entries(a, b, context);
+  ASSERT_EQ(a.points.size(), b.points.size()) << context;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].key, b.points[i].key) << context;
+    EXPECT_DOUBLE_EQ(a.points[i].value, b.points[i].value) << context;
+    EXPECT_EQ(a.points[i].timestamp, b.points[i].timestamp) << context;
+  }
+  ASSERT_EQ(a.stats.has_value(), b.stats.has_value()) << context;
+  if (a.stats) {
+    EXPECT_EQ(a.stats->count, b.stats->count) << context;
+    EXPECT_DOUBLE_EQ(a.stats->sum, b.stats->sum) << context;
+    EXPECT_DOUBLE_EQ(a.stats->mean, b.stats->mean) << context;
+    EXPECT_DOUBLE_EQ(a.stats->stddev, b.stats->stddev) << context;
+    EXPECT_DOUBLE_EQ(a.stats->min, b.stats->min) << context;
+    EXPECT_DOUBLE_EQ(a.stats->max, b.stats->max) << context;
+  }
+}
+
+std::vector<Query> probe_queries() {
+  return {
+      PointQuery{key(1)},
+      PointQuery{key(5, 81, 2)},
+      PointQuery{flow::FlowKey{}},
+      TopKQuery{1000},  // k > distinct keys: no tie-break at the cutoff
+      AboveQuery{10.0},
+      DrilldownQuery{flow::FlowKey{}},
+      HHHQuery{0.05},
+      RangeQuery{{0, 3 * kSecond}, 0.0},
+      StatsQuery{{0, 10 * kSecond}},
+  };
+}
+
+struct BatchParam {
+  const char* name;
+  std::function<std::unique_ptr<Aggregator>()> make;
+};
+
+class BatchEquivalence : public ::testing::TestWithParam<BatchParam> {};
+
+TEST_P(BatchEquivalence, BatchedIngestMatchesPerItem) {
+  const auto items = make_stream(600);
+  const auto per_item = GetParam().make();
+  const auto batched = GetParam().make();
+
+  for (const StreamItem& it : items) per_item->insert(it);
+  feed_batched(*batched, items);
+
+  EXPECT_EQ(per_item->items_ingested(), batched->items_ingested());
+  EXPECT_DOUBLE_EQ(per_item->weight_ingested(), batched->weight_ingested());
+  EXPECT_EQ(per_item->size(), batched->size());
+
+  for (const Query& query : probe_queries()) {
+    expect_same_result(per_item->execute(query), batched->execute(query),
+                       std::string(GetParam().name) + "/" + query_kind(query));
+  }
+}
+
+TEST_P(BatchEquivalence, EmptyBatchIsANoOp) {
+  const auto agg = GetParam().make();
+  const auto fresh = GetParam().make();
+  agg->insert_batch({});
+  EXPECT_EQ(agg->items_ingested(), 0u);
+  // Fixed-footprint primitives (sketches, the flowtree root) report a
+  // nonzero baseline size; an empty batch must not change it.
+  EXPECT_EQ(agg->size(), fresh->size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrimitives, BatchEquivalence,
+    ::testing::Values(
+        BatchParam{"flowtree",
+                   [] {
+                     flowtree::FlowtreeConfig config;
+                     // Budget far above the stream's node count: no
+                     // self-compression, so equivalence is exact.
+                     config.node_budget = 1 << 20;
+                     return std::make_unique<flowtree::Flowtree>(config);
+                   }},
+        BatchParam{"countmin",
+                   [] { return std::make_unique<CountMinSketch>(512, 4); }},
+        BatchParam{"countmin_conservative",
+                   [] { return std::make_unique<CountMinSketch>(512, 4, true); }},
+        BatchParam{"spacesaving",
+                   [] { return std::make_unique<SpaceSaving>(64); }},
+        BatchParam{"sampling",
+                   [] { return std::make_unique<SamplingAggregator>(32); }},
+        BatchParam{"timebin",
+                   [] { return std::make_unique<TimeBinAggregator>(kSecond); }},
+        BatchParam{"histogram",
+                   [] { return std::make_unique<HistogramAggregator>(0.5); }},
+        BatchParam{"exact", [] { return std::make_unique<ExactAggregator>(); }},
+        BatchParam{"exact_hhh", [] { return std::make_unique<ExactHHH>(); }},
+        BatchParam{"raw", [] { return std::make_unique<RawStore>(); }}),
+    [](const ::testing::TestParamInfo<BatchParam>& info) {
+      return std::string(info.param.name);
+    });
+
+// Mid-batch self-compression changes which nodes survive but must preserve
+// the tree's conservation laws: total mass, ingest totals, budget.
+TEST(FlowtreeBatchCompression, MassAndTotalsSurviveMidBatchCompression) {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 64;  // tiny: an all-distinct batch must compress mid-way
+  flowtree::Flowtree tree(config);
+
+  std::vector<StreamItem> items;
+  double total = 0.0;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    const auto k = key(static_cast<std::uint8_t>(i % 251),
+                       static_cast<std::uint16_t>(1024 + i % 97),
+                       static_cast<std::uint8_t>(i % 13));
+    const double w = 1.0 + static_cast<double>(i % 5);
+    items.push_back(item(k, w, static_cast<SimTime>(i) * kMillisecond));
+    total += w;
+  }
+  tree.insert_batch(items);
+
+  EXPECT_EQ(tree.items_ingested(), items.size());
+  EXPECT_DOUBLE_EQ(tree.total_weight(), total);
+  EXPECT_DOUBLE_EQ(tree.query(flow::FlowKey{}), total);  // root keeps all mass
+  EXPECT_GE(tree.compress_count(), 1u);
+  EXPECT_LE(tree.size(), 4 * config.node_budget);  // mid-batch overshoot bound
+}
+
+// Store-level equivalence: per-item ingest + advance_to against per-epoch
+// ingest_batch must agree on partitions, query answers, and totals.
+TEST(DataStoreBatchEquivalence, EpochAlignedBatchesMatchPerItemIngest) {
+  const auto make_store = [](const std::string& name) {
+    auto store = std::make_unique<store::DataStore>(StoreId(0), name);
+    store::SlotConfig slot;
+    slot.name = "exact";
+    slot.factory = [] { return std::make_unique<ExactAggregator>(); };
+    slot.epoch = kSecond;
+    slot.storage = std::make_unique<store::RoundRobinStorage>(8u << 20);
+    slot.subscribe_all = true;
+    store->install(std::move(slot));
+    return store;
+  };
+  const auto items = make_stream(600);  // 10ms apart: 6 full epochs
+
+  // Advance the clock before delivering each item so an item that lands
+  // exactly on an epoch boundary opens the new epoch — the same seal-first
+  // rule ingest_batch applies at batch boundaries.
+  const auto a = make_store("per-item");
+  for (const StreamItem& it : items) {
+    a->advance_to(it.timestamp);
+    a->ingest(SensorId(0), it);
+  }
+
+  const auto b = make_store("batched");
+  for (std::size_t begin = 0; begin < items.size(); begin += 100) {
+    const auto batch = std::span<const StreamItem>(items).subspan(
+        begin, std::min<std::size_t>(100, items.size() - begin));
+    b->ingest_batch(SensorId(0), batch);
+  }
+
+  EXPECT_EQ(a->items_ingested(), b->items_ingested());
+  EXPECT_EQ(a->partitions(AggregatorId(0)).size(),
+            b->partitions(AggregatorId(0)).size());
+  const Query probes[] = {Query{TopKQuery{1000}}, Query{PointQuery{key(3)}},
+                          Query{AboveQuery{5.0}}};
+  for (const Query& query : probes) {
+    expect_same_result(a->query(AggregatorId(0), query),
+                       b->query(AggregatorId(0), query),
+                       "datastore/" + query_kind(query));
+    // Interval-restricted queries exercise the sealed partitions.
+    const TimeInterval window{kSecond, 4 * kSecond};
+    expect_same_result(a->query(AggregatorId(0), query, window),
+                       b->query(AggregatorId(0), query, window),
+                       "datastore-window/" + query_kind(query));
+  }
+}
+
+}  // namespace
+}  // namespace megads::primitives

@@ -100,8 +100,12 @@ TEST_P(AggregatorContract, NotMergeableWithDifferentKind) {
   const auto agg = make();
   const ExactAggregator exact;
   const TimeBinAggregator bins(kSecond);
-  if (agg->kind() != exact.kind()) EXPECT_FALSE(agg->mergeable_with(exact));
-  if (agg->kind() != bins.kind()) EXPECT_FALSE(agg->mergeable_with(bins));
+  if (agg->kind() != exact.kind()) {
+    EXPECT_FALSE(agg->mergeable_with(exact));
+  }
+  if (agg->kind() != bins.kind()) {
+    EXPECT_FALSE(agg->mergeable_with(bins));
+  }
 }
 
 TEST_P(AggregatorContract, CompressBoundsSize) {

@@ -46,7 +46,7 @@ TEST(Histogram, QuantilesOfUniformStream) {
 TEST(Histogram, QuantileOfEmptyIsZero) {
   HistogramAggregator hist(1.0);
   EXPECT_EQ(hist.quantile(0.5), 0.0);
-  EXPECT_THROW(hist.quantile(1.5), PreconditionError);
+  EXPECT_THROW(static_cast<void>(hist.quantile(1.5)), PreconditionError);
 }
 
 TEST(Histogram, CountAboveThreshold) {

@@ -93,7 +93,9 @@ TEST(SamplingAggregator, RangeQueryFiltersAndSorts) {
     EXPECT_GE(result.points[i].value, 5.0);
     EXPECT_GE(result.points[i].timestamp, 100);
     EXPECT_LT(result.points[i].timestamp, 200);
-    if (i > 0) EXPECT_LE(result.points[i - 1].timestamp, result.points[i].timestamp);
+    if (i > 0) {
+      EXPECT_LE(result.points[i - 1].timestamp, result.points[i].timestamp);
+    }
   }
 }
 

@@ -322,5 +322,51 @@ TEST(DataStore, CombineResultsTopKReappliesK) {
   EXPECT_TRUE(combined.approximate);
 }
 
+TEST(DataStore, MetricsSnapshotCountsIngestSealMergeCompress) {
+  metrics::MetricsRegistry registry;
+  DataStore store(StoreId(3), "edge");
+  store.attach_metrics(registry);
+  const AggregatorId slot = store.install(exact_slot(kSecond));
+
+  std::vector<StreamItem> batch;
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    batch.push_back(item(host(1, i), 1.0, i * 100 * kMillisecond));
+  }
+  store.ingest_batch(SensorId(0), batch);
+  store.ingest(SensorId(0), item(host(1, 99), 1.0, 1500 * kMillisecond));
+  store.advance_to(2 * kSecond);  // both epochs held data -> two seals
+
+  primitives::ExactAggregator remote;
+  remote.insert(item(host(2, 1), 5.0, 0));
+  store.absorb(slot, remote);
+  store.set_live_budget(slot, 4);  // manager compress push
+
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.ingest_items"), 11.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.ingest_batches"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.seal_count"), 2.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.merge_count"), 1.0);
+  EXPECT_GE(snap.value("store.edge.compress_count"), 1.0);
+  // 11 items over 1.5 virtual seconds of ingest.
+  EXPECT_NEAR(snap.value("store.edge.ingest_items_per_sec"), 11.0 / 1.5, 1e-9);
+  const auto* sizes = snap.find("store.edge.ingest_batch_size");
+  ASSERT_NE(sizes, nullptr);
+  EXPECT_EQ(sizes->count, 2u);
+  EXPECT_DOUBLE_EQ(sizes->sum, 11.0);
+  EXPECT_DOUBLE_EQ(sizes->max, 10.0);
+
+  EXPECT_NEAR(store.measured_ingest_rate(slot), 0.0, 1e-9);  // fresh epoch
+  EXPECT_EQ(snap.count_prefix("store.edge."), 7u);
+}
+
+TEST(DataStore, IngestWithoutMetricsAttachedIsFine) {
+  DataStore store(StoreId(0), "s");
+  store.install(exact_slot());
+  store.ingest(SensorId(0), item(host(1, 1), 1.0, 0));
+  std::vector<StreamItem> batch{item(host(1, 2), 1.0, 10)};
+  store.ingest_batch(SensorId(0), batch);
+  EXPECT_EQ(store.items_ingested(), 2u);
+}
+
 }  // namespace
 }  // namespace megads::store

@@ -132,7 +132,7 @@ TEST(FlowGenerator, PacketCountsAreHeavyTailed) {
 
 TEST(FlowGenerator, NetworkAccessorValidates) {
   FlowGenerator gen({});
-  EXPECT_THROW(gen.network(1000), PreconditionError);
+  EXPECT_THROW(static_cast<void>(gen.network(1000)), PreconditionError);
 }
 
 TEST(FlowGenerator, RejectsBadConfig) {
