@@ -1,0 +1,53 @@
+// Fuzz target: the FlowQL pipeline — lexer, parser, and executor — run
+// end-to-end against a small in-memory FlowDB.
+//
+// Contract under test: for arbitrary statement text, run_flowql() either
+// returns a Table or throws ParseError. Crashes, sanitizer reports, and
+// uncaught non-ParseError exceptions are bugs (a syntactically valid but
+// semantically hostile statement must not take the executor down either).
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+
+namespace {
+
+megads::flowdb::FlowDB make_db() {
+  using megads::flow::FlowKey;
+  using megads::flow::IPv4;
+  megads::flowdb::FlowDB db;
+  for (int epoch = 0; epoch < 2; ++epoch) {
+    megads::flowtree::Flowtree tree;
+    for (std::uint32_t host = 1; host <= 4; ++host) {
+      tree.add(FlowKey::from_tuple(6, IPv4((10u << 24) | (1u << 16) | host),
+                                   1000 + static_cast<std::uint16_t>(host),
+                                   IPv4((77u << 24) | 9u), 443),
+               10.0 * host);
+      tree.add(FlowKey::from_tuple(17, IPv4((10u << 24) | (2u << 16) | host),
+                                   2000 + static_cast<std::uint16_t>(host),
+                                   IPv4((88u << 24) | 7u), 53),
+               5.0 * host);
+    }
+    db.add(std::move(tree),
+           megads::TimeInterval{epoch * megads::kMinute,
+                                (epoch + 1) * megads::kMinute},
+           epoch == 0 ? "router-a" : "router-b");
+  }
+  return db;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const megads::flowdb::FlowDB db = make_db();
+  const std::string statement(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)megads::flowdb::run_flowql(statement, db);
+  } catch (const megads::ParseError&) {
+    // The documented rejection path for malformed statements.
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Fuzz target: Flowtree wire decoding (src/flowtree/codec.cpp).
+//
+// Contract under test: for *arbitrary* input bytes, decode() either throws
+// ParseError or produces a structurally valid tree that survives an
+// encode/decode round trip. Anything else — a crash, sanitizer report,
+// uncaught non-ParseError exception, or invariant violation — is a bug.
+//
+// Build shapes (see fuzz/CMakeLists.txt):
+//  - <target>_replay: plain executable replaying the checked-in corpus,
+//    wired into ctest so regressions run in every build.
+//  - with -DMEGADS_FUZZ=ON and a clang toolchain: a libFuzzer binary for
+//    open-ended exploration.
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flowtree/flowtree.hpp"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_flowtree_decode: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    megads::flowtree::Flowtree tree = megads::flowtree::Flowtree::decode(bytes);
+    tree.check_invariants();
+
+    // Round trip: whatever decode accepted must re-encode into a payload that
+    // decodes to the same summary.
+    const std::vector<std::uint8_t> wire = tree.encode();
+    const megads::flowtree::Flowtree again =
+        megads::flowtree::Flowtree::decode(wire, tree.config());
+    again.check_invariants();
+    if (again.size() != tree.size()) die("round trip changed the node count");
+    const double a = tree.total_weight();
+    const double b = again.total_weight();
+    if (std::fabs(a - b) >
+        1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)})) {
+      die("round trip changed the total weight");
+    }
+  } catch (const megads::ParseError&) {
+    // The documented rejection path for malformed input.
+  }
+  return 0;
+}

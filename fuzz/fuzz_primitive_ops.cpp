@@ -1,0 +1,174 @@
+// Structure-aware fuzz target: drives a random operator sequence — insert,
+// insert_batch, merge, compress, adapt, clone, queries — through one of the
+// computing primitives, verifying structural invariants after every step.
+//
+// The input bytes are an op program: the first byte picks the primitive, the
+// rest is consumed as (opcode, operands) pairs. Two instances of the chosen
+// primitive run side by side so merge_from() sees genuinely different
+// summaries. Weights are kept finite and non-negative (the ingest contract;
+// SpaceSaving's error bound assumes a non-negative stream).
+//
+// Contract under test: no operator sequence may crash, trip a sanitizer, or
+// leave a summary violating check_invariants().
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/spacesaving.hpp"
+#include "primitives/timebin.hpp"
+
+namespace {
+
+using megads::primitives::Aggregator;
+using megads::primitives::StreamItem;
+
+/// Sequential consumer over the fuzz input; returns zeros once exhausted.
+class Program {
+ public:
+  Program(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= size_; }
+  std::uint8_t u8() { return done() ? 0 : data_[pos_++]; }
+  std::uint16_t u16() {
+    return static_cast<std::uint16_t>(u8() | (static_cast<std::uint16_t>(u8()) << 8));
+  }
+  /// Finite, non-negative weight in [0, 6553.5].
+  double weight() { return static_cast<double>(u16()) / 10.0; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::unique_ptr<Aggregator> make_primitive(std::uint8_t selector) {
+  using namespace megads::primitives;
+  switch (selector % 9) {
+    case 0: return std::make_unique<megads::flowtree::Flowtree>(
+        megads::flowtree::FlowtreeConfig{.node_budget = 64});
+    case 1: return std::make_unique<SamplingAggregator>(32);
+    case 2: return std::make_unique<CountMinSketch>(64, 4);
+    case 3: return std::make_unique<CountMinSketch>(64, 4, /*conservative=*/true);
+    case 4: return std::make_unique<SpaceSaving>(16);
+    case 5: return std::make_unique<TimeBinAggregator>(megads::kSecond);
+    case 6: return std::make_unique<HistogramAggregator>(8.0);
+    case 7: return std::make_unique<ExactAggregator>();
+    default: return std::make_unique<ExactHHH>();
+  }
+}
+
+/// Small key space so inserts collide, generalize, and evict realistically.
+megads::flow::FlowKey make_key(Program& in) {
+  using megads::flow::FlowKey;
+  using megads::flow::IPv4;
+  const std::uint8_t shape = in.u8();
+  const std::uint32_t src_host = in.u8() % 8;
+  const std::uint32_t dst_host = in.u8() % 8;
+  const std::uint16_t port = static_cast<std::uint16_t>(in.u8() % 4);
+  FlowKey key = FlowKey::from_tuple(
+      (shape & 1) != 0 ? 6 : 17, IPv4((10u << 24) | (src_host << 8) | 1u),
+      static_cast<std::uint16_t>(1000 + port),
+      IPv4((77u << 24) | (dst_host << 8) | 2u),
+      static_cast<std::uint16_t>((shape & 2) != 0 ? 443 : 53));
+  // Sometimes generalize: walk a few steps toward the root.
+  for (int step = (shape >> 2) % 4; step > 0; --step) {
+    if (auto up = key.parent()) {
+      key = *up;
+    } else {
+      break;
+    }
+  }
+  return key;
+}
+
+StreamItem make_item(Program& in, megads::SimTime& clock) {
+  clock += in.u8() * megads::kMillisecond;
+  return StreamItem{make_key(in), in.weight(), clock};
+}
+
+void run_queries(const Aggregator& summary, Program& in) {
+  using namespace megads::primitives;
+  (void)summary.execute(PointQuery{make_key(in)});
+  (void)summary.execute(TopKQuery{1 + in.u8() % 16u});
+  (void)summary.execute(AboveQuery{in.weight()});
+  (void)summary.execute(DrilldownQuery{make_key(in)});
+  (void)summary.execute(HHHQuery{0.01 + static_cast<double>(in.u8() % 50) / 100.0});
+  (void)summary.execute(
+      StatsQuery{megads::TimeInterval{0, 1 + in.u16() * megads::kMillisecond}});
+  (void)summary.execute(RangeQuery{
+      megads::TimeInterval{0, 1 + in.u16() * megads::kMillisecond}, in.weight()});
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  Program in(data, size);
+
+  const std::uint8_t selector = in.u8();
+  std::unique_ptr<Aggregator> a = make_primitive(selector);
+  std::unique_ptr<Aggregator> b = make_primitive(selector);
+  megads::SimTime clock = 0;
+
+  try {
+    while (!in.done()) {
+      Aggregator& target = (in.u8() & 1) != 0 ? *a : *b;
+      switch (in.u8() % 7) {
+        case 0:
+          target.insert(make_item(in, clock));
+          break;
+        case 1: {
+          std::vector<StreamItem> batch;
+          const std::size_t n = 1 + in.u8() % 32u;
+          batch.reserve(n);
+          for (std::size_t i = 0; i < n; ++i) batch.push_back(make_item(in, clock));
+          target.insert_batch(batch);
+          break;
+        }
+        case 2: {
+          const Aggregator& other = (&target == a.get()) ? *b : *a;
+          if (target.mergeable_with(other)) target.merge_from(other);
+          break;
+        }
+        case 3:
+          target.compress(1 + in.u8());
+          break;
+        case 4: {
+          megads::primitives::AdaptSignal signal;
+          signal.items_per_second = in.weight();
+          signal.queries_per_second = in.weight();
+          signal.size_budget = 1 + in.u8();
+          target.adapt(signal);
+          break;
+        }
+        case 5: {
+          const std::unique_ptr<Aggregator> copy = target.clone();
+          copy->check_invariants();
+          break;
+        }
+        default:
+          run_queries(target, in);
+          break;
+      }
+      target.check_invariants();
+    }
+    a->check_invariants();
+    b->check_invariants();
+  } catch (const megads::Error& e) {
+    // No operator in this program is allowed to fail: inputs are finite,
+    // weights non-negative, merges guarded by mergeable_with().
+    std::fprintf(stderr, "fuzz_primitive_ops: unexpected failure: %s\n", e.what());
+    std::abort();
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Standalone corpus-replay driver: a plain main() linked against any
+// LLVMFuzzerTestOneInput harness, so the checked-in regression corpus runs
+// under gcc / ctest without the libFuzzer engine. Arguments are corpus files
+// or directories (scanned recursively).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  const std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                                std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                         bytes.size());
+  std::printf("ok %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus file or directory>...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic replay order
+      for (const auto& file : files) {
+        failures += replay_file(file);
+        ++replayed;
+      }
+    } else {
+      failures += replay_file(arg);
+      ++replayed;
+    }
+  }
+  if (replayed == 0) {
+    std::fprintf(stderr, "replay: no corpus inputs found\n");
+    return 2;
+  }
+  std::printf("replayed %zu inputs, %d unreadable\n", replayed, failures);
+  return failures == 0 ? 0 : 1;
+}

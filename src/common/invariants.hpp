@@ -1,0 +1,26 @@
+// Debug invariant checking (configure with -DMEGADS_CHECK_INVARIANTS=ON).
+//
+// Every Aggregator implements check_invariants(); the data store and the
+// simulator expose structural self-checks as well. The methods always exist
+// (tests call them directly), but the *automatic* assertion after every
+// mutating operation is compiled in only when the CMake option is set, so
+// production builds pay nothing.
+//
+// MEGADS_VERIFY_INVARIANTS(obj) — call obj.check_invariants() when checking
+// is compiled in; expands to nothing otherwise. check_invariants() throws
+// megads::Error with a description of the first violated invariant.
+#pragma once
+
+namespace megads {
+
+#if defined(MEGADS_CHECK_INVARIANTS)
+inline constexpr bool kInvariantCheckingEnabled = true;
+#define MEGADS_VERIFY_INVARIANTS(obj) (obj).check_invariants()
+#else
+inline constexpr bool kInvariantCheckingEnabled = false;
+#define MEGADS_VERIFY_INVARIANTS(obj) \
+  do {                                \
+  } while (false)
+#endif
+
+}  // namespace megads

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "flowdb/lexer.hpp"
@@ -22,6 +23,10 @@ const char* to_string(OperatorKind op) noexcept {
 }
 
 namespace {
+
+/// Upper bound for count-style operator arguments (topk/diff k): keeps the
+/// executor's double -> size_t casts in range and rejects absurd requests.
+constexpr double kMaxK = 1e9;
 
 std::string lower(std::string text) {
   std::transform(text.begin(), text.end(), text.begin(),
@@ -58,7 +63,14 @@ class Parser {
 
  private:
   const Token& peek() const { return tokens_[pos_]; }
-  const Token& advance() { return tokens_[pos_++]; }
+  /// The End sentinel is sticky: advancing past it would read off the token
+  /// vector (found by fuzz_flowql on "select topk("), so it is returned
+  /// without consuming — every caller then fails cleanly on its kind.
+  const Token& advance() {
+    const Token& token = tokens_[pos_];
+    if (token.kind != TokenKind::kEnd) ++pos_;
+    return token;
+  }
 
   [[noreturn]] void fail(const std::string& message) const {
     throw ParseError("FlowQL: " + message + " at offset " +
@@ -92,7 +104,11 @@ class Parser {
     const auto* begin = token.text.data();
     const auto* end = begin + token.text.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{} || ptr != end) fail("malformed number '" + token.text + "'");
+    // from_chars accepts "inf"/"nan" spellings; neither is a usable operator
+    // argument (NaN slips through range checks like "k >= 1").
+    if (ec != std::errc{} || ptr != end || !std::isfinite(value)) {
+      fail("malformed number '" + token.text + "'");
+    }
     return value;
   }
 
@@ -104,7 +120,9 @@ class Parser {
     if (name == "topk" || name == "top-k" || name == "top_k") {
       statement.op = OperatorKind::kTopK;
       statement.argument = parse_paren_number();
-      if (statement.argument < 1) fail("topk: k must be >= 1");
+      if (statement.argument < 1 || statement.argument > kMaxK) {
+        fail("topk: k must be in [1, 1e9]");
+      }
     } else if (name == "hhh") {
       statement.op = OperatorKind::kHHH;
       statement.argument = parse_paren_number();
@@ -123,7 +141,9 @@ class Parser {
       statement.argument = 20.0;
       if (peek().kind == TokenKind::kLParen) {
         statement.argument = parse_paren_number();
-        if (statement.argument < 1) fail("diff: k must be >= 1");
+        if (statement.argument < 1 || statement.argument > kMaxK) {
+          fail("diff: k must be in [1, 1e9]");
+        }
       }
     } else {
       fail("unknown operator '" + token.text + "'");
@@ -160,10 +180,14 @@ class Parser {
     const auto* begin = digits.data();
     const auto* end = begin + digits.size();
     const auto [ptr, ec] = std::from_chars(begin, end, value);
-    if (ec != std::errc{} || ptr != end || value < 0) {
+    if (ec != std::errc{} || ptr != end || value < 0 || !std::isfinite(value)) {
       fail("malformed time literal '" + text + "'");
     }
-    return static_cast<SimTime>(value * static_cast<double>(unit));
+    // Guard the double -> SimTime cast: out-of-range conversions (e.g.
+    // "0..1e300", found by fuzz_flowql under UBSan) are undefined behavior.
+    const double scaled = value * static_cast<double>(unit);
+    if (scaled >= 9.2e18) fail("time literal out of range '" + text + "'");
+    return static_cast<SimTime>(scaled);
   }
 
   void parse_condition(Statement& statement) {
@@ -182,19 +206,25 @@ class Parser {
       return;
     }
     if (value.kind != TokenKind::kWord) fail("expected a value");
+    // Integer condition values must fit their wire field; a silent wrap
+    // (dst_port = 65616 matching port 80) would answer the wrong query.
+    const auto bounded = [&](double max) {
+      const double number = parse_number(value);
+      if (number < 0 || number > max || number != std::floor(number)) {
+        fail("condition value out of range '" + value.text + "'");
+      }
+      return number;
+    };
     if (field == "src") {
       statement.restriction.with_src(flow::Prefix::parse(value.text));
     } else if (field == "dst") {
       statement.restriction.with_dst(flow::Prefix::parse(value.text));
     } else if (field == "src_port") {
-      statement.restriction.with_src_port(
-          static_cast<std::uint16_t>(parse_number(value)));
+      statement.restriction.with_src_port(static_cast<std::uint16_t>(bounded(65535)));
     } else if (field == "dst_port") {
-      statement.restriction.with_dst_port(
-          static_cast<std::uint16_t>(parse_number(value)));
+      statement.restriction.with_dst_port(static_cast<std::uint16_t>(bounded(65535)));
     } else if (field == "proto") {
-      statement.restriction.with_proto(
-          static_cast<std::uint8_t>(parse_number(value)));
+      statement.restriction.with_proto(static_cast<std::uint8_t>(bounded(255)));
     } else {
       fail("unknown condition field '" + field_token.text + "'");
     }

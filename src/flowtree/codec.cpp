@@ -7,6 +7,7 @@
 //   per node (24 bytes): flags, proto, src_len, dst_len, src (u32), dst (u32),
 //                      src_port (u16), dst_port (u16), own score (f64)
 #include <bit>
+#include <cmath>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -116,11 +117,18 @@ Flowtree Flowtree::decode(const std::vector<std::uint8_t>& bytes,
                      std::to_string(version));
   }
   config.policy.ip_step = in.u8();
-  config.features = static_cast<flow::FeatureSet>(in.u8());
+  const std::uint8_t feature_bits = in.u8();
+  if ((feature_bits &
+       ~static_cast<std::uint8_t>(flow::FeatureSet::kFiveTuple)) != 0) {
+    throw ParseError("Flowtree::decode: undefined feature bits");
+  }
+  config.features = static_cast<flow::FeatureSet>(feature_bits);
   const bool lossy = in.u8() != 0;
   const std::uint32_t count = in.u32();
   in.u32();  // padding
-  if (bytes.size() < kHeaderBytes + std::size_t{count} * kBytesPerNode) {
+  // Divide instead of multiplying so a hostile count cannot overflow the
+  // size computation (or drive the reserve below) on any platform.
+  if (count > (bytes.size() - kHeaderBytes) / kBytesPerNode) {
     throw ParseError("Flowtree::decode: truncated body");
   }
 
@@ -140,6 +148,20 @@ Flowtree Flowtree::decode(const std::vector<std::uint8_t>& bytes,
     const std::uint16_t dst_port = in.u16();
     const double own = in.f64();
 
+    // Malformed fields are rejected rather than silently normalized:
+    // accepting them would make decode(encode(t)) lossy in ways the caller
+    // cannot see (a clamped prefix widens the flow; a NaN score poisons
+    // total_weight() — the latter found by fuzz_flowtree_decode).
+    if ((flags & ~(kFlagProto | kFlagSrcPort | kFlagDstPort)) != 0) {
+      throw ParseError("Flowtree::decode: undefined node flags");
+    }
+    if (src_len > 32 || dst_len > 32) {
+      throw ParseError("Flowtree::decode: prefix length exceeds 32 bits");
+    }
+    if (!std::isfinite(own)) {
+      throw ParseError("Flowtree::decode: non-finite node score");
+    }
+
     flow::FlowKey key;
     key.with_src(flow::Prefix(src, src_len)).with_dst(flow::Prefix(dst, dst_len));
     if (flags & kFlagProto) key.with_proto(proto);
@@ -155,6 +177,10 @@ Flowtree Flowtree::decode(const std::vector<std::uint8_t>& bytes,
   }
   tree.config_.node_budget = budget;
   tree.lossy_ = lossy;
+  if (!std::isfinite(tree.total_weight_)) {
+    // Every score was finite but the sum overflowed.
+    throw ParseError("Flowtree::decode: total weight overflows");
+  }
   return tree;
 }
 

@@ -429,7 +429,17 @@ void Flowtree::adapt(const primitives::AdaptSignal& signal) {
 // --- self-check ---------------------------------------------------------------
 
 void Flowtree::check_invariants() const {
+  Aggregator::check_invariants();
   const auto fail = [](const std::string& what) { throw Error("Flowtree invariant: " + what); };
+
+  if (node_count_ + free_list_.size() != nodes_.size()) {
+    fail("node pool accounting out of sync (live + free != allocated)");
+  }
+  if (root_ == kNone || root_ >= static_cast<std::int32_t>(nodes_.size()) ||
+      !nodes_[root_].alive) {
+    fail("missing or dead root");
+  }
+  if (!std::isfinite(total_weight_)) fail("non-finite total weight");
 
   std::size_t live = 0;
   double weight = 0.0;
@@ -438,6 +448,7 @@ void Flowtree::check_invariants() const {
     if (!node.alive) continue;
     ++live;
     weight += node.own;
+    if (!std::isfinite(node.own)) fail("non-finite own score");
 
     // Index round-trips.
     const auto it = index_.find(node.key);

@@ -134,9 +134,10 @@ class Flowtree final : public primitives::Aggregator {
 
   /// Structural self-check (test/debug aid): verifies parent/child link
   /// symmetry, index consistency, canonical parenthood, depth bookkeeping,
-  /// node accounting, and that total_weight() equals the sum of own scores.
-  /// Throws Error with a description on the first violation.
-  void check_invariants() const;
+  /// node-pool accounting (live + free == allocated), score finiteness, and
+  /// that total_weight() equals the sum of own scores. Throws Error with a
+  /// description on the first violation.
+  void check_invariants() const override;
 
   // --- serialization (network export / FlowDB storage) ---
   [[nodiscard]] std::vector<std::uint8_t> encode() const;

@@ -1,5 +1,9 @@
 #include "primitives/aggregator.hpp"
 
+#include <cmath>
+
+#include "common/error.hpp"
+
 namespace megads::primitives {
 
 std::string query_kind(const Query& query) {
@@ -22,6 +26,12 @@ void Aggregator::insert_batch(std::span<const StreamItem> items) {
 void Aggregator::adapt(const AdaptSignal& signal) {
   if (signal.size_budget > 0 && size() > signal.size_budget) {
     compress(signal.size_budget);
+  }
+}
+
+void Aggregator::check_invariants() const {
+  if (!std::isfinite(weight_ingested_)) {
+    throw Error("Aggregator invariant: weight_ingested is not finite");
   }
 }
 

@@ -80,6 +80,14 @@ class Aggregator {
   /// Deep copy (used by replication and by hierarchical storage).
   [[nodiscard]] virtual std::unique_ptr<Aggregator> clone() const = 0;
 
+  /// Structural self-check (test/debug aid): verifies the summary's internal
+  /// bookkeeping — size accounting, ordering structures, mass conservation —
+  /// and throws Error describing the first violation. Overrides must call
+  /// Aggregator::check_invariants() to cover the ingest totals. Automatic
+  /// post-mutation verification is gated on the MEGADS_CHECK_INVARIANTS
+  /// CMake option (see common/invariants.hpp).
+  virtual void check_invariants() const;
+
   /// Total observations ingested (monotone; survives compress()).
   [[nodiscard]] std::uint64_t items_ingested() const noexcept {
     return items_ingested_;

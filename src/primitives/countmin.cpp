@@ -115,4 +115,37 @@ std::unique_ptr<Aggregator> CountMinSketch::clone() const {
   return std::make_unique<CountMinSketch>(*this);
 }
 
+void CountMinSketch::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("CountMinSketch invariant: " + what);
+  };
+  if (width_ == 0 || depth_ == 0) fail("width and depth must be positive");
+  if (counters_.size() != width_ * depth_) fail("counter grid size mismatch");
+  for (const double counter : counters_) {
+    if (!std::isfinite(counter)) fail("non-finite counter");
+  }
+  if (!conservative_) {
+    // Standard update adds every item's weight to exactly one cell per row,
+    // and merge adds grids element-wise: all rows carry the same total mass,
+    // which is the ingested weight.
+    double reference = 0.0;
+    for (std::size_t col = 0; col < width_; ++col) reference += counters_[col];
+    const double scale = std::max(1.0, std::fabs(reference));
+    for (std::size_t row = 1; row < depth_; ++row) {
+      double total = 0.0;
+      for (std::size_t col = 0; col < width_; ++col) {
+        total += counters_[row * width_ + col];
+      }
+      if (std::fabs(total - reference) > 1e-6 * scale) {
+        fail("row sums diverge (row " + std::to_string(row) + ")");
+      }
+    }
+    if (std::fabs(reference - weight_ingested()) >
+        1e-6 * std::max(1.0, std::fabs(weight_ingested()))) {
+      fail("row sum does not match ingested weight");
+    }
+  }
+}
+
 }  // namespace megads::primitives

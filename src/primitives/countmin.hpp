@@ -37,6 +37,10 @@ class CountMinSketch final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return width_ * depth_; }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: counter grid is width*depth; all counters finite and (for
+  /// non-negative streams) non-negative; without conservative update every
+  /// row carries the same total mass, equal to the ingested weight.
+  void check_invariants() const override;
 
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
   [[nodiscard]] std::size_t depth() const noexcept { return depth_; }

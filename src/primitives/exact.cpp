@@ -1,6 +1,7 @@
 #include "primitives/exact.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
@@ -124,16 +125,16 @@ QueryResult exact_frequency_query(
     bool approximate) {
   QueryResult result;
   result.approximate = approximate;
-  if (const auto* q = std::get_if<PointQuery>(&query)) {
-    result.entries.push_back({q->key, point_score(scores, q->key)});
-  } else if (const auto* q = std::get_if<TopKQuery>(&query)) {
-    result.entries = top_k(scores, q->k);
-  } else if (const auto* q = std::get_if<AboveQuery>(&query)) {
-    result.entries = above(scores, q->threshold);
-  } else if (const auto* q = std::get_if<DrilldownQuery>(&query)) {
-    result.entries = drilldown(scores, policy, q->key);
-  } else if (const auto* q = std::get_if<HHHQuery>(&query)) {
-    result.entries = exact_hhh(scores, policy, q->phi);
+  if (const auto* point = std::get_if<PointQuery>(&query)) {
+    result.entries.push_back({point->key, point_score(scores, point->key)});
+  } else if (const auto* topk = std::get_if<TopKQuery>(&query)) {
+    result.entries = top_k(scores, topk->k);
+  } else if (const auto* abv = std::get_if<AboveQuery>(&query)) {
+    result.entries = above(scores, abv->threshold);
+  } else if (const auto* drill = std::get_if<DrilldownQuery>(&query)) {
+    result.entries = drilldown(scores, policy, drill->key);
+  } else if (const auto* hhh_q = std::get_if<HHHQuery>(&query)) {
+    result.entries = exact_hhh(scores, policy, hhh_q->phi);
   } else {
     return QueryResult::unsupported();
   }
@@ -191,6 +192,22 @@ std::size_t ExactAggregator::memory_bytes() const {
 
 std::unique_ptr<Aggregator> ExactAggregator::clone() const {
   return std::make_unique<ExactAggregator>(*this);
+}
+
+void ExactAggregator::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("ExactAggregator invariant: " + what);
+  };
+  double mass = 0.0;
+  for (const auto& [key, score] : scores_) {
+    if (!std::isfinite(score)) fail("non-finite score");
+    mass += score;
+  }
+  if (!lossy_ && std::fabs(mass - weight_ingested()) >
+                     1e-6 * std::max(1.0, std::fabs(weight_ingested()))) {
+    fail("stored mass does not match ingested weight");
+  }
 }
 
 // --- RawStore ---
@@ -264,6 +281,27 @@ std::size_t RawStore::memory_bytes() const {
 
 std::unique_ptr<Aggregator> RawStore::clone() const {
   return std::make_unique<RawStore>(*this);
+}
+
+void RawStore::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("RawStore invariant: " + what);
+  };
+  if (items_.size() > items_ingested()) {
+    fail("more retained observations than were ever ingested");
+  }
+  if (!lossy_ && items_.size() != items_ingested()) {
+    fail("exact store lost observations without being marked lossy");
+  }
+  if (!lossy_) {
+    double mass = 0.0;
+    for (const StreamItem& it : items_) mass += it.value;
+    if (std::fabs(mass - weight_ingested()) >
+        1e-6 * std::max(1.0, std::fabs(weight_ingested()))) {
+      fail("retained weight does not match ingested weight");
+    }
+  }
 }
 
 }  // namespace megads::primitives

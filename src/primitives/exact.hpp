@@ -34,6 +34,9 @@ class ExactAggregator final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return scores_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: all scores finite; while the table is still exact (never
+  /// compressed) the stored mass equals the ingested weight.
+  void check_invariants() const override;
 
   [[nodiscard]] const flow::GeneralizationPolicy& policy() const noexcept {
     return policy_;
@@ -63,6 +66,9 @@ class RawStore final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return items_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: while never compressed, the retained observations match the
+  /// ingest count exactly and their weights sum to the ingested weight.
+  void check_invariants() const override;
 
   [[nodiscard]] const std::vector<StreamItem>& items() const noexcept {
     return items_;

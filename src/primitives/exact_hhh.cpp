@@ -1,6 +1,7 @@
 #include "primitives/exact_hhh.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 #include "primitives/exact.hpp"
@@ -113,6 +114,56 @@ std::unique_ptr<Aggregator> ExactHHH::clone() const {
 double ExactHHH::subtree_weight(const flow::FlowKey& key) const {
   const auto it = subtree_.find(key);
   return it == subtree_.end() ? 0.0 : it->second;
+}
+
+void ExactHHH::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("ExactHHH invariant: " + what);
+  };
+  const auto close = [](double a, double b) {
+    return std::fabs(a - b) <= 1e-6 * std::max({1.0, std::fabs(a), std::fabs(b)});
+  };
+  double own_mass = 0.0;
+  for (const auto& [key, weight] : own_) {
+    if (!std::isfinite(weight)) fail("non-finite own weight");
+    if (!subtree_.contains(key)) fail("own key missing from the subtree table");
+    own_mass += weight;
+  }
+  for (const auto& [key, weight] : subtree_) {
+    if (!std::isfinite(weight)) fail("non-finite subtree weight");
+  }
+  const auto root_it = subtree_.find(flow::FlowKey{});
+  const double root_mass = root_it == subtree_.end() ? 0.0 : root_it->second;
+  if (!subtree_.empty() && root_it == subtree_.end()) {
+    fail("non-empty trie without a root entry");
+  }
+  if (!close(root_mass, own_mass)) {
+    fail("root subtree weight does not cover the total own mass");
+  }
+  if (!lossy_) {
+    // Full closure: recompute every subtree weight from the own table along
+    // canonical ancestor chains and compare. O(keys * depth), debug-only.
+    std::unordered_map<flow::FlowKey, double> recomputed;
+    for (const auto& [key, weight] : own_) {
+      flow::FlowKey cursor = key;
+      recomputed[cursor] += weight;
+      while (auto up = cursor.parent(policy_)) {
+        cursor = *up;
+        recomputed[cursor] += weight;
+      }
+    }
+    if (recomputed.size() != subtree_.size()) {
+      fail("subtree table holds keys outside the generalization closure");
+    }
+    for (const auto& [key, weight] : recomputed) {
+      const auto it = subtree_.find(key);
+      if (it == subtree_.end()) fail("canonical ancestor missing from the trie");
+      if (!close(it->second, weight)) {
+        fail("subtree weight diverges from the sum of covered own weights");
+      }
+    }
+  }
 }
 
 }  // namespace megads::primitives

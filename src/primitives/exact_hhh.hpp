@@ -30,6 +30,11 @@ class ExactHHH final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return subtree_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants (trie consistency): every own-weight key is present in the
+  /// subtree table; while never compressed, every canonical ancestor of an
+  /// own key exists and each subtree weight equals the recomputed sum of the
+  /// own weights it covers; the root subtree carries the total own mass.
+  void check_invariants() const override;
 
   /// Exact subtree weight of a key (0 when it never appeared).
   [[nodiscard]] double subtree_weight(const flow::FlowKey& key) const;

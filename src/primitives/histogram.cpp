@@ -12,7 +12,16 @@ HistogramAggregator::HistogramAggregator(double bucket_width)
 }
 
 std::int64_t HistogramAggregator::bucket_of(double value) const noexcept {
-  return static_cast<std::int64_t>(std::floor(value / bucket_width_));
+  const double scaled = std::floor(value / bucket_width_);
+  // Clamp before the cast: converting an out-of-range (or NaN) double to
+  // int64 is undefined behavior (found by fuzz_primitive_ops under UBSan).
+  // +/-2^62 is far beyond any real index and keeps the index+1 arithmetic in
+  // quantile() overflow-free; NaN observations land in the zero bucket.
+  constexpr double kLimit = 4.6e18;
+  if (std::isnan(scaled)) return 0;
+  if (scaled <= -kLimit) return -(std::int64_t{1} << 62);
+  if (scaled >= kLimit) return std::int64_t{1} << 62;
+  return static_cast<std::int64_t>(scaled);
 }
 
 void HistogramAggregator::insert(const StreamItem& item) {
@@ -116,7 +125,12 @@ void HistogramAggregator::double_bucket_width() {
 
 void HistogramAggregator::compress(std::size_t target_size) {
   expects(target_size > 0, "HistogramAggregator::compress: target must be positive");
-  while (buckets_.size() > target_size) double_bucket_width();
+  // Best effort per the Aggregator contract: stop short of an infinite
+  // bucket width (reachable with a huge initial width plus far-apart
+  // buckets) rather than coarsening into a degenerate summary.
+  while (buckets_.size() > target_size && std::isfinite(bucket_width_ * 2.0)) {
+    double_bucket_width();
+  }
 }
 
 std::size_t HistogramAggregator::memory_bytes() const {
@@ -126,6 +140,24 @@ std::size_t HistogramAggregator::memory_bytes() const {
 
 std::unique_ptr<Aggregator> HistogramAggregator::clone() const {
   return std::make_unique<HistogramAggregator>(*this);
+}
+
+void HistogramAggregator::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("HistogramAggregator invariant: " + what);
+  };
+  if (!(bucket_width_ > 0.0) || !std::isfinite(bucket_width_)) {
+    fail("bucket width must be positive and finite");
+  }
+  std::uint64_t total = 0;
+  for (const auto& [index, count] : buckets_) {
+    if (count == 0) fail("stored bucket with zero count");
+    total += count;
+  }
+  if (total != items_ingested()) {
+    fail("bucket counts do not sum to the ingested item count");
+  }
 }
 
 double HistogramAggregator::quantile(double q) const {

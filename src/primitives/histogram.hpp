@@ -34,6 +34,9 @@ class HistogramAggregator final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return buckets_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: positive finite bucket width; every stored bucket carries a
+  /// non-zero count; the bucket counts sum to the ingested item count.
+  void check_invariants() const override;
 
   [[nodiscard]] double bucket_width() const noexcept { return bucket_width_; }
 

@@ -176,4 +176,23 @@ std::unique_ptr<Aggregator> SamplingAggregator::clone() const {
   return std::make_unique<SamplingAggregator>(*this);
 }
 
+void SamplingAggregator::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("SamplingAggregator invariant: " + what);
+  };
+  if (capacity_ == 0) fail("capacity must be positive");
+  if (reservoir_.size() > capacity_) fail("reservoir exceeds its capacity");
+  if (reservoir_.size() > items_ingested()) {
+    fail("reservoir holds more items than were ever ingested");
+  }
+  for (const StreamItem& it : reservoir_) {
+    if (!std::isfinite(it.value)) fail("non-finite sample value");
+  }
+  const double rate = sampling_rate();
+  if (items_ingested() > 0 && (rate <= 0.0 || rate > 1.0)) {
+    fail("sampling rate outside (0, 1]");
+  }
+}
+
 }  // namespace megads::primitives

@@ -36,6 +36,9 @@ class SamplingAggregator final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return reservoir_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: reservoir never exceeds its capacity or the number of items
+  /// ingested (plus merged peers); sampling rate stays in (0, 1].
+  void check_invariants() const override;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Fraction of the stream the reservoir represents (1.0 while not full).

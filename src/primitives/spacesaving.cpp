@@ -1,6 +1,7 @@
 #include "primitives/spacesaving.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -167,6 +168,38 @@ std::size_t SpaceSaving::memory_bytes() const {
 
 std::unique_ptr<Aggregator> SpaceSaving::clone() const {
   return std::make_unique<SpaceSaving>(*this);
+}
+
+void SpaceSaving::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("SpaceSaving invariant: " + what);
+  };
+  if (capacity_ == 0) fail("capacity must be positive");
+  if (entries_.size() > capacity_) fail("more monitored keys than capacity");
+  if (by_count_.size() != entries_.size()) {
+    fail("count index size out of sync with key table");
+  }
+  for (const auto& [key, entry] : entries_) {
+    if (!std::isfinite(entry.count) || !std::isfinite(entry.error)) {
+      fail("non-finite counter");
+    }
+    // The stored multimap iterator must point back at this very entry: same
+    // key, same count. This is what keeps eviction O(log n) and correct.
+    if (!(entry.position->second == key)) fail("count index points at wrong key");
+    if (entry.position->first != entry.count) {
+      fail("count index out of date for a key");
+    }
+    if (entry.error < 0.0) fail("negative error bound");
+    if (entry.error > entry.count) fail("error bound exceeds the estimate");
+  }
+  // Ascending multimap order doubles as the counter ordering invariant; make
+  // sure no stale entries survive (every index row belongs to a live key).
+  for (const auto& [count, key] : by_count_) {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) fail("count index row for an unmonitored key");
+    if (it->second.count != count) fail("count index row with stale count");
+  }
 }
 
 }  // namespace megads::primitives

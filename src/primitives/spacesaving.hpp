@@ -31,6 +31,10 @@ class SpaceSaving final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return entries_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: at most `capacity` monitored keys; the count-ordered index
+  /// and the key table mirror each other exactly (each entry's multimap
+  /// position points back at its own key/count); 0 <= error <= count.
+  void check_invariants() const override;
 
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// Upper bound on the weight of any key *not* in the summary.

@@ -1,5 +1,8 @@
 #include "primitives/timebin.hpp"
 
+#include <cmath>
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace megads::primitives {
@@ -17,7 +20,23 @@ std::int64_t TimeBinAggregator::bin_of(SimTime t) const noexcept {
 }
 
 TimeInterval TimeBinAggregator::bin_interval(std::int64_t index) const noexcept {
-  return TimeInterval{index * bin_width_, (index + 1) * bin_width_};
+  // Saturate instead of overflowing: for timestamps near the SimTime range
+  // the neighboring bin edge does not fit in 64 bits, and signed overflow is
+  // undefined behavior (found by fuzz_primitive_ops under UBSan).
+  const auto edge = [this](std::int64_t i) {
+    if (i > 0 && i > std::numeric_limits<SimTime>::max() / bin_width_) {
+      return std::numeric_limits<SimTime>::max();
+    }
+    if (i < 0 && i < std::numeric_limits<SimTime>::min() / bin_width_) {
+      return std::numeric_limits<SimTime>::min();
+    }
+    return i * bin_width_;
+  };
+  const SimTime begin = edge(index);
+  const SimTime end = index == std::numeric_limits<std::int64_t>::max()
+                          ? std::numeric_limits<SimTime>::max()
+                          : edge(index + 1);
+  return TimeInterval{begin, end};
 }
 
 void TimeBinAggregator::insert(const StreamItem& item) {
@@ -92,7 +111,12 @@ namespace {
 /// True when a == b * 2^k or b == a * 2^k for some k >= 0.
 bool widths_compatible(SimDuration a, SimDuration b) noexcept {
   if (a > b) std::swap(a, b);
-  while (a < b) a *= 2;
+  while (a < b) {
+    // A further doubling would overshoot b (and may overflow, which is UB
+    // for signed SimDuration): the widths cannot be power-of-two multiples.
+    if (a > b / 2) return false;
+    a *= 2;
+  }
   return a == b;
 }
 
@@ -120,6 +144,8 @@ void TimeBinAggregator::merge_from(const Aggregator& other) {
 }
 
 void TimeBinAggregator::double_bin_width() {
+  expects(bin_width_ <= std::numeric_limits<SimDuration>::max() / 2,
+          "TimeBinAggregator: bin width overflow");
   std::map<std::int64_t, RunningStats> coarser;
   for (const auto& [index, stats] : bins_) {
     // Floor division keeps negative indices aligned.
@@ -133,7 +159,12 @@ void TimeBinAggregator::double_bin_width() {
 
 void TimeBinAggregator::compress(std::size_t target_size) {
   expects(target_size > 0, "TimeBinAggregator::compress: target must be positive");
-  while (bins_.size() > target_size) double_bin_width();
+  // Best effort per the Aggregator contract: far-apart bins can demand a
+  // width beyond the SimDuration range; stop there instead of overflowing.
+  while (bins_.size() > target_size &&
+         bin_width_ <= std::numeric_limits<SimDuration>::max() / 2) {
+    double_bin_width();
+  }
 }
 
 std::size_t TimeBinAggregator::memory_bytes() const {
@@ -143,6 +174,36 @@ std::size_t TimeBinAggregator::memory_bytes() const {
 
 std::unique_ptr<Aggregator> TimeBinAggregator::clone() const {
   return std::make_unique<TimeBinAggregator>(*this);
+}
+
+void TimeBinAggregator::check_invariants() const {
+  Aggregator::check_invariants();
+  const auto fail = [](const std::string& what) {
+    throw Error("TimeBinAggregator invariant: " + what);
+  };
+  if (bin_width_ <= 0) fail("bin width must be positive");
+  std::uint64_t total = 0;
+  std::int64_t previous = 0;
+  bool first = true;
+  for (const auto& [index, stats] : bins_) {
+    // std::map iterates keys in ascending order; verify anyway so a broken
+    // comparator or a corrupted node surfaces here and not in a query.
+    if (!first && index <= previous) fail("bin epochs not strictly monotone");
+    previous = index;
+    first = false;
+    if (stats.count() == 0) fail("stored bin with no observations");
+    if (!std::isfinite(stats.sum())) fail("non-finite bin sum");
+    const double tolerance =
+        1e-9 * std::max(1.0, std::fabs(stats.min()) + std::fabs(stats.max()));
+    if (stats.min() > stats.mean() + tolerance ||
+        stats.mean() > stats.max() + tolerance) {
+      fail("bin min/mean/max out of order");
+    }
+    total += stats.count();
+  }
+  if (total != items_ingested()) {
+    fail("bin counts do not sum to the ingested item count");
+  }
 }
 
 }  // namespace megads::primitives

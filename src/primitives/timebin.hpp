@@ -32,6 +32,10 @@ class TimeBinAggregator final : public Aggregator {
   [[nodiscard]] std::size_t size() const override { return bins_.size(); }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: positive bin width; bin epochs strictly monotone (map
+  /// order); every stored bin is non-empty with min <= mean <= max; the bin
+  /// counts sum to the ingested item count.
+  void check_invariants() const override;
 
   [[nodiscard]] SimDuration bin_width() const noexcept { return bin_width_; }
   /// Interval covered by a stored bin index.

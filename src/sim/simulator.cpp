@@ -3,7 +3,30 @@
 #include <memory>
 #include <utility>
 
+#include "common/invariants.hpp"
+
 namespace megads::sim {
+
+void Simulator::check_invariants() const {
+  const auto fail = [](const std::string& what) {
+    throw Error("Simulator invariant: " + what);
+  };
+  if (live_events_ > queue_.size()) {
+    fail("live-event counter exceeds the heap size");
+  }
+  if (queue_.empty() && live_events_ != 0) {
+    fail("live events reported on an empty heap");
+  }
+  if (!queue_.empty() && queue_.top().when < now_) {
+    fail("pending event scheduled in the past");
+  }
+  if (next_sequence_ == 0) fail("sequence counter wrapped");
+  for (const std::uint64_t seq : cancelled_) {
+    if (seq == 0 || seq >= next_sequence_) {
+      fail("cancellation tombstone for a sequence that was never issued");
+    }
+  }
+}
 
 EventHandle Simulator::schedule_at(SimTime when, Callback callback) {
   expects(when >= now_, "Simulator::schedule_at: cannot schedule in the past");
@@ -11,6 +34,7 @@ EventHandle Simulator::schedule_at(SimTime when, Callback callback) {
   const std::uint64_t seq = next_sequence_++;
   queue_.push(Event{when, seq, std::move(callback)});
   ++live_events_;
+  MEGADS_VERIFY_INVARIANTS(*this);
   return EventHandle{seq};
 }
 
@@ -52,6 +76,7 @@ EventHandle Simulator::schedule_periodic(SimDuration period, Callback callback) 
 
   queue_.push(Event{now_ + period, next_sequence_++, [tick](SimTime t) { (*tick)(t); }});
   ++live_events_;
+  MEGADS_VERIFY_INVARIANTS(*this);
   return EventHandle{seq};
 }
 
@@ -73,6 +98,7 @@ bool Simulator::dispatch_next() {
     }
     now_ = event.when;
     event.callback(now_);
+    MEGADS_VERIFY_INVARIANTS(*this);
     return true;
   }
   return false;

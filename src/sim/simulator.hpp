@@ -63,6 +63,14 @@ class Simulator {
   [[nodiscard]] std::size_t pending_events() const noexcept { return live_events_; }
   [[nodiscard]] bool empty() const noexcept { return live_events_ == 0; }
 
+  /// Structural self-check (test/debug aid): the live-event counter never
+  /// exceeds the heap size (and is zero when the heap is empty), the next
+  /// pending event is never in the past, and cancellation tombstones only
+  /// reference sequence numbers that were actually issued. Throws Error on
+  /// the first violation. Runs automatically after every dispatch and
+  /// schedule when built with MEGADS_CHECK_INVARIANTS.
+  void check_invariants() const;
+
  private:
   struct Event {
     SimTime when = 0;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/invariants.hpp"
 
 namespace megads::store {
 
@@ -26,6 +27,7 @@ AggregatorId DataStore::install(SlotConfig config) {
   slot.live = slot.config.factory();
   slot.epoch_start = now_;
   slots_.emplace(id, std::move(slot));
+  MEGADS_VERIFY_INVARIANTS(*this);
   return id;
 }
 
@@ -34,6 +36,7 @@ void DataStore::remove(AggregatorId slot) {
     throw NotFoundError("DataStore::remove: unknown slot");
   }
   for (auto& [sensor, subscribed] : subscriptions_) subscribed.erase(slot);
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 std::vector<AggregatorId> DataStore::slots() const {
@@ -88,6 +91,7 @@ void DataStore::set_live_budget(AggregatorId slot_id, std::size_t budget) {
     slot.live->adapt(signal);
     if (metric_compressions_ != nullptr) metric_compressions_->add();
   }
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 std::size_t DataStore::live_budget(AggregatorId slot) const {
@@ -169,6 +173,12 @@ void DataStore::ingest(SensorId sensor, const StreamItem& item) {
   }
   if (item_trigger_count_ > 0) fire_item_triggers(item);
   if (metrics_ != nullptr) update_ingest_metrics(1);
+#if defined(MEGADS_CHECK_INVARIANTS)
+  // Per-item ingest is the hot path: a full store walk after every single
+  // item is quadratic in epoch length, so sample 1-in-64. Batch entry points
+  // and structural mutations (install/seal/absorb/...) verify every call.
+  if (++ingest_verify_counter_ % 64 == 0) check_invariants();
+#endif
 }
 
 void DataStore::ingest_batch(SensorId sensor,
@@ -208,6 +218,7 @@ void DataStore::ingest_batch(SensorId sensor,
     for (const StreamItem& item : items) fire_item_triggers(item);
   }
   if (metrics_ != nullptr) update_ingest_metrics(items.size());
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 void DataStore::record_ingest_lineage(SensorId sensor, AggregatorId id,
@@ -257,6 +268,16 @@ void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
   Partition partition(PartitionId(next_partition_++),
                       TimeInterval{slot.epoch_start, boundary}, 0,
                       std::move(slot.live));
+#if defined(MEGADS_CHECK_INVARIANTS)
+  // Deep-check the summary once at seal time; the fingerprint pins it from
+  // here on, so later store-wide verifications can skip the O(summary) walk.
+  partition.summary->check_invariants();
+  seal_fingerprints_.emplace(
+      partition.id,
+      SealFingerprint{partition.summary->items_ingested(),
+                      partition.summary->weight_ingested(),
+                      partition.summary->size(), partition.interval});
+#endif
   fire_epoch_triggers(partition);
   if (lineage_ != nullptr && slot.live_entity != lineage::kNoEntity) {
     // Only epochs that actually received data have a live entity to seal.
@@ -284,6 +305,7 @@ void DataStore::advance_to(SimTime now) {
   expects(now >= now_, "DataStore::advance_to: clock must be monotone");
   now_ = now;
   seal_elapsed_epochs();
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 void DataStore::seal_elapsed_epochs() {
@@ -417,12 +439,12 @@ QueryResult DataStore::combine_results(std::vector<QueryResult> parts,
             [](const primitives::KeyScore& a, const primitives::KeyScore& b) {
               return a.score > b.score;
             });
-  if (const auto* q = std::get_if<primitives::TopKQuery>(&query)) {
-    if (combined.entries.size() > q->k) combined.entries.resize(q->k);
+  if (const auto* topk = std::get_if<primitives::TopKQuery>(&query)) {
+    if (combined.entries.size() > topk->k) combined.entries.resize(topk->k);
     combined.approximate = true;  // per-part top-k can miss globally heavy keys
-  } else if (const auto* q = std::get_if<primitives::AboveQuery>(&query)) {
+  } else if (const auto* abv = std::get_if<primitives::AboveQuery>(&query)) {
     std::erase_if(combined.entries, [&](const primitives::KeyScore& row) {
-      return row.score < q->threshold;
+      return row.score < abv->threshold;
     });
     combined.approximate = true;
   } else if (std::holds_alternative<primitives::HHHQuery>(query)) {
@@ -490,6 +512,7 @@ void DataStore::absorb(AggregatorId slot_id, const primitives::Aggregator& summa
           "DataStore::absorb: summary incompatible with slot");
   slot.live->merge_from(summary);
   if (metric_merges_ != nullptr) metric_merges_->add();
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 // --- observability ---------------------------------------------------------------
@@ -519,6 +542,77 @@ double DataStore::measured_query_rate(AggregatorId slot_id) const {
   const double epoch_seconds =
       std::max(1e-9, to_seconds(now_ - slot.epoch_start));
   return static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
+}
+
+// --- self-check ------------------------------------------------------------------
+
+void DataStore::check_invariants() const {
+  const auto fail = [this](const std::string& what) {
+    throw Error("DataStore(" + name_ + ") invariant: " + what);
+  };
+  std::size_t item_triggers = 0;
+  for (const auto& [id, installed] : triggers_) {
+    if (installed.spec.kind == TriggerKind::kItemAbove) ++item_triggers;
+  }
+  if (item_triggers != item_trigger_count_) {
+    fail("item-trigger fast-path counter out of sync with installed triggers");
+  }
+  for (const auto& [sensor, subscribed] : subscriptions_) {
+    for (const AggregatorId slot : subscribed) {
+      if (!slots_.contains(slot)) {
+        fail("subscription references a slot that is not installed");
+      }
+    }
+  }
+  if (lineage_ == nullptr) {
+    if (!sensor_entities_.empty() || !partition_entities_.empty()) {
+      fail("lineage entities recorded without an attached recorder");
+    }
+  }
+  for (const auto& [id, slot] : slots_) {
+    if (slot.live == nullptr) fail("slot without a live summary");
+    if (slot.epoch_start > now_) fail("live epoch starts in the future");
+    if (lineage_ == nullptr && slot.live_entity != lineage::kNoEntity) {
+      fail("live summary has a lineage entity without an attached recorder");
+    }
+    if (lineage_ == nullptr && !slot.contributors.empty()) {
+      fail("contributor dedup set populated without an attached recorder");
+    }
+    slot.live->check_invariants();
+    SimTime previous_begin = -1;
+    for (const Partition& partition : slot.config.storage->partitions()) {
+      if (partition.summary == nullptr) fail("sealed partition without a summary");
+      if (partition.interval.begin >= partition.interval.end) {
+        fail("sealed partition with an empty or inverted interval");
+      }
+      if (partition.interval.begin < previous_begin) {
+        fail("partition shelf is not sorted by epoch start");
+      }
+      previous_begin = partition.interval.begin;
+#if defined(MEGADS_CHECK_INVARIANTS)
+      // Partitions minted by seal() carry a fingerprint: the summary was
+      // deep-checked at seal time, and a matching fingerprint means it has
+      // not changed since, so the O(summary) walk is skipped here. Storage-
+      // internal re-aggregations (hierarchical promotion) use fresh ids and
+      // are always deep-checked.
+      if (const auto it = seal_fingerprints_.find(partition.id);
+          it != seal_fingerprints_.end()) {
+        const SealFingerprint& fp = it->second;
+        if (partition.summary->items_ingested() != fp.items ||
+            partition.summary->weight_ingested() != fp.weight ||
+            partition.summary->size() != fp.size ||
+            partition.interval.begin != fp.interval.begin ||
+            partition.interval.end != fp.interval.end) {
+          fail("sealed partition mutated after seal (fingerprint mismatch)");
+        }
+      } else {
+        partition.summary->check_invariants();
+      }
+#else
+      partition.summary->check_invariants();
+#endif
+    }
+  }
 }
 
 // --- introspection ---------------------------------------------------------------

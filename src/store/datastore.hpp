@@ -147,6 +147,16 @@ class DataStore {
   static primitives::QueryResult combine_results(
       std::vector<primitives::QueryResult> parts, const primitives::Query& query);
 
+  /// Structural self-check (test/debug aid): every live summary and sealed
+  /// partition satisfies its own invariants, partition shelves stay sorted by
+  /// epoch with valid intervals, subscriptions and triggers reference only
+  /// installed slots, lineage bookkeeping matches the attached recorder, and
+  /// sealed partitions are immutable (fingerprinted at seal time when built
+  /// with MEGADS_CHECK_INVARIANTS; see common/invariants.hpp). Throws Error
+  /// on the first violation. Runs automatically after every mutating
+  /// operation when the CMake option is on.
+  void check_invariants() const;
+
  private:
   struct Slot {
     SlotConfig config;
@@ -208,6 +218,24 @@ class DataStore {
   bool record_queries_ = false;
   std::unordered_map<SensorId, lineage::EntityId> sensor_entities_;
   std::unordered_map<PartitionId, lineage::EntityId> partition_entities_;
+
+#if defined(MEGADS_CHECK_INVARIANTS)
+  /// Summary fingerprint captured when an epoch is sealed; check_invariants()
+  /// verifies shelved partitions still match, i.e. nothing mutated a sealed
+  /// summary in place. Partitions created by storage-internal re-aggregation
+  /// (hierarchical promotion) get fresh ids and are not fingerprinted.
+  struct SealFingerprint {
+    std::uint64_t items = 0;
+    double weight = 0.0;
+    std::size_t size = 0;
+    TimeInterval interval{};
+  };
+  std::unordered_map<PartitionId, SealFingerprint> seal_fingerprints_;
+  /// Sampling counter for the per-item ingest() hot path: verifying the
+  /// whole store after every item is quadratic in epoch length, so ingest()
+  /// checks 1-in-64 (all other mutating entry points verify every call).
+  std::uint64_t ingest_verify_counter_ = 0;
+#endif
 };
 
 }  // namespace megads::store

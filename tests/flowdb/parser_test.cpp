@@ -140,6 +140,71 @@ TEST(Parser, RandomMutationsNeverCrash) {
   EXPECT_GT(rejected, 0);
 }
 
+TEST(Parser, TruncatedStatementsFailCleanly) {
+  // Regression (found by fuzz_flowql): "select topk(" drove the token cursor
+  // past the End sentinel — a heap out-of-bounds read. Every truncation point
+  // of a valid statement must throw ParseError instead.
+  const std::string full =
+      "SELECT topk(5) FROM 0s..60s WHERE location = 'router-a'";
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    // Some prefixes are complete statements (the WHERE clause is optional);
+    // every other prefix must throw ParseError — nothing may crash or throw
+    // a different type.
+    try {
+      (void)parse(full.substr(0, len));
+    } catch (const ParseError&) {
+    }
+  }
+  EXPECT_THROW((void)parse("select topk("), ParseError);
+  EXPECT_THROW((void)parse("select topk(5"), ParseError);
+  EXPECT_THROW((void)parse("SELECT topk(5) FROM"), ParseError);
+  EXPECT_THROW((void)parse("SELECT topk(5) FROM 0s..60s WHERE location ="), ParseError);
+}
+
+TEST(Parser, RejectsNonFiniteNumbers) {
+  // std::from_chars accepts "nan"/"inf" spellings; as operator arguments
+  // they bypass range checks (NaN compares false to everything).
+  EXPECT_THROW(parse("SELECT topk(nan) FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(inf) FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT above(nan) FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT hhh(nan) FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(1) FROM nan..1"), ParseError);
+}
+
+TEST(Parser, RejectsOutOfRangeTimeLiterals) {
+  // The double -> SimTime cast must stay in range (1e300 seconds is UB).
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..1e300"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..99999999999d"), ParseError);
+  // Near-boundary values that do fit still parse.
+  EXPECT_NO_THROW(parse("SELECT topk(1) FROM 0..9e8"));
+}
+
+TEST(Parser, RejectsOversizedCountArguments) {
+  EXPECT_THROW(parse("SELECT topk(1e30) FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT diff(1e30) FROM 0..1, 1..2"), ParseError);
+  EXPECT_NO_THROW(parse("SELECT topk(1000000) FROM 0..1"));
+}
+
+TEST(Parser, RejectsOutOfRangeConditionValues) {
+  // A silently wrapped port (65616 -> 80) would answer the wrong query.
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..1 WHERE dst_port = 65616"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..1 WHERE src_port = -1"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..1 WHERE proto = 300"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(1) FROM 0..1 WHERE proto = 6.5"), ParseError);
+  EXPECT_NO_THROW(parse("SELECT topk(1) FROM 0..1 WHERE dst_port = 65535"));
+}
+
+TEST(Parser, RejectsMalformedStructure) {
+  EXPECT_THROW(parse(""), ParseError);
+  EXPECT_THROW(parse("select"), ParseError);
+  EXPECT_THROW(parse("SELECT nothing FROM 0..1"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(((((5)))))"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 WHERE location = 'oops"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 trailing"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 0..1 WHERE = 80"), ParseError);
+  EXPECT_THROW(parse("SELECT topk(5) FROM 1..1"), ParseError);
+}
+
 TEST(Parser, OperatorKindNames) {
   EXPECT_STREQ(to_string(OperatorKind::kTopK), "topk");
   EXPECT_STREQ(to_string(OperatorKind::kHHH), "hhh");

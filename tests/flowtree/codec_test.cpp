@@ -118,6 +118,82 @@ TEST(FlowtreeCodec, RejectsTruncatedBody) {
   EXPECT_THROW(Flowtree::decode(bytes), ParseError);
 }
 
+TEST(FlowtreeCodec, RejectsHugeNodeCountWithoutOverAllocating) {
+  // A hostile count field must fail the truncation check even when
+  // count * kBytesPerNode would overflow the size arithmetic
+  // (fuzz_flowtree_decode corpus: huge_count).
+  Flowtree tree;
+  auto bytes = tree.encode();
+  for (std::size_t i = 8; i < 12; ++i) bytes[i] = 0xff;  // count = 2^32 - 1
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsNonFiniteScore) {
+  // NaN/inf scores would poison total_weight() for every later merge
+  // (found by fuzz_flowtree_decode: inf_score / nan_score).
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  auto bytes = tree.encode();
+  const std::size_t score_at = bytes.size() - 8;
+  for (const std::uint64_t hostile :
+       {std::uint64_t{0x7ff0000000000000ull},    // +inf
+        std::uint64_t{0x7ff8000000000000ull}}) {  // quiet NaN
+    for (int i = 0; i < 8; ++i) {
+      bytes[score_at + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(hostile >> (8 * i));
+    }
+    EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+  }
+}
+
+TEST(FlowtreeCodec, RejectsTotalWeightOverflow) {
+  // Each score is finite but the sum is not: decode must reject instead of
+  // returning a tree whose total_weight() is inf.
+  FlowtreeConfig config;
+  config.node_budget = 1 << 10;
+  Flowtree tree(config);
+  tree.add(host(1, 1), 1.7e308);
+  tree.add(host(2, 2), 1.7e308);
+  EXPECT_THROW(Flowtree::decode(tree.encode(), config), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsOversizedPrefixLength) {
+  // Prefix lengths > 32 used to be clamped silently, widening the flow the
+  // sender encoded; they are malformed input and must be rejected.
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  auto bytes = tree.encode();
+  bytes[Flowtree::kHeaderBytes + 2] = 200;  // src prefix length of the first node
+  EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+}
+
+TEST(FlowtreeCodec, RejectsUndefinedFeatureAndFlagBits) {
+  Flowtree tree;
+  tree.add(host(1, 1), 1.0);
+  {
+    auto bytes = tree.encode();
+    bytes[6] = 0xff;  // header feature set: bits outside kFiveTuple
+    EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+  }
+  {
+    auto bytes = tree.encode();
+    bytes[Flowtree::kHeaderBytes] |= 0x80;  // node flags: undefined bit
+    EXPECT_THROW(Flowtree::decode(bytes), ParseError);
+  }
+}
+
+TEST(FlowtreeCodec, DecodedTreeSatisfiesInvariants) {
+  trace::FlowGenerator gen({});
+  FlowtreeConfig config;
+  config.node_budget = 256;
+  Flowtree tree(config);
+  for (const auto& record : gen.generate(2000)) {
+    tree.add(record.key, static_cast<double>(record.bytes));
+  }
+  const Flowtree decoded = Flowtree::decode(tree.encode(), config);
+  EXPECT_NO_THROW(decoded.check_invariants());
+}
+
 TEST(FlowtreeCodec, RealisticTraceRoundTrip) {
   trace::FlowGenerator gen({});
   FlowtreeConfig config;

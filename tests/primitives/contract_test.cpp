@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "flowtree/flowtree.hpp"
 #include "helpers.hpp"
@@ -158,6 +159,44 @@ TEST_P(AggregatorContract, MergeFromEmptyPeerIsHarmless) {
   a->merge_from(*b);
   EXPECT_EQ(a->size(), size);
   EXPECT_EQ(a->items_ingested(), 20u);
+}
+
+TEST_P(AggregatorContract, InvariantsHoldAfterEveryMutation) {
+  // The structural self-check must pass at every point of a primitive's
+  // lifecycle: fresh, mid-ingest, after batches, merges, compression,
+  // adaptation, and on clones. (With -DMEGADS_CHECK_INVARIANTS=ON the same
+  // checks additionally run inside the store after every mutating call.)
+  const auto agg = make();
+  EXPECT_NO_THROW(agg->check_invariants());
+  for (int i = 0; i < 200; ++i) {
+    agg->insert(nth_item(i));
+    if (i % 16 == 0) agg->check_invariants();
+  }
+  agg->check_invariants();
+
+  std::vector<StreamItem> batch;
+  for (int i = 200; i < 300; ++i) batch.push_back(nth_item(i));
+  agg->insert_batch(batch);
+  agg->check_invariants();
+
+  const auto peer = make();
+  for (int i = 300; i < 350; ++i) peer->insert(nth_item(i));
+  peer->check_invariants();
+  ASSERT_TRUE(agg->mergeable_with(*peer));
+  agg->merge_from(*peer);
+  agg->check_invariants();
+
+  agg->compress(8);
+  agg->check_invariants();
+
+  AdaptSignal signal;
+  signal.size_budget = 4;
+  signal.items_per_second = 100.0;
+  agg->adapt(signal);
+  agg->check_invariants();
+
+  const auto copy = agg->clone();
+  copy->check_invariants();
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -119,5 +119,21 @@ TEST(Histogram, RejectsBadWidth) {
   EXPECT_THROW(HistogramAggregator(-1.0), PreconditionError);
 }
 
+TEST(Histogram, ExtremeValuesClampToSentinelBuckets) {
+  // value / bucket_width beyond the int64 range used to be cast directly
+  // (UB, found by fuzz_primitive_ops under UBSan); extremes now land in
+  // sentinel buckets at +/-2^62 and keep the summary consistent.
+  HistogramAggregator hist(1e-3);
+  hist.insert(sample(1e300, 0));
+  hist.insert(sample(-1e300, 0));
+  hist.insert(sample(1.0, 0));
+  EXPECT_EQ(hist.items_ingested(), 3u);
+  EXPECT_EQ(hist.size(), 3u);
+  EXPECT_NO_THROW(hist.check_invariants());
+  // The extreme observation is still countable from the top.
+  EXPECT_EQ(hist.count_above(1e200), 1u);
+  EXPECT_NO_THROW((void)hist.quantile(1.0));
+}
+
 }  // namespace
 }  // namespace megads::primitives

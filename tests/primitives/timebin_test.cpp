@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/error.hpp"
 
 #include "helpers.hpp"
@@ -161,6 +163,41 @@ TEST(TimeBinAggregator, StatsQueryOnEmptyWindow) {
   const auto result = agg.execute(StatsQuery{{100, 200}});
   ASSERT_TRUE(result.stats.has_value());
   EXPECT_EQ(result.stats->count, 0u);
+}
+
+TEST(TimeBinAggregator, CompressStopsAtWidthOverflowInsteadOfUB) {
+  // Two bins astronomically far apart: reaching one bin would need a width
+  // beyond the SimDuration range. compress() used to keep doubling into
+  // signed overflow (UB, found by fuzz_primitive_ops under UBSan); it must
+  // stop at the widest representable width instead (best effort).
+  TimeBinAggregator agg(kSecond);
+  agg.insert(sample(1.0, 0));
+  agg.insert(sample(2.0, std::numeric_limits<SimTime>::max() - kDay));
+  agg.compress(1);
+  EXPECT_GE(agg.size(), 1u);
+  EXPECT_NO_THROW(agg.check_invariants());
+}
+
+TEST(TimeBinAggregator, ExtremeTimestampQueriesSaturate) {
+  // bin_interval() on the outermost bins must saturate, not overflow.
+  TimeBinAggregator agg(kSecond);
+  agg.insert(sample(5.0, std::numeric_limits<SimTime>::max() - 1));
+  agg.insert(sample(7.0, std::numeric_limits<SimTime>::min() + 1));
+  const auto result = agg.execute(
+      StatsQuery{TimeInterval{std::numeric_limits<SimTime>::min() + 1,
+                              std::numeric_limits<SimTime>::max()}});
+  ASSERT_TRUE(result.stats.has_value());
+  EXPECT_EQ(result.stats->count, 2u);
+  EXPECT_NO_THROW(agg.check_invariants());
+}
+
+TEST(TimeBinAggregator, IncompatibleExtremeWidthsAreRejectedNotOverflowed) {
+  // widths_compatible() used to double one width toward the other without an
+  // overshoot guard — signed overflow for widths near the SimDuration range.
+  TimeBinAggregator narrow(3);
+  TimeBinAggregator huge(std::numeric_limits<SimDuration>::max() - 1);
+  EXPECT_FALSE(narrow.mergeable_with(huge));
+  EXPECT_FALSE(huge.mergeable_with(narrow));
 }
 
 }  // namespace

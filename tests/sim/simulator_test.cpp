@@ -177,5 +177,20 @@ TEST(Simulator, RejectsEmptyCallback) {
   EXPECT_THROW(sim.schedule_at(1, Simulator::Callback{}), PreconditionError);
 }
 
+TEST(Simulator, InvariantsHoldAcrossSchedulingAndCancellation) {
+  Simulator sim;
+  sim.check_invariants();
+  const EventHandle once = sim.schedule_at(5, [](SimTime) {});
+  const EventHandle periodic = sim.schedule_periodic(3, [](SimTime) {});
+  sim.check_invariants();
+  EXPECT_TRUE(sim.cancel(once));
+  sim.check_invariants();
+  sim.run_until(20);
+  sim.check_invariants();
+  EXPECT_TRUE(sim.cancel(periodic));
+  sim.run_until(40);
+  sim.check_invariants();
+}
+
 }  // namespace
 }  // namespace megads::sim

@@ -368,5 +368,44 @@ TEST(DataStore, IngestWithoutMetricsAttachedIsFine) {
   EXPECT_EQ(store.items_ingested(), 2u);
 }
 
+TEST(DataStore, InvariantsHoldAcrossAFullWorkload) {
+  // The store-level self-check must pass at every stage: installation,
+  // per-item and batched ingest, epoch sealing, triggers, reconfiguration,
+  // absorption of an export, and slot removal. (With
+  // -DMEGADS_CHECK_INVARIANTS=ON it also runs automatically after each of
+  // these, including the sealed-partition immutability fingerprints.)
+  DataStore store(StoreId(0), "inv");
+  store.check_invariants();
+  const AggregatorId slot = store.install(exact_slot());
+  TriggerSpec spec;
+  spec.name = "hot";
+  spec.kind = TriggerKind::kItemAbove;
+  spec.threshold = 1e12;
+  spec.action = [](const TriggerEvent&) {};
+  store.install_trigger(std::move(spec));
+  store.check_invariants();
+  for (int i = 0; i < 50; ++i) {
+    store.ingest(SensorId(1),
+                 item(host(1, static_cast<std::uint8_t>(i)), 1.0 + i, i * kSecond));
+  }
+  store.check_invariants();
+  std::vector<StreamItem> batch;
+  for (int i = 0; i < 40; ++i) {
+    batch.push_back(item(host(2, static_cast<std::uint8_t>(i)), 2.0,
+                         kMinute + i * kSecond));
+  }
+  store.ingest_batch(SensorId(1), batch);
+  store.check_invariants();
+  store.advance_to(10 * kMinute);  // seals several epochs
+  store.check_invariants();
+  store.set_live_budget(slot, 16);
+  store.check_invariants();
+  const auto snapshot = store.snapshot(slot);
+  store.absorb(slot, *snapshot);
+  store.check_invariants();
+  store.remove(slot);
+  store.check_invariants();
+}
+
 }  // namespace
 }  // namespace megads::store
