@@ -9,10 +9,10 @@
 //
 // Reports ingest throughput (wall-clock), tree depth/size, wire size, and
 // HHH agreement with an exact reference at matched phi.
-#include <chrono>
 #include <cstdio>
 #include <unordered_set>
 
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
 #include "flowtree/flowtree.hpp"
 #include "lineage/lineage.hpp"
@@ -23,7 +23,8 @@
 namespace {
 
 using namespace megads;
-using Clock = std::chrono::steady_clock;
+using bench::Clock;
+using bench::ms_since;
 
 constexpr std::size_t kFlows = 100000;
 constexpr double kPhi = 0.02;
@@ -62,7 +63,9 @@ double hhh_f1(const flowtree::Flowtree& tree,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport report("ablation");
   const auto records = shared_trace();
 
   std::printf("Ablation A: generalization step (budget 4096, %zu flows, phi=%.2f)\n\n",
@@ -78,13 +81,15 @@ int main() {
     for (const auto& record : records) {
       tree.add(record.key, static_cast<double>(record.bytes));
     }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const double ms = ms_since(start);
     const double f1 = hhh_f1(tree, config.policy, records);
     std::printf("%8d %8d %8zu %8.0f %12s %8.3f %10zu\n", step, tree.max_depth(),
                 tree.size(), static_cast<double>(kFlows) / ms,
                 format_bytes(tree.wire_bytes()).c_str(), f1,
                 tree.hhh(kPhi).size());
+    report.add({.bench = "ablation/ip_step_ingest",
+                .config = "ip_step=" + std::to_string(step) + " budget=4096",
+                .items_per_sec = static_cast<double>(kFlows) / (ms / 1000.0)});
   }
   std::printf(
       "\nreading: smaller steps buy finer prefix levels (more HHH rows at the "
@@ -109,11 +114,13 @@ int main() {
       if (tree.size() < last_nodes) ++compressions;  // size dropped = compress
       last_nodes = tree.size();
     }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const double ms = ms_since(start);
     std::printf("%8.2f %10.0f %10zu %12zu %14zu\n", slack,
                 static_cast<double>(kFlows) / ms, max_nodes, tree.size(),
                 compressions);
+    report.add({.bench = "ablation/compress_slack_ingest",
+                .config = "slack=" + std::to_string(slack) + " budget=4096",
+                .items_per_sec = static_cast<double>(kFlows) / (ms / 1000.0)});
   }
   std::printf(
       "\nreading: tighter slack trades throughput for a harder memory "
@@ -150,15 +157,20 @@ int main() {
       data_store.ingest(SensorId(i % 64), item);
       if (i % 10000 == 9999) data_store.advance_to(now);
     }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+    const double ms = ms_since(start);
     std::printf("%10s %10.0f %12zu %14zu\n", with_lineage ? "on" : "off",
                 static_cast<double>(records.size()) / ms,
                 recorder.entity_count(), recorder.transform_count());
+    report.add({.bench = std::string("ablation/lineage_") +
+                         (with_lineage ? "on" : "off"),
+                .config = "budget=4096 epoch=1s",
+                .items_per_sec =
+                    static_cast<double>(records.size()) / (ms / 1000.0)});
   }
   std::printf(
       "\nreading: batch-granularity lineage (one edge per sensor per epoch) "
       "costs a few percent of ingest throughput — the paper's schema-level "
       "option is affordable where instance-level would not be.\n");
+  report.write_if(opts);
   return 0;
 }

@@ -1,0 +1,179 @@
+// Shared bench-harness plumbing: the wall-clock helpers every experiment was
+// duplicating, a latency recorder with the percentiles the harness reports,
+// and the machine-readable JSON report behind the `--json <path>` flag that
+// `run_all.sh` aggregates into BENCH_PR3.json.
+//
+// Usage pattern (see any bench_*.cpp):
+//
+//   int main(int argc, char** argv) {
+//     auto opts = megads::bench::BenchOptions::parse(argc, argv);
+//     ...
+//     megads::bench::JsonReport report("E5");
+//     report.add({.bench = "flowstream/ingest_batched",
+//                 .config = "routers=6",
+//                 .items_per_sec = run.items_per_sec(),
+//                 .threads = opts.threads});
+//     report.write_if(opts);
+//   }
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace megads::bench {
+
+using Clock = std::chrono::steady_clock;
+
+inline double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+inline double us_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start).count();
+}
+
+/// Collects individual latency samples (µs) and reports percentiles.
+class LatencyRecorder {
+ public:
+  void record(double us) { samples_us_.push_back(us); }
+
+  /// Time one invocation of `fn` and record it.
+  template <typename F>
+  void time(F&& fn) {
+    const auto start = Clock::now();
+    fn();
+    record(us_since(start));
+  }
+
+  [[nodiscard]] bool empty() const { return samples_us_.empty(); }
+  [[nodiscard]] std::size_t count() const { return samples_us_.size(); }
+
+  /// Nearest-rank percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const {
+    if (samples_us_.empty()) return -1.0;
+    std::vector<double> sorted = samples_us_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  }
+  [[nodiscard]] double p50() const { return percentile(50.0); }
+  [[nodiscard]] double p99() const { return percentile(99.0); }
+
+ private:
+  std::vector<double> samples_us_;
+};
+
+/// Harness flags shared by every bench binary. parse() strips the flags it
+/// understands from argv so the remainder can go to google-benchmark or be
+/// rejected by the binary's own argument handling.
+struct BenchOptions {
+  std::string json_path;     ///< empty: no machine-readable output
+  std::size_t threads = 1;   ///< `--threads N`: shard-and-merge pool size
+
+  [[nodiscard]] bool json() const { return !json_path.empty(); }
+
+  static BenchOptions parse(int& argc, char** argv) {
+    BenchOptions opts;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+        opts.json_path = argv[++i];
+      } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+        opts.threads = static_cast<std::size_t>(
+            std::max(1L, std::strtol(argv[++i], nullptr, 10)));
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+    return opts;
+  }
+};
+
+/// One measurement in the machine-readable report. Negative metric values
+/// mean "not measured" and are emitted as null.
+struct BenchRecord {
+  std::string bench;            ///< e.g. "flowstream/ingest_batched"
+  std::string config;           ///< free-form, e.g. "routers=6 epoch=5s"
+  double items_per_sec = -1.0;
+  double p50_latency_us = -1.0;
+  double p99_latency_us = -1.0;
+  std::size_t threads = 1;
+};
+
+/// Accumulates records and writes one JSON array per binary. run_all.sh
+/// concatenates the arrays from every binary into BENCH_PR3.json.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  void add(BenchRecord record) { records_.push_back(std::move(record)); }
+
+  /// Write the report when `--json` was given; returns false on I/O failure.
+  bool write_if(const BenchOptions& opts) const {
+    if (!opts.json()) return true;
+    return write(opts.json_path);
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const BenchRecord& r = records_[i];
+      std::fprintf(out,
+                   "  {\"experiment\": \"%s\", \"bench\": \"%s\", "
+                   "\"config\": \"%s\", \"items_per_sec\": %s, "
+                   "\"p50_latency_us\": %s, \"p99_latency_us\": %s, "
+                   "\"threads\": %zu}%s\n",
+                   escape(experiment_).c_str(), escape(r.bench).c_str(),
+                   escape(r.config).c_str(), number(r.items_per_sec).c_str(),
+                   number(r.p50_latency_us).c_str(),
+                   number(r.p99_latency_us).c_str(), r.threads,
+                   i + 1 < records_.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  static std::string number(double v) {
+    if (v < 0.0 || !std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string experiment_;
+  std::vector<BenchRecord> records_;
+};
+
+}  // namespace megads::bench

@@ -3,22 +3,24 @@
 // FlowQL. Reports ingestion throughput (wall-clock) for both the per-item and
 // the batched ingest path, export volume, and FlowQL query latency for each
 // operator, local vs across all sites.
-#include <chrono>
+//
+// `--threads N` attaches an N-thread shard-and-merge pool to the whole
+// pipeline (see docs/PARALLELISM.md); `--json <path>` writes the
+// machine-readable report aggregated by bench/run_all.sh.
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
+#include "common/thread_pool.hpp"
 #include "flowstream/flowstream.hpp"
 #include "trace/flowgen.hpp"
 
 namespace {
 
 using namespace megads;
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
-}
+using bench::Clock;
+using bench::ms_since;
 
 constexpr SimDuration kRun = 30 * kSecond;
 constexpr SimDuration kTick = 500 * kMillisecond;  ///< batch window per router
@@ -73,7 +75,8 @@ IngestRun drive_ingest(sim::Simulator& simulator, flowstream::Flowstream& system
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
   flowstream::FlowstreamConfig config;
   config.regions = 2;
   config.routers_per_region = 3;
@@ -82,6 +85,9 @@ int main() {
   config.epoch = 5 * kSecond;
   config.router_budget = 2048;
   config.region_budget = 16384;
+  const std::string config_desc = "routers=6 epoch=5s budget=2048";
+
+  ThreadPool pool(opts.threads);
 
   // Pass 1: the per-item baseline, in its own throwaway system.
   IngestRun per_item;
@@ -92,16 +98,20 @@ int main() {
     per_item = drive_ingest(baseline_sim, baseline, /*batched=*/false);
   }
 
-  // Pass 2: the batched path; this system also serves the query section.
+  // Pass 2: the batched path, sharded across the pool when --threads > 1;
+  // this system also serves the query section.
   sim::Simulator simulator;
   flowstream::Flowstream system(simulator, config);
+  if (opts.threads > 1) system.set_parallelism(pool);
   system.start();
   const IngestRun batched = drive_ingest(simulator, system, /*batched=*/true);
   const std::uint64_t ingested = batched.items;
   simulator.run_until(kRun + 10 * kSecond);
 
-  std::printf("E5: Flowstream end-to-end (%d routers x %d regions, %llds)\n\n",
-              3, 2, static_cast<long long>(kRun / kSecond));
+  std::printf("E5: Flowstream end-to-end (%d routers x %d regions, %llds, "
+              "%zu thread%s)\n\n",
+              3, 2, static_cast<long long>(kRun / kSecond), opts.threads,
+              opts.threads == 1 ? "" : "s");
   std::printf("ingest, per-item          : %s flows at %.0f kitems/s wall-clock\n",
               format_si(static_cast<double>(per_item.items)).c_str(),
               per_item.items_per_sec() / 1000.0);
@@ -140,13 +150,31 @@ int main() {
       {"diff/epochs", "SELECT diff(10) FROM 0s..15s, 15s..30s"},
   };
 
+  bench::JsonReport report("E5");
+  report.add({.bench = "flowstream/ingest_per_item",
+              .config = config_desc,
+              .items_per_sec = per_item.items_per_sec(),
+              .threads = 1});
+  report.add({.bench = "flowstream/ingest_batched",
+              .config = config_desc,
+              .items_per_sec = batched.items_per_sec(),
+              .threads = opts.threads});
+
   std::printf("\n%-14s %10s %8s\n", "FlowQL", "latency", "rows");
+  bench::LatencyRecorder query_latency;
   for (const auto& spec : queries) {
     const auto start = Clock::now();
     const auto table = system.query(spec.statement);
     const double ms = ms_since(start);
+    query_latency.record(ms * 1000.0);
     std::printf("%-14s %8.2fms %8zu\n", spec.label, ms, table.row_count());
   }
+  report.add({.bench = "flowstream/flowql",
+              .config = config_desc,
+              .p50_latency_us = query_latency.p50(),
+              .p99_latency_us = query_latency.p99(),
+              .threads = opts.threads});
+  report.write_if(opts);
 
   std::printf(
       "\nshape check: local queries beat global ones; exports cost a small "

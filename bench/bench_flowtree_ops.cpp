@@ -5,6 +5,9 @@
 // the Insert benchmarks report items/second at bounded memory.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
+#include "bench_common.hpp"
 #include "flowtree/flowtree.hpp"
 #include "trace/flowgen.hpp"
 
@@ -184,6 +187,68 @@ void BM_Decode(benchmark::State& state) {
 }
 BENCHMARK(BM_Decode)->Arg(1000)->Arg(10000)->Arg(100000);
 
+/// The `--json` path self-measures the headline operators (insert throughput
+/// plus query/top-k/merge latency) instead of running the full
+/// google-benchmark sweep, and writes the machine-readable report.
+void run_json_workload(const megads::bench::BenchOptions& opts) {
+  namespace bench = megads::bench;
+  bench::JsonReport report("E1");
+
+  const auto records = records_for(100000, 1.2);
+  {
+    FlowtreeConfig config;
+    config.node_budget = 4096;
+    Flowtree tree(config);
+    const auto start = bench::Clock::now();
+    for (const auto& record : records) {
+      tree.add(record.key, static_cast<double>(record.bytes));
+    }
+    const double ms = bench::ms_since(start);
+    report.add({.bench = "flowtree_ops/insert",
+                .config = "budget=4096 flows=100000",
+                .items_per_sec =
+                    static_cast<double>(records.size()) / (ms / 1000.0)});
+  }
+
+  const Flowtree tree = tree_of(records, 1 << 20);
+  megads::trace::FlowGenConfig gen_config;
+  gen_config.seed = 101;
+  gen_config.network_skew = 1.2;
+  megads::trace::FlowGenerator gen(gen_config);
+  megads::flow::FlowKey prefix;
+  prefix.with_src(gen.network(0));
+
+  const struct {
+    const char* name;
+    std::function<void()> op;
+  } ops[] = {
+      {"query_point", [&] { benchmark::DoNotOptimize(tree.query(prefix)); }},
+      {"topk", [&] { benchmark::DoNotOptimize(tree.top_k(10)); }},
+      {"hhh", [&] { benchmark::DoNotOptimize(tree.hhh(0.01)); }},
+      {"encode", [&] { benchmark::DoNotOptimize(tree.encode()); }},
+  };
+  for (const auto& op : ops) {
+    bench::LatencyRecorder latency;
+    for (int rep = 0; rep < 20; ++rep) latency.time(op.op);
+    report.add({.bench = std::string("flowtree_ops/") + op.name,
+                .config = "flows=100000",
+                .p50_latency_us = latency.p50(),
+                .p99_latency_us = latency.p99()});
+  }
+  report.write_if(opts);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto opts = megads::bench::BenchOptions::parse(argc, argv);
+  if (opts.json()) {
+    run_json_workload(opts);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

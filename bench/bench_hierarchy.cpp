@@ -6,7 +6,9 @@
 #include <cstdio>
 
 #include "arch/hierarchy.hpp"
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
+#include "common/thread_pool.hpp"
 #include "trace/flowgen.hpp"
 
 namespace {
@@ -17,8 +19,10 @@ constexpr SimDuration kRun = 60 * kSecond;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
   sim::Simulator simulator;
+  ThreadPool pool(opts.threads);
 
   arch::LevelSpec machine;
   machine.name = "machine";
@@ -45,6 +49,7 @@ int main() {
   cloud.storage_budget = 64u << 20;
 
   arch::Hierarchy hierarchy(simulator, {machine, line, factory, cloud});
+  if (opts.threads > 1) hierarchy.set_parallelism(pool);
   hierarchy.start();
 
   // One generator per leaf (distinct sites), ~500 observations/s each.
@@ -58,6 +63,8 @@ int main() {
   }
 
   double true_total = 0.0;
+  std::uint64_t items_ingested = 0;
+  const auto ingest_start = bench::Clock::now();
   for (SimTime t = 0; t < kRun; t += 100 * kMillisecond) {
     simulator.run_until(t);
     for (std::size_t leaf = 0; leaf < generators.size(); ++leaf) {
@@ -68,9 +75,11 @@ int main() {
         item.timestamp = t;
         hierarchy.ingest(leaf, SensorId(0), item);
         true_total += item.value;
+        ++items_ingested;
       }
     }
   }
+  const double ingest_ms = bench::ms_since(ingest_start);
   simulator.run_until(kRun + 2 * kMinute);  // drain exports
 
   std::printf("E4: hierarchical aggregation (%zu machines, %llds, ~500 flows/s each)\n\n",
@@ -107,5 +116,13 @@ int main() {
   std::printf(
       "\nshape check: uplink bytes shrink at every level while the cloud "
       "still answers prefix queries over the whole factory.\n");
+
+  bench::JsonReport json("E4");
+  json.add({.bench = "hierarchy/leaf_ingest",
+            .config = "levels=4 leaves=" + std::to_string(hierarchy.nodes_at(0)),
+            .items_per_sec =
+                static_cast<double>(items_ingested) / (ingest_ms / 1000.0),
+            .threads = opts.threads});
+  json.write_if(opts);
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <cmath>
 
+#include "bench_common.hpp"
 #include "flowtree/flowtree.hpp"
 #include "trace/flowgen.hpp"
 
@@ -106,6 +107,47 @@ void BM_RepeatedCompressionError(benchmark::State& state) {
 BENCHMARK(BM_RepeatedCompressionError)->Arg(1)->Arg(3)->Arg(5)->Arg(7)
     ->Unit(benchmark::kMillisecond);
 
+/// The `--json` path runs a compact self-measured slice of the same
+/// workloads (google-benchmark's own repetitions are too slow for the
+/// aggregate harness) and writes the machine-readable report.
+void run_json_workload(const megads::bench::BenchOptions& opts) {
+  namespace bench = megads::bench;
+  bench::JsonReport report("E7");
+  for (const std::size_t sites : {4u, 16u}) {
+    std::vector<Flowtree> trees;
+    for (std::size_t s = 0; s < sites; ++s) {
+      trees.push_back(site_tree(static_cast<std::uint32_t>(s), 20000, 4096));
+    }
+    bench::LatencyRecorder latency;
+    for (int rep = 0; rep < 5; ++rep) {
+      latency.time([&] {
+        FlowtreeConfig config;
+        config.node_budget = 1 << 20;
+        Flowtree combined(config);
+        for (const Flowtree& tree : trees) combined.merge(tree);
+        combined.compress(4096);
+        benchmark::DoNotOptimize(combined.total_weight());
+      });
+    }
+    report.add({.bench = "merge_compress/across_sites",
+                .config = "sites=" + std::to_string(sites) + " budget=4096",
+                .p50_latency_us = latency.p50(),
+                .p99_latency_us = latency.p99()});
+  }
+  report.write_if(opts);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const auto opts = megads::bench::BenchOptions::parse(argc, argv);
+  if (opts.json()) {
+    run_json_workload(opts);
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

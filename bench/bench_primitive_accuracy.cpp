@@ -17,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
 #include "flowtree/flowtree.hpp"
 #include "primitives/countmin.hpp"
@@ -78,7 +79,9 @@ std::string fmt(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport report("E2");
   trace::FlowGenConfig gen_config;
   gen_config.seed = 99;
   gen_config.network_skew = 1.2;
@@ -134,6 +137,7 @@ int main() {
                                                      4, true));
 
     for (auto& [name, agg] : primitives_list) {
+      const auto ingest_start = bench::Clock::now();
       for (const auto& record : records) {
         primitives::StreamItem item;
         item.key = record.key;
@@ -141,6 +145,11 @@ int main() {
         item.timestamp = record.timestamp;
         agg->insert(item);
       }
+      const double ingest_ms = bench::ms_since(ingest_start);
+      report.add({.bench = "primitive_accuracy/ingest_" + name,
+                  .config = "budget=" + std::to_string(budget),
+                  .items_per_sec =
+                      static_cast<double>(kFlows) / (ingest_ms / 1000.0)});
 
       Row row;
       row.name = name;
@@ -199,5 +208,6 @@ int main() {
       "%zu nodes, %s\n",
       exact.size(), format_bytes(exact.memory_bytes()).c_str(),
       exact_hhh_trie.size(), format_bytes(exact_hhh_trie.memory_bytes()).c_str());
+  report.write_if(opts);
   return 0;
 }

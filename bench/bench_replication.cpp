@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
 #include "repl/simulate.hpp"
 
@@ -19,7 +20,7 @@ struct Sweep {
   double access_alpha;  // smaller = heavier tail of hot partitions
 };
 
-void run_sweep(const Sweep& sweep) {
+void run_sweep(const Sweep& sweep, bench::JsonReport& report) {
   trace::QueryGenConfig config;
   config.seed = 1234;
   config.partitions = 2000;
@@ -56,7 +57,9 @@ void run_sweep(const Sweep& sweep) {
   std::printf("  %-16s %12s %8s %8s %10s %10s %8s\n", "policy", "wan-bytes",
               "ratio", "repls", "mean-lat", "p-max-lat", "local%");
   for (auto& policy : policies) {
+    const auto replay_start = bench::Clock::now();
     const auto outcome = repl::simulate_replication(trace, sizes, *policy);
+    const double replay_ms = bench::ms_since(replay_start);
     const double ratio = static_cast<double>(outcome.total_wan_bytes()) /
                          static_cast<double>(optimum);
     const double local_share =
@@ -68,20 +71,28 @@ void run_sweep(const Sweep& sweep) {
                 static_cast<unsigned long long>(outcome.replications),
                 outcome.access_latency.mean() / 1000.0,
                 outcome.access_latency.max() / 1000.0, local_share);
+    report.add(
+        {.bench = "replication/replay_" + outcome.policy,
+         .config = "alpha=" + std::to_string(sweep.access_alpha),
+         .items_per_sec =
+             static_cast<double>(trace.events.size()) / (replay_ms / 1000.0)});
   }
   std::printf("\n");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport report("E6");
   std::printf("E6: adaptive replication (ski-rental) -- Fig. 6 made quantitative\n\n");
   const Sweep sweeps[] = {
       {"cold (few repeats)", 2.0},
       {"mixed", 1.1},
       {"hot (heavy tail)", 0.7},
   };
-  for (const auto& sweep : sweeps) run_sweep(sweep);
+  for (const auto& sweep : sweeps) run_sweep(sweep, report);
+  report.write_if(opts);
   std::printf(
       "shape check: break-even stays within 2x of the oracle everywhere; the "
       "distribution-aware policy closes most of the remaining gap on "

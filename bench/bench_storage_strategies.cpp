@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_common.hpp"
 #include "common/bytes.hpp"
 #include "primitives/timebin.hpp"
 #include "store/datastore.hpp"
@@ -34,6 +35,8 @@ struct Outcome {
   std::size_t partitions;
   std::size_t memory;
   double answered_1m, answered_30m, answered_2h, answered_4h;
+  std::uint64_t items = 0;
+  double ingest_ms = 0.0;
 };
 
 std::unique_ptr<store::StorageStrategy> make_strategy(int which) {
@@ -70,20 +73,25 @@ Outcome run_strategy(int which, const char* name) {
   trace::SensorGenerator gen(gen_config);
 
   // Steady stream with a 4x burst in hour 3 (doubled sampling via re-ingest).
+  std::uint64_t items = 0;
+  const auto ingest_start = bench::Clock::now();
   while (gen.now() + gen_config.sample_period <= kRun) {
     const auto readings = gen.tick();
     const bool burst = gen.now() > 2 * kHour && gen.now() <= 3 * kHour;
     for (const auto& reading : readings) {
       const auto item = reading.to_item();
       data_store.ingest(SensorId(reading.sensor), item);
+      ++items;
       if (burst) {
         for (int extra = 0; extra < 3; ++extra) {
           data_store.ingest(SensorId(reading.sensor), item);
+          ++items;
         }
       }
     }
     data_store.advance_to(gen.now());
   }
+  const double ingest_ms = bench::ms_since(ingest_start);
 
   const auto answered = [&](SimDuration age) {
     const TimeInterval window{kRun - age - 10 * kMinute, kRun - age};
@@ -110,12 +118,16 @@ Outcome run_strategy(int which, const char* name) {
   outcome.answered_30m = answered(30 * kMinute);
   outcome.answered_2h = answered(90 * kMinute);   // falls in the burst hour
   outcome.answered_4h = answered(kRun - 15 * kMinute);
+  outcome.items = items;
+  outcome.ingest_ms = ingest_ms;
   return outcome;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport report("E3");
   std::printf(
       "E3: storage strategies (run=%lldh, epoch=1m, ttl=1h, budget=%s, burst "
       "4x in hour 3)\n\n",
@@ -133,9 +145,14 @@ int main() {
                 outcome.partitions, format_bytes(outcome.memory).c_str(),
                 outcome.answered_1m, outcome.answered_30m, outcome.answered_2h,
                 outcome.answered_4h);
+    report.add({.bench = "storage_strategies/ingest_" + outcome.name,
+                .config = "run=4h epoch=1m",
+                .items_per_sec = static_cast<double>(outcome.items) /
+                                 (outcome.ingest_ms / 1000.0)});
   }
   std::printf(
       "\nshape check: expiration ~= ttl; round-robin floats with rate (shrinks "
       "during burst); hierarchical covers the full run at coarser detail.\n");
+  report.write_if(opts);
   return 0;
 }

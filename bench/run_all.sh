@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Runs every bench binary with `--json` and aggregates the per-binary reports
+# into one machine-readable file (default: BENCH_PR3.json in the cwd).
+#
+#   bench/run_all.sh [build-dir] [output.json]
+#
+# The flagship pipeline bench (bench_flowstream) is additionally swept over
+# --threads 1/2/4/8 so the aggregate records the shard-and-merge scaling curve
+# of this machine (see docs/PARALLELISM.md).
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_PR3.json}"
+JSON_DIR="$(mktemp -d)"
+trap 'rm -rf "$JSON_DIR"' EXIT
+
+seq=0
+run() {
+  local name=$1
+  shift
+  local bin="$BUILD_DIR/bench/$name"
+  if [ ! -x "$bin" ]; then
+    echo "run_all: skipping $name (not built at $bin)" >&2
+    return 0
+  fi
+  seq=$((seq + 1))
+  local tag
+  tag=$(printf '%02d_%s' "$seq" "$name$(echo "$*" | tr ' -' '__')")
+  echo "== $name $*" >&2
+  "$bin" "$@" --json "$JSON_DIR/$tag.json" >/dev/null
+}
+
+run bench_flowtree_ops
+run bench_merge_compress
+run bench_primitive_accuracy
+run bench_storage_strategies
+run bench_hierarchy
+run bench_replication
+run bench_trigger_latency
+run bench_ablation
+for t in 1 2 4 8; do
+  run bench_flowstream --threads "$t"
+done
+
+# Merge: every per-binary file is a JSON array of records; splice their
+# elements into one "results" array (pure shell — no jq dependency).
+{
+  echo '{'
+  echo '  "suite": "megads shard-and-merge bench harness (PR3)",'
+  echo "  \"host_threads\": $(nproc),"
+  echo '  "results": ['
+  first=1
+  for f in "$JSON_DIR"/*.json; do
+    inner=$(sed '1d;$d' "$f")
+    [ -z "$inner" ] && continue
+    if [ "$first" -eq 0 ]; then echo ','; fi
+    printf '%s' "$inner"
+    first=0
+  done
+  echo ''
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+echo "wrote $OUT" >&2

@@ -106,6 +106,12 @@ void Hierarchy::attach_metrics(metrics::MetricsRegistry& registry) {
   network_.attach_metrics(registry);
 }
 
+void Hierarchy::set_parallelism(ThreadPool& pool, std::size_t shards) {
+  for (auto& level : nodes_) {
+    for (auto& node : level) node.store->set_parallelism(pool, shards);
+  }
+}
+
 void Hierarchy::export_tick(std::size_t level, std::size_t index, SimTime now) {
   Node& node = node_at(level, index);
   node.store->advance_to(now);

@@ -66,6 +66,13 @@ class Hierarchy {
   /// `registry`. The registry must outlive the hierarchy.
   void attach_metrics(metrics::MetricsRegistry& registry);
 
+  /// Attach a shard-and-merge execution pool to every node's store: live
+  /// summaries shard across `shards` replicas (0 = one per pool thread) and
+  /// batch ingest / snapshot folds / compression run on the pool. The
+  /// simulator loop stays the single driver; the pool only parallelizes
+  /// inside each store call. The pool must outlive the hierarchy.
+  void set_parallelism(ThreadPool& pool, std::size_t shards = 0);
+
   /// Start the periodic export loops (call once, before running the sim).
   void start();
 

@@ -36,29 +36,59 @@ std::string format_number(double v) {
 
 }  // namespace
 
-void Histogram::observe(double value) noexcept {
-  ++buckets_[bucket_of(value)];
-  if (count_ == 0) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+namespace {
+
+/// Fold `value` into an atomic double with `op` (min/max/plus) via CAS.
+template <typename Op>
+void atomic_fold(std::atomic<double>& target, double value, Op op) noexcept {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, op(observed, value),
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += value;
+}
+
+}  // namespace
+
+void Histogram::observe(double value) noexcept {
+  buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  atomic_fold(min_, value, [](double a, double b) { return std::min(a, b); });
+  atomic_fold(max_, value, [](double a, double b) { return std::max(a, b); });
+  atomic_fold(sum_, value, [](double a, double b) { return a + b; });
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets()
+    const noexcept {
+  std::array<std::uint64_t, kBuckets> copy{};
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    copy[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return copy;
+}
+
+void Histogram::reset() noexcept {
+  for (std::atomic<std::uint64_t>& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kNoMin, std::memory_order_relaxed);
+  max_.store(kNoMax, std::memory_order_relaxed);
 }
 
 double Histogram::quantile(double q) const noexcept {
-  if (count_ == 0) return 0.0;
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = std::max<std::uint64_t>(
-      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count_))));
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n))));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += buckets_[i];
-    if (seen >= rank) return std::min(bucket_edge(i), max_);
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return std::min(bucket_edge(i), max());
   }
-  return max_;
+  return max();
 }
 
 const SnapshotEntry* Snapshot::find(const std::string& name) const noexcept {
@@ -117,6 +147,7 @@ namespace {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   if (gauges_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
@@ -124,6 +155,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   if (counters_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
@@ -131,6 +163,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   if (counters_.contains(name) || gauges_.contains(name)) throw_kind_clash(name);
@@ -138,8 +171,9 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   Snapshot snap;
-  snap.entries.reserve(instrument_count());
+  snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
     SnapshotEntry entry;
     entry.name = name;
@@ -175,6 +209,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() noexcept {
+  const std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();

@@ -4,79 +4,111 @@
 // named instruments so that experiments — and the self-adaptation loop that
 // feeds AdaptSignal — work from *measured* rates instead of guesses.
 //
-// Three instrument kinds, all plain value types with no locking (the
-// simulator is single-threaded; a sharded registry is the obvious follow-up
-// once ingest is parallel):
-//   Counter   - monotone uint64 (items ingested, seals, wire bytes, ...)
-//   Gauge     - last-written double (items/sec, live summary size, ...)
+// Three instrument kinds, thread-safe and lock-free on the write path so the
+// shard-parallel ingest and partition-parallel query fan-outs can bump them
+// from worker threads:
+//   Counter   - monotone uint64 (items ingested, seals, wire bytes, ...);
+//               relaxed atomic adds
+//   Gauge     - last-written double (items/sec, live summary size, ...);
+//               relaxed atomic store
 //   Histogram - log2-bucketed distribution with count/sum/min/max and
-//               bucket-resolution quantiles (latencies, batch sizes).
+//               bucket-resolution quantiles (latencies, batch sizes);
+//               relaxed atomic buckets, CAS-folded sum/min/max.
 //
 // snapshot() freezes every instrument into a sorted, queryable Snapshot whose
 // to_string() is the human-readable dump reachable from the REPL/examples.
+// Relaxed ordering means a snapshot taken while writers are active is only
+// per-instrument consistent, not cross-instrument consistent — see
+// docs/METRICS.md ("Snapshot consistency").
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace megads::metrics {
 
-/// Monotone event counter.
+/// Monotone event counter. add() is a relaxed atomic: safe from any thread,
+/// never torn, but unordered relative to other instruments.
 class Counter {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0; }
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
-/// Last-value instrument (rates, sizes, ratios).
+/// Last-value instrument (rates, sizes, ratios). Concurrent set() is
+/// last-writer-wins; reads never tear.
 class Gauge {
  public:
-  void set(double v) noexcept { value_ = v; }
-  [[nodiscard]] double value() const noexcept { return value_; }
-  void reset() noexcept { value_ = 0.0; }
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
 };
 
 /// Fixed-footprint distribution: one bucket per power of two over the
 /// non-negative range (bucket 0 holds [0, 1), bucket i holds [2^(i-1), 2^i)),
 /// plus exact count/sum/min/max. Negative observations clamp into bucket 0.
+/// observe() is thread-safe: buckets and count are relaxed atomics, sum is a
+/// CAS-folded add, min/max are CAS-folded monotone updates. Each statistic is
+/// individually exact once writers quiesce; a read taken mid-observe may see
+/// count and sum one observation apart.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 64;
 
   void observe(double value) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] double sum() const noexcept { return sum_; }
-  [[nodiscard]] double mean() const noexcept {
-    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
   }
-  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
-  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0.0;
+  }
+  [[nodiscard]] double min() const noexcept {
+    return count() ? min_.load(std::memory_order_relaxed) : 0.0;
+  }
+  [[nodiscard]] double max() const noexcept {
+    return count() ? max_.load(std::memory_order_relaxed) : 0.0;
+  }
   /// Quantile estimate at bucket resolution: the upper edge of the bucket
   /// containing the q-th ranked observation (q in [0, 1]).
   [[nodiscard]] double quantile(double q) const noexcept;
-  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets() const noexcept {
-    return buckets_;
-  }
-  void reset() noexcept { *this = Histogram{}; }
+  /// A plain copy of the bucket array (reads are relaxed).
+  [[nodiscard]] std::array<std::uint64_t, kBuckets> buckets() const noexcept;
+  void reset() noexcept;
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// +/-infinity sentinels so the first concurrent observers fold correctly.
+  std::atomic<double> min_{kNoMin};
+  std::atomic<double> max_{kNoMax};
+
+  static constexpr double kNoMin = 1.7976931348623157e308;   // DBL_MAX
+  static constexpr double kNoMax = -1.7976931348623157e308;  // -DBL_MAX
 };
 
 /// One frozen instrument inside a Snapshot.
@@ -113,6 +145,8 @@ struct Snapshot {
 /// Named instrument registry. Instrument references returned by
 /// counter()/gauge()/histogram() stay valid for the registry's lifetime, so
 /// hot paths can resolve a name once and bump a plain field afterwards.
+/// Registration and snapshot() serialize on an internal mutex; the bump path
+/// through an already-resolved reference never locks.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -126,6 +160,7 @@ class MetricsRegistry {
 
   [[nodiscard]] Snapshot snapshot() const;
   [[nodiscard]] std::size_t instrument_count() const noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   /// Zero every instrument (names and references stay valid).
@@ -133,6 +168,7 @@ class MetricsRegistry {
 
  private:
   // std::map: deterministic snapshot order; unique_ptr: stable references.
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace megads {
+
+namespace {
+
+/// The pool a thread belongs to, if any. Lets submit()/parallel_for() detect
+/// re-entrant use from a worker and run inline instead of deadlocking.
+thread_local const ThreadPool* t_owner_pool = nullptr;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
+  if (threads_ == 0) {
+    threads_ = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::on_worker_thread() const noexcept {
+  return t_owner_pool == this;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  // No workers, or called from one of our own workers: run inline. Futures
+  // returned by submit() are simply already ready.
+  if (workers_.empty() || on_worker_thread()) {
+    task();
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_owner_pool = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(n, threads_);
+  if (parts <= 1 || workers_.empty() || on_worker_thread()) {
+    body(0, n);
+    return;
+  }
+
+  // Chunk claiming over an atomic cursor: whichever thread is free takes the
+  // next contiguous range, so an uneven chunk cannot idle the rest.
+  struct Shared {
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  } shared;
+  const auto run_chunks = [&shared, &body, n, parts] {
+    for (std::size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
+         i < parts; i = shared.next.fetch_add(1, std::memory_order_relaxed)) {
+      const std::size_t begin = i * n / parts;
+      const std::size_t end = (i + 1) * n / parts;
+      try {
+        body(begin, end);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(shared.error_mu);
+        if (!shared.error) shared.error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(parts - 1);
+  for (std::size_t i = 0; i + 1 < parts; ++i) futures.push_back(submit(run_chunks));
+  run_chunks();
+  for (std::future<void>& future : futures) future.get();
+  if (shared.error) std::rethrow_exception(shared.error);
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  parallel_for(tasks.size(), [&tasks](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) tasks[i]();
+  });
+}
+
+}  // namespace megads

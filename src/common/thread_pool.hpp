@@ -1,0 +1,85 @@
+// ThreadPool — the shard-and-merge execution engine's task substrate.
+//
+// The paper's combinable-summaries property (Section V.A, Table II `Merge`)
+// is an algebraic license for parallelism: N summaries built independently
+// and merged losslessly are one summary. This pool is the mechanics behind
+// that license everywhere in the stack: sharded ingest partitions a batch
+// across per-thread aggregator replicas, the data store fans a query out
+// over sealed partitions, and FlowDB merges per-location summary chains
+// concurrently.
+//
+// Design: a fixed-size, work-stealing-free pool. `threads` is the *total*
+// concurrency of a parallel_for — the pool spawns threads-1 workers and the
+// calling thread always participates, so ThreadPool(1) is exactly the serial
+// code path (no worker threads, submit() runs inline). Tasks submitted from
+// inside a worker run inline instead of re-queueing, which makes nested
+// parallel_for calls degrade to serial rather than deadlock on a full queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace megads {
+
+class ThreadPool {
+ public:
+  /// `threads` = total parallel_for concurrency including the calling thread;
+  /// 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total concurrency (workers + the calling thread); always >= 1.
+  [[nodiscard]] std::size_t thread_count() const noexcept { return threads_; }
+  /// Spawned worker threads (thread_count() - 1).
+  [[nodiscard]] std::size_t worker_count() const noexcept { return workers_.size(); }
+
+  /// True on a thread owned by this pool. Parallel entry points use this to
+  /// run nested work inline instead of blocking on their own queue.
+  [[nodiscard]] bool on_worker_thread() const noexcept;
+
+  /// Queue `fn` for execution and return its future. With no workers (or when
+  /// called from a worker of this pool) the task runs inline before returning,
+  /// so the future is already ready — callers need no special casing.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Run `body(begin, end)` over a partition of [0, n) using up to
+  /// thread_count() threads (the caller included). Blocks until every chunk
+  /// finished; the first exception thrown by any chunk is rethrown here.
+  /// Called with n == 0 it is a no-op; from a worker thread, or on a
+  /// single-thread pool, it runs body(0, n) inline.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  /// Run every task, wait for all, rethrow the first exception.
+  void run_all(std::vector<std::function<void()>> tasks);
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace megads

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <future>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "flowdb/parser.hpp"
 
 namespace megads::flowdb {
@@ -50,9 +52,18 @@ Table execute(const Statement& statement, const FlowDB& db) {
 
   if (statement.op == OperatorKind::kDiff) {
     expects(statement.ranges.size() == 2, "FlowQL diff: exactly two ranges");
+    // The two sides of a diff are independent merges — run the second on the
+    // database's pool while this thread builds the first.
+    std::future<flowtree::Flowtree> b_future;
+    if (ThreadPool* pool = db.thread_pool(); pool != nullptr) {
+      b_future = pool->submit([&db, &statement] {
+        return db.merged({statement.ranges[1]}, statement.locations);
+      });
+    }
     flowtree::Flowtree a = db.merged({statement.ranges[0]}, statement.locations);
     const flowtree::Flowtree b =
-        db.merged({statement.ranges[1]}, statement.locations);
+        b_future.valid() ? b_future.get()
+                         : db.merged({statement.ranges[1]}, statement.locations);
     a.diff(b);
     std::vector<KeyScore> rows =
         restricted ? restricted_entries(a, statement.restriction) : a.entries();

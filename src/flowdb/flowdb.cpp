@@ -2,12 +2,28 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace megads::flowdb {
 
 FlowDB::FlowDB(flowtree::FlowtreeConfig tree_config) : tree_config_(tree_config) {}
+
+FlowDB::FlowDB(FlowDB&& other) noexcept
+    : tree_config_(other.tree_config_),
+      entries_(std::move(other.entries_)),
+      pool_(other.pool_) {}
+
+FlowDB& FlowDB::operator=(FlowDB&& other) noexcept {
+  if (this != &other) {
+    tree_config_ = other.tree_config_;
+    entries_ = std::move(other.entries_);
+    pool_ = other.pool_;
+  }
+  return *this;
+}
 
 void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
                  std::string location) {
@@ -16,6 +32,7 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
           "FlowDB::add: summary's generalization policy/features do not match");
   expects(!interval.empty(), "FlowDB::add: empty interval");
   Entry entry{SummaryMeta{interval, std::move(location)}, std::move(tree)};
+  const std::unique_lock lock(entries_mu_);
   const auto pos = std::upper_bound(
       entries_.begin(), entries_.end(), entry, [](const Entry& a, const Entry& b) {
         if (a.meta.location != b.meta.location) {
@@ -26,6 +43,11 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
   entries_.insert(pos, std::move(entry));
 }
 
+std::size_t FlowDB::summary_count() const {
+  const std::shared_lock lock(entries_mu_);
+  return entries_.size();
+}
+
 void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
                          TimeInterval interval, std::string location) {
   add(flowtree::Flowtree::decode(bytes, tree_config_), interval,
@@ -33,6 +55,7 @@ void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
 }
 
 std::vector<std::string> FlowDB::locations() const {
+  const std::shared_lock lock(entries_mu_);
   std::vector<std::string> names;
   for (const Entry& entry : entries_) {
     if (names.empty() || names.back() != entry.meta.location) {
@@ -43,6 +66,7 @@ std::vector<std::string> FlowDB::locations() const {
 }
 
 std::optional<TimeInterval> FlowDB::coverage() const {
+  const std::shared_lock lock(entries_mu_);
   if (entries_.empty()) return std::nullopt;
   TimeInterval total = entries_.front().meta.interval;
   for (const Entry& entry : entries_) total = total.span(entry.meta.interval);
@@ -63,24 +87,48 @@ flowtree::Flowtree FlowDB::merged(
            locations.end();
   };
 
-  // Stage 1 (shared location): merge each location's epochs over time.
-  std::map<std::string, flowtree::Flowtree> per_location;
+  const std::shared_lock lock(entries_mu_);
+
+  // Select the matching entries, grouped by location (entries_ is sorted by
+  // location, so each group is a contiguous index run).
+  std::vector<std::vector<const Entry*>> groups;
   for (const Entry& entry : entries_) {
     if (!wanted_time(entry.meta.interval) || !wanted_location(entry.meta.location)) {
       continue;
     }
-    auto [it, inserted] =
-        per_location.try_emplace(entry.meta.location, tree_config_);
-    it->second.merge(entry.tree);
+    if (groups.empty() || groups.back().back()->meta.location != entry.meta.location) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(&entry);
   }
 
-  // Stage 2 (shared time): merge across locations.
+  // Stage 1 (shared location): merge each location's epochs over time.
+  // Each location is folded by exactly one task, in epoch order, so the
+  // concurrent result is identical to the serial one.
+  std::vector<flowtree::Flowtree> per_location;
+  per_location.reserve(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    per_location.emplace_back(tree_config_);
+  }
+  const auto fold_group = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t g = begin; g < end; ++g) {
+      for (const Entry* entry : groups[g]) per_location[g].merge(entry->tree);
+    }
+  };
+  if (pool_ != nullptr && groups.size() > 1) {
+    pool_->parallel_for(groups.size(), fold_group);
+  } else {
+    fold_group(0, groups.size());
+  }
+
+  // Stage 2 (shared time): merge across locations, in location order.
   flowtree::Flowtree result(tree_config_);
-  for (auto& [location, tree] : per_location) result.merge(tree);
+  for (flowtree::Flowtree& tree : per_location) result.merge(tree);
   return result;
 }
 
 std::size_t FlowDB::memory_bytes() const {
+  const std::shared_lock lock(entries_mu_);
   std::size_t total = 0;
   for (const Entry& entry : entries_) total += entry.tree.memory_bytes();
   return total;

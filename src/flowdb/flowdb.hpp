@@ -7,13 +7,24 @@
 // location, summaries of different epochs are merged first (shared
 // location); the per-location trees — now covering the same requested span —
 // are then merged across locations (shared time).
+// Concurrency: one writer (`add` / `add_encoded`) and any number of readers
+// may run simultaneously — the summary index is guarded by a shared_mutex
+// (exclusive for add, shared for every read). With a ThreadPool attached,
+// `merged()` runs its per-location stage-1 folds concurrently; the result is
+// identical to the serial fold because each location's epochs are still
+// merged by a single task, in index order.
 #pragma once
 
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "flowtree/flowtree.hpp"
+
+namespace megads {
+class ThreadPool;
+}
 
 namespace megads::flowdb {
 
@@ -26,6 +37,13 @@ class FlowDB {
  public:
   explicit FlowDB(flowtree::FlowtreeConfig tree_config = {});
 
+  // Movable (the mutex is freshly constructed; moving while readers or the
+  // writer are active is undefined, as for any container).
+  FlowDB(FlowDB&& other) noexcept;
+  FlowDB& operator=(FlowDB&& other) noexcept;
+  FlowDB(const FlowDB&) = delete;
+  FlowDB& operator=(const FlowDB&) = delete;
+
   /// Index one exported summary. Summaries must share the database's
   /// generalization policy and feature set.
   void add(flowtree::Flowtree tree, TimeInterval interval, std::string location);
@@ -34,7 +52,12 @@ class FlowDB {
   void add_encoded(const std::vector<std::uint8_t>& bytes, TimeInterval interval,
                    std::string location);
 
-  [[nodiscard]] std::size_t summary_count() const noexcept { return entries_.size(); }
+  /// Attach a pool: merged() fans its per-location folds across it. The pool
+  /// must outlive the database (pass nullptr to detach).
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
+  [[nodiscard]] ThreadPool* thread_pool() const noexcept { return pool_; }
+
+  [[nodiscard]] std::size_t summary_count() const;
   [[nodiscard]] std::vector<std::string> locations() const;
   /// Smallest interval covering all indexed summaries (nullopt when empty).
   [[nodiscard]] std::optional<TimeInterval> coverage() const;
@@ -57,7 +80,11 @@ class FlowDB {
   };
 
   flowtree::FlowtreeConfig tree_config_;
+  /// Exclusive for add(), shared for every reader — FlowQL queries may run
+  /// concurrently with summary arrivals.
+  mutable std::shared_mutex entries_mu_;
   std::vector<Entry> entries_;  // sorted by (location, interval.begin)
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace megads::flowdb

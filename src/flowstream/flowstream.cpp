@@ -157,6 +157,14 @@ void Flowstream::ingest_batch(std::size_t region, std::size_t router,
   routers_[region][router].store->ingest_batch(SensorId(0), items);
 }
 
+void Flowstream::set_parallelism(ThreadPool& pool, std::size_t shards) {
+  for (auto& region : routers_) {
+    for (auto& router : region) router.store->set_parallelism(pool, shards);
+  }
+  for (auto& region : regions_) region.store->set_parallelism(pool, shards);
+  db_.set_thread_pool(&pool);
+}
+
 void Flowstream::attach_lineage(lineage::Recorder& recorder) {
   lineage_ = &recorder;
   for (auto& region : routers_) {

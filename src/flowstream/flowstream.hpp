@@ -86,6 +86,14 @@ class Flowstream {
   /// them. The recorder must outlive the system.
   void attach_lineage(lineage::Recorder& recorder);
 
+  /// Attach a shard-and-merge execution pool to the whole pipeline: every
+  /// router and region store shards its live summaries across `shards`
+  /// replicas (0 = one per pool thread) and runs batch ingest, snapshot
+  /// folds, and compression on the pool; the cloud FlowDB fans its
+  /// per-location merges out as well. Call before heavy ingest; the pool
+  /// must outlive the system.
+  void set_parallelism(ThreadPool& pool, std::size_t shards = 0);
+
   /// Instrument the whole pipeline into `registry`: every router/region store
   /// (store.<name>.*), the WAN (net.*), export wire volume
   /// (flowstream.export_wire_bytes / flowstream.exports /

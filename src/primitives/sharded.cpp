@@ -1,0 +1,186 @@
+#include "primitives/sharded.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace megads::primitives {
+
+ShardedAggregator::ShardedAggregator(const Factory& factory, std::size_t shards,
+                                     ThreadPool* pool)
+    : pool_(pool) {
+  expects(static_cast<bool>(factory), "ShardedAggregator: factory required");
+  expects(shards >= 1, "ShardedAggregator: need at least one shard");
+  replicas_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) replicas_.push_back(factory());
+  scratch_.resize(shards);
+}
+
+std::string ShardedAggregator::kind() const { return replicas_.front()->kind(); }
+
+std::size_t ShardedAggregator::shard_of(const StreamItem& item) const noexcept {
+  // mix64 decorrelates the shard choice from the key's own open-addressing
+  // use of hash() inside the replicas.
+  return mix64(item.key.hash()) % replicas_.size();
+}
+
+void ShardedAggregator::insert(const StreamItem& item) {
+  replicas_[shard_of(item)]->insert(item);
+  note_ingest(item);
+}
+
+void ShardedAggregator::insert_batch(std::span<const StreamItem> items) {
+  if (items.empty()) return;
+  if (replicas_.size() == 1) {
+    replicas_.front()->insert_batch(items);
+    note_ingest_batch(items);
+    return;
+  }
+  for (std::vector<StreamItem>& shard : scratch_) shard.clear();
+  for (const StreamItem& item : items) {
+    scratch_[shard_of(item)].push_back(item);
+  }
+  // One task per shard; each replica is touched by exactly one task, so the
+  // primitives' hot paths stay single-threaded code.
+  if (pool_ != nullptr) {
+    pool_->parallel_for(replicas_.size(), [this](std::size_t begin,
+                                                 std::size_t end) {
+      for (std::size_t s = begin; s < end; ++s) {
+        if (!scratch_[s].empty()) replicas_[s]->insert_batch(scratch_[s]);
+      }
+    });
+  } else {
+    for (std::size_t s = 0; s < replicas_.size(); ++s) {
+      if (!scratch_[s].empty()) replicas_[s]->insert_batch(scratch_[s]);
+    }
+  }
+  note_ingest_batch(items);
+}
+
+std::unique_ptr<Aggregator> ShardedAggregator::collapse() const {
+  std::unique_ptr<Aggregator> merged = replicas_.front()->clone();
+  for (std::size_t s = 1; s < replicas_.size(); ++s) {
+    expects(merged->mergeable_with(*replicas_[s]),
+            "ShardedAggregator: replicas drifted incompatible");
+    merged->merge_from(*replicas_[s]);
+  }
+  return merged;
+}
+
+QueryResult ShardedAggregator::execute(const Query& query) const {
+  return collapse()->execute(query);
+}
+
+bool ShardedAggregator::mergeable_with(const Aggregator& other) const {
+  if (const auto* sharded = dynamic_cast<const ShardedAggregator*>(&other)) {
+    return replicas_.front()->mergeable_with(*sharded->replicas_.front());
+  }
+  return replicas_.front()->mergeable_with(other);
+}
+
+void ShardedAggregator::merge_from(const Aggregator& other) {
+  if (const auto* sharded = dynamic_cast<const ShardedAggregator*>(&other)) {
+    if (sharded->replicas_.size() == replicas_.size()) {
+      // Same layout: fold shard-wise (keeps the key partitioning intact),
+      // concurrently when a pool is attached.
+      const auto merge_range = [this, sharded](std::size_t begin,
+                                               std::size_t end) {
+        for (std::size_t s = begin; s < end; ++s) {
+          replicas_[s]->merge_from(*sharded->replicas_[s]);
+        }
+      };
+      if (pool_ != nullptr) {
+        pool_->parallel_for(replicas_.size(), merge_range);
+      } else {
+        merge_range(0, replicas_.size());
+      }
+      note_merge(other);
+      return;
+    }
+    // Layout mismatch: collapse the other side first.
+    replicas_.front()->merge_from(*sharded->collapse());
+    note_merge(other);
+    return;
+  }
+  replicas_.front()->merge_from(other);
+  note_merge(other);
+}
+
+void ShardedAggregator::compress(std::size_t target_size) {
+  // Split the budget across shards; every replica compresses concurrently.
+  const std::size_t per_shard =
+      target_size == 0
+          ? 0
+          : std::max<std::size_t>(1, (target_size + replicas_.size() - 1) /
+                                         replicas_.size());
+  const auto compress_range = [this, per_shard](std::size_t begin,
+                                                std::size_t end) {
+    for (std::size_t s = begin; s < end; ++s) replicas_[s]->compress(per_shard);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(replicas_.size(), compress_range);
+  } else {
+    compress_range(0, replicas_.size());
+  }
+}
+
+void ShardedAggregator::adapt(const AdaptSignal& signal) {
+  AdaptSignal per_shard = signal;
+  if (signal.size_budget > 0) {
+    per_shard.size_budget = std::max<std::size_t>(
+        1, (signal.size_budget + replicas_.size() - 1) / replicas_.size());
+  }
+  per_shard.items_per_second /= static_cast<double>(replicas_.size());
+  for (auto& replica : replicas_) replica->adapt(per_shard);
+}
+
+std::size_t ShardedAggregator::size() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) total += replica->size();
+  return total;
+}
+
+std::size_t ShardedAggregator::memory_bytes() const {
+  std::size_t total = sizeof(*this);
+  for (const auto& replica : replicas_) total += replica->memory_bytes();
+  return total;
+}
+
+std::size_t ShardedAggregator::wire_bytes() const {
+  std::size_t total = 0;
+  for (const auto& replica : replicas_) total += replica->wire_bytes();
+  return total;
+}
+
+std::unique_ptr<Aggregator> ShardedAggregator::clone() const {
+  return collapse();
+}
+
+void ShardedAggregator::check_invariants() const {
+  Aggregator::check_invariants();
+  std::uint64_t items = 0;
+  double weight = 0.0;
+  for (const auto& replica : replicas_) {
+    replica->check_invariants();
+    items += replica->items_ingested();
+    weight += replica->weight_ingested();
+  }
+  if (items != items_ingested()) {
+    throw Error("ShardedAggregator invariant: replica item totals (" +
+                std::to_string(items) + ") != wrapper total (" +
+                std::to_string(items_ingested()) + ")");
+  }
+  // Weight compares loosely: replica sums accumulate in shard order, the
+  // wrapper in stream order; both are exact for integer weights but may
+  // differ in the last ulps for arbitrary doubles.
+  const double scale = std::max(1.0, std::max(std::abs(weight),
+                                              std::abs(weight_ingested())));
+  if (std::abs(weight - weight_ingested()) > 1e-9 * scale) {
+    throw Error("ShardedAggregator invariant: replica weight totals diverged");
+  }
+}
+
+}  // namespace megads::primitives

@@ -1,0 +1,84 @@
+// ShardedAggregator — shard-level parallelism for *any* computing primitive,
+// derived from the paper's combinable-summaries property (Section V.A,
+// Table II `Merge`): N replicas of a primitive ingesting disjoint,
+// hash-partitioned slices of the stream and merged losslessly are
+// semantically one summary of the whole stream.
+//
+// The wrapper is itself an Aggregator, so a data-store slot can host it in
+// place of the underlying primitive without the primitive's hot path knowing:
+//   insert()        routes one item to its shard's replica (inline, no pool);
+//   insert_batch()  partitions the batch by flow-key hash and runs every
+//                   shard's sub-batch concurrently on the attached ThreadPool;
+//   execute()       collapses the replicas through merge() and queries the
+//                   merged summary (queries on a live summary are rare next
+//                   to ingest, so the collapse cost sits on the right side);
+//   clone()         returns a *collapsed plain* copy — downstream consumers
+//                   (seal, snapshot/export, replication) always see the
+//                   underlying primitive type, never the wrapper.
+//
+// Equivalence contract (enforced by tests/primitives/shard_equivalence_test):
+// for exact primitives (exact, exact_hhh, timebin, histogram, raw) the
+// collapsed summary equals serial ingest bit-for-bit on integer weights; for
+// sketches (countmin, spacesaving, flowtree under budget pressure) it stays
+// within the primitive's documented error bounds; for sampling it preserves
+// ingest totals and reservoir semantics.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "primitives/aggregator.hpp"
+
+namespace megads::primitives {
+
+class ShardedAggregator final : public Aggregator {
+ public:
+  using Factory = std::function<std::unique_ptr<Aggregator>()>;
+
+  /// `shards` replicas built from `factory`; `pool` (optional) runs the
+  /// per-shard sub-batches of insert_batch concurrently — with no pool every
+  /// path degrades to the serial order, which is what the equivalence tests
+  /// pin down. The pool must outlive the aggregator.
+  ShardedAggregator(const Factory& factory, std::size_t shards,
+                    ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::string kind() const override;
+  void insert(const StreamItem& item) override;
+  void insert_batch(std::span<const StreamItem> items) override;
+  [[nodiscard]] QueryResult execute(const Query& query) const override;
+  [[nodiscard]] bool mergeable_with(const Aggregator& other) const override;
+  void merge_from(const Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  void adapt(const AdaptSignal& signal) override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  [[nodiscard]] std::size_t wire_bytes() const override;
+  /// A collapsed plain deep copy (see collapse()).
+  [[nodiscard]] std::unique_ptr<Aggregator> clone() const override;
+  /// Invariants: every replica is self-consistent and the wrapper's ingest
+  /// totals equal the sum over replicas.
+  void check_invariants() const override;
+
+  /// Merge all replicas into one instance of the underlying primitive —
+  /// the Table II `Merge` fold that makes sharding semantically invisible.
+  [[nodiscard]] std::unique_ptr<Aggregator> collapse() const;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return replicas_.size();
+  }
+  [[nodiscard]] const Aggregator& shard(std::size_t i) const {
+    return *replicas_[i];
+  }
+
+ private:
+  [[nodiscard]] std::size_t shard_of(const StreamItem& item) const noexcept;
+
+  std::vector<std::unique_ptr<Aggregator>> replicas_;
+  ThreadPool* pool_;
+  /// Reused per insert_batch call to avoid re-allocating the partitions.
+  std::vector<std::vector<StreamItem>> scratch_;
+};
+
+}  // namespace megads::primitives

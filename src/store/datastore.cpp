@@ -5,6 +5,8 @@
 
 #include "common/error.hpp"
 #include "common/invariants.hpp"
+#include "common/thread_pool.hpp"
+#include "primitives/sharded.hpp"
 
 namespace megads::store {
 
@@ -24,7 +26,7 @@ AggregatorId DataStore::install(SlotConfig config) {
   const AggregatorId id(next_slot_++);
   Slot slot;
   slot.config = std::move(config);
-  slot.live = slot.config.factory();
+  slot.live = make_live(slot.config);
   slot.epoch_start = now_;
   slots_.emplace(id, std::move(slot));
   MEGADS_VERIFY_INVARIANTS(*this);
@@ -96,6 +98,34 @@ void DataStore::set_live_budget(AggregatorId slot_id, std::size_t budget) {
 
 std::size_t DataStore::live_budget(AggregatorId slot) const {
   return slot_at(slot).config.live_budget;
+}
+
+// --- parallel execution ---------------------------------------------------------
+
+std::unique_ptr<primitives::Aggregator> DataStore::make_live(
+    const SlotConfig& config) const {
+  const std::size_t shards = config.shards > 0 ? config.shards : default_shards_;
+  if (pool_ != nullptr && shards > 1) {
+    return std::make_unique<primitives::ShardedAggregator>(config.factory,
+                                                           shards, pool_);
+  }
+  return config.factory();
+}
+
+void DataStore::set_parallelism(ThreadPool& pool, std::size_t shards) {
+  pool_ = &pool;
+  default_shards_ = shards > 0 ? shards
+                               : std::max<std::size_t>(1, pool.thread_count());
+  // Re-home every slot's live summary into the sharded layout; data already
+  // ingested this epoch folds into replica 0 (Merge keeps it lossless).
+  for (auto& [id, slot] : slots_) {
+    auto fresh = make_live(slot.config);
+    if (slot.live->items_ingested() > 0 && fresh->mergeable_with(*slot.live)) {
+      fresh->merge_from(*slot.live);
+    }
+    slot.live = std::move(fresh);
+  }
+  MEGADS_VERIFY_INVARIANTS(*this);
 }
 
 // --- lineage ------------------------------------------------------------------
@@ -265,9 +295,17 @@ void DataStore::update_ingest_metrics(std::size_t batch_size) {
 }
 
 void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
+  // Sealed partitions always hold the plain primitive: a sharded live summary
+  // is collapsed through Merge here, so storage, export (which downcasts to
+  // the concrete type), and replication never see the wrapper.
+  std::unique_ptr<primitives::Aggregator> sealed = std::move(slot.live);
+  if (const auto* sharded =
+          dynamic_cast<const primitives::ShardedAggregator*>(sealed.get())) {
+    sealed = sharded->collapse();
+  }
   Partition partition(PartitionId(next_partition_++),
                       TimeInterval{slot.epoch_start, boundary}, 0,
-                      std::move(slot.live));
+                      std::move(sealed));
 #if defined(MEGADS_CHECK_INVARIANTS)
   // Deep-check the summary once at seal time; the fingerprint pins it from
   // here on, so later store-wide verifications can skip the O(summary) walk.
@@ -293,7 +331,7 @@ void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
   slot.live_entity = lineage::kNoEntity;
   slot.contributors.clear();
   slot.config.storage->admit(std::move(partition), now_);
-  slot.live = slot.config.factory();
+  slot.live = make_live(slot.config);
   slot.epoch_start = boundary;
   slot.items_this_epoch = 0;
   slot.queries_this_epoch = 0;
@@ -457,14 +495,31 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
                              std::optional<TimeInterval> interval) const {
   const Slot& slot = slot_at(slot_id);
   ++slot.queries_this_epoch;
-  std::vector<QueryResult> parts;
+  // Matching sealed partitions are immutable, so with a pool attached their
+  // per-partition executions fan out across worker threads; lineage
+  // bookkeeping and the live-summary read stay on the calling thread.
+  std::vector<const Partition*> matching;
   std::vector<lineage::EntityId> consulted;
   for (const Partition& partition : slot.config.storage->partitions()) {
     if (interval && !partition.interval.overlaps(*interval)) continue;
-    parts.push_back(partition.summary->execute(query));
+    matching.push_back(&partition);
     if (const auto entity = lineage_of_partition(partition.id);
         entity != lineage::kNoEntity) {
       consulted.push_back(entity);
+    }
+  }
+  std::vector<QueryResult> parts(matching.size());
+  if (pool_ != nullptr && matching.size() > 1) {
+    pool_->parallel_for(matching.size(),
+                        [&matching, &parts, &query](std::size_t begin,
+                                                    std::size_t end) {
+                          for (std::size_t i = begin; i < end; ++i) {
+                            parts[i] = matching[i]->summary->execute(query);
+                          }
+                        });
+  } else {
+    for (std::size_t i = 0; i < matching.size(); ++i) {
+      parts[i] = matching[i]->summary->execute(query);
     }
   }
   const TimeInterval live_interval{slot.epoch_start, now_ + 1};
@@ -488,20 +543,58 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
 std::unique_ptr<primitives::Aggregator> DataStore::snapshot(
     AggregatorId slot_id, std::optional<TimeInterval> interval) const {
   const Slot& slot = slot_at(slot_id);
-  std::unique_ptr<primitives::Aggregator> merged;
-  const auto fold = [&](const primitives::Aggregator& summary) {
-    if (!merged) {
-      merged = summary.clone();
-    } else if (merged->mergeable_with(summary)) {
-      merged->merge_from(summary);
-    }
-  };
+  std::vector<const primitives::Aggregator*> sources;
   for (const Partition& partition : slot.config.storage->partitions()) {
     if (interval && !partition.interval.overlaps(*interval)) continue;
-    fold(*partition.summary);
+    sources.push_back(partition.summary.get());
   }
+  // A sharded live summary must be collapsed to the plain primitive before the
+  // fold: a plain summary's mergeable_with() cannot see through the wrapper.
+  std::unique_ptr<primitives::Aggregator> live_plain;
   const TimeInterval live_interval{slot.epoch_start, now_ + 1};
-  if (!interval || live_interval.overlaps(*interval)) fold(*slot.live);
+  if (!interval || live_interval.overlaps(*interval)) {
+    if (const auto* sharded =
+            dynamic_cast<const primitives::ShardedAggregator*>(slot.live.get())) {
+      live_plain = sharded->collapse();
+      sources.push_back(live_plain.get());
+    } else {
+      sources.push_back(slot.live.get());
+    }
+  }
+  std::unique_ptr<primitives::Aggregator> merged;
+  const auto fold_into = [](std::unique_ptr<primitives::Aggregator>& acc,
+                            const primitives::Aggregator& summary) {
+    if (!acc) {
+      acc = summary.clone();
+    } else if (acc->mergeable_with(summary)) {
+      acc->merge_from(summary);
+    }
+  };
+  if (pool_ != nullptr && sources.size() > 2) {
+    // Chunk the fold: each task folds a contiguous run of sources into a
+    // partial, partials fold in index order afterwards — deterministic for a
+    // fixed thread count, and exactly the serial result for combinable
+    // (commutative/associative) summaries.
+    const std::size_t parts =
+        std::min<std::size_t>(sources.size(), pool_->thread_count());
+    std::vector<std::unique_ptr<primitives::Aggregator>> partials(parts);
+    pool_->parallel_for(parts, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t p = begin; p < end; ++p) {
+        const std::size_t lo = p * sources.size() / parts;
+        const std::size_t hi = (p + 1) * sources.size() / parts;
+        for (std::size_t i = lo; i < hi; ++i) {
+          fold_into(partials[p], *sources[i]);
+        }
+      }
+    });
+    for (auto& partial : partials) {
+      if (partial) fold_into(merged, *partial);
+    }
+  } else {
+    for (const primitives::Aggregator* source : sources) {
+      fold_into(merged, *source);
+    }
+  }
   if (!merged) merged = slot.config.factory();
   return merged;
 }

@@ -20,6 +20,10 @@
 #include "store/storage.hpp"
 #include "store/trigger.hpp"
 
+namespace megads {
+class ThreadPool;
+}
+
 namespace megads::store {
 
 /// Factory invoked at every epoch boundary to start a fresh summary.
@@ -35,6 +39,10 @@ struct SlotConfig {
   std::size_t live_budget = 0;
   /// Receive every ingested item regardless of sensor subscriptions.
   bool subscribe_all = false;
+  /// Hash-partitioned ingest replicas for this slot's live summary (Table II
+  /// `Merge` makes the sharding lossless). 0 = the store-wide default chosen
+  /// by set_parallelism(); effective only once a thread pool is attached.
+  std::size_t shards = 0;
 };
 
 class DataStore {
@@ -62,6 +70,18 @@ class DataStore {
   /// new entry budget immediately; future epochs keep it via adapt().
   void set_live_budget(AggregatorId slot, std::size_t budget);
   [[nodiscard]] std::size_t live_budget(AggregatorId slot) const;
+
+  // --- parallel execution ---
+  /// Attach a thread pool: live summaries become hash-sharded replica sets
+  /// (`shards` per slot, 0 = pool.thread_count()) whose batches ingest in
+  /// parallel, and query()/snapshot() fan out across sealed partitions.
+  /// Existing live data is folded into the new sharded summaries. Sealing,
+  /// triggers, lineage, and metrics stay on the calling thread — the store's
+  /// external API remains single-caller (externally synchronized); the pool
+  /// only parallelizes work *inside* one call. The pool must outlive the
+  /// store.
+  void set_parallelism(ThreadPool& pool, std::size_t shards = 0);
+  [[nodiscard]] ThreadPool* thread_pool() const noexcept { return pool_; }
 
   // --- data plane ---
   /// Ingest one item from `sensor`; feeds the subscribed slots and evaluates
@@ -170,6 +190,11 @@ class DataStore {
 
   lineage::EntityId ensure_live_entity(AggregatorId id, Slot& slot);
 
+  /// A fresh live summary for `config`: the plain primitive, or a
+  /// ShardedAggregator wrapping `shards` replicas once a pool is attached.
+  [[nodiscard]] std::unique_ptr<primitives::Aggregator> make_live(
+      const SlotConfig& config) const;
+
   Slot& slot_at(AggregatorId id);
   [[nodiscard]] const Slot& slot_at(AggregatorId id) const;
   void seal(AggregatorId id, Slot& slot, SimTime boundary);
@@ -196,6 +221,8 @@ class DataStore {
   /// Installed kItemAbove triggers — the ingest fast path skips per-item
   /// trigger evaluation entirely while this is zero.
   std::size_t item_trigger_count_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::size_t default_shards_ = 1;
   SimTime now_ = 0;
   std::uint64_t items_ = 0;
   SimTime first_ingest_ = -1;  ///< virtual time of the first ingested item

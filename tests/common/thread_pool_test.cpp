@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace megads {
+namespace {
+
+TEST(ThreadPool, SingleThreadPoolHasNoWorkers) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  EXPECT_FALSE(pool.on_worker_thread());
+}
+
+TEST(ThreadPool, DefaultUsesHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+  EXPECT_EQ(pool.worker_count(), pool.thread_count() - 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(4);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(4);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHandlesSmallAndEmptyRanges) {
+  ThreadPool pool(8);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 0u);  // no body runs for n = 0
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t begin, std::size_t) {
+                                   if (begin == 0) {
+                                     throw std::runtime_error("chunk failed");
+                                   }
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> inner_total{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      // A nested parallel_for from a worker must degrade to inline execution
+      // instead of waiting on queue slots that can never free up.
+      pool.parallel_for(16, [&](std::size_t lo, std::size_t hi) {
+        inner_total.fetch_add(hi - lo, std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 8u * 16u);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futures;
+  futures.reserve(200);
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  }
+  for (auto& future : futures) future.get();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, RunAllExecutesEveryTask) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> flags(10);
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < flags.size(); ++i) {
+    tasks.push_back([&flags, i] { flags[i].fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  for (auto& flag : flags) EXPECT_EQ(flag.load(), 1);
+}
+
+}  // namespace
+}  // namespace megads

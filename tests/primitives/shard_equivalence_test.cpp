@@ -1,0 +1,385 @@
+// Property suite for the shard-and-merge execution engine
+// (src/primitives/sharded.hpp): for every computing primitive,
+// `ShardedAggregator(factory, k).insert_batch(...)` collapsed through the
+// Table II `Merge` fold must be equivalent to serial ingest into one
+// instance of the primitive — exactly for the exact summaries, within the
+// primitive's documented error bounds for the sketches, and in ingest totals
+// for the randomized reservoir. Swept over k in {1, 2, 8}, with and without
+// a ThreadPool attached (the pooled path must produce the same summary the
+// serial shard loop does).
+//
+// Item values are small integers so every internal sum is exact in double
+// arithmetic and the exact-class comparisons can demand bit-equal scores.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "flowtree/flowtree.hpp"
+#include "helpers.hpp"
+#include "primitives/countmin.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/exact_hhh.hpp"
+#include "primitives/histogram.hpp"
+#include "primitives/sampling.hpp"
+#include "primitives/sharded.hpp"
+#include "primitives/spacesaving.hpp"
+#include "primitives/timebin.hpp"
+
+namespace megads::primitives {
+namespace {
+
+using test::item;
+using test::key;
+
+std::vector<StreamItem> make_stream(std::size_t n) {
+  std::vector<StreamItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // 37 hosts x 3 ports x 4 nets, integer weights, monotone timestamps.
+    items.push_back(item(key(static_cast<std::uint8_t>(i % 37),
+                             static_cast<std::uint16_t>(80 + i % 3),
+                             static_cast<std::uint8_t>(i % 4)),
+                         1.0 + static_cast<double>((i * i) % 7),
+                         static_cast<SimTime>(i) * 10 * kMillisecond));
+  }
+  return items;
+}
+
+void feed(Aggregator& agg, const std::vector<StreamItem>& items) {
+  static constexpr std::size_t kChunks[] = {1, 7, 64, 200};
+  std::size_t offset = 0;
+  for (const std::size_t chunk : kChunks) {
+    const std::size_t take = std::min(chunk, items.size() - offset);
+    agg.insert_batch(std::span<const StreamItem>(items).subspan(offset, take));
+    offset += take;
+  }
+  agg.insert_batch(std::span<const StreamItem>(items).subspan(offset));
+}
+
+void expect_same_entries(const QueryResult& a, const QueryResult& b,
+                         const std::string& context) {
+  auto normalize = [](std::vector<KeyScore> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const KeyScore& x, const KeyScore& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.key.to_string() < y.key.to_string();
+              });
+    return rows;
+  };
+  const auto ra = normalize(a.entries);
+  const auto rb = normalize(b.entries);
+  ASSERT_EQ(ra.size(), rb.size()) << context;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].key, rb[i].key) << context << " row " << i;
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score) << context << " row " << i;
+  }
+}
+
+void expect_same_result(const QueryResult& a, const QueryResult& b,
+                        const std::string& context) {
+  ASSERT_EQ(a.supported, b.supported) << context;
+  expect_same_entries(a, b, context);
+  // Raw point sets may arrive in shard order; compare as multisets.
+  auto points_of = [](const QueryResult& r) {
+    auto points = r.points;
+    std::sort(points.begin(), points.end(),
+              [](const StreamItem& x, const StreamItem& y) {
+                if (x.timestamp != y.timestamp) return x.timestamp < y.timestamp;
+                if (x.value != y.value) return x.value < y.value;
+                return x.key.to_string() < y.key.to_string();
+              });
+    return points;
+  };
+  const auto pa = points_of(a);
+  const auto pb = points_of(b);
+  ASSERT_EQ(pa.size(), pb.size()) << context;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].key, pb[i].key) << context;
+    EXPECT_DOUBLE_EQ(pa[i].value, pb[i].value) << context;
+    EXPECT_EQ(pa[i].timestamp, pb[i].timestamp) << context;
+  }
+  ASSERT_EQ(a.stats.has_value(), b.stats.has_value()) << context;
+  if (a.stats) {
+    EXPECT_EQ(a.stats->count, b.stats->count) << context;
+    EXPECT_DOUBLE_EQ(a.stats->sum, b.stats->sum) << context;
+    EXPECT_DOUBLE_EQ(a.stats->min, b.stats->min) << context;
+    EXPECT_DOUBLE_EQ(a.stats->max, b.stats->max) << context;
+  }
+}
+
+std::vector<Query> probe_queries() {
+  return {
+      PointQuery{key(1)},
+      PointQuery{key(5, 81, 2)},
+      PointQuery{flow::FlowKey{}},
+      TopKQuery{1000},
+      AboveQuery{10.0},
+      DrilldownQuery{flow::FlowKey{}},
+      HHHQuery{0.05},
+      RangeQuery{{0, 3 * kSecond}, 0.0},
+      StatsQuery{{0, 10 * kSecond}},
+  };
+}
+
+enum class Equivalence {
+  kExact,    ///< collapsed answers == serial answers, bit for bit
+  kBounded,  ///< estimates stay within the primitive's error bound of truth
+  kTotals,   ///< randomized internals: only ingest totals are deterministic
+};
+
+struct ShardParam {
+  const char* name;
+  std::function<std::unique_ptr<Aggregator>()> make;
+  Equivalence equivalence;
+  std::size_t shards;
+  bool pooled;
+};
+
+std::string param_name(const ::testing::TestParamInfo<ShardParam>& info) {
+  return std::string(info.param.name) + "_k" +
+         std::to_string(info.param.shards) +
+         (info.param.pooled ? "_pooled" : "_serial");
+}
+
+class ShardEquivalence : public ::testing::TestWithParam<ShardParam> {};
+
+TEST_P(ShardEquivalence, ShardedIngestPlusMergeMatchesSerial) {
+  const ShardParam& param = GetParam();
+  const auto items = make_stream(600);
+
+  const auto serial = param.make();
+  feed(*serial, items);
+
+  ThreadPool pool(param.pooled ? 4 : 1);
+  ShardedAggregator sharded(param.make, param.shards,
+                            param.pooled ? &pool : nullptr);
+  feed(sharded, items);
+  ASSERT_NO_THROW(sharded.check_invariants());
+
+  // Ingest totals are exact for every primitive (integer weights).
+  EXPECT_EQ(sharded.items_ingested(), serial->items_ingested());
+  EXPECT_DOUBLE_EQ(sharded.weight_ingested(), serial->weight_ingested());
+
+  const auto collapsed = sharded.collapse();
+  EXPECT_EQ(collapsed->kind(), serial->kind());
+
+  switch (param.equivalence) {
+    case Equivalence::kExact: {
+      EXPECT_EQ(collapsed->size(), serial->size());
+      for (const Query& query : probe_queries()) {
+        expect_same_result(collapsed->execute(query), serial->execute(query),
+                           std::string(param.name) + "/" + query_kind(query));
+      }
+      break;
+    }
+    case Equivalence::kBounded: {
+      // Ground truth from an exact aggregator over the same stream.
+      ExactAggregator truth;
+      truth.insert_batch(items);
+      const double total = truth.weight_ingested();
+      // Both the serial sketch and the sharded-and-merged sketch must track
+      // point truths within a bound that scales with total mass. The bound is
+      // deliberately loose (10% of stream mass): it catches structural bugs
+      // (lost shards, double counts) without encoding each sketch's epsilon.
+      for (const auto probe : {key(1), key(5, 81, 2), key(10, 82, 3)}) {
+        const double expected = test::point_score(truth, probe);
+        const double sharded_score = test::point_score(*collapsed, probe);
+        if (expected < 0.0 || sharded_score < 0.0) continue;
+        EXPECT_NEAR(sharded_score, expected, 0.10 * total)
+            << param.name << " point " << probe.to_string();
+      }
+      // Flowtrees conserve total mass at the root through compression and
+      // merge, so even in the sketch regime the root answers match exactly.
+      if (std::string(param.name).starts_with("flowtree")) {
+        const auto root = collapsed->execute(PointQuery{flow::FlowKey{}});
+        const auto root_serial = serial->execute(PointQuery{flow::FlowKey{}});
+        ASSERT_FALSE(root.entries.empty());
+        ASSERT_FALSE(root_serial.entries.empty());
+        EXPECT_DOUBLE_EQ(root.entries.front().score,
+                         root_serial.entries.front().score)
+            << param.name << " root mass";
+      }
+      break;
+    }
+    case Equivalence::kTotals:
+      // Randomized internals (reservoir sampling): the collapsed summary is a
+      // valid sample of the stream but not comparable row-by-row.
+      EXPECT_EQ(collapsed->items_ingested(), serial->items_ingested());
+      EXPECT_DOUBLE_EQ(collapsed->weight_ingested(), serial->weight_ingested());
+      break;
+  }
+}
+
+TEST_P(ShardEquivalence, PerItemInsertRoutesLikeBatches) {
+  const ShardParam& param = GetParam();
+  // Only exact primitives are path-independent; a sketch under budget
+  // pressure compresses at different points on the two ingest paths.
+  if (param.equivalence != Equivalence::kExact) GTEST_SKIP();
+  const auto items = make_stream(200);
+
+  ThreadPool pool(param.pooled ? 4 : 1);
+  ShardedAggregator batched(param.make, param.shards,
+                            param.pooled ? &pool : nullptr);
+  feed(batched, items);
+  ShardedAggregator per_item(param.make, param.shards, nullptr);
+  for (const StreamItem& it : items) per_item.insert(it);
+
+  // Identical layout: shard-wise state matches, so the collapsed summaries
+  // answer identically.
+  const auto a = batched.collapse();
+  const auto b = per_item.collapse();
+  EXPECT_EQ(a->size(), b->size());
+  expect_same_result(a->execute(TopKQuery{1000}), b->execute(TopKQuery{1000}),
+                     std::string(param.name) + "/insert-vs-batch");
+}
+
+TEST_P(ShardEquivalence, MergingTwoShardedAggregatorsMatchesUnionStream) {
+  const ShardParam& param = GetParam();
+  if (param.equivalence != Equivalence::kExact) GTEST_SKIP();
+  const auto items = make_stream(400);
+  const auto half = items.size() / 2;
+  const std::vector<StreamItem> left(items.begin(), items.begin() + half);
+  const std::vector<StreamItem> right(items.begin() + half, items.end());
+
+  ThreadPool pool(param.pooled ? 4 : 1);
+  ShardedAggregator a(param.make, param.shards, param.pooled ? &pool : nullptr);
+  ShardedAggregator b(param.make, param.shards, param.pooled ? &pool : nullptr);
+  feed(a, left);
+  feed(b, right);
+  ASSERT_TRUE(a.mergeable_with(b));
+  a.merge_from(b);
+  ASSERT_NO_THROW(a.check_invariants());
+
+  const auto serial = param.make();
+  feed(*serial, items);
+  expect_same_result(a.collapse()->execute(TopKQuery{1000}),
+                     serial->execute(TopKQuery{1000}),
+                     std::string(param.name) + "/sharded-merge");
+}
+
+std::vector<ShardParam> all_params() {
+  struct Base {
+    const char* name;
+    std::function<std::unique_ptr<Aggregator>()> make;
+    Equivalence equivalence;
+  };
+  const Base bases[] = {
+      {"flowtree",
+       [] {
+         flowtree::FlowtreeConfig config;
+         // Budget far above the stream's node count: no self-compression,
+         // so merge is lossless and equivalence exact.
+         config.node_budget = 1 << 20;
+         return std::make_unique<flowtree::Flowtree>(config);
+       },
+       Equivalence::kExact},
+      {"flowtree_tight",
+       [] {
+         flowtree::FlowtreeConfig config;
+         config.node_budget = 64;  // shards self-compress: sketch regime
+         return std::make_unique<flowtree::Flowtree>(config);
+       },
+       Equivalence::kBounded},
+      {"countmin",
+       [] { return std::make_unique<CountMinSketch>(512, 4); },
+       // Plain count-min is linear: cell sums of disjoint sub-streams add,
+       // so shard + merge reproduces serial ingest exactly.
+       Equivalence::kExact},
+      {"countmin_conservative",
+       [] { return std::make_unique<CountMinSketch>(512, 4, true); },
+       // Conservative update is sublinear — merged shards may estimate
+       // higher than one serial sketch, but stay within the CM bound.
+       Equivalence::kBounded},
+      {"spacesaving",
+       [] { return std::make_unique<SpaceSaving>(64); },
+       Equivalence::kBounded},
+      {"sampling",
+       [] { return std::make_unique<SamplingAggregator>(32); },
+       Equivalence::kTotals},
+      {"timebin",
+       [] { return std::make_unique<TimeBinAggregator>(kSecond); },
+       Equivalence::kExact},
+      {"histogram",
+       [] { return std::make_unique<HistogramAggregator>(0.5); },
+       Equivalence::kExact},
+      {"exact", [] { return std::make_unique<ExactAggregator>(); },
+       Equivalence::kExact},
+      {"exact_hhh", [] { return std::make_unique<ExactHHH>(); },
+       Equivalence::kExact},
+      {"raw", [] { return std::make_unique<RawStore>(); }, Equivalence::kExact},
+  };
+  std::vector<ShardParam> params;
+  for (const Base& base : bases) {
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+      for (const bool pooled : {false, true}) {
+        params.push_back(
+            {base.name, base.make, base.equivalence, shards, pooled});
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrimitives, ShardEquivalence,
+                         ::testing::ValuesIn(all_params()), param_name);
+
+TEST(ShardedAggregator, CloneReturnsPlainCollapsedCopy) {
+  ShardedAggregator sharded([] { return std::make_unique<ExactAggregator>(); },
+                            4);
+  sharded.insert_batch(make_stream(100));
+  const auto clone = sharded.clone();
+  // Downstream consumers (seal, export) dynamic_cast to the primitive type;
+  // the wrapper must never leak through clone().
+  EXPECT_NE(dynamic_cast<ExactAggregator*>(clone.get()), nullptr);
+  EXPECT_EQ(dynamic_cast<ShardedAggregator*>(clone.get()), nullptr);
+  EXPECT_EQ(clone->items_ingested(), sharded.items_ingested());
+}
+
+TEST(ShardedAggregator, MergeFromPlainAggregatorFoldsIntoShardZero) {
+  const auto items = make_stream(200);
+  ShardedAggregator sharded([] { return std::make_unique<ExactAggregator>(); },
+                            4);
+  sharded.insert_batch(std::span<const StreamItem>(items).subspan(0, 100));
+  ExactAggregator plain;
+  plain.insert_batch(std::span<const StreamItem>(items).subspan(100));
+  ASSERT_TRUE(sharded.mergeable_with(plain));
+  sharded.merge_from(plain);
+
+  ExactAggregator all;
+  all.insert_batch(items);
+  expect_same_result(sharded.collapse()->execute(TopKQuery{1000}),
+                     all.execute(TopKQuery{1000}), "plain-into-sharded");
+}
+
+TEST(ShardedAggregator, CompressSplitsBudgetAcrossShards) {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  ShardedAggregator sharded(
+      [&config] { return std::make_unique<flowtree::Flowtree>(config); }, 4);
+  std::vector<StreamItem> items;
+  for (std::size_t i = 0; i < 2000; ++i) {
+    items.push_back(item(key(static_cast<std::uint8_t>(i % 251),
+                             static_cast<std::uint16_t>(1024 + i % 97),
+                             static_cast<std::uint8_t>(i % 13)),
+                         1.0));
+  }
+  sharded.insert_batch(items);
+  const std::size_t before = sharded.size();
+  sharded.compress(128);
+  EXPECT_LT(sharded.size(), before);
+  // Each shard compresses to ceil(128 / 4) = 32 nodes; allow 2x structural
+  // slack per replica (a compressed trie keeps ancestors of survivors).
+  EXPECT_LE(sharded.size(), 2 * 128);
+  // Mass is conserved through per-shard compression.
+  const auto root = sharded.execute(PointQuery{flow::FlowKey{}});
+  EXPECT_DOUBLE_EQ(root.entries.front().score, 2000.0);
+}
+
+}  // namespace
+}  // namespace megads::primitives

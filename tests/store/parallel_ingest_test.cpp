@@ -1,0 +1,242 @@
+// Store-level equivalence for the shard-and-merge engine: a DataStore with
+// set_parallelism() attached (sharded live summaries, pooled partition
+// queries and snapshot folds) must answer every query, across every seal
+// boundary, exactly like a serial store fed the same stream — the external
+// behavior of the store is independent of its parallelism configuration.
+//
+// These tests are also the store's TSan workload: the pooled paths run real
+// concurrent shard ingest and partition fan-out under the sanitizer.
+#include "store/datastore.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/exact.hpp"
+#include "primitives/sharded.hpp"
+#include "store/storage.hpp"
+
+namespace megads::store {
+namespace {
+
+using primitives::StreamItem;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+StreamItem item(const flow::FlowKey& key, double value, SimTime ts) {
+  StreamItem it;
+  it.key = key;
+  it.value = value;
+  it.timestamp = ts;
+  return it;
+}
+
+/// 800 items, 10ms apart: 8 full 1-second epochs, integer weights so every
+/// sum is exact and the comparison can demand identical scores.
+std::vector<StreamItem> make_stream() {
+  std::vector<StreamItem> items;
+  items.reserve(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    items.push_back(item(host(static_cast<std::uint8_t>(i % 5),
+                              static_cast<std::uint8_t>(i % 23)),
+                         1.0 + static_cast<double>((i * 3) % 11),
+                         static_cast<SimTime>(i) * 10 * kMillisecond));
+  }
+  return items;
+}
+
+SlotConfig exact_slot(SimDuration epoch = kSecond) {
+  SlotConfig config;
+  config.name = "exact";
+  config.factory = [] { return std::make_unique<primitives::ExactAggregator>(); };
+  config.epoch = epoch;
+  config.storage = std::make_unique<RoundRobinStorage>(8u << 20);
+  config.subscribe_all = true;
+  return config;
+}
+
+std::unique_ptr<DataStore> make_store(const std::string& name) {
+  auto store = std::make_unique<DataStore>(StoreId(0), name);
+  store->install(exact_slot());
+  return store;
+}
+
+void feed(DataStore& store, const std::vector<StreamItem>& items,
+          std::size_t batch = 100) {
+  for (std::size_t begin = 0; begin < items.size(); begin += batch) {
+    store.ingest_batch(SensorId(0), std::span<const StreamItem>(items).subspan(
+                                        begin, std::min(batch, items.size() - begin)));
+  }
+}
+
+void expect_same_entries(const primitives::QueryResult& a,
+                         const primitives::QueryResult& b,
+                         const std::string& context) {
+  auto normalize = [](std::vector<primitives::KeyScore> rows) {
+    std::sort(rows.begin(), rows.end(),
+              [](const primitives::KeyScore& x, const primitives::KeyScore& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.key.to_string() < y.key.to_string();
+              });
+    return rows;
+  };
+  const auto ra = normalize(a.entries);
+  const auto rb = normalize(b.entries);
+  ASSERT_EQ(ra.size(), rb.size()) << context;
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i].key, rb[i].key) << context << " row " << i;
+    EXPECT_DOUBLE_EQ(ra[i].score, rb[i].score) << context << " row " << i;
+  }
+}
+
+class ParallelIngest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelIngest, ShardedStoreMatchesSerialStoreAcrossSeals) {
+  const auto items = make_stream();
+
+  const auto serial = make_store("serial");
+  feed(*serial, items);
+
+  ThreadPool pool(4);
+  const auto parallel = make_store("parallel");
+  parallel->set_parallelism(pool, GetParam());
+  feed(*parallel, items);
+
+  EXPECT_EQ(serial->items_ingested(), parallel->items_ingested());
+  ASSERT_EQ(serial->partitions(AggregatorId(0)).size(),
+            parallel->partitions(AggregatorId(0)).size());
+  EXPECT_NO_THROW(parallel->check_invariants());
+
+  const primitives::Query probes[] = {
+      primitives::Query{primitives::TopKQuery{1000}},
+      primitives::Query{primitives::PointQuery{host(1, 3)}},
+      primitives::Query{primitives::AboveQuery{20.0}},
+  };
+  for (const auto& query : probes) {
+    const std::string context = "shards=" + std::to_string(GetParam()) + "/" +
+                                primitives::query_kind(query);
+    // Whole-history query: sealed partitions (fanned out on the pool) plus
+    // the sharded live summary.
+    expect_same_entries(serial->query(AggregatorId(0), query),
+                        parallel->query(AggregatorId(0), query), context);
+    // Interval-restricted: only sealed partitions on one side of the seal
+    // boundary.
+    const TimeInterval window{kSecond, 5 * kSecond};
+    expect_same_entries(serial->query(AggregatorId(0), query, window),
+                        parallel->query(AggregatorId(0), query, window),
+                        context + "/window");
+  }
+}
+
+TEST_P(ParallelIngest, SnapshotCollapsesShardedLiveExactly) {
+  const auto items = make_stream();
+  const auto serial = make_store("serial");
+  feed(*serial, items);
+
+  ThreadPool pool(4);
+  const auto parallel = make_store("parallel");
+  parallel->set_parallelism(pool, GetParam());
+  feed(*parallel, items);
+
+  // Snapshot over everything: sealed partitions are folded on the pool and
+  // the live summary must be collapsed out of its sharded wrapper first —
+  // losing it would silently drop the open epoch's data.
+  const auto a = serial->snapshot(AggregatorId(0));
+  const auto b = parallel->snapshot(AggregatorId(0));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(nullptr, dynamic_cast<primitives::ShardedAggregator*>(b.get()));
+  EXPECT_EQ(a->items_ingested(), b->items_ingested());
+  expect_same_entries(a->execute(primitives::TopKQuery{1000}),
+                      b->execute(primitives::TopKQuery{1000}),
+                      "snapshot/shards=" + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ParallelIngest,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{8}),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "k" + std::to_string(info.param);
+                         });
+
+TEST(ParallelIngestLifecycle, SealedPartitionsHoldPlainSummaries) {
+  ThreadPool pool(4);
+  const auto store = make_store("lifecycle");
+  store->set_parallelism(pool, 4);
+  feed(*store, make_stream());
+
+  // The live summary is the sharded wrapper; everything sealed into a
+  // partition is a collapsed plain primitive (replication, export, and the
+  // storage strategies never see the wrapper).
+  EXPECT_NE(nullptr, dynamic_cast<const primitives::ShardedAggregator*>(
+                         &store->live(AggregatorId(0))));
+  for (const Partition& partition : store->partitions(AggregatorId(0))) {
+    EXPECT_EQ(nullptr, dynamic_cast<const primitives::ShardedAggregator*>(
+                           partition.summary.get()))
+        << "partition " << partition.id.value();
+    EXPECT_NE(nullptr, dynamic_cast<const primitives::ExactAggregator*>(
+                           partition.summary.get()));
+  }
+}
+
+TEST(ParallelIngestLifecycle, SetParallelismMidStreamKeepsLiveData) {
+  const auto items = make_stream();
+  ThreadPool pool(4);
+  const auto store = make_store("midstream");
+  // First half serial, then attach the pool mid-epoch: the existing live
+  // data must fold into the new sharded summary, not vanish.
+  feed(*store, std::vector<StreamItem>(items.begin(), items.begin() + 400));
+  store->set_parallelism(pool, 4);
+  feed(*store, std::vector<StreamItem>(items.begin() + 400, items.end()));
+
+  const auto serial = make_store("reference");
+  feed(*serial, items);
+  EXPECT_EQ(serial->items_ingested(), store->items_ingested());
+  expect_same_entries(serial->query(AggregatorId(0), primitives::TopKQuery{1000}),
+                      store->query(AggregatorId(0), primitives::TopKQuery{1000}),
+                      "midstream-attach");
+}
+
+TEST(ParallelIngestLifecycle, FlowtreeSlotShardsWithinBudgetDiscipline) {
+  ThreadPool pool(4);
+  DataStore store(StoreId(0), "tree");
+  SlotConfig config;
+  config.name = "tree";
+  config.factory = [] {
+    flowtree::FlowtreeConfig tree_config;
+    tree_config.node_budget = 1 << 20;
+    return std::make_unique<flowtree::Flowtree>(tree_config);
+  };
+  config.epoch = kSecond;
+  config.storage = std::make_unique<RoundRobinStorage>(8u << 20);
+  config.subscribe_all = true;
+  config.live_budget = 256;  // store-level cap across all shards
+  store.install(std::move(config));
+  store.set_parallelism(pool, 4);
+
+  feed(store, make_stream());
+  EXPECT_NO_THROW(store.check_invariants());
+  // The budget discipline applies to the sharded live as a whole: adapt()
+  // splits the budget across replicas, so the total stays in the same order
+  // as a serial slot's (4x structural slack, same bound class).
+  EXPECT_LE(store.live(AggregatorId(0)).size(), 4 * 256);
+  // Mass conservation through sharding + sealing: the root drilldown over
+  // all time equals the stream's total weight.
+  const auto result =
+      store.query(AggregatorId(0), primitives::PointQuery{flow::FlowKey{}});
+  ASSERT_FALSE(result.entries.empty());
+  double total = 0.0;
+  for (const StreamItem& it : make_stream()) total += it.value;
+  EXPECT_DOUBLE_EQ(result.entries.front().score, total);
+}
+
+}  // namespace
+}  // namespace megads::store
