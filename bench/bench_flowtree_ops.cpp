@@ -81,6 +81,36 @@ void BM_Query_Lattice(benchmark::State& state) {
 }
 BENCHMARK(BM_Query_Lattice)->Arg(1000)->Arg(10000)->Arg(100000);
 
+/// Prefix-only tree, the shape privacy-policied exports produce (ports
+/// stripped): a tree built from src prefixes alone.
+Flowtree prefix_only_tree(const std::vector<megads::flow::FlowRecord>& records) {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  Flowtree tree(config);
+  for (const auto& record : records) {
+    megads::flow::FlowKey key;
+    if (const auto src = record.key.src(); src.length() > 0) key.with_src(src);
+    tree.add(key, static_cast<double>(record.bytes));
+  }
+  return tree;
+}
+
+void BM_Query_Lattice_AbsentFeature(benchmark::State& state) {
+  // Querying a feature no live node carries ("all port-443 traffic" against a
+  // ports-stripped export): the per-feature presence mask answers 0 in O(1)
+  // instead of scanning every node. Compare against BM_Query_Lattice at the
+  // same size for the before/after.
+  const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
+  const Flowtree tree = prefix_only_tree(records);
+  megads::flow::FlowKey dns;
+  dns.with_dst_port(443);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.query_lattice(dns));
+  }
+  state.counters["nodes"] = static_cast<double>(tree.size());
+}
+BENCHMARK(BM_Query_Lattice_AbsentFeature)->Arg(1000)->Arg(10000)->Arg(100000);
+
 void BM_Drilldown(benchmark::State& state) {
   const auto records = records_for(static_cast<std::size_t>(state.range(0)), 1.2);
   const Flowtree tree = tree_of(records, 1 << 20);
@@ -224,6 +254,12 @@ void run_json_workload(const megads::bench::BenchOptions& opts) {
   } ops[] = {
       {"query_point", [&] { benchmark::DoNotOptimize(tree.query(prefix)); }},
       {"topk", [&] { benchmark::DoNotOptimize(tree.top_k(10)); }},
+      {"lattice_scan",
+       [&] {
+         megads::flow::FlowKey dns;
+         dns.with_dst_port(443);
+         benchmark::DoNotOptimize(tree.query_lattice(dns));
+       }},
       {"hhh", [&] { benchmark::DoNotOptimize(tree.hhh(0.01)); }},
       {"encode", [&] { benchmark::DoNotOptimize(tree.encode()); }},
   };
@@ -232,6 +268,22 @@ void run_json_workload(const megads::bench::BenchOptions& opts) {
     for (int rep = 0; rep < 20; ++rep) latency.time(op.op);
     report.add({.bench = std::string("flowtree_ops/") + op.name,
                 .config = "flows=100000",
+                .p50_latency_us = latency.p50(),
+                .p99_latency_us = latency.p99()});
+  }
+
+  {
+    // Absent-feature lattice query: the presence-mask early exit versus the
+    // lattice_scan record above (same flow count, ports stripped).
+    const Flowtree stripped = prefix_only_tree(records);
+    megads::flow::FlowKey dns;
+    dns.with_dst_port(443);
+    bench::LatencyRecorder latency;
+    for (int rep = 0; rep < 20; ++rep) {
+      latency.time([&] { benchmark::DoNotOptimize(stripped.query_lattice(dns)); });
+    }
+    report.add({.bench = "flowtree_ops/lattice_absent_feature",
+                .config = "flows=100000 ports_stripped",
                 .p50_latency_us = latency.p50(),
                 .p99_latency_us = latency.p99()});
   }

@@ -1,0 +1,220 @@
+// Experiment E11 (PR 5): what the incremental-materialization + caching layer
+// buys on the three repeated-query patterns the paper's monitoring workloads
+// exhibit (dashboards re-issuing the same statement, sliding windows, and
+// snapshot-style "all history" folds).
+//
+//   store/repeat       the same Top-K against a DataStore with 64 sealed
+//                      epochs — cold (cache off) pays a 64-partition fold per
+//                      query, warm serves every partition from the result
+//                      cache
+//   store/snapshot     snapshot() over all history — cold folds every sealed
+//                      partition, warm extends the materialized prefix by
+//                      whatever sealed since the last call (here: nothing)
+//   flowql/repeat      the same SELECT against the cloud FlowDB — warm is a
+//                      full-view hit: an O(1) copy-on-write handout
+//   flowql/sliding     a W-epoch window sliding one epoch per query — warm
+//                      re-merges only the aligned blocks the slide exposed
+//
+// Cold numbers use the same binaries with the caches disabled
+// (set_query_cache_budget(0) / set_materialization_enabled(false) /
+// set_view_cache_budget(0)), so the comparison isolates the cache.
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "primitives/exact.hpp"
+#include "store/datastore.hpp"
+
+namespace {
+
+using namespace megads;
+
+constexpr std::size_t kStoreEpochs = 64;
+constexpr std::size_t kKeysPerEpoch = 256;
+constexpr int kRepeats = 200;
+
+constexpr std::size_t kDbEpochs = 128;
+constexpr std::size_t kDbLocations = 4;
+constexpr std::size_t kDbKeysPerEpoch = 128;
+constexpr std::size_t kDbKeySpace = 512;  ///< distinct keys per location
+constexpr std::size_t kWindow = 64;
+/// Sliding windows keep the whole block pyramid live; the default budget is
+/// sized for dashboards, not a 4-location 64-epoch sweep.
+constexpr std::size_t kViewCacheBudget = 256u << 20;
+
+flow::FlowKey host(std::uint32_t net, std::uint32_t h) {
+  return flow::FlowKey::from_tuple(
+      6, flow::IPv4(10, static_cast<std::uint8_t>(net), static_cast<std::uint8_t>(h >> 8),
+                    static_cast<std::uint8_t>(h)),
+      50000, flow::IPv4(198, 51, 100, 7), 80);
+}
+
+void populate_store(store::DataStore& data_store, bool cached) {
+  store::SlotConfig slot_config;
+  slot_config.name = "exact";
+  slot_config.factory = [] { return std::make_unique<primitives::ExactAggregator>(); };
+  slot_config.epoch = kMinute;
+  slot_config.storage = std::make_unique<store::ExpirationStorage>(kDay);
+  slot_config.subscribe_all = true;
+  data_store.install(std::move(slot_config));
+  if (!cached) {
+    data_store.set_query_cache_budget(0);
+    data_store.set_materialization_enabled(false);
+  }
+
+  Rng rng(42);
+  for (std::size_t epoch = 0; epoch < kStoreEpochs; ++epoch) {
+    for (std::size_t k = 0; k < kKeysPerEpoch; ++k) {
+      primitives::StreamItem item;
+      item.key = host(static_cast<std::uint32_t>(rng.uniform(8)),
+                      static_cast<std::uint32_t>(rng.uniform(4096)));
+      item.value = static_cast<double>(1 + rng.uniform(64));
+      item.timestamp = epoch * kMinute + k * (kMinute / kKeysPerEpoch);
+      data_store.ingest(SensorId(0), item);
+    }
+  }
+  data_store.advance_to(kStoreEpochs * kMinute);
+}
+
+flowtree::FlowtreeConfig db_tree_config() {
+  flowtree::FlowtreeConfig tree_config;
+  tree_config.node_budget = 1 << 16;
+  return tree_config;
+}
+
+/// Deterministic per-(location, epoch) summary so the cold and warm DBs index
+/// bitwise-identical trees.
+flowtree::Flowtree tree_for(std::size_t loc, std::size_t epoch) {
+  flowtree::Flowtree tree(db_tree_config());
+  Rng rng(1000 * loc + epoch + 1);
+  for (std::size_t k = 0; k < kDbKeysPerEpoch; ++k) {
+    tree.add(host(static_cast<std::uint32_t>(loc),
+                  static_cast<std::uint32_t>(rng.uniform(kDbKeySpace))),
+             static_cast<double>(1 + rng.uniform(64)));
+  }
+  return tree;
+}
+
+void add_epoch(flowdb::FlowDB& db, std::size_t epoch) {
+  for (std::size_t loc = 0; loc < kDbLocations; ++loc) {
+    db.add(tree_for(loc, epoch),
+           TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
+           "site-" + std::to_string(loc));
+  }
+}
+
+flowdb::FlowDB make_db(bool cached, std::size_t epochs) {
+  flowdb::FlowDB db(db_tree_config());
+  db.set_view_cache_budget(cached ? kViewCacheBudget : 0);
+  for (std::size_t epoch = 0; epoch < epochs; ++epoch) add_epoch(db, epoch);
+  return db;
+}
+
+struct Run {
+  bench::LatencyRecorder latency;
+  double queries_per_sec = 0.0;
+};
+
+template <typename F>
+Run timed_loop(int repeats, F&& fn) {
+  Run run;
+  const auto start = bench::Clock::now();
+  for (int i = 0; i < repeats; ++i) run.latency.time(fn);
+  run.queries_per_sec = repeats / (bench::ms_since(start) / 1e3);
+  return run;
+}
+
+void report(bench::JsonReport& json, const char* bench, const char* config,
+            const Run& run, std::size_t threads) {
+  json.add({.bench = bench,
+            .config = config,
+            .items_per_sec = run.queries_per_sec,
+            .p50_latency_us = run.latency.p50(),
+            .p99_latency_us = run.latency.p99(),
+            .threads = threads});
+  std::printf("  %-18s %-28s %10.0f q/s   p50 %8.1f us   p99 %8.1f us\n", bench,
+              config, run.queries_per_sec, run.latency.p50(), run.latency.p99());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = megads::bench::BenchOptions::parse(argc, argv);
+  ThreadPool pool(opts.threads);
+  bench::JsonReport json("E11");
+  std::printf("E11: repeated-query cost with and without the PR 5 caches\n");
+  std::printf("store: %zu sealed epochs x %zu items; flowdb: %zu locations x %zu "
+              "epochs; %d repeats\n\n",
+              kStoreEpochs, kKeysPerEpoch, kDbLocations, kDbEpochs, kRepeats);
+
+  {  // --- store: repeated Top-K ---------------------------------------------
+    const primitives::Query query = primitives::TopKQuery{32};
+    for (const bool cached : {false, true}) {
+      store::DataStore data_store(StoreId(0), cached ? "warm" : "cold");
+      populate_store(data_store, cached);
+      if (opts.threads > 1) data_store.set_parallelism(pool);
+      const AggregatorId slot = data_store.slots().front();
+      const Run run = timed_loop(kRepeats, [&] {
+        (void)data_store.query(slot, query);
+      });
+      report(json, "store/repeat", cached ? "cache=on" : "cache=off", run,
+             opts.threads);
+    }
+  }
+
+  {  // --- store: snapshot over all history -----------------------------------
+    for (const bool cached : {false, true}) {
+      store::DataStore data_store(StoreId(0), cached ? "warm" : "cold");
+      populate_store(data_store, cached);
+      if (opts.threads > 1) data_store.set_parallelism(pool);
+      const AggregatorId slot = data_store.slots().front();
+      const Run run = timed_loop(kRepeats, [&] {
+        (void)data_store.snapshot(slot);
+      });
+      report(json, "store/snapshot", cached ? "materialized=on" : "materialized=off",
+             run, opts.threads);
+    }
+  }
+
+  {  // --- flowql: dashboard re-issuing one statement --------------------------
+    const std::string statement = "SELECT topk(10) FROM 0s..7680s";
+    for (const bool cached : {false, true}) {
+      flowdb::FlowDB db = make_db(cached, kDbEpochs);
+      if (opts.threads > 1) db.set_thread_pool(&pool);
+      const Run run = timed_loop(kRepeats, [&] {
+        (void)flowdb::run_flowql(statement, db);
+      });
+      report(json, "flowql/repeat", cached ? "view_cache=on" : "view_cache=off",
+             run, opts.threads);
+    }
+  }
+
+  {  // --- flowql: live sliding window ----------------------------------------
+    // The dashboard pattern: every tick one epoch arrives and the user asks
+    // for the trailing kWindow epochs. Each window is new — warm wins only
+    // through aligned-block reuse across consecutive windows.
+    for (const bool cached : {false, true}) {
+      flowdb::FlowDB db = make_db(cached, kWindow);
+      if (opts.threads > 1) db.set_thread_pool(&pool);
+      std::size_t next_epoch = kWindow;
+      const int slides = static_cast<int>(kDbEpochs - kWindow);
+      const Run run = timed_loop(slides, [&] {
+        add_epoch(db, next_epoch);
+        ++next_epoch;
+        const std::size_t start_epoch = next_epoch - kWindow;
+        (void)db.merged({TimeInterval{start_epoch * kMinute,
+                                      next_epoch * kMinute}},
+                        {});
+      });
+      report(json, "flowql/sliding", cached ? "view_cache=on" : "view_cache=off",
+             run, opts.threads);
+    }
+  }
+
+  if (!json.write_if(opts)) return 1;
+  return 0;
+}

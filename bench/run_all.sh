@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Runs every bench binary with `--json` and aggregates the per-binary reports
-# into one machine-readable file (default: BENCH_PR3.json in the cwd).
+# into one machine-readable file (default: BENCH_PR5.json in the cwd).
 #
 #   bench/run_all.sh [build-dir] [output.json]
 #
 # The flagship pipeline bench (bench_flowstream) is additionally swept over
 # --threads 1/2/4/8 so the aggregate records the shard-and-merge scaling curve
 # of this machine (see docs/PARALLELISM.md).
+#
+# Fails loudly: a missing bench binary or a per-binary report that is not
+# valid JSON aborts the run with a non-zero exit (a silently skipped binary
+# once produced an "all green" aggregate with half the experiments missing).
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR3.json}"
+OUT="${2:-BENCH_PR5.json}"
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 
@@ -20,14 +24,24 @@ run() {
   shift
   local bin="$BUILD_DIR/bench/$name"
   if [ ! -x "$bin" ]; then
-    echo "run_all: skipping $name (not built at $bin)" >&2
-    return 0
+    echo "run_all: ERROR: $name not built at $bin (build the 'bench' targets first)" >&2
+    exit 1
   fi
   seq=$((seq + 1))
   local tag
   tag=$(printf '%02d_%s' "$seq" "$name$(echo "$*" | tr ' -' '__')")
   echo "== $name $*" >&2
   "$bin" "$@" --json "$JSON_DIR/$tag.json" >/dev/null
+  if [ ! -s "$JSON_DIR/$tag.json" ]; then
+    echo "run_all: ERROR: $name wrote no JSON report" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$JSON_DIR/$tag.json" >/dev/null || {
+      echo "run_all: ERROR: $name produced invalid JSON" >&2
+      exit 1
+    }
+  fi
 }
 
 run bench_flowtree_ops
@@ -38,6 +52,7 @@ run bench_hierarchy
 run bench_replication
 run bench_trigger_latency
 run bench_ablation
+run bench_query_cache
 for t in 1 2 4 8; do
   run bench_flowstream --threads "$t"
 done
@@ -46,7 +61,7 @@ done
 # elements into one "results" array (pure shell — no jq dependency).
 {
   echo '{'
-  echo '  "suite": "megads shard-and-merge bench harness (PR3)",'
+  echo '  "suite": "megads bench harness (PR5: caching + materialization)",'
   echo "  \"host_threads\": $(nproc),"
   echo '  "results": ['
   first=1
@@ -61,4 +76,11 @@ done
   echo '  ]'
   echo '}'
 } > "$OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$OUT" >/dev/null || {
+    echo "run_all: ERROR: aggregate $OUT is invalid JSON" >&2
+    exit 1
+  }
+fi
 echo "wrote $OUT" >&2

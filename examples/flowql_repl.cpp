@@ -27,6 +27,7 @@ int main() {
   tree_config.node_budget = 8192;
   flowdb::FlowDB db(tree_config);
   metrics::MetricsRegistry registry;
+  db.attach_metrics(registry);  // .metrics shows view-cache hits/misses/bytes
   metrics::Counter& ingested = registry.counter("repl.flows_ingested");
   metrics::Histogram& query_us = registry.histogram("flowql.query_us");
 

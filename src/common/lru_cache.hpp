@@ -1,0 +1,122 @@
+// A small intrusive LRU cache with a byte budget, shared by the store's
+// per-partition query-result cache and FlowDB's merged-view cache.
+//
+// Deliberately minimal: the cache does NOT lock — each owner already has a
+// mutex guarding its cache (the store's query path and FlowDB's merged()
+// path take it around lookup/insert), and folding the lock in here would
+// invite double-locking. Hit/miss/eviction tallies are plain integers for
+// the same reason; owners publish them to the metrics registry themselves.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace megads {
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
+
+  /// nullptr on miss. A hit moves the entry to the front of the LRU list.
+  Value* get(const Key& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->value;
+  }
+
+  /// Insert (or replace) an entry costing `bytes`, then evict from the tail
+  /// until the cache fits its budget again. Entries larger than the whole
+  /// budget are not admitted — caching them would evict everything else for
+  /// a single-use resident.
+  void put(const Key& key, Value value, std::size_t bytes) {
+    if (byte_budget_ == 0 || bytes > byte_budget_) return;
+    if (const auto it = map_.find(key); it != map_.end()) {
+      bytes_ -= it->second->bytes;
+      order_.erase(it->second);
+      map_.erase(it);
+    }
+    order_.push_front(Entry{key, std::move(value), bytes});
+    map_.emplace(key, order_.begin());
+    bytes_ += bytes;
+    while (bytes_ > byte_budget_ && !order_.empty()) {
+      const Entry& victim = order_.back();
+      bytes_ -= victim.bytes;
+      map_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  /// Drop every entry for which pred(key) is true (epoch invalidation).
+  template <typename Pred>
+  void erase_if(Pred pred) {
+    for (auto it = order_.begin(); it != order_.end();) {
+      if (pred(it->key)) {
+        bytes_ -= it->bytes;
+        map_.erase(it->key);
+        it = order_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void clear() {
+    map_.clear();
+    order_.clear();
+    bytes_ = 0;
+  }
+
+  /// Change the budget; shrinking evicts immediately, 0 clears and disables.
+  void set_byte_budget(std::size_t budget) {
+    byte_budget_ = budget;
+    if (byte_budget_ == 0) {
+      clear();
+      return;
+    }
+    while (bytes_ > byte_budget_ && !order_.empty()) {
+      const Entry& victim = order_.back();
+      bytes_ -= victim.bytes;
+      map_.erase(victim.key);
+      order_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::size_t byte_budget() const noexcept { return byte_budget_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+  [[nodiscard]] double hit_ratio() const noexcept {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::size_t bytes = 0;
+  };
+
+  std::size_t byte_budget_;
+  std::size_t bytes_ = 0;
+  std::list<Entry> order_;  // front = most recently used
+  std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace megads

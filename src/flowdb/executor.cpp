@@ -76,6 +76,9 @@ Table execute(const Statement& statement, const FlowDB& db) {
     return render(rows);
   }
 
+  // merged() serves repeated selections from the view cache (an O(1)
+  // copy-on-write handout), so dashboard-style re-issued SELECTs skip the
+  // fold entirely; the copy below never deep-copies unless mutated.
   const flowtree::Flowtree tree = db.merged(statement.ranges, statement.locations);
 
   switch (statement.op) {

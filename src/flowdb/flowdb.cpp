@@ -1,7 +1,6 @@
 #include "flowdb/flowdb.hpp"
 
 #include <algorithm>
-#include <map>
 #include <mutex>
 
 #include "common/error.hpp"
@@ -9,18 +8,67 @@
 
 namespace megads::flowdb {
 
+namespace {
+
+/// First word of every cache key: full (intervals, locations) views vs
+/// aligned stage-1 blocks. Group lengths are encoded explicitly in view
+/// keys, so keys of different structure can never collide.
+constexpr std::uint64_t kTagView = 0;
+constexpr std::uint64_t kTagBlock = 1;
+
+std::uint64_t fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t FlowDB::ViewKeyHash::operator()(const ViewKey& key) const noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const std::uint64_t word : key.words) {
+    h ^= word;
+    h *= 1099511628211ULL;
+    h ^= h >> 29;
+  }
+  return static_cast<std::size_t>(h);
+}
+
 FlowDB::FlowDB(flowtree::FlowtreeConfig tree_config) : tree_config_(tree_config) {}
 
 FlowDB::FlowDB(FlowDB&& other) noexcept
     : tree_config_(other.tree_config_),
       entries_(std::move(other.entries_)),
-      pool_(other.pool_) {}
+      next_seq_(other.next_seq_),
+      pool_(other.pool_),
+      view_cache_(std::move(other.view_cache_)),
+      decode_memo_(std::move(other.decode_memo_)),
+      metric_hits_(other.metric_hits_),
+      metric_misses_(other.metric_misses_),
+      metric_evictions_(other.metric_evictions_),
+      metric_decode_hits_(other.metric_decode_hits_),
+      metric_decode_misses_(other.metric_decode_misses_),
+      metric_bytes_(other.metric_bytes_),
+      metric_hit_ratio_(other.metric_hit_ratio_) {}
 
 FlowDB& FlowDB::operator=(FlowDB&& other) noexcept {
   if (this != &other) {
     tree_config_ = other.tree_config_;
     entries_ = std::move(other.entries_);
+    next_seq_ = other.next_seq_;
     pool_ = other.pool_;
+    view_cache_ = std::move(other.view_cache_);
+    decode_memo_ = std::move(other.decode_memo_);
+    metric_hits_ = other.metric_hits_;
+    metric_misses_ = other.metric_misses_;
+    metric_evictions_ = other.metric_evictions_;
+    metric_decode_hits_ = other.metric_decode_hits_;
+    metric_decode_misses_ = other.metric_decode_misses_;
+    metric_bytes_ = other.metric_bytes_;
+    metric_hit_ratio_ = other.metric_hit_ratio_;
   }
   return *this;
 }
@@ -31,8 +79,9 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
               tree.config().features == tree_config_.features,
           "FlowDB::add: summary's generalization policy/features do not match");
   expects(!interval.empty(), "FlowDB::add: empty interval");
-  Entry entry{SummaryMeta{interval, std::move(location)}, std::move(tree)};
+  Entry entry{SummaryMeta{interval, std::move(location)}, std::move(tree), 0};
   const std::unique_lock lock(entries_mu_);
+  entry.seq = next_seq_++;
   const auto pos = std::upper_bound(
       entries_.begin(), entries_.end(), entry, [](const Entry& a, const Entry& b) {
         if (a.meta.location != b.meta.location) {
@@ -41,6 +90,9 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
         return a.meta.interval.begin < b.meta.interval.begin;
       });
   entries_.insert(pos, std::move(entry));
+  // No cache invalidation: keys are content-addressed by summary sequence
+  // numbers, and a new summary changes which sequences any affected
+  // selection maps to. Stale entries age out of the LRU.
 }
 
 std::size_t FlowDB::summary_count() const {
@@ -48,10 +100,39 @@ std::size_t FlowDB::summary_count() const {
   return entries_.size();
 }
 
+std::uint64_t FlowDB::version() const {
+  const std::shared_lock lock(entries_mu_);
+  return next_seq_ - 1;
+}
+
 void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
                          TimeInterval interval, std::string location) {
-  add(flowtree::Flowtree::decode(bytes, tree_config_), interval,
-      std::move(location));
+  const std::uint64_t digest = fnv1a(bytes);
+  // The memo lock is never held across add(): merged() nests cache_mu_
+  // inside the shared entries lock, so taking them in the opposite order
+  // here would be a lock-order inversion.
+  std::optional<flowtree::Flowtree> decoded;
+  {
+    const std::lock_guard lock(cache_mu_);
+    if (decode_memo_.byte_budget() > 0) {
+      DecodedBytes* hit = decode_memo_.get(digest);
+      if (hit != nullptr && hit->bytes == bytes) {
+        ++decode_hits_;
+        decoded = hit->tree;  // O(1) copy-on-write
+      } else {
+        ++decode_misses_;
+      }
+      publish_cache_metrics();
+    }
+  }
+  if (!decoded) {
+    decoded = flowtree::Flowtree::decode(bytes, tree_config_);
+    const std::lock_guard lock(cache_mu_);
+    decode_memo_.put(digest, DecodedBytes{bytes, *decoded},
+                     bytes.size() + decoded->memory_bytes());
+    publish_cache_metrics();
+  }
+  add(std::move(*decoded), interval, std::move(location));
 }
 
 std::vector<std::string> FlowDB::locations() const {
@@ -73,6 +154,94 @@ std::optional<TimeInterval> FlowDB::coverage() const {
   return total;
 }
 
+void FlowDB::set_view_cache_budget(std::size_t bytes) {
+  const std::lock_guard lock(cache_mu_);
+  view_cache_.set_byte_budget(bytes);
+  publish_cache_metrics();
+}
+
+std::size_t FlowDB::view_cache_budget() const {
+  const std::lock_guard lock(cache_mu_);
+  return view_cache_.byte_budget();
+}
+
+void FlowDB::attach_metrics(metrics::MetricsRegistry& registry) {
+  const std::lock_guard lock(cache_mu_);
+  metric_hits_ = &registry.counter("flowdb.view_cache_hits");
+  metric_misses_ = &registry.counter("flowdb.view_cache_misses");
+  metric_evictions_ = &registry.counter("flowdb.view_cache_evictions");
+  metric_decode_hits_ = &registry.counter("flowdb.decode_hits");
+  metric_decode_misses_ = &registry.counter("flowdb.decode_misses");
+  metric_bytes_ = &registry.gauge("flowdb.view_cache_bytes");
+  metric_hit_ratio_ = &registry.gauge("flowdb.view_cache_hit_ratio");
+}
+
+void FlowDB::publish_cache_metrics() const {
+  if (metric_hits_ == nullptr) return;
+  metric_hits_->add(view_cache_.hits() - published_hits_);
+  metric_misses_->add(view_cache_.misses() - published_misses_);
+  metric_evictions_->add(view_cache_.evictions() - published_evictions_);
+  metric_decode_hits_->add(decode_hits_ - published_decode_hits_);
+  metric_decode_misses_->add(decode_misses_ - published_decode_misses_);
+  published_hits_ = view_cache_.hits();
+  published_misses_ = view_cache_.misses();
+  published_evictions_ = view_cache_.evictions();
+  published_decode_hits_ = decode_hits_;
+  published_decode_misses_ = decode_misses_;
+  metric_bytes_->set(static_cast<double>(view_cache_.bytes()));
+  metric_hit_ratio_->set(view_cache_.hit_ratio());
+}
+
+flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
+                                        std::size_t at, std::size_t len) const {
+  ViewKey key;
+  key.words.reserve(len + 1);
+  key.words.push_back(kTagBlock);
+  for (std::size_t i = at; i < at + len; ++i) key.words.push_back(slice[i]->seq);
+  {
+    const std::lock_guard lock(cache_mu_);
+    if (view_cache_.byte_budget() > 0) {
+      if (const flowtree::Flowtree* hit = view_cache_.get(key)) {
+        return *hit;  // O(1) copy-on-write handout
+      }
+    }
+  }
+  flowtree::Flowtree block(tree_config_);
+  const std::size_t half = len / 2;
+  if (half == 1) {
+    block.merge(slice[at]->tree);  // adopt fast path: O(1) state share
+    block.merge(slice[at + 1]->tree);
+  } else {
+    block.merge(fold_aligned(slice, at, half));
+    block.merge(fold_aligned(slice, at + half, half));
+  }
+  {
+    const std::lock_guard lock(cache_mu_);
+    view_cache_.put(key, block, block.memory_bytes());
+  }
+  return block;
+}
+
+void FlowDB::fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
+                      std::size_t lo, std::size_t hi) const {
+  // Greedy aligned decomposition: the largest power-of-two block that starts
+  // at `lo` (lo % len == 0) and fits. Alignment is what makes the blocks of
+  // overlapping windows coincide: a window sliding by one epoch re-derives
+  // the same interior blocks and only re-merges the blocks that gained a new
+  // epoch. The decomposition depends only on positions — it is identical
+  // with the cache disabled, so answers cannot depend on cache state.
+  while (lo < hi) {
+    std::size_t len = 1;
+    while (lo % (len * 2) == 0 && len * 2 <= hi - lo) len *= 2;
+    if (len == 1) {
+      acc.merge(slice[lo]->tree);
+    } else {
+      acc.merge(fold_aligned(slice, lo, len));
+    }
+    lo += len;
+  }
+}
+
 flowtree::Flowtree FlowDB::merged(
     const std::vector<TimeInterval>& intervals,
     const std::vector<std::string>& locations) const {
@@ -90,21 +259,59 @@ flowtree::Flowtree FlowDB::merged(
   const std::shared_lock lock(entries_mu_);
 
   // Select the matching entries, grouped by location (entries_ is sorted by
-  // location, so each group is a contiguous index run).
-  std::vector<std::vector<const Entry*>> groups;
-  for (const Entry& entry : entries_) {
-    if (!wanted_time(entry.meta.interval) || !wanted_location(entry.meta.location)) {
-      continue;
+  // location, so each location is a contiguous index run — the "slice").
+  // Groups keep slice-relative positions: the aligned block decomposition
+  // below depends only on where an epoch sits inside its location's slice,
+  // so summaries arriving for *other* locations never perturb it.
+  struct Group {
+    std::vector<const Entry*> slice;    ///< the location's full run
+    std::vector<std::size_t> positions; ///< selected indices into `slice`
+  };
+  std::vector<Group> groups;
+  for (std::size_t i = 0; i < entries_.size();) {
+    std::size_t j = i;
+    while (j < entries_.size() &&
+           entries_[j].meta.location == entries_[i].meta.location) {
+      ++j;
     }
-    if (groups.empty() || groups.back().back()->meta.location != entry.meta.location) {
-      groups.emplace_back();
+    if (wanted_location(entries_[i].meta.location)) {
+      Group group;
+      group.slice.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) group.slice.push_back(&entries_[k]);
+      for (std::size_t k = i; k < j; ++k) {
+        if (wanted_time(entries_[k].meta.interval)) group.positions.push_back(k - i);
+      }
+      if (!group.positions.empty()) groups.push_back(std::move(group));
     }
-    groups.back().push_back(&entry);
+    i = j;
   }
 
-  // Stage 1 (shared location): merge each location's epochs over time.
-  // Each location is folded by exactly one task, in epoch order, so the
-  // concurrent result is identical to the serial one.
+  // Full-view cache: repeating the exact same selection (the dashboard
+  // pattern) is an O(1) copy-on-write handout.
+  ViewKey view_key;
+  view_key.words.push_back(kTagView);
+  view_key.words.push_back(groups.size());
+  for (const Group& group : groups) {
+    view_key.words.push_back(group.positions.size());
+    for (const std::size_t p : group.positions) {
+      view_key.words.push_back(group.slice[p]->seq);
+    }
+  }
+  {
+    const std::lock_guard cache_lock(cache_mu_);
+    if (view_cache_.byte_budget() > 0) {
+      if (const flowtree::Flowtree* hit = view_cache_.get(view_key)) {
+        flowtree::Flowtree copy = *hit;
+        publish_cache_metrics();
+        return copy;
+      }
+    }
+  }
+
+  // Stage 1 (shared location): merge each location's epochs over time along
+  // the aligned block decomposition. Each location is folded by exactly one
+  // task, with a deterministic structure, so the concurrent result is
+  // identical to the serial one.
   std::vector<flowtree::Flowtree> per_location;
   per_location.reserve(groups.size());
   for (std::size_t g = 0; g < groups.size(); ++g) {
@@ -112,7 +319,20 @@ flowtree::Flowtree FlowDB::merged(
   }
   const auto fold_group = [&](std::size_t begin, std::size_t end) {
     for (std::size_t g = begin; g < end; ++g) {
-      for (const Entry* entry : groups[g]) per_location[g].merge(entry->tree);
+      const Group& group = groups[g];
+      // Maximal contiguous position runs fold via aligned blocks; gaps
+      // (multi-interval selections skipping epochs) split the runs.
+      std::size_t a = 0;
+      while (a < group.positions.size()) {
+        std::size_t b = a + 1;
+        while (b < group.positions.size() &&
+               group.positions[b] == group.positions[b - 1] + 1) {
+          ++b;
+        }
+        fold_run(per_location[g], group.slice.data(), group.positions[a],
+                 group.positions[a] + (b - a));
+        a = b;
+      }
     }
   };
   if (pool_ != nullptr && groups.size() > 1) {
@@ -124,6 +344,11 @@ flowtree::Flowtree FlowDB::merged(
   // Stage 2 (shared time): merge across locations, in location order.
   flowtree::Flowtree result(tree_config_);
   for (flowtree::Flowtree& tree : per_location) result.merge(tree);
+  {
+    const std::lock_guard cache_lock(cache_mu_);
+    view_cache_.put(view_key, result, result.memory_bytes());
+    publish_cache_metrics();
+  }
   return result;
 }
 

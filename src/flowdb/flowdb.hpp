@@ -7,12 +7,31 @@
 // location, summaries of different epochs are merged first (shared
 // location); the per-location trees — now covering the same requested span —
 // are then merged across locations (shared time).
+//
+// Merged views are cached. Indexed summaries are immutable, so every cache
+// entry is content-addressed by the sequence numbers of the summaries it
+// folds — no epoch counters to invalidate: adding a summary changes which
+// sequences a query selects, which changes the key. Two tiers share one
+// LRU + byte budget:
+//   - full views: the exact (intervals, locations) selection, so repeating a
+//     dashboard query is an O(1) copy-on-write handout;
+//   - aligned sub-folds: stage 1 folds each location's run of epochs along a
+//     fixed power-of-two block decomposition (by position in the location's
+//     slice), and each block of >= 2 summaries is cached — a sliding window
+//     re-merges only the blocks containing new epochs. The decomposition is
+//     the SAME with caching off (lookups simply never hit), so cached and
+//     uncached answers are identical by construction.
+// add_encoded() additionally memoizes decoded wire summaries (decode-once):
+// re-registering the same exported bytes hands out a copy-on-write Flowtree
+// instead of re-parsing.
+//
 // Concurrency: one writer (`add` / `add_encoded`) and any number of readers
 // may run simultaneously — the summary index is guarded by a shared_mutex
-// (exclusive for add, shared for every read). With a ThreadPool attached,
-// `merged()` runs its per-location stage-1 folds concurrently; the result is
-// identical to the serial fold because each location's epochs are still
-// merged by a single task, in index order.
+// (exclusive for add, shared for every read); the caches by their own plain
+// mutex (readers mutate the LRU). With a ThreadPool attached, `merged()`
+// runs its per-location stage-1 folds concurrently; the result is identical
+// to the serial fold because each location's epochs are still folded by a
+// single task, in index order.
 #pragma once
 
 #include <optional>
@@ -20,6 +39,8 @@
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.hpp"
+#include "common/metrics.hpp"
 #include "flowtree/flowtree.hpp"
 
 namespace megads {
@@ -37,7 +58,7 @@ class FlowDB {
  public:
   explicit FlowDB(flowtree::FlowtreeConfig tree_config = {});
 
-  // Movable (the mutex is freshly constructed; moving while readers or the
+  // Movable (the mutexes are freshly constructed; moving while readers or the
   // writer are active is undefined, as for any container).
   FlowDB(FlowDB&& other) noexcept;
   FlowDB& operator=(FlowDB&& other) noexcept;
@@ -48,7 +69,8 @@ class FlowDB {
   /// generalization policy and feature set.
   void add(flowtree::Flowtree tree, TimeInterval interval, std::string location);
 
-  /// Decode and index a wire-format summary (arrow 3/4 of Fig. 5).
+  /// Decode and index a wire-format summary (arrow 3/4 of Fig. 5). Identical
+  /// byte strings decode once (memoized copy-on-write handout).
   void add_encoded(const std::vector<std::uint8_t>& bytes, TimeInterval interval,
                    std::string location);
 
@@ -61,6 +83,21 @@ class FlowDB {
   [[nodiscard]] std::vector<std::string> locations() const;
   /// Smallest interval covering all indexed summaries (nullopt when empty).
   [[nodiscard]] std::optional<TimeInterval> coverage() const;
+
+  /// Entry-log version: bumped by every add()/add_encoded(). External caches
+  /// key on it; the internal view cache is content-addressed instead.
+  [[nodiscard]] std::uint64_t version() const;
+
+  /// Byte budget of the merged-view + sub-fold cache (LRU eviction; 0
+  /// disables and clears). Default: 32 MiB.
+  void set_view_cache_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t view_cache_budget() const;
+
+  /// Report cache behaviour into `registry` under "flowdb.": view_cache_hits
+  /// / view_cache_misses / view_cache_evictions / decode_hits / decode_misses
+  /// counters and view_cache_bytes / view_cache_hit_ratio gauges. The
+  /// registry must outlive the database.
+  void attach_metrics(metrics::MetricsRegistry& registry);
 
   /// All summaries overlapping `interval` (any location when `locations` is
   /// empty), merged per the Table II discipline described above.
@@ -77,14 +114,67 @@ class FlowDB {
   struct Entry {
     SummaryMeta meta;
     flowtree::Flowtree tree;
+    std::uint64_t seq = 0;  ///< unique, assigned at add(); entries are immutable
   };
+
+  /// Content-addressed cache key: a tag (view / block) followed by the
+  /// sequence numbers of the summaries the cached tree folds, with explicit
+  /// group lengths for view keys so structures cannot collide.
+  struct ViewKey {
+    std::vector<std::uint64_t> words;
+    friend bool operator==(const ViewKey&, const ViewKey&) = default;
+  };
+  struct ViewKeyHash {
+    std::size_t operator()(const ViewKey& key) const noexcept;
+  };
+
+  /// Fold one location's contiguous position run [lo, hi) (slice-relative)
+  /// into `acc` along the aligned power-of-two decomposition, consulting the
+  /// block cache for every block of >= 2 entries. `slice` spans the whole
+  /// location. Caller holds the shared entries lock.
+  void fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
+                std::size_t lo, std::size_t hi) const;
+  /// Fold the aligned block [at, at + len): cache lookup, else recurse.
+  [[nodiscard]] flowtree::Flowtree fold_aligned(const Entry* const* slice,
+                                                std::size_t at,
+                                                std::size_t len) const;
+  void publish_cache_metrics() const;  ///< caller holds cache_mu_
 
   flowtree::FlowtreeConfig tree_config_;
   /// Exclusive for add(), shared for every reader — FlowQL queries may run
   /// concurrently with summary arrivals.
   mutable std::shared_mutex entries_mu_;
   std::vector<Entry> entries_;  // sorted by (location, interval.begin)
+  std::uint64_t next_seq_ = 1;
   ThreadPool* pool_ = nullptr;
+
+  /// Merged-view/sub-fold cache and the decode memo. Guarded by cache_mu_
+  /// (readers mutate the LRU order, so a shared lock is not enough). Cached
+  /// trees share copy-on-write state with handed-out results — a hit is an
+  /// O(1) copy while holding the lock.
+  mutable std::mutex cache_mu_;
+  mutable LruCache<ViewKey, flowtree::Flowtree, ViewKeyHash> view_cache_{32u << 20};
+  struct DecodedBytes {
+    std::vector<std::uint8_t> bytes;  ///< exact-match guard against hash collision
+    flowtree::Flowtree tree;
+  };
+  mutable LruCache<std::uint64_t, DecodedBytes> decode_memo_{4u << 20};
+  mutable std::uint64_t decode_hits_ = 0;
+  mutable std::uint64_t decode_misses_ = 0;
+  /// Counter tallies already pushed to the registry (publish adds deltas).
+  mutable std::uint64_t published_hits_ = 0;
+  mutable std::uint64_t published_misses_ = 0;
+  mutable std::uint64_t published_evictions_ = 0;
+  mutable std::uint64_t published_decode_hits_ = 0;
+  mutable std::uint64_t published_decode_misses_ = 0;
+
+  metrics::Counter* metric_hits_ = nullptr;
+  metrics::Counter* metric_misses_ = nullptr;
+  metrics::Counter* metric_evictions_ = nullptr;
+  metrics::Counter* metric_decode_hits_ = nullptr;
+  metrics::Counter* metric_decode_misses_ = nullptr;
+  metrics::Gauge* metric_bytes_ = nullptr;
+  metrics::Gauge* metric_hit_ratio_ = nullptr;
 };
 
 }  // namespace megads::flowdb

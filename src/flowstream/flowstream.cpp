@@ -180,6 +180,7 @@ void Flowstream::attach_metrics(metrics::MetricsRegistry& registry) {
   }
   for (auto& region : regions_) region.store->attach_metrics(registry);
   network_.attach_metrics(registry);
+  db_.attach_metrics(registry);
   metric_exports_ = &registry.counter("flowstream.exports");
   metric_export_bytes_ = &registry.counter("flowstream.export_wire_bytes");
   metric_indexed_ = &registry.counter("flowstream.summaries_indexed");

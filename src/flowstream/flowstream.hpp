@@ -95,10 +95,12 @@ class Flowstream {
   void set_parallelism(ThreadPool& pool, std::size_t shards = 0);
 
   /// Instrument the whole pipeline into `registry`: every router/region store
-  /// (store.<name>.*), the WAN (net.*), export wire volume
-  /// (flowstream.export_wire_bytes / flowstream.exports /
-  /// flowstream.summaries_indexed), and FlowQL latency (flowql.query_us
-  /// histogram, wall-clock). The registry must outlive the system.
+  /// (store.<name>.*, including their query-cache counters), the WAN (net.*),
+  /// the cloud FlowDB's merged-view cache (flowdb.view_cache_* /
+  /// flowdb.decode_*), export wire volume (flowstream.export_wire_bytes /
+  /// flowstream.exports / flowstream.summaries_indexed), and FlowQL latency
+  /// (flowql.query_us histogram, wall-clock). The registry must outlive the
+  /// system.
   void attach_metrics(metrics::MetricsRegistry& registry);
 
   /// Arrow 5: run a FlowQL statement against the cloud FlowDB.

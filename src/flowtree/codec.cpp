@@ -69,18 +69,19 @@ class Reader {
 }  // namespace
 
 std::vector<std::uint8_t> Flowtree::encode() const {
+  const State& s = *state_;
   std::vector<std::uint8_t> out;
-  out.reserve(kHeaderBytes + node_count_ * kBytesPerNode);
+  out.reserve(kHeaderBytes + s.node_count * kBytesPerNode);
 
   for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
   out.push_back(kVersion);
   out.push_back(static_cast<std::uint8_t>(config_.policy.ip_step));
   out.push_back(static_cast<std::uint8_t>(config_.features));
-  out.push_back(lossy_ ? 1 : 0);
-  put_u32(out, static_cast<std::uint32_t>(node_count_));
+  out.push_back(s.lossy ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(s.node_count));
   put_u32(out, 0);
 
-  for (const Node& node : nodes_) {
+  for (const Node& node : s.nodes) {
     if (!node.alive) continue;
     const auto& key = node.key;
     std::uint8_t flags = 0;
@@ -169,15 +170,16 @@ Flowtree Flowtree::decode(const std::vector<std::uint8_t>& bytes,
     if (flags & kFlagDstPort) key.with_dst_port(dst_port);
 
     if (own != 0.0) {
-      tree.nodes_[tree.find_or_create(key)].own += own;
-      tree.total_weight_ += own;
+      State& s = *tree.state_;  // freshly constructed: exclusively owned
+      s.nodes[tree.find_or_create(key)].own += own;
+      s.total_weight += own;
     } else {
       tree.find_or_create(key);
     }
   }
   tree.config_.node_budget = budget;
-  tree.lossy_ = lossy;
-  if (!std::isfinite(tree.total_weight_)) {
+  tree.state_->lossy = lossy;
+  if (!std::isfinite(tree.state_->total_weight)) {
     // Every score was finite but the sum overflowed.
     throw ParseError("Flowtree::decode: total weight overflows");
   }

@@ -8,65 +8,100 @@
 
 namespace megads::flowtree {
 
-Flowtree::Flowtree(FlowtreeConfig config) : config_(config) {
+Flowtree::Flowtree(FlowtreeConfig config)
+    : config_(config), state_(std::make_shared<State>()) {
   expects(config_.node_budget >= 2, "Flowtree: node_budget must be >= 2");
   expects(config_.compress_slack >= 1.0, "Flowtree: compress_slack must be >= 1");
-  root_ = allocate(flow::FlowKey{}, kNone);  // the wildcard root always exists
+  state_->root = allocate(flow::FlowKey{}, kNone);  // wildcard root always exists
+}
+
+// --- copy-on-write state ----------------------------------------------------
+
+Flowtree::State& Flowtree::detach() {
+  // use_count > 1 means some copy still shares the pool; clone it so the
+  // mutation below stays invisible to that copy. Mutators run under the
+  // owning layer's writer lock, so the count cannot concurrently grow from 1.
+  if (state_.use_count() > 1) state_ = std::make_shared<State>(*state_);
+  return *state_;
+}
+
+bool Flowtree::pristine() const noexcept {
+  const State& s = *state_;
+  return s.nodes.size() == 1 && s.free_list.empty() &&
+         s.nodes[s.root].own == 0.0 && s.total_weight == 0.0 && !s.lossy &&
+         s.compress_count == 0;
+}
+
+void Flowtree::note_key_presence(State& s, const flow::FlowKey& key,
+                                 std::int64_t delta) noexcept {
+  if (key.proto()) s.feature_presence[kFeatProto] += delta;
+  if (key.src().length() > 0) s.feature_presence[kFeatSrcIp] += delta;
+  if (key.dst().length() > 0) s.feature_presence[kFeatDstIp] += delta;
+  if (key.src_port()) s.feature_presence[kFeatSrcPort] += delta;
+  if (key.dst_port()) s.feature_presence[kFeatDstPort] += delta;
 }
 
 // --- node pool -------------------------------------------------------------
+// The pool helpers assume the caller already holds an exclusively owned
+// state (every public mutator detaches first).
 
 std::int32_t Flowtree::allocate(const flow::FlowKey& key, std::int32_t parent) {
+  State& s = *state_;
   std::int32_t id;
-  if (!free_list_.empty()) {
-    id = free_list_.back();
-    free_list_.pop_back();
-    nodes_[id] = Node{};
+  if (!s.free_list.empty()) {
+    id = s.free_list.back();
+    s.free_list.pop_back();
+    s.nodes[id] = Node{};
   } else {
-    id = static_cast<std::int32_t>(nodes_.size());
-    nodes_.emplace_back();
+    id = static_cast<std::int32_t>(s.nodes.size());
+    s.nodes.emplace_back();
   }
-  Node& node = nodes_[id];
+  Node& node = s.nodes[id];
   node.key = key;
   node.parent = parent;
-  node.depth = parent == kNone ? 0 : nodes_[parent].depth + 1;
+  node.depth = parent == kNone ? 0 : s.nodes[parent].depth + 1;
   node.alive = true;
-  index_.emplace(key, id);
-  ++node_count_;
+  s.index.emplace(key, id);
+  ++s.node_count;
+  note_key_presence(s, key, +1);
   if (parent != kNone) link_child(parent, id);
   return id;
 }
 
 void Flowtree::link_child(std::int32_t parent, std::int32_t child) {
-  Node& p = nodes_[parent];
-  Node& c = nodes_[child];
+  State& s = *state_;
+  Node& p = s.nodes[parent];
+  Node& c = s.nodes[child];
   c.next_sibling = p.first_child;
   c.prev_sibling = kNone;
-  if (p.first_child != kNone) nodes_[p.first_child].prev_sibling = child;
+  if (p.first_child != kNone) s.nodes[p.first_child].prev_sibling = child;
   p.first_child = child;
 }
 
 void Flowtree::unlink_child(std::int32_t node) {
-  Node& n = nodes_[node];
+  State& s = *state_;
+  Node& n = s.nodes[node];
   if (n.prev_sibling != kNone) {
-    nodes_[n.prev_sibling].next_sibling = n.next_sibling;
+    s.nodes[n.prev_sibling].next_sibling = n.next_sibling;
   } else if (n.parent != kNone) {
-    nodes_[n.parent].first_child = n.next_sibling;
+    s.nodes[n.parent].first_child = n.next_sibling;
   }
-  if (n.next_sibling != kNone) nodes_[n.next_sibling].prev_sibling = n.prev_sibling;
+  if (n.next_sibling != kNone) s.nodes[n.next_sibling].prev_sibling = n.prev_sibling;
   n.prev_sibling = n.next_sibling = kNone;
 }
 
 void Flowtree::release(std::int32_t node) {
-  index_.erase(nodes_[node].key);
-  nodes_[node].alive = false;
-  free_list_.push_back(node);
-  --node_count_;
+  State& s = *state_;
+  note_key_presence(s, s.nodes[node].key, -1);
+  s.index.erase(s.nodes[node].key);
+  s.nodes[node].alive = false;
+  s.free_list.push_back(node);
+  --s.node_count;
 }
 
 std::int32_t Flowtree::find(const flow::FlowKey& key) const {
-  const auto it = index_.find(key);
-  return it == index_.end() ? kNone : it->second;
+  const auto it = state_->index.find(key);
+  return it == state_->index.end() ? kNone : it->second;
 }
 
 std::int32_t Flowtree::find_or_create(const flow::FlowKey& key) {
@@ -100,9 +135,10 @@ std::int32_t Flowtree::find_or_create(const flow::FlowKey& key) {
 // --- ingest ----------------------------------------------------------------
 
 void Flowtree::add(const flow::FlowKey& key, double weight) {
+  State& s = detach();
   const flow::FlowKey projected = key.project(config_.features);
-  nodes_[find_or_create(projected)].own += weight;
-  total_weight_ += weight;
+  s.nodes[find_or_create(projected)].own += weight;
+  s.total_weight += weight;
   maybe_self_compress();
 }
 
@@ -114,6 +150,7 @@ void Flowtree::insert(const primitives::StreamItem& item) {
 void Flowtree::insert_batch(std::span<const primitives::StreamItem> items) {
   if (items.empty()) return;
   note_ingest_batch(items);
+  State& s = detach();
   // Accumulate the batch per projected key: the canonical-chain walk in
   // find_or_create and the self-compression check run once per *distinct*
   // key instead of once per item. Scores add commutatively, so the final
@@ -131,9 +168,9 @@ void Flowtree::insert_batch(std::span<const primitives::StreamItem> items) {
       static_cast<std::size_t>(std::ceil(static_cast<double>(config_.node_budget) *
                                          config_.compress_slack)));
   for (const auto& [key, weight] : batch) {
-    nodes_[find_or_create(key)].own += weight;
-    total_weight_ += weight;
-    if (node_count_ > overshoot) compress(config_.node_budget);
+    s.nodes[find_or_create(key)].own += weight;
+    s.total_weight += weight;
+    if (s.node_count > overshoot) compress(config_.node_budget);
   }
   maybe_self_compress();
 }
@@ -141,33 +178,36 @@ void Flowtree::insert_batch(std::span<const primitives::StreamItem> items) {
 void Flowtree::maybe_self_compress() {
   const auto high_water = static_cast<std::size_t>(
       std::ceil(static_cast<double>(config_.node_budget) * config_.compress_slack));
-  if (node_count_ > high_water) compress(config_.node_budget);
+  if (state_->node_count > high_water) compress(config_.node_budget);
 }
 
 // --- scores ----------------------------------------------------------------
 
 std::vector<std::int32_t> Flowtree::nodes_by_depth_desc() const {
+  const State& s = *state_;
   std::vector<std::int32_t> order;
-  order.reserve(node_count_);
-  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
-    if (nodes_[id].alive) order.push_back(id);
+  order.reserve(s.node_count);
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(s.nodes.size()); ++id) {
+    if (s.nodes[id].alive) order.push_back(id);
   }
-  std::sort(order.begin(), order.end(), [&](std::int32_t a, std::int32_t b) {
-    return nodes_[a].depth > nodes_[b].depth;
+  std::sort(order.begin(), order.end(), [&s](std::int32_t a, std::int32_t b) {
+    return s.nodes[a].depth > s.nodes[b].depth;
   });
   return order;
 }
 
 std::vector<double> Flowtree::subtree_scores() const {
-  std::vector<double> scores(nodes_.size(), 0.0);
+  const State& s = *state_;
+  std::vector<double> scores(s.nodes.size(), 0.0);
   for (const std::int32_t id : nodes_by_depth_desc()) {
-    scores[id] += nodes_[id].own;
-    if (nodes_[id].parent != kNone) scores[nodes_[id].parent] += scores[id];
+    scores[id] += s.nodes[id].own;
+    if (s.nodes[id].parent != kNone) scores[s.nodes[id].parent] += scores[id];
   }
   return scores;
 }
 
 double Flowtree::query(const flow::FlowKey& key) const {
+  const State& s = *state_;
   const std::int32_t id = find(key);
   if (id == kNone) return 0.0;
   // Sum own scores over the node's subtree (iterative DFS).
@@ -176,9 +216,9 @@ double Flowtree::query(const flow::FlowKey& key) const {
   while (!stack.empty()) {
     const std::int32_t cur = stack.back();
     stack.pop_back();
-    total += nodes_[cur].own;
-    for (std::int32_t c = nodes_[cur].first_child; c != kNone;
-         c = nodes_[c].next_sibling) {
+    total += s.nodes[cur].own;
+    for (std::int32_t c = s.nodes[cur].first_child; c != kNone;
+         c = s.nodes[c].next_sibling) {
       stack.push_back(c);
     }
   }
@@ -186,11 +226,21 @@ double Flowtree::query(const flow::FlowKey& key) const {
 }
 
 double Flowtree::query_lattice(const flow::FlowKey& key) const {
+  const State& s = *state_;
+  // Absent-feature early exit: a key constraining a feature no live node
+  // carries cannot generalize any node — answer 0 without the O(nodes) scan.
+  if ((key.proto() && s.feature_presence[kFeatProto] == 0) ||
+      (key.src().length() > 0 && s.feature_presence[kFeatSrcIp] == 0) ||
+      (key.dst().length() > 0 && s.feature_presence[kFeatDstIp] == 0) ||
+      (key.src_port() && s.feature_presence[kFeatSrcPort] == 0) ||
+      (key.dst_port() && s.feature_presence[kFeatDstPort] == 0)) {
+    return 0.0;
+  }
   // Fast path: on-chain keys have a node whose subtree is exactly the answer.
   const std::int32_t id = find(key);
   if (id != kNone) return query(key);
   double total = 0.0;
-  for (const Node& node : nodes_) {
+  for (const Node& node : s.nodes) {
     if (node.alive && node.own != 0.0 && key.generalizes(node.key)) {
       total += node.own;
     }
@@ -199,13 +249,14 @@ double Flowtree::query_lattice(const flow::FlowKey& key) const {
 }
 
 std::vector<KeyScore> Flowtree::drilldown(const flow::FlowKey& key) const {
+  const State& s = *state_;
   const std::int32_t id = find(key);
   if (id == kNone) return {};
   const std::vector<double> scores = subtree_scores();
   std::vector<KeyScore> rows;
-  for (std::int32_t c = nodes_[id].first_child; c != kNone;
-       c = nodes_[c].next_sibling) {
-    rows.push_back({nodes_[c].key, scores[c]});
+  for (std::int32_t c = s.nodes[id].first_child; c != kNone;
+       c = s.nodes[c].next_sibling) {
+    rows.push_back({s.nodes[c].key, scores[c]});
   }
   std::sort(rows.begin(), rows.end(),
             [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
@@ -213,9 +264,10 @@ std::vector<KeyScore> Flowtree::drilldown(const flow::FlowKey& key) const {
 }
 
 std::vector<KeyScore> Flowtree::top_k(std::size_t k) const {
+  const State& s = *state_;
   std::vector<KeyScore> rows;
-  rows.reserve(node_count_);
-  for (const Node& node : nodes_) {
+  rows.reserve(s.node_count);
+  for (const Node& node : s.nodes) {
     if (node.alive && node.own != 0.0) rows.push_back({node.key, node.own});
   }
   const std::size_t take = std::min(k, rows.size());
@@ -229,7 +281,7 @@ std::vector<KeyScore> Flowtree::top_k(std::size_t k) const {
 
 std::vector<KeyScore> Flowtree::above(double threshold) const {
   std::vector<KeyScore> rows;
-  for (const Node& node : nodes_) {
+  for (const Node& node : state_->nodes) {
     if (node.alive && node.own >= threshold) rows.push_back({node.key, node.own});
   }
   std::sort(rows.begin(), rows.end(),
@@ -239,19 +291,20 @@ std::vector<KeyScore> Flowtree::above(double threshold) const {
 
 std::vector<KeyScore> Flowtree::hhh(double phi) const {
   expects(phi > 0.0 && phi <= 1.0, "Flowtree::hhh: phi must be in (0, 1]");
-  if (total_weight_ <= 0.0) return {};
-  const double threshold = phi * total_weight_;
+  const State& s = *state_;
+  if (s.total_weight <= 0.0) return {};
+  const double threshold = phi * s.total_weight;
 
   // Bottom-up with discounting: a node reports when its subtree mass minus
   // already-reported descendant HHH mass clears the threshold.
-  std::vector<double> adjusted(nodes_.size(), 0.0);
+  std::vector<double> adjusted(s.nodes.size(), 0.0);
   std::vector<KeyScore> hhh_set;
   for (const std::int32_t id : nodes_by_depth_desc()) {
-    adjusted[id] += nodes_[id].own;
+    adjusted[id] += s.nodes[id].own;
     if (adjusted[id] >= threshold) {
-      hhh_set.push_back({nodes_[id].key, adjusted[id]});
-    } else if (nodes_[id].parent != kNone) {
-      adjusted[nodes_[id].parent] += adjusted[id];
+      hhh_set.push_back({s.nodes[id].key, adjusted[id]});
+    } else if (s.nodes[id].parent != kNone) {
+      adjusted[s.nodes[id].parent] += adjusted[id];
     }
   }
   std::sort(hhh_set.begin(), hhh_set.end(),
@@ -260,9 +313,10 @@ std::vector<KeyScore> Flowtree::hhh(double phi) const {
 }
 
 std::vector<KeyScore> Flowtree::entries() const {
+  const State& s = *state_;
   std::vector<KeyScore> rows;
-  rows.reserve(node_count_);
-  for (const Node& node : nodes_) {
+  rows.reserve(s.node_count);
+  for (const Node& node : s.nodes) {
     if (node.alive) rows.push_back({node.key, node.own});
   }
   return rows;
@@ -270,7 +324,7 @@ std::vector<KeyScore> Flowtree::entries() const {
 
 int Flowtree::max_depth() const {
   int depth = 0;
-  for (const Node& node : nodes_) {
+  for (const Node& node : state_->nodes) {
     if (node.alive) depth = std::max(depth, static_cast<int>(node.depth));
   }
   return depth;
@@ -282,17 +336,26 @@ void Flowtree::merge(const Flowtree& other) {
   expects(other.config_.policy == config_.policy &&
               other.config_.features == config_.features,
           "Flowtree::merge: incompatible generalization policy or features");
+  if (this != &other && pristine()) {
+    // Adopt fast path: an empty accumulator takes the whole summary by
+    // sharing its node pool (O(1)); the next mutation of either copy
+    // detaches. This makes the first operand of every fold loop free.
+    state_ = other.state_;
+    maybe_self_compress();  // the adopter's budget may be tighter
+    return;
+  }
+  State& s = detach();
   // Materialize parents before children so chains splice cheaply.
   std::vector<std::int32_t> order = other.nodes_by_depth_desc();
   std::reverse(order.begin(), order.end());
   for (const std::int32_t id : order) {
-    const Node& node = other.nodes_[id];
+    const Node& node = other.state_->nodes[id];
     if (node.own != 0.0) {
-      nodes_[find_or_create(node.key)].own += node.own;
+      s.nodes[find_or_create(node.key)].own += node.own;
     }
   }
-  total_weight_ += other.total_weight_;
-  lossy_ = lossy_ || other.lossy_;
+  s.total_weight += other.state_->total_weight;
+  s.lossy = s.lossy || other.state_->lossy;
   maybe_self_compress();
 }
 
@@ -300,16 +363,17 @@ void Flowtree::diff(const Flowtree& other) {
   expects(other.config_.policy == config_.policy &&
               other.config_.features == config_.features,
           "Flowtree::diff: incompatible generalization policy or features");
+  State& s = detach();
   std::vector<std::int32_t> order = other.nodes_by_depth_desc();
   std::reverse(order.begin(), order.end());
   for (const std::int32_t id : order) {
-    const Node& node = other.nodes_[id];
+    const Node& node = other.state_->nodes[id];
     if (node.own != 0.0) {
-      nodes_[find_or_create(node.key)].own -= node.own;
+      s.nodes[find_or_create(node.key)].own -= node.own;
     }
   }
-  total_weight_ -= other.total_weight_;
-  lossy_ = lossy_ || other.lossy_;
+  s.total_weight -= other.state_->total_weight;
+  s.lossy = s.lossy || other.state_->lossy;
   maybe_self_compress();
 }
 
@@ -317,8 +381,9 @@ void Flowtree::diff(const Flowtree& other) {
 
 void Flowtree::compress(std::size_t target_size) {
   expects(target_size >= 1, "Flowtree::compress: target must be >= 1");
-  if (node_count_ <= target_size) return;
-  ++compress_count_;
+  if (state_->node_count <= target_size) return;
+  State& s = detach();
+  ++s.compress_count;
 
   const std::vector<double> scores = subtree_scores();
 
@@ -327,61 +392,64 @@ void Flowtree::compress(std::size_t target_size) {
   // scores stay valid as parents become leaves.
   using HeapEntry = std::pair<double, std::int32_t>;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
-    if (nodes_[id].alive && nodes_[id].first_child == kNone && id != root_) {
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(s.nodes.size()); ++id) {
+    if (s.nodes[id].alive && s.nodes[id].first_child == kNone && id != s.root) {
       heap.emplace(scores[id], id);
     }
   }
 
-  while (node_count_ > target_size && !heap.empty()) {
+  while (s.node_count > target_size && !heap.empty()) {
     const auto [score, id] = heap.top();
     heap.pop();
-    Node& node = nodes_[id];
+    Node& node = s.nodes[id];
     if (!node.alive || node.first_child != kNone) continue;  // stale entry
     const std::int32_t parent = node.parent;
-    nodes_[parent].own += node.own;  // fold mass upward: totals preserved
+    s.nodes[parent].own += node.own;  // fold mass upward: totals preserved
     unlink_child(id);
     release(id);
-    lossy_ = true;
-    if (parent != root_ && nodes_[parent].first_child == kNone) {
+    s.lossy = true;
+    if (parent != s.root && s.nodes[parent].first_child == kNone) {
       heap.emplace(scores[parent], parent);
     }
   }
 
   // Return pool capacity when it dwarfs the live tree, so adapt()/compress()
   // genuinely reduces the memory footprint, not just the node count.
-  if (nodes_.size() > 4 * node_count_ && nodes_.size() > 64) {
+  if (s.nodes.size() > 4 * s.node_count && s.nodes.size() > 64) {
     rebuild_compact();
   }
 }
 
 void Flowtree::rebuild_compact() {
+  State& s = *state_;
   std::vector<std::pair<flow::FlowKey, double>> live;
-  live.reserve(node_count_);
-  for (const Node& node : nodes_) {
+  live.reserve(s.node_count);
+  for (const Node& node : s.nodes) {
     if (node.alive && node.own != 0.0) live.emplace_back(node.key, node.own);
   }
-  nodes_.clear();
-  nodes_.shrink_to_fit();
-  free_list_.clear();
-  free_list_.shrink_to_fit();
-  index_.clear();
-  node_count_ = 0;
-  root_ = allocate(flow::FlowKey{}, kNone);
+  s.nodes.clear();
+  s.nodes.shrink_to_fit();
+  s.free_list.clear();
+  s.free_list.shrink_to_fit();
+  s.index.clear();
+  s.node_count = 0;
+  s.feature_presence = {};
+  s.root = allocate(flow::FlowKey{}, kNone);
   for (const auto& [key, own] : live) {
-    nodes_[find_or_create(key)].own += own;
+    s.nodes[find_or_create(key)].own += own;
   }
 }
 
 void Flowtree::suppress_below(double min_score) {
   if (min_score <= 0.0) return;
+  State& s = detach();
   const std::vector<double> scores = subtree_scores();
   // Same leaf-folding machinery as compress(), but driven by a score floor
   // instead of a node budget. Folding keeps parents' subtree scores valid.
   using HeapEntry = std::pair<double, std::int32_t>;
   std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
-  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
-    if (nodes_[id].alive && nodes_[id].first_child == kNone && id != root_) {
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(s.nodes.size()); ++id) {
+    if (s.nodes[id].alive && s.nodes[id].first_child == kNone && id != s.root) {
       heap.emplace(scores[id], id);
     }
   }
@@ -389,14 +457,14 @@ void Flowtree::suppress_below(double min_score) {
     const auto [score, id] = heap.top();
     heap.pop();
     if (score >= min_score) break;  // min-heap: everything left is compliant
-    Node& node = nodes_[id];
+    Node& node = s.nodes[id];
     if (!node.alive || node.first_child != kNone) continue;
     const std::int32_t parent = node.parent;
-    nodes_[parent].own += node.own;
+    s.nodes[parent].own += node.own;
     unlink_child(id);
     release(id);
-    lossy_ = true;
-    if (parent != root_ && nodes_[parent].first_child == kNone) {
+    s.lossy = true;
+    if (parent != s.root && s.nodes[parent].first_child == kNone) {
       heap.emplace(scores[parent], parent);
     }
   }
@@ -404,17 +472,18 @@ void Flowtree::suppress_below(double min_score) {
 
 void Flowtree::generalize_deeper_than(int max_depth) {
   expects(max_depth >= 0, "Flowtree::generalize_deeper_than: negative depth");
+  State& s = detach();
   // Deepest-first so each fold lands directly on a surviving ancestor.
   for (const std::int32_t id : nodes_by_depth_desc()) {
-    Node& node = nodes_[id];
+    Node& node = s.nodes[id];
     if (!node.alive || node.depth <= max_depth) continue;
     expects(node.first_child == kNone,
             "Flowtree: deeper children must already be folded");
     const std::int32_t parent = node.parent;
-    nodes_[parent].own += node.own;
+    s.nodes[parent].own += node.own;
     unlink_child(id);
     release(id);
-    lossy_ = true;
+    s.lossy = true;
   }
 }
 
@@ -422,7 +491,7 @@ void Flowtree::adapt(const primitives::AdaptSignal& signal) {
   if (signal.size_budget > 0) {
     config_.node_budget = std::max<std::size_t>(2, signal.size_budget);
     maybe_self_compress();
-    if (node_count_ > config_.node_budget) compress(config_.node_budget);
+    if (state_->node_count > config_.node_budget) compress(config_.node_budget);
   }
 }
 
@@ -431,37 +500,44 @@ void Flowtree::adapt(const primitives::AdaptSignal& signal) {
 void Flowtree::check_invariants() const {
   Aggregator::check_invariants();
   const auto fail = [](const std::string& what) { throw Error("Flowtree invariant: " + what); };
+  const State& s = *state_;
 
-  if (node_count_ + free_list_.size() != nodes_.size()) {
+  if (s.node_count + s.free_list.size() != s.nodes.size()) {
     fail("node pool accounting out of sync (live + free != allocated)");
   }
-  if (root_ == kNone || root_ >= static_cast<std::int32_t>(nodes_.size()) ||
-      !nodes_[root_].alive) {
+  if (s.root == kNone || s.root >= static_cast<std::int32_t>(s.nodes.size()) ||
+      !s.nodes[s.root].alive) {
     fail("missing or dead root");
   }
-  if (!std::isfinite(total_weight_)) fail("non-finite total weight");
+  if (!std::isfinite(s.total_weight)) fail("non-finite total weight");
 
   std::size_t live = 0;
   double weight = 0.0;
-  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
-    const Node& node = nodes_[id];
+  std::array<std::int64_t, kFeatureCount> presence{};
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(s.nodes.size()); ++id) {
+    const Node& node = s.nodes[id];
     if (!node.alive) continue;
     ++live;
     weight += node.own;
     if (!std::isfinite(node.own)) fail("non-finite own score");
+    if (node.key.proto()) ++presence[kFeatProto];
+    if (node.key.src().length() > 0) ++presence[kFeatSrcIp];
+    if (node.key.dst().length() > 0) ++presence[kFeatDstIp];
+    if (node.key.src_port()) ++presence[kFeatSrcPort];
+    if (node.key.dst_port()) ++presence[kFeatDstPort];
 
     // Index round-trips.
-    const auto it = index_.find(node.key);
-    if (it == index_.end() || it->second != id) fail("index mismatch for a live node");
+    const auto it = s.index.find(node.key);
+    if (it == s.index.end() || it->second != id) fail("index mismatch for a live node");
 
-    if (id == root_) {
+    if (id == s.root) {
       if (node.parent != kNone) fail("root has a parent");
       if (!node.key.is_root()) fail("root key is not the wildcard");
       if (node.depth != 0) fail("root depth is not 0");
       continue;
     }
     if (node.parent == kNone) fail("non-root node without a parent");
-    const Node& parent = nodes_[node.parent];
+    const Node& parent = s.nodes[node.parent];
     if (!parent.alive) fail("parent is dead");
     if (parent.depth + 1 != node.depth) fail("depth is not parent depth + 1");
     const auto up = node.key.parent(config_.policy);
@@ -469,26 +545,29 @@ void Flowtree::check_invariants() const {
 
     // Sibling list contains the node exactly once.
     int seen = 0;
-    for (std::int32_t c = parent.first_child; c != kNone; c = nodes_[c].next_sibling) {
+    for (std::int32_t c = parent.first_child; c != kNone; c = s.nodes[c].next_sibling) {
       if (c == id) ++seen;
-      if (nodes_[c].parent != node.parent) fail("sibling with wrong parent");
+      if (s.nodes[c].parent != node.parent) fail("sibling with wrong parent");
     }
     if (seen != 1) fail("node not linked exactly once under its parent");
   }
-  if (live != node_count_) fail("node_count out of sync");
-  if (index_.size() != node_count_) fail("index size out of sync");
-  if (std::fabs(weight - total_weight_) >
-      1e-6 * std::max(1.0, std::fabs(total_weight_))) {
+  if (live != s.node_count) fail("node_count out of sync");
+  if (s.index.size() != s.node_count) fail("index size out of sync");
+  if (presence != s.feature_presence) {
+    fail("feature presence mask out of sync with live nodes");
+  }
+  if (std::fabs(weight - s.total_weight) >
+      1e-6 * std::max(1.0, std::fabs(s.total_weight))) {
     fail("total_weight out of sync with own scores");
   }
   // Doubly-linked sibling lists are symmetric.
-  for (std::int32_t id = 0; id < static_cast<std::int32_t>(nodes_.size()); ++id) {
-    const Node& node = nodes_[id];
+  for (std::int32_t id = 0; id < static_cast<std::int32_t>(s.nodes.size()); ++id) {
+    const Node& node = s.nodes[id];
     if (!node.alive) continue;
-    if (node.next_sibling != kNone && nodes_[node.next_sibling].prev_sibling != id) {
+    if (node.next_sibling != kNone && s.nodes[node.next_sibling].prev_sibling != id) {
       fail("next/prev sibling asymmetry");
     }
-    if (node.prev_sibling != kNone && nodes_[node.prev_sibling].next_sibling != id) {
+    if (node.prev_sibling != kNone && s.nodes[node.prev_sibling].next_sibling != id) {
       fail("prev/next sibling asymmetry");
     }
   }
@@ -499,7 +578,7 @@ void Flowtree::check_invariants() const {
 primitives::QueryResult Flowtree::execute(const primitives::Query& q) const {
   using namespace primitives;
   QueryResult result;
-  result.approximate = lossy_;
+  result.approximate = state_->lossy;
   if (const auto* query_point = std::get_if<PointQuery>(&q)) {
     // query_lattice degrades to the O(1)-lookup subtree query for on-chain
     // keys and still answers arbitrary feature combinations otherwise.
@@ -539,13 +618,14 @@ void Flowtree::merge_from(const primitives::Aggregator& other) {
 }
 
 std::size_t Flowtree::memory_bytes() const {
-  return nodes_.capacity() * sizeof(Node) +
-         index_.size() * (sizeof(flow::FlowKey) + sizeof(std::int32_t) +
-                          2 * sizeof(void*));
+  const State& s = *state_;
+  return s.nodes.capacity() * sizeof(Node) +
+         s.index.size() * (sizeof(flow::FlowKey) + sizeof(std::int32_t) +
+                           2 * sizeof(void*));
 }
 
 std::size_t Flowtree::wire_bytes() const {
-  return kHeaderBytes + node_count_ * kBytesPerNode;
+  return kHeaderBytes + state_->node_count * kBytesPerNode;
 }
 
 std::unique_ptr<primitives::Aggregator> Flowtree::clone() const {

@@ -17,9 +17,19 @@
 // Compression repeatedly evicts the leaf with the smallest subtree score and
 // folds its mass into its parent — summaries get coarser exactly where the
 // data is thin, and total mass is always preserved.
+//
+// Copying is O(1): the node pool lives behind a shared, copy-on-write state
+// block, so materialized views and caches hand out snapshots without deep-
+// copying 4k-node trees. The first mutation of a copy detaches its state.
+// A Flowtree is still a plain value for threading purposes — two threads may
+// read trees that *share* state, but a single tree object needs external
+// synchronization like any container.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "primitives/aggregator.hpp"
@@ -58,7 +68,7 @@ class Flowtree final : public primitives::Aggregator {
   void merge_from(const primitives::Aggregator& other) override;
   void compress(std::size_t target_size) override;
   void adapt(const primitives::AdaptSignal& signal) override;
-  [[nodiscard]] std::size_t size() const override { return node_count_; }
+  [[nodiscard]] std::size_t size() const override { return state_->node_count; }
   [[nodiscard]] std::size_t memory_bytes() const override;
   [[nodiscard]] std::size_t wire_bytes() const override;
   [[nodiscard]] std::unique_ptr<primitives::Aggregator> clone() const override;
@@ -71,7 +81,15 @@ class Flowtree final : public primitives::Aggregator {
   /// Merge: fold `other` into this tree (node-wise own-score addition).
   /// The "shared time or location" precondition of Table II is enforced by
   /// the layer that owns the summaries' metadata (FlowDB / data store).
+  /// Fast path: merging into a pristine (freshly constructed) tree adopts
+  /// `other`'s node pool by sharing it — O(1) instead of O(nodes) — which is
+  /// what makes accumulator-style fold loops cheap for their first operand.
   void merge(const Flowtree& other);
+
+  /// Accumulator-oriented spelling of merge, used by fold loops:
+  /// `tree.merge_into(acc)` is exactly `acc.merge(tree)` (including the
+  /// pristine-accumulator adopt fast path above).
+  void merge_into(Flowtree& accumulator) const { accumulator.merge(*this); }
 
   /// Diff: subtract `other`'s scores from this tree (scores may go negative;
   /// Table II: "Subtract the popularity scores from flows appearing in one
@@ -87,7 +105,8 @@ class Flowtree final : public primitives::Aggregator {
   /// chain node represents). O(nodes) scan — the price of design property
   /// (a)'s *arbitrary* queries; on-chain keys should use query(). After
   /// compression the answer is a lower bound (folded mass may have lost the
-  /// queried feature).
+  /// queried feature). Keys constraining a feature no live node carries
+  /// answer 0 in O(1) via a per-feature presence mask.
   [[nodiscard]] double query_lattice(const flow::FlowKey& key) const;
 
   /// Drilldown: children of `key` with their popularity scores, descending.
@@ -120,23 +139,31 @@ class Flowtree final : public primitives::Aggregator {
   // --- introspection ---
   [[nodiscard]] const FlowtreeConfig& config() const noexcept { return config_; }
   /// Total mass currently in the tree (= sum of own scores).
-  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+  [[nodiscard]] double total_weight() const noexcept {
+    return state_->total_weight;
+  }
   /// True when compression has folded mass upward (answers are estimates).
-  [[nodiscard]] bool lossy() const noexcept { return lossy_; }
+  [[nodiscard]] bool lossy() const noexcept { return state_->lossy; }
   /// Number of compress() runs (self-triggered or external) so far.
   [[nodiscard]] std::uint64_t compress_count() const noexcept {
-    return compress_count_;
+    return state_->compress_count;
   }
   /// All live nodes as (key, own score) rows (order unspecified).
   [[nodiscard]] std::vector<KeyScore> entries() const;
   /// Depth of the deepest live node.
   [[nodiscard]] int max_depth() const;
 
+  /// True when this tree and `other` currently share one copy-on-write node
+  /// pool (introspection for cache accounting and tests).
+  [[nodiscard]] bool shares_state_with(const Flowtree& other) const noexcept {
+    return state_ == other.state_;
+  }
+
   /// Structural self-check (test/debug aid): verifies parent/child link
   /// symmetry, index consistency, canonical parenthood, depth bookkeeping,
-  /// node-pool accounting (live + free == allocated), score finiteness, and
-  /// that total_weight() equals the sum of own scores. Throws Error with a
-  /// description on the first violation.
+  /// node-pool accounting (live + free == allocated), score finiteness,
+  /// the per-feature presence mask, and that total_weight() equals the sum
+  /// of own scores. Throws Error with a description on the first violation.
   void check_invariants() const override;
 
   // --- serialization (network export / FlowDB storage) ---
@@ -162,6 +189,38 @@ class Flowtree final : public primitives::Aggregator {
 
   static constexpr std::int32_t kNone = -1;
 
+  /// Indices into State::feature_presence.
+  enum Feature : std::size_t {
+    kFeatProto = 0,
+    kFeatSrcIp = 1,
+    kFeatDstIp = 2,
+    kFeatSrcPort = 3,
+    kFeatDstPort = 4,
+    kFeatureCount = 5,
+  };
+
+  /// Everything a copy shares until its first mutation.
+  struct State {
+    std::vector<Node> nodes;
+    std::vector<std::int32_t> free_list;
+    std::unordered_map<flow::FlowKey, std::int32_t> index;
+    std::int32_t root = kNone;
+    std::size_t node_count = 0;
+    double total_weight = 0.0;
+    bool lossy = false;
+    std::uint64_t compress_count = 0;
+    /// Live nodes carrying each feature — query_lattice's O(1) early exit.
+    std::array<std::int64_t, kFeatureCount> feature_presence{};
+  };
+
+  /// Make the state exclusively owned (deep copy when shared) and return it.
+  /// Every public mutator goes through here before touching the pool.
+  State& detach();
+  /// True for a freshly constructed tree (the merge() adopt precondition).
+  [[nodiscard]] bool pristine() const noexcept;
+  static void note_key_presence(State& s, const flow::FlowKey& key,
+                                std::int64_t delta) noexcept;
+
   [[nodiscard]] std::int32_t find(const flow::FlowKey& key) const;
   std::int32_t find_or_create(const flow::FlowKey& key);
   std::int32_t allocate(const flow::FlowKey& key, std::int32_t parent);
@@ -169,7 +228,7 @@ class Flowtree final : public primitives::Aggregator {
   void unlink_child(std::int32_t node);
   void release(std::int32_t node);
 
-  /// Subtree scores for all live nodes (index-aligned with nodes_).
+  /// Subtree scores for all live nodes (index-aligned with the node pool).
   [[nodiscard]] std::vector<double> subtree_scores() const;
   /// Live node ids ordered by depth, deepest first.
   [[nodiscard]] std::vector<std::int32_t> nodes_by_depth_desc() const;
@@ -178,14 +237,7 @@ class Flowtree final : public primitives::Aggregator {
   void rebuild_compact();
 
   FlowtreeConfig config_;
-  std::vector<Node> nodes_;
-  std::vector<std::int32_t> free_list_;
-  std::unordered_map<flow::FlowKey, std::int32_t> index_;
-  std::int32_t root_ = kNone;
-  std::size_t node_count_ = 0;
-  double total_weight_ = 0.0;
-  bool lossy_ = false;
-  std::uint64_t compress_count_ = 0;
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace megads::flowtree

@@ -1,6 +1,7 @@
 #include "store/datastore.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -38,6 +39,11 @@ void DataStore::remove(AggregatorId slot) {
     throw NotFoundError("DataStore::remove: unknown slot");
   }
   for (auto& [sensor, subscribed] : subscriptions_) subscribed.erase(slot);
+  {
+    const std::lock_guard lock(query_cache_mu_);
+    query_cache_.erase_if(
+        [slot](const ResultCacheKey& key) { return key.slot == slot; });
+  }
   MEGADS_VERIFY_INVARIANTS(*this);
 }
 
@@ -89,8 +95,11 @@ void DataStore::set_live_budget(AggregatorId slot_id, std::size_t budget) {
     signal.items_per_second =
         static_cast<double>(slot.items_this_epoch) / epoch_seconds;
     signal.queries_per_second =
-        static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
+        static_cast<double>(
+            slot.queries_this_epoch.load(std::memory_order_relaxed)) /
+        epoch_seconds;
     slot.live->adapt(signal);
+    ++slot.epoch_version;  // the live summary's answers may have coarsened
     if (metric_compressions_ != nullptr) metric_compressions_->add();
   }
   MEGADS_VERIFY_INVARIANTS(*this);
@@ -124,6 +133,7 @@ void DataStore::set_parallelism(ThreadPool& pool, std::size_t shards) {
       fresh->merge_from(*slot.live);
     }
     slot.live = std::move(fresh);
+    ++slot.epoch_version;
   }
   MEGADS_VERIFY_INVARIANTS(*this);
 }
@@ -278,8 +288,11 @@ void DataStore::maybe_adapt(Slot& slot) {
   signal.items_per_second =
       static_cast<double>(slot.items_this_epoch) / epoch_seconds;
   signal.queries_per_second =
-      static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
+      static_cast<double>(
+          slot.queries_this_epoch.load(std::memory_order_relaxed)) /
+      epoch_seconds;
   slot.live->adapt(signal);
+  ++slot.epoch_version;
   if (metric_compressions_ != nullptr) metric_compressions_->add();
 }
 
@@ -334,7 +347,8 @@ void DataStore::seal(AggregatorId id, Slot& slot, SimTime boundary) {
   slot.live = make_live(slot.config);
   slot.epoch_start = boundary;
   slot.items_this_epoch = 0;
-  slot.queries_this_epoch = 0;
+  slot.queries_this_epoch.store(0, std::memory_order_relaxed);
+  ++slot.epoch_version;
   if (metric_seals_ != nullptr) metric_seals_->add();
   (void)id;
 }
@@ -351,7 +365,18 @@ void DataStore::seal_elapsed_epochs() {
     while (now_ >= slot.epoch_start + slot.config.epoch) {
       seal(id, slot, slot.epoch_start + slot.config.epoch);
     }
+    // Enforcement can drop or promote partitions with no seal in between
+    // (e.g. TTL expiry on a quiet slot) — that changes what queries see, so
+    // it must bump the epoch version too.
+    const auto& shelf = slot.config.storage->partitions();
+    const std::size_t count_before = shelf.size();
+    const std::uint32_t front_before =
+        shelf.empty() ? 0 : shelf.front().id.value();
     slot.config.storage->enforce(now_);
+    if (shelf.size() != count_before ||
+        (!shelf.empty() && shelf.front().id.value() != front_before)) {
+      ++slot.epoch_version;
+    }
   }
 }
 
@@ -494,7 +519,7 @@ QueryResult DataStore::combine_results(std::vector<QueryResult> parts,
 QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
                              std::optional<TimeInterval> interval) const {
   const Slot& slot = slot_at(slot_id);
-  ++slot.queries_this_epoch;
+  slot.queries_this_epoch.fetch_add(1, std::memory_order_relaxed);
   // Matching sealed partitions are immutable, so with a pool attached their
   // per-partition executions fan out across worker threads; lineage
   // bookkeeping and the live-summary read stay on the calling thread.
@@ -508,19 +533,50 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
       consulted.push_back(entity);
     }
   }
+  // Per-partition results are cached, not the combined answer: combining is
+  // query-specific (top-k recombination, stats merging) and the live part
+  // changes constantly, but a sealed partition's result for a given query
+  // shape never does. parts[] keeps shelf order, so the combined answer is
+  // identical whether each part came from the cache or a fresh execute.
   std::vector<QueryResult> parts(matching.size());
-  if (pool_ != nullptr && matching.size() > 1) {
-    pool_->parallel_for(matching.size(),
-                        [&matching, &parts, &query](std::size_t begin,
-                                                    std::size_t end) {
-                          for (std::size_t i = begin; i < end; ++i) {
-                            parts[i] = matching[i]->summary->execute(query);
-                          }
-                        });
-  } else {
-    for (std::size_t i = 0; i < matching.size(); ++i) {
-      parts[i] = matching[i]->summary->execute(query);
+  std::vector<std::size_t> misses(matching.size());
+  const QueryKey query_key = make_query_key(query);
+  bool cache_on = false;
+  {
+    const std::lock_guard lock(query_cache_mu_);
+    cache_on = query_cache_.byte_budget() > 0;
+    if (cache_on) {
+      misses.clear();
+      for (std::size_t i = 0; i < matching.size(); ++i) {
+        const ResultCacheKey key{slot_id, matching[i]->id, query_key};
+        if (const QueryResult* hit = query_cache_.get(key)) {
+          parts[i] = *hit;
+        } else {
+          misses.push_back(i);
+        }
+      }
     }
+  }
+  if (!cache_on) {
+    for (std::size_t i = 0; i < matching.size(); ++i) misses[i] = i;
+  }
+  const auto execute_misses = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t m = begin; m < end; ++m) {
+      parts[misses[m]] = matching[misses[m]]->summary->execute(query);
+    }
+  };
+  if (pool_ != nullptr && misses.size() > 1) {
+    pool_->parallel_for(misses.size(), execute_misses);
+  } else {
+    execute_misses(0, misses.size());
+  }
+  if (cache_on) {
+    const std::lock_guard lock(query_cache_mu_);
+    for (const std::size_t i : misses) {
+      query_cache_.put(ResultCacheKey{slot_id, matching[i]->id, query_key},
+                       parts[i], result_bytes(parts[i]));
+    }
+    publish_cache_metrics();
   }
   const TimeInterval live_interval{slot.epoch_start, now_ + 1};
   if (!interval || live_interval.overlaps(*interval)) {
@@ -543,23 +599,34 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
 std::unique_ptr<primitives::Aggregator> DataStore::snapshot(
     AggregatorId slot_id, std::optional<TimeInterval> interval) const {
   const Slot& slot = slot_at(slot_id);
+  const std::vector<Partition>& shelf = slot.config.storage->partitions();
   std::vector<const primitives::Aggregator*> sources;
-  for (const Partition& partition : slot.config.storage->partitions()) {
-    if (interval && !partition.interval.overlaps(*interval)) continue;
-    sources.push_back(partition.summary.get());
+  // The matching set is a *prefix* of the shelf when every match is
+  // contiguous from index 0 — always true for "all history" and for any
+  // restriction whose span reaches back past the oldest partition. Prefixes
+  // are what the slot materializes.
+  bool matches_are_prefix = true;
+  std::size_t prefix_len = 0;
+  for (std::size_t i = 0; i < shelf.size(); ++i) {
+    if (interval && !shelf[i].interval.overlaps(*interval)) continue;
+    if (i != prefix_len) matches_are_prefix = false;
+    ++prefix_len;
+    sources.push_back(shelf[i].summary.get());
   }
   // A sharded live summary must be collapsed to the plain primitive before the
   // fold: a plain summary's mergeable_with() cannot see through the wrapper.
   std::unique_ptr<primitives::Aggregator> live_plain;
+  const primitives::Aggregator* live_source = nullptr;
   const TimeInterval live_interval{slot.epoch_start, now_ + 1};
   if (!interval || live_interval.overlaps(*interval)) {
     if (const auto* sharded =
             dynamic_cast<const primitives::ShardedAggregator*>(slot.live.get())) {
       live_plain = sharded->collapse();
-      sources.push_back(live_plain.get());
+      live_source = live_plain.get();
     } else {
-      sources.push_back(slot.live.get());
+      live_source = slot.live.get();
     }
+    sources.push_back(live_source);
   }
   std::unique_ptr<primitives::Aggregator> merged;
   const auto fold_into = [](std::unique_ptr<primitives::Aggregator>& acc,
@@ -570,6 +637,41 @@ std::unique_ptr<primitives::Aggregator> DataStore::snapshot(
       acc->merge_from(summary);
     }
   };
+  // Materialized fast path: serve the sealed prefix from the slot's running
+  // Merge-fold. The shelf only ever changes at the front (eviction/promotion)
+  // or the back (seal), so the materialization either extends by the newly
+  // sealed partitions (the steady state: O(new) instead of O(partitions)) or
+  // is rebuilt from scratch after a front change. Fold order is exactly the
+  // serial path's — shelf order, then live — so answers are identical.
+  if (materialization_enabled_ && matches_are_prefix && prefix_len >= 2) {
+    const std::lock_guard lock(mat_mu_);
+    const auto ids_match = [&] {
+      if (slot.mat_ids.size() > prefix_len) return false;
+      for (std::size_t i = 0; i < slot.mat_ids.size(); ++i) {
+        if (slot.mat_ids[i].value() != shelf[i].id.value()) return false;
+      }
+      return slot.mat_merged != nullptr || slot.mat_ids.empty();
+    };
+    if (!ids_match()) {
+      slot.mat_merged.reset();
+      slot.mat_ids.clear();
+      if (metric_mat_rebuilds_ != nullptr) metric_mat_rebuilds_->add();
+    }
+    const std::size_t already = slot.mat_ids.size();
+    for (std::size_t i = already; i < prefix_len; ++i) {
+      fold_into(slot.mat_merged, *shelf[i].summary);
+      slot.mat_ids.push_back(shelf[i].id);
+    }
+    if (already > 0 && already < prefix_len && metric_mat_extends_ != nullptr) {
+      metric_mat_extends_->add();
+    }
+    if (slot.mat_merged != nullptr) {
+      merged = slot.mat_merged->clone();
+    }
+    if (live_source != nullptr) fold_into(merged, *live_source);
+    if (!merged) merged = slot.config.factory();
+    return merged;
+  }
   if (pool_ != nullptr && sources.size() > 2) {
     // Chunk the fold: each task folds a contiguous run of sources into a
     // partial, partials fold in index order afterwards — deterministic for a
@@ -604,6 +706,7 @@ void DataStore::absorb(AggregatorId slot_id, const primitives::Aggregator& summa
   expects(slot.live->mergeable_with(summary),
           "DataStore::absorb: summary incompatible with slot");
   slot.live->merge_from(summary);
+  ++slot.epoch_version;
   if (metric_merges_ != nullptr) metric_merges_->add();
   MEGADS_VERIFY_INVARIANTS(*this);
 }
@@ -621,6 +724,99 @@ void DataStore::attach_metrics(metrics::MetricsRegistry& registry) {
   metric_compressions_ = &registry.counter(prefix + "compress_count");
   metric_rate_ = &registry.gauge(prefix + "ingest_items_per_sec");
   metric_batch_size_ = &registry.histogram(prefix + "ingest_batch_size");
+  metric_qcache_hits_ = &registry.counter(prefix + "query_cache_hits");
+  metric_qcache_misses_ = &registry.counter(prefix + "query_cache_misses");
+  metric_qcache_evictions_ = &registry.counter(prefix + "query_cache_evictions");
+  metric_qcache_bytes_ = &registry.gauge(prefix + "query_cache_bytes");
+  metric_qcache_hit_ratio_ = &registry.gauge(prefix + "query_cache_hit_ratio");
+  metric_mat_extends_ = &registry.counter(prefix + "materialized_extends");
+  metric_mat_rebuilds_ = &registry.counter(prefix + "materialized_rebuilds");
+}
+
+void DataStore::publish_cache_metrics() const {
+  if (metric_qcache_hits_ == nullptr) return;
+  metric_qcache_hits_->add(query_cache_.hits() - qcache_published_hits_);
+  metric_qcache_misses_->add(query_cache_.misses() - qcache_published_misses_);
+  metric_qcache_evictions_->add(query_cache_.evictions() -
+                                qcache_published_evictions_);
+  qcache_published_hits_ = query_cache_.hits();
+  qcache_published_misses_ = query_cache_.misses();
+  qcache_published_evictions_ = query_cache_.evictions();
+  metric_qcache_bytes_->set(static_cast<double>(query_cache_.bytes()));
+  metric_qcache_hit_ratio_->set(query_cache_.hit_ratio());
+}
+
+// --- incremental materialization + query cache -----------------------------------
+
+DataStore::QueryKey DataStore::make_query_key(const Query& query) {
+  QueryKey key;
+  key.kind = query.index();
+  if (const auto* q = std::get_if<primitives::PointQuery>(&query)) {
+    key.key = q->key;
+  } else if (const auto* q = std::get_if<primitives::TopKQuery>(&query)) {
+    key.k = q->k;
+  } else if (const auto* q = std::get_if<primitives::AboveQuery>(&query)) {
+    key.arg = q->threshold;
+  } else if (const auto* q = std::get_if<primitives::DrilldownQuery>(&query)) {
+    key.key = q->key;
+  } else if (const auto* q = std::get_if<primitives::HHHQuery>(&query)) {
+    key.arg = q->phi;
+  } else if (const auto* q = std::get_if<primitives::RangeQuery>(&query)) {
+    key.interval = q->interval;
+    key.arg = q->min_value;
+  } else if (const auto* q = std::get_if<primitives::StatsQuery>(&query)) {
+    key.interval = q->interval;
+  }
+  return key;
+}
+
+std::size_t DataStore::ResultCacheKeyHash::operator()(
+    const ResultCacheKey& k) const noexcept {
+  const auto mix = [](std::size_t seed, std::uint64_t v) {
+    return seed ^ (static_cast<std::size_t>(v) + 0x9e3779b97f4a7c15ULL +
+                   (seed << 6) + (seed >> 2));
+  };
+  std::size_t h = k.query.key.hash();
+  h = mix(h, k.slot.value());
+  h = mix(h, k.partition.value());
+  h = mix(h, k.query.kind);
+  h = mix(h, k.query.k);
+  h = mix(h, std::bit_cast<std::uint64_t>(k.query.arg));
+  h = mix(h, static_cast<std::uint64_t>(k.query.interval.begin));
+  h = mix(h, static_cast<std::uint64_t>(k.query.interval.end));
+  return h;
+}
+
+std::size_t DataStore::result_bytes(const QueryResult& result) {
+  return sizeof(QueryResult) + 64 +
+         result.entries.size() * sizeof(primitives::KeyScore) +
+         result.points.size() * sizeof(StreamItem);
+}
+
+std::uint64_t DataStore::epoch_version(AggregatorId slot) const {
+  return slot_at(slot).epoch_version;
+}
+
+void DataStore::set_query_cache_budget(std::size_t bytes) {
+  const std::lock_guard lock(query_cache_mu_);
+  query_cache_.set_byte_budget(bytes);
+  publish_cache_metrics();
+}
+
+std::size_t DataStore::query_cache_budget() const {
+  const std::lock_guard lock(query_cache_mu_);
+  return query_cache_.byte_budget();
+}
+
+void DataStore::set_materialization_enabled(bool enabled) {
+  const std::lock_guard lock(mat_mu_);
+  materialization_enabled_ = enabled;
+  if (!enabled) {
+    for (auto& [id, slot] : slots_) {
+      slot.mat_merged.reset();
+      slot.mat_ids.clear();
+    }
+  }
 }
 
 double DataStore::measured_ingest_rate(AggregatorId slot_id) const {
@@ -634,7 +830,9 @@ double DataStore::measured_query_rate(AggregatorId slot_id) const {
   const Slot& slot = slot_at(slot_id);
   const double epoch_seconds =
       std::max(1e-9, to_seconds(now_ - slot.epoch_start));
-  return static_cast<double>(slot.queries_this_epoch) / epoch_seconds;
+  return static_cast<double>(
+             slot.queries_this_epoch.load(std::memory_order_relaxed)) /
+         epoch_seconds;
 }
 
 // --- self-check ------------------------------------------------------------------

@@ -6,8 +6,10 @@
 // and fires triggers toward the controller.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -15,6 +17,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/lru_cache.hpp"
 #include "common/metrics.hpp"
 #include "lineage/lineage.hpp"
 #include "store/storage.hpp"
@@ -110,9 +113,30 @@ class DataStore {
       std::optional<TimeInterval> interval = std::nullopt) const;
 
   /// A merged copy of a slot's summaries over `interval` (live included) —
-  /// the exportable unit shipped to other stores (Fig. 5 arrow 3).
+  /// the exportable unit shipped to other stores (Fig. 5 arrow 3). When the
+  /// interval covers a prefix of the shelf (all history in particular), the
+  /// fold is served from the slot's merged-prefix materialization: only the
+  /// partitions sealed since the last snapshot are folded in, and the live
+  /// summary is merged onto an O(1) copy of the materialized prefix.
   [[nodiscard]] std::unique_ptr<primitives::Aggregator> snapshot(
       AggregatorId slot, std::optional<TimeInterval> interval = std::nullopt) const;
+
+  // --- incremental materialization + query cache -----------------------------
+  /// Byte budget of the per-partition query-result cache (sealed partitions
+  /// are immutable, so their per-query results never go stale; entries are
+  /// keyed by (slot, partition, query shape) and evicted LRU). 0 disables and
+  /// clears the cache. Default: 8 MiB.
+  void set_query_cache_budget(std::size_t bytes);
+  [[nodiscard]] std::size_t query_cache_budget() const;
+
+  /// Enable/disable the merged-prefix snapshot materialization (enabled by
+  /// default; disabling drops all materialized state).
+  void set_materialization_enabled(bool enabled);
+
+  /// Monotonically increasing version of a slot's sealed+live state: bumped
+  /// by seal (incl. storage enforcement), absorb, and live adapt/budget
+  /// changes. External caches key on this to invalidate on change.
+  [[nodiscard]] std::uint64_t epoch_version(AggregatorId slot) const;
 
   /// Ingest a remote store's exported summary into a slot's live aggregator.
   void absorb(AggregatorId slot, const primitives::Aggregator& summary);
@@ -183,10 +207,62 @@ class DataStore {
     std::unique_ptr<primitives::Aggregator> live;
     SimTime epoch_start = 0;
     std::uint64_t items_this_epoch = 0;
-    mutable std::uint64_t queries_this_epoch = 0;  ///< bumped by const query()
+    /// Bumped by const query(); atomic because const reads may run
+    /// concurrently (relaxed — it is a rate sample, not a synchronizer).
+    mutable std::atomic<std::uint64_t> queries_this_epoch{0};
+    /// Bumped on every seal/absorb/adapt — see epoch_version().
+    std::uint64_t epoch_version = 0;
     lineage::EntityId live_entity = lineage::kNoEntity;
     std::unordered_set<SensorId> contributors;  ///< per-epoch ingest dedup
+    /// Merged-prefix materialization (lazy, built by snapshot(); guarded by
+    /// the store's mat_mu_): the running Merge-fold of shelf partitions
+    /// [0, mat_ids.size()), extended incrementally while the shelf only
+    /// appends and rebuilt when eviction/promotion changes the front.
+    mutable std::unique_ptr<primitives::Aggregator> mat_merged;
+    mutable std::vector<PartitionId> mat_ids;
+
+    Slot() = default;
+    Slot(Slot&& other) noexcept
+        : config(std::move(other.config)),
+          live(std::move(other.live)),
+          epoch_start(other.epoch_start),
+          items_this_epoch(other.items_this_epoch),
+          queries_this_epoch(
+              other.queries_this_epoch.load(std::memory_order_relaxed)),
+          epoch_version(other.epoch_version),
+          live_entity(other.live_entity),
+          contributors(std::move(other.contributors)),
+          mat_merged(std::move(other.mat_merged)),
+          mat_ids(std::move(other.mat_ids)) {}
   };
+
+  /// Canonical, hashable form of a primitives::Query (the variant itself has
+  /// no operator==). One alternative maps to exactly one QueryKey.
+  struct QueryKey {
+    std::size_t kind = 0;        ///< variant index
+    flow::FlowKey key;           ///< point/drilldown queries
+    std::size_t k = 0;           ///< top-k
+    double arg = 0.0;            ///< above threshold / hhh phi / range min
+    TimeInterval interval{};     ///< range/stats queries
+
+    friend bool operator==(const QueryKey&, const QueryKey&) = default;
+  };
+  static QueryKey make_query_key(const primitives::Query& query);
+
+  /// Per-partition result-cache key. Partition ids are unique within a slot
+  /// and partitions are immutable, so entries never need invalidating —
+  /// entries of evicted partitions simply age out of the LRU.
+  struct ResultCacheKey {
+    AggregatorId slot;
+    PartitionId partition;
+    QueryKey query;
+
+    friend bool operator==(const ResultCacheKey&, const ResultCacheKey&) = default;
+  };
+  struct ResultCacheKeyHash {
+    std::size_t operator()(const ResultCacheKey& k) const noexcept;
+  };
+  static std::size_t result_bytes(const primitives::QueryResult& result);
 
   lineage::EntityId ensure_live_entity(AggregatorId id, Slot& slot);
 
@@ -205,6 +281,9 @@ class DataStore {
   /// Push an AdaptSignal (budget + measured rates) when the live summary
   /// outgrew its budget.
   void maybe_adapt(Slot& slot);
+  /// Publish the query-cache tallies to the attached metrics registry
+  /// (caller holds query_cache_mu_).
+  void publish_cache_metrics() const;
   void update_ingest_metrics(std::size_t batch_size);
   void fire_item_triggers(const primitives::StreamItem& item);
   void fire_epoch_triggers(const Partition& partition);
@@ -240,6 +319,30 @@ class DataStore {
   metrics::Counter* metric_compressions_ = nullptr;
   metrics::Gauge* metric_rate_ = nullptr;
   metrics::Histogram* metric_batch_size_ = nullptr;
+  metrics::Counter* metric_qcache_hits_ = nullptr;
+  metrics::Counter* metric_qcache_misses_ = nullptr;
+  metrics::Counter* metric_qcache_evictions_ = nullptr;
+  metrics::Gauge* metric_qcache_bytes_ = nullptr;
+  metrics::Gauge* metric_qcache_hit_ratio_ = nullptr;
+  metrics::Counter* metric_mat_extends_ = nullptr;
+  metrics::Counter* metric_mat_rebuilds_ = nullptr;
+
+  /// Per-partition query-result cache. Guarded by its own mutex: const
+  /// query() calls may run concurrently with each other (mutations are
+  /// externally synchronized, like every other store entry point).
+  mutable std::mutex query_cache_mu_;
+  mutable LruCache<ResultCacheKey, primitives::QueryResult, ResultCacheKeyHash>
+      query_cache_{8u << 20};
+  /// Tallies already published to the metrics registry (counters are
+  /// monotone, so each publish adds the delta since the previous one).
+  mutable std::uint64_t qcache_published_hits_ = 0;
+  mutable std::uint64_t qcache_published_misses_ = 0;
+  mutable std::uint64_t qcache_published_evictions_ = 0;
+
+  /// Guards every Slot's mat_merged/mat_ids (const snapshot() calls race
+  /// only against each other; one store-wide mutex keeps it simple).
+  mutable std::mutex mat_mu_;
+  bool materialization_enabled_ = true;
 
   lineage::Recorder* lineage_ = nullptr;
   bool record_queries_ = false;

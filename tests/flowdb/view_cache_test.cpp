@@ -1,0 +1,270 @@
+// FlowDB merged-view cache + decode memo (suite names start with "ViewCache"
+// so the TSan CI job picks the concurrency tests up by regex).
+//
+// Keys are content-addressed by entry sequence numbers, so a cached view can
+// never go stale — the equivalence tests drive a caching DB and a cache-off
+// twin through identical workloads and demand exactly equal answers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+
+namespace megads::flowdb {
+namespace {
+
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+FlowtreeConfig big_config() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+Flowtree tree_with(std::uint8_t net, std::uint8_t h, double weight) {
+  Flowtree tree(big_config());
+  tree.add(host(net, h), weight);
+  return tree;
+}
+
+/// 4 locations x 8 epochs, deterministic integer weights.
+FlowDB populate(FlowDB db) {
+  for (std::uint8_t loc = 0; loc < 4; ++loc) {
+    for (std::uint8_t epoch = 0; epoch < 8; ++epoch) {
+      db.add(tree_with(loc, epoch, 1.0 + loc * 8.0 + epoch),
+             {epoch * kMinute, (epoch + 1) * kMinute},
+             "router-" + std::to_string(loc));
+    }
+  }
+  return db;
+}
+
+void expect_same_tree(const Flowtree& a, const Flowtree& b) {
+  EXPECT_DOUBLE_EQ(a.total_weight(), b.total_weight());
+  EXPECT_EQ(a.size(), b.size());
+  for (std::uint8_t loc = 0; loc < 4; ++loc) {
+    for (std::uint8_t epoch = 0; epoch < 8; ++epoch) {
+      EXPECT_DOUBLE_EQ(a.query(host(loc, epoch)), b.query(host(loc, epoch)))
+          << "loc " << int(loc) << " epoch " << int(epoch);
+    }
+  }
+}
+
+TEST(ViewCacheEquivalence, CachedMergedMatchesUncachedAcrossSelections) {
+  FlowDB cached = populate(FlowDB(big_config()));
+  FlowDB plain = populate(FlowDB(big_config()));
+  plain.set_view_cache_budget(0);
+
+  const std::vector<std::vector<TimeInterval>> interval_sets = {
+      {},  // everything
+      {TimeInterval{0, 3 * kMinute}},
+      {TimeInterval{2 * kMinute, 5 * kMinute}},
+      {TimeInterval{0, kMinute}, TimeInterval{5 * kMinute, 8 * kMinute}},
+  };
+  const std::vector<std::vector<std::string>> location_sets = {
+      {}, {"router-1"}, {"router-0", "router-3"}};
+  for (int repeat = 0; repeat < 3; ++repeat) {  // second lap hits the cache
+    for (const auto& intervals : interval_sets) {
+      for (const auto& locations : location_sets) {
+        expect_same_tree(cached.merged(intervals, locations),
+                         plain.merged(intervals, locations));
+      }
+    }
+  }
+}
+
+TEST(ViewCacheEquivalence, RandomInterleavedAddsAndQueries) {
+  FlowDB cached{big_config()};
+  FlowDB plain{big_config()};
+  plain.set_view_cache_budget(0);
+
+  Rng rng(7);
+  for (int step = 0; step < 120; ++step) {
+    if (rng.uniform(3) == 0) {
+      // Out-of-order epochs and revisited locations: block decomposition must
+      // stay correct when a location's run is split by later inserts.
+      const auto loc = static_cast<std::uint8_t>(rng.uniform(4));
+      const auto epoch = static_cast<std::uint8_t>(rng.uniform(8));
+      const double weight = static_cast<double>(1 + rng.uniform(5));
+      const TimeInterval interval{epoch * kMinute, (epoch + 1) * kMinute};
+      const std::string location = "router-" + std::to_string(loc);
+      cached.add(tree_with(loc, epoch, weight), interval, location);
+      plain.add(tree_with(loc, epoch, weight), interval, location);
+    } else {
+      const SimTime begin = rng.uniform(8) * kMinute;
+      const SimTime end = begin + (1 + rng.uniform(4)) * kMinute;
+      std::vector<std::string> locations;
+      if (rng.uniform(2) == 0) {
+        locations.push_back("router-" + std::to_string(rng.uniform(4)));
+      }
+      const Flowtree a = cached.merged({TimeInterval{begin, end}}, locations);
+      const Flowtree b = plain.merged({TimeInterval{begin, end}}, locations);
+      EXPECT_DOUBLE_EQ(a.total_weight(), b.total_weight());
+      EXPECT_EQ(a.size(), b.size());
+    }
+  }
+}
+
+TEST(ViewCacheEquivalence, FlowQLAnswersIdenticalWithAndWithoutCache) {
+  FlowDB cached = populate(FlowDB(big_config()));
+  FlowDB plain = populate(FlowDB(big_config()));
+  plain.set_view_cache_budget(0);
+
+  const char* statements[] = {
+      "SELECT topk(10) FROM 0s..480s",
+      "SELECT topk(5) FROM 0s..120s WHERE location = 'router-2'",
+      "SELECT diff(10) FROM 0s..240s, 240s..480s",
+      "SELECT hhh(0.05) FROM 0s..480s",
+  };
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (const char* statement : statements) {
+      const Table a = run_flowql(statement, cached);
+      const Table b = run_flowql(statement, plain);
+      EXPECT_EQ(a.columns, b.columns) << statement;
+      EXPECT_EQ(a.rows, b.rows) << statement;
+    }
+  }
+}
+
+TEST(ViewCache, RepeatedMergeHitsFullViewCache) {
+  FlowDB db = populate(FlowDB(big_config()));
+  metrics::MetricsRegistry registry;
+  db.attach_metrics(registry);
+
+  (void)db.merged({}, {});  // cold: fills block + view caches
+  (void)db.merged({}, {});  // warm: one full-view hit, zero folds
+  const auto snap = registry.snapshot();
+  EXPECT_GE(snap.value("flowdb.view_cache_hits"), 1.0);
+  EXPECT_GT(snap.value("flowdb.view_cache_bytes"), 0.0);
+  EXPECT_GT(snap.value("flowdb.view_cache_hit_ratio"), 0.0);
+}
+
+TEST(ViewCache, SlidingWindowReusesInteriorBlocks) {
+  FlowDB db{big_config()};
+  metrics::MetricsRegistry registry;
+  db.attach_metrics(registry);
+  for (std::uint8_t epoch = 0; epoch < 16; ++epoch) {
+    db.add(tree_with(1, epoch, 1.0), {epoch * kMinute, (epoch + 1) * kMinute},
+           "router-1");
+  }
+  // Slide an 8-epoch window one epoch at a time. Aligned power-of-two blocks
+  // from earlier windows are reused, so hits climb as the window slides.
+  for (std::uint8_t start = 0; start + 8 <= 16; ++start) {
+    const Flowtree window = db.merged(
+        {TimeInterval{start * kMinute, (start + 8) * kMinute}}, {"router-1"});
+    EXPECT_DOUBLE_EQ(window.total_weight(), 8.0);
+  }
+  const auto snap = registry.snapshot();
+  EXPECT_GE(snap.value("flowdb.view_cache_hits"), 8.0);
+}
+
+TEST(ViewCache, AppendInvalidatesNothingAndAnswersStayFresh) {
+  FlowDB db = populate(FlowDB(big_config()));
+  const std::uint64_t v0 = db.version();
+  const double before = db.merged({}, {}).total_weight();
+  db.add(tree_with(0, 0, 100.0), {8 * kMinute, 9 * kMinute}, "router-0");
+  EXPECT_GT(db.version(), v0);
+  // New entry → new content-addressed key → the stale full view is simply
+  // never asked for again.
+  EXPECT_DOUBLE_EQ(db.merged({}, {}).total_weight(), before + 100.0);
+}
+
+TEST(ViewCache, DecodeMemoServesRepeatedWireSummaries) {
+  FlowDB db{big_config()};
+  metrics::MetricsRegistry registry;
+  db.attach_metrics(registry);
+
+  Flowtree tree(big_config());
+  tree.add(host(2, 2), 5.0);
+  tree.add(host(2, 3), 7.0);
+  const std::vector<std::uint8_t> bytes = tree.encode();
+  // The same wire payload indexed at two sites (routers often re-export):
+  // the second add decodes nothing.
+  db.add_encoded(bytes, {0, kMinute}, "site-a");
+  db.add_encoded(bytes, {0, kMinute}, "site-b");
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("flowdb.decode_misses"), 1.0);
+  EXPECT_DOUBLE_EQ(snap.value("flowdb.decode_hits"), 1.0);
+  EXPECT_DOUBLE_EQ(db.merged({}, {}).total_weight(), 24.0);
+}
+
+TEST(ViewCache, EvictionKeepsAnswersCorrectUnderTinyBudget) {
+  FlowDB db = populate(FlowDB(big_config()));
+  db.set_view_cache_budget(512);  // too small for most views: constant churn
+  const double expected = db.merged({}, {}).total_weight();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(db.merged({}, {}).total_weight(), expected);
+    EXPECT_DOUBLE_EQ(
+        db.merged({TimeInterval{0, 4 * kMinute}}, {"router-2"}).total_weight(),
+        17.0 + 18 + 19 + 20);
+  }
+  EXPECT_EQ(db.view_cache_budget(), 512u);
+}
+
+TEST(ViewCache, VersionBumpsOnEveryAdd) {
+  FlowDB db{big_config()};
+  EXPECT_EQ(db.version(), 0u);
+  db.add(tree_with(1, 1, 1.0), {0, kMinute}, "router-1");
+  EXPECT_EQ(db.version(), 1u);
+  Flowtree tree(big_config());
+  tree.add(host(1, 2), 1.0);
+  db.add_encoded(tree.encode(), {kMinute, 2 * kMinute}, "router-1");
+  EXPECT_EQ(db.version(), 2u);
+}
+
+TEST(ViewCacheConcurrency, WriterAndCachedReadersRunConcurrently) {
+  // The PR 3 writer/reader contract with the cache in play: readers hammer
+  // merged() (mutating the LRU under cache_mu_) while one writer appends.
+  // TSan checks the entries_mu_ -> cache_mu_ lock order and the COW handout.
+  FlowDB db(big_config());
+  ThreadPool pool(4);
+  db.set_thread_pool(&pool);
+  constexpr int kEpochs = 60;
+
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> reads{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&db, &done, &reads] {
+      while (!done.load(std::memory_order_acquire)) {
+        const Flowtree merged = db.merged({}, {});
+        const double mass = merged.total_weight();
+        EXPECT_GE(mass, 0.0);
+        EXPECT_LE(mass, static_cast<double>(kEpochs));
+        // Each add contributes exactly 1.0: a torn view would show fractions.
+        EXPECT_DOUBLE_EQ(mass - static_cast<double>(static_cast<int>(mass)), 0.0);
+        // A second identical call typically comes from the view cache and
+        // must agree with whatever index state it was keyed on.
+        const Flowtree again = db.merged({}, {});
+        EXPECT_GE(again.total_weight(), mass);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    db.add(tree_with(1, static_cast<std::uint8_t>(epoch % 20), 1.0),
+           {epoch * kMinute, (epoch + 1) * kMinute}, "router-w");
+  }
+  while (reads.load(std::memory_order_relaxed) < 9) std::this_thread::yield();
+  done.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+
+  EXPECT_EQ(db.summary_count(), static_cast<std::size_t>(kEpochs));
+  EXPECT_DOUBLE_EQ(db.merged({}, {}).total_weight(), static_cast<double>(kEpochs));
+}
+
+}  // namespace
+}  // namespace megads::flowdb

@@ -366,5 +366,67 @@ TEST(Flowtree, CopySemanticsAreDeep) {
   EXPECT_DOUBLE_EQ(b.query(host(1, 1)), 10.0);
 }
 
+TEST(Flowtree, CopyIsLazyUntilFirstWrite) {
+  Flowtree a(big_budget());
+  a.add(host(1, 1), 5.0);
+  const Flowtree b = a;  // O(1): both handles point at the same node pool
+  EXPECT_TRUE(a.shares_state_with(b));
+  EXPECT_DOUBLE_EQ(b.query(host(1, 1)), 5.0);  // reads never detach
+  EXPECT_TRUE(a.shares_state_with(b));
+  a.add(host(1, 2), 1.0);  // first write detaches the writer only
+  EXPECT_FALSE(a.shares_state_with(b));
+  EXPECT_DOUBLE_EQ(b.query(host(1, 2)), 0.0);
+  EXPECT_DOUBLE_EQ(a.query(host(1, 2)), 1.0);
+}
+
+TEST(Flowtree, MergeIntoPristineAccumulatorAdoptsState) {
+  Flowtree source(big_budget());
+  source.add(host(1, 1), 3.0);
+  source.add(host(2, 1), 4.0);
+  Flowtree accumulator(big_budget());
+  source.merge_into(accumulator);
+  // A pristine accumulator adopts the source's pool: no per-node fold.
+  EXPECT_TRUE(accumulator.shares_state_with(source));
+  EXPECT_DOUBLE_EQ(accumulator.total_weight(), 7.0);
+
+  Flowtree second(big_budget());
+  second.add(host(1, 1), 1.0);
+  second.merge_into(accumulator);  // non-pristine now: real fold, detached
+  EXPECT_FALSE(accumulator.shares_state_with(source));
+  EXPECT_DOUBLE_EQ(accumulator.query(host(1, 1)), 4.0);
+  EXPECT_DOUBLE_EQ(source.query(host(1, 1)), 3.0);  // source untouched
+}
+
+TEST(Flowtree, LatticeEarlyExitMatchesFullScan) {
+  // Keys carrying a feature no live node has must answer 0 — the presence
+  // mask short-circuits, and the answer must equal what a scan would say.
+  Flowtree tree(big_budget());
+  tree.add(src_prefix(1, 16), 5.0);  // src feature only
+  flow::FlowKey with_port;            // dst_port feature only
+  with_port.with_dst_port(443);
+  EXPECT_DOUBLE_EQ(tree.query_lattice(with_port), 0.0);
+  flow::FlowKey with_proto;
+  with_proto.with_proto(17);
+  EXPECT_DOUBLE_EQ(tree.query_lattice(with_proto), 0.0);
+  // Present feature still answers through the normal path.
+  EXPECT_DOUBLE_EQ(tree.query_lattice(src_prefix(1, 16)), 5.0);
+  EXPECT_DOUBLE_EQ(tree.query_lattice(src_prefix(1, 8)), 5.0);
+}
+
+TEST(Flowtree, PresenceMaskSurvivesCompressAndMerge) {
+  FlowtreeConfig config;
+  config.node_budget = 16;
+  Flowtree tree(config);
+  for (std::uint8_t h = 0; h < 60; ++h) tree.add(host(1, h), 1.0);
+  tree.compress(8);  // folds hosts into prefixes; full keys may vanish
+  tree.check_invariants();  // recounts presence against live nodes
+
+  Flowtree other(config);
+  other.add(host(2, 1), 2.0);
+  tree.merge(other);
+  tree.check_invariants();
+  EXPECT_DOUBLE_EQ(tree.total_weight(), 62.0);
+}
+
 }  // namespace
 }  // namespace megads::flowtree

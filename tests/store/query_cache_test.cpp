@@ -1,0 +1,332 @@
+// Cache-equivalence property suite for the DataStore's per-partition query
+// cache and merged-prefix snapshot materialization (suite names start with
+// "QueryCache" so the TSan CI job picks the concurrency tests up by regex).
+//
+// The central property: a store with caching/materialization on answers every
+// query and snapshot EXACTLY like a twin store with both off, across all
+// three storage strategies and random ingest/seal/query interleavings. All
+// weights are integers, so even floating-point sums admit no tolerance.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "flowtree/flowtree.hpp"
+#include "primitives/exact.hpp"
+#include "store/datastore.hpp"
+
+namespace megads::store {
+namespace {
+
+using primitives::Query;
+using primitives::QueryResult;
+using primitives::StreamItem;
+
+flow::FlowKey host(std::uint8_t net, std::uint8_t h) {
+  return flow::FlowKey::from_tuple(6, flow::IPv4(10, net, 0, h), 50000,
+                                   flow::IPv4(198, 51, 100, 7), 80);
+}
+
+StreamItem item(const flow::FlowKey& key, double value, SimTime ts) {
+  StreamItem it;
+  it.key = key;
+  it.value = value;
+  it.timestamp = ts;
+  return it;
+}
+
+enum class Strategy { kExpiration, kRoundRobin, kHierarchical };
+
+std::unique_ptr<StorageStrategy> make_storage(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kExpiration:
+      return std::make_unique<ExpirationStorage>(10 * kMinute);
+    case Strategy::kRoundRobin:
+      return std::make_unique<RoundRobinStorage>(64 * 1024);
+    case Strategy::kHierarchical: {
+      HierarchicalStorage::Config config;
+      config.level_capacity = {4, 4, 4};
+      config.merge_fanin = 2;
+      config.compressed_entries = 256;
+      return std::make_unique<HierarchicalStorage>(config);
+    }
+  }
+  return nullptr;
+}
+
+SlotConfig exact_slot(Strategy strategy) {
+  SlotConfig config;
+  config.name = "exact";
+  config.factory = [] { return std::make_unique<primitives::ExactAggregator>(); };
+  config.epoch = kMinute;
+  config.storage = make_storage(strategy);
+  config.subscribe_all = true;
+  return config;
+}
+
+/// Sorted copy so per-key comparisons ignore tie order among equal scores.
+std::vector<primitives::KeyScore> canonical(std::vector<primitives::KeyScore> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const primitives::KeyScore& a, const primitives::KeyScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.key.hash() < b.key.hash();
+            });
+  return rows;
+}
+
+void expect_same_result(const QueryResult& a, const QueryResult& b) {
+  ASSERT_EQ(a.supported, b.supported);
+  EXPECT_EQ(a.approximate, b.approximate);
+  EXPECT_EQ(canonical(a.entries), canonical(b.entries));
+  ASSERT_EQ(a.points.size(), b.points.size());
+  EXPECT_EQ(a.stats.has_value(), b.stats.has_value());
+  if (a.stats && b.stats) {
+    EXPECT_EQ(a.stats->count, b.stats->count);
+    EXPECT_EQ(a.stats->sum, b.stats->sum);  // integer weights: exact
+  }
+}
+
+/// Drive the same random interleaving of ingest / seal / absorb / query
+/// against a cached and an uncached store; every answer must match exactly.
+void run_equivalence(Strategy strategy, std::uint64_t seed) {
+  DataStore cached(StoreId(0), "cached");
+  DataStore plain(StoreId(1), "plain");
+  const AggregatorId slot_c = cached.install(exact_slot(strategy));
+  const AggregatorId slot_p = plain.install(exact_slot(strategy));
+  plain.set_query_cache_budget(0);
+  plain.set_materialization_enabled(false);
+
+  Rng rng(seed);
+  SimTime now = 0;
+  for (int step = 0; step < 300; ++step) {
+    const std::uint64_t action = rng.uniform(10);
+    if (action < 5) {  // ingest (integer weights)
+      const auto key = host(static_cast<std::uint8_t>(rng.uniform(3)),
+                            static_cast<std::uint8_t>(rng.uniform(16)));
+      const double weight = static_cast<double>(1 + rng.uniform(8));
+      now += static_cast<SimTime>(rng.uniform(5 * kSecond));
+      cached.ingest(SensorId(0), item(key, weight, now));
+      plain.ingest(SensorId(0), item(key, weight, now));
+    } else if (action < 7) {  // advance the clock, sealing elapsed epochs
+      now += static_cast<SimTime>(rng.uniform(2 * kMinute));
+      cached.advance_to(now);
+      plain.advance_to(now);
+    } else {  // query, sometimes time-restricted
+      std::optional<TimeInterval> interval;
+      if (rng.uniform(2) == 0) {
+        const SimTime begin = static_cast<SimTime>(rng.uniform(now + 1));
+        interval = TimeInterval{begin, now + 1};
+      }
+      const std::vector<Query> queries = {
+          primitives::PointQuery{host(1, 3)},
+          primitives::TopKQuery{5},
+          primitives::AboveQuery{4.0},
+      };
+      for (const Query& query : queries) {
+        expect_same_result(cached.query(slot_c, query, interval),
+                           plain.query(slot_p, query, interval));
+      }
+      // Snapshots must agree too (materialized prefix vs plain fold).
+      const auto snap_c = cached.snapshot(slot_c, interval);
+      const auto snap_p = plain.snapshot(slot_p, interval);
+      expect_same_result(snap_c->execute(primitives::TopKQuery{100}),
+                         snap_p->execute(primitives::TopKQuery{100}));
+    }
+  }
+}
+
+TEST(QueryCacheEquivalence, ExpirationRandomInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_equivalence(Strategy::kExpiration, seed);
+  }
+}
+
+TEST(QueryCacheEquivalence, RoundRobinRandomInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_equivalence(Strategy::kRoundRobin, seed);
+  }
+}
+
+TEST(QueryCacheEquivalence, HierarchicalRandomInterleavings) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    run_equivalence(Strategy::kHierarchical, seed);
+  }
+}
+
+TEST(QueryCache, RepeatedQueryHitsCacheAndReportsMetrics) {
+  DataStore store(StoreId(0), "edge");
+  metrics::MetricsRegistry registry;
+  store.attach_metrics(registry);
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    store.ingest(SensorId(0), item(host(1, static_cast<std::uint8_t>(epoch)),
+                                   2.0, epoch * kMinute + kSecond));
+  }
+  store.advance_to(8 * kMinute);
+  ASSERT_EQ(store.partitions(slot).size(), 8u);
+
+  const QueryResult first = store.query(slot, primitives::TopKQuery{4});
+  const QueryResult second = store.query(slot, primitives::TopKQuery{4});
+  expect_same_result(first, second);
+
+  const auto snap = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.query_cache_misses"), 8.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.query_cache_hits"), 8.0);
+  EXPECT_GT(snap.value("store.edge.query_cache_bytes"), 0.0);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.query_cache_hit_ratio"), 0.5);
+}
+
+TEST(QueryCache, SealServesNewPartitionWithoutStaleness) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  store.ingest(SensorId(0), item(host(1, 1), 3.0, kSecond));
+  store.advance_to(kMinute);
+  const QueryResult before = store.query(slot, primitives::PointQuery{host(1, 1)});
+  ASSERT_EQ(before.entries.size(), 1u);
+  EXPECT_EQ(before.entries[0].score, 3.0);
+
+  // New epoch with more mass for the same key: a cached per-partition result
+  // must not mask the new partition.
+  store.ingest(SensorId(0), item(host(1, 1), 4.0, kMinute + kSecond));
+  store.advance_to(2 * kMinute);
+  const QueryResult after = store.query(slot, primitives::PointQuery{host(1, 1)});
+  ASSERT_EQ(after.entries.size(), 1u);
+  EXPECT_EQ(after.entries[0].score, 7.0);
+}
+
+TEST(QueryCache, InvalidationOnAdaptKeepsLiveAnswersFresh) {
+  // Regression: adapt() coarsens the live summary; queries must reflect the
+  // adapted live state immediately (live results are never cached).
+  flowtree::FlowtreeConfig tree_config;
+  tree_config.node_budget = 64;
+  SlotConfig config;
+  config.name = "tree";
+  config.factory = [tree_config] {
+    return std::make_unique<flowtree::Flowtree>(tree_config);
+  };
+  config.epoch = kMinute;
+  config.storage = make_storage(Strategy::kExpiration);
+  config.subscribe_all = true;
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(std::move(config));
+
+  for (std::uint8_t i = 0; i < 40; ++i) {
+    store.ingest(SensorId(0), item(host(1, i), 1.0, kSecond));
+  }
+  const std::uint64_t version_before = store.epoch_version(slot);
+  const QueryResult before = store.query(slot, primitives::TopKQuery{64});
+  store.set_live_budget(slot, 4);  // manager pushes a tighter budget
+  EXPECT_GT(store.epoch_version(slot), version_before);
+  const QueryResult after = store.query(slot, primitives::TopKQuery{64});
+  // The adapted live tree folded leaves upward: fewer distinct keys.
+  EXPECT_LT(after.entries.size(), before.entries.size());
+}
+
+TEST(QueryCache, EvictionRespectsByteBudget) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  store.set_query_cache_budget(2048);
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (std::uint8_t h = 0; h < 30; ++h) {
+      store.ingest(SensorId(0),
+                   item(host(1, h), 1.0, epoch * kMinute + h * kSecond));
+    }
+  }
+  store.advance_to(6 * kMinute);
+  // Many distinct query shapes: the cache must stay within budget.
+  for (std::uint8_t h = 0; h < 30; ++h) {
+    (void)store.query(slot, primitives::PointQuery{host(1, h)});
+    (void)store.query(slot, primitives::TopKQuery{h + 1u});
+  }
+  EXPECT_LE(store.query_cache_budget(), 2048u);
+  // Disabling clears everything and queries still answer correctly.
+  store.set_query_cache_budget(0);
+  const QueryResult r = store.query(slot, primitives::PointQuery{host(1, 3)});
+  ASSERT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.entries[0].score, 6.0);
+}
+
+TEST(QueryCache, EpochVersionIsMonotoneAcrossMutations) {
+  DataStore store(StoreId(0), "s");
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  std::uint64_t last = store.epoch_version(slot);
+  store.ingest(SensorId(0), item(host(1, 1), 1.0, kSecond));
+  store.advance_to(kMinute);  // seal
+  EXPECT_GT(store.epoch_version(slot), last);
+  last = store.epoch_version(slot);
+
+  primitives::ExactAggregator remote;
+  remote.insert(item(host(2, 1), 5.0, 0));
+  store.absorb(slot, remote);
+  EXPECT_GT(store.epoch_version(slot), last);
+}
+
+TEST(QueryCacheConcurrency, ConcurrentReadersSeeConsistentAnswers) {
+  // const query()/snapshot() calls may run concurrently: the cache mutex, the
+  // materialization mutex, and the atomic query counter are what TSan checks
+  // here. Writers are externally synchronized, so none run during the reads.
+  DataStore store(StoreId(0), "s");
+  ThreadPool pool(4);
+  store.set_parallelism(pool, 2);
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (std::uint8_t h = 0; h < 8; ++h) {
+      store.ingest(SensorId(0),
+                   item(host(1, h), 2.0, epoch * kMinute + h * kSecond));
+    }
+  }
+  store.advance_to(6 * kMinute);
+
+  const QueryResult expected = store.query(slot, primitives::TopKQuery{8});
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> readers;
+  readers.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        const QueryResult got = store.query(slot, primitives::TopKQuery{8});
+        if (canonical(got.entries) != canonical(expected.entries)) {
+          mismatches.fetch_add(1);
+        }
+        const auto snap = store.snapshot(slot);
+        const QueryResult via_snap = snap->execute(primitives::TopKQuery{8});
+        if (canonical(via_snap.entries) != canonical(expected.entries)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(store.measured_query_rate(slot), 0.0);
+}
+
+TEST(QueryCache, SnapshotMaterializationExtendsIncrementally) {
+  DataStore store(StoreId(0), "edge");
+  metrics::MetricsRegistry registry;
+  store.attach_metrics(registry);
+  const AggregatorId slot = store.install(exact_slot(Strategy::kExpiration));
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    store.ingest(SensorId(0), item(host(1, static_cast<std::uint8_t>(epoch)),
+                                   1.0, epoch * kMinute + kSecond));
+  }
+  store.advance_to(4 * kMinute);
+  (void)store.snapshot(slot);  // builds the materialization
+  // Two more epochs: the next snapshot extends instead of rebuilding.
+  for (int epoch = 4; epoch < 6; ++epoch) {
+    store.ingest(SensorId(0), item(host(1, static_cast<std::uint8_t>(epoch)),
+                                   1.0, epoch * kMinute + kSecond));
+  }
+  store.advance_to(6 * kMinute);
+  const auto snap = store.snapshot(slot);
+  const QueryResult all = snap->execute(primitives::TopKQuery{100});
+  EXPECT_EQ(all.entries.size(), 6u);
+  const auto metrics_snap = registry.snapshot();
+  EXPECT_GE(metrics_snap.value("store.edge.materialized_extends"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics_snap.value("store.edge.materialized_rebuilds"), 0.0);
+}
+
+}  // namespace
+}  // namespace megads::store
