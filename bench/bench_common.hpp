@@ -109,6 +109,8 @@ struct BenchRecord {
   double p50_latency_us = -1.0;
   double p99_latency_us = -1.0;
   std::size_t threads = 1;
+  std::string transport;        ///< "loopback"/"sim"; empty: null (not distributed)
+  int partitions = -1;          ///< shard count; negative: null (not partitioned)
 };
 
 /// Accumulates records and writes one JSON array per binary. run_all.sh
@@ -138,11 +140,19 @@ class JsonReport {
                    "  {\"experiment\": \"%s\", \"bench\": \"%s\", "
                    "\"config\": \"%s\", \"items_per_sec\": %s, "
                    "\"p50_latency_us\": %s, \"p99_latency_us\": %s, "
-                   "\"threads\": %zu}%s\n",
+                   "\"threads\": %zu, \"transport\": %s, "
+                   "\"partitions\": %s}%s\n",
                    escape(experiment_).c_str(), escape(r.bench).c_str(),
                    escape(r.config).c_str(), number(r.items_per_sec).c_str(),
                    number(r.p50_latency_us).c_str(),
                    number(r.p99_latency_us).c_str(), r.threads,
+                   (r.transport.empty()
+                        ? std::string("null")
+                        : "\"" + escape(r.transport) + "\"")
+                       .c_str(),
+                   (r.partitions < 0 ? std::string("null")
+                                     : std::to_string(r.partitions))
+                       .c_str(),
                    i + 1 < records_.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

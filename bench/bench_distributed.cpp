@@ -1,0 +1,174 @@
+// Experiment E12 (PR 6): scatter-gather query cost of the partitioned FlowDB
+// as the shard count grows, over both transports:
+//
+//   coordinator/query   SELECT topk(10) over all history through the
+//                       Coordinator — partitions swept 1 -> 8, so the fold
+//                       moves from "one shard does everything" to "eight
+//                       stage-1 folds merged at the coordinator"
+//
+// The same coordinator code runs over LoopbackTransport (in-process direct
+// dispatch: isolates the partitioning + merge CPU cost) and SimTransport
+// (store-and-forward WAN on virtual time: adds the envelope traffic to the
+// simulated links). Per-query wire volume comes from the transport's
+// net.payload_bytes counter; over the simulated WAN the virtual seconds
+// consumed appear in the config column.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/server.hpp"
+#include "net/transport.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace megads;
+using flowdb::dist::Coordinator;
+using flowdb::dist::PartitionServer;
+
+constexpr std::size_t kEpochs = 48;
+constexpr std::size_t kLocations = 4;
+constexpr std::size_t kKeysPerEpoch = 64;
+constexpr std::size_t kKeySpace = 512;
+constexpr int kRepeats = 60;
+
+flow::FlowKey host(std::uint32_t net, std::uint32_t h) {
+  return flow::FlowKey::from_tuple(
+      6, flow::IPv4(10, static_cast<std::uint8_t>(net),
+                    static_cast<std::uint8_t>(h >> 8), static_cast<std::uint8_t>(h)),
+      50000, flow::IPv4(198, 51, 100, 7), 80);
+}
+
+flowtree::FlowtreeConfig tree_config() {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 16;
+  return config;
+}
+
+/// Deterministic per-(location, epoch) summary: every sweep point indexes
+/// bitwise-identical data.
+flowtree::Flowtree tree_for(std::size_t loc, std::size_t epoch) {
+  flowtree::Flowtree tree(tree_config());
+  Rng rng(1000 * loc + epoch + 1);
+  for (std::size_t k = 0; k < kKeysPerEpoch; ++k) {
+    tree.add(host(static_cast<std::uint32_t>(loc),
+                  static_cast<std::uint32_t>(rng.uniform(kKeySpace))),
+             static_cast<double>(1 + rng.uniform(64)));
+  }
+  return tree;
+}
+
+struct Cluster {
+  Cluster(net::Transport& transport, NodeId querier, std::vector<NodeId> nodes) {
+    for (const NodeId node : nodes) {
+      servers.push_back(
+          std::make_unique<PartitionServer>(transport, node, tree_config()));
+    }
+    Coordinator::Options options;
+    options.tree_config = tree_config();
+    coordinator = std::make_unique<Coordinator>(
+        transport, querier, flowdb::dist::make_partitioner("by-time"),
+        std::move(nodes), options);
+  }
+
+  void populate() {
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      for (std::size_t loc = 0; loc < kLocations; ++loc) {
+        coordinator->add(tree_for(loc, epoch),
+                         TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
+                         "site-" + std::to_string(loc));
+      }
+    }
+    coordinator->flush();
+  }
+
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+void run_sweep_point(bench::JsonReport& json, const char* transport_name,
+                     net::Transport& transport, Cluster& cluster,
+                     std::size_t partitions, sim::Simulator* sim) {
+  const std::string statement = "SELECT topk(10) FROM 0s..2880s";
+  // Warm-up resolves lazy work (decode memos, first-touch caches) outside the
+  // timed loop; it also flushes pending batches.
+  (void)flowdb::run_flowql(statement, *cluster.coordinator);
+
+  const std::uint64_t payload_before = transport.stats().payload_bytes;
+  const SimTime sim_before = sim != nullptr ? sim->now() : 0;
+  bench::LatencyRecorder latency;
+  const auto start = bench::Clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    latency.time([&] { (void)flowdb::run_flowql(statement, *cluster.coordinator); });
+  }
+  const double queries_per_sec = kRepeats / (bench::ms_since(start) / 1e3);
+  const std::uint64_t payload_per_query =
+      (transport.stats().payload_bytes - payload_before) / kRepeats;
+
+  std::string config = "payload_bytes/query=" + std::to_string(payload_per_query);
+  if (sim != nullptr) {
+    const double virtual_s =
+        static_cast<double>(sim->now() - sim_before) / kSecond;
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), " virtual_s=%.3f", virtual_s);
+    config += buf;
+  }
+  json.add({.bench = "coordinator/query",
+            .config = config,
+            .items_per_sec = queries_per_sec,
+            .p50_latency_us = latency.p50(),
+            .p99_latency_us = latency.p99(),
+            .threads = 1,
+            .transport = transport_name,
+            .partitions = static_cast<int>(partitions)});
+  std::printf("  %-8s partitions=%zu %10.0f q/s   p50 %8.1f us   p99 %8.1f us   %s\n",
+              transport_name, partitions, queries_per_sec, latency.p50(),
+              latency.p99(), config.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = megads::bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport json("E12");
+  std::printf("E12: scatter-gather query cost vs shard count, both transports\n");
+  std::printf("%zu locations x %zu epochs, %d repeats per point\n\n", kLocations,
+              kEpochs, kRepeats);
+
+  for (const std::size_t partitions : {1u, 2u, 4u, 8u}) {
+    net::LoopbackTransport transport;
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < partitions; ++i) {
+      nodes.push_back(NodeId(static_cast<std::uint32_t>(i + 1)));
+    }
+    Cluster cluster(transport, NodeId(0), std::move(nodes));
+    cluster.populate();
+    run_sweep_point(json, "loopback", transport, cluster, partitions, nullptr);
+  }
+
+  for (const std::size_t partitions : {1u, 2u, 4u, 8u}) {
+    sim::Simulator sim;
+    net::Topology topo;
+    const NodeId querier = topo.add_node("querier");
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < partitions; ++i) {
+      const NodeId node = topo.add_node("shard" + std::to_string(i));
+      topo.add_link(querier, node, 2000, 1.25e8);  // 2 ms, 1 Gb/s
+      topo.add_link(node, querier, 2000, 1.25e8);
+      nodes.push_back(node);
+    }
+    net::Network network(sim, topo);
+    net::SimTransport transport(network);
+    Cluster cluster(transport, querier, std::move(nodes));
+    cluster.populate();
+    run_sweep_point(json, "sim", transport, cluster, partitions, &sim);
+  }
+
+  if (!json.write_if(opts)) return 1;
+  return 0;
+}

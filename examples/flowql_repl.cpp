@@ -18,6 +18,7 @@
 #include "common/error.hpp"
 #include "common/metrics.hpp"
 #include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
 #include "trace/flowgen.hpp"
 
 using namespace megads;

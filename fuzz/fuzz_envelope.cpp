@@ -1,0 +1,56 @@
+// Fuzz target: the partitioned FlowDB's wire-envelope decoder
+// (src/flowdb/partitioned/envelope.cpp).
+//
+// Contract under test: for *arbitrary* input bytes, decode() either throws
+// ParseError or produces an envelope that re-encodes to the exact input
+// bytes (the codec has one canonical form) and decodes again to the same
+// structure. The decoder must stay inside the buffer for any length prefix,
+// element count, or flag pattern — truncation, hostile counts, and reserved
+// flag bits are all ParseError, never a crash, over-read, or large
+// allocation.
+//
+// Build shapes (see fuzz/CMakeLists.txt):
+//  - <target>_replay: plain executable replaying the checked-in corpus,
+//    wired into ctest so regressions run in every build.
+//  - with -DMEGADS_FUZZ=ON and a clang toolchain: a libFuzzer binary for
+//    open-ended exploration.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flowdb/partitioned/envelope.hpp"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_envelope: %s\n", what);
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  namespace dist = megads::flowdb::dist;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    const dist::Envelope envelope = dist::decode(bytes);
+
+    // Canonical form: whatever decode accepted must re-encode byte-for-byte.
+    const std::vector<std::uint8_t> wire = dist::encode(envelope);
+    if (wire != bytes) die("re-encode diverged from the accepted input");
+
+    // And the round trip must be stable.
+    const dist::Envelope again = dist::decode(wire);
+    if (again.type != envelope.type) die("round trip changed the type");
+    if (again.request_id != envelope.request_id) {
+      die("round trip changed the request id");
+    }
+    if (dist::encode(again) != wire) die("second encode diverged");
+  } catch (const megads::ParseError&) {
+    // The documented rejection path for malformed input.
+  }
+  return 0;
+}

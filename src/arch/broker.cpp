@@ -4,10 +4,10 @@
 
 namespace megads::arch {
 
-RemoteQueryBroker::RemoteQueryBroker(net::Network& network, NodeId local_node,
+RemoteQueryBroker::RemoteQueryBroker(net::Transport& transport, NodeId local_node,
                                      repl::ReplicationPolicy& policy,
                                      Manager* manager)
-    : network_(&network),
+    : transport_(&transport),
       local_node_(local_node),
       policy_(&policy),
       manager_(manager) {}
@@ -63,10 +63,10 @@ BrokeredResult RemoteQueryBroker::query(const RemotePartition& remote,
 
   if (policy_->on_access(id_it->second, remote.store->now(), result_bytes)) {
     // Replicate first (Fig. 6 steps 3/4), then serve locally.
-    network_->send(remote.location, local_node_, partition_bytes);
-    outcome.latency = network_->transfer_time_unloaded(remote.location,
-                                                       local_node_,
-                                                       partition_bytes);
+    transport_->send(remote.location, local_node_, partition_bytes);
+    outcome.latency = transport_->transfer_time_unloaded(remote.location,
+                                                         local_node_,
+                                                         partition_bytes);
     replicas_.emplace(key, partition->summary->clone());
     replicated_ += partition_bytes;
     if (manager_ != nullptr) manager_->note_transfer(partition_bytes);
@@ -77,9 +77,9 @@ BrokeredResult RemoteQueryBroker::query(const RemotePartition& remote,
   }
 
   // Ship the result.
-  network_->send(remote.location, local_node_, result_bytes);
-  outcome.latency = network_->transfer_time_unloaded(remote.location, local_node_,
-                                                     result_bytes);
+  transport_->send(remote.location, local_node_, result_bytes);
+  outcome.latency = transport_->transfer_time_unloaded(remote.location,
+                                                       local_node_, result_bytes);
   shipped_ += result_bytes;
   if (manager_ != nullptr) manager_->note_transfer(result_bytes);
   ++remote_;

@@ -7,17 +7,19 @@
 //   1  records every partition access (time + result volume),
 //   2  consults a repl::ReplicationPolicy ("predict future accesses"),
 //   3  starts replication when the policy crosses its threshold,
-//   4  executes the copy over the simulated network and serves locally
-//      from then on.
+//   4  executes the copy over the Transport and serves locally from then on.
 //
-// The manager's transfer ledger is charged for all WAN bytes.
+// The manager's transfer ledger is charged for all WAN bytes. The broker
+// speaks Transport, never a concrete network: over SimTransport the bytes
+// ride the store-and-forward WAN on virtual time, over LoopbackTransport the
+// same decisions run in a plain unit test.
 #pragma once
 
 #include <map>
 #include <memory>
 
 #include "arch/manager.hpp"
-#include "net/network.hpp"
+#include "net/transport.hpp"
 #include "repl/policy.hpp"
 #include "sim/simulator.hpp"
 #include "store/datastore.hpp"
@@ -43,7 +45,7 @@ struct BrokeredResult {
 class RemoteQueryBroker {
  public:
   /// All references must outlive the broker. `manager` may be null.
-  RemoteQueryBroker(net::Network& network, NodeId local_node,
+  RemoteQueryBroker(net::Transport& transport, NodeId local_node,
                     repl::ReplicationPolicy& policy, Manager* manager = nullptr);
 
   /// Query one remote partition; the broker decides ship vs replicate.
@@ -71,7 +73,7 @@ class RemoteQueryBroker {
 
   const store::Partition* find_partition(const RemotePartition& remote) const;
 
-  net::Network* network_;
+  net::Transport* transport_;
   NodeId local_node_;
   repl::ReplicationPolicy* policy_;
   Manager* manager_;

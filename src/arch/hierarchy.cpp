@@ -7,7 +7,10 @@
 namespace megads::arch {
 
 Hierarchy::Hierarchy(sim::Simulator& sim, std::vector<LevelSpec> levels)
-    : sim_(&sim), levels_(std::move(levels)), network_(sim, topology_) {
+    : sim_(&sim),
+      levels_(std::move(levels)),
+      network_(sim, topology_),
+      transport_(network_) {
   expects(!levels_.empty(), "Hierarchy: need at least one level");
 
   // Node counts, root (1) downward.
@@ -103,7 +106,7 @@ void Hierarchy::attach_metrics(metrics::MetricsRegistry& registry) {
   for (auto& level : nodes_) {
     for (auto& node : level) node.store->attach_metrics(registry);
   }
-  network_.attach_metrics(registry);
+  transport_.attach_metrics(registry);
 }
 
 void Hierarchy::set_parallelism(ThreadPool& pool, std::size_t shards) {
@@ -130,12 +133,12 @@ void Hierarchy::export_tick(std::size_t level, std::size_t index, SimTime now) {
   Node& parent = nodes_[level + 1][node.parent_index];
   store::DataStore* parent_store = parent.store.get();
   const AggregatorId parent_slot = parent.slot;
-  network_.send(node.net_node, parent.net_node, summary->wire_bytes(),
-                [parent_store, parent_slot, summary](SimTime delivered) {
-                  parent_store->advance_to(
-                      std::max(parent_store->now(), delivered));
-                  parent_store->absorb(parent_slot, *summary);
-                });
+  transport_.send(node.net_node, parent.net_node, summary->wire_bytes(),
+                  [parent_store, parent_slot, summary](SimTime delivered) {
+                    parent_store->advance_to(
+                        std::max(parent_store->now(), delivered));
+                    parent_store->absorb(parent_slot, *summary);
+                  });
 }
 
 void Hierarchy::start() {

@@ -16,6 +16,7 @@
 
 #include "arch/manager.hpp"
 #include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "store/datastore.hpp"
 
@@ -86,6 +87,9 @@ class Hierarchy {
   }
   [[nodiscard]] const net::Network& network() const noexcept { return network_; }
   [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
+  /// The transport every inter-node send goes through (brokers and
+  /// coordinators layered on the hierarchy share it).
+  [[nodiscard]] net::Transport& transport() noexcept { return transport_; }
 
  private:
   struct Node {
@@ -106,6 +110,7 @@ class Hierarchy {
   std::vector<std::vector<Node>> nodes_;  ///< [level][index]
   net::Topology topology_;
   net::Network network_;
+  net::SimTransport transport_;
   std::uint64_t raw_bytes_ = 0;
   bool started_ = false;
 };

@@ -115,6 +115,10 @@ class FlowKey {
   [[nodiscard]] std::string to_string() const;
 
   friend bool operator==(const FlowKey&, const FlowKey&) noexcept = default;
+  /// Deterministic total order (report tie-breaking). The order itself is
+  /// arbitrary but fixed: two runs — or two nodes folding the same summaries
+  /// in different groupings — rank equal-score rows identically.
+  friend auto operator<=>(const FlowKey&, const FlowKey&) noexcept = default;
 
  private:
   Prefix src_{};

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "flowdb/parser.hpp"
+#include "primitives/item.hpp"
 
 namespace megads::flowdb {
 
@@ -39,37 +40,40 @@ std::vector<KeyScore> restricted_entries(const flowtree::Flowtree& tree,
   std::erase_if(rows, [&](const KeyScore& row) {
     return row.score == 0.0 || !restriction.generalizes(row.key);
   });
-  std::sort(rows.begin(), rows.end(), [](const KeyScore& a, const KeyScore& b) {
-    return a.score > b.score;
-  });
+  std::sort(rows.begin(), rows.end(), primitives::score_before);
   return rows;
 }
 
 }  // namespace
 
-Table execute(const Statement& statement, const FlowDB& db) {
+Table execute(const Statement& statement, const SummarySource& source) {
   const bool restricted = !statement.restriction.is_root();
 
   if (statement.op == OperatorKind::kDiff) {
     expects(statement.ranges.size() == 2, "FlowQL diff: exactly two ranges");
     // The two sides of a diff are independent merges — run the second on the
-    // database's pool while this thread builds the first.
+    // source's pool while this thread builds the first.
     std::future<flowtree::Flowtree> b_future;
-    if (ThreadPool* pool = db.thread_pool(); pool != nullptr) {
-      b_future = pool->submit([&db, &statement] {
-        return db.merged({statement.ranges[1]}, statement.locations);
+    if (ThreadPool* pool = source.merge_pool(); pool != nullptr) {
+      b_future = pool->submit([&source, &statement] {
+        return source.merged({statement.ranges[1]}, statement.locations);
       });
     }
-    flowtree::Flowtree a = db.merged({statement.ranges[0]}, statement.locations);
+    flowtree::Flowtree a =
+        source.merged({statement.ranges[0]}, statement.locations);
     const flowtree::Flowtree b =
-        b_future.valid() ? b_future.get()
-                         : db.merged({statement.ranges[1]}, statement.locations);
+        b_future.valid()
+            ? b_future.get()
+            : source.merged({statement.ranges[1]}, statement.locations);
     a.diff(b);
     std::vector<KeyScore> rows =
         restricted ? restricted_entries(a, statement.restriction) : a.entries();
     std::erase_if(rows, [](const KeyScore& row) { return row.score == 0.0; });
     std::sort(rows.begin(), rows.end(), [](const KeyScore& x, const KeyScore& y) {
-      return std::fabs(x.score) > std::fabs(y.score);
+      if (std::fabs(x.score) != std::fabs(y.score))
+        return std::fabs(x.score) > std::fabs(y.score);
+      if (x.score != y.score) return x.score > y.score;
+      return x.key < y.key;
     });
     const auto k = static_cast<std::size_t>(statement.argument);
     if (rows.size() > k) rows.resize(k);
@@ -79,7 +83,8 @@ Table execute(const Statement& statement, const FlowDB& db) {
   // merged() serves repeated selections from the view cache (an O(1)
   // copy-on-write handout), so dashboard-style re-issued SELECTs skip the
   // fold entirely; the copy below never deep-copies unless mutated.
-  const flowtree::Flowtree tree = db.merged(statement.ranges, statement.locations);
+  const flowtree::Flowtree tree =
+      source.merged(statement.ranges, statement.locations);
 
   switch (statement.op) {
     case OperatorKind::kQuery: {
@@ -121,8 +126,8 @@ Table execute(const Statement& statement, const FlowDB& db) {
   throw Error("FlowQL: unreachable operator");
 }
 
-Table run_flowql(const std::string& statement, const FlowDB& db) {
-  return execute(parse(statement), db);
+Table run_flowql(const std::string& statement, const SummarySource& source) {
+  return execute(parse(statement), source);
 }
 
 }  // namespace megads::flowdb

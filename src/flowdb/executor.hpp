@@ -1,20 +1,24 @@
-// FlowQL executor: runs a parsed Statement against a FlowDB and renders a
-// Table. Together with the parser this is the "FlowQL API" of Fig. 5
-// (arrow 5).
+// FlowQL executor: runs a parsed Statement against a SummarySource and
+// renders a Table. Together with the parser this is the "FlowQL API" of
+// Fig. 5 (arrow 5). The source may be a local FlowDB or the partitioned
+// Coordinator — the executor cannot tell the difference, which is the
+// distribution-transparency contract the equivalence suites pin down.
 #pragma once
 
 #include <string>
 
 #include "flowdb/ast.hpp"
-#include "flowdb/flowdb.hpp"
+#include "flowdb/source.hpp"
 #include "flowdb/table.hpp"
 
 namespace megads::flowdb {
 
 /// Execute a parsed statement.
-[[nodiscard]] Table execute(const Statement& statement, const FlowDB& db);
+[[nodiscard]] Table execute(const Statement& statement,
+                            const SummarySource& source);
 
 /// Parse + execute in one step (the application-facing entry point).
-[[nodiscard]] Table run_flowql(const std::string& statement, const FlowDB& db);
+[[nodiscard]] Table run_flowql(const std::string& statement,
+                               const SummarySource& source);
 
 }  // namespace megads::flowdb

@@ -146,6 +146,32 @@ std::vector<std::string> FlowDB::locations() const {
   return names;
 }
 
+std::vector<std::string> FlowDB::matching_locations(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  // Mirrors merged()'s selection exactly: a location is reported iff merged()
+  // would build a stage-1 group for it.
+  const auto wanted_time = [&](const TimeInterval& interval) {
+    if (intervals.empty()) return true;
+    return std::any_of(intervals.begin(), intervals.end(),
+                       [&](const TimeInterval& w) { return w.overlaps(interval); });
+  };
+  const auto wanted_location = [&](const std::string& location) {
+    if (locations.empty()) return true;
+    return std::find(locations.begin(), locations.end(), location) !=
+           locations.end();
+  };
+  const std::shared_lock lock(entries_mu_);
+  std::vector<std::string> names;  // entries_ is location-sorted → so is this
+  for (const Entry& entry : entries_) {
+    if (!names.empty() && names.back() == entry.meta.location) continue;
+    if (wanted_location(entry.meta.location) && wanted_time(entry.meta.interval)) {
+      names.push_back(entry.meta.location);
+    }
+  }
+  return names;
+}
+
 std::optional<TimeInterval> FlowDB::coverage() const {
   const std::shared_lock lock(entries_mu_);
   if (entries_.empty()) return std::nullopt;

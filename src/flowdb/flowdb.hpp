@@ -41,6 +41,7 @@
 
 #include "common/lru_cache.hpp"
 #include "common/metrics.hpp"
+#include "flowdb/source.hpp"
 #include "flowtree/flowtree.hpp"
 
 namespace megads {
@@ -54,7 +55,7 @@ struct SummaryMeta {
   std::string location;
 };
 
-class FlowDB {
+class FlowDB : public SummarySource {
  public:
   explicit FlowDB(flowtree::FlowtreeConfig tree_config = {});
 
@@ -78,9 +79,19 @@ class FlowDB {
   /// must outlive the database (pass nullptr to detach).
   void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
   [[nodiscard]] ThreadPool* thread_pool() const noexcept { return pool_; }
+  [[nodiscard]] ThreadPool* merge_pool() const noexcept override {
+    return pool_;
+  }
 
   [[nodiscard]] std::size_t summary_count() const;
   [[nodiscard]] std::vector<std::string> locations() const;
+  /// Locations (sorted, deduplicated) holding at least one summary matching
+  /// the selection — the partition servers' scatter-gather manifest: it
+  /// distinguishes "no summaries selected" from "selected summaries folding
+  /// to zero mass", which a merged() result alone cannot.
+  [[nodiscard]] std::vector<std::string> matching_locations(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const;
   /// Smallest interval covering all indexed summaries (nullopt when empty).
   [[nodiscard]] std::optional<TimeInterval> coverage() const;
 
@@ -103,7 +114,7 @@ class FlowDB {
   /// empty), merged per the Table II discipline described above.
   [[nodiscard]] flowtree::Flowtree merged(
       const std::vector<TimeInterval>& intervals,
-      const std::vector<std::string>& locations) const;
+      const std::vector<std::string>& locations) const override;
 
   [[nodiscard]] const flowtree::FlowtreeConfig& tree_config() const noexcept {
     return tree_config_;

@@ -1,0 +1,296 @@
+#include "flowdb/partitioned/coordinator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::dist {
+
+Coordinator::Coordinator(net::Transport& transport, NodeId node,
+                         std::unique_ptr<Partitioner> partitioner,
+                         std::vector<NodeId> servers, Options options)
+    : transport_(&transport),
+      node_(node),
+      partitioner_(std::move(partitioner)),
+      servers_(std::move(servers)),
+      options_(options) {
+  expects(partitioner_ != nullptr, "Coordinator: null partitioner");
+  expects(!servers_.empty(), "Coordinator: no partition servers");
+  expects(options_.add_batch_size > 0, "Coordinator: zero batch size");
+  pending_.resize(servers_.size());
+  routed_bytes_.assign(servers_.size(), 0);
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    shard_of_node_[servers_[i]] = i;
+  }
+  transport_->bind(
+      node_, [this](NodeId from, const std::vector<std::uint8_t>& payload,
+                    SimTime /*now*/) { on_message(from, payload); });
+}
+
+Coordinator::~Coordinator() { transport_->unbind(node_); }
+
+void Coordinator::add(const flowtree::Flowtree& tree, TimeInterval interval,
+                      std::string location) {
+  route_record(SummaryRecord{tree.encode(), interval, std::move(location)});
+}
+
+void Coordinator::add_encoded(std::vector<std::uint8_t> bytes,
+                              TimeInterval interval, std::string location) {
+  route_record(SummaryRecord{std::move(bytes), interval, std::move(location)});
+}
+
+void Coordinator::route_record(SummaryRecord record) {
+  const std::size_t shard =
+      partitioner_->route(record.interval, record.location, servers_.size());
+  AddBatchBody full;
+  FlowDB* replica = nullptr;
+  {
+    const std::lock_guard lock(mu_);
+    routed_bytes_[shard] += record.summary.size();
+    if (const auto it = replicas_.find(shard); it != replicas_.end()) {
+      replica = &it->second;  // keep the local replica in sync with the owner
+    }
+    pending_[shard].records.push_back(record);
+    if (pending_[shard].records.size() >= options_.add_batch_size) {
+      full = std::exchange(pending_[shard], {});
+    }
+  }
+  if (replica != nullptr) {
+    replica->add_encoded(record.summary, record.interval, record.location);
+  }
+  if (!full.records.empty()) ship_batch(shard, std::move(full));
+}
+
+std::vector<std::pair<std::size_t, AddBatchBody>> Coordinator::take_batches()
+    const {
+  std::vector<std::pair<std::size_t, AddBatchBody>> out;
+  const std::lock_guard lock(mu_);
+  for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
+    if (!pending_[shard].records.empty()) {
+      out.emplace_back(shard, std::exchange(pending_[shard], {}));
+    }
+  }
+  return out;
+}
+
+void Coordinator::ship_batch(std::size_t shard, AddBatchBody batch) const {
+  Envelope envelope;
+  envelope.type = MessageType::kAddBatch;
+  envelope.request_id = 0;  // fire-and-forget
+  envelope.body = std::move(batch);
+  transport_->send_message(node_, servers_[shard], encode(envelope));
+}
+
+void Coordinator::flush() {
+  for (auto& [shard, batch] : take_batches()) {
+    ship_batch(shard, std::move(batch));
+  }
+}
+
+void Coordinator::on_message(NodeId from,
+                             const std::vector<std::uint8_t>& payload) {
+  Envelope envelope = decode(payload);
+  const std::lock_guard lock(mu_);
+  switch (envelope.type) {
+    case MessageType::kQueryResponse: {
+      const auto gather = gathers_.find(envelope.request_id);
+      expects(gather != gathers_.end(),
+              "Coordinator: response for an unknown request id");
+      const auto shard = shard_of_node_.find(from);
+      expects(shard != shard_of_node_.end(),
+              "Coordinator: response from an unknown node");
+      gather->second.responses.emplace_back(
+          shard->second, std::move(std::get<QueryResponseBody>(envelope.body)));
+      return;
+    }
+    case MessageType::kReplicaData:
+      replica_data_[envelope.request_id] =
+          std::move(std::get<AddBatchBody>(envelope.body));
+      return;
+    case MessageType::kAddBatch:
+    case MessageType::kQueryRequest:
+    case MessageType::kReplicaFetch:
+      throw PreconditionError("Coordinator: got a request-type envelope");
+  }
+}
+
+QueryResponseBody Coordinator::local_partials(
+    const FlowDB& replica, const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  // Mirrors PartitionServer::handle_query exactly (minus the wire): the
+  // replica holds the shard's records, so the partials are byte-identical to
+  // what the owner would have sent.
+  QueryResponseBody body;
+  for (const std::string& location :
+       replica.matching_locations(intervals, locations)) {
+    body.partials.push_back(
+        {location, replica.merged(intervals, {location}).encode()});
+  }
+  return body;
+}
+
+void Coordinator::install_replica(std::size_t shard) const {
+  std::uint64_t request_id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    request_id = next_request_id_++;
+  }
+  Envelope fetch;
+  fetch.type = MessageType::kReplicaFetch;
+  fetch.request_id = request_id;
+  fetch.body = SelectionBody{};  // everything the shard holds
+  transport_->send_message(node_, servers_[shard], encode(fetch));
+  transport_->run_until_idle();
+
+  AddBatchBody data;
+  FlowDB* replica = nullptr;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = replica_data_.find(request_id);
+    expects(it != replica_data_.end(),
+            "Coordinator: replica data not delivered");
+    data = std::move(it->second);
+    replica_data_.erase(it);
+    replica =
+        &replicas_.try_emplace(shard, options_.tree_config).first->second;
+  }
+  for (const SummaryRecord& record : data.records) {
+    replica->add_encoded(record.summary, record.interval, record.location);
+  }
+}
+
+flowtree::Flowtree Coordinator::merged(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  // A selection must observe every add that precedes it: ship the partial
+  // batches, then drain the transport so the servers have indexed them.
+  for (auto& [shard, batch] : take_batches()) {
+    ship_batch(shard, std::move(batch));
+  }
+  transport_->run_until_idle();
+
+  const std::vector<std::size_t> targets =
+      partitioner_->targets(intervals, locations, servers_.size());
+
+  // Split replicated shards (served locally) from remote ones; open the
+  // gather before the first scatter so a synchronous transport's responses
+  // find it.
+  std::vector<std::size_t> remote;
+  std::vector<std::pair<std::size_t, const FlowDB*>> local;
+  std::uint64_t request_id = 0;
+  {
+    const std::lock_guard lock(mu_);
+    for (const std::size_t shard : targets) {
+      if (const auto it = replicas_.find(shard); it != replicas_.end()) {
+        local.emplace_back(shard, &it->second);
+      } else {
+        remote.push_back(shard);
+      }
+    }
+    remote_shard_queries_ += remote.size();
+    local_shard_queries_ += local.size();
+    if (!remote.empty()) {
+      request_id = next_request_id_++;
+      gathers_[request_id].expected = remote.size();
+    }
+  }
+
+  for (const std::size_t shard : remote) {
+    Envelope request;
+    request.type = MessageType::kQueryRequest;
+    request.request_id = request_id;
+    request.body = SelectionBody{intervals, locations};
+    transport_->send_message(node_, servers_[shard], encode(request));
+  }
+  transport_->run_until_idle();
+
+  std::vector<std::pair<std::size_t, QueryResponseBody>> responses;
+  if (!remote.empty()) {
+    const std::lock_guard lock(mu_);
+    const auto it = gathers_.find(request_id);
+    expects(it != gathers_.end() &&
+                it->second.responses.size() == it->second.expected,
+            "Coordinator: scatter-gather incomplete (transport not idle?)");
+    responses = std::move(it->second.responses);
+    gathers_.erase(it);
+  }
+
+  // Every remote gather is a ski-rental access: the policy sees the shipped
+  // result bytes and may say "buy" — fetch the shard's records and serve it
+  // locally from now on.
+  if (placer_ != nullptr) {
+    const SimTime now = transport_->now();
+    for (const auto& [shard, body] : responses) {
+      std::uint64_t result_bytes = 0;
+      for (const QueryResponseBody::Partial& partial : body.partials) {
+        result_bytes += partial.summary.size();
+      }
+      std::uint64_t routed = 0;
+      {
+        const std::lock_guard lock(mu_);
+        routed = routed_bytes_[shard];
+      }
+      const PartitionId partition{static_cast<std::uint32_t>(shard)};
+      placer_->track(partition, now, routed);
+      if (placer_->should_replicate(partition, now, result_bytes)) {
+        install_replica(shard);
+      }
+    }
+  }
+
+  for (const auto& [shard, db] : local) {
+    QueryResponseBody body = local_partials(*db, intervals, locations);
+    if (placer_ != nullptr) {
+      std::uint64_t result_bytes = 0;
+      for (const QueryResponseBody::Partial& partial : body.partials) {
+        result_bytes += partial.summary.size();
+      }
+      placer_->observe_local(PartitionId{static_cast<std::uint32_t>(shard)},
+                             transport_->now(), result_bytes);
+    }
+    responses.emplace_back(shard, std::move(body));
+  }
+
+  // Fold exactly as FlowDB::merged folds: stage 1 finishes by merging each
+  // location's partials in shard order (shared location); stage 2 merges the
+  // per-location trees in sorted location order (shared time). std::map
+  // iteration gives the sorted order.
+  std::map<std::string, std::vector<std::pair<std::size_t, const std::vector<std::uint8_t>*>>>
+      by_location;
+  for (const auto& [shard, body] : responses) {
+    for (const QueryResponseBody::Partial& partial : body.partials) {
+      by_location[partial.location].emplace_back(shard, &partial.summary);
+    }
+  }
+  flowtree::Flowtree result(options_.tree_config);
+  for (auto& [location, parts] : by_location) {
+    std::sort(parts.begin(), parts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    flowtree::Flowtree per_location(options_.tree_config);
+    for (const auto& [shard, bytes] : parts) {
+      per_location.merge(
+          flowtree::Flowtree::decode(*bytes, options_.tree_config));
+    }
+    result.merge(per_location);
+  }
+  return result;
+}
+
+std::uint64_t Coordinator::remote_shard_queries() const {
+  const std::lock_guard lock(mu_);
+  return remote_shard_queries_;
+}
+
+std::uint64_t Coordinator::local_shard_queries() const {
+  const std::lock_guard lock(mu_);
+  return local_shard_queries_;
+}
+
+std::size_t Coordinator::replicated_partitions() const {
+  const std::lock_guard lock(mu_);
+  return replicas_.size();
+}
+
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,142 @@
+// Coordinator — the query side of the partitioned FlowDB. Routes incoming
+// summaries to partition servers per a Partitioner (batched kAddBatch
+// envelopes) and executes every merged() selection as scatter-gather:
+//
+//   scatter  one kQueryRequest to each shard the Partitioner says may hold
+//            matching summaries (pruned, not broadcast),
+//   pump     Transport::run_until_idle() — a no-op on Loopback, the
+//            simulator run on SimTransport,
+//   gather   each shard's per-location stage-1 folds, then fold exactly as a
+//            single FlowDB would: per location, partials merge in shard
+//            order (shared location); the per-location trees then merge in
+//            sorted location order (shared time, Table II).
+//
+// The Coordinator is a SummarySource, so the FlowQL executor runs unchanged
+// on top of it — distribution transparency is the contract the equivalence
+// suites in tests/flowdb/distributed_test.cpp pin down.
+//
+// With a ReplicaPlacer attached, every remote gather is also a ski-rental
+// access: when the policy says "buy", the coordinator fetches the shard's
+// raw records (kReplicaFetch/kReplicaData) and installs them in a local
+// replica FlowDB; later selections serve that shard locally. The replica
+// answers with the same per-location fold code, so answers are unchanged —
+// only the traffic moves.
+//
+// Thread-safe over a thread-safe transport: concurrent merged() calls hold
+// the internal lock only around bookkeeping, never across a send.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "flowdb/flowdb.hpp"
+#include "flowdb/partitioned/envelope.hpp"
+#include "flowdb/partitioned/partitioner.hpp"
+#include "flowdb/source.hpp"
+#include "net/transport.hpp"
+#include "repl/placement.hpp"
+
+namespace megads::flowdb::dist {
+
+class Coordinator : public SummarySource {
+ public:
+  struct Options {
+    /// Records per kAddBatch envelope; full batches ship immediately,
+    /// partial ones on flush()/merged().
+    std::size_t add_batch_size = 16;
+    flowtree::FlowtreeConfig tree_config = {};
+  };
+
+  /// Binds `node` on `transport`. `servers[i]` hosts partition i; transport
+  /// and servers must outlive the coordinator.
+  Coordinator(net::Transport& transport, NodeId node,
+              std::unique_ptr<Partitioner> partitioner,
+              std::vector<NodeId> servers, Options options);
+  Coordinator(net::Transport& transport, NodeId node,
+              std::unique_ptr<Partitioner> partitioner,
+              std::vector<NodeId> servers)
+      : Coordinator(transport, node, std::move(partitioner),
+                    std::move(servers), Options()) {}
+  ~Coordinator() override;
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Route one summary to its shard (encodes, batches, ships full batches).
+  void add(const flowtree::Flowtree& tree, TimeInterval interval,
+           std::string location);
+  void add_encoded(std::vector<std::uint8_t> bytes, TimeInterval interval,
+                   std::string location);
+
+  /// Ship every partial batch now. merged() flushes implicitly.
+  void flush();
+
+  /// Scatter-gather Table II Merge over the shards (see file comment).
+  [[nodiscard]] flowtree::Flowtree merged(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const override;
+
+  /// Attach ski-rental replica placement; the placer must outlive the
+  /// coordinator. Shards replicate toward this querier when its policy says
+  /// the shipped bytes have paid for the copy.
+  void enable_replication(repl::ReplicaPlacer& placer) { placer_ = &placer; }
+
+  [[nodiscard]] const Partitioner& partitioner() const noexcept {
+    return *partitioner_;
+  }
+  [[nodiscard]] std::size_t partitions() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+  // --- introspection for tests and benches ---
+  /// Shards contacted remotely / served from a local replica, cumulative.
+  [[nodiscard]] std::uint64_t remote_shard_queries() const;
+  [[nodiscard]] std::uint64_t local_shard_queries() const;
+  [[nodiscard]] std::size_t replicated_partitions() const;
+
+ private:
+  struct Gather {
+    std::size_t expected = 0;
+    /// (partition index, that shard's per-location partials)
+    std::vector<std::pair<std::size_t, QueryResponseBody>> responses;
+  };
+
+  void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
+  void route_record(SummaryRecord record);
+  /// Move out every non-empty batch (caller sends them lock-free).
+  [[nodiscard]] std::vector<std::pair<std::size_t, AddBatchBody>> take_batches() const;
+  void ship_batch(std::size_t shard, AddBatchBody batch) const;
+  /// Fetch shard's raw records and install them as a local replica.
+  void install_replica(std::size_t shard) const;
+  /// The shard's partials for a selection, computed from the local replica
+  /// (same code path as PartitionServer::handle_query, minus the wire).
+  [[nodiscard]] QueryResponseBody local_partials(
+      const FlowDB& replica, const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const;
+
+  net::Transport* transport_;
+  NodeId node_;
+  std::unique_ptr<Partitioner> partitioner_;
+  std::vector<NodeId> servers_;
+  Options options_;
+  std::unordered_map<NodeId, std::size_t> shard_of_node_;
+
+  mutable std::mutex mu_;
+  mutable std::uint64_t next_request_id_ = 1;
+  mutable std::unordered_map<std::uint64_t, Gather> gathers_;
+  mutable std::unordered_map<std::uint64_t, AddBatchBody> replica_data_;
+  mutable std::vector<AddBatchBody> pending_;       ///< per shard
+  mutable std::vector<std::uint64_t> routed_bytes_; ///< per shard, cumulative
+  mutable std::unordered_map<std::size_t, FlowDB> replicas_;
+  mutable std::uint64_t remote_shard_queries_ = 0;
+  mutable std::uint64_t local_shard_queries_ = 0;
+
+  repl::ReplicaPlacer* placer_ = nullptr;
+};
+
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,249 @@
+#include "flowdb/partitioned/envelope.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::dist {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4D44'4531;  // "MDE1"
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint16_t kFlagsNone = 0;  // all flag bits reserved, must be 0
+
+// --- little-endian primitives ---
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_i64(std::vector<std::uint8_t>& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+void put_bytes(std::vector<std::uint8_t>& out, const std::vector<std::uint8_t>& b) {
+  put_u32(out, static_cast<std::uint32_t>(b.size()));
+  out.insert(out.end(), b.begin(), b.end());
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked cursor: every read validates against the buffer end, so a
+/// hostile length prefix fails loudly instead of reading out of bounds.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2, "u16");
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(v | (std::uint16_t{bytes_[pos_++]} << (8 * i)));
+    }
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t len = u32();
+    need(len, "byte field");
+    std::vector<std::uint8_t> out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  std::string string() {
+    const std::uint32_t len = u32();
+    need(len, "string field");
+    std::string out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Element-count prefix: validated against the bytes actually left, using
+  /// the smallest possible element footprint, so a huge count cannot drive a
+  /// pre-allocation or a long loop over a short buffer.
+  std::uint32_t count(std::size_t min_element_bytes) {
+    const std::uint32_t n = u32();
+    if (min_element_bytes > 0 && n > remaining() / min_element_bytes) {
+      throw ParseError("envelope: element count exceeds buffer");
+    }
+    return n;
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (n > remaining()) {
+      throw ParseError(std::string("envelope: truncated ") + what);
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+TimeInterval read_interval(Reader& r) {
+  TimeInterval interval;
+  interval.begin = r.i64();
+  interval.end = r.i64();
+  return interval;
+}
+
+void put_interval(std::vector<std::uint8_t>& out, const TimeInterval& interval) {
+  put_i64(out, interval.begin);
+  put_i64(out, interval.end);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Envelope& envelope) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(envelope.type));
+  put_u16(out, kFlagsNone);
+  put_u64(out, envelope.request_id);
+
+  switch (envelope.type) {
+    case MessageType::kAddBatch:
+    case MessageType::kReplicaData: {
+      const auto& body = std::get<AddBatchBody>(envelope.body);
+      put_u32(out, static_cast<std::uint32_t>(body.records.size()));
+      for (const SummaryRecord& record : body.records) {
+        put_interval(out, record.interval);
+        put_string(out, record.location);
+        put_bytes(out, record.summary);
+      }
+      break;
+    }
+    case MessageType::kQueryRequest:
+    case MessageType::kReplicaFetch: {
+      const auto& body = std::get<SelectionBody>(envelope.body);
+      put_u32(out, static_cast<std::uint32_t>(body.intervals.size()));
+      for (const TimeInterval& interval : body.intervals) {
+        put_interval(out, interval);
+      }
+      put_u32(out, static_cast<std::uint32_t>(body.locations.size()));
+      for (const std::string& location : body.locations) {
+        put_string(out, location);
+      }
+      break;
+    }
+    case MessageType::kQueryResponse: {
+      const auto& body = std::get<QueryResponseBody>(envelope.body);
+      put_u32(out, static_cast<std::uint32_t>(body.partials.size()));
+      for (const QueryResponseBody::Partial& partial : body.partials) {
+        put_string(out, partial.location);
+        put_bytes(out, partial.summary);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Envelope decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.u32() != kMagic) throw ParseError("envelope: bad magic");
+  if (r.u8() != kVersion) throw ParseError("envelope: unknown version");
+  const std::uint8_t raw_type = r.u8();
+  if (raw_type < 1 || raw_type > 5) throw ParseError("envelope: unknown type");
+  if (r.u16() != kFlagsNone) {
+    throw ParseError("envelope: reserved flag bits set");
+  }
+
+  Envelope envelope;
+  envelope.type = static_cast<MessageType>(raw_type);
+  envelope.request_id = r.u64();
+
+  switch (envelope.type) {
+    case MessageType::kAddBatch:
+    case MessageType::kReplicaData: {
+      AddBatchBody body;
+      // min element: 16B interval + 4B location len + 4B summary len
+      const std::uint32_t n = r.count(24);
+      body.records.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        SummaryRecord record;
+        record.interval = read_interval(r);
+        record.location = r.string();
+        record.summary = r.bytes();
+        body.records.push_back(std::move(record));
+      }
+      envelope.body = std::move(body);
+      break;
+    }
+    case MessageType::kQueryRequest:
+    case MessageType::kReplicaFetch: {
+      SelectionBody body;
+      const std::uint32_t intervals = r.count(16);
+      body.intervals.reserve(intervals);
+      for (std::uint32_t i = 0; i < intervals; ++i) {
+        body.intervals.push_back(read_interval(r));
+      }
+      const std::uint32_t locations = r.count(4);
+      body.locations.reserve(locations);
+      for (std::uint32_t i = 0; i < locations; ++i) {
+        body.locations.push_back(r.string());
+      }
+      envelope.body = std::move(body);
+      break;
+    }
+    case MessageType::kQueryResponse: {
+      QueryResponseBody body;
+      const std::uint32_t n = r.count(8);  // two length prefixes minimum
+      body.partials.reserve(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        QueryResponseBody::Partial partial;
+        partial.location = r.string();
+        partial.summary = r.bytes();
+        body.partials.push_back(std::move(partial));
+      }
+      envelope.body = std::move(body);
+      break;
+    }
+  }
+  if (r.remaining() != 0) throw ParseError("envelope: trailing bytes");
+  return envelope;
+}
+
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,72 @@
+// Wire envelopes of the partitioned FlowDB (coordinator <-> partition
+// server). One framing for every message: a fixed header (magic, version,
+// type, flags, request id) followed by length-prefixed sections. All
+// integers little-endian; every variable-length field carries an explicit
+// length prefix, so a decoder never reads past what the sender declared.
+//
+// The decoder is deliberately strict — wrong magic, unknown version or type,
+// any set flag bit (all are reserved), or a length running past the buffer
+// raises ParseError. Strictness is what makes the format fuzzable: the
+// decoder either returns a fully validated message or throws; it never
+// half-parses. fuzz/fuzz_envelope.cpp drives exactly this contract.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace megads::flowdb::dist {
+
+enum class MessageType : std::uint8_t {
+  kAddBatch = 1,       ///< coordinator -> server: index these summaries
+  kQueryRequest = 2,   ///< coordinator -> server: scatter one selection
+  kQueryResponse = 3,  ///< server -> coordinator: per-location stage-1 folds
+  kReplicaFetch = 4,   ///< replica host -> owner: send raw summaries
+  kReplicaData = 5,    ///< owner -> replica host: the requested summaries
+};
+
+/// One exported summary plus the index metadata it travels with.
+struct SummaryRecord {
+  std::vector<std::uint8_t> summary;  ///< Flowtree::encode() bytes
+  TimeInterval interval;
+  std::string location;
+};
+
+/// kAddBatch / kReplicaData body.
+struct AddBatchBody {
+  std::vector<SummaryRecord> records;
+};
+
+/// kQueryRequest / kReplicaFetch body: a (time ranges, locations) selection.
+struct SelectionBody {
+  std::vector<TimeInterval> intervals;
+  std::vector<std::string> locations;
+};
+
+/// kQueryResponse body: each matched location's stage-1 fold, encoded. The
+/// locations arrive in the server's index order (sorted); the coordinator
+/// re-sorts globally before its stage-2 fold.
+struct QueryResponseBody {
+  struct Partial {
+    std::string location;
+    std::vector<std::uint8_t> summary;
+  };
+  std::vector<Partial> partials;
+};
+
+struct Envelope {
+  MessageType type = MessageType::kQueryRequest;
+  std::uint64_t request_id = 0;
+  std::variant<AddBatchBody, SelectionBody, QueryResponseBody> body;
+};
+
+/// Serialize to the wire format described above.
+[[nodiscard]] std::vector<std::uint8_t> encode(const Envelope& envelope);
+
+/// Parse and validate; throws ParseError on any malformed input.
+[[nodiscard]] Envelope decode(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,139 @@
+#include "flowdb/partitioned/partitioner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace megads::flowdb::dist {
+
+namespace {
+
+std::vector<std::size_t> all_shards(std::size_t partitions) {
+  std::vector<std::size_t> shards(partitions);
+  for (std::size_t i = 0; i < partitions; ++i) shards[i] = i;
+  return shards;
+}
+
+void sort_unique(std::vector<std::size_t>& shards) {
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+}
+
+/// Floor division for possibly-negative virtual times.
+constexpr std::int64_t floor_div(std::int64_t a, std::int64_t b) {
+  const std::int64_t q = a / b;
+  return (a % b != 0 && (a < 0) != (b < 0)) ? q - 1 : q;
+}
+
+std::string_view site_prefix(const std::string& location, char delimiter) {
+  const std::size_t cut = location.find(delimiter);
+  return cut == std::string::npos
+             ? std::string_view(location)
+             : std::string_view(location).substr(0, cut);
+}
+
+}  // namespace
+
+std::vector<std::size_t> Partitioner::targets(
+    const std::vector<TimeInterval>& /*intervals*/,
+    const std::vector<std::string>& /*locations*/,
+    std::size_t partitions) const {
+  return all_shards(partitions);
+}
+
+// --- TimePartitioner ---
+
+TimePartitioner::TimePartitioner(SimDuration window) : window_(window) {
+  expects(window > 0, "TimePartitioner: window must be positive");
+}
+
+std::size_t TimePartitioner::shard_of_window(std::int64_t window_index,
+                                             std::size_t partitions) const {
+  const auto n = static_cast<std::int64_t>(partitions);
+  return static_cast<std::size_t>(((window_index % n) + n) % n);
+}
+
+std::size_t TimePartitioner::route(const TimeInterval& interval,
+                                   const std::string& /*location*/,
+                                   std::size_t partitions) const {
+  expects(partitions > 0, "Partitioner::route: no partitions");
+  return shard_of_window(floor_div(interval.begin, window_), partitions);
+}
+
+std::vector<std::size_t> TimePartitioner::targets(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& /*locations*/,
+    std::size_t partitions) const {
+  if (intervals.empty()) return all_shards(partitions);
+  std::vector<std::size_t> shards;
+  for (const TimeInterval& interval : intervals) {
+    if (interval.empty()) continue;
+    const std::int64_t first = floor_div(interval.begin, window_);
+    const std::int64_t last = floor_div(interval.end - 1, window_);
+    if (last - first + 1 >= static_cast<std::int64_t>(partitions)) {
+      return all_shards(partitions);  // the span wraps every shard anyway
+    }
+    for (std::int64_t w = first; w <= last; ++w) {
+      shards.push_back(shard_of_window(w, partitions));
+    }
+  }
+  sort_unique(shards);
+  return shards;
+}
+
+// --- LocationPartitioner ---
+
+std::size_t LocationPartitioner::route(const TimeInterval& /*interval*/,
+                                       const std::string& location,
+                                       std::size_t partitions) const {
+  expects(partitions > 0, "Partitioner::route: no partitions");
+  return static_cast<std::size_t>(mix64(fnv1a(location)) % partitions);
+}
+
+std::vector<std::size_t> LocationPartitioner::targets(
+    const std::vector<TimeInterval>& /*intervals*/,
+    const std::vector<std::string>& locations, std::size_t partitions) const {
+  if (locations.empty()) return all_shards(partitions);
+  std::vector<std::size_t> shards;
+  shards.reserve(locations.size());
+  for (const std::string& location : locations) {
+    shards.push_back(route(TimeInterval{}, location, partitions));
+  }
+  sort_unique(shards);
+  return shards;
+}
+
+// --- PrefixPartitioner ---
+
+PrefixPartitioner::PrefixPartitioner(char delimiter) : delimiter_(delimiter) {}
+
+std::size_t PrefixPartitioner::route(const TimeInterval& /*interval*/,
+                                     const std::string& location,
+                                     std::size_t partitions) const {
+  expects(partitions > 0, "Partitioner::route: no partitions");
+  return static_cast<std::size_t>(
+      mix64(fnv1a(site_prefix(location, delimiter_))) % partitions);
+}
+
+std::vector<std::size_t> PrefixPartitioner::targets(
+    const std::vector<TimeInterval>& /*intervals*/,
+    const std::vector<std::string>& locations, std::size_t partitions) const {
+  if (locations.empty()) return all_shards(partitions);
+  std::vector<std::size_t> shards;
+  shards.reserve(locations.size());
+  for (const std::string& location : locations) {
+    shards.push_back(route(TimeInterval{}, location, partitions));
+  }
+  sort_unique(shards);
+  return shards;
+}
+
+std::unique_ptr<Partitioner> make_partitioner(const std::string& name) {
+  if (name == "by-time") return std::make_unique<TimePartitioner>();
+  if (name == "by-location") return std::make_unique<LocationPartitioner>();
+  if (name == "by-prefix") return std::make_unique<PrefixPartitioner>();
+  throw NotFoundError("unknown partitioner: " + name);
+}
+
+}  // namespace megads::flowdb::dist

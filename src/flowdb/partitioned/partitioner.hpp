@@ -1,0 +1,113 @@
+// Partitioning strategies of the partitioned FlowDB. A Partitioner is a pure
+// function from summary metadata to a shard index — routing depends only on
+// (interval, location, partition count), never on arrival order or on what a
+// shard already holds, so any node (coordinator, ingest pipeline, test) can
+// compute the same placement independently.
+//
+// Strategy menu (mirroring the term/document/block choices of RDMA inverted
+// indexes — same data, different scatter fan-out):
+//   * TimePartitioner     — shard by epoch window: round-robin over windows of
+//                           interval.begin. Point-in-time queries touch few
+//                           shards; one location's history spreads over all.
+//   * LocationPartitioner — shard by location hash: a location's whole
+//                           history lives in one shard, so per-location
+//                           stage-1 folds never cross shards.
+//   * PrefixPartitioner   — shard by location-name prefix (up to a
+//                           delimiter): co-locates a site's sensors
+//                           ("site3/rack1", "site3/rack2" → one shard).
+//
+// `targets()` narrows the scatter set for a selection; returning every shard
+// is always correct, and strategies only narrow when the selection constrains
+// their own routing feature.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace megads::flowdb::dist {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Shard owning a summary with this metadata. Must be < `partitions`.
+  [[nodiscard]] virtual std::size_t route(const TimeInterval& interval,
+                                          const std::string& location,
+                                          std::size_t partitions) const = 0;
+
+  /// Shards that may own summaries matching the selection (empty intervals /
+  /// locations = unconstrained). Sorted, deduplicated. Default: all shards.
+  [[nodiscard]] virtual std::vector<std::size_t> targets(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations, std::size_t partitions) const;
+};
+
+/// Round-robin over fixed windows of interval.begin.
+class TimePartitioner final : public Partitioner {
+ public:
+  explicit TimePartitioner(SimDuration window = kHour);
+
+  [[nodiscard]] std::string name() const override { return "by-time"; }
+  [[nodiscard]] std::size_t route(const TimeInterval& interval,
+                                  const std::string& location,
+                                  std::size_t partitions) const override;
+  /// Narrows by the intervals: only windows the selection overlaps.
+  [[nodiscard]] std::vector<std::size_t> targets(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations,
+      std::size_t partitions) const override;
+
+  [[nodiscard]] SimDuration window() const noexcept { return window_; }
+
+ private:
+  [[nodiscard]] std::size_t shard_of_window(std::int64_t window_index,
+                                            std::size_t partitions) const;
+  SimDuration window_;
+};
+
+/// Hash of the full location name.
+class LocationPartitioner final : public Partitioner {
+ public:
+  [[nodiscard]] std::string name() const override { return "by-location"; }
+  [[nodiscard]] std::size_t route(const TimeInterval& interval,
+                                  const std::string& location,
+                                  std::size_t partitions) const override;
+  /// Narrows by the named locations.
+  [[nodiscard]] std::vector<std::size_t> targets(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations,
+      std::size_t partitions) const override;
+};
+
+/// Hash of the location name up to (excluding) the first delimiter — the
+/// "site" of a hierarchical sensor name. Locations without the delimiter
+/// hash whole, so this degrades to LocationPartitioner on flat names.
+class PrefixPartitioner final : public Partitioner {
+ public:
+  explicit PrefixPartitioner(char delimiter = '/');
+
+  [[nodiscard]] std::string name() const override { return "by-prefix"; }
+  [[nodiscard]] std::size_t route(const TimeInterval& interval,
+                                  const std::string& location,
+                                  std::size_t partitions) const override;
+  [[nodiscard]] std::vector<std::size_t> targets(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations,
+      std::size_t partitions) const override;
+
+ private:
+  char delimiter_;
+};
+
+/// Factory by strategy name ("by-time" / "by-location" / "by-prefix"), for
+/// benches and examples taking the strategy from the command line.
+[[nodiscard]] std::unique_ptr<Partitioner> make_partitioner(
+    const std::string& name);
+
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,102 @@
+#include "flowdb/partitioned/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::dist {
+
+PartitionServer::PartitionServer(net::Transport& transport, NodeId node,
+                                 flowtree::FlowtreeConfig tree_config)
+    : transport_(&transport), node_(node), db_(tree_config) {
+  transport_->bind(node_, [this](NodeId from,
+                                 const std::vector<std::uint8_t>& payload,
+                                 SimTime /*now*/) { on_message(from, payload); });
+}
+
+PartitionServer::~PartitionServer() { transport_->unbind(node_); }
+
+std::uint64_t PartitionServer::raw_bytes() const {
+  const std::lock_guard lock(raw_mu_);
+  return raw_bytes_;
+}
+
+void PartitionServer::on_message(NodeId from,
+                                 const std::vector<std::uint8_t>& payload) {
+  const Envelope envelope = decode(payload);
+  switch (envelope.type) {
+    case MessageType::kAddBatch:
+      handle_add(std::get<AddBatchBody>(envelope.body));
+      return;
+    case MessageType::kQueryRequest:
+      handle_query(from, envelope.request_id,
+                   std::get<SelectionBody>(envelope.body));
+      return;
+    case MessageType::kReplicaFetch:
+      handle_replica_fetch(from, envelope.request_id,
+                           std::get<SelectionBody>(envelope.body));
+      return;
+    case MessageType::kQueryResponse:
+    case MessageType::kReplicaData:
+      throw PreconditionError("PartitionServer: got a response-type envelope");
+  }
+}
+
+void PartitionServer::handle_add(const AddBatchBody& body) {
+  for (const SummaryRecord& record : body.records) {
+    db_.add_encoded(record.summary, record.interval, record.location);
+    const std::lock_guard lock(raw_mu_);
+    raw_.push_back(record);
+    raw_bytes_ += record.summary.size();
+  }
+}
+
+void PartitionServer::handle_query(NodeId from, std::uint64_t request_id,
+                                   const SelectionBody& body) {
+  // One partial per matched location: this shard's stage-1 fold (over-time
+  // merge, shared location). The per-location merged() calls go through the
+  // view cache, so a repeated selection — the dashboard pattern — answers
+  // from cached folds without touching the node pools.
+  QueryResponseBody response;
+  for (const std::string& location :
+       db_.matching_locations(body.intervals, body.locations)) {
+    response.partials.push_back(
+        {location, db_.merged(body.intervals, {location}).encode()});
+  }
+  Envelope reply;
+  reply.type = MessageType::kQueryResponse;
+  reply.request_id = request_id;
+  reply.body = std::move(response);
+  transport_->send_message(node_, from, encode(reply));
+}
+
+void PartitionServer::handle_replica_fetch(NodeId from, std::uint64_t request_id,
+                                           const SelectionBody& body) {
+  const auto wanted_time = [&](const TimeInterval& interval) {
+    if (body.intervals.empty()) return true;
+    return std::any_of(body.intervals.begin(), body.intervals.end(),
+                       [&](const TimeInterval& w) { return w.overlaps(interval); });
+  };
+  const auto wanted_location = [&](const std::string& location) {
+    if (body.locations.empty()) return true;
+    return std::find(body.locations.begin(), body.locations.end(), location) !=
+           body.locations.end();
+  };
+  AddBatchBody data;
+  {
+    const std::lock_guard lock(raw_mu_);
+    for (const SummaryRecord& record : raw_) {
+      if (wanted_time(record.interval) && wanted_location(record.location)) {
+        data.records.push_back(record);
+      }
+    }
+  }
+  Envelope reply;
+  reply.type = MessageType::kReplicaData;
+  reply.request_id = request_id;
+  reply.body = std::move(data);
+  transport_->send_message(node_, from, encode(reply));
+}
+
+}  // namespace megads::flowdb::dist

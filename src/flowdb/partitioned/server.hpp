@@ -1,0 +1,67 @@
+// PartitionServer — one shard of the partitioned FlowDB. Hosts a full FlowDB
+// (summary index + the PR 5 content-addressed view cache, so repeated
+// scatter selections hit per-partition) behind a Transport message handler:
+//
+//   kAddBatch      -> index every record (no reply)
+//   kQueryRequest  -> per matched location, the stage-1 fold of this shard's
+//                     epochs, encoded, in one kQueryResponse
+//   kReplicaFetch  -> the raw summary records matching the selection, in one
+//                     kReplicaData (the ski-rental "buy": the requester
+//                     installs them as a local replica)
+//
+// The server never initiates traffic; it only answers. All state is
+// internally synchronized, so a thread-safe transport (Loopback) may deliver
+// from several querier threads at once.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "flowdb/flowdb.hpp"
+#include "flowdb/partitioned/envelope.hpp"
+#include "net/transport.hpp"
+
+namespace megads::flowdb::dist {
+
+class PartitionServer {
+ public:
+  /// Binds `node` on `transport`; both must outlive the server.
+  PartitionServer(net::Transport& transport, NodeId node,
+                  flowtree::FlowtreeConfig tree_config = {});
+  ~PartitionServer();
+
+  // The transport handler captures `this`.
+  PartitionServer(const PartitionServer&) = delete;
+  PartitionServer& operator=(const PartitionServer&) = delete;
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+
+  /// The shard's index — for cache budgets, thread pools, metrics, and test
+  /// introspection. Internally synchronized like any FlowDB.
+  [[nodiscard]] FlowDB& db() noexcept { return db_; }
+  [[nodiscard]] const FlowDB& db() const noexcept { return db_; }
+
+  /// Total encoded bytes of the raw records held (the ski-rental partition
+  /// size: what a replica copy would ship).
+  [[nodiscard]] std::uint64_t raw_bytes() const;
+
+ private:
+  void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
+  void handle_add(const AddBatchBody& body);
+  void handle_query(NodeId from, std::uint64_t request_id,
+                    const SelectionBody& body);
+  void handle_replica_fetch(NodeId from, std::uint64_t request_id,
+                            const SelectionBody& body);
+
+  net::Transport* transport_;
+  NodeId node_;
+  FlowDB db_;
+
+  /// Raw records as received, for replica copies — the index alone cannot
+  /// reproduce the original per-summary granularity.
+  mutable std::mutex raw_mu_;
+  std::vector<SummaryRecord> raw_;
+  std::uint64_t raw_bytes_ = 0;
+};
+
+}  // namespace megads::flowdb::dist

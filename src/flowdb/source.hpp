@@ -1,0 +1,41 @@
+// SummarySource — what the FlowQL executor actually needs from its backend:
+// a Table II Merge of the summaries matching a (time ranges, locations)
+// selection. FlowDB implements it over its local index; the partitioned
+// Coordinator implements it by scatter-gather over a Transport. The executor
+// is written against this interface, so single-node and distributed
+// execution share one code path — which is also what makes the distributed-
+// equivalence suites meaningful: same executor, different merged() provider.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flowtree/flowtree.hpp"
+
+namespace megads {
+class ThreadPool;
+}
+
+namespace megads::flowdb {
+
+class SummarySource {
+ public:
+  virtual ~SummarySource() = default;
+
+  /// All summaries overlapping `intervals` (all time when empty) at
+  /// `locations` (all locations when empty), folded per the Table II Merge
+  /// discipline: per location over time first (shared location), then across
+  /// locations (shared time).
+  [[nodiscard]] virtual flowtree::Flowtree merged(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const = 0;
+
+  /// Pool the executor may use for independent sub-merges (diff operands);
+  /// nullptr = run them serially on the caller's thread.
+  [[nodiscard]] virtual ThreadPool* merge_pool() const noexcept {
+    return nullptr;
+  }
+};
+
+}  // namespace megads::flowdb

@@ -20,6 +20,7 @@ flowtree::FlowtreeConfig with_budget(flowtree::FlowtreeConfig config,
 
 Flowstream::Flowstream(sim::Simulator& sim, FlowstreamConfig config)
     : sim_(&sim), config_(std::move(config)), network_(sim, topology_),
+      transport_(network_),
       db_(config_.tree), sampling_rng_(config_.sampling_seed) {
   expects(config_.regions > 0 && config_.routers_per_region > 0,
           "Flowstream: need at least one region and router");
@@ -179,7 +180,7 @@ void Flowstream::attach_metrics(metrics::MetricsRegistry& registry) {
     for (auto& router : region) router.store->attach_metrics(registry);
   }
   for (auto& region : regions_) region.store->attach_metrics(registry);
-  network_.attach_metrics(registry);
+  transport_.attach_metrics(registry);
   db_.attach_metrics(registry);
   metric_exports_ = &registry.counter("flowstream.exports");
   metric_export_bytes_ = &registry.counter("flowstream.export_wire_bytes");
@@ -197,9 +198,9 @@ void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now
   // cloud is unreachable, defer — last_export stays put, so the next tick
   // retries with a window covering everything missed. Sealed partitions wait
   // in the router's local storage meanwhile (bounded by its budget).
-  if (network_.transfer_time_unloaded(node.net_node, regions_[region].net_node,
-                                      1) == kTimeNever ||
-      network_.transfer_time_unloaded(node.net_node, cloud_node_, 1) ==
+  if (transport_.transfer_time_unloaded(node.net_node, regions_[region].net_node,
+                                        1) == kTimeNever ||
+      transport_.transfer_time_unloaded(node.net_node, cloud_node_, 1) ==
           kTimeNever) {
     MEGADS_LOG(kInfo) << router_location(region, router)
                       << ": uplink down, deferring export of "
@@ -248,7 +249,7 @@ void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now
   store::DataStore* region_store_ptr = parent.store.get();
   const AggregatorId region_slot_id = parent.slot;
   const flowtree::FlowtreeConfig tree_config = config_.tree;
-  network_.send(node.net_node, parent.net_node, encoded->size(),
+  transport_.send(node.net_node, parent.net_node, encoded->size(),
                 [encoded, region_store_ptr, region_slot_id, tree_config,
                  export_entity](SimTime at) {
                   const flowtree::Flowtree received =
@@ -262,7 +263,7 @@ void Flowstream::export_tick(std::size_t region, std::size_t router, SimTime now
   // ...and arrow 4: ship it onward to the cloud's FlowDB index.
   auto* db = &db_;
   const std::string location = router_location(region, router);
-  network_.send(node.net_node, cloud_node_, encoded->size(),
+  transport_.send(node.net_node, cloud_node_, encoded->size(),
                 [this, encoded, db, window, location, export_entity](SimTime at) {
                   db->add_encoded(*encoded, window, location);
                   ++summaries_indexed_;

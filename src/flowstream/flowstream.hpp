@@ -21,6 +21,7 @@
 #include "flowdb/flowdb.hpp"
 #include "flowtree/flowtree.hpp"
 #include "net/network.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "store/datastore.hpp"
 
@@ -116,6 +117,8 @@ class Flowstream {
                                             std::size_t router) const;
 
   [[nodiscard]] const net::Network& network() const noexcept { return network_; }
+  /// The transport every export rides (see net/transport.hpp).
+  [[nodiscard]] net::Transport& transport() noexcept { return transport_; }
   /// Mutable topology access for failure-injection experiments.
   [[nodiscard]] net::Topology& topology() noexcept { return topology_; }
   /// The WAN link between a router and its regional store.
@@ -156,6 +159,7 @@ class Flowstream {
   FlowstreamConfig config_;
   net::Topology topology_;
   net::Network network_;
+  net::SimTransport transport_;
   std::vector<std::vector<RouterNode>> routers_;  ///< [region][router]
   std::vector<RegionNode> regions_;
   NodeId cloud_node_;

@@ -258,8 +258,7 @@ std::vector<KeyScore> Flowtree::drilldown(const flow::FlowKey& key) const {
        c = s.nodes[c].next_sibling) {
     rows.push_back({s.nodes[c].key, scores[c]});
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  std::sort(rows.begin(), rows.end(), primitives::score_before);
   return rows;
 }
 
@@ -271,10 +270,8 @@ std::vector<KeyScore> Flowtree::top_k(std::size_t k) const {
     if (node.alive && node.own != 0.0) rows.push_back({node.key, node.own});
   }
   const std::size_t take = std::min(k, rows.size());
-  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(take), rows.end(),
-                    [](const KeyScore& a, const KeyScore& b) {
-                      return a.score > b.score;
-                    });
+  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(take),
+                    rows.end(), primitives::score_before);
   rows.resize(take);
   return rows;
 }
@@ -284,8 +281,7 @@ std::vector<KeyScore> Flowtree::above(double threshold) const {
   for (const Node& node : state_->nodes) {
     if (node.alive && node.own >= threshold) rows.push_back({node.key, node.own});
   }
-  std::sort(rows.begin(), rows.end(),
-            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  std::sort(rows.begin(), rows.end(), primitives::score_before);
   return rows;
 }
 
@@ -307,8 +303,7 @@ std::vector<KeyScore> Flowtree::hhh(double phi) const {
       adjusted[s.nodes[id].parent] += adjusted[id];
     }
   }
-  std::sort(hhh_set.begin(), hhh_set.end(),
-            [](const KeyScore& a, const KeyScore& b) { return a.score > b.score; });
+  std::sort(hhh_set.begin(), hhh_set.end(), primitives::score_before);
   return hhh_set;
 }
 

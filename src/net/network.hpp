@@ -44,6 +44,9 @@ class Network {
   [[nodiscard]] SimDuration transfer_time_unloaded(NodeId from, NodeId to,
                                                    std::uint64_t bytes) const;
 
+  /// The simulator driving deliveries (for transports layered on top).
+  [[nodiscard]] sim::Simulator& simulator() const noexcept { return *sim_; }
+
   [[nodiscard]] const TransferStats& stats() const noexcept { return stats_; }
   [[nodiscard]] TransferStats link_stats(LinkId id) const;
   void reset_stats() noexcept;

@@ -1,0 +1,126 @@
+#include "net/transport.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+
+// --- SimTransport -----------------------------------------------------------
+
+SimTime SimTransport::send(NodeId from, NodeId to, std::uint64_t bytes,
+                           DeliveryCallback on_delivered) {
+  return network_->send(from, to, bytes, std::move(on_delivered));
+}
+
+SimTime SimTransport::send_message(NodeId from, NodeId to,
+                                   std::vector<std::uint8_t> payload) {
+  if (handlers_.find(to) == handlers_.end()) {
+    throw NotFoundError("SimTransport::send_message: no handler bound at node " +
+                        std::to_string(to.value()));
+  }
+  const std::uint64_t bytes = payload.size();
+  return network_->send(
+      from, to, bytes,
+      [this, from, to, data = std::move(payload)](SimTime delivered) {
+        // Look the handler up again at delivery time: rebinding between send
+        // and delivery hands the message to the new owner.
+        const auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          throw NotFoundError(
+              "SimTransport: message arrived at node " +
+              std::to_string(to.value()) + " after its handler was unbound");
+        }
+        it->second(from, data, delivered);
+      });
+}
+
+void SimTransport::bind(NodeId node, MessageHandler handler) {
+  expects(static_cast<bool>(handler), "SimTransport::bind: empty handler");
+  handlers_[node] = std::move(handler);
+}
+
+void SimTransport::unbind(NodeId node) { handlers_.erase(node); }
+
+SimDuration SimTransport::transfer_time_unloaded(NodeId from, NodeId to,
+                                                 std::uint64_t bytes) const {
+  return network_->transfer_time_unloaded(from, to, bytes);
+}
+
+SimTime SimTransport::now() const { return network_->simulator().now(); }
+
+void SimTransport::run_until_idle() { network_->simulator().run(); }
+
+// --- LoopbackTransport ------------------------------------------------------
+
+SimTime LoopbackTransport::send(NodeId from, NodeId to, std::uint64_t bytes,
+                                DeliveryCallback on_delivered) {
+  (void)from;
+  (void)to;
+  {
+    const std::lock_guard lock(mu_);
+    stats_.messages += 1;
+    stats_.bytes += bytes;
+    stats_.payload_bytes += bytes;
+    if (metric_messages_ != nullptr) {
+      metric_messages_->add();
+      metric_payload_bytes_->add(bytes);
+    }
+  }
+  if (on_delivered) on_delivered(0);
+  return 0;
+}
+
+SimTime LoopbackTransport::send_message(NodeId from, NodeId to,
+                                        std::vector<std::uint8_t> payload) {
+  MessageHandler handler;
+  {
+    const std::lock_guard lock(mu_);
+    const auto it = handlers_.find(to);
+    if (it == handlers_.end()) {
+      throw NotFoundError(
+          "LoopbackTransport::send_message: no handler bound at node " +
+          std::to_string(to.value()));
+    }
+    handler = it->second;  // copy: dispatch happens outside the lock
+    stats_.messages += 1;
+    stats_.bytes += payload.size();
+    stats_.payload_bytes += payload.size();
+    if (metric_messages_ != nullptr) {
+      metric_messages_->add();
+      metric_payload_bytes_->add(payload.size());
+    }
+  }
+  handler(from, payload, 0);
+  return 0;
+}
+
+void LoopbackTransport::bind(NodeId node, MessageHandler handler) {
+  expects(static_cast<bool>(handler), "LoopbackTransport::bind: empty handler");
+  const std::lock_guard lock(mu_);
+  handlers_[node] = std::move(handler);
+}
+
+void LoopbackTransport::unbind(NodeId node) {
+  const std::lock_guard lock(mu_);
+  handlers_.erase(node);
+}
+
+SimDuration LoopbackTransport::transfer_time_unloaded(NodeId, NodeId,
+                                                      std::uint64_t) const {
+  return 0;
+}
+
+TransferStats LoopbackTransport::stats() const {
+  const std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void LoopbackTransport::attach_metrics(metrics::MetricsRegistry& registry) {
+  const std::lock_guard lock(mu_);
+  metric_messages_ = &registry.counter("net.messages");
+  metric_payload_bytes_ = &registry.counter("net.payload_bytes");
+}
+
+}  // namespace megads::net

@@ -1,0 +1,141 @@
+// Transport — the inter-node communication boundary every layer above the
+// network speaks (Section III: stores exchange summaries; Section VII:
+// transfers are the cost being optimized).
+//
+// Two kinds of traffic share the interface:
+//   * send()          — accounting-only transfers: the sender knows the byte
+//                       volume and wants the delay/volume charged (summary
+//                       shipping, replica copies). The payload itself stays
+//                       in-process.
+//   * send_message()  — payload-carrying messages delivered to the handler
+//                       bound at the destination node (the scatter-gather
+//                       request/response envelopes of the partitioned FlowDB).
+//
+// Implementations:
+//   * SimTransport      — wraps the store-and-forward Network (virtual time,
+//                         per-link FIFO, TransferStats). Deliveries are
+//                         scheduled on the simulator; run_until_idle() pumps
+//                         it. Single-threaded, like the simulator itself.
+//   * LoopbackTransport — in-process direct dispatch: zero latency, handlers
+//                         run synchronously on the caller's thread. Thread-
+//                         safe, so concurrent coordinators/queriers can share
+//                         one instance.
+//
+// Code written against Transport runs unchanged over both — and over a real
+// socket transport later — which is the point: one code path from the unit
+// test to the WAN simulation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "net/network.hpp"
+
+namespace megads::net {
+
+class Transport {
+ public:
+  using DeliveryCallback = std::function<void(SimTime delivered_at)>;
+  /// Invoked at the destination when a send_message() payload arrives.
+  using MessageHandler = std::function<void(
+      NodeId from, const std::vector<std::uint8_t>& payload, SimTime now)>;
+
+  virtual ~Transport() = default;
+
+  /// Transfer `bytes` from `from` to `to`; `on_delivered` fires at the
+  /// (virtual) time the last byte arrives. Returns the delivery time.
+  /// Throws NotFoundError when the nodes are not connected.
+  virtual SimTime send(NodeId from, NodeId to, std::uint64_t bytes,
+                       DeliveryCallback on_delivered = nullptr) = 0;
+
+  /// Deliver `payload` to the handler bound at `to`. The destination must be
+  /// bound at send time (NotFoundError otherwise); the handler in effect at
+  /// delivery time receives the bytes. Returns the delivery time.
+  virtual SimTime send_message(NodeId from, NodeId to,
+                               std::vector<std::uint8_t> payload) = 0;
+
+  /// Install (or replace) the message handler for a node.
+  virtual void bind(NodeId node, MessageHandler handler) = 0;
+  virtual void unbind(NodeId node) = 0;
+
+  /// Lower bound on delivery time for a hypothetical transfer (cost models).
+  [[nodiscard]] virtual SimDuration transfer_time_unloaded(
+      NodeId from, NodeId to, std::uint64_t bytes) const = 0;
+
+  /// The transport's current (virtual) time.
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Drive the transport until every in-flight message is delivered. The
+  /// scatter-gather coordinator calls this between scatter and gather; for
+  /// LoopbackTransport it is a no-op because dispatch is synchronous.
+  virtual void run_until_idle() = 0;
+
+  [[nodiscard]] virtual TransferStats stats() const = 0;
+
+  /// Mirror transfer accounting into `registry` under "net." (see
+  /// Network::attach_metrics). The registry must outlive the transport.
+  virtual void attach_metrics(metrics::MetricsRegistry& registry) = 0;
+};
+
+/// Transport over the simulated WAN: every send is a Network store-and-forward
+/// transfer on virtual time. Not thread-safe (the simulator is the single
+/// driver, as everywhere else in the sim stack).
+class SimTransport final : public Transport {
+ public:
+  /// `network` must outlive the transport.
+  explicit SimTransport(Network& network) noexcept : network_(&network) {}
+
+  SimTime send(NodeId from, NodeId to, std::uint64_t bytes,
+               DeliveryCallback on_delivered = nullptr) override;
+  SimTime send_message(NodeId from, NodeId to,
+                       std::vector<std::uint8_t> payload) override;
+  void bind(NodeId node, MessageHandler handler) override;
+  void unbind(NodeId node) override;
+  [[nodiscard]] SimDuration transfer_time_unloaded(
+      NodeId from, NodeId to, std::uint64_t bytes) const override;
+  [[nodiscard]] SimTime now() const override;
+  void run_until_idle() override;
+  [[nodiscard]] TransferStats stats() const override { return network_->stats(); }
+  void attach_metrics(metrics::MetricsRegistry& registry) override {
+    network_->attach_metrics(registry);
+  }
+
+  [[nodiscard]] Network& network() noexcept { return *network_; }
+
+ private:
+  Network* network_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+};
+
+/// In-process transport: zero latency, synchronous dispatch on the caller's
+/// thread. Nodes are plain NodeId values — no topology required. Thread-safe:
+/// concurrent senders only contend on the stats/handler lock; handlers run
+/// outside it (a handler may itself send).
+class LoopbackTransport final : public Transport {
+ public:
+  SimTime send(NodeId from, NodeId to, std::uint64_t bytes,
+               DeliveryCallback on_delivered = nullptr) override;
+  SimTime send_message(NodeId from, NodeId to,
+                       std::vector<std::uint8_t> payload) override;
+  void bind(NodeId node, MessageHandler handler) override;
+  void unbind(NodeId node) override;
+  [[nodiscard]] SimDuration transfer_time_unloaded(
+      NodeId from, NodeId to, std::uint64_t bytes) const override;
+  [[nodiscard]] SimTime now() const override { return 0; }
+  void run_until_idle() override {}  // dispatch is synchronous
+  [[nodiscard]] TransferStats stats() const override;
+  void attach_metrics(metrics::MetricsRegistry& registry) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<NodeId, MessageHandler> handlers_;
+  TransferStats stats_;
+  metrics::Counter* metric_messages_ = nullptr;
+  metrics::Counter* metric_payload_bytes_ = nullptr;
+};
+
+}  // namespace megads::net

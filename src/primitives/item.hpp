@@ -79,6 +79,16 @@ struct KeyScore {
   friend bool operator==(const KeyScore&, const KeyScore&) = default;
 };
 
+/// Deterministic report order: score descending, equal scores by key. Report
+/// operators sort with this so ties never depend on node-pool iteration
+/// order — a distributed fold and a single-node fold of the same summaries
+/// render byte-identical tables.
+[[nodiscard]] inline bool score_before(const KeyScore& a,
+                                       const KeyScore& b) noexcept {
+  if (a.score != b.score) return a.score > b.score;
+  return a.key < b.key;
+}
+
 /// Scalar statistics row for StatsQuery answers.
 struct StatsResult {
   std::uint64_t count = 0;

@@ -1,0 +1,52 @@
+#include "repl/placement.hpp"
+
+namespace megads::repl {
+
+ReplicaPlacer::ReplicaPlacer(ReplicationPolicy& policy, net::Transport& transport)
+    : policy_(&policy), transport_(&transport) {}
+
+void ReplicaPlacer::track(PartitionId partition, SimTime now,
+                          std::uint64_t size_bytes) {
+  const std::lock_guard lock(mu_);
+  if (!tracked_.insert(partition).second) return;
+  policy_->on_partition_created(partition, now, size_bytes);
+}
+
+bool ReplicaPlacer::should_replicate(PartitionId partition, SimTime now,
+                                     std::uint64_t result_bytes) {
+  const std::lock_guard lock(mu_);
+  if (replicated_.contains(partition)) {
+    // Already bought — the caller should have served locally; keep the books
+    // consistent anyway.
+    policy_->observe_local_access(partition, now, result_bytes);
+    return false;
+  }
+  if (policy_->on_access(partition, now, result_bytes)) {
+    replicated_.insert(partition);
+    return true;
+  }
+  return false;
+}
+
+void ReplicaPlacer::observe_local(PartitionId partition, SimTime now,
+                                  std::uint64_t result_bytes) {
+  const std::lock_guard lock(mu_);
+  policy_->observe_local_access(partition, now, result_bytes);
+}
+
+bool ReplicaPlacer::is_replicated(PartitionId partition) const {
+  const std::lock_guard lock(mu_);
+  return replicated_.contains(partition);
+}
+
+std::size_t ReplicaPlacer::replicated_count() const {
+  const std::lock_guard lock(mu_);
+  return replicated_.size();
+}
+
+SimDuration ReplicaPlacer::copy_cost(NodeId owner, NodeId querier,
+                                     std::uint64_t bytes) const {
+  return transport_->transfer_time_unloaded(owner, querier, bytes);
+}
+
+}  // namespace megads::repl

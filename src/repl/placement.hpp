@@ -1,0 +1,59 @@
+// ReplicaPlacer — drives replica placement of partition shards toward their
+// queriers, turning the abstract ski-rental ReplicationPolicy decisions
+// (Section VII) into Transport-level actions. The querier-side component
+// (e.g. the scatter-gather Coordinator) reports every remote access; the
+// placer keeps the policy's books and answers "replicate this shard here,
+// now?" — renting is shipping query results forever, buying is one replica
+// copy plus local serving.
+//
+// The placer is deliberately transport-aware but data-oblivious: it prices
+// the buy via Transport::transfer_time_unloaded and accounts the copy via
+// Transport::send, while the caller moves the actual records (kReplicaFetch /
+// kReplicaData envelopes). Thread-safe: queriers on different threads may
+// share one placer over a LoopbackTransport.
+#pragma once
+
+#include <mutex>
+#include <unordered_set>
+
+#include "net/transport.hpp"
+#include "repl/policy.hpp"
+
+namespace megads::repl {
+
+class ReplicaPlacer {
+ public:
+  /// Both must outlive the placer.
+  ReplicaPlacer(ReplicationPolicy& policy, net::Transport& transport);
+
+  /// Register a shard the first time it is seen (idempotent). `size_bytes`
+  /// is the replica-copy volume the buy would ship.
+  void track(PartitionId partition, SimTime now, std::uint64_t size_bytes);
+
+  /// A remote access of `result_bytes` is about to be served. True means
+  /// "buy": replicate the shard to the querier before serving. At most one
+  /// true per partition; afterwards report via observe_local().
+  [[nodiscard]] bool should_replicate(PartitionId partition, SimTime now,
+                                      std::uint64_t result_bytes);
+
+  /// An access served from the local replica (after the buy).
+  void observe_local(PartitionId partition, SimTime now,
+                     std::uint64_t result_bytes);
+
+  [[nodiscard]] bool is_replicated(PartitionId partition) const;
+  [[nodiscard]] std::size_t replicated_count() const;
+
+  /// Unloaded wire time of copying `bytes` owner -> querier (the buy's
+  /// latency price; policies already account its byte price).
+  [[nodiscard]] SimDuration copy_cost(NodeId owner, NodeId querier,
+                                      std::uint64_t bytes) const;
+
+ private:
+  ReplicationPolicy* policy_;
+  net::Transport* transport_;
+  mutable std::mutex mu_;  ///< policies keep unsynchronized books
+  std::unordered_set<PartitionId> tracked_;
+  std::unordered_set<PartitionId> replicated_;
+};
+
+}  // namespace megads::repl

@@ -22,6 +22,7 @@ struct BrokerFixture : ::testing::Test {
   NodeId local_node = topo.add_node("local");
   net::LinkId link = topo.add_link(remote_node, local_node, 1000, 1.0e6);
   net::Network network{sim, topo};
+  net::SimTransport transport{network};
   store::DataStore remote_store{StoreId(0), "remote"};
   Manager manager;
   AggregatorId slot = install_slot();
@@ -56,7 +57,7 @@ struct BrokerFixture : ::testing::Test {
 
 TEST_F(BrokerFixture, ShipsSmallQueriesRemotely) {
   repl::AlwaysShip policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   const RemotePartition partition = seal_partition(10);
   const auto outcome = broker.query(partition, primitives::TopKQuery{3});
   EXPECT_FALSE(outcome.served_locally);
@@ -70,7 +71,7 @@ TEST_F(BrokerFixture, ShipsSmallQueriesRemotely) {
 
 TEST_F(BrokerFixture, AlwaysReplicatePullsPartitionOnFirstTouch) {
   repl::AlwaysReplicate policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   const RemotePartition partition = seal_partition(10);
   const auto first = broker.query(partition, primitives::TopKQuery{3});
   EXPECT_TRUE(first.served_locally);
@@ -87,7 +88,7 @@ TEST_F(BrokerFixture, AlwaysReplicatePullsPartitionOnFirstTouch) {
 
 TEST_F(BrokerFixture, BreakEvenSwitchesAfterEnoughShipping) {
   repl::BreakEvenPolicy policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   const RemotePartition partition = seal_partition(50);
   // Big results (top-1000 over 50 entries = 50 rows each) accumulate rent
   // against the partition's wire size until the policy buys.
@@ -107,7 +108,7 @@ TEST_F(BrokerFixture, BreakEvenSwitchesAfterEnoughShipping) {
 
 TEST_F(BrokerFixture, ReplicaIsImmutableSnapshot) {
   repl::AlwaysReplicate policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   const RemotePartition partition = seal_partition(5);
   (void)broker.query(partition, primitives::TopKQuery{1});
   // New data at the remote store lands in *newer* partitions; the replica of
@@ -120,7 +121,7 @@ TEST_F(BrokerFixture, ReplicaIsImmutableSnapshot) {
 
 TEST_F(BrokerFixture, DistinctPartitionsTrackedIndependently) {
   repl::BreakEvenPolicy policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   const RemotePartition a = seal_partition(20);
   const RemotePartition b = seal_partition(20);
   // Hammer partition a until it replicates; b must stay remote.
@@ -134,7 +135,7 @@ TEST_F(BrokerFixture, DistinctPartitionsTrackedIndependently) {
 
 TEST_F(BrokerFixture, MissingPartitionThrows) {
   repl::AlwaysShip policy;
-  RemoteQueryBroker broker(network, local_node, policy, &manager);
+  RemoteQueryBroker broker(transport, local_node, policy, &manager);
   RemotePartition bogus{&remote_store, slot, PartitionId(9999), remote_node};
   EXPECT_THROW(broker.query(bogus, primitives::TopKQuery{1}), NotFoundError);
 }

@@ -1,0 +1,335 @@
+// Distributed-equivalence property suite: the partitioned FlowDB (partition
+// servers + scatter-gather Coordinator) must give byte-identical FlowQL
+// answers to a single-node FlowDB holding the same summaries — across every
+// Partitioner strategy, partition count, cache setting, and random
+// add/query interleavings. Weights are integers, so folds are exact in any
+// association order; node budgets are large enough that no compression
+// triggers. Equality is on Table::to_string() — rendering included.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/server.hpp"
+#include "net/transport.hpp"
+#include "repl/placement.hpp"
+#include "repl/policy.hpp"
+#include "sim/simulator.hpp"
+
+namespace megads::flowdb::dist {
+namespace {
+
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+FlowtreeConfig big_config() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;  // no compression: folds stay exact
+  return config;
+}
+
+const std::vector<std::string>& location_pool() {
+  static const std::vector<std::string> pool = {
+      "site0/rack0", "site0/rack1", "site1/rack0",
+      "site1/rack1", "site2/rack0", "core"};
+  return pool;
+}
+
+const std::vector<std::string>& query_pool() {
+  static const std::vector<std::string> pool = {
+      "SELECT topk(5) FROM 0s..21600s",
+      "SELECT topk(3) FROM 3600s..7200s",
+      "SELECT topk(4) FROM 0s..21600s WHERE location = 'site0/rack0'",
+      "SELECT topk(4) FROM 600s..4200s WHERE location = 'site1/rack1'",
+      "SELECT query FROM 0s..21600s WHERE src = 10.1.0.0/16",
+      "SELECT drilldown FROM 0s..21600s WHERE src = 10.0.0.0/8",
+  };
+  return pool;
+}
+
+/// One random summary: 1-3 flows with integer weights, a 10-minute epoch
+/// somewhere inside [0, 6 h), a location from the pool.
+struct RandomRecord {
+  Flowtree tree;
+  TimeInterval interval;
+  std::string location;
+};
+
+RandomRecord random_record(std::mt19937& rng) {
+  RandomRecord record{Flowtree(big_config()), {}, {}};
+  std::uniform_int_distribution<int> flows(1, 3);
+  std::uniform_int_distribution<int> octet(1, 4);
+  std::uniform_int_distribution<int> host(1, 6);
+  std::uniform_int_distribution<int> weight(1, 100);
+  const int n = flows(rng);
+  for (int i = 0; i < n; ++i) {
+    const flow::FlowKey key = flow::FlowKey::from_tuple(
+        6, flow::IPv4(10, static_cast<std::uint8_t>(octet(rng)), 0,
+                      static_cast<std::uint8_t>(host(rng))),
+        50000, flow::IPv4(198, 51, 100, 7), 80);
+    record.tree.add(key, static_cast<double>(weight(rng)));
+  }
+  std::uniform_int_distribution<std::int64_t> epoch(0, 35);
+  record.interval = TimeInterval{epoch(rng) * 10 * kMinute, 0};
+  record.interval.end = record.interval.begin + 10 * kMinute;
+  std::uniform_int_distribution<std::size_t> loc(0, location_pool().size() - 1);
+  record.location = location_pool()[loc(rng)];
+  return record;
+}
+
+struct Cluster {
+  explicit Cluster(net::Transport& transport, const std::string& strategy,
+                   bool caching, NodeId coordinator_node,
+                   std::vector<NodeId> server_nodes) {
+    for (const NodeId node : server_nodes) {
+      servers.push_back(
+          std::make_unique<PartitionServer>(transport, node, big_config()));
+      if (!caching) servers.back()->db().set_view_cache_budget(0);
+    }
+    Coordinator::Options options;
+    options.add_batch_size = 4;  // several partial-batch flushes per run
+    options.tree_config = big_config();
+    coordinator = std::make_unique<Coordinator>(
+        transport, coordinator_node, make_partitioner(strategy),
+        std::move(server_nodes), options);
+  }
+
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+/// Drive the same random interleaving of adds and queries through a
+/// single-node FlowDB and a partitioned cluster; every query must render to
+/// the same bytes from both.
+void run_equivalence(Cluster& cluster, bool caching, unsigned seed,
+                     int steps = 70) {
+  FlowDB reference(big_config());
+  if (!caching) reference.set_view_cache_budget(0);
+
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::uniform_int_distribution<std::size_t> pick(0, query_pool().size() - 1);
+  int queries_run = 0;
+  for (int step = 0; step < steps; ++step) {
+    if (coin(rng) != 0) {  // 3:1 adds to queries
+      RandomRecord record = random_record(rng);
+      cluster.coordinator->add(record.tree, record.interval, record.location);
+      reference.add(std::move(record.tree), record.interval, record.location);
+    } else {
+      const std::string& flowql = query_pool()[pick(rng)];
+      SCOPED_TRACE("step " + std::to_string(step) + ": " + flowql);
+      const Table expected = run_flowql(flowql, reference);
+      const Table actual = run_flowql(flowql, *cluster.coordinator);
+      EXPECT_EQ(actual.to_string(), expected.to_string());
+      ++queries_run;
+    }
+  }
+  // The interleaving must actually have exercised queries.
+  EXPECT_GT(queries_run, 0);
+}
+
+TEST(DistributedEquivalence, MatchesSingleNodeAcrossTheWholeMatrix) {
+  unsigned seed = 1;
+  for (const char* strategy : {"by-time", "by-location", "by-prefix"}) {
+    for (const std::size_t partitions :
+         {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+      for (const bool caching : {true, false}) {
+        SCOPED_TRACE(std::string(strategy) + " x " +
+                     std::to_string(partitions) + " partitions, caching " +
+                     (caching ? "on" : "off"));
+        net::LoopbackTransport transport;
+        std::vector<NodeId> nodes;
+        for (std::size_t i = 0; i < partitions; ++i) {
+          nodes.push_back(NodeId(static_cast<std::uint32_t>(i + 1)));
+        }
+        Cluster cluster(transport, strategy, caching, NodeId(0), nodes);
+        run_equivalence(cluster, caching, seed++);
+      }
+    }
+  }
+}
+
+TEST(DistributedEquivalence, RepeatedQueriesHitPerPartitionCachesUnchanged) {
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2)});
+  std::mt19937 rng(99);
+  for (int i = 0; i < 24; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+  }
+  const std::string flowql = query_pool()[0];
+  const std::string first = run_flowql(flowql, *cluster.coordinator).to_string();
+  metrics::MetricsRegistry registry;
+  for (auto& server : cluster.servers) server->db().attach_metrics(registry);
+  // Re-running the identical selection must be served from the servers' view
+  // caches — and render identically.
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
+  EXPECT_GT(registry.snapshot().value("flowdb.view_cache_hits", 0.0), 0.0);
+}
+
+TEST(DistributedEquivalence, SameAnswersOverTheSimulatedNetwork) {
+  // The same coordinator code over SimTransport: scatter-gather rides the
+  // store-and-forward WAN on virtual time and still matches the single node.
+  sim::Simulator sim;
+  net::Topology topo;
+  const NodeId querier = topo.add_node("querier");
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 3; ++i) {
+    const NodeId node = topo.add_node("shard" + std::to_string(i));
+    topo.add_link(querier, node, 2000, 1.0e7);
+    topo.add_link(node, querier, 2000, 1.0e7);
+    nodes.push_back(node);
+  }
+  net::Network network(sim, topo);
+  net::SimTransport transport(network);
+  Cluster cluster(transport, "by-time", /*caching=*/true, querier, nodes);
+  run_equivalence(cluster, /*caching=*/true, 4242, 50);
+  EXPECT_GT(transport.stats().payload_bytes, 0u);
+  EXPECT_GT(sim.now(), 0);  // the traffic consumed virtual time
+}
+
+TEST(DistributedReplication, SkiRentalBuyMovesShardsLocalWithoutChangingAnswers) {
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3), NodeId(4)});
+  FlowDB reference(big_config());
+  std::mt19937 rng(7);
+  for (int i = 0; i < 32; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+
+  repl::AlwaysReplicate policy;
+  repl::ReplicaPlacer placer(policy, transport);
+  cluster.coordinator->enable_replication(placer);
+
+  const std::string flowql = query_pool()[0];
+  const std::string expected = run_flowql(flowql, reference).to_string();
+  // First query after enabling: every remote shard access is a "buy".
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), expected);
+  EXPECT_GT(cluster.coordinator->replicated_partitions(), 0u);
+  EXPECT_EQ(placer.replicated_count(),
+            cluster.coordinator->replicated_partitions());
+  const std::uint64_t local_before = cluster.coordinator->local_shard_queries();
+  // Second query: the bought shards answer locally, same bytes.
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), expected);
+  EXPECT_GT(cluster.coordinator->local_shard_queries(), local_before);
+
+  // Summaries arriving after the buy reach the replica too.
+  RandomRecord late = random_record(rng);
+  cluster.coordinator->add(late.tree, late.interval, late.location);
+  reference.add(std::move(late.tree), late.interval, late.location);
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+            run_flowql(flowql, reference).to_string());
+}
+
+TEST(DistributedReplication, AlwaysShipNeverBuys) {
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2)});
+  repl::AlwaysShip policy;
+  repl::ReplicaPlacer placer(policy, transport);
+  cluster.coordinator->enable_replication(placer);
+  std::mt19937 rng(11);
+  for (int i = 0; i < 16; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+  }
+  for (int i = 0; i < 4; ++i) {
+    (void)run_flowql(query_pool()[0], *cluster.coordinator);
+  }
+  EXPECT_EQ(cluster.coordinator->replicated_partitions(), 0u);
+  EXPECT_EQ(cluster.coordinator->local_shard_queries(), 0u);
+  EXPECT_GT(cluster.coordinator->remote_shard_queries(), 0u);
+}
+
+TEST(DistributedConcurrency, ParallelQueriersSeeIdenticalAnswers) {
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-prefix", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3), NodeId(4)});
+  FlowDB reference(big_config());
+  std::mt19937 rng(31);
+  for (int i = 0; i < 40; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  std::vector<std::string> expected;
+  for (const std::string& flowql : query_pool()) {
+    expected.push_back(run_flowql(flowql, reference).to_string());
+  }
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 6;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t q = 0; q < query_pool().size(); ++q) {
+          const Table table =
+              run_flowql(query_pool()[q], *cluster.coordinator);
+          if (table.to_string() != expected[q]) ++mismatches[t];
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+}
+
+TEST(DistributedConcurrency, QueriesRaceAnIngestingWriter) {
+  // One writer streams summaries through the coordinator while readers run
+  // scatter-gathers. Answers are moving targets, so this asserts liveness and
+  // sanity (monotone non-negative totals), and gives TSan the interleavings.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3), NodeId(4)});
+  std::thread writer([&] {
+    std::mt19937 rng(55);
+    for (int i = 0; i < 120; ++i) {
+      RandomRecord record = random_record(rng);
+      cluster.coordinator->add(record.tree, record.interval, record.location);
+    }
+    cluster.coordinator->flush();
+  });
+  std::vector<std::thread> readers;
+  std::vector<int> failures(3, 0);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        const Table table = run_flowql(
+            query_pool()[static_cast<std::size_t>(i) % query_pool().size()],
+            *cluster.coordinator);
+        if (table.columns.empty()) ++failures[t];
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  for (int t = 0; t < 3; ++t) EXPECT_EQ(failures[t], 0);
+  // Quiesced: now every reader and the single node agree again.
+  FlowDB reference(big_config());
+  std::mt19937 rng(55);
+  for (int i = 0; i < 120; ++i) {
+    RandomRecord record = random_record(rng);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  for (const std::string& flowql : query_pool()) {
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+}
+
+}  // namespace
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,147 @@
+#include "flowdb/partitioned/envelope.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::dist {
+namespace {
+
+Envelope add_batch_envelope() {
+  Envelope envelope;
+  envelope.type = MessageType::kAddBatch;
+  envelope.request_id = 42;
+  AddBatchBody body;
+  body.records.push_back(
+      SummaryRecord{{1, 2, 3, 4}, TimeInterval{0, kMinute}, "site0/rack1"});
+  body.records.push_back(
+      SummaryRecord{{}, TimeInterval{-kMinute, kMinute}, ""});
+  envelope.body = std::move(body);
+  return envelope;
+}
+
+Envelope query_envelope() {
+  Envelope envelope;
+  envelope.type = MessageType::kQueryRequest;
+  envelope.request_id = 7;
+  SelectionBody body;
+  body.intervals = {TimeInterval{0, kMinute}, TimeInterval{kHour, 2 * kHour}};
+  body.locations = {"a", "b/c"};
+  envelope.body = std::move(body);
+  return envelope;
+}
+
+Envelope response_envelope() {
+  Envelope envelope;
+  envelope.type = MessageType::kQueryResponse;
+  envelope.request_id = 9;
+  QueryResponseBody body;
+  body.partials.push_back({"a", {0xDE, 0xAD}});
+  body.partials.push_back({"b", {}});
+  envelope.body = std::move(body);
+  return envelope;
+}
+
+void expect_roundtrip(const Envelope& original) {
+  const std::vector<std::uint8_t> wire = encode(original);
+  const Envelope parsed = decode(wire);
+  EXPECT_EQ(parsed.type, original.type);
+  EXPECT_EQ(parsed.request_id, original.request_id);
+  // Re-encoding the parse must reproduce the wire bytes exactly — the codec
+  // has one canonical form.
+  EXPECT_EQ(encode(parsed), wire);
+}
+
+TEST(Envelope, RoundTripsEveryMessageType) {
+  expect_roundtrip(add_batch_envelope());
+  expect_roundtrip(query_envelope());
+  expect_roundtrip(response_envelope());
+
+  Envelope fetch;
+  fetch.type = MessageType::kReplicaFetch;
+  fetch.request_id = 1;
+  fetch.body = SelectionBody{};
+  expect_roundtrip(fetch);
+
+  Envelope data = add_batch_envelope();
+  data.type = MessageType::kReplicaData;
+  expect_roundtrip(data);
+}
+
+TEST(Envelope, FieldsSurviveTheWire) {
+  const Envelope parsed = decode(encode(add_batch_envelope()));
+  const auto& body = std::get<AddBatchBody>(parsed.body);
+  ASSERT_EQ(body.records.size(), 2u);
+  EXPECT_EQ(body.records[0].summary, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(body.records[0].location, "site0/rack1");
+  EXPECT_EQ(body.records[0].interval, (TimeInterval{0, kMinute}));
+  EXPECT_EQ(body.records[1].interval.begin, -kMinute);  // signed times survive
+  EXPECT_TRUE(body.records[1].location.empty());
+}
+
+TEST(Envelope, RejectsBadMagicAndVersion) {
+  std::vector<std::uint8_t> wire = encode(query_envelope());
+  std::vector<std::uint8_t> bad = wire;
+  bad[0] ^= 0xFF;
+  EXPECT_THROW((void)decode(bad), ParseError);
+  bad = wire;
+  bad[4] = 99;  // version
+  EXPECT_THROW((void)decode(bad), ParseError);
+}
+
+TEST(Envelope, RejectsUnknownTypeAndReservedFlagBits) {
+  std::vector<std::uint8_t> wire = encode(query_envelope());
+  std::vector<std::uint8_t> bad = wire;
+  bad[5] = 0;  // type below range
+  EXPECT_THROW((void)decode(bad), ParseError);
+  bad[5] = 6;  // type above range
+  EXPECT_THROW((void)decode(bad), ParseError);
+  for (const std::size_t flag_byte : {std::size_t{6}, std::size_t{7}}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      bad = wire;
+      bad[flag_byte] |= static_cast<std::uint8_t>(1 << bit);
+      EXPECT_THROW((void)decode(bad), ParseError)
+          << "flag byte " << flag_byte << " bit " << bit << " must be rejected";
+    }
+  }
+}
+
+TEST(Envelope, RejectsEveryTruncation) {
+  for (const Envelope& envelope :
+       {add_batch_envelope(), query_envelope(), response_envelope()}) {
+    const std::vector<std::uint8_t> wire = encode(envelope);
+    for (std::size_t len = 0; len < wire.size(); ++len) {
+      const std::vector<std::uint8_t> cut(wire.begin(),
+                                          wire.begin() + static_cast<std::ptrdiff_t>(len));
+      EXPECT_THROW((void)decode(cut), ParseError) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(Envelope, RejectsTrailingBytes) {
+  std::vector<std::uint8_t> wire = encode(query_envelope());
+  wire.push_back(0);
+  EXPECT_THROW((void)decode(wire), ParseError);
+}
+
+TEST(Envelope, RejectsHostileCountsAndLengths) {
+  // A record count far larger than the buffer must fail before any large
+  // allocation or long loop.
+  std::vector<std::uint8_t> wire = encode(add_batch_envelope());
+  // Header is 16 bytes; the count follows.
+  wire[16] = 0xFF;
+  wire[17] = 0xFF;
+  wire[18] = 0xFF;
+  wire[19] = 0xFF;
+  EXPECT_THROW((void)decode(wire), ParseError);
+
+  // A string length prefix running past the buffer must fail too.
+  std::vector<std::uint8_t> query = encode(query_envelope());
+  // Corrupt the last 4 bytes-ish region: set the final location's length huge.
+  query[query.size() - 4] = 0xFF;
+  query[query.size() - 3] = 0xFF;
+  EXPECT_THROW((void)decode(query), ParseError);
+}
+
+}  // namespace
+}  // namespace megads::flowdb::dist

@@ -1,4 +1,5 @@
 #include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,135 @@
+#include "flowdb/partitioned/partitioner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::dist {
+namespace {
+
+TimeInterval window_at(std::int64_t index, SimDuration window = kHour) {
+  return TimeInterval{index * window, index * window + kMinute};
+}
+
+TEST(TimePartitioner, RoutesWindowsRoundRobin) {
+  const TimePartitioner part;
+  constexpr std::size_t kShards = 4;
+  for (std::int64_t w = -8; w < 8; ++w) {
+    const std::size_t shard = part.route(window_at(w), "anywhere", kShards);
+    EXPECT_LT(shard, kShards);
+    // Consecutive windows land on consecutive shards.
+    const std::size_t next = part.route(window_at(w + 1), "anywhere", kShards);
+    EXPECT_EQ(next, (shard + 1) % kShards) << "window " << w;
+  }
+  // Routing ignores the location entirely.
+  EXPECT_EQ(part.route(window_at(3), "a", kShards),
+            part.route(window_at(3), "b", kShards));
+}
+
+TEST(TimePartitioner, TargetsNarrowToOverlappedWindows) {
+  const TimePartitioner part;  // 1 h windows
+  constexpr std::size_t kShards = 8;
+  // A selection inside one window touches exactly one shard.
+  const auto one = part.targets({TimeInterval{10 * kMinute, 20 * kMinute}}, {},
+                                kShards);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], part.route(window_at(0), "x", kShards));
+  // A 3 h span touches (at most) four windows' shards, sorted + deduped.
+  const auto few =
+      part.targets({TimeInterval{0, 3 * kHour + kMinute}}, {}, kShards);
+  EXPECT_LE(few.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(few.begin(), few.end()));
+  // No time constraint → every shard.
+  EXPECT_EQ(part.targets({}, {"a"}, kShards).size(), kShards);
+  // A span covering >= kShards windows also degrades to every shard.
+  const auto all = part.targets({TimeInterval{0, 100 * kHour}}, {}, kShards);
+  EXPECT_EQ(all.size(), kShards);
+}
+
+TEST(LocationPartitioner, RoutesByLocationOnly) {
+  const LocationPartitioner part;
+  constexpr std::size_t kShards = 8;
+  // Same location, any interval → same shard.
+  EXPECT_EQ(part.route(window_at(0), "site1/rack0", kShards),
+            part.route(window_at(99), "site1/rack0", kShards));
+  // The hash actually spreads: 64 locations should hit more than one shard.
+  std::set<std::size_t> hit;
+  for (int i = 0; i < 64; ++i) {
+    hit.insert(part.route(window_at(0), "loc" + std::to_string(i), kShards));
+  }
+  EXPECT_GT(hit.size(), 1u);
+}
+
+TEST(LocationPartitioner, TargetsNarrowToNamedLocations) {
+  const LocationPartitioner part;
+  constexpr std::size_t kShards = 8;
+  const auto targets =
+      part.targets({}, {"alpha", "beta", "alpha"}, kShards);
+  EXPECT_TRUE(std::is_sorted(targets.begin(), targets.end()));
+  EXPECT_LE(targets.size(), 2u);  // duplicates collapse
+  for (const std::string& loc : {std::string("alpha"), std::string("beta")}) {
+    EXPECT_TRUE(std::binary_search(targets.begin(), targets.end(),
+                                   part.route(window_at(0), loc, kShards)))
+        << loc;
+  }
+  // No location constraint → every shard, regardless of intervals.
+  EXPECT_EQ(part.targets({window_at(0)}, {}, kShards).size(), kShards);
+}
+
+TEST(PrefixPartitioner, CoLocatesSharedPrefixes) {
+  const PrefixPartitioner part;
+  constexpr std::size_t kShards = 8;
+  EXPECT_EQ(part.route(window_at(0), "site3/rack1", kShards),
+            part.route(window_at(5), "site3/rack2", kShards));
+  // Flat names (no delimiter) hash whole — identical to LocationPartitioner.
+  const LocationPartitioner by_location;
+  EXPECT_EQ(part.route(window_at(0), "flatname", kShards),
+            by_location.route(window_at(0), "flatname", kShards));
+  // Custom delimiter.
+  const PrefixPartitioner dotted('.');
+  EXPECT_EQ(dotted.route(window_at(0), "site3.rack1", kShards),
+            dotted.route(window_at(0), "site3.rack2", kShards));
+}
+
+TEST(PrefixPartitioner, TargetsNarrowByPrefix) {
+  const PrefixPartitioner part;
+  constexpr std::size_t kShards = 8;
+  const auto targets =
+      part.targets({}, {"site3/rack1", "site3/rack2"}, kShards);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], part.route(window_at(0), "site3/rack9", kShards));
+}
+
+TEST(Partitioner, RouteIsPureAndInRangeForEveryStrategy) {
+  for (const char* name : {"by-time", "by-location", "by-prefix"}) {
+    const auto part = make_partitioner(name);
+    ASSERT_NE(part, nullptr);
+    EXPECT_EQ(part->name(), name);
+    for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                     std::size_t{8}}) {
+      for (int i = 0; i < 32; ++i) {
+        const TimeInterval interval = window_at(i - 16, 10 * kMinute);
+        const std::string location = "site" + std::to_string(i % 5) + "/rack" +
+                                     std::to_string(i);
+        const std::size_t shard = part->route(interval, location, shards);
+        EXPECT_LT(shard, shards);
+        // Purity: the same inputs always give the same answer.
+        EXPECT_EQ(part->route(interval, location, shards), shard);
+        // targets() always covers route()'s answer for a matching selection.
+        const auto targets = part->targets({interval}, {location}, shards);
+        EXPECT_TRUE(std::binary_search(targets.begin(), targets.end(), shard))
+            << name << " shards=" << shards << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Partitioner, FactoryRejectsUnknownNames) {
+  EXPECT_THROW((void)make_partitioner("by-magic"), NotFoundError);
+}
+
+}  // namespace
+}  // namespace megads::flowdb::dist

@@ -1,0 +1,161 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace megads::net {
+namespace {
+
+std::vector<std::uint8_t> payload_of(std::initializer_list<std::uint8_t> bytes) {
+  return std::vector<std::uint8_t>(bytes);
+}
+
+struct SimTransportFixture : ::testing::Test {
+  sim::Simulator sim;
+  Topology topo;
+  NodeId a = topo.add_node("a");
+  NodeId b = topo.add_node("b");
+  LinkId link = topo.add_link(a, b, 1000, 1.0e6);  // 1 ms, 1 MB/s
+  Network network{sim, topo};
+  SimTransport transport{network};
+};
+
+TEST_F(SimTransportFixture, SendChargesTheNetworkAndDeliversOnVirtualTime) {
+  SimTime delivered = -1;
+  const SimTime eta =
+      transport.send(a, b, 1000, [&](SimTime at) { delivered = at; });
+  EXPECT_EQ(delivered, -1);  // nothing delivered before the sim runs
+  sim.run();
+  EXPECT_EQ(delivered, eta);
+  EXPECT_GT(delivered, 1000);  // at least the link latency
+  EXPECT_EQ(transport.stats().messages, 1u);
+  EXPECT_EQ(transport.stats().payload_bytes, 1000u);
+}
+
+TEST_F(SimTransportFixture, SendMessageDeliversPayloadToBoundHandler) {
+  std::vector<std::uint8_t> seen;
+  NodeId seen_from{};
+  transport.bind(b, [&](NodeId from, const std::vector<std::uint8_t>& bytes,
+                        SimTime /*now*/) {
+    seen_from = from;
+    seen = bytes;
+  });
+  transport.send_message(a, b, payload_of({1, 2, 3}));
+  EXPECT_TRUE(seen.empty());
+  transport.run_until_idle();
+  EXPECT_EQ(seen, payload_of({1, 2, 3}));
+  EXPECT_EQ(seen_from, a);
+}
+
+TEST_F(SimTransportFixture, SendMessageToUnboundNodeThrows) {
+  EXPECT_THROW(transport.send_message(a, b, payload_of({1})), NotFoundError);
+  transport.bind(b, [](NodeId, const std::vector<std::uint8_t>&, SimTime) {});
+  transport.unbind(b);
+  EXPECT_THROW(transport.send_message(a, b, payload_of({1})), NotFoundError);
+}
+
+TEST_F(SimTransportFixture, NowAndTransferTimeComeFromTheSimulation) {
+  EXPECT_EQ(transport.now(), 0);
+  EXPECT_GT(transport.transfer_time_unloaded(a, b, 1000), 1000);
+  transport.send(a, b, 100, [](SimTime) {});
+  transport.run_until_idle();
+  EXPECT_GT(transport.now(), 0);
+}
+
+TEST_F(SimTransportFixture, HandlerMayReplyOverTheSameTransport) {
+  // Request-response ping-pong: the pattern the scatter-gather coordinator
+  // relies on. (b replies to a; a records the response.)
+  std::vector<std::uint8_t> response;
+  transport.bind(b, [&](NodeId from, const std::vector<std::uint8_t>& bytes,
+                        SimTime /*now*/) {
+    std::vector<std::uint8_t> reply = bytes;
+    reply.push_back(99);
+    transport.send_message(this->b, from, std::move(reply));
+  });
+  transport.bind(a, [&](NodeId /*from*/, const std::vector<std::uint8_t>& bytes,
+                        SimTime /*now*/) { response = bytes; });
+  // The reply needs a reverse path.
+  topo.add_link(b, a, 1000, 1.0e6);
+  transport.send_message(a, b, payload_of({7}));
+  transport.run_until_idle();
+  EXPECT_EQ(response, payload_of({7, 99}));
+}
+
+TEST(LoopbackTransport, DispatchIsSynchronous) {
+  LoopbackTransport transport;
+  std::vector<std::uint8_t> seen;
+  transport.bind(NodeId(1), [&](NodeId from, const std::vector<std::uint8_t>& bytes,
+                                SimTime now) {
+    EXPECT_EQ(from, NodeId(0));
+    EXPECT_EQ(now, 0);
+    seen = bytes;
+  });
+  transport.send_message(NodeId(0), NodeId(1), payload_of({4, 5}));
+  EXPECT_EQ(seen, payload_of({4, 5}));  // no pumping needed
+  transport.run_until_idle();           // and pumping is a harmless no-op
+}
+
+TEST(LoopbackTransport, AccountsBytesAndZeroLatency) {
+  LoopbackTransport transport;
+  SimTime delivered = -1;
+  transport.send(NodeId(0), NodeId(1), 500, [&](SimTime at) { delivered = at; });
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(transport.transfer_time_unloaded(NodeId(0), NodeId(1), 1 << 20), 0);
+  transport.bind(NodeId(1),
+                 [](NodeId, const std::vector<std::uint8_t>&, SimTime) {});
+  transport.send_message(NodeId(0), NodeId(1), payload_of({1, 2, 3}));
+  EXPECT_EQ(transport.stats().messages, 2u);
+  EXPECT_EQ(transport.stats().payload_bytes, 503u);
+}
+
+TEST(LoopbackTransport, UnboundDestinationThrows) {
+  LoopbackTransport transport;
+  EXPECT_THROW(transport.send_message(NodeId(0), NodeId(1), payload_of({1})),
+               NotFoundError);
+}
+
+TEST(LoopbackTransport, MetricsMirrorTraffic) {
+  LoopbackTransport transport;
+  metrics::MetricsRegistry registry;
+  transport.attach_metrics(registry);
+  transport.bind(NodeId(1),
+                 [](NodeId, const std::vector<std::uint8_t>&, SimTime) {});
+  transport.send_message(NodeId(0), NodeId(1), payload_of({1, 2, 3, 4}));
+  const auto snapshot = registry.snapshot();
+  EXPECT_DOUBLE_EQ(snapshot.value("net.messages"), 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.value("net.payload_bytes"), 4.0);
+}
+
+TEST(LoopbackTransportConcurrency, ParallelSendersShareOneTransport) {
+  LoopbackTransport transport;
+  constexpr int kThreads = 8;
+  constexpr int kMessages = 200;
+  std::atomic<int> received{0};
+  transport.bind(NodeId(99), [&](NodeId, const std::vector<std::uint8_t>& bytes,
+                                 SimTime) {
+    received.fetch_add(static_cast<int>(bytes.size()), std::memory_order_relaxed);
+  });
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&transport, t] {
+      for (int i = 0; i < kMessages; ++i) {
+        transport.send_message(NodeId(static_cast<std::uint32_t>(t)), NodeId(99),
+                               std::vector<std::uint8_t>{1});
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(received.load(), kThreads * kMessages);
+  EXPECT_EQ(transport.stats().messages,
+            static_cast<std::uint64_t>(kThreads * kMessages));
+}
+
+}  // namespace
+}  // namespace megads::net

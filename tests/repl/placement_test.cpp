@@ -1,0 +1,81 @@
+#include "repl/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "repl/policy.hpp"
+
+namespace megads::repl {
+namespace {
+
+TEST(ReplicaPlacer, BuysAtMostOncePerPartition) {
+  AlwaysReplicate policy;
+  net::LoopbackTransport transport;
+  ReplicaPlacer placer(policy, transport);
+  const PartitionId shard(3);
+  placer.track(shard, 0, 1000);
+  EXPECT_FALSE(placer.is_replicated(shard));
+  EXPECT_TRUE(placer.should_replicate(shard, 0, 100));
+  EXPECT_TRUE(placer.is_replicated(shard));
+  // Already bought: later accesses are local, never a second buy.
+  EXPECT_FALSE(placer.should_replicate(shard, kMinute, 100));
+  placer.observe_local(shard, 2 * kMinute, 100);
+  EXPECT_EQ(placer.replicated_count(), 1u);
+}
+
+TEST(ReplicaPlacer, TrackIsIdempotent) {
+  AlwaysShip policy;
+  net::LoopbackTransport transport;
+  ReplicaPlacer placer(policy, transport);
+  const PartitionId shard(1);
+  placer.track(shard, 0, 500);
+  placer.track(shard, kMinute, 9999);  // second registration is a no-op
+  EXPECT_FALSE(placer.should_replicate(shard, kMinute, 100));
+  EXPECT_EQ(placer.replicated_count(), 0u);
+}
+
+TEST(ReplicaPlacer, BreakEvenBuysOnceShippedBytesReachTheSize) {
+  BreakEvenPolicy policy(1.0);
+  net::LoopbackTransport transport;
+  ReplicaPlacer placer(policy, transport);
+  const PartitionId shard(0);
+  placer.track(shard, 0, 1000);
+  EXPECT_FALSE(placer.should_replicate(shard, 0, 400));
+  EXPECT_FALSE(placer.should_replicate(shard, 1, 400));
+  // Cumulative shipped bytes cross the partition size: rent becomes buy.
+  EXPECT_TRUE(placer.should_replicate(shard, 2, 400));
+  EXPECT_TRUE(placer.is_replicated(shard));
+}
+
+TEST(ReplicaPlacer, CopyCostPricesTheWire) {
+  AlwaysShip policy;
+  net::LoopbackTransport loopback;
+  ReplicaPlacer placer(policy, loopback);
+  EXPECT_EQ(placer.copy_cost(NodeId(0), NodeId(1), 1 << 20), 0);
+}
+
+TEST(ReplicaPlacer, ConcurrentQueriersBuyExactlyOnce) {
+  AlwaysReplicate policy;
+  net::LoopbackTransport transport;
+  ReplicaPlacer placer(policy, transport);
+  const PartitionId shard(7);
+  placer.track(shard, 0, 1000);
+  std::atomic<int> buys{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (placer.should_replicate(shard, i, 10)) buys.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(buys.load(), 1);
+  EXPECT_EQ(placer.replicated_count(), 1u);
+}
+
+}  // namespace
+}  // namespace megads::repl
