@@ -21,6 +21,8 @@ Coordinator::Coordinator(net::Transport& transport, NodeId node,
   expects(options_.add_batch_size > 0, "Coordinator: zero batch size");
   pending_.resize(servers_.size());
   routed_bytes_.assign(servers_.size(), 0);
+  installing_.assign(servers_.size(), 0);
+  inflight_ships_.assign(servers_.size(), 0);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     shard_of_node_[servers_[i]] = i;
   }
@@ -47,7 +49,12 @@ void Coordinator::route_record(SummaryRecord record) {
   AddBatchBody full;
   FlowDB* replica = nullptr;
   {
-    const std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
+    // A replica install snapshots the shard's owner; a record routed between
+    // that snapshot and the replica's registration would be in neither, so
+    // hold the add until the install settles (then the replicas_ lookup below
+    // sees the fresh replica and keeps it in sync).
+    cv_.wait(lock, [&] { return !installing_[shard]; });
     routed_bytes_[shard] += record.summary.size();
     if (const auto it = replicas_.find(shard); it != replicas_.end()) {
       replica = &it->second;  // keep the local replica in sync with the owner
@@ -55,6 +62,7 @@ void Coordinator::route_record(SummaryRecord record) {
     pending_[shard].records.push_back(record);
     if (pending_[shard].records.size() >= options_.add_batch_size) {
       full = std::exchange(pending_[shard], {});
+      ++inflight_ships_[shard];
     }
   }
   if (replica != nullptr) {
@@ -70,6 +78,7 @@ std::vector<std::pair<std::size_t, AddBatchBody>> Coordinator::take_batches()
   for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
     if (!pending_[shard].records.empty()) {
       out.emplace_back(shard, std::exchange(pending_[shard], {}));
+      ++inflight_ships_[shard];
     }
   }
   return out;
@@ -80,7 +89,21 @@ void Coordinator::ship_batch(std::size_t shard, AddBatchBody batch) const {
   envelope.type = MessageType::kAddBatch;
   envelope.request_id = 0;  // fire-and-forget
   envelope.body = std::move(batch);
-  transport_->send_message(node_, servers_[shard], encode(envelope));
+  try {
+    transport_->send_message(node_, servers_[shard], encode(envelope));
+  } catch (...) {
+    finish_ship(shard);
+    throw;
+  }
+  finish_ship(shard);
+}
+
+void Coordinator::finish_ship(std::size_t shard) const {
+  {
+    const std::lock_guard lock(mu_);
+    --inflight_ships_[shard];
+  }
+  cv_.notify_all();
 }
 
 void Coordinator::flush() {
@@ -91,29 +114,48 @@ void Coordinator::flush() {
 
 void Coordinator::on_message(NodeId from,
                              const std::vector<std::uint8_t>& payload) {
-  Envelope envelope = decode(payload);
+  // A transport delivery callback must never throw: one stray, duplicate,
+  // late, or corrupt message would crash the coordinator. Count and drop.
+  Envelope envelope;
+  try {
+    envelope = decode(payload);
+  } catch (const ParseError&) {
+    const std::lock_guard lock(mu_);
+    ++dropped_messages_;
+    return;
+  }
   const std::lock_guard lock(mu_);
   switch (envelope.type) {
     case MessageType::kQueryResponse: {
       const auto gather = gathers_.find(envelope.request_id);
-      expects(gather != gathers_.end(),
-              "Coordinator: response for an unknown request id");
       const auto shard = shard_of_node_.find(from);
-      expects(shard != shard_of_node_.end(),
-              "Coordinator: response from an unknown node");
-      gather->second.responses.emplace_back(
+      if (gather == gathers_.end() || shard == shard_of_node_.end()) {
+        break;  // late (gather already closed) or from an unknown node
+      }
+      auto& responses = gather->second.responses;
+      if (std::any_of(responses.begin(), responses.end(), [&](const auto& r) {
+            return r.first == shard->second;
+          })) {
+        break;  // duplicate delivery of a shard's response
+      }
+      responses.emplace_back(
           shard->second, std::move(std::get<QueryResponseBody>(envelope.body)));
       return;
     }
-    case MessageType::kReplicaData:
+    case MessageType::kReplicaData: {
+      const auto fetch = pending_fetches_.find(envelope.request_id);
+      if (fetch == pending_fetches_.end()) break;  // unsolicited or duplicate
+      pending_fetches_.erase(fetch);
       replica_data_[envelope.request_id] =
           std::move(std::get<AddBatchBody>(envelope.body));
       return;
+    }
     case MessageType::kAddBatch:
     case MessageType::kQueryRequest:
     case MessageType::kReplicaFetch:
-      throw PreconditionError("Coordinator: got a request-type envelope");
+      break;  // request-type envelopes never address a coordinator
   }
+  ++dropped_messages_;
 }
 
 QueryResponseBody Coordinator::local_partials(
@@ -133,32 +175,62 @@ QueryResponseBody Coordinator::local_partials(
 
 void Coordinator::install_replica(std::size_t shard) const {
   std::uint64_t request_id = 0;
+  AddBatchBody pre;
   {
-    const std::lock_guard lock(mu_);
+    std::unique_lock lock(mu_);
+    if (replicas_.find(shard) != replicas_.end() || installing_[shard]) {
+      return;  // already local, or another querier is mid-buy
+    }
+    // From here until the replica is registered, adds routed to this shard
+    // block in route_record — nothing can slip between the owner's snapshot
+    // and the install. Batches already taken for shipping must reach the
+    // owner before the fetch, so wait them out, then ship the still-pending
+    // batch ourselves ahead of the fetch (FIFO transports deliver in order).
+    installing_[shard] = 1;
+    cv_.wait(lock, [&] { return inflight_ships_[shard] == 0; });
+    pre = std::exchange(pending_[shard], {});
+    if (!pre.records.empty()) ++inflight_ships_[shard];
     request_id = next_request_id_++;
+    pending_fetches_.insert(request_id);
   }
-  Envelope fetch;
-  fetch.type = MessageType::kReplicaFetch;
-  fetch.request_id = request_id;
-  fetch.body = SelectionBody{};  // everything the shard holds
-  transport_->send_message(node_, servers_[shard], encode(fetch));
-  transport_->run_until_idle();
+  try {
+    if (!pre.records.empty()) ship_batch(shard, std::move(pre));
+    Envelope fetch;
+    fetch.type = MessageType::kReplicaFetch;
+    fetch.request_id = request_id;
+    fetch.body = SelectionBody{};  // everything the shard holds
+    transport_->send_message(node_, servers_[shard], encode(fetch));
+    transport_->run_until_idle();
 
-  AddBatchBody data;
-  FlowDB* replica = nullptr;
-  {
-    const std::lock_guard lock(mu_);
-    const auto it = replica_data_.find(request_id);
-    expects(it != replica_data_.end(),
-            "Coordinator: replica data not delivered");
-    data = std::move(it->second);
-    replica_data_.erase(it);
-    replica =
-        &replicas_.try_emplace(shard, options_.tree_config).first->second;
+    AddBatchBody data;
+    {
+      const std::lock_guard lock(mu_);
+      const auto it = replica_data_.find(request_id);
+      expects(it != replica_data_.end(),
+              "Coordinator: replica data not delivered");
+      data = std::move(it->second);
+      replica_data_.erase(it);
+    }
+    FlowDB replica(options_.tree_config);
+    for (const SummaryRecord& record : data.records) {
+      replica.add_encoded(record.summary, record.interval, record.location);
+    }
+    {
+      const std::lock_guard lock(mu_);
+      replicas_.emplace(shard, std::move(replica));
+      installing_[shard] = 0;
+    }
+  } catch (...) {
+    {
+      const std::lock_guard lock(mu_);
+      installing_[shard] = 0;
+      pending_fetches_.erase(request_id);
+      replica_data_.erase(request_id);
+    }
+    cv_.notify_all();
+    throw;
   }
-  for (const SummaryRecord& record : data.records) {
-    replica->add_encoded(record.summary, record.interval, record.location);
-  }
+  cv_.notify_all();
 }
 
 flowtree::Flowtree Coordinator::merged(
@@ -291,6 +363,11 @@ std::uint64_t Coordinator::local_shard_queries() const {
 std::size_t Coordinator::replicated_partitions() const {
   const std::lock_guard lock(mu_);
   return replicas_.size();
+}
+
+std::uint64_t Coordinator::dropped_messages() const {
+  const std::lock_guard lock(mu_);
+  return dropped_messages_;
 }
 
 }  // namespace megads::flowdb::dist

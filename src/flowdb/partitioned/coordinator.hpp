@@ -23,14 +23,28 @@
 // only the traffic moves.
 //
 // Thread-safe over a thread-safe transport: concurrent merged() calls hold
-// the internal lock only around bookkeeping, never across a send.
+// the internal lock only around bookkeeping, never across a send. A replica
+// install is the one exception to full concurrency: while a shard's records
+// are being fetched, adds routed to that shard block until the replica is
+// registered — the install snapshots the owner, so a record slipping between
+// the snapshot and the registration would be missing from the replica
+// forever. The installer also waits out in-flight kAddBatch sends and ships
+// the shard's pending batch ahead of the fetch (FIFO transports deliver it
+// first), so the snapshot covers every record whose add() has returned.
+//
+// Stray traffic — malformed payloads, responses with unknown request ids or
+// from unknown nodes, duplicate responses, request-type envelopes — is
+// counted (dropped_messages()) and dropped, never thrown through the
+// transport's delivery callback.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "flowdb/flowdb.hpp"
@@ -98,6 +112,8 @@ class Coordinator : public SummarySource {
   [[nodiscard]] std::uint64_t remote_shard_queries() const;
   [[nodiscard]] std::uint64_t local_shard_queries() const;
   [[nodiscard]] std::size_t replicated_partitions() const;
+  /// Stray / duplicate / malformed messages received and dropped.
+  [[nodiscard]] std::uint64_t dropped_messages() const;
 
  private:
   struct Gather {
@@ -108,9 +124,12 @@ class Coordinator : public SummarySource {
 
   void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
   void route_record(SummaryRecord record);
-  /// Move out every non-empty batch (caller sends them lock-free).
+  /// Move out every non-empty batch, counting each as an in-flight ship
+  /// (caller sends them lock-free via ship_batch, which settles the count).
   [[nodiscard]] std::vector<std::pair<std::size_t, AddBatchBody>> take_batches() const;
   void ship_batch(std::size_t shard, AddBatchBody batch) const;
+  /// Settle one in-flight ship for `shard` and wake waiters.
+  void finish_ship(std::size_t shard) const;
   /// Fetch shard's raw records and install them as a local replica.
   void install_replica(std::size_t shard) const;
   /// The shard's partials for a selection, computed from the local replica
@@ -127,14 +146,22 @@ class Coordinator : public SummarySource {
   std::unordered_map<NodeId, std::size_t> shard_of_node_;
 
   mutable std::mutex mu_;
+  /// Signals: an install finished (installing_ cleared) or a ship settled
+  /// (inflight_ships_ decremented).
+  mutable std::condition_variable cv_;
   mutable std::uint64_t next_request_id_ = 1;
   mutable std::unordered_map<std::uint64_t, Gather> gathers_;
+  /// Request ids of kReplicaFetch messages awaiting their kReplicaData.
+  mutable std::unordered_set<std::uint64_t> pending_fetches_;
   mutable std::unordered_map<std::uint64_t, AddBatchBody> replica_data_;
   mutable std::vector<AddBatchBody> pending_;       ///< per shard
   mutable std::vector<std::uint64_t> routed_bytes_; ///< per shard, cumulative
+  mutable std::vector<std::uint8_t> installing_;    ///< per shard: replica install in progress
+  mutable std::vector<std::size_t> inflight_ships_; ///< per shard: batches taken, not yet sent
   mutable std::unordered_map<std::size_t, FlowDB> replicas_;
   mutable std::uint64_t remote_shard_queries_ = 0;
   mutable std::uint64_t local_shard_queries_ = 0;
+  mutable std::uint64_t dropped_messages_ = 0;
 
   repl::ReplicaPlacer* placer_ = nullptr;
 };

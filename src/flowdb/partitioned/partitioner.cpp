@@ -44,8 +44,15 @@ std::vector<std::size_t> Partitioner::targets(
 
 // --- TimePartitioner ---
 
-TimePartitioner::TimePartitioner(SimDuration window) : window_(window) {
+TimePartitioner::TimePartitioner(SimDuration window)
+    : TimePartitioner(window, window) {}
+
+TimePartitioner::TimePartitioner(SimDuration window,
+                                 SimDuration max_record_span)
+    : window_(window), max_record_span_(max_record_span) {
   expects(window > 0, "TimePartitioner: window must be positive");
+  expects(max_record_span >= 0,
+          "TimePartitioner: max_record_span must be >= 0");
 }
 
 std::size_t TimePartitioner::shard_of_window(std::int64_t window_index,
@@ -58,6 +65,11 @@ std::size_t TimePartitioner::route(const TimeInterval& interval,
                                    const std::string& /*location*/,
                                    std::size_t partitions) const {
   expects(partitions > 0, "Partitioner::route: no partitions");
+  expects(max_record_span_ == kUnboundedRecordSpan ||
+              interval.length() <= max_record_span_,
+          "TimePartitioner: record interval longer than max_record_span — "
+          "targets() could not cover it; raise max_record_span (or pass "
+          "kUnboundedRecordSpan)");
   return shard_of_window(floor_div(interval.begin, window_), partitions);
 }
 
@@ -66,10 +78,16 @@ std::vector<std::size_t> TimePartitioner::targets(
     const std::vector<std::string>& /*locations*/,
     std::size_t partitions) const {
   if (intervals.empty()) return all_shards(partitions);
+  // Records route by their begin window but match by overlap, so a selection
+  // must also scatter to the begin windows of records that start before it:
+  // a record overlapping [begin, end) can begin as early as
+  // begin - (max_record_span - 1). Unbounded spans admit no sound narrowing.
+  if (max_record_span_ == kUnboundedRecordSpan) return all_shards(partitions);
+  const SimDuration reach = max_record_span_ - 1;
   std::vector<std::size_t> shards;
   for (const TimeInterval& interval : intervals) {
     if (interval.empty()) continue;
-    const std::int64_t first = floor_div(interval.begin, window_);
+    const std::int64_t first = floor_div(interval.begin - reach, window_);
     const std::int64_t last = floor_div(interval.end - 1, window_);
     if (last - first + 1 >= static_cast<std::int64_t>(partitions)) {
       return all_shards(partitions);  // the span wraps every shard anyway

@@ -49,26 +49,50 @@ class Partitioner {
 };
 
 /// Round-robin over fixed windows of interval.begin.
+///
+/// Routing uses only interval.begin, but FlowDB matching is overlap-based: a
+/// record whose interval crosses a window boundary lives on the shard of its
+/// begin window yet matches selections over later windows. `max_record_span`
+/// is the contract that keeps targets() sound anyway — the longest record
+/// interval that may be indexed. route() rejects longer records
+/// (PreconditionError), and targets() extends every selection interval
+/// backward by `max_record_span - 1` so the begin windows of all possibly
+/// overlapping records are covered. Pass kUnboundedRecordSpan to accept any
+/// record length; targets() then scatters to every shard, because no sound
+/// narrowing exists for unbounded spans.
 class TimePartitioner final : public Partitioner {
  public:
+  /// max_record_span sentinel: records of any length route, every selection
+  /// targets all shards.
+  static constexpr SimDuration kUnboundedRecordSpan = 0;
+
+  /// `max_record_span` defaults to one window — records may cross one
+  /// boundary, and every selection reaches one extra window backward.
   explicit TimePartitioner(SimDuration window = kHour);
+  TimePartitioner(SimDuration window, SimDuration max_record_span);
 
   [[nodiscard]] std::string name() const override { return "by-time"; }
+  /// Rejects records longer than max_record_span (unless unbounded).
   [[nodiscard]] std::size_t route(const TimeInterval& interval,
                                   const std::string& location,
                                   std::size_t partitions) const override;
-  /// Narrows by the intervals: only windows the selection overlaps.
+  /// Narrows by the intervals: the windows the selection overlaps, extended
+  /// backward by max_record_span - 1 (all shards when the span is unbounded).
   [[nodiscard]] std::vector<std::size_t> targets(
       const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations,
       std::size_t partitions) const override;
 
   [[nodiscard]] SimDuration window() const noexcept { return window_; }
+  [[nodiscard]] SimDuration max_record_span() const noexcept {
+    return max_record_span_;
+  }
 
  private:
   [[nodiscard]] std::size_t shard_of_window(std::int64_t window_index,
                                             std::size_t partitions) const;
   SimDuration window_;
+  SimDuration max_record_span_;
 };
 
 /// Hash of the full location name.

@@ -22,9 +22,23 @@ std::uint64_t PartitionServer::raw_bytes() const {
   return raw_bytes_;
 }
 
+std::uint64_t PartitionServer::dropped_messages() const {
+  const std::lock_guard lock(raw_mu_);
+  return dropped_messages_;
+}
+
 void PartitionServer::on_message(NodeId from,
                                  const std::vector<std::uint8_t>& payload) {
-  const Envelope envelope = decode(payload);
+  // Like the coordinator, a delivery callback never throws on stray traffic:
+  // corrupt payloads and response-type envelopes are counted and dropped.
+  Envelope envelope;
+  try {
+    envelope = decode(payload);
+  } catch (const ParseError&) {
+    const std::lock_guard lock(raw_mu_);
+    ++dropped_messages_;
+    return;
+  }
   switch (envelope.type) {
     case MessageType::kAddBatch:
       handle_add(std::get<AddBatchBody>(envelope.body));
@@ -39,8 +53,10 @@ void PartitionServer::on_message(NodeId from,
       return;
     case MessageType::kQueryResponse:
     case MessageType::kReplicaData:
-      throw PreconditionError("PartitionServer: got a response-type envelope");
+      break;  // response-type envelopes never address a server
   }
+  const std::lock_guard lock(raw_mu_);
+  ++dropped_messages_;
 }
 
 void PartitionServer::handle_add(const AddBatchBody& body) {

@@ -45,6 +45,9 @@ class PartitionServer {
   /// size: what a replica copy would ship).
   [[nodiscard]] std::uint64_t raw_bytes() const;
 
+  /// Stray / malformed messages received and dropped.
+  [[nodiscard]] std::uint64_t dropped_messages() const;
+
  private:
   void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
   void handle_add(const AddBatchBody& body);
@@ -62,6 +65,7 @@ class PartitionServer {
   mutable std::mutex raw_mu_;
   std::vector<SummaryRecord> raw_;
   std::uint64_t raw_bytes_ = 0;
+  std::uint64_t dropped_messages_ = 0;
 };
 
 }  // namespace megads::flowdb::dist

@@ -84,9 +84,9 @@ RandomRecord random_record(std::mt19937& rng) {
 }
 
 struct Cluster {
-  explicit Cluster(net::Transport& transport, const std::string& strategy,
-                   bool caching, NodeId coordinator_node,
-                   std::vector<NodeId> server_nodes) {
+  Cluster(net::Transport& transport, std::unique_ptr<Partitioner> partitioner,
+          bool caching, NodeId coordinator_node,
+          std::vector<NodeId> server_nodes) {
     for (const NodeId node : server_nodes) {
       servers.push_back(
           std::make_unique<PartitionServer>(transport, node, big_config()));
@@ -96,9 +96,14 @@ struct Cluster {
     options.add_batch_size = 4;  // several partial-batch flushes per run
     options.tree_config = big_config();
     coordinator = std::make_unique<Coordinator>(
-        transport, coordinator_node, make_partitioner(strategy),
+        transport, coordinator_node, std::move(partitioner),
         std::move(server_nodes), options);
   }
+
+  Cluster(net::Transport& transport, const std::string& strategy, bool caching,
+          NodeId coordinator_node, std::vector<NodeId> server_nodes)
+      : Cluster(transport, make_partitioner(strategy), caching,
+                coordinator_node, std::move(server_nodes)) {}
 
   std::vector<std::unique_ptr<PartitionServer>> servers;
   std::unique_ptr<Coordinator> coordinator;
@@ -152,6 +157,37 @@ TEST(DistributedEquivalence, MatchesSingleNodeAcrossTheWholeMatrix) {
         run_equivalence(cluster, caching, seed++);
       }
     }
+  }
+}
+
+TEST(DistributedEquivalence, CoversRecordsThatCrossWindowBoundaries) {
+  // Regression: by-time routing places a record on the shard of its *begin*
+  // window, but FlowDB matching is overlap-based — a selection over a later
+  // window must still scatter to that shard, or the record silently vanishes
+  // from the distributed answer.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, std::make_unique<TimePartitioner>(kHour),
+                  /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3), NodeId(4)});
+  FlowDB reference(big_config());
+  std::mt19937 rng(17);
+  // Hour-long records offset by half an hour: every one crosses a window
+  // boundary (the default max_record_span is one window, so they all route).
+  for (int i = 0; i < 12; ++i) {
+    RandomRecord record = random_record(rng);
+    record.interval = TimeInterval{i * kHour + 30 * kMinute,
+                                   (i + 1) * kHour + 30 * kMinute};
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  // [1 h, 2 h) matches the records beginning at 30 min and 90 min — the
+  // first lives on window 0's shard, outside the naively pruned scatter set.
+  for (const char* flowql :
+       {"SELECT topk(5) FROM 3600s..7200s", "SELECT topk(5) FROM 0s..43200s",
+        "SELECT query FROM 7200s..10800s WHERE src = 10.0.0.0/8"}) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
   }
 }
 
@@ -252,6 +288,52 @@ TEST(DistributedReplication, AlwaysShipNeverBuys) {
   EXPECT_GT(cluster.coordinator->remote_shard_queries(), 0u);
 }
 
+TEST(DistributedRobustness, StrayAndDuplicateMessagesAreDropped) {
+  // One stray, late, or corrupt delivery must never crash an endpoint:
+  // unexpected messages are counted and dropped, and answers stay correct.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2)});
+  FlowDB reference(big_config());
+  std::mt19937 rng(23);
+  for (int i = 0; i < 12; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+
+  // A response nobody asked for, the same from a node that is not a
+  // partition server, a request-type envelope at the coordinator, and plain
+  // garbage bytes.
+  Envelope stray;
+  stray.type = MessageType::kQueryResponse;
+  stray.request_id = 0xdead;
+  stray.body = QueryResponseBody{};
+  transport.send_message(NodeId(1), NodeId(0), encode(stray));
+  transport.send_message(NodeId(77), NodeId(0), encode(stray));
+  Envelope misdirected;
+  misdirected.type = MessageType::kAddBatch;
+  misdirected.body = AddBatchBody{};
+  transport.send_message(NodeId(1), NodeId(0), encode(misdirected));
+  transport.send_message(NodeId(1), NodeId(0),
+                         std::vector<std::uint8_t>{0x01, 0x02, 0x03});
+  EXPECT_EQ(cluster.coordinator->dropped_messages(), 4u);
+
+  // A response-type envelope at a server is dropped the same way.
+  Envelope at_server;
+  at_server.type = MessageType::kReplicaData;
+  at_server.request_id = 9;
+  at_server.body = AddBatchBody{};
+  transport.send_message(NodeId(0), NodeId(1), encode(at_server));
+  EXPECT_EQ(cluster.servers[0]->dropped_messages(), 1u);
+
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+}
+
 TEST(DistributedConcurrency, ParallelQueriersSeeIdenticalAnswers) {
   net::LoopbackTransport transport;
   Cluster cluster(transport, "by-prefix", /*caching=*/true, NodeId(0),
@@ -326,6 +408,53 @@ TEST(DistributedConcurrency, QueriesRaceAnIngestingWriter) {
     reference.add(std::move(record.tree), record.interval, record.location);
   }
   for (const std::string& flowql : query_pool()) {
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+}
+
+TEST(DistributedConcurrency, ReplicationRacesAnIngestingWriter) {
+  // A buy (replica install) snapshots the shard's owner; records added
+  // concurrently must not fall between that snapshot and the replica's
+  // registration — the coordinator holds such adds until the install
+  // settles. Quiesced, replica-served answers match the single node exactly.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3), NodeId(4)});
+  repl::AlwaysReplicate policy;
+  repl::ReplicaPlacer placer(policy, transport);
+  cluster.coordinator->enable_replication(placer);
+
+  std::thread writer([&] {
+    std::mt19937 rng(91);
+    for (int i = 0; i < 150; ++i) {
+      RandomRecord record = random_record(rng);
+      cluster.coordinator->add(record.tree, record.interval, record.location);
+    }
+  });
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        (void)run_flowql(
+            query_pool()[static_cast<std::size_t>(i) % query_pool().size()],
+            *cluster.coordinator);
+      }
+    });
+  }
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(cluster.coordinator->replicated_partitions(), 0u);
+
+  FlowDB reference(big_config());
+  std::mt19937 rng(91);
+  for (int i = 0; i < 150; ++i) {
+    RandomRecord record = random_record(rng);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
     EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
               run_flowql(flowql, reference).to_string());
   }

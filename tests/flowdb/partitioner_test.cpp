@@ -30,16 +30,21 @@ TEST(TimePartitioner, RoutesWindowsRoundRobin) {
 }
 
 TEST(TimePartitioner, TargetsNarrowToOverlappedWindows) {
-  const TimePartitioner part;  // 1 h windows
+  // 1 h windows, records declared <= 10 min long: for selections starting
+  // >= 10 min into a window, the backward extension stays inside that
+  // window, so narrowing is as tight as with begin-window-only matching.
+  const TimePartitioner part(kHour, 10 * kMinute);
   constexpr std::size_t kShards = 8;
-  // A selection inside one window touches exactly one shard.
+  // A selection inside one window, not nearer than the record span to its
+  // left edge, touches exactly one shard.
   const auto one = part.targets({TimeInterval{10 * kMinute, 20 * kMinute}}, {},
                                 kShards);
   ASSERT_EQ(one.size(), 1u);
   EXPECT_EQ(one[0], part.route(window_at(0), "x", kShards));
   // A 3 h span touches (at most) four windows' shards, sorted + deduped.
   const auto few =
-      part.targets({TimeInterval{0, 3 * kHour + kMinute}}, {}, kShards);
+      part.targets({TimeInterval{10 * kMinute, 3 * kHour + kMinute}}, {},
+                   kShards);
   EXPECT_LE(few.size(), 4u);
   EXPECT_TRUE(std::is_sorted(few.begin(), few.end()));
   // No time constraint → every shard.
@@ -47,6 +52,40 @@ TEST(TimePartitioner, TargetsNarrowToOverlappedWindows) {
   // A span covering >= kShards windows also degrades to every shard.
   const auto all = part.targets({TimeInterval{0, 100 * kHour}}, {}, kShards);
   EXPECT_EQ(all.size(), kShards);
+}
+
+TEST(TimePartitioner, TargetsCoverWindowCrossingRecords) {
+  const TimePartitioner part;  // 1 h windows, records up to 1 h long
+  constexpr std::size_t kShards = 8;
+  // A record crossing the window-0/window-1 boundary routes to window 0...
+  const TimeInterval record{30 * kMinute, 90 * kMinute};
+  const std::size_t owner = part.route(record, "x", kShards);
+  EXPECT_EQ(owner, part.route(window_at(0), "x", kShards));
+  // ...and a selection over window 1 alone must still scatter to its shard.
+  const auto targets = part.targets({TimeInterval{kHour, 2 * kHour}}, {},
+                                    kShards);
+  EXPECT_TRUE(std::binary_search(targets.begin(), targets.end(), owner));
+  // The extension reaches exactly one window back (span == window).
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+TEST(TimePartitioner, RouteRejectsRecordsLongerThanDeclaredSpan) {
+  const TimePartitioner part(kHour, 30 * kMinute);
+  EXPECT_EQ(part.max_record_span(), 30 * kMinute);
+  (void)part.route(TimeInterval{0, 30 * kMinute}, "x", 4);  // at the limit: ok
+  EXPECT_THROW((void)part.route(TimeInterval{0, 30 * kMinute + 1}, "x", 4),
+               PreconditionError);
+}
+
+TEST(TimePartitioner, UnboundedSpanRoutesAnythingButNeverNarrows) {
+  const TimePartitioner part(kHour, TimePartitioner::kUnboundedRecordSpan);
+  constexpr std::size_t kShards = 8;
+  // Arbitrarily long records route fine...
+  EXPECT_LT(part.route(TimeInterval{0, 100 * kHour}, "x", kShards), kShards);
+  // ...so no selection can be narrowed soundly.
+  const auto targets = part.targets({TimeInterval{10 * kMinute, 20 * kMinute}},
+                                    {}, kShards);
+  EXPECT_EQ(targets.size(), kShards);
 }
 
 TEST(LocationPartitioner, RoutesByLocationOnly) {
