@@ -62,6 +62,10 @@ int main() {
   flowdb::dist::Coordinator coordinator(
       transport, querier, flowdb::dist::make_partitioner("by-location"),
       shard_nodes, options);
+  // Stray-traffic visibility: net.dropped_coordinator / net.dropped_server
+  // appear in the .metrics dump below (zero in a healthy run).
+  coordinator.attach_metrics(registry);
+  for (auto& server : servers) server->attach_metrics(registry);
 
   // Generator -> coordinator: per site and epoch, one summary routed to its
   // shard (by-location: a site's whole history lands on one server).

@@ -1,0 +1,93 @@
+// Clang Thread Safety Analysis (capability analysis) macros — the
+// compile-time half of the concurrency contracts that used to live only in
+// comments and TSan's probabilistic coverage.
+//
+// Every lock-holding type in the engine is built from the annotated wrappers
+// in common/mutex.hpp; every guarded field, lock-order edge, and locks-held
+// precondition is declared with the MEGADS_* macros below. Under clang the
+// macros expand to the thread-safety attributes and `-Wthread-safety` turns
+// violations — a guarded field touched without its lock, a REQUIRES function
+// called lock-free, an ACQUIRED_AFTER edge taken backwards — into compile
+// errors (the CI `thread-safety` job builds with -Werror=thread-safety).
+// Under every other compiler they expand to nothing, so gcc builds are
+// unaffected.
+//
+// The dynamic orders the static analysis cannot express (per-shard mutex
+// arrays, capabilities that only exist at runtime) are covered by the
+// lock-rank validator in common/mutex.hpp — see docs/PARALLELISM.md for the
+// global rank table.
+#pragma once
+
+#if defined(__clang__)
+#define MEGADS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MEGADS_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a type as a capability (a lock). `x` names the capability kind in
+/// diagnostics, e.g. "mutex".
+#define MEGADS_CAPABILITY(x) MEGADS_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (MutexLock, ReaderLock, WriterLock, UniqueLock).
+#define MEGADS_SCOPED_CAPABILITY MEGADS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define MEGADS_GUARDED_BY(x) MEGADS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be touched while holding `x`.
+#define MEGADS_PT_GUARDED_BY(x) MEGADS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Declares a lock-order edge: this capability must be acquired before /
+/// after the named ones. Violating the edge is a compile-time error under
+/// clang; the runtime lock-rank validator enforces the same table dynamically.
+#define MEGADS_ACQUIRED_BEFORE(...) \
+  MEGADS_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define MEGADS_ACQUIRED_AFTER(...) \
+  MEGADS_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability (exclusive / shared) to be held on entry
+/// and does not release it.
+#define MEGADS_REQUIRES(...) \
+  MEGADS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define MEGADS_REQUIRES_SHARED(...) \
+  MEGADS_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusive / shared) and holds it on
+/// return.
+#define MEGADS_ACQUIRE(...) \
+  MEGADS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define MEGADS_ACQUIRE_SHARED(...) \
+  MEGADS_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability held on entry.
+#define MEGADS_RELEASE(...) \
+  MEGADS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define MEGADS_RELEASE_SHARED(...) \
+  MEGADS_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attempts the acquisition; the first argument is the return value
+/// meaning success.
+#define MEGADS_TRY_ACQUIRE(...) \
+  MEGADS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capability NOT held (it acquires it
+/// itself, or acquiring it would self-deadlock).
+#define MEGADS_EXCLUDES(...) MEGADS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Tells the analysis the capability is held here without acquiring it —
+/// the bridge for code the analysis cannot follow (condition-variable wait
+/// predicates, callbacks run under a caller-held lock).
+#define MEGADS_ASSERT_CAPABILITY(x) \
+  MEGADS_THREAD_ANNOTATION(assert_capability(x))
+#define MEGADS_ASSERT_SHARED_CAPABILITY(x) \
+  MEGADS_THREAD_ANNOTATION(assert_shared_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define MEGADS_RETURN_CAPABILITY(x) MEGADS_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for functions that intentionally break the rules (move
+/// constructors of internally-locked types, where "moving while readers are
+/// active is undefined" is the documented contract).
+#define MEGADS_NO_THREAD_SAFETY_ANALYSIS \
+  MEGADS_THREAD_ANNOTATION(no_thread_safety_analysis)

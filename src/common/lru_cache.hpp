@@ -4,8 +4,12 @@
 // Deliberately minimal: the cache does NOT lock — each owner already has a
 // mutex guarding its cache (the store's query path and FlowDB's merged()
 // path take it around lookup/insert), and folding the lock in here would
-// invite double-locking. Hit/miss/eviction tallies are plain integers for
-// the same reason; owners publish them to the metrics registry themselves.
+// invite double-locking. The external-locking contract is *enforced*, not
+// just documented: every method takes the owning capability and is
+// MEGADS_REQUIRES-annotated with it, so a call site that does not hold the
+// owner's mutex is a compile error under -Wthread-safety. Hit/miss/eviction
+// tallies are plain integers for the same reason; owners publish them to the
+// metrics registry themselves.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +17,8 @@
 #include <list>
 #include <unordered_map>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace megads {
 
@@ -22,7 +28,8 @@ class LruCache {
   explicit LruCache(std::size_t byte_budget) : byte_budget_(byte_budget) {}
 
   /// nullptr on miss. A hit moves the entry to the front of the LRU list.
-  Value* get(const Key& key) {
+  Value* get(const Key& key, const Mutex& owner) MEGADS_REQUIRES(owner) {
+    (void)owner;
     const auto it = map_.find(key);
     if (it == map_.end()) {
       ++misses_;
@@ -37,7 +44,9 @@ class LruCache {
   /// until the cache fits its budget again. Entries larger than the whole
   /// budget are not admitted — caching them would evict everything else for
   /// a single-use resident.
-  void put(const Key& key, Value value, std::size_t bytes) {
+  void put(const Key& key, Value value, std::size_t bytes, const Mutex& owner)
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
     if (byte_budget_ == 0 || bytes > byte_budget_) return;
     if (const auto it = map_.find(key); it != map_.end()) {
       bytes_ -= it->second->bytes;
@@ -58,7 +67,8 @@ class LruCache {
 
   /// Drop every entry for which pred(key) is true (epoch invalidation).
   template <typename Pred>
-  void erase_if(Pred pred) {
+  void erase_if(Pred pred, const Mutex& owner) MEGADS_REQUIRES(owner) {
+    (void)owner;
     for (auto it = order_.begin(); it != order_.end();) {
       if (pred(it->key)) {
         bytes_ -= it->bytes;
@@ -70,17 +80,19 @@ class LruCache {
     }
   }
 
-  void clear() {
+  void clear(const Mutex& owner) MEGADS_REQUIRES(owner) {
+    (void)owner;
     map_.clear();
     order_.clear();
     bytes_ = 0;
   }
 
   /// Change the budget; shrinking evicts immediately, 0 clears and disables.
-  void set_byte_budget(std::size_t budget) {
+  void set_byte_budget(std::size_t budget, const Mutex& owner)
+      MEGADS_REQUIRES(owner) {
     byte_budget_ = budget;
     if (byte_budget_ == 0) {
-      clear();
+      clear(owner);
       return;
     }
     while (bytes_ > byte_budget_ && !order_.empty()) {
@@ -92,15 +104,42 @@ class LruCache {
     }
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
-  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
-  [[nodiscard]] std::size_t byte_budget() const noexcept { return byte_budget_; }
-  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
-  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
-  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
-  [[nodiscard]] double hit_ratio() const noexcept {
+  [[nodiscard]] std::size_t size(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return map_.size();
+  }
+  [[nodiscard]] std::size_t bytes(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return bytes_;
+  }
+  [[nodiscard]] std::size_t byte_budget(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return byte_budget_;
+  }
+  [[nodiscard]] std::uint64_t hits(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return hits_;
+  }
+  [[nodiscard]] std::uint64_t misses(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return misses_;
+  }
+  [[nodiscard]] std::uint64_t evictions(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return evictions_;
+  }
+  [[nodiscard]] double hit_ratio(const Mutex& owner) const noexcept
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
     const std::uint64_t total = hits_ + misses_;
-    return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
   }
 
  private:

@@ -147,7 +147,7 @@ namespace {
 }  // namespace
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = counters_.find(name);
   if (it != counters_.end()) return *it->second;
   if (gauges_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
@@ -155,7 +155,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = gauges_.find(name);
   if (it != gauges_.end()) return *it->second;
   if (counters_.contains(name) || histograms_.contains(name)) throw_kind_clash(name);
@@ -163,7 +163,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   if (it != histograms_.end()) return *it->second;
   if (counters_.contains(name) || gauges_.contains(name)) throw_kind_clash(name);
@@ -171,7 +171,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   Snapshot snap;
   snap.entries.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, counter] : counters_) {
@@ -209,7 +209,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() noexcept {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
   for (auto& [name, histogram] : histograms_) histogram->reset();

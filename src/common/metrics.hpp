@@ -27,9 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace megads::metrics {
 
@@ -160,7 +161,7 @@ class MetricsRegistry {
 
   [[nodiscard]] Snapshot snapshot() const;
   [[nodiscard]] std::size_t instrument_count() const noexcept {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     return counters_.size() + gauges_.size() + histograms_.size();
   }
   /// Zero every instrument (names and references stay valid).
@@ -168,10 +169,12 @@ class MetricsRegistry {
 
  private:
   // std::map: deterministic snapshot order; unique_ptr: stable references.
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_{lockrank::kMetricsRegistry, "metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      MEGADS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ MEGADS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      MEGADS_GUARDED_BY(mu_);
 };
 
 }  // namespace megads::metrics

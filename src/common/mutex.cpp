@@ -1,0 +1,144 @@
+#include "common/mutex.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#define MEGADS_HAVE_EXECINFO 1
+#include <execinfo.h>
+#endif
+#endif
+
+namespace megads::lockrank {
+
+namespace {
+
+constexpr int kMaxFrames = 32;
+
+/// One acquisition the calling thread has not released yet, with the stack
+/// captured at acquisition time so a violation can print where the earlier
+/// lock was taken.
+struct Held {
+  const void* mutex = nullptr;
+  int rank = 0;
+  const char* name = nullptr;
+  void* frames[kMaxFrames] = {};
+  int frame_count = 0;
+};
+
+bool initial_enabled() noexcept {
+#if defined(MEGADS_LOCK_RANK_DEFAULT)
+  return true;
+#else
+  const char* env = std::getenv("MEGADS_LOCK_RANK");
+  return env != nullptr && env[0] != '\0' &&
+         !(env[0] == '0' && env[1] == '\0');
+#endif
+}
+
+std::atomic<bool> g_enabled{initial_enabled()};
+
+std::vector<Held>& held_stack() noexcept {
+  thread_local std::vector<Held> t_held;
+  return t_held;
+}
+
+void capture(Held& held) noexcept {
+#if defined(MEGADS_HAVE_EXECINFO)
+  held.frame_count = backtrace(held.frames, kMaxFrames);
+#else
+  held.frame_count = 0;
+#endif
+}
+
+void dump_frames(const void* const* frames, int count) noexcept {
+#if defined(MEGADS_HAVE_EXECINFO)
+  backtrace_symbols_fd(const_cast<void* const*>(frames), count, 2);
+#else
+  (void)frames;
+  (void)count;
+  std::fprintf(stderr, "  (no backtrace support on this platform)\n");
+#endif
+}
+
+[[noreturn]] void die(const Held& conflicting, int rank,
+                      const char* name) noexcept {
+  std::fprintf(stderr,
+               "megads: lock-rank violation: acquiring '%s' (rank %d) while "
+               "holding '%s' (rank %d)\n",
+               name, rank, conflicting.name, conflicting.rank);
+  std::fprintf(stderr, "--- acquisition attempted at:\n");
+  Held current;
+  capture(current);
+  dump_frames(current.frames, current.frame_count);
+  std::fprintf(stderr, "--- conflicting lock '%s' acquired at:\n",
+               conflicting.name);
+  dump_frames(conflicting.frames, conflicting.frame_count);
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void note_acquired(const void* mutex, int rank, const char* name) noexcept {
+  if (!enabled()) return;
+  std::vector<Held>& held = held_stack();
+  // The acquisition order must climb the rank table strictly: an equal rank
+  // means two locks of the same class (e.g. two FlowDB cache mutexes), which
+  // no documented order covers either.
+  const Held* worst = nullptr;
+  for (const Held& h : held) {
+    if (h.rank >= rank && (worst == nullptr || h.rank > worst->rank)) {
+      worst = &h;
+    }
+  }
+  if (worst != nullptr) die(*worst, rank, name);
+  Held entry;
+  entry.mutex = mutex;
+  entry.rank = rank;
+  entry.name = name;
+  capture(entry);
+  held.push_back(entry);
+}
+
+void note_released(const void* mutex) noexcept {
+  std::vector<Held>& held = held_stack();
+  for (std::size_t i = held.size(); i > 0; --i) {
+    if (held[i - 1].mutex == mutex) {
+      held.erase(held.begin() + static_cast<std::ptrdiff_t>(i) - 1);
+      return;
+    }
+  }
+  // Not recorded: the validator was disabled at acquisition time. Fine.
+}
+
+bool is_held(const void* mutex) noexcept {
+  const std::vector<Held>& held = held_stack();
+  for (const Held& h : held) {
+    if (h.mutex == mutex) return true;
+  }
+  return false;
+}
+
+void check_held(const void* mutex, const char* name) noexcept {
+  if (!enabled()) return;
+  if (is_held(mutex)) return;
+  std::fprintf(stderr,
+               "megads: lock-rank violation: '%s' asserted held but the "
+               "calling thread does not hold it\n",
+               name);
+  Held current;
+  capture(current);
+  dump_frames(current.frames, current.frame_count);
+  std::abort();
+}
+
+}  // namespace megads::lockrank

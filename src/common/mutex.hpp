@@ -1,0 +1,259 @@
+// megads::Mutex / SharedMutex / CondVar — the only locking primitives the
+// engine uses (a check-lints rule rejects naked std::mutex anywhere else in
+// src/). Two correctness layers ride on the wrappers:
+//
+//   1. Clang capability analysis (common/annotations.hpp): the types are
+//      MEGADS_CAPABILITY-annotated, so GUARDED_BY fields, REQUIRES
+//      preconditions, and ACQUIRED_AFTER lock-order edges are machine-checked
+//      at compile time under -Wthread-safety.
+//
+//   2. A runtime lock-rank validator: every mutex declares a rank from the
+//      global table below, and acquiring a mutex whose rank is not strictly
+//      greater than every rank already held by the thread aborts with both
+//      acquisition stacks. This catches the dynamic orders annotations cannot
+//      express (two mutexes of the same class, locks reached through
+//      callbacks). It is off by default (a relaxed load per acquisition);
+//      enable with the MEGADS_LOCK_RANK=ON CMake option (the TSan CI job
+//      does), the MEGADS_LOCK_RANK=1 environment variable, or
+//      lockrank::set_enabled(true) in a test.
+//
+// The global rank table (lower = acquired first / outermost; the full
+// ordering argument lives in docs/PARALLELISM.md):
+//
+//   rank | mutex                              | held around
+//   -----+------------------------------------+---------------------------
+//    100 | dist::Coordinator::mu_             | routing/gather bookkeeping
+//    200 | dist::PartitionServer::raw_mu_     | raw record log
+//    300 | store::DataStore::mat_mu_          | merged-prefix snapshots
+//    310 | store::DataStore::query_cache_mu_  | per-partition result cache
+//    400 | flowdb::FlowDB::entries_mu_        | summary index (shared/excl)
+//    410 | flowdb::FlowDB::cache_mu_          | view cache (after entries_mu_)
+//    500 | repl::ReplicaPlacer::mu_           | ski-rental books
+//    600 | net::LoopbackTransport::mu_        | handler map + stats
+//    700 | ThreadPool::mu_                    | task queue
+//    800 | metrics::MetricsRegistry::mu_      | instrument registration
+//    900 | kLeaf                              | strictly-innermost locals
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/annotations.hpp"
+
+namespace megads {
+
+namespace lockrank {
+
+inline constexpr int kCoordinator = 100;
+inline constexpr int kPartitionServer = 200;
+inline constexpr int kStoreMaterialization = 300;
+inline constexpr int kStoreQueryCache = 310;
+inline constexpr int kFlowDbEntries = 400;
+inline constexpr int kFlowDbCache = 410;
+inline constexpr int kReplicaPlacer = 500;
+inline constexpr int kTransport = 600;
+inline constexpr int kThreadPool = 700;
+inline constexpr int kMetricsRegistry = 800;
+inline constexpr int kLeaf = 900;
+
+/// Validator switch. Reads are a single relaxed atomic load, so disabled
+/// builds pay one branch per acquisition and no bookkeeping.
+[[nodiscard]] bool enabled() noexcept;
+void set_enabled(bool on) noexcept;
+
+/// Called by the wrappers before blocking on an acquisition: checks the rank
+/// against everything the thread already holds (abort + both stacks on a
+/// violation), then records the hold. No-ops when the validator is disabled.
+void note_acquired(const void* mutex, int rank, const char* name) noexcept;
+/// Forgets a hold (tolerates never-recorded mutexes, so toggling the
+/// validator mid-hold cannot crash).
+void note_released(const void* mutex) noexcept;
+/// True when the calling thread recorded an acquisition of `mutex`.
+[[nodiscard]] bool is_held(const void* mutex) noexcept;
+/// Aborts when the validator is enabled and the thread does not hold `mutex`.
+void check_held(const void* mutex, const char* name) noexcept;
+
+}  // namespace lockrank
+
+class CondVar;
+class UniqueLock;
+
+/// Annotated std::mutex with a lock rank. Prefer the scoped lockers below
+/// over calling lock()/unlock() directly.
+class MEGADS_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(int rank = lockrank::kLeaf,
+                 const char* name = "mutex") noexcept
+      : rank_(rank), name_(name) {}
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() MEGADS_ACQUIRE() {
+    lockrank::note_acquired(this, rank_, name_);
+    mu_.lock();
+  }
+  void unlock() MEGADS_RELEASE() {
+    mu_.unlock();
+    lockrank::note_released(this);
+  }
+
+  /// Declares to the static analysis — and, with the validator enabled,
+  /// verifies at runtime — that the calling thread holds this mutex. The
+  /// bridge for condition-variable wait predicates, which the analysis
+  /// checks as free-standing lambdas.
+  void assert_held() const MEGADS_ASSERT_CAPABILITY(this) {
+    lockrank::check_held(this, name_);
+  }
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  friend class CondVar;
+  friend class UniqueLock;
+
+  std::mutex mu_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// Annotated std::shared_mutex (one writer / many readers) with a lock rank.
+/// Shared acquisitions participate in rank validation exactly like exclusive
+/// ones — a reader blocking behind a writer deadlocks the same way.
+class MEGADS_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(int rank = lockrank::kLeaf,
+                       const char* name = "shared_mutex") noexcept
+      : rank_(rank), name_(name) {}
+
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() MEGADS_ACQUIRE() {
+    lockrank::note_acquired(this, rank_, name_);
+    mu_.lock();
+  }
+  void unlock() MEGADS_RELEASE() {
+    mu_.unlock();
+    lockrank::note_released(this);
+  }
+  void lock_shared() MEGADS_ACQUIRE_SHARED() {
+    lockrank::note_acquired(this, rank_, name_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() MEGADS_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockrank::note_released(this);
+  }
+
+  void assert_held() const MEGADS_ASSERT_CAPABILITY(this) {
+    lockrank::check_held(this, name_);
+  }
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] const char* name() const noexcept { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  const int rank_;
+  const char* const name_;
+};
+
+/// Scoped exclusive lock on a Mutex (the std::lock_guard shape).
+class MEGADS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MEGADS_ACQUIRE(mu) : mu_(&mu) { mu_->lock(); }
+  ~MutexLock() MEGADS_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+/// Scoped exclusive lock on a SharedMutex (the writer side).
+class MEGADS_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) MEGADS_ACQUIRE(mu) : mu_(&mu) {
+    mu_->lock();
+  }
+  ~WriterLock() MEGADS_RELEASE() { mu_->unlock(); }
+
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Scoped shared lock on a SharedMutex (the reader side).
+class MEGADS_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(const SharedMutex& mu) MEGADS_ACQUIRE_SHARED(mu)
+      : mu_(&const_cast<SharedMutex&>(mu)) {
+    mu_->lock_shared();
+  }
+  ~ReaderLock() MEGADS_RELEASE() { mu_->unlock_shared(); }
+
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex* mu_;
+};
+
+/// Scoped exclusive lock that a CondVar can wait on (the std::unique_lock
+/// shape, without the manual unlock/relock surface).
+class MEGADS_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) MEGADS_ACQUIRE(mu)
+      : mu_(&mu), inner_(mu.mu_, std::defer_lock) {
+    lockrank::note_acquired(mu_, mu_->rank_, mu_->name_);
+    inner_.lock();
+  }
+  ~UniqueLock() MEGADS_RELEASE() {
+    inner_.unlock();
+    lockrank::note_released(mu_);
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+
+  Mutex* mu_;
+  std::unique_lock<std::mutex> inner_;
+};
+
+/// Condition variable over megads::Mutex. wait() keeps the rank validator's
+/// per-thread hold stack honest across the internal unlock/relock. Wait
+/// predicates are analyzed as free-standing lambdas by the capability
+/// analysis, so they must start with `mu.assert_held()` before touching
+/// guarded state.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  template <typename Pred>
+  void wait(UniqueLock& lock, Pred pred) {
+    while (!pred()) {
+      lockrank::note_released(lock.mu_);
+      cv_.wait(lock.inner_);
+      lockrank::note_acquired(lock.mu_, lock.mu_->rank_, lock.mu_->name_);
+    }
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace megads

@@ -26,7 +26,7 @@ ThreadPool::ThreadPool(std::size_t threads) : threads_(threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -45,7 +45,7 @@ void ThreadPool::enqueue(std::function<void()> task) {
     return;
   }
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -56,8 +56,11 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      cv_.wait(lock, [this] {
+        mu_.assert_held();  // wait predicates run under the lock
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -79,8 +82,8 @@ void ThreadPool::parallel_for(
   // next contiguous range, so an uneven chunk cannot idle the rest.
   struct Shared {
     std::atomic<std::size_t> next{0};
-    std::exception_ptr error;
-    std::mutex error_mu;
+    Mutex error_mu{lockrank::kLeaf, "parallel_for.error"};
+    std::exception_ptr error MEGADS_GUARDED_BY(error_mu);
   } shared;
   const auto run_chunks = [&shared, &body, n, parts] {
     for (std::size_t i = shared.next.fetch_add(1, std::memory_order_relaxed);
@@ -90,7 +93,7 @@ void ThreadPool::parallel_for(
       try {
         body(begin, end);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(shared.error_mu);
+        const MutexLock lock(shared.error_mu);
         if (!shared.error) shared.error = std::current_exception();
       }
     }
@@ -101,6 +104,7 @@ void ThreadPool::parallel_for(
   for (std::size_t i = 0; i + 1 < parts; ++i) futures.push_back(submit(run_chunks));
   run_chunks();
   for (std::future<void>& future : futures) future.get();
+  const MutexLock lock(shared.error_mu);
   if (shared.error) std::rethrow_exception(shared.error);
 }
 

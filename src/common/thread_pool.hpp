@@ -16,15 +16,15 @@
 // parallel_for calls degrade to serial rather than deadlock on a full queue.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.hpp"
 
 namespace megads {
 
@@ -71,15 +71,15 @@ class ThreadPool {
   void run_all(std::vector<std::function<void()>> tasks);
 
  private:
-  void enqueue(std::function<void()> task);
-  void worker_loop();
+  void enqueue(std::function<void()> task) MEGADS_EXCLUDES(mu_);
+  void worker_loop() MEGADS_EXCLUDES(mu_);
 
   std::size_t threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stopping_ = false;
+  Mutex mu_{lockrank::kThreadPool, "thread_pool"};
+  std::deque<std::function<void()>> queue_ MEGADS_GUARDED_BY(mu_);
+  CondVar cv_;
+  bool stopping_ MEGADS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace megads

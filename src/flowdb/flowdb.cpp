@@ -1,7 +1,6 @@
 #include "flowdb/flowdb.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
@@ -80,7 +79,7 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
           "FlowDB::add: summary's generalization policy/features do not match");
   expects(!interval.empty(), "FlowDB::add: empty interval");
   Entry entry{SummaryMeta{interval, std::move(location)}, std::move(tree), 0};
-  const std::unique_lock lock(entries_mu_);
+  const WriterLock lock(entries_mu_);
   entry.seq = next_seq_++;
   const auto pos = std::upper_bound(
       entries_.begin(), entries_.end(), entry, [](const Entry& a, const Entry& b) {
@@ -96,12 +95,12 @@ void FlowDB::add(flowtree::Flowtree tree, TimeInterval interval,
 }
 
 std::size_t FlowDB::summary_count() const {
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   return entries_.size();
 }
 
 std::uint64_t FlowDB::version() const {
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   return next_seq_ - 1;
 }
 
@@ -113,9 +112,9 @@ void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
   // here would be a lock-order inversion.
   std::optional<flowtree::Flowtree> decoded;
   {
-    const std::lock_guard lock(cache_mu_);
-    if (decode_memo_.byte_budget() > 0) {
-      DecodedBytes* hit = decode_memo_.get(digest);
+    const MutexLock lock(cache_mu_);
+    if (decode_memo_.byte_budget(cache_mu_) > 0) {
+      DecodedBytes* hit = decode_memo_.get(digest, cache_mu_);
       if (hit != nullptr && hit->bytes == bytes) {
         ++decode_hits_;
         decoded = hit->tree;  // O(1) copy-on-write
@@ -127,16 +126,16 @@ void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
   }
   if (!decoded) {
     decoded = flowtree::Flowtree::decode(bytes, tree_config_);
-    const std::lock_guard lock(cache_mu_);
+    const MutexLock lock(cache_mu_);
     decode_memo_.put(digest, DecodedBytes{bytes, *decoded},
-                     bytes.size() + decoded->memory_bytes());
+                     bytes.size() + decoded->memory_bytes(), cache_mu_);
     publish_cache_metrics();
   }
   add(std::move(*decoded), interval, std::move(location));
 }
 
 std::vector<std::string> FlowDB::locations() const {
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   std::vector<std::string> names;
   for (const Entry& entry : entries_) {
     if (names.empty() || names.back() != entry.meta.location) {
@@ -161,7 +160,7 @@ std::vector<std::string> FlowDB::matching_locations(
     return std::find(locations.begin(), locations.end(), location) !=
            locations.end();
   };
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   std::vector<std::string> names;  // entries_ is location-sorted → so is this
   for (const Entry& entry : entries_) {
     if (!names.empty() && names.back() == entry.meta.location) continue;
@@ -173,7 +172,7 @@ std::vector<std::string> FlowDB::matching_locations(
 }
 
 std::optional<TimeInterval> FlowDB::coverage() const {
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   if (entries_.empty()) return std::nullopt;
   TimeInterval total = entries_.front().meta.interval;
   for (const Entry& entry : entries_) total = total.span(entry.meta.interval);
@@ -181,18 +180,18 @@ std::optional<TimeInterval> FlowDB::coverage() const {
 }
 
 void FlowDB::set_view_cache_budget(std::size_t bytes) {
-  const std::lock_guard lock(cache_mu_);
-  view_cache_.set_byte_budget(bytes);
+  const MutexLock lock(cache_mu_);
+  view_cache_.set_byte_budget(bytes, cache_mu_);
   publish_cache_metrics();
 }
 
 std::size_t FlowDB::view_cache_budget() const {
-  const std::lock_guard lock(cache_mu_);
-  return view_cache_.byte_budget();
+  const MutexLock lock(cache_mu_);
+  return view_cache_.byte_budget(cache_mu_);
 }
 
 void FlowDB::attach_metrics(metrics::MetricsRegistry& registry) {
-  const std::lock_guard lock(cache_mu_);
+  const MutexLock lock(cache_mu_);
   metric_hits_ = &registry.counter("flowdb.view_cache_hits");
   metric_misses_ = &registry.counter("flowdb.view_cache_misses");
   metric_evictions_ = &registry.counter("flowdb.view_cache_evictions");
@@ -204,18 +203,18 @@ void FlowDB::attach_metrics(metrics::MetricsRegistry& registry) {
 
 void FlowDB::publish_cache_metrics() const {
   if (metric_hits_ == nullptr) return;
-  metric_hits_->add(view_cache_.hits() - published_hits_);
-  metric_misses_->add(view_cache_.misses() - published_misses_);
-  metric_evictions_->add(view_cache_.evictions() - published_evictions_);
+  metric_hits_->add(view_cache_.hits(cache_mu_) - published_hits_);
+  metric_misses_->add(view_cache_.misses(cache_mu_) - published_misses_);
+  metric_evictions_->add(view_cache_.evictions(cache_mu_) - published_evictions_);
   metric_decode_hits_->add(decode_hits_ - published_decode_hits_);
   metric_decode_misses_->add(decode_misses_ - published_decode_misses_);
-  published_hits_ = view_cache_.hits();
-  published_misses_ = view_cache_.misses();
-  published_evictions_ = view_cache_.evictions();
+  published_hits_ = view_cache_.hits(cache_mu_);
+  published_misses_ = view_cache_.misses(cache_mu_);
+  published_evictions_ = view_cache_.evictions(cache_mu_);
   published_decode_hits_ = decode_hits_;
   published_decode_misses_ = decode_misses_;
-  metric_bytes_->set(static_cast<double>(view_cache_.bytes()));
-  metric_hit_ratio_->set(view_cache_.hit_ratio());
+  metric_bytes_->set(static_cast<double>(view_cache_.bytes(cache_mu_)));
+  metric_hit_ratio_->set(view_cache_.hit_ratio(cache_mu_));
 }
 
 flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
@@ -225,9 +224,9 @@ flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
   key.words.push_back(kTagBlock);
   for (std::size_t i = at; i < at + len; ++i) key.words.push_back(slice[i]->seq);
   {
-    const std::lock_guard lock(cache_mu_);
-    if (view_cache_.byte_budget() > 0) {
-      if (const flowtree::Flowtree* hit = view_cache_.get(key)) {
+    const MutexLock lock(cache_mu_);
+    if (view_cache_.byte_budget(cache_mu_) > 0) {
+      if (const flowtree::Flowtree* hit = view_cache_.get(key, cache_mu_)) {
         return *hit;  // O(1) copy-on-write handout
       }
     }
@@ -242,8 +241,8 @@ flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
     block.merge(fold_aligned(slice, at + half, half));
   }
   {
-    const std::lock_guard lock(cache_mu_);
-    view_cache_.put(key, block, block.memory_bytes());
+    const MutexLock lock(cache_mu_);
+    view_cache_.put(key, block, block.memory_bytes(), cache_mu_);
   }
   return block;
 }
@@ -282,7 +281,7 @@ flowtree::Flowtree FlowDB::merged(
            locations.end();
   };
 
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
 
   // Select the matching entries, grouped by location (entries_ is sorted by
   // location, so each location is a contiguous index run — the "slice").
@@ -324,9 +323,9 @@ flowtree::Flowtree FlowDB::merged(
     }
   }
   {
-    const std::lock_guard cache_lock(cache_mu_);
-    if (view_cache_.byte_budget() > 0) {
-      if (const flowtree::Flowtree* hit = view_cache_.get(view_key)) {
+    const MutexLock cache_lock(cache_mu_);
+    if (view_cache_.byte_budget(cache_mu_) > 0) {
+      if (const flowtree::Flowtree* hit = view_cache_.get(view_key, cache_mu_)) {
         flowtree::Flowtree copy = *hit;
         publish_cache_metrics();
         return copy;
@@ -371,15 +370,15 @@ flowtree::Flowtree FlowDB::merged(
   flowtree::Flowtree result(tree_config_);
   for (flowtree::Flowtree& tree : per_location) result.merge(tree);
   {
-    const std::lock_guard cache_lock(cache_mu_);
-    view_cache_.put(view_key, result, result.memory_bytes());
+    const MutexLock cache_lock(cache_mu_);
+    view_cache_.put(view_key, result, result.memory_bytes(), cache_mu_);
     publish_cache_metrics();
   }
   return result;
 }
 
 std::size_t FlowDB::memory_bytes() const {
-  const std::shared_lock lock(entries_mu_);
+  const ReaderLock lock(entries_mu_);
   std::size_t total = 0;
   for (const Entry& entry : entries_) total += entry.tree.memory_bytes();
   return total;

@@ -35,12 +35,12 @@
 #pragma once
 
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <vector>
 
 #include "common/lru_cache.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "flowdb/source.hpp"
 #include "flowtree/flowtree.hpp"
 
@@ -60,9 +60,10 @@ class FlowDB : public SummarySource {
   explicit FlowDB(flowtree::FlowtreeConfig tree_config = {});
 
   // Movable (the mutexes are freshly constructed; moving while readers or the
-  // writer are active is undefined, as for any container).
-  FlowDB(FlowDB&& other) noexcept;
-  FlowDB& operator=(FlowDB&& other) noexcept;
+  // writer are active is undefined, as for any container — which is why the
+  // move functions opt out of the capability analysis).
+  FlowDB(FlowDB&& other) noexcept MEGADS_NO_THREAD_SAFETY_ANALYSIS;
+  FlowDB& operator=(FlowDB&& other) noexcept MEGADS_NO_THREAD_SAFETY_ANALYSIS;
   FlowDB(const FlowDB&) = delete;
   FlowDB& operator=(const FlowDB&) = delete;
 
@@ -142,50 +143,61 @@ class FlowDB : public SummarySource {
   /// Fold one location's contiguous position run [lo, hi) (slice-relative)
   /// into `acc` along the aligned power-of-two decomposition, consulting the
   /// block cache for every block of >= 2 entries. `slice` spans the whole
-  /// location. Caller holds the shared entries lock.
+  /// location. The slice pointers stay valid because merged() holds the
+  /// shared entries lock for the whole fan-out — pool workers running these
+  /// folds do NOT hold it themselves, which is why the functions carry no
+  /// REQUIRES annotation and touch entries only through the slice.
   void fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
                 std::size_t lo, std::size_t hi) const;
   /// Fold the aligned block [at, at + len): cache lookup, else recurse.
   [[nodiscard]] flowtree::Flowtree fold_aligned(const Entry* const* slice,
                                                 std::size_t at,
                                                 std::size_t len) const;
-  void publish_cache_metrics() const;  ///< caller holds cache_mu_
+  void publish_cache_metrics() const MEGADS_REQUIRES(cache_mu_);
 
   flowtree::FlowtreeConfig tree_config_;
   /// Exclusive for add(), shared for every reader — FlowQL queries may run
   /// concurrently with summary arrivals.
-  mutable std::shared_mutex entries_mu_;
-  std::vector<Entry> entries_;  // sorted by (location, interval.begin)
-  std::uint64_t next_seq_ = 1;
+  mutable SharedMutex entries_mu_{lockrank::kFlowDbEntries, "flowdb.entries"};
+  std::vector<Entry> entries_
+      MEGADS_GUARDED_BY(entries_mu_);  // sorted by (location, interval.begin)
+  std::uint64_t next_seq_ MEGADS_GUARDED_BY(entries_mu_) = 1;
   ThreadPool* pool_ = nullptr;
 
   /// Merged-view/sub-fold cache and the decode memo. Guarded by cache_mu_
   /// (readers mutate the LRU order, so a shared lock is not enough). Cached
   /// trees share copy-on-write state with handed-out results — a hit is an
-  /// O(1) copy while holding the lock.
-  mutable std::mutex cache_mu_;
-  mutable LruCache<ViewKey, flowtree::Flowtree, ViewKeyHash> view_cache_{32u << 20};
+  /// O(1) copy while holding the lock. Always nested inside the shared
+  /// entries lock (never the other way) — the ACQUIRED_AFTER edge makes the
+  /// order machine-checked.
+  mutable Mutex cache_mu_ MEGADS_ACQUIRED_AFTER(entries_mu_){
+      lockrank::kFlowDbCache, "flowdb.cache"};
+  mutable LruCache<ViewKey, flowtree::Flowtree, ViewKeyHash> view_cache_
+      MEGADS_GUARDED_BY(cache_mu_){32u << 20};
   struct DecodedBytes {
     std::vector<std::uint8_t> bytes;  ///< exact-match guard against hash collision
     flowtree::Flowtree tree;
   };
-  mutable LruCache<std::uint64_t, DecodedBytes> decode_memo_{4u << 20};
-  mutable std::uint64_t decode_hits_ = 0;
-  mutable std::uint64_t decode_misses_ = 0;
+  mutable LruCache<std::uint64_t, DecodedBytes> decode_memo_
+      MEGADS_GUARDED_BY(cache_mu_){4u << 20};
+  mutable std::uint64_t decode_hits_ MEGADS_GUARDED_BY(cache_mu_) = 0;
+  mutable std::uint64_t decode_misses_ MEGADS_GUARDED_BY(cache_mu_) = 0;
   /// Counter tallies already pushed to the registry (publish adds deltas).
-  mutable std::uint64_t published_hits_ = 0;
-  mutable std::uint64_t published_misses_ = 0;
-  mutable std::uint64_t published_evictions_ = 0;
-  mutable std::uint64_t published_decode_hits_ = 0;
-  mutable std::uint64_t published_decode_misses_ = 0;
+  mutable std::uint64_t published_hits_ MEGADS_GUARDED_BY(cache_mu_) = 0;
+  mutable std::uint64_t published_misses_ MEGADS_GUARDED_BY(cache_mu_) = 0;
+  mutable std::uint64_t published_evictions_ MEGADS_GUARDED_BY(cache_mu_) = 0;
+  mutable std::uint64_t published_decode_hits_ MEGADS_GUARDED_BY(cache_mu_) = 0;
+  mutable std::uint64_t published_decode_misses_ MEGADS_GUARDED_BY(cache_mu_) =
+      0;
 
-  metrics::Counter* metric_hits_ = nullptr;
-  metrics::Counter* metric_misses_ = nullptr;
-  metrics::Counter* metric_evictions_ = nullptr;
-  metrics::Counter* metric_decode_hits_ = nullptr;
-  metrics::Counter* metric_decode_misses_ = nullptr;
-  metrics::Gauge* metric_bytes_ = nullptr;
-  metrics::Gauge* metric_hit_ratio_ = nullptr;
+  metrics::Counter* metric_hits_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
+  metrics::Counter* metric_misses_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
+  metrics::Counter* metric_evictions_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
+  metrics::Counter* metric_decode_hits_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
+  metrics::Counter* metric_decode_misses_ MEGADS_GUARDED_BY(cache_mu_) =
+      nullptr;
+  metrics::Gauge* metric_bytes_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
+  metrics::Gauge* metric_hit_ratio_ MEGADS_GUARDED_BY(cache_mu_) = nullptr;
 };
 
 }  // namespace megads::flowdb

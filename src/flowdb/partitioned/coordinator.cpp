@@ -49,12 +49,15 @@ void Coordinator::route_record(SummaryRecord record) {
   AddBatchBody full;
   FlowDB* replica = nullptr;
   {
-    std::unique_lock lock(mu_);
+    UniqueLock lock(mu_);
     // A replica install snapshots the shard's owner; a record routed between
     // that snapshot and the replica's registration would be in neither, so
     // hold the add until the install settles (then the replicas_ lookup below
     // sees the fresh replica and keeps it in sync).
-    cv_.wait(lock, [&] { return !installing_[shard]; });
+    cv_.wait(lock, [&] {
+      mu_.assert_held();  // wait predicates run under the lock
+      return !installing_[shard];
+    });
     routed_bytes_[shard] += record.summary.size();
     if (const auto it = replicas_.find(shard); it != replicas_.end()) {
       replica = &it->second;  // keep the local replica in sync with the owner
@@ -74,7 +77,7 @@ void Coordinator::route_record(SummaryRecord record) {
 std::vector<std::pair<std::size_t, AddBatchBody>> Coordinator::take_batches()
     const {
   std::vector<std::pair<std::size_t, AddBatchBody>> out;
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
     if (!pending_[shard].records.empty()) {
       out.emplace_back(shard, std::exchange(pending_[shard], {}));
@@ -100,7 +103,7 @@ void Coordinator::ship_batch(std::size_t shard, AddBatchBody batch) const {
 
 void Coordinator::finish_ship(std::size_t shard) const {
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     --inflight_ships_[shard];
   }
   cv_.notify_all();
@@ -120,11 +123,11 @@ void Coordinator::on_message(NodeId from,
   try {
     envelope = decode(payload);
   } catch (const ParseError&) {
-    const std::lock_guard lock(mu_);
-    ++dropped_messages_;
+    const MutexLock lock(mu_);
+    note_dropped();
     return;
   }
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   switch (envelope.type) {
     case MessageType::kQueryResponse: {
       const auto gather = gathers_.find(envelope.request_id);
@@ -155,7 +158,19 @@ void Coordinator::on_message(NodeId from,
     case MessageType::kReplicaFetch:
       break;  // request-type envelopes never address a coordinator
   }
+  note_dropped();
+}
+
+void Coordinator::note_dropped() const {
   ++dropped_messages_;
+  if (metric_dropped_ != nullptr) metric_dropped_->add(1);
+}
+
+void Coordinator::attach_metrics(metrics::MetricsRegistry& registry) {
+  metrics::Counter& dropped = registry.counter("net.dropped_coordinator");
+  const MutexLock lock(mu_);
+  metric_dropped_ = &dropped;
+  metric_dropped_->add(dropped_messages_);  // catch up on pre-attach drops
 }
 
 QueryResponseBody Coordinator::local_partials(
@@ -177,7 +192,7 @@ void Coordinator::install_replica(std::size_t shard) const {
   std::uint64_t request_id = 0;
   AddBatchBody pre;
   {
-    std::unique_lock lock(mu_);
+    UniqueLock lock(mu_);
     if (replicas_.find(shard) != replicas_.end() || installing_[shard]) {
       return;  // already local, or another querier is mid-buy
     }
@@ -187,7 +202,10 @@ void Coordinator::install_replica(std::size_t shard) const {
     // owner before the fetch, so wait them out, then ship the still-pending
     // batch ourselves ahead of the fetch (FIFO transports deliver in order).
     installing_[shard] = 1;
-    cv_.wait(lock, [&] { return inflight_ships_[shard] == 0; });
+    cv_.wait(lock, [&] {
+      mu_.assert_held();  // wait predicates run under the lock
+      return inflight_ships_[shard] == 0;
+    });
     pre = std::exchange(pending_[shard], {});
     if (!pre.records.empty()) ++inflight_ships_[shard];
     request_id = next_request_id_++;
@@ -204,7 +222,7 @@ void Coordinator::install_replica(std::size_t shard) const {
 
     AddBatchBody data;
     {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       const auto it = replica_data_.find(request_id);
       expects(it != replica_data_.end(),
               "Coordinator: replica data not delivered");
@@ -216,13 +234,13 @@ void Coordinator::install_replica(std::size_t shard) const {
       replica.add_encoded(record.summary, record.interval, record.location);
     }
     {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       replicas_.emplace(shard, std::move(replica));
       installing_[shard] = 0;
     }
   } catch (...) {
     {
-      const std::lock_guard lock(mu_);
+      const MutexLock lock(mu_);
       installing_[shard] = 0;
       pending_fetches_.erase(request_id);
       replica_data_.erase(request_id);
@@ -253,7 +271,7 @@ flowtree::Flowtree Coordinator::merged(
   std::vector<std::pair<std::size_t, const FlowDB*>> local;
   std::uint64_t request_id = 0;
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     for (const std::size_t shard : targets) {
       if (const auto it = replicas_.find(shard); it != replicas_.end()) {
         local.emplace_back(shard, &it->second);
@@ -280,7 +298,7 @@ flowtree::Flowtree Coordinator::merged(
 
   std::vector<std::pair<std::size_t, QueryResponseBody>> responses;
   if (!remote.empty()) {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = gathers_.find(request_id);
     expects(it != gathers_.end() &&
                 it->second.responses.size() == it->second.expected,
@@ -301,7 +319,7 @@ flowtree::Flowtree Coordinator::merged(
       }
       std::uint64_t routed = 0;
       {
-        const std::lock_guard lock(mu_);
+        const MutexLock lock(mu_);
         routed = routed_bytes_[shard];
       }
       const PartitionId partition{static_cast<std::uint32_t>(shard)};
@@ -351,22 +369,22 @@ flowtree::Flowtree Coordinator::merged(
 }
 
 std::uint64_t Coordinator::remote_shard_queries() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return remote_shard_queries_;
 }
 
 std::uint64_t Coordinator::local_shard_queries() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return local_shard_queries_;
 }
 
 std::size_t Coordinator::replicated_partitions() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return replicas_.size();
 }
 
 std::uint64_t Coordinator::dropped_messages() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return dropped_messages_;
 }
 

@@ -38,15 +38,14 @@
 // transport's delivery callback.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "flowdb/flowdb.hpp"
 #include "flowdb/partitioned/envelope.hpp"
 #include "flowdb/partitioned/partitioner.hpp"
@@ -115,6 +114,11 @@ class Coordinator : public SummarySource {
   /// Stray / duplicate / malformed messages received and dropped.
   [[nodiscard]] std::uint64_t dropped_messages() const;
 
+  /// Mirror the drop counter into `registry` as "net.dropped_coordinator"
+  /// (cumulative; catches up on drops that preceded the attach). The registry
+  /// must outlive the coordinator.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+
  private:
   struct Gather {
     std::size_t expected = 0;
@@ -122,16 +126,21 @@ class Coordinator : public SummarySource {
     std::vector<std::pair<std::size_t, QueryResponseBody>> responses;
   };
 
-  void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
-  void route_record(SummaryRecord record);
+  void on_message(NodeId from, const std::vector<std::uint8_t>& payload)
+      MEGADS_EXCLUDES(mu_);
+  void route_record(SummaryRecord record) MEGADS_EXCLUDES(mu_);
   /// Move out every non-empty batch, counting each as an in-flight ship
   /// (caller sends them lock-free via ship_batch, which settles the count).
-  [[nodiscard]] std::vector<std::pair<std::size_t, AddBatchBody>> take_batches() const;
-  void ship_batch(std::size_t shard, AddBatchBody batch) const;
+  [[nodiscard]] std::vector<std::pair<std::size_t, AddBatchBody>> take_batches()
+      const MEGADS_EXCLUDES(mu_);
+  void ship_batch(std::size_t shard, AddBatchBody batch) const
+      MEGADS_EXCLUDES(mu_);
   /// Settle one in-flight ship for `shard` and wake waiters.
-  void finish_ship(std::size_t shard) const;
+  void finish_ship(std::size_t shard) const MEGADS_EXCLUDES(mu_);
+  /// Count one dropped stray message (and mirror it into the registry).
+  void note_dropped() const MEGADS_REQUIRES(mu_);
   /// Fetch shard's raw records and install them as a local replica.
-  void install_replica(std::size_t shard) const;
+  void install_replica(std::size_t shard) const MEGADS_EXCLUDES(mu_);
   /// The shard's partials for a selection, computed from the local replica
   /// (same code path as PartitionServer::handle_query, minus the wire).
   [[nodiscard]] QueryResponseBody local_partials(
@@ -145,23 +154,33 @@ class Coordinator : public SummarySource {
   Options options_;
   std::unordered_map<NodeId, std::size_t> shard_of_node_;
 
-  mutable std::mutex mu_;
+  /// Outermost lock of the query path (rank kCoordinator): held only around
+  /// bookkeeping, never across a Transport send or a replica FlowDB call.
+  mutable Mutex mu_{lockrank::kCoordinator, "coordinator"};
   /// Signals: an install finished (installing_ cleared) or a ship settled
   /// (inflight_ships_ decremented).
-  mutable std::condition_variable cv_;
-  mutable std::uint64_t next_request_id_ = 1;
-  mutable std::unordered_map<std::uint64_t, Gather> gathers_;
+  mutable CondVar cv_;
+  mutable std::uint64_t next_request_id_ MEGADS_GUARDED_BY(mu_) = 1;
+  mutable std::unordered_map<std::uint64_t, Gather> gathers_
+      MEGADS_GUARDED_BY(mu_);
   /// Request ids of kReplicaFetch messages awaiting their kReplicaData.
-  mutable std::unordered_set<std::uint64_t> pending_fetches_;
-  mutable std::unordered_map<std::uint64_t, AddBatchBody> replica_data_;
-  mutable std::vector<AddBatchBody> pending_;       ///< per shard
-  mutable std::vector<std::uint64_t> routed_bytes_; ///< per shard, cumulative
-  mutable std::vector<std::uint8_t> installing_;    ///< per shard: replica install in progress
-  mutable std::vector<std::size_t> inflight_ships_; ///< per shard: batches taken, not yet sent
-  mutable std::unordered_map<std::size_t, FlowDB> replicas_;
-  mutable std::uint64_t remote_shard_queries_ = 0;
-  mutable std::uint64_t local_shard_queries_ = 0;
-  mutable std::uint64_t dropped_messages_ = 0;
+  mutable std::unordered_set<std::uint64_t> pending_fetches_
+      MEGADS_GUARDED_BY(mu_);
+  mutable std::unordered_map<std::uint64_t, AddBatchBody> replica_data_
+      MEGADS_GUARDED_BY(mu_);
+  mutable std::vector<AddBatchBody> pending_ MEGADS_GUARDED_BY(mu_);  ///< per shard
+  mutable std::vector<std::uint64_t> routed_bytes_
+      MEGADS_GUARDED_BY(mu_);  ///< per shard, cumulative
+  mutable std::vector<std::uint8_t> installing_
+      MEGADS_GUARDED_BY(mu_);  ///< per shard: replica install in progress
+  mutable std::vector<std::size_t> inflight_ships_
+      MEGADS_GUARDED_BY(mu_);  ///< per shard: batches taken, not yet sent
+  mutable std::unordered_map<std::size_t, FlowDB> replicas_
+      MEGADS_GUARDED_BY(mu_);
+  mutable std::uint64_t remote_shard_queries_ MEGADS_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t local_shard_queries_ MEGADS_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t dropped_messages_ MEGADS_GUARDED_BY(mu_) = 0;
+  metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(mu_) = nullptr;
 
   repl::ReplicaPlacer* placer_ = nullptr;
 };

@@ -18,12 +18,12 @@ PartitionServer::PartitionServer(net::Transport& transport, NodeId node,
 PartitionServer::~PartitionServer() { transport_->unbind(node_); }
 
 std::uint64_t PartitionServer::raw_bytes() const {
-  const std::lock_guard lock(raw_mu_);
+  const MutexLock lock(raw_mu_);
   return raw_bytes_;
 }
 
 std::uint64_t PartitionServer::dropped_messages() const {
-  const std::lock_guard lock(raw_mu_);
+  const MutexLock lock(raw_mu_);
   return dropped_messages_;
 }
 
@@ -35,8 +35,8 @@ void PartitionServer::on_message(NodeId from,
   try {
     envelope = decode(payload);
   } catch (const ParseError&) {
-    const std::lock_guard lock(raw_mu_);
-    ++dropped_messages_;
+    const MutexLock lock(raw_mu_);
+    note_dropped();
     return;
   }
   switch (envelope.type) {
@@ -55,14 +55,26 @@ void PartitionServer::on_message(NodeId from,
     case MessageType::kReplicaData:
       break;  // response-type envelopes never address a server
   }
-  const std::lock_guard lock(raw_mu_);
+  const MutexLock lock(raw_mu_);
+  note_dropped();
+}
+
+void PartitionServer::note_dropped() {
   ++dropped_messages_;
+  if (metric_dropped_ != nullptr) metric_dropped_->add(1);
+}
+
+void PartitionServer::attach_metrics(metrics::MetricsRegistry& registry) {
+  metrics::Counter& dropped = registry.counter("net.dropped_server");
+  const MutexLock lock(raw_mu_);
+  metric_dropped_ = &dropped;
+  metric_dropped_->add(dropped_messages_);  // catch up on pre-attach drops
 }
 
 void PartitionServer::handle_add(const AddBatchBody& body) {
   for (const SummaryRecord& record : body.records) {
     db_.add_encoded(record.summary, record.interval, record.location);
-    const std::lock_guard lock(raw_mu_);
+    const MutexLock lock(raw_mu_);
     raw_.push_back(record);
     raw_bytes_ += record.summary.size();
   }
@@ -101,7 +113,7 @@ void PartitionServer::handle_replica_fetch(NodeId from, std::uint64_t request_id
   };
   AddBatchBody data;
   {
-    const std::lock_guard lock(raw_mu_);
+    const MutexLock lock(raw_mu_);
     for (const SummaryRecord& record : raw_) {
       if (wanted_time(record.interval) && wanted_location(record.location)) {
         data.records.push_back(record);

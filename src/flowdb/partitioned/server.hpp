@@ -14,9 +14,9 @@
 // from several querier threads at once.
 #pragma once
 
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "flowdb/flowdb.hpp"
 #include "flowdb/partitioned/envelope.hpp"
 #include "net/transport.hpp"
@@ -48,13 +48,21 @@ class PartitionServer {
   /// Stray / malformed messages received and dropped.
   [[nodiscard]] std::uint64_t dropped_messages() const;
 
+  /// Mirror the drop counter into `registry` as "net.dropped_server"
+  /// (cumulative across every server attached to the same registry). The
+  /// registry must outlive the server.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+
  private:
-  void on_message(NodeId from, const std::vector<std::uint8_t>& payload);
-  void handle_add(const AddBatchBody& body);
+  void on_message(NodeId from, const std::vector<std::uint8_t>& payload)
+      MEGADS_EXCLUDES(raw_mu_);
+  void handle_add(const AddBatchBody& body) MEGADS_EXCLUDES(raw_mu_);
   void handle_query(NodeId from, std::uint64_t request_id,
                     const SelectionBody& body);
   void handle_replica_fetch(NodeId from, std::uint64_t request_id,
-                            const SelectionBody& body);
+                            const SelectionBody& body) MEGADS_EXCLUDES(raw_mu_);
+  /// Count one dropped stray message (and mirror it into the registry).
+  void note_dropped() MEGADS_REQUIRES(raw_mu_);
 
   net::Transport* transport_;
   NodeId node_;
@@ -62,10 +70,11 @@ class PartitionServer {
 
   /// Raw records as received, for replica copies — the index alone cannot
   /// reproduce the original per-summary granularity.
-  mutable std::mutex raw_mu_;
-  std::vector<SummaryRecord> raw_;
-  std::uint64_t raw_bytes_ = 0;
-  std::uint64_t dropped_messages_ = 0;
+  mutable Mutex raw_mu_{lockrank::kPartitionServer, "partition_server.raw"};
+  std::vector<SummaryRecord> raw_ MEGADS_GUARDED_BY(raw_mu_);
+  std::uint64_t raw_bytes_ MEGADS_GUARDED_BY(raw_mu_) = 0;
+  std::uint64_t dropped_messages_ MEGADS_GUARDED_BY(raw_mu_) = 0;
+  metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(raw_mu_) = nullptr;
 };
 
 }  // namespace megads::flowdb::dist

@@ -59,7 +59,7 @@ SimTime LoopbackTransport::send(NodeId from, NodeId to, std::uint64_t bytes,
   (void)from;
   (void)to;
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     stats_.messages += 1;
     stats_.bytes += bytes;
     stats_.payload_bytes += bytes;
@@ -76,7 +76,7 @@ SimTime LoopbackTransport::send_message(NodeId from, NodeId to,
                                         std::vector<std::uint8_t> payload) {
   MessageHandler handler;
   {
-    const std::lock_guard lock(mu_);
+    const MutexLock lock(mu_);
     const auto it = handlers_.find(to);
     if (it == handlers_.end()) {
       throw NotFoundError(
@@ -98,12 +98,12 @@ SimTime LoopbackTransport::send_message(NodeId from, NodeId to,
 
 void LoopbackTransport::bind(NodeId node, MessageHandler handler) {
   expects(static_cast<bool>(handler), "LoopbackTransport::bind: empty handler");
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   handlers_[node] = std::move(handler);
 }
 
 void LoopbackTransport::unbind(NodeId node) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   handlers_.erase(node);
 }
 
@@ -113,12 +113,12 @@ SimDuration LoopbackTransport::transfer_time_unloaded(NodeId, NodeId,
 }
 
 TransferStats LoopbackTransport::stats() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return stats_;
 }
 
 void LoopbackTransport::attach_metrics(metrics::MetricsRegistry& registry) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   metric_messages_ = &registry.counter("net.messages");
   metric_payload_bytes_ = &registry.counter("net.payload_bytes");
 }

@@ -28,11 +28,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "net/network.hpp"
 
 namespace megads::net {
@@ -131,11 +131,13 @@ class LoopbackTransport final : public Transport {
   void attach_metrics(metrics::MetricsRegistry& registry) override;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<NodeId, MessageHandler> handlers_;
-  TransferStats stats_;
-  metrics::Counter* metric_messages_ = nullptr;
-  metrics::Counter* metric_payload_bytes_ = nullptr;
+  /// Handler map and stats only — never held across a handler dispatch, so
+  /// handlers may themselves send (see send_message).
+  mutable Mutex mu_{lockrank::kTransport, "transport.loopback"};
+  std::unordered_map<NodeId, MessageHandler> handlers_ MEGADS_GUARDED_BY(mu_);
+  TransferStats stats_ MEGADS_GUARDED_BY(mu_);
+  metrics::Counter* metric_messages_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_payload_bytes_ MEGADS_GUARDED_BY(mu_) = nullptr;
 };
 
 }  // namespace megads::net

@@ -7,14 +7,14 @@ ReplicaPlacer::ReplicaPlacer(ReplicationPolicy& policy, net::Transport& transpor
 
 void ReplicaPlacer::track(PartitionId partition, SimTime now,
                           std::uint64_t size_bytes) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (!tracked_.insert(partition).second) return;
   policy_->on_partition_created(partition, now, size_bytes);
 }
 
 bool ReplicaPlacer::should_replicate(PartitionId partition, SimTime now,
                                      std::uint64_t result_bytes) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   if (replicated_.contains(partition)) {
     // Already bought — the caller should have served locally; keep the books
     // consistent anyway.
@@ -30,17 +30,17 @@ bool ReplicaPlacer::should_replicate(PartitionId partition, SimTime now,
 
 void ReplicaPlacer::observe_local(PartitionId partition, SimTime now,
                                   std::uint64_t result_bytes) {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   policy_->observe_local_access(partition, now, result_bytes);
 }
 
 bool ReplicaPlacer::is_replicated(PartitionId partition) const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return replicated_.contains(partition);
 }
 
 std::size_t ReplicaPlacer::replicated_count() const {
-  const std::lock_guard lock(mu_);
+  const MutexLock lock(mu_);
   return replicated_.size();
 }
 

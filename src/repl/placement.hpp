@@ -13,9 +13,9 @@
 // share one placer over a LoopbackTransport.
 #pragma once
 
-#include <mutex>
 #include <unordered_set>
 
+#include "common/mutex.hpp"
 #include "net/transport.hpp"
 #include "repl/policy.hpp"
 
@@ -49,11 +49,12 @@ class ReplicaPlacer {
                                       std::uint64_t bytes) const;
 
  private:
-  ReplicationPolicy* policy_;
+  /// Policies keep unsynchronized books, so the pointee is guarded too.
+  ReplicationPolicy* policy_ MEGADS_PT_GUARDED_BY(mu_);
   net::Transport* transport_;
-  mutable std::mutex mu_;  ///< policies keep unsynchronized books
-  std::unordered_set<PartitionId> tracked_;
-  std::unordered_set<PartitionId> replicated_;
+  mutable Mutex mu_{lockrank::kReplicaPlacer, "repl.placer"};
+  std::unordered_set<PartitionId> tracked_ MEGADS_GUARDED_BY(mu_);
+  std::unordered_set<PartitionId> replicated_ MEGADS_GUARDED_BY(mu_);
 };
 
 }  // namespace megads::repl

@@ -40,9 +40,9 @@ void DataStore::remove(AggregatorId slot) {
   }
   for (auto& [sensor, subscribed] : subscriptions_) subscribed.erase(slot);
   {
-    const std::lock_guard lock(query_cache_mu_);
+    const MutexLock lock(query_cache_mu_);
     query_cache_.erase_if(
-        [slot](const ResultCacheKey& key) { return key.slot == slot; });
+        [slot](const ResultCacheKey& key) { return key.slot == slot; }, query_cache_mu_);
   }
   MEGADS_VERIFY_INVARIANTS(*this);
 }
@@ -543,13 +543,13 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
   const QueryKey query_key = make_query_key(query);
   bool cache_on = false;
   {
-    const std::lock_guard lock(query_cache_mu_);
-    cache_on = query_cache_.byte_budget() > 0;
+    const MutexLock lock(query_cache_mu_);
+    cache_on = query_cache_.byte_budget(query_cache_mu_) > 0;
     if (cache_on) {
       misses.clear();
       for (std::size_t i = 0; i < matching.size(); ++i) {
         const ResultCacheKey key{slot_id, matching[i]->id, query_key};
-        if (const QueryResult* hit = query_cache_.get(key)) {
+        if (const QueryResult* hit = query_cache_.get(key, query_cache_mu_)) {
           parts[i] = *hit;
         } else {
           misses.push_back(i);
@@ -571,10 +571,10 @@ QueryResult DataStore::query(AggregatorId slot_id, const Query& query,
     execute_misses(0, misses.size());
   }
   if (cache_on) {
-    const std::lock_guard lock(query_cache_mu_);
+    const MutexLock lock(query_cache_mu_);
     for (const std::size_t i : misses) {
       query_cache_.put(ResultCacheKey{slot_id, matching[i]->id, query_key},
-                       parts[i], result_bytes(parts[i]));
+                       parts[i], result_bytes(parts[i]), query_cache_mu_);
     }
     publish_cache_metrics();
   }
@@ -644,7 +644,7 @@ std::unique_ptr<primitives::Aggregator> DataStore::snapshot(
   // is rebuilt from scratch after a front change. Fold order is exactly the
   // serial path's — shelf order, then live — so answers are identical.
   if (materialization_enabled_ && matches_are_prefix && prefix_len >= 2) {
-    const std::lock_guard lock(mat_mu_);
+    const MutexLock lock(mat_mu_);
     const auto ids_match = [&] {
       if (slot.mat_ids.size() > prefix_len) return false;
       for (std::size_t i = 0; i < slot.mat_ids.size(); ++i) {
@@ -724,26 +724,31 @@ void DataStore::attach_metrics(metrics::MetricsRegistry& registry) {
   metric_compressions_ = &registry.counter(prefix + "compress_count");
   metric_rate_ = &registry.gauge(prefix + "ingest_items_per_sec");
   metric_batch_size_ = &registry.histogram(prefix + "ingest_batch_size");
-  metric_qcache_hits_ = &registry.counter(prefix + "query_cache_hits");
-  metric_qcache_misses_ = &registry.counter(prefix + "query_cache_misses");
-  metric_qcache_evictions_ = &registry.counter(prefix + "query_cache_evictions");
-  metric_qcache_bytes_ = &registry.gauge(prefix + "query_cache_bytes");
-  metric_qcache_hit_ratio_ = &registry.gauge(prefix + "query_cache_hit_ratio");
+  {
+    const MutexLock lock(query_cache_mu_);
+    metric_qcache_hits_ = &registry.counter(prefix + "query_cache_hits");
+    metric_qcache_misses_ = &registry.counter(prefix + "query_cache_misses");
+    metric_qcache_evictions_ =
+        &registry.counter(prefix + "query_cache_evictions");
+    metric_qcache_bytes_ = &registry.gauge(prefix + "query_cache_bytes");
+    metric_qcache_hit_ratio_ =
+        &registry.gauge(prefix + "query_cache_hit_ratio");
+  }
   metric_mat_extends_ = &registry.counter(prefix + "materialized_extends");
   metric_mat_rebuilds_ = &registry.counter(prefix + "materialized_rebuilds");
 }
 
 void DataStore::publish_cache_metrics() const {
   if (metric_qcache_hits_ == nullptr) return;
-  metric_qcache_hits_->add(query_cache_.hits() - qcache_published_hits_);
-  metric_qcache_misses_->add(query_cache_.misses() - qcache_published_misses_);
-  metric_qcache_evictions_->add(query_cache_.evictions() -
+  metric_qcache_hits_->add(query_cache_.hits(query_cache_mu_) - qcache_published_hits_);
+  metric_qcache_misses_->add(query_cache_.misses(query_cache_mu_) - qcache_published_misses_);
+  metric_qcache_evictions_->add(query_cache_.evictions(query_cache_mu_) -
                                 qcache_published_evictions_);
-  qcache_published_hits_ = query_cache_.hits();
-  qcache_published_misses_ = query_cache_.misses();
-  qcache_published_evictions_ = query_cache_.evictions();
-  metric_qcache_bytes_->set(static_cast<double>(query_cache_.bytes()));
-  metric_qcache_hit_ratio_->set(query_cache_.hit_ratio());
+  qcache_published_hits_ = query_cache_.hits(query_cache_mu_);
+  qcache_published_misses_ = query_cache_.misses(query_cache_mu_);
+  qcache_published_evictions_ = query_cache_.evictions(query_cache_mu_);
+  metric_qcache_bytes_->set(static_cast<double>(query_cache_.bytes(query_cache_mu_)));
+  metric_qcache_hit_ratio_->set(query_cache_.hit_ratio(query_cache_mu_));
 }
 
 // --- incremental materialization + query cache -----------------------------------
@@ -798,18 +803,18 @@ std::uint64_t DataStore::epoch_version(AggregatorId slot) const {
 }
 
 void DataStore::set_query_cache_budget(std::size_t bytes) {
-  const std::lock_guard lock(query_cache_mu_);
-  query_cache_.set_byte_budget(bytes);
+  const MutexLock lock(query_cache_mu_);
+  query_cache_.set_byte_budget(bytes, query_cache_mu_);
   publish_cache_metrics();
 }
 
 std::size_t DataStore::query_cache_budget() const {
-  const std::lock_guard lock(query_cache_mu_);
-  return query_cache_.byte_budget();
+  const MutexLock lock(query_cache_mu_);
+  return query_cache_.byte_budget(query_cache_mu_);
 }
 
 void DataStore::set_materialization_enabled(bool enabled) {
-  const std::lock_guard lock(mat_mu_);
+  const MutexLock lock(mat_mu_);
   materialization_enabled_ = enabled;
   if (!enabled) {
     for (auto& [id, slot] : slots_) {

@@ -9,7 +9,6 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -19,6 +18,7 @@
 
 #include "common/lru_cache.hpp"
 #include "common/metrics.hpp"
+#include "common/mutex.hpp"
 #include "lineage/lineage.hpp"
 #include "store/storage.hpp"
 #include "store/trigger.hpp"
@@ -281,9 +281,8 @@ class DataStore {
   /// Push an AdaptSignal (budget + measured rates) when the live summary
   /// outgrew its budget.
   void maybe_adapt(Slot& slot);
-  /// Publish the query-cache tallies to the attached metrics registry
-  /// (caller holds query_cache_mu_).
-  void publish_cache_metrics() const;
+  /// Publish the query-cache tallies to the attached metrics registry.
+  void publish_cache_metrics() const MEGADS_REQUIRES(query_cache_mu_);
   void update_ingest_metrics(std::size_t batch_size);
   void fire_item_triggers(const primitives::StreamItem& item);
   void fire_epoch_triggers(const Partition& partition);
@@ -319,29 +318,44 @@ class DataStore {
   metrics::Counter* metric_compressions_ = nullptr;
   metrics::Gauge* metric_rate_ = nullptr;
   metrics::Histogram* metric_batch_size_ = nullptr;
-  metrics::Counter* metric_qcache_hits_ = nullptr;
-  metrics::Counter* metric_qcache_misses_ = nullptr;
-  metrics::Counter* metric_qcache_evictions_ = nullptr;
-  metrics::Gauge* metric_qcache_bytes_ = nullptr;
-  metrics::Gauge* metric_qcache_hit_ratio_ = nullptr;
+  metrics::Counter* metric_qcache_hits_ MEGADS_GUARDED_BY(query_cache_mu_) =
+      nullptr;
+  metrics::Counter* metric_qcache_misses_ MEGADS_GUARDED_BY(query_cache_mu_) =
+      nullptr;
+  metrics::Counter* metric_qcache_evictions_
+      MEGADS_GUARDED_BY(query_cache_mu_) = nullptr;
+  metrics::Gauge* metric_qcache_bytes_ MEGADS_GUARDED_BY(query_cache_mu_) =
+      nullptr;
+  metrics::Gauge* metric_qcache_hit_ratio_ MEGADS_GUARDED_BY(query_cache_mu_) =
+      nullptr;
   metrics::Counter* metric_mat_extends_ = nullptr;
   metrics::Counter* metric_mat_rebuilds_ = nullptr;
 
   /// Per-partition query-result cache. Guarded by its own mutex: const
   /// query() calls may run concurrently with each other (mutations are
   /// externally synchronized, like every other store entry point).
-  mutable std::mutex query_cache_mu_;
+  mutable Mutex query_cache_mu_{lockrank::kStoreQueryCache,
+                                "store.query_cache"};
   mutable LruCache<ResultCacheKey, primitives::QueryResult, ResultCacheKeyHash>
-      query_cache_{8u << 20};
+      query_cache_ MEGADS_GUARDED_BY(query_cache_mu_){8u << 20};
   /// Tallies already published to the metrics registry (counters are
   /// monotone, so each publish adds the delta since the previous one).
-  mutable std::uint64_t qcache_published_hits_ = 0;
-  mutable std::uint64_t qcache_published_misses_ = 0;
-  mutable std::uint64_t qcache_published_evictions_ = 0;
+  mutable std::uint64_t qcache_published_hits_
+      MEGADS_GUARDED_BY(query_cache_mu_) = 0;
+  mutable std::uint64_t qcache_published_misses_
+      MEGADS_GUARDED_BY(query_cache_mu_) = 0;
+  mutable std::uint64_t qcache_published_evictions_
+      MEGADS_GUARDED_BY(query_cache_mu_) = 0;
 
   /// Guards every Slot's mat_merged/mat_ids (const snapshot() calls race
-  /// only against each other; one store-wide mutex keeps it simple).
-  mutable std::mutex mat_mu_;
+  /// only against each other; one store-wide mutex keeps it simple). The
+  /// per-slot fields live in Slot, outside this class, so they cannot carry
+  /// a GUARDED_BY that names this mutex — the rank validator still checks
+  /// the acquisition order at runtime.
+  mutable Mutex mat_mu_{lockrank::kStoreMaterialization, "store.mat"};
+  /// Written only by the externally-synchronized mutation entry point
+  /// set_materialization_enabled(); read by const query paths without the
+  /// lock — safe under the store's external-synchronization contract.
   bool materialization_enabled_ = true;
 
   lineage::Recorder* lineage_ = nullptr;

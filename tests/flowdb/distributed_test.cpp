@@ -302,6 +302,11 @@ TEST(DistributedRobustness, StrayAndDuplicateMessagesAreDropped) {
     reference.add(std::move(record.tree), record.interval, record.location);
   }
 
+  // Live-attached registry: coordinator drops land in net.dropped_coordinator
+  // as they happen.
+  metrics::MetricsRegistry registry;
+  cluster.coordinator->attach_metrics(registry);
+
   // A response nobody asked for, the same from a node that is not a
   // partition server, a request-type envelope at the coordinator, and plain
   // garbage bytes.
@@ -318,6 +323,7 @@ TEST(DistributedRobustness, StrayAndDuplicateMessagesAreDropped) {
   transport.send_message(NodeId(1), NodeId(0),
                          std::vector<std::uint8_t>{0x01, 0x02, 0x03});
   EXPECT_EQ(cluster.coordinator->dropped_messages(), 4u);
+  EXPECT_EQ(registry.snapshot().value("net.dropped_coordinator", -1.0), 4.0);
 
   // A response-type envelope at a server is dropped the same way.
   Envelope at_server;
@@ -326,6 +332,12 @@ TEST(DistributedRobustness, StrayAndDuplicateMessagesAreDropped) {
   at_server.body = AddBatchBody{};
   transport.send_message(NodeId(0), NodeId(1), encode(at_server));
   EXPECT_EQ(cluster.servers[0]->dropped_messages(), 1u);
+
+  // Attaching after the fact catches the counter up on pre-attach drops.
+  cluster.servers[0]->attach_metrics(registry);
+  EXPECT_EQ(registry.snapshot().value("net.dropped_server", -1.0), 1.0);
+  transport.send_message(NodeId(0), NodeId(1), encode(at_server));
+  EXPECT_EQ(registry.snapshot().value("net.dropped_server", -1.0), 2.0);
 
   for (const std::string& flowql : query_pool()) {
     SCOPED_TRACE(flowql);

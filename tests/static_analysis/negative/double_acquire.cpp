@@ -1,0 +1,28 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// acquires a capability the thread already holds (self-deadlock on a
+// non-recursive mutex). Registered in CMake as a WILL_FAIL -fsyntax-only
+// test (clang toolchains only).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    const megads::MutexLock outer(mu_);
+    const megads::MutexLock inner(mu_);  // BAD: mu_ already held
+    ++value_;
+  }
+
+ private:
+  megads::Mutex mu_{megads::lockrank::kLeaf, "counter"};
+  int value_ MEGADS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.bump();
+  return 0;
+}

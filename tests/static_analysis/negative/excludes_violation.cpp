@@ -1,0 +1,32 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// calls a MEGADS_EXCLUDES function while holding the excluded mutex — the
+// callee would self-deadlock acquiring it again. This is the contract every
+// lock-free-calling helper in the coordinator/server carries. Registered in
+// CMake as a WILL_FAIL -fsyntax-only test (clang toolchains only).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int value) MEGADS_EXCLUDES(mu_) {
+    const megads::MutexLock lock(mu_);
+    tail_ = value;
+  }
+  void push_locked(int value) {
+    const megads::MutexLock lock(mu_);
+    push(value);  // BAD: push acquires mu_, which is already held
+  }
+
+ private:
+  megads::Mutex mu_{megads::lockrank::kLeaf, "queue"};
+  int tail_ MEGADS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push_locked(1);
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Positive control: MUST COMPILE cleanly under -Wthread-safety
+// -Werror=thread-safety-analysis. Exercises the same shapes the negative
+// TUs break — guarded fields under scoped locks, the LruCache owner
+// parameter held at the call, EXCLUDES helpers called lock-free, reader/
+// writer nesting along the annotated order, and the assert_held condvar
+// bridge — so a regression in the wrappers (not the test TUs) cannot hide
+// behind WILL_FAIL.
+#include <string>
+
+#include "common/lru_cache.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Index {
+ public:
+  void add(int key, std::string value) MEGADS_EXCLUDES(entries_mu_) {
+    const megads::WriterLock lock(entries_mu_);
+    last_key_ = key;
+    const megads::MutexLock cache_lock(cache_mu_);
+    cache_.put(key, std::move(value), 64, cache_mu_);
+  }
+
+  [[nodiscard]] bool cached(int key) const MEGADS_EXCLUDES(entries_mu_) {
+    const megads::ReaderLock read(entries_mu_);
+    const megads::MutexLock cache_lock(cache_mu_);
+    return cache_.get(key, cache_mu_) != nullptr;
+  }
+
+  void wait_for(int key) MEGADS_EXCLUDES(wait_mu_) {
+    megads::UniqueLock lock(wait_mu_);
+    cv_.wait(lock, [&] {
+      wait_mu_.assert_held();  // the condvar-predicate bridge
+      return seen_ == key;
+    });
+  }
+
+  void signal(int key) MEGADS_EXCLUDES(wait_mu_) {
+    {
+      const megads::MutexLock lock(wait_mu_);
+      seen_ = key;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable megads::SharedMutex entries_mu_{megads::lockrank::kFlowDbEntries,
+                                          "index.entries"};
+  int last_key_ MEGADS_GUARDED_BY(entries_mu_) = 0;
+  mutable megads::Mutex cache_mu_ MEGADS_ACQUIRED_AFTER(entries_mu_){
+      megads::lockrank::kFlowDbCache, "index.cache"};
+  mutable megads::LruCache<int, std::string> cache_
+      MEGADS_GUARDED_BY(cache_mu_){1u << 20};
+
+  megads::Mutex wait_mu_{megads::lockrank::kLeaf, "index.wait"};
+  megads::CondVar cv_;
+  int seen_ MEGADS_GUARDED_BY(wait_mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Index index;
+  index.add(1, "one");
+  index.signal(1);
+  index.wait_for(1);
+  return index.cached(1) ? 0 : 1;
+}

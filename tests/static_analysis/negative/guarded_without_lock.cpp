@@ -1,0 +1,25 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// writes a MEGADS_GUARDED_BY field without holding its mutex. Registered in
+// CMake as a WILL_FAIL -fsyntax-only test (clang toolchains only).
+#include "common/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held
+  }
+
+ private:
+  megads::Mutex mu_{megads::lockrank::kLeaf, "account"};
+  int balance_ MEGADS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// MUST NOT COMPILE under -Wthread-safety -Werror=thread-safety-analysis:
+// calls the external-locking LruCache interface without holding the owning
+// capability it names. This is the exact misuse the MEGADS_REQUIRES owner
+// parameter exists to reject. Registered in CMake as a WILL_FAIL
+// -fsyntax-only test (clang toolchains only).
+#include <string>
+
+#include "common/lru_cache.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Directory {
+ public:
+  const std::string* lookup(int key) {
+    return cache_.get(key, mu_);  // BAD: mu_ not held at the call
+  }
+
+ private:
+  megads::Mutex mu_{megads::lockrank::kLeaf, "directory"};
+  megads::LruCache<int, std::string> cache_ MEGADS_GUARDED_BY(mu_){1u << 20};
+};
+
+}  // namespace
+
+int main() {
+  Directory directory;
+  return directory.lookup(7) != nullptr ? 1 : 0;
+}

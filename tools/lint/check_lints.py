@@ -1,0 +1,363 @@
+#!/usr/bin/env python3
+"""Project-rule lints for megads.
+
+Four rules the type system cannot express and the compiler does not check:
+
+  raw-network-send   Network::send is the raw wire; everything above the net
+                     layer must go through the Transport abstraction so one
+                     code path runs over Sim and Loopback alike. No
+                     `network*.send(...)` outside src/net/.
+
+  throw-in-callback  Transport delivery callbacks (`on_message`) must never
+                     leak an exception: one stray or corrupt message would
+                     tear down the receiving node. Every `throw` lexically
+                     inside an on_message body must sit inside a try block.
+
+  naked-mutex        All locking goes through the annotated wrappers in
+                     src/common/mutex.hpp (capability annotations + the
+                     runtime lock-rank validator). Raw std::mutex /
+                     std::lock_guard & co. are confined to the wrapper
+                     header itself.
+
+  invariant-coverage Mutating DataStore entry points must end with
+                     MEGADS_VERIFY_INVARIANTS so invariant-checking builds
+                     examine every state transition.
+
+The same rules exist as AST-exact clang-query matchers in
+tools/lint/clang-query/ for toolchains that have clang-query; this script is
+the portable, always-on variant wired into `check-lints` / ctest.
+
+Usage:
+  check_lints.py --root <repo-root>        lint the source tree
+  check_lints.py --self-test               run the rules against testdata/
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- source model -----------------------------------------------------------
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line structure
+    (and the line count inside block comments) so reported line numbers and
+    brace depths stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # char
+            if c == "\\":
+                out.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                out.append(" ")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def line_of(text, offset):
+    return text.count("\n", 0, offset) + 1
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --- rules ------------------------------------------------------------------
+
+RAW_SEND_RE = re.compile(r"\bnetwork(\(\)|_)?\s*(\.|->)\s*send\s*\(")
+
+
+def check_raw_network_send(path, rel, text):
+    if rel.replace(os.sep, "/").startswith("src/net/"):
+        return []
+    return [
+        Violation(
+            "raw-network-send",
+            rel,
+            line_of(text, m.start()),
+            "raw Network::send outside src/net/ — go through Transport",
+        )
+        for m in RAW_SEND_RE.finditer(text)
+    ]
+
+
+ON_MESSAGE_RE = re.compile(r"\bon_message\s*\([^;{]*\)\s*(?:const\s*)?(?:\w+\(\w*\)\s*)*\{")
+THROW_RE = re.compile(r"\bthrow\b")
+TRY_RE = re.compile(r"\btry\s*$")
+
+
+def _function_body_span(text, open_brace):
+    depth = 0
+    for i in range(open_brace, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return len(text) - 1
+
+
+def check_throw_in_callback(path, rel, text):
+    violations = []
+    for m in ON_MESSAGE_RE.finditer(text):
+        open_brace = text.index("{", m.start())
+        close_brace = _function_body_span(text, open_brace)
+        # Walk the body, keeping a stack of open braces marked try / not-try.
+        stack = []
+        i = open_brace + 1
+        while i < close_brace:
+            c = text[i]
+            if c == "{":
+                before = text[:i].rstrip()
+                # `try {` or `try\n{`; also `} catch (...) {` keeps protection.
+                is_try = bool(TRY_RE.search(before)) or before.endswith(")") and bool(
+                    re.search(r"\bcatch\s*\([^()]*\)\s*$", before)
+                )
+                stack.append(is_try)
+                i += 1
+            elif c == "}":
+                if stack:
+                    stack.pop()
+                i += 1
+            else:
+                tm = THROW_RE.match(text, i)
+                if tm:
+                    if not any(stack):
+                        violations.append(
+                            Violation(
+                                "throw-in-callback",
+                                rel,
+                                line_of(text, i),
+                                "throw reachable from a transport delivery "
+                                "callback (on_message) outside any try block",
+                            )
+                        )
+                    i = tm.end()
+                else:
+                    i += 1
+    return violations
+
+
+NAKED_MUTEX_RE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|timed_mutex|recursive_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|lock_guard|unique_lock|"
+    r"shared_lock|scoped_lock|condition_variable|condition_variable_any)\b"
+)
+MUTEX_WRAPPER_FILES = {
+    "src/common/mutex.hpp",
+    "src/common/mutex.cpp",
+    "src/common/annotations.hpp",
+}
+
+
+def check_naked_mutex(path, rel, text):
+    if rel.replace(os.sep, "/") in MUTEX_WRAPPER_FILES:
+        return []
+    return [
+        Violation(
+            "naked-mutex",
+            rel,
+            line_of(text, m.start()),
+            f"naked std::{m.group(1)} — use the annotated wrappers in "
+            "common/mutex.hpp",
+        )
+        for m in NAKED_MUTEX_RE.finditer(text)
+    ]
+
+
+# Mutating DataStore entry points; each must verify invariants before
+# returning so MEGADS_CHECK_INVARIANTS builds examine every state transition.
+DATASTORE_MUTATORS = (
+    "install",
+    "remove",
+    "set_live_budget",
+    "set_parallelism",
+    "ingest_batch",
+    "advance_to",
+    "absorb",
+)
+
+
+def check_invariant_coverage(path, rel, text):
+    if os.path.basename(rel) != "datastore.cpp":
+        return []
+    violations = []
+    for name in DATASTORE_MUTATORS:
+        m = re.search(r"\bDataStore\s*::\s*" + name + r"\s*\(", text)
+        if m is None:
+            continue  # mutator not defined in this file
+        try:
+            open_brace = text.index("{", m.start())
+        except ValueError:
+            continue
+        close_brace = _function_body_span(text, open_brace)
+        body = text[open_brace:close_brace]
+        if "MEGADS_VERIFY_INVARIANTS" not in body:
+            violations.append(
+                Violation(
+                    "invariant-coverage",
+                    rel,
+                    line_of(text, m.start()),
+                    f"DataStore::{name} mutates store state but never calls "
+                    "MEGADS_VERIFY_INVARIANTS",
+                )
+            )
+    return violations
+
+
+RULES = (
+    check_raw_network_send,
+    check_throw_in_callback,
+    check_naked_mutex,
+    check_invariant_coverage,
+)
+
+# --- driver -----------------------------------------------------------------
+
+
+def lint_file(path, rel):
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    text = strip_comments_and_strings(raw)
+    violations = []
+    for rule in RULES:
+        violations.extend(rule(path, rel, text))
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    src = os.path.join(root, "src")
+    for dirpath, dirnames, filenames in os.walk(src):
+        dirnames[:] = [d for d in dirnames if d != "CMakeFiles"]
+        for name in sorted(filenames):
+            if not name.endswith((".hpp", ".cpp")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            violations.extend(lint_file(path, rel))
+    return violations
+
+
+def self_test(testdata):
+    """Every bad_<rule>* fixture must trip exactly its rule; good_* must be
+    clean. Proves the rules reject what they claim to reject."""
+    expected = {
+        "bad_raw_send.cpp": "raw-network-send",
+        "bad_throw_on_message.cpp": "throw-in-callback",
+        "bad_naked_mutex.cpp": "naked-mutex",
+        "bad_missing_invariants_datastore.cpp": "invariant-coverage",
+    }
+    failures = []
+    for name, rule in sorted(expected.items()):
+        path = os.path.join(testdata, name)
+        rel = os.path.join("src", "lint_fixture", name)
+        if name.endswith("datastore.cpp"):
+            rel = os.path.join("src", "lint_fixture", "datastore.cpp")
+        found = {v.rule for v in lint_file(path, rel)}
+        if rule not in found:
+            failures.append(f"{name}: expected a {rule} violation, got {found or 'none'}")
+    good = os.path.join(testdata, "good_clean.cpp")
+    found = lint_file(good, os.path.join("src", "lint_fixture", "good_clean.cpp"))
+    for v in found:
+        failures.append(f"good_clean.cpp: unexpected violation: {v}")
+    # Comments and strings must not trip rules.
+    commented = os.path.join(testdata, "good_commented.cpp")
+    if os.path.exists(commented):
+        for v in lint_file(commented, os.path.join("src", "lint_fixture", "good_commented.cpp")):
+            failures.append(f"good_commented.cpp: unexpected violation: {v}")
+    if failures:
+        for f in failures:
+            print(f"self-test FAIL: {f}", file=sys.stderr)
+        return 1
+    print("check_lints self-test: all rules verified")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.getcwd(), help="repository root")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against tools/lint/testdata/")
+    args = parser.parse_args()
+
+    if args.self_test:
+        testdata = os.path.join(os.path.dirname(os.path.abspath(__file__)), "testdata")
+        return self_test(testdata)
+
+    violations = lint_tree(args.root)
+    for v in violations:
+        print(v, file=sys.stderr)
+    if violations:
+        print(f"check_lints: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_lints: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Run the AST-exact project-rule lints (tools/lint/clang-query/*.cql) over
+# the source tree. Needs clang-query and a compile_commands.json (configure
+# with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON); where clang tooling is absent the
+# portable Python rules in check_lints.py cover the same ground.
+#
+# Usage: run_clang_query.sh <build-dir-with-compile_commands.json>
+set -euo pipefail
+
+build_dir=${1:?usage: run_clang_query.sh <build-dir>}
+repo_root=$(cd "$(dirname "$0")/../.." && pwd)
+query_dir=$repo_root/tools/lint/clang-query
+
+if ! command -v clang-query >/dev/null 2>&1; then
+  echo "run_clang_query: clang-query not found; the Python rules in" >&2
+  echo "tools/lint/check_lints.py cover the same rules portably." >&2
+  exit 0
+fi
+
+mapfile -t sources < <(find "$repo_root/src" -name '*.cpp' | sort)
+
+status=0
+for script in "$query_dir"/*.cql; do
+  rule=$(basename "$script" .cql)
+  out=$(clang-query -p "$build_dir" -f "$script" "${sources[@]}" 2>/dev/null |
+        grep -E '^/.*(warning|note): "root" binds here' || true)
+  case "$rule" in
+    raw_network_send)
+      # The raw send is legal inside the net layer itself.
+      out=$(printf '%s\n' "$out" | grep -v "/src/net/" || true)
+      ;;
+    naked_mutex)
+      # The wrapper header is where the raw primitives are allowed to live.
+      out=$(printf '%s\n' "$out" | grep -v "/src/common/mutex" || true)
+      ;;
+  esac
+  if [[ -n "$out" ]]; then
+    echo "clang-query lint '$rule' found violations:" >&2
+    printf '%s\n' "$out" >&2
+    status=1
+  else
+    echo "clang-query lint '$rule': clean"
+  fi
+done
+exit $status

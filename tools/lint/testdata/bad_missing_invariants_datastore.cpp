@@ -1,0 +1,15 @@
+// Lint fixture: a mutating DataStore entry point with no
+// MEGADS_VERIFY_INVARIANTS call must be flagged. The file is linted under
+// the name datastore.cpp so the invariant-coverage rule applies.
+namespace fixture {
+
+struct DataStore {
+  int slots = 0;
+  void remove(int slot);
+};
+
+void DataStore::remove(int slot) {
+  slots -= slot;  // BAD: mutates state, never verifies invariants
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Lint fixture: raw standard-library locking outside common/mutex.hpp must
+// be flagged — it would dodge both the capability annotations and the
+// runtime lock-rank validator.
+#include <mutex>
+
+namespace fixture {
+
+struct Cache {
+  std::mutex mu_;  // BAD: unranked, unannotated
+  int value = 0;
+  int read() {
+    const std::lock_guard<std::mutex> lock(mu_);  // BAD
+    return value;
+  }
+};
+
+}  // namespace fixture

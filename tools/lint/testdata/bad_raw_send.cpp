@@ -1,0 +1,15 @@
+// Lint fixture: raw Network::send outside src/net/ must be flagged.
+namespace fixture {
+
+struct Network {
+  int send(int from, int to, unsigned long bytes) { return from + to + static_cast<int>(bytes); }
+};
+
+struct Broker {
+  Network* network_;
+  void ship() {
+    network_->send(0, 1, 64);  // BAD: bypasses the Transport abstraction
+  }
+};
+
+}  // namespace fixture

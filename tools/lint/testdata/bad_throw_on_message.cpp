@@ -1,0 +1,13 @@
+// Lint fixture: a throw in an on_message body outside any try must be
+// flagged — transport delivery callbacks never leak exceptions.
+namespace fixture {
+
+struct Server {
+  void on_message(int from, const int& payload) {
+    if (payload < 0) {
+      throw from;  // BAD: would unwind through the transport dispatch
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Lint fixture: idiomatic code that every rule must accept — throws confined
+// to try blocks inside on_message, sends through the Transport abstraction,
+// locking through the annotated wrappers (not visible here: fixtures are
+// linted standalone, so this file simply uses none of the banned tokens).
+namespace fixture {
+
+struct Transport {
+  int send_message(int from, int to, int payload) { return from + to + payload; }
+};
+
+struct Coordinator {
+  Transport* transport_;
+  int dropped = 0;
+
+  void on_message(int from, const int& payload) {
+    try {
+      if (payload < 0) throw payload;  // OK: caught below, never escapes
+      transport_->send_message(0, from, payload);
+    } catch (...) {
+      ++dropped;
+    }
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Lint fixture: banned tokens in comments and string literals must NOT trip
+// the rules — e.g. std::mutex, std::lock_guard, network_->send(a, b, c), or
+// a throw inside on_message, all mentioned right here in prose.
+namespace fixture {
+
+/* Block comments too: std::shared_mutex, network().send(0, 1, 2). */
+const char* kDoc =
+    "std::condition_variable and network_->send(x) inside a string";
+
+struct Server {
+  void on_message(int /*from*/, const int& /*payload*/) {
+    // A comment saying `throw from;` is not a throw statement.
+  }
+};
+
+}  // namespace fixture
