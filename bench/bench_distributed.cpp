@@ -100,6 +100,7 @@ void run_sweep_point(bench::JsonReport& json, const char* transport_name,
   (void)flowdb::run_flowql(statement, *cluster.coordinator);
 
   const std::uint64_t payload_before = transport.stats().payload_bytes;
+  const std::uint64_t decodes_before = cluster.coordinator->response_decodes();
   const SimTime sim_before = sim != nullptr ? sim->now() : 0;
   bench::LatencyRecorder latency;
   const auto start = bench::Clock::now();
@@ -109,8 +110,13 @@ void run_sweep_point(bench::JsonReport& json, const char* transport_name,
   const double queries_per_sec = kRepeats / (bench::ms_since(start) / 1e3);
   const std::uint64_t payload_per_query =
       (transport.stats().payload_bytes - payload_before) / kRepeats;
+  // Gathered partials folded in place: with flat-block servers this is zero
+  // on the warm path, which is exactly the claim BENCH_PR8.json pins.
+  const std::uint64_t decodes =
+      cluster.coordinator->response_decodes() - decodes_before;
 
-  std::string config = "payload_bytes/query=" + std::to_string(payload_per_query);
+  std::string config = "payload_bytes/query=" + std::to_string(payload_per_query) +
+                       " summary_decodes=" + std::to_string(decodes);
   if (sim != nullptr) {
     const double virtual_s =
         static_cast<double>(sim->now() - sim_before) / kSecond;

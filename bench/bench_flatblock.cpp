@@ -1,0 +1,291 @@
+// Experiment E13 (PR 8): flat summary blocks end to end.
+//
+//   flatblock/encode            Flowtree -> FBK1 bytes
+//   flatblock/to_flowtree       FBK1 bytes -> pooled tree (the codec path
+//                               ingest still pays once per record)
+//   flatblock/query_in_place    topk(10) + one point read straight off the
+//                               byte buffer via FlatView
+//   flatblock/decode_then_query the same reads the PR 6 way: materialize a
+//                               pooled tree from FTRE bytes first
+//   flatblock/fold_flat         stage-2 fold of 8 wire partials via
+//                               merge_into — the coordinator's gather loop
+//   flatblock/fold_legacy       the decode-then-merge baseline over the same
+//                               partials in FTRE form
+//   flatblock/spill_warm        historical DataStore queries answered from
+//                               LRU-hot mmap'd blocks (history > RAM budget)
+//   flatblock/spill_cold        the same queries with the map budget at zero,
+//                               so every touch re-mmaps from disk
+//
+// Expected shape: query-in-place and fold_flat beat their decode-first twins
+// by the cost of building (and tearing down) a node pool per block; the cold
+// mmap tier stays in the same order of magnitude as warm because the reads
+// are sequential over page-cache-resident files.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "flowtree/flatblock.hpp"
+#include "flowtree/flowtree.hpp"
+#include "store/datastore.hpp"
+#include "store/spill.hpp"
+
+namespace {
+
+using namespace megads;
+using flowtree::FlatCodec;
+using flowtree::FlatView;
+using flowtree::Flowtree;
+
+constexpr std::size_t kFlows = 20000;
+constexpr std::size_t kKeySpace = 4096;
+constexpr std::size_t kPartials = 8;
+constexpr int kRepeats = 200;
+constexpr int kFoldRepeats = 40;  // each fold touches 8 x ~32k-node partials
+
+flow::FlowKey host(std::uint32_t h) {
+  return flow::FlowKey::from_tuple(
+      6,
+      flow::IPv4(10, static_cast<std::uint8_t>(h >> 16),
+                 static_cast<std::uint8_t>(h >> 8), static_cast<std::uint8_t>(h)),
+      50000, flow::IPv4(198, 51, 100, 7), 80);
+}
+
+flowtree::FlowtreeConfig tree_config() {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 16;
+  return config;
+}
+
+Flowtree sample_tree(std::uint64_t seed) {
+  Flowtree tree(tree_config());
+  Rng rng(seed);
+  for (std::size_t i = 0; i < kFlows; ++i) {
+    tree.add(host(static_cast<std::uint32_t>(rng.uniform(kKeySpace))),
+             static_cast<double>(1 + rng.uniform(64)));
+  }
+  return tree;
+}
+
+double mb_per_sec(std::size_t bytes, double total_ms) {
+  return static_cast<double>(bytes) / 1e6 / (total_ms / 1e3);
+}
+
+void bench_codec(bench::JsonReport& json) {
+  const Flowtree tree = sample_tree(1);
+  const std::vector<std::uint8_t> flat = FlatCodec::encode(tree);
+  const std::vector<std::uint8_t> legacy = tree.encode();
+  const FlatView view = FlatView::parse(flat);
+
+  bench::LatencyRecorder encode_lat;
+  const auto encode_start = bench::Clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    encode_lat.time([&] { (void)FlatCodec::encode(tree); });
+  }
+  const double encode_ms = bench::ms_since(encode_start);
+  json.add({.bench = "flatblock/encode",
+            .config = "nodes=" + std::to_string(view.node_count()) +
+                      " block_bytes=" + std::to_string(flat.size()),
+            .items_per_sec = mb_per_sec(flat.size() * kRepeats, encode_ms),
+            .p50_latency_us = encode_lat.p50(),
+            .p99_latency_us = encode_lat.p99()});
+  std::printf("  encode           %8.0f MB/s   p50 %8.1f us\n",
+              mb_per_sec(flat.size() * kRepeats, encode_ms), encode_lat.p50());
+
+  bench::LatencyRecorder convert_lat;
+  const auto convert_start = bench::Clock::now();
+  for (int i = 0; i < kRepeats; ++i) {
+    convert_lat.time([&] { (void)FlatCodec::to_flowtree(view); });
+  }
+  const double convert_ms = bench::ms_since(convert_start);
+  json.add({.bench = "flatblock/to_flowtree",
+            .config = "nodes=" + std::to_string(view.node_count()),
+            .items_per_sec = mb_per_sec(flat.size() * kRepeats, convert_ms),
+            .p50_latency_us = convert_lat.p50(),
+            .p99_latency_us = convert_lat.p99()});
+  std::printf("  to_flowtree      %8.0f MB/s   p50 %8.1f us\n",
+              mb_per_sec(flat.size() * kRepeats, convert_ms), convert_lat.p50());
+
+  // The hot comparison: answer topk(10) plus one point read per iteration,
+  // (a) in place over the bytes, (b) after materializing the pooled tree the
+  // way every PR 6 response handler did.
+  const flow::FlowKey probe = host(7);
+  bench::LatencyRecorder in_place;
+  for (int i = 0; i < kRepeats; ++i) {
+    in_place.time([&] {
+      const FlatView v = FlatView::parse(flat);
+      (void)v.top_k(10);
+      (void)v.query(probe);
+    });
+  }
+  bench::LatencyRecorder decode_first;
+  for (int i = 0; i < kRepeats; ++i) {
+    decode_first.time([&] {
+      const Flowtree t = Flowtree::decode(legacy, tree_config());
+      (void)t.top_k(10);
+      (void)t.query(probe);
+    });
+  }
+  json.add({.bench = "flatblock/query_in_place",
+            .config = "nodes=" + std::to_string(view.node_count()),
+            .p50_latency_us = in_place.p50(),
+            .p99_latency_us = in_place.p99()});
+  json.add({.bench = "flatblock/decode_then_query",
+            .config = "nodes=" + std::to_string(view.node_count()),
+            .p50_latency_us = decode_first.p50(),
+            .p99_latency_us = decode_first.p99()});
+  std::printf("  query_in_place   p50 %8.1f us   decode_then_query p50 %8.1f us"
+              "   (%.1fx)\n",
+              in_place.p50(), decode_first.p50(),
+              decode_first.p50() / in_place.p50());
+}
+
+void bench_fold(bench::JsonReport& json) {
+  // The coordinator's stage-2 gather: fold kPartials per-shard partials into
+  // one accumulator. Flat partials fold in place; the PR 6 baseline decoded
+  // each FTRE partial into its own pooled tree before merging it.
+  std::vector<std::vector<std::uint8_t>> flat_partials;
+  std::vector<std::vector<std::uint8_t>> legacy_partials;
+  std::size_t wire_bytes = 0;
+  for (std::size_t p = 0; p < kPartials; ++p) {
+    const Flowtree tree = sample_tree(100 + p);
+    flat_partials.push_back(FlatCodec::encode(tree));
+    legacy_partials.push_back(tree.encode());
+    wire_bytes += flat_partials.back().size();
+  }
+
+  bench::LatencyRecorder flat_lat;
+  for (int i = 0; i < kFoldRepeats; ++i) {
+    flat_lat.time([&] {
+      Flowtree acc(tree_config());
+      for (const auto& bytes : flat_partials) {
+        FlatCodec::merge_into(FlatView::parse(bytes), acc);
+      }
+      (void)acc.top_k(10);
+    });
+  }
+  bench::LatencyRecorder legacy_lat;
+  for (int i = 0; i < kFoldRepeats; ++i) {
+    legacy_lat.time([&] {
+      Flowtree acc(tree_config());
+      for (const auto& bytes : legacy_partials) {
+        Flowtree partial = Flowtree::decode(bytes, tree_config());
+        acc.merge(partial);
+      }
+      (void)acc.top_k(10);
+    });
+  }
+  const std::string config = "partials=" + std::to_string(kPartials) +
+                             " wire_bytes=" + std::to_string(wire_bytes);
+  json.add({.bench = "flatblock/fold_flat",
+            .config = config,
+            .p50_latency_us = flat_lat.p50(),
+            .p99_latency_us = flat_lat.p99()});
+  json.add({.bench = "flatblock/fold_legacy",
+            .config = config,
+            .p50_latency_us = legacy_lat.p50(),
+            .p99_latency_us = legacy_lat.p99()});
+  std::printf("  fold_flat        p50 %8.1f us   fold_legacy       p50 %8.1f us"
+              "   (%.1fx)\n",
+              flat_lat.p50(), legacy_lat.p50(),
+              legacy_lat.p50() / flat_lat.p50());
+}
+
+void bench_spill(bench::JsonReport& json) {
+  namespace fs = std::filesystem;
+  // 120 one-minute epochs under a RAM budget of ~2 partitions: nearly all
+  // history lives on disk as flat blocks and must still answer.
+  constexpr int kEpochs = 120;
+  constexpr std::size_t kItemsPerEpoch = 400;
+
+  const auto run = [&](const char* name, std::size_t map_budget,
+                       bench::LatencyRecorder& lat) {
+    const fs::path dir =
+        fs::temp_directory_path() / (std::string("megads-bench-spill-") + name);
+    fs::remove_all(dir);
+    store::DataStore data_store(StoreId(0), "bench");
+    store::SlotConfig slot_config;
+    slot_config.name = "flows";
+    slot_config.factory = [] {
+      return std::make_unique<Flowtree>(tree_config());
+    };
+    slot_config.epoch = kMinute;
+    slot_config.storage = std::make_unique<store::ExpirationStorage>(
+        static_cast<SimDuration>(kEpochs) * kMinute);
+    slot_config.subscribe_all = true;
+    const AggregatorId slot = data_store.install(std::move(slot_config));
+    data_store.enable_spill(dir.string(), /*ram_budget_bytes=*/64 * 1024,
+                            map_budget);
+
+    Rng rng(7);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      std::vector<primitives::StreamItem> items;
+      for (std::size_t i = 0; i < kItemsPerEpoch; ++i) {
+        primitives::StreamItem it;
+        it.key = host(static_cast<std::uint32_t>(rng.uniform(kKeySpace)));
+        it.value = static_cast<double>(1 + rng.uniform(64));
+        it.timestamp = epoch * kMinute + static_cast<SimTime>(i);
+        items.push_back(it);
+      }
+      data_store.ingest_batch(SensorId(1), items);
+      data_store.advance_to((epoch + 1) * kMinute);
+    }
+    const std::size_t spilled = data_store.spilled_partitions();
+
+    // Sweep historical 10-minute windows; each query folds spilled blocks.
+    Rng pick(11);
+    for (int i = 0; i < kRepeats; ++i) {
+      const SimTime begin =
+          static_cast<SimTime>(pick.uniform(kEpochs - 10)) * kMinute;
+      const TimeInterval window{begin, begin + 10 * kMinute};
+      lat.time([&] {
+        const auto result =
+            data_store.query(slot, primitives::TopKQuery{10}, window);
+        if (!result.supported || result.entries.empty()) {
+          std::fprintf(stderr, "bench_flatblock: empty historical answer\n");
+          std::abort();
+        }
+      });
+    }
+    fs::remove_all(dir);
+    return spilled;
+  };
+
+  bench::LatencyRecorder warm;
+  const std::size_t spilled = run("warm", 64u << 20, warm);
+  bench::LatencyRecorder cold;
+  (void)run("cold", 0, cold);
+
+  const std::string config = "epochs=120 spilled_partitions=" +
+                             std::to_string(spilled) + " window=10m";
+  json.add({.bench = "flatblock/spill_warm",
+            .config = config,
+            .p50_latency_us = warm.p50(),
+            .p99_latency_us = warm.p99()});
+  json.add({.bench = "flatblock/spill_cold",
+            .config = config + " map_budget=0",
+            .p50_latency_us = cold.p50(),
+            .p99_latency_us = cold.p99()});
+  std::printf("  spill_warm       p50 %8.1f us   spill_cold        p50 %8.1f us"
+              "   (%zu partitions on disk)\n",
+              warm.p50(), cold.p50(), spilled);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport json("E13");
+  std::printf("E13: flat summary blocks — codec, in-place reads, gather fold, "
+              "mmap tier\n");
+  std::printf("%zu flows over %zu keys, %d repeats per point\n\n", kFlows,
+              kKeySpace, kRepeats);
+  bench_codec(json);
+  bench_fold(json);
+  bench_spill(json);
+  if (!json.write_if(opts)) return 1;
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Fuzz target: flat summary blocks (src/flowtree/flatblock.cpp).
+//
+// Contract under test: for *arbitrary* input bytes, FlatView::parse either
+// throws ParseError or returns a fully validated view. An accepted view must
+// then hold up to everything the engine does with flat blocks:
+//
+//   - to_flowtree() materializes a structurally valid pooled tree with the
+//     same node count and total weight;
+//   - the in-place read operators agree with the pooled tree's answers;
+//   - merge_into() an empty accumulator equals materializing the tree;
+//   - pooled -> flat re-encoding reaches a byte-stable fixed point (the
+//     sibling-order round trip converges after one re-encode);
+//   - normalize() returns flat bytes verbatim and never yields bytes that
+//     fail to parse.
+//
+// Anything else — a crash, sanitizer report, uncaught non-ParseError
+// exception, or invariant violation — is a bug.
+//
+// Build shapes (see fuzz/CMakeLists.txt):
+//  - <target>_replay: plain executable replaying the checked-in corpus,
+//    wired into ctest so regressions run in every build.
+//  - with -DMEGADS_FUZZ=ON and a clang toolchain: a libFuzzer binary for
+//    open-ended exploration.
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flowtree/flatblock.hpp"
+#include "flowtree/flowtree.hpp"
+
+namespace {
+
+using megads::flowtree::FlatCodec;
+using megads::flowtree::FlatView;
+using megads::flowtree::Flowtree;
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_flatblock: %s\n", what);
+  std::abort();
+}
+
+bool close_enough(double a, double b) {
+  return std::fabs(a - b) <=
+         1e-9 * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::vector<std::uint8_t> bytes(data, data + size);
+  try {
+    const FlatView view = FlatView::parse(bytes);
+
+    // A parsed view is a proof of structural validity: materializing it must
+    // yield an invariant-clean pooled tree describing the same summary.
+    const Flowtree tree = FlatCodec::to_flowtree(view);
+    tree.check_invariants();
+    if (tree.size() != view.node_count()) {
+      die("to_flowtree changed the node count");
+    }
+    if (!close_enough(tree.total_weight(), view.total_weight())) {
+      die("to_flowtree changed the total weight");
+    }
+
+    // In-place reads against the pooled oracle. Row sets can differ in
+    // tie-order for adversarial float weights, so compare the stable
+    // aggregates: the wildcard lattice point (== total mass) and the summed
+    // score of each report.
+    if (!close_enough(view.query_lattice(megads::flow::FlowKey{}),
+                      tree.query_lattice(megads::flow::FlowKey{}))) {
+      die("query_lattice(root) disagrees with the pooled tree");
+    }
+    const auto mass = [](const std::vector<megads::flowtree::KeyScore>& rows) {
+      double total = 0.0;
+      for (const auto& row : rows) total += row.score;
+      return total;
+    };
+    const auto flat_top = view.top_k(8);
+    const auto pooled_top = tree.top_k(8);
+    if (flat_top.size() != pooled_top.size() ||
+        !close_enough(mass(flat_top), mass(pooled_top))) {
+      die("top_k disagrees with the pooled tree");
+    }
+    if (view.entries().size() != view.node_count()) {
+      die("entries() row count disagrees with the header");
+    }
+    (void)view.hhh(0.1);
+    (void)view.above(1.0);
+
+    // Table II Merge of the view into an empty accumulator is exactly the
+    // materialized tree.
+    Flowtree accumulator(tree.config());
+    FlatCodec::merge_into(view, accumulator);
+    accumulator.check_invariants();
+    if (accumulator.size() != tree.size() ||
+        !close_enough(accumulator.total_weight(), tree.total_weight())) {
+      die("merge_into disagrees with to_flowtree");
+    }
+
+    // Re-encoding cycles with period two: each materialization prepends
+    // children, reversing sibling order, so two flat->pooled->flat trips
+    // restore the original bytes exactly.
+    const std::vector<std::uint8_t> once = FlatCodec::encode(tree);
+    const std::vector<std::uint8_t> twice =
+        FlatCodec::encode(FlatCodec::to_flowtree(FlatView::parse(once)));
+    const std::vector<std::uint8_t> thrice =
+        FlatCodec::encode(FlatCodec::to_flowtree(FlatView::parse(twice)));
+    if (once != thrice) die("re-encoding is not periodic in sibling order");
+
+    // Flat input normalizes verbatim.
+    if (FlatCodec::normalize(bytes) != bytes) {
+      die("normalize rewrote valid flat bytes");
+    }
+  } catch (const megads::ParseError&) {
+    // The documented rejection path for malformed input.
+  }
+
+  // normalize() also accepts legacy FTRE payloads; whatever it accepts must
+  // itself parse as a flat block.
+  try {
+    const std::vector<std::uint8_t> normalized = FlatCodec::normalize(bytes);
+    (void)FlatView::parse(normalized);
+  } catch (const megads::ParseError&) {
+  }
+  return 0;
+}

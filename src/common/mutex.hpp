@@ -33,6 +33,7 @@
 //    700 | ThreadPool::mu_                    | task queue
 //    800 | metrics::MetricsRegistry::mu_      | instrument registration
 //    900 | kLeaf                              | strictly-innermost locals
+//         (store::SpillStore::mu_, the partition servers' response memos, ...)
 #pragma once
 
 #include <condition_variable>

@@ -34,9 +34,9 @@ Table render(const std::vector<KeyScore>& rows) {
 }
 
 /// Rows restricted to flows the statement's WHERE key generalizes.
-std::vector<KeyScore> restricted_entries(const flowtree::Flowtree& tree,
+std::vector<KeyScore> restricted_entries(const flowtree::MergedView& view,
                                          const flow::FlowKey& restriction) {
-  std::vector<KeyScore> rows = tree.entries();
+  std::vector<KeyScore> rows = view.entries();
   std::erase_if(rows, [&](const KeyScore& row) {
     return row.score == 0.0 || !restriction.generalizes(row.key);
   });
@@ -67,7 +67,9 @@ Table execute(const Statement& statement, const SummarySource& source) {
             : source.merged({statement.ranges[1]}, statement.locations);
     a.diff(b);
     std::vector<KeyScore> rows =
-        restricted ? restricted_entries(a, statement.restriction) : a.entries();
+        restricted ? restricted_entries(flowtree::MergedView(a),
+                                        statement.restriction)
+                   : a.entries();
     std::erase_if(rows, [](const KeyScore& row) { return row.score == 0.0; });
     std::sort(rows.begin(), rows.end(), [](const KeyScore& x, const KeyScore& y) {
       if (std::fabs(x.score) != std::fabs(y.score))
@@ -80,11 +82,12 @@ Table execute(const Statement& statement, const SummarySource& source) {
     return render(rows);
   }
 
-  // merged() serves repeated selections from the view cache (an O(1)
-  // copy-on-write handout), so dashboard-style re-issued SELECTs skip the
-  // fold entirely; the copy below never deep-copies unless mutated.
-  const flowtree::Flowtree tree =
-      source.merged(statement.ranges, statement.locations);
+  // merged_view() serves repeated selections from the view cache (an O(1)
+  // copy-on-write handout) and — on a partitioned coordinator whose gather
+  // produced a single flat partial — hands the wire bytes out zero-copy, so
+  // every read below runs in place without materializing a node pool.
+  const flowtree::MergedView tree =
+      source.merged_view(statement.ranges, statement.locations);
 
   switch (statement.op) {
     case OperatorKind::kQuery: {

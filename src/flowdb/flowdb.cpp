@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "flowtree/flatblock.hpp"
 
 namespace megads::flowdb {
 
@@ -125,7 +126,15 @@ void FlowDB::add_encoded(const std::vector<std::uint8_t>& bytes,
     }
   }
   if (!decoded) {
-    decoded = flowtree::Flowtree::decode(bytes, tree_config_);
+    // Either wire format may arrive here: flat blocks from the partitioned
+    // layer, FTRE from legacy exporters. The memo covers both (keyed on the
+    // exact bytes), so a warm re-registration decodes neither.
+    if (flowtree::FlatView::looks_flat(bytes)) {
+      const flowtree::FlatView view = flowtree::FlatView::parse(bytes);
+      decoded = flowtree::FlatCodec::to_flowtree(view, tree_config_);
+    } else {
+      decoded = flowtree::Flowtree::decode(bytes, tree_config_);
+    }
     const MutexLock lock(cache_mu_);
     decode_memo_.put(digest, DecodedBytes{bytes, *decoded},
                      bytes.size() + decoded->memory_bytes(), cache_mu_);

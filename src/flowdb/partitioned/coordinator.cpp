@@ -23,6 +23,7 @@ Coordinator::Coordinator(net::Transport& transport, NodeId node,
   routed_bytes_.assign(servers_.size(), 0);
   installing_.assign(servers_.size(), 0);
   inflight_ships_.assign(servers_.size(), 0);
+  scatter_pins_.assign(servers_.size(), 0);
   for (std::size_t i = 0; i < servers_.size(); ++i) {
     shard_of_node_[servers_[i]] = i;
   }
@@ -35,12 +36,18 @@ Coordinator::~Coordinator() { transport_->unbind(node_); }
 
 void Coordinator::add(const flowtree::Flowtree& tree, TimeInterval interval,
                       std::string location) {
-  route_record(SummaryRecord{tree.encode(), interval, std::move(location)});
+  route_record(SummaryRecord{flowtree::FlatCodec::encode(tree), interval,
+                             std::move(location)});
 }
 
 void Coordinator::add_encoded(std::vector<std::uint8_t> bytes,
                               TimeInterval interval, std::string location) {
-  route_record(SummaryRecord{std::move(bytes), interval, std::move(location)});
+  // Normalize to a flat block here, on the caller's thread: hostile bytes
+  // throw at ingest instead of inside a server's delivery callback, and every
+  // record past this point ships / stores / replicates verbatim.
+  route_record(
+      SummaryRecord{flowtree::FlatCodec::normalize(bytes, options_.tree_config),
+                    interval, std::move(location)});
 }
 
 void Coordinator::route_record(SummaryRecord record) {
@@ -50,20 +57,16 @@ void Coordinator::route_record(SummaryRecord record) {
   FlowDB* replica = nullptr;
   {
     UniqueLock lock(mu_);
-    // A replica install snapshots the shard's owner; a record routed between
-    // that snapshot and the replica's registration would be in neither, so
-    // hold the add until the install settles (then the replicas_ lookup below
-    // sees the fresh replica and keeps it in sync).
-    cv_.wait(lock, [&] {
-      mu_.assert_held();  // wait predicates run under the lock
-      return !installing_[shard];
-    });
     routed_bytes_[shard] += record.summary.size();
     if (const auto it = replicas_.find(shard); it != replicas_.end()) {
       replica = &it->second;  // keep the local replica in sync with the owner
     }
     pending_[shard].records.push_back(record);
-    if (pending_[shard].records.size() >= options_.add_batch_size) {
+    // During a replica install the record just parks in pending_: the
+    // installer's catch-up loop owns the backlog and will ship it to the
+    // owner before applying it to the replica — an add never waits.
+    if (!installing_[shard] &&
+        pending_[shard].records.size() >= options_.add_batch_size) {
       full = std::exchange(pending_[shard], {});
       ++inflight_ships_[shard];
     }
@@ -79,6 +82,7 @@ std::vector<std::pair<std::size_t, AddBatchBody>> Coordinator::take_batches()
   std::vector<std::pair<std::size_t, AddBatchBody>> out;
   const MutexLock lock(mu_);
   for (std::size_t shard = 0; shard < pending_.size(); ++shard) {
+    if (installing_[shard]) continue;  // backlog belongs to the installer
     if (!pending_[shard].records.empty()) {
       out.emplace_back(shard, std::exchange(pending_[shard], {}));
       ++inflight_ships_[shard];
@@ -168,9 +172,12 @@ void Coordinator::note_dropped() const {
 
 void Coordinator::attach_metrics(metrics::MetricsRegistry& registry) {
   metrics::Counter& dropped = registry.counter("net.dropped_coordinator");
+  metrics::Counter& decodes = registry.counter("net.decode_coordinator");
   const MutexLock lock(mu_);
   metric_dropped_ = &dropped;
   metric_dropped_->add(dropped_messages_);  // catch up on pre-attach drops
+  metric_decodes_ = &decodes;
+  metric_decodes_->add(response_decodes_);
 }
 
 QueryResponseBody Coordinator::local_partials(
@@ -183,36 +190,33 @@ QueryResponseBody Coordinator::local_partials(
   for (const std::string& location :
        replica.matching_locations(intervals, locations)) {
     body.partials.push_back(
-        {location, replica.merged(intervals, {location}).encode()});
+        {location,
+         flowtree::FlatCodec::encode(replica.merged(intervals, {location}))});
   }
   return body;
 }
 
 void Coordinator::install_replica(std::size_t shard) const {
   std::uint64_t request_id = 0;
-  AddBatchBody pre;
   {
     UniqueLock lock(mu_);
     if (replicas_.find(shard) != replicas_.end() || installing_[shard]) {
       return;  // already local, or another querier is mid-buy
     }
-    // From here until the replica is registered, adds routed to this shard
-    // block in route_record — nothing can slip between the owner's snapshot
-    // and the install. Batches already taken for shipping must reach the
-    // owner before the fetch, so wait them out, then ship the still-pending
-    // batch ourselves ahead of the fetch (FIFO transports deliver in order).
+    // From here on, adds routed to this shard accumulate in pending_ for the
+    // catch-up loop below — writers never wait. Batches taken *before* the
+    // flag was set are already bound for the owner; wait them out so the
+    // fetch snapshot covers them (FIFO transports deliver sends in order).
+    // Only the installer blocks here, never an add() or a merged().
     installing_[shard] = 1;
     cv_.wait(lock, [&] {
       mu_.assert_held();  // wait predicates run under the lock
       return inflight_ships_[shard] == 0;
     });
-    pre = std::exchange(pending_[shard], {});
-    if (!pre.records.empty()) ++inflight_ships_[shard];
     request_id = next_request_id_++;
     pending_fetches_.insert(request_id);
   }
   try {
-    if (!pre.records.empty()) ship_batch(shard, std::move(pre));
     Envelope fetch;
     fetch.type = MessageType::kReplicaFetch;
     fetch.request_id = request_id;
@@ -233,10 +237,35 @@ void Coordinator::install_replica(std::size_t shard) const {
     for (const SummaryRecord& record : data.records) {
       replica.add_encoded(record.summary, record.interval, record.location);
     }
-    {
-      const MutexLock lock(mu_);
-      replicas_.emplace(shard, std::move(replica));
-      installing_[shard] = 0;
+    // Catch-up: drain the backlog that accumulated while we fetched — ship
+    // each round to the owner first (it stays authoritative), then apply it
+    // to the still-private replica. Register only once a round finds the
+    // backlog empty; an add slipping in right before that final check lands
+    // in the backlog, one right after sees the registered replica — the
+    // same mutex orders both, so no record falls between snapshot and
+    // registration. Rounds wait out scatter_pins_: a pinned gather has
+    // folded these records as synthetic partials and the owner must not
+    // answer that gather's scatter with them too.
+    while (true) {
+      AddBatchBody backlog;
+      {
+        UniqueLock lock(mu_);
+        cv_.wait(lock, [&] {
+          mu_.assert_held();  // wait predicates run under the lock
+          return scatter_pins_[shard] == 0;
+        });
+        if (pending_[shard].records.empty()) {
+          replicas_.emplace(shard, std::move(replica));
+          installing_[shard] = 0;
+          break;
+        }
+        backlog = std::exchange(pending_[shard], {});
+        ++inflight_ships_[shard];
+      }
+      ship_batch(shard, AddBatchBody(backlog));
+      for (const SummaryRecord& record : backlog.records) {
+        replica.add_encoded(record.summary, record.interval, record.location);
+      }
     }
   } catch (...) {
     {
@@ -251,7 +280,7 @@ void Coordinator::install_replica(std::size_t shard) const {
   cv_.notify_all();
 }
 
-flowtree::Flowtree Coordinator::merged(
+std::vector<std::pair<std::size_t, QueryResponseBody>> Coordinator::gather(
     const std::vector<TimeInterval>& intervals,
     const std::vector<std::string>& locations) const {
   // A selection must observe every add that precedes it: ship the partial
@@ -266,9 +295,15 @@ flowtree::Flowtree Coordinator::merged(
 
   // Split replicated shards (served locally) from remote ones; open the
   // gather before the first scatter so a synchronous transport's responses
-  // find it.
+  // find it. A shard mid-install is remote, but records parked in its
+  // pending batch are at neither the owner nor any replica yet — snapshot
+  // them under the same lock (read-your-writes: an add that returned before
+  // this merged() is either shipped, parked, or replicated) and pin the
+  // shard so the installer cannot ship the snapshot to the owner before it
+  // answers our scatter, which would fold those records twice.
   std::vector<std::size_t> remote;
   std::vector<std::pair<std::size_t, const FlowDB*>> local;
+  std::vector<std::pair<std::size_t, AddBatchBody>> parked;
   std::uint64_t request_id = 0;
   {
     const MutexLock lock(mu_);
@@ -277,6 +312,10 @@ flowtree::Flowtree Coordinator::merged(
         local.emplace_back(shard, &it->second);
       } else {
         remote.push_back(shard);
+        if (installing_[shard] && !pending_[shard].records.empty()) {
+          parked.emplace_back(shard, pending_[shard]);
+          ++scatter_pins_[shard];
+        }
       }
     }
     remote_shard_queries_ += remote.size();
@@ -297,15 +336,20 @@ flowtree::Flowtree Coordinator::merged(
   transport_->run_until_idle();
 
   std::vector<std::pair<std::size_t, QueryResponseBody>> responses;
-  if (!remote.empty()) {
+  if (!remote.empty() || !parked.empty()) {
     const MutexLock lock(mu_);
-    const auto it = gathers_.find(request_id);
-    expects(it != gathers_.end() &&
-                it->second.responses.size() == it->second.expected,
-            "Coordinator: scatter-gather incomplete (transport not idle?)");
-    responses = std::move(it->second.responses);
-    gathers_.erase(it);
+    // Unpin before anything can throw: a leaked pin wedges the installer.
+    for (const auto& [shard, batch] : parked) --scatter_pins_[shard];
+    if (!remote.empty()) {
+      const auto it = gathers_.find(request_id);
+      expects(it != gathers_.end() &&
+                  it->second.responses.size() == it->second.expected,
+              "Coordinator: scatter-gather incomplete (transport not idle?)");
+      responses = std::move(it->second.responses);
+      gathers_.erase(it);
+    }
   }
+  if (!parked.empty()) cv_.notify_all();
 
   // Every remote gather is a ski-rental access: the policy sees the shipped
   // result bytes and may say "buy" — fetch the shard's records and serve it
@@ -330,6 +374,39 @@ flowtree::Flowtree Coordinator::merged(
     }
   }
 
+  // Fold the parked snapshots in as synthetic partials of their shard,
+  // after the placer has seen the genuinely shipped bytes: these records
+  // never crossed the wire, so they must not tip the ski-rental ledger.
+  // Appending to the shard's own response keeps fold()'s per-location
+  // shard-order semantics (owner partial first, parked records in add
+  // order — fold's stable sort preserves it).
+  const auto wanted_time = [&](const TimeInterval& interval) {
+    if (intervals.empty()) return true;
+    return std::any_of(intervals.begin(), intervals.end(),
+                       [&](const TimeInterval& w) { return w.overlaps(interval); });
+  };
+  const auto wanted_location = [&](const std::string& location) {
+    if (locations.empty()) return true;
+    return std::find(locations.begin(), locations.end(), location) !=
+           locations.end();
+  };
+  for (auto& [shard, batch] : parked) {
+    const std::size_t shard_id = shard;
+    auto it = std::find_if(responses.begin(), responses.end(),
+                           [&](const auto& r) { return r.first == shard_id; });
+    if (it == responses.end()) {
+      responses.emplace_back(shard, QueryResponseBody{});
+      it = std::prev(responses.end());
+    }
+    for (SummaryRecord& record : batch.records) {
+      if (!wanted_time(record.interval) || !wanted_location(record.location)) {
+        continue;
+      }
+      it->second.partials.push_back(
+          {record.location, std::move(record.summary)});
+    }
+  }
+
   for (const auto& [shard, db] : local) {
     QueryResponseBody body = local_partials(*db, intervals, locations);
     if (placer_ != nullptr) {
@@ -342,7 +419,30 @@ flowtree::Flowtree Coordinator::merged(
     }
     responses.emplace_back(shard, std::move(body));
   }
+  return responses;
+}
 
+void Coordinator::fold_partial(const std::vector<std::uint8_t>& bytes,
+                               flowtree::Flowtree& acc) const {
+  if (flowtree::FlatView::looks_flat(bytes)) {
+    // The warm path: the wire payload folds in place, no intermediate tree.
+    flowtree::FlatCodec::merge_into(flowtree::FlatView::parse(bytes), acc);
+    return;
+  }
+  // A legacy (FTRE) partial — possible only when talking to a pre-flat
+  // server. Counted so the bench can pin the warm path at zero, and routed
+  // through the normalize choke point rather than a local decode.
+  {
+    const MutexLock lock(mu_);
+    ++response_decodes_;
+    if (metric_decodes_ != nullptr) metric_decodes_->add(1);
+  }
+  const auto flat = flowtree::FlatCodec::normalize(bytes, options_.tree_config);
+  flowtree::FlatCodec::merge_into(flowtree::FlatView::parse(flat), acc);
+}
+
+flowtree::Flowtree Coordinator::fold(
+    std::vector<std::pair<std::size_t, QueryResponseBody>>& responses) const {
   // Fold exactly as FlowDB::merged folds: stage 1 finishes by merging each
   // location's partials in shard order (shared location); stage 2 merges the
   // per-location trees in sorted location order (shared time). std::map
@@ -356,16 +456,46 @@ flowtree::Flowtree Coordinator::merged(
   }
   flowtree::Flowtree result(options_.tree_config);
   for (auto& [location, parts] : by_location) {
-    std::sort(parts.begin(), parts.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Stable: within a shard, the owner's stage-1 partial precedes any
+    // synthetic parked-record partials gather() appended after it.
+    std::stable_sort(parts.begin(), parts.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
     flowtree::Flowtree per_location(options_.tree_config);
     for (const auto& [shard, bytes] : parts) {
-      per_location.merge(
-          flowtree::Flowtree::decode(*bytes, options_.tree_config));
+      fold_partial(*bytes, per_location);
     }
     result.merge(per_location);
   }
   return result;
+}
+
+flowtree::Flowtree Coordinator::merged(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  auto responses = gather(intervals, locations);
+  return fold(responses);
+}
+
+flowtree::MergedView Coordinator::merged_view(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  auto responses = gather(intervals, locations);
+  // Exactly one flat partial: no fold is needed at all — the response bytes
+  // already are the stage-1 = stage-2 result. Hand them out zero-copy.
+  QueryResponseBody::Partial* only = nullptr;
+  std::size_t partials = 0;
+  for (auto& [shard, body] : responses) {
+    for (QueryResponseBody::Partial& partial : body.partials) {
+      ++partials;
+      only = &partial;
+    }
+  }
+  if (partials == 1 && flowtree::FlatView::looks_flat(only->summary)) {
+    return flowtree::MergedView::from_flat(
+        std::make_shared<const std::vector<std::uint8_t>>(
+            std::move(only->summary)));
+  }
+  return flowtree::MergedView(fold(responses));
 }
 
 std::uint64_t Coordinator::remote_shard_queries() const {
@@ -386,6 +516,11 @@ std::size_t Coordinator::replicated_partitions() const {
 std::uint64_t Coordinator::dropped_messages() const {
   const MutexLock lock(mu_);
   return dropped_messages_;
+}
+
+std::uint64_t Coordinator::response_decodes() const {
+  const MutexLock lock(mu_);
+  return response_decodes_;
 }
 
 }  // namespace megads::flowdb::dist

@@ -24,13 +24,20 @@
 //
 // Thread-safe over a thread-safe transport: concurrent merged() calls hold
 // the internal lock only around bookkeeping, never across a send. A replica
-// install is the one exception to full concurrency: while a shard's records
-// are being fetched, adds routed to that shard block until the replica is
-// registered — the install snapshots the owner, so a record slipping between
-// the snapshot and the registration would be missing from the replica
-// forever. The installer also waits out in-flight kAddBatch sends and ships
-// the shard's pending batch ahead of the fetch (FIFO transports deliver it
-// first), so the snapshot covers every record whose add() has returned.
+// install never blocks writers: while a shard's records are being fetched,
+// adds routed to that shard simply accumulate in its pending batch (nothing
+// ships — take_batches skips installing shards), and the installer drains
+// that backlog in a catch-up loop after the fetch lands, shipping each round
+// to the owner before applying it to the still-private replica; the replica
+// registers only once a drain round finds the backlog empty. Queries stay
+// read-your-writes during the install: gather() snapshots the installing
+// shard's pending records under the same lock that classifies the shard as
+// remote and folds them as synthetic partials alongside the owner's
+// response. To keep that sum exact, the snapshot pins the shard
+// (scatter_pins_) until the owner's response is collected — the installer's
+// drain waits out pins, so a snapshotted record can never also reach the
+// owner before it answers (which would count it twice). Only the installer
+// ever waits; add() and merged() never do.
 //
 // Stray traffic — malformed payloads, responses with unknown request ids or
 // from unknown nodes, duplicate responses, request-type envelopes — is
@@ -50,6 +57,7 @@
 #include "flowdb/partitioned/envelope.hpp"
 #include "flowdb/partitioned/partitioner.hpp"
 #include "flowdb/source.hpp"
+#include "flowtree/flatblock.hpp"
 #include "net/transport.hpp"
 #include "repl/placement.hpp"
 
@@ -79,7 +87,11 @@ class Coordinator : public SummarySource {
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
 
-  /// Route one summary to its shard (encodes, batches, ships full batches).
+  /// Route one summary to its shard (encodes flat, batches, ships full
+  /// batches). add_encoded accepts either wire format and normalizes to a
+  /// flat block at ingest (validating hostile bytes on the caller's thread),
+  /// so every record in the partitioned layer — kAddBatch, kReplicaData, the
+  /// servers' raw logs — is flat and is carried verbatim from then on.
   void add(const flowtree::Flowtree& tree, TimeInterval interval,
            std::string location);
   void add_encoded(std::vector<std::uint8_t> bytes, TimeInterval interval,
@@ -90,6 +102,14 @@ class Coordinator : public SummarySource {
 
   /// Scatter-gather Table II Merge over the shards (see file comment).
   [[nodiscard]] flowtree::Flowtree merged(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const override;
+
+  /// Like merged(), but when the gather produces exactly one flat partial
+  /// (single shard, single location — the common narrow-selection case) the
+  /// response bytes are handed out as a zero-copy FlatView instead of being
+  /// folded into a node pool: the wire payload IS the query operand.
+  [[nodiscard]] flowtree::MergedView merged_view(
       const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations) const override;
 
@@ -113,6 +133,9 @@ class Coordinator : public SummarySource {
   [[nodiscard]] std::size_t replicated_partitions() const;
   /// Stray / duplicate / malformed messages received and dropped.
   [[nodiscard]] std::uint64_t dropped_messages() const;
+  /// Response partials that needed a legacy (non-flat) summary decode before
+  /// folding — zero on the all-flat path; the bench's warm-path pin.
+  [[nodiscard]] std::uint64_t response_decodes() const;
 
   /// Mirror the drop counter into `registry` as "net.dropped_coordinator"
   /// (cumulative; catches up on drops that preceded the attach). The registry
@@ -128,9 +151,13 @@ class Coordinator : public SummarySource {
 
   void on_message(NodeId from, const std::vector<std::uint8_t>& payload)
       MEGADS_EXCLUDES(mu_);
+  /// Route one record to its shard: batch + ship when full, mirror into the
+  /// local replica if one exists. Never blocks — during a replica install the
+  /// record parks in the shard's pending batch for the installer to drain.
   void route_record(SummaryRecord record) MEGADS_EXCLUDES(mu_);
   /// Move out every non-empty batch, counting each as an in-flight ship
   /// (caller sends them lock-free via ship_batch, which settles the count).
+  /// Skips shards mid-install: their backlog belongs to the installer.
   [[nodiscard]] std::vector<std::pair<std::size_t, AddBatchBody>> take_batches()
       const MEGADS_EXCLUDES(mu_);
   void ship_batch(std::size_t shard, AddBatchBody batch) const
@@ -139,8 +166,28 @@ class Coordinator : public SummarySource {
   void finish_ship(std::size_t shard) const MEGADS_EXCLUDES(mu_);
   /// Count one dropped stray message (and mirror it into the registry).
   void note_dropped() const MEGADS_REQUIRES(mu_);
-  /// Fetch shard's raw records and install them as a local replica.
+  /// Fetch shard's raw records and install them as a local replica. Writers
+  /// keep adding throughout: their records accumulate in pending_[shard] and
+  /// the catch-up loop drains them (ship to owner, then apply to the private
+  /// replica) until a round finds the backlog empty — only then does the
+  /// replica register. The drain waits out scatter_pins_[shard] so it never
+  /// ships records a concurrent gather() has snapshotted as synthetic
+  /// partials (the owner would answer with them — double count).
   void install_replica(std::size_t shard) const MEGADS_EXCLUDES(mu_);
+  /// The scatter/pump/gather half of merged(): flush, scatter to the
+  /// partitioner's targets, collect per-shard responses (replicated shards
+  /// answer locally), and run the ski-rental bookkeeping.
+  [[nodiscard]] std::vector<std::pair<std::size_t, QueryResponseBody>> gather(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const MEGADS_EXCLUDES(mu_);
+  /// The fold half: merge gathered partials exactly as a single FlowDB would
+  /// (per location in shard order, then across locations in sorted order).
+  [[nodiscard]] flowtree::Flowtree fold(
+      std::vector<std::pair<std::size_t, QueryResponseBody>>& responses) const;
+  /// Fold one partial's bytes into `acc` — in place for flat blocks, through
+  /// the (counted) normalize choke point for legacy payloads.
+  void fold_partial(const std::vector<std::uint8_t>& bytes,
+                    flowtree::Flowtree& acc) const MEGADS_EXCLUDES(mu_);
   /// The shard's partials for a selection, computed from the local replica
   /// (same code path as PartitionServer::handle_query, minus the wire).
   [[nodiscard]] QueryResponseBody local_partials(
@@ -157,8 +204,8 @@ class Coordinator : public SummarySource {
   /// Outermost lock of the query path (rank kCoordinator): held only around
   /// bookkeeping, never across a Transport send or a replica FlowDB call.
   mutable Mutex mu_{lockrank::kCoordinator, "coordinator"};
-  /// Signals: an install finished (installing_ cleared) or a ship settled
-  /// (inflight_ships_ decremented).
+  /// Signals the installer (the only waiter): a ship settled
+  /// (inflight_ships_ decremented) or a scatter pin released.
   mutable CondVar cv_;
   mutable std::uint64_t next_request_id_ MEGADS_GUARDED_BY(mu_) = 1;
   mutable std::unordered_map<std::uint64_t, Gather> gathers_
@@ -175,12 +222,18 @@ class Coordinator : public SummarySource {
       MEGADS_GUARDED_BY(mu_);  ///< per shard: replica install in progress
   mutable std::vector<std::size_t> inflight_ships_
       MEGADS_GUARDED_BY(mu_);  ///< per shard: batches taken, not yet sent
+  /// Per shard: gathers that snapshotted this shard's pending records and
+  /// have not yet collected the owner's response. While pinned, the
+  /// installer's drain must not ship the backlog (see install_replica).
+  mutable std::vector<std::size_t> scatter_pins_ MEGADS_GUARDED_BY(mu_);
   mutable std::unordered_map<std::size_t, FlowDB> replicas_
       MEGADS_GUARDED_BY(mu_);
   mutable std::uint64_t remote_shard_queries_ MEGADS_GUARDED_BY(mu_) = 0;
   mutable std::uint64_t local_shard_queries_ MEGADS_GUARDED_BY(mu_) = 0;
   mutable std::uint64_t dropped_messages_ MEGADS_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t response_decodes_ MEGADS_GUARDED_BY(mu_) = 0;
   metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_decodes_ MEGADS_GUARDED_BY(mu_) = nullptr;
 
   repl::ReplicaPlacer* placer_ = nullptr;
 };

@@ -4,8 +4,40 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "flowtree/flatblock.hpp"
 
 namespace megads::flowdb::dist {
+
+namespace {
+
+/// Content key of one stage-1 partial: db version, the selection verbatim,
+/// and the partial's location — all length-delimited, so distinct selections
+/// cannot collide.
+std::string memo_key(std::uint64_t version, const SelectionBody& body,
+                     const std::string& location) {
+  std::string key;
+  const auto put_u64 = [&key](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      key.push_back(static_cast<char>(v >> (8 * i)));
+    }
+  };
+  put_u64(version);
+  put_u64(body.intervals.size());
+  for (const TimeInterval& interval : body.intervals) {
+    put_u64(static_cast<std::uint64_t>(interval.begin));
+    put_u64(static_cast<std::uint64_t>(interval.end));
+  }
+  put_u64(body.locations.size());
+  for (const std::string& name : body.locations) {
+    put_u64(name.size());
+    key += name;
+  }
+  put_u64(location.size());
+  key += location;
+  return key;
+}
+
+}  // namespace
 
 PartitionServer::PartitionServer(net::Transport& transport, NodeId node,
                                  flowtree::FlowtreeConfig tree_config)
@@ -25,6 +57,21 @@ std::uint64_t PartitionServer::raw_bytes() const {
 std::uint64_t PartitionServer::dropped_messages() const {
   const MutexLock lock(raw_mu_);
   return dropped_messages_;
+}
+
+std::uint64_t PartitionServer::response_memo_hits() const {
+  const MutexLock lock(memo_mu_);
+  return memo_hits_;
+}
+
+std::uint64_t PartitionServer::response_memo_misses() const {
+  const MutexLock lock(memo_mu_);
+  return memo_misses_;
+}
+
+void PartitionServer::set_response_memo_budget(std::size_t bytes) {
+  const MutexLock lock(memo_mu_);
+  response_memo_.set_byte_budget(bytes, memo_mu_);
 }
 
 void PartitionServer::on_message(NodeId from,
@@ -73,7 +120,15 @@ void PartitionServer::attach_metrics(metrics::MetricsRegistry& registry) {
 
 void PartitionServer::handle_add(const AddBatchBody& body) {
   for (const SummaryRecord& record : body.records) {
-    db_.add_encoded(record.summary, record.interval, record.location);
+    // One bad record must not poison the batch (or escape through the
+    // transport's delivery callback): count it dropped, index the rest.
+    try {
+      db_.add_encoded(record.summary, record.interval, record.location);
+    } catch (const Error&) {
+      const MutexLock lock(raw_mu_);
+      note_dropped();
+      continue;
+    }
     const MutexLock lock(raw_mu_);
     raw_.push_back(record);
     raw_bytes_ += record.summary.size();
@@ -83,14 +138,38 @@ void PartitionServer::handle_add(const AddBatchBody& body) {
 void PartitionServer::handle_query(NodeId from, std::uint64_t request_id,
                                    const SelectionBody& body) {
   // One partial per matched location: this shard's stage-1 fold (over-time
-  // merge, shared location). The per-location merged() calls go through the
-  // view cache, so a repeated selection — the dashboard pattern — answers
-  // from cached folds without touching the node pools.
+  // merge, shared location), encoded as a flat block the coordinator folds —
+  // or hands out — without decoding. Two caches stack: the encoded-partial
+  // memo answers a repeated selection with the finished wire bytes (the db
+  // version is read *before* the fold, so a racing add can only make a
+  // memoized entry fresher than its key, never staler); misses fall through
+  // to FlowDB's content-addressed view cache, paying only the encode.
   QueryResponseBody response;
+  const std::uint64_t version = db_.version();
   for (const std::string& location :
        db_.matching_locations(body.intervals, body.locations)) {
-    response.partials.push_back(
-        {location, db_.merged(body.intervals, {location}).encode()});
+    const std::string key = memo_key(version, body, location);
+    bool hit = false;
+    {
+      const MutexLock lock(memo_mu_);
+      if (response_memo_.byte_budget(memo_mu_) > 0) {
+        if (const auto* cached = response_memo_.get(key, memo_mu_)) {
+          ++memo_hits_;
+          response.partials.push_back({location, *cached});
+          hit = true;
+        } else {
+          ++memo_misses_;
+        }
+      }
+    }
+    if (hit) continue;
+    std::vector<std::uint8_t> bytes =
+        flowtree::FlatCodec::encode(db_.merged(body.intervals, {location}));
+    {
+      const MutexLock lock(memo_mu_);
+      response_memo_.put(key, bytes, key.size() + bytes.size(), memo_mu_);
+    }
+    response.partials.push_back({location, std::move(bytes)});
   }
   Envelope reply;
   reply.type = MessageType::kQueryResponse;

@@ -14,8 +14,10 @@
 // from several querier threads at once.
 #pragma once
 
+#include <string>
 #include <vector>
 
+#include "common/lru_cache.hpp"
 #include "common/mutex.hpp"
 #include "flowdb/flowdb.hpp"
 #include "flowdb/partitioned/envelope.hpp"
@@ -45,8 +47,17 @@ class PartitionServer {
   /// size: what a replica copy would ship).
   [[nodiscard]] std::uint64_t raw_bytes() const;
 
-  /// Stray / malformed messages received and dropped.
+  /// Stray / malformed messages received and dropped — including kAddBatch
+  /// records whose payload fails to parse or merge (counted per record, the
+  /// rest of the batch still indexes).
   [[nodiscard]] std::uint64_t dropped_messages() const;
+
+  /// Encoded-partial memo behaviour: a hit answers a repeated scatter
+  /// selection with the cached flat bytes — no fold, no encode, no node pool.
+  [[nodiscard]] std::uint64_t response_memo_hits() const;
+  [[nodiscard]] std::uint64_t response_memo_misses() const;
+  /// Byte budget of the encoded-partial memo (LRU; 0 disables and clears).
+  void set_response_memo_budget(std::size_t bytes);
 
   /// Mirror the drop counter into `registry` as "net.dropped_server"
   /// (cumulative across every server attached to the same registry). The
@@ -75,6 +86,17 @@ class PartitionServer {
   std::uint64_t raw_bytes_ MEGADS_GUARDED_BY(raw_mu_) = 0;
   std::uint64_t dropped_messages_ MEGADS_GUARDED_BY(raw_mu_) = 0;
   metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(raw_mu_) = nullptr;
+
+  /// Encoded stage-1 partials, keyed (db version, selection, location): the
+  /// dashboard pattern re-issues the same selection, and a hit hands back the
+  /// flat wire bytes without touching FlowDB at all. Entries self-invalidate
+  /// — every add bumps the db version, which changes the key. Innermost lock
+  /// (kLeaf): never held across a db_ call or a transport send.
+  mutable Mutex memo_mu_{lockrank::kLeaf, "partition_server.response_memo"};
+  mutable LruCache<std::string, std::vector<std::uint8_t>> response_memo_
+      MEGADS_GUARDED_BY(memo_mu_){8u << 20};
+  mutable std::uint64_t memo_hits_ MEGADS_GUARDED_BY(memo_mu_) = 0;
+  mutable std::uint64_t memo_misses_ MEGADS_GUARDED_BY(memo_mu_) = 0;
 };
 
 }  // namespace megads::flowdb::dist

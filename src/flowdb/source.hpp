@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "flowtree/flatblock.hpp"
 #include "flowtree/flowtree.hpp"
 
 namespace megads {
@@ -30,6 +31,17 @@ class SummarySource {
   [[nodiscard]] virtual flowtree::Flowtree merged(
       const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations) const = 0;
+
+  /// The same selection as a read-only operand. The default wraps merged();
+  /// sources that already hold the answer as a flat block (a partitioned
+  /// coordinator whose gather produced a single partial) override it to hand
+  /// the bytes out zero-copy instead of materializing a node pool. The
+  /// executor uses this for every non-mutating operator.
+  [[nodiscard]] virtual flowtree::MergedView merged_view(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const {
+    return flowtree::MergedView(merged(intervals, locations));
+  }
 
   /// Pool the executor may use for independent sub-merges (diff operands);
   /// nullptr = run them serially on the caller's thread.

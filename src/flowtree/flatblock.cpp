@@ -1,0 +1,561 @@
+#include "flowtree/flatblock.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace megads::flowtree {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'B', 'K', '1'};
+constexpr std::uint8_t kVersion = 1;
+constexpr std::uint8_t kHeaderFlagLossy = 1;
+constexpr std::uint8_t kFlagProto = 1;
+constexpr std::uint8_t kFlagSrcPort = 2;
+constexpr std::uint8_t kFlagDstPort = 4;
+constexpr std::int32_t kNone = -1;
+
+/// Feature indices of FlatView::presence_, matching Flowtree's mask.
+enum Feature : std::size_t {
+  kFeatProto = 0,
+  kFeatSrcIp = 1,
+  kFeatDstIp = 2,
+  kFeatSrcPort = 3,
+  kFeatDstPort = 4,
+};
+
+std::uint16_t load_u16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>(p[0] | (static_cast<std::uint16_t>(p[1]) << 8));
+}
+
+std::uint32_t load_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int32_t load_i32(const std::uint8_t* p) noexcept {
+  return static_cast<std::int32_t>(load_u32(p));
+}
+
+double load_f64(const std::uint8_t* p) noexcept {
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) bits |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return std::bit_cast<double>(bits);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  const auto bits = std::bit_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+[[noreturn]] void bad(const char* what) {
+  throw ParseError(std::string("FlatView::parse: ") + what);
+}
+
+}  // namespace
+
+// --- FlatView: validation ----------------------------------------------------
+
+bool FlatView::looks_flat(const std::uint8_t* data, std::size_t size) noexcept {
+  return size >= 4 && std::memcmp(data, kMagic, 4) == 0;
+}
+
+FlowtreeConfig FlatView::config(FlowtreeConfig base) const noexcept {
+  base.policy.ip_step = ip_step_;
+  base.features = static_cast<flow::FeatureSet>(features_);
+  return base;
+}
+
+flow::FlowKey FlatView::key_at(std::uint32_t i) const {
+  const std::uint8_t* p = data_ + kHeaderBytes + i * kBytesPerNode;
+  flow::FlowKey key;
+  key.with_src(flow::Prefix(flow::IPv4(load_u32(p + 4)), p[2]))
+      .with_dst(flow::Prefix(flow::IPv4(load_u32(p + 8)), p[3]));
+  if (p[0] & kFlagProto) key.with_proto(p[1]);
+  if (p[0] & kFlagSrcPort) key.with_src_port(load_u16(p + 12));
+  if (p[0] & kFlagDstPort) key.with_dst_port(load_u16(p + 14));
+  return key;
+}
+
+double FlatView::own_at(std::uint32_t i) const {
+  return load_f64(data_ + kHeaderBytes + i * kBytesPerNode + 16);
+}
+
+std::int32_t FlatView::parent_at(std::uint32_t i) const {
+  return load_i32(data_ + kHeaderBytes + i * kBytesPerNode + 24);
+}
+
+std::int32_t FlatView::first_child_at(std::uint32_t i) const {
+  return load_i32(data_ + kHeaderBytes + i * kBytesPerNode + 28);
+}
+
+std::int32_t FlatView::next_sibling_at(std::uint32_t i) const {
+  return load_i32(data_ + kHeaderBytes + i * kBytesPerNode + 32);
+}
+
+std::int32_t FlatView::depth_at(std::uint32_t i) const {
+  return load_i32(data_ + kHeaderBytes + i * kBytesPerNode + 36);
+}
+
+FlatView FlatView::parse(const std::uint8_t* data, std::size_t size) {
+  if (data == nullptr || size < kHeaderBytes) bad("truncated header");
+  if (std::memcmp(data, kMagic, 4) != 0) bad("bad magic");
+  if (data[4] != kVersion) bad("unsupported version");
+  const std::uint8_t header_flags = data[7];
+  if ((header_flags & ~kHeaderFlagLossy) != 0) bad("undefined header flags");
+  if ((data[6] & ~static_cast<std::uint8_t>(flow::FeatureSet::kFiveTuple)) != 0) {
+    bad("undefined feature bits");
+  }
+  if (load_u32(data + 12) != 0 || load_u32(data + 24) != 0 ||
+      load_u32(data + 28) != 0) {
+    bad("reserved bytes must be zero");
+  }
+  const std::uint32_t count = load_u32(data + 8);
+  if (count == 0) bad("missing root node");
+  // Divide instead of multiplying so a hostile count cannot overflow the
+  // size computation on any platform (same trick as the FTRE decoder).
+  if ((size - kHeaderBytes) / kBytesPerNode != count ||
+      (size - kHeaderBytes) % kBytesPerNode != 0) {
+    bad("node count disagrees with buffer size");
+  }
+
+  FlatView view;
+  view.data_ = data;
+  view.size_ = size;
+  view.count_ = count;
+  view.ip_step_ = data[5];
+  view.features_ = data[6];
+  view.lossy_ = (header_flags & kHeaderFlagLossy) != 0;
+  view.total_weight_ = load_f64(data + 16);
+  if (!std::isfinite(view.total_weight_)) bad("non-finite total weight");
+
+  const flow::GeneralizationPolicy policy{view.ip_step_};
+  std::unordered_set<flow::FlowKey> seen;
+  seen.reserve(count);
+  double weight = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint8_t* p = data + kHeaderBytes + i * kBytesPerNode;
+    if ((p[0] & ~(kFlagProto | kFlagSrcPort | kFlagDstPort)) != 0) {
+      bad("undefined node flags");
+    }
+    if (p[2] > 32 || p[3] > 32) bad("prefix length exceeds 32 bits");
+    const double own = view.own_at(i);
+    if (!std::isfinite(own)) bad("non-finite node score");
+    weight += own;
+
+    const flow::FlowKey key = view.key_at(i);
+    if (!seen.insert(key).second) bad("duplicate node key");
+    const std::int32_t parent = view.parent_at(i);
+    const std::int32_t depth = view.depth_at(i);
+    if (i == 0) {
+      if (parent != kNone || depth != 0) bad("malformed root node");
+      if (!key.is_root()) bad("node 0 is not the wildcard root");
+    } else {
+      // Preorder: every parent precedes its children.
+      if (parent < 0 || static_cast<std::uint32_t>(parent) >= i) {
+        bad("parent link out of preorder range");
+      }
+      if (depth != view.depth_at(static_cast<std::uint32_t>(parent)) + 1) {
+        bad("depth is not parent depth + 1");
+      }
+      const auto up = key.parent(policy);
+      if (!up || !(*up == view.key_at(static_cast<std::uint32_t>(parent)))) {
+        bad("parent is not the canonical parent");
+      }
+    }
+    const std::int32_t first = view.first_child_at(i);
+    // Preorder puts a node's first child immediately after it; anything else
+    // (self-loops, back-edges, cross-tree offsets) is rejected outright.
+    if (first != kNone && static_cast<std::uint32_t>(first) != i + 1) {
+      bad("first-child link is not the next preorder node");
+    }
+    if (first != kNone && static_cast<std::uint32_t>(first) >= count) {
+      bad("first-child link out of range");
+    }
+    const std::int32_t sibling = view.next_sibling_at(i);
+    if (sibling != kNone && (static_cast<std::uint32_t>(sibling) <= i ||
+                             static_cast<std::uint32_t>(sibling) >= count)) {
+      bad("sibling link out of preorder range");
+    }
+
+    if (key.proto()) ++view.presence_[kFeatProto];
+    if (key.src().length() > 0) ++view.presence_[kFeatSrcIp];
+    if (key.dst().length() > 0) ++view.presence_[kFeatDstIp];
+    if (key.src_port()) ++view.presence_[kFeatSrcPort];
+    if (key.dst_port()) ++view.presence_[kFeatDstPort];
+  }
+  if (!std::isfinite(weight)) bad("summed weight overflows");
+  if (std::fabs(weight - view.total_weight_) >
+      1e-6 * std::max(1.0, std::fabs(view.total_weight_))) {
+    bad("total weight out of sync with own scores");
+  }
+
+  // Child lists must partition the non-root nodes: walking every list (the
+  // strictly increasing sibling indices above bound each walk) has to claim
+  // each node exactly once via a matching parent link.
+  std::uint64_t children_seen = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    for (std::int32_t c = view.first_child_at(i); c != kNone;
+         c = view.next_sibling_at(static_cast<std::uint32_t>(c))) {
+      if (view.parent_at(static_cast<std::uint32_t>(c)) !=
+          static_cast<std::int32_t>(i)) {
+        bad("child list crosses into another subtree");
+      }
+      if (++children_seen >= count) break;
+    }
+  }
+  if (children_seen != count - 1) bad("child lists do not cover all nodes");
+  return view;
+}
+
+// --- FlatView: Table II reads ------------------------------------------------
+
+std::int32_t FlatView::find(const flow::FlowKey& key) const {
+  if (key.is_root()) return 0;
+  std::uint32_t cur = 0;
+  while (true) {
+    std::int32_t descend = kNone;
+    for (std::int32_t c = first_child_at(cur); c != kNone;
+         c = next_sibling_at(static_cast<std::uint32_t>(c))) {
+      const flow::FlowKey child = key_at(static_cast<std::uint32_t>(c));
+      if (child == key) return c;
+      if (child.generalizes(key)) {
+        // At most one child of a chain node generalizes the key: children
+        // refine the same canonical step, so a generalizing child is *the*
+        // chain child.
+        descend = c;
+        break;
+      }
+    }
+    if (descend == kNone) return kNone;
+    cur = static_cast<std::uint32_t>(descend);
+  }
+}
+
+double FlatView::query(const flow::FlowKey& key) const {
+  const std::int32_t id = find(key);
+  if (id == kNone) return 0.0;
+  // Sum own scores over the subtree — the same iterative DFS as the pooled
+  // tree, over index links instead of pool pointers.
+  double total = 0.0;
+  std::vector<std::int32_t> stack{id};
+  while (!stack.empty()) {
+    const auto cur = static_cast<std::uint32_t>(stack.back());
+    stack.pop_back();
+    total += own_at(cur);
+    for (std::int32_t c = first_child_at(cur); c != kNone;
+         c = next_sibling_at(static_cast<std::uint32_t>(c))) {
+      stack.push_back(c);
+    }
+  }
+  return total;
+}
+
+double FlatView::query_lattice(const flow::FlowKey& key) const {
+  if ((key.proto() && presence_[kFeatProto] == 0) ||
+      (key.src().length() > 0 && presence_[kFeatSrcIp] == 0) ||
+      (key.dst().length() > 0 && presence_[kFeatDstIp] == 0) ||
+      (key.src_port() && presence_[kFeatSrcPort] == 0) ||
+      (key.dst_port() && presence_[kFeatDstPort] == 0)) {
+    return 0.0;
+  }
+  if (find(key) != kNone) return query(key);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    const double own = own_at(i);
+    if (own != 0.0 && key.generalizes(key_at(i))) total += own;
+  }
+  return total;
+}
+
+std::vector<KeyScore> FlatView::drilldown(const flow::FlowKey& key) const {
+  const std::int32_t id = find(key);
+  if (id == kNone) return {};
+  // Reverse preorder visits every child before its parent — the same
+  // bottom-up accumulation the pooled tree runs in depth-descending order.
+  std::vector<double> scores(count_, 0.0);
+  for (std::uint32_t i = count_; i-- > 0;) {
+    scores[i] += own_at(i);
+    const std::int32_t parent = parent_at(i);
+    if (parent != kNone) scores[static_cast<std::uint32_t>(parent)] += scores[i];
+  }
+  std::vector<KeyScore> rows;
+  for (std::int32_t c = first_child_at(static_cast<std::uint32_t>(id)); c != kNone;
+       c = next_sibling_at(static_cast<std::uint32_t>(c))) {
+    rows.push_back({key_at(static_cast<std::uint32_t>(c)),
+                    scores[static_cast<std::uint32_t>(c)]});
+  }
+  std::sort(rows.begin(), rows.end(), primitives::score_before);
+  return rows;
+}
+
+std::vector<KeyScore> FlatView::top_k(std::size_t k) const {
+  std::vector<KeyScore> rows;
+  rows.reserve(count_);
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    const double own = own_at(i);
+    if (own != 0.0) rows.push_back({key_at(i), own});
+  }
+  const std::size_t take = std::min(k, rows.size());
+  std::partial_sort(rows.begin(), rows.begin() + static_cast<long>(take),
+                    rows.end(), primitives::score_before);
+  rows.resize(take);
+  return rows;
+}
+
+std::vector<KeyScore> FlatView::above(double threshold) const {
+  std::vector<KeyScore> rows;
+  for (std::uint32_t i = 0; i < count_; ++i) {
+    const double own = own_at(i);
+    if (own >= threshold) rows.push_back({key_at(i), own});
+  }
+  std::sort(rows.begin(), rows.end(), primitives::score_before);
+  return rows;
+}
+
+std::vector<KeyScore> FlatView::hhh(double phi) const {
+  expects(phi > 0.0 && phi <= 1.0, "FlatView::hhh: phi must be in (0, 1]");
+  if (total_weight_ <= 0.0) return {};
+  const double threshold = phi * total_weight_;
+  std::vector<double> adjusted(count_, 0.0);
+  std::vector<KeyScore> hhh_set;
+  for (std::uint32_t i = count_; i-- > 0;) {
+    adjusted[i] += own_at(i);
+    if (adjusted[i] >= threshold) {
+      hhh_set.push_back({key_at(i), adjusted[i]});
+    } else if (const std::int32_t parent = parent_at(i); parent != kNone) {
+      adjusted[static_cast<std::uint32_t>(parent)] += adjusted[i];
+    }
+  }
+  std::sort(hhh_set.begin(), hhh_set.end(), primitives::score_before);
+  return hhh_set;
+}
+
+std::vector<KeyScore> FlatView::entries() const {
+  std::vector<KeyScore> rows;
+  rows.reserve(count_);
+  for (std::uint32_t i = 0; i < count_; ++i) rows.push_back({key_at(i), own_at(i)});
+  return rows;
+}
+
+primitives::QueryResult FlatView::execute(const primitives::Query& q) const {
+  using namespace primitives;
+  QueryResult result;
+  result.approximate = lossy_;
+  if (const auto* query_point = std::get_if<PointQuery>(&q)) {
+    const flow::FlowKey key = query_point->key.project(features());
+    result.entries.push_back({key, query_lattice(key)});
+    return result;
+  }
+  if (const auto* query_topk = std::get_if<TopKQuery>(&q)) {
+    result.entries = top_k(query_topk->k);
+    return result;
+  }
+  if (const auto* query_above = std::get_if<AboveQuery>(&q)) {
+    result.entries = above(query_above->threshold);
+    return result;
+  }
+  if (const auto* query_drill = std::get_if<DrilldownQuery>(&q)) {
+    result.entries = drilldown(query_drill->key.project(features()));
+    return result;
+  }
+  if (const auto* query_hhh = std::get_if<HHHQuery>(&q)) {
+    result.entries = hhh(query_hhh->phi);
+    return result;
+  }
+  return QueryResult::unsupported();
+}
+
+// --- FlatCodec ---------------------------------------------------------------
+
+std::vector<std::uint8_t> FlatCodec::encode(const Flowtree& tree) {
+  const auto& s = *tree.state_;
+  std::vector<std::uint8_t> out;
+  out.reserve(FlatView::kHeaderBytes + s.node_count * FlatView::kBytesPerNode);
+
+  for (const char c : kMagic) out.push_back(static_cast<std::uint8_t>(c));
+  out.push_back(kVersion);
+  out.push_back(static_cast<std::uint8_t>(tree.config_.policy.ip_step));
+  out.push_back(static_cast<std::uint8_t>(tree.config_.features));
+  out.push_back(s.lossy ? kHeaderFlagLossy : 0);
+  put_u32(out, static_cast<std::uint32_t>(s.node_count));
+  put_u32(out, 0);
+  put_f64(out, s.total_weight);
+  put_u32(out, 0);
+  put_u32(out, 0);
+
+  // Preorder walk assigning flat indices; pushing each child list reversed
+  // makes the stack pop siblings in pool order, so flat sibling order — and
+  // with it every DFS summation order — matches the pooled tree exactly.
+  std::vector<std::int32_t> order;
+  order.reserve(s.node_count);
+  std::vector<std::int32_t> flat_of(s.nodes.size(), kNone);
+  std::vector<std::int32_t> stack{s.root};
+  std::vector<std::int32_t> children;
+  while (!stack.empty()) {
+    const std::int32_t id = stack.back();
+    stack.pop_back();
+    flat_of[static_cast<std::size_t>(id)] =
+        static_cast<std::int32_t>(order.size());
+    order.push_back(id);
+    children.clear();
+    for (std::int32_t c = s.nodes[static_cast<std::size_t>(id)].first_child;
+         c != kNone; c = s.nodes[static_cast<std::size_t>(c)].next_sibling) {
+      children.push_back(c);
+    }
+    stack.insert(stack.end(), children.rbegin(), children.rend());
+  }
+  expects(order.size() == s.node_count,
+          "FlatCodec::encode: unreachable live nodes");
+
+  const auto map_link = [&](std::int32_t pool_id) {
+    return pool_id == kNone ? kNone : flat_of[static_cast<std::size_t>(pool_id)];
+  };
+  for (const std::int32_t id : order) {
+    const auto& node = s.nodes[static_cast<std::size_t>(id)];
+    const auto& key = node.key;
+    std::uint8_t flags = 0;
+    if (key.proto()) flags |= kFlagProto;
+    if (key.src_port()) flags |= kFlagSrcPort;
+    if (key.dst_port()) flags |= kFlagDstPort;
+    out.push_back(flags);
+    out.push_back(key.proto().value_or(0));
+    out.push_back(static_cast<std::uint8_t>(key.src().length()));
+    out.push_back(static_cast<std::uint8_t>(key.dst().length()));
+    put_u32(out, key.src().address().value());
+    put_u32(out, key.dst().address().value());
+    put_u16(out, key.src_port().value_or(0));
+    put_u16(out, key.dst_port().value_or(0));
+    put_f64(out, node.own);
+    put_i32(out, map_link(node.parent));
+    put_i32(out, map_link(node.first_child));
+    put_i32(out, map_link(node.next_sibling));
+    put_i32(out, node.depth);
+  }
+  return out;
+}
+
+Flowtree FlatCodec::to_flowtree(const FlatView& view, FlowtreeConfig config) {
+  config = view.config(config);
+  Flowtree tree(config);
+  // Disable self-compression while loading, exactly like the FTRE decoder,
+  // so the conversion is lossless; then restore the configured budget.
+  const std::size_t budget = tree.config_.node_budget;
+  tree.config_.node_budget =
+      std::max<std::size_t>(budget, view.node_count() + 1);
+  Flowtree::State& s = *tree.state_;  // freshly constructed: exclusively owned
+  for (std::uint32_t i = 0; i < view.node_count(); ++i) {
+    const double own = view.own_at(i);
+    if (own != 0.0) {
+      s.nodes[static_cast<std::size_t>(tree.find_or_create(view.key_at(i)))]
+          .own += own;
+      s.total_weight += own;
+    } else {
+      tree.find_or_create(view.key_at(i));
+    }
+  }
+  tree.config_.node_budget = budget;
+  tree.state_->lossy = view.lossy();
+  return tree;
+}
+
+void FlatCodec::merge_into(const FlatView& view, Flowtree& accumulator) {
+  expects(accumulator.config_.policy.ip_step == view.ip_step() &&
+              accumulator.config_.features == view.features(),
+          "FlatCodec::merge_into: incompatible policy or features");
+  Flowtree::State& s = accumulator.detach();
+  // Preorder lists parents before children, so chains splice as cheaply as
+  // Flowtree::merge's parents-first order.
+  for (std::uint32_t i = 0; i < view.node_count(); ++i) {
+    const double own = view.own_at(i);
+    if (own != 0.0) {
+      s.nodes[static_cast<std::size_t>(
+                  accumulator.find_or_create(view.key_at(i)))]
+          .own += own;
+    }
+  }
+  s.total_weight += view.total_weight();
+  s.lossy = s.lossy || view.lossy();
+  accumulator.maybe_self_compress();
+}
+
+std::vector<std::uint8_t> FlatCodec::normalize(
+    const std::vector<std::uint8_t>& bytes, FlowtreeConfig config) {
+  if (FlatView::looks_flat(bytes)) {
+    (void)FlatView::parse(bytes);  // hostile bytes are rejected at ingest
+    return bytes;
+  }
+  return encode(Flowtree::decode(bytes, config));
+}
+
+// --- MergedView --------------------------------------------------------------
+
+MergedView MergedView::from_flat(
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+  expects(bytes != nullptr, "MergedView::from_flat: null buffer");
+  MergedView view;
+  view.view_ = FlatView::parse(*bytes);
+  view.bytes_ = std::move(bytes);
+  return view;
+}
+
+bool MergedView::lossy() const noexcept {
+  return tree_ ? tree_->lossy() : view_.lossy();
+}
+
+double MergedView::total_weight() const noexcept {
+  return tree_ ? tree_->total_weight() : view_.total_weight();
+}
+
+double MergedView::query(const flow::FlowKey& key) const {
+  return tree_ ? tree_->query(key) : view_.query(key);
+}
+
+double MergedView::query_lattice(const flow::FlowKey& key) const {
+  return tree_ ? tree_->query_lattice(key) : view_.query_lattice(key);
+}
+
+std::vector<KeyScore> MergedView::drilldown(const flow::FlowKey& key) const {
+  return tree_ ? tree_->drilldown(key) : view_.drilldown(key);
+}
+
+std::vector<KeyScore> MergedView::top_k(std::size_t k) const {
+  return tree_ ? tree_->top_k(k) : view_.top_k(k);
+}
+
+std::vector<KeyScore> MergedView::above(double threshold) const {
+  return tree_ ? tree_->above(threshold) : view_.above(threshold);
+}
+
+std::vector<KeyScore> MergedView::hhh(double phi) const {
+  return tree_ ? tree_->hhh(phi) : view_.hhh(phi);
+}
+
+std::vector<KeyScore> MergedView::entries() const {
+  return tree_ ? tree_->entries() : view_.entries();
+}
+
+Flowtree MergedView::to_tree(FlowtreeConfig config) const {
+  return tree_ ? *tree_ : FlatCodec::to_flowtree(view_, config);
+}
+
+}  // namespace megads::flowtree

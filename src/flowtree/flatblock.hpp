@@ -1,0 +1,193 @@
+// Flat summary blocks — the zero-copy sibling of the FTRE codec.
+//
+// FBK1 is a flat, 8-byte-aligned, block-structured encoding of a Flowtree:
+// one fixed-size header followed by fixed-size node records in *preorder*,
+// with child/sibling links as node indices instead of heap pointers. Because
+// parents precede children and a node's subtree is contiguous, a single
+// buffer supports every Table II read operator without materializing a node
+// pool: FlatView answers query / query_lattice / top_k / above / hhh /
+// drilldown directly over the bytes. The same bytes are the wire format
+// (flowdb/partitioned envelopes carry them verbatim), the query format
+// (MergedView hands them to the FlowQL executor), and the on-disk format
+// (store/spill mmaps sealed partitions as flat-block files).
+//
+// Layout (all integers little-endian; offsets 8-byte aligned by design):
+//
+//   header (32 bytes):
+//     0  magic "FBK1"
+//     4  version (u8) | ip_step (u8) | features (u8) | flags (u8, bit0=lossy)
+//     8  node count (u32)
+//     12 reserved (u32, must be 0)
+//     16 total weight (f64)
+//     24 reserved (u64, must be 0)
+//   per node (40 bytes, preorder; node 0 is the wildcard root):
+//     0  key flags (u8) | proto (u8) | src_len (u8) | dst_len (u8)
+//     4  src (u32) | dst (u32) | src_port (u16) | dst_port (u16)
+//     16 own score (f64)
+//     24 parent (i32) | first_child (i32) | next_sibling (i32) | depth (i32)
+//
+// The decoder is strict, like the FTRE and envelope codecs: bad magic or
+// version, undefined flag bits, counts that disagree with the buffer size,
+// trailing bytes, non-finite scores, out-of-range or non-preorder links,
+// cyclic or shared child lists, non-canonical parenthood, and duplicate keys
+// are all ParseError. A parsed FlatView is therefore a proof that every
+// index dereference below is in bounds — queries run without further checks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "flowtree/flowtree.hpp"
+
+namespace megads::flowtree {
+
+/// Bounds-checked zero-copy reader over one flat block. Non-owning: the
+/// underlying buffer (wire payload, cache entry, mmapped file) must outlive
+/// the view. Copying a view is copying a pointer.
+class FlatView {
+ public:
+  static constexpr std::size_t kHeaderBytes = 32;
+  static constexpr std::size_t kBytesPerNode = 40;
+
+  /// An unparsed view; every accessor requires a parsed one.
+  FlatView() = default;
+
+  /// Validate `size` bytes at `data` and return a view over them. Throws
+  /// ParseError on any deviation from the format contract above.
+  static FlatView parse(const std::uint8_t* data, std::size_t size);
+  static FlatView parse(const std::vector<std::uint8_t>& bytes) {
+    return parse(bytes.data(), bytes.size());
+  }
+  /// Deleted: a view over a temporary buffer dangles at the semicolon.
+  static FlatView parse(std::vector<std::uint8_t>&&) = delete;
+
+  /// Cheap magic sniff (no validation): true when the buffer starts like a
+  /// flat block rather than an FTRE payload.
+  [[nodiscard]] static bool looks_flat(const std::uint8_t* data,
+                                       std::size_t size) noexcept;
+  [[nodiscard]] static bool looks_flat(
+      const std::vector<std::uint8_t>& bytes) noexcept {
+    return looks_flat(bytes.data(), bytes.size());
+  }
+
+  // --- header accessors ---
+  [[nodiscard]] std::uint32_t node_count() const noexcept { return count_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_weight_; }
+  [[nodiscard]] bool lossy() const noexcept { return lossy_; }
+  [[nodiscard]] int ip_step() const noexcept { return ip_step_; }
+  [[nodiscard]] flow::FeatureSet features() const noexcept {
+    return static_cast<flow::FeatureSet>(features_);
+  }
+  /// `base` with the policy/features this block was encoded under.
+  [[nodiscard]] FlowtreeConfig config(FlowtreeConfig base = {}) const noexcept;
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+
+  // --- per-node accessors (indices are valid in [0, node_count)) ---
+  [[nodiscard]] flow::FlowKey key_at(std::uint32_t i) const;
+  [[nodiscard]] double own_at(std::uint32_t i) const;
+  [[nodiscard]] std::int32_t parent_at(std::uint32_t i) const;
+  [[nodiscard]] std::int32_t first_child_at(std::uint32_t i) const;
+  [[nodiscard]] std::int32_t next_sibling_at(std::uint32_t i) const;
+  [[nodiscard]] std::int32_t depth_at(std::uint32_t i) const;
+
+  // --- Table II read operators, in place over the buffer. Each mirrors the
+  // pooled Flowtree method of the same name: identical results for exact
+  // (integer-weight) folds, identical up to summation-order rounding
+  // otherwise (the docs/PARALLELISM.md caveat).
+  [[nodiscard]] double query(const flow::FlowKey& key) const;
+  [[nodiscard]] double query_lattice(const flow::FlowKey& key) const;
+  [[nodiscard]] std::vector<KeyScore> drilldown(const flow::FlowKey& key) const;
+  [[nodiscard]] std::vector<KeyScore> top_k(std::size_t k) const;
+  [[nodiscard]] std::vector<KeyScore> above(double threshold) const;
+  [[nodiscard]] std::vector<KeyScore> hhh(double phi) const;
+  [[nodiscard]] std::vector<KeyScore> entries() const;
+  /// The Aggregator-style query dispatch (mirrors Flowtree::execute).
+  [[nodiscard]] primitives::QueryResult execute(
+      const primitives::Query& query) const;
+
+  /// Node index of `key`, or -1. Canonical-chain descent from the root: at
+  /// each step exactly one child can generalize the key (chains are unique),
+  /// so the walk is O(depth x sibling-width) without an index.
+  [[nodiscard]] std::int32_t find(const flow::FlowKey& key) const;
+
+ private:
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::uint32_t count_ = 0;
+  double total_weight_ = 0.0;
+  std::uint8_t ip_step_ = 8;
+  std::uint8_t features_ = 0;
+  bool lossy_ = false;
+  /// Live-node feature counts, computed once at parse: query_lattice's O(1)
+  /// absent-feature early exit (same mask the pooled tree maintains).
+  std::array<std::int64_t, 5> presence_{};
+};
+
+/// Converters between flat blocks and the pooled representation. A friend of
+/// Flowtree: encode walks the live pool, to_flowtree/merge_into rebuild or
+/// fold through the same raised-budget find_or_create discipline as the FTRE
+/// decoder, so conversions never trigger mid-load self-compression.
+class FlatCodec {
+ public:
+  /// Single-pass pooled -> flat conversion (preorder walk of the pool).
+  [[nodiscard]] static std::vector<std::uint8_t> encode(const Flowtree& tree);
+
+  /// Single-pass flat -> pooled conversion. `config` supplies node budget and
+  /// slack; policy/features come from the block header (like FTRE decode).
+  [[nodiscard]] static Flowtree to_flowtree(const FlatView& view,
+                                            FlowtreeConfig config = {});
+
+  /// Table II Merge of a flat operand directly into a pooled accumulator —
+  /// exactly `acc.merge(to_flowtree(view))` without materializing the
+  /// intermediate tree. Preorder already lists parents before children, so
+  /// chains splice as cheaply as in Flowtree::merge.
+  static void merge_into(const FlatView& view, Flowtree& accumulator);
+
+  /// Normalize wire bytes to the flat format: flat blocks are validated and
+  /// returned verbatim; FTRE payloads are decoded and re-encoded flat; other
+  /// bytes are ParseError. The one legacy-decode choke point the wire layers
+  /// call at ingest, keeping Flowtree::decode off every response path.
+  [[nodiscard]] static std::vector<std::uint8_t> normalize(
+      const std::vector<std::uint8_t>& bytes, FlowtreeConfig config = {});
+};
+
+/// A merged query operand: either a pooled Flowtree or a shared flat block
+/// served zero-copy. SummarySource::merged_view returns this so the FlowQL
+/// executor can run Table II reads without forcing a pool materialization;
+/// to_tree() materializes on demand for the operators that mutate (diff).
+class MergedView {
+ public:
+  explicit MergedView(Flowtree tree) : tree_(std::move(tree)) {}
+
+  /// A view over shared flat bytes (validates; throws ParseError). The view
+  /// keeps the buffer alive for its own lifetime.
+  static MergedView from_flat(std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+
+  [[nodiscard]] bool flat() const noexcept { return !tree_.has_value(); }
+  [[nodiscard]] bool lossy() const noexcept;
+  [[nodiscard]] double total_weight() const noexcept;
+
+  [[nodiscard]] double query(const flow::FlowKey& key) const;
+  [[nodiscard]] double query_lattice(const flow::FlowKey& key) const;
+  [[nodiscard]] std::vector<KeyScore> drilldown(const flow::FlowKey& key) const;
+  [[nodiscard]] std::vector<KeyScore> top_k(std::size_t k) const;
+  [[nodiscard]] std::vector<KeyScore> above(double threshold) const;
+  [[nodiscard]] std::vector<KeyScore> hhh(double phi) const;
+  [[nodiscard]] std::vector<KeyScore> entries() const;
+
+  /// Materialize the pooled form (O(1) copy-on-write when already pooled).
+  [[nodiscard]] Flowtree to_tree(FlowtreeConfig config = {}) const;
+
+ private:
+  MergedView() = default;
+
+  std::shared_ptr<const std::vector<std::uint8_t>> bytes_;
+  FlatView view_;
+  std::optional<Flowtree> tree_;
+};
+
+}  // namespace megads::flowtree

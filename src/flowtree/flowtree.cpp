@@ -18,11 +18,36 @@ Flowtree::Flowtree(FlowtreeConfig config)
 // --- copy-on-write state ----------------------------------------------------
 
 Flowtree::State& Flowtree::detach() {
-  // use_count > 1 means some copy still shares the pool; clone it so the
-  // mutation below stays invisible to that copy. Mutators run under the
-  // owning layer's writer lock, so the count cannot concurrently grow from 1.
-  if (state_.use_count() > 1) state_ = std::make_shared<State>(*state_);
+  // A state that was ever shared is never mutated in place, even after every
+  // other handle has died: use_count() is a relaxed load, so observing the
+  // count back at 1 does not happen-after a dying copy's reads of the pool —
+  // a concurrent cache handout that deep-copied and then released could
+  // still be mid-read when an in-place write lands. Cloning is always safe:
+  // surviving handles only read (their own mutators clone too), and the
+  // fresh clone starts unshared, so never-copied trees keep the in-place
+  // fast path.
+  if (state_->ever_shared.load(std::memory_order_acquire) ||
+      state_.use_count() > 1) {
+    state_ = std::make_shared<State>(*state_);
+  }
   return *state_;
+}
+
+Flowtree::Flowtree(const Flowtree& other)
+    : primitives::Aggregator(other),
+      config_(other.config_),
+      state_(other.state_) {
+  state_->ever_shared.store(true, std::memory_order_release);
+}
+
+Flowtree& Flowtree::operator=(const Flowtree& other) {
+  if (this != &other) {
+    primitives::Aggregator::operator=(other);
+    config_ = other.config_;
+    state_ = other.state_;
+    state_->ever_shared.store(true, std::memory_order_release);
+  }
+  return *this;
 }
 
 bool Flowtree::pristine() const noexcept {
@@ -336,6 +361,7 @@ void Flowtree::merge(const Flowtree& other) {
     // sharing its node pool (O(1)); the next mutation of either copy
     // detaches. This makes the first operand of every fold loop free.
     state_ = other.state_;
+    state_->ever_shared.store(true, std::memory_order_release);
     maybe_self_compress();  // the adopter's budget may be tighter
     return;
   }
@@ -601,14 +627,25 @@ primitives::QueryResult Flowtree::execute(const primitives::Query& q) const {
 }
 
 bool Flowtree::mergeable_with(const primitives::Aggregator& other) const {
-  const auto* o = dynamic_cast<const Flowtree*>(&other);
-  return o != nullptr && o->config_.policy == config_.policy &&
-         o->config_.features == config_.features;
+  if (const auto* o = dynamic_cast<const Flowtree*>(&other)) {
+    return o->config_.policy == config_.policy &&
+           o->config_.features == config_.features;
+  }
+  if (const auto* f = dynamic_cast<const FlowtreeFoldable*>(&other)) {
+    const FlowtreeConfig theirs = f->flowtree_config();
+    return theirs.policy == config_.policy &&
+           theirs.features == config_.features;
+  }
+  return false;
 }
 
 void Flowtree::merge_from(const primitives::Aggregator& other) {
   expects(mergeable_with(other), "Flowtree::merge_from: incompatible");
-  merge(static_cast<const Flowtree&>(other));
+  if (const auto* o = dynamic_cast<const Flowtree*>(&other)) {
+    merge(*o);
+  } else {
+    dynamic_cast<const FlowtreeFoldable&>(other).fold_into(*this);
+  }
   note_merge(other);
 }
 

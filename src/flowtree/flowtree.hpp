@@ -27,6 +27,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -51,9 +52,36 @@ struct FlowtreeConfig {
 /// One row of a Flowtree report: a (generalized) flow and its score.
 using primitives::KeyScore;
 
+class Flowtree;
+
+/// An aggregator whose contents can be folded into a pooled Flowtree even
+/// though it is not a Flowtree itself (e.g. a spilled flat block served from
+/// mmap). Flowtree::mergeable_with / merge_from accept any implementor whose
+/// policy and features match, so DataStore promotion and snapshot folds work
+/// across representations without materializing the operand first.
+class FlowtreeFoldable {
+ public:
+  virtual ~FlowtreeFoldable() = default;
+
+  /// The policy/features this summary was built under (budget/slack are
+  /// advisory — merge compatibility only inspects policy and features).
+  [[nodiscard]] virtual FlowtreeConfig flowtree_config() const = 0;
+
+  /// Table II Merge of this summary's mass into `accumulator`.
+  virtual void fold_into(Flowtree& accumulator) const = 0;
+};
+
 class Flowtree final : public primitives::Aggregator {
  public:
   explicit Flowtree(FlowtreeConfig config = {});
+
+  /// O(1): shares the node pool and marks the state ever-shared, so neither
+  /// handle will mutate it in place again (see detach()).
+  Flowtree(const Flowtree& other);
+  Flowtree& operator=(const Flowtree& other);
+  Flowtree(Flowtree&&) noexcept = default;
+  Flowtree& operator=(Flowtree&&) noexcept = default;
+  ~Flowtree() override = default;
 
   // --- primitives::Aggregator surface ---
   [[nodiscard]] std::string kind() const override { return "flowtree"; }
@@ -63,6 +91,8 @@ class Flowtree final : public primitives::Aggregator {
   void insert_batch(std::span<const primitives::StreamItem> items) override;
   [[nodiscard]] primitives::QueryResult execute(
       const primitives::Query& query) const override;
+  /// True for another Flowtree — or any FlowtreeFoldable — with the same
+  /// generalization policy and feature set.
   [[nodiscard]] bool mergeable_with(
       const primitives::Aggregator& other) const override;
   void merge_from(const primitives::Aggregator& other) override;
@@ -176,6 +206,11 @@ class Flowtree final : public primitives::Aggregator {
   static constexpr std::size_t kHeaderBytes = 16;
 
  private:
+  /// The flat-block converters (flatblock.{hpp,cpp}) walk the node pool and
+  /// rebuild through find_or_create with the decoder's raised-budget
+  /// discipline — same trust level as the FTRE codec in flowtree.cpp.
+  friend class FlatCodec;
+
   struct Node {
     flow::FlowKey key;
     double own = 0.0;
@@ -211,6 +246,26 @@ class Flowtree final : public primitives::Aggregator {
     std::uint64_t compress_count = 0;
     /// Live nodes carrying each feature — query_lattice's O(1) early exit.
     std::array<std::int64_t, kFeatureCount> feature_presence{};
+    /// Sticky: set the moment a second handle shares this state (copy ctor,
+    /// assignment, or merge's adopt fast path). detach() never mutates an
+    /// ever-shared state in place, even after the other handles die —
+    /// use_count() is a relaxed load, so "the count dropped back to 1" does
+    /// not happen-after the dying copy's reads of the pool. A fresh clone
+    /// starts unshared again.
+    std::atomic<bool> ever_shared{false};
+
+    State() = default;
+    State(const State& other)
+        : nodes(other.nodes),
+          free_list(other.free_list),
+          index(other.index),
+          root(other.root),
+          node_count(other.node_count),
+          total_weight(other.total_weight),
+          lossy(other.lossy),
+          compress_count(other.compress_count),
+          feature_presence(other.feature_presence) {}
+    State& operator=(const State&) = delete;
   };
 
   /// Make the state exclusively owned (deep copy when shared) and return it.

@@ -8,6 +8,7 @@
 #include "common/invariants.hpp"
 #include "common/thread_pool.hpp"
 #include "primitives/sharded.hpp"
+#include "store/spill.hpp"
 
 namespace megads::store {
 
@@ -378,6 +379,86 @@ void DataStore::seal_elapsed_epochs() {
       ++slot.epoch_version;
     }
   }
+  if (spill_store_ != nullptr) enforce_spill();
+}
+
+// --- mmap spill tier -------------------------------------------------------------
+
+void DataStore::enable_spill(std::string directory,
+                             std::size_t ram_budget_bytes,
+                             std::size_t map_budget_bytes) {
+  spill_store_ =
+      std::make_shared<SpillStore>(std::move(directory), map_budget_bytes);
+  spill_ram_budget_ = ram_budget_bytes;
+  enforce_spill();
+  MEGADS_VERIFY_INVARIANTS(*this);
+}
+
+std::size_t DataStore::spilled_partitions() const {
+  std::size_t count = 0;
+  for (const auto& [id, slot] : slots_) {
+    for (const Partition& partition : slot.config.storage->partitions()) {
+      const auto* spilled =
+          dynamic_cast<const SpilledFlowtree*>(partition.summary.get());
+      if (spilled != nullptr && !spilled->materialized()) ++count;
+    }
+  }
+  return count;
+}
+
+void DataStore::enforce_spill() {
+  // Resident footprint of the shelves. Spilled partitions report only their
+  // handle (or their materialized overlay), so the sum naturally converges as
+  // cold partitions move to disk.
+  const auto resident_bytes = [&] {
+    std::size_t total = 0;
+    for (const auto& [id, slot] : slots_) {
+      for (const Partition& partition : slot.config.storage->partitions()) {
+        total += partition.summary->memory_bytes();
+      }
+    }
+    return total;
+  };
+  while (resident_bytes() > spill_ram_budget_) {
+    // Coldest first: the oldest spillable partition across all slots. A
+    // partition is spillable when spill_summary() has a flat representation
+    // for it — a pooled Flowtree, or a spilled summary whose overlay was
+    // re-materialized by hierarchical promotion.
+    Partition* victim = nullptr;
+    for (auto& [id, slot] : slots_) {
+      for (Partition& partition : slot.config.storage->partitions()) {
+        const auto* spilled =
+            dynamic_cast<const SpilledFlowtree*>(partition.summary.get());
+        const bool spillable =
+            (spilled == nullptr &&
+             dynamic_cast<const flowtree::Flowtree*>(partition.summary.get()) !=
+                 nullptr) ||
+            (spilled != nullptr && spilled->materialized());
+        if (!spillable) continue;
+        if (victim == nullptr ||
+            partition.interval.begin < victim->interval.begin) {
+          victim = &partition;
+        }
+      }
+    }
+    if (victim == nullptr) break;  // nothing left this tier can move to disk
+    auto replacement = spill_summary(spill_store_, *victim->summary);
+    if (replacement == nullptr) break;
+    victim->summary = std::move(replacement);
+    if (metric_spills_ != nullptr) metric_spills_->add();
+  }
+  // Reclaim block files no longer referenced by any shelf (evicted or
+  // promoted-away partitions, and stale blocks of re-spilled overlays).
+  std::unordered_set<SpillStore::BlockId> live;
+  for (const auto& [id, slot] : slots_) {
+    for (const Partition& partition : slot.config.storage->partitions()) {
+      if (const auto* spilled =
+              dynamic_cast<const SpilledFlowtree*>(partition.summary.get())) {
+        live.insert(spilled->block_id());
+      }
+    }
+  }
+  spill_store_->retain(live);
 }
 
 // --- triggers ------------------------------------------------------------------
@@ -736,6 +817,7 @@ void DataStore::attach_metrics(metrics::MetricsRegistry& registry) {
   }
   metric_mat_extends_ = &registry.counter(prefix + "materialized_extends");
   metric_mat_rebuilds_ = &registry.counter(prefix + "materialized_rebuilds");
+  metric_spills_ = &registry.counter(prefix + "spill_count");
 }
 
 void DataStore::publish_cache_metrics() const {

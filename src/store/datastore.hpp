@@ -29,6 +29,8 @@ class ThreadPool;
 
 namespace megads::store {
 
+class SpillStore;
+
 /// Factory invoked at every epoch boundary to start a fresh summary.
 using AggregatorFactory = std::function<std::unique_ptr<primitives::Aggregator>()>;
 
@@ -132,6 +134,26 @@ class DataStore {
   /// Enable/disable the merged-prefix snapshot materialization (enabled by
   /// default; disabling drops all materialized state).
   void set_materialization_enabled(bool enabled);
+
+  // --- mmap spill tier (store/spill.hpp) -------------------------------------
+  /// Spill sealed flowtree partitions to `directory` as flat-block files once
+  /// the resident shelf footprint exceeds `ram_budget_bytes`: the coldest
+  /// (oldest) partitions are rewritten as FBK1 blocks on disk and their
+  /// summaries replaced by zero-copy stand-ins that answer queries straight
+  /// from a read-only mmap, so history beyond the RAM budget stays queryable
+  /// in place. `map_budget_bytes` bounds the LRU of hot mappings. The pass
+  /// runs after every seal/enforcement round (and once immediately); block
+  /// files of evicted partitions are garbage-collected. Partition ids,
+  /// intervals, query results, and seal fingerprints are unchanged by
+  /// spilling — only the representation moves.
+  void enable_spill(std::string directory, std::size_t ram_budget_bytes,
+                    std::size_t map_budget_bytes = 64u << 20);
+  /// The attached spill store (nullptr when spilling is disabled).
+  [[nodiscard]] const SpillStore* spill_store() const noexcept {
+    return spill_store_.get();
+  }
+  /// Partitions currently served from disk blocks rather than pooled trees.
+  [[nodiscard]] std::size_t spilled_partitions() const;
 
   /// Monotonically increasing version of a slot's sealed+live state: bumped
   /// by seal (incl. storage enforcement), absorb, and live adapt/budget
@@ -276,6 +298,9 @@ class DataStore {
   void seal(AggregatorId id, Slot& slot, SimTime boundary);
   /// Seal every slot whose epoch boundary has passed and enforce storage.
   void seal_elapsed_epochs();
+  /// Spill the oldest resident flowtree partitions until the shelves fit the
+  /// spill RAM budget, then garbage-collect orphaned block files.
+  void enforce_spill();
   /// Record sensor -> live-summary lineage for one ingest (item or batch).
   void record_ingest_lineage(SensorId sensor, AggregatorId id, Slot& slot);
   /// Push an AdaptSignal (budget + measured rates) when the live summary
@@ -357,6 +382,12 @@ class DataStore {
   /// set_materialization_enabled(); read by const query paths without the
   /// lock — safe under the store's external-synchronization contract.
   bool materialization_enabled_ = true;
+
+  /// The mmap spill tier (enable_spill); shared with every SpilledFlowtree
+  /// stand-in so mappings outlive partition eviction.
+  std::shared_ptr<SpillStore> spill_store_;
+  std::size_t spill_ram_budget_ = 0;
+  metrics::Counter* metric_spills_ = nullptr;
 
   lineage::Recorder* lineage_ = nullptr;
   bool record_queries_ = false;

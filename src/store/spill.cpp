@@ -1,0 +1,351 @@
+#include "store/spill.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MEGADS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace megads::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kBlockPrefix = "block-";
+constexpr const char* kBlockSuffix = ".fbk";
+
+std::string errno_suffix() {
+  return std::string(": ") + std::strerror(errno);
+}
+
+}  // namespace
+
+// --- MappedBlock -----------------------------------------------------------------
+
+MappedBlock::MappedBlock(const std::string& path) {
+#if MEGADS_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) throw Error("SpillStore: open(" + path + ")" + errno_suffix());
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw Error("SpillStore: fstat(" + path + ")" + errno_suffix());
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  // MAP_PRIVATE read-only: the file is immutable once renamed into place, so
+  // a shared mapping would work too, but private makes the promise explicit.
+  void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    throw Error("SpillStore: mmap(" + path + ")" + errno_suffix());
+  }
+  data_ = static_cast<const std::uint8_t*>(mapping);
+  mapped_ = true;
+#else
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("SpillStore: open(" + path + ") failed");
+  heap_.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+  data_ = heap_.data();
+  size_ = heap_.size();
+#endif
+  try {
+    view_ = flowtree::FlatView::parse(data_, size_);
+  } catch (...) {
+#if MEGADS_HAVE_MMAP
+    if (mapped_) ::munmap(const_cast<std::uint8_t*>(data_), size_);
+    mapped_ = false;
+#endif
+    throw;
+  }
+}
+
+MappedBlock::~MappedBlock() {
+#if MEGADS_HAVE_MMAP
+  if (mapped_) ::munmap(const_cast<std::uint8_t*>(data_), size_);
+#endif
+}
+
+// --- SpillStore ------------------------------------------------------------------
+
+SpillStore::SpillStore(std::string directory, std::size_t map_budget_bytes)
+    : directory_(std::move(directory)), hot_(map_budget_bytes) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw Error("SpillStore: create_directories(" + directory_ +
+                "): " + ec.message());
+  }
+  // Adopt blocks left by a previous run: ids resume past the largest on disk.
+  const MutexLock lock(mu_);
+  for (const auto& entry : fs::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (!name.starts_with(kBlockPrefix) || !name.ends_with(kBlockSuffix)) {
+      continue;
+    }
+    const std::string digits = name.substr(
+        std::strlen(kBlockPrefix),
+        name.size() - std::strlen(kBlockPrefix) - std::strlen(kBlockSuffix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const BlockId id = std::stoull(digits);
+    blocks_.emplace(id, static_cast<std::size_t>(entry.file_size()));
+    next_id_ = std::max(next_id_, id + 1);
+  }
+}
+
+std::string SpillStore::path_of(BlockId id) const {
+  return directory_ + "/" + kBlockPrefix + std::to_string(id) + kBlockSuffix;
+}
+
+SpillStore::BlockId SpillStore::spill(const std::vector<std::uint8_t>& bytes) {
+  // Validate before touching the disk: only well-formed flat blocks get a
+  // name, so map() can treat a parse failure as corruption, not bad input.
+  (void)flowtree::FlatView::parse(bytes);
+  BlockId id = 0;
+  {
+    const MutexLock lock(mu_);
+    id = next_id_++;
+  }
+  const std::string final_path = path_of(id);
+  const std::string temp_path = final_path + ".tmp";
+  {
+    std::ofstream out(temp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("SpillStore: create(" + temp_path + ") failed");
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) throw Error("SpillStore: write(" + temp_path + ") failed");
+  }
+  std::error_code ec;
+  fs::rename(temp_path, final_path, ec);
+  if (ec) {
+    fs::remove(temp_path, ec);
+    throw Error("SpillStore: rename into " + final_path + " failed");
+  }
+  const MutexLock lock(mu_);
+  blocks_.emplace(id, bytes.size());
+  return id;
+}
+
+std::shared_ptr<const MappedBlock> SpillStore::map(BlockId id) const {
+  {
+    const MutexLock lock(mu_);
+    if (!blocks_.contains(id)) {
+      throw NotFoundError("SpillStore: unknown block " + std::to_string(id));
+    }
+    if (const auto* hit = hot_.get(id, mu_)) return *hit;
+  }
+  // Map outside the lock: disk I/O under the mutex would serialize every
+  // concurrent cold query. Two racing cold maps of the same block both
+  // succeed; the second put() simply replaces the first's cache entry.
+  std::shared_ptr<const MappedBlock> block(new MappedBlock(path_of(id)));
+  const MutexLock lock(mu_);
+  hot_.put(id, block, block->size_bytes(), mu_);
+  return block;
+}
+
+void SpillStore::retain(const std::unordered_set<BlockId>& live) {
+  const MutexLock lock(mu_);
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (live.contains(it->first)) {
+      ++it;
+      continue;
+    }
+    std::error_code ec;
+    fs::remove(path_of(it->first), ec);  // best effort; mapping holds pages
+    it = blocks_.erase(it);
+  }
+  hot_.erase_if([&](const BlockId& id) { return !live.contains(id); }, mu_);
+}
+
+std::size_t SpillStore::block_count() const {
+  const MutexLock lock(mu_);
+  return blocks_.size();
+}
+
+std::size_t SpillStore::disk_bytes() const {
+  const MutexLock lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [id, size] : blocks_) total += size;
+  return total;
+}
+
+std::size_t SpillStore::mapped_bytes() const {
+  const MutexLock lock(mu_);
+  return hot_.bytes(mu_);
+}
+
+std::uint64_t SpillStore::map_hits() const {
+  const MutexLock lock(mu_);
+  return hot_.hits(mu_);
+}
+
+std::uint64_t SpillStore::map_misses() const {
+  const MutexLock lock(mu_);
+  return hot_.misses(mu_);
+}
+
+// --- SpilledFlowtree -------------------------------------------------------------
+
+SpilledFlowtree::SpilledFlowtree(std::shared_ptr<SpillStore> store,
+                                 SpillStore::BlockId id,
+                                 flowtree::FlowtreeConfig config_base,
+                                 const primitives::Aggregator* tallies_from)
+    : store_(std::move(store)), id_(id) {
+  expects(store_ != nullptr, "SpilledFlowtree: null store");
+  const auto block = store_->map(id_);
+  config_ = block->view().config(config_base);
+  node_count_ = block->view().node_count();
+  block_bytes_ = block->size_bytes();
+  if (tallies_from != nullptr) note_merge(*tallies_from);
+}
+
+void SpilledFlowtree::insert(const primitives::StreamItem& item) {
+  ensure_materialized().insert(item);
+  note_ingest(item);
+}
+
+void SpilledFlowtree::insert_batch(std::span<const primitives::StreamItem> items) {
+  ensure_materialized().insert_batch(items);
+  note_ingest_batch(items);
+}
+
+std::shared_ptr<const MappedBlock> SpilledFlowtree::block() const {
+  return pin_ != nullptr ? pin_ : store_->map(id_);
+}
+
+primitives::QueryResult SpilledFlowtree::execute(
+    const primitives::Query& query) const {
+  if (overlay_) return overlay_->execute(query);
+  // The shared_ptr keeps the mapping alive for the whole execution even if
+  // the hot-mapping LRU evicts it mid-query.
+  return block()->view().execute(query);
+}
+
+bool SpilledFlowtree::mergeable_with(const primitives::Aggregator& other) const {
+  if (const auto* tree = dynamic_cast<const flowtree::Flowtree*>(&other)) {
+    return tree->config().policy == config_.policy &&
+           tree->config().features == config_.features;
+  }
+  if (const auto* foldable =
+          dynamic_cast<const flowtree::FlowtreeFoldable*>(&other)) {
+    const flowtree::FlowtreeConfig theirs = foldable->flowtree_config();
+    return theirs.policy == config_.policy &&
+           theirs.features == config_.features;
+  }
+  return false;
+}
+
+void SpilledFlowtree::merge_from(const primitives::Aggregator& other) {
+  expects(mergeable_with(other), "SpilledFlowtree::merge_from: incompatible");
+  // Mutation point: hierarchical promotion merges younger partitions into the
+  // oldest — which is exactly the one most likely to be spilled. Materialize
+  // the pooled overlay and fold into that; the inner merge_from keeps the
+  // overlay's own tallies while note_merge keeps this summary's.
+  ensure_materialized().merge_from(other);
+  note_merge(other);
+}
+
+void SpilledFlowtree::compress(std::size_t target_size) {
+  // Compressing to a budget the block already fits is the common promotion
+  // epilogue; skip it without forcing the overlay into RAM.
+  if (!overlay_ && node_count_ <= target_size) return;
+  ensure_materialized().compress(target_size);
+}
+
+std::size_t SpilledFlowtree::size() const {
+  return overlay_ ? overlay_->size() : node_count_;
+}
+
+std::size_t SpilledFlowtree::memory_bytes() const {
+  return sizeof(*this) + (overlay_ ? overlay_->memory_bytes() : 0);
+}
+
+std::size_t SpilledFlowtree::wire_bytes() const {
+  return overlay_ ? overlay_->wire_bytes() : block_bytes_;
+}
+
+std::unique_ptr<primitives::Aggregator> SpilledFlowtree::clone() const {
+  // The implicit copy carries the Aggregator tallies, shares the store, and
+  // copies the overlay O(1) (Flowtree copies are copy-on-write). The copy
+  // pins its mapping: clones feed snapshots/exports that can outlive the
+  // shelf partition — and with it the block file — this copy came from.
+  auto copy = std::unique_ptr<SpilledFlowtree>(new SpilledFlowtree(*this));
+  if (!copy->overlay_) copy->pin_ = block();
+  return copy;
+}
+
+void SpilledFlowtree::check_invariants() const {
+  Aggregator::check_invariants();
+  if (overlay_) {
+    overlay_->check_invariants();
+    return;
+  }
+  // Mapping re-parses on a cold block — the strict FlatView parse is the
+  // deep structural check; here we only pin the cached header facts.
+  const auto mapped = block();
+  if (mapped->view().node_count() != node_count_) {
+    throw Error("SpilledFlowtree invariant: block node count changed");
+  }
+  if (mapped->size_bytes() != block_bytes_) {
+    throw Error("SpilledFlowtree invariant: block size changed");
+  }
+}
+
+void SpilledFlowtree::fold_into(flowtree::Flowtree& accumulator) const {
+  if (overlay_) {
+    accumulator.merge(*overlay_);
+    return;
+  }
+  flowtree::FlatCodec::merge_into(block()->view(), accumulator);
+}
+
+flowtree::Flowtree& SpilledFlowtree::ensure_materialized() {
+  if (!overlay_) {
+    overlay_.emplace(
+        flowtree::FlatCodec::to_flowtree(block()->view(), config_));
+    pin_.reset();  // the overlay is authoritative now
+  }
+  return *overlay_;
+}
+
+// --- spill_summary ---------------------------------------------------------------
+
+std::unique_ptr<SpilledFlowtree> spill_summary(
+    const std::shared_ptr<SpillStore>& store,
+    const primitives::Aggregator& summary) {
+  if (const auto* tree = dynamic_cast<const flowtree::Flowtree*>(&summary)) {
+    const SpillStore::BlockId id =
+        store->spill(flowtree::FlatCodec::encode(*tree));
+    return std::make_unique<SpilledFlowtree>(store, id, tree->config(),
+                                             &summary);
+  }
+  if (const auto* spilled = dynamic_cast<const SpilledFlowtree*>(&summary)) {
+    // Re-spill only when the overlay diverged from the block; a clean spilled
+    // summary is already where this tier wants it.
+    if (!spilled->materialized()) return nullptr;
+    const SpillStore::BlockId id =
+        store->spill(flowtree::FlatCodec::encode(*spilled->overlay()));
+    return std::make_unique<SpilledFlowtree>(store, id,
+                                             spilled->flowtree_config(),
+                                             &summary);
+  }
+  return nullptr;
+}
+
+}  // namespace megads::store

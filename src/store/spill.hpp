@@ -1,0 +1,202 @@
+// The mmap spill tier: sealed flowtree partitions written to disk as flat
+// FBK1 blocks (see flowtree/flatblock.hpp) and queried in place through
+// read-only memory mappings, so a store's history can exceed its RAM budget
+// without losing queryability.
+//
+// Three pieces:
+//
+//   MappedBlock     one immutable read-only mapping of a flat-block file,
+//                   parsed (and therefore validated) exactly once at map time.
+//   SpillStore      a directory of flat-block files plus a byte-budgeted LRU
+//                   of hot mappings (common/lru_cache.hpp). Eviction drops
+//                   the cache's reference only — readers holding the
+//                   shared_ptr keep the mapping alive until they finish.
+//   SpilledFlowtree the Aggregator that stands in for a spilled partition's
+//                   pooled Flowtree: executes Table II reads zero-copy over
+//                   the mapping, folds into accumulators via
+//                   FlatCodec::merge_into, and transparently materializes a
+//                   pooled overlay the first time something mutates it
+//                   (hierarchical promotion's merge_from/compress).
+//
+// Files are written temp + rename, so a crash mid-spill never leaves a
+// half-written block behind a valid name; the strict FlatView parse at map
+// time rejects any torn file that slips through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/lru_cache.hpp"
+#include "common/mutex.hpp"
+#include "flowtree/flatblock.hpp"
+
+namespace megads::store {
+
+/// One read-only mapping of a flat-block file. Immutable; the FlatView was
+/// parsed at construction, so every accessor below it is already validated.
+class MappedBlock {
+ public:
+  ~MappedBlock();
+  MappedBlock(const MappedBlock&) = delete;
+  MappedBlock& operator=(const MappedBlock&) = delete;
+
+  [[nodiscard]] const flowtree::FlatView& view() const noexcept { return view_; }
+  [[nodiscard]] std::size_t size_bytes() const noexcept { return size_; }
+
+ private:
+  friend class SpillStore;
+  /// Maps (or, where mmap is unavailable, reads) `path`. Throws Error on I/O
+  /// failure and ParseError when the bytes are not a valid flat block.
+  explicit MappedBlock(const std::string& path);
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;             ///< data_ came from mmap (else heap_)
+  std::vector<std::uint8_t> heap_;  ///< fallback buffer when mmap is unavailable
+  flowtree::FlatView view_;
+};
+
+/// A directory of flat-block files with an LRU of hot mappings.
+///
+/// Thread safety: fully internally synchronized (one kLeaf mutex) — map() is
+/// called from query threads while spill()/retain() run on the store's
+/// externally-synchronized mutation path.
+class SpillStore {
+ public:
+  using BlockId = std::uint64_t;
+
+  /// Opens (creating if needed) `directory`. Existing `block-*.fbk` files are
+  /// adopted, so a store can re-open a spill directory from a previous run.
+  /// `map_budget_bytes` bounds the bytes of cached hot mappings.
+  explicit SpillStore(std::string directory,
+                      std::size_t map_budget_bytes = 64u << 20);
+
+  SpillStore(const SpillStore&) = delete;
+  SpillStore& operator=(const SpillStore&) = delete;
+
+  /// Validate `bytes` as a flat block and persist them as a new block file
+  /// (temp + rename). Returns the new block's id.
+  BlockId spill(const std::vector<std::uint8_t>& bytes);
+
+  /// The mapping for `id`, served from the hot-mapping cache when present and
+  /// (re)mapped from disk otherwise. Throws NotFoundError for unknown ids.
+  [[nodiscard]] std::shared_ptr<const MappedBlock> map(BlockId id) const;
+
+  /// Garbage-collect: delete every block file whose id is not in `live`.
+  /// In-flight readers of a deleted block are unaffected (the mapping holds
+  /// the pages; POSIX unlink keeps the data until the last reference drops).
+  void retain(const std::unordered_set<BlockId>& live);
+
+  [[nodiscard]] const std::string& directory() const noexcept { return directory_; }
+  [[nodiscard]] std::size_t block_count() const;
+  [[nodiscard]] std::size_t disk_bytes() const;
+  /// Bytes of mappings currently cached (not counting reader-held evictees).
+  [[nodiscard]] std::size_t mapped_bytes() const;
+  [[nodiscard]] std::uint64_t map_hits() const;
+  [[nodiscard]] std::uint64_t map_misses() const;
+
+ private:
+  [[nodiscard]] std::string path_of(BlockId id) const;
+
+  std::string directory_;
+  mutable Mutex mu_{lockrank::kLeaf, "store.spill"};
+  /// id -> file size of every live block.
+  std::unordered_map<BlockId, std::size_t> blocks_ MEGADS_GUARDED_BY(mu_);
+  BlockId next_id_ MEGADS_GUARDED_BY(mu_) = 0;
+  mutable LruCache<BlockId, std::shared_ptr<const MappedBlock>> hot_
+      MEGADS_GUARDED_BY(mu_);
+};
+
+/// The spilled stand-in for a sealed partition's pooled Flowtree.
+///
+/// Read operators run zero-copy over the mmapped flat block; ingest tallies
+/// (items/weight) are carried over from the original summary at spill time so
+/// seal fingerprints keep matching. The summary stays byte-identical on disk
+/// until something mutates it — then a pooled overlay is materialized from
+/// the block and all further operations use it (the store's next spill pass
+/// may re-spill the overlay as a fresh block). Copies are cheap: the overlay,
+/// when present, is a Flowtree and copies O(1) copy-on-write.
+class SpilledFlowtree final : public primitives::Aggregator,
+                              public flowtree::FlowtreeFoldable {
+ public:
+  /// A stand-in for block `id` in `store`. Maps the block once to read its
+  /// header (node count, policy/features; budget and slack come from
+  /// `config_base`). When `tallies_from` is given, its ingest totals are
+  /// adopted — pass the summary the block was encoded from.
+  SpilledFlowtree(std::shared_ptr<SpillStore> store, SpillStore::BlockId id,
+                  flowtree::FlowtreeConfig config_base = {},
+                  const primitives::Aggregator* tallies_from = nullptr);
+
+  // --- Aggregator ---
+  [[nodiscard]] std::string kind() const override { return "flowtree"; }
+  void insert(const primitives::StreamItem& item) override;
+  void insert_batch(std::span<const primitives::StreamItem> items) override;
+  [[nodiscard]] primitives::QueryResult execute(
+      const primitives::Query& query) const override;
+  [[nodiscard]] bool mergeable_with(
+      const primitives::Aggregator& other) const override;
+  void merge_from(const primitives::Aggregator& other) override;
+  void compress(std::size_t target_size) override;
+  [[nodiscard]] std::size_t size() const override;
+  /// Near zero while un-materialized — the point of the tier: a spilled
+  /// partition's resident footprint is the handle, not the summary.
+  [[nodiscard]] std::size_t memory_bytes() const override;
+  /// Flat blocks ship verbatim, so the wire size is the block size.
+  [[nodiscard]] std::size_t wire_bytes() const override;
+  [[nodiscard]] std::unique_ptr<primitives::Aggregator> clone() const override;
+  void check_invariants() const override;
+
+  // --- FlowtreeFoldable ---
+  [[nodiscard]] flowtree::FlowtreeConfig flowtree_config() const override {
+    return config_;
+  }
+  void fold_into(flowtree::Flowtree& accumulator) const override;
+
+  // --- spill introspection ---
+  [[nodiscard]] SpillStore::BlockId block_id() const noexcept { return id_; }
+  /// True once a mutation forced the pooled overlay into RAM.
+  [[nodiscard]] bool materialized() const noexcept {
+    return overlay_.has_value();
+  }
+  /// The pooled overlay, or nullptr while the block is still authoritative.
+  [[nodiscard]] const flowtree::Flowtree* overlay() const noexcept {
+    return overlay_ ? &*overlay_ : nullptr;
+  }
+  [[nodiscard]] const std::shared_ptr<SpillStore>& store() const noexcept {
+    return store_;
+  }
+
+ private:
+  /// The mapping to read from: the pinned one when this summary escaped the
+  /// shelf via clone(), otherwise the store's hot-mapping cache.
+  [[nodiscard]] std::shared_ptr<const MappedBlock> block() const;
+  /// Decode the block into a pooled overlay (no-op when already done).
+  flowtree::Flowtree& ensure_materialized();
+
+  std::shared_ptr<SpillStore> store_;
+  SpillStore::BlockId id_ = 0;
+  flowtree::FlowtreeConfig config_{};
+  std::uint32_t node_count_ = 0;  ///< of the block (overlay may diverge)
+  std::size_t block_bytes_ = 0;
+  std::optional<flowtree::Flowtree> overlay_;
+  /// Set on clones: a snapshot/export copy outlives the shelf, so the store's
+  /// garbage collector may delete its block file. Holding the mapping keeps
+  /// the pages readable regardless (POSIX unlink semantics).
+  std::shared_ptr<const MappedBlock> pin_;
+};
+
+/// Spill `summary` into `store` when it is a representation this tier can
+/// hold: a pooled Flowtree, or an already-spilled summary whose overlay has
+/// diverged from its block (re-spilled as a fresh block). Returns the
+/// replacement stand-in, or nullptr when `summary` is some other primitive
+/// (or a still-clean SpilledFlowtree) and should be left alone.
+[[nodiscard]] std::unique_ptr<SpilledFlowtree> spill_summary(
+    const std::shared_ptr<SpillStore>& store,
+    const primitives::Aggregator& summary);
+
+}  // namespace megads::store

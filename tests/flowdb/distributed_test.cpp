@@ -11,11 +11,13 @@
 #include <random>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "flowdb/executor.hpp"
 #include "flowdb/flowdb.hpp"
 #include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/envelope.hpp"
 #include "flowdb/partitioned/server.hpp"
 #include "net/transport.hpp"
 #include "repl/placement.hpp"
@@ -137,6 +139,10 @@ void run_equivalence(Cluster& cluster, bool caching, unsigned seed,
   }
   // The interleaving must actually have exercised queries.
   EXPECT_GT(queries_run, 0);
+  // Every server in these clusters speaks flat blocks, so no gather may ever
+  // have fallen back to the legacy-summary normalize shim: the whole
+  // equivalence matrix doubles as a zero-copy pin.
+  EXPECT_EQ(cluster.coordinator->response_decodes(), 0u);
 }
 
 TEST(DistributedEquivalence, MatchesSingleNodeAcrossTheWholeMatrix) {
@@ -204,8 +210,17 @@ TEST(DistributedEquivalence, RepeatedQueriesHitPerPartitionCachesUnchanged) {
   const std::string first = run_flowql(flowql, *cluster.coordinator).to_string();
   metrics::MetricsRegistry registry;
   for (auto& server : cluster.servers) server->db().attach_metrics(registry);
-  // Re-running the identical selection must be served from the servers' view
-  // caches — and render identically.
+  // Re-running the identical selection must be served from the servers'
+  // encoded-partial memos — the finished wire bytes, no fold, no encode —
+  // and render identically.
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
+  EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
+  std::uint64_t memo_hits = 0;
+  for (auto& server : cluster.servers) memo_hits += server->response_memo_hits();
+  EXPECT_GT(memo_hits, 0u);
+  // With the memo disabled, repeats fall through to the next layer: FlowDB's
+  // content-addressed view cache — still identical answers.
+  for (auto& server : cluster.servers) server->set_response_memo_budget(0);
   EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
   EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(), first);
   EXPECT_GT(registry.snapshot().value("flowdb.view_cache_hits", 0.0), 0.0);
@@ -230,6 +245,126 @@ TEST(DistributedEquivalence, SameAnswersOverTheSimulatedNetwork) {
   run_equivalence(cluster, /*caching=*/true, 4242, 50);
   EXPECT_GT(transport.stats().payload_bytes, 0u);
   EXPECT_GT(sim.now(), 0);  // the traffic consumed virtual time
+}
+
+TEST(DistributedZeroCopy, WarmQueryPathKeepsDecodeMetricsAtZero) {
+  // Acceptance pin for the flat wire format: partition servers encode flat
+  // blocks, the coordinator folds them in place, and the decode counter —
+  // both the accessor and the exported net.decode_coordinator metric — stays
+  // at zero no matter how often the same selection repeats.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-time", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3)});
+  metrics::MetricsRegistry registry;
+  cluster.coordinator->attach_metrics(registry);
+  std::mt19937 rng(31);
+  for (int i = 0; i < 24; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+  }
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& flowql : query_pool()) {
+      (void)run_flowql(flowql, *cluster.coordinator);
+    }
+  }
+  EXPECT_GT(transport.stats().payload_bytes, 0u);  // traffic really flowed
+  EXPECT_EQ(cluster.coordinator->response_decodes(), 0u);
+  EXPECT_DOUBLE_EQ(registry.snapshot().value("net.decode_coordinator"), 0.0);
+}
+
+TEST(DistributedZeroCopy, LegacyEncodedRecordsNormalizeAtIngestOnly) {
+  // Pre-flat exporters hand the coordinator FTRE bytes. add_encoded()
+  // normalizes them to flat blocks on the caller's thread, so the records
+  // ship, store, and answer exactly like native ones — and the query path
+  // still never decodes.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2)});
+  FlowDB reference(big_config());
+  std::mt19937 rng(41);
+  for (int i = 0; i < 20; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add_encoded(record.tree.encode(), record.interval,
+                                     record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+  EXPECT_EQ(cluster.coordinator->response_decodes(), 0u);
+}
+
+namespace {
+
+/// A pre-flat partition server: indexes AddBatch records but answers query
+/// scatters with legacy FTRE partials, the wire shape of a server that
+/// predates flat blocks. Exists only to prove the coordinator's normalize
+/// shim still folds such responses correctly (and counts them).
+class LegacyServer {
+ public:
+  LegacyServer(net::Transport& transport, NodeId node)
+      : transport_(&transport), node_(node), db_(big_config()) {
+    transport_->bind(node_, [this](NodeId from,
+                                   const std::vector<std::uint8_t>& payload,
+                                   SimTime /*now*/) {
+      const Envelope envelope = decode(payload);
+      if (envelope.type == MessageType::kAddBatch) {
+        for (const SummaryRecord& record :
+             std::get<AddBatchBody>(envelope.body).records) {
+          db_.add_encoded(record.summary, record.interval, record.location);
+        }
+        return;
+      }
+      if (envelope.type != MessageType::kQueryRequest) return;
+      const auto& body = std::get<SelectionBody>(envelope.body);
+      QueryResponseBody response;
+      for (const std::string& location :
+           db_.matching_locations(body.intervals, body.locations)) {
+        response.partials.push_back(
+            {location, db_.merged(body.intervals, {location}).encode()});
+      }
+      Envelope reply;
+      reply.type = MessageType::kQueryResponse;
+      reply.request_id = envelope.request_id;
+      reply.body = std::move(response);
+      transport_->send_message(node_, from, encode(reply));
+    });
+  }
+  ~LegacyServer() { transport_->unbind(node_); }
+
+ private:
+  net::Transport* transport_;
+  NodeId node_;
+  FlowDB db_;
+};
+
+}  // namespace
+
+TEST(DistributedZeroCopy, PreFlatServersFoldThroughTheNormalizeShim) {
+  net::LoopbackTransport transport;
+  LegacyServer legacy(transport, NodeId(1));
+  Coordinator::Options options;
+  options.tree_config = big_config();
+  Coordinator coordinator(transport, NodeId(0), make_partitioner("by-location"),
+                          {NodeId(1)}, options);
+  FlowDB reference(big_config());
+  std::mt19937 rng(53);
+  for (int i = 0; i < 16; ++i) {
+    RandomRecord record = random_record(rng);
+    coordinator.add(record.tree, record.interval, record.location);
+    reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(run_flowql(flowql, coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+  // Every gathered partial was FTRE, so the shim must have fired: the count
+  // is what lets the bench (and the warm-path pins above) claim "zero"
+  // meaningfully.
+  EXPECT_GT(coordinator.response_decodes(), 0u);
 }
 
 TEST(DistributedReplication, SkiRentalBuyMovesShardsLocalWithoutChangingAnswers) {
@@ -464,6 +599,66 @@ TEST(DistributedConcurrency, ReplicationRacesAnIngestingWriter) {
   for (int i = 0; i < 150; ++i) {
     RandomRecord record = random_record(rng);
     reference.add(std::move(record.tree), record.interval, record.location);
+  }
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(run_flowql(flowql, *cluster.coordinator).to_string(),
+              run_flowql(flowql, reference).to_string());
+  }
+}
+
+TEST(DistributedConcurrency, BuyCatchUpKeepsConcurrentWritersLockFree) {
+  // The non-blocking buy: while an install is fetching a shard's records,
+  // concurrent adds park in the shard's pending batch and the installer's
+  // catch-up loop drains them — writers never wait on the install, and a
+  // gather racing the install folds the parked records as synthetic
+  // partials (read-your-writes). Several writers race several buying
+  // queriers across every shard; quiesced, the cluster must match a single
+  // node record-for-record — a parked record lost between the owner's
+  // snapshot and the replica's registration would show up here.
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, "by-location", /*caching=*/true, NodeId(0),
+                  {NodeId(1), NodeId(2), NodeId(3)});
+  repl::AlwaysReplicate policy;
+  repl::ReplicaPlacer placer(policy, transport);
+  cluster.coordinator->enable_replication(placer);
+
+  constexpr int kWriters = 3;
+  constexpr int kRecordsPerWriter = 80;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      std::mt19937 rng(700u + static_cast<unsigned>(w));
+      for (int i = 0; i < kRecordsPerWriter; ++i) {
+        RandomRecord record = random_record(rng);
+        cluster.coordinator->add(record.tree, record.interval,
+                                 record.location);
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 12; ++i) {
+        (void)run_flowql(
+            query_pool()[static_cast<std::size_t>(i) % query_pool().size()],
+            *cluster.coordinator);
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_GT(cluster.coordinator->replicated_partitions(), 0u);
+
+  FlowDB reference(big_config());
+  for (int w = 0; w < kWriters; ++w) {
+    std::mt19937 rng(700u + static_cast<unsigned>(w));
+    for (int i = 0; i < kRecordsPerWriter; ++i) {
+      RandomRecord record = random_record(rng);
+      reference.add(std::move(record.tree), record.interval, record.location);
+    }
   }
   for (const std::string& flowql : query_pool()) {
     SCOPED_TRACE(flowql);

@@ -356,8 +356,10 @@ TEST(DataStore, MetricsSnapshotCountsIngestSealMergeCompress) {
   EXPECT_DOUBLE_EQ(sizes->max, 10.0);
 
   EXPECT_NEAR(store.measured_ingest_rate(slot), 0.0, 1e-9);  // fresh epoch
-  // 7 ingest/seal/merge instruments + 7 query-cache/materialization ones.
-  EXPECT_EQ(snap.count_prefix("store.edge."), 14u);
+  // 7 ingest/seal/merge instruments + 7 query-cache/materialization ones
+  // + the spill counter.
+  EXPECT_EQ(snap.count_prefix("store.edge."), 15u);
+  EXPECT_DOUBLE_EQ(snap.value("store.edge.spill_count"), 0.0);
   EXPECT_DOUBLE_EQ(snap.value("store.edge.query_cache_hits"), 0.0);
   EXPECT_DOUBLE_EQ(snap.value("store.edge.materialized_rebuilds"), 0.0);
 }

@@ -23,6 +23,14 @@ Four rules the type system cannot express and the compiler does not check:
                      MEGADS_VERIFY_INVARIANTS so invariant-checking builds
                      examine every state transition.
 
+  wire-decode        Wire and response paths (src/flowdb/partitioned/,
+                     src/net/, src/repl/) ship flat summary blocks verbatim
+                     and read them zero-copy; calling the legacy pooled
+                     decoder (Flowtree::decode) there reintroduces the
+                     decode-per-hop cost the flat format exists to remove.
+                     Ingest normalizes legacy payloads once through
+                     FlatCodec::normalize; reads go through FlatView.
+
 The same rules exist as AST-exact clang-query matchers in
 tools/lint/clang-query/ for toolchains that have clang-query; this script is
 the portable, always-on variant wired into `check-lints` / ctest.
@@ -239,6 +247,7 @@ DATASTORE_MUTATORS = (
     "ingest_batch",
     "advance_to",
     "absorb",
+    "enable_spill",
 )
 
 
@@ -269,11 +278,39 @@ def check_invariant_coverage(path, rel, text):
     return violations
 
 
+# Directories whose code sits on the wire/response path: summaries there are
+# flat blocks end to end, so the pooled decoder is off limits.
+WIRE_PATH_PREFIXES = (
+    "src/flowdb/partitioned/",
+    "src/net/",
+    "src/repl/",
+)
+WIRE_DECODE_RE = re.compile(r"\bFlowtree\s*::\s*decode\s*\(")
+
+
+def check_wire_decode(path, rel, text):
+    posix_rel = rel.replace(os.sep, "/")
+    if not posix_rel.startswith(WIRE_PATH_PREFIXES):
+        return []
+    return [
+        Violation(
+            "wire-decode",
+            rel,
+            line_of(text, m.start()),
+            "Flowtree::decode on a wire/response path — ship the flat block "
+            "verbatim and read it through FlatView (normalize legacy bytes "
+            "once at ingest with FlatCodec::normalize)",
+        )
+        for m in WIRE_DECODE_RE.finditer(text)
+    ]
+
+
 RULES = (
     check_raw_network_send,
     check_throw_in_callback,
     check_naked_mutex,
     check_invariant_coverage,
+    check_wire_decode,
 )
 
 # --- driver -----------------------------------------------------------------
@@ -311,6 +348,7 @@ def self_test(testdata):
         "bad_throw_on_message.cpp": "throw-in-callback",
         "bad_naked_mutex.cpp": "naked-mutex",
         "bad_missing_invariants_datastore.cpp": "invariant-coverage",
+        "bad_wire_decode.cpp": "wire-decode",
     }
     failures = []
     for name, rule in sorted(expected.items()):
@@ -318,6 +356,9 @@ def self_test(testdata):
         rel = os.path.join("src", "lint_fixture", name)
         if name.endswith("datastore.cpp"):
             rel = os.path.join("src", "lint_fixture", "datastore.cpp")
+        if name == "bad_wire_decode.cpp":
+            # The rule only fires on wire-path directories.
+            rel = os.path.join("src", "flowdb", "partitioned", name)
         found = {v.rule for v in lint_file(path, rel)}
         if rule not in found:
             failures.append(f"{name}: expected a {rule} violation, got {found or 'none'}")

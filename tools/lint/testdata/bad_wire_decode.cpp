@@ -1,0 +1,26 @@
+// Lint fixture: the pooled Flowtree decoder on a wire/response path must be
+// flagged (this file is linted as if it lived in src/flowdb/partitioned/).
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+struct Flowtree {
+  static Flowtree decode(const std::vector<std::uint8_t>& bytes) {
+    Flowtree tree;
+    tree.nodes = bytes.size();
+    return tree;
+  }
+  unsigned long nodes = 0;
+};
+
+struct PartitionServer {
+  unsigned long handle_add(const std::vector<std::uint8_t>& payload) {
+    // BAD: re-materializes a node pool per hop; the envelope already carries
+    // a flat block that FlatView can read in place.
+    const Flowtree tree = Flowtree::decode(payload);
+    return tree.nodes;
+  }
+};
+
+}  // namespace fixture
