@@ -67,6 +67,7 @@ class LatencyRecorder {
   }
   [[nodiscard]] double p50() const { return percentile(50.0); }
   [[nodiscard]] double p99() const { return percentile(99.0); }
+  [[nodiscard]] double p999() const { return percentile(99.9); }
 
  private:
   std::vector<double> samples_us_;
@@ -108,6 +109,7 @@ struct BenchRecord {
   double items_per_sec = -1.0;
   double p50_latency_us = -1.0;
   double p99_latency_us = -1.0;
+  double p999_latency_us = -1.0;
   std::size_t threads = 1;
   std::string transport;        ///< "loopback"/"sim"; empty: null (not distributed)
   int partitions = -1;          ///< shard count; negative: null (not partitioned)
@@ -140,12 +142,14 @@ class JsonReport {
                    "  {\"experiment\": \"%s\", \"bench\": \"%s\", "
                    "\"config\": \"%s\", \"items_per_sec\": %s, "
                    "\"p50_latency_us\": %s, \"p99_latency_us\": %s, "
+                   "\"p999_latency_us\": %s, "
                    "\"threads\": %zu, \"transport\": %s, "
                    "\"partitions\": %s}%s\n",
                    escape(experiment_).c_str(), escape(r.bench).c_str(),
                    escape(r.config).c_str(), number(r.items_per_sec).c_str(),
                    number(r.p50_latency_us).c_str(),
-                   number(r.p99_latency_us).c_str(), r.threads,
+                   number(r.p99_latency_us).c_str(),
+                   number(r.p999_latency_us).c_str(), r.threads,
                    (r.transport.empty()
                         ? std::string("null")
                         : "\"" + escape(r.transport) + "\"")

@@ -129,6 +129,7 @@ void run_sweep_point(bench::JsonReport& json, const char* transport_name,
             .items_per_sec = queries_per_sec,
             .p50_latency_us = latency.p50(),
             .p99_latency_us = latency.p99(),
+            .p999_latency_us = latency.p999(),
             .threads = 1,
             .transport = transport_name,
             .partitions = static_cast<int>(partitions)});

@@ -91,7 +91,8 @@ void bench_codec(bench::JsonReport& json) {
                       " block_bytes=" + std::to_string(flat.size()),
             .items_per_sec = mb_per_sec(flat.size() * kRepeats, encode_ms),
             .p50_latency_us = encode_lat.p50(),
-            .p99_latency_us = encode_lat.p99()});
+            .p99_latency_us = encode_lat.p99(),
+            .p999_latency_us = encode_lat.p999()});
   std::printf("  encode           %8.0f MB/s   p50 %8.1f us\n",
               mb_per_sec(flat.size() * kRepeats, encode_ms), encode_lat.p50());
 
@@ -105,7 +106,8 @@ void bench_codec(bench::JsonReport& json) {
             .config = "nodes=" + std::to_string(view.node_count()),
             .items_per_sec = mb_per_sec(flat.size() * kRepeats, convert_ms),
             .p50_latency_us = convert_lat.p50(),
-            .p99_latency_us = convert_lat.p99()});
+            .p99_latency_us = convert_lat.p99(),
+            .p999_latency_us = convert_lat.p999()});
   std::printf("  to_flowtree      %8.0f MB/s   p50 %8.1f us\n",
               mb_per_sec(flat.size() * kRepeats, convert_ms), convert_lat.p50());
 
@@ -132,11 +134,13 @@ void bench_codec(bench::JsonReport& json) {
   json.add({.bench = "flatblock/query_in_place",
             .config = "nodes=" + std::to_string(view.node_count()),
             .p50_latency_us = in_place.p50(),
-            .p99_latency_us = in_place.p99()});
+            .p99_latency_us = in_place.p99(),
+            .p999_latency_us = in_place.p999()});
   json.add({.bench = "flatblock/decode_then_query",
             .config = "nodes=" + std::to_string(view.node_count()),
             .p50_latency_us = decode_first.p50(),
-            .p99_latency_us = decode_first.p99()});
+            .p99_latency_us = decode_first.p99(),
+            .p999_latency_us = decode_first.p999()});
   std::printf("  query_in_place   p50 %8.1f us   decode_then_query p50 %8.1f us"
               "   (%.1fx)\n",
               in_place.p50(), decode_first.p50(),
@@ -183,11 +187,13 @@ void bench_fold(bench::JsonReport& json) {
   json.add({.bench = "flatblock/fold_flat",
             .config = config,
             .p50_latency_us = flat_lat.p50(),
-            .p99_latency_us = flat_lat.p99()});
+            .p99_latency_us = flat_lat.p99(),
+            .p999_latency_us = flat_lat.p999()});
   json.add({.bench = "flatblock/fold_legacy",
             .config = config,
             .p50_latency_us = legacy_lat.p50(),
-            .p99_latency_us = legacy_lat.p99()});
+            .p99_latency_us = legacy_lat.p99(),
+            .p999_latency_us = legacy_lat.p999()});
   std::printf("  fold_flat        p50 %8.1f us   fold_legacy       p50 %8.1f us"
               "   (%.1fx)\n",
               flat_lat.p50(), legacy_lat.p50(),
@@ -264,11 +270,13 @@ void bench_spill(bench::JsonReport& json) {
   json.add({.bench = "flatblock/spill_warm",
             .config = config,
             .p50_latency_us = warm.p50(),
-            .p99_latency_us = warm.p99()});
+            .p99_latency_us = warm.p99(),
+            .p999_latency_us = warm.p999()});
   json.add({.bench = "flatblock/spill_cold",
             .config = config + " map_budget=0",
             .p50_latency_us = cold.p50(),
-            .p99_latency_us = cold.p99()});
+            .p99_latency_us = cold.p99(),
+            .p999_latency_us = cold.p999()});
   std::printf("  spill_warm       p50 %8.1f us   spill_cold        p50 %8.1f us"
               "   (%zu partitions on disk)\n",
               warm.p50(), cold.p50(), spilled);

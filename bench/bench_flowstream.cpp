@@ -173,6 +173,7 @@ int main(int argc, char** argv) {
               .config = config_desc,
               .p50_latency_us = query_latency.p50(),
               .p99_latency_us = query_latency.p99(),
+              .p999_latency_us = query_latency.p999(),
               .threads = opts.threads});
   report.write_if(opts);
 

@@ -269,7 +269,8 @@ void run_json_workload(const megads::bench::BenchOptions& opts) {
     report.add({.bench = std::string("flowtree_ops/") + op.name,
                 .config = "flows=100000",
                 .p50_latency_us = latency.p50(),
-                .p99_latency_us = latency.p99()});
+                .p99_latency_us = latency.p99(),
+                .p999_latency_us = latency.p999()});
   }
 
   {
@@ -285,7 +286,8 @@ void run_json_workload(const megads::bench::BenchOptions& opts) {
     report.add({.bench = "flowtree_ops/lattice_absent_feature",
                 .config = "flows=100000 ports_stripped",
                 .p50_latency_us = latency.p50(),
-                .p99_latency_us = latency.p99()});
+                .p99_latency_us = latency.p99(),
+                .p999_latency_us = latency.p999()});
   }
   report.write_if(opts);
 }

@@ -132,7 +132,8 @@ void run_json_workload(const megads::bench::BenchOptions& opts) {
     report.add({.bench = "merge_compress/across_sites",
                 .config = "sites=" + std::to_string(sites) + " budget=4096",
                 .p50_latency_us = latency.p50(),
-                .p99_latency_us = latency.p99()});
+                .p99_latency_us = latency.p99(),
+                .p999_latency_us = latency.p999()});
   }
   report.write_if(opts);
 }

@@ -135,6 +135,7 @@ void report(bench::JsonReport& json, const char* bench, const char* config,
             .items_per_sec = run.queries_per_sec,
             .p50_latency_us = run.latency.p50(),
             .p99_latency_us = run.latency.p99(),
+            .p999_latency_us = run.latency.p999(),
             .threads = threads});
   std::printf("  %-18s %-28s %10.0f q/s   p50 %8.1f us   p99 %8.1f us\n", bench,
               config, run.queries_per_sec, run.latency.p50(), run.latency.p99());

@@ -1,0 +1,485 @@
+// E14 — the FlowQL serving tier under client load, over real TCP sockets.
+//
+// Two generators drive an in-process FlowQLServer:
+//
+//   closed loop  N connections, one request in flight each; the sweep
+//                100 -> 1k -> 10k clients traces the latency/throughput
+//                curve to saturation (admission effectively open: the run
+//                queue is sized above the client count, so queueing delay
+//                shows up as latency, not shedding).
+//   open loop    requests arrive on a fixed schedule at 2x the measured
+//                saturation throughput, with a per-request deadline and a
+//                tight run queue; admission control must shed the excess
+//                (kOverload) while the *accepted* requests keep a bounded
+//                p99 — the load-shedding contract of docs/SERVING.md.
+//
+// The process fd limit caps how many sockets one process can hold; at the
+// 10k-client point, server + clients need ~20k fds together. The load
+// generator therefore runs in a forked child (its own fd table), talking to
+// the parent's server over real loopback TCP and reporting a fixed-size
+// summary through a pipe. No threads exist in the child, and it exits with
+// _exit(2) semantics — never running destructors of inherited state.
+//
+//   bench_serve [--clients N] [--duration-ms D] [--json out.json]
+//
+// With --clients the closed-loop sweep collapses to that single point (the
+// CI bench-smoke uses a small one); the open-loop phase always runs, at 2x
+// whatever saturation the sweep measured.
+#include <poll.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "flow/flowkey.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace megads::serve::bench {
+namespace {
+
+using megads::bench::BenchOptions;
+using megads::bench::BenchRecord;
+using megads::bench::Clock;
+using megads::bench::JsonReport;
+using megads::bench::LatencyRecorder;
+
+constexpr const char* kQuery = "SELECT topk(5) FROM 0s..3600s";
+
+/// Use every fd the kernel will give us: the 10k-client point needs the
+/// hard limit, not the default soft one.
+void raise_fd_limit() {
+  rlimit limit{};
+  if (getrlimit(RLIMIT_NOFILE, &limit) == 0 &&
+      limit.rlim_cur < limit.rlim_max) {
+    limit.rlim_cur = limit.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &limit);
+  }
+}
+
+flowtree::FlowtreeConfig big_config() {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+/// A small FlowDB whose warm view cache makes the per-query service time
+/// dominated by serving-tier costs (scheduling, rendering, socket I/O) —
+/// the subject under test — rather than merge work.
+std::unique_ptr<flowdb::FlowDB> populated_db() {
+  auto db = std::make_unique<flowdb::FlowDB>(big_config());
+  for (int i = 0; i < 16; ++i) {
+    flowtree::Flowtree tree(big_config());
+    const flow::FlowKey key = flow::FlowKey::from_tuple(
+        6, flow::IPv4(10, 1, 0, static_cast<std::uint8_t>(1 + i % 6)), 50000,
+        flow::IPv4(198, 51, 100, 7), 80);
+    tree.add(key, static_cast<double>(1 + i));
+    db->add(std::move(tree),
+            TimeInterval{(i % 6) * 600 * kSecond, ((i % 6) * 600 + 600) * kSecond},
+            i % 2 == 0 ? "site0/rack0" : "site1/rack0");
+  }
+  (void)flowdb::run_flowql(kQuery, *db);  // warm the view cache
+  return db;
+}
+
+/// Fixed-size child -> parent result record (raw bytes over a pipe; the
+/// child computes its own percentiles so no sample array crosses).
+struct Summary {
+  double elapsed_s = 0.0;
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;  ///< full result received
+  std::uint64_t shed = 0;       ///< kError with the kOverload wire code
+  std::uint64_t errors = 0;     ///< anything else that went wrong
+  double p50_us = -1.0;
+  double p99_us = -1.0;
+  double p999_us = -1.0;
+};
+
+/// One load-generator connection: a non-blocking socket with its own
+/// reassembler, pending output, and the start times of in-flight requests.
+struct Conn {
+  net::ScopedFd fd;
+  net::FrameReassembler reassembler;
+  std::vector<std::uint8_t> outbuf;
+  std::size_t outpos = 0;
+  std::unordered_map<std::uint64_t, Clock::time_point> inflight;
+  std::uint64_t next_id = 1;
+  bool dead = false;
+};
+
+/// `stamp` is the instant latency is measured from: issue time for the
+/// closed loop, the *scheduled* arrival for the open loop (so generator lag
+/// shows up as latency instead of being coordinated-omission'd away).
+void queue_query(Conn& conn, std::uint32_t deadline_ms, Summary& summary,
+                 Clock::time_point stamp) {
+  Request request;
+  request.type = RequestType::kQuery;
+  request.request_id = conn.next_id++;
+  request.body = QueryBody{deadline_ms, kQuery};
+  const std::vector<std::uint8_t> frame = net::encode_frame(encode(request));
+  conn.outbuf.insert(conn.outbuf.end(), frame.begin(), frame.end());
+  conn.inflight.emplace(request.request_id, stamp);
+  ++summary.issued;
+}
+
+void flush_conn(Conn& conn) {
+  while (conn.outpos < conn.outbuf.size()) {
+    const net::IoResult io = net::write_some(
+        conn.fd.get(), conn.outbuf.data() + conn.outpos,
+        conn.outbuf.size() - conn.outpos);
+    if (io.closed) {
+      conn.dead = true;
+      return;
+    }
+    conn.outpos += io.bytes;
+    if (io.would_block) return;
+  }
+  conn.outbuf.clear();
+  conn.outpos = 0;
+}
+
+/// Drain readable bytes; complete responses settle in-flight requests.
+/// Returns false when the connection died.
+void read_conn(Conn& conn, LatencyRecorder& latency, Summary& summary) {
+  std::uint8_t buf[16384];
+  for (;;) {
+    const net::IoResult io = net::read_some(conn.fd.get(), buf, sizeof(buf));
+    if (io.closed) {
+      conn.dead = true;
+      return;
+    }
+    if (io.bytes > 0) conn.reassembler.feed(buf, io.bytes);
+    while (auto payload = conn.reassembler.next()) {
+      const Response response = decode_response(*payload);
+      const auto it = conn.inflight.find(response.request_id);
+      if (it == conn.inflight.end()) continue;
+      if (response.type == ResponseType::kResultChunk) {
+        if (!std::get<ResultChunkBody>(response.body).last) continue;
+        latency.record(megads::bench::us_since(it->second));
+        ++summary.completed;
+      } else if (response.type == ResponseType::kError &&
+                 std::get<ErrorBody>(response.body).code ==
+                     ErrorCode::kOverload) {
+        ++summary.shed;
+      } else {
+        ++summary.errors;
+      }
+      conn.inflight.erase(it);
+    }
+    if (io.would_block) return;
+  }
+}
+
+/// Open `count` loopback connections. Sequential blocking connects: each
+/// completes once the kernel queues it for the server's accept loop, which
+/// drains continuously — the listen backlog (1024) never fills.
+std::vector<Conn> connect_all(std::uint16_t port, std::size_t count) {
+  std::vector<Conn> conns(count);
+  for (Conn& conn : conns) {
+    conn.fd = net::tcp_connect("127.0.0.1", port);
+    net::set_nonblocking(conn.fd.get());
+    net::set_nodelay(conn.fd.get());
+  }
+  return conns;
+}
+
+/// The shared poll loop: runs until `done()` says stop, pumping I/O and
+/// letting `on_idle` issue new requests per its policy.
+template <typename DoneFn, typename IssueFn>
+void pump(std::vector<Conn>& conns, LatencyRecorder& latency, Summary& summary,
+          DoneFn&& done, IssueFn&& issue, int poll_timeout_ms) {
+  std::vector<pollfd> fds(conns.size());
+  while (!done()) {
+    issue();
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      fds[i].fd = conns[i].dead ? -1 : conns[i].fd.get();
+      fds[i].events = static_cast<short>(
+          POLLIN | (conns[i].outbuf.size() > conns[i].outpos ? POLLOUT : 0));
+      fds[i].revents = 0;
+    }
+    const int ready = ::poll(fds.data(), fds.size(), poll_timeout_ms);
+    if (ready <= 0) continue;
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      if (conns[i].dead || fds[i].revents == 0) continue;
+      if ((fds[i].revents & POLLOUT) != 0) flush_conn(conns[i]);
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+        read_conn(conns[i], latency, summary);
+      }
+    }
+  }
+}
+
+std::uint64_t outstanding(const std::vector<Conn>& conns) {
+  std::uint64_t n = 0;
+  for (const Conn& conn : conns) {
+    if (!conn.dead) n += conn.inflight.size();
+  }
+  return n;
+}
+
+void finalize(LatencyRecorder& latency, Summary& summary, double elapsed_s) {
+  summary.elapsed_s = elapsed_s;
+  summary.p50_us = latency.p50();
+  summary.p99_us = latency.p99();
+  summary.p999_us = latency.p999();
+}
+
+/// Closed loop: every connection keeps exactly one request in flight.
+Summary closed_loop(std::uint16_t port, std::size_t clients, int duration_ms) {
+  Summary summary;
+  LatencyRecorder latency;
+  std::vector<Conn> conns = connect_all(port, clients);
+  const auto start = Clock::now();
+  const auto t_end = start + std::chrono::milliseconds(duration_ms);
+  for (Conn& conn : conns) {
+    queue_query(conn, 0, summary, Clock::now());
+    flush_conn(conn);
+  }
+  pump(
+      conns, latency, summary, [&] { return Clock::now() >= t_end; },
+      [&] {
+        for (Conn& conn : conns) {
+          if (!conn.dead && conn.inflight.empty()) {
+            queue_query(conn, 0, summary, Clock::now());
+            flush_conn(conn);
+          }
+        }
+      },
+      10);
+  const double elapsed = megads::bench::ms_since(start) / 1000.0;
+  // Grace drain: let in-flight requests finish (they were issued before the
+  // cutoff, so they belong in the tail percentiles).
+  const auto grace_end = Clock::now() + std::chrono::seconds(5);
+  pump(
+      conns, latency, summary,
+      [&] { return outstanding(conns) == 0 || Clock::now() >= grace_end; },
+      [] {}, 10);
+  finalize(latency, summary, elapsed);
+  return summary;
+}
+
+/// Open loop: requests arrive on a fixed schedule at `rate_per_sec`,
+/// round-robin across connections, regardless of what is still in flight —
+/// the generator a queueing system cannot flow-control.
+Summary open_loop(std::uint16_t port, std::size_t clients, int duration_ms,
+                  double rate_per_sec, std::uint32_t deadline_ms) {
+  Summary summary;
+  LatencyRecorder latency;
+  std::vector<Conn> conns = connect_all(port, clients);
+  const auto start = Clock::now();
+  const auto t_end = start + std::chrono::milliseconds(duration_ms);
+  const double interval_us = 1e6 / rate_per_sec;
+  double next_arrival_us = 0.0;
+  std::size_t rr = 0;
+  pump(
+      conns, latency, summary, [&] { return Clock::now() >= t_end; },
+      [&] {
+        // Issue arrivals whose schedule time has passed, in bounded batches:
+        // when the generator itself is the bottleneck the catch-up must not
+        // starve the read side (an unbounded catch-up loop here once buffered
+        // gigabytes of unread frames while the server closed every
+        // slow client). Each request is stamped with its *scheduled* arrival,
+        // so arrivals issued late honestly surface as latency. Buffered
+        // frames are flushed by the pump's POLLOUT pass — an empty kernel
+        // buffer is always writable, so at most one poll interval of delay,
+        // and frames to the same connection coalesce into one write.
+        for (int batch = 0;
+             batch < 256 && megads::bench::us_since(start) >= next_arrival_us;
+             ++batch) {
+          Conn& conn = conns[rr++ % conns.size()];
+          if (!conn.dead) {
+            queue_query(conn, deadline_ms, summary,
+                        start + std::chrono::microseconds(
+                                    static_cast<std::int64_t>(next_arrival_us)));
+          }
+          next_arrival_us += interval_us;
+        }
+      },
+      1);
+  const double elapsed = megads::bench::ms_since(start) / 1000.0;
+  const auto grace_end = Clock::now() + std::chrono::seconds(5);
+  pump(
+      conns, latency, summary,
+      [&] { return outstanding(conns) == 0 || Clock::now() >= grace_end; },
+      [] {}, 10);
+  finalize(latency, summary, elapsed);
+  return summary;
+}
+
+/// Run `fn(pipe_fd)` in a forked child with its own fd table; the child
+/// writes one Summary to the pipe and _exits without running destructors
+/// (the parent's server threads do not exist in the child).
+template <typename Fn>
+Summary in_child(Fn&& fn) {
+  int fds[2];
+  if (::pipe(fds) != 0) throw Error("bench_serve: pipe() failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) throw Error("bench_serve: fork() failed");
+  if (pid == 0) {
+    ::close(fds[0]);
+    Summary summary;
+    try {
+      summary = fn();
+    } catch (...) {
+      summary.errors = ~0ull;  // poison: the parent reports the failure
+    }
+    std::size_t pos = 0;
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(&summary);
+    while (pos < sizeof(summary)) {
+      const ssize_t n = ::write(fds[1], bytes + pos, sizeof(summary) - pos);
+      if (n <= 0) break;
+      pos += static_cast<std::size_t>(n);
+    }
+    ::_exit(0);
+  }
+  ::close(fds[1]);
+  Summary summary;
+  std::size_t pos = 0;
+  auto* bytes = reinterpret_cast<std::uint8_t*>(&summary);
+  while (pos < sizeof(summary)) {
+    const ssize_t n = ::read(fds[0], bytes + pos, sizeof(summary) - pos);
+    if (n <= 0) break;
+    pos += static_cast<std::size_t>(n);
+  }
+  ::close(fds[0]);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  if (pos != sizeof(summary) || summary.errors == ~0ull) {
+    throw Error("bench_serve: load-generator child failed");
+  }
+  return summary;
+}
+
+int run(int argc, char** argv) {
+  BenchOptions opts = BenchOptions::parse(argc, argv);
+  std::vector<std::size_t> sweep = {100, 1000, 10000};
+  int duration_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      sweep = {static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10))};
+    } else if (std::strcmp(argv[i], "--duration-ms") == 0 && i + 1 < argc) {
+      duration_ms = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "bench_serve: unknown flag %s\n", argv[i]);
+      return 1;
+    }
+  }
+  raise_fd_limit();
+  auto db = populated_db();
+  JsonReport report("E14");
+
+  // ---- Closed-loop sweep: saturation + latency percentiles per point ----
+  std::printf("closed loop (%d ms per point)\n", duration_ms);
+  std::printf("%8s %12s %10s %10s %10s %8s\n", "clients", "req/s", "p50_us",
+               "p99_us", "p999_us", "errors");
+  double saturation = 0.0;
+  {
+    FlowQLServer::Options options;
+    options.workers = 2;
+    // Admission open: queue above the largest sweep point, no deadline —
+    // overload shows up as queueing latency, which is the curve we want.
+    options.scheduler.max_queue = *std::max_element(sweep.begin(), sweep.end()) + 64;
+    FlowQLServer server(*db, options);
+    server.start();
+    const std::uint16_t port = server.port();
+    for (const std::size_t clients : sweep) {
+      const Summary s =
+          in_child([&] { return closed_loop(port, clients, duration_ms); });
+      const double rate = static_cast<double>(s.completed) / s.elapsed_s;
+      saturation = std::max(saturation, rate);
+      std::printf("%8zu %12.0f %10.1f %10.1f %10.1f %8llu\n", clients, rate,
+                  s.p50_us, s.p99_us, s.p999_us,
+                  static_cast<unsigned long long>(s.errors));
+      report.add({.bench = "serve/closed_loop",
+                  .config = "clients=" + std::to_string(clients),
+                  .items_per_sec = rate,
+                  .p50_latency_us = s.p50_us,
+                  .p99_latency_us = s.p99_us,
+                  .p999_latency_us = s.p999_us,
+                  .threads = options.workers,
+                  .transport = "tcp",
+                  .partitions = -1});
+    }
+    server.stop();
+  }
+
+  // ---- Open loop at 2x saturation: admission control must absorb ----
+  {
+    constexpr std::uint32_t kDeadlineMs = 50;
+    FlowQLServer::Options options;
+    options.workers = 2;
+    options.scheduler.max_queue = 128;  // tight: shed, don't buffer-bloat
+    metrics::MetricsRegistry registry;
+    FlowQLServer server(*db, options);
+    server.attach_metrics(registry);
+    server.start();
+    const std::size_t clients = std::min<std::size_t>(sweep.back(), 1000);
+    const double rate = 2.0 * saturation;
+    const Summary s = in_child([&] {
+      return open_loop(server.port(), clients, duration_ms, rate, kDeadlineMs);
+    });
+    const double accepted_rate = static_cast<double>(s.completed) / s.elapsed_s;
+    const double shed_pct =
+        100.0 * static_cast<double>(s.shed) /
+        static_cast<double>(std::max<std::uint64_t>(1, s.completed + s.shed));
+    // The bound admission control itself enforces: time-in-run-queue of the
+    // accepted requests, on the server side. (Client-observed e2e latency on
+    // a single shared core also measures the overloaded generator.)
+    const double queue_wait_p99_us =
+        registry.histogram("serve.sched.queue_wait_us").quantile(0.99);
+    std::printf(
+        "open loop: offered %.0f req/s (2x saturation), accepted %.0f req/s, "
+        "shed %.1f%%, accepted e2e p99 %.1f us, server queue-wait p99 %.1f us "
+        "(deadline %u ms)\n",
+        rate, accepted_rate, shed_pct, s.p99_us, queue_wait_p99_us,
+        kDeadlineMs);
+    char config[200];
+    std::snprintf(config, sizeof(config),
+                  "clients=%zu offered=2.0x_saturation deadline_ms=%u "
+                  "shed_pct=%.1f queue_wait_p99_us=%.0f",
+                  clients, kDeadlineMs, shed_pct, queue_wait_p99_us);
+    report.add({.bench = "serve/open_loop",
+                .config = config,
+                .items_per_sec = accepted_rate,
+                .p50_latency_us = s.p50_us,
+                .p99_latency_us = s.p99_us,
+                .p999_latency_us = s.p999_us,
+                .threads = options.workers,
+                .transport = "tcp",
+                .partitions = -1});
+    const auto stats = server.stats();
+    std::printf(
+        "server accounting: submitted=%llu executed=%llu shed_queue=%llu "
+        "shed_deadline=%llu expired=%llu\n",
+        static_cast<unsigned long long>(stats.sched.submitted),
+        static_cast<unsigned long long>(stats.sched.executed),
+        static_cast<unsigned long long>(stats.sched.shed_queue),
+        static_cast<unsigned long long>(stats.sched.shed_deadline),
+        static_cast<unsigned long long>(stats.sched.expired));
+    server.stop();
+  }
+
+  if (!report.write_if(opts)) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace megads::serve::bench
+
+int main(int argc, char** argv) {
+  return megads::serve::bench::run(argc, argv);
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Runs every bench binary with `--json` and aggregates the per-binary reports
-# into one machine-readable file (default: BENCH_PR8.json in the cwd).
+# into one machine-readable file (default: BENCH_PR9.json in the cwd).
 #
 #   bench/run_all.sh [build-dir] [output.json]
 #
@@ -14,7 +14,7 @@
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 
@@ -55,6 +55,7 @@ run bench_ablation
 run bench_query_cache
 run bench_distributed
 run bench_flatblock
+run bench_serve --duration-ms 500
 for t in 1 2 4 8; do
   run bench_flowstream --threads "$t"
 done
@@ -63,7 +64,7 @@ done
 # elements into one "results" array (pure shell — no jq dependency).
 {
   echo '{'
-  echo '  "suite": "megads bench harness (PR8: flat summary blocks + mmap spill tier)",'
+  echo '  "suite": "megads bench harness (PR9: FlowQL serving tier over real sockets)",'
   echo "  \"host_threads\": $(nproc),"
   echo '  "results": ['
   first=1

@@ -1,0 +1,96 @@
+// Fuzz target: the serving tier's inbound byte path — outer frame
+// reassembly (net/framing.hpp) feeding the request decoder
+// (serve/protocol.hpp) — exactly what a hostile client controls.
+//
+// Contract under test, for *arbitrary* input bytes:
+//  - FrameReassembler::feed/next either yield complete payloads or throw
+//    ParseError; never a crash, over-read, or attacker-sized allocation
+//    (declared lengths above the cap die at header time).
+//  - Chunking independence: feeding the same bytes one byte at a time
+//    yields the identical payload sequence (and the identical poisoning
+//    outcome) as one whole-buffer feed — the torn-read property the
+//    serve loop depends on.
+//  - decode_request on each completed payload either throws ParseError or
+//    returns a request that re-encodes byte-for-byte (one canonical form).
+//
+// Build shapes (see fuzz/CMakeLists.txt):
+//  - <target>_replay: plain executable replaying the checked-in corpus,
+//    wired into ctest so regressions run in every build.
+//  - with -DMEGADS_FUZZ=ON and a clang toolchain: a libFuzzer binary for
+//    open-ended exploration.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/framing.hpp"
+#include "serve/protocol.hpp"
+
+namespace {
+
+[[noreturn]] void die(const char* what) {
+  std::fprintf(stderr, "fuzz_serve_frame: %s\n", what);
+  std::abort();
+}
+
+struct FeedOutcome {
+  std::vector<std::vector<std::uint8_t>> payloads;
+  bool poisoned = false;
+};
+
+/// Feed `bytes` in `chunk`-sized pieces, draining completed payloads after
+/// every piece; a small payload cap keeps hostile declared lengths cheap.
+FeedOutcome run_reassembler(const std::vector<std::uint8_t>& bytes,
+                            std::size_t chunk) {
+  FeedOutcome outcome;
+  megads::net::FrameReassembler reassembler(/*max_payload_bytes=*/1 << 16);
+  std::size_t pos = 0;
+  try {
+    while (pos < bytes.size()) {
+      const std::size_t len = std::min(chunk, bytes.size() - pos);
+      reassembler.feed(bytes.data() + pos, len);
+      pos += len;
+      while (auto payload = reassembler.next()) {
+        outcome.payloads.push_back(std::move(*payload));
+      }
+    }
+  } catch (const megads::ParseError&) {
+    outcome.poisoned = true;
+  }
+  return outcome;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace serve = megads::serve;
+  const std::vector<std::uint8_t> bytes(data, data + size);
+
+  // Torn-read equivalence: byte-by-byte and one-shot feeds must agree on
+  // both the payload sequence and whether the stream ends up poisoned.
+  const FeedOutcome whole = run_reassembler(bytes, bytes.empty() ? 1 : bytes.size());
+  const FeedOutcome torn = run_reassembler(bytes, 1);
+  if (whole.payloads != torn.payloads) {
+    die("chunking changed the reassembled payload sequence");
+  }
+  if (whole.poisoned != torn.poisoned) {
+    die("chunking changed the poisoning outcome");
+  }
+
+  // Each completed payload runs through the request decoder: parse-or-throw,
+  // and whatever parses has one canonical encoding.
+  for (const std::vector<std::uint8_t>& payload : whole.payloads) {
+    try {
+      const serve::Request request = serve::decode_request(payload);
+      if (serve::encode(request) != payload) {
+        die("re-encode diverged from the accepted request");
+      }
+    } catch (const megads::ParseError&) {
+      // The documented rejection path for malformed requests.
+    }
+  }
+  return 0;
+}

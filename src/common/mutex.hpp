@@ -22,6 +22,9 @@
 //
 //   rank | mutex                              | held around
 //   -----+------------------------------------+---------------------------
+//     30 | serve::FlowQLServer::mu_           | session dirty-list + counters
+//     40 | serve::RequestScheduler::mu_       | admission queue bookkeeping
+//     50 | serve::Session::mu_                | per-connection response outbox
 //    100 | dist::Coordinator::mu_             | routing/gather bookkeeping
 //    200 | dist::PartitionServer::raw_mu_     | raw record log
 //    300 | store::DataStore::mat_mu_          | merged-prefix snapshots
@@ -29,7 +32,9 @@
 //    400 | flowdb::FlowDB::entries_mu_        | summary index (shared/excl)
 //    410 | flowdb::FlowDB::cache_mu_          | view cache (after entries_mu_)
 //    500 | repl::ReplicaPlacer::mu_           | ski-rental books
-//    600 | net::LoopbackTransport::mu_        | handler map + stats
+//    600 | net::LoopbackTransport::mu_ /      | handler map + stats /
+//         | net::SocketTransport::mu_         | conn buffers (never held
+//         |                                    |   across a handler dispatch)
 //    700 | ThreadPool::mu_                    | task queue
 //    800 | metrics::MetricsRegistry::mu_      | instrument registration
 //    900 | kLeaf                              | strictly-innermost locals
@@ -46,6 +51,9 @@ namespace megads {
 
 namespace lockrank {
 
+inline constexpr int kServeServer = 30;
+inline constexpr int kServeScheduler = 40;
+inline constexpr int kServeSession = 50;
 inline constexpr int kCoordinator = 100;
 inline constexpr int kPartitionServer = 200;
 inline constexpr int kStoreMaterialization = 300;

@@ -1,0 +1,97 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+
+namespace {
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+}  // namespace
+
+void append_frame_header(std::vector<std::uint8_t>& out,
+                         std::size_t payload_len) {
+  expects(payload_len <= 0xFFFF'FFFFu, "frame payload too large for u32");
+  put_u32le(out, kFrameMagic);
+  put_u32le(out, static_cast<std::uint32_t>(payload_len));
+}
+
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  append_frame_header(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+void FrameReassembler::check_header() {
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  if (read_u32le(head) != kFrameMagic) {
+    poisoned_ = true;
+    throw ParseError("frame: bad magic");
+  }
+  const std::uint32_t len = read_u32le(head + 4);
+  if (len > max_payload_bytes_) {
+    poisoned_ = true;
+    throw ParseError("frame: declared payload exceeds limit");
+  }
+  header_checked_ = true;
+}
+
+void FrameReassembler::feed(const std::uint8_t* data, std::size_t len) {
+  if (poisoned_) throw ParseError("frame: stream already failed");
+  if (len == 0) return;
+  // Reclaim consumed prefix before growing — keeps the buffer bounded by one
+  // partial frame plus whatever one feed() delivered.
+  if (consumed_ > 0 && consumed_ == buffer_.size()) {
+    buffer_.clear();
+    consumed_ = 0;
+  } else if (consumed_ >= 4096) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + len);
+  // Validate the header of the frame under assembly as soon as it is whole:
+  // hostile prefixes fail before any payload accumulates.
+  if (!header_checked_ && pending_bytes() >= kFrameHeaderBytes) check_header();
+}
+
+std::optional<std::vector<std::uint8_t>> FrameReassembler::next() {
+  if (poisoned_) throw ParseError("frame: stream already failed");
+  if (pending_bytes() < kFrameHeaderBytes) return std::nullopt;
+  if (!header_checked_) check_header();
+  const std::uint8_t* head = buffer_.data() + consumed_;
+  const std::uint32_t len = read_u32le(head + 4);
+  if (pending_bytes() < kFrameHeaderBytes + len) return std::nullopt;
+  std::vector<std::uint8_t> payload(head + kFrameHeaderBytes,
+                                    head + kFrameHeaderBytes + len);
+  consumed_ += kFrameHeaderBytes + len;
+  header_checked_ = false;
+  // The next frame's header may already be complete; validate it eagerly so
+  // back-to-back violations surface promptly — but deliver the payload that
+  // DID complete first, and let the poison throw on the next call.
+  if (pending_bytes() >= kFrameHeaderBytes) {
+    try {
+      check_header();
+    } catch (const ParseError&) {
+      // poisoned_ is set; every later feed()/next() throws.
+    }
+  }
+  return payload;
+}
+
+}  // namespace megads::net

@@ -1,0 +1,74 @@
+// Length-prefixed outer framing for every byte stream the engine speaks over
+// real sockets: [u32 magic "MDF1"][u32 payload length][payload bytes], all
+// little-endian. Both the SocketTransport node-to-node frames and the serving
+// tier's client protocol ride on this one framing, so torn-read reassembly is
+// implemented — and fuzzed — exactly once.
+//
+// FrameReassembler is the read side: it consumes arbitrary byte chunks in
+// whatever sizes the kernel hands back (a frame may arrive one byte at a
+// time, or many frames in one read) and yields complete payloads. It follows
+// the PR 6 envelope codec discipline: strict validation as early as possible
+// (bad magic or an oversized length throws ParseError before any payload is
+// buffered), bounded memory (nothing past max_payload_bytes is ever
+// accumulated), and no half-parsed state — after a throw the stream is dead
+// and the caller must close the connection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace megads::net {
+
+/// "MDF1" — megads frame, version 1.
+inline constexpr std::uint32_t kFrameMagic = 0x3146'444D;
+/// Bytes of overhead per frame (magic + length prefix).
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Wrap `payload` in the outer framing (header + copy of the payload).
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload);
+
+/// Append the frame header for a payload of `payload_len` bytes to `out`.
+/// Callers streaming a payload they already hold avoid the encode_frame copy.
+void append_frame_header(std::vector<std::uint8_t>& out,
+                         std::size_t payload_len);
+
+/// Incremental frame decoder over a torn byte stream. feed() bytes as they
+/// arrive; next() hands out each completed payload exactly once.
+class FrameReassembler {
+ public:
+  /// `max_payload_bytes` bounds per-frame memory; a declared length above it
+  /// is a protocol violation (ParseError), not an allocation.
+  explicit FrameReassembler(std::size_t max_payload_bytes = 64u << 20)
+      : max_payload_bytes_(max_payload_bytes) {}
+
+  /// Consume `len` raw stream bytes. Throws ParseError on bad magic or an
+  /// oversized declared length; the reassembler is unusable afterwards.
+  void feed(const std::uint8_t* data, std::size_t len);
+  void feed(const std::vector<std::uint8_t>& bytes) {
+    feed(bytes.data(), bytes.size());
+  }
+
+  /// The next complete payload, or nullopt when more bytes are needed.
+  /// Drain with a loop: one feed() may complete many frames.
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> next();
+
+  /// Bytes buffered toward the frame under assembly (diagnostics).
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  /// Validate the header at the front of the buffer once 8 bytes are in.
+  void check_header();
+
+  std::size_t max_payload_bytes_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;      ///< bytes of buffer_ already handed out
+  bool header_checked_ = false;   ///< current frame's header validated
+  bool poisoned_ = false;         ///< a ParseError was thrown; stream is dead
+};
+
+}  // namespace megads::net

@@ -1,0 +1,147 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+
+namespace {
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw Error("socket: not a numeric IPv4 host: " + host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+void ScopedFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+std::pair<ScopedFd, std::uint16_t> tcp_listen(const std::string& host,
+                                              std::uint16_t port,
+                                              int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error("socket: cannot create listen socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw Error("socket: bind " + host + ":" + std::to_string(port) +
+                " failed: " + std::strerror(errno));
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw Error(std::string("socket: listen failed: ") + std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw Error("socket: getsockname failed");
+  }
+  return {std::move(fd), ntohs(bound.sin_port)};
+}
+
+ScopedFd tcp_connect(const std::string& host, std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw Error("socket: cannot create socket");
+  sockaddr_in addr = make_addr(host, port);
+  int rc = 0;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    throw NotFoundError("socket: connect " + host + ":" +
+                        std::to_string(port) + " failed: " +
+                        std::strerror(errno));
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw Error("socket: cannot set O_NONBLOCK");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+IoResult read_some(int fd, std::uint8_t* buf, std::size_t len) {
+  IoResult result;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) {
+      result.bytes = static_cast<std::size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.closed = true;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.closed = true;  // ECONNRESET & friends: treat as peer gone
+    return result;
+  }
+}
+
+IoResult write_some(int fd, const std::uint8_t* buf, std::size_t len) {
+  IoResult result;
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+      result.bytes = static_cast<std::size_t>(n);
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.would_block = true;
+      return result;
+    }
+    result.closed = true;  // EPIPE/ECONNRESET: peer gone
+    return result;
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw Error("socket: cannot create wake pipe");
+  read_end_.reset(fds[0]);
+  write_end_.reset(fds[1]);
+  set_nonblocking(read_end_.get());
+  set_nonblocking(write_end_.get());
+}
+
+void WakePipe::wake() noexcept {
+  const std::uint8_t byte = 1;
+  // A full pipe already guarantees a pending wake; ignore the result.
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::drain() noexcept {
+  std::uint8_t buf[256];
+  while (::read(read_end_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+}  // namespace megads::net

@@ -1,0 +1,91 @@
+// Thin POSIX TCP helpers shared by the SocketTransport and the FlowQL
+// serving tier: RAII fds, listen/connect with ephemeral-port support,
+// non-blocking mode, and EINTR-safe read/write wrappers that report
+// would-block and peer-close as values instead of errno spelunking at every
+// call site. Everything here is loopback/LAN plumbing — no name resolution,
+// numeric IPv4 host strings only.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace megads::net {
+
+/// Owning file descriptor. Move-only; closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() noexcept = default;
+  explicit ScopedFd(int fd) noexcept : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket bound to `host:port` (port 0 = kernel-assigned).
+/// Returns the fd and the actual bound port. Throws Error on failure.
+[[nodiscard]] std::pair<ScopedFd, std::uint16_t> tcp_listen(
+    const std::string& host, std::uint16_t port, int backlog = 1024);
+
+/// Blocking TCP connect to a numeric IPv4 `host:port`. Throws NotFoundError
+/// when the peer is unreachable.
+[[nodiscard]] ScopedFd tcp_connect(const std::string& host,
+                                   std::uint16_t port);
+
+void set_nonblocking(int fd);
+/// Disable Nagle — every protocol here is latency-bound request/response.
+void set_nodelay(int fd);
+
+/// Outcome of one read/write attempt on a non-blocking socket.
+struct IoResult {
+  std::size_t bytes = 0;   ///< transferred this call
+  bool closed = false;     ///< peer closed (read: EOF; write: EPIPE/reset)
+  bool would_block = false;
+};
+
+/// EINTR-safe single read. Never blocks on a non-blocking fd.
+[[nodiscard]] IoResult read_some(int fd, std::uint8_t* buf, std::size_t len);
+/// EINTR-safe single write (MSG_NOSIGNAL — a dead peer is a value, not a
+/// SIGPIPE). Never blocks on a non-blocking fd.
+[[nodiscard]] IoResult write_some(int fd, const std::uint8_t* buf,
+                                  std::size_t len);
+
+/// Self-wake pipe for poll loops: writers call wake() from any thread; the
+/// loop polls read_fd() and drains with drain(). Both ends non-blocking.
+class WakePipe {
+ public:
+  WakePipe();
+  [[nodiscard]] int read_fd() const noexcept { return read_end_.get(); }
+  /// Async-signal-safe single-byte write; a full pipe still wakes the loop.
+  void wake() noexcept;
+  /// Discard every pending wake byte.
+  void drain() noexcept;
+
+ private:
+  ScopedFd read_end_;
+  ScopedFd write_end_;
+};
+
+}  // namespace megads::net

@@ -1,0 +1,532 @@
+#include "net/socket_transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::net {
+
+namespace {
+
+// Inner payload kinds carried by the outer framing (net/framing.hpp).
+constexpr std::uint8_t kKindMessage = 1;     // from,to + user payload
+constexpr std::uint8_t kKindVolume = 2;      // from,to + declared byte count
+constexpr std::uint8_t kKindBarrier = 3;     // token (run_until_idle round)
+constexpr std::uint8_t kKindBarrierAck = 4;  // token
+
+void put_u32le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+/// Bounds-checked little-endian cursor (the envelope Reader discipline).
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> rest() {
+    std::vector<std::uint8_t> out(
+        bytes_.begin() + static_cast<std::ptrdiff_t>(pos_), bytes_.end());
+    pos_ = bytes_.size();
+    return out;
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (n > remaining()) throw ParseError("socket transport: truncated frame");
+  }
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+SocketTransport::SocketTransport(Options options)
+    : options_(std::move(options)), start_(std::chrono::steady_clock::now()) {
+  auto [fd, bound_port] = tcp_listen(options_.host, options_.port);
+  listen_fd_ = std::move(fd);
+  port_ = bound_port;
+  set_nonblocking(listen_fd_.get());
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+SocketTransport::~SocketTransport() {
+  {
+    const MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  wake_.wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void SocketTransport::add_peer(NodeId node, std::string host,
+                               std::uint16_t peer_port) {
+  const MutexLock lock(mu_);
+  peers_[node] = Peer{std::move(host), peer_port};
+}
+
+void SocketTransport::bind(NodeId node, MessageHandler handler) {
+  const MutexLock lock(mu_);
+  handlers_[node] = std::move(handler);
+}
+
+void SocketTransport::unbind(NodeId node) {
+  const MutexLock lock(mu_);
+  handlers_.erase(node);
+}
+
+SimDuration SocketTransport::transfer_time_unloaded(NodeId /*from*/,
+                                                    NodeId /*to*/,
+                                                    std::uint64_t /*bytes*/) const {
+  return 0;  // a real network's lower bound: we cannot promise more
+}
+
+SimTime SocketTransport::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+TransferStats SocketTransport::stats() const {
+  const MutexLock lock(mu_);
+  return stats_;
+}
+
+std::uint64_t SocketTransport::dropped_frames() const {
+  const MutexLock lock(mu_);
+  return dropped_frames_;
+}
+
+void SocketTransport::attach_metrics(metrics::MetricsRegistry& registry) {
+  const MutexLock lock(mu_);
+  metric_messages_ = &registry.counter("net.messages");
+  metric_payload_bytes_ = &registry.counter("net.payload_bytes");
+  metric_dropped_ = &registry.counter("net.dropped_transport");
+  metric_messages_->add(stats_.messages);
+  metric_payload_bytes_->add(stats_.payload_bytes);
+  metric_dropped_->add(dropped_frames_);
+}
+
+void SocketTransport::note_dropped_locked() {
+  ++dropped_frames_;
+  if (metric_dropped_ != nullptr) metric_dropped_->add(1);
+}
+
+SimTime SocketTransport::send(NodeId from, NodeId to, std::uint64_t bytes,
+                              DeliveryCallback on_delivered) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + 4 + 4 + 8);
+  payload.push_back(kKindVolume);
+  put_u32le(payload, from.value());
+  put_u32le(payload, to.value());
+  put_u64le(payload, bytes);
+  enqueue_to(to, encode_frame(payload));
+  {
+    const MutexLock lock(mu_);
+    ++stats_.messages;
+    stats_.bytes += bytes;
+    stats_.payload_bytes += bytes;
+    ++activity_;
+    if (metric_messages_ != nullptr) metric_messages_->add(1);
+    if (metric_payload_bytes_ != nullptr) metric_payload_bytes_->add(bytes);
+  }
+  // Accounting-only transfer: a real network cannot report remote delivery
+  // without an ack protocol, so the callback fires at enqueue time.
+  const SimTime at = now();
+  if (on_delivered) on_delivered(at);
+  return at;
+}
+
+SimTime SocketTransport::send_message(NodeId from, NodeId to,
+                                      std::vector<std::uint8_t> payload) {
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + 4 + 4 + payload.size());
+  body.push_back(kKindMessage);
+  put_u32le(body, from.value());
+  put_u32le(body, to.value());
+  body.insert(body.end(), payload.begin(), payload.end());
+  enqueue_to(to, encode_frame(body));
+  {
+    const MutexLock lock(mu_);
+    ++stats_.messages;
+    stats_.bytes += payload.size();
+    stats_.payload_bytes += payload.size();
+    ++activity_;
+    if (metric_messages_ != nullptr) metric_messages_->add(1);
+    if (metric_payload_bytes_ != nullptr) {
+      metric_payload_bytes_->add(payload.size());
+    }
+  }
+  return now();
+}
+
+void SocketTransport::enqueue_to(NodeId to, const std::vector<std::uint8_t>& frame) {
+  {
+    const MutexLock lock(mu_);
+    // Prefer the connection the node last spoke to us on — replies must
+    // travel the request's socket for barrier ordering to hold.
+    const auto conn_it = conn_of_node_.find(to);
+    if (conn_it != conn_of_node_.end()) {
+      const auto live = conns_.find(conn_it->second);
+      if (live != conns_.end()) {
+        live->second->outbound.insert(live->second->outbound.end(),
+                                      frame.begin(), frame.end());
+        wake_.wake();
+        return;
+      }
+      conn_of_node_.erase(conn_it);
+    }
+    // A locally bound node with no connection means the caller is sending to
+    // itself (the coordinator hosts a replica, say): loop it straight to the
+    // handler below, outside the lock.
+  }
+
+  MessageHandler self_handler;
+  {
+    const MutexLock lock(mu_);
+    if (peers_.find(to) == peers_.end()) {
+      const auto handler_it = handlers_.find(to);
+      if (handler_it == handlers_.end()) {
+        throw NotFoundError("socket transport: unknown destination node " +
+                            std::to_string(to.value()));
+      }
+      self_handler = handler_it->second;
+    }
+  }
+  if (self_handler) {
+    // Local destination: decode our own frame and dispatch directly.
+    try {
+      Cursor cursor(frame);
+      // Skip the outer frame header (magic + length).
+      for (int i = 0; i < 2; ++i) (void)cursor.u32();
+      const std::uint8_t kind = cursor.u8();
+      const NodeId from{cursor.u32()};
+      (void)cursor.u32();  // to
+      if (kind == kKindMessage) {
+        const std::vector<std::uint8_t> payload = cursor.rest();
+        self_handler(from, payload, now());
+      }
+    } catch (const ParseError&) {
+      const MutexLock lock(mu_);
+      note_dropped_locked();
+    }
+    return;
+  }
+
+  // Dial on demand (blocking connect — loopback/LAN latency, held outside
+  // the dispatch path).
+  Peer peer;
+  {
+    const MutexLock lock(mu_);
+    peer = peers_.at(to);
+  }
+  ScopedFd fd = tcp_connect(peer.host, peer.port);
+  set_nodelay(fd.get());
+  set_nonblocking(fd.get());
+  {
+    const MutexLock lock(mu_);
+    // Another sender may have raced the dial; prefer the registered one.
+    const auto conn_it = conn_of_node_.find(to);
+    if (conn_it != conn_of_node_.end() && conns_.count(conn_it->second) > 0) {
+      const auto& live = conns_.at(conn_it->second);
+      live->outbound.insert(live->outbound.end(), frame.begin(), frame.end());
+    } else {
+      auto conn = std::make_shared<Conn>();
+      conn->peer = to;
+      conn->ready = true;
+      conn->outbound.assign(frame.begin(), frame.end());
+      const int raw = fd.get();
+      conn->fd = std::move(fd);
+      conn->reassembler = FrameReassembler(options_.max_frame_bytes);
+      conns_[raw] = std::move(conn);
+      conn_of_node_[to] = raw;
+    }
+  }
+  wake_.wake();
+}
+
+void SocketTransport::run_until_idle() {
+  // One barrier round already settles a direct request-response exchange
+  // (replies are enqueued on the request's socket before the ack — see the
+  // file comment); further rounds settle multi-hop cascades. The cap keeps
+  // unrelated concurrent traffic from starving the idle detector: after it,
+  // every message sent *before* this call is guaranteed delivered, which is
+  // the property the scatter-gather coordinator needs.
+  constexpr int kMaxRounds = 8;
+  for (int round = 0; round < kMaxRounds; ++round) {
+    std::uint64_t before = 0;
+    std::uint64_t token = 0;
+    bool had_conns = false;
+    {
+      const MutexLock lock(mu_);
+      before = activity_;
+      token = next_barrier_token_++;
+      Barrier barrier;
+      std::vector<std::uint8_t> payload;
+      payload.push_back(kKindBarrier);
+      put_u64le(payload, token);
+      const std::vector<std::uint8_t> frame = encode_frame(payload);
+      for (auto& [fd, conn] : conns_) {
+        conn->outbound.insert(conn->outbound.end(), frame.begin(), frame.end());
+        ++barrier.remaining;
+        barrier.fds.insert(fd);
+      }
+      had_conns = barrier.remaining > 0;
+      if (had_conns) barriers_[token] = std::move(barrier);
+    }
+    if (!had_conns) return;  // no connections: nothing can be in flight
+    wake_.wake();
+    bool idle = false;
+    {
+      UniqueLock lock(mu_);
+      cv_.wait(lock, [&] {
+        mu_.assert_held();  // wait predicates run under the lock
+        return stopping_ || barriers_[token].remaining == 0;
+      });
+      barriers_.erase(token);
+      idle = (activity_ == before) || stopping_;
+    }
+    if (idle) return;
+  }
+}
+
+void SocketTransport::loop() {
+  std::vector<pollfd> fds;
+  for (;;) {
+    fds.clear();
+    fds.push_back({wake_.read_fd(), POLLIN, 0});
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    {
+      const MutexLock lock(mu_);
+      if (stopping_) break;
+      for (const auto& [fd, conn] : conns_) {
+        short events = POLLIN;
+        if (conn->out_pos < conn->outbound.size()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+      }
+    }
+    const int rc = ::poll(fds.data(), fds.size(), 100);
+    if (rc < 0) continue;  // EINTR
+    wake_.drain();
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      for (;;) {
+        const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
+        if (client < 0) break;
+        set_nonblocking(client);
+        set_nodelay(client);
+        auto conn = std::make_shared<Conn>();
+        conn->fd = ScopedFd(client);
+        conn->reassembler = FrameReassembler(options_.max_frame_bytes);
+        const MutexLock lock(mu_);
+        conns_[client] = std::move(conn);
+      }
+    }
+
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const pollfd& entry = fds[i];
+      if (entry.revents == 0) continue;
+      bool alive = true;
+      if ((entry.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+        alive = false;
+      }
+      if (alive && (entry.revents & POLLIN) != 0) {
+        alive = service_readable(entry.fd);
+      }
+      if (alive && (entry.revents & POLLOUT) != 0) {
+        alive = flush_writable(entry.fd);
+      }
+      if (!alive) drop_conn(entry.fd);
+    }
+
+    // Senders may have queued bytes on conns that were not POLLOUT-armed in
+    // this round's snapshot; opportunistically flush everything writable.
+    std::vector<int> pending;
+    {
+      const MutexLock lock(mu_);
+      for (const auto& [fd, conn] : conns_) {
+        if (conn->out_pos < conn->outbound.size()) pending.push_back(fd);
+      }
+    }
+    for (const int fd : pending) {
+      if (!flush_writable(fd)) drop_conn(fd);
+    }
+  }
+}
+
+bool SocketTransport::service_readable(int fd) {
+  std::shared_ptr<Conn> conn;
+  {
+    const MutexLock lock(mu_);
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) return true;
+    conn = it->second;
+  }
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const IoResult io = read_some(fd, buf, sizeof(buf));
+    if (io.closed) return false;
+    if (io.would_block) return true;
+    try {
+      conn->reassembler.feed(buf, io.bytes);
+      for (;;) {
+        auto payload = conn->reassembler.next();
+        if (!payload.has_value()) break;
+        handle_frame(fd, *payload);
+      }
+    } catch (const ParseError&) {
+      const MutexLock lock(mu_);
+      note_dropped_locked();
+      return false;  // protocol violation: the stream is unrecoverable
+    }
+    if (io.bytes < sizeof(buf)) return true;  // drained for now
+  }
+}
+
+void SocketTransport::handle_frame(int fd,
+                                   const std::vector<std::uint8_t>& payload) {
+  MessageHandler handler;
+  NodeId from;
+  std::vector<std::uint8_t> message;
+  try {
+    Cursor cursor(payload);
+    const std::uint8_t kind = cursor.u8();
+    switch (kind) {
+      case kKindMessage: {
+        from = NodeId{cursor.u32()};
+        const NodeId to{cursor.u32()};
+        message = cursor.rest();
+        const MutexLock lock(mu_);
+        conn_of_node_[from] = fd;  // replies ride the request's socket
+        ++activity_;
+        const auto it = handlers_.find(to);
+        if (it == handlers_.end()) {
+          note_dropped_locked();
+          return;
+        }
+        handler = it->second;
+        break;
+      }
+      case kKindVolume: {
+        from = NodeId{cursor.u32()};
+        (void)cursor.u32();  // to
+        const std::uint64_t declared = cursor.u64();
+        const MutexLock lock(mu_);
+        conn_of_node_[from] = fd;
+        ++activity_;
+        (void)declared;  // sender already accounted the volume
+        return;
+      }
+      case kKindBarrier: {
+        const std::uint64_t token = cursor.u64();
+        std::vector<std::uint8_t> ack;
+        ack.push_back(kKindBarrierAck);
+        put_u64le(ack, token);
+        const std::vector<std::uint8_t> frame = encode_frame(ack);
+        const MutexLock lock(mu_);
+        const auto it = conns_.find(fd);
+        if (it != conns_.end()) {
+          it->second->outbound.insert(it->second->outbound.end(), frame.begin(),
+                                      frame.end());
+        }
+        return;  // flushed by the loop iteration that called us
+      }
+      case kKindBarrierAck: {
+        const std::uint64_t token = cursor.u64();
+        const MutexLock lock(mu_);
+        const auto it = barriers_.find(token);
+        if (it != barriers_.end()) {
+          it->second.fds.erase(fd);
+          it->second.remaining = it->second.fds.size();
+        }
+        cv_.notify_all();
+        return;
+      }
+      default:
+        throw ParseError("socket transport: unknown frame kind");
+    }
+  } catch (const ParseError&) {
+    const MutexLock lock(mu_);
+    note_dropped_locked();
+    return;
+  }
+  // Dispatch outside mu_ — handlers send (partition servers reply from
+  // inside on_message), and they take their own, lower-ranked locks.
+  if (handler) handler(from, message, now());
+}
+
+bool SocketTransport::flush_writable(int fd) {
+  const MutexLock lock(mu_);
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return true;
+  Conn& conn = *it->second;
+  while (conn.out_pos < conn.outbound.size()) {
+    std::size_t len = conn.outbound.size() - conn.out_pos;
+    if (options_.max_write_chunk > 0) {
+      len = std::min(len, options_.max_write_chunk);
+    }
+    const IoResult io =
+        write_some(fd, conn.outbound.data() + conn.out_pos, len);
+    if (io.closed) return false;
+    if (io.would_block) break;
+    conn.out_pos += io.bytes;
+  }
+  if (conn.out_pos == conn.outbound.size()) {
+    conn.outbound.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos >= 4096) {
+    conn.outbound.erase(
+        conn.outbound.begin(),
+        conn.outbound.begin() + static_cast<std::ptrdiff_t>(conn.out_pos));
+    conn.out_pos = 0;
+  }
+  return true;
+}
+
+void SocketTransport::drop_conn(int fd) {
+  const MutexLock lock(mu_);
+  conns_.erase(fd);
+  for (auto it = conn_of_node_.begin(); it != conn_of_node_.end();) {
+    if (it->second == fd) {
+      it = conn_of_node_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [token, barrier] : barriers_) {
+    barrier.fds.erase(fd);
+    barrier.remaining = barrier.fds.size();
+  }
+  cv_.notify_all();
+}
+
+}  // namespace megads::net

@@ -1,0 +1,162 @@
+// SocketTransport — the PR 6 Transport contract over real TCP. Everything
+// written against Transport (the partitioned FlowDB coordinator and servers,
+// the replica installer, the serving tier's backends) runs unchanged over
+// loopback, the simulated WAN, and — with this class — real sockets.
+//
+// One SocketTransport is one endpoint: a listening socket plus a poll-based
+// event-loop thread with non-blocking I/O and per-connection read/write
+// buffers. Any number of local NodeIds may be bound on one endpoint;
+// add_peer() maps remote NodeIds to host:port. Connections are dialed on
+// first send and reused; a connection learns its peer's node from the hello
+// frame, so responses travel back over the socket the request arrived on
+// (which is what makes run_until_idle()'s barrier sound, below).
+//
+// Wire format: the outer length-prefixed framing (net/framing.hpp) around a
+// small typed payload — hello / message / volume / barrier / barrier-ack.
+// The decoder follows the envelope-codec discipline: strict validation,
+// hostile input tolerated by counting-and-dropping (a malformed frame closes
+// the connection, never throws through the event loop).
+//
+// run_until_idle() — the scatter-gather pump — cannot watch a real network
+// the way the simulator watches its event queue. Instead it runs barrier
+// rounds: flush every outbound buffer, send a barrier frame on every live
+// connection, and wait for the acks. A peer's event loop acks a barrier only
+// after dispatching every frame that preceded it on that connection, and any
+// replies those dispatches produced were enqueued — on the same TCP stream —
+// before the ack. So when the ack arrives here, the replies have already been
+// dispatched by our own loop. Rounds repeat until one completes with no new
+// message traffic, which settles multi-hop cascades.
+//
+// send() is accounting-only by contract (the payload stays in-process); over
+// TCP it ships a volume frame declaring the byte count so both endpoints'
+// TransferStats agree, and the delivery callback fires immediately with the
+// current wall-clock time — a real network cannot report remote delivery
+// without an acknowledgement protocol, and the callers that care (the
+// simulator stack) run over SimTransport.
+//
+// Thread-safe: senders serialize on mu_ only around buffer bookkeeping; the
+// event loop never holds mu_ across a handler dispatch (handlers themselves
+// send — the partition servers reply from inside on_message).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "net/transport.hpp"
+
+namespace megads::net {
+
+class SocketTransport final : public Transport {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = kernel-assigned; see port()
+    std::size_t max_frame_bytes = 64u << 20;
+    /// Test hook: cap bytes per write() so frames tear across arbitrary
+    /// boundaries (0 = no cap). The reassembly tests run with 1.
+    std::size_t max_write_chunk = 0;
+  };
+
+  SocketTransport() : SocketTransport(Options()) {}
+  explicit SocketTransport(Options options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  /// Teach this endpoint where a remote node lives. Local (bound) nodes need
+  /// no peer entry; sending to an unknown, unbound node raises NotFoundError.
+  void add_peer(NodeId node, std::string host, std::uint16_t port);
+
+  /// The actually-bound listen port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] const std::string& host() const noexcept {
+    return options_.host;
+  }
+
+  // --- Transport ---
+  SimTime send(NodeId from, NodeId to, std::uint64_t bytes,
+               DeliveryCallback on_delivered = nullptr) override;
+  SimTime send_message(NodeId from, NodeId to,
+                       std::vector<std::uint8_t> payload) override;
+  void bind(NodeId node, MessageHandler handler) override;
+  void unbind(NodeId node) override;
+  [[nodiscard]] SimDuration transfer_time_unloaded(
+      NodeId from, NodeId to, std::uint64_t bytes) const override;
+  [[nodiscard]] SimTime now() const override;
+  void run_until_idle() override;
+  [[nodiscard]] TransferStats stats() const override;
+  void attach_metrics(metrics::MetricsRegistry& registry) override;
+
+  /// Malformed / undeliverable frames received and dropped (hostile-input
+  /// tolerance introspection, mirroring Coordinator::dropped_messages).
+  [[nodiscard]] std::uint64_t dropped_frames() const;
+
+ private:
+  struct Conn {
+    ScopedFd fd;
+    FrameReassembler reassembler;
+    std::vector<std::uint8_t> outbound;  ///< pending bytes, mu_-guarded
+    std::size_t out_pos = 0;
+    NodeId peer;  ///< learned from the hello frame; invalid until then
+    bool ready = false;
+  };
+  struct Barrier {
+    std::size_t remaining = 0;  ///< acks outstanding
+    std::set<int> fds;          ///< connections still owing an ack
+  };
+  struct Peer {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  void loop() MEGADS_EXCLUDES(mu_);
+  /// Read everything available, dispatch complete frames. Returns false when
+  /// the connection died (caller removes it).
+  bool service_readable(int fd) MEGADS_EXCLUDES(mu_);
+  bool flush_writable(int fd) MEGADS_EXCLUDES(mu_);
+  void handle_frame(int fd, const std::vector<std::uint8_t>& payload)
+      MEGADS_EXCLUDES(mu_);
+  void drop_conn(int fd) MEGADS_EXCLUDES(mu_);
+  /// Find-or-dial the connection for `to` and append `frame` to its
+  /// outbound buffer; wakes the loop.
+  void enqueue_to(NodeId to, const std::vector<std::uint8_t>& frame)
+      MEGADS_EXCLUDES(mu_);
+  void note_dropped_locked() MEGADS_REQUIRES(mu_);
+
+  Options options_;
+  std::uint16_t port_ = 0;
+  ScopedFd listen_fd_;
+  WakePipe wake_;
+  std::thread loop_thread_;
+  std::chrono::steady_clock::time_point start_;
+
+  mutable Mutex mu_{lockrank::kTransport, "transport.socket"};
+  mutable CondVar cv_;
+  bool stopping_ MEGADS_GUARDED_BY(mu_) = false;
+  std::map<int, std::shared_ptr<Conn>> conns_ MEGADS_GUARDED_BY(mu_);
+  std::unordered_map<NodeId, MessageHandler> handlers_ MEGADS_GUARDED_BY(mu_);
+  std::unordered_map<NodeId, Peer> peers_ MEGADS_GUARDED_BY(mu_);
+  std::unordered_map<NodeId, int> conn_of_node_ MEGADS_GUARDED_BY(mu_);
+  std::unordered_map<std::uint64_t, Barrier> barriers_ MEGADS_GUARDED_BY(mu_);
+  std::uint64_t next_barrier_token_ MEGADS_GUARDED_BY(mu_) = 1;
+  /// Message/volume frames sent + delivered — the barrier's idle detector.
+  std::uint64_t activity_ MEGADS_GUARDED_BY(mu_) = 0;
+  TransferStats stats_ MEGADS_GUARDED_BY(mu_);
+  std::uint64_t dropped_frames_ MEGADS_GUARDED_BY(mu_) = 0;
+  metrics::Counter* metric_messages_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_payload_bytes_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace megads::net

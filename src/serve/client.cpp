@@ -1,0 +1,152 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace megads::serve {
+
+Client::Client(const std::string& host, std::uint16_t port)
+    : fd_(net::tcp_connect(host, port)) {
+  net::set_nodelay(fd_.get());
+  // The socket stays blocking: this client's contract is synchronous.
+}
+
+void Client::send_request(const Request& request) {
+  const std::vector<std::uint8_t> frame = net::encode_frame(encode(request));
+  std::size_t pos = 0;
+  while (pos < frame.size()) {
+    const net::IoResult io =
+        net::write_some(fd_.get(), frame.data() + pos, frame.size() - pos);
+    if (io.closed) throw Error("serve client: server closed connection");
+    pos += io.bytes;
+  }
+}
+
+std::optional<Response> Client::next_frame() {
+  for (;;) {
+    auto payload = reassembler_.next();
+    if (payload.has_value()) return decode_response(*payload);
+    std::uint8_t buf[64 * 1024];
+    const net::IoResult io = net::read_some(fd_.get(), buf, sizeof(buf));
+    if (io.closed) return std::nullopt;
+    reassembler_.feed(buf, io.bytes);
+  }
+}
+
+Response Client::read_response(std::uint64_t request_id) {
+  for (;;) {
+    auto response = next_frame();
+    if (!response.has_value()) {
+      throw Error("serve client: server closed connection");
+    }
+    if (response->type == ResponseType::kEvent) {
+      const auto& body = std::get<EventBody>(response->body);
+      pending_events_.push_back(
+          Event{body.subscription_id, body.seq, body.text});
+      continue;
+    }
+    if (response->request_id != request_id) continue;  // stale/late response
+    return std::move(*response);
+  }
+}
+
+Client::Result Client::query(const std::string& statement,
+                             std::uint32_t deadline_ms) {
+  const std::uint64_t id = next_id_++;
+  send_request(Request{RequestType::kQuery, id,
+                       QueryBody{deadline_ms, statement}});
+  Result result;
+  for (;;) {
+    const Response response = read_response(id);
+    if (response.type == ResponseType::kError) {
+      const auto& body = std::get<ErrorBody>(response.body);
+      result.ok = false;
+      result.code = body.code;
+      result.message = body.message;
+      return result;
+    }
+    if (response.type != ResponseType::kResultChunk) {
+      throw Error("serve client: unexpected response type");
+    }
+    const auto& chunk = std::get<ResultChunkBody>(response.body);
+    result.text += chunk.chunk;
+    if (chunk.last) {
+      result.ok = true;
+      return result;
+    }
+  }
+}
+
+Client::Result Client::metrics() {
+  const std::uint64_t id = next_id_++;
+  send_request(Request{RequestType::kMetrics, id, MetricsBody{}});
+  const Response response = read_response(id);
+  Result result;
+  if (response.type == ResponseType::kError) {
+    const auto& body = std::get<ErrorBody>(response.body);
+    result.code = body.code;
+    result.message = body.message;
+    return result;
+  }
+  if (response.type != ResponseType::kMetricsText) {
+    throw Error("serve client: unexpected response type");
+  }
+  result.ok = true;
+  result.text = std::get<MetricsTextBody>(response.body).text;
+  return result;
+}
+
+std::uint64_t Client::subscribe(const std::string& statement,
+                                std::uint32_t period_ms) {
+  const std::uint64_t id = next_id_++;
+  send_request(Request{RequestType::kSubscribe, id,
+                       SubscribeBody{period_ms, statement}});
+  const Response response = read_response(id);
+  if (response.type == ResponseType::kError) {
+    throw Error("serve client: subscribe rejected: " +
+                std::get<ErrorBody>(response.body).message);
+  }
+  if (response.type != ResponseType::kSubscribed) {
+    throw Error("serve client: unexpected response type");
+  }
+  return std::get<SubscribedBody>(response.body).subscription_id;
+}
+
+Client::Event Client::wait_event() {
+  if (!pending_events_.empty()) {
+    Event event = std::move(pending_events_.front());
+    pending_events_.pop_front();
+    return event;
+  }
+  for (;;) {
+    auto response = next_frame();
+    if (!response.has_value()) {
+      throw Error("serve client: server closed connection");
+    }
+    if (response->type == ResponseType::kEvent) {
+      const auto& body = std::get<EventBody>(response->body);
+      return Event{body.subscription_id, body.seq, body.text};
+    }
+    // Anything else here is a late response to an abandoned request; drop it.
+  }
+}
+
+void Client::unsubscribe(std::uint64_t subscription_id) {
+  const std::uint64_t id = next_id_++;
+  send_request(Request{RequestType::kUnsubscribe, id,
+                       UnsubscribeBody{subscription_id}});
+  const Response response = read_response(id);
+  if (response.type == ResponseType::kError) {
+    throw Error("serve client: unsubscribe failed: " +
+                std::get<ErrorBody>(response.body).message);
+  }
+}
+
+bool Client::ping() {
+  const std::uint64_t id = next_id_++;
+  send_request(Request{RequestType::kPing, id, PingBody{}});
+  return read_response(id).type == ResponseType::kPong;
+}
+
+}  // namespace megads::serve

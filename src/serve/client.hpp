@@ -1,0 +1,78 @@
+// Blocking FlowQL client — the test/bench/example-facing counterpart of
+// FlowQLServer. One Client is one TCP connection speaking the serve protocol
+// synchronously: send a request, read frames until the matching response
+// completes. Server-pushed kEvent frames that interleave with a pending
+// request are stashed and handed out by wait_event() in arrival order.
+//
+// Not thread-safe: one Client per thread (the load generator in bench_serve
+// drives many connections from one thread with its own non-blocking state
+// machine instead — this class is the simple correctness-oriented path).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+
+namespace megads::serve {
+
+class Client {
+ public:
+  /// Connects immediately; throws NotFoundError when the server is
+  /// unreachable.
+  Client(const std::string& host, std::uint16_t port);
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  struct Result {
+    bool ok = false;
+    ErrorCode code = ErrorCode::kBadRequest;  ///< valid when !ok
+    std::string message;                      ///< error message when !ok
+    std::string text;  ///< rendered table / metrics dump when ok
+  };
+
+  struct Event {
+    std::uint64_t subscription_id = 0;
+    std::uint32_t seq = 0;
+    std::string text;
+  };
+
+  /// Execute a FlowQL statement; reassembles the chunk stream into `text`.
+  /// deadline_ms = 0 uses the server default.
+  [[nodiscard]] Result query(const std::string& statement,
+                             std::uint32_t deadline_ms = 0);
+
+  /// Fetch the server's metrics snapshot dump.
+  [[nodiscard]] Result metrics();
+
+  /// Register a periodic subscription; returns its id. Throws Error when the
+  /// server rejects it.
+  [[nodiscard]] std::uint64_t subscribe(const std::string& statement,
+                                        std::uint32_t period_ms);
+  /// Block until the next server-pushed event arrives.
+  [[nodiscard]] Event wait_event();
+  void unsubscribe(std::uint64_t subscription_id);
+
+  /// Round-trip liveness check.
+  [[nodiscard]] bool ping();
+
+ private:
+  void send_request(const Request& request);
+  /// Block until a full response frame for `request_id` arrives; events seen
+  /// on the way are stashed for wait_event().
+  [[nodiscard]] Response read_response(std::uint64_t request_id);
+  [[nodiscard]] std::optional<Response> next_frame();
+
+  net::ScopedFd fd_;
+  net::FrameReassembler reassembler_;
+  std::uint64_t next_id_ = 1;
+  std::deque<Event> pending_events_;
+};
+
+}  // namespace megads::serve

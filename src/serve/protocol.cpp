@@ -1,0 +1,260 @@
+#include "serve/protocol.hpp"
+
+#include "common/error.hpp"
+
+namespace megads::serve {
+
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+/// Bounds-checked cursor — the envelope Reader discipline: every read
+/// validates against the buffer end, a hostile length fails loudly.
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return bytes_[pos_++];
+  }
+  std::uint16_t u16() {
+    need(2, "u16");
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<std::uint16_t>(v |
+                                     (std::uint16_t{bytes_[pos_++]} << (8 * i)));
+    }
+    return v;
+  }
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{bytes_[pos_++]} << (8 * i);
+    return v;
+  }
+  std::string string() {
+    const std::uint32_t len = u32();
+    need(len, "string field");
+    std::string out(bytes_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                    bytes_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+  void expect_done() const {
+    if (remaining() != 0) throw ParseError("serve: trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    if (n > remaining()) {
+      throw ParseError(std::string("serve: truncated ") + what);
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Request& request) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(request.type));
+  put_u64(out, request.request_id);
+  switch (request.type) {
+    case RequestType::kQuery: {
+      const auto& body = std::get<QueryBody>(request.body);
+      put_u32(out, body.deadline_ms);
+      put_string(out, body.statement);
+      break;
+    }
+    case RequestType::kMetrics:
+      break;
+    case RequestType::kSubscribe: {
+      const auto& body = std::get<SubscribeBody>(request.body);
+      put_u32(out, body.period_ms);
+      put_string(out, body.statement);
+      break;
+    }
+    case RequestType::kUnsubscribe: {
+      put_u64(out, std::get<UnsubscribeBody>(request.body).subscription_id);
+      break;
+    }
+    case RequestType::kPing:
+      break;
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> encode(const Response& response) {
+  std::vector<std::uint8_t> out;
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<std::uint8_t>(response.type));
+  put_u64(out, response.request_id);
+  switch (response.type) {
+    case ResponseType::kResultChunk: {
+      const auto& body = std::get<ResultChunkBody>(response.body);
+      put_u32(out, body.seq);
+      put_u8(out, body.last ? 1 : 0);
+      put_string(out, body.chunk);
+      break;
+    }
+    case ResponseType::kMetricsText:
+      put_string(out, std::get<MetricsTextBody>(response.body).text);
+      break;
+    case ResponseType::kError: {
+      const auto& body = std::get<ErrorBody>(response.body);
+      put_u16(out, static_cast<std::uint16_t>(body.code));
+      put_string(out, body.message);
+      break;
+    }
+    case ResponseType::kSubscribed:
+      put_u64(out, std::get<SubscribedBody>(response.body).subscription_id);
+      break;
+    case ResponseType::kEvent: {
+      const auto& body = std::get<EventBody>(response.body);
+      put_u64(out, body.subscription_id);
+      put_u32(out, body.seq);
+      put_string(out, body.text);
+      break;
+    }
+    case ResponseType::kPong:
+      break;
+  }
+  return out;
+}
+
+Request decode_request(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.u8() != kProtocolVersion) throw ParseError("serve: unknown version");
+  const std::uint8_t raw_type = r.u8();
+  Request request;
+  request.request_id = r.u64();
+  switch (raw_type) {
+    case static_cast<std::uint8_t>(RequestType::kQuery): {
+      request.type = RequestType::kQuery;
+      QueryBody body;
+      body.deadline_ms = r.u32();
+      body.statement = r.string();
+      request.body = std::move(body);
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kMetrics):
+      request.type = RequestType::kMetrics;
+      request.body = MetricsBody{};
+      break;
+    case static_cast<std::uint8_t>(RequestType::kSubscribe): {
+      request.type = RequestType::kSubscribe;
+      SubscribeBody body;
+      body.period_ms = r.u32();
+      body.statement = r.string();
+      request.body = std::move(body);
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kUnsubscribe): {
+      request.type = RequestType::kUnsubscribe;
+      request.body = UnsubscribeBody{r.u64()};
+      break;
+    }
+    case static_cast<std::uint8_t>(RequestType::kPing):
+      request.type = RequestType::kPing;
+      request.body = PingBody{};
+      break;
+    default:
+      throw ParseError("serve: unknown request type");
+  }
+  r.expect_done();
+  return request;
+}
+
+Response decode_response(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  if (r.u8() != kProtocolVersion) throw ParseError("serve: unknown version");
+  const std::uint8_t raw_type = r.u8();
+  Response response;
+  response.request_id = r.u64();
+  switch (raw_type) {
+    case static_cast<std::uint8_t>(ResponseType::kResultChunk): {
+      response.type = ResponseType::kResultChunk;
+      ResultChunkBody body;
+      body.seq = r.u32();
+      const std::uint8_t last = r.u8();
+      if (last > 1) throw ParseError("serve: bad last-chunk flag");
+      body.last = last == 1;
+      body.chunk = r.string();
+      response.body = std::move(body);
+      break;
+    }
+    case static_cast<std::uint8_t>(ResponseType::kMetricsText):
+      response.type = ResponseType::kMetricsText;
+      response.body = MetricsTextBody{r.string()};
+      break;
+    case static_cast<std::uint8_t>(ResponseType::kError): {
+      response.type = ResponseType::kError;
+      ErrorBody body;
+      const std::uint16_t code = r.u16();
+      if (code < 1 || code > 5) throw ParseError("serve: unknown error code");
+      body.code = static_cast<ErrorCode>(code);
+      body.message = r.string();
+      response.body = std::move(body);
+      break;
+    }
+    case static_cast<std::uint8_t>(ResponseType::kSubscribed):
+      response.type = ResponseType::kSubscribed;
+      response.body = SubscribedBody{r.u64()};
+      break;
+    case static_cast<std::uint8_t>(ResponseType::kEvent): {
+      response.type = ResponseType::kEvent;
+      EventBody body;
+      body.subscription_id = r.u64();
+      body.seq = r.u32();
+      body.text = r.string();
+      response.body = std::move(body);
+      break;
+    }
+    case static_cast<std::uint8_t>(ResponseType::kPong):
+      response.type = ResponseType::kPong;
+      response.body = PongBody{};
+      break;
+    default:
+      throw ParseError("serve: unknown response type");
+  }
+  r.expect_done();
+  return response;
+}
+
+}  // namespace megads::serve

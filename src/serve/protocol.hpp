@@ -1,0 +1,118 @@
+// Client protocol of the FlowQL serving tier. Every message rides the outer
+// length-prefixed framing (net/framing.hpp); this header defines the inner
+// payload: a 1-byte version, a 1-byte type, a u64 request id, then a typed
+// body. All integers little-endian; every variable-length field carries an
+// explicit length prefix (the PR 6 envelope codec discipline: the decoder
+// either returns a fully validated message or throws ParseError — never a
+// half-parsed state; fuzz/fuzz_serve_frame.cpp drives the contract through
+// the reassembler).
+//
+// Request/response flow:
+//   kQuery        -> one or more kResultChunk frames (seq-numbered, the last
+//                    marked; large tables stream without a giant frame), or
+//                    one kError.
+//   kMetrics      -> kMetricsText (the registry snapshot dump) or kError.
+//   kSubscribe    -> kSubscribed carrying the subscription id; the server
+//                    then pushes kEvent frames every period until
+//                    kUnsubscribe or disconnect.
+//   kPing         -> kPong (liveness / RTT floor).
+//
+// Overloaded servers shed with kError code kOverload — the distinct wire
+// code admission control uses, so clients can tell "back off" from "your
+// query is wrong".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace megads::serve {
+
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+enum class RequestType : std::uint8_t {
+  kQuery = 1,
+  kMetrics = 2,
+  kSubscribe = 3,
+  kUnsubscribe = 4,
+  kPing = 5,
+};
+
+enum class ResponseType : std::uint8_t {
+  kResultChunk = 16,
+  kMetricsText = 17,
+  kError = 18,
+  kSubscribed = 19,
+  kEvent = 20,
+  kPong = 21,
+};
+
+/// Wire error codes (u16). kOverload is the admission-control shed signal.
+enum class ErrorCode : std::uint16_t {
+  kParse = 1,     ///< FlowQL syntax error
+  kExec = 2,      ///< execution failed (bad selection, precondition, ...)
+  kOverload = 3,  ///< shed by admission control / deadline expiry
+  kBadRequest = 4,
+  kTooLarge = 5,
+};
+
+struct QueryBody {
+  std::uint32_t deadline_ms = 0;  ///< 0 = server default
+  std::string statement;
+};
+struct MetricsBody {};
+struct SubscribeBody {
+  std::uint32_t period_ms = 0;
+  std::string statement;
+};
+struct UnsubscribeBody {
+  std::uint64_t subscription_id = 0;
+};
+struct PingBody {};
+
+struct Request {
+  RequestType type = RequestType::kQuery;
+  std::uint64_t request_id = 0;
+  std::variant<QueryBody, MetricsBody, SubscribeBody, UnsubscribeBody, PingBody>
+      body;
+};
+
+struct ResultChunkBody {
+  std::uint32_t seq = 0;
+  bool last = false;
+  std::string chunk;  ///< a slice of the rendered table text
+};
+struct MetricsTextBody {
+  std::string text;
+};
+struct ErrorBody {
+  ErrorCode code = ErrorCode::kBadRequest;
+  std::string message;
+};
+struct SubscribedBody {
+  std::uint64_t subscription_id = 0;
+};
+struct EventBody {
+  std::uint64_t subscription_id = 0;
+  std::uint32_t seq = 0;
+  std::string text;
+};
+struct PongBody {};
+
+struct Response {
+  ResponseType type = ResponseType::kError;
+  std::uint64_t request_id = 0;
+  std::variant<ResultChunkBody, MetricsTextBody, ErrorBody, SubscribedBody,
+               EventBody, PongBody>
+      body;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> encode(const Request& request);
+[[nodiscard]] std::vector<std::uint8_t> encode(const Response& response);
+
+/// Parse and validate; throws ParseError on any malformed input.
+[[nodiscard]] Request decode_request(const std::vector<std::uint8_t>& bytes);
+[[nodiscard]] Response decode_response(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace megads::serve

@@ -1,0 +1,119 @@
+// RequestScheduler — admission control + bounded dispatch between the
+// serving tier's event loop and the PR 3 ThreadPool.
+//
+// The socket loop must never block: it admits or sheds in O(1) and returns
+// to poll(). Admission applies two tests up front, both against mu_-guarded
+// bookkeeping (rank kServeScheduler):
+//
+//   1. Queue bound: at most max_queue requests admitted-but-unfinished. The
+//      ThreadPool's own queue is unbounded by design (ingest fan-outs rely
+//      on that); the serving tier bounds it here so a client burst turns
+//      into fast kOverload rejections instead of an ever-growing backlog —
+//      the load-shedding posture the paper's interactive-latency goal needs.
+//   2. Deadline feasibility: an EWMA of recent service times predicts this
+//      request's queue wait as depth * ewma. A request whose deadline would
+//      already be spent waiting is shed *now*, while the rejection is cheap,
+//      rather than discovered dead at dequeue.
+//
+// Admitted work still re-checks its deadline at dequeue (the EWMA is an
+// estimate); expired work runs the caller's `expired` callback instead of
+// the query, so the client gets a kOverload answer rather than a stale
+// table. Every transition is counted; stats() reconciles exactly:
+// submitted == accepted + shed_queue + shed_deadline, and
+// accepted == executed + expired + queue_depth (the overload suite pins
+// this invariant after drain(), when queue_depth is 0).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/metrics.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_pool.hpp"
+
+namespace megads::serve {
+
+class RequestScheduler {
+ public:
+  struct Options {
+    /// Max admitted-but-unfinished requests (queued + running).
+    std::size_t max_queue = 256;
+    /// Deadline applied when a request carries none (0 disables the
+    /// feasibility test and dequeue expiry for that request).
+    std::uint32_t default_deadline_ms = 0;
+    /// EWMA smoothing for the service-time estimate.
+    double ewma_alpha = 0.2;
+    /// Seed for the estimate before any request completed.
+    double initial_service_us = 200.0;
+  };
+
+  enum class Admit : std::uint8_t {
+    kAdmitted = 0,
+    kShedQueueFull = 1,
+    kShedDeadline = 2,
+  };
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t accepted = 0;
+    std::uint64_t shed_queue = 0;
+    std::uint64_t shed_deadline = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t expired = 0;
+    std::size_t queue_depth = 0;
+    double ewma_service_us = 0.0;
+  };
+
+  /// The pool must outlive the scheduler. The scheduler never owns threads;
+  /// it only decides what reaches the pool.
+  explicit RequestScheduler(ThreadPool& pool)
+      : RequestScheduler(pool, Options()) {}
+  RequestScheduler(ThreadPool& pool, Options options);
+  /// Drains: blocks until every admitted request finished.
+  ~RequestScheduler();
+
+  RequestScheduler(const RequestScheduler&) = delete;
+  RequestScheduler& operator=(const RequestScheduler&) = delete;
+
+  /// Admit-or-shed. On kAdmitted, `run` executes on a pool worker unless the
+  /// deadline has expired by dequeue, in which case `expired` executes
+  /// instead (exactly one of the two runs, on a pool thread). On a shed
+  /// verdict nothing was enqueued — the caller answers the client itself.
+  /// deadline_ms is relative to now; 0 means Options::default_deadline_ms.
+  [[nodiscard]] Admit submit(std::uint32_t deadline_ms,
+                             std::function<void()> run,
+                             std::function<void()> expired)
+      MEGADS_EXCLUDES(mu_);
+
+  /// Block until queue_depth reaches 0 (no admission gate — callers that
+  /// keep submitting can starve this; tests quiesce first).
+  void drain() MEGADS_EXCLUDES(mu_);
+
+  [[nodiscard]] Stats stats() const MEGADS_EXCLUDES(mu_);
+
+  /// Registers serve.sched.* instruments and catches counters up to the
+  /// current stats.
+  void attach_metrics(metrics::MetricsRegistry& registry) MEGADS_EXCLUDES(mu_);
+
+ private:
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  ThreadPool& pool_;
+  const Options options_;
+
+  mutable Mutex mu_{lockrank::kServeScheduler, "serve.scheduler"};
+  mutable CondVar drained_;
+  Stats stats_ MEGADS_GUARDED_BY(mu_);
+  metrics::Counter* metric_submitted_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_accepted_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_shed_queue_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_shed_deadline_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_executed_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_expired_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Gauge* metric_queue_depth_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Gauge* metric_ewma_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Histogram* metric_service_us_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Histogram* metric_queue_wait_us_ MEGADS_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace megads::serve

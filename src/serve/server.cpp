@@ -1,0 +1,621 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/table.hpp"
+
+namespace megads::serve {
+
+FlowQLServer::FlowQLServer(const flowdb::SummarySource& source, Options options)
+    : source_(source),
+      options_(std::move(options)),
+      // +1: the event loop submits but never executes, so `workers` is the
+      // exact query-execution concurrency (ThreadPool counts the caller).
+      pool_(options_.workers + 1),
+      scheduler_(pool_, options_.scheduler) {}
+
+FlowQLServer::~FlowQLServer() { stop(); }
+
+std::uint64_t FlowQLServer::now_us() const noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void FlowQLServer::start() {
+  if (started_) return;
+  auto [fd, bound_port] = net::tcp_listen(options_.host, options_.port);
+  listen_fd_ = std::move(fd);
+  port_ = bound_port;
+  net::set_nonblocking(listen_fd_.get());
+  {
+    const MutexLock lock(mu_);
+    stopping_ = false;
+  }
+  loop_thread_ = std::thread([this] { loop(); });
+  started_ = true;
+}
+
+void FlowQLServer::stop() {
+  {
+    const MutexLock lock(mu_);
+    if (stopping_ && !started_) return;
+    stopping_ = true;
+  }
+  wake_.wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+  started_ = false;
+  // Admitted work may still be running; let it finish against live sessions
+  // (responses land in outboxes that will never flush — harmless) before any
+  // member is torn down.
+  scheduler_.drain();
+  const MutexLock lock(mu_);
+  for (auto& [fd, session] : sessions_) {
+    const MutexLock session_lock(session->mu);
+    session->closed = true;
+  }
+  sessions_.clear();
+  dirty_.clear();
+  stats_.active_connections = 0;
+  stats_.subscriptions_active = 0;
+  if (metric_active_conns_ != nullptr) metric_active_conns_->set(0);
+  if (metric_subscriptions_ != nullptr) metric_subscriptions_->set(0);
+}
+
+FlowQLServer::Stats FlowQLServer::stats() const {
+  Stats out;
+  {
+    const MutexLock lock(mu_);
+    out = stats_;
+  }
+  out.sched = scheduler_.stats();
+  return out;
+}
+
+void FlowQLServer::attach_metrics(metrics::MetricsRegistry& registry) {
+  scheduler_.attach_metrics(registry);
+  metrics::Counter& connections = registry.counter("serve.connections");
+  metrics::Counter& requests = registry.counter("serve.requests");
+  metrics::Counter& bad_requests = registry.counter("serve.bad_requests");
+  metrics::Counter& dropped = registry.counter("serve.dropped_frames");
+  metrics::Counter& slow_closed = registry.counter("serve.slow_client_closed");
+  metrics::Counter& events = registry.counter("serve.events_pushed");
+  metrics::Counter& bytes_in = registry.counter("serve.bytes_in");
+  metrics::Counter& bytes_out = registry.counter("serve.bytes_out");
+  metrics::Gauge& active = registry.gauge("serve.active_connections");
+  metrics::Gauge& subs = registry.gauge("serve.subscriptions_active");
+
+  const MutexLock lock(mu_);
+  registry_ = &registry;
+  metric_connections_ = &connections;
+  metric_requests_ = &requests;
+  metric_bad_requests_ = &bad_requests;
+  metric_dropped_ = &dropped;
+  metric_slow_closed_ = &slow_closed;
+  metric_events_ = &events;
+  metric_bytes_in_ = &bytes_in;
+  metric_bytes_out_ = &bytes_out;
+  metric_active_conns_ = &active;
+  metric_subscriptions_ = &subs;
+  metric_connections_->add(stats_.connections_accepted);
+  metric_requests_->add(stats_.requests);
+  metric_bad_requests_->add(stats_.bad_requests);
+  metric_dropped_->add(stats_.dropped_frames);
+  metric_slow_closed_->add(stats_.slow_client_closed);
+  metric_events_->add(stats_.events_pushed);
+  metric_bytes_in_->add(stats_.bytes_in);
+  metric_bytes_out_->add(stats_.bytes_out);
+  metric_active_conns_->set(static_cast<double>(stats_.active_connections));
+  metric_subscriptions_->set(static_cast<double>(stats_.subscriptions_active));
+}
+
+// ---------------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------------
+
+void FlowQLServer::loop() {
+  std::vector<pollfd> fds;
+  std::vector<SessionPtr> polled;
+  for (;;) {
+    // Worker -> loop handoff: splice every dirty session's outbox into its
+    // write buffer before arming POLLOUT below.
+    std::set<int> dirty;
+    {
+      const MutexLock lock(mu_);
+      if (stopping_) break;
+      dirty.swap(dirty_);
+    }
+    for (const int fd : dirty) {
+      SessionPtr session;
+      {
+        const MutexLock lock(mu_);
+        const auto it = sessions_.find(fd);
+        if (it == sessions_.end()) continue;  // closed since marked dirty
+        session = it->second;
+      }
+      if (!drain_outbox(session)) close_session(session);
+    }
+
+    const int sub_timeout_ms = service_subscriptions();
+
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_.read_fd(), POLLIN, 0});
+    fds.push_back({listen_fd_.get(), POLLIN, 0});
+    {
+      const MutexLock lock(mu_);
+      for (const auto& [fd, session] : sessions_) {
+        short events = POLLIN;
+        if (session->write_pos < session->write_buf.size()) events |= POLLOUT;
+        fds.push_back({fd, events, 0});
+        polled.push_back(session);
+      }
+    }
+    // Cap the sleep so a raced wake (or a subscription armed mid-poll) is
+    // picked up promptly even if the wake byte was consumed early.
+    int timeout = 100;
+    if (sub_timeout_ms >= 0) timeout = std::min(timeout, sub_timeout_ms);
+    const int rc = ::poll(fds.data(), fds.size(), timeout);
+    if (rc < 0) continue;  // EINTR
+    wake_.drain();
+
+    if ((fds[1].revents & POLLIN) != 0) accept_ready();
+
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      const pollfd& entry = fds[i];
+      if (entry.revents == 0) continue;
+      const SessionPtr& session = polled[i - 2];
+      bool alive = true;
+      if ((entry.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) alive = false;
+      if (alive && (entry.revents & POLLIN) != 0) {
+        alive = service_readable(session);
+      }
+      if (alive && (entry.revents & POLLOUT) != 0) {
+        alive = flush_writable(session);
+      }
+      if (!alive) close_session(session);
+    }
+  }
+}
+
+void FlowQLServer::accept_ready() {
+  for (;;) {
+    const int client = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (client < 0) break;
+    bool over_cap = false;
+    {
+      const MutexLock lock(mu_);
+      over_cap = sessions_.size() >= options_.max_connections;
+      if (over_cap) ++stats_.connections_rejected;
+    }
+    if (over_cap) {
+      net::ScopedFd drop(client);  // close immediately
+      continue;
+    }
+    net::set_nonblocking(client);
+    net::set_nodelay(client);
+    auto session =
+        std::make_shared<Session>(net::ScopedFd(client), options_.max_frame_bytes);
+    const MutexLock lock(mu_);
+    sessions_[client] = std::move(session);
+    ++stats_.connections_accepted;
+    stats_.active_connections = sessions_.size();
+    if (metric_connections_ != nullptr) metric_connections_->add();
+    if (metric_active_conns_ != nullptr) {
+      metric_active_conns_->set(static_cast<double>(sessions_.size()));
+    }
+  }
+}
+
+bool FlowQLServer::service_readable(const SessionPtr& session) {
+  std::uint8_t buf[64 * 1024];
+  std::uint64_t total = 0;
+  bool alive = true;
+  for (;;) {
+    const net::IoResult io = net::read_some(session->fd, buf, sizeof(buf));
+    if (io.closed) {
+      alive = false;
+      break;
+    }
+    if (io.would_block) break;
+    total += io.bytes;
+    try {
+      session->reassembler.feed(buf, io.bytes);
+      for (;;) {
+        auto payload = session->reassembler.next();
+        if (!payload.has_value()) break;
+        handle_payload(session, *payload);
+      }
+    } catch (const ParseError&) {
+      // Outer-framing violation (bad magic / oversized length): the stream
+      // is unrecoverable — count and close.
+      const MutexLock lock(mu_);
+      ++stats_.dropped_frames;
+      if (metric_dropped_ != nullptr) metric_dropped_->add();
+      alive = false;
+      break;
+    }
+    if (io.bytes < sizeof(buf)) break;  // drained for now
+  }
+  if (total > 0) {
+    const MutexLock lock(mu_);
+    stats_.bytes_in += total;
+    if (metric_bytes_in_ != nullptr) metric_bytes_in_->add(total);
+  }
+  return alive;
+}
+
+void FlowQLServer::handle_payload(const SessionPtr& session,
+                                  const std::vector<std::uint8_t>& payload) {
+  Request request;
+  try {
+    request = decode_request(payload);
+  } catch (const ParseError& e) {
+    // Malformed inner payload: the framing survived, so the connection is
+    // still usable — answer with the wire error and keep it open.
+    {
+      const MutexLock lock(mu_);
+      ++stats_.bad_requests;
+      if (metric_bad_requests_ != nullptr) metric_bad_requests_->add();
+    }
+    send_response(session,
+                  Response{ResponseType::kError, 0,
+                           ErrorBody{ErrorCode::kBadRequest, e.what()}});
+    return;
+  }
+  {
+    const MutexLock lock(mu_);
+    ++stats_.requests;
+    if (metric_requests_ != nullptr) metric_requests_->add();
+  }
+
+  switch (request.type) {
+    case RequestType::kQuery:
+      handle_query(session, request.request_id,
+                   std::move(std::get<QueryBody>(request.body)));
+      break;
+    case RequestType::kMetrics: {
+      metrics::MetricsRegistry* registry = nullptr;
+      {
+        const MutexLock lock(mu_);
+        registry = registry_;
+      }
+      if (registry == nullptr) {
+        send_response(session, Response{ResponseType::kError, request.request_id,
+                                        ErrorBody{ErrorCode::kBadRequest,
+                                                  "no metrics registry attached"}});
+      } else {
+        send_response(session,
+                      Response{ResponseType::kMetricsText, request.request_id,
+                               MetricsTextBody{registry->snapshot().to_string()}});
+      }
+      break;
+    }
+    case RequestType::kSubscribe:
+      handle_subscribe(session, request.request_id,
+                       std::get<SubscribeBody>(request.body));
+      break;
+    case RequestType::kUnsubscribe: {
+      const std::uint64_t id =
+          std::get<UnsubscribeBody>(request.body).subscription_id;
+      const auto it = session->subs.find(id);
+      if (it == session->subs.end()) {
+        send_response(session, Response{ResponseType::kError, request.request_id,
+                                        ErrorBody{ErrorCode::kBadRequest,
+                                                  "unknown subscription"}});
+        break;
+      }
+      it->second->active.store(false, std::memory_order_relaxed);
+      session->subs.erase(it);
+      {
+        const MutexLock lock(mu_);
+        --stats_.subscriptions_active;
+        if (metric_subscriptions_ != nullptr) {
+          metric_subscriptions_->set(
+              static_cast<double>(stats_.subscriptions_active));
+        }
+      }
+      // The unsubscribe acknowledgement reuses kSubscribed: "subscription
+      // state changed", carrying the now-removed id.
+      send_response(session, Response{ResponseType::kSubscribed,
+                                      request.request_id, SubscribedBody{id}});
+      break;
+    }
+    case RequestType::kPing:
+      send_response(session,
+                    Response{ResponseType::kPong, request.request_id, PongBody{}});
+      break;
+  }
+}
+
+void FlowQLServer::handle_query(const SessionPtr& session,
+                                std::uint64_t request_id, QueryBody body) {
+  const RequestScheduler::Admit verdict = scheduler_.submit(
+      body.deadline_ms,
+      [this, session, request_id, statement = std::move(body.statement)] {
+        execute_and_respond(session, request_id, statement);
+      },
+      [this, session, request_id] {
+        send_response(session,
+                      Response{ResponseType::kError, request_id,
+                               ErrorBody{ErrorCode::kOverload,
+                                         "deadline expired in queue"}});
+      });
+  switch (verdict) {
+    case RequestScheduler::Admit::kAdmitted:
+      break;
+    case RequestScheduler::Admit::kShedQueueFull:
+      send_response(session, Response{ResponseType::kError, request_id,
+                                      ErrorBody{ErrorCode::kOverload,
+                                                "shed: queue full"}});
+      break;
+    case RequestScheduler::Admit::kShedDeadline:
+      send_response(session,
+                    Response{ResponseType::kError, request_id,
+                             ErrorBody{ErrorCode::kOverload,
+                                       "shed: deadline infeasible at current load"}});
+      break;
+  }
+}
+
+void FlowQLServer::handle_subscribe(const SessionPtr& session,
+                                    std::uint64_t request_id,
+                                    const SubscribeBody& body) {
+  if (body.period_ms < options_.min_subscribe_period_ms) {
+    send_response(session,
+                  Response{ResponseType::kError, request_id,
+                           ErrorBody{ErrorCode::kBadRequest,
+                                     "subscription period below server minimum"}});
+    return;
+  }
+  auto sub = std::make_shared<Subscription>();
+  sub->id = next_subscription_id_++;
+  sub->statement = body.statement;
+  sub->period_ms = body.period_ms;
+  sub->next_due_us = now_us() + std::uint64_t{body.period_ms} * 1000;
+  session->subs[sub->id] = sub;
+  {
+    const MutexLock lock(mu_);
+    ++stats_.subscriptions_active;
+    if (metric_subscriptions_ != nullptr) {
+      metric_subscriptions_->set(
+          static_cast<double>(stats_.subscriptions_active));
+    }
+  }
+  send_response(session, Response{ResponseType::kSubscribed, request_id,
+                                  SubscribedBody{sub->id}});
+}
+
+int FlowQLServer::service_subscriptions() {
+  std::vector<SessionPtr> sessions;
+  {
+    const MutexLock lock(mu_);
+    sessions.reserve(sessions_.size());
+    for (const auto& [fd, session] : sessions_) sessions.push_back(session);
+  }
+  const std::uint64_t now = now_us();
+  std::uint64_t earliest = 0;
+  bool any = false;
+  for (const SessionPtr& session : sessions) {
+    for (auto& [id, sub] : session->subs) {
+      if (!sub->active.load(std::memory_order_relaxed)) continue;
+      if (sub->next_due_us <= now) {
+        if (!sub->in_flight.load(std::memory_order_relaxed)) {
+          sub->in_flight.store(true, std::memory_order_relaxed);
+          const RequestScheduler::Admit verdict = scheduler_.submit(
+              0,
+              [this, session, sub] {
+                if (sub->active.load(std::memory_order_relaxed)) {
+                  try {
+                    const flowdb::Table table =
+                        flowdb::run_flowql(sub->statement, source_);
+                    const std::uint32_t seq = sub->seq++;
+                    send_response(session,
+                                  Response{ResponseType::kEvent, 0,
+                                           EventBody{sub->id, seq,
+                                                     table.to_string()}});
+                    const MutexLock lock(mu_);
+                    ++stats_.events_pushed;
+                    if (metric_events_ != nullptr) metric_events_->add();
+                  } catch (const Error& e) {
+                    // A subscription whose statement stopped executing is
+                    // dead: report once and cancel (the loop reaps it).
+                    sub->active.store(false, std::memory_order_relaxed);
+                    send_response(
+                        session,
+                        Response{ResponseType::kError, 0,
+                                 ErrorBody{ErrorCode::kExec,
+                                           std::string("subscription ") +
+                                               std::to_string(sub->id) + ": " +
+                                               e.what()}});
+                  }
+                }
+                sub->in_flight.store(false, std::memory_order_relaxed);
+              },
+              [sub] { sub->in_flight.store(false, std::memory_order_relaxed); });
+          if (verdict != RequestScheduler::Admit::kAdmitted) {
+            // Overloaded: skip this tick; the event stream thins under load
+            // instead of joining the queue it would only lengthen.
+            sub->in_flight.store(false, std::memory_order_relaxed);
+          }
+        }
+        sub->next_due_us = now + std::uint64_t{sub->period_ms} * 1000;
+      }
+      if (!any || sub->next_due_us < earliest) {
+        earliest = sub->next_due_us;
+        any = true;
+      }
+    }
+    // Reap subscriptions cancelled by a failed tick.
+    for (auto it = session->subs.begin(); it != session->subs.end();) {
+      if (!it->second->active.load(std::memory_order_relaxed)) {
+        it = session->subs.erase(it);
+        const MutexLock lock(mu_);
+        --stats_.subscriptions_active;
+        if (metric_subscriptions_ != nullptr) {
+          metric_subscriptions_->set(
+              static_cast<double>(stats_.subscriptions_active));
+        }
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (!any) return -1;
+  if (earliest <= now) return 0;
+  return static_cast<int>((earliest - now) / 1000 + 1);
+}
+
+// ---------------------------------------------------------------------------
+// Query execution (pool workers)
+// ---------------------------------------------------------------------------
+
+void FlowQLServer::execute_and_respond(const SessionPtr& session,
+                                       std::uint64_t request_id,
+                                       const std::string& statement) {
+  std::string text;
+  try {
+    text = flowdb::run_flowql(statement, source_).to_string();
+  } catch (const ParseError& e) {
+    send_response(session, Response{ResponseType::kError, request_id,
+                                    ErrorBody{ErrorCode::kParse, e.what()}});
+    return;
+  } catch (const Error& e) {
+    send_response(session, Response{ResponseType::kError, request_id,
+                                    ErrorBody{ErrorCode::kExec, e.what()}});
+    return;
+  }
+  // Stream the rendered table as bounded chunks; an empty table is still one
+  // (empty, last) chunk so the client always sees a terminator.
+  std::uint32_t seq = 0;
+  std::size_t pos = 0;
+  do {
+    const std::size_t len = std::min(options_.chunk_bytes, text.size() - pos);
+    ResultChunkBody chunk;
+    chunk.seq = seq++;
+    chunk.last = pos + len >= text.size();
+    chunk.chunk = text.substr(pos, len);
+    pos += len;
+    send_response(session,
+                  Response{ResponseType::kResultChunk, request_id,
+                           std::move(chunk)});
+  } while (pos < text.size());
+}
+
+// ---------------------------------------------------------------------------
+// Response path
+// ---------------------------------------------------------------------------
+
+void FlowQLServer::send_response(const SessionPtr& session,
+                                 const Response& response) {
+  const std::vector<std::uint8_t> frame = net::encode_frame(encode(response));
+  {
+    const MutexLock lock(session->mu);
+    if (session->closed) return;
+    session->outbox.insert(session->outbox.end(), frame.begin(), frame.end());
+  }
+  {
+    const MutexLock lock(mu_);
+    dirty_.insert(session->fd);
+  }
+  wake_.wake();
+}
+
+bool FlowQLServer::drain_outbox(const SessionPtr& session) {
+  {
+    const MutexLock lock(session->mu);
+    if (session->closed) return true;
+    if (!session->outbox.empty()) {
+      if (session->write_buf.empty()) {
+        session->write_buf = std::move(session->outbox);
+        session->outbox = {};
+        session->write_pos = 0;
+      } else {
+        session->write_buf.insert(session->write_buf.end(),
+                                  session->outbox.begin(),
+                                  session->outbox.end());
+        session->outbox.clear();
+      }
+    }
+  }
+  if (session->write_buf.size() - session->write_pos >
+      options_.max_write_buffer) {
+    // Slow-client cutoff: the peer stopped reading while responses piled up.
+    const MutexLock lock(mu_);
+    ++stats_.slow_client_closed;
+    if (metric_slow_closed_ != nullptr) metric_slow_closed_->add();
+    return false;
+  }
+  return flush_writable(session);
+}
+
+bool FlowQLServer::flush_writable(const SessionPtr& session) {
+  std::uint64_t total = 0;
+  bool alive = true;
+  while (session->write_pos < session->write_buf.size()) {
+    const net::IoResult io = net::write_some(
+        session->fd, session->write_buf.data() + session->write_pos,
+        session->write_buf.size() - session->write_pos);
+    if (io.closed) {
+      alive = false;
+      break;
+    }
+    total += io.bytes;
+    if (io.would_block) break;
+    session->write_pos += io.bytes;
+  }
+  if (session->write_pos == session->write_buf.size()) {
+    session->write_buf.clear();
+    session->write_pos = 0;
+  } else if (session->write_pos >= 4096) {
+    session->write_buf.erase(
+        session->write_buf.begin(),
+        session->write_buf.begin() +
+            static_cast<std::ptrdiff_t>(session->write_pos));
+    session->write_pos = 0;
+  }
+  if (total > 0) {
+    const MutexLock lock(mu_);
+    stats_.bytes_out += total;
+    if (metric_bytes_out_ != nullptr) metric_bytes_out_->add(total);
+  }
+  return alive;
+}
+
+void FlowQLServer::close_session(const SessionPtr& session) {
+  {
+    const MutexLock lock(session->mu);
+    if (session->closed) return;
+    session->closed = true;
+    session->outbox.clear();
+  }
+  for (auto& [id, sub] : session->subs) {
+    sub->active.store(false, std::memory_order_relaxed);
+  }
+  const std::size_t subs = session->subs.size();
+  session->subs.clear();
+  session->socket.reset();  // eager close; workers see `closed` and no-op
+  const MutexLock lock(mu_);
+  sessions_.erase(session->fd);
+  dirty_.erase(session->fd);
+  stats_.active_connections = sessions_.size();
+  stats_.subscriptions_active -= subs;
+  if (metric_active_conns_ != nullptr) {
+    metric_active_conns_->set(static_cast<double>(sessions_.size()));
+  }
+  if (metric_subscriptions_ != nullptr) {
+    metric_subscriptions_->set(
+        static_cast<double>(stats_.subscriptions_active));
+  }
+}
+
+}  // namespace megads::serve

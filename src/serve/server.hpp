@@ -1,0 +1,217 @@
+// FlowQLServer — the serving tier (ROADMAP item 1): a socket frontend that
+// exposes FlowQL, the metrics registry, and periodic subscription streams to
+// many concurrent clients over the outer framing (net/framing.hpp) and the
+// serve protocol (serve/protocol.hpp).
+//
+// Architecture: one poll-based event-loop thread owns every socket — accept,
+// torn-read reassembly, request decode, and all writes. Query execution never
+// runs on the loop: decoded kQuery requests go through the RequestScheduler
+// (admission control + load shedding) onto a shared ThreadPool, and execute
+// against the shared SummarySource — a FlowDB (one writer / many readers, so
+// N workers query while ingest continues) or a partitioned Coordinator, the
+// server cannot tell which (the distribution-transparency contract).
+//
+// Worker -> loop handoff: a worker appends encoded response frames to the
+// session's mu-guarded outbox (rank kServeSession), marks the session dirty
+// under the server mutex (rank kServeServer), and wakes the loop through the
+// pipe; the loop splices outboxes into per-connection write buffers and
+// flushes them POLLOUT-driven. The two locks are never nested with anything
+// below them — neither is ever held across query execution or a socket call.
+//
+// Overload posture: shed requests are answered immediately with kError code
+// kOverload (queue full / infeasible deadline / expired in queue — the
+// message says which), so clients distinguish "back off" from "your query is
+// wrong". A client that stops reading while responses accumulate past
+// max_write_buffer is closed (slow-client cutoff) — one stalled dashboard
+// cannot pin the server's memory.
+//
+// Large results stream as seq-numbered kResultChunk frames of chunk_bytes
+// each, so a megarow table never materializes as one giant frame and
+// interactive queries interleave fairly on the wire.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_pool.hpp"
+#include "flowdb/source.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+namespace megads::serve {
+
+class FlowQLServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = kernel-assigned; see port()
+    /// Query-execution concurrency (pool workers). The event loop is not a
+    /// pool thread, so this is exactly the number of in-flight queries.
+    std::size_t workers = 2;
+    RequestScheduler::Options scheduler;
+    /// kResultChunk payload size for streamed tables.
+    std::size_t chunk_bytes = 64u << 10;
+    /// Max inbound frame payload (requests are small; a huge declared
+    /// length is hostile input and closes the connection).
+    std::size_t max_frame_bytes = 1u << 20;
+    /// Slow-client cutoff: pending unsent response bytes above this close
+    /// the connection.
+    std::size_t max_write_buffer = 8u << 20;
+    /// Accept cap; connections past it are closed immediately (counted).
+    std::size_t max_connections = 12000;
+    std::uint32_t min_subscribe_period_ms = 10;
+  };
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_rejected = 0;  ///< over max_connections
+    std::uint64_t active_connections = 0;
+    std::uint64_t requests = 0;        ///< well-formed requests decoded
+    std::uint64_t bad_requests = 0;    ///< undecodable inner payloads
+    std::uint64_t dropped_frames = 0;  ///< outer-framing violations
+    std::uint64_t slow_client_closed = 0;
+    std::uint64_t events_pushed = 0;
+    std::uint64_t subscriptions_active = 0;
+    std::uint64_t bytes_in = 0;
+    std::uint64_t bytes_out = 0;
+    RequestScheduler::Stats sched;
+  };
+
+  /// The source must outlive the server. For a FlowDB source, writers may
+  /// keep ingesting concurrently — the serving path only reads.
+  explicit FlowQLServer(const flowdb::SummarySource& source)
+      : FlowQLServer(source, Options()) {}
+  FlowQLServer(const flowdb::SummarySource& source, Options options);
+  ~FlowQLServer();
+
+  FlowQLServer(const FlowQLServer&) = delete;
+  FlowQLServer& operator=(const FlowQLServer&) = delete;
+
+  /// Bind, listen, and start the event loop. Throws Error on bind failure.
+  void start();
+  /// Stop accepting, close every connection, drain admitted work, join.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  /// The actually-bound listen port (resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  [[nodiscard]] Stats stats() const MEGADS_EXCLUDES(mu_);
+
+  /// Registers serve.* instruments, forwards to the scheduler's
+  /// attach_metrics, and makes `registry` the target of kMetrics requests.
+  void attach_metrics(metrics::MetricsRegistry& registry)
+      MEGADS_EXCLUDES(mu_);
+
+  [[nodiscard]] const RequestScheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+
+ private:
+  /// Shared between the loop (scheduling/reaping) and the pool worker
+  /// running a tick — hence shared_ptr storage and atomic flags. id/
+  /// statement/period_ms are immutable after creation; next_due_us is loop
+  /// thread only; seq is touched only by the (single, in_flight-serialized)
+  /// tick worker.
+  struct Subscription {
+    std::uint64_t id = 0;
+    std::string statement;
+    std::uint32_t period_ms = 0;
+    std::uint64_t next_due_us = 0;
+    std::uint32_t seq = 0;
+    std::atomic<bool> in_flight{false};  ///< a tick's query is on the pool
+    std::atomic<bool> active{true};      ///< cleared by unsubscribe/close
+  };
+
+  /// One client connection. The loop thread owns fd/reassembler/write_buf/
+  /// subs exclusively; workers reach only the mu-guarded outbox.
+  struct Session {
+    explicit Session(net::ScopedFd sock, std::size_t max_frame)
+        : fd(sock.get()), socket(std::move(sock)), reassembler(max_frame) {}
+
+    const int fd;
+    net::ScopedFd socket;
+    net::FrameReassembler reassembler;   // loop thread only
+    std::vector<std::uint8_t> write_buf;  // loop thread only
+    std::size_t write_pos = 0;            // loop thread only
+    std::map<std::uint64_t, std::shared_ptr<Subscription>> subs;  // loop only
+
+    Mutex mu{lockrank::kServeSession, "serve.session"};
+    std::vector<std::uint8_t> outbox MEGADS_GUARDED_BY(mu);
+    bool closed MEGADS_GUARDED_BY(mu) = false;
+  };
+  using SessionPtr = std::shared_ptr<Session>;
+
+  void loop() MEGADS_EXCLUDES(mu_);
+  void accept_ready() MEGADS_EXCLUDES(mu_);
+  /// Read + dispatch; false when the connection died.
+  bool service_readable(const SessionPtr& session) MEGADS_EXCLUDES(mu_);
+  /// Flush write_buf; false when the connection died.
+  bool flush_writable(const SessionPtr& session) MEGADS_EXCLUDES(mu_);
+  void close_session(const SessionPtr& session) MEGADS_EXCLUDES(mu_);
+  /// Decode + route one inner payload (loop thread).
+  void handle_payload(const SessionPtr& session,
+                      const std::vector<std::uint8_t>& payload)
+      MEGADS_EXCLUDES(mu_);
+  void handle_query(const SessionPtr& session, std::uint64_t request_id,
+                    QueryBody body) MEGADS_EXCLUDES(mu_);
+  void handle_subscribe(const SessionPtr& session, std::uint64_t request_id,
+                        const SubscribeBody& body) MEGADS_EXCLUDES(mu_);
+  /// Fire due subscription ticks; returns the poll timeout (ms) until the
+  /// next one (-1 = none pending).
+  int service_subscriptions() MEGADS_EXCLUDES(mu_);
+
+  /// Execute `statement` and stream the rendered table as kResultChunk
+  /// frames (worker thread; exceptions become kError responses).
+  void execute_and_respond(const SessionPtr& session, std::uint64_t request_id,
+                           const std::string& statement);
+  /// Any thread: append an encoded response frame to the session outbox,
+  /// mark it dirty, wake the loop.
+  void send_response(const SessionPtr& session, const Response& response)
+      MEGADS_EXCLUDES(mu_);
+  /// Loop thread: splice the outbox into write_buf and flush once.
+  bool drain_outbox(const SessionPtr& session) MEGADS_EXCLUDES(mu_);
+
+  [[nodiscard]] std::uint64_t now_us() const noexcept;
+
+  const flowdb::SummarySource& source_;
+  const Options options_;
+  ThreadPool pool_;
+  RequestScheduler scheduler_;
+
+  std::uint16_t port_ = 0;
+  net::ScopedFd listen_fd_;
+  net::WakePipe wake_;
+  std::thread loop_thread_;
+  bool started_ = false;
+  std::uint64_t next_subscription_id_ = 1;  // loop thread only
+
+  mutable Mutex mu_{lockrank::kServeServer, "serve.server"};
+  bool stopping_ MEGADS_GUARDED_BY(mu_) = false;
+  std::map<int, SessionPtr> sessions_ MEGADS_GUARDED_BY(mu_);
+  std::set<int> dirty_ MEGADS_GUARDED_BY(mu_);
+  Stats stats_ MEGADS_GUARDED_BY(mu_);
+  metrics::MetricsRegistry* registry_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_connections_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_requests_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_bad_requests_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_slow_closed_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_events_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_bytes_in_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_bytes_out_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Gauge* metric_active_conns_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Gauge* metric_subscriptions_ MEGADS_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace megads::serve

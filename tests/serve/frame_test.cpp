@@ -1,0 +1,245 @@
+// Torn-read robustness (the outer framing + reassembler): frames delivered
+// over a real TCP socket pair in hostile chunkings — one byte at a time,
+// header-splitting sizes, many frames per write — must reassemble to exactly
+// the payloads sent, and the payloads here are real PR 6 envelopes that must
+// decode byte-identically. Malformed streams (bad magic, oversized declared
+// length) must fail loudly and poison the stream.
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "flowdb/partitioned/envelope.hpp"
+#include "net/framing.hpp"
+#include "net/socket.hpp"
+
+namespace megads::net {
+namespace {
+
+using flowdb::dist::Envelope;
+using flowdb::dist::MessageType;
+using flowdb::dist::SelectionBody;
+using flowdb::dist::SummaryRecord;
+
+std::vector<Envelope> sample_envelopes() {
+  std::vector<Envelope> envelopes;
+  {
+    Envelope e;
+    e.type = MessageType::kQueryRequest;
+    e.request_id = 7;
+    SelectionBody body;
+    body.intervals.push_back(TimeInterval{0, 3600});
+    body.locations = {"site0/rack0", "core"};
+    e.body = std::move(body);
+    envelopes.push_back(std::move(e));
+  }
+  {
+    Envelope e;
+    e.type = MessageType::kAddBatch;
+    e.request_id = 8;
+    flowdb::dist::AddBatchBody body;
+    SummaryRecord record;
+    record.summary = {0x01, 0x02, 0x03, 0xFF, 0x00, 0x7F};
+    record.interval = TimeInterval{600, 1200};
+    record.location = "site1/rack1";
+    body.records.push_back(std::move(record));
+    e.body = std::move(body);
+    envelopes.push_back(std::move(e));
+  }
+  {
+    Envelope e;
+    e.type = MessageType::kReplicaFetch;
+    e.request_id = 0xFFFF'FFFF'FFFF'FFFFull;
+    e.body = SelectionBody{};  // empty selection: a minimal envelope
+    envelopes.push_back(std::move(e));
+  }
+  return envelopes;
+}
+
+/// A connected loopback-TCP pair (a real kernel stream, so writes really do
+/// coalesce and tear like production traffic).
+struct TcpPair {
+  TcpPair() {
+    auto [listener, port] = tcp_listen("127.0.0.1", 0);
+    writer = tcp_connect("127.0.0.1", port);
+    const int accepted = ::accept(listener.get(), nullptr, nullptr);
+    if (accepted < 0) ADD_FAILURE() << "accept() failed";
+    reader = ScopedFd(accepted);
+    set_nodelay(writer.get());
+  }
+  ScopedFd writer;
+  ScopedFd reader;
+};
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t pos = 0;
+  while (pos < len) {
+    const IoResult io = write_some(fd, data + pos, len - pos);
+    ASSERT_FALSE(io.closed);
+    pos += io.bytes;
+  }
+}
+
+/// read_some over a non-blocking socket: reads once, reporting would-block
+/// as zero bytes so callers can drain until the kernel buffer is empty.
+IoResult read_some_nonblocking(int fd, std::uint8_t (&buf)[4096]) {
+  set_nonblocking(fd);
+  IoResult io = read_some(fd, buf, sizeof(buf));
+  if (io.would_block) io.bytes = 0;
+  return io;
+}
+
+/// Send `stream` over the pair in writes of `chunk` bytes; reassemble on the
+/// reader side until `expected_count` payloads arrived (bounded by the gtest
+/// timeout — loopback delivery is prompt but not synchronous).
+std::vector<std::vector<std::uint8_t>> round_trip(
+    const std::vector<std::uint8_t>& stream, std::size_t chunk,
+    std::size_t expected_count) {
+  TcpPair pair;
+  FrameReassembler reassembler;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::uint8_t buf[4096];
+  auto drain = [&] {
+    for (;;) {
+      const IoResult io = read_some_nonblocking(pair.reader.get(), buf);
+      if (io.bytes == 0) break;
+      reassembler.feed(buf, io.bytes);
+      while (auto payload = reassembler.next()) {
+        payloads.push_back(std::move(*payload));
+      }
+    }
+  };
+  for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const std::size_t len = std::min(chunk, stream.size() - pos);
+    write_all(pair.writer.get(), stream.data() + pos, len);
+    drain();  // interleave reads so the kernel buffer never fills
+  }
+  while (payloads.size() < expected_count) {
+    drain();
+  }
+  return payloads;
+}
+
+TEST(FrameTornRead, EnvelopesSurviveEveryChunking) {
+  // Build one stream of several framed PR 6 envelopes.
+  const std::vector<Envelope> envelopes = sample_envelopes();
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> expected;
+  for (const Envelope& e : envelopes) {
+    std::vector<std::uint8_t> payload = flowdb::dist::encode(e);
+    const std::vector<std::uint8_t> frame = encode_frame(payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    expected.push_back(std::move(payload));
+  }
+
+  // Hostile chunk sizes: byte-by-byte, sizes that split the header, a prime
+  // that never aligns with frame boundaries, and everything at once.
+  for (const std::size_t chunk :
+       {std::size_t{1}, std::size_t{2}, std::size_t{3}, std::size_t{5},
+        std::size_t{7}, std::size_t{13}, stream.size()}) {
+    SCOPED_TRACE("chunk=" + std::to_string(chunk));
+    const auto payloads = round_trip(stream, chunk, expected.size());
+    ASSERT_EQ(payloads.size(), expected.size());
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      EXPECT_EQ(payloads[i], expected[i]) << "payload " << i;
+      // The reassembled bytes are real envelopes: they must decode, and
+      // re-encode to the same bytes (codec round-trip through the tear).
+      const Envelope decoded = flowdb::dist::decode(payloads[i]);
+      EXPECT_EQ(flowdb::dist::encode(decoded), expected[i]);
+    }
+  }
+}
+
+TEST(FrameTornRead, EmptyPayloadFramesReassemble) {
+  const std::vector<std::uint8_t> frame = encode_frame({});
+  for (const std::size_t chunk : {std::size_t{1}, frame.size()}) {
+    FrameReassembler reassembler;
+    for (std::size_t pos = 0; pos < frame.size(); pos += chunk) {
+      reassembler.feed(frame.data() + pos,
+                       std::min(chunk, frame.size() - pos));
+    }
+    auto payload = reassembler.next();
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_TRUE(payload->empty());
+    EXPECT_FALSE(reassembler.next().has_value());
+  }
+}
+
+TEST(FrameReassemblerHostile, BadMagicThrowsImmediately) {
+  FrameReassembler reassembler;
+  const std::uint8_t garbage[8] = {'H', 'T', 'T', 'P', '/', '1', '.', '1'};
+  EXPECT_THROW(reassembler.feed(garbage, sizeof(garbage)), ParseError);
+  // Poisoned: even valid bytes are rejected afterwards.
+  const std::vector<std::uint8_t> good = encode_frame({1, 2, 3});
+  EXPECT_THROW(reassembler.feed(good), ParseError);
+}
+
+TEST(FrameReassemblerHostile, BadMagicDetectedByteByByte) {
+  // The violation must surface as soon as the header completes, even when it
+  // trickles in one byte at a time.
+  FrameReassembler reassembler;
+  const std::uint8_t garbage[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  bool threw = false;
+  for (std::size_t i = 0; i < sizeof(garbage); ++i) {
+    try {
+      reassembler.feed(&garbage[i], 1);
+    } catch (const ParseError&) {
+      threw = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST(FrameReassemblerHostile, OversizedDeclaredLengthIsRejectedNotAllocated) {
+  // A declared length over the cap must throw at header time — before any
+  // payload is buffered — so a hostile peer cannot make us allocate.
+  FrameReassembler reassembler(/*max_payload_bytes=*/1024);
+  std::vector<std::uint8_t> header;
+  append_frame_header(header, 1 << 30);
+  EXPECT_THROW(reassembler.feed(header), ParseError);
+}
+
+TEST(FrameReassemblerHostile, GoodFrameDeliveredBeforeFollowingGarbagePoisons) {
+  // A valid frame followed by garbage: the completed payload is still
+  // delivered, then the stream is poisoned — violations never swallow frames
+  // that finished before them.
+  FrameReassembler reassembler;
+  std::vector<std::uint8_t> stream = encode_frame({9, 9, 9});
+  const std::uint8_t garbage[8] = {'x', 'x', 'x', 'x', 0, 0, 0, 0};
+  stream.insert(stream.end(), garbage, garbage + sizeof(garbage));
+  reassembler.feed(stream);  // first header is valid; no throw yet
+  auto payload = reassembler.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, (std::vector<std::uint8_t>{9, 9, 9}));
+  EXPECT_THROW((void)reassembler.next(), ParseError);
+  EXPECT_THROW(reassembler.feed(stream), ParseError);
+}
+
+TEST(FrameTornRead, ManyFramesInOneRead) {
+  // The opposite tear: hundreds of frames coalesced into a single feed must
+  // all come out, in order.
+  FrameReassembler reassembler;
+  std::vector<std::uint8_t> stream;
+  constexpr int kFrames = 300;
+  for (int i = 0; i < kFrames; ++i) {
+    const std::vector<std::uint8_t> payload(static_cast<std::size_t>(i % 17),
+                                            static_cast<std::uint8_t>(i));
+    const std::vector<std::uint8_t> frame = encode_frame(payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+  }
+  reassembler.feed(stream);
+  int seen = 0;
+  while (auto payload = reassembler.next()) {
+    EXPECT_EQ(payload->size(), static_cast<std::size_t>(seen % 17));
+    ++seen;
+  }
+  EXPECT_EQ(seen, kFrames);
+  EXPECT_EQ(reassembler.pending_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace megads::net

@@ -1,0 +1,247 @@
+// ServeOverload — the serving tier under concurrent load (runs under TSan in
+// CI): a writer keeps ingesting into the FlowDB while N client threads
+// hammer queries through a deliberately tiny admission queue. Pins:
+//   - shed responses carry the distinct kOverload wire code;
+//   - every *accepted* answer is byte-identical to direct FlowDB execution
+//     over a stable interval (records the writer never touches);
+//   - the serve.* accounting reconciles exactly after the storm.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flow/flowkey.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace megads::serve {
+namespace {
+
+using flowdb::FlowDB;
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+FlowtreeConfig big_config() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+Flowtree make_tree(int salt) {
+  Flowtree tree(big_config());
+  const flow::FlowKey key = flow::FlowKey::from_tuple(
+      6, flow::IPv4(10, 1, 0, static_cast<std::uint8_t>(1 + salt % 6)), 50000,
+      flow::IPv4(198, 51, 100, 7), 80);
+  tree.add(key, static_cast<double>(1 + salt % 50));
+  return tree;
+}
+
+// The stable interval: records in [0, 3600 s), inserted before the server
+// starts and never touched again. The writer ingests strictly into
+// [7200 s, ...), so queries over the stable interval have one fixed answer.
+constexpr const char* kStableQuery = "SELECT topk(5) FROM 0s..3600s";
+
+// A worker sends its response *before* the scheduler's completion
+// bookkeeping runs, so a client can hold the last answer while queue_depth
+// is still 1. The drained-form ledger (accepted == executed + expired)
+// only holds once depth hits 0 — wait for that, bounded.
+void wait_for_scheduler_drain(const FlowQLServer& server) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.scheduler().stats().queue_depth != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+}
+
+TEST(ServeOverload, ConcurrentQueriesAndIngestStayCorrectAndReconcile) {
+  FlowDB db(big_config());
+  for (int i = 0; i < 16; ++i) {
+    db.add(make_tree(i),
+           TimeInterval{(i % 6) * 600 * kSecond, ((i % 6) * 600 + 600) * kSecond},
+           i % 2 == 0 ? "site0/rack0" : "site1/rack0");
+  }
+  const std::string expected = flowdb::run_flowql(kStableQuery, db).to_string();
+
+  FlowQLServer::Options options;
+  options.workers = 2;
+  options.scheduler.max_queue = 3;  // tiny: the storm must shed
+  metrics::MetricsRegistry registry;
+  FlowQLServer server(db, options);
+  server.attach_metrics(registry);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  // One writer ingesting into the unstable interval for the whole storm.
+  std::atomic<bool> stop_writer{false};
+  std::thread writer([&] {
+    int i = 0;
+    while (!stop_writer.load()) {
+      db.add(make_tree(100 + i),
+             TimeInterval{(7200 + (i % 8) * 600) * kSecond,
+                          (7200 + (i % 8) * 600 + 600) * kSecond},
+             "site1/rack1");
+      ++i;
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kClients = 6;
+  constexpr int kQueriesPerClient = 40;
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> overload_count{0};
+  std::atomic<std::uint64_t> mismatches{0};
+  std::atomic<std::uint64_t> wrong_code{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client("127.0.0.1", port);
+      for (int i = 0; i < kQueriesPerClient; ++i) {
+        // Mostly tight deadlines (sheddable), some unbounded (always good).
+        const std::uint32_t deadline_ms = (c + i) % 3 == 0 ? 0u : 1u;
+        const Client::Result result = client.query(kStableQuery, deadline_ms);
+        if (result.ok) {
+          ok_count.fetch_add(1);
+          if (result.text != expected) {
+            if (mismatches.fetch_add(1) == 0) {
+              ADD_FAILURE() << "first mismatch:\n--- expected ---\n"
+                            << expected << "\n--- actual ---\n" << result.text;
+            }
+          }
+        } else if (result.code == ErrorCode::kOverload) {
+          overload_count.fetch_add(1);
+        } else {
+          wrong_code.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  stop_writer.store(true);
+  writer.join();
+
+  // Every accepted answer was byte-identical; every rejection carried the
+  // overload code and nothing else.
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(wrong_code.load(), 0u);
+  EXPECT_GT(ok_count.load(), 0u);
+  EXPECT_EQ(ok_count.load() + overload_count.load(),
+            static_cast<std::uint64_t>(kClients) * kQueriesPerClient);
+
+  // The books balance exactly once the storm quiesces.
+  wait_for_scheduler_drain(server);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sched.submitted, stats.sched.accepted +
+                                       stats.sched.shed_queue +
+                                       stats.sched.shed_deadline);
+  EXPECT_EQ(stats.sched.accepted, stats.sched.executed + stats.sched.expired);
+  EXPECT_EQ(stats.sched.queue_depth, 0u);
+  // Client-visible outcomes reconcile with the server's own accounting:
+  // every OK answer was executed; every overload was shed or expired.
+  EXPECT_EQ(ok_count.load(), stats.sched.executed);
+  EXPECT_EQ(overload_count.load(), stats.sched.shed_queue +
+                                       stats.sched.shed_deadline +
+                                       stats.sched.expired);
+  EXPECT_EQ(stats.requests,
+            static_cast<std::uint64_t>(kClients) * kQueriesPerClient);
+
+  // The registry mirrors the struct (same counters, same values).
+  const auto snapshot = registry.snapshot();
+  EXPECT_EQ(snapshot.value("serve.sched.submitted"),
+            static_cast<double>(stats.sched.submitted));
+  EXPECT_EQ(snapshot.value("serve.sched.executed"),
+            static_cast<double>(stats.sched.executed));
+  EXPECT_EQ(snapshot.value("serve.requests"),
+            static_cast<double>(stats.requests));
+
+  server.stop();
+  EXPECT_EQ(server.stats().active_connections, 0u);
+  EXPECT_EQ(registry.snapshot().value("serve.active_connections"), 0.0);
+}
+
+TEST(ServeOverload, QueueFullStormShedsWithOverloadCode) {
+  // Saturate a 1-worker, 1-slot server with parallel no-deadline queries:
+  // exactly the queue bound's worth run, the rest shed as kOverload.
+  FlowDB db(big_config());
+  for (int i = 0; i < 8; ++i) {
+    db.add(make_tree(i), TimeInterval{0, 600 * kSecond}, "core");
+  }
+  FlowQLServer::Options options;
+  options.workers = 1;
+  options.scheduler.max_queue = 1;
+  FlowQLServer server(db, options);
+  server.start();
+
+  constexpr int kClients = 8;
+  std::atomic<std::uint64_t> ok_count{0};
+  std::atomic<std::uint64_t> shed_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      Client client("127.0.0.1", server.port());
+      for (int i = 0; i < 20; ++i) {
+        const Client::Result result = client.query(kStableQuery);
+        if (result.ok) {
+          ok_count.fetch_add(1);
+        } else {
+          ASSERT_EQ(result.code, ErrorCode::kOverload);
+          shed_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(ok_count.load() + shed_count.load(), 8u * 20u);
+  EXPECT_GT(ok_count.load(), 0u);
+  wait_for_scheduler_drain(server);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sched.submitted,
+            stats.sched.accepted + stats.sched.shed_queue +
+                stats.sched.shed_deadline);
+  EXPECT_EQ(stats.sched.accepted, stats.sched.executed + stats.sched.expired);
+}
+
+TEST(ServeOverload, ManyConnectionsOpenQueryAndVanish) {
+  // Connection-churn storm: threads connect, run one query, disconnect —
+  // active_connections must return to zero and every accepted answer match.
+  FlowDB db(big_config());
+  for (int i = 0; i < 8; ++i) {
+    db.add(make_tree(i), TimeInterval{0, 600 * kSecond}, "core");
+  }
+  const std::string expected = flowdb::run_flowql(kStableQuery, db).to_string();
+  FlowQLServer server(db);
+  server.start();
+
+  constexpr int kThreads = 4;
+  constexpr int kChurns = 12;
+  std::atomic<std::uint64_t> mismatches{0};
+  std::vector<std::thread> churners;
+  for (int t = 0; t < kThreads; ++t) {
+    churners.emplace_back([&] {
+      for (int i = 0; i < kChurns; ++i) {
+        Client client("127.0.0.1", server.port());
+        const Client::Result result = client.query(kStableQuery);
+        if (!result.ok || result.text != expected) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : churners) thread.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(server.stats().connections_accepted,
+            static_cast<std::uint64_t>(kThreads) * kChurns);
+  // The loop reaps closed sockets promptly; poll sees the EOFs within a few
+  // iterations.
+  for (int i = 0; i < 200 && server.stats().active_connections != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.stats().active_connections, 0u);
+}
+
+}  // namespace
+}  // namespace megads::serve

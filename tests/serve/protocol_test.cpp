@@ -1,0 +1,143 @@
+// Serve protocol codec: every request/response round-trips byte-exactly;
+// every malformed input throws ParseError (never half-parses). The fuzz
+// harness (fuzz/fuzz_serve_frame.cpp) drives the same contract with
+// coverage-guided inputs; these are the deterministic pins.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace megads::serve {
+namespace {
+
+TEST(ServeProtocol, RequestRoundTrips) {
+  const std::vector<Request> requests = {
+      {RequestType::kQuery, 1, QueryBody{250, "SELECT topk(5) FROM 0s..60s"}},
+      {RequestType::kQuery, 2, QueryBody{0, ""}},
+      {RequestType::kMetrics, 3, MetricsBody{}},
+      {RequestType::kSubscribe, 4, SubscribeBody{100, "SELECT query FROM 0s..60s"}},
+      {RequestType::kUnsubscribe, 5, UnsubscribeBody{42}},
+      {RequestType::kPing, 0xFFFF'FFFF'FFFF'FFFFull, PingBody{}},
+  };
+  for (const Request& request : requests) {
+    const std::vector<std::uint8_t> bytes = encode(request);
+    const Request decoded = decode_request(bytes);
+    EXPECT_EQ(decoded.type, request.type);
+    EXPECT_EQ(decoded.request_id, request.request_id);
+    EXPECT_EQ(encode(decoded), bytes);  // re-encode: byte-identical
+  }
+  const Request query = decode_request(encode(requests[0]));
+  EXPECT_EQ(std::get<QueryBody>(query.body).deadline_ms, 250u);
+  EXPECT_EQ(std::get<QueryBody>(query.body).statement,
+            "SELECT topk(5) FROM 0s..60s");
+}
+
+TEST(ServeProtocol, ResponseRoundTrips) {
+  const std::vector<Response> responses = {
+      {ResponseType::kResultChunk, 1, ResultChunkBody{0, false, "partial"}},
+      {ResponseType::kResultChunk, 1, ResultChunkBody{1, true, ""}},
+      {ResponseType::kMetricsText, 2, MetricsTextBody{"a 1\nb 2\n"}},
+      {ResponseType::kError, 3, ErrorBody{ErrorCode::kOverload, "shed"}},
+      {ResponseType::kSubscribed, 4, SubscribedBody{7}},
+      {ResponseType::kEvent, 0, EventBody{7, 3, "tick"}},
+      {ResponseType::kPong, 5, PongBody{}},
+  };
+  for (const Response& response : responses) {
+    const std::vector<std::uint8_t> bytes = encode(response);
+    const Response decoded = decode_response(bytes);
+    EXPECT_EQ(decoded.type, response.type);
+    EXPECT_EQ(decoded.request_id, response.request_id);
+    EXPECT_EQ(encode(decoded), bytes);
+  }
+  const Response error = decode_response(encode(responses[3]));
+  EXPECT_EQ(std::get<ErrorBody>(error.body).code, ErrorCode::kOverload);
+  EXPECT_EQ(std::get<ErrorBody>(error.body).message, "shed");
+}
+
+TEST(ServeProtocol, MalformedRequestsThrow) {
+  // Empty.
+  EXPECT_THROW((void)decode_request({}), ParseError);
+  // Wrong version.
+  {
+    std::vector<std::uint8_t> bytes =
+        encode(Request{RequestType::kPing, 1, PingBody{}});
+    bytes[0] = 99;
+    EXPECT_THROW((void)decode_request(bytes), ParseError);
+  }
+  // Unknown type.
+  {
+    std::vector<std::uint8_t> bytes =
+        encode(Request{RequestType::kPing, 1, PingBody{}});
+    bytes[1] = 200;
+    EXPECT_THROW((void)decode_request(bytes), ParseError);
+  }
+  // Truncated at every prefix length.
+  {
+    const std::vector<std::uint8_t> bytes = encode(
+        Request{RequestType::kQuery, 1, QueryBody{100, "SELECT"}});
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                             bytes.begin() + len);
+      EXPECT_THROW((void)decode_request(prefix), ParseError) << len;
+    }
+  }
+  // Trailing bytes.
+  {
+    std::vector<std::uint8_t> bytes =
+        encode(Request{RequestType::kPing, 1, PingBody{}});
+    bytes.push_back(0);
+    EXPECT_THROW((void)decode_request(bytes), ParseError);
+  }
+  // String length running past the buffer.
+  {
+    std::vector<std::uint8_t> bytes = encode(
+        Request{RequestType::kQuery, 1, QueryBody{100, "SELECT"}});
+    // The statement length prefix sits after version+type+id+deadline.
+    const std::size_t len_offset = 1 + 1 + 8 + 4;
+    bytes[len_offset] = 0xFF;
+    bytes[len_offset + 1] = 0xFF;
+    EXPECT_THROW((void)decode_request(bytes), ParseError);
+  }
+}
+
+TEST(ServeProtocol, MalformedResponsesThrow) {
+  EXPECT_THROW((void)decode_response({}), ParseError);
+  {
+    std::vector<std::uint8_t> bytes =
+        encode(Response{ResponseType::kPong, 1, PongBody{}});
+    bytes[1] = 99;  // unknown response type
+    EXPECT_THROW((void)decode_response(bytes), ParseError);
+  }
+  {
+    // Bad last-chunk flag (must be 0/1).
+    std::vector<std::uint8_t> bytes = encode(Response{
+        ResponseType::kResultChunk, 1, ResultChunkBody{0, false, "x"}});
+    bytes[1 + 1 + 8 + 4] = 2;
+    EXPECT_THROW((void)decode_response(bytes), ParseError);
+  }
+  {
+    // Unknown error code.
+    std::vector<std::uint8_t> bytes = encode(
+        Response{ResponseType::kError, 1, ErrorBody{ErrorCode::kParse, "m"}});
+    bytes[1 + 1 + 8] = 77;
+    EXPECT_THROW((void)decode_response(bytes), ParseError);
+  }
+}
+
+TEST(ServeProtocol, OverloadCodeIsDistinct) {
+  // The admission-control shed signal must stay distinguishable from every
+  // other failure — clients back off on kOverload, fix their query on the
+  // rest. Pin the wire values.
+  EXPECT_EQ(static_cast<std::uint16_t>(ErrorCode::kOverload), 3);
+  EXPECT_NE(ErrorCode::kOverload, ErrorCode::kParse);
+  EXPECT_NE(ErrorCode::kOverload, ErrorCode::kExec);
+  EXPECT_NE(ErrorCode::kOverload, ErrorCode::kBadRequest);
+  EXPECT_NE(ErrorCode::kOverload, ErrorCode::kTooLarge);
+}
+
+}  // namespace
+}  // namespace megads::serve

@@ -1,0 +1,188 @@
+// RequestScheduler: admission control, load shedding, and the accounting
+// invariants the serving tier's metrics reconciliation rests on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "serve/scheduler.hpp"
+
+namespace megads::serve {
+namespace {
+
+TEST(RequestScheduler, RunsAdmittedWork) {
+  ThreadPool pool(3);
+  RequestScheduler scheduler(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    const auto verdict =
+        scheduler.submit(0, [&] { ran.fetch_add(1); }, [] { FAIL(); });
+    EXPECT_EQ(verdict, RequestScheduler::Admit::kAdmitted);
+  }
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 50);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted, 50u);
+  EXPECT_EQ(stats.accepted, 50u);
+  EXPECT_EQ(stats.executed, 50u);
+  EXPECT_EQ(stats.expired, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(RequestScheduler, ShedsWhenQueueFull) {
+  ThreadPool pool(2);  // one worker
+  RequestScheduler::Options options;
+  options.max_queue = 4;
+  RequestScheduler scheduler(pool, options);
+
+  // Park the single worker so the queue can only grow.
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  auto blocker = [&] {
+    while (!release.load()) std::this_thread::yield();
+    ran.fetch_add(1);
+  };
+  int admitted = 0;
+  int shed = 0;
+  for (int i = 0; i < 12; ++i) {
+    const auto verdict = scheduler.submit(0, blocker, [] {});
+    if (verdict == RequestScheduler::Admit::kAdmitted) {
+      ++admitted;
+    } else {
+      EXPECT_EQ(verdict, RequestScheduler::Admit::kShedQueueFull);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 8);
+  release.store(true);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 4);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.shed_queue, 8u);
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.shed_queue +
+                                 stats.shed_deadline);
+}
+
+TEST(RequestScheduler, ShedsInfeasibleDeadlinesUpfront) {
+  ThreadPool pool(2);
+  RequestScheduler::Options options;
+  options.max_queue = 1000;
+  // A huge seeded service-time estimate: any queued work predicts a miss.
+  options.initial_service_us = 10'000'000.0;
+  RequestScheduler scheduler(pool, options);
+
+  std::atomic<bool> release{false};
+  auto blocker = [&] {
+    while (!release.load()) std::this_thread::yield();
+  };
+  // First request: empty queue, predicted wait 0 — admitted regardless.
+  EXPECT_EQ(scheduler.submit(1, blocker, [] {}),
+            RequestScheduler::Admit::kAdmitted);
+  // With one in flight, a 1 ms deadline cannot survive a 10 s estimate.
+  EXPECT_EQ(scheduler.submit(1, [] {}, [] {}),
+            RequestScheduler::Admit::kShedDeadline);
+  // No deadline = never feasibility-shed.
+  EXPECT_EQ(scheduler.submit(0, [] {}, [] {}),
+            RequestScheduler::Admit::kAdmitted);
+  release.store(true);
+  scheduler.drain();
+  EXPECT_EQ(scheduler.stats().shed_deadline, 1u);
+}
+
+TEST(RequestScheduler, ExpiresDeadlinesAtDequeue) {
+  ThreadPool pool(2);
+  RequestScheduler::Options options;
+  options.max_queue = 16;
+  // Tiny estimate: the feasibility gate admits everything, so expiry must
+  // be caught at dequeue.
+  options.initial_service_us = 1.0;
+  options.ewma_alpha = 0.0;  // keep the estimate pinned
+  RequestScheduler scheduler(pool, options);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  std::atomic<int> expired{0};
+  // Park the worker long enough for the queued request's 5 ms deadline to
+  // pass while it waits.
+  EXPECT_EQ(scheduler.submit(0,
+                             [&] {
+                               while (!release.load()) {
+                                 std::this_thread::yield();
+                               }
+                             },
+                             [] {}),
+            RequestScheduler::Admit::kAdmitted);
+  EXPECT_EQ(scheduler.submit(5, [&] { ran.fetch_add(1); },
+                             [&] { expired.fetch_add(1); }),
+            RequestScheduler::Admit::kAdmitted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  release.store(true);
+  scheduler.drain();
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(expired.load(), 1);
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.accepted, stats.executed + stats.expired);
+}
+
+TEST(RequestScheduler, StatsReconcileUnderConcurrentSubmitters) {
+  ThreadPool pool(3);
+  RequestScheduler::Options options;
+  options.max_queue = 8;
+  RequestScheduler scheduler(pool, options);
+  std::atomic<int> callbacks{0};
+  std::vector<std::thread> submitters;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        (void)scheduler.submit(
+            i % 3 == 0 ? 1u : 0u, [&] { callbacks.fetch_add(1); },
+            [&] { callbacks.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  scheduler.drain();
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // The books must balance exactly, whatever interleaving happened.
+  EXPECT_EQ(stats.submitted,
+            stats.accepted + stats.shed_queue + stats.shed_deadline);
+  EXPECT_EQ(stats.accepted, stats.executed + stats.expired);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(static_cast<std::uint64_t>(callbacks.load()), stats.accepted);
+}
+
+TEST(RequestScheduler, MetricsMirrorStats) {
+  ThreadPool pool(2);
+  RequestScheduler scheduler(pool);
+  // Count some work before attachment: attach must catch the registry up.
+  for (int i = 0; i < 5; ++i) {
+    (void)scheduler.submit(0, [] {}, [] {});
+  }
+  scheduler.drain();
+  metrics::MetricsRegistry registry;
+  scheduler.attach_metrics(registry);
+  for (int i = 0; i < 3; ++i) {
+    (void)scheduler.submit(0, [] {}, [] {});
+  }
+  scheduler.drain();
+  const auto snapshot = registry.snapshot();
+  const auto stats = scheduler.stats();
+  EXPECT_EQ(snapshot.value("serve.sched.submitted"),
+            static_cast<double>(stats.submitted));
+  EXPECT_EQ(snapshot.value("serve.sched.accepted"),
+            static_cast<double>(stats.accepted));
+  EXPECT_EQ(snapshot.value("serve.sched.executed"),
+            static_cast<double>(stats.executed));
+  EXPECT_EQ(snapshot.value("serve.sched.queue_depth"), 0.0);
+}
+
+}  // namespace
+}  // namespace megads::serve

@@ -8,10 +8,12 @@ Four rules the type system cannot express and the compiler does not check:
                      code path runs over Sim and Loopback alike. No
                      `network*.send(...)` outside src/net/.
 
-  throw-in-callback  Transport delivery callbacks (`on_message`) must never
+  throw-in-callback  Transport delivery callbacks (`on_message`) and serving-
+                     tier connection callbacks (`handle_payload`) must never
                      leak an exception: one stray or corrupt message would
-                     tear down the receiving node. Every `throw` lexically
-                     inside an on_message body must sit inside a try block.
+                     tear down the receiving node / the server's poll loop.
+                     Every `throw` lexically inside such a body must sit
+                     inside a try block.
 
   naked-mutex        All locking goes through the annotated wrappers in
                      src/common/mutex.hpp (capability annotations + the
@@ -152,7 +154,9 @@ def check_raw_network_send(path, rel, text):
     ]
 
 
-ON_MESSAGE_RE = re.compile(r"\bon_message\s*\([^;{]*\)\s*(?:const\s*)?(?:\w+\(\w*\)\s*)*\{")
+ON_MESSAGE_RE = re.compile(
+    r"\b(?:on_message|handle_payload)\s*\([^;{]*\)\s*(?:const\s*)?(?:\w+\(\w*\)\s*)*\{"
+)
 THROW_RE = re.compile(r"\bthrow\b")
 TRY_RE = re.compile(r"\btry\s*$")
 
@@ -346,6 +350,7 @@ def self_test(testdata):
     expected = {
         "bad_raw_send.cpp": "raw-network-send",
         "bad_throw_on_message.cpp": "throw-in-callback",
+        "bad_throw_on_frame.cpp": "throw-in-callback",
         "bad_naked_mutex.cpp": "naked-mutex",
         "bad_missing_invariants_datastore.cpp": "invariant-coverage",
         "bad_wire_decode.cpp": "wire-decode",

@@ -1,0 +1,21 @@
+// Lint fixture: a throw in a serving-tier connection callback
+// (handle_payload) outside any try must be flagged — a corrupt client frame
+// must never unwind through the server's poll loop.
+namespace fixture {
+
+struct Request {
+  int type;
+};
+
+Request decode_request(const int& bytes) { return Request{bytes}; }
+
+struct FlowQLServer {
+  void handle_payload(const int& session, const int& payload) {
+    const Request request = decode_request(payload);  // throws ParseError
+    if (request.type == 0) {
+      throw request.type;  // BAD: tears down the connection loop
+    }
+  }
+};
+
+}  // namespace fixture
