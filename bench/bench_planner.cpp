@@ -1,0 +1,309 @@
+// Experiment E15 (PR 10): what the cost-based planner buys over the naive
+// executor on the two workloads it was built for, at byte-identical answers
+// (every planned result is compared against its naive counterpart before a
+// number is reported):
+//
+//   planner/storm      a dashboard storm — T threads issue the *same* cold
+//                      SELECT simultaneously, a fresh window per round so the
+//                      PR 5 view cache cannot hide the fold. Naive: every
+//                      thread pays its own merge. Planned: the shared-fold
+//                      registry executes one merge per round and the other
+//                      T-1 queries attach (plan.shared_folds counts them).
+//
+//   coordinator/fanout a selective query against the partitioned FlowDB —
+//                      sites are active in disjoint epoch bands, so a
+//                      location-restricted statement provably misses most
+//                      shards. Off: the partitioner-global target set
+//                      scatters to all 8. On: the per-query fan-out planner
+//                      intersects with the routed-record manifest and
+//                      contacts only the shards that can answer.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/server.hpp"
+#include "flowdb/plan/planner.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace megads;
+using flowdb::dist::Coordinator;
+using flowdb::dist::PartitionServer;
+
+constexpr std::size_t kEpochs = 96;
+constexpr std::size_t kLocations = 4;
+constexpr std::size_t kKeysPerEpoch = 128;
+constexpr std::size_t kKeySpace = 512;
+
+constexpr std::size_t kStormThreads = 8;
+constexpr std::size_t kStormRounds = 24;
+constexpr std::size_t kWindowEpochs = 32;
+
+constexpr std::size_t kShards = 8;
+constexpr int kFanoutRepeats = 120;
+
+flow::FlowKey host(std::uint32_t net, std::uint32_t h) {
+  return flow::FlowKey::from_tuple(
+      6, flow::IPv4(10, static_cast<std::uint8_t>(net),
+                    static_cast<std::uint8_t>(h >> 8),
+                    static_cast<std::uint8_t>(h)),
+      50000, flow::IPv4(198, 51, 100, 7), 80);
+}
+
+flowtree::FlowtreeConfig tree_config() {
+  flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 16;
+  return config;
+}
+
+flowtree::Flowtree tree_for(std::size_t loc, std::size_t epoch) {
+  flowtree::Flowtree tree(tree_config());
+  Rng rng(1000 * loc + epoch + 1);
+  for (std::size_t k = 0; k < kKeysPerEpoch; ++k) {
+    tree.add(host(static_cast<std::uint32_t>(loc),
+                  static_cast<std::uint32_t>(rng.uniform(kKeySpace))),
+             static_cast<double>(1 + rng.uniform(64)));
+  }
+  return tree;
+}
+
+[[noreturn]] void equivalence_failure(const char* where) {
+  std::fprintf(stderr, "bench_planner: EQUIVALENCE VIOLATION in %s\n", where);
+  std::exit(1);
+}
+
+// ---------------------------------------------------------------------------
+// planner/storm
+// ---------------------------------------------------------------------------
+
+std::string storm_statement(std::size_t round) {
+  const std::size_t begin = round % (kEpochs - kWindowEpochs);
+  return "SELECT topk(10) FROM " + std::to_string(begin * 60) + "s.." +
+         std::to_string((begin + kWindowEpochs) * 60) + "s";
+}
+
+struct StormResult {
+  double queries_per_sec = 0.0;
+  bench::LatencyRecorder latency;
+  std::uint64_t shared_folds = 0;
+};
+
+/// Runs the storm: every round, kStormThreads threads line up on a spin gate
+/// and fire the identical statement at once. `run_one` is the system under
+/// test; results are cross-checked within a round and against `expect` (the
+/// reference text per round, filled by the naive pass and verified by the
+/// planned one).
+template <typename RunOne>
+StormResult run_storm(RunOne&& run_one, std::vector<std::string>& expect) {
+  StormResult result;
+  const bool reference = expect.empty();
+  std::vector<double> thread_us(kStormThreads * kStormRounds, 0.0);
+  const auto start = bench::Clock::now();
+  for (std::size_t round = 0; round < kStormRounds; ++round) {
+    const std::string statement = storm_statement(round);
+    std::vector<std::string> texts(kStormThreads);
+    std::atomic<std::size_t> ready{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kStormThreads);
+    for (std::size_t t = 0; t < kStormThreads; ++t) {
+      threads.emplace_back([&, t] {
+        ready.fetch_add(1, std::memory_order_acq_rel);
+        while (ready.load(std::memory_order_acquire) < kStormThreads) {
+        }
+        const auto q_start = bench::Clock::now();
+        texts[t] = run_one(statement);
+        thread_us[round * kStormThreads + t] = bench::us_since(q_start);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (std::size_t t = 1; t < kStormThreads; ++t) {
+      if (texts[t] != texts[0]) equivalence_failure("storm (within round)");
+    }
+    if (reference) {
+      expect.push_back(texts[0]);
+    } else if (texts[0] != expect[round]) {
+      equivalence_failure("storm (planned vs naive)");
+    }
+  }
+  const double total_ms = bench::ms_since(start);
+  result.queries_per_sec =
+      static_cast<double>(kStormThreads * kStormRounds) / (total_ms / 1e3);
+  for (const double us : thread_us) result.latency.record(us);
+  return result;
+}
+
+void bench_storm(bench::JsonReport& json) {
+  std::printf("planner/storm: %zu threads x %zu rounds, cold %zu-epoch "
+              "windows\n",
+              kStormThreads, kStormRounds, kWindowEpochs);
+  std::vector<std::string> expect;
+
+  {
+    flowdb::FlowDB db(tree_config());
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      for (std::size_t loc = 0; loc < kLocations; ++loc) {
+        db.add(tree_for(loc, epoch),
+               TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
+               "site-" + std::to_string(loc));
+      }
+    }
+    const StormResult naive = run_storm(
+        [&](const std::string& s) {
+          return flowdb::run_flowql(s, db).to_string();
+        },
+        expect);
+    json.add({.bench = "planner/storm",
+              .config = "mode=naive",
+              .items_per_sec = naive.queries_per_sec,
+              .p50_latency_us = naive.latency.p50(),
+              .p99_latency_us = naive.latency.p99(),
+              .threads = kStormThreads});
+    std::printf("  naive    %10.0f q/s   p50 %8.1f us   p99 %8.1f us\n",
+                naive.queries_per_sec, naive.latency.p50(),
+                naive.latency.p99());
+  }
+
+  {
+    flowdb::FlowDB db(tree_config());
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      for (std::size_t loc = 0; loc < kLocations; ++loc) {
+        db.add(tree_for(loc, epoch),
+               TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
+               "site-" + std::to_string(loc));
+      }
+    }
+    flowdb::plan::QueryPlanner planner;
+    const StormResult planned = run_storm(
+        [&](const std::string& s) { return planner.run(s, db).to_string(); },
+        expect);
+    const flowdb::plan::QueryPlanner::Stats stats = planner.stats();
+    json.add({.bench = "planner/storm",
+              .config = "mode=planned shared_folds=" +
+                        std::to_string(stats.shared_folds) + "/" +
+                        std::to_string(stats.planned),
+              .items_per_sec = planned.queries_per_sec,
+              .p50_latency_us = planned.latency.p50(),
+              .p99_latency_us = planned.latency.p99(),
+              .threads = kStormThreads});
+    std::printf("  planned  %10.0f q/s   p50 %8.1f us   p99 %8.1f us   "
+                "shared_folds=%llu/%llu\n",
+                planned.queries_per_sec, planned.latency.p50(),
+                planned.latency.p99(),
+                static_cast<unsigned long long>(stats.shared_folds),
+                static_cast<unsigned long long>(stats.planned));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// coordinator/fanout
+// ---------------------------------------------------------------------------
+
+struct Cluster {
+  Cluster(net::Transport& transport, bool fanout) {
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < kShards; ++i) {
+      const NodeId node(static_cast<std::uint32_t>(i + 1));
+      servers.push_back(
+          std::make_unique<PartitionServer>(transport, node, tree_config()));
+      nodes.push_back(node);
+    }
+    Coordinator::Options options;
+    options.tree_config = tree_config();
+    options.planner_fanout = fanout;
+    coordinator = std::make_unique<Coordinator>(
+        transport, NodeId(0), flowdb::dist::make_partitioner("by-time"),
+        std::move(nodes), options);
+  }
+
+  /// Sites are active in disjoint epoch bands (site i covers quarter i of
+  /// history), so a location-restricted query provably misses the shards
+  /// whose time windows never saw that site.
+  void populate() {
+    const std::size_t band = kEpochs / kLocations;
+    for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+      const std::size_t loc = epoch / band;
+      coordinator->add(tree_for(loc, epoch),
+                       TimeInterval{epoch * kMinute, (epoch + 1) * kMinute},
+                       "site-" + std::to_string(loc));
+    }
+    coordinator->flush();
+  }
+
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+void bench_fanout(bench::JsonReport& json) {
+  const std::string statement =
+      "SELECT topk(10) FROM 0s.." + std::to_string(kEpochs * 60) +
+      "s WHERE location = 'site-1'";
+  std::printf("\ncoordinator/fanout: %zu shards by-time, %s\n", kShards,
+              statement.c_str());
+
+  std::string expect;
+  for (const bool fanout : {false, true}) {
+    net::LoopbackTransport transport;
+    Cluster cluster(transport, fanout);
+    cluster.populate();
+    (void)flowdb::run_flowql(statement, *cluster.coordinator);  // warm-up
+
+    const std::uint64_t pruned_before =
+        cluster.coordinator->fanout_pruned_shards();
+    bench::LatencyRecorder latency;
+    const auto start = bench::Clock::now();
+    std::string text;
+    for (int i = 0; i < kFanoutRepeats; ++i) {
+      latency.time([&] {
+        text = flowdb::run_flowql(statement, *cluster.coordinator).to_string();
+      });
+    }
+    const double queries_per_sec = kFanoutRepeats / (bench::ms_since(start) / 1e3);
+    if (expect.empty()) {
+      expect = text;
+    } else if (text != expect) {
+      equivalence_failure("fanout (on vs off)");
+    }
+    const std::uint64_t pruned_per_query =
+        (cluster.coordinator->fanout_pruned_shards() - pruned_before) /
+        kFanoutRepeats;
+    const std::size_t contacted = kShards - pruned_per_query;
+
+    json.add({.bench = "coordinator/fanout",
+              .config = std::string("fanout=") + (fanout ? "on" : "off") +
+                        " shards_contacted=" + std::to_string(contacted) +
+                        " pruned/query=" + std::to_string(pruned_per_query),
+              .items_per_sec = queries_per_sec,
+              .p50_latency_us = latency.p50(),
+              .p99_latency_us = latency.p99(),
+              .threads = 1,
+              .transport = "loopback",
+              .partitions = static_cast<int>(kShards)});
+    std::printf("  fanout=%-3s %10.0f q/s   p50 %8.1f us   p99 %8.1f us   "
+                "shards_contacted=%zu\n",
+                fanout ? "on" : "off", queries_per_sec, latency.p50(),
+                latency.p99(), contacted);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opts = megads::bench::BenchOptions::parse(argc, argv);
+  bench::JsonReport json("E15");
+  std::printf("E15: cost-based planner — shared sub-merges and per-query "
+              "fan-out\n\n");
+  bench_storm(json);
+  bench_fanout(json);
+  if (!json.write_if(opts)) return 1;
+  return 0;
+}

@@ -129,7 +129,7 @@ void queue_query(Conn& conn, std::uint32_t deadline_ms, Summary& summary,
   Request request;
   request.type = RequestType::kQuery;
   request.request_id = conn.next_id++;
-  request.body = QueryBody{deadline_ms, kQuery};
+  request.body = QueryBody{deadline_ms, 0, kQuery};
   const std::vector<std::uint8_t> frame = net::encode_frame(encode(request));
   conn.outbuf.insert(conn.outbuf.end(), frame.begin(), frame.end());
   conn.inflight.emplace(request.request_id, stamp);

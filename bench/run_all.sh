@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Runs every bench binary with `--json` and aggregates the per-binary reports
-# into one machine-readable file (default: BENCH_PR9.json in the cwd).
+# into one machine-readable file.
 #
-#   bench/run_all.sh [build-dir] [output.json]
+#   bench/run_all.sh [build-dir] [--out output.json]
+#
+# The output name defaults to $BENCH_OUT, then BENCH_PR10.json — it is no
+# longer hardcoded per PR, so a rerun against an older checkout names its
+# aggregate explicitly instead of silently clobbering the current one.
 #
 # The flagship pipeline bench (bench_flowstream) is additionally swept over
 # --threads 1/2/4/8 so the aggregate records the shard-and-merge scaling curve
@@ -13,8 +17,36 @@
 # once produced an "all green" aggregate with half the experiments missing).
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_PR9.json}"
+BUILD_DIR="build"
+OUT="${BENCH_OUT:-BENCH_PR10.json}"
+positional=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out)
+      [ $# -ge 2 ] || { echo "run_all: --out needs a filename" >&2; exit 2; }
+      OUT="$2"
+      shift 2
+      ;;
+    --out=*)
+      OUT="${1#--out=}"
+      shift
+      ;;
+    -h|--help)
+      echo "usage: bench/run_all.sh [build-dir] [--out output.json]" >&2
+      exit 0
+      ;;
+    *)
+      if [ "$positional" -eq 0 ]; then
+        BUILD_DIR="$1"
+        positional=1
+      else
+        echo "run_all: unexpected argument: $1" >&2
+        exit 2
+      fi
+      shift
+      ;;
+  esac
+done
 JSON_DIR="$(mktemp -d)"
 trap 'rm -rf "$JSON_DIR"' EXIT
 
@@ -56,6 +88,7 @@ run bench_query_cache
 run bench_distributed
 run bench_flatblock
 run bench_serve --duration-ms 500
+run bench_planner
 for t in 1 2 4 8; do
   run bench_flowstream --threads "$t"
 done
@@ -64,7 +97,7 @@ done
 # elements into one "results" array (pure shell — no jq dependency).
 {
   echo '{'
-  echo '  "suite": "megads bench harness (PR9: FlowQL serving tier over real sockets)",'
+  echo '  "suite": "megads bench harness (PR10: cost-based FlowQL planner)",'
   echo "  \"host_threads\": $(nproc),"
   echo '  "results": ['
   first=1

@@ -74,11 +74,12 @@ int main() {
 
   // 4. The .metrics endpoint serves the registry snapshot over the wire.
   const serve::Client::Result metrics = client.metrics();
-  std::printf("--- .metrics (serve.* excerpt) ---\n");
+  std::printf("--- .metrics (serve.* / plan.* excerpt) ---\n");
   for (std::size_t pos = 0; pos < metrics.text.size();) {
     const std::size_t eol = metrics.text.find('\n', pos);
     const std::string line = metrics.text.substr(pos, eol - pos);
-    if (line.rfind("serve.", 0) == 0 && line.find("bucket") == std::string::npos) {
+    if ((line.rfind("serve.", 0) == 0 || line.rfind("plan.", 0) == 0) &&
+        line.find("bucket") == std::string::npos) {
       std::printf("%s\n", line.c_str());
     }
     pos = eol == std::string::npos ? metrics.text.size() : eol + 1;

@@ -1,0 +1,91 @@
+// Fuzz target: the cost-based query planner against the naive executor.
+//
+// Contract under test — plan-or-fallback totality plus byte equivalence:
+// for arbitrary statement text, QueryPlanner::run() either throws ParseError
+// (the documented rejection path, and then the naive pipeline must reject
+// the same text) or returns a Table whose rendering is byte-identical to
+// executing the parsed statement naively. EXPLAIN statements must render a
+// plan without crashing. The planner instance is shared across inputs so the
+// fuzzer also drives the repeat-history and cache-mode-promotion paths; the
+// equivalence must hold whichever rewrite the planner picks.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/parser.hpp"
+#include "flowdb/plan/planner.hpp"
+
+namespace {
+
+megads::flowdb::FlowDB make_db() {
+  using megads::flow::FlowKey;
+  using megads::flow::IPv4;
+  // A large node budget keeps folds compression-free, so "byte-identical"
+  // is exact equality, not approximate agreement.
+  megads::flowtree::FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  megads::flowdb::FlowDB db(config);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    megads::flowtree::Flowtree tree(config);
+    for (std::uint32_t host = 1; host <= 4; ++host) {
+      tree.add(FlowKey::from_tuple(6, IPv4((10u << 24) | (1u << 16) | host),
+                                   1000 + static_cast<std::uint16_t>(host),
+                                   IPv4((77u << 24) | 9u), 443),
+               10.0 * host);
+      tree.add(FlowKey::from_tuple(17, IPv4((10u << 24) | (2u << 16) | host),
+                                   2000 + static_cast<std::uint16_t>(host),
+                                   IPv4((88u << 24) | 7u), 53),
+               5.0 * host);
+    }
+    db.add(std::move(tree),
+           megads::TimeInterval{epoch * megads::kMinute,
+                                (epoch + 1) * megads::kMinute},
+           epoch == 2 ? "router-b" : "router-a");
+  }
+  return db;
+}
+
+[[noreturn]] void violation(const char* what, const std::string& statement) {
+  std::fprintf(stderr, "fuzz_plan: %s for statement: %s\n", what,
+               statement.c_str());
+  std::abort();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  static const megads::flowdb::FlowDB db = make_db();
+  static megads::flowdb::plan::QueryPlanner planner;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  megads::flowdb::Statement statement;
+  try {
+    statement = megads::flowdb::parse(text);
+  } catch (const megads::ParseError&) {
+    // Malformed text: the planner must reject it the same way.
+    try {
+      (void)planner.run(text, db);
+      violation("planner accepted text the parser rejects", text);
+    } catch (const megads::ParseError&) {
+    }
+    return 0;
+  }
+
+  if (statement.explain) {
+    // EXPLAIN renders the plan instead of executing; it must never throw
+    // past ParseError and never crash.
+    (void)planner.run(statement, db).to_string();
+    return 0;
+  }
+
+  const std::string planned = planner.run(statement, db).to_string();
+  const std::string naive =
+      megads::flowdb::execute(statement, db).to_string();
+  if (planned != naive) violation("planner diverged from naive executor", text);
+  return 0;
+}

@@ -40,6 +40,15 @@ class LruCache {
     return &it->second->value;
   }
 
+  /// Presence probe that neither touches the LRU order nor the hit/miss
+  /// tallies — for planners asking "would this selection hit?" without
+  /// perturbing the replacement policy they are trying to predict.
+  [[nodiscard]] bool contains(const Key& key, const Mutex& owner) const
+      MEGADS_REQUIRES(owner) {
+    (void)owner;
+    return map_.find(key) != map_.end();
+  }
+
   /// Insert (or replace) an entry costing `bytes`, then evict from the tail
   /// until the cache fits its budget again. Entries larger than the whole
   /// budget are not admitted — caching them would evict everything else for

@@ -25,6 +25,9 @@
 //     30 | serve::FlowQLServer::mu_           | session dirty-list + counters
 //     40 | serve::RequestScheduler::mu_       | admission queue bookkeeping
 //     50 | serve::Session::mu_                | per-connection response outbox
+//     60 | plan::QueryPlanner::mu_            | shape history + plan stats
+//     70 | plan::SharedFoldRegistry::mu_      | in-flight fold map (never
+//         |                                    |   held across a fold)
 //    100 | dist::Coordinator::mu_             | routing/gather bookkeeping
 //    200 | dist::PartitionServer::raw_mu_     | raw record log
 //    300 | store::DataStore::mat_mu_          | merged-prefix snapshots
@@ -54,6 +57,8 @@ namespace lockrank {
 inline constexpr int kServeServer = 30;
 inline constexpr int kServeScheduler = 40;
 inline constexpr int kServeSession = 50;
+inline constexpr int kPlanner = 60;
+inline constexpr int kPlanShared = 70;
 inline constexpr int kCoordinator = 100;
 inline constexpr int kPartitionServer = 200;
 inline constexpr int kStoreMaterialization = 300;

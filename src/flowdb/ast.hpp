@@ -4,7 +4,8 @@
 //
 // Grammar (keywords case-insensitive):
 //
-//   statement := SELECT operator FROM ranges [WHERE condition (AND condition)*]
+//   statement := [EXPLAIN] SELECT operator FROM ranges
+//                [WHERE condition (AND condition)*]
 //   operator  := TOPK '(' number ')'
 //              | HHH '(' number ')'            -- phi in (0, 1]
 //              | ABOVE '(' number ')'
@@ -48,6 +49,10 @@ struct Statement {
   /// WHERE feature conditions folded into one generalized key; results are
   /// restricted to flows this key generalizes.
   flow::FlowKey restriction;
+  /// EXPLAIN prefix: render the plan (cost, cache access, fan-out) instead
+  /// of executing. Only run_flowql() and the planner honour it; execute()
+  /// ignores it and runs the inner statement.
+  bool explain = false;
 };
 
 }  // namespace megads::flowdb

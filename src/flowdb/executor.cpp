@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "flowdb/parser.hpp"
+#include "flowdb/plan/planner.hpp"
 #include "primitives/item.hpp"
 
 namespace megads::flowdb {
@@ -46,9 +47,27 @@ std::vector<KeyScore> restricted_entries(const flowtree::MergedView& view,
 
 }  // namespace
 
-Table execute(const Statement& statement, const SummarySource& source) {
+Table execute_diff(const Statement& statement, flowtree::Flowtree a,
+                   const flowtree::Flowtree& b) {
   const bool restricted = !statement.restriction.is_root();
+  a.diff(b);
+  std::vector<KeyScore> rows =
+      restricted
+          ? restricted_entries(flowtree::MergedView(a), statement.restriction)
+          : a.entries();
+  std::erase_if(rows, [](const KeyScore& row) { return row.score == 0.0; });
+  std::sort(rows.begin(), rows.end(), [](const KeyScore& x, const KeyScore& y) {
+    if (std::fabs(x.score) != std::fabs(y.score))
+      return std::fabs(x.score) > std::fabs(y.score);
+    if (x.score != y.score) return x.score > y.score;
+    return x.key < y.key;
+  });
+  const auto k = static_cast<std::size_t>(statement.argument);
+  if (rows.size() > k) rows.resize(k);
+  return render(rows);
+}
 
+Table execute(const Statement& statement, const SummarySource& source) {
   if (statement.op == OperatorKind::kDiff) {
     expects(statement.ranges.size() == 2, "FlowQL diff: exactly two ranges");
     // The two sides of a diff are independent merges — run the second on the
@@ -65,29 +84,20 @@ Table execute(const Statement& statement, const SummarySource& source) {
         b_future.valid()
             ? b_future.get()
             : source.merged({statement.ranges[1]}, statement.locations);
-    a.diff(b);
-    std::vector<KeyScore> rows =
-        restricted ? restricted_entries(flowtree::MergedView(a),
-                                        statement.restriction)
-                   : a.entries();
-    std::erase_if(rows, [](const KeyScore& row) { return row.score == 0.0; });
-    std::sort(rows.begin(), rows.end(), [](const KeyScore& x, const KeyScore& y) {
-      if (std::fabs(x.score) != std::fabs(y.score))
-        return std::fabs(x.score) > std::fabs(y.score);
-      if (x.score != y.score) return x.score > y.score;
-      return x.key < y.key;
-    });
-    const auto k = static_cast<std::size_t>(statement.argument);
-    if (rows.size() > k) rows.resize(k);
-    return render(rows);
+    return execute_diff(statement, std::move(a), b);
   }
 
   // merged_view() serves repeated selections from the view cache (an O(1)
   // copy-on-write handout) and — on a partitioned coordinator whose gather
   // produced a single flat partial — hands the wire bytes out zero-copy, so
   // every read below runs in place without materializing a node pool.
-  const flowtree::MergedView tree =
-      source.merged_view(statement.ranges, statement.locations);
+  return execute_on_view(
+      statement, source.merged_view(statement.ranges, statement.locations));
+}
+
+Table execute_on_view(const Statement& statement,
+                      const flowtree::MergedView& tree) {
+  const bool restricted = !statement.restriction.is_root();
 
   switch (statement.op) {
     case OperatorKind::kQuery: {
@@ -124,13 +134,22 @@ Table execute(const Statement& statement, const SummarySource& source) {
       return render(rows);
     }
     case OperatorKind::kDiff:
-      break;  // handled above
+      break;  // handled by execute_diff()
   }
   throw Error("FlowQL: unreachable operator");
 }
 
 Table run_flowql(const std::string& statement, const SummarySource& source) {
-  return execute(parse(statement), source);
+  const Statement parsed = parse(statement);
+  if (parsed.explain) {
+    // EXPLAIN renders the plan instead of executing. A transient planner is
+    // enough: the plan table depends only on the statement, the source probe,
+    // and default cost inputs, so it is deterministic for a given source
+    // state. Long-lived planners (the serving tier) keep their own instance.
+    plan::QueryPlanner planner;
+    return planner.run(parsed, source);
+  }
+  return execute(parsed, source);
 }
 
 }  // namespace megads::flowdb

@@ -13,11 +13,28 @@
 
 namespace megads::flowdb {
 
-/// Execute a parsed statement.
+/// Execute a parsed statement. Ignores `statement.explain` — rendering a
+/// plan requires a planner (plan/planner.hpp); run_flowql routes EXPLAIN
+/// statements there.
 [[nodiscard]] Table execute(const Statement& statement,
                             const SummarySource& source);
 
+/// Run a non-diff operator against an already-merged selection. This is the
+/// single rendering path for both the naive executor and the planner, which
+/// is what makes planned results byte-identical by construction: the planner
+/// only chooses how the operand view is produced, never how it is read.
+[[nodiscard]] Table execute_on_view(const Statement& statement,
+                                    const flowtree::MergedView& view);
+
+/// Diff rendering over already-merged operands. `a` is consumed (the diff
+/// subtracts in place). Shared between the naive executor and the planner
+/// for the same reason as execute_on_view().
+[[nodiscard]] Table execute_diff(const Statement& statement,
+                                 flowtree::Flowtree a,
+                                 const flowtree::Flowtree& b);
+
 /// Parse + execute in one step (the application-facing entry point).
+/// EXPLAIN statements are planned (not executed) and render the plan table.
 [[nodiscard]] Table run_flowql(const std::string& statement,
                                const SummarySource& source);
 

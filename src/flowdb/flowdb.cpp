@@ -227,7 +227,8 @@ void FlowDB::publish_cache_metrics() const {
 }
 
 flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
-                                        std::size_t at, std::size_t len) const {
+                                        std::size_t at, std::size_t len,
+                                        bool populate) const {
   ViewKey key;
   key.words.reserve(len + 1);
   key.words.push_back(kTagBlock);
@@ -246,10 +247,10 @@ flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
     block.merge(slice[at]->tree);  // adopt fast path: O(1) state share
     block.merge(slice[at + 1]->tree);
   } else {
-    block.merge(fold_aligned(slice, at, half));
-    block.merge(fold_aligned(slice, at + half, half));
+    block.merge(fold_aligned(slice, at, half, populate));
+    block.merge(fold_aligned(slice, at + half, half, populate));
   }
-  {
+  if (populate) {
     const MutexLock lock(cache_mu_);
     view_cache_.put(key, block, block.memory_bytes(), cache_mu_);
   }
@@ -257,7 +258,7 @@ flowtree::Flowtree FlowDB::fold_aligned(const Entry* const* slice,
 }
 
 void FlowDB::fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
-                      std::size_t lo, std::size_t hi) const {
+                      std::size_t lo, std::size_t hi, bool populate) const {
   // Greedy aligned decomposition: the largest power-of-two block that starts
   // at `lo` (lo % len == 0) and fits. Alignment is what makes the blocks of
   // overlapping windows coincide: a window sliding by one epoch re-derives
@@ -270,13 +271,13 @@ void FlowDB::fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
     if (len == 1) {
       acc.merge(slice[lo]->tree);
     } else {
-      acc.merge(fold_aligned(slice, lo, len));
+      acc.merge(fold_aligned(slice, lo, len, populate));
     }
     lo += len;
   }
 }
 
-flowtree::Flowtree FlowDB::merged(
+std::vector<FlowDB::Group> FlowDB::select_groups(
     const std::vector<TimeInterval>& intervals,
     const std::vector<std::string>& locations) const {
   const auto wanted_time = [&](const TimeInterval& interval) {
@@ -290,17 +291,11 @@ flowtree::Flowtree FlowDB::merged(
            locations.end();
   };
 
-  const ReaderLock lock(entries_mu_);
-
   // Select the matching entries, grouped by location (entries_ is sorted by
   // location, so each location is a contiguous index run — the "slice").
   // Groups keep slice-relative positions: the aligned block decomposition
-  // below depends only on where an epoch sits inside its location's slice,
-  // so summaries arriving for *other* locations never perturb it.
-  struct Group {
-    std::vector<const Entry*> slice;    ///< the location's full run
-    std::vector<std::size_t> positions; ///< selected indices into `slice`
-  };
+  // depends only on where an epoch sits inside its location's slice, so
+  // summaries arriving for *other* locations never perturb it.
   std::vector<Group> groups;
   for (std::size_t i = 0; i < entries_.size();) {
     std::size_t j = i;
@@ -319,9 +314,10 @@ flowtree::Flowtree FlowDB::merged(
     }
     i = j;
   }
+  return groups;
+}
 
-  // Full-view cache: repeating the exact same selection (the dashboard
-  // pattern) is an O(1) copy-on-write handout.
+FlowDB::ViewKey FlowDB::view_key_for(const std::vector<Group>& groups) {
   ViewKey view_key;
   view_key.words.push_back(kTagView);
   view_key.words.push_back(groups.size());
@@ -331,6 +327,52 @@ flowtree::Flowtree FlowDB::merged(
       view_key.words.push_back(group.slice[p]->seq);
     }
   }
+  return view_key;
+}
+
+flowtree::Flowtree FlowDB::merged(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  return merged_impl(intervals, locations, /*populate=*/true);
+}
+
+flowtree::MergedView FlowDB::merged_view_hint(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations, CacheMode mode) const {
+  return flowtree::MergedView(
+      merged_impl(intervals, locations, mode == CacheMode::kPopulate));
+}
+
+PlanProbe FlowDB::plan_probe(const std::vector<TimeInterval>& intervals,
+                             const std::vector<std::string>& locations) const {
+  PlanProbe probe;
+  probe.known = true;
+  probe.versioned = true;
+
+  const ReaderLock lock(entries_mu_);
+  probe.version = next_seq_ - 1;
+  const std::vector<Group> groups = select_groups(intervals, locations);
+  probe.location_groups = groups.size();
+  for (const Group& group : groups) probe.summary_count += group.positions.size();
+  const ViewKey view_key = view_key_for(groups);
+  {
+    const MutexLock cache_lock(cache_mu_);
+    probe.full_view_cached = view_cache_.byte_budget(cache_mu_) > 0 &&
+                             view_cache_.contains(view_key, cache_mu_);
+  }
+  return probe;
+}
+
+flowtree::Flowtree FlowDB::merged_impl(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations, bool populate) const {
+  const ReaderLock lock(entries_mu_);
+
+  const std::vector<Group> groups = select_groups(intervals, locations);
+
+  // Full-view cache: repeating the exact same selection (the dashboard
+  // pattern) is an O(1) copy-on-write handout.
+  const ViewKey view_key = view_key_for(groups);
   {
     const MutexLock cache_lock(cache_mu_);
     if (view_cache_.byte_budget(cache_mu_) > 0) {
@@ -364,7 +406,7 @@ flowtree::Flowtree FlowDB::merged(
           ++b;
         }
         fold_run(per_location[g], group.slice.data(), group.positions[a],
-                 group.positions[a] + (b - a));
+                 group.positions[a] + (b - a), populate);
         a = b;
       }
     }
@@ -380,7 +422,9 @@ flowtree::Flowtree FlowDB::merged(
   for (flowtree::Flowtree& tree : per_location) result.merge(tree);
   {
     const MutexLock cache_lock(cache_mu_);
-    view_cache_.put(view_key, result, result.memory_bytes(), cache_mu_);
+    if (populate) {
+      view_cache_.put(view_key, result, result.memory_bytes(), cache_mu_);
+    }
     publish_cache_metrics();
   }
   return result;

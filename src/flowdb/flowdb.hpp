@@ -117,6 +117,21 @@ class FlowDB : public SummarySource {
       const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations) const override;
 
+  /// merged() with the planner's cache policy: kPopulate is merged() exactly;
+  /// kReadOnly runs the identical decomposition but inserts nothing into the
+  /// view/block cache (warm entries are still read) — scan resistance for
+  /// one-off selections. Answers are byte-identical either way.
+  [[nodiscard]] flowtree::MergedView merged_view_hint(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations,
+      CacheMode mode) const override;
+
+  /// Planner probe: content version (sharing key), selection size, and
+  /// whether the exact selection is already materialized in the view cache.
+  [[nodiscard]] PlanProbe plan_probe(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const override;
+
   [[nodiscard]] const flowtree::FlowtreeConfig& tree_config() const noexcept {
     return tree_config_;
   }
@@ -140,6 +155,28 @@ class FlowDB : public SummarySource {
     std::size_t operator()(const ViewKey& key) const noexcept;
   };
 
+  /// One location's contiguous entry run with the selected positions inside
+  /// it — the unit both merged() and plan_probe() select on. Pointers into
+  /// entries_ stay valid only while the shared entries lock is held.
+  struct Group {
+    std::vector<const Entry*> slice;     ///< the location's full run
+    std::vector<std::size_t> positions;  ///< selected indices into `slice`
+  };
+  /// Matching entries grouped by location (see merged() for the selection
+  /// semantics); shared by merged() and plan_probe() so the planner probes
+  /// exactly what execution will fold.
+  [[nodiscard]] std::vector<Group> select_groups(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const
+      MEGADS_REQUIRES_SHARED(entries_mu_);
+  /// The full-view content-addressed key for a selection.
+  [[nodiscard]] static ViewKey view_key_for(const std::vector<Group>& groups);
+  /// merged() body with an explicit cache policy (populate = insert fold
+  /// products; reads happen in both modes).
+  [[nodiscard]] flowtree::Flowtree merged_impl(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations, bool populate) const;
+
   /// Fold one location's contiguous position run [lo, hi) (slice-relative)
   /// into `acc` along the aligned power-of-two decomposition, consulting the
   /// block cache for every block of >= 2 entries. `slice` spans the whole
@@ -148,11 +185,12 @@ class FlowDB : public SummarySource {
   /// folds do NOT hold it themselves, which is why the functions carry no
   /// REQUIRES annotation and touch entries only through the slice.
   void fold_run(flowtree::Flowtree& acc, const Entry* const* slice,
-                std::size_t lo, std::size_t hi) const;
+                std::size_t lo, std::size_t hi, bool populate) const;
   /// Fold the aligned block [at, at + len): cache lookup, else recurse.
   [[nodiscard]] flowtree::Flowtree fold_aligned(const Entry* const* slice,
                                                 std::size_t at,
-                                                std::size_t len) const;
+                                                std::size_t len,
+                                                bool populate) const;
   void publish_cache_metrics() const MEGADS_REQUIRES(cache_mu_);
 
   flowtree::FlowtreeConfig tree_config_;

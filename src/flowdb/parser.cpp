@@ -39,8 +39,14 @@ class Parser {
   explicit Parser(const std::string& input) : tokens_(tokenize(input)) {}
 
   Statement parse_statement() {
+    bool explain = false;
+    if (is_keyword(peek(), "explain")) {
+      advance();
+      explain = true;
+    }
     expect_keyword("select");
     Statement statement = parse_operator();
+    statement.explain = explain;
     expect_keyword("from");
     statement.ranges.push_back(parse_range());
     while (peek().kind == TokenKind::kComma) {

@@ -15,7 +15,8 @@ Coordinator::Coordinator(net::Transport& transport, NodeId node,
       node_(node),
       partitioner_(std::move(partitioner)),
       servers_(std::move(servers)),
-      options_(options) {
+      options_(options),
+      fanout_(servers_.size()) {
   expects(partitioner_ != nullptr, "Coordinator: null partitioner");
   expects(!servers_.empty(), "Coordinator: no partition servers");
   expects(options_.add_batch_size > 0, "Coordinator: zero batch size");
@@ -58,6 +59,10 @@ void Coordinator::route_record(SummaryRecord record) {
   {
     UniqueLock lock(mu_);
     routed_bytes_[shard] += record.summary.size();
+    // Fan-out manifest + content version: every record routed through this
+    // coordinator is visible to the planner before add() returns.
+    fanout_.note_routed(shard, record.interval, record.location);
+    ++routed_records_;
     if (const auto it = replicas_.find(shard); it != replicas_.end()) {
       replica = &it->second;  // keep the local replica in sync with the owner
     }
@@ -173,11 +178,14 @@ void Coordinator::note_dropped() const {
 void Coordinator::attach_metrics(metrics::MetricsRegistry& registry) {
   metrics::Counter& dropped = registry.counter("net.dropped_coordinator");
   metrics::Counter& decodes = registry.counter("net.decode_coordinator");
+  metrics::Counter& pruned = registry.counter("plan.fanout_pruned");
   const MutexLock lock(mu_);
   metric_dropped_ = &dropped;
   metric_dropped_->add(dropped_messages_);  // catch up on pre-attach drops
   metric_decodes_ = &decodes;
   metric_decodes_->add(response_decodes_);
+  metric_fanout_pruned_ = &pruned;
+  metric_fanout_pruned_->add(fanout_pruned_);
 }
 
 QueryResponseBody Coordinator::local_partials(
@@ -290,8 +298,21 @@ std::vector<std::pair<std::size_t, QueryResponseBody>> Coordinator::gather(
   }
   transport_->run_until_idle();
 
-  const std::vector<std::size_t> targets =
-      partitioner_->targets(intervals, locations, servers_.size());
+  // Per-query fan-out: the partitioner-global target set intersected with
+  // the routed-record manifest (plan/fanout.hpp). decide() runs under mu_,
+  // after the flush above — the manifest only grows, so the decision is
+  // conservative for every add that happened-before this selection.
+  plan::FanOutPlanner::Decision decision;
+  {
+    const MutexLock lock(mu_);
+    decision = fanout_.decide(*partitioner_, intervals, locations,
+                              servers_.size(), manifest_exact());
+    fanout_pruned_ += decision.manifest_pruned;
+    if (metric_fanout_pruned_ != nullptr) {
+      metric_fanout_pruned_->add(decision.manifest_pruned);
+    }
+  }
+  const std::vector<std::size_t>& targets = decision.targets;
 
   // Split replicated shards (served locally) from remote ones; open the
   // gather before the first scatter so a synchronous transport's responses
@@ -521,6 +542,50 @@ std::uint64_t Coordinator::dropped_messages() const {
 std::uint64_t Coordinator::response_decodes() const {
   const MutexLock lock(mu_);
   return response_decodes_;
+}
+
+std::uint64_t Coordinator::fanout_pruned_shards() const {
+  const MutexLock lock(mu_);
+  return fanout_pruned_;
+}
+
+PlanProbe Coordinator::plan_probe(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  // Nominal partial size for the probe's transfer-cost estimate: the probe
+  // ranks candidate scatters, it does not predict exact byte counts.
+  constexpr std::uint64_t kProbePartialBytes = 4096;
+
+  PlanProbe probe;
+  probe.known = true;
+  probe.versioned = true;
+  probe.shards_total = servers_.size();
+
+  plan::FanOutPlanner::Decision decision;
+  std::vector<std::size_t> remote;
+  {
+    const MutexLock lock(mu_);
+    probe.version = routed_records_;
+    decision = fanout_.decide(*partitioner_, intervals, locations,
+                              servers_.size(), manifest_exact());
+    for (const std::size_t shard : decision.targets) {
+      if (replicas_.find(shard) != replicas_.end()) {
+        ++probe.local_shards;
+      } else {
+        remote.push_back(shard);
+      }
+    }
+  }
+  probe.shards_selected = decision.targets.size();
+  probe.shards_pruned = decision.manifest_pruned;
+  probe.summary_count = static_cast<std::size_t>(decision.est_records);
+  probe.location_groups = locations.empty() ? 1 : locations.size();
+  for (const std::size_t shard : remote) {
+    probe.scatter_transfer_cost += static_cast<double>(
+        transport_->transfer_time_unloaded(servers_[shard], node_,
+                                           kProbePartialBytes));
+  }
+  return probe;
 }
 
 }  // namespace megads::flowdb::dist

@@ -56,6 +56,7 @@
 #include "flowdb/flowdb.hpp"
 #include "flowdb/partitioned/envelope.hpp"
 #include "flowdb/partitioned/partitioner.hpp"
+#include "flowdb/plan/fanout.hpp"
 #include "flowdb/source.hpp"
 #include "flowtree/flatblock.hpp"
 #include "net/transport.hpp"
@@ -70,6 +71,16 @@ class Coordinator : public SummarySource {
     /// partial ones on flush()/merged().
     std::size_t add_batch_size = 16;
     flowtree::FlowtreeConfig tree_config = {};
+    /// Per-query scatter fan-out: intersect the partitioner's target set
+    /// with the routed-record manifest (plan/fanout.hpp) so selective
+    /// queries skip shards that provably hold nothing matching. Sound only
+    /// while this coordinator is the shards' sole ingest route.
+    bool planner_fanout = true;
+    /// Set when the shards also receive records this coordinator never
+    /// routed (another coordinator, direct server feeds): the manifest is
+    /// then incomplete and fan-out falls back to the partitioner-global
+    /// decision.
+    bool assume_external_ingest = false;
   };
 
   /// Binds `node` on `transport`. `servers[i]` hosts partition i; transport
@@ -136,6 +147,16 @@ class Coordinator : public SummarySource {
   /// Response partials that needed a legacy (non-flat) summary decode before
   /// folding — zero on the all-flat path; the bench's warm-path pin.
   [[nodiscard]] std::uint64_t response_decodes() const;
+  /// Shards the per-query fan-out shed versus the partitioner-global target
+  /// set, cumulative (the E15 pin: selective queries contact fewer shards).
+  [[nodiscard]] std::uint64_t fanout_pruned_shards() const;
+
+  /// Planner probe: content version (records routed through this
+  /// coordinator), the per-query scatter decision, and the unloaded
+  /// transfer cost of contacting the remote targets.
+  [[nodiscard]] PlanProbe plan_probe(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const override;
 
   /// Mirror the drop counter into `registry` as "net.dropped_coordinator"
   /// (cumulative; catches up on drops that preceded the attach). The registry
@@ -194,6 +215,12 @@ class Coordinator : public SummarySource {
       const FlowDB& replica, const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations) const;
 
+  /// Manifest narrowing applies only for a sole-ingest coordinator that
+  /// opted in (see Options).
+  [[nodiscard]] bool manifest_exact() const noexcept {
+    return options_.planner_fanout && !options_.assume_external_ingest;
+  }
+
   net::Transport* transport_;
   NodeId node_;
   std::unique_ptr<Partitioner> partitioner_;
@@ -232,8 +259,15 @@ class Coordinator : public SummarySource {
   mutable std::uint64_t local_shard_queries_ MEGADS_GUARDED_BY(mu_) = 0;
   mutable std::uint64_t dropped_messages_ MEGADS_GUARDED_BY(mu_) = 0;
   mutable std::uint64_t response_decodes_ MEGADS_GUARDED_BY(mu_) = 0;
+  /// Per-query fan-out state: what was routed where (fed by route_record),
+  /// plus the routed-record count — the coordinator's content version for
+  /// the planner's fold-sharing keys.
+  plan::FanOutPlanner fanout_ MEGADS_GUARDED_BY(mu_);
+  std::uint64_t routed_records_ MEGADS_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t fanout_pruned_ MEGADS_GUARDED_BY(mu_) = 0;
   metrics::Counter* metric_dropped_ MEGADS_GUARDED_BY(mu_) = nullptr;
   metrics::Counter* metric_decodes_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_fanout_pruned_ MEGADS_GUARDED_BY(mu_) = nullptr;
 
   repl::ReplicaPlacer* placer_ = nullptr;
 };

@@ -1,0 +1,59 @@
+#include "flowdb/plan/cost.hpp"
+
+#include <algorithm>
+
+namespace megads::flowdb::plan {
+
+void CostModel::refresh(const metrics::Snapshot& snapshot) {
+  if (const auto* entry = snapshot.find("flowdb.view_cache_hit_ratio")) {
+    inputs.view_cache_hit_rate = std::clamp(entry->value, 0.0, 1.0);
+  }
+  const double flat = snapshot.value("flowdb.decode_hits", 0.0);
+  const double decoded = snapshot.value("flowdb.decode_misses", 0.0);
+  if (flat + decoded > 0.0) {
+    inputs.decode_rate = decoded / (flat + decoded);
+  }
+}
+
+double CostModel::estimated_nodes(const PlanProbe& probe) const {
+  const double summaries =
+      std::max<double>(1.0, static_cast<double>(probe.summary_count));
+  return summaries * inputs.nodes_per_summary;
+}
+
+double CostModel::fold_cost(const PlanProbe& probe) const {
+  const double summaries =
+      std::max<double>(1.0, static_cast<double>(probe.summary_count));
+  const double per_node = inputs.flat_read_ns_per_node +
+                          inputs.decode_rate * (inputs.decode_ns_per_node -
+                                                inputs.flat_read_ns_per_node);
+  return summaries * inputs.merge_ns_per_summary +
+         estimated_nodes(probe) * per_node + probe.scatter_transfer_cost;
+}
+
+double CostModel::cached_cost(const PlanProbe& probe) const {
+  if (probe.full_view_cached) return inputs.view_hit_ns;
+  const double hit = inputs.view_cache_hit_rate;
+  return hit * inputs.view_hit_ns +
+         (1.0 - hit) * (fold_cost(probe) + populate_cost(probe));
+}
+
+double CostModel::read_only_cost(const PlanProbe& probe) const {
+  if (probe.full_view_cached) return inputs.view_hit_ns;
+  const double hit = inputs.view_cache_hit_rate;
+  return hit * inputs.view_hit_ns + (1.0 - hit) * fold_cost(probe);
+}
+
+double CostModel::populate_cost(const PlanProbe& probe) const {
+  return estimated_nodes(probe) * inputs.cache_insert_ns_per_node;
+}
+
+double CostModel::populate_gain(const PlanProbe& probe) const {
+  // A populated entry turns the next identical selection's fold into a view
+  // handout; the gain is that saving discounted by how likely a repeat is,
+  // for which the observed global hit rate is the planner's proxy.
+  return inputs.view_cache_hit_rate *
+         (fold_cost(probe) - inputs.view_hit_ns);
+}
+
+}  // namespace megads::flowdb::plan

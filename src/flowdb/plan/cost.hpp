@@ -1,0 +1,65 @@
+// Plan cost model (docs/PLANNING.md). Prices the candidate access paths the
+// planner chooses between, from per-operator rates the metrics registry
+// already carries: the view-cache hit ratio from PR 5, the decode-vs-flat
+// split from E13, and the coordinator's unloaded transfer costs (carried on
+// the PlanProbe). Costs are estimates in nanoseconds — they rank candidates,
+// they never change results, so a stale or default-seeded model only costs
+// performance.
+#pragma once
+
+#include <cstddef>
+
+#include "common/metrics.hpp"
+#include "flowdb/source.hpp"
+
+namespace megads::flowdb::plan {
+
+/// Tunable per-operation rates. Defaults are the RelWithDebInfo medians from
+/// bench_query_cache / bench_flatblock on the dev box; refresh() replaces
+/// the observed ones with live registry readings.
+struct CostInputs {
+  /// Stage-1 fold cost per input summary (Table II merge of one tree).
+  double merge_ns_per_summary = 2000.0;
+  /// O(1) copy-on-write handout of a cached view.
+  double view_hit_ns = 600.0;
+  /// Inserting one fold product into the view/block cache, per node.
+  double cache_insert_ns_per_node = 8.0;
+  /// Reading one node of a flat block in place (E13 flat path).
+  double flat_read_ns_per_node = 4.0;
+  /// Decoding one node of a legacy payload before folding (E13 slow path).
+  double decode_ns_per_node = 40.0;
+  /// Nodes a folded selection is expected to hold (per summary folded).
+  double nodes_per_summary = 64.0;
+  /// Observed view-cache hit ratio (flowdb.view_cache_hit_ratio).
+  double view_cache_hit_rate = 0.0;
+  /// Observed fraction of response partials needing a legacy decode.
+  double decode_rate = 0.0;
+};
+
+class CostModel {
+ public:
+  CostInputs inputs;
+
+  /// Replace observed rates with live readings from a registry snapshot
+  /// (unknown names keep their current value, so a cold registry is safe).
+  void refresh(const metrics::Snapshot& snapshot);
+
+  /// Fold cost of a selection that misses every cache: stage-1 merges plus
+  /// the per-node read cost of the partials (flat or decoded per the
+  /// observed decode rate).
+  [[nodiscard]] double fold_cost(const PlanProbe& probe) const;
+  /// Expected cost of the default cached path: hit-rate-weighted blend of a
+  /// view handout and a miss that folds then pays the cache insert.
+  [[nodiscard]] double cached_cost(const PlanProbe& probe) const;
+  /// Cost of a read-only fold (no cache insert on miss).
+  [[nodiscard]] double read_only_cost(const PlanProbe& probe) const;
+  /// One-time cost of populating the cache with this selection's product.
+  [[nodiscard]] double populate_cost(const PlanProbe& probe) const;
+  /// Expected saving of having this selection cached for its *next* run.
+  [[nodiscard]] double populate_gain(const PlanProbe& probe) const;
+
+ private:
+  [[nodiscard]] double estimated_nodes(const PlanProbe& probe) const;
+};
+
+}  // namespace megads::flowdb::plan

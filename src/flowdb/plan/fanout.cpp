@@ -1,0 +1,79 @@
+#include "flowdb/plan/fanout.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace megads::flowdb::plan {
+
+void FanOutPlanner::note_routed(std::size_t shard,
+                                const TimeInterval& interval,
+                                const std::string& location) {
+  expects(shard < shards_.size(), "FanOutPlanner: shard out of range");
+  ShardManifest& manifest = shards_[shard];
+  const auto it = manifest.locations.find(location);
+  if (it == manifest.locations.end()) {
+    manifest.locations.emplace(location, LocationSpan{interval, 1});
+  } else {
+    it->second.span = it->second.span.span(interval);
+    ++it->second.records;
+  }
+}
+
+std::uint64_t FanOutPlanner::shard_matches(
+    std::size_t shard, const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations) const {
+  std::uint64_t records = 0;
+  const ShardManifest& manifest = shards_[shard];
+  for (const auto& [location, entry] : manifest.locations) {
+    if (!locations.empty() &&
+        std::find(locations.begin(), locations.end(), location) ==
+            locations.end()) {
+      continue;
+    }
+    if (intervals.empty()) {
+      records += entry.records;
+      continue;
+    }
+    for (const TimeInterval& iv : intervals) {
+      if (entry.span.overlaps(iv)) {
+        records += entry.records;
+        break;
+      }
+    }
+  }
+  return records;
+}
+
+FanOutPlanner::Decision FanOutPlanner::decide(
+    const dist::Partitioner& partitioner,
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations, std::size_t partitions,
+    bool manifest_exact) const {
+  Decision decision;
+  decision.targets = partitioner.targets(intervals, locations, partitions);
+  decision.partitioner_targets = decision.targets.size();
+  if (!manifest_exact) {
+    for (const std::size_t shard : decision.targets) {
+      if (shard < shards_.size()) {
+        decision.est_records += shard_matches(shard, intervals, locations);
+      }
+    }
+    return decision;
+  }
+  std::erase_if(decision.targets, [&](std::size_t shard) {
+    if (shard >= shards_.size()) return true;
+    const std::uint64_t records = shard_matches(shard, intervals, locations);
+    decision.est_records += records;
+    return records == 0;
+  });
+  decision.manifest_pruned =
+      decision.partitioner_targets - decision.targets.size();
+  return decision;
+}
+
+std::size_t FanOutPlanner::shard_location_count(std::size_t shard) const {
+  return shard < shards_.size() ? shards_[shard].locations.size() : 0;
+}
+
+}  // namespace megads::flowdb::plan

@@ -1,0 +1,89 @@
+// Per-query scatter fan-out (docs/PLANNING.md). The Partitioner's targets()
+// narrows a scatter only by its own routing feature — a by-time partitioner
+// cannot prune on location, so `WHERE location = 'x'` over an unconstrained
+// window still broadcasts. The FanOutPlanner closes that gap with a manifest
+// of what was actually routed to each shard: per (shard, location) the span
+// of every record interval this coordinator sent there. A shard with no
+// manifest entry overlapping the selection provably holds nothing matching
+// it — *provided this coordinator is the shards' only ingest route*, which
+// is the deployment every test, bench, and example in this repo uses. A
+// coordinator configured with Options::assume_external_ingest keeps the
+// partitioner-global decision (manifest narrowing off, still correct).
+//
+// The manifest is an over-approximation in the safe direction: spans only
+// grow, locations are never removed, and decide() intersects the
+// partitioner's (sound) target set with the manifest's (sound under the
+// sole-ingest assumption) — so the result can only shed shards whose
+// partials would be empty, never shards contributing to the fold. That is
+// the invariant the planner equivalence suites pin byte-identically.
+//
+// Not thread-safe by itself: the Coordinator owns one instance guarded by
+// its mu_ (note_routed runs inside route_record, decide under the same lock
+// in gather/plan_probe), which also gives decide() a consistent snapshot.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "flowdb/partitioned/partitioner.hpp"
+
+namespace megads::flowdb::plan {
+
+class FanOutPlanner {
+ public:
+  explicit FanOutPlanner(std::size_t shards) : shards_(shards) {}
+
+  /// Record that a summary covering `interval` at `location` was routed to
+  /// `shard`. Called on every ingest (cheap: a map lookup + span union).
+  void note_routed(std::size_t shard, const TimeInterval& interval,
+                   const std::string& location);
+
+  struct Decision {
+    /// Final scatter set — sorted, deduplicated, always a subset of the
+    /// partitioner-global target set.
+    std::vector<std::size_t> targets;
+    /// Size of the partitioner-global set (the pre-planner scatter).
+    std::size_t partitioner_targets = 0;
+    /// Shards the manifest shed versus that baseline.
+    std::size_t manifest_pruned = 0;
+    /// Upper bound on routed records the kept shards hold for the selection
+    /// (per-location counts whose span overlaps) — the planner's
+    /// summary-count estimate.
+    std::uint64_t est_records = 0;
+  };
+
+  /// The per-query scatter decision: the partitioner's target set,
+  /// intersected (when `manifest_exact`) with the shards whose manifest
+  /// shows at least one routed record matching the selection. Empty
+  /// `intervals` / `locations` mean unconstrained, as everywhere else.
+  [[nodiscard]] Decision decide(const dist::Partitioner& partitioner,
+                                const std::vector<TimeInterval>& intervals,
+                                const std::vector<std::string>& locations,
+                                std::size_t partitions,
+                                bool manifest_exact) const;
+
+  /// Locations ever routed to `shard` (introspection for tests).
+  [[nodiscard]] std::size_t shard_location_count(std::size_t shard) const;
+
+ private:
+  struct LocationSpan {
+    TimeInterval span;
+    std::uint64_t records = 0;
+  };
+  /// Routed records the shard may hold for the selection (0 = provably
+  /// none, which is what decide() prunes on).
+  [[nodiscard]] std::uint64_t shard_matches(
+      std::size_t shard, const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const;
+
+  struct ShardManifest {
+    /// location -> span + count of every record routed there.
+    std::map<std::string, LocationSpan> locations;
+  };
+  std::vector<ShardManifest> shards_;
+};
+
+}  // namespace megads::flowdb::plan

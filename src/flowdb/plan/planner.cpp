@@ -1,0 +1,248 @@
+#include "flowdb/plan/planner.hpp"
+
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/parser.hpp"
+
+namespace megads::flowdb::plan {
+
+namespace {
+
+std::string format_ns(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", ns);
+  return buf;
+}
+
+std::string format_argument(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace
+
+QueryPlanner::QueryPlanner(Options options)
+    : options_(options), shapes_(options.shape_history_bytes) {}
+
+Plan QueryPlanner::plan(const Statement& statement,
+                        const SummarySource& source) {
+  Plan plan;
+  plan.statement = statement;
+  plan.probe = source.plan_probe(statement.ranges, statement.locations);
+  plan.shape = fold_shape(statement.ranges, statement.locations);
+  plan.repeated = note_shape(plan.shape);
+  plan.share =
+      options_.enable_sharing && plan.probe.known && plan.probe.versioned;
+
+  switch (options_.cache_mode) {
+    case CacheModeOverride::kAlwaysPopulate:
+      plan.cache_mode = CacheMode::kPopulate;
+      break;
+    case CacheModeOverride::kAlwaysReadOnly:
+      plan.cache_mode = CacheMode::kReadOnly;
+      break;
+    case CacheModeOverride::kAuto:
+      // Populate for anything with evidence of reuse (already cached, or a
+      // shape this planner has seen before — "cache on second touch" keeps
+      // one-off scans from churning the LRU). Otherwise populate only when
+      // the expected reuse gain pays for the insert.
+      plan.cache_mode =
+          (!plan.probe.known || plan.probe.full_view_cached ||
+           plan.repeated ||
+           cost_.populate_gain(plan.probe) >= cost_.populate_cost(plan.probe))
+              ? CacheMode::kPopulate
+              : CacheMode::kReadOnly;
+      break;
+  }
+
+  plan.est_naive_ns = cost_.cached_cost(plan.probe);
+  plan.est_cost_ns = plan.cache_mode == CacheMode::kReadOnly
+                         ? cost_.read_only_cost(plan.probe)
+                         : plan.est_naive_ns;
+  return plan;
+}
+
+Table QueryPlanner::run(const Statement& statement,
+                        const SummarySource& source) {
+  if (statement.explain) {
+    Statement inner = statement;
+    inner.explain = false;
+    Plan the_plan = plan(inner, source);
+    {
+      const MutexLock lock(mu_);
+      ++stats_.explains;
+    }
+    return explain_table(the_plan);
+  }
+
+  Plan the_plan;
+  try {
+    the_plan = plan(statement, source);
+  } catch (...) {
+    // Plan-or-fallback totality: a planning failure must never fail a query
+    // the naive executor could answer.
+    {
+      const MutexLock lock(mu_);
+      ++stats_.fallbacks;
+      if (metric_fallbacks_ != nullptr) metric_fallbacks_->add(1);
+    }
+    return execute(statement, source);
+  }
+  return execute_plan(the_plan, source);
+}
+
+Table QueryPlanner::run(const std::string& statement,
+                        const SummarySource& source) {
+  return run(parse(statement), source);
+}
+
+Table QueryPlanner::execute_plan(const Plan& plan,
+                                 const SummarySource& source) {
+  const Statement& statement = plan.statement;
+  {
+    const MutexLock lock(mu_);
+    ++stats_.planned;
+    if (metric_queries_ != nullptr) metric_queries_->add(1);
+    if (plan.cache_mode == CacheMode::kReadOnly) {
+      ++stats_.read_only_folds;
+      if (metric_read_only_ != nullptr) metric_read_only_->add(1);
+    }
+  }
+
+  if (statement.op == OperatorKind::kDiff) {
+    expects(statement.ranges.size() == 2, "FlowQL diff: exactly two ranges");
+    // Same overlap structure as the naive executor: operand b on the
+    // source's pool while this thread folds operand a. Each operand is its
+    // own shareable fold (diff operands are the classic common sub-merge:
+    // sliding diffs re-use the previous window).
+    const auto operand = [&](std::size_t index, bool* was_shared) {
+      const std::vector<TimeInterval> range{statement.ranges[index]};
+      if (!plan.share) {
+        return source.merged(range, statement.locations);
+      }
+      FoldKey key{&source, plan.probe.version, 1,
+                  fold_shape(range, statement.locations)};
+      return registry_.tree(
+          key, [&] { return source.merged(range, statement.locations); },
+          was_shared);
+    };
+    bool shared_a = false;
+    bool shared_b = false;
+    std::future<flowtree::Flowtree> b_future;
+    if (ThreadPool* pool = source.merge_pool(); pool != nullptr) {
+      b_future =
+          pool->submit([&operand, &shared_b] { return operand(1, &shared_b); });
+    }
+    flowtree::Flowtree a = operand(0, &shared_a);
+    const flowtree::Flowtree b =
+        b_future.valid() ? b_future.get() : operand(1, &shared_b);
+    note_shared(static_cast<std::uint64_t>(shared_a) +
+                static_cast<std::uint64_t>(shared_b));
+    return execute_diff(statement, std::move(a), b);
+  }
+
+  bool was_shared = false;
+  const auto compute = [&] {
+    return source.merged_view_hint(statement.ranges, statement.locations,
+                                   plan.cache_mode);
+  };
+  flowtree::MergedView view =
+      plan.share ? registry_.view(FoldKey{&source, plan.probe.version, 0,
+                                          plan.shape},
+                                  compute, &was_shared)
+                 : compute();
+  note_shared(was_shared ? 1 : 0);
+  return execute_on_view(statement, view);
+}
+
+Table QueryPlanner::explain_table(const Plan& plan) {
+  const Statement& statement = plan.statement;
+  const PlanProbe& probe = plan.probe;
+  Table table;
+  table.columns = {"property", "value"};
+  const auto row = [&table](std::string property, std::string value) {
+    table.rows.push_back({std::move(property), std::move(value)});
+  };
+
+  row("operator", std::string(to_string(statement.op)) + "(" +
+                      format_argument(statement.argument) + ")");
+  row("selection", plan.shape);
+  row("source", !probe.known ? "opaque"
+                : probe.shards_total > 0
+                    ? "partitioned(" + std::to_string(probe.shards_total) + ")"
+                    : "single-node");
+  if (probe.known) {
+    row("summaries", std::to_string(probe.summary_count) + " in " +
+                         std::to_string(probe.location_groups) +
+                         " location group(s)");
+  }
+  if (statement.op == OperatorKind::kDiff) {
+    row("access", "diff: two operand folds");
+  } else if (probe.full_view_cached) {
+    row("access", "view-cache hit");
+  } else {
+    row("access", plan.cache_mode == CacheMode::kReadOnly
+                      ? "fold (cache read-only)"
+                      : "fold (cache populate)");
+  }
+  row("share", plan.share ? "attach-if-in-flight" : "off");
+  if (probe.shards_total > 0) {
+    row("fan-out", std::to_string(probe.shards_selected) + "/" +
+                       std::to_string(probe.shards_total) + " shard(s), " +
+                       std::to_string(probe.local_shards) + " local, pruned " +
+                       std::to_string(probe.shards_pruned) + " (partitioner " +
+                       std::to_string(probe.shards_pruned +
+                                      probe.shards_selected) +
+                       ")");
+  }
+  row("est_cost_ns", format_ns(plan.est_cost_ns));
+  row("est_naive_ns", format_ns(plan.est_naive_ns));
+  return table;
+}
+
+void QueryPlanner::refresh_costs(const metrics::Snapshot& snapshot) {
+  cost_.refresh(snapshot);
+}
+
+bool QueryPlanner::note_shape(const std::string& shape) {
+  const MutexLock lock(mu_);
+  if (std::uint64_t* count = shapes_.get(shape, mu_); count != nullptr) {
+    ++*count;
+    return true;
+  }
+  shapes_.put(shape, 1, shape.size() + sizeof(std::uint64_t), mu_);
+  return false;
+}
+
+void QueryPlanner::note_shared(std::uint64_t n) {
+  if (n == 0) return;
+  const MutexLock lock(mu_);
+  stats_.shared_folds += n;
+  if (metric_shared_ != nullptr) metric_shared_->add(n);
+}
+
+QueryPlanner::Stats QueryPlanner::stats() const {
+  const MutexLock lock(mu_);
+  return stats_;
+}
+
+void QueryPlanner::attach_metrics(metrics::MetricsRegistry& registry) {
+  const MutexLock lock(mu_);
+  metric_queries_ = &registry.counter("plan.queries");
+  metric_shared_ = &registry.counter("plan.shared_folds");
+  metric_read_only_ = &registry.counter("plan.read_only_folds");
+  metric_fallbacks_ = &registry.counter("plan.fallbacks");
+  // Catch up on pre-attach activity so the registry stays cumulative.
+  metric_queries_->add(stats_.planned);
+  metric_shared_->add(stats_.shared_folds);
+  metric_read_only_->add(stats_.read_only_folds);
+  metric_fallbacks_->add(stats_.fallbacks);
+}
+
+}  // namespace megads::flowdb::plan

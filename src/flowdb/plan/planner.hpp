@@ -1,0 +1,134 @@
+// Cost-based FlowQL query planner (docs/PLANNING.md, ROADMAP item 4). Sits
+// between the FlowQL surface and the executor: for each statement it probes
+// the SummarySource (plan_probe), prices the candidate access paths with the
+// CostModel, and executes through the same operator renderers as the naive
+// executor (execute_on_view / execute_diff) — so a planned result is
+// byte-identical to a naive one by construction. What the planner chooses:
+//
+//   access     view-cache policy per fold: populate (the pre-planner
+//              default) or read-only for predicted one-off selections —
+//              scan resistance for the PR 5 cache. Decided by repeat
+//              history + populate_cost vs populate_gain.
+//   sharing    identical concurrent folds (same source version, same
+//              selection shape) execute once via the SharedFoldRegistry;
+//              the rest attach futures to the in-flight result.
+//   fan-out    partitioned sources report their per-query scatter decision
+//              through the probe (the Coordinator's FanOutPlanner makes it;
+//              see plan/fanout.hpp).
+//
+// EXPLAIN renders the Plan as a Table instead of executing. Planning is
+// best-effort: any exception while building a plan falls back to the naive
+// executor (plan-or-fallback totality — fuzz_plan pins it).
+//
+// Thread-safe: run() is called concurrently by the serving tier's pool
+// workers. The internal mutex (rank kPlanner) guards only the repeat
+// history and stats, never a fold.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/lru_cache.hpp"
+#include "common/metrics.hpp"
+#include "common/mutex.hpp"
+#include "flowdb/ast.hpp"
+#include "flowdb/plan/cost.hpp"
+#include "flowdb/plan/shared.hpp"
+#include "flowdb/source.hpp"
+#include "flowdb/table.hpp"
+
+namespace megads::flowdb::plan {
+
+/// One planned statement — everything run() decided before executing.
+struct Plan {
+  Statement statement;
+  PlanProbe probe;
+  /// Canonical selection shape (fold_shape of ranges + locations).
+  std::string shape;
+  /// Attach to in-flight identical folds (requires a versioned source).
+  bool share = false;
+  /// Selection seen before by this planner (repeat history).
+  bool repeated = false;
+  CacheMode cache_mode = CacheMode::kPopulate;
+  /// Estimated cost of the chosen path and of the pre-planner default.
+  double est_cost_ns = 0.0;
+  double est_naive_ns = 0.0;
+};
+
+class QueryPlanner {
+ public:
+  /// Forced cache-mode for the equivalence suites ("all rewrite choices").
+  enum class CacheModeOverride : std::uint8_t {
+    kAuto,
+    kAlwaysPopulate,
+    kAlwaysReadOnly
+  };
+
+  struct Options {
+    bool enable_sharing = true;
+    CacheModeOverride cache_mode = CacheModeOverride::kAuto;
+    /// Byte budget of the selection-shape repeat history.
+    std::size_t shape_history_bytes = 64 * 1024;
+  };
+
+  QueryPlanner() : QueryPlanner(Options()) {}
+  explicit QueryPlanner(Options options);
+
+  /// Plan a statement without executing it (EXPLAIN's substance; also
+  /// updates the repeat history, so planning is what "sees" a shape).
+  [[nodiscard]] Plan plan(const Statement& statement,
+                          const SummarySource& source);
+
+  /// Plan + execute. EXPLAIN statements render the plan table instead.
+  /// Results are byte-identical to execute(statement, source).
+  [[nodiscard]] Table run(const Statement& statement,
+                          const SummarySource& source);
+  /// Parse + plan + execute.
+  [[nodiscard]] Table run(const std::string& statement,
+                          const SummarySource& source);
+
+  /// The plan rendered as a two-column property/value table.
+  [[nodiscard]] static Table explain_table(const Plan& plan);
+
+  /// Re-seed the cost model from live registry readings.
+  void refresh_costs(const metrics::Snapshot& snapshot);
+  [[nodiscard]] CostModel& cost_model() noexcept { return cost_; }
+
+  struct Stats {
+    std::uint64_t planned = 0;
+    std::uint64_t explains = 0;
+    /// Folds that attached to an identical in-flight fold.
+    std::uint64_t shared_folds = 0;
+    /// Folds executed with the read-only cache policy.
+    std::uint64_t read_only_folds = 0;
+    /// Statements that fell back to the naive executor.
+    std::uint64_t fallbacks = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+  /// Publish plan.queries / plan.shared_folds / plan.read_only_folds /
+  /// plan.fallbacks (cumulative; catches up on pre-attach counts). The
+  /// registry must outlive the planner.
+  void attach_metrics(metrics::MetricsRegistry& registry);
+
+ private:
+  [[nodiscard]] Table execute_plan(const Plan& plan,
+                                   const SummarySource& source);
+  /// Record a shape sighting; true when it was already in the history.
+  [[nodiscard]] bool note_shape(const std::string& shape);
+  void note_shared(std::uint64_t n);
+
+  Options options_;
+  CostModel cost_;  ///< guarded by convention: seeded before concurrent use
+  SharedFoldRegistry registry_;
+
+  mutable Mutex mu_{lockrank::kPlanner, "planner"};
+  LruCache<std::string, std::uint64_t> shapes_ MEGADS_GUARDED_BY(mu_);
+  Stats stats_ MEGADS_GUARDED_BY(mu_);
+  metrics::Counter* metric_queries_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_shared_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_read_only_ MEGADS_GUARDED_BY(mu_) = nullptr;
+  metrics::Counter* metric_fallbacks_ MEGADS_GUARDED_BY(mu_) = nullptr;
+};
+
+}  // namespace megads::flowdb::plan

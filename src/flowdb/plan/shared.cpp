@@ -1,0 +1,104 @@
+#include "flowdb/plan/shared.hpp"
+
+#include <exception>
+#include <memory>
+#include <utility>
+
+namespace megads::flowdb::plan {
+
+std::size_t FoldKeyHash::operator()(const FoldKey& key) const noexcept {
+  // FNV-1a over the fields; the shape string dominates the entropy.
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(reinterpret_cast<std::uintptr_t>(key.source));
+  mix(key.version);
+  mix(key.kind);
+  for (const char c : key.shape) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::string fold_shape(const std::vector<TimeInterval>& intervals,
+                       const std::vector<std::string>& locations) {
+  std::string shape;
+  for (const TimeInterval& iv : intervals) {
+    if (!shape.empty()) shape += ',';
+    shape += std::to_string(iv.begin);
+    shape += "..";
+    shape += std::to_string(iv.end);
+  }
+  shape += '@';
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    if (i > 0) shape += '|';
+    shape += locations[i];
+  }
+  return shape;
+}
+
+template <typename T>
+T SharedFoldRegistry::run(FlightMap<T>& flights, const FoldKey& key,
+                          const std::function<T()>& compute,
+                          bool* was_shared) {
+  std::shared_ptr<Flight<T>> flight;
+  bool attached = false;
+  {
+    const MutexLock lock(mu_);
+    ++stats_.folds;
+    const auto it = flights.find(key);
+    if (it != flights.end()) {
+      flight = it->second;
+      attached = true;
+      ++stats_.shared;
+    } else {
+      flight = std::make_shared<Flight<T>>();
+      flight->future = flight->promise.get_future().share();
+      flights.emplace(key, flight);
+    }
+  }
+  if (was_shared != nullptr) *was_shared = attached;
+  if (attached) {
+    // Waiters block on the future with no locks held; shared_future::get
+    // rethrows the computing thread's exception, copies its value.
+    return flight->future.get();
+  }
+  try {
+    T result = compute();
+    flight->promise.set_value(result);
+    {
+      const MutexLock lock(mu_);
+      flights.erase(key);
+    }
+    return result;
+  } catch (...) {
+    flight->promise.set_exception(std::current_exception());
+    const MutexLock lock(mu_);
+    flights.erase(key);
+    throw;
+  }
+}
+
+flowtree::MergedView SharedFoldRegistry::view(
+    const FoldKey& key, const std::function<flowtree::MergedView()>& compute,
+    bool* was_shared) {
+  return run(views_, key, compute, was_shared);
+}
+
+flowtree::Flowtree SharedFoldRegistry::tree(
+    const FoldKey& key, const std::function<flowtree::Flowtree()>& compute,
+    bool* was_shared) {
+  return run(trees_, key, compute, was_shared);
+}
+
+SharedFoldRegistry::Stats SharedFoldRegistry::stats() const {
+  const MutexLock lock(mu_);
+  return stats_;
+}
+
+}  // namespace megads::flowdb::plan

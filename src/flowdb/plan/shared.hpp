@@ -1,0 +1,110 @@
+// Cross-query sub-merge sharing (docs/PLANNING.md): when concurrently
+// admitted queries need the same fold — same source contents (entry-seq
+// version) and same selection shape — only the first executes it; the rest
+// attach a future to the in-flight result and receive a copy-on-write handle
+// to the same product. This is the multi-query half of ROADMAP item 4, with
+// the Benoit et al. framing: concurrent applications share operators instead
+// of re-running them.
+//
+// Soundness: a fold key includes the source's content version, and summaries
+// are immutable — two calls with equal keys observed identical summary sets,
+// so handing the second caller the first's result is exact (the same
+// argument that makes the PR 5 view cache invalidation-free). Sources that
+// cannot version their contents never reach this registry (the planner
+// disables sharing for them).
+//
+// Lifecycle: a slot lives only while its fold is in flight. The computing
+// thread folds *without holding the registry lock* (waiters block on the
+// future, not the mutex), publishes the result or the exception, and erases
+// the slot — later identical queries go to the source's view cache instead.
+// Exceptions propagate to every attached waiter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.hpp"
+#include "common/types.hpp"
+#include "flowtree/flatblock.hpp"
+#include "flowtree/flowtree.hpp"
+
+namespace megads::flowdb::plan {
+
+/// Identity of one fold: which source, which contents, which selection.
+struct FoldKey {
+  /// Source identity (the planner uses the SummarySource address; sharing
+  /// across distinct sources is never sound).
+  const void* source = nullptr;
+  /// Source content version — equal versions saw identical summary sets.
+  std::uint64_t version = 0;
+  /// 0 = full-selection view fold, 1 = diff operand (tree) fold.
+  std::uint8_t kind = 0;
+  /// Canonical selection shape: intervals + locations, rendered by
+  /// fold_shape() so equal selections compare equal.
+  std::string shape;
+
+  friend bool operator==(const FoldKey&, const FoldKey&) = default;
+};
+
+struct FoldKeyHash {
+  std::size_t operator()(const FoldKey& key) const noexcept;
+};
+
+/// Canonical selection-shape string for FoldKey (and the planner's repeat
+/// history): "i0.begin..i0.end,...@loc0|loc1".
+[[nodiscard]] std::string fold_shape(
+    const std::vector<TimeInterval>& intervals,
+    const std::vector<std::string>& locations);
+
+class SharedFoldRegistry {
+ public:
+  struct Stats {
+    /// Folds requested through the registry.
+    std::uint64_t folds = 0;
+    /// Requests that attached to an in-flight identical fold.
+    std::uint64_t shared = 0;
+  };
+
+  /// The merged view for `key`: computes via `compute` if no identical fold
+  /// is in flight, otherwise waits on the in-flight one. `*was_shared`
+  /// (optional) reports whether this call attached rather than computed.
+  [[nodiscard]] flowtree::MergedView view(
+      const FoldKey& key,
+      const std::function<flowtree::MergedView()>& compute,
+      bool* was_shared = nullptr);
+
+  /// Same, for tree-valued folds (diff operands).
+  [[nodiscard]] flowtree::Flowtree tree(
+      const FoldKey& key, const std::function<flowtree::Flowtree()>& compute,
+      bool* was_shared = nullptr);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  template <typename T>
+  struct Flight {
+    std::promise<T> promise;
+    std::shared_future<T> future;
+  };
+  template <typename T>
+  using FlightMap =
+      std::unordered_map<FoldKey, std::shared_ptr<Flight<T>>, FoldKeyHash>;
+
+  template <typename T>
+  [[nodiscard]] T run(FlightMap<T>& flights, const FoldKey& key,
+                      const std::function<T()>& compute, bool* was_shared);
+
+  /// Held only around map bookkeeping, never across a fold (rank
+  /// kPlanShared; the fold itself takes source locks of higher rank with
+  /// nothing held).
+  mutable Mutex mu_{lockrank::kPlanShared, "plan.shared"};
+  FlightMap<flowtree::MergedView> views_ MEGADS_GUARDED_BY(mu_);
+  FlightMap<flowtree::Flowtree> trees_ MEGADS_GUARDED_BY(mu_);
+  Stats stats_ MEGADS_GUARDED_BY(mu_);
+};
+
+}  // namespace megads::flowdb::plan

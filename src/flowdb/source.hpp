@@ -7,6 +7,7 @@
 // equivalence suites meaningful: same executor, different merged() provider.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,46 @@ class ThreadPool;
 }
 
 namespace megads::flowdb {
+
+/// View-cache policy for one fold, chosen per query by the planner
+/// (docs/PLANNING.md). Both modes produce byte-identical results — the
+/// decomposition is the same; only whether the fold's products are inserted
+/// into the source's caches differs.
+enum class CacheMode : std::uint8_t {
+  /// Read warm cache entries and insert what the fold produces (the
+  /// pre-planner behaviour of every merged()/merged_view() call).
+  kPopulate,
+  /// Read warm cache entries but insert nothing: predicted one-off
+  /// selections should not churn the LRU that dashboards depend on.
+  kReadOnly,
+};
+
+/// What a source can tell the planner about a selection without executing
+/// it. All fields are advisory — a probe that lags concurrent ingest only
+/// shifts cost estimates, never results.
+struct PlanProbe {
+  /// False when the source has no planner support; every other field is
+  /// then meaningless and the planner falls back to naive execution.
+  bool known = false;
+  /// True when `version` identifies the source's contents: two probes of
+  /// the same source with equal versions saw identical summary sets, which
+  /// is what makes cross-query fold sharing sound.
+  bool versioned = false;
+  std::uint64_t version = 0;
+  /// Summaries the selection folds and the location groups they form.
+  std::size_t summary_count = 0;
+  std::size_t location_groups = 0;
+  /// Exact selection already materialized in a view cache (O(1) handout).
+  bool full_view_cached = false;
+  /// Partitioned sources only (0 shards_total = single node): the per-query
+  /// scatter decision and how it compares to the partitioner-global one.
+  std::size_t shards_total = 0;
+  std::size_t shards_selected = 0;
+  std::size_t shards_pruned = 0;
+  std::size_t local_shards = 0;
+  /// Unloaded transport cost of the scatter (sim-time units; 0 = free).
+  double scatter_transfer_cost = 0.0;
+};
 
 class SummarySource {
  public:
@@ -41,6 +82,27 @@ class SummarySource {
       const std::vector<TimeInterval>& intervals,
       const std::vector<std::string>& locations) const {
     return flowtree::MergedView(merged(intervals, locations));
+  }
+
+  /// merged_view() with an explicit cache policy. The default ignores the
+  /// hint (sources without caches have nothing to bypass); FlowDB honours
+  /// kReadOnly by folding without inserting into its view/block cache.
+  [[nodiscard]] virtual flowtree::MergedView merged_view_hint(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations, CacheMode mode) const {
+    (void)mode;
+    return merged_view(intervals, locations);
+  }
+
+  /// Planner probe for a selection: content version, selection size, cache
+  /// state, and (partitioned sources) the per-query scatter decision. The
+  /// default reports "no planner support".
+  [[nodiscard]] virtual PlanProbe plan_probe(
+      const std::vector<TimeInterval>& intervals,
+      const std::vector<std::string>& locations) const {
+    (void)intervals;
+    (void)locations;
+    return {};
   }
 
   /// Pool the executor may use for independent sub-merges (diff operands);

@@ -52,10 +52,10 @@ Response Client::read_response(std::uint64_t request_id) {
 }
 
 Client::Result Client::query(const std::string& statement,
-                             std::uint32_t deadline_ms) {
+                             std::uint32_t deadline_ms, std::uint8_t priority) {
   const std::uint64_t id = next_id_++;
   send_request(Request{RequestType::kQuery, id,
-                       QueryBody{deadline_ms, statement}});
+                       QueryBody{deadline_ms, priority, statement}});
   Result result;
   for (;;) {
     const Response response = read_response(id);

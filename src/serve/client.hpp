@@ -44,9 +44,11 @@ class Client {
   };
 
   /// Execute a FlowQL statement; reassembles the chunk stream into `text`.
-  /// deadline_ms = 0 uses the server default.
+  /// deadline_ms = 0 uses the server default. `priority` orders dequeue on
+  /// the server (higher first; FIFO within a priority).
   [[nodiscard]] Result query(const std::string& statement,
-                             std::uint32_t deadline_ms = 0);
+                             std::uint32_t deadline_ms = 0,
+                             std::uint8_t priority = 0);
 
   /// Fetch the server's metrics snapshot dump.
   [[nodiscard]] Result metrics();

@@ -99,6 +99,7 @@ std::vector<std::uint8_t> encode(const Request& request) {
     case RequestType::kQuery: {
       const auto& body = std::get<QueryBody>(request.body);
       put_u32(out, body.deadline_ms);
+      put_u8(out, body.priority);
       put_string(out, body.statement);
       break;
     }
@@ -169,6 +170,7 @@ Request decode_request(const std::vector<std::uint8_t>& bytes) {
       request.type = RequestType::kQuery;
       QueryBody body;
       body.deadline_ms = r.u32();
+      body.priority = r.u8();
       body.statement = r.string();
       request.body = std::move(body);
       break;

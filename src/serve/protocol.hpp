@@ -59,6 +59,7 @@ enum class ErrorCode : std::uint16_t {
 
 struct QueryBody {
   std::uint32_t deadline_ms = 0;  ///< 0 = server default
+  std::uint8_t priority = 0;      ///< dequeue order: higher first, FIFO within
   std::string statement;
 };
 struct MetricsBody {};

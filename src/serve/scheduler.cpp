@@ -1,5 +1,6 @@
 #include "serve/scheduler.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -20,9 +21,23 @@ std::uint64_t RequestScheduler::now_us() const noexcept {
           .count());
 }
 
+RequestScheduler::Queued RequestScheduler::pop_next() {
+  // Strict-weak "less" for the max-heap: lower priority sorts first; within
+  // a priority the later arrival (higher seq) sorts first, so the heap's max
+  // is the oldest request of the highest priority.
+  const auto heap_less = [](const Queued& a, const Queued& b) noexcept {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq > b.seq;
+  };
+  std::pop_heap(queue_.begin(), queue_.end(), heap_less);
+  Queued task = std::move(queue_.back());
+  queue_.pop_back();
+  return task;
+}
+
 RequestScheduler::Admit RequestScheduler::submit(
-    std::uint32_t deadline_ms, std::function<void()> run,
-    std::function<void()> expired) {
+    std::uint8_t priority, std::uint32_t deadline_ms,
+    std::function<void()> run, std::function<void()> expired) {
   const std::uint32_t effective_ms =
       deadline_ms != 0 ? deadline_ms : options_.default_deadline_ms;
   const std::uint64_t enqueued_us = now_us();
@@ -55,27 +70,55 @@ RequestScheduler::Admit RequestScheduler::submit(
     if (metric_queue_depth_ != nullptr) {
       metric_queue_depth_->set(static_cast<double>(stats_.queue_depth));
     }
+    Queued entry{priority, next_seq_++, deadline_us, enqueued_us,
+                 std::move(run), std::move(expired)};
+    queue_.push_back(std::move(entry));
+    const auto heap_less = [](const Queued& a, const Queued& b) noexcept {
+      if (a.priority != b.priority) return a.priority < b.priority;
+      return a.seq > b.seq;
+    };
+    std::push_heap(queue_.begin(), queue_.end(), heap_less);
   }
 
-  pool_.submit([this, deadline_us, enqueued_us, run = std::move(run),
-                expired = std::move(expired)] {
+  // The pool task is a generic worker: it dequeues the *current* maximum,
+  // which need not be the request admitted above — that indirection is what
+  // lets a later high-priority request overtake everything already queued.
+  pool_.submit([this] {
+    Queued task;
+    bool inverted = false;
+    {
+      const MutexLock lock(mu_);
+      task = pop_next();
+      for (std::size_t p = 0; p < task.priority; ++p) {
+        if (running_[p] != 0) {
+          inverted = true;
+          break;
+        }
+      }
+      ++running_[task.priority];
+      if (inverted) {
+        ++stats_.priority_inversions;
+        if (metric_inversions_ != nullptr) metric_inversions_->add();
+      }
+    }
     const std::uint64_t started_us = now_us();
-    const bool dead = deadline_us != 0 && started_us > deadline_us;
+    const bool dead = task.deadline_us != 0 && started_us > task.deadline_us;
     if (!dead) {
-      run();
+      task.run();
     } else {
-      expired();
+      task.expired();
     }
     const std::uint64_t finished_us = now_us();
 
     const MutexLock lock(mu_);
+    --running_[task.priority];
     --stats_.queue_depth;
     if (metric_queue_depth_ != nullptr) {
       metric_queue_depth_->set(static_cast<double>(stats_.queue_depth));
     }
     if (metric_queue_wait_us_ != nullptr) {
       metric_queue_wait_us_->observe(
-          static_cast<double>(started_us - enqueued_us));
+          static_cast<double>(started_us - task.enqueued_us));
     }
     if (!dead) {
       ++stats_.executed;
@@ -122,8 +165,10 @@ void RequestScheduler::attach_metrics(metrics::MetricsRegistry& registry) {
   metrics::Gauge& ewma = registry.gauge("serve.sched.ewma_service_us");
   metrics::Histogram& service = registry.histogram("serve.sched.service_us");
   metrics::Histogram& wait = registry.histogram("serve.sched.queue_wait_us");
+  metrics::Counter& inversions = registry.counter("serve.priority_inversions");
 
   const MutexLock lock(mu_);
+  metric_inversions_ = &inversions;
   metric_submitted_ = &submitted;
   metric_accepted_ = &accepted;
   metric_shed_queue_ = &shed_queue;
@@ -141,6 +186,7 @@ void RequestScheduler::attach_metrics(metrics::MetricsRegistry& registry) {
   metric_shed_deadline_->add(stats_.shed_deadline);
   metric_executed_->add(stats_.executed);
   metric_expired_->add(stats_.expired);
+  metric_inversions_->add(stats_.priority_inversions);
   metric_queue_depth_->set(static_cast<double>(stats_.queue_depth));
   metric_ewma_->set(stats_.ewma_service_us);
 }

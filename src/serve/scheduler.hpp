@@ -15,6 +15,15 @@
 //      already be spent waiting is shed *now*, while the rejection is cheap,
 //      rather than discovered dead at dequeue.
 //
+// Admitted requests dequeue by client-supplied priority (higher first; FIFO
+// within a priority): each pool worker pops the current maximum from an
+// internal heap, so a dashboard-repeat storm at priority 0 cannot starve an
+// operator's priority-9 drilldown. Execution is non-preemptive — a running
+// low-priority request still finishes; the serve.priority_inversions counter
+// tallies how often a request began execution while a strictly
+// lower-priority one was still running (the inversion window that preemption
+// would have closed).
+//
 // Admitted work still re-checks its deadline at dequeue (the EWMA is an
 // estimate); expired work runs the caller's `expired` callback instead of
 // the query, so the client gets a kOverload answer rather than a stale
@@ -24,8 +33,11 @@
 // this invariant after drain(), when queue_depth is 0).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "common/mutex.hpp"
@@ -60,6 +72,9 @@ class RequestScheduler {
     std::uint64_t shed_deadline = 0;
     std::uint64_t executed = 0;
     std::uint64_t expired = 0;
+    /// Requests that began execution while a strictly lower-priority request
+    /// was still running (non-preemptive inversion window).
+    std::uint64_t priority_inversions = 0;
     std::size_t queue_depth = 0;
     double ewma_service_us = 0.0;
   };
@@ -80,10 +95,19 @@ class RequestScheduler {
   /// instead (exactly one of the two runs, on a pool thread). On a shed
   /// verdict nothing was enqueued — the caller answers the client itself.
   /// deadline_ms is relative to now; 0 means Options::default_deadline_ms.
-  [[nodiscard]] Admit submit(std::uint32_t deadline_ms,
+  /// `priority` orders dequeue (higher first, FIFO within equal priorities);
+  /// admission itself is priority-blind, so a full queue sheds everyone
+  /// equally.
+  [[nodiscard]] Admit submit(std::uint8_t priority, std::uint32_t deadline_ms,
                              std::function<void()> run,
                              std::function<void()> expired)
       MEGADS_EXCLUDES(mu_);
+  [[nodiscard]] Admit submit(std::uint32_t deadline_ms,
+                             std::function<void()> run,
+                             std::function<void()> expired)
+      MEGADS_EXCLUDES(mu_) {
+    return submit(0, deadline_ms, std::move(run), std::move(expired));
+  }
 
   /// Block until queue_depth reaches 0 (no admission gate — callers that
   /// keep submitting can starve this; tests quiesce first).
@@ -96,7 +120,18 @@ class RequestScheduler {
   void attach_metrics(metrics::MetricsRegistry& registry) MEGADS_EXCLUDES(mu_);
 
  private:
+  struct Queued {
+    std::uint8_t priority = 0;
+    std::uint64_t seq = 0;  ///< admission order; FIFO tie-break
+    std::uint64_t deadline_us = 0;
+    std::uint64_t enqueued_us = 0;
+    std::function<void()> run;
+    std::function<void()> expired;
+  };
+
   [[nodiscard]] std::uint64_t now_us() const noexcept;
+  /// Pop the highest-priority (then oldest) queued request.
+  [[nodiscard]] Queued pop_next() MEGADS_REQUIRES(mu_);
 
   ThreadPool& pool_;
   const Options options_;
@@ -104,6 +139,13 @@ class RequestScheduler {
   mutable Mutex mu_{lockrank::kServeScheduler, "serve.scheduler"};
   mutable CondVar drained_;
   Stats stats_ MEGADS_GUARDED_BY(mu_);
+  /// Max-heap by (priority, -seq); every entry has exactly one matching
+  /// pool task, so a worker's pop never finds it empty.
+  std::vector<Queued> queue_ MEGADS_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ MEGADS_GUARDED_BY(mu_) = 0;
+  /// Currently-executing requests per priority (inversion detection).
+  std::array<std::uint32_t, 256> running_ MEGADS_GUARDED_BY(mu_) = {};
+  metrics::Counter* metric_inversions_ MEGADS_GUARDED_BY(mu_) = nullptr;
   metrics::Counter* metric_submitted_ MEGADS_GUARDED_BY(mu_) = nullptr;
   metrics::Counter* metric_accepted_ MEGADS_GUARDED_BY(mu_) = nullptr;
   metrics::Counter* metric_shed_queue_ MEGADS_GUARDED_BY(mu_) = nullptr;

@@ -83,6 +83,7 @@ FlowQLServer::Stats FlowQLServer::stats() const {
 
 void FlowQLServer::attach_metrics(metrics::MetricsRegistry& registry) {
   scheduler_.attach_metrics(registry);
+  planner_.attach_metrics(registry);
   metrics::Counter& connections = registry.counter("serve.connections");
   metrics::Counter& requests = registry.counter("serve.requests");
   metrics::Counter& bad_requests = registry.counter("serve.bad_requests");
@@ -340,7 +341,7 @@ void FlowQLServer::handle_payload(const SessionPtr& session,
 void FlowQLServer::handle_query(const SessionPtr& session,
                                 std::uint64_t request_id, QueryBody body) {
   const RequestScheduler::Admit verdict = scheduler_.submit(
-      body.deadline_ms,
+      body.priority, body.deadline_ms,
       [this, session, request_id, statement = std::move(body.statement)] {
         execute_and_respond(session, request_id, statement);
       },
@@ -417,7 +418,7 @@ int FlowQLServer::service_subscriptions() {
                 if (sub->active.load(std::memory_order_relaxed)) {
                   try {
                     const flowdb::Table table =
-                        flowdb::run_flowql(sub->statement, source_);
+                        planner_.run(sub->statement, source_);
                     const std::uint32_t seq = sub->seq++;
                     send_response(session,
                                   Response{ResponseType::kEvent, 0,
@@ -484,7 +485,7 @@ void FlowQLServer::execute_and_respond(const SessionPtr& session,
                                        const std::string& statement) {
   std::string text;
   try {
-    text = flowdb::run_flowql(statement, source_).to_string();
+    text = planner_.run(statement, source_).to_string();
   } catch (const ParseError& e) {
     send_response(session, Response{ResponseType::kError, request_id,
                                     ErrorBody{ErrorCode::kParse, e.what()}});

@@ -42,6 +42,7 @@
 #include "common/metrics.hpp"
 #include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
+#include "flowdb/plan/planner.hpp"
 #include "flowdb/source.hpp"
 #include "net/framing.hpp"
 #include "net/socket.hpp"
@@ -117,6 +118,13 @@ class FlowQLServer {
     return scheduler_;
   }
 
+  /// The server-wide planner: every query (and subscription tick) runs
+  /// through it, so concurrent identical folds share and repeat history
+  /// accumulates across clients.
+  [[nodiscard]] const flowdb::plan::QueryPlanner& planner() const noexcept {
+    return planner_;
+  }
+
  private:
   /// Shared between the loop (scheduling/reaping) and the pool worker
   /// running a tick — hence shared_ptr storage and atomic flags. id/
@@ -188,6 +196,9 @@ class FlowQLServer {
   const Options options_;
   ThreadPool pool_;
   RequestScheduler scheduler_;
+  /// Internally synchronized; shared by all pool workers so concurrent
+  /// identical sub-merges coalesce (plan.shared_folds).
+  flowdb::plan::QueryPlanner planner_;
 
   std::uint16_t port_ = 0;
   net::ScopedFd listen_fd_;

@@ -1,0 +1,185 @@
+// TSan storm suite for the planner (runs under -DMEGADS_SANITIZE=thread in
+// CI's tsan job; see the PlannerStorm entry in its -R regex). Hammers the
+// shared-fold registry, the repeat history, and the coordinator's fan-out
+// manifest from many threads while ingest mutates the source — the goal is
+// data-race and lock-rank coverage, not timing, so iteration counts are
+// small and assertions are invariants (ledgers reconcile, no fallbacks, the
+// planner agrees with the naive executor once writers join).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/parser.hpp"
+#include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/server.hpp"
+#include "flowdb/plan/planner.hpp"
+#include "net/transport.hpp"
+
+namespace megads::flowdb::plan {
+namespace {
+
+using dist::Coordinator;
+using dist::PartitionServer;
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+FlowtreeConfig big_config() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;
+  return config;
+}
+
+Flowtree random_tree(std::mt19937& rng) {
+  Flowtree tree(big_config());
+  std::uniform_int_distribution<int> host(1, 12);
+  std::uniform_int_distribution<int> weight(1, 50);
+  tree.add(flow::FlowKey::from_tuple(
+               6, flow::IPv4(10, 0, 0, static_cast<std::uint8_t>(host(rng))),
+               50000, flow::IPv4(198, 51, 100, 7), 80),
+           static_cast<double>(weight(rng)));
+  return tree;
+}
+
+/// Few distinct shapes -> maximal in-flight collisions on the registry.
+const std::vector<std::string>& storm_queries() {
+  static const std::vector<std::string> pool = {
+      "SELECT topk(5) FROM 0s..7200s",
+      "SELECT topk(5) FROM 0s..7200s WHERE location = 'a'",
+      "SELECT query FROM 0s..7200s WHERE src = 10.0.0.0/8",
+      "SELECT diff(5) FROM 0s..3600s, 3600s..7200s",
+      "EXPLAIN SELECT topk(5) FROM 0s..7200s",
+  };
+  return pool;
+}
+
+TEST(PlannerStorm, SharedFoldsUnderIngestPressure) {
+  FlowDB db(big_config());
+  {
+    std::mt19937 rng(3);
+    for (int i = 0; i < 16; ++i) {
+      db.add(random_tree(rng), TimeInterval{(i % 12) * 10 * kMinute,
+                                            (i % 12 + 1) * 10 * kMinute},
+             i % 2 == 0 ? "a" : "b");
+    }
+  }
+  QueryPlanner planner;
+  constexpr std::size_t kReaders = 8;
+  constexpr int kIters = 30;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> issued{0};
+
+  std::thread writer([&] {
+    std::mt19937 rng(11);
+    while (!stop.load(std::memory_order_acquire)) {
+      const SimTime begin = static_cast<SimTime>(rng() % 12) * 10 * kMinute;
+      db.add(random_tree(rng), TimeInterval{begin, begin + 10 * kMinute}, "a");
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    for (std::size_t t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        std::mt19937 rng(static_cast<unsigned>(100 + t));
+        std::uniform_int_distribution<std::size_t> pick(
+            0, storm_queries().size() - 1);
+        for (int i = 0; i < kIters; ++i) {
+          EXPECT_NO_THROW((void)planner.run(storm_queries()[pick(rng)], db));
+          issued.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  const QueryPlanner::Stats stats = planner.stats();
+  EXPECT_EQ(stats.fallbacks, 0u);
+  // EXPLAINs land in the explains column; everything else was planned.
+  EXPECT_GE(stats.planned + stats.explains, issued.load());
+  // Quiescent again: planner and naive executor must agree exactly.
+  for (const std::string& flowql : storm_queries()) {
+    if (flowql.rfind("EXPLAIN", 0) == 0) continue;
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(planner.run(flowql, db).to_string(),
+              execute(parse(flowql), db).to_string());
+  }
+}
+
+TEST(PlannerStorm, PartitionedScatterUnderConcurrentQueries) {
+  net::LoopbackTransport transport;
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  std::vector<NodeId> nodes;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const NodeId node(static_cast<std::uint32_t>(i + 1));
+    servers.push_back(
+        std::make_unique<PartitionServer>(transport, node, big_config()));
+    nodes.push_back(node);
+  }
+  Coordinator::Options options;
+  options.tree_config = big_config();
+  Coordinator coordinator(transport, NodeId(0),
+                          dist::make_partitioner("by-time"), std::move(nodes),
+                          options);
+  {
+    std::mt19937 rng(5);
+    for (int i = 0; i < 24; ++i) {
+      const SimTime begin = (i % 12) * 10 * kMinute;
+      coordinator.add(random_tree(rng),
+                      TimeInterval{begin, begin + 10 * kMinute},
+                      i % 2 == 0 ? "a" : "b");
+    }
+    coordinator.flush();
+  }
+
+  QueryPlanner planner;
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::mt19937 rng(31);
+    while (!stop.load(std::memory_order_acquire)) {
+      const SimTime begin = static_cast<SimTime>(rng() % 12) * 10 * kMinute;
+      coordinator.add(random_tree(rng), TimeInterval{begin, begin + 10 * kMinute},
+                      "b");
+      coordinator.flush();
+      std::this_thread::yield();
+    }
+  });
+  {
+    std::vector<std::thread> readers;
+    readers.reserve(6);
+    for (std::size_t t = 0; t < 6; ++t) {
+      readers.emplace_back([&, t] {
+        std::mt19937 rng(static_cast<unsigned>(300 + t));
+        std::uniform_int_distribution<std::size_t> pick(
+            0, storm_queries().size() - 1);
+        for (int i = 0; i < 20; ++i) {
+          EXPECT_NO_THROW(
+              (void)planner.run(storm_queries()[pick(rng)], coordinator));
+        }
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+  }
+  stop.store(true, std::memory_order_release);
+  writer.join();
+
+  EXPECT_EQ(planner.stats().fallbacks, 0u);
+  for (const std::string& flowql : storm_queries()) {
+    if (flowql.rfind("EXPLAIN", 0) == 0) continue;
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(planner.run(flowql, coordinator).to_string(),
+              execute(parse(flowql), coordinator).to_string());
+  }
+}
+
+}  // namespace
+}  // namespace megads::flowdb::plan

@@ -1,0 +1,570 @@
+// Planner-vs-naive equivalence property suite plus unit coverage of the
+// plan module (cost model, shared-fold registry, fan-out manifest, EXPLAIN,
+// cache policy). The load-bearing property: for EVERY rewrite the planner
+// can choose — populate vs read-only cache access, shared vs private folds,
+// pruned vs partitioner-global scatter — the rendered Table is byte-
+// identical to the naive executor's, across single-node and 1/2/8-partition
+// sources and across random add/query interleavings. The planner may only
+// ever change the cost of an answer, never its bytes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/metrics.hpp"
+#include "flowdb/executor.hpp"
+#include "flowdb/flowdb.hpp"
+#include "flowdb/parser.hpp"
+#include "flowdb/partitioned/coordinator.hpp"
+#include "flowdb/partitioned/server.hpp"
+#include "flowdb/plan/cost.hpp"
+#include "flowdb/plan/fanout.hpp"
+#include "flowdb/plan/planner.hpp"
+#include "flowdb/plan/shared.hpp"
+#include "net/transport.hpp"
+
+namespace megads::flowdb::plan {
+namespace {
+
+using dist::Coordinator;
+using dist::PartitionServer;
+using flowtree::Flowtree;
+using flowtree::FlowtreeConfig;
+
+FlowtreeConfig big_config() {
+  FlowtreeConfig config;
+  config.node_budget = 1 << 20;  // no compression: folds stay exact
+  return config;
+}
+
+const std::vector<std::string>& location_pool() {
+  static const std::vector<std::string> pool = {"site0", "site1", "site2",
+                                                "core"};
+  return pool;
+}
+
+const std::vector<std::string>& query_pool() {
+  static const std::vector<std::string> pool = {
+      "SELECT topk(5) FROM 0s..21600s",
+      "SELECT topk(3) FROM 3600s..7200s",
+      "SELECT topk(4) FROM 0s..21600s WHERE location = 'site0'",
+      "SELECT hhh(0.1) FROM 600s..4200s WHERE location = 'site1'",
+      "SELECT query FROM 0s..21600s WHERE src = 10.1.0.0/16",
+      "SELECT drilldown FROM 0s..21600s WHERE src = 10.0.0.0/8",
+      "SELECT above(50) FROM 0s..10800s",
+      "SELECT diff(6) FROM 0s..3600s, 3600s..7200s",
+  };
+  return pool;
+}
+
+struct RandomRecord {
+  Flowtree tree;
+  TimeInterval interval;
+  std::string location;
+};
+
+RandomRecord random_record(std::mt19937& rng) {
+  RandomRecord record{Flowtree(big_config()), {}, {}};
+  std::uniform_int_distribution<int> flows(1, 3);
+  std::uniform_int_distribution<int> octet(1, 4);
+  std::uniform_int_distribution<int> host(1, 6);
+  std::uniform_int_distribution<int> weight(1, 100);
+  const int n = flows(rng);
+  for (int i = 0; i < n; ++i) {
+    const flow::FlowKey key = flow::FlowKey::from_tuple(
+        6,
+        flow::IPv4(10, static_cast<std::uint8_t>(octet(rng)), 0,
+                   static_cast<std::uint8_t>(host(rng))),
+        50000, flow::IPv4(198, 51, 100, 7), 80);
+    record.tree.add(key, static_cast<double>(weight(rng)));
+  }
+  std::uniform_int_distribution<std::int64_t> epoch(0, 35);
+  record.interval = TimeInterval{epoch(rng) * 10 * kMinute, 0};
+  record.interval.end = record.interval.begin + 10 * kMinute;
+  std::uniform_int_distribution<std::size_t> loc(0, location_pool().size() - 1);
+  record.location = location_pool()[loc(rng)];
+  return record;
+}
+
+QueryPlanner::Options planner_options(QueryPlanner::CacheModeOverride mode,
+                                      bool sharing) {
+  QueryPlanner::Options options;
+  options.cache_mode = mode;
+  options.enable_sharing = sharing;
+  return options;
+}
+
+/// Random add/query interleaving; every query must render identically
+/// through the planner and the naive executor against the same source.
+void run_equivalence(QueryPlanner& planner, const SummarySource& source,
+                     const std::function<void(RandomRecord)>& add,
+                     unsigned seed, int steps = 60) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> coin(0, 3);
+  std::uniform_int_distribution<std::size_t> pick(0, query_pool().size() - 1);
+  int queries_run = 0;
+  for (int step = 0; step < steps; ++step) {
+    if (coin(rng) != 0) {
+      add(random_record(rng));
+    } else {
+      const std::string& flowql = query_pool()[pick(rng)];
+      SCOPED_TRACE("step " + std::to_string(step) + ": " + flowql);
+      const std::string expected = execute(parse(flowql), source).to_string();
+      EXPECT_EQ(planner.run(flowql, source).to_string(), expected);
+      ++queries_run;
+    }
+  }
+  EXPECT_GT(queries_run, 0);
+}
+
+struct Cluster {
+  Cluster(net::Transport& transport, std::size_t partitions) {
+    std::vector<NodeId> nodes;
+    for (std::size_t i = 0; i < partitions; ++i) {
+      const NodeId node(static_cast<std::uint32_t>(i + 1));
+      servers.push_back(
+          std::make_unique<PartitionServer>(transport, node, big_config()));
+      nodes.push_back(node);
+    }
+    Coordinator::Options options;
+    options.add_batch_size = 4;
+    options.tree_config = big_config();
+    coordinator = std::make_unique<Coordinator>(
+        transport, NodeId(0), dist::make_partitioner("by-time"),
+        std::move(nodes), options);
+  }
+
+  std::vector<std::unique_ptr<PartitionServer>> servers;
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+// ---------------------------------------------------------------------------
+// Equivalence matrix
+// ---------------------------------------------------------------------------
+
+TEST(PlannerEquivalence, SingleNodeAcrossEveryRewriteChoice) {
+  unsigned seed = 1;
+  for (const auto mode : {QueryPlanner::CacheModeOverride::kAuto,
+                          QueryPlanner::CacheModeOverride::kAlwaysPopulate,
+                          QueryPlanner::CacheModeOverride::kAlwaysReadOnly}) {
+    for (const bool sharing : {true, false}) {
+      for (const bool caching : {true, false}) {
+        SCOPED_TRACE("mode " + std::to_string(static_cast<int>(mode)) +
+                     ", sharing " + (sharing ? "on" : "off") + ", cache " +
+                     (caching ? "on" : "off"));
+        FlowDB db(big_config());
+        if (!caching) db.set_view_cache_budget(0);
+        QueryPlanner planner(planner_options(mode, sharing));
+        run_equivalence(
+            planner, db,
+            [&](RandomRecord record) {
+              db.add(std::move(record.tree), record.interval, record.location);
+            },
+            seed++);
+        EXPECT_EQ(planner.stats().fallbacks, 0u);
+      }
+    }
+  }
+}
+
+TEST(PlannerEquivalence, PartitionedAcrossPartitionCounts) {
+  unsigned seed = 100;
+  for (const std::size_t partitions :
+       {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const auto mode : {QueryPlanner::CacheModeOverride::kAuto,
+                            QueryPlanner::CacheModeOverride::kAlwaysReadOnly}) {
+      SCOPED_TRACE(std::to_string(partitions) + " partitions, mode " +
+                   std::to_string(static_cast<int>(mode)));
+      net::LoopbackTransport transport;
+      Cluster cluster(transport, partitions);
+      QueryPlanner planner(planner_options(mode, true));
+      run_equivalence(
+          planner, *cluster.coordinator,
+          [&](RandomRecord record) {
+            cluster.coordinator->add(record.tree, record.interval,
+                                     record.location);
+          },
+          seed++);
+      EXPECT_EQ(planner.stats().fallbacks, 0u);
+    }
+  }
+}
+
+TEST(PlannerEquivalence, RandomConcurrentInterleavings) {
+  // Phase 1: concurrent planned queries against a quiescent DB must all
+  // equal the precomputed naive answers (sharing on, so many of them attach
+  // to each other's folds mid-flight).
+  FlowDB db(big_config());
+  std::mt19937 rng(7);
+  for (int i = 0; i < 48; ++i) {
+    RandomRecord record = random_record(rng);
+    db.add(std::move(record.tree), record.interval, record.location);
+  }
+  std::vector<std::string> expected;
+  expected.reserve(query_pool().size());
+  for (const std::string& flowql : query_pool()) {
+    expected.push_back(execute(parse(flowql), db).to_string());
+  }
+
+  QueryPlanner planner;
+  constexpr std::size_t kThreads = 8;
+  constexpr int kIters = 40;
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 thread_rng(static_cast<unsigned>(1000 + t));
+        std::uniform_int_distribution<std::size_t> pick(
+            0, query_pool().size() - 1);
+        for (int i = 0; i < kIters; ++i) {
+          const std::size_t q = pick(thread_rng);
+          if (planner.run(query_pool()[q], db).to_string() != expected[q]) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(planner.stats().fallbacks, 0u);
+
+  // Phase 2: queries racing live ingest — answers are interleaving-dependent
+  // so they are not compared mid-race, but nothing may throw, and once the
+  // writer joins the planner must agree with naive again.
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    std::mt19937 writer_rng(23);
+    for (int i = 0; i < 64; ++i) {
+      RandomRecord record = random_record(writer_rng);
+      db.add(std::move(record.tree), record.interval, record.location);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(4);
+    for (std::size_t t = 0; t < 4; ++t) {
+      threads.emplace_back([&, t] {
+        std::mt19937 thread_rng(static_cast<unsigned>(2000 + t));
+        std::uniform_int_distribution<std::size_t> pick(
+            0, query_pool().size() - 1);
+        while (!done.load(std::memory_order_acquire)) {
+          EXPECT_NO_THROW(
+              (void)planner.run(query_pool()[pick(thread_rng)], db));
+        }
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  writer.join();
+  for (const std::string& flowql : query_pool()) {
+    SCOPED_TRACE(flowql);
+    EXPECT_EQ(planner.run(flowql, db).to_string(),
+              execute(parse(flowql), db).to_string());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-fold registry
+// ---------------------------------------------------------------------------
+
+FoldKey test_key(std::uint64_t version, const std::string& shape = "0..60@") {
+  FoldKey key;
+  key.source = &query_pool();  // any stable address
+  key.version = version;
+  key.shape = shape;
+  return key;
+}
+
+TEST(SharedFoldRegistry, ConcurrentIdenticalFoldsComputeOnce) {
+  SharedFoldRegistry registry;
+  std::atomic<int> computed{0};
+  constexpr std::size_t kThreads = 8;
+  std::atomic<std::size_t> ready{0};
+  std::vector<double> totals(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < kThreads) {
+      }
+      const Flowtree tree = registry.tree(test_key(1), [&] {
+        computed.fetch_add(1, std::memory_order_relaxed);
+        // Widen the in-flight window so attachers actually attach.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        Flowtree result(big_config());
+        result.add(flow::FlowKey::from_tuple(6, flow::IPv4(10, 0, 0, 1), 1,
+                                             flow::IPv4(10, 0, 0, 2), 2),
+                   42.0);
+        return result;
+      });
+      totals[t] = tree.total_weight();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // All callers raced into the in-flight window (the gate lines them up and
+  // the fold sleeps), so exactly one computed and everyone saw its product.
+  EXPECT_EQ(computed.load(), 1);
+  for (const double total : totals) EXPECT_DOUBLE_EQ(total, 42.0);
+  const SharedFoldRegistry::Stats stats = registry.stats();
+  EXPECT_EQ(stats.folds, kThreads);
+  EXPECT_EQ(stats.shared, kThreads - 1);
+}
+
+TEST(SharedFoldRegistry, DistinctVersionsNeverShare) {
+  SharedFoldRegistry registry;
+  std::atomic<int> computed{0};
+  const auto compute = [&] {
+    computed.fetch_add(1, std::memory_order_relaxed);
+    return Flowtree(big_config());
+  };
+  (void)registry.tree(test_key(1), compute);
+  (void)registry.tree(test_key(2), compute);
+  (void)registry.tree(test_key(1, "0..120@"), compute);
+  EXPECT_EQ(computed.load(), 3);
+  EXPECT_EQ(registry.stats().shared, 0u);
+}
+
+TEST(SharedFoldRegistry, SlotClearsAfterCompletion) {
+  // In-flight sharing only: once a fold completes its slot is erased, so a
+  // later identical request recomputes (repeats belong to the view cache).
+  SharedFoldRegistry registry;
+  std::atomic<int> computed{0};
+  const auto compute = [&] {
+    computed.fetch_add(1, std::memory_order_relaxed);
+    return Flowtree(big_config());
+  };
+  (void)registry.tree(test_key(1), compute);
+  (void)registry.tree(test_key(1), compute);
+  EXPECT_EQ(computed.load(), 2);
+}
+
+TEST(SharedFoldRegistry, ExceptionsPropagateToEveryWaiterAndSlotClears) {
+  SharedFoldRegistry registry;
+  constexpr std::size_t kThreads = 4;
+  std::atomic<std::size_t> ready{0};
+  std::atomic<int> threw{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ready.fetch_add(1, std::memory_order_acq_rel);
+      while (ready.load(std::memory_order_acquire) < kThreads) {
+      }
+      try {
+        (void)registry.tree(test_key(9), [&]() -> Flowtree {
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          throw std::runtime_error("fold failed");
+        });
+      } catch (const std::runtime_error&) {
+        threw.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(threw.load(), static_cast<int>(kThreads));
+  // The failed slot must not wedge the key: a fresh request computes anew.
+  std::atomic<int> computed{0};
+  (void)registry.tree(test_key(9), [&] {
+    computed.fetch_add(1, std::memory_order_relaxed);
+    return Flowtree(big_config());
+  });
+  EXPECT_EQ(computed.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Fan-out manifest
+// ---------------------------------------------------------------------------
+
+TEST(FanOutPlanner, ManifestPrunesShardsWithNoMatchingRecords) {
+  FanOutPlanner fanout(4);
+  // Shards 0/1 hold "siteA" in the first hour; shard 2 holds "siteB" later.
+  fanout.note_routed(0, TimeInterval{0, kHour}, "siteA");
+  fanout.note_routed(1, TimeInterval{0, kHour}, "siteA");
+  fanout.note_routed(1, TimeInterval{0, kHour}, "siteA");
+  fanout.note_routed(2, TimeInterval{2 * kHour, 3 * kHour}, "siteB");
+
+  // Unbounded record span: the partitioner-global target set is always all
+  // shards, so every narrowing below is the manifest's doing.
+  const dist::TimePartitioner partitioner(
+      kHour, dist::TimePartitioner::kUnboundedRecordSpan);
+  const std::vector<TimeInterval> first_hour = {TimeInterval{0, kHour}};
+
+  // Exact manifest: the siteA selection provably misses shards 2 and 3.
+  FanOutPlanner::Decision decision =
+      fanout.decide(partitioner, first_hour, {"siteA"}, 4, true);
+  EXPECT_EQ(decision.partitioner_targets, 4u);
+  ASSERT_EQ(decision.targets.size(), 2u);
+  EXPECT_EQ(decision.manifest_pruned, 2u);
+  EXPECT_EQ(decision.est_records, 3u);
+
+  // A time range nothing was routed into prunes everything.
+  decision = fanout.decide(partitioner,
+                           {TimeInterval{10 * kHour, 11 * kHour}}, {}, 4, true);
+  EXPECT_TRUE(decision.targets.empty());
+  EXPECT_EQ(decision.manifest_pruned, 4u);
+}
+
+TEST(FanOutPlanner, InexactManifestNeverNarrowsTheScatter) {
+  FanOutPlanner fanout(4);
+  fanout.note_routed(0, TimeInterval{0, kHour}, "siteA");
+  const auto partitioner = dist::make_partitioner("by-time");
+  // manifest_exact=false (external ingest possible): the manifest may inform
+  // estimates but must not shrink the partitioner-global target set.
+  const FanOutPlanner::Decision decision = fanout.decide(
+      *partitioner, {TimeInterval{0, kHour}}, {"siteZ"}, 4, false);
+  EXPECT_EQ(decision.targets.size(), decision.partitioner_targets);
+  EXPECT_EQ(decision.manifest_pruned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModel, RefreshReadsLiveRegistryRates) {
+  metrics::MetricsRegistry registry;
+  registry.gauge("flowdb.view_cache_hit_ratio").set(0.75);
+  registry.counter("flowdb.decode_hits").add(30);
+  registry.counter("flowdb.decode_misses").add(10);
+
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.inputs.view_cache_hit_rate, 0.0);
+  model.refresh(registry.snapshot());
+  EXPECT_DOUBLE_EQ(model.inputs.view_cache_hit_rate, 0.75);
+  EXPECT_GT(model.inputs.decode_rate, 0.0);
+
+  // A cold registry must not clobber the observed rates with zeros.
+  model.refresh(metrics::MetricsRegistry().snapshot());
+  EXPECT_DOUBLE_EQ(model.inputs.view_cache_hit_rate, 0.75);
+}
+
+TEST(CostModel, PricesOrderSensibly) {
+  CostModel model;
+  PlanProbe probe;
+  probe.known = true;
+  probe.summary_count = 64;
+  probe.location_groups = 4;
+
+  // A cached full view is (near-)free next to folding 64 summaries.
+  PlanProbe cached = probe;
+  cached.full_view_cached = true;
+  model.inputs.view_cache_hit_rate = 1.0;
+  EXPECT_LT(model.cached_cost(cached), model.fold_cost(probe));
+
+  // Read-only never costs more than fold + populate.
+  EXPECT_LE(model.read_only_cost(probe),
+            model.fold_cost(probe) + model.populate_cost(probe));
+
+  // More summaries -> more expensive fold.
+  PlanProbe bigger = probe;
+  bigger.summary_count = 640;
+  EXPECT_GT(model.fold_cost(bigger), model.fold_cost(probe));
+}
+
+// ---------------------------------------------------------------------------
+// Cache policy (scan resistance) — pinned through plan_probe's cache bit
+// ---------------------------------------------------------------------------
+
+TEST(PlannerCachePolicy, ReadOnlyFoldsLeaveTheViewCacheCold) {
+  FlowDB db(big_config());
+  std::mt19937 rng(5);
+  for (int i = 0; i < 24; ++i) {
+    RandomRecord record = random_record(rng);
+    db.add(std::move(record.tree), record.interval, record.location);
+  }
+  const std::string flowql = "SELECT topk(5) FROM 0s..21600s";
+  const Statement statement = parse(flowql);
+
+  {
+    QueryPlanner planner(planner_options(
+        QueryPlanner::CacheModeOverride::kAlwaysReadOnly, false));
+    (void)planner.run(flowql, db);
+    EXPECT_GT(planner.stats().read_only_folds, 0u);
+    const Plan after = planner.plan(statement, db);
+    EXPECT_FALSE(after.probe.full_view_cached);
+  }
+  {
+    QueryPlanner planner(planner_options(
+        QueryPlanner::CacheModeOverride::kAlwaysPopulate, false));
+    (void)planner.run(flowql, db);
+    const Plan after = planner.plan(statement, db);
+    EXPECT_TRUE(after.probe.full_view_cached);
+  }
+}
+
+TEST(PlannerCachePolicy, AutoPopulatesOnSecondTouch) {
+  FlowDB db(big_config());
+  std::mt19937 rng(6);
+  for (int i = 0; i < 24; ++i) {
+    RandomRecord record = random_record(rng);
+    db.add(std::move(record.tree), record.interval, record.location);
+  }
+  // A fresh selection swept once is a predicted one-off; the same selection
+  // seen again is dashboard-shaped and worth caching.
+  const std::string flowql = "SELECT topk(5) FROM 600s..4200s";
+  QueryPlanner planner;
+  const Plan first = planner.plan(parse(flowql), db);
+  EXPECT_FALSE(first.repeated);
+  const Plan second = planner.plan(parse(flowql), db);
+  EXPECT_TRUE(second.repeated);
+  EXPECT_EQ(second.cache_mode, CacheMode::kPopulate);
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN
+// ---------------------------------------------------------------------------
+
+TEST(Explain, RendersThePlanInsteadOfExecuting) {
+  FlowDB db(big_config());
+  std::mt19937 rng(8);
+  for (int i = 0; i < 12; ++i) {
+    RandomRecord record = random_record(rng);
+    db.add(std::move(record.tree), record.interval, record.location);
+  }
+  const std::string text =
+      run_flowql("EXPLAIN SELECT topk(5) FROM 0s..21600s", db).to_string();
+  EXPECT_NE(text.find("operator"), std::string::npos);
+  EXPECT_NE(text.find("topk"), std::string::npos);
+  EXPECT_NE(text.find("est_cost_ns"), std::string::npos);
+  // The plan table is not the result table.
+  EXPECT_NE(text,
+            run_flowql("SELECT topk(5) FROM 0s..21600s", db).to_string());
+}
+
+TEST(Explain, ReportsTheScatterDecisionOnPartitionedSources) {
+  net::LoopbackTransport transport;
+  Cluster cluster(transport, 4);
+  std::mt19937 rng(9);
+  for (int i = 0; i < 24; ++i) {
+    RandomRecord record = random_record(rng);
+    cluster.coordinator->add(record.tree, record.interval, record.location);
+  }
+  cluster.coordinator->flush();
+  const std::string text =
+      run_flowql("EXPLAIN SELECT topk(5) FROM 0s..3600s", *cluster.coordinator)
+          .to_string();
+  EXPECT_NE(text.find("fan-out"), std::string::npos);
+  // 4 shards total must appear in the fan-out row.
+  EXPECT_NE(text.find("4"), std::string::npos);
+}
+
+TEST(Explain, ParsesWithAnyCase) {
+  FlowDB db(big_config());
+  EXPECT_NO_THROW((void)run_flowql("explain select topk(3) FROM 0s..60s", db));
+  EXPECT_THROW((void)run_flowql("EXPLAIN EXPLAIN SELECT query FROM 0s..60s", db),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace megads::flowdb::plan

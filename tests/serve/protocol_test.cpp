@@ -16,8 +16,8 @@ namespace {
 
 TEST(ServeProtocol, RequestRoundTrips) {
   const std::vector<Request> requests = {
-      {RequestType::kQuery, 1, QueryBody{250, "SELECT topk(5) FROM 0s..60s"}},
-      {RequestType::kQuery, 2, QueryBody{0, ""}},
+      {RequestType::kQuery, 1, QueryBody{250, 9, "SELECT topk(5) FROM 0s..60s"}},
+      {RequestType::kQuery, 2, QueryBody{0, 0, ""}},
       {RequestType::kMetrics, 3, MetricsBody{}},
       {RequestType::kSubscribe, 4, SubscribeBody{100, "SELECT query FROM 0s..60s"}},
       {RequestType::kUnsubscribe, 5, UnsubscribeBody{42}},
@@ -32,6 +32,7 @@ TEST(ServeProtocol, RequestRoundTrips) {
   }
   const Request query = decode_request(encode(requests[0]));
   EXPECT_EQ(std::get<QueryBody>(query.body).deadline_ms, 250u);
+  EXPECT_EQ(std::get<QueryBody>(query.body).priority, 9);
   EXPECT_EQ(std::get<QueryBody>(query.body).statement,
             "SELECT topk(5) FROM 0s..60s");
 }
@@ -78,7 +79,7 @@ TEST(ServeProtocol, MalformedRequestsThrow) {
   // Truncated at every prefix length.
   {
     const std::vector<std::uint8_t> bytes = encode(
-        Request{RequestType::kQuery, 1, QueryBody{100, "SELECT"}});
+        Request{RequestType::kQuery, 1, QueryBody{100, 0, "SELECT"}});
     for (std::size_t len = 0; len < bytes.size(); ++len) {
       const std::vector<std::uint8_t> prefix(bytes.begin(),
                                              bytes.begin() + len);
@@ -95,9 +96,10 @@ TEST(ServeProtocol, MalformedRequestsThrow) {
   // String length running past the buffer.
   {
     std::vector<std::uint8_t> bytes = encode(
-        Request{RequestType::kQuery, 1, QueryBody{100, "SELECT"}});
-    // The statement length prefix sits after version+type+id+deadline.
-    const std::size_t len_offset = 1 + 1 + 8 + 4;
+        Request{RequestType::kQuery, 1, QueryBody{100, 0, "SELECT"}});
+    // The statement length prefix sits after
+    // version+type+id+deadline+priority.
+    const std::size_t len_offset = 1 + 1 + 8 + 4 + 1;
     bytes[len_offset] = 0xFF;
     bytes[len_offset + 1] = 0xFF;
     EXPECT_THROW((void)decode_request(bytes), ParseError);

@@ -309,12 +309,44 @@ def check_wire_decode(path, rel, text):
     ]
 
 
+# Scatter decisions belong to the planner: FanOutPlanner::decide starts from
+# Partitioner::targets and narrows it with the routing manifest, so a direct
+# targets() call on a query path silently skips manifest pruning (and the
+# plan.fanout_pruned accounting). Only the planner itself and the partitioner
+# implementations may touch it.
+PARTITIONER_TARGETS_RE = re.compile(r"(\.|->)\s*targets\s*\(")
+PARTITIONER_TARGETS_EXEMPT_PREFIXES = (
+    "src/flowdb/plan/",
+    "src/flowdb/partitioned/partitioner.",
+)
+
+
+def check_partitioner_targets(path, rel, text):
+    posix_rel = rel.replace(os.sep, "/")
+    if not posix_rel.startswith("src/flowdb/"):
+        return []
+    if posix_rel.startswith(PARTITIONER_TARGETS_EXEMPT_PREFIXES):
+        return []
+    return [
+        Violation(
+            "partitioner-targets",
+            rel,
+            line_of(text, m.start()),
+            "direct Partitioner::targets() on a query path — scatter "
+            "decisions go through plan::FanOutPlanner::decide so the routing "
+            "manifest can prune the fan-out",
+        )
+        for m in PARTITIONER_TARGETS_RE.finditer(text)
+    ]
+
+
 RULES = (
     check_raw_network_send,
     check_throw_in_callback,
     check_naked_mutex,
     check_invariant_coverage,
     check_wire_decode,
+    check_partitioner_targets,
 )
 
 # --- driver -----------------------------------------------------------------
@@ -354,6 +386,7 @@ def self_test(testdata):
         "bad_naked_mutex.cpp": "naked-mutex",
         "bad_missing_invariants_datastore.cpp": "invariant-coverage",
         "bad_wire_decode.cpp": "wire-decode",
+        "bad_partitioner_targets.cpp": "partitioner-targets",
     }
     failures = []
     for name, rule in sorted(expected.items()):
@@ -363,6 +396,9 @@ def self_test(testdata):
             rel = os.path.join("src", "lint_fixture", "datastore.cpp")
         if name == "bad_wire_decode.cpp":
             # The rule only fires on wire-path directories.
+            rel = os.path.join("src", "flowdb", "partitioned", name)
+        if name == "bad_partitioner_targets.cpp":
+            # The rule only fires inside src/flowdb/ (and not under plan/).
             rel = os.path.join("src", "flowdb", "partitioned", name)
         found = {v.rule for v in lint_file(path, rel)}
         if rule not in found:

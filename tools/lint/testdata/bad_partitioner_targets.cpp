@@ -1,0 +1,24 @@
+// Lint fixture: a direct Partitioner::targets() call on a query path must be
+// flagged (this file is linted as if it lived in src/flowdb/partitioned/).
+#include <cstddef>
+#include <vector>
+
+namespace fixture {
+
+struct Partitioner {
+  std::vector<std::size_t> targets(std::size_t partitions) const {
+    std::vector<std::size_t> all;
+    for (std::size_t i = 0; i < partitions; ++i) all.push_back(i);
+    return all;
+  }
+};
+
+struct Coordinator {
+  std::size_t scatter(const Partitioner& partitioner) const {
+    // BAD: bypasses plan::FanOutPlanner::decide, so the routing manifest
+    // never gets a chance to prune the fan-out.
+    return partitioner.targets(8).size();
+  }
+};
+
+}  // namespace fixture
